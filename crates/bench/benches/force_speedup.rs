@@ -1,0 +1,60 @@
+//! E5 (wall-clock companion) — end-to-end force runs vs force size.
+//!
+//! The virtual-time scaling result lives in the `force_scaling` binary
+//! (that models the 20-PE FLEX). This bench measures what the *host*
+//! does with the same program: on a multi-core host the time falls with
+//! members; on a single-core host it exposes the pure overhead of
+//! replicating the body across members, which is itself a useful number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pisces_bench::{boot, force_config};
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: i64 = 50_000;
+
+fn run_pi(p: &Arc<Pisces>) {
+    p.initiate_top_level(1, "pi", vec![]).expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+}
+
+fn bench_pi_force(c: &mut Criterion) {
+    let mut g = c.benchmark_group("force/pi_integration_end_to_end");
+    g.sample_size(10);
+    for members in [1u8, 2, 4, 8] {
+        let p = boot(force_config(members - 1, 2));
+        p.register("pi", |ctx: &TaskCtx| {
+            ctx.forcesplit(|f| {
+                let sum = f.shared_common("PI", 1)?;
+                let lock = f.lock_var("L")?;
+                let mut local = 0.0;
+                f.presched(0, N - 1, |i| {
+                    let x = (i as f64 + 0.5) / N as f64;
+                    local += 4.0 / (1.0 + x * x);
+                    Ok(())
+                })?;
+                f.critical(&lock, || {
+                    sum.add_real(0, local)?;
+                    Ok(())
+                })?;
+                f.barrier()?;
+                Ok(())
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, _| {
+            b.iter(|| run_pi(&p));
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_pi_force
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E6 (wall-clock companion) — per-iteration dispatch overhead of the
+//! two loop disciplines with empty bodies: what one PRESCHED step costs
+//! (index arithmetic) vs one SELFSCHED step (shared-counter fetch-add in
+//! the simulated shared memory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pisces_bench::{boot, force_config};
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITERS_PER_LOOP: i64 = 10_000;
+
+fn run_loops(p: &Arc<Pisces>, selfsched: bool, loops: u64) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let ok = Arc::new(AtomicBool::new(false));
+    let k2 = ok.clone();
+    p.register("loops", move |ctx: &TaskCtx| {
+        let t = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        let t2 = t.clone();
+        ctx.forcesplit(|f| {
+            f.barrier()?;
+            let t0 = std::time::Instant::now();
+            for _ in 0..loops {
+                if selfsched {
+                    f.selfsched(1, ITERS_PER_LOOP, |_| Ok(()))?;
+                } else {
+                    f.presched(1, ITERS_PER_LOOP, |_| Ok(()))?;
+                }
+            }
+            f.barrier_with(|| {
+                *t2.lock() = t0.elapsed();
+                Ok(())
+            })?;
+            Ok(())
+        })?;
+        *o2.lock() = *t.lock();
+        k2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "loops", vec![]).expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(ok.load(Ordering::Acquire));
+    let d = *out.lock();
+    d
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loops/dispatch_empty_body");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ITERS_PER_LOOP as u64));
+    for members in [1u8, 4] {
+        for (label, selfsched) in [("presched", false), ("selfsched", true)] {
+            let p = boot(force_config(members - 1, 2));
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{members}_members")),
+                &selfsched,
+                |b, &selfsched| {
+                    b.iter_custom(|iters| run_loops(&p, selfsched, iters));
+                },
+            );
+            p.shutdown();
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_dispatch
+}
+criterion_main!(benches);

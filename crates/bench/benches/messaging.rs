@@ -1,0 +1,190 @@
+//! E8 — message-passing costs (the timing study Section 13 deferred).
+//!
+//! Wall-clock costs of the messaging primitives on a live machine:
+//! send→accept round trips vs payload size, signal vs handler
+//! processing, queue depth effects, and broadcast fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pisces_bench::boot;
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `f` inside a task body on a booted machine and return the duration
+/// it reports (used with `iter_custom`).
+fn with_task(
+    p: &Arc<Pisces>,
+    iters: u64,
+    f: impl Fn(&TaskCtx, u64) -> Result<Duration> + Send + Sync + 'static,
+) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let d2 = done.clone();
+    p.register("bench_body", move |ctx: &TaskCtx| {
+        *o2.lock() = f(ctx, iters)?;
+        d2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "bench_body", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(done.load(Ordering::Acquire), "bench body failed");
+    let d = *out.lock();
+    d
+}
+
+fn bench_roundtrip_payload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("messaging/self_roundtrip_payload_words");
+    for words in [0usize, 16, 256, 1024] {
+        g.throughput(Throughput::Elements(1));
+        let p = boot(MachineConfig::simple(1, 4));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
+            b.iter_custom(|iters| {
+                with_task(&p, iters, move |ctx, iters| {
+                    let payload = vec![0.0f64; words];
+                    let t0 = std::time::Instant::now();
+                    for i in 0..iters {
+                        ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+                        ctx.accept().of(1).signal("M").run()?;
+                    }
+                    Ok(t0.elapsed())
+                })
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_signal_vs_handler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("messaging/processing");
+    for mode in ["signal", "handler"] {
+        let p = boot(MachineConfig::simple(1, 4));
+        g.bench_function(mode, |b| {
+            let handled = mode == "handler";
+            b.iter_custom(|iters| {
+                with_task(&p, iters, move |ctx, iters| {
+                    let t0 = std::time::Instant::now();
+                    for i in 0..iters {
+                        ctx.send(To::Myself, "M", args![i as i64])?;
+                        if handled {
+                            ctx.accept()
+                                .of(1)
+                                .handle("M", |m| {
+                                    std::hint::black_box(m.args[0].as_int()?);
+                                    Ok(())
+                                })
+                                .run()?;
+                        } else {
+                            ctx.accept().of(1).signal("M").run()?;
+                        }
+                    }
+                    Ok(t0.elapsed())
+                })
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_queue_depth(c: &mut Criterion) {
+    // Selective accept must scan past unwanted queued messages: cost of
+    // acceptance vs how much is parked ahead in the queue.
+    let mut g = c.benchmark_group("messaging/accept_scanning_queue_depth");
+    for depth in [0usize, 16, 128] {
+        let p = boot(MachineConfig::simple(1, 4));
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_custom(|iters| {
+                with_task(&p, iters, move |ctx, iters| {
+                    for _ in 0..depth {
+                        ctx.send(To::Myself, "PARKED", vec![])?;
+                    }
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        ctx.send(To::Myself, "WANTED", vec![])?;
+                        ctx.accept().of(1).signal("WANTED").run()?;
+                    }
+                    let d = t0.elapsed();
+                    ctx.accept().signal_all("PARKED").run()?;
+                    Ok(d)
+                })
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("messaging/broadcast_fanout");
+    g.sample_size(10);
+    for listeners in [2usize, 8, 24] {
+        let p = boot(MachineConfig::simple(4, 16));
+        p.register("listener", |ctx: &TaskCtx| loop {
+            // PING → reply; STOP → exit (each bench batch reaps its
+            // listeners so slots never accumulate across batches).
+            let out = ctx
+                .accept()
+                .of(1)
+                .signal("PING")
+                .signal("STOP")
+                .delay_then(Duration::from_secs(30), || {})
+                .run()?;
+            if out.timed_out || out.count("STOP") == 1 {
+                return Ok(());
+            }
+            ctx.send(To::Sender, "PONG", vec![])?;
+        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(listeners),
+            &listeners,
+            |b, &listeners| {
+                b.iter_custom(|iters| {
+                    with_task(&p, iters, move |ctx, iters| {
+                        for _ in 0..listeners {
+                            ctx.initiate(Where::Any, "listener", vec![])?;
+                        }
+                        // Wait until every listener is parked in ACCEPT.
+                        std::thread::sleep(Duration::from_millis(100));
+                        let t0 = std::time::Instant::now();
+                        for _ in 0..iters {
+                            let n = ctx.send_all(None, "PING", vec![])?;
+                            ctx.accept().of(n).signal("PONG").run()?;
+                        }
+                        let elapsed = t0.elapsed();
+                        // Reap this batch's listeners and wait for them to
+                        // be gone before the next batch counts live tasks.
+                        ctx.send_all(None, "STOP", vec![])?;
+                        for _ in 0..500 {
+                            let live = ctx
+                                .machine()
+                                .snapshot_tasks()
+                                .iter()
+                                .filter(|t| t.tasktype == "listener")
+                                .count();
+                            if live == 0 {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Ok(elapsed)
+                    })
+                });
+            },
+        );
+        p.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_roundtrip_payload, bench_signal_vs_handler, bench_queue_depth, bench_broadcast
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Substrate micro-benchmarks (ablation support): the shared-memory
+//! allocator, message-packet encoding, and window transfers — the pieces
+//! whose costs the design decisions in DESIGN.md trade against each
+//! other.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flex32::shmem::{SharedMemory, ShmTag};
+use pisces_bench::boot;
+use pisces_core::prelude::*;
+use pisces_core::value::{decode_values, encode_values};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/shmem_alloc_free");
+    for size in [64usize, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let m = SharedMemory::flex32();
+            b.iter(|| {
+                let h = m.alloc(size, ShmTag::Message).unwrap();
+                m.free(h).unwrap();
+            });
+        });
+    }
+    // Fragmented arena: many live blocks, alloc/free in the gaps.
+    g.bench_function("fragmented_1000_live", |b| {
+        let m = SharedMemory::flex32();
+        let mut live = Vec::new();
+        for i in 0..1000 {
+            live.push(m.alloc(64 + (i % 7) * 16, ShmTag::Other).unwrap());
+        }
+        // Free every third block to create holes.
+        for (i, h) in live.iter().enumerate() {
+            if i % 3 == 0 {
+                m.free(*h).unwrap();
+            }
+        }
+        b.iter(|| {
+            let h = m.alloc(64, ShmTag::Message).unwrap();
+            m.free(h).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_value_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/packet_codec");
+    let vals = args![
+        42i64,
+        1.5f64,
+        "a message type argument",
+        TaskId::new(3, 4, 5),
+        vec![0.0f64; 64]
+    ];
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(encode_values(&vals)))
+    });
+    let words = encode_values(&vals);
+    g.bench_function("decode", |b| {
+        b.iter(|| std::hint::black_box(decode_values(&words).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_window_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/window_read_words");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        let p = boot(MachineConfig::simple(1, 4));
+        let done = Arc::new(AtomicBool::new(false));
+        let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let d2 = done.clone();
+                let o2 = out.clone();
+                p.register("reader", move |ctx: &TaskCtx| {
+                    let data = vec![1.0f64; n * n];
+                    let w = ctx.register_array(&data, n, n)?;
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(ctx.window_read(&w)?);
+                    }
+                    *o2.lock() = t0.elapsed();
+                    d2.store(true, Ordering::Release);
+                    Ok(())
+                });
+                p.initiate_top_level(1, "reader", vec![]).expect("initiate");
+                assert!(p.wait_quiescent(Duration::from_secs(120)));
+                assert!(done.swap(false, Ordering::AcqRel));
+                let d = *out.lock();
+                d
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_allocator, bench_value_codec, bench_window_transfer
+}
+criterion_main!(benches);

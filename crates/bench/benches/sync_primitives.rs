@@ -1,0 +1,174 @@
+//! E9 — force synchronization costs (the timing study Section 13
+//! deferred): barrier crossings vs force size, critical-section cost
+//! uncontended and contended, and raw LOCK-variable operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pisces_bench::{boot, force_config};
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Time `rounds` of an operation inside a force of the given size; the
+/// duration is measured by the primary around the whole force region and
+/// divided by `rounds` at reporting time via iter_custom semantics.
+fn force_rounds(
+    p: &Arc<Pisces>,
+    rounds: u64,
+    op: impl Fn(&pisces_core::force::ForceCtx<'_>, u64) -> Result<()> + Send + Sync + 'static,
+) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let ok = Arc::new(AtomicBool::new(false));
+    let k2 = ok.clone();
+    p.register("force_bench", move |ctx: &TaskCtx| {
+        let t = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        let t2 = t.clone();
+        ctx.forcesplit(|f| {
+            f.barrier()?; // start line
+            let t0 = std::time::Instant::now();
+            op(f, rounds)?;
+            f.barrier_with(|| {
+                *t2.lock() = t0.elapsed();
+                Ok(())
+            })?;
+            Ok(())
+        })?;
+        *o2.lock() = *t.lock();
+        k2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "force_bench", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(ok.load(Ordering::Acquire));
+    let d = *out.lock();
+    d
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync/barrier_crossing");
+    g.sample_size(10);
+    for members in [1u8, 2, 4, 8] {
+        let p = boot(force_config(members - 1, 2));
+        g.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, _| {
+            b.iter_custom(|iters| {
+                force_rounds(&p, iters, |f, rounds| {
+                    for _ in 0..rounds {
+                        f.barrier()?;
+                    }
+                    Ok(())
+                })
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_critical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync/critical_section");
+    g.sample_size(10);
+    // members=1: uncontended; members=8: all hammering one lock.
+    for members in [1u8, 2, 8] {
+        let p = boot(force_config(members - 1, 2));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{members}_members")),
+            &members,
+            |b, _| {
+                b.iter_custom(|iters| {
+                    force_rounds(&p, iters, |f, rounds| {
+                        let sc = f.shared_common("ACC", 1)?;
+                        let lock = f.lock_var("L")?;
+                        for _ in 0..rounds {
+                            f.critical(&lock, || {
+                                let v = sc.get_int(0)?;
+                                sc.set_int(0, v + 1)?;
+                                Ok(())
+                            })?;
+                        }
+                        Ok(())
+                    })
+                });
+            },
+        );
+        p.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_lock_ops(c: &mut Criterion) {
+    // Raw LOCK-variable machinery without the force framing.
+    let flex = flex32::Flex32::new_shared();
+    let p = Pisces::boot(flex, MachineConfig::simple(1, 2)).expect("boot");
+    let ready = Arc::new(parking_lot::Mutex::new(None::<LockVar>));
+    let r2 = ready.clone();
+    p.register("locker", move |ctx: &TaskCtx| {
+        *r2.lock() = Some(ctx.lock_var("BENCH")?);
+        // Keep the task alive so the lock variable stays allocated.
+        let _ = ctx
+            .accept()
+            .signal_count("STOP", 1)
+            .delay_then(Duration::from_secs(60), || {})
+            .run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "locker", vec![]).expect("initiate");
+    let lock = loop {
+        if let Some(l) = ready.lock().clone() {
+            break l;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    c.bench_function("sync/lock_unlock_uncontended", |b| {
+        b.iter(|| {
+            lock.lock_spin().unwrap();
+            lock.unlock().unwrap();
+        })
+    });
+    for t in p.snapshot_tasks() {
+        if t.tasktype == "locker" {
+            let _ = p.user_send(t.id, "STOP", vec![]);
+        }
+    }
+    p.shutdown();
+}
+
+fn bench_forcesplit(c: &mut Criterion) {
+    // The cost of FORCESPLIT itself: split + join with an empty body.
+    let mut g = c.benchmark_group("sync/forcesplit_join");
+    g.sample_size(10);
+    for members in [1u8, 4, 9, 16] {
+        let p = boot(force_config(members - 1, 2));
+        g.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+                let o2 = out.clone();
+                p.register("splitter", move |ctx: &TaskCtx| {
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        ctx.forcesplit(|_| Ok(()))?;
+                    }
+                    *o2.lock() = t0.elapsed();
+                    Ok(())
+                });
+                p.initiate_top_level(1, "splitter", vec![])
+                    .expect("initiate");
+                assert!(p.wait_quiescent(Duration::from_secs(120)));
+                let d = *out.lock();
+                d
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_barrier, bench_critical, bench_lock_ops, bench_forcesplit
+}
+criterion_main!(benches);

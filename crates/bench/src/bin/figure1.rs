@@ -1,0 +1,51 @@
+//! E3 — regenerate Figure 1 of the paper: the PISCES 2 virtual machine
+//! organization, drawn from *live* machine state.
+//!
+//! Figure 1 shows three clusters: slots holding a task controller, a user
+//! controller (where a terminal is attached), user tasks, and `<not in
+//! use>` entries, joined by the intra-cluster and message-passing
+//! networks, with a disk and file controller. We boot exactly that
+//! machine, occupy some slots, and render.
+//!
+//! ```text
+//! cargo run -p pisces-bench --bin figure1
+//! ```
+
+use pisces_bench::boot;
+use pisces_core::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let config = MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 3).with_terminal(),
+        ClusterConfig::new(2, 4, 3),
+        ClusterConfig::new(3, 5, 3),
+    ]);
+    let p = boot(config);
+    p.register("worker", |ctx: &TaskCtx| {
+        // Park until told to stop, so the figure shows the task in its slot.
+        let _ = ctx
+            .accept()
+            .signal_count("STOP", 1)
+            .delay_then(Duration::from_secs(5), || {})
+            .run()?;
+        Ok(())
+    });
+    for cluster in [1u8, 2, 2, 3] {
+        p.initiate_top_level(cluster, "worker", vec![])
+            .expect("initiate");
+    }
+    // Let the controllers place everything.
+    std::thread::sleep(Duration::from_millis(300));
+
+    println!("{}", pisces_exec::figure1::render(&p));
+
+    // Release and shut down.
+    for t in p.snapshot_tasks() {
+        if t.tasktype == "worker" {
+            let _ = p.user_send(t.id, "STOP", vec![]);
+        }
+    }
+    p.wait_quiescent(Duration::from_secs(10));
+    p.shutdown();
+}

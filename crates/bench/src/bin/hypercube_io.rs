@@ -1,0 +1,96 @@
+//! E12 — the PISCES 3 preview (paper, Section 1): message passing on a
+//! hypercube, and why its design brief says "parallel I/O".
+//!
+//! Part 1: message latency vs hop distance on an iPSC-class cube with
+//! store-and-forward e-cube routing — latency is linear in hops, the
+//! locality fact a PISCES 3 mapping environment would expose to the
+//! programmer exactly as PISCES 2 exposes PE assignment.
+//!
+//! Part 2: reading one large file from a compute node, striped across
+//! 1–16 I/O nodes. Disk time divides by the stripe count while link
+//! time stays ~flat, so bandwidth scales until routing dominates — the
+//! parallel-I/O emphasis measured.
+//!
+//! ```text
+//! cargo run -p pisces-bench --bin hypercube_io
+//! ```
+
+use pisces3_hypercube::pio::RecordStore;
+use pisces3_hypercube::{Hypercube, StripedFile};
+use pisces_bench::{header, row};
+
+fn main() {
+    println!("E12 — PISCES 3 preview: hypercube substrate\n");
+
+    println!("message latency vs hop distance (dimension-6 cube, 64-word payload):");
+    header(&["hops", "route", "latency ticks", "ticks/hop"]);
+    let cube = Hypercube::new(6);
+    for target in [1usize, 3, 7, 15, 31, 63] {
+        let lat = cube.send(0, target, "PROBE", vec![0; 64]);
+        let hops = cube.distance(0, target);
+        row(&[
+            hops.to_string(),
+            format!("0→{target}"),
+            lat.to_string(),
+            (lat / hops as u64).to_string(),
+        ]);
+    }
+    println!("\nshape check: latency is exactly linear in hops (store-and-forward).\n");
+
+    println!("parallel I/O: 64 K-word file read from node 0, vs stripes:");
+    header(&[
+        "I/O nodes",
+        "read completion ticks",
+        "speedup",
+        "effective words/tick",
+    ]);
+    let words = 64 * 1024;
+    let data: Vec<u64> = (0..words as u64).collect();
+    let mut base = None;
+    for stripes in [1usize, 2, 4, 8, 16] {
+        let cube = Hypercube::new(6);
+        // Spread the I/O nodes around the cube (odd node numbers).
+        let io_nodes: Vec<usize> = (0..stripes).map(|k| 2 * k + 1).collect();
+        let file = StripedFile::new(io_nodes, 256);
+        file.write(&cube, 0, 0, &data);
+        let (back, ticks) = file.read(&cube, 0, 0, words);
+        assert_eq!(back, data, "striped read returns the file intact");
+        let speedup = *base.get_or_insert(ticks) as f64 / ticks as f64;
+        row(&[
+            stripes.to_string(),
+            ticks.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", words as f64 / ticks as f64),
+        ]);
+    }
+    println!("\nshape check: near-linear speedup while disk time dominates, rolling");
+    println!("off as per-stripe routing becomes the floor — why the planned");
+    println!("PISCES 3 'will emphasize parallel I/O' on these machines.\n");
+
+    println!("data base access: full scan of a 2000-record store, vs stripes:");
+    header(&["I/O nodes", "scan completion ticks", "speedup"]);
+    let mut base = None;
+    for stripes in [1usize, 2, 4, 8] {
+        let cube = Hypercube::new(6);
+        let io: Vec<usize> = (0..stripes).map(|k| 2 * k + 1).collect();
+        let db = RecordStore::new(io, 512, 8, 6);
+        for k in 0..2000u64 {
+            db.put(&cube, 0, k, &[k, k * k]).expect("insert");
+        }
+        let mut checked = 0u64;
+        let (live, ticks) = db.scan(&cube, 0, |k, v| {
+            assert_eq!(v[0], k);
+            checked += 1;
+        });
+        assert_eq!(live as u64, checked);
+        assert_eq!(live, 2000);
+        let speedup = *base.get_or_insert(ticks) as f64 / ticks as f64;
+        row(&[
+            stripes.to_string(),
+            ticks.to_string(),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!("\nshape check: the parallel table scan follows the striped-read curve —");
+    println!("the 'data base access' half of the PISCES 3 brief.");
+}

@@ -1,0 +1,101 @@
+//! E4 — the worked mapping example of Section 9 of the paper.
+//!
+//! The configuration: clusters 1–4 on PEs 3–6 with 4 slots each; PEs 7–15
+//! run forces for clusters 3 and 4; PEs 16–20 run forces for cluster 2;
+//! cluster 1 has no secondaries. The paper's stated consequences, which
+//! this harness measures on a live run:
+//!
+//! * a FORCESPLIT in cluster 1 "will cause no parallel splitting"
+//!   (force size 1), cluster 2 splits 6 ways, clusters 3 and 4 split 10
+//!   ways;
+//! * "the maximum number of simultaneous tasks that might be running on
+//!   one of these PEs [7–15] is equal to the sum of the slots allocated
+//!   in both clusters, 4+4=8";
+//! * the same program text finishes faster in a cluster with more force
+//!   PEs (performance, not semantics, changes with the mapping).
+//!
+//! ```text
+//! cargo run -p pisces-bench --bin mapping_example
+//! ```
+
+use pisces_bench::{boot, header, row, run_top};
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const WORK_TICKS: u64 = 60_000;
+
+fn main() {
+    let config = MachineConfig::section9_example();
+    let p = boot(config.clone());
+
+    // The probe task: split into a force, spread a fixed amount of
+    // virtual work over the members, report size and force-region span.
+    let results: Arc<parking_lot::Mutex<Vec<(u8, usize, u64)>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let r2 = results.clone();
+    p.register("probe", move |ctx: &TaskCtx| {
+        let size = AtomicUsize::new(1);
+        let span = AtomicU64::new(0);
+        ctx.forcesplit(|f| {
+            let start = ctx.machine().flex().pe(f.pe()).clock.now();
+            size.store(f.size(), Ordering::Relaxed);
+            // Fixed total work divided over members by prescheduling.
+            f.presched(0, 99, |_| f.work(WORK_TICKS / 100))?;
+            f.barrier()?;
+            let end = ctx.machine().flex().pe(f.pe()).clock.now();
+            span.fetch_max(end - start, Ordering::Relaxed);
+            Ok(())
+        })?;
+        r2.lock().push((
+            ctx.cluster(),
+            size.load(Ordering::Relaxed),
+            span.load(Ordering::Relaxed),
+        ));
+        ctx.send(To::Parent, "DONE", vec![])
+    });
+    p.register("main", |ctx: &TaskCtx| {
+        for c in 1..=4u8 {
+            ctx.initiate(Where::Cluster(c), "probe", vec![])?;
+        }
+        ctx.accept().of(4).signal("DONE").run()?;
+        Ok(())
+    });
+    run_top(&p, "main", vec![]);
+
+    println!("E4 — Section 9 mapping example (same probe task in each cluster)\n");
+    header(&[
+        "cluster",
+        "primary PE",
+        "force PEs",
+        "force size (paper)",
+        "force size (run)",
+        "force-region ticks",
+    ]);
+    let mut rows = results.lock().clone();
+    rows.sort();
+    for (cluster, size, span) in rows {
+        let cfg = config.cluster(cluster).unwrap();
+        row(&[
+            cluster.to_string(),
+            format!("PE{}", cfg.primary_pe),
+            format!("{:?}", cfg.secondary_pes),
+            cfg.force_size().to_string(),
+            size.to_string(),
+            span.to_string(),
+        ]);
+    }
+
+    println!("\nmultiprogramming bound (paper: PEs 7-15 carry 4+4=8):");
+    header(&["PE", "max simultaneous tasks"]);
+    for pe in [3u8, 4, 7, 12, 16, 20] {
+        row(&[
+            format!("PE{pe}"),
+            config.max_multiprogramming(pe).to_string(),
+        ]);
+    }
+
+    println!("\nshape check: cluster 1 does not split; clusters 3/4 split 10 ways and");
+    println!("finish the same work in the fewest ticks; PE7 bound is 8.");
+    p.shutdown();
+}

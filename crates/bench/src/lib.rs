@@ -1,0 +1,78 @@
+//! Shared helpers for the PISCES 2 experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one artefact of the paper (see
+//! `EXPERIMENTS.md` at the repository root for the index); the Criterion
+//! benches in `benches/` measure the runtime primitives in wall-clock
+//! time. This library holds the plumbing they share.
+
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Boot a machine on a fresh FLEX/32.
+pub fn boot(config: MachineConfig) -> Arc<Pisces> {
+    Pisces::boot(flex32::Flex32::new_shared(), config).expect("boot")
+}
+
+/// A single cluster on PE 3 with `secondaries` force PEs (4..) and
+/// `slots` user slots.
+pub fn force_config(secondaries: u8, slots: u8) -> MachineConfig {
+    let cluster = if secondaries == 0 {
+        ClusterConfig::new(1, 3, slots)
+    } else {
+        ClusterConfig::new(1, 3, slots).with_secondaries(4..=(3 + secondaries))
+    };
+    MachineConfig::new(vec![cluster])
+}
+
+/// Run one registered top-level task to quiescence; panics on hang.
+pub fn run_top(p: &Arc<Pisces>, tasktype: &str, args: Vec<Value>) {
+    p.initiate_top_level(1, tasktype, args).expect("initiate");
+    assert!(
+        p.wait_quiescent(Duration::from_secs(120)),
+        "machine failed to quiesce:\n{}",
+        p.dump_state()
+    );
+}
+
+/// Virtual elapsed time of a run: the maximum PE tick reading — the
+/// "finish line" of the slowest PE, which is how the paper's off-line
+/// timing analyses would read a run's span.
+pub fn elapsed_ticks(p: &Arc<Pisces>) -> u64 {
+    p.pe_loading().iter().map(|l| l.ticks).max().unwrap_or(0)
+}
+
+/// Print a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a Markdown-style table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_config_shapes() {
+        assert_eq!(force_config(0, 4).cluster(1).unwrap().force_size(), 1);
+        assert_eq!(force_config(5, 4).cluster(1).unwrap().force_size(), 6);
+        force_config(17, 4).validate().unwrap();
+    }
+
+    #[test]
+    fn boot_and_elapsed() {
+        let p = boot(force_config(0, 2));
+        p.register("noop", |ctx: &TaskCtx| ctx.work(100));
+        run_top(&p, "noop", vec![]);
+        assert!(elapsed_ticks(&p) >= 100);
+        p.shutdown();
+    }
+}

@@ -1,0 +1,31 @@
+//! # pisces-config — the PISCES 2 configuration environment
+//!
+//! "When the user has created and successfully compiled his Pisces Fortran
+//! tasktype definitions…, then the command `pisces` brings up the PISCES
+//! configuration environment. This environment provides a series of menus
+//! that allow the user to build or edit a configuration for a particular
+//! run. A menu also drives the creation of an appropriate MMOS loadfile for
+//! the run. The configuration includes an execution time limit, trace
+//! settings for execution monitoring, and related information, in addition
+//! to the virtual machine to actual machine mapping." (paper, Section 11)
+//!
+//! This crate provides the three pieces around the configuration data
+//! (which itself lives in `pisces_core::config`):
+//!
+//! * [`library`] — saving, loading, listing, and editing named
+//!   configurations on the Unix-PE file system ("configurations may be
+//!   saved on files and reused or edited as desired for later runs");
+//! * [`loadfile`] — building the MMOS load image (kernel + runtime + user
+//!   code, all loaded to every selected PE) and downloading it into the
+//!   PEs' local memories, the source of the paper's "<2.5% of local
+//!   memory" measurement;
+//! * [`menu`] — a line-oriented equivalent of the configuration menus,
+//!   scriptable for tests and usable interactively from an example binary.
+
+pub mod library;
+pub mod loadfile;
+pub mod menu;
+
+pub use library::ConfigLibrary;
+pub use loadfile::{LoadFile, ProgramImage};
+pub use menu::ConfigMenu;

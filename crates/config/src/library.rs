@@ -1,0 +1,152 @@
+//! Saved configurations.
+//!
+//! "Configurations may be saved on files and reused or edited as desired
+//! for later runs. … Experimentation with different mappings from PISCES
+//! clusters to hardware resources is straightforward, by editing and
+//! saving several variants of a configuration mapping." (paper, Section 9)
+//!
+//! Configurations are stored as JSON under `configs/` on the Unix-PE file
+//! system, one file per name.
+
+use flex32::Flex32;
+use pisces_core::config::MachineConfig;
+use pisces_core::error::{PiscesError, Result};
+use std::sync::Arc;
+
+/// Directory on the Unix-PE file system holding saved configurations.
+pub const CONFIG_DIR: &str = "configs";
+
+/// A library of named, saved configurations.
+pub struct ConfigLibrary {
+    flex: Arc<Flex32>,
+}
+
+impl ConfigLibrary {
+    /// A library over the machine's file system.
+    pub fn new(flex: Arc<Flex32>) -> Self {
+        Self { flex }
+    }
+
+    fn path(name: &str) -> String {
+        format!("{CONFIG_DIR}/{name}.json")
+    }
+
+    /// Save a configuration under a name (validating it first — the menus
+    /// never let an invalid mapping be saved).
+    pub fn save(&self, name: &str, config: &MachineConfig) -> Result<()> {
+        config.validate()?;
+        let json = serde_json::to_vec_pretty(config)
+            .map_err(|e| PiscesError::Internal(format!("serialize configuration: {e}")))?;
+        self.flex.fs.write(&Self::path(name), &json)?;
+        Ok(())
+    }
+
+    /// Load a saved configuration by name.
+    pub fn load(&self, name: &str) -> Result<MachineConfig> {
+        let bytes = self.flex.fs.read(&Self::path(name))?;
+        let config: MachineConfig = serde_json::from_slice(&bytes).map_err(|e| {
+            PiscesError::BadConfiguration(format!("configuration file {name} is corrupt: {e}"))
+        })?;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Edit a saved configuration in place: load, apply `edit`, validate,
+    /// save back. On validation failure the saved file is untouched.
+    pub fn edit(&self, name: &str, edit: impl FnOnce(&mut MachineConfig)) -> Result<MachineConfig> {
+        let mut config = self.load(name)?;
+        edit(&mut config);
+        self.save(name, &config)?;
+        Ok(config)
+    }
+
+    /// Copy a saved configuration under a new name (the paper's "several
+    /// variants of a configuration mapping").
+    pub fn copy(&self, from: &str, to: &str) -> Result<()> {
+        let config = self.load(from)?;
+        self.save(to, &config)
+    }
+
+    /// Names of all saved configurations, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.flex
+            .fs
+            .list(CONFIG_DIR)
+            .into_iter()
+            .filter_map(|p| {
+                p.strip_prefix(&format!("{CONFIG_DIR}/"))
+                    .and_then(|f| f.strip_suffix(".json"))
+                    .map(str::to_string)
+            })
+            .collect()
+    }
+
+    /// Delete a saved configuration.
+    pub fn delete(&self, name: &str) -> Result<()> {
+        Ok(self.flex.fs.remove(&Self::path(name))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisces_core::config::ClusterConfig;
+
+    fn lib() -> ConfigLibrary {
+        ConfigLibrary::new(Flex32::new_shared())
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let lib = lib();
+        let c = MachineConfig::section9_example();
+        lib.save("sec9", &c).unwrap();
+        assert_eq!(lib.load("sec9").unwrap(), c);
+        assert_eq!(lib.list(), vec!["sec9".to_string()]);
+    }
+
+    #[test]
+    fn invalid_configuration_not_saved() {
+        let lib = lib();
+        let bad = MachineConfig::new(vec![ClusterConfig::new(1, 1, 4)]); // Unix PE
+        assert!(lib.save("bad", &bad).is_err());
+        assert!(lib.list().is_empty());
+    }
+
+    #[test]
+    fn edit_roundtrips_and_validates() {
+        let lib = lib();
+        lib.save("base", &MachineConfig::simple(2, 4)).unwrap();
+        let edited = lib.edit("base", |c| c.clusters[0].slots = 8).unwrap();
+        assert_eq!(edited.clusters[0].slots, 8);
+        assert_eq!(lib.load("base").unwrap().clusters[0].slots, 8);
+        // An edit that breaks validation is rejected and leaves the file.
+        let err = lib.edit("base", |c| c.clusters[0].primary_pe = 1);
+        assert!(err.is_err());
+        assert_eq!(lib.load("base").unwrap().clusters[0].primary_pe, 3);
+    }
+
+    #[test]
+    fn copy_creates_variant() {
+        let lib = lib();
+        lib.save("a", &MachineConfig::simple(1, 2)).unwrap();
+        lib.copy("a", "b").unwrap();
+        assert_eq!(lib.list(), vec!["a".to_string(), "b".to_string()]);
+        lib.delete("a").unwrap();
+        assert_eq!(lib.list(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn load_missing_or_corrupt() {
+        let lib = lib();
+        assert!(lib.load("nope").is_err());
+        lib.flex
+            .fs
+            .write("configs/junk.json", b"{not json")
+            .unwrap();
+        assert!(matches!(
+            lib.load("junk"),
+            Err(PiscesError::BadConfiguration(_))
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! MMOS load files.
+//!
+//! "The user may select any subset of the MMOS PE's for loading; all
+//! selected PE's are loaded with the same code, which includes the MMOS
+//! kernel and all user code." (paper, Section 11)
+//!
+//! A load file is built from the configuration (which PEs are selected)
+//! and the program image (how much user code there is). Downloading it
+//! reserves the image in each selected PE's 1 MB local memory, which is
+//! what the paper's Section 13 measurement divides by: "the PISCES 2
+//! system uses less than 2.5% of each PE's local memory (for system code
+//! and data)".
+
+use flex32::pe::PeId;
+use flex32::Flex32;
+use pisces_core::config::MachineConfig;
+use pisces_core::error::Result;
+use pisces_core::machine::SYSTEM_IMAGE_BYTES;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Estimated size of one compiled tasktype (object code + constants).
+/// The NS32032 f77 compiler produced compact code; this is an average for
+/// accounting purposes.
+pub const BYTES_PER_TASKTYPE: usize = 2048;
+
+/// Estimated size of one compiled handler or ordinary subprogram.
+pub const BYTES_PER_SUBPROGRAM: usize = 1024;
+
+/// Description of the compiled user program, from which the user-code
+/// portion of the load image is computed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramImage {
+    /// Tasktype names in the program.
+    pub tasktypes: Vec<String>,
+    /// Handler subroutines and ordinary Fortran subprograms.
+    pub subprograms: Vec<String>,
+    /// Extra bytes of user data statically linked into the image.
+    pub static_data_bytes: usize,
+}
+
+impl ProgramImage {
+    /// An image for a program with the given tasktypes and no extras.
+    pub fn with_tasktypes<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            tasktypes: names.into_iter().map(Into::into).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Size of the user code + static data in bytes.
+    pub fn user_bytes(&self) -> usize {
+        self.tasktypes.len() * BYTES_PER_TASKTYPE
+            + self.subprograms.len() * BYTES_PER_SUBPROGRAM
+            + self.static_data_bytes
+    }
+}
+
+/// A built MMOS load file: which PEs get loaded and with how many bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadFile {
+    /// PEs selected for loading (every PE the configuration touches).
+    pub pes: Vec<u8>,
+    /// System portion: MMOS kernel + PISCES runtime code and data.
+    pub system_bytes: usize,
+    /// User portion: compiled tasktypes, subprograms, static data.
+    pub user_bytes: usize,
+}
+
+impl LoadFile {
+    /// Build a load file for a configuration and program. All selected PEs
+    /// receive the same image.
+    pub fn build(config: &MachineConfig, program: &ProgramImage) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            pes: config.pes_in_use(),
+            system_bytes: SYSTEM_IMAGE_BYTES,
+            user_bytes: program.user_bytes(),
+        })
+    }
+
+    /// Total image bytes per PE.
+    pub fn image_bytes(&self) -> usize {
+        self.system_bytes + self.user_bytes
+    }
+
+    /// Fraction of a PE's 1 MB local memory the image occupies.
+    pub fn local_fraction(&self) -> f64 {
+        self.image_bytes() as f64 / flex32::LOCAL_MEM_BYTES as f64
+    }
+
+    /// Download the *user* portion of the image to every selected PE.
+    ///
+    /// The system portion is reserved by [`pisces_core::machine::Pisces::boot`]
+    /// itself (the kernel and runtime are always loaded); calling this
+    /// after boot adds the user code, completing the paper's load step.
+    pub fn download_user_code(&self, flex: &Arc<Flex32>) -> Result<()> {
+        if self.user_bytes == 0 {
+            return Ok(());
+        }
+        for &n in &self.pes {
+            let pe = PeId::new(n)?;
+            flex.pe(pe).local.reserve(self.user_bytes, pe)?;
+        }
+        Ok(())
+    }
+
+    /// Serialize the load file descriptor to the file system (the menu
+    /// "drives the creation of an appropriate MMOS loadfile for the run").
+    pub fn save(&self, flex: &Arc<Flex32>, path: &str) -> Result<()> {
+        let json = serde_json::to_vec_pretty(self)
+            .map_err(|e| pisces_core::error::PiscesError::Internal(e.to_string()))?;
+        flex.fs.write(path, &json)?;
+        Ok(())
+    }
+
+    /// Read a load file descriptor back.
+    pub fn load(flex: &Arc<Flex32>, path: &str) -> Result<Self> {
+        let bytes = flex.fs.read(path)?;
+        serde_json::from_slice(&bytes).map_err(|e| {
+            pisces_core::error::PiscesError::BadConfiguration(format!(
+                "load file {path} is corrupt: {e}"
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_sizes_add_up() {
+        let prog = ProgramImage {
+            tasktypes: vec!["main".into(), "worker".into()],
+            subprograms: vec!["handler1".into()],
+            static_data_bytes: 500,
+        };
+        assert_eq!(prog.user_bytes(), 2 * 2048 + 1024 + 500);
+        let lf = LoadFile::build(&MachineConfig::simple(2, 4), &prog).unwrap();
+        assert_eq!(lf.pes, vec![3, 4]);
+        assert_eq!(lf.image_bytes(), SYSTEM_IMAGE_BYTES + prog.user_bytes());
+    }
+
+    #[test]
+    fn system_image_is_under_the_papers_bound() {
+        // Section 13: "the PISCES 2 system uses less than 2.5% of each
+        // PE's local memory (for system code and data)".
+        let lf = LoadFile::build(&MachineConfig::simple(1, 1), &ProgramImage::default()).unwrap();
+        assert!(
+            lf.local_fraction() < 0.025,
+            "system image fraction {:.4} must stay under 2.5%",
+            lf.local_fraction()
+        );
+    }
+
+    #[test]
+    fn download_reserves_user_code_on_all_pes() {
+        let flex = Flex32::new_shared();
+        let config = MachineConfig::section9_example();
+        let prog = ProgramImage::with_tasktypes(["main", "worker", "leaf"]);
+        let lf = LoadFile::build(&config, &prog).unwrap();
+        lf.download_user_code(&flex).unwrap();
+        for &pe in &lf.pes {
+            assert_eq!(
+                flex.pe(PeId::new(pe).unwrap()).local.used(),
+                prog.user_bytes(),
+                "PE{pe}"
+            );
+        }
+        // PEs outside the configuration got nothing.
+        assert_eq!(flex.pe(PeId::new(1).unwrap()).local.used(), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let flex = Flex32::new_shared();
+        let lf = LoadFile::build(&MachineConfig::simple(3, 2), &ProgramImage::default()).unwrap();
+        lf.save(&flex, "loads/run1.json").unwrap();
+        assert_eq!(LoadFile::load(&flex, "loads/run1.json").unwrap(), lf);
+    }
+}

@@ -1,0 +1,366 @@
+//! The configuration menus, as a scriptable command processor.
+//!
+//! The paper's configuration environment "provides a series of menus that
+//! allow the user to build or edit a configuration for a particular run"
+//! (Section 11), choosing: how many clusters and their numbers, the
+//! primary PE of each cluster, the secondary PEs that run its forces, and
+//! the slots per cluster (Section 9) — plus the execution time limit and
+//! trace settings.
+//!
+//! [`ConfigMenu`] accepts one command per line, so it can drive an
+//! interactive session (see `examples/configurator.rs`) or a scripted test
+//! identically. Commands:
+//!
+//! ```text
+//! clusters <n1> <n2> …          declare the cluster numbers in use
+//! primary <cluster> <pe>        set a cluster's primary PE
+//! secondaries <cluster> <pes>   set force PEs, e.g. 7-15 or 16,17,20
+//! slots <cluster> <n>           set user slots
+//! terminal <cluster>            attach the user terminal
+//! timelimit <ticks>|off         execution time limit
+//! trace on|off <event>|all      initial trace settings
+//! show                          render the working configuration
+//! validate                      check the working configuration
+//! save <name>                   save to the configuration library
+//! load <name>                   load from the library into the editor
+//! list                          list saved configurations
+//! ```
+
+use crate::library::ConfigLibrary;
+use flex32::Flex32;
+use pisces_core::config::{ClusterConfig, MachineConfig};
+use pisces_core::error::{PiscesError, Result};
+use pisces_core::trace::TraceEventKind;
+use std::sync::Arc;
+
+/// A menu session editing one working configuration.
+pub struct ConfigMenu {
+    lib: ConfigLibrary,
+    working: MachineConfig,
+}
+
+/// Parse a PE list: `7-15`, `16,17,20`, `4`, or combinations `3,7-9`.
+fn parse_pe_list(s: &str) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((a, b)) = part.split_once('-') {
+            let a: u8 = a.trim().parse().map_err(|_| bad_num(part))?;
+            let b: u8 = b.trim().parse().map_err(|_| bad_num(part))?;
+            if a > b {
+                return Err(PiscesError::BadConfiguration(format!(
+                    "empty PE range {part}"
+                )));
+            }
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse().map_err(|_| bad_num(part))?);
+        }
+    }
+    Ok(out)
+}
+
+fn bad_num(s: &str) -> PiscesError {
+    PiscesError::BadConfiguration(format!("not a number: {s:?}"))
+}
+
+fn parse_event(s: &str) -> Result<TraceEventKind> {
+    TraceEventKind::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            PiscesError::BadConfiguration(format!(
+                "unknown trace event {s:?}; one of {}",
+                TraceEventKind::ALL.map(|k| k.label()).join(", ")
+            ))
+        })
+}
+
+impl ConfigMenu {
+    /// A fresh session over the machine's configuration library, starting
+    /// from an empty working configuration.
+    pub fn new(flex: Arc<Flex32>) -> Self {
+        Self {
+            lib: ConfigLibrary::new(flex),
+            working: MachineConfig::new(vec![]),
+        }
+    }
+
+    /// The current working configuration (may be incomplete/invalid until
+    /// `validate` passes).
+    pub fn working(&self) -> &MachineConfig {
+        &self.working
+    }
+
+    /// Take the working configuration, validated, ready to boot.
+    pub fn build(&self) -> Result<MachineConfig> {
+        self.working.validate()?;
+        Ok(self.working.clone())
+    }
+
+    fn cluster_mut(&mut self, n: u8) -> Result<&mut ClusterConfig> {
+        self.working
+            .clusters
+            .iter_mut()
+            .find(|c| c.number == n)
+            .ok_or(PiscesError::NoSuchCluster(n))
+    }
+
+    /// Execute one menu command; returns the text the menu would display.
+    pub fn execute(&mut self, line: &str) -> Result<String> {
+        let mut words = line.split_whitespace();
+        let Some(cmd) = words.next() else {
+            return Ok(String::new());
+        };
+        let rest: Vec<&str> = words.collect();
+        let need = |n: usize| -> Result<()> {
+            if rest.len() < n {
+                Err(PiscesError::BadConfiguration(format!(
+                    "{cmd}: expected {n} argument(s)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match cmd {
+            "clusters" => {
+                need(1)?;
+                let numbers = parse_pe_list(&rest.join(","))?;
+                self.working.clusters = numbers
+                    .iter()
+                    .map(|&n| ClusterConfig::new(n, 0, 4))
+                    .collect();
+                Ok(format!("{} cluster(s) declared", numbers.len()))
+            }
+            "primary" => {
+                need(2)?;
+                let n = rest[0].parse().map_err(|_| bad_num(rest[0]))?;
+                let pe = rest[1].parse().map_err(|_| bad_num(rest[1]))?;
+                self.cluster_mut(n)?.primary_pe = pe;
+                Ok(format!("cluster {n}: primary PE{pe}"))
+            }
+            "secondaries" => {
+                need(2)?;
+                let n = rest[0].parse().map_err(|_| bad_num(rest[0]))?;
+                let pes = parse_pe_list(&rest[1..].join(","))?;
+                let count = pes.len();
+                self.cluster_mut(n)?.secondary_pes = pes;
+                Ok(format!("cluster {n}: {count} secondary PE(s)"))
+            }
+            "slots" => {
+                need(2)?;
+                let n = rest[0].parse().map_err(|_| bad_num(rest[0]))?;
+                let s = rest[1].parse().map_err(|_| bad_num(rest[1]))?;
+                self.cluster_mut(n)?.slots = s;
+                Ok(format!("cluster {n}: {s} slot(s)"))
+            }
+            "terminal" => {
+                need(1)?;
+                let n = rest[0].parse().map_err(|_| bad_num(rest[0]))?;
+                for c in &mut self.working.clusters {
+                    c.has_terminal = false;
+                }
+                self.cluster_mut(n)?.has_terminal = true;
+                Ok(format!("terminal attached to cluster {n}"))
+            }
+            "timelimit" => {
+                need(1)?;
+                if rest[0] == "off" {
+                    self.working.time_limit_ticks = None;
+                    Ok("time limit off".into())
+                } else {
+                    let t = rest[0].parse().map_err(|_| bad_num(rest[0]))?;
+                    self.working.time_limit_ticks = Some(t);
+                    Ok(format!("time limit {t} ticks"))
+                }
+            }
+            "trace" => {
+                need(2)?;
+                let on = match rest[0] {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(PiscesError::BadConfiguration(format!(
+                            "trace: expected on/off, got {other:?}"
+                        )))
+                    }
+                };
+                let kinds: Vec<TraceEventKind> = if rest[1].eq_ignore_ascii_case("all") {
+                    TraceEventKind::ALL.to_vec()
+                } else {
+                    vec![parse_event(rest[1])?]
+                };
+                for k in kinds {
+                    let enabled = &mut self.working.trace.enabled;
+                    if on && !enabled.contains(&k) {
+                        enabled.push(k);
+                    } else if !on {
+                        enabled.retain(|&e| e != k);
+                    }
+                }
+                Ok(format!(
+                    "tracing: {}",
+                    if self.working.trace.enabled.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        self.working
+                            .trace
+                            .enabled
+                            .iter()
+                            .map(|k| k.label())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    }
+                ))
+            }
+            "show" => Ok(self.render()),
+            "validate" => {
+                self.working.validate()?;
+                Ok("configuration is valid".into())
+            }
+            "save" => {
+                need(1)?;
+                self.lib.save(rest[0], &self.working)?;
+                Ok(format!("saved as {:?}", rest[0]))
+            }
+            "load" => {
+                need(1)?;
+                self.working = self.lib.load(rest[0])?;
+                Ok(format!("loaded {:?}", rest[0]))
+            }
+            "list" => Ok(self.lib.list().join("\n")),
+            other => Err(PiscesError::BadConfiguration(format!(
+                "unknown menu command {other:?}"
+            ))),
+        }
+    }
+
+    /// Render the working configuration as the menus would show it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("PISCES 2 CONFIGURATION\n");
+        for c in &self.working.clusters {
+            let _ = writeln!(
+                s,
+                "  cluster {:>2}: primary PE{:<2} slots {:<2} secondaries {:?}{}",
+                c.number,
+                c.primary_pe,
+                c.slots,
+                c.secondary_pes,
+                if c.has_terminal { "  [terminal]" } else { "" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  time limit: {}",
+            self.working
+                .time_limit_ticks
+                .map_or("none".to_string(), |t| format!("{t} ticks"))
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn menu() -> ConfigMenu {
+        ConfigMenu::new(Flex32::new_shared())
+    }
+
+    /// Drive the menu through the paper's Section 9 example and check the
+    /// result equals the built-in constructor.
+    #[test]
+    fn scripted_section9_example() {
+        let mut m = menu();
+        for line in [
+            "clusters 1-4",
+            "primary 1 3",
+            "primary 2 4",
+            "primary 3 5",
+            "primary 4 6",
+            "slots 1 4",
+            "slots 2 4",
+            "slots 3 4",
+            "slots 4 4",
+            "secondaries 2 16-20",
+            "secondaries 3 7-15",
+            "secondaries 4 7-15",
+            "terminal 1",
+        ] {
+            m.execute(line).unwrap();
+        }
+        let built = m.build().unwrap();
+        assert_eq!(built.clusters, MachineConfig::section9_example().clusters);
+    }
+
+    #[test]
+    fn pe_list_parsing() {
+        assert_eq!(parse_pe_list("7-9").unwrap(), vec![7, 8, 9]);
+        assert_eq!(parse_pe_list("3,7-8,20").unwrap(), vec![3, 7, 8, 20]);
+        assert_eq!(parse_pe_list("4").unwrap(), vec![4]);
+        assert!(parse_pe_list("9-7").is_err());
+        assert!(parse_pe_list("x").is_err());
+    }
+
+    #[test]
+    fn validate_catches_incomplete_config() {
+        let mut m = menu();
+        m.execute("clusters 1").unwrap();
+        // primary still 0 (unset) → invalid
+        assert!(m.execute("validate").is_err());
+        m.execute("primary 1 3").unwrap();
+        assert_eq!(m.execute("validate").unwrap(), "configuration is valid");
+    }
+
+    #[test]
+    fn save_load_through_menu() {
+        let mut m = menu();
+        m.execute("clusters 1,2").unwrap();
+        m.execute("primary 1 3").unwrap();
+        m.execute("primary 2 4").unwrap();
+        m.execute("save duo").unwrap();
+        m.execute("clusters 1").unwrap();
+        m.execute("primary 1 5").unwrap();
+        assert_eq!(m.working().clusters.len(), 1);
+        m.execute("load duo").unwrap();
+        assert_eq!(m.working().clusters.len(), 2);
+        assert_eq!(m.execute("list").unwrap(), "duo");
+    }
+
+    #[test]
+    fn trace_and_timelimit_commands() {
+        let mut m = menu();
+        m.execute("clusters 1").unwrap();
+        m.execute("primary 1 3").unwrap();
+        m.execute("trace on MSG-SEND").unwrap();
+        m.execute("trace on all").unwrap();
+        assert_eq!(m.working().trace.enabled.len(), 8);
+        m.execute("trace off BARRIER").unwrap();
+        assert_eq!(m.working().trace.enabled.len(), 7);
+        m.execute("timelimit 5000").unwrap();
+        assert_eq!(m.working().time_limit_ticks, Some(5000));
+        m.execute("timelimit off").unwrap();
+        assert_eq!(m.working().time_limit_ticks, None);
+    }
+
+    #[test]
+    fn unknown_command_and_bad_args() {
+        let mut m = menu();
+        assert!(m.execute("frobnicate").is_err());
+        assert!(m.execute("slots 1").is_err(), "missing argument");
+        assert!(m.execute("primary 1 3").is_err(), "no such cluster yet");
+        assert_eq!(m.execute("").unwrap(), "", "blank lines are ignored");
+    }
+
+    #[test]
+    fn show_renders_clusters() {
+        let mut m = menu();
+        m.execute("clusters 1").unwrap();
+        m.execute("primary 1 3").unwrap();
+        m.execute("terminal 1").unwrap();
+        let shown = m.execute("show").unwrap();
+        assert!(shown.contains("cluster  1") && shown.contains("[terminal]"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Virtual-machine configuration: the mapping of clusters onto hardware.
+//!
+//! "In PISCES 2 the programmer controls the hardware resources that are
+//! allocated to the execution of user tasks in each cluster. … A particular
+//! mapping is called a *configuration*." (paper, Section 9)
+//!
+//! In creating a configuration on the FLEX/32 the programmer chooses:
+//!
+//! 1. how many clusters to use and their numbers (1–18 clusters; PEs 1 and 2
+//!    run only Unix);
+//! 2. the "primary" FLEX PE for each cluster — all user tasks of the
+//!    cluster run on this PE;
+//! 3. the "secondary" FLEX PEs that run force members for the cluster (any
+//!    subset of the MMOS PEs; subsets of different clusters may overlap);
+//! 4. the number of slots in each cluster available to run user tasks.
+//!
+//! The configuration *environment* (menus, saving to files, load-file
+//! construction) lives in the `pisces-config` crate; this module defines the
+//! configuration data itself plus validation, because the runtime boots
+//! from it.
+
+use crate::error::{PiscesError, Result};
+use crate::trace::TraceSettings;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Highest cluster number a configuration may use (18 MMOS PEs).
+pub const MAX_CLUSTERS: u8 = 18;
+
+/// Cap on user slots per cluster (the FLEX table sizes were finite; the
+/// paper leaves the bound to the implementation).
+pub const MAX_SLOTS: u8 = 16;
+
+/// One cluster of the virtual machine and its hardware mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Cluster number, 1–18 (need not be contiguous).
+    pub number: u8,
+    /// Primary PE: all the cluster's user tasks run here (3–20).
+    pub primary_pe: u8,
+    /// Secondary PEs that run force members for this cluster. Empty means
+    /// a FORCESPLIT in this cluster "will cause no parallel splitting".
+    pub secondary_pes: Vec<u8>,
+    /// Number of slots available to run *user* tasks (controllers run in
+    /// additional dedicated slots, as in Figure 1 of the paper).
+    pub slots: u8,
+    /// Whether a user terminal is directly accessible from this cluster
+    /// (if so, a user controller task is started here).
+    pub has_terminal: bool,
+}
+
+impl ClusterConfig {
+    /// A cluster with no secondaries and no terminal.
+    pub fn new(number: u8, primary_pe: u8, slots: u8) -> Self {
+        Self {
+            number,
+            primary_pe,
+            secondary_pes: Vec::new(),
+            slots,
+            has_terminal: false,
+        }
+    }
+
+    /// Builder: set the secondary (force) PEs.
+    pub fn with_secondaries(mut self, pes: impl IntoIterator<Item = u8>) -> Self {
+        self.secondary_pes = pes.into_iter().collect();
+        self
+    }
+
+    /// Builder: mark a user terminal as attached to this cluster.
+    pub fn with_terminal(mut self) -> Self {
+        self.has_terminal = true;
+        self
+    }
+
+    /// Size of the force created by a FORCESPLIT in this cluster: the
+    /// original task continues as the primary member and one new member
+    /// starts on each secondary PE.
+    pub fn force_size(&self) -> usize {
+        1 + self.secondary_pes.len()
+    }
+}
+
+/// A complete configuration: the virtual machine → hardware mapping for one
+/// run, plus run controls (time limit, trace settings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// The clusters in use.
+    pub clusters: Vec<ClusterConfig>,
+    /// Execution time limit in ticks of any single PE clock
+    /// (the configuration environment "includes an execution time limit").
+    pub time_limit_ticks: Option<u64>,
+    /// Initial trace settings for the run.
+    pub trace: TraceSettings,
+}
+
+impl MachineConfig {
+    /// A configuration from cluster specs, no time limit, tracing off.
+    pub fn new(clusters: Vec<ClusterConfig>) -> Self {
+        Self {
+            clusters,
+            time_limit_ticks: None,
+            trace: TraceSettings::default(),
+        }
+    }
+
+    /// A simple n-cluster configuration: cluster `i` on PE `2+i`, `slots`
+    /// user slots each, terminal on cluster 1, no secondaries.
+    pub fn simple(n_clusters: u8, slots: u8) -> Self {
+        let clusters = (1..=n_clusters)
+            .map(|i| {
+                let c = ClusterConfig::new(i, 2 + i, slots);
+                if i == 1 {
+                    c.with_terminal()
+                } else {
+                    c
+                }
+            })
+            .collect();
+        Self::new(clusters)
+    }
+
+    /// The worked example of Section 9 of the paper:
+    ///
+    /// * clusters 1–4 mapped to PEs 3–6, four slots each;
+    /// * PEs 7–15 run forces for both clusters 3 and 4;
+    /// * PEs 16–20 run forces for cluster 2;
+    /// * no secondary PEs for cluster 1 (FORCESPLIT there does not split).
+    pub fn section9_example() -> Self {
+        Self::new(vec![
+            ClusterConfig::new(1, 3, 4).with_terminal(),
+            ClusterConfig::new(2, 4, 4).with_secondaries(16..=20),
+            ClusterConfig::new(3, 5, 4).with_secondaries(7..=15),
+            ClusterConfig::new(4, 6, 4).with_secondaries(7..=15),
+        ])
+    }
+
+    /// Find a cluster by number.
+    pub fn cluster(&self, number: u8) -> Result<&ClusterConfig> {
+        self.clusters
+            .iter()
+            .find(|c| c.number == number)
+            .ok_or(PiscesError::NoSuchCluster(number))
+    }
+
+    /// All distinct PEs this configuration touches (primaries and
+    /// secondaries), sorted.
+    pub fn pes_in_use(&self) -> Vec<u8> {
+        let mut set = BTreeSet::new();
+        for c in &self.clusters {
+            set.insert(c.primary_pe);
+            set.extend(c.secondary_pes.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+
+    /// The paper's multiprogramming bound for a PE: if a PE is a secondary
+    /// PE for one or more clusters, "the maximum number of simultaneous
+    /// tasks that might be running on one of these PEs is equal to the sum
+    /// of the slots allocated" in those clusters (Section 9), plus the
+    /// cluster slots if the PE is also a primary.
+    pub fn max_multiprogramming(&self, pe: u8) -> usize {
+        self.clusters
+            .iter()
+            .map(|c| {
+                let mut n = 0;
+                if c.primary_pe == pe {
+                    n += c.slots as usize;
+                }
+                if c.secondary_pes.contains(&pe) {
+                    n += c.slots as usize;
+                }
+                n
+            })
+            .sum()
+    }
+
+    /// Validate the configuration against the machine's constraints.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |reason: String| Err(PiscesError::BadConfiguration(reason));
+        if self.clusters.is_empty() {
+            return bad("a configuration needs at least one cluster".into());
+        }
+        if self.clusters.len() > MAX_CLUSTERS as usize {
+            return bad(format!(
+                "{} clusters configured; the FLEX/32 supports at most {MAX_CLUSTERS}",
+                self.clusters.len()
+            ));
+        }
+        let mut numbers = BTreeSet::new();
+        let mut primaries = BTreeSet::new();
+        for c in &self.clusters {
+            if c.number == 0 || c.number > MAX_CLUSTERS {
+                return bad(format!(
+                    "cluster number {} outside 1-{MAX_CLUSTERS}",
+                    c.number
+                ));
+            }
+            if !numbers.insert(c.number) {
+                return bad(format!("duplicate cluster number {}", c.number));
+            }
+            let mmos = |pe: u8| (flex32::FIRST_MMOS_PE..=flex32::LAST_MMOS_PE).contains(&pe);
+            if !mmos(c.primary_pe) {
+                return bad(format!(
+                    "cluster {} primary PE {} is not an MMOS PE (PEs 1 and 2 run only Unix)",
+                    c.number, c.primary_pe
+                ));
+            }
+            if !primaries.insert(c.primary_pe) {
+                return bad(format!(
+                    "PE {} is the primary PE of two clusters",
+                    c.primary_pe
+                ));
+            }
+            let mut secs = BTreeSet::new();
+            for &pe in &c.secondary_pes {
+                if !mmos(pe) {
+                    return bad(format!(
+                        "cluster {} secondary PE {pe} is not an MMOS PE",
+                        c.number
+                    ));
+                }
+                if !secs.insert(pe) {
+                    return bad(format!(
+                        "cluster {} lists secondary PE {pe} twice",
+                        c.number
+                    ));
+                }
+                if pe == c.primary_pe {
+                    return bad(format!(
+                        "cluster {} uses PE {pe} as both primary and its own secondary",
+                        c.number
+                    ));
+                }
+            }
+            if c.slots == 0 || c.slots > MAX_SLOTS {
+                return bad(format!(
+                    "cluster {} has {} slots; must be 1-{MAX_SLOTS}",
+                    c.number, c.slots
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_config_validates() {
+        MachineConfig::simple(4, 4).validate().unwrap();
+        MachineConfig::simple(18, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn section9_example_matches_paper() {
+        let c = MachineConfig::section9_example();
+        c.validate().unwrap();
+        assert_eq!(c.clusters.len(), 4);
+        assert_eq!(c.cluster(3).unwrap().force_size(), 10); // 9 secondaries + primary
+        assert_eq!(c.cluster(1).unwrap().force_size(), 1); // no splitting
+                                                           // "The maximum number of simultaneous tasks that might be running
+                                                           // on one of these PEs is equal to the sum of the slots allocated in
+                                                           // both clusters, 4+4=8 here."
+        assert_eq!(c.max_multiprogramming(7), 8);
+        assert_eq!(c.max_multiprogramming(16), 4);
+        // Primary PE of cluster 2 runs its own 4 slots only.
+        assert_eq!(c.max_multiprogramming(4), 4);
+        assert_eq!(c.pes_in_use(), (3..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_unix_pes() {
+        let c = MachineConfig::new(vec![ClusterConfig::new(1, 2, 4)]);
+        assert!(matches!(
+            c.validate(),
+            Err(PiscesError::BadConfiguration(_))
+        ));
+        let c = MachineConfig::new(vec![ClusterConfig::new(1, 3, 4).with_secondaries([1])]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_cluster_numbers_and_primaries() {
+        let c = MachineConfig::new(vec![
+            ClusterConfig::new(1, 3, 4),
+            ClusterConfig::new(1, 4, 4),
+        ]);
+        assert!(c.validate().is_err());
+        let c = MachineConfig::new(vec![
+            ClusterConfig::new(1, 3, 4),
+            ClusterConfig::new(2, 3, 4),
+        ]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_slots() {
+        let c = MachineConfig::new(vec![ClusterConfig::new(1, 3, 0)]);
+        assert!(c.validate().is_err());
+        let c = MachineConfig::new(vec![ClusterConfig::new(1, 3, MAX_SLOTS + 1)]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_primary_as_own_secondary_but_allows_overlap() {
+        let own = MachineConfig::new(vec![ClusterConfig::new(1, 3, 4).with_secondaries([3, 4])]);
+        assert!(own.validate().is_err());
+        // Secondary sets of different clusters may overlap, and may include
+        // another cluster's primary.
+        let overlap = MachineConfig::new(vec![
+            ClusterConfig::new(1, 3, 4).with_secondaries([5, 6]),
+            ClusterConfig::new(2, 4, 4).with_secondaries([5, 6, 3]),
+        ]);
+        overlap.validate().unwrap();
+        assert_eq!(overlap.max_multiprogramming(5), 8);
+        assert_eq!(overlap.max_multiprogramming(3), 8); // primary of 1 + secondary of 2
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        assert!(MachineConfig::new(vec![]).validate().is_err());
+    }
+
+    #[test]
+    fn cluster_lookup() {
+        let c = MachineConfig::simple(2, 4);
+        assert_eq!(c.cluster(2).unwrap().primary_pe, 4);
+        assert!(matches!(c.cluster(9), Err(PiscesError::NoSuchCluster(9))));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = MachineConfig::section9_example();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: MachineConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

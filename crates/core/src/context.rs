@@ -1,0 +1,605 @@
+//! The task context: what a running task can do.
+//!
+//! A [`TaskCtx`] is handed to every task body (Rust closure or Pisces
+//! Fortran interpreter frame). Its methods are the Pisces Fortran
+//! statements of Sections 6–9 of the paper:
+//!
+//! | Pisces Fortran                         | Context method            |
+//! |----------------------------------------|---------------------------|
+//! | `ON <cluster> INITIATE <type>(args)`   | [`TaskCtx::initiate`]     |
+//! | `TO <taskid> SEND <type>(args)`        | [`TaskCtx::send`]         |
+//! | `TO ALL [CLUSTER n] SEND <type>(args)` | [`TaskCtx::send_all`]     |
+//! | `ACCEPT … END ACCEPT`                  | [`TaskCtx::accept`]       |
+//! | `FORCESPLIT`                           | [`TaskCtx::forcesplit`]   |
+//! | `SHARED COMMON /NAME/`                 | [`TaskCtx::shared_common`]|
+//! | `LOCK L`                               | [`TaskCtx::lock_var`]     |
+//! | window creation / access               | [`TaskCtx::register_array`] etc. |
+//!
+//! Every method is a *runtime call*: it acquires the task's PE (modelling
+//! MMOS time-sharing), charges tick costs, and observes kill requests and
+//! the machine-down flag.
+
+use crate::cost;
+use crate::error::{PiscesError, Result};
+use crate::machine::{sysmsg, Pisces};
+use crate::message::Message;
+use crate::shared::{LockVar, SharedBlock};
+use crate::stats::RunStats;
+use crate::task::{TaskEntry, TaskRunState};
+use crate::taskid::TaskId;
+use crate::trace::TraceEventKind;
+use crate::value::Value;
+use crate::window::Window;
+use flex32::cpu::CpuGuard;
+use flex32::pe::PeId;
+use flex32::shmem::ShmTag;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Destination of a SEND, mirroring the paper's list exactly:
+/// PARENT, SELF, SENDER, USER, a TASKID value, or TCONTR ⟨cluster⟩.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum To {
+    /// Send to the task's parent.
+    Parent,
+    /// Send to the task itself.
+    Myself,
+    /// Send to the sender of the last message received.
+    Sender,
+    /// Send to the user at the terminal (routed to a user controller).
+    User,
+    /// Send to an explicit taskid (a TASKID variable).
+    Task(TaskId),
+    /// Send to the task controller of a cluster.
+    TaskController(u8),
+}
+
+/// Placement of an INITIATE, mirroring the paper's list exactly:
+/// CLUSTER ⟨number⟩, ANY, OTHER, SAME.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Where {
+    /// Run the new task in the specified cluster.
+    Cluster(u8),
+    /// Run in a system-chosen cluster.
+    Any,
+    /// Run in another cluster, not this one.
+    Other,
+    /// Run in this cluster.
+    Same,
+}
+
+/// The context of a running task.
+pub struct TaskCtx {
+    pub(crate) p: Arc<Pisces>,
+    pub(crate) entry: Arc<TaskEntry>,
+    args: Vec<Value>,
+}
+
+impl TaskCtx {
+    pub(crate) fn new(p: Arc<Pisces>, entry: Arc<TaskEntry>, args: Vec<Value>) -> Self {
+        Self { p, entry, args }
+    }
+
+    /// This task's id (the SELF taskid).
+    pub fn id(&self) -> TaskId {
+        self.entry.id
+    }
+
+    /// The parent's taskid ("the user task that requested its initiation").
+    pub fn parent(&self) -> TaskId {
+        self.entry.parent
+    }
+
+    /// The cluster this task runs in.
+    pub fn cluster(&self) -> u8 {
+        self.entry.id.cluster
+    }
+
+    /// The PE this task runs on.
+    pub fn pe(&self) -> PeId {
+        self.entry.pe
+    }
+
+    /// The tasktype name this task was initiated as.
+    pub fn tasktype(&self) -> &str {
+        &self.entry.tasktype
+    }
+
+    /// Arguments passed at INITIATE.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The `i`-th initiation argument.
+    pub fn arg(&self, i: usize) -> Result<&Value> {
+        self.args.get(i).ok_or_else(|| PiscesError::ArgMismatch {
+            expected: format!("at least {} argument(s)", i + 1),
+            got: format!("{}", self.args.len()),
+        })
+    }
+
+    /// The machine this task runs on (for environment tooling).
+    pub fn machine(&self) -> &Arc<Pisces> {
+        &self.p
+    }
+
+    /// Taskid of a cluster's task controller (given to every task at
+    /// initiation, per Section 6).
+    pub fn tcontr(&self, cluster: u8) -> Result<TaskId> {
+        self.p.tcontr(cluster)
+    }
+
+    /// Runtime-call prologue: observe kill/shutdown/time-limit, occupy the
+    /// PE, charge ticks.
+    pub(crate) fn enter(&self, ticks: u64) -> Result<CpuGuard<'_>> {
+        self.enter_on(self.entry.pe, ticks)
+    }
+
+    pub(crate) fn enter_on(&self, pe: PeId, ticks: u64) -> Result<CpuGuard<'_>> {
+        if self.p.is_down() {
+            return Err(PiscesError::MachineDown);
+        }
+        if self.entry.killed() {
+            return Err(PiscesError::Killed);
+        }
+        let guard = self.p.flex.pe(pe).cpu.acquire();
+        let now = self.p.flex.tick(pe, ticks);
+        if let Some(limit) = self.p.config.time_limit_ticks {
+            if now > limit {
+                return Err(PiscesError::TimeLimit);
+            }
+        }
+        Ok(guard)
+    }
+
+    /// Charge `ticks` of computation to this task's PE (how user code
+    /// accounts for its work in virtual time).
+    pub fn work(&self, ticks: u64) -> Result<()> {
+        let _cpu = self.enter(ticks)?;
+        Ok(())
+    }
+
+    /// Write a line on this PE's terminal (development convenience; the
+    /// portable way to reach the user is `send(To::User, …)`).
+    pub fn println(&self, line: impl Into<String>) {
+        self.p.flex.pe(self.entry.pe).console.write_line(line);
+    }
+
+    fn resolve(&self, to: To) -> Result<TaskId> {
+        match to {
+            To::Parent => Ok(self.entry.parent),
+            To::Myself => Ok(self.entry.id),
+            To::Sender => self.entry.last_sender.lock().ok_or_else(|| {
+                PiscesError::Internal("SENDER used before any message was accepted".into())
+            }),
+            To::User => self.p.user_controller_for(self.cluster()),
+            To::Task(t) => Ok(t),
+            To::TaskController(c) => self.p.tcontr(c),
+        }
+    }
+
+    /// `TO <taskid> SEND <message type>(<args>)`.
+    pub fn send(&self, to: To, mtype: &str, args: Vec<Value>) -> Result<()> {
+        let target = self.resolve(to)?;
+        let _cpu = self.enter(0)?;
+        self.p
+            .send_raw(self.entry.id, self.entry.pe, target, mtype, &args, false)
+    }
+
+    /// `TO ALL [CLUSTER <number>] SEND …`: broadcast to every user task in
+    /// the cluster (or everywhere), excluding this task. Returns the
+    /// number of deliveries.
+    pub fn send_all(&self, cluster: Option<u8>, mtype: &str, args: Vec<Value>) -> Result<usize> {
+        let _cpu = self.enter(0)?;
+        self.p
+            .broadcast(self.entry.id, self.entry.pe, cluster, mtype, &args)
+    }
+
+    /// `ON <cluster> INITIATE <tasktype>(<args>)`.
+    ///
+    /// As in the paper, this "does not directly cause initiation of the
+    /// new task — it simply causes a message to be sent to the task
+    /// controller of the specified cluster", which assigns a slot when one
+    /// is available. The new task's id reaches this task only if the child
+    /// chooses to send a message (typically to PARENT).
+    pub fn initiate(&self, w: Where, tasktype: &str, args: Vec<Value>) -> Result<()> {
+        let cluster = self.p.resolve_where(self.cluster(), w)?;
+        let controller = self.p.tcontr(cluster)?;
+        let _cpu = self.enter(cost::INITIATE_REQUEST)?;
+        let mut full = vec![Value::Str(tasktype.to_string())];
+        full.extend(args);
+        self.p.note_init_sent(cluster);
+        let r = self.p.send_raw(
+            self.entry.id,
+            self.entry.pe,
+            controller,
+            sysmsg::INIT,
+            &full,
+            false,
+        );
+        if r.is_err() {
+            self.p.note_init_handled(cluster);
+        } else {
+            RunStats::bump(&self.p.stats.tasks_initiated);
+        }
+        r
+    }
+
+    /// Begin an `ACCEPT … END ACCEPT` statement.
+    pub fn accept(&self) -> AcceptBuilder<'_> {
+        AcceptBuilder::new(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared variables and locks (used directly or through a force)
+    // ------------------------------------------------------------------
+
+    /// Access (creating on first use) the SHARED COMMON block `/name/` of
+    /// `words` 64-bit words. All force members of this task see the same
+    /// block.
+    pub fn shared_common(&self, name: &str, words: usize) -> Result<SharedBlock> {
+        self.shared_common_on(self.entry.pe, name, words)
+    }
+
+    pub(crate) fn shared_common_on(
+        &self,
+        pe: PeId,
+        name: &str,
+        words: usize,
+    ) -> Result<SharedBlock> {
+        if words == 0 {
+            return Err(PiscesError::BadConfiguration(
+                "SHARED COMMON block of zero words".into(),
+            ));
+        }
+        let _cpu = self.enter_on(pe, 2)?;
+        let mut map = self.entry.shared_commons.lock();
+        if let Some(&(h, w)) = map.get(name) {
+            if w != words {
+                return Err(PiscesError::Internal(format!(
+                    "SHARED COMMON /{name}/ declared with {words} words but exists with {w}"
+                )));
+            }
+            return Ok(SharedBlock::new(self.p.flex.clone(), h, w, name.into()));
+        }
+        let h = self.p.flex.shmem.alloc(words * 8, ShmTag::SharedCommon)?;
+        map.insert(name.to_string(), (h, words));
+        Ok(SharedBlock::new(self.p.flex.clone(), h, words, name.into()))
+    }
+
+    /// Access (creating on first use) the LOCK variable `name`.
+    pub fn lock_var(&self, name: &str) -> Result<LockVar> {
+        self.lock_var_on(self.entry.pe, name)
+    }
+
+    pub(crate) fn lock_var_on(&self, pe: PeId, name: &str) -> Result<LockVar> {
+        let _cpu = self.enter_on(pe, 1)?;
+        let mut map = self.entry.locks.lock();
+        if let Some(&h) = map.get(name) {
+            return Ok(LockVar::new(self.p.flex.clone(), h, name.into()));
+        }
+        let h = self.p.flex.shmem.alloc(8, ShmTag::SharedCommon)?;
+        map.insert(name.to_string(), h);
+        Ok(LockVar::new(self.p.flex.clone(), h, name.into()))
+    }
+
+    // ------------------------------------------------------------------
+    // Windows (Section 8)
+    // ------------------------------------------------------------------
+
+    /// Register a local array (row-major, `rows`×`cols`) for window
+    /// access; returns a window over the whole array. "Any task may
+    /// create windows on one of its local arrays."
+    pub fn register_array(&self, data: &[f64], rows: usize, cols: usize) -> Result<Window> {
+        let _cpu = self.enter(0)?;
+        self.p.register_array(&self.entry, data, rows, cols)
+    }
+
+    /// Create an array on secondary storage, owned by the file controller
+    /// ("windows also provide a uniform access method for large arrays on
+    /// secondary storage").
+    pub fn create_file_array(
+        &self,
+        path: &str,
+        data: &[f64],
+        rows: usize,
+        cols: usize,
+    ) -> Result<Window> {
+        let _cpu = self.enter(0)?;
+        self.p.create_file_array(path, data, rows, cols)
+    }
+
+    /// Open a window over an existing file array.
+    pub fn open_file_array(&self, path: &str) -> Result<Window> {
+        let _cpu = self.enter(0)?;
+        self.p.open_file_array(path)
+    }
+
+    /// Read a copy of the data visible in a window into a local vector
+    /// (row-major).
+    pub fn window_read(&self, w: &Window) -> Result<Vec<f64>> {
+        let _cpu = self.enter(0)?;
+        self.p.window_read(self.entry.pe, w)
+    }
+
+    /// Write data (row-major, exactly `w.len()` elements) through a
+    /// window.
+    pub fn window_write(&self, w: &Window, data: &[f64]) -> Result<()> {
+        let _cpu = self.enter(0)?;
+        self.p.window_write(self.entry.pe, w, data)
+    }
+}
+
+// ----------------------------------------------------------------------
+// ACCEPT
+// ----------------------------------------------------------------------
+
+/// How many messages of one type an ACCEPT will process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Quota {
+    /// No per-type bound (bounded by the statement's total count).
+    Unbounded,
+    /// An individual count for this type.
+    Count(usize),
+    /// ALL: "all messages of that type that have been received".
+    Drain,
+}
+
+/// A boxed HANDLER subroutine invoked per accepted message.
+type Handler<'a> = Box<dyn FnMut(&Message) -> Result<()> + 'a>;
+
+struct AcceptEntry<'a> {
+    mtype: String,
+    quota: Quota,
+    taken: usize,
+    handler: Option<Handler<'a>>,
+}
+
+/// Result of an ACCEPT statement.
+#[derive(Debug, Clone, Default)]
+pub struct AcceptOutcome {
+    counts: HashMap<String, usize>,
+    /// Whether the statement ended through its DELAY clause.
+    pub timed_out: bool,
+}
+
+impl AcceptOutcome {
+    /// Messages of `mtype` processed by this ACCEPT.
+    pub fn count(&self, mtype: &str) -> usize {
+        self.counts.get(mtype).copied().unwrap_or(0)
+    }
+
+    /// Total messages processed.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// Builder for an `ACCEPT … END ACCEPT` statement.
+///
+/// A well-formed statement needs a completion rule: either a statement
+/// total ([`AcceptBuilder::of`]), a per-type count on every non-ALL entry,
+/// or only ALL entries (drain without waiting).
+pub struct AcceptBuilder<'a> {
+    ctx: &'a TaskCtx,
+    total: Option<usize>,
+    entries: Vec<AcceptEntry<'a>>,
+    delay: Option<Duration>,
+    timeout_body: Option<Box<dyn FnMut() + 'a>>,
+}
+
+impl<'a> AcceptBuilder<'a> {
+    fn new(ctx: &'a TaskCtx) -> Self {
+        Self {
+            ctx,
+            total: None,
+            entries: Vec::new(),
+            delay: None,
+            timeout_body: None,
+        }
+    }
+
+    /// `ACCEPT <number> OF …`: complete after `n` messages of the listed
+    /// types have been processed.
+    pub fn of(mut self, n: usize) -> Self {
+        self.total = Some(n);
+        self
+    }
+
+    fn push(mut self, mtype: &str, quota: Quota, handler: Option<Handler<'a>>) -> Self {
+        self.entries.push(AcceptEntry {
+            mtype: mtype.to_string(),
+            quota,
+            taken: 0,
+            handler,
+        });
+        self
+    }
+
+    /// List a SIGNAL message type (counted and discarded when accepted).
+    pub fn signal(self, mtype: &str) -> Self {
+        self.push(mtype, Quota::Unbounded, None)
+    }
+
+    /// SIGNAL type with an individual count.
+    pub fn signal_count(self, mtype: &str, n: usize) -> Self {
+        self.push(mtype, Quota::Count(n), None)
+    }
+
+    /// SIGNAL type with ALL: process every one already received.
+    pub fn signal_all(self, mtype: &str) -> Self {
+        self.push(mtype, Quota::Drain, None)
+    }
+
+    /// List a message type with a HANDLER subroutine: "a message type with
+    /// a 'handler' is processed by a HANDLER subroutine before it is
+    /// deleted from the in-queue".
+    pub fn handle(self, mtype: &str, f: impl FnMut(&Message) -> Result<()> + 'a) -> Self {
+        self.push(mtype, Quota::Unbounded, Some(Box::new(f)))
+    }
+
+    /// HANDLER type with an individual count.
+    pub fn handle_count(
+        self,
+        mtype: &str,
+        n: usize,
+        f: impl FnMut(&Message) -> Result<()> + 'a,
+    ) -> Self {
+        self.push(mtype, Quota::Count(n), Some(Box::new(f)))
+    }
+
+    /// HANDLER type with ALL.
+    pub fn handle_all(self, mtype: &str, f: impl FnMut(&Message) -> Result<()> + 'a) -> Self {
+        self.push(mtype, Quota::Drain, Some(Box::new(f)))
+    }
+
+    /// `DELAY <time value>`: give up waiting after `d` (an
+    /// [`PiscesError::AcceptTimeout`] is returned since no DELAY body was
+    /// given).
+    pub fn delay(mut self, d: Duration) -> Self {
+        self.delay = Some(d);
+        self
+    }
+
+    /// `DELAY <time value> THEN <statement sequence>`: on timeout run the
+    /// body and return normally with `timed_out` set.
+    pub fn delay_then(mut self, d: Duration, f: impl FnMut() + 'a) -> Self {
+        self.delay = Some(d);
+        self.timeout_body = Some(Box::new(f));
+        self
+    }
+
+    /// Execute the ACCEPT.
+    pub fn run(mut self) -> Result<AcceptOutcome> {
+        if self.entries.is_empty() {
+            return Err(PiscesError::Internal(
+                "ACCEPT statement lists no message types".into(),
+            ));
+        }
+        let needs_completion_rule = self.total.is_none()
+            && self
+                .entries
+                .iter()
+                .any(|e| matches!(e.quota, Quota::Unbounded));
+        if needs_completion_rule {
+            return Err(PiscesError::Internal(
+                "ACCEPT needs a total count, per-type counts, or ALL".into(),
+            ));
+        }
+
+        let ctx = self.ctx;
+        let entry = &ctx.entry;
+        let deadline = self.delay.map(|d| Instant::now() + d);
+        let mut processed_total = 0usize;
+
+        loop {
+            // Processing pass: drain every eligible message, oldest first.
+            loop {
+                if self.total.is_some_and(|t| processed_total >= t) {
+                    break;
+                }
+                let entries = &self.entries;
+                let stored = entry.inq.take_first_matching(|sm| {
+                    entries.iter().any(|e| {
+                        e.mtype == sm.mtype
+                            && match e.quota {
+                                Quota::Unbounded | Quota::Drain => true,
+                                Quota::Count(n) => e.taken < n,
+                            }
+                    })
+                });
+                let Some(stored) = stored else { break };
+
+                let words = stored.handle.words() as u64;
+                let sender = stored.sender;
+                let mtype = stored.mtype.clone();
+                {
+                    let _cpu = ctx.enter(cost::ACCEPT_BASE + cost::ACCEPT_PER_WORD * words)?;
+                }
+                let args = ctx.p.open_message(&stored)?;
+                *entry.last_sender.lock() = Some(sender);
+
+                let idx = self
+                    .entries
+                    .iter()
+                    .position(|e| e.mtype == mtype)
+                    .expect("matched entry exists");
+                self.entries[idx].taken += 1;
+                processed_total += 1;
+
+                RunStats::bump(&ctx.p.stats.messages_accepted);
+                ctx.p.tracer.emit(
+                    TraceEventKind::MsgAccept,
+                    entry.id,
+                    entry.pe.number(),
+                    ctx.p.flex.pe(entry.pe).clock.now(),
+                    format!("{mtype} <- {sender}"),
+                );
+
+                let msg = Message {
+                    mtype,
+                    sender,
+                    args,
+                };
+                match self.entries[idx].handler.as_mut() {
+                    Some(h) => {
+                        RunStats::bump(&ctx.p.stats.handlers);
+                        ctx.p.flex.tick(entry.pe, cost::HANDLER_DISPATCH);
+                        h(&msg)?;
+                    }
+                    None => RunStats::bump(&ctx.p.stats.signals),
+                }
+            }
+
+            // Completion?
+            let complete = match self.total {
+                Some(t) => processed_total >= t,
+                None => self.entries.iter().all(|e| match e.quota {
+                    Quota::Count(n) => e.taken >= n,
+                    Quota::Drain => true,
+                    Quota::Unbounded => unreachable!("rejected above"),
+                }),
+            };
+            if complete {
+                break;
+            }
+            if ctx.p.is_down() {
+                return Err(PiscesError::MachineDown);
+            }
+            if entry.killed() {
+                return Err(PiscesError::Killed);
+            }
+
+            // Wait for more traffic (the task is blocked; the CPU guard is
+            // not held here, so MMOS can run other slot tasks).
+            entry.set_run_state(TaskRunState::Blocked);
+            let woke = entry.inq.wait(deadline);
+            entry.set_run_state(TaskRunState::Ready);
+            if !woke {
+                RunStats::bump(&ctx.p.stats.accept_timeouts);
+                match self.timeout_body.as_mut() {
+                    Some(f) => {
+                        f();
+                        let mut out = self.finish();
+                        out.timed_out = true;
+                        return Ok(out);
+                    }
+                    None => return Err(PiscesError::AcceptTimeout),
+                }
+            }
+        }
+        Ok(self.finish())
+    }
+
+    fn finish(&self) -> AcceptOutcome {
+        AcceptOutcome {
+            counts: self
+                .entries
+                .iter()
+                .map(|e| (e.mtype.clone(), e.taken))
+                .collect(),
+            timed_out: false,
+        }
+    }
+}

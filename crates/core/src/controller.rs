@@ -1,0 +1,179 @@
+//! The operating-system controller tasks.
+//!
+//! "The operating system is organized as a static set of tasks running in
+//! each cluster. Two kinds of controllers are currently used: task
+//! controllers, responsible for initiating, terminating, and monitoring the
+//! operation of user tasks within their cluster; and user controllers,
+//! responsible for control of communication with user terminals that are
+//! directly accessible from their cluster." (paper, Sections 2 and 5)
+//!
+//! Controllers are real tasks: they occupy dedicated slots, have taskids
+//! that every new task receives, and communicate through the same
+//! asynchronous message machinery as user tasks.
+
+use crate::cost;
+use crate::machine::{sysmsg, PendingInit, Pisces};
+use crate::stats::RunStats;
+use crate::task::TaskEntry;
+use crate::taskid::TaskId;
+use crate::trace::TraceEventKind;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Receive the next message addressed to a controller, blocking as long
+/// as needed. Returns `None` only if the queue was closed underneath us.
+fn receive(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) -> Option<(String, TaskId, Vec<Value>)> {
+    loop {
+        if let Some(stored) = entry.inq.take_first_matching(|_| true) {
+            let mtype = stored.mtype.clone();
+            let sender = stored.sender;
+            // Controllers hold their PE's CPU while servicing a message.
+            let _cpu = p.flex.pe(entry.pe).cpu.acquire();
+            p.flex.tick(entry.pe, cost::ACCEPT_BASE);
+            RunStats::bump(&p.stats.messages_accepted);
+            p.tracer.emit(
+                TraceEventKind::MsgAccept,
+                entry.id,
+                entry.pe.number(),
+                p.flex.pe(entry.pe).clock.now(),
+                format!("{mtype} <- {sender}"),
+            );
+            match p.open_message(&stored) {
+                Ok(args) => return Some((mtype, sender, args)),
+                Err(_) => continue, // corrupt message: drop and keep serving
+            }
+        }
+        entry.inq.wait(None);
+        if entry.killed() {
+            return None;
+        }
+    }
+}
+
+/// Main loop of a cluster's task controller.
+pub(crate) fn task_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
+    let cluster = entry.id.cluster;
+    while let Some((mtype, sender, args)) = receive(p, entry) {
+        match mtype.as_str() {
+            sysmsg::INIT => {
+                let (tasktype, user_args) = match args.split_first() {
+                    Some((Value::Str(t), rest)) => (t.clone(), rest.to_vec()),
+                    _ => {
+                        p.note_init_handled(cluster);
+                        continue; // malformed request: drop
+                    }
+                };
+                dispatch_init(
+                    p,
+                    cluster,
+                    PendingInit {
+                        tasktype,
+                        args: user_args,
+                        parent: sender,
+                    },
+                );
+                p.note_init_handled(cluster);
+            }
+            sysmsg::TERM => {
+                let Some(Value::TaskId(dead)) = args.first() else {
+                    continue;
+                };
+                if let Some(next) = p.release_slot(*dead) {
+                    dispatch_init(p, cluster, next);
+                    p.note_dispatch_done();
+                }
+            }
+            sysmsg::KILL => {
+                if let Some(Value::TaskId(victim)) = args.first() {
+                    if let Ok(e) = p.entry_of(*victim) {
+                        if !e.is_controller {
+                            e.request_kill();
+                        }
+                    }
+                }
+            }
+            sysmsg::SHUTDOWN => break,
+            other => {
+                // Unknown traffic to a controller is logged, not fatal.
+                p.flex.pe(entry.pe).console.write_line(format!(
+                    "task controller {}: unknown message {other}",
+                    entry.id
+                ));
+            }
+        }
+    }
+}
+
+/// Start a task in the cluster if a slot is free, otherwise hold the
+/// request: "if all slots are full, then the task must wait to be
+/// initiated until a slot is free."
+fn dispatch_init(p: &Arc<Pisces>, cluster: u8, req: PendingInit) {
+    let mut req = req;
+    loop {
+        match p.try_reserve_slot(cluster) {
+            Some(id) => {
+                let PendingInit {
+                    tasktype,
+                    args,
+                    parent,
+                } = req;
+                let Err(e) = p.spawn_user_task(id, tasktype.clone(), args, parent) else {
+                    return;
+                };
+                // Unknown tasktype or resource failure: give the slot back
+                // and report on the console. Releasing the slot may hand us
+                // the next parked request — keep dispatching so none is
+                // dropped (the caller's coverage of `req` extends until we
+                // return, so the extra dispatching credit is released at
+                // once).
+                if let Ok(pe) = p.config.cluster(cluster).map(|c| c.primary_pe) {
+                    if let Ok(pe) = flex32::pe::PeId::new(pe) {
+                        p.flex
+                            .pe(pe)
+                            .console
+                            .write_line(format!("INITIATE {tasktype} failed: {e}"));
+                    }
+                }
+                match p.release_slot(id) {
+                    Some(next) => {
+                        p.note_dispatch_done();
+                        req = next;
+                    }
+                    None => return,
+                }
+            }
+            None => {
+                p.park_init(cluster, req);
+                return;
+            }
+        }
+    }
+}
+
+/// Main loop of a user controller: any message sent TO USER arrives here
+/// and is written to the terminal.
+pub(crate) fn user_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
+    while let Some((mtype, sender, args)) = receive(p, entry) {
+        if mtype == sysmsg::SHUTDOWN {
+            break;
+        }
+        let rendered: Vec<String> = args.iter().map(render_value).collect();
+        p.flex
+            .pe(entry.pe)
+            .console
+            .write_line(format!("{sender}: {mtype}({})", rendered.join(", ")));
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Real(r) => format!("{r}"),
+        Value::Logical(b) => if *b { ".TRUE." } else { ".FALSE." }.to_string(),
+        Value::Str(s) => s.clone(),
+        Value::TaskId(t) => t.to_string(),
+        Value::Window(w) => w.to_string(),
+        Value::IntArray(a) => format!("[{} ints]", a.len()),
+        Value::RealArray(a) => format!("[{} reals]", a.len()),
+    }
+}

@@ -1,0 +1,70 @@
+//! Virtual-time costs of runtime services, in PE clock ticks.
+//!
+//! The paper reports no instruction-level timings ("No detailed timing
+//! measurements have yet been taken", Section 13), so these constants are a
+//! self-consistent cost model rather than calibrated numbers: each runtime
+//! service charges its PE's tick clock an amount proportional to the work a
+//! FLEX-class implementation would do (fixed kernel-entry overhead plus a
+//! per-word copying term where data moves). All virtual-time experiment
+//! *shapes* (who wins, where crossovers fall) depend only on these ratios
+//! being sane, not on their absolute values.
+
+/// SEND fixed overhead (allocate header, link into in-queue).
+pub const SEND_BASE: u64 = 20;
+/// SEND per packet word copied into shared memory.
+pub const SEND_PER_WORD: u64 = 1;
+/// ACCEPT fixed overhead per accepted message (unlink, bookkeeping).
+pub const ACCEPT_BASE: u64 = 15;
+/// Extra cost to dispatch a HANDLER subroutine (vs counting a signal).
+pub const HANDLER_DISPATCH: u64 = 10;
+/// ACCEPT per packet word copied out of shared memory.
+pub const ACCEPT_PER_WORD: u64 = 1;
+/// Cost charged to the requester for executing an INITIATE statement
+/// (builds and sends the request to the task controller).
+pub const INITIATE_REQUEST: u64 = 30;
+/// Cost charged to the controller's PE for actually creating a task
+/// (process creation is an MMOS kernel call).
+pub const TASK_SPAWN: u64 = 120;
+/// Cost charged at task termination.
+pub const TASK_TERM: u64 = 60;
+/// FORCESPLIT fixed overhead on the primary.
+pub const FORCESPLIT_BASE: u64 = 80;
+/// FORCESPLIT per member started (process creation on a secondary PE).
+pub const FORCESPLIT_PER_MEMBER: u64 = 40;
+/// Barrier arrival/release bookkeeping per member.
+pub const BARRIER: u64 = 8;
+/// Acquiring an unlocked lock.
+pub const LOCK: u64 = 4;
+/// Releasing a lock.
+pub const UNLOCK: u64 = 3;
+/// One dispatch of a self-scheduled loop iteration (shared counter bump).
+pub const SELFSCHED_DISPATCH: u64 = 3;
+/// One dispatch of a prescheduled loop iteration (local arithmetic only).
+pub const PRESCHED_DISPATCH: u64 = 1;
+/// Window operation fixed overhead (request message to the owner).
+pub const WINDOW_BASE: u64 = 25;
+/// Window transfer cost per 64-bit word, charged to *both* the owner's PE
+/// and the requester's PE.
+pub const WINDOW_PER_WORD: u64 = 1;
+/// Registering an array for window access.
+pub const WINDOW_REGISTER: u64 = 20;
+
+// The ratios the experiments rely on; if someone retunes the model,
+// these compile-time checks keep the reproduced shapes meaningful.
+const _: () = {
+    assert!(
+        TASK_SPAWN > FORCESPLIT_PER_MEMBER,
+        "tasks are heavier than force members"
+    );
+    assert!(
+        FORCESPLIT_PER_MEMBER > BARRIER,
+        "splitting dwarfs a barrier"
+    );
+    assert!(
+        SELFSCHED_DISPATCH > PRESCHED_DISPATCH,
+        "self-scheduling pays for its dispatch"
+    );
+    assert!(SEND_BASE > ACCEPT_BASE, "send does the allocation");
+    assert!(WINDOW_BASE > SEND_PER_WORD, "window setup is not free");
+    assert!(HANDLER_DISPATCH > 0 && LOCK > UNLOCK);
+};

@@ -1,0 +1,116 @@
+//! Error taxonomy of the PISCES 2 runtime.
+
+use crate::taskid::TaskId;
+use flex32::pe::PeError;
+use flex32::shmem::ShmError;
+
+/// Any error the PISCES runtime can report to a task or to the
+/// configuration/execution environments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PiscesError {
+    /// Shared-memory failure (usually exhaustion of the 2.25 MB arena).
+    Shm(ShmError),
+    /// PE-level failure (bad PE number, local memory exhausted).
+    Pe(PeError),
+    /// File-system failure on the Unix PEs.
+    Fs(flex32::fs::FsError),
+    /// Message sent to a task that does not exist (never initiated, or
+    /// already terminated — taskids distinguish reuses of a slot).
+    NoSuchTask(TaskId),
+    /// INITIATE named a tasktype that was never registered.
+    NoSuchTaskType(String),
+    /// A cluster number not present in the configuration.
+    NoSuchCluster(u8),
+    /// The configuration failed validation; human-readable reason.
+    BadConfiguration(String),
+    /// This task was killed from the execution environment (menu option 2).
+    Killed,
+    /// A window operation was invalid (bounds outside the array or the
+    /// parent window, unknown array, wrong element type).
+    BadWindow(String),
+    /// Message arguments did not match what the receiver expected.
+    ArgMismatch {
+        /// What the receiver wanted.
+        expected: String,
+        /// What the message contained.
+        got: String,
+    },
+    /// The virtual machine has been shut down.
+    MachineDown,
+    /// The run exceeded the execution time limit from the configuration.
+    TimeLimit,
+    /// ACCEPT ended by DELAY timeout and the statement had no DELAY body.
+    AcceptTimeout,
+    /// Internal invariant violation — a bug in the runtime itself.
+    Internal(String),
+}
+
+impl std::fmt::Display for PiscesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PiscesError::Shm(e) => write!(f, "shared memory: {e}"),
+            PiscesError::Pe(e) => write!(f, "processing element: {e}"),
+            PiscesError::Fs(e) => write!(f, "file system: {e}"),
+            PiscesError::NoSuchTask(t) => write!(f, "no such task: {t}"),
+            PiscesError::NoSuchTaskType(n) => write!(f, "no such tasktype: {n}"),
+            PiscesError::NoSuchCluster(c) => write!(f, "no such cluster: {c}"),
+            PiscesError::BadConfiguration(r) => write!(f, "bad configuration: {r}"),
+            PiscesError::Killed => write!(f, "task killed"),
+            PiscesError::BadWindow(r) => write!(f, "bad window: {r}"),
+            PiscesError::ArgMismatch { expected, got } => {
+                write!(f, "argument mismatch: expected {expected}, got {got}")
+            }
+            PiscesError::MachineDown => write!(f, "virtual machine is down"),
+            PiscesError::TimeLimit => write!(f, "execution time limit exceeded"),
+            PiscesError::AcceptTimeout => write!(f, "ACCEPT timed out with no DELAY body"),
+            PiscesError::Internal(r) => write!(f, "internal runtime error: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for PiscesError {}
+
+impl From<ShmError> for PiscesError {
+    fn from(e: ShmError) -> Self {
+        PiscesError::Shm(e)
+    }
+}
+
+impl From<PeError> for PiscesError {
+    fn from(e: PeError) -> Self {
+        PiscesError::Pe(e)
+    }
+}
+
+impl From<flex32::fs::FsError> for PiscesError {
+    fn from(e: flex32::fs::FsError) -> Self {
+        PiscesError::Fs(e)
+    }
+}
+
+/// Result alias used across the runtime.
+pub type Result<T> = std::result::Result<T, PiscesError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PiscesError::NoSuchTaskType("worker".into());
+        assert!(e.to_string().contains("worker"));
+        let e = PiscesError::ArgMismatch {
+            expected: "Int".into(),
+            got: "Real".into(),
+        };
+        assert!(e.to_string().contains("Int") && e.to_string().contains("Real"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let shm: PiscesError = ShmError::ZeroSize.into();
+        assert!(matches!(shm, PiscesError::Shm(_)));
+        let pe: PiscesError = PeError::NoSuchPe(0).into();
+        assert!(matches!(pe, PiscesError::Pe(_)));
+    }
+}

@@ -1,0 +1,483 @@
+//! Forces — medium-granularity parallelism (paper, Section 7).
+//!
+//! "A force, in Jordan's concept, is a set of simultaneously initiated
+//! tasks, all of the same tasktype. The members of a force are guaranteed
+//! to run concurrently on different PE's. Force members communicate through
+//! shared variables and synchronize through barriers and critical regions.
+//! Loop iterations are partitioned among force members, either through
+//! prescheduling or self-scheduling."
+//!
+//! The defining property: "the program is written without knowledge of the
+//! number of members that a force may have. … The same program text may be
+//! executed without change by a force of any number of members — only the
+//! performance of the program will change, not its semantics."
+//!
+//! In this runtime a task calls [`TaskCtx::forcesplit`] with a closure —
+//! the program text after the FORCESPLIT point. The original task runs it
+//! as the primary member on its own PE; one new member starts on each
+//! secondary PE allocated to the cluster in the configuration. The force
+//! joins when the closure returns in every member.
+
+use crate::context::TaskCtx;
+use crate::cost;
+use crate::error::{PiscesError, Result};
+use crate::shared::{LockVar, SharedBlock};
+use crate::stats::RunStats;
+use crate::trace::TraceEventKind;
+use flex32::pe::PeId;
+use flex32::shmem::{ShmHandle, ShmTag};
+use flex32::Flex32;
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A reusable generation barrier for `size` participants.
+#[derive(Debug)]
+pub struct GenBarrier {
+    lock: Mutex<BarrierGen>,
+    cv: Condvar,
+    size: usize,
+}
+
+#[derive(Debug)]
+struct BarrierGen {
+    count: usize,
+    gen: u64,
+}
+
+impl GenBarrier {
+    /// A barrier for `size` participants.
+    pub fn new(size: usize) -> Self {
+        Self {
+            lock: Mutex::new(BarrierGen { count: 0, gen: 0 }),
+            cv: Condvar::new(),
+            size,
+        }
+    }
+
+    /// Wait until all participants arrive. `abort` is polled so a force
+    /// member failing elsewhere cannot strand the rest forever.
+    pub fn wait(&self, abort: &AtomicBool) -> Result<()> {
+        let mut st = self.lock.lock();
+        st.count += 1;
+        if st.count == self.size {
+            st.count = 0;
+            st.gen = st.gen.wrapping_add(1);
+            drop(st);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.gen;
+        while st.gen == gen {
+            if abort.load(Ordering::Relaxed) {
+                return Err(PiscesError::Internal(
+                    "force aborted while a member waited at a barrier".into(),
+                ));
+            }
+            self.cv.wait_for(&mut st, Duration::from_millis(10));
+        }
+        Ok(())
+    }
+}
+
+/// State shared by all members of one force.
+pub(crate) struct ForceShared {
+    arrive: GenBarrier,
+    depart: GenBarrier,
+    /// Self-scheduled loop counters, keyed by each member's per-force
+    /// synchronization-op sequence (identical across members because they
+    /// execute the same program text).
+    counters: Mutex<std::collections::HashMap<u64, ShmHandle>>,
+    /// Set when any member exits with an error, to unstick barriers.
+    abort: AtomicBool,
+}
+
+impl ForceShared {
+    fn new(size: usize) -> Self {
+        Self {
+            arrive: GenBarrier::new(size),
+            depart: GenBarrier::new(size),
+            counters: Mutex::new(std::collections::HashMap::new()),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn counter(&self, key: u64, flex: &Flex32) -> Result<ShmHandle> {
+        let mut map = self.counters.lock();
+        if let Some(&h) = map.get(&key) {
+            return Ok(h);
+        }
+        let h = flex.shmem.alloc(8, ShmTag::SystemTable)?;
+        map.insert(key, h);
+        Ok(h)
+    }
+
+    fn free_counters(&self, flex: &Flex32) {
+        for (_, h) in self.counters.lock().drain() {
+            let _ = flex.shmem.free(h);
+        }
+    }
+}
+
+/// The context of one force member. Dereference-free by design: the force
+/// API is scoped to what Section 7 allows inside a split region.
+pub struct ForceCtx<'a> {
+    ctx: &'a TaskCtx,
+    member: usize,
+    size: usize,
+    pe: PeId,
+    shared: Arc<ForceShared>,
+    op_seq: Cell<u64>,
+}
+
+impl<'a> ForceCtx<'a> {
+    fn new(
+        ctx: &'a TaskCtx,
+        member: usize,
+        size: usize,
+        pe: PeId,
+        shared: Arc<ForceShared>,
+    ) -> Self {
+        Self {
+            ctx,
+            member,
+            size,
+            pe,
+            shared,
+            op_seq: Cell::new(0),
+        }
+    }
+
+    /// This member's index, 0-based; the paper's "Ith force member" is
+    /// `member() + 1`. Member 0 is the primary (the original task).
+    pub fn member(&self) -> usize {
+        self.member
+    }
+
+    /// Number of members in the force (fixed by the configuration:
+    /// secondary PEs + 1).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this member is the primary.
+    pub fn is_primary(&self) -> bool {
+        self.member == 0
+    }
+
+    /// The PE this member runs on.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// The enclosing task's id (all members share it — a force is one
+    /// task replicated, not new tasks in slots).
+    pub fn task_id(&self) -> crate::taskid::TaskId {
+        self.ctx.id()
+    }
+
+    fn enter(&self, ticks: u64) -> Result<flex32::cpu::CpuGuard<'_>> {
+        self.ctx.enter_on(self.pe, ticks)
+    }
+
+    /// Charge computation ticks to this member's PE.
+    pub fn work(&self, ticks: u64) -> Result<()> {
+        let _cpu = self.enter(ticks)?;
+        Ok(())
+    }
+
+    /// SHARED COMMON access: same named block as every other member.
+    pub fn shared_common(&self, name: &str, words: usize) -> Result<SharedBlock> {
+        self.ctx.shared_common_on(self.pe, name, words)
+    }
+
+    /// LOCK variable access: same named lock as every other member.
+    pub fn lock_var(&self, name: &str) -> Result<LockVar> {
+        self.ctx.lock_var_on(self.pe, name)
+    }
+
+    /// `BARRIER … END BARRIER` with an empty statement sequence.
+    pub fn barrier(&self) -> Result<()> {
+        self.barrier_with(|| Ok(()))
+    }
+
+    /// `BARRIER <statement sequence> END BARRIER`: all members pause at
+    /// the barrier; when all have arrived, the *primary* member executes
+    /// the statement sequence; then all continue.
+    pub fn barrier_with(&self, body: impl FnOnce() -> Result<()>) -> Result<()> {
+        {
+            let _cpu = self.enter(cost::BARRIER)?;
+        }
+        RunStats::bump(&self.ctx.p.stats.barrier_entries);
+        self.ctx.p.tracer.emit(
+            TraceEventKind::Barrier,
+            self.ctx.id(),
+            self.pe.number(),
+            self.ctx.p.flex.pe(self.pe).clock.now(),
+            format!("member {}/{}", self.member, self.size),
+        );
+        self.shared.arrive.wait(&self.shared.abort)?;
+        let mut leader_result = Ok(());
+        if self.is_primary() {
+            leader_result = body();
+            if leader_result.is_err() {
+                // Release the others before reporting: a stuck force is
+                // worse than one that observes the next barrier normally.
+                self.shared.abort.store(true, Ordering::Relaxed);
+            }
+        }
+        self.shared.depart.wait(&self.shared.abort)?;
+        leader_result
+    }
+
+    /// `CRITICAL <lock variable> … END CRITICAL`.
+    ///
+    /// The entry spin observes the force's abort flag and the task's
+    /// kill/shutdown state, so a member that dies while holding the lock
+    /// (e.g. a panicking CRITICAL body elsewhere) cannot strand the rest
+    /// of the force.
+    pub fn critical<T>(&self, lock: &LockVar, body: impl FnOnce() -> Result<T>) -> Result<T> {
+        {
+            let _cpu = self.enter(cost::LOCK)?;
+        }
+        let mut spins = 0u64;
+        while !lock.try_lock()? {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                if self.shared.abort.load(Ordering::Relaxed) {
+                    return Err(PiscesError::Internal(
+                        "force aborted while a member waited on a CRITICAL lock".into(),
+                    ));
+                }
+                if self.ctx.entry.killed() {
+                    return Err(PiscesError::Killed);
+                }
+                if self.ctx.p.is_down() {
+                    return Err(PiscesError::MachineDown);
+                }
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        RunStats::bump(&self.ctx.p.stats.criticals);
+        let trace_lock = |kind, tick_cost| {
+            self.ctx.p.flex.tick(self.pe, tick_cost);
+            self.ctx.p.tracer.emit(
+                kind,
+                self.ctx.id(),
+                self.pe.number(),
+                self.ctx.p.flex.pe(self.pe).clock.now(),
+                lock.name().to_string(),
+            );
+        };
+        trace_lock(TraceEventKind::Lock, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        lock.unlock()?;
+        trace_lock(TraceEventKind::Unlock, cost::UNLOCK);
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// `PRESCHED DO` over `lo..=hi` (step 1): "in a force of N members,
+    /// each member should take 1/N of the loop iterations. The Ith force
+    /// member takes iterations I, N+I, 2*N+I, etc."
+    pub fn presched(&self, lo: i64, hi: i64, f: impl FnMut(i64) -> Result<()>) -> Result<()> {
+        self.presched_step(lo, hi, 1, f)
+    }
+
+    /// `PRESCHED DO` with an explicit step.
+    pub fn presched_step(
+        &self,
+        lo: i64,
+        hi: i64,
+        step: i64,
+        mut f: impl FnMut(i64) -> Result<()>,
+    ) -> Result<()> {
+        if step == 0 {
+            return Err(PiscesError::Internal("DO loop with zero step".into()));
+        }
+        let clock = &self.ctx.p.flex.pe(self.pe).clock;
+        let mut k = 0usize;
+        let mut v = lo;
+        while (step > 0 && v <= hi) || (step < 0 && v >= hi) {
+            if k % self.size == self.member {
+                clock.advance(cost::PRESCHED_DISPATCH);
+                f(v)?;
+                if k.is_multiple_of(64) && self.ctx.entry.killed() {
+                    return Err(PiscesError::Killed);
+                }
+            }
+            k += 1;
+            v += step;
+        }
+        Ok(())
+    }
+
+    /// `SELFSCHED DO` over `lo..=hi` (step 1): "each force member takes
+    /// the 'next' iteration when it arrives at the loop … until all
+    /// iterations are complete."
+    pub fn selfsched(&self, lo: i64, hi: i64, f: impl FnMut(i64) -> Result<()>) -> Result<()> {
+        self.selfsched_step(lo, hi, 1, f)
+    }
+
+    /// `SELFSCHED DO` with an explicit step. The shared iteration counter
+    /// lives in shared memory, exactly where the FLEX runtime kept it.
+    pub fn selfsched_step(
+        &self,
+        lo: i64,
+        hi: i64,
+        step: i64,
+        mut f: impl FnMut(i64) -> Result<()>,
+    ) -> Result<()> {
+        if step == 0 {
+            return Err(PiscesError::Internal("DO loop with zero step".into()));
+        }
+        let key = self.op_seq.get();
+        self.op_seq.set(key + 1);
+        let counter = self.shared.counter(key, &self.ctx.p.flex)?;
+        let clock = &self.ctx.p.flex.pe(self.pe).clock;
+        let mut n = 0usize;
+        loop {
+            let k = self.ctx.p.flex.shmem.fetch_add(counter, 0, 1)?;
+            let v = lo + step * k as i64;
+            if (step > 0 && v > hi) || (step < 0 && v < hi) {
+                return Ok(());
+            }
+            clock.advance(cost::SELFSCHED_DISPATCH);
+            f(v)?;
+            n += 1;
+            if n.is_multiple_of(64) && self.ctx.entry.killed() {
+                return Err(PiscesError::Killed);
+            }
+        }
+    }
+
+    /// `PARSEG / NEXTSEG / ENDSEG`: parallel segments. "The Ith force
+    /// member executes the Ith, N+I, 2*N+I, etc. statement sequences,
+    /// just as for a PRESCHED DO loop." Each member builds its own
+    /// segment list (same program text) and runs its share.
+    pub fn parseg(&self, segs: Vec<Box<dyn FnOnce() -> Result<()> + '_>>) -> Result<()> {
+        for (i, seg) in segs.into_iter().enumerate() {
+            if i % self.size == self.member {
+                self.ctx
+                    .p
+                    .flex
+                    .pe(self.pe)
+                    .clock
+                    .advance(cost::PRESCHED_DISPATCH);
+                seg()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TaskCtx {
+    /// `FORCESPLIT`: split this task into a force.
+    ///
+    /// The closure is the program text after the split point. It runs in
+    /// the original task (the primary member, on the cluster's primary PE)
+    /// and in one new member per secondary PE allocated to the cluster in
+    /// the configuration. With no secondary PEs the closure simply runs in
+    /// the primary — "no parallel splitting", as in the paper's cluster 1
+    /// example. The call returns when every member has finished; the first
+    /// member error (if any) is returned.
+    pub fn forcesplit<F>(&self, body: F) -> Result<()>
+    where
+        F: Fn(&ForceCtx<'_>) -> Result<()> + Sync,
+    {
+        let cfg = self.p.config.cluster(self.cluster())?;
+        if self.entry.in_force.swap(true, Ordering::SeqCst) {
+            return Err(PiscesError::Internal(
+                "FORCESPLIT while already split into a force".into(),
+            ));
+        }
+        let secondaries: Vec<PeId> = cfg
+            .secondary_pes
+            .iter()
+            .map(|&n| PeId::new(n).expect("config validated"))
+            .collect();
+        let size = 1 + secondaries.len();
+
+        let split_result = (|| -> Result<()> {
+            {
+                let _cpu =
+                    self.enter(cost::FORCESPLIT_BASE + cost::FORCESPLIT_PER_MEMBER * size as u64)?;
+            }
+            RunStats::bump(&self.p.stats.forcesplits);
+            self.p.tracer.emit(
+                TraceEventKind::ForceSplit,
+                self.id(),
+                self.pe().number(),
+                self.p.flex.pe(self.pe()).clock.now(),
+                format!("size={size}"),
+            );
+
+            let shared = Arc::new(ForceShared::new(size));
+            let result = std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(secondaries.len());
+                for (i, &pe) in secondaries.iter().enumerate() {
+                    let shared = shared.clone();
+                    let body = &body;
+                    handles.push(s.spawn(move || {
+                        let pid = self
+                            .p
+                            .flex
+                            .procs(pe)
+                            .spawn(&format!("force:{}", self.tasktype()));
+                        self.p.flex.tick(pe, cost::FORCESPLIT_PER_MEMBER);
+                        let fc = ForceCtx::new(self, i + 1, size, pe, shared);
+                        let r =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&fc)));
+                        let r = match r {
+                            Ok(r) => r,
+                            Err(_) => Err(PiscesError::Internal("force member panicked".into())),
+                        };
+                        if r.is_err() {
+                            fc.shared.abort.store(true, Ordering::Relaxed);
+                        }
+                        self.p.flex.procs(pe).exit(pid);
+                        r
+                    }));
+                }
+                let primary = ForceCtx::new(self, 0, size, self.pe(), shared.clone());
+                let r0 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&primary)));
+                let r0 = match r0 {
+                    Ok(r) => r,
+                    Err(_) => Err(PiscesError::Internal("force primary panicked".into())),
+                };
+                if r0.is_err() {
+                    shared.abort.store(true, Ordering::Relaxed);
+                }
+                let mut first_err = r0.err();
+                for h in handles {
+                    match h.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            first_err.get_or_insert(e);
+                        }
+                        Err(_) => {
+                            first_err.get_or_insert(PiscesError::Internal(
+                                "force member thread failed".into(),
+                            ));
+                        }
+                    }
+                }
+                match first_err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
+                }
+            });
+            shared.free_counters(&self.p.flex);
+            result
+        })();
+
+        self.entry.in_force.store(false, Ordering::SeqCst);
+        split_result
+    }
+}

@@ -1,0 +1,76 @@
+//! # pisces-core — the PISCES 2 virtual machine and run-time library
+//!
+//! A Rust reproduction of the runtime described in:
+//!
+//! > Terrence W. Pratt, *The PISCES 2 Parallel Programming Environment*,
+//! > Proc. 1987 International Conference on Parallel Processing.
+//!
+//! PISCES 2 presents applications with a carefully defined **virtual
+//! machine** — a set of *clusters*, each offering *slots* in which *tasks*
+//! run — deliberately decoupled from the underlying hardware (here, the
+//! [`flex32`] substrate modelling the NASA Langley FLEX/32). Programs are
+//! dynamic sets of tasks communicating by **asynchronous message passing**;
+//! medium-granularity parallelism comes from **forces** (replicated task
+//! bodies with shared variables, barriers, critical regions, and scheduled
+//! parallel loops); **windows** provide parallel partitioning of and remote
+//! access to arrays; and the programmer controls the **mapping** of the
+//! virtual machine onto PEs through a configuration.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pisces_core::prelude::*;
+//!
+//! let flex = flex32::Flex32::new_shared();
+//! let pisces = Pisces::boot(flex, MachineConfig::simple(2, 4)).unwrap();
+//!
+//! pisces.register("hello", |ctx: &TaskCtx| {
+//!     ctx.send(To::Parent, "GREETING", args!["hello from", ctx.id()])?;
+//!     Ok(())
+//! });
+//! pisces.register("main", |ctx: &TaskCtx| {
+//!     ctx.initiate(Where::Other, "hello", vec![])?;
+//!     let got = ctx.accept().of(1).signal("GREETING").run()?;
+//!     assert_eq!(got.count("GREETING"), 1);
+//!     Ok(())
+//! });
+//!
+//! pisces.initiate_top_level(1, "main", vec![]).unwrap();
+//! assert!(pisces.wait_quiescent(std::time::Duration::from_secs(10)));
+//! pisces.shutdown();
+//! ```
+
+pub mod config;
+pub mod context;
+pub(crate) mod controller;
+pub mod cost;
+pub mod error;
+pub mod force;
+pub mod machine;
+pub mod message;
+pub mod shared;
+pub mod stats;
+pub mod task;
+pub mod taskid;
+pub mod trace;
+pub mod value;
+pub mod window;
+
+/// Everything a PISCES application typically needs.
+pub mod prelude {
+    pub use crate::args;
+    pub use crate::config::{ClusterConfig, MachineConfig};
+    pub use crate::context::{AcceptOutcome, TaskCtx, To, Where};
+    pub use crate::error::{PiscesError, Result};
+    pub use crate::force::ForceCtx;
+    pub use crate::machine::Pisces;
+    pub use crate::message::Message;
+    pub use crate::shared::{LockVar, SharedBlock};
+    pub use crate::task::{FILE_CTRL_ID, USER_ID};
+    pub use crate::taskid::TaskId;
+    pub use crate::trace::{TraceEventKind, TraceSettings};
+    pub use crate::value::Value;
+    pub use crate::window::{ArrayId, Window};
+}
+
+pub use prelude::*;

@@ -1,0 +1,1251 @@
+//! The PISCES 2 virtual machine, brought up on a [`Flex32`] substrate.
+//!
+//! "The PISCES 2 virtual machine consists of a set of clusters. … An
+//! applications program appears as a set of tasks. Each cluster provides a
+//! finite set of slots in which tasks can run. … The operating system is
+//! represented as a set of 'controller' tasks that run in slots in the
+//! clusters." (paper, Sections 4–5)
+//!
+//! [`Pisces::boot`] validates a configuration, allocates the cluster/slot
+//! tables in the FLEX shared memory (so the Section 13 storage measurement
+//! is real), reserves the system image in each PE's local memory, and
+//! starts the controller tasks. User tasktypes are registered as Rust
+//! closures (or supplied by the Pisces Fortran interpreter) and initiated
+//! through the task controllers exactly as in the paper: an INITIATE is a
+//! message to the target cluster's task controller, which assigns a slot —
+//! or holds the request until one frees up.
+
+use crate::config::MachineConfig;
+use crate::context::TaskCtx;
+use crate::controller;
+use crate::cost;
+use crate::error::{PiscesError, Result};
+use crate::message::PushOutcome;
+use crate::stats::RunStats;
+use crate::task::{
+    TaskEntry, TaskRunState, FILE_CTRL_ID, FIRST_USER_SLOT, TASK_CONTROLLER_SLOT,
+    USER_CONTROLLER_SLOT, USER_ID,
+};
+use crate::taskid::TaskId;
+use crate::trace::{TraceEventKind, Tracer};
+use crate::value::{decode_values, encode_values, Value};
+use crate::window::{ArrayId, Window};
+use flex32::pe::PeId;
+use flex32::shmem::{ShmHandle, ShmTag};
+use flex32::Flex32;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Words in the machine header system table.
+pub const MACHINE_HEADER_WORDS: usize = 16;
+/// Words in each cluster's header record.
+pub const CLUSTER_HEADER_WORDS: usize = 8;
+/// Words in each slot's task-state record ("state information … pointers
+/// to the task's in-queue, free space lists, trace flags, and so forth").
+pub const SLOT_RECORD_WORDS: usize = 24;
+/// Bytes of each PE's local memory occupied by the system image: the MMOS
+/// kernel plus the PISCES run-time library code and data. (The paper
+/// reports the total stays under 2.5% of the 1 MB local memory.)
+pub const SYSTEM_IMAGE_BYTES: usize = 16 * 1024 + 7 * 1024 + 2 * 1024;
+
+/// Message type names used by the operating-system tasks.
+pub mod sysmsg {
+    /// Initiate request: args `[tasktype, user args…]`, sender = parent.
+    pub const INIT: &str = "INIT$";
+    /// Task terminated: args `[taskid]`.
+    pub const TERM: &str = "TERM$";
+    /// Kill request: args `[taskid]`.
+    pub const KILL: &str = "KILL$";
+    /// Controller shutdown.
+    pub const SHUTDOWN: &str = "SHUTDOWN$";
+}
+
+/// A user task body: invoked with the task's context; its `Err` return is
+/// recorded in the TASK-TERM trace line.
+pub type TaskBody = Arc<dyn Fn(&TaskCtx) -> Result<()> + Send + Sync>;
+
+/// An initiate request parked because every slot was full: "if no slots
+/// are available in the cluster, the task controller will hold the
+/// initiate request until another task terminates."
+#[derive(Debug)]
+pub(crate) struct PendingInit {
+    pub tasktype: String,
+    pub args: Vec<Value>,
+    pub parent: TaskId,
+}
+
+pub(crate) struct ClusterState {
+    pub cfg: crate::config::ClusterConfig,
+    /// User slots (index 0 ↔ slot number [`FIRST_USER_SLOT`]).
+    pub slots: Vec<Option<TaskId>>,
+    /// Unique-number counters per slot.
+    pub slot_unique: Vec<u32>,
+    pub pending: VecDeque<PendingInit>,
+    pub controller: TaskId,
+    pub user_controller: Option<TaskId>,
+    /// INIT$ requests routed to this cluster but not yet handled by its
+    /// controller — counted so a burst of ON ANY INITIATEs spreads
+    /// instead of all seeing the same free-slot snapshot.
+    pub routed_inits: usize,
+    /// The cluster's system table in shared memory.
+    pub table: ShmHandle,
+}
+
+impl ClusterState {
+    fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Free slots not already spoken for by parked or in-flight initiate
+    /// requests.
+    fn available(&self) -> isize {
+        self.free_slots() as isize - self.pending.len() as isize - self.routed_inits as isize
+    }
+}
+
+pub(crate) struct MachineState {
+    pub clusters: BTreeMap<u8, ClusterState>,
+    pub tasks: HashMap<TaskId, Arc<TaskEntry>>,
+    pub live_user_tasks: usize,
+    /// INITIATE requests sent but not yet processed by a controller.
+    pub inflight_inits: usize,
+    /// Parked requests a controller has popped but not yet re-dispatched
+    /// (spawned or re-parked); counted so quiescence cannot be observed
+    /// in the gap.
+    pub dispatching: usize,
+}
+
+struct ArrayEntry {
+    handle: ShmHandle,
+    cols: usize,
+}
+
+struct FileArrayEntry {
+    path: String,
+    rows: usize,
+    cols: usize,
+    /// Overlap management for parallel read/write requests (Section 8).
+    lock: Arc<RwLock<()>>,
+}
+
+/// Per-PE loading snapshot (menu option 8, DISPLAY PE LOADING).
+#[derive(Debug, Clone)]
+pub struct PeLoad {
+    /// PE number.
+    pub pe: u8,
+    /// Live MMOS processes.
+    pub live: usize,
+    /// Processes currently ready (competing for the CPU).
+    pub ready: usize,
+    /// Clock reading.
+    pub ticks: u64,
+    /// CPU token acquisitions (≈ kernel entries).
+    pub cpu_acquisitions: u64,
+    /// Acquisitions that found the CPU busy.
+    pub cpu_contended: u64,
+}
+
+/// Display record for one task (menu option 5, DISPLAY RUNNING TASKS).
+#[derive(Debug, Clone)]
+pub struct TaskDisplay {
+    /// The task's id.
+    pub id: TaskId,
+    /// Tasktype name.
+    pub tasktype: String,
+    /// PE it runs on.
+    pub pe: u8,
+    /// Whether it is an operating-system controller.
+    pub is_controller: bool,
+    /// Ready or blocked.
+    pub state: TaskRunState,
+    /// Messages waiting in its in-queue.
+    pub queued_messages: usize,
+}
+
+/// Combined storage report: the Section 13 measurement.
+#[derive(Debug, Clone)]
+pub struct StorageReport {
+    /// Shared-memory usage by purpose.
+    pub shm: flex32::shmem::ShmReport,
+    /// Per-PE (pe, used bytes, capacity bytes) for PEs in the
+    /// configuration.
+    pub local: Vec<(u8, usize, usize)>,
+}
+
+impl StorageReport {
+    /// Fraction of shared memory used by system tables.
+    pub fn system_table_fraction(&self) -> f64 {
+        self.shm.tag_fraction(ShmTag::SystemTable)
+    }
+
+    /// Largest local-memory fraction used on any configured PE.
+    pub fn max_local_fraction(&self) -> f64 {
+        self.local
+            .iter()
+            .map(|&(_, used, cap)| used as f64 / cap as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The running PISCES 2 virtual machine.
+pub struct Pisces {
+    pub(crate) flex: Arc<Flex32>,
+    pub(crate) config: MachineConfig,
+    pub(crate) tracer: Tracer,
+    pub(crate) stats: RunStats,
+    tasktypes: RwLock<HashMap<String, TaskBody>>,
+    pub(crate) state: Mutex<MachineState>,
+    pub(crate) state_changed: Condvar,
+    arrays: Mutex<HashMap<ArrayId, ArrayEntry>>,
+    file_arrays: Mutex<HashMap<ArrayId, FileArrayEntry>>,
+    next_file_seq: AtomicU32,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    down: AtomicBool,
+    sys_allocs: Mutex<Vec<ShmHandle>>,
+}
+
+impl std::fmt::Debug for Pisces {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pisces")
+            .field("clusters", &self.config.clusters.len())
+            .field("down", &self.down.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pisces {
+    /// Bring up the virtual machine on a FLEX/32: validate the
+    /// configuration, reboot the MMOS PEs, download the system image into
+    /// local memory, allocate the system tables in shared memory, and
+    /// start the controller tasks.
+    pub fn boot(flex: Arc<Flex32>, config: MachineConfig) -> Result<Arc<Self>> {
+        config.validate()?;
+        flex.reboot_mmos();
+
+        // Download the load image (kernel + runtime) to each PE in use.
+        for &pe_n in &config.pes_in_use() {
+            let pe = PeId::new(pe_n)?;
+            flex.pe(pe).local.reserve(SYSTEM_IMAGE_BYTES, pe)?;
+        }
+
+        let mut sys_allocs = Vec::new();
+        let header = flex
+            .shmem
+            .alloc(MACHINE_HEADER_WORDS * 8, ShmTag::SystemTable)?;
+        sys_allocs.push(header);
+
+        let mut clusters = BTreeMap::new();
+        let mut any_terminal = config.clusters.iter().any(|c| c.has_terminal);
+        for (i, c) in config.clusters.iter().enumerate() {
+            // If no cluster declares a terminal, attach one to the first
+            // cluster so TO USER SEND always has a destination.
+            let has_terminal = c.has_terminal || (!any_terminal && i == 0);
+            if has_terminal {
+                any_terminal = true;
+            }
+            let total_slots = c.slots as usize + 2; // + controller slots
+            let table = flex.shmem.alloc(
+                (CLUSTER_HEADER_WORDS + total_slots * SLOT_RECORD_WORDS) * 8,
+                ShmTag::SystemTable,
+            )?;
+            sys_allocs.push(table);
+            let mut cfg = c.clone();
+            cfg.has_terminal = has_terminal;
+            clusters.insert(
+                c.number,
+                ClusterState {
+                    cfg,
+                    slots: vec![None; c.slots as usize],
+                    slot_unique: vec![0; c.slots as usize],
+                    pending: VecDeque::new(),
+                    controller: TaskId::new(c.number, TASK_CONTROLLER_SLOT, 1),
+                    user_controller: has_terminal
+                        .then(|| TaskId::new(c.number, USER_CONTROLLER_SLOT, 1)),
+                    routed_inits: 0,
+                    table,
+                },
+            );
+        }
+
+        let tracer = Tracer::new(&config.trace);
+        let p = Arc::new(Self {
+            flex,
+            config,
+            tracer,
+            stats: RunStats::default(),
+            tasktypes: RwLock::new(HashMap::new()),
+            state: Mutex::new(MachineState {
+                clusters,
+                tasks: HashMap::new(),
+                live_user_tasks: 0,
+                inflight_inits: 0,
+                dispatching: 0,
+            }),
+            state_changed: Condvar::new(),
+            arrays: Mutex::new(HashMap::new()),
+            file_arrays: Mutex::new(HashMap::new()),
+            next_file_seq: AtomicU32::new(0),
+            threads: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
+            sys_allocs: Mutex::new(sys_allocs),
+        });
+
+        // Start the operating system: a task controller in every cluster,
+        // a user controller where a terminal is attached.
+        let cluster_plan: Vec<(u8, TaskId, Option<TaskId>)> = {
+            let st = p.state.lock();
+            st.clusters
+                .values()
+                .map(|c| (c.cfg.number, c.controller, c.user_controller))
+                .collect()
+        };
+        for (number, tc, uc) in cluster_plan {
+            p.spawn_controller(
+                tc,
+                number,
+                "task-controller",
+                controller::task_controller_main,
+            )?;
+            if let Some(uc) = uc {
+                p.spawn_controller(
+                    uc,
+                    number,
+                    "user-controller",
+                    controller::user_controller_main,
+                )?;
+            }
+        }
+        Ok(p)
+    }
+
+    /// The substrate machine.
+    pub fn flex(&self) -> &Arc<Flex32> {
+        &self.flex
+    }
+
+    /// The configuration this machine was booted with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Whether the machine has been shut down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// Register a tasktype. Pisces Fortran programs register their
+    /// tasktypes through the interpreter; Rust programs register closures.
+    pub fn register<F>(&self, name: &str, body: F)
+    where
+        F: Fn(&TaskCtx) -> Result<()> + Send + Sync + 'static,
+    {
+        self.tasktypes
+            .write()
+            .insert(name.to_string(), Arc::new(body));
+    }
+
+    pub(crate) fn body_of(&self, name: &str) -> Result<TaskBody> {
+        self.tasktypes
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PiscesError::NoSuchTaskType(name.to_string()))
+    }
+
+    pub(crate) fn entry_of(&self, id: TaskId) -> Result<Arc<TaskEntry>> {
+        self.state
+            .lock()
+            .tasks
+            .get(&id)
+            .cloned()
+            .ok_or(PiscesError::NoSuchTask(id))
+    }
+
+    /// Taskid of the task controller in a cluster (the TCONTR
+    /// destination). Every task is given these ids when it is initiated.
+    pub fn tcontr(&self, cluster: u8) -> Result<TaskId> {
+        let st = self.state.lock();
+        st.clusters
+            .get(&cluster)
+            .map(|c| c.controller)
+            .ok_or(PiscesError::NoSuchCluster(cluster))
+    }
+
+    /// Taskid of the user controller serving a task in `cluster`:
+    /// the cluster's own if it has a terminal, otherwise the first
+    /// cluster's (in cluster-number order) that has one.
+    pub fn user_controller_for(&self, cluster: u8) -> Result<TaskId> {
+        let st = self.state.lock();
+        if let Some(c) = st.clusters.get(&cluster) {
+            if let Some(uc) = c.user_controller {
+                return Ok(uc);
+            }
+        }
+        st.clusters
+            .values()
+            .find_map(|c| c.user_controller)
+            .ok_or_else(|| PiscesError::Internal("no user controller on the machine".into()))
+    }
+
+    // ------------------------------------------------------------------
+    // Message passing
+    // ------------------------------------------------------------------
+
+    /// Words of message header (sender, type, length, queue link) charged
+    /// to the shared-memory heap in addition to the argument packets.
+    pub const MSG_HEADER_WORDS: usize = 4;
+
+    /// The core send path. `system` sends (controller traffic, shutdown)
+    /// bypass the machine-down check.
+    pub(crate) fn send_raw(
+        self: &Arc<Self>,
+        from: TaskId,
+        from_pe: PeId,
+        to: TaskId,
+        mtype: &str,
+        args: &[Value],
+        system: bool,
+    ) -> Result<()> {
+        if !system && self.is_down() {
+            return Err(PiscesError::MachineDown);
+        }
+        let entry = self.entry_of(to)?;
+        let words = encode_values(args);
+        let handle = self
+            .flex
+            .shmem
+            .alloc((Self::MSG_HEADER_WORDS + words.len()) * 8, ShmTag::Message)?;
+        self.flex.shmem.store(handle, 0, from.pack())?;
+        self.flex.shmem.store(handle, 1, words.len() as u64)?;
+        self.flex
+            .shmem
+            .write_words(handle, Self::MSG_HEADER_WORDS, &words)?;
+
+        self.flex.tick(
+            from_pe,
+            cost::SEND_BASE + cost::SEND_PER_WORD * words.len() as u64,
+        );
+        RunStats::bump(&self.stats.messages_sent);
+        RunStats::add(&self.stats.message_words, words.len() as u64);
+        self.tracer.emit(
+            TraceEventKind::MsgSend,
+            from,
+            from_pe.number(),
+            self.flex.pe(from_pe).clock.now(),
+            format!("{mtype} -> {to}"),
+        );
+
+        match entry.inq.push(mtype.to_string(), from, handle) {
+            PushOutcome::Delivered => Ok(()),
+            PushOutcome::Closed(msg) => {
+                self.flex.shmem.free(msg.handle)?;
+                Err(PiscesError::NoSuchTask(to))
+            }
+        }
+    }
+
+    /// Decode a stored message's argument packets and release its
+    /// shared-memory block ("explicit allocation/deallocation as messages
+    /// are sent and accepted").
+    pub(crate) fn open_message(
+        &self,
+        stored: &crate::message::StoredMessage,
+    ) -> Result<Vec<Value>> {
+        let total = stored.handle.words();
+        let arg_words = total - Self::MSG_HEADER_WORDS;
+        let mut buf = vec![0u64; arg_words];
+        self.flex
+            .shmem
+            .read_words(stored.handle, Self::MSG_HEADER_WORDS, &mut buf)?;
+        let vals = decode_values(&buf)?;
+        self.flex.shmem.free(stored.handle)?;
+        Ok(vals)
+    }
+
+    /// Release a stored message without decoding (DELETE MESSAGES, task
+    /// termination).
+    pub(crate) fn discard_message(&self, stored: &crate::message::StoredMessage) {
+        let _ = self.flex.shmem.free(stored.handle);
+        RunStats::bump(&self.stats.messages_deleted);
+    }
+
+    /// Broadcast to every user task in `cluster` (or in all clusters when
+    /// `None`), excluding the sender and the controllers.
+    pub(crate) fn broadcast(
+        self: &Arc<Self>,
+        from: TaskId,
+        from_pe: PeId,
+        cluster: Option<u8>,
+        mtype: &str,
+        args: &[Value],
+    ) -> Result<usize> {
+        if let Some(c) = cluster {
+            // Validate the cluster exists before fanning out.
+            self.tcontr(c)?;
+        }
+        let targets: Vec<TaskId> = {
+            let st = self.state.lock();
+            st.tasks
+                .values()
+                .filter(|t| !t.is_controller)
+                .filter(|t| t.id != from)
+                .filter(|t| cluster.is_none_or(|c| t.id.cluster == c))
+                .map(|t| t.id)
+                .collect()
+        };
+        let mut delivered = 0;
+        for to in targets {
+            match self.send_raw(from, from_pe, to, mtype, args, false) {
+                Ok(()) => delivered += 1,
+                // A task terminating mid-broadcast is not an error.
+                Err(PiscesError::NoSuchTask(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        RunStats::add(&self.stats.broadcast_deliveries, delivered as u64);
+        Ok(delivered)
+    }
+
+    // ------------------------------------------------------------------
+    // Task initiation and termination
+    // ------------------------------------------------------------------
+
+    /// Resolve an INITIATE placement to a concrete cluster number.
+    pub(crate) fn resolve_where(&self, own: u8, w: crate::context::Where) -> Result<u8> {
+        use crate::context::Where;
+        let st = self.state.lock();
+        let pick = |iter: &mut dyn Iterator<Item = &ClusterState>| -> Option<u8> {
+            iter.max_by_key(|c| (c.available(), std::cmp::Reverse(c.cfg.number)))
+                .map(|c| c.cfg.number)
+        };
+        match w {
+            Where::Cluster(n) => {
+                if st.clusters.contains_key(&n) {
+                    Ok(n)
+                } else {
+                    Err(PiscesError::NoSuchCluster(n))
+                }
+            }
+            Where::Same => Ok(own),
+            Where::Any => pick(&mut st.clusters.values())
+                .ok_or_else(|| PiscesError::Internal("no clusters".into())),
+            Where::Other => {
+                let mut others = st.clusters.values().filter(|c| c.cfg.number != own);
+                pick(&mut others).ok_or_else(|| {
+                    PiscesError::BadConfiguration(
+                        "ON OTHER INITIATE requires at least two clusters".into(),
+                    )
+                })
+            }
+        }
+    }
+
+    /// Track an INITIATE request in flight to a controller (for
+    /// quiescence detection and placement accounting).
+    pub(crate) fn note_init_sent(&self, cluster: u8) {
+        let mut st = self.state.lock();
+        st.inflight_inits += 1;
+        if let Some(c) = st.clusters.get_mut(&cluster) {
+            c.routed_inits += 1;
+        }
+    }
+
+    pub(crate) fn note_init_handled(&self, cluster: u8) {
+        let mut st = self.state.lock();
+        st.inflight_inits = st.inflight_inits.saturating_sub(1);
+        if let Some(c) = st.clusters.get_mut(&cluster) {
+            c.routed_inits = c.routed_inits.saturating_sub(1);
+        }
+        drop(st);
+        self.state_changed.notify_all();
+    }
+
+    /// The user initiates a top-level task (paper, Section 6: "The user
+    /// initiates a top-level task. This task typically initiates other
+    /// tasks.") — an INIT$ message from the USER pseudo-task to the
+    /// cluster's task controller.
+    pub fn initiate_top_level(
+        self: &Arc<Self>,
+        cluster: u8,
+        tasktype: &str,
+        args: Vec<Value>,
+    ) -> Result<()> {
+        if self.is_down() {
+            return Err(PiscesError::MachineDown);
+        }
+        self.body_of(tasktype)?; // fail fast on unknown tasktype
+        let controller = self.tcontr(cluster)?;
+        let mut full = vec![Value::Str(tasktype.to_string())];
+        full.extend(args);
+        self.note_init_sent(cluster);
+        let r = self.send_raw(
+            USER_ID,
+            PeId::new(1).expect("PE 1 exists"),
+            controller,
+            sysmsg::INIT,
+            &full,
+            false,
+        );
+        if r.is_err() {
+            self.note_init_handled(cluster);
+        }
+        RunStats::bump(&self.stats.tasks_initiated);
+        r
+    }
+
+    /// Spawn a user task into `(cluster, slot_idx)`. Called by the task
+    /// controller with the slot already reserved.
+    pub(crate) fn spawn_user_task(
+        self: &Arc<Self>,
+        id: TaskId,
+        tasktype: String,
+        args: Vec<Value>,
+        parent: TaskId,
+    ) -> Result<()> {
+        let body = self.body_of(&tasktype)?;
+        let cfg = self.config.cluster(id.cluster)?;
+        let pe = PeId::new(cfg.primary_pe)?;
+        let pid = self.flex.procs(pe).spawn(&tasktype);
+        self.flex.tick(pe, cost::TASK_SPAWN);
+
+        let entry = Arc::new(TaskEntry::new(
+            id,
+            tasktype.clone(),
+            pe,
+            pid,
+            parent,
+            false,
+            None,
+        ));
+        {
+            let mut st = self.state.lock();
+            st.tasks.insert(id, entry.clone());
+            st.live_user_tasks += 1;
+        }
+        self.tracer.emit(
+            TraceEventKind::TaskInit,
+            id,
+            pe.number(),
+            self.flex.pe(pe).clock.now(),
+            format!("{tasktype} parent={parent}"),
+        );
+
+        let p = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pisces-{id}"))
+            .spawn(move || {
+                let ctx = TaskCtx::new(p.clone(), entry.clone(), args);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (body)(&ctx)));
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(_) => Err(PiscesError::Internal("task body panicked".into())),
+                };
+                p.finish_task(&entry, result);
+            })
+            .map_err(|e| PiscesError::Internal(format!("thread spawn failed: {e}")))?;
+        self.threads.lock().push(handle);
+        Ok(())
+    }
+
+    /// Spawn a controller task (operating system) in its dedicated slot.
+    fn spawn_controller(
+        self: &Arc<Self>,
+        id: TaskId,
+        cluster: u8,
+        name: &str,
+        main: fn(&Arc<Pisces>, &Arc<TaskEntry>),
+    ) -> Result<()> {
+        let cfg = self.config.cluster(cluster)?;
+        let pe = PeId::new(cfg.primary_pe)?;
+        let pid = self.flex.procs(pe).spawn(name);
+        let entry = Arc::new(TaskEntry::new(
+            id,
+            name.to_string(),
+            pe,
+            pid,
+            USER_ID,
+            true,
+            None,
+        ));
+        self.state.lock().tasks.insert(id, entry.clone());
+        let p = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pisces-ctrl-{id}"))
+            .spawn(move || {
+                main(&p, &entry);
+                // Controller exit: reap the process and remove the entry.
+                p.flex.procs(entry.pe).exit(entry.pid);
+                for m in entry.inq.close_and_drain() {
+                    p.discard_message(&m);
+                }
+                p.state.lock().tasks.remove(&entry.id);
+                p.state_changed.notify_all();
+            })
+            .map_err(|e| PiscesError::Internal(format!("thread spawn failed: {e}")))?;
+        self.threads.lock().push(handle);
+        Ok(())
+    }
+
+    /// Tear down a finished user task: release its messages, SHARED
+    /// COMMON blocks, lock variables, and registered arrays; free its
+    /// slot via a TERM$ message to its cluster's task controller.
+    fn finish_task(self: &Arc<Self>, entry: &Arc<TaskEntry>, result: Result<()>) {
+        for m in entry.inq.close_and_drain() {
+            self.discard_message(&m);
+        }
+        for (_, (h, _)) in entry.shared_commons.lock().drain() {
+            let _ = self.flex.shmem.free(h);
+        }
+        for (_, h) in entry.locks.lock().drain() {
+            let _ = self.flex.shmem.free(h);
+        }
+        self.free_task_arrays(entry.id);
+
+        self.flex.tick(entry.pe, cost::TASK_TERM);
+        let info = match &result {
+            Ok(()) => "ok".to_string(),
+            Err(e) => {
+                // Abnormal termination is surfaced on the PE console even
+                // with tracing off — the 1987 user saw it on the terminal.
+                self.flex.pe(entry.pe).console.write_line(format!(
+                    "task {} ({}) terminated abnormally: {e}",
+                    entry.id, entry.tasktype
+                ));
+                format!("error: {e}")
+            }
+        };
+        self.tracer.emit(
+            TraceEventKind::TaskTerm,
+            entry.id,
+            entry.pe.number(),
+            self.flex.pe(entry.pe).clock.now(),
+            info,
+        );
+        RunStats::bump(&self.stats.tasks_completed);
+        self.flex.procs(entry.pe).exit(entry.pid);
+        self.tracer.clear_task(entry.id);
+
+        {
+            let mut st = self.state.lock();
+            st.tasks.remove(&entry.id);
+            st.live_user_tasks = st.live_user_tasks.saturating_sub(1);
+        }
+        self.state_changed.notify_all();
+
+        // Tell the cluster's task controller so the slot can be reused.
+        if let Ok(controller) = self.tcontr(entry.id.cluster) {
+            let _ = self.send_raw(
+                entry.id,
+                entry.pe,
+                controller,
+                sysmsg::TERM,
+                &[Value::TaskId(entry.id)],
+                true,
+            );
+        }
+    }
+
+    /// Controller-side slot allocation: reserve a free slot and mint a
+    /// taskid, or `None` when the cluster is full.
+    pub(crate) fn try_reserve_slot(&self, cluster: u8) -> Option<TaskId> {
+        let mut st = self.state.lock();
+        let c = st.clusters.get_mut(&cluster)?;
+        let idx = c.slots.iter().position(|s| s.is_none())?;
+        c.slot_unique[idx] += 1;
+        let id = TaskId::new(cluster, FIRST_USER_SLOT + idx as u8, c.slot_unique[idx]);
+        c.slots[idx] = Some(id);
+        Some(id)
+    }
+
+    /// Controller-side slot release on TERM$; pops the next parked
+    /// initiate request, if any. A popped request is counted as
+    /// "dispatching" until [`Pisces::note_dispatch_done`], so quiescence
+    /// cannot be observed while it is in the controller's hands.
+    pub(crate) fn release_slot(&self, id: TaskId) -> Option<PendingInit> {
+        let mut st = self.state.lock();
+        let c = st.clusters.get_mut(&id.cluster)?;
+        let idx = (id.slot - FIRST_USER_SLOT) as usize;
+        if c.slots.get(idx).copied().flatten() == Some(id) {
+            c.slots[idx] = None;
+        }
+        let next = c.pending.pop_front();
+        if next.is_some() {
+            st.dispatching += 1;
+        }
+        drop(st);
+        self.state_changed.notify_all();
+        next
+    }
+
+    /// A request popped by [`Pisces::release_slot`] has been spawned or
+    /// re-parked.
+    pub(crate) fn note_dispatch_done(&self) {
+        let mut st = self.state.lock();
+        st.dispatching = st.dispatching.saturating_sub(1);
+        drop(st);
+        self.state_changed.notify_all();
+    }
+
+    /// Controller-side parking of an initiate request.
+    pub(crate) fn park_init(&self, cluster: u8, req: PendingInit) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.clusters.get_mut(&cluster) {
+            c.pending.push_back(req);
+        }
+        RunStats::bump(&self.stats.initiates_queued);
+    }
+
+    // ------------------------------------------------------------------
+    // Run control
+    // ------------------------------------------------------------------
+
+    /// Wait until no user task is live, no initiate request is in flight
+    /// or parked, or the timeout expires. Returns `true` on quiescence.
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            let quiet = st.live_user_tasks == 0
+                && st.inflight_inits == 0
+                && st.dispatching == 0
+                && st.clusters.values().all(|c| c.pending.is_empty());
+            if quiet {
+                return true;
+            }
+            if self.state_changed.wait_until(&mut st, deadline).timed_out() {
+                return false;
+            }
+        }
+    }
+
+    /// Kill a task (menu option 2): sets its kill flag; the task observes
+    /// it at its next runtime call.
+    pub fn kill_task(&self, id: TaskId) -> Result<()> {
+        let entry = self.entry_of(id)?;
+        if entry.is_controller {
+            return Err(PiscesError::Internal(
+                "controllers cannot be killed from the menu".into(),
+            ));
+        }
+        entry.request_kill();
+        Ok(())
+    }
+
+    /// Shut the machine down: kill user tasks, stop controllers, join all
+    /// threads, free the system tables. Idempotent.
+    pub fn shutdown(self: &Arc<Self>) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Kill every live user task and wake anything blocked.
+        let entries: Vec<Arc<TaskEntry>> = {
+            let st = self.state.lock();
+            st.tasks.values().cloned().collect()
+        };
+        for e in &entries {
+            if !e.is_controller {
+                e.request_kill();
+            }
+        }
+        // Give tasks a moment to unwind, then stop the controllers.
+        self.wait_quiescent(Duration::from_secs(10));
+        let controllers: Vec<TaskId> = {
+            let st = self.state.lock();
+            st.tasks
+                .values()
+                .filter(|t| t.is_controller)
+                .map(|t| t.id)
+                .collect()
+        };
+        for c in controllers {
+            let _ = self.send_raw(
+                USER_ID,
+                PeId::new(1).expect("PE 1 exists"),
+                c,
+                sysmsg::SHUTDOWN,
+                &[],
+                true,
+            );
+        }
+        // Join everything.
+        let handles: Vec<_> = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Free remaining registered arrays and the system tables.
+        for (_, a) in self.arrays.lock().drain() {
+            let _ = self.flex.shmem.free(a.handle);
+        }
+        let tables: Vec<ShmHandle> = {
+            let mut st = self.state.lock();
+            let mut v: Vec<ShmHandle> = st.clusters.values().map(|c| c.table).collect();
+            st.clusters.clear();
+            v.extend(self.sys_allocs.lock().drain(..));
+            v
+        };
+        for h in tables {
+            let _ = self.flex.shmem.free(h);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Windows (Section 8)
+    // ------------------------------------------------------------------
+
+    /// Register a task-owned array for window access; returns a window
+    /// over the whole array.
+    pub(crate) fn register_array(
+        &self,
+        owner: &TaskEntry,
+        data: &[f64],
+        rows: usize,
+        cols: usize,
+    ) -> Result<Window> {
+        if rows * cols != data.len() || data.is_empty() {
+            return Err(PiscesError::BadWindow(format!(
+                "array of {} elements declared as {rows}×{cols}",
+                data.len()
+            )));
+        }
+        let handle = self.flex.shmem.alloc(data.len() * 8, ShmTag::WindowArray)?;
+        let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        self.flex.shmem.write_words(handle, 0, &words)?;
+        let id = ArrayId {
+            owner: owner.id,
+            seq: owner.next_seq(),
+        };
+        self.arrays.lock().insert(id, ArrayEntry { handle, cols });
+        self.flex.tick(owner.pe, cost::WINDOW_REGISTER);
+        Window::new(id, (rows, cols), 0..rows, 0..cols).map_err(PiscesError::BadWindow)
+    }
+
+    /// Create an array on secondary storage, owned by the file controller.
+    /// Layout: two header words (rows, cols) then row-major f64 bits.
+    pub(crate) fn create_file_array(
+        &self,
+        path: &str,
+        data: &[f64],
+        rows: usize,
+        cols: usize,
+    ) -> Result<Window> {
+        if rows * cols != data.len() || data.is_empty() {
+            return Err(PiscesError::BadWindow(format!(
+                "file array of {} elements declared as {rows}×{cols}",
+                data.len()
+            )));
+        }
+        let mut bytes = Vec::with_capacity(16 + data.len() * 8);
+        bytes.extend_from_slice(&(rows as u64).to_le_bytes());
+        bytes.extend_from_slice(&(cols as u64).to_le_bytes());
+        for v in data {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.flex.fs.write(path, &bytes)?;
+        let id = ArrayId {
+            owner: FILE_CTRL_ID,
+            seq: self.next_file_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.file_arrays.lock().insert(
+            id,
+            FileArrayEntry {
+                path: path.to_string(),
+                rows,
+                cols,
+                lock: Arc::new(RwLock::new(())),
+            },
+        );
+        Window::new(id, (rows, cols), 0..rows, 0..cols).map_err(PiscesError::BadWindow)
+    }
+
+    /// Open an existing file array (e.g. written by an earlier run).
+    pub(crate) fn open_file_array(&self, path: &str) -> Result<Window> {
+        if let Some((id, e)) = self
+            .file_arrays
+            .lock()
+            .iter()
+            .find(|(_, e)| e.path == path)
+            .map(|(id, e)| (*id, (e.rows, e.cols)))
+        {
+            return Window::new(id, e, 0..e.0, 0..e.1).map_err(PiscesError::BadWindow);
+        }
+        let header = self.flex.fs.read_at(path, 0, 16)?;
+        let rows = u64::from_le_bytes(header[0..8].try_into().unwrap()) as usize;
+        let cols = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let id = ArrayId {
+            owner: FILE_CTRL_ID,
+            seq: self.next_file_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.file_arrays.lock().insert(
+            id,
+            FileArrayEntry {
+                path: path.to_string(),
+                rows,
+                cols,
+                lock: Arc::new(RwLock::new(())),
+            },
+        );
+        Window::new(id, (rows, cols), 0..rows, 0..cols).map_err(PiscesError::BadWindow)
+    }
+
+    fn charge_window_transfer(&self, requester_pe: PeId, owner: TaskId, words: u64) {
+        let t = cost::WINDOW_BASE + cost::WINDOW_PER_WORD * words;
+        self.flex.tick(requester_pe, t);
+        // The owner's PE also does the copy work (its runtime services the
+        // request); file arrays are served by Unix PE 1.
+        let owner_pe = if owner == FILE_CTRL_ID {
+            PeId::new(1).expect("PE 1 exists")
+        } else if let Ok(e) = self.entry_of(owner) {
+            e.pe
+        } else {
+            return;
+        };
+        if owner_pe != requester_pe {
+            self.flex.tick(owner_pe, t);
+        }
+        RunStats::add(&self.stats.window_words, words);
+    }
+
+    /// Read the subarray visible in a window (row-major).
+    pub(crate) fn window_read(&self, requester_pe: PeId, w: &Window) -> Result<Vec<f64>> {
+        let out_len = w.len();
+        let mut out = Vec::with_capacity(out_len);
+        if w.array().owner == FILE_CTRL_ID {
+            let (path, cols, lock) = self.file_array_meta(w)?;
+            let _guard = lock.read();
+            for r in w.rows() {
+                let off = 16 + (r * cols + w.cols().start) * 8;
+                let bytes = self.flex.fs.read_at(&path, off, w.col_count() * 8)?;
+                for ch in bytes.chunks_exact(8) {
+                    out.push(f64::from_bits(u64::from_le_bytes(ch.try_into().unwrap())));
+                }
+            }
+        } else {
+            let arrays = self.arrays.lock();
+            let a = arrays
+                .get(&w.array())
+                .ok_or_else(|| PiscesError::BadWindow(format!("array {} gone", w.array())))?;
+            let mut buf = vec![0u64; w.col_count()];
+            for r in w.rows() {
+                self.flex
+                    .shmem
+                    .read_words(a.handle, r * a.cols + w.cols().start, &mut buf)?;
+                out.extend(buf.iter().map(|&b| f64::from_bits(b)));
+            }
+        }
+        RunStats::bump(&self.stats.window_reads);
+        self.charge_window_transfer(requester_pe, w.array().owner, out_len as u64);
+        Ok(out)
+    }
+
+    /// Write the subarray visible in a window (row-major data).
+    pub(crate) fn window_write(&self, requester_pe: PeId, w: &Window, data: &[f64]) -> Result<()> {
+        if data.len() != w.len() {
+            return Err(PiscesError::BadWindow(format!(
+                "window of {} elements written with {}",
+                w.len(),
+                data.len()
+            )));
+        }
+        if w.array().owner == FILE_CTRL_ID {
+            let (path, cols, lock) = self.file_array_meta(w)?;
+            let _guard = lock.write();
+            let width = w.col_count();
+            for (k, r) in w.rows().enumerate() {
+                let off = 16 + (r * cols + w.cols().start) * 8;
+                let mut bytes = Vec::with_capacity(width * 8);
+                for v in &data[k * width..(k + 1) * width] {
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                self.flex.fs.write_at(&path, off, &bytes)?;
+            }
+        } else {
+            let arrays = self.arrays.lock();
+            let a = arrays
+                .get(&w.array())
+                .ok_or_else(|| PiscesError::BadWindow(format!("array {} gone", w.array())))?;
+            let width = w.col_count();
+            for (k, r) in w.rows().enumerate() {
+                let words: Vec<u64> = data[k * width..(k + 1) * width]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                self.flex
+                    .shmem
+                    .write_words(a.handle, r * a.cols + w.cols().start, &words)?;
+            }
+        }
+        RunStats::bump(&self.stats.window_writes);
+        self.charge_window_transfer(requester_pe, w.array().owner, data.len() as u64);
+        Ok(())
+    }
+
+    fn file_array_meta(&self, w: &Window) -> Result<(String, usize, Arc<RwLock<()>>)> {
+        let fa = self.file_arrays.lock();
+        let e = fa
+            .get(&w.array())
+            .ok_or_else(|| PiscesError::BadWindow(format!("file array {} gone", w.array())))?;
+        Ok((e.path.clone(), e.cols, e.lock.clone()))
+    }
+
+    fn free_task_arrays(&self, owner: TaskId) {
+        let mut arrays = self.arrays.lock();
+        let dead: Vec<ArrayId> = arrays
+            .keys()
+            .filter(|id| id.owner == owner)
+            .copied()
+            .collect();
+        for id in dead {
+            if let Some(a) = arrays.remove(&id) {
+                let _ = self.flex.shmem.free(a.handle);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Displays and reports (execution environment back-end)
+    // ------------------------------------------------------------------
+
+    /// All tasks (controllers included), for DISPLAY RUNNING TASKS.
+    pub fn snapshot_tasks(&self) -> Vec<TaskDisplay> {
+        let st = self.state.lock();
+        let mut v: Vec<TaskDisplay> = st
+            .tasks
+            .values()
+            .map(|t| TaskDisplay {
+                id: t.id,
+                tasktype: t.tasktype.clone(),
+                pe: t.pe.number(),
+                is_controller: t.is_controller,
+                state: *t.run_state.lock(),
+                queued_messages: t.inq.len(),
+            })
+            .collect();
+        v.sort_by_key(|d| d.id);
+        v
+    }
+
+    /// In-queue snapshot of one task, for DISPLAY MESSAGE QUEUE.
+    pub fn queue_snapshot(&self, id: TaskId) -> Result<Vec<(String, TaskId, usize)>> {
+        Ok(self.entry_of(id)?.inq.snapshot())
+    }
+
+    /// Delete queued messages of a type from a task's in-queue (menu
+    /// option 4), releasing their shared-memory blocks. Returns how many.
+    pub fn delete_messages(&self, id: TaskId, mtype: &str) -> Result<usize> {
+        let entry = self.entry_of(id)?;
+        let removed = entry.inq.delete_type(mtype);
+        let n = removed.len();
+        for m in removed {
+            self.discard_message(&m);
+        }
+        Ok(n)
+    }
+
+    /// Send a message into the machine from the user terminal (menu
+    /// option 3, SEND A MESSAGE).
+    pub fn user_send(self: &Arc<Self>, to: TaskId, mtype: &str, args: Vec<Value>) -> Result<()> {
+        self.send_raw(
+            USER_ID,
+            PeId::new(1).expect("PE 1 exists"),
+            to,
+            mtype,
+            &args,
+            false,
+        )
+    }
+
+    /// Per-PE loading, for DISPLAY PE LOADING.
+    pub fn pe_loading(&self) -> Vec<PeLoad> {
+        self.config
+            .pes_in_use()
+            .into_iter()
+            .map(|n| {
+                let pe = PeId::new(n).expect("config validated");
+                let p = self.flex.pe(pe);
+                let procs = self.flex.procs(pe);
+                PeLoad {
+                    pe: n,
+                    live: procs.live(),
+                    ready: procs.ready(),
+                    ticks: p.clock.now(),
+                    cpu_acquisitions: p.cpu.acquisitions(),
+                    cpu_contended: p.cpu.contended(),
+                }
+            })
+            .collect()
+    }
+
+    /// The Section 13 storage measurement: shared-memory usage by purpose
+    /// plus per-PE local memory usage.
+    pub fn storage_report(&self) -> StorageReport {
+        StorageReport {
+            shm: self.flex.shmem.report(),
+            local: self
+                .config
+                .pes_in_use()
+                .into_iter()
+                .map(|n| {
+                    let pe = self.flex.pe(PeId::new(n).expect("config validated"));
+                    (n, pe.local.used(), pe.local.capacity())
+                })
+                .collect(),
+        }
+    }
+
+    /// Free-text dump of the whole system state (menu option 7).
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let st = self.state.lock();
+        let _ = writeln!(s, "PISCES 2 SYSTEM STATE DUMP");
+        let _ = writeln!(
+            s,
+            "  {} cluster(s), {} task(s) live, {} initiate(s) in flight",
+            st.clusters.len(),
+            st.tasks.len(),
+            st.inflight_inits
+        );
+        for c in st.clusters.values() {
+            let _ = writeln!(
+                s,
+                "  cluster {} primary=PE{} secondaries={:?} slots={} pending={}",
+                c.cfg.number,
+                c.cfg.primary_pe,
+                c.cfg.secondary_pes,
+                c.cfg.slots,
+                c.pending.len()
+            );
+            for (i, slot) in c.slots.iter().enumerate() {
+                let _ = match slot {
+                    Some(id) => writeln!(s, "    slot {}: {id}", FIRST_USER_SLOT as usize + i),
+                    None => writeln!(s, "    slot {}: <not in use>", FIRST_USER_SLOT as usize + i),
+                };
+            }
+        }
+        drop(st);
+        let r = self.flex.shmem.report();
+        let _ = writeln!(
+            s,
+            "  shared memory: {} / {} bytes in use (high water {})",
+            r.in_use, r.capacity, r.high_water
+        );
+        for tag in ShmTag::ALL {
+            let _ = writeln!(s, "    {:<14} {:>8} B", tag.label(), r.tag_bytes(tag));
+        }
+        s
+    }
+}

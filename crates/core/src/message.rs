@@ -1,0 +1,314 @@
+//! Asynchronous message passing: stored messages and per-task in-queues.
+//!
+//! "Message communication is asynchronous. Messages are queued in an
+//! in-queue for the receiver in order of arrival. The receiving task
+//! determines when, if ever, a particular message is 'accepted'."
+//! (paper, Section 6)
+//!
+//! Message storage lives in shared memory: "Messages consist of a header
+//! and a list of packets containing the arguments. Since a message may
+//! remain in a task's in-queue indefinitely, this area is maintained as a
+//! heap with explicit allocation/deallocation as messages are sent and
+//! accepted." (Section 11) A [`StoredMessage`] therefore carries a
+//! [`ShmHandle`] to its packet words; the words are only decoded back into
+//! [`Value`]s — and the block freed — when the message is accepted (or
+//! deleted).
+
+use crate::taskid::TaskId;
+use crate::value::Value;
+use flex32::shmem::ShmHandle;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A message as delivered to user code by ACCEPT: decoded arguments plus
+/// the sender's taskid ("whenever a task receives a message from another
+/// task, the taskid of the sender is included as part of the message").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// The message type name.
+    pub mtype: String,
+    /// Taskid of the sender.
+    pub sender: TaskId,
+    /// Decoded argument list.
+    pub args: Vec<Value>,
+}
+
+/// A message at rest in an in-queue: metadata plus the shared-memory block
+/// holding the encoded packets.
+#[derive(Debug)]
+pub struct StoredMessage {
+    /// The message type name.
+    pub mtype: String,
+    /// Taskid of the sender.
+    pub sender: TaskId,
+    /// Packet words in shared memory (header + arguments).
+    pub handle: ShmHandle,
+    /// Arrival sequence within the receiving queue.
+    pub arrival: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    q: VecDeque<StoredMessage>,
+    next_arrival: u64,
+    closed: bool,
+}
+
+/// Outcome of pushing into a queue.
+#[derive(Debug)]
+pub enum PushOutcome {
+    /// Message enqueued.
+    Delivered,
+    /// The receiver has terminated; the message is handed back so the
+    /// sender can release its shared-memory block.
+    Closed(StoredMessage),
+}
+
+/// A task's in-queue. Arrival order is preserved; acceptance may be
+/// selective by message type, which is why removal scans rather than pops.
+#[derive(Debug, Default)]
+pub struct InQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+impl InQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a message (assigning its arrival number) and wake waiters.
+    pub fn push(&self, mtype: String, sender: TaskId, handle: ShmHandle) -> PushOutcome {
+        let mut st = self.state.lock();
+        let msg = StoredMessage {
+            mtype,
+            sender,
+            handle,
+            arrival: st.next_arrival,
+        };
+        if st.closed {
+            return PushOutcome::Closed(msg);
+        }
+        st.next_arrival += 1;
+        st.q.push_back(msg);
+        drop(st);
+        self.cond.notify_all();
+        PushOutcome::Delivered
+    }
+
+    /// Remove and return the earliest message for which `want` returns
+    /// true, or `None` if none matches.
+    pub fn take_first_matching(
+        &self,
+        want: impl FnMut(&StoredMessage) -> bool,
+    ) -> Option<StoredMessage> {
+        let mut st = self.state.lock();
+        let pos = st.q.iter().position(want)?;
+        st.q.remove(pos)
+    }
+
+    /// Block until the queue is signalled (a push, an interrupt, or queue
+    /// closure), or until `deadline` passes. Returns `false` on timeout.
+    ///
+    /// Callers re-scan the queue after every wake; this method makes no
+    /// promise that a matching message is present.
+    pub fn wait(&self, deadline: Option<Instant>) -> bool {
+        let mut st = self.state.lock();
+        if st.closed {
+            return true;
+        }
+        match deadline {
+            Some(d) => !self.cond.wait_until(&mut st, d).timed_out(),
+            None => {
+                self.cond.wait(&mut st);
+                true
+            }
+        }
+    }
+
+    /// Wake all waiters without enqueueing (used to deliver kill requests
+    /// and machine shutdown to tasks blocked in ACCEPT).
+    pub fn interrupt(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Close the queue (task terminating) and drain everything still
+    /// queued so the caller can release the shared-memory blocks.
+    pub fn close_and_drain(&self) -> Vec<StoredMessage> {
+        let mut st = self.state.lock();
+        st.closed = true;
+        let out = st.q.drain(..).collect();
+        drop(st);
+        self.cond.notify_all();
+        out
+    }
+
+    /// Remove all messages of a given type (execution-environment menu
+    /// option 4, DELETE MESSAGES), returning them for block release.
+    pub fn delete_type(&self, mtype: &str) -> Vec<StoredMessage> {
+        let mut st = self.state.lock();
+        let mut kept = VecDeque::with_capacity(st.q.len());
+        let mut removed = Vec::new();
+        while let Some(m) = st.q.pop_front() {
+            if m.mtype == mtype {
+                removed.push(m);
+            } else {
+                kept.push_back(m);
+            }
+        }
+        st.q = kept;
+        removed
+    }
+
+    /// Number of messages waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Display snapshot for the execution environment (menu option 6,
+    /// DISPLAY MESSAGE QUEUE): (type, sender, packet bytes) in arrival
+    /// order.
+    pub fn snapshot(&self) -> Vec<(String, TaskId, usize)> {
+        self.state
+            .lock()
+            .q
+            .iter()
+            .map(|m| (m.mtype.clone(), m.sender, m.handle.bytes()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex32::shmem::{SharedMemory, ShmTag};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn shm() -> SharedMemory {
+        SharedMemory::with_capacity(4096)
+    }
+
+    fn tid(n: u32) -> TaskId {
+        TaskId::new(1, 1, n)
+    }
+
+    fn handle(m: &SharedMemory) -> ShmHandle {
+        m.alloc(16, ShmTag::Message).unwrap()
+    }
+
+    #[test]
+    fn push_take_in_arrival_order() {
+        let m = shm();
+        let q = InQueue::new();
+        q.push("A".into(), tid(1), handle(&m));
+        q.push("B".into(), tid(2), handle(&m));
+        q.push("A".into(), tid(3), handle(&m));
+        let first_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
+        assert_eq!(first_a.sender, tid(1));
+        let next_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
+        assert_eq!(next_a.sender, tid(3));
+        assert!(q.take_first_matching(|s| s.mtype == "A").is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn arrival_numbers_increase() {
+        let m = shm();
+        let q = InQueue::new();
+        q.push("A".into(), tid(1), handle(&m));
+        q.push("A".into(), tid(1), handle(&m));
+        let a = q.take_first_matching(|_| true).unwrap();
+        let b = q.take_first_matching(|_| true).unwrap();
+        assert!(a.arrival < b.arrival);
+    }
+
+    #[test]
+    fn closed_queue_returns_message() {
+        let m = shm();
+        let q = InQueue::new();
+        q.close_and_drain();
+        match q.push("A".into(), tid(1), handle(&m)) {
+            PushOutcome::Closed(msg) => assert_eq!(msg.mtype, "A"),
+            PushOutcome::Delivered => panic!("delivered to closed queue"),
+        }
+    }
+
+    #[test]
+    fn close_drains_pending() {
+        let m = shm();
+        let q = InQueue::new();
+        q.push("A".into(), tid(1), handle(&m));
+        q.push("B".into(), tid(1), handle(&m));
+        let drained = q.close_and_drain();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delete_type_removes_only_that_type() {
+        let m = shm();
+        let q = InQueue::new();
+        q.push("A".into(), tid(1), handle(&m));
+        q.push("B".into(), tid(1), handle(&m));
+        q.push("A".into(), tid(1), handle(&m));
+        let removed = q.delete_type("A");
+        assert_eq!(removed.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.snapshot()[0].0, "B");
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let q = InQueue::new();
+        let woke = q.wait(Some(Instant::now() + Duration::from_millis(20)));
+        assert!(!woke);
+    }
+
+    #[test]
+    fn push_wakes_waiter() {
+        let m = Arc::new(shm());
+        let q = Arc::new(InQueue::new());
+        let q2 = q.clone();
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            q2.push("A".into(), tid(1), m2.alloc(8, ShmTag::Message).unwrap());
+        });
+        // Generous deadline: the wake must come from the push.
+        let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
+        assert!(woke);
+        t.join().unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interrupt_wakes_without_message() {
+        let q = Arc::new(InQueue::new());
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            q2.interrupt();
+        });
+        let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
+        assert!(woke);
+        assert!(q.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn snapshot_reports_bytes() {
+        let m = shm();
+        let q = InQueue::new();
+        q.push("A".into(), tid(9), m.alloc(24, ShmTag::Message).unwrap());
+        let snap = q.snapshot();
+        assert_eq!(snap, vec![("A".to_string(), tid(9), 24)]);
+    }
+}

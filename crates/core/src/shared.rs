@@ -1,0 +1,309 @@
+//! SHARED COMMON blocks and LOCK variables.
+//!
+//! "SHARED COMMON blocks: an ordinary Fortran COMMON block, but allocated
+//! in shared memory so that all force members see the same block. …
+//! LOCK variables: variables whose values are 'locks' that may be used to
+//! control entry and exit of CRITICAL statements." (paper, Section 7)
+//!
+//! Both live in the FLEX shared-memory arena ("an area is used for SHARED
+//! COMMON blocks declared in tasks that split into forces; SHARED COMMON
+//! blocks are allocated statically in shared memory", Section 11). A block
+//! is a vector of 64-bit words; typed accessors view a word as INTEGER or
+//! REAL. Accesses are word-atomic (relaxed), which models the FLEX shared
+//! bus: racing force members never tear a word, and ordering beyond that is
+//! the program's job — via BARRIER and CRITICAL, as the paper intends.
+
+use crate::error::{PiscesError, Result};
+use flex32::shmem::ShmHandle;
+use flex32::Flex32;
+use std::sync::Arc;
+
+/// A named SHARED COMMON block: `words` 64-bit words in shared memory,
+/// visible to every member of the force (they all hold clones of the same
+/// block value).
+#[derive(Debug, Clone)]
+pub struct SharedBlock {
+    flex: Arc<Flex32>,
+    handle: ShmHandle,
+    words: usize,
+    name: String,
+}
+
+impl SharedBlock {
+    pub(crate) fn new(flex: Arc<Flex32>, handle: ShmHandle, words: usize, name: String) -> Self {
+        Self {
+            flex,
+            handle,
+            words,
+            name,
+        }
+    }
+
+    /// The block's declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Length in words.
+    pub fn len(&self) -> usize {
+        self.words
+    }
+
+    /// A zero-length block cannot be created; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+
+    /// Read word `i` as INTEGER.
+    pub fn get_int(&self, i: usize) -> Result<i64> {
+        Ok(self.flex.shmem.load(self.handle, i)? as i64)
+    }
+
+    /// Write word `i` as INTEGER.
+    pub fn set_int(&self, i: usize, v: i64) -> Result<()> {
+        Ok(self.flex.shmem.store(self.handle, i, v as u64)?)
+    }
+
+    /// Read word `i` as REAL.
+    pub fn get_real(&self, i: usize) -> Result<f64> {
+        Ok(f64::from_bits(self.flex.shmem.load(self.handle, i)?))
+    }
+
+    /// Write word `i` as REAL.
+    pub fn set_real(&self, i: usize, v: f64) -> Result<()> {
+        Ok(self.flex.shmem.store(self.handle, i, v.to_bits())?)
+    }
+
+    /// Atomically add to an INTEGER word, returning the previous value.
+    /// (A convenience the 1987 system would express as a tiny CRITICAL
+    /// region; exposed directly because the hardware we model has it.)
+    pub fn fetch_add_int(&self, i: usize, delta: i64) -> Result<i64> {
+        Ok(self.flex.shmem.fetch_add(self.handle, i, delta as u64)? as i64)
+    }
+
+    /// Atomically add to a REAL word via compare-exchange, returning the
+    /// new value. Safe under contention from any number of force members.
+    pub fn add_real(&self, i: usize, delta: f64) -> Result<f64> {
+        loop {
+            let cur_bits = self.flex.shmem.load(self.handle, i)?;
+            let new = f64::from_bits(cur_bits) + delta;
+            match self
+                .flex
+                .shmem
+                .compare_exchange(self.handle, i, cur_bits, new.to_bits())?
+            {
+                Ok(_) => return Ok(new),
+                Err(_) => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Copy a slice of REAL words out of the block.
+    pub fn read_reals(&self, from: usize, n: usize) -> Result<Vec<f64>> {
+        let mut buf = vec![0u64; n];
+        self.flex.shmem.read_words(self.handle, from, &mut buf)?;
+        Ok(buf.into_iter().map(f64::from_bits).collect())
+    }
+
+    /// Copy REAL values into the block starting at word `from`.
+    pub fn write_reals(&self, from: usize, vals: &[f64]) -> Result<()> {
+        let words: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        Ok(self.flex.shmem.write_words(self.handle, from, &words)?)
+    }
+}
+
+/// The two states of a LOCK variable's word.
+const UNLOCKED: u64 = 0;
+const LOCKED: u64 = 1;
+
+/// A LOCK variable: one word in shared memory controlling entry to
+/// CRITICAL statements. "When a force member reaches this statement, the
+/// lock value of the variable is fetched. If 'unlocked', it is 'locked' and
+/// the statement sequence is executed; otherwise the force member waits
+/// until the lock value becomes unlocked." (Section 7d)
+#[derive(Debug, Clone)]
+pub struct LockVar {
+    flex: Arc<Flex32>,
+    handle: ShmHandle,
+    name: String,
+}
+
+impl LockVar {
+    pub(crate) fn new(flex: Arc<Flex32>, handle: ShmHandle, name: String) -> Self {
+        Self { flex, handle, name }
+    }
+
+    /// The lock variable's declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Try once to take the lock. `Ok(true)` if this call locked it.
+    pub fn try_lock(&self) -> Result<bool> {
+        Ok(self
+            .flex
+            .shmem
+            .compare_exchange(self.handle, 0, UNLOCKED, LOCKED)?
+            .is_ok())
+    }
+
+    /// Spin (with OS yields) until the lock is taken. Returns the number of
+    /// retries, which callers convert into wait accounting.
+    pub fn lock_spin(&self) -> Result<u64> {
+        let mut retries = 0u64;
+        while !self.try_lock()? {
+            retries += 1;
+            if retries.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(retries)
+    }
+
+    /// Release the lock. Releasing an unlocked lock is reported as an
+    /// internal error: the paper's CRITICAL construct makes it impossible,
+    /// so reaching it means runtime misuse.
+    pub fn unlock(&self) -> Result<()> {
+        match self
+            .flex
+            .shmem
+            .compare_exchange(self.handle, 0, LOCKED, UNLOCKED)?
+        {
+            Ok(_) => Ok(()),
+            Err(_) => Err(PiscesError::Internal(format!(
+                "unlock of unlocked LOCK variable {}",
+                self.name
+            ))),
+        }
+    }
+
+    /// Whether the lock is currently held (snapshot; for displays).
+    pub fn is_locked(&self) -> Result<bool> {
+        Ok(self.flex.shmem.load(self.handle, 0)? == LOCKED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex32::shmem::ShmTag;
+
+    fn flex() -> Arc<Flex32> {
+        Flex32::new_shared()
+    }
+
+    fn block(flex: &Arc<Flex32>, words: usize) -> SharedBlock {
+        let h = flex.shmem.alloc(words * 8, ShmTag::SharedCommon).unwrap();
+        SharedBlock::new(flex.clone(), h, words, "BLK".into())
+    }
+
+    fn lockvar(flex: &Arc<Flex32>) -> LockVar {
+        let h = flex.shmem.alloc(8, ShmTag::SharedCommon).unwrap();
+        LockVar::new(flex.clone(), h, "L".into())
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let f = flex();
+        let b = block(&f, 4);
+        b.set_int(0, -7).unwrap();
+        b.set_real(1, 2.5).unwrap();
+        assert_eq!(b.get_int(0).unwrap(), -7);
+        assert_eq!(b.get_real(1).unwrap(), 2.5);
+        assert_eq!(b.len(), 4);
+        assert!(b.set_int(4, 0).is_err(), "bounds enforced");
+    }
+
+    #[test]
+    fn fetch_add_int_is_atomic_across_threads() {
+        let f = flex();
+        let b = block(&f, 1);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    b.fetch_add_int(0, 1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.get_int(0).unwrap(), 4000);
+    }
+
+    #[test]
+    fn add_real_accumulates_under_contention() {
+        let f = flex();
+        let b = block(&f, 1);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    b.add_real(0, 0.5).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.get_real(0).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn bulk_reals_roundtrip() {
+        let f = flex();
+        let b = block(&f, 8);
+        b.write_reals(2, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(b.read_reals(2, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(b.write_reals(6, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn lock_basic_protocol() {
+        let f = flex();
+        let l = lockvar(&f);
+        assert!(!l.is_locked().unwrap());
+        assert!(l.try_lock().unwrap());
+        assert!(l.is_locked().unwrap());
+        assert!(!l.try_lock().unwrap(), "second lock attempt fails");
+        l.unlock().unwrap();
+        assert!(!l.is_locked().unwrap());
+    }
+
+    #[test]
+    fn unlock_of_unlocked_is_internal_error() {
+        let f = flex();
+        let l = lockvar(&f);
+        assert!(matches!(l.unlock(), Err(PiscesError::Internal(_))));
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        let f = flex();
+        let l = lockvar(&f);
+        let b = block(&f, 1);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    l.lock_spin().unwrap();
+                    // Deliberately non-atomic increment under the lock.
+                    let v = b.get_int(0).unwrap();
+                    b.set_int(0, v + 1).unwrap();
+                    l.unlock().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.get_int(0).unwrap(), 1000);
+    }
+}

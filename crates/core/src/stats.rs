@@ -1,0 +1,133 @@
+//! Run-time statistics.
+//!
+//! Counters the execution environment displays (PE loading, message
+//! queues) and the experiment harnesses report (message traffic, window
+//! traffic, force activity). All counters are relaxed atomics: they are
+//! observational only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Machine-wide counters for one run.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Messages sent (point-to-point, including system messages).
+    pub messages_sent: AtomicU64,
+    /// Broadcast fan-out deliveries.
+    pub broadcast_deliveries: AtomicU64,
+    /// Total packet words moved through shared memory by messages.
+    pub message_words: AtomicU64,
+    /// Messages accepted (signals + handlers).
+    pub messages_accepted: AtomicU64,
+    /// Messages processed as signals.
+    pub signals: AtomicU64,
+    /// Messages processed by handlers.
+    pub handlers: AtomicU64,
+    /// ACCEPT statements that ended in a DELAY timeout.
+    pub accept_timeouts: AtomicU64,
+    /// Messages deleted unprocessed (execution-environment menu option 4,
+    /// or task termination with a non-empty in-queue).
+    pub messages_deleted: AtomicU64,
+    /// User tasks initiated.
+    pub tasks_initiated: AtomicU64,
+    /// User tasks completed.
+    pub tasks_completed: AtomicU64,
+    /// Initiate requests that had to wait for a free slot.
+    pub initiates_queued: AtomicU64,
+    /// FORCESPLIT statements executed.
+    pub forcesplits: AtomicU64,
+    /// Barrier entries (per member).
+    pub barrier_entries: AtomicU64,
+    /// Critical sections entered.
+    pub criticals: AtomicU64,
+    /// Window read operations.
+    pub window_reads: AtomicU64,
+    /// Window write operations.
+    pub window_writes: AtomicU64,
+    /// 64-bit words moved by window reads/writes.
+    pub window_words: AtomicU64,
+}
+
+/// Plain snapshot of [`RunStats`] (copyable, comparable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub messages_sent: u64,
+    pub broadcast_deliveries: u64,
+    pub message_words: u64,
+    pub messages_accepted: u64,
+    pub signals: u64,
+    pub handlers: u64,
+    pub accept_timeouts: u64,
+    pub messages_deleted: u64,
+    pub tasks_initiated: u64,
+    pub tasks_completed: u64,
+    pub initiates_queued: u64,
+    pub forcesplits: u64,
+    pub barrier_entries: u64,
+    pub criticals: u64,
+    pub window_reads: u64,
+    pub window_writes: u64,
+    pub window_words: u64,
+}
+
+impl RunStats {
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            messages_sent: g(&self.messages_sent),
+            broadcast_deliveries: g(&self.broadcast_deliveries),
+            message_words: g(&self.message_words),
+            messages_accepted: g(&self.messages_accepted),
+            signals: g(&self.signals),
+            handlers: g(&self.handlers),
+            accept_timeouts: g(&self.accept_timeouts),
+            messages_deleted: g(&self.messages_deleted),
+            tasks_initiated: g(&self.tasks_initiated),
+            tasks_completed: g(&self.tasks_completed),
+            initiates_queued: g(&self.initiates_queued),
+            forcesplits: g(&self.forcesplits),
+            barrier_entries: g(&self.barrier_entries),
+            criticals: g(&self.criticals),
+            window_reads: g(&self.window_reads),
+            window_writes: g(&self.window_writes),
+            window_words: g(&self.window_words),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = RunStats::default();
+        RunStats::bump(&s.messages_sent);
+        RunStats::bump(&s.messages_sent);
+        RunStats::add(&s.message_words, 17);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.message_words, 17);
+        assert_eq!(snap.tasks_initiated, 0);
+    }
+
+    #[test]
+    fn snapshots_compare() {
+        let s = RunStats::default();
+        let a = s.snapshot();
+        RunStats::bump(&s.signals);
+        let b = s.snapshot();
+        assert_ne!(a, b);
+        assert_eq!(b.signals - a.signals, 1);
+    }
+}

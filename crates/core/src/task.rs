@@ -1,0 +1,187 @@
+//! Per-task runtime state.
+//!
+//! On the FLEX, "each running task is represented by a record that contains
+//! the 'state' information for the task, including pointers to the task's
+//! in-queue, free space lists, trace flags, and so forth" (paper,
+//! Section 11). [`TaskEntry`] is that record; the machine additionally
+//! allocates a matching block of words in the shared-memory arena so that
+//! the system-table storage measurement of Section 13 reflects these
+//! records.
+
+use crate::message::InQueue;
+use crate::taskid::TaskId;
+use flex32::pe::PeId;
+use flex32::shmem::ShmHandle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Scheduling state of a task, for the DISPLAY RUNNING TASKS menu option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskRunState {
+    /// Runnable or running.
+    Ready,
+    /// Blocked in ACCEPT (or a force synchronization).
+    Blocked,
+}
+
+/// The runtime record of one task (user task or controller).
+#[derive(Debug)]
+pub struct TaskEntry {
+    /// The task's unique id.
+    pub id: TaskId,
+    /// Tasktype name it was initiated as.
+    pub tasktype: String,
+    /// PE the task runs on (its cluster's primary PE).
+    pub pe: PeId,
+    /// MMOS process id on that PE.
+    pub pid: u64,
+    /// Taskid of the parent — "the user task that requested its
+    /// initiation" (the pseudo-task USER for top-level tasks).
+    pub parent: TaskId,
+    /// The task's in-queue.
+    pub inq: InQueue,
+    /// Kill request flag (menu option 2); checked at every runtime call.
+    pub kill: AtomicBool,
+    /// Whether this is an operating-system controller task.
+    pub is_controller: bool,
+    /// Display state (Ready/Blocked).
+    pub run_state: Mutex<TaskRunState>,
+    /// Sender of the last accepted message (the SENDER destination).
+    pub last_sender: Mutex<Option<TaskId>>,
+    /// SHARED COMMON blocks: name → (block, words). Created lazily, freed
+    /// at task termination.
+    pub shared_commons: Mutex<HashMap<String, (ShmHandle, usize)>>,
+    /// LOCK variables: name → one-word block.
+    pub locks: Mutex<HashMap<String, ShmHandle>>,
+    /// Sequence for arrays this task registers for window access.
+    pub next_array_seq: AtomicU32,
+    /// True while the task is split into a force (FORCESPLIT does not
+    /// nest).
+    pub in_force: AtomicBool,
+    /// Shared-memory block mirroring this record in the system tables
+    /// (freed when the slot record is reused or the machine shuts down).
+    pub state_record: Option<ShmHandle>,
+}
+
+impl TaskEntry {
+    /// Create a record for a task about to start.
+    pub fn new(
+        id: TaskId,
+        tasktype: String,
+        pe: PeId,
+        pid: u64,
+        parent: TaskId,
+        is_controller: bool,
+        state_record: Option<ShmHandle>,
+    ) -> Self {
+        Self {
+            id,
+            tasktype,
+            pe,
+            pid,
+            parent,
+            inq: InQueue::new(),
+            kill: AtomicBool::new(false),
+            is_controller,
+            run_state: Mutex::new(TaskRunState::Ready),
+            last_sender: Mutex::new(None),
+            shared_commons: Mutex::new(HashMap::new()),
+            locks: Mutex::new(HashMap::new()),
+            next_array_seq: AtomicU32::new(0),
+            in_force: AtomicBool::new(false),
+            state_record,
+        }
+    }
+
+    /// Has this task been asked to die?
+    pub fn killed(&self) -> bool {
+        self.kill.load(Ordering::Relaxed)
+    }
+
+    /// Request termination; the task observes it at its next runtime call.
+    pub fn request_kill(&self) {
+        self.kill.store(true, Ordering::Relaxed);
+        self.inq.interrupt();
+    }
+
+    /// Allocate the next array sequence number for window registration.
+    pub fn next_seq(&self) -> u32 {
+        self.next_array_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Set the display run state.
+    pub fn set_run_state(&self, s: TaskRunState) {
+        *self.run_state.lock() = s;
+    }
+}
+
+/// Pseudo-taskid of the interactive user ("USER" destination; parent of
+/// top-level tasks). Cluster 0 never exists, so it cannot collide.
+pub const USER_ID: TaskId = TaskId {
+    cluster: 0,
+    slot: 0,
+    unique: 0,
+};
+
+/// Pseudo-taskid of the machine-wide file controller. The NASA FLEX had no
+/// cluster-local disks, so file access is served by the Unix PEs; windows
+/// on file arrays name this id as their owner.
+pub const FILE_CTRL_ID: TaskId = TaskId {
+    cluster: 0,
+    slot: 1,
+    unique: 0,
+};
+
+/// Slot index (within a cluster) of the task controller.
+pub const TASK_CONTROLLER_SLOT: u8 = 0;
+
+/// Slot index of the user controller (when the cluster has a terminal).
+pub const USER_CONTROLLER_SLOT: u8 = 1;
+
+/// First slot index available to user tasks (0 and 1 are controller
+/// slots, as in Figure 1 of the paper where controllers occupy slots).
+pub const FIRST_USER_SLOT: u8 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_flag_roundtrip() {
+        let e = TaskEntry::new(
+            TaskId::new(1, 2, 1),
+            "t".into(),
+            PeId::new(3).unwrap(),
+            1,
+            USER_ID,
+            false,
+            None,
+        );
+        assert!(!e.killed());
+        e.request_kill();
+        assert!(e.killed());
+    }
+
+    #[test]
+    fn array_sequence_increments() {
+        let e = TaskEntry::new(
+            TaskId::new(1, 2, 1),
+            "t".into(),
+            PeId::new(3).unwrap(),
+            1,
+            USER_ID,
+            false,
+            None,
+        );
+        assert_eq!(e.next_seq(), 0);
+        assert_eq!(e.next_seq(), 1);
+    }
+
+    #[test]
+    fn pseudo_ids_are_distinct_and_outside_clusters() {
+        assert_ne!(USER_ID, FILE_CTRL_ID);
+        assert_eq!(USER_ID.cluster, 0);
+        assert_eq!(FILE_CTRL_ID.cluster, 0);
+    }
+}

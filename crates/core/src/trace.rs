@@ -1,0 +1,356 @@
+//! Execution tracing.
+//!
+//! "Monitoring and timing the execution of a portion of a parallel program
+//! is simplified by a set of features for automatic tracing of significant
+//! events during execution." (paper, Section 12)
+//!
+//! The eight traceable event types are exactly the paper's list: task
+//! initiation, task termination, message send, message accept, lock a lock,
+//! unlock a lock, enter a barrier, force split. Each trace line includes the
+//! type of event, the taskid of the relevant task(s), a clock reading (PE
+//! number and ticks count), and other relevant information. Tracing may be
+//! turned on and off for each type of event and each task; output may go to
+//! the screen (monitor execution visually) or to a file (off-line timing
+//! analysis — see the `pisces-exec` crate).
+
+use crate::taskid::TaskId;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The eight traceable event types of Section 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// Task initiation.
+    TaskInit,
+    /// Task termination.
+    TaskTerm,
+    /// Message send.
+    MsgSend,
+    /// Message accept.
+    MsgAccept,
+    /// Lock a lock.
+    Lock,
+    /// Unlock a lock.
+    Unlock,
+    /// Enter a barrier.
+    Barrier,
+    /// Force split.
+    ForceSplit,
+}
+
+impl TraceEventKind {
+    /// All eight kinds, in the paper's order.
+    pub const ALL: [TraceEventKind; 8] = [
+        TraceEventKind::TaskInit,
+        TraceEventKind::TaskTerm,
+        TraceEventKind::MsgSend,
+        TraceEventKind::MsgAccept,
+        TraceEventKind::Lock,
+        TraceEventKind::Unlock,
+        TraceEventKind::Barrier,
+        TraceEventKind::ForceSplit,
+    ];
+
+    /// Stable label used in trace lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::TaskInit => "TASK-INIT",
+            TraceEventKind::TaskTerm => "TASK-TERM",
+            TraceEventKind::MsgSend => "MSG-SEND",
+            TraceEventKind::MsgAccept => "MSG-ACCEPT",
+            TraceEventKind::Lock => "LOCK",
+            TraceEventKind::Unlock => "UNLOCK",
+            TraceEventKind::Barrier => "BARRIER",
+            TraceEventKind::ForceSplit => "FORCE-SPLIT",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).unwrap()
+    }
+}
+
+/// One trace line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Global sequence number (total order of emission).
+    pub seq: u64,
+    /// Type of event.
+    pub kind: TraceEventKind,
+    /// Taskid of the relevant task.
+    pub task: TaskId,
+    /// PE number of the clock reading.
+    pub pe: u8,
+    /// Tick count of that PE's clock.
+    pub ticks: u64,
+    /// Other relevant information for the event type (message type, lock
+    /// name, force size, …).
+    pub info: String,
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>6} {:<11} {:<12} pe{:02}@{:<8} {}",
+            self.seq,
+            self.kind.label(),
+            self.task.to_string(),
+            self.pe,
+            self.ticks,
+            self.info
+        )
+    }
+}
+
+/// Trace settings carried in a configuration: which event kinds start
+/// enabled for the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSettings {
+    /// Event kinds enabled machine-wide at boot.
+    pub enabled: Vec<TraceEventKind>,
+    /// Mirror trace lines to the screen as they are emitted.
+    pub to_screen: bool,
+}
+
+impl TraceSettings {
+    /// Enable every event kind.
+    pub fn all() -> Self {
+        Self {
+            enabled: TraceEventKind::ALL.to_vec(),
+            to_screen: false,
+        }
+    }
+}
+
+/// The machine's tracer: per-kind global switches, per-task overrides, and
+/// an in-memory record buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    global: [AtomicBool; 8],
+    /// Per-task overrides: `Some(true/false)` wins over the global switch.
+    per_task: RwLock<HashMap<TaskId, [Option<bool>; 8]>>,
+    records: Mutex<Vec<TraceRecord>>,
+    seq: AtomicU64,
+    to_screen: AtomicBool,
+}
+
+impl Tracer {
+    /// A tracer initialized from configuration settings.
+    pub fn new(settings: &TraceSettings) -> Self {
+        let t = Self {
+            global: Default::default(),
+            per_task: RwLock::new(HashMap::new()),
+            records: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            to_screen: AtomicBool::new(settings.to_screen),
+        };
+        for &k in &settings.enabled {
+            t.set_global(k, true);
+        }
+        t
+    }
+
+    /// Turn an event kind on or off machine-wide.
+    pub fn set_global(&self, kind: TraceEventKind, on: bool) {
+        self.global[kind.index()].store(on, Ordering::Relaxed);
+    }
+
+    /// Override an event kind for one task (menu option 9, per task).
+    pub fn set_for_task(&self, task: TaskId, kind: TraceEventKind, on: bool) {
+        self.per_task.write().entry(task).or_default()[kind.index()] = Some(on);
+    }
+
+    /// Drop all per-task overrides for a task (when its slot is reused).
+    pub fn clear_task(&self, task: TaskId) {
+        self.per_task.write().remove(&task);
+    }
+
+    /// Mirror trace lines to the screen?
+    pub fn set_to_screen(&self, on: bool) {
+        self.to_screen.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether an event of this kind by this task would be recorded.
+    pub fn is_enabled(&self, kind: TraceEventKind, task: TaskId) -> bool {
+        if let Some(over) = self
+            .per_task
+            .read()
+            .get(&task)
+            .and_then(|o| o[kind.index()])
+        {
+            return over;
+        }
+        self.global[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Emit a trace line (no-op unless enabled for this kind and task).
+    pub fn emit(
+        &self,
+        kind: TraceEventKind,
+        task: TaskId,
+        pe: u8,
+        ticks: u64,
+        info: impl Into<String>,
+    ) {
+        if !self.is_enabled(kind, task) {
+            return;
+        }
+        let rec = TraceRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            kind,
+            task,
+            pe,
+            ticks,
+            info: info.into(),
+        };
+        if self.to_screen.load(Ordering::Relaxed) {
+            println!("{rec}");
+        }
+        self.records.lock().push(rec);
+    }
+
+    /// Snapshot of all records so far, in emission order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut r = self.records.lock().clone();
+        r.sort_by_key(|x| x.seq);
+        r
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True if no records were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard all records (menu-driven between measurement phases).
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+
+    /// Serialize all records as JSON lines — "sending trace output to a
+    /// file allows the user to study trace information and make timing
+    /// analyses off-line".
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for r in self.records() {
+            s.push_str(&serde_json::to_string(&r).expect("trace records serialize"));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse records back from JSON lines.
+    pub fn parse_jsonl(data: &str) -> Result<Vec<TraceRecord>, serde_json::Error> {
+        data.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid() -> TaskId {
+        TaskId::new(1, 1, 1)
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let t = Tracer::new(&TraceSettings::default());
+        t.emit(TraceEventKind::MsgSend, tid(), 3, 10, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn global_enable_records() {
+        let t = Tracer::new(&TraceSettings::default());
+        t.set_global(TraceEventKind::MsgSend, true);
+        t.emit(TraceEventKind::MsgSend, tid(), 3, 10, "PING");
+        t.emit(TraceEventKind::Lock, tid(), 3, 11, "L");
+        let recs = t.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].kind, TraceEventKind::MsgSend);
+        assert_eq!(recs[0].info, "PING");
+        assert_eq!(recs[0].pe, 3);
+    }
+
+    #[test]
+    fn per_task_override_wins_both_ways() {
+        let t = Tracer::new(&TraceSettings::all());
+        let a = TaskId::new(1, 1, 1);
+        let b = TaskId::new(1, 2, 1);
+        t.set_for_task(a, TraceEventKind::Barrier, false);
+        t.emit(TraceEventKind::Barrier, a, 3, 1, "");
+        t.emit(TraceEventKind::Barrier, b, 3, 2, "");
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].task, b);
+
+        // Off globally but on for one task.
+        let t = Tracer::new(&TraceSettings::default());
+        t.set_for_task(a, TraceEventKind::Lock, true);
+        t.emit(TraceEventKind::Lock, a, 3, 1, "");
+        t.emit(TraceEventKind::Lock, b, 3, 1, "");
+        assert_eq!(t.records().len(), 1);
+    }
+
+    #[test]
+    fn clear_task_restores_global() {
+        let t = Tracer::new(&TraceSettings::all());
+        let a = tid();
+        t.set_for_task(a, TraceEventKind::MsgSend, false);
+        t.clear_task(a);
+        t.emit(TraceEventKind::MsgSend, a, 3, 1, "");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_total_order() {
+        let t = Tracer::new(&TraceSettings::all());
+        for i in 0..5 {
+            t.emit(TraceEventKind::TaskInit, tid(), 3, i, "");
+        }
+        let seqs: Vec<_> = t.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = Tracer::new(&TraceSettings::all());
+        t.emit(TraceEventKind::ForceSplit, tid(), 5, 77, "size=10");
+        t.emit(TraceEventKind::TaskTerm, tid(), 5, 99, "ok");
+        let txt = t.to_jsonl();
+        let back = Tracer::parse_jsonl(&txt).unwrap();
+        assert_eq!(back, t.records());
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let r = TraceRecord {
+            seq: 1,
+            kind: TraceEventKind::Lock,
+            task: tid(),
+            pe: 4,
+            ticks: 123,
+            info: "LVAR".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("LOCK") && s.contains("pe04") && s.contains("LVAR"));
+    }
+
+    #[test]
+    fn all_eight_kinds_present() {
+        assert_eq!(TraceEventKind::ALL.len(), 8);
+        let labels: std::collections::BTreeSet<_> =
+            TraceEventKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+}

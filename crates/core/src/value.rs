@@ -1,0 +1,400 @@
+//! Message and parameter values.
+//!
+//! Pisces Fortran messages carry argument lists. The interesting property
+//! (paper, Section 6) is that *taskids* and *windows* are first-class data
+//! values: "A taskid is a data value (just like an integer). Taskid's can be
+//! stored in variables and arrays…, and passed as arguments in messages or
+//! parameter lists." Windows likewise are "data values that may be passed in
+//! messages and stored in variables (of type WINDOW)" (Section 8).
+//!
+//! Values are encoded into 64-bit words when they travel in message packets,
+//! because message storage lives in the FLEX shared memory (Section 11) and
+//! our model of that memory is word-granular.
+
+use crate::error::{PiscesError, Result};
+use crate::taskid::TaskId;
+use crate::window::Window;
+
+/// A single Pisces value: the Fortran scalar types plus TASKID and WINDOW,
+/// and numeric arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Fortran INTEGER.
+    Int(i64),
+    /// Fortran REAL / DOUBLE PRECISION.
+    Real(f64),
+    /// Fortran LOGICAL.
+    Logical(bool),
+    /// Fortran CHARACTER*(*).
+    Str(String),
+    /// Pisces TASKID.
+    TaskId(TaskId),
+    /// Pisces WINDOW.
+    Window(Window),
+    /// INTEGER array (row-major if it represents a matrix).
+    IntArray(Vec<i64>),
+    /// REAL array (row-major if it represents a matrix).
+    RealArray(Vec<f64>),
+}
+
+impl Value {
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "INTEGER",
+            Value::Real(_) => "REAL",
+            Value::Logical(_) => "LOGICAL",
+            Value::Str(_) => "CHARACTER",
+            Value::TaskId(_) => "TASKID",
+            Value::Window(_) => "WINDOW",
+            Value::IntArray(_) => "INTEGER array",
+            Value::RealArray(_) => "REAL array",
+        }
+    }
+
+    fn mismatch(&self, expected: &str) -> PiscesError {
+        PiscesError::ArgMismatch {
+            expected: expected.to_string(),
+            got: self.type_name().to_string(),
+        }
+    }
+
+    /// Extract an INTEGER.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(other.mismatch("INTEGER")),
+        }
+    }
+
+    /// Extract a REAL (an INTEGER widens, as in Fortran assignment).
+    pub fn as_real(&self) -> Result<f64> {
+        match self {
+            Value::Real(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(other.mismatch("REAL")),
+        }
+    }
+
+    /// Extract a LOGICAL.
+    pub fn as_logical(&self) -> Result<bool> {
+        match self {
+            Value::Logical(v) => Ok(*v),
+            other => Err(other.mismatch("LOGICAL")),
+        }
+    }
+
+    /// Extract a CHARACTER string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(other.mismatch("CHARACTER")),
+        }
+    }
+
+    /// Extract a TASKID.
+    pub fn as_taskid(&self) -> Result<TaskId> {
+        match self {
+            Value::TaskId(t) => Ok(*t),
+            other => Err(other.mismatch("TASKID")),
+        }
+    }
+
+    /// Extract a WINDOW.
+    pub fn as_window(&self) -> Result<&Window> {
+        match self {
+            Value::Window(w) => Ok(w),
+            other => Err(other.mismatch("WINDOW")),
+        }
+    }
+
+    /// Extract an INTEGER array.
+    pub fn as_int_array(&self) -> Result<&[i64]> {
+        match self {
+            Value::IntArray(v) => Ok(v),
+            other => Err(other.mismatch("INTEGER array")),
+        }
+    }
+
+    /// Extract a REAL array.
+    pub fn as_real_array(&self) -> Result<&[f64]> {
+        match self {
+            Value::RealArray(v) => Ok(v),
+            other => Err(other.mismatch("REAL array")),
+        }
+    }
+
+    /// Number of 64-bit words this value occupies in a message packet.
+    pub fn packet_words(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Real(_) | Value::Logical(_) | Value::TaskId(_) => 2,
+            Value::Str(s) => 2 + s.len().div_ceil(8),
+            Value::Window(_) => 1 + Window::PACKED_WORDS,
+            Value::IntArray(v) => 2 + v.len(),
+            Value::RealArray(v) => 2 + v.len(),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($ty:ty, $variant:ident) => {
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Self {
+                Value::$variant(v.into())
+            }
+        }
+    };
+}
+value_from!(i64, Int);
+value_from!(i32, Int);
+value_from!(f64, Real);
+value_from!(bool, Logical);
+value_from!(String, Str);
+value_from!(&str, Str);
+value_from!(TaskId, TaskId);
+value_from!(Window, Window);
+value_from!(Vec<i64>, IntArray);
+value_from!(Vec<f64>, RealArray);
+
+/// Convenience for building argument lists: `args![1, 2.5, "x", taskid]`.
+#[macro_export]
+macro_rules! args {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}
+
+const TAG_INT: u64 = 1;
+const TAG_REAL: u64 = 2;
+const TAG_LOGICAL: u64 = 3;
+const TAG_STR: u64 = 4;
+const TAG_TASKID: u64 = 5;
+const TAG_WINDOW: u64 = 6;
+const TAG_INT_ARRAY: u64 = 7;
+const TAG_REAL_ARRAY: u64 = 8;
+
+/// Encode an argument list into packet words: `[count, value, value, …]`.
+pub fn encode_values(values: &[Value]) -> Vec<u64> {
+    let total: usize = 1 + values.iter().map(Value::packet_words).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.push(values.len() as u64);
+    for v in values {
+        match v {
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.push(*i as u64);
+            }
+            Value::Real(r) => {
+                out.push(TAG_REAL);
+                out.push(r.to_bits());
+            }
+            Value::Logical(b) => {
+                out.push(TAG_LOGICAL);
+                out.push(*b as u64);
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.push(s.len() as u64);
+                let bytes = s.as_bytes();
+                for chunk in bytes.chunks(8) {
+                    let mut w = [0u8; 8];
+                    w[..chunk.len()].copy_from_slice(chunk);
+                    out.push(u64::from_le_bytes(w));
+                }
+            }
+            Value::TaskId(t) => {
+                out.push(TAG_TASKID);
+                out.push(t.pack());
+            }
+            Value::Window(w) => {
+                out.push(TAG_WINDOW);
+                out.extend_from_slice(&w.pack());
+            }
+            Value::IntArray(a) => {
+                out.push(TAG_INT_ARRAY);
+                out.push(a.len() as u64);
+                out.extend(a.iter().map(|&i| i as u64));
+            }
+            Value::RealArray(a) => {
+                out.push(TAG_REAL_ARRAY);
+                out.push(a.len() as u64);
+                out.extend(a.iter().map(|r| r.to_bits()));
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+fn decode_err(what: &str) -> PiscesError {
+    PiscesError::Internal(format!("corrupt message packet: {what}"))
+}
+
+/// Decode an argument list from packet words.
+pub fn decode_values(words: &[u64]) -> Result<Vec<Value>> {
+    let mut it = words.iter().copied();
+    let count = it.next().ok_or_else(|| decode_err("empty packet"))? as usize;
+    let mut take = |n: usize, buf: &mut Vec<u64>| -> Result<()> {
+        for _ in 0..n {
+            buf.push(it.next().ok_or_else(|| decode_err("truncated packet"))?);
+        }
+        Ok(())
+    };
+    let mut out = Vec::with_capacity(count);
+    let mut buf = Vec::new();
+    for _ in 0..count {
+        buf.clear();
+        take(1, &mut buf)?;
+        let tag = buf[0];
+        buf.clear();
+        let v = match tag {
+            TAG_INT => {
+                take(1, &mut buf)?;
+                Value::Int(buf[0] as i64)
+            }
+            TAG_REAL => {
+                take(1, &mut buf)?;
+                Value::Real(f64::from_bits(buf[0]))
+            }
+            TAG_LOGICAL => {
+                take(1, &mut buf)?;
+                Value::Logical(buf[0] != 0)
+            }
+            TAG_STR => {
+                take(1, &mut buf)?;
+                let len = buf[0] as usize;
+                buf.clear();
+                take(len.div_ceil(8), &mut buf)?;
+                let mut bytes = Vec::with_capacity(len);
+                for w in &buf {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                bytes.truncate(len);
+                Value::Str(String::from_utf8(bytes).map_err(|_| decode_err("bad utf-8 in string"))?)
+            }
+            TAG_TASKID => {
+                take(1, &mut buf)?;
+                Value::TaskId(TaskId::unpack(buf[0]))
+            }
+            TAG_WINDOW => {
+                take(Window::PACKED_WORDS, &mut buf)?;
+                Value::Window(Window::unpack(&buf).map_err(|e| decode_err(&e))?)
+            }
+            TAG_INT_ARRAY => {
+                take(1, &mut buf)?;
+                let len = buf[0] as usize;
+                buf.clear();
+                take(len, &mut buf)?;
+                Value::IntArray(buf.iter().map(|&w| w as i64).collect())
+            }
+            TAG_REAL_ARRAY => {
+                take(1, &mut buf)?;
+                let len = buf[0] as usize;
+                buf.clear();
+                take(len, &mut buf)?;
+                Value::RealArray(buf.iter().map(|&w| f64::from_bits(w)).collect())
+            }
+            other => return Err(decode_err(&format!("unknown tag {other}"))),
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{ArrayId, Window};
+
+    fn sample_window() -> Window {
+        Window::new(
+            ArrayId {
+                owner: TaskId::new(1, 2, 3),
+                seq: 7,
+            },
+            (20, 30),
+            2..10,
+            5..25,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_value_kinds() {
+        let vals = vec![
+            Value::Int(-42),
+            Value::Real(std::f64::consts::PI),
+            Value::Logical(true),
+            Value::Str("hello, FLEX/32".into()),
+            Value::TaskId(TaskId::new(4, 3, 99)),
+            Value::Window(sample_window()),
+            Value::IntArray(vec![-1, 0, 1, i64::MAX]),
+            Value::RealArray(vec![0.0, -2.5, f64::MIN_POSITIVE]),
+        ];
+        let words = encode_values(&vals);
+        let back = decode_values(&words).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn roundtrip_empty_list() {
+        let words = encode_values(&[]);
+        assert_eq!(words, vec![0]);
+        assert_eq!(decode_values(&words).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn roundtrip_string_lengths_around_word_boundary() {
+        for len in 0..20 {
+            let s: String = "abcdefgh".chars().cycle().take(len).collect();
+            let vals = vec![Value::Str(s.clone())];
+            let back = decode_values(&encode_values(&vals)).unwrap();
+            assert_eq!(back[0].as_str().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn packet_words_matches_encoding() {
+        let vals = vec![
+            Value::Int(1),
+            Value::Str("exactly8".into()),
+            Value::RealArray(vec![1.0; 5]),
+            Value::Window(sample_window()),
+        ];
+        let words = encode_values(&vals);
+        let expected: usize = 1 + vals.iter().map(Value::packet_words).sum::<usize>();
+        assert_eq!(words.len(), expected);
+    }
+
+    #[test]
+    fn truncated_packet_is_rejected() {
+        let vals = vec![Value::IntArray(vec![1, 2, 3])];
+        let mut words = encode_values(&vals);
+        words.truncate(words.len() - 1);
+        assert!(decode_values(&words).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(decode_values(&[1, 999, 0]).is_err());
+    }
+
+    #[test]
+    fn accessor_mismatch_errors() {
+        let v = Value::Int(1);
+        assert!(v.as_str().is_err());
+        assert!(v.as_taskid().is_err());
+        assert_eq!(v.as_real().unwrap(), 1.0, "integer widens to real");
+        let r = Value::Real(1.5);
+        assert!(r.as_int().is_err(), "no implicit narrowing");
+    }
+
+    #[test]
+    fn args_macro_builds_values() {
+        let t = TaskId::new(1, 1, 1);
+        let a = args![1i64, 2.5, "s", t, true];
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0], Value::Int(1));
+        assert_eq!(a[3], Value::TaskId(t));
+    }
+}

@@ -1,0 +1,424 @@
+//! Windows — generalized pointers to rectangular subregions of arrays.
+//!
+//! "PISCES 2 provides a new data type 'window' to represent a partition of
+//! an array. … A window in PISCES 2 is a type of generalized pointer that
+//! points to a rectangular subregion of an array that is 'owned' by another
+//! task. … The window value contains the taskid of the owner, the address of
+//! the array, and a descriptor for the subarray. Another task may read or
+//! write the subarray visible in the window, by sending a message to the
+//! owner. Another task may also 'shrink' the window to point to a smaller
+//! subarray." (paper, Section 8)
+//!
+//! This module defines the window *value* (geometry + identity); the
+//! owner-mediated read/write operations live on the task context
+//! ([`crate::context`]) and the array registry lives on the machine
+//! ([`crate::machine`]).
+
+use crate::taskid::TaskId;
+use std::ops::Range;
+
+/// Identity of a registered array: the owning task plus a per-owner
+/// sequence number (the "address of the array" in the paper's terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId {
+    /// Task that owns the array. For arrays on secondary storage this is
+    /// the file controller's taskid.
+    pub owner: TaskId,
+    /// Sequence number among the owner's registered arrays.
+    pub seq: u32,
+}
+
+impl std::fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/a{}", self.owner, self.seq)
+    }
+}
+
+/// A window: a rectangular view (half-open row/col ranges) into a
+/// registered 2-D array. One-dimensional arrays are the `rows == 1` case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    array: ArrayId,
+    /// Dimensions (rows, cols) of the underlying array.
+    dims: (usize, usize),
+    rows: Range<usize>,
+    cols: Range<usize>,
+}
+
+impl Window {
+    /// Words used when a window is packed into a message packet.
+    pub const PACKED_WORDS: usize = 8;
+
+    /// A window over `rows` × `cols` of the array with dimensions `dims`.
+    ///
+    /// Fails if the rectangle is empty or falls outside the array.
+    pub fn new(
+        array: ArrayId,
+        dims: (usize, usize),
+        rows: Range<usize>,
+        cols: Range<usize>,
+    ) -> Result<Self, String> {
+        if rows.is_empty() || cols.is_empty() {
+            return Err(format!("empty window {rows:?}×{cols:?}"));
+        }
+        if rows.end > dims.0 || cols.end > dims.1 {
+            return Err(format!(
+                "window {rows:?}×{cols:?} outside array of {}×{}",
+                dims.0, dims.1
+            ));
+        }
+        Ok(Self {
+            array,
+            dims,
+            rows,
+            cols,
+        })
+    }
+
+    /// The identity of the underlying array.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// Dimensions (rows, cols) of the underlying array.
+    pub fn dims(&self) -> (usize, usize) {
+        self.dims
+    }
+
+    /// Row range of the view.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Column range of the view.
+    pub fn cols(&self) -> Range<usize> {
+        self.cols.clone()
+    }
+
+    /// Number of rows visible.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns visible.
+    pub fn col_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of elements visible.
+    pub fn len(&self) -> usize {
+        self.row_count() * self.col_count()
+    }
+
+    /// Windows are never empty; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// "Shrink" the window to a smaller subarray. The new ranges are given
+    /// in *array* coordinates and must lie within the current view —
+    /// a shrunk window never sees more than its parent did.
+    pub fn shrink(&self, rows: Range<usize>, cols: Range<usize>) -> Result<Self, String> {
+        if rows.is_empty() || cols.is_empty() {
+            return Err(format!("empty shrink target {rows:?}×{cols:?}"));
+        }
+        if rows.start < self.rows.start
+            || rows.end > self.rows.end
+            || cols.start < self.cols.start
+            || cols.end > self.cols.end
+        {
+            return Err(format!(
+                "shrink {rows:?}×{cols:?} escapes window {:?}×{:?}",
+                self.rows, self.cols
+            ));
+        }
+        Ok(Self {
+            array: self.array,
+            dims: self.dims,
+            rows,
+            cols,
+        })
+    }
+
+    /// Shrink using coordinates *relative to this window's* origin
+    /// (convenient for recursive partitioning).
+    pub fn shrink_relative(&self, rows: Range<usize>, cols: Range<usize>) -> Result<Self, String> {
+        let abs_rows = self.rows.start + rows.start..self.rows.start + rows.end;
+        let abs_cols = self.cols.start + cols.start..self.cols.start + cols.end;
+        self.shrink(abs_rows, abs_cols)
+    }
+
+    /// Split the window into `n` near-equal horizontal bands (by rows) —
+    /// the paper's top-level partitioning pattern. Bands differ in height
+    /// by at most one row; if `n` exceeds the row count, only `row_count`
+    /// bands are produced.
+    pub fn split_rows(&self, n: usize) -> Vec<Window> {
+        let n = n.clamp(1, self.row_count());
+        let total = self.row_count();
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = self.rows.start;
+        for i in 0..n {
+            let h = base + usize::from(i < extra);
+            let band = self
+                .shrink(start..start + h, self.cols.clone())
+                .expect("band lies within parent by construction");
+            start += h;
+            out.push(band);
+        }
+        out
+    }
+
+    /// Whether two windows view overlapping regions of the same array —
+    /// the question the file controller answers when it "manages any
+    /// parallel read/write requests for overlapping sections of an array"
+    /// (Section 8; the window concept paper, Mehrotra & Pratt 1982,
+    /// develops this conflict test).
+    pub fn overlaps(&self, other: &Window) -> bool {
+        self.array == other.array
+            && self.rows.start < other.rows.end
+            && other.rows.start < self.rows.end
+            && self.cols.start < other.cols.end
+            && other.cols.start < self.cols.end
+    }
+
+    /// The overlapping region of two windows on the same array, if any.
+    pub fn intersection(&self, other: &Window) -> Option<Window> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Window {
+            array: self.array,
+            dims: self.dims,
+            rows: self.rows.start.max(other.rows.start)..self.rows.end.min(other.rows.end),
+            cols: self.cols.start.max(other.cols.start)..self.cols.end.min(other.cols.end),
+        })
+    }
+
+    /// Split the window into an `r`×`c` grid of near-equal tiles (the
+    /// 2-D partitioning pattern; `split_rows` is the `c == 1` case).
+    /// Tiles are returned row-major; degenerate requests are clamped.
+    pub fn split_grid(&self, r: usize, c: usize) -> Vec<Window> {
+        let mut out = Vec::new();
+        for band in self.split_rows(r) {
+            // Split each band by columns, transposing the row logic.
+            let c = c.clamp(1, band.col_count());
+            let total = band.col_count();
+            let base = total / c;
+            let extra = total % c;
+            let mut start = band.cols.start;
+            for i in 0..c {
+                let w = base + usize::from(i < extra);
+                out.push(
+                    band.shrink(band.rows.clone(), start..start + w)
+                        .expect("tile lies within band by construction"),
+                );
+                start += w;
+            }
+        }
+        out
+    }
+
+    /// Pack into message-packet words.
+    pub fn pack(&self) -> [u64; Self::PACKED_WORDS] {
+        [
+            self.array.owner.pack(),
+            self.array.seq as u64,
+            self.dims.0 as u64,
+            self.dims.1 as u64,
+            self.rows.start as u64,
+            self.rows.end as u64,
+            self.cols.start as u64,
+            self.cols.end as u64,
+        ]
+    }
+
+    /// Unpack from message-packet words.
+    pub fn unpack(w: &[u64]) -> Result<Self, String> {
+        if w.len() != Self::PACKED_WORDS {
+            return Err(format!("window packet of {} words", w.len()));
+        }
+        Window::new(
+            ArrayId {
+                owner: TaskId::unpack(w[0]),
+                seq: w[1] as u32,
+            },
+            (w[2] as usize, w[3] as usize),
+            w[4] as usize..w[5] as usize,
+            w[6] as usize..w[7] as usize,
+        )
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window[{} {}..{}×{}..{}]",
+            self.array, self.rows.start, self.rows.end, self.cols.start, self.cols.end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid() -> ArrayId {
+        ArrayId {
+            owner: TaskId::new(1, 1, 1),
+            seq: 0,
+        }
+    }
+
+    fn full(rows: usize, cols: usize) -> Window {
+        Window::new(aid(), (rows, cols), 0..rows, 0..cols).unwrap()
+    }
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(Window::new(aid(), (4, 4), 0..5, 0..4).is_err());
+        assert!(Window::new(aid(), (4, 4), 2..2, 0..4).is_err());
+        assert!(Window::new(aid(), (4, 4), 0..4, 0..4).is_ok());
+    }
+
+    #[test]
+    fn shrink_must_stay_inside() {
+        let w = full(10, 10).shrink(2..8, 2..8).unwrap();
+        assert!(w.shrink(1..8, 2..8).is_err(), "grows upward");
+        assert!(w.shrink(2..9, 2..8).is_err(), "grows downward");
+        let inner = w.shrink(3..5, 4..6).unwrap();
+        assert_eq!(inner.row_count(), 2);
+        assert_eq!(inner.len(), 4);
+    }
+
+    #[test]
+    fn shrink_relative_offsets_from_window_origin() {
+        let w = full(10, 10).shrink(2..8, 3..9).unwrap();
+        let r = w.shrink_relative(1..3, 0..2).unwrap();
+        assert_eq!(r.rows(), 3..5);
+        assert_eq!(r.cols(), 3..5);
+    }
+
+    #[test]
+    fn split_rows_covers_exactly() {
+        let w = full(10, 6);
+        let bands = w.split_rows(3);
+        assert_eq!(bands.len(), 3);
+        let heights: Vec<_> = bands.iter().map(Window::row_count).collect();
+        assert_eq!(heights, vec![4, 3, 3]);
+        assert_eq!(bands[0].rows(), 0..4);
+        assert_eq!(bands[1].rows(), 4..7);
+        assert_eq!(bands[2].rows(), 7..10);
+        for b in &bands {
+            assert_eq!(b.cols(), 0..6);
+        }
+    }
+
+    #[test]
+    fn split_rows_more_bands_than_rows() {
+        let w = full(2, 5);
+        assert_eq!(w.split_rows(10).len(), 2);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let w = full(7, 9).shrink(1..6, 2..9).unwrap();
+        assert_eq!(Window::unpack(&w.pack()).unwrap(), w);
+    }
+
+    #[test]
+    fn unpack_rejects_bad_geometry() {
+        let mut p = full(4, 4).pack();
+        p[5] = 99; // rows.end beyond dims
+        assert!(Window::unpack(&p).is_err());
+        assert!(Window::unpack(&[0; 3]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_bounds() {
+        let w = full(4, 4);
+        let s = w.to_string();
+        assert!(s.contains("0..4"));
+    }
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+
+    fn aid(seq: u32) -> ArrayId {
+        ArrayId {
+            owner: TaskId::new(1, 1, 1),
+            seq,
+        }
+    }
+
+    fn w(seq: u32, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Window {
+        Window::new(aid(seq), (20, 20), rows, cols).unwrap()
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(
+            w(0, 0..5, 0..5).overlaps(&w(0, 4..10, 4..10)),
+            "corner touch"
+        );
+        assert!(
+            !w(0, 0..5, 0..5).overlaps(&w(0, 5..10, 0..5)),
+            "adjacent rows"
+        );
+        assert!(
+            !w(0, 0..5, 0..5).overlaps(&w(0, 0..5, 5..10)),
+            "adjacent cols"
+        );
+        assert!(
+            !w(0, 0..5, 0..5).overlaps(&w(1, 0..5, 0..5)),
+            "different arrays"
+        );
+    }
+
+    #[test]
+    fn intersection_geometry() {
+        let i = w(0, 0..10, 0..6).intersection(&w(0, 4..20, 3..20)).unwrap();
+        assert_eq!(i.rows(), 4..10);
+        assert_eq!(i.cols(), 3..6);
+        assert!(w(0, 0..2, 0..2).intersection(&w(0, 2..4, 2..4)).is_none());
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_contained() {
+        let a = w(0, 2..12, 1..9);
+        let b = w(0, 5..20, 0..4);
+        let ab = a.intersection(&b).unwrap();
+        let ba = b.intersection(&a).unwrap();
+        assert_eq!(ab, ba);
+        assert!(ab.rows().start >= a.rows().start && ab.rows().end <= a.rows().end);
+        assert!(ab.cols().start >= b.cols().start && ab.cols().end <= b.cols().end);
+    }
+
+    #[test]
+    fn split_grid_tiles_exactly() {
+        let whole = w(0, 0..20, 0..20);
+        let tiles = whole.split_grid(3, 4);
+        assert_eq!(tiles.len(), 12);
+        // Tiles are pairwise disjoint and cover the whole area.
+        let area: usize = tiles.iter().map(Window::len).sum();
+        assert_eq!(area, whole.len());
+        for (i, a) in tiles.iter().enumerate() {
+            for b in &tiles[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_grid_clamps_degenerate_requests() {
+        let small = w(0, 0..2, 0..3);
+        let tiles = small.split_grid(10, 10);
+        assert_eq!(tiles.len(), 2 * 3, "one tile per cell at most");
+        let area: usize = tiles.iter().map(Window::len).sum();
+        assert_eq!(area, small.len());
+    }
+}

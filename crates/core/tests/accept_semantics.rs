@@ -1,0 +1,192 @@
+//! Fine-grained ACCEPT semantics (paper, Section 6): the interplay of
+//! the statement total, per-type counts, and ALL; arrival-order
+//! processing across types; SENDER tracking across consecutive ACCEPTs.
+
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot() -> Arc<Pisces> {
+    Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(1, 4)).unwrap()
+}
+
+fn run(p: &Arc<Pisces>, main: impl Fn(&TaskCtx) -> Result<()> + Send + Sync + 'static) {
+    p.register("main", main);
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(30)),
+        "{}",
+        p.dump_state()
+    );
+}
+
+#[test]
+fn total_caps_across_types_in_arrival_order() {
+    let p = boot();
+    run(&p, |ctx| {
+        ctx.send(To::Myself, "A", args![1i64])?;
+        ctx.send(To::Myself, "B", args![2i64])?;
+        ctx.send(To::Myself, "A", args![3i64])?;
+        ctx.send(To::Myself, "B", args![4i64])?;
+        // ACCEPT 3 OF A, B: takes the three oldest of either type.
+        let got = std::cell::RefCell::new(Vec::new());
+        ctx.accept()
+            .of(3)
+            .handle("A", |m| {
+                got.borrow_mut().push(m.args[0].as_int()?);
+                Ok(())
+            })
+            .handle("B", |m| {
+                got.borrow_mut().push(m.args[0].as_int()?);
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(got.into_inner(), vec![1, 2, 3]);
+        // The fourth message is still queued for a later ACCEPT.
+        let out = ctx.accept().signal_all("B").run()?;
+        assert_eq!(out.count("B"), 1);
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn per_type_count_caps_within_a_total() {
+    let p = boot();
+    run(&p, |ctx| {
+        for k in 0..3 {
+            ctx.send(To::Myself, "A", args![k as i64])?;
+        }
+        ctx.send(To::Myself, "B", vec![])?;
+        // Total 3 but A capped at 2: must take A, A, B (skipping the
+        // third A even though it arrived before B).
+        let out = ctx.accept().of(3).signal_count("A", 2).signal("B").run()?;
+        assert_eq!(out.count("A"), 2);
+        assert_eq!(out.count("B"), 1);
+        assert_eq!(out.total(), 3);
+        // One A remains.
+        let rest = ctx.accept().signal_all("A").run()?;
+        assert_eq!(rest.count("A"), 1);
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn all_drains_alongside_counts() {
+    let p = boot();
+    run(&p, |ctx| {
+        for _ in 0..4 {
+            ctx.send(To::Myself, "LOG", vec![])?;
+        }
+        ctx.send(To::Myself, "DONE", vec![])?;
+        // "DONE COUNT 1, ALL LOG": completes on the DONE; drains every
+        // LOG present along the way.
+        let out = ctx
+            .accept()
+            .signal_count("DONE", 1)
+            .signal_all("LOG")
+            .run()?;
+        assert_eq!(out.count("DONE"), 1);
+        assert_eq!(out.count("LOG"), 4);
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn unlisted_types_are_never_touched() {
+    let p = boot();
+    run(&p, |ctx| {
+        ctx.send(To::Myself, "KEEP", args![9i64])?;
+        ctx.send(To::Myself, "TAKE", vec![])?;
+        let out = ctx.accept().of(1).signal("TAKE").run()?;
+        assert_eq!(out.count("TAKE"), 1);
+        let q = ctx.machine().queue_snapshot(ctx.id())?;
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, "KEEP");
+        // Drain it for a clean shutdown.
+        ctx.accept().signal_all("KEEP").run()?;
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn sender_follows_the_latest_accepted_message() {
+    let p = boot();
+    p.register("echo1", |ctx| {
+        ctx.accept().of(1).signal("HI").run()?;
+        ctx.send(To::Sender, "FROM1", vec![])
+    });
+    p.register("echo2", |ctx| {
+        ctx.accept().of(1).signal("HI").run()?;
+        ctx.send(To::Sender, "FROM2", vec![])
+    });
+    run(&p, |ctx| {
+        ctx.initiate(Where::Same, "echo1", vec![])?;
+        ctx.initiate(Where::Same, "echo2", vec![])?;
+        ctx.work(1)?;
+        std::thread::sleep(Duration::from_millis(100));
+        ctx.send_all(None, "HI", vec![])?;
+        // Accept FROM1 then FROM2: after each, SENDER points at that
+        // echo task; reply to each and make sure the replies land (a
+        // wrong SENDER would hit a dead task and error).
+        ctx.accept().of(1).signal("FROM1").run()?;
+        // The echoes have terminated; SENDER now names a dead task, so
+        // the reply must fail with NoSuchTask — proving SENDER tracked
+        // the accepted message rather than something stale.
+        let e = ctx.send(To::Sender, "REPLY", vec![]).unwrap_err();
+        assert!(matches!(e, PiscesError::NoSuchTask(id) if id.slot >= 2));
+        ctx.accept().of(1).signal("FROM2").run()?;
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn zero_total_completes_immediately() {
+    let p = boot();
+    run(&p, |ctx| {
+        let out = ctx.accept().of(0).signal("ANY").run()?;
+        assert_eq!(out.total(), 0);
+        assert!(!out.timed_out);
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn accept_without_completion_rule_is_rejected() {
+    let p = boot();
+    run(&p, |ctx| {
+        let e = ctx.accept().signal("A").run().unwrap_err();
+        assert!(matches!(e, PiscesError::Internal(_)));
+        let e = ctx.accept().run().unwrap_err();
+        assert!(matches!(e, PiscesError::Internal(_)));
+        Ok(())
+    });
+    p.shutdown();
+}
+
+#[test]
+fn messages_arriving_during_accept_extend_a_drain_total() {
+    let p = boot();
+    p.register("feeder", |ctx| {
+        let target = ctx.arg(0)?.as_taskid()?;
+        for k in 0..5 {
+            ctx.send(To::Task(target), "FEED", args![k as i64])?;
+            ctx.work(20)?;
+        }
+        ctx.send(To::Task(target), "DONE", vec![])
+    });
+    run(&p, |ctx| {
+        ctx.initiate(Where::Same, "feeder", args![ctx.id()])?;
+        // Total 6 across both types: the FEEDs arrive while we wait.
+        let out = ctx.accept().of(6).signal("FEED").signal("DONE").run()?;
+        assert_eq!(out.count("FEED"), 5);
+        assert_eq!(out.count("DONE"), 1);
+        Ok(())
+    });
+    p.shutdown();
+}

@@ -1,0 +1,313 @@
+//! Failure injection: how the runtime behaves when things go wrong —
+//! shared-memory exhaustion, kills landing mid-force, panicking task
+//! bodies, malformed controller traffic, and force aborts. The paper's
+//! system ran one user program at a time on dedicated hardware; the
+//! reproduction must at least fail *cleanly* (no deadlocks, no leaked
+//! shared memory, machine still controllable).
+
+use flex32::shmem::ShmTag;
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot(config: MachineConfig) -> Arc<Pisces> {
+    Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
+}
+
+fn run_to_quiescence(p: &Arc<Pisces>) {
+    assert!(
+        p.wait_quiescent(Duration::from_secs(30)),
+        "machine failed to quiesce:\n{}",
+        p.dump_state()
+    );
+}
+
+#[test]
+fn send_fails_cleanly_when_shared_memory_is_exhausted() {
+    let p = boot(MachineConfig::simple(1, 4));
+    // Starve the arena: grab almost everything for "user data".
+    let free = p.flex().shmem.report().capacity - p.flex().shmem.report().in_use;
+    let hog = p
+        .flex()
+        .shmem
+        .alloc(free - 512, ShmTag::Other)
+        .expect("hog allocation");
+    p.register("main", |ctx| {
+        // A small message still fits…
+        ctx.send(To::Myself, "SMALL", args![1i64])?;
+        ctx.accept().of(1).signal("SMALL").run()?;
+        // …a big one cannot.
+        let e = ctx
+            .send(To::Myself, "BIG", args![vec![0.0f64; 4096]])
+            .unwrap_err();
+        assert!(matches!(e, PiscesError::Shm(_)), "got {e:?}");
+        // The machine remains functional afterwards.
+        ctx.send(To::Myself, "SMALL", args![2i64])?;
+        ctx.accept().of(1).signal("SMALL").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.flex().shmem.free(hog).unwrap();
+    p.shutdown();
+    assert_eq!(p.flex().shmem.report().in_use, 0);
+    p.flex().shmem.check_invariants().unwrap();
+}
+
+#[test]
+fn kill_lands_inside_a_force_without_stranding_members() {
+    let p = boot(MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 2).with_secondaries(4..=8)
+    ]));
+    let rounds = Arc::new(AtomicUsize::new(0));
+    let r2 = rounds.clone();
+    p.register("spinner", move |ctx| {
+        let r = ctx.forcesplit(|f| {
+            loop {
+                f.work(10)?; // observes the kill flag
+                r2.fetch_add(1, Ordering::Relaxed);
+                f.barrier()?;
+            }
+        });
+        assert!(r.is_err(), "force must report the kill");
+        r
+    });
+    p.initiate_top_level(1, "spinner", vec![]).unwrap();
+    // Let the force get going, then kill the task.
+    let victim = 'found: {
+        for _ in 0..200 {
+            std::thread::sleep(Duration::from_millis(10));
+            if let Some(t) = p
+                .snapshot_tasks()
+                .into_iter()
+                .find(|t| t.tasktype == "spinner")
+            {
+                if rounds.load(Ordering::Relaxed) > 3 {
+                    break 'found Some(t.id);
+                }
+            }
+        }
+        None
+    }
+    .expect("spinner never got going");
+    p.kill_task(victim).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+    assert_eq!(p.flex().shmem.report().in_use, 0, "no leaked force state");
+}
+
+#[test]
+fn panicking_task_body_is_contained() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("bomb", |_ctx| -> Result<()> {
+        panic!("deliberate test panic in task body");
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "bomb", vec![])?;
+        // We still run fine; the machine survives the panic next door.
+        ctx.work(100)?;
+        ctx.send(To::Myself, "OK", vec![])?;
+        ctx.accept().of(1).signal("OK").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    // Both tasks are accounted terminated; the bomb's slot was reclaimed.
+    assert_eq!(p.stats().snapshot().tasks_completed, 2);
+    // And the slot is reusable.
+    p.register("after", |_| Ok(()));
+    p.initiate_top_level(1, "after", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn panicking_force_member_aborts_the_force_not_the_machine() {
+    let p = boot(MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 2).with_secondaries(4..=7)
+    ]));
+    p.register("main", |ctx| {
+        let r = ctx.forcesplit(|f| {
+            if f.member() == 2 {
+                panic!("deliberate member panic");
+            }
+            f.barrier()?; // would deadlock without the abort path
+            Ok(())
+        });
+        assert!(matches!(r, Err(PiscesError::Internal(_))), "got {r:?}");
+        // The task continues after the failed force region.
+        ctx.work(10)?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+    assert_eq!(p.flex().shmem.report().in_use, 0);
+}
+
+#[test]
+fn malformed_controller_traffic_is_ignored() {
+    let p = boot(MachineConfig::simple(1, 4));
+    let tcontr = p.tcontr(1).unwrap();
+    // INIT$ without a tasktype string; KILL$ without a taskid; junk type.
+    p.user_send(tcontr, "INIT$", vec![]).unwrap();
+    p.user_send(tcontr, "INIT$", args![42i64]).unwrap();
+    p.user_send(tcontr, "KILL$", args!["nonsense"]).unwrap();
+    p.user_send(tcontr, "WHATEVER", args![1i64]).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    // The controller is still alive and functional.
+    p.register("probe", |_| Ok(()));
+    p.initiate_top_level(1, "probe", vec![]).unwrap();
+    run_to_quiescence(&p);
+    assert_eq!(p.stats().snapshot().tasks_completed, 1);
+    p.shutdown();
+}
+
+#[test]
+fn time_limit_fires_inside_force_loops() {
+    let mut config = MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]);
+    config.time_limit_ticks = Some(2_000);
+    let p = boot(config);
+    p.register("runaway", |ctx| {
+        let r = ctx.forcesplit(|f| {
+            loop {
+                f.work(100)?; // eventually exceeds the limit on some PE
+            }
+        });
+        assert!(r.is_err());
+        r
+    });
+    p.initiate_top_level(1, "runaway", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn shutdown_mid_run_reclaims_everything() {
+    let p = boot(MachineConfig::simple(3, 4));
+    p.register("worker", |ctx| {
+        // Allocate a bit of everything, then park.
+        let _sc = ctx.shared_common("BLK", 64)?;
+        let _w = ctx.register_array(&vec![0.0; 100], 10, 10)?;
+        ctx.send(To::Myself, "NOISE", args![vec![1.0f64; 50]])?;
+        let _ = ctx
+            .accept()
+            .signal_count("NEVER", 1)
+            .delay_then(Duration::from_secs(60), || {})
+            .run()?;
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        for _ in 0..6 {
+            ctx.initiate(Where::Any, "worker", vec![])?;
+        }
+        let _ = ctx
+            .accept()
+            .signal_count("NEVER", 1)
+            .delay_then(Duration::from_secs(60), || {})
+            .run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    // Give the fleet a moment to allocate, then pull the plug.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(p.flex().shmem.report().in_use > 0, "workers hold memory");
+    p.shutdown();
+    assert_eq!(p.flex().shmem.report().in_use, 0, "shutdown reclaims all");
+    p.flex().shmem.check_invariants().unwrap();
+    // And post-shutdown operations fail cleanly, not mysteriously.
+    assert!(matches!(
+        p.initiate_top_level(1, "main", vec![]),
+        Err(PiscesError::MachineDown) | Err(PiscesError::NoSuchTask(_))
+    ));
+}
+
+#[test]
+fn accept_handler_error_propagates_and_cleans_up() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        ctx.send(To::Myself, "POISON", args![1i64])?;
+        ctx.send(To::Myself, "POISON", args![2i64])?;
+        let r = ctx
+            .accept()
+            .of(2)
+            .handle("POISON", |m| {
+                if m.args[0].as_int()? == 1 {
+                    Err(PiscesError::Internal("handler rejects".into()))
+                } else {
+                    Ok(())
+                }
+            })
+            .run();
+        assert!(r.is_err());
+        // First message was consumed (and its storage freed); the second
+        // remains queued and is released at termination.
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+    assert_eq!(p.flex().shmem.report().in_use, 0);
+}
+
+#[test]
+fn initiate_storm_respects_slots_and_completes() {
+    // 60 initiates into 2 slots: a stress of the pending queue.
+    let p = boot(MachineConfig::simple(1, 2));
+    let done = Arc::new(AtomicUsize::new(0));
+    let d2 = done.clone();
+    p.register("drop", move |ctx| {
+        ctx.work(5)?;
+        d2.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        for _ in 0..60 {
+            ctx.initiate(Where::Same, "drop", vec![])?;
+        }
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "{}",
+        p.dump_state()
+    );
+    assert_eq!(done.load(Ordering::Relaxed), 60);
+    let s = p.stats().snapshot();
+    assert!(s.initiates_queued >= 50, "most initiates had to park");
+    p.shutdown();
+}
+
+#[test]
+fn panic_inside_critical_releases_the_lock() {
+    // A member panicking inside a CRITICAL body must not strand the
+    // other members on the lock: the runtime releases it on unwind and
+    // aborts the force.
+    let p = boot(MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 2).with_secondaries(4..=7),
+    ]));
+    p.register("main", |ctx| {
+        let r = ctx.forcesplit(|f| {
+            let lock = f.lock_var("L")?;
+            let sc = f.shared_common("S", 1)?;
+            for _ in 0..50 {
+                f.critical(&lock, || {
+                    if f.member() == 1 && sc.get_int(0)? > 20 {
+                        panic!("deliberate panic holding the CRITICAL lock");
+                    }
+                    sc.fetch_add_int(0, 1)?;
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        });
+        assert!(r.is_err(), "the panic surfaces as a force error");
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+    assert_eq!(p.flex().shmem.report().in_use, 0);
+}

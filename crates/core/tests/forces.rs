@@ -1,0 +1,391 @@
+//! Tests of forces (paper, Section 7): FORCESPLIT, shared commons,
+//! barriers with leader sections, critical regions, PRESCHED/SELFSCHED
+//! loops, and parallel segments — including the paper's central invariant
+//! that the same program text computes the same result under any force
+//! size.
+
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot_with_force(secondaries: std::ops::RangeInclusive<u8>) -> Arc<Pisces> {
+    let config = MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 4).with_secondaries(secondaries)
+    ]);
+    Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
+}
+
+fn run(p: &Arc<Pisces>, tasktype: &str) {
+    p.initiate_top_level(1, tasktype, vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "machine failed to quiesce:\n{}",
+        p.dump_state()
+    );
+}
+
+#[test]
+fn forcesplit_runs_all_members_on_distinct_pes() {
+    let p = boot_with_force(4..=7); // force size 5
+    p.register("main", |ctx| {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        ctx.forcesplit(|f| {
+            assert_eq!(f.size(), 5);
+            seen.lock().push((f.member(), f.pe().number()));
+            Ok(())
+        })?;
+        let mut seen = seen.into_inner();
+        seen.sort();
+        let members: Vec<usize> = seen.iter().map(|&(m, _)| m).collect();
+        assert_eq!(members, vec![0, 1, 2, 3, 4]);
+        let pes: std::collections::BTreeSet<u8> = seen.iter().map(|&(_, pe)| pe).collect();
+        assert_eq!(pes.len(), 5, "members on distinct PEs: {seen:?}");
+        assert!(pes.contains(&3), "primary member on the primary PE");
+        Ok(())
+    });
+    run(&p, "main");
+    assert_eq!(p.stats().snapshot().forcesplits, 1);
+    p.shutdown();
+}
+
+#[test]
+fn no_secondaries_means_no_splitting() {
+    // Section 9e: "A task executing a FORCESPLIT in cluster 1 will then
+    // cause no parallel splitting."
+    let config = MachineConfig::new(vec![ClusterConfig::new(1, 3, 4)]);
+    let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+    p.register("main", |ctx| {
+        let count = AtomicUsize::new(0);
+        ctx.forcesplit(|f| {
+            assert_eq!(f.size(), 1);
+            assert!(f.is_primary());
+            count.fetch_add(1, Ordering::Relaxed);
+            f.barrier()?; // degenerate barrier must not deadlock
+            Ok(())
+        })?;
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn shared_common_visible_to_all_members() {
+    let p = boot_with_force(4..=6); // size 4
+    p.register("main", |ctx| {
+        ctx.forcesplit(|f| {
+            let sc = f.shared_common("TOTALS", 8)?;
+            sc.fetch_add_int(0, 1 + f.member() as i64)?;
+            f.barrier()?;
+            // 1+2+3+4 = 10 visible to everyone after the barrier.
+            assert_eq!(sc.get_int(0)?, 10);
+            Ok(())
+        })
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn barrier_leader_section_runs_once_between_phases() {
+    let p = boot_with_force(4..=8); // size 6
+    p.register("main", |ctx| {
+        let leader_runs = AtomicUsize::new(0);
+        ctx.forcesplit(|f| {
+            let sc = f.shared_common("B", 2)?;
+            for round in 0..5 {
+                sc.fetch_add_int(0, 1)?;
+                f.barrier_with(|| {
+                    leader_runs.fetch_add(1, Ordering::Relaxed);
+                    // All six arrivals of this round are visible to the
+                    // primary inside the barrier body.
+                    assert_eq!(sc.get_int(0)?, 6 * (round + 1));
+                    sc.set_int(1, round)?;
+                    Ok(())
+                })?;
+                // And the leader's write is visible to every member after.
+                assert_eq!(sc.get_int(1)?, round);
+            }
+            Ok(())
+        })?;
+        assert_eq!(leader_runs.load(Ordering::Relaxed), 5);
+        Ok(())
+    });
+    run(&p, "main");
+    assert_eq!(p.stats().snapshot().barrier_entries, 5 * 6);
+    p.shutdown();
+}
+
+#[test]
+fn critical_sections_serialize_members() {
+    let p = boot_with_force(4..=9); // size 7
+    p.register("main", |ctx| {
+        ctx.forcesplit(|f| {
+            let sc = f.shared_common("ACC", 1)?;
+            let lock = f.lock_var("GUARD")?;
+            for _ in 0..50 {
+                f.critical(&lock, || {
+                    // Deliberately non-atomic read-modify-write.
+                    let v = sc.get_int(0)?;
+                    sc.set_int(0, v + 1)?;
+                    Ok(())
+                })?;
+            }
+            f.barrier()?;
+            assert_eq!(sc.get_int(0)?, 7 * 50);
+            Ok(())
+        })
+    });
+    run(&p, "main");
+    assert_eq!(p.stats().snapshot().criticals, 7 * 50);
+    p.shutdown();
+}
+
+#[test]
+fn presched_partitions_iterations_exactly() {
+    let p = boot_with_force(4..=6); // size 4
+    p.register("main", |ctx| {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let hits = Arc::new(hits);
+        let owners = parking_lot::Mutex::new(std::collections::HashMap::new());
+        ctx.forcesplit(|f| {
+            f.presched(0, 99, |i| {
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                owners.lock().insert(i, f.member());
+                Ok(())
+            })
+        })?;
+        // Every iteration done exactly once.
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // And assigned cyclically: "the Ith force member takes iterations
+        // I, N+I, 2*N+I, etc." (0-based here: member = k mod N).
+        let owners = owners.into_inner();
+        for k in 0..100i64 {
+            assert_eq!(owners[&k], (k % 4) as usize, "iteration {k}");
+        }
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn presched_with_step_and_negative_direction() {
+    let p = boot_with_force(4..=5); // size 3
+    p.register("main", |ctx| {
+        let sum = AtomicUsize::new(0);
+        ctx.forcesplit(|f| {
+            f.presched_step(10, 1, -3, |v| {
+                sum.fetch_add(v as usize, Ordering::Relaxed);
+                Ok(())
+            })
+        })?;
+        // 10 + 7 + 4 + 1 = 22, each exactly once across the force.
+        assert_eq!(sum.load(Ordering::Relaxed), 22);
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn selfsched_covers_all_iterations_exactly_once() {
+    let p = boot_with_force(4..=9); // size 7
+    p.register("main", |ctx| {
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
+        ctx.forcesplit(|f| {
+            f.selfsched(0, 499, |i| {
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+        })?;
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn consecutive_selfsched_loops_use_fresh_counters() {
+    let p = boot_with_force(4..=6); // size 4
+    p.register("main", |ctx| {
+        let first = Arc::new(AtomicUsize::new(0));
+        let second = Arc::new(AtomicUsize::new(0));
+        ctx.forcesplit(|f| {
+            f.selfsched(1, 30, |_| {
+                first.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })?;
+            f.barrier()?;
+            f.selfsched(1, 20, |_| {
+                second.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })?;
+            Ok(())
+        })?;
+        assert_eq!(first.load(Ordering::Relaxed), 30);
+        assert_eq!(second.load(Ordering::Relaxed), 20);
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn parseg_distributes_segments_like_presched() {
+    let p = boot_with_force(4..=5); // size 3
+    p.register("main", |ctx| {
+        let ran = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        ctx.forcesplit(|f| {
+            let ran = ran.clone();
+            let member = f.member();
+            let segs: Vec<Box<dyn FnOnce() -> Result<()>>> = (0..7)
+                .map(|i| {
+                    let ran = ran.clone();
+                    Box::new(move || {
+                        ran.lock().push((i, member));
+                        Ok(())
+                    }) as Box<dyn FnOnce() -> Result<()>>
+                })
+                .collect();
+            f.parseg(segs)
+        })?;
+        let mut ran = ran.lock().clone();
+        ran.sort();
+        let segs: Vec<usize> = ran.iter().map(|&(i, _)| i).collect();
+        assert_eq!(segs, vec![0, 1, 2, 3, 4, 5, 6], "each segment ran once");
+        for &(i, m) in ran.iter() {
+            assert_eq!(m, i % 3, "segment {i} ran on member {m}");
+        }
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn same_text_any_force_size_same_result() {
+    // The paper's key claim: "The same program text may be executed
+    // without change by a force of any number of members — only the
+    // performance of the program will change, not its semantics."
+    // Program: π by midpoint integration of 4/(1+x²) over [0,1].
+    fn pi_program(ctx: &TaskCtx) -> Result<f64> {
+        const N: i64 = 20_000;
+        let result = parking_lot::Mutex::new(0.0);
+        ctx.forcesplit(|f| {
+            let sc = f.shared_common("PI", 1)?;
+            let lock = f.lock_var("PI_LOCK")?;
+            let mut local = 0.0;
+            f.presched(0, N - 1, |i| {
+                let x = (i as f64 + 0.5) / N as f64;
+                local += 4.0 / (1.0 + x * x);
+                Ok(())
+            })?;
+            f.critical(&lock, || {
+                sc.add_real(0, local)?;
+                Ok(())
+            })?;
+            f.barrier_with(|| {
+                *result.lock() = sc.get_real(0)? / N as f64;
+                Ok(())
+            })?;
+            Ok(())
+        })?;
+        let r = *result.lock();
+        Ok(r)
+    }
+
+    let mut answers = Vec::new();
+    for secondaries in [0u8, 2, 5, 9] {
+        let config = MachineConfig::new(vec![if secondaries == 0 {
+            ClusterConfig::new(1, 3, 4)
+        } else {
+            ClusterConfig::new(1, 3, 4).with_secondaries(4..=(3 + secondaries))
+        }]);
+        let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+        let answer = Arc::new(parking_lot::Mutex::new(0.0));
+        let a2 = answer.clone();
+        p.register("main", move |ctx| {
+            *a2.lock() = pi_program(ctx)?;
+            Ok(())
+        });
+        run(&p, "main");
+        answers.push(*answer.lock());
+        p.shutdown();
+    }
+    for a in &answers {
+        assert!((a - std::f64::consts::PI).abs() < 1e-6, "π ≈ {a}");
+    }
+    // Bitwise equality is not promised (summation order differs); value
+    // equality within integration error is the semantic invariant.
+}
+
+#[test]
+fn member_error_aborts_whole_force() {
+    let p = boot_with_force(4..=7); // size 5
+    p.register("main", |ctx| {
+        let r = ctx.forcesplit(|f| {
+            if f.member() == 3 {
+                return Err(PiscesError::Internal("member 3 fails".into()));
+            }
+            // Everyone else parks at a barrier that can never complete;
+            // the abort must unstick them.
+            f.barrier()?;
+            Ok(())
+        });
+        assert!(r.is_err(), "force reports the member failure");
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn nested_forcesplit_rejected() {
+    let p = boot_with_force(4..=5);
+    p.register("main", |ctx| {
+        ctx.forcesplit(|f| {
+            if f.is_primary() {
+                let e = ctx.forcesplit(|_| Ok(())).unwrap_err();
+                assert!(matches!(e, PiscesError::Internal(_)));
+            }
+            Ok(())
+        })
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn force_members_share_pe_clocks_with_multiprogramming() {
+    // Two tasks in one cluster each split into forces over the same
+    // secondary PEs — the Section 9 "sum of slots" multiprogramming story.
+    let p = boot_with_force(4..=6);
+    let done = Arc::new(AtomicUsize::new(0));
+    let d2 = done.clone();
+    p.register("splitter", move |ctx| {
+        ctx.forcesplit(|f| {
+            f.work(50)?;
+            f.barrier()?;
+            Ok(())
+        })?;
+        d2.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "splitter", vec![])?;
+        ctx.initiate(Where::Same, "splitter", vec![])?;
+        Ok(())
+    });
+    run(&p, "main");
+    assert_eq!(done.load(Ordering::Relaxed), 2);
+    // Secondary PEs ran force members from both tasks.
+    for pe in 4..=6 {
+        let clock = p.flex().pe(flex32::PeId::new(pe).unwrap()).clock.now();
+        assert!(clock > 0, "PE{pe} did force work (clock {clock})");
+    }
+    p.shutdown();
+}

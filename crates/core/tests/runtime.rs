@@ -1,0 +1,698 @@
+//! End-to-end tests of the PISCES 2 runtime: task initiation and slots,
+//! message passing and ACCEPT semantics, taskid exchange, broadcast,
+//! tracing, kill, and storage recovery.
+
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot(config: MachineConfig) -> Arc<Pisces> {
+    Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
+}
+
+fn run_to_quiescence(p: &Arc<Pisces>) {
+    assert!(
+        p.wait_quiescent(Duration::from_secs(30)),
+        "machine failed to quiesce:\n{}",
+        p.dump_state()
+    );
+}
+
+#[test]
+fn parent_child_roundtrip() {
+    let p = boot(MachineConfig::simple(2, 4));
+    p.register("child", |ctx| {
+        let n = ctx.arg(0)?.as_int()?;
+        ctx.send(To::Parent, "RESULT", args![n * n])
+    });
+    let seen = Arc::new(AtomicUsize::new(0));
+    let seen2 = seen.clone();
+    p.register("main", move |ctx| {
+        for i in 1..=4 {
+            ctx.initiate(Where::Any, "child", args![i as i64])?;
+        }
+        let seen = seen2.clone();
+        let out = ctx
+            .accept()
+            .of(4)
+            .handle("RESULT", move |m| {
+                seen.fetch_add(m.args[0].as_int()? as usize, Ordering::Relaxed);
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(out.count("RESULT"), 4);
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    assert_eq!(seen.load(Ordering::Relaxed), 1 + 4 + 9 + 16);
+    let s = p.stats().snapshot();
+    assert_eq!(s.tasks_initiated, 5);
+    assert_eq!(s.tasks_completed, 5);
+    p.shutdown();
+}
+
+#[test]
+fn slot_exhaustion_queues_initiates() {
+    // One cluster, two slots; main occupies one, so only one child can run
+    // at a time. All 5 children must still complete, serially.
+    let p = boot(MachineConfig::simple(1, 2));
+    p.register("child", |ctx| ctx.send(To::Parent, "DONE", vec![]));
+    p.register("main", |ctx| {
+        for _ in 0..5 {
+            ctx.initiate(Where::Same, "child", vec![])?;
+        }
+        let out = ctx.accept().of(5).signal("DONE").run()?;
+        assert_eq!(out.count("DONE"), 5);
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    let s = p.stats().snapshot();
+    assert_eq!(s.tasks_completed, 6);
+    assert!(
+        s.initiates_queued >= 1,
+        "with 2 slots and 6 tasks some initiate must have waited (got {})",
+        s.initiates_queued
+    );
+    p.shutdown();
+}
+
+#[test]
+fn taskid_exchange_builds_topology() {
+    // The paper's topology-growth story: children report their SELF ids to
+    // the parent; the parent then connects them pairwise so they can talk
+    // directly (never through the parent).
+    let p = boot(MachineConfig::simple(3, 4));
+    p.register("worker", |ctx| {
+        ctx.send(To::Parent, "HELLO", args![ctx.id()])?;
+        // Learn our peer's id from the parent, then ping it directly.
+        let mut peer = None;
+        ctx.accept()
+            .of(1)
+            .handle("PEER", |m| {
+                peer = Some(m.args[0].as_taskid()?);
+                Ok(())
+            })
+            .run()?;
+        let peer = peer.unwrap();
+        ctx.send(To::Task(peer), "PING", args![ctx.id()])?;
+        ctx.accept().of(1).signal("PING").run()?;
+        ctx.send(To::Parent, "DONE", vec![])?;
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Cluster(2), "worker", vec![])?;
+        ctx.initiate(Where::Cluster(3), "worker", vec![])?;
+        let mut ids = Vec::new();
+        ctx.accept()
+            .of(2)
+            .handle("HELLO", |m| {
+                ids.push(m.args[0].as_taskid()?);
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(ids.len(), 2);
+        ctx.send(To::Task(ids[0]), "PEER", args![ids[1]])?;
+        ctx.send(To::Task(ids[1]), "PEER", args![ids[0]])?;
+        ctx.accept().of(2).signal("DONE").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn sender_destination_replies() {
+    let p = boot(MachineConfig::simple(2, 4));
+    p.register("server", |ctx| {
+        // Answer three requests, each to whoever sent it.
+        for _ in 0..3 {
+            let mut n = 0;
+            ctx.accept()
+                .of(1)
+                .handle("ASK", |m| {
+                    n = m.args[0].as_int()?;
+                    Ok(())
+                })
+                .run()?;
+            ctx.send(To::Sender, "ANSWER", args![n + 100])?;
+        }
+        Ok(())
+    });
+    p.register("asker", |ctx| {
+        let server = ctx.arg(0)?.as_taskid()?;
+        let n = ctx.arg(1)?.as_int()?;
+        ctx.send(To::Task(server), "ASK", args![n])?;
+        let mut got = 0;
+        ctx.accept()
+            .of(1)
+            .handle("ANSWER", |m| {
+                got = m.args[0].as_int()?;
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(got, n + 100);
+        ctx.send(To::Parent, "OK", vec![])?;
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Other, "server", vec![])?;
+        let mut server = None;
+        // The server's id reaches us via its first ASK? No — we learn it by
+        // having the server announce itself.
+        ctx.accept()
+            .of(1)
+            .handle("READY", |m| {
+                server = Some(m.sender);
+                Ok(())
+            })
+            .run()?;
+        let server = server.unwrap();
+        for i in 0..3 {
+            ctx.initiate(Where::Any, "asker", args![server, i as i64])?;
+        }
+        ctx.accept().of(3).signal("OK").run()?;
+        Ok(())
+    });
+    // Have the server announce itself first.
+    p.register("server_announcing", |ctx| {
+        ctx.send(To::Parent, "READY", vec![])?;
+        for _ in 0..3 {
+            let mut n = 0;
+            ctx.accept()
+                .of(1)
+                .handle("ASK", |m| {
+                    n = m.args[0].as_int()?;
+                    Ok(())
+                })
+                .run()?;
+            ctx.send(To::Sender, "ANSWER", args![n + 100])?;
+        }
+        Ok(())
+    });
+    // Rebind main to the announcing server.
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Other, "server_announcing", vec![])?;
+        let mut server = None;
+        ctx.accept()
+            .of(1)
+            .handle("READY", |m| {
+                server = Some(m.sender);
+                Ok(())
+            })
+            .run()?;
+        let server = server.unwrap();
+        for i in 0..3 {
+            ctx.initiate(Where::Any, "asker", args![server, i as i64])?;
+        }
+        ctx.accept().of(3).signal("OK").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn broadcast_reaches_cluster_members_only() {
+    let p = boot(MachineConfig::simple(2, 4));
+    p.register("listener", |ctx| {
+        let out = ctx
+            .accept()
+            .signal_count("GO", 1)
+            .delay_then(Duration::from_millis(800), || {})
+            .run()?;
+        ctx.send(
+            To::Parent,
+            if out.timed_out { "MISSED" } else { "HEARD" },
+            vec![],
+        )
+    });
+    p.register("main", |ctx| {
+        // Two listeners in cluster 1 (with us), one in cluster 2.
+        ctx.initiate(Where::Same, "listener", vec![])?;
+        ctx.initiate(Where::Same, "listener", vec![])?;
+        ctx.initiate(Where::Cluster(2), "listener", vec![])?;
+        // Give them a moment to block in ACCEPT, then broadcast to our
+        // cluster only.
+        ctx.work(10)?;
+        std::thread::sleep(Duration::from_millis(100));
+        let delivered = ctx.send_all(Some(1), "GO", vec![])?;
+        assert_eq!(delivered, 2, "only the two same-cluster listeners");
+        let out = ctx
+            .accept()
+            .signal_count("HEARD", 2)
+            .signal_count("MISSED", 1)
+            .run()?;
+        assert_eq!(out.count("HEARD"), 2);
+        assert_eq!(out.count("MISSED"), 1);
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn accept_all_drains_without_waiting() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        ctx.send(To::Myself, "NOTE", args![1i64])?;
+        ctx.send(To::Myself, "NOTE", args![2i64])?;
+        ctx.send(To::Myself, "OTHER", vec![])?;
+        let out = ctx.accept().signal_all("NOTE").run()?;
+        assert_eq!(out.count("NOTE"), 2);
+        // The OTHER message is still queued; drain it so the run is clean.
+        let out = ctx.accept().signal_all("OTHER").run()?;
+        assert_eq!(out.count("OTHER"), 1);
+        // Draining an absent type completes immediately with zero.
+        let out = ctx.accept().signal_all("ABSENT").run()?;
+        assert_eq!(out.count("ABSENT"), 0);
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn accept_delay_timeout_paths() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        // DELAY with a body: runs the body, returns normally.
+        let mut ran = false;
+        let out = ctx
+            .accept()
+            .signal_count("NEVER", 1)
+            .delay_then(Duration::from_millis(50), || ran = true)
+            .run()?;
+        assert!(out.timed_out);
+        assert!(ran);
+        assert_eq!(out.count("NEVER"), 0);
+        // DELAY without a body: an AcceptTimeout error.
+        let err = ctx
+            .accept()
+            .signal_count("NEVER", 1)
+            .delay(Duration::from_millis(50))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PiscesError::AcceptTimeout));
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    assert_eq!(p.stats().snapshot().accept_timeouts, 2);
+    p.shutdown();
+}
+
+#[test]
+fn accept_respects_arrival_order_within_type() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        for i in 0..5 {
+            ctx.send(To::Myself, "SEQ", args![i as i64])?;
+        }
+        let mut got = Vec::new();
+        ctx.accept()
+            .of(5)
+            .handle("SEQ", |m| {
+                got.push(m.args[0].as_int()?);
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn message_storage_is_recovered_after_accept() {
+    // E2: "storage used for message passing is dynamically recovered and
+    // reused" (paper, Section 13).
+    let p = boot(MachineConfig::simple(1, 4));
+    let baseline = p
+        .storage_report()
+        .shm
+        .tag_bytes(flex32::shmem::ShmTag::Message);
+    p.register("main", |ctx| {
+        for round in 0..50 {
+            ctx.send(To::Myself, "CHURN", args![round as i64, vec![0.0f64; 64]])?;
+            ctx.accept().of(1).signal("CHURN").run()?;
+        }
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    let mut after = 0;
+    for _ in 0..100 {
+        after = p
+            .storage_report()
+            .shm
+            .tag_bytes(flex32::shmem::ShmTag::Message);
+        if after == baseline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(after, baseline, "all message storage recovered");
+    let hw = p.storage_report().shm.high_water_by_tag[&flex32::shmem::ShmTag::Message];
+    assert!(hw > 0, "messages really did use the heap (peak {hw} B)");
+    p.shutdown();
+}
+
+#[test]
+fn unaccepted_messages_accumulate_until_task_dies() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        for _ in 0..20 {
+            ctx.send(To::Myself, "PILE", args![vec![0.0f64; 32]])?;
+        }
+        let mid = ctx
+            .machine()
+            .storage_report()
+            .shm
+            .tag_bytes(flex32::shmem::ShmTag::Message);
+        assert!(
+            mid >= 20 * 32 * 8,
+            "queued messages hold shared memory ({mid} B)"
+        );
+        Ok(())
+        // …and they are released when the task terminates.
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    // The dying task's TERM$ may still be in the controller's queue for a
+    // moment after quiescence; poll briefly.
+    let mut after = 0;
+    for _ in 0..100 {
+        after = p
+            .storage_report()
+            .shm
+            .tag_bytes(flex32::shmem::ShmTag::Message);
+        if after == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(after, 0);
+    assert!(p.stats().snapshot().messages_deleted >= 20);
+    p.shutdown();
+}
+
+#[test]
+fn to_user_reaches_the_terminal() {
+    let p = boot(MachineConfig::simple(2, 4));
+    p.register("main", |ctx| {
+        ctx.send(To::User, "STATUS", args!["phase one complete", 42i64])?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    // Give the user controller a beat to print.
+    std::thread::sleep(Duration::from_millis(100));
+    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    assert!(
+        console
+            .iter()
+            .any(|l| l.contains("STATUS") && l.contains("phase one complete")),
+        "terminal shows the message: {console:?}"
+    );
+    p.shutdown();
+}
+
+#[test]
+fn kill_task_interrupts_blocked_accept() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("stuck", |ctx| {
+        let r = ctx.accept().of(1).signal("NEVER").run();
+        assert!(matches!(r, Err(PiscesError::Killed)));
+        r.map(|_| ())
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "stuck", vec![])?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    // Wait for the stuck task to appear, then kill it (menu option 2).
+    let victim = 'found: {
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(20));
+            if let Some(t) = p
+                .snapshot_tasks()
+                .into_iter()
+                .find(|t| t.tasktype == "stuck")
+            {
+                break 'found Some(t.id);
+            }
+        }
+        None
+    }
+    .expect("stuck task never appeared");
+    p.kill_task(victim).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn tracing_captures_the_run() {
+    let mut config = MachineConfig::simple(2, 4);
+    config.trace = TraceSettings::all();
+    let p = boot(config);
+    p.register("child", |ctx| ctx.send(To::Parent, "DONE", vec![]));
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Other, "child", vec![])?;
+        ctx.accept().of(1).signal("DONE").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    let records = p.tracer().records();
+    let kinds: std::collections::BTreeSet<_> = records.iter().map(|r| r.kind).collect();
+    assert!(kinds.contains(&TraceEventKind::TaskInit));
+    assert!(kinds.contains(&TraceEventKind::TaskTerm));
+    assert!(kinds.contains(&TraceEventKind::MsgSend));
+    assert!(kinds.contains(&TraceEventKind::MsgAccept));
+    // Clock readings carry the PE of the emitting task.
+    assert!(records.iter().all(|r| (1..=20).contains(&r.pe)));
+    // Init precedes term for the child.
+    let child_init = records
+        .iter()
+        .position(|r| r.kind == TraceEventKind::TaskInit && r.info.starts_with("child"))
+        .unwrap();
+    let child_term = records
+        .iter()
+        .position(|r| r.kind == TraceEventKind::TaskTerm && r.seq > records[child_init].seq)
+        .unwrap();
+    assert!(child_init < child_term);
+    p.shutdown();
+}
+
+#[test]
+fn initiate_unknown_tasktype_reports_on_console() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "no_such_type", vec![])?;
+        ctx.work(1)?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    std::thread::sleep(Duration::from_millis(100));
+    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    assert!(
+        console.iter().any(|l| l.contains("no_such_type")),
+        "console reports the failed INITIATE: {console:?}"
+    );
+    p.shutdown();
+}
+
+#[test]
+fn other_requires_two_clusters() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        let e = ctx.initiate(Where::Other, "main", vec![]).unwrap_err();
+        assert!(matches!(e, PiscesError::BadConfiguration(_)));
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn send_to_dead_task_errors() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("shortlived", |_| Ok(()));
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "shortlived", vec![])?;
+        // Learn the child's id by construction: wait for quiescence-ish,
+        // then fabricate a send to a never-existing id.
+        let bogus = TaskId::new(1, 9, 99);
+        let e = ctx.send(To::Task(bogus), "X", vec![]).unwrap_err();
+        assert!(matches!(e, PiscesError::NoSuchTask(_)));
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn user_send_and_queue_inspection() {
+    // Exercise the execution-environment back-end: user-originated sends,
+    // queue snapshots, and message deletion.
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("idle", |ctx| {
+        let out = ctx
+            .accept()
+            .signal_count("STOP", 1)
+            .delay_then(Duration::from_secs(20), || {})
+            .run()?;
+        assert!(
+            !out.timed_out,
+            "should be stopped by the user, not time out"
+        );
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "idle", vec![])?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    let idle = 'found: {
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(20));
+            if let Some(t) = p
+                .snapshot_tasks()
+                .into_iter()
+                .find(|t| t.tasktype == "idle")
+            {
+                break 'found Some(t.id);
+            }
+        }
+        None
+    }
+    .expect("idle task never appeared");
+
+    // Pile up junk, inspect, delete, then release the task.
+    p.user_send(idle, "JUNK", args![1i64]).unwrap();
+    p.user_send(idle, "JUNK", args![2i64]).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let q = p.queue_snapshot(idle).unwrap();
+    assert_eq!(q.len(), 2);
+    assert!(q.iter().all(|(t, s, _)| t == "JUNK" && *s == USER_ID));
+    assert_eq!(p.delete_messages(idle, "JUNK").unwrap(), 2);
+    assert!(p.queue_snapshot(idle).unwrap().is_empty());
+    p.user_send(idle, "STOP", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+}
+
+#[test]
+fn snapshot_tasks_shows_controllers_and_states() {
+    let p = boot(MachineConfig::simple(2, 4));
+    let tasks = p.snapshot_tasks();
+    // 2 task controllers + 1 user controller (auto-attached to cluster 1).
+    let controllers: Vec<_> = tasks.iter().filter(|t| t.is_controller).collect();
+    assert_eq!(controllers.len(), 3);
+    assert!(controllers.iter().any(|t| t.tasktype == "user-controller"));
+    p.shutdown();
+}
+
+#[test]
+fn shutdown_releases_all_shared_memory() {
+    let p = boot(MachineConfig::section9_example());
+    p.register("main", |ctx| {
+        let sc = ctx.shared_common("BLK", 128)?;
+        sc.set_real(0, 1.0)?;
+        let _w = ctx.register_array(&vec![0.0; 256], 16, 16)?;
+        ctx.send(To::Myself, "KEEP", args![vec![1.0f64; 100]])?;
+        Ok(()) // dies with a queued message, a shared common, an array
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    p.shutdown();
+    let r = p.flex().shmem.report();
+    assert_eq!(r.in_use, 0, "everything freed at shutdown: {r:?}");
+    p.flex().shmem.check_invariants().unwrap();
+}
+
+#[test]
+fn time_limit_kills_runaway_tasks() {
+    let mut config = MachineConfig::simple(1, 2);
+    config.time_limit_ticks = Some(5_000);
+    let p = boot(config);
+    p.register("runaway", |ctx| {
+        loop {
+            ctx.work(100)?; // will eventually exceed the limit
+        }
+    });
+    p.initiate_top_level(1, "runaway", vec![]).unwrap();
+    run_to_quiescence(&p);
+    let records = p.tracer().records();
+    // Not traced (tracing off) — check stats instead.
+    assert_eq!(p.stats().snapshot().tasks_completed, 1);
+    assert!(records.is_empty());
+    p.shutdown();
+}
+
+#[test]
+fn any_placement_balances_across_clusters() {
+    // ON ANY INITIATE: "run in a system-chosen cluster" — the chooser
+    // prefers the cluster with the most available slots, so a burst of
+    // initiates spreads rather than piling onto one cluster.
+    let p = boot(MachineConfig::simple(4, 8));
+    let placements = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let pl2 = placements.clone();
+    p.register("sleeper", move |ctx| {
+        pl2.lock().push(ctx.cluster());
+        // Stay alive long enough that early placements occupy slots.
+        let _ = ctx
+            .accept()
+            .signal_count("GO", 1)
+            .delay_then(Duration::from_secs(10), || {})
+            .run()?;
+        Ok(())
+    });
+    p.register("main", |ctx| {
+        for _ in 0..20 {
+            ctx.initiate(Where::Any, "sleeper", vec![])?;
+        }
+        // Wait for all 20 to be placed, then release them.
+        for _ in 0..200 {
+            std::thread::sleep(Duration::from_millis(20));
+            let live = ctx
+                .machine()
+                .snapshot_tasks()
+                .iter()
+                .filter(|t| t.tasktype == "sleeper")
+                .count();
+            if live == 20 {
+                break;
+            }
+        }
+        ctx.send_all(None, "GO", vec![])?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    let placements = placements.lock().clone();
+    assert_eq!(placements.len(), 20);
+    let mut per_cluster = std::collections::BTreeMap::new();
+    for c in placements {
+        *per_cluster.entry(c).or_insert(0usize) += 1;
+    }
+    // All four clusters were used, and no cluster hogged the burst.
+    assert_eq!(per_cluster.len(), 4, "{per_cluster:?}");
+    assert!(
+        per_cluster.values().all(|&n| (3..=8).contains(&n)),
+        "placement spread: {per_cluster:?}"
+    );
+    p.shutdown();
+}

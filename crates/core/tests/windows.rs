@@ -1,0 +1,251 @@
+//! Tests of windows (paper, Section 8): registration, remote read/write,
+//! shrinking, hierarchical partitioning without data flowing through the
+//! partitioning tasks, and file-controller windows on secondary storage.
+
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot() -> Arc<Pisces> {
+    Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(3, 4)).unwrap()
+}
+
+fn run(p: &Arc<Pisces>, tasktype: &str) {
+    p.initiate_top_level(1, tasktype, vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(30)),
+        "machine failed to quiesce:\n{}",
+        p.dump_state()
+    );
+}
+
+#[test]
+fn window_read_sees_owner_data() {
+    let p = boot();
+    p.register("reader", |ctx| {
+        let w = ctx.arg(0)?.as_window()?.clone();
+        let data = ctx.window_read(&w)?;
+        // Band rows 1..3 of the 4×4 matrix of values r*10+c.
+        assert_eq!(data, vec![10.0, 11.0, 12.0, 13.0, 20.0, 21.0, 22.0, 23.0]);
+        ctx.send(To::Parent, "DONE", vec![])
+    });
+    p.register("main", |ctx| {
+        let a: Vec<f64> = (0..16).map(|k| ((k / 4) * 10 + k % 4) as f64).collect();
+        let w = ctx.register_array(&a, 4, 4)?;
+        let band = w.shrink(1..3, 0..4).map_err(PiscesError::BadWindow)?;
+        ctx.initiate(Where::Other, "reader", args![band])?;
+        ctx.accept().of(1).signal("DONE").run()?;
+        Ok(())
+    });
+    run(&p, "main");
+    assert_eq!(p.stats().snapshot().window_reads, 1);
+    p.shutdown();
+}
+
+#[test]
+fn window_write_updates_owner_array() {
+    let p = boot();
+    p.register("writer", |ctx| {
+        let w = ctx.arg(0)?.as_window()?.clone();
+        ctx.window_write(&w, &vec![7.0; w.len()])?;
+        ctx.send(To::Parent, "DONE", vec![])
+    });
+    p.register("main", |ctx| {
+        let a = vec![0.0; 36];
+        let w = ctx.register_array(&a, 6, 6)?;
+        let corner = w.shrink(0..2, 4..6).map_err(PiscesError::BadWindow)?;
+        ctx.initiate(Where::Other, "writer", args![corner])?;
+        ctx.accept().of(1).signal("DONE").run()?;
+        // Read the full array back: only the corner changed.
+        let all = ctx.window_read(&w)?;
+        let mut expect = vec![0.0; 36];
+        for r in 0..2 {
+            for c in 4..6 {
+                expect[r * 6 + c] = 7.0;
+            }
+        }
+        assert_eq!(all, expect);
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn hierarchical_partitioning_through_shrunk_windows() {
+    // The Section 8 pattern: a partitioner receives a window, makes
+    // copies, shrinks them, and hands them on; "the array values only need
+    // be transmitted once, to the task assigned the actual processing".
+    let p = boot();
+    p.register("leaf", |ctx| {
+        let w = ctx.arg(0)?.as_window()?.clone();
+        let data = ctx.window_read(&w)?;
+        let sum: f64 = data.iter().sum();
+        ctx.send(To::Parent, "SUM", args![sum])
+    });
+    p.register("partitioner", |ctx| {
+        let w = ctx.arg(0)?.as_window()?.clone();
+        // Split our window into two bands — windows are partitioned
+        // WITHOUT reading the data.
+        let bands = w.split_rows(2);
+        for b in bands {
+            ctx.initiate(Where::Any, "leaf", args![b])?;
+        }
+        let mut total = 0.0;
+        ctx.accept()
+            .of(2)
+            .handle("SUM", |m| {
+                total += m.args[0].as_real()?;
+                Ok(())
+            })
+            .run()?;
+        ctx.send(To::Parent, "SUM", args![total])
+    });
+    p.register("main", |ctx| {
+        let n = 8;
+        let a: Vec<f64> = (0..n * n).map(|k| k as f64).collect();
+        let expect: f64 = a.iter().sum();
+        let w = ctx.register_array(&a, n, n)?;
+        for b in w.split_rows(2) {
+            ctx.initiate(Where::Other, "partitioner", args![b])?;
+        }
+        let mut total = 0.0;
+        ctx.accept()
+            .of(2)
+            .handle("SUM", |m| {
+                total += m.args[0].as_real()?;
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(total, expect);
+        Ok(())
+    });
+    run(&p, "main");
+    // Four leaves each read one quarter: exactly n*n words moved by
+    // windows; the partitioners moved none of the array.
+    assert_eq!(p.stats().snapshot().window_words, 64);
+    assert_eq!(p.stats().snapshot().window_reads, 4);
+    p.shutdown();
+}
+
+#[test]
+fn file_windows_survive_task_death_and_reopen() {
+    let p = boot();
+    p.register("producer", |ctx| {
+        let data: Vec<f64> = (0..20).map(|k| k as f64 * 0.5).collect();
+        ctx.create_file_array("data/grid.arr", &data, 4, 5)?;
+        Ok(()) // dies; the file array persists (owner: file controller)
+    });
+    p.register("consumer", |ctx| {
+        let w = ctx.open_file_array("data/grid.arr")?;
+        assert_eq!(w.dims(), (4, 5));
+        let band = w.shrink(1..2, 1..4).map_err(PiscesError::BadWindow)?;
+        let got = ctx.window_read(&band)?;
+        assert_eq!(got, vec![3.0, 3.5, 4.0]);
+        // And write back through the window.
+        ctx.window_write(&band, &[9.0, 9.5, 10.0])?;
+        let again = ctx.window_read(&band)?;
+        assert_eq!(again, vec![9.0, 9.5, 10.0]);
+        ctx.send(To::Parent, "DONE", vec![])
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Same, "producer", vec![])?;
+        // Wait for the producer to finish before consuming.
+        ctx.work(1)?;
+        std::thread::sleep(Duration::from_millis(200));
+        ctx.initiate(Where::Other, "consumer", vec![])?;
+        ctx.accept().of(1).signal("DONE").run()?;
+        Ok(())
+    });
+    run(&p, "main");
+    // The file holds the written values even after everything terminated.
+    let bytes = p.flex().fs.read("data/grid.arr").unwrap();
+    assert_eq!(bytes.len(), 16 + 20 * 8);
+    p.shutdown();
+}
+
+#[test]
+fn window_on_dead_owner_errors() {
+    let p = boot();
+    p.register("owner", |ctx| {
+        let w = ctx.register_array(&[1.0; 4], 2, 2)?;
+        ctx.send(To::Parent, "WIN", args![w])?;
+        Ok(()) // dies immediately; its arrays are freed
+    });
+    p.register("main", |ctx| {
+        ctx.initiate(Where::Other, "owner", vec![])?;
+        let mut win = None;
+        ctx.accept()
+            .of(1)
+            .handle("WIN", |m| {
+                win = Some(m.args[0].as_window()?.clone());
+                Ok(())
+            })
+            .run()?;
+        // Wait until the owner is gone.
+        std::thread::sleep(Duration::from_millis(200));
+        let e = ctx.window_read(&win.unwrap()).unwrap_err();
+        assert!(matches!(e, PiscesError::BadWindow(_)), "got {e:?}");
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn window_write_length_must_match() {
+    let p = boot();
+    p.register("main", |ctx| {
+        let w = ctx.register_array(&[0.0; 9], 3, 3)?;
+        let e = ctx.window_write(&w, &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, PiscesError::BadWindow(_)));
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn register_array_validates_shape() {
+    let p = boot();
+    p.register("main", |ctx| {
+        assert!(ctx.register_array(&[0.0; 5], 2, 3).is_err());
+        assert!(ctx.register_array(&[], 0, 0).is_err());
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn concurrent_file_window_writers_do_not_tear() {
+    // "The file controller can manage any parallel read/write requests for
+    // overlapping sections of an array."
+    let p = boot();
+    p.register("writer", |ctx| {
+        let w = ctx.arg(0)?.as_window()?.clone();
+        let v = ctx.arg(1)?.as_real()?;
+        for _ in 0..20 {
+            ctx.window_write(&w, &vec![v; w.len()])?;
+            let back = ctx.window_read(&w)?;
+            // Under the file lock each read sees SOME writer's complete
+            // value for every element it wrote, never a torn mix within
+            // one row... here whole-window writes are serialized, so each
+            // element equals one of the two writers' values.
+            for x in back {
+                assert!(x == 1.0 || x == 2.0, "torn value {x}");
+            }
+        }
+        ctx.send(To::Parent, "DONE", vec![])
+    });
+    p.register("main", |ctx| {
+        ctx.create_file_array("shared.arr", &[1.0; 16], 4, 4)?;
+        let w = ctx.open_file_array("shared.arr")?;
+        ctx.initiate(Where::Other, "writer", args![w.clone(), 1.0])?;
+        ctx.initiate(Where::Other, "writer", args![w, 2.0])?;
+        ctx.accept().of(2).signal("DONE").run()?;
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}

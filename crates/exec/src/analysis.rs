@@ -1,0 +1,536 @@
+//! Off-line trace analysis.
+//!
+//! "Sending trace output to a file allows the user to study trace
+//! information and make timing analyses off-line." (paper, Section 12)
+//!
+//! [`TraceAnalysis`] consumes the trace records of a run (in memory or
+//! parsed back from a JSONL trace file) and derives the timing views a
+//! 1987 user would compute by hand: task lifetimes, per-PE activity,
+//! message-type histograms, send→accept matching, and barrier-round
+//! spreads.
+//!
+//! A caveat the paper's users faced too: each PE has its own tick clock
+//! and the clocks are not synchronized, so cross-PE tick differences are
+//! approximations; same-PE differences are exact.
+
+use pisces_core::taskid::TaskId;
+use pisces_core::trace::{TraceEventKind, TraceRecord};
+use std::collections::{BTreeMap, HashMap};
+
+/// Lifetime of one task as seen in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskLifetime {
+    /// Tasktype (from the TASK-INIT info field).
+    pub tasktype: String,
+    /// PE the task ran on.
+    pub pe: u8,
+    /// Clock reading at initiation.
+    pub init_ticks: u64,
+    /// Clock reading at termination (`None` if the task never terminated
+    /// within the trace).
+    pub term_ticks: Option<u64>,
+    /// Messages this task sent.
+    pub sends: usize,
+    /// Messages this task accepted.
+    pub accepts: usize,
+}
+
+impl TaskLifetime {
+    /// Ticks from initiation to termination (same PE, so exact).
+    pub fn lifetime_ticks(&self) -> Option<u64> {
+        self.term_ticks.map(|t| t.saturating_sub(self.init_ticks))
+    }
+}
+
+/// A send matched with its acceptance.
+#[derive(Debug, Clone)]
+pub struct MatchedMessage {
+    /// Message type.
+    pub mtype: String,
+    /// Sending task.
+    pub from: TaskId,
+    /// Receiving task.
+    pub to: TaskId,
+    /// Tick reading at the send, on the sender's PE.
+    pub send_ticks: u64,
+    /// Tick reading at the accept, on the receiver's PE.
+    pub accept_ticks: u64,
+    /// Whether both readings are from the same PE (exact latency).
+    pub same_pe: bool,
+}
+
+impl MatchedMessage {
+    /// Approximate queueing+transfer latency in ticks (exact when
+    /// `same_pe`).
+    pub fn latency_ticks(&self) -> i64 {
+        self.accept_ticks as i64 - self.send_ticks as i64
+    }
+}
+
+/// The derived analysis of one trace.
+#[derive(Debug, Default)]
+pub struct TraceAnalysis {
+    /// Per-task lifetimes, in taskid order.
+    pub tasks: BTreeMap<TaskId, TaskLifetime>,
+    /// Events per kind.
+    pub by_kind: BTreeMap<TraceEventKind, usize>,
+    /// MSG-SEND counts per message type.
+    pub sends_by_type: BTreeMap<String, usize>,
+    /// Highest tick reading observed per PE (activity horizon).
+    pub pe_horizon: BTreeMap<u8, u64>,
+    /// Matched send→accept pairs.
+    pub matched: Vec<MatchedMessage>,
+    /// Barrier entries per task.
+    pub barrier_entries: BTreeMap<TaskId, usize>,
+}
+
+fn split_info<'a>(info: &'a str, arrow: &str) -> Option<(&'a str, &'a str)> {
+    let (mtype, rest) = info.split_once(arrow)?;
+    Some((mtype.trim(), rest.trim()))
+}
+
+impl TraceAnalysis {
+    /// Analyze a run's trace records.
+    pub fn new(records: &[TraceRecord]) -> Self {
+        let mut a = TraceAnalysis::default();
+        // Pending sends keyed by (from, to, mtype) in emission order.
+        let mut pending: HashMap<(TaskId, String, String), Vec<&TraceRecord>> = HashMap::new();
+
+        for r in records {
+            *a.by_kind.entry(r.kind).or_insert(0) += 1;
+            let horizon = a.pe_horizon.entry(r.pe).or_insert(0);
+            *horizon = (*horizon).max(r.ticks);
+            match r.kind {
+                TraceEventKind::TaskInit => {
+                    let tasktype = r.info.split_whitespace().next().unwrap_or("?").to_string();
+                    a.tasks.insert(
+                        r.task,
+                        TaskLifetime {
+                            tasktype,
+                            pe: r.pe,
+                            init_ticks: r.ticks,
+                            term_ticks: None,
+                            sends: 0,
+                            accepts: 0,
+                        },
+                    );
+                }
+                TraceEventKind::TaskTerm => {
+                    if let Some(t) = a.tasks.get_mut(&r.task) {
+                        t.term_ticks = Some(r.ticks);
+                    }
+                }
+                TraceEventKind::MsgSend => {
+                    if let Some(t) = a.tasks.get_mut(&r.task) {
+                        t.sends += 1;
+                    }
+                    if let Some((mtype, to)) = split_info(&r.info, "->") {
+                        *a.sends_by_type.entry(mtype.to_string()).or_insert(0) += 1;
+                        pending
+                            .entry((r.task, to.to_string(), mtype.to_string()))
+                            .or_default()
+                            .push(r);
+                    }
+                }
+                TraceEventKind::MsgAccept => {
+                    if let Some(t) = a.tasks.get_mut(&r.task) {
+                        t.accepts += 1;
+                    }
+                    if let Some((mtype, from)) = split_info(&r.info, "<-") {
+                        // Match with the oldest unmatched send from that
+                        // sender to this task of this type.
+                        let key = (
+                            match crate::menu::parse_taskid(from) {
+                                Ok(t) => t,
+                                Err(_) => continue,
+                            },
+                            r.task.to_string(),
+                            mtype.to_string(),
+                        );
+                        if let Some(queue) = pending.get_mut(&key) {
+                            if !queue.is_empty() {
+                                let send = queue.remove(0);
+                                a.matched.push(MatchedMessage {
+                                    mtype: mtype.to_string(),
+                                    from: send.task,
+                                    to: r.task,
+                                    send_ticks: send.ticks,
+                                    accept_ticks: r.ticks,
+                                    same_pe: send.pe == r.pe,
+                                });
+                            }
+                        }
+                    }
+                }
+                TraceEventKind::Barrier => {
+                    *a.barrier_entries.entry(r.task).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        a
+    }
+
+    /// Analyze a JSONL trace file's contents.
+    pub fn from_jsonl(data: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self::new(&pisces_core::trace::Tracer::parse_jsonl(data)?))
+    }
+
+    /// Mean latency (ticks) of matched same-PE messages, if any.
+    pub fn mean_same_pe_latency(&self) -> Option<f64> {
+        let same: Vec<i64> = self
+            .matched
+            .iter()
+            .filter(|m| m.same_pe)
+            .map(MatchedMessage::latency_ticks)
+            .collect();
+        if same.is_empty() {
+            None
+        } else {
+            Some(same.iter().sum::<i64>() as f64 / same.len() as f64)
+        }
+    }
+
+    /// An ASCII Gantt chart of task lifetimes, one lane per task, grouped
+    /// by PE and drawn against that PE's own tick clock (per-PE clocks are
+    /// not synchronized, so lanes are only comparable within a PE group —
+    /// the same caveat the 1987 user faced).
+    pub fn gantt(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let width = width.max(20);
+        let mut s = String::from("TASK TIMELINES (per-PE tick clocks)\n");
+        let mut by_pe: BTreeMap<u8, Vec<(&TaskId, &TaskLifetime)>> = BTreeMap::new();
+        for (id, t) in &self.tasks {
+            by_pe.entry(t.pe).or_default().push((id, t));
+        }
+        for (pe, mut tasks) in by_pe {
+            let horizon = self.pe_horizon.get(&pe).copied().unwrap_or(0).max(1);
+            let _ = writeln!(s, "PE{pe} (0..{horizon} ticks)");
+            tasks.sort_by_key(|(_, t)| t.init_ticks);
+            for (id, t) in tasks {
+                let start = (t.init_ticks * width as u64 / horizon) as usize;
+                let end_ticks = t.term_ticks.unwrap_or(horizon);
+                let end = ((end_ticks * width as u64).div_ceil(horizon) as usize).max(start + 1);
+                let mut lane = vec![b' '; width.max(end)];
+                for c in lane.iter_mut().take(end.min(width)).skip(start.min(width)) {
+                    *c = b'#';
+                }
+                let bar = String::from_utf8(lane).expect("ascii");
+                let _ = writeln!(
+                    s,
+                    "  {:<12} {:<10} |{}|{}",
+                    id.to_string(),
+                    t.tasktype,
+                    &bar[..width],
+                    if t.term_ticks.is_none() {
+                        " (running)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        s
+    }
+
+    /// Render the analysis as the off-line report a user would print.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("TRACE ANALYSIS\n");
+        let _ = writeln!(s, "events by kind:");
+        for (k, n) in &self.by_kind {
+            let _ = writeln!(s, "  {:<12} {n}", k.label());
+        }
+        let _ = writeln!(s, "task lifetimes (ticks, exact — same-PE clock):");
+        for (id, t) in &self.tasks {
+            let _ = writeln!(
+                s,
+                "  {:<12} {:<14} PE{:<3} init@{:<8} life {:<8} sends {:<4} accepts {}",
+                id.to_string(),
+                t.tasktype,
+                t.pe,
+                t.init_ticks,
+                t.lifetime_ticks()
+                    .map_or("(running)".to_string(), |l| l.to_string()),
+                t.sends,
+                t.accepts
+            );
+        }
+        let _ = writeln!(s, "message sends by type:");
+        for (mtype, n) in &self.sends_by_type {
+            let _ = writeln!(s, "  {mtype:<16} {n}");
+        }
+        let _ = writeln!(
+            s,
+            "matched messages: {} ({} same-PE{})",
+            self.matched.len(),
+            self.matched.iter().filter(|m| m.same_pe).count(),
+            self.mean_same_pe_latency()
+                .map_or(String::new(), |l| format!(", mean latency {l:.1} ticks"))
+        );
+        let _ = writeln!(s, "PE activity horizon (ticks):");
+        for (pe, t) in &self.pe_horizon {
+            let _ = writeln!(s, "  PE{pe:<3} {t}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisces_core::prelude::*;
+    use std::time::Duration;
+
+    /// Run a real traced program and analyze it.
+    fn traced_run() -> Vec<TraceRecord> {
+        let mut config = MachineConfig::simple(2, 4);
+        config.trace = pisces_core::trace::TraceSettings::all();
+        let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+        p.register("child", |ctx: &TaskCtx| {
+            ctx.work(25)?;
+            ctx.send(To::Parent, "DONE", args![1i64])
+        });
+        p.register("main", |ctx: &TaskCtx| {
+            ctx.initiate(Where::Other, "child", vec![])?;
+            ctx.initiate(Where::Other, "child", vec![])?;
+            ctx.accept().of(2).signal("DONE").run()?;
+            Ok(())
+        });
+        p.initiate_top_level(1, "main", vec![]).unwrap();
+        assert!(p.wait_quiescent(Duration::from_secs(30)));
+        let records = p.tracer().records();
+        p.shutdown();
+        records
+    }
+
+    #[test]
+    fn lifetimes_and_counts_from_real_run() {
+        let records = traced_run();
+        let a = TraceAnalysis::new(&records);
+        // Three user tasks, all with complete lifetimes.
+        let user_tasks: Vec<_> = a
+            .tasks
+            .values()
+            .filter(|t| t.tasktype == "main" || t.tasktype == "child")
+            .collect();
+        assert_eq!(user_tasks.len(), 3);
+        for t in &user_tasks {
+            assert!(t.lifetime_ticks().is_some(), "{t:?}");
+            assert!(t.lifetime_ticks().unwrap() > 0);
+        }
+        // The DONE sends are matched to their accepts.
+        assert_eq!(a.sends_by_type.get("DONE"), Some(&2));
+        let done_matches: Vec<_> = a.matched.iter().filter(|m| m.mtype == "DONE").collect();
+        assert_eq!(done_matches.len(), 2);
+        // Children ran on PE4 (cluster 2), main on PE3: cross-PE matches.
+        assert!(done_matches.iter().all(|m| !m.same_pe));
+        assert!(a.by_kind[&TraceEventKind::TaskInit] >= 3);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_analysis() {
+        let records = traced_run();
+        let mut jsonl = String::new();
+        for r in &records {
+            jsonl.push_str(&serde_json::to_string(r).unwrap());
+            jsonl.push('\n');
+        }
+        let a = TraceAnalysis::from_jsonl(&jsonl).unwrap();
+        assert_eq!(a.by_kind, TraceAnalysis::new(&records).by_kind);
+    }
+
+    #[test]
+    fn report_mentions_key_sections() {
+        let records = traced_run();
+        let report = TraceAnalysis::new(&records).report();
+        assert!(report.contains("task lifetimes"));
+        assert!(report.contains("message sends by type"));
+        assert!(report.contains("DONE"));
+        assert!(report.contains("PE activity"));
+    }
+
+    #[test]
+    fn same_pe_latency_exact() {
+        // Synthetic: send and accept on the same PE, 30 ticks apart.
+        let t1 = TaskId::new(1, 2, 1);
+        let t2 = TaskId::new(1, 3, 1);
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                kind: TraceEventKind::MsgSend,
+                task: t1,
+                pe: 3,
+                ticks: 100,
+                info: format!("PING -> {t2}"),
+            },
+            TraceRecord {
+                seq: 1,
+                kind: TraceEventKind::MsgAccept,
+                task: t2,
+                pe: 3,
+                ticks: 130,
+                info: format!("PING <- {t1}"),
+            },
+        ];
+        let a = TraceAnalysis::new(&records);
+        assert_eq!(a.matched.len(), 1);
+        assert!(a.matched[0].same_pe);
+        assert_eq!(a.matched[0].latency_ticks(), 30);
+        assert_eq!(a.mean_same_pe_latency(), Some(30.0));
+    }
+
+    #[test]
+    fn unmatched_sends_stay_unmatched() {
+        let t1 = TaskId::new(1, 2, 1);
+        let t2 = TaskId::new(1, 3, 1);
+        let records = vec![TraceRecord {
+            seq: 0,
+            kind: TraceEventKind::MsgSend,
+            task: t1,
+            pe: 3,
+            ticks: 100,
+            info: format!("PING -> {t2}"),
+        }];
+        let a = TraceAnalysis::new(&records);
+        assert!(a.matched.is_empty());
+        assert_eq!(a.sends_by_type["PING"], 1);
+    }
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::*;
+    use pisces_core::trace::TraceEventKind;
+
+    fn rec(kind: TraceEventKind, task: TaskId, pe: u8, ticks: u64, info: &str) -> TraceRecord {
+        TraceRecord {
+            seq: ticks,
+            kind,
+            task,
+            pe,
+            ticks,
+            info: info.into(),
+        }
+    }
+
+    #[test]
+    fn gantt_draws_lanes_per_pe() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        let c = TaskId::new(2, 2, 1);
+        let records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 0, "alpha parent=c0.s0#0"),
+            rec(TraceEventKind::TaskInit, b, 3, 50, "beta parent=c0.s0#0"),
+            rec(TraceEventKind::TaskTerm, a, 3, 60, "ok"),
+            rec(TraceEventKind::TaskTerm, b, 3, 100, "ok"),
+            rec(TraceEventKind::TaskInit, c, 4, 10, "gamma parent=c0.s0#0"),
+            // c never terminates in the trace.
+        ];
+        let g = TraceAnalysis::new(&records).gantt(40);
+        assert!(g.contains("PE3"), "{g}");
+        assert!(g.contains("PE4"), "{g}");
+        assert!(g.contains("alpha") && g.contains("beta") && g.contains("gamma"));
+        assert!(g.contains("(running)"), "unterminated task marked: {g}");
+        // alpha's bar starts at the left edge; beta's starts mid-chart.
+        let alpha_line = g.lines().find(|l| l.contains("alpha")).unwrap();
+        let beta_line = g.lines().find(|l| l.contains("beta")).unwrap();
+        let bar_start = |l: &str| l.find('|').map(|p| l[p..].find('#').unwrap()).unwrap();
+        assert!(bar_start(alpha_line) < bar_start(beta_line), "{g}");
+    }
+
+    #[test]
+    fn gantt_of_empty_trace_is_headers_only() {
+        let g = TraceAnalysis::new(&[]).gantt(40);
+        assert!(g.contains("TASK TIMELINES"));
+        assert!(!g.contains('#'));
+    }
+}
+
+#[cfg(test)]
+mod matching_tests {
+    use super::*;
+    use pisces_core::trace::TraceEventKind;
+
+    fn rec(kind: TraceEventKind, task: TaskId, pe: u8, ticks: u64, info: String) -> TraceRecord {
+        TraceRecord {
+            seq: ticks,
+            kind,
+            task,
+            pe,
+            ticks,
+            info,
+        }
+    }
+
+    /// When one sender mails the same type repeatedly, the k-th send must
+    /// match the k-th accept (FIFO per (sender, receiver, type) — the
+    /// in-queue's arrival-order guarantee).
+    #[test]
+    fn repeated_sends_match_in_fifo_order() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        let mut records = Vec::new();
+        for k in 0..3u64 {
+            records.push(rec(
+                TraceEventKind::MsgSend,
+                a,
+                3,
+                100 + 10 * k,
+                format!("PING -> {b}"),
+            ));
+        }
+        for k in 0..3u64 {
+            records.push(rec(
+                TraceEventKind::MsgAccept,
+                b,
+                3,
+                200 + 10 * k,
+                format!("PING <- {a}"),
+            ));
+        }
+        let an = TraceAnalysis::new(&records);
+        assert_eq!(an.matched.len(), 3);
+        for (k, m) in an.matched.iter().enumerate() {
+            assert_eq!(m.send_ticks, 100 + 10 * k as u64);
+            assert_eq!(m.accept_ticks, 200 + 10 * k as u64);
+            assert_eq!(m.latency_ticks(), 100);
+        }
+    }
+
+    /// Accepts without a prior send (e.g. the trace started mid-run) are
+    /// simply not matched — no panic, no bogus pairing.
+    #[test]
+    fn orphan_accepts_are_ignored() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        let records = vec![rec(
+            TraceEventKind::MsgAccept,
+            b,
+            3,
+            50,
+            format!("PING <- {a}"),
+        )];
+        let an = TraceAnalysis::new(&records);
+        assert!(an.matched.is_empty());
+        assert_eq!(an.tasks.len(), 0);
+    }
+
+    /// Sends to different receivers never cross-match even with the same
+    /// type name.
+    #[test]
+    fn matching_is_per_receiver() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        let c = TaskId::new(2, 2, 1);
+        let records = vec![
+            rec(TraceEventKind::MsgSend, a, 3, 10, format!("X -> {b}")),
+            rec(TraceEventKind::MsgSend, a, 3, 20, format!("X -> {c}")),
+            rec(TraceEventKind::MsgAccept, c, 4, 90, format!("X <- {a}")),
+        ];
+        let an = TraceAnalysis::new(&records);
+        assert_eq!(an.matched.len(), 1);
+        assert_eq!(an.matched[0].to, c);
+        assert_eq!(an.matched[0].send_ticks, 20);
+    }
+}

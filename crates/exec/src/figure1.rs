@@ -1,0 +1,117 @@
+//! Rendering of the virtual-machine organization — the paper's Figure 1.
+//!
+//! Figure 1 of the paper shows the clusters side by side, each listing its
+//! slots (task controller, user controller, user tasks, `<not in use>`),
+//! the intra-cluster network, the machine-wide message-passing network,
+//! and a disk attached to a cluster with a file controller. This module
+//! redraws that diagram from the *live* state of a booted machine, so the
+//! experiment harness can regenerate the figure rather than copy it.
+
+use pisces_core::machine::Pisces;
+use pisces_core::task::{FIRST_USER_SLOT, TASK_CONTROLLER_SLOT, USER_CONTROLLER_SLOT};
+use std::fmt::Write;
+
+/// Render the Figure-1 style organization diagram of a running machine.
+pub fn render(p: &Pisces) -> String {
+    let tasks = p.snapshot_tasks();
+    let mut s = String::from("PISCES 2 VIRTUAL MACHINE ORGANIZATION\n");
+    let _ = writeln!(s, "{}", "=".repeat(54));
+    for c in &p.config().clusters {
+        let _ = writeln!(
+            s,
+            "CLUSTER {}   (primary PE{}, force PEs {:?})",
+            c.number, c.primary_pe, c.secondary_pes
+        );
+        let _ = writeln!(s, "  Slots");
+        // Controller slots first, then user slots — as in the figure.
+        for t in tasks.iter().filter(|t| {
+            t.id.cluster == c.number && t.is_controller && t.id.slot == TASK_CONTROLLER_SLOT
+        }) {
+            let _ = writeln!(
+                s,
+                "  | Task controller {:<18} <--+  Intra-",
+                t.id.to_string()
+            );
+        }
+        for t in tasks.iter().filter(|t| {
+            t.id.cluster == c.number && t.is_controller && t.id.slot == USER_CONTROLLER_SLOT
+        }) {
+            let _ = writeln!(
+                s,
+                "  | User controller {:<18} <--+  cluster",
+                t.id.to_string()
+            );
+        }
+        for slot_idx in 0..c.slots {
+            let slot = FIRST_USER_SLOT + slot_idx;
+            match tasks
+                .iter()
+                .find(|t| t.id.cluster == c.number && t.id.slot == slot && !t.is_controller)
+            {
+                Some(t) => {
+                    let _ = writeln!(
+                        s,
+                        "  | User task {:<10} {:<13} <--+  Network",
+                        t.tasktype,
+                        t.id.to_string()
+                    );
+                }
+                None => {
+                    let _ = writeln!(s, "  | <not in use>                       <--+");
+                }
+            }
+        }
+        let _ = writeln!(s, "  +{}+", "-".repeat(40));
+        let _ = writeln!(s, "        |");
+    }
+    let _ = writeln!(s, "  Message-passing Network (shared memory)");
+    let _ = writeln!(
+        s,
+        "  Disk on PE1/PE2 (Unix) -- file controller serves file windows"
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pisces_core::prelude::*;
+    use std::time::Duration;
+
+    #[test]
+    fn figure_shows_clusters_controllers_and_free_slots() {
+        let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(3, 2)).unwrap();
+        let fig = render(&p);
+        assert!(fig.contains("CLUSTER 1"));
+        assert!(fig.contains("CLUSTER 3"));
+        assert!(fig.contains("Task controller"));
+        assert!(fig.contains("User controller"), "terminal cluster shown");
+        assert!(fig.contains("<not in use>"));
+        assert!(fig.contains("Message-passing Network"));
+        p.shutdown();
+    }
+
+    #[test]
+    fn figure_shows_running_user_tasks() {
+        let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(1, 2)).unwrap();
+        p.register("waiter", |ctx: &TaskCtx| {
+            let _ = ctx
+                .accept()
+                .signal_count("GO", 1)
+                .delay_then(Duration::from_secs(10), || {})
+                .run()?;
+            Ok(())
+        });
+        p.initiate_top_level(1, "waiter", vec![]).unwrap();
+        // Wait until the task shows up.
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(10));
+            if p.snapshot_tasks().iter().any(|t| t.tasktype == "waiter") {
+                break;
+            }
+        }
+        let fig = render(&p);
+        assert!(fig.contains("User task waiter"), "{fig}");
+        p.shutdown();
+    }
+}

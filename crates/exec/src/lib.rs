@@ -1,0 +1,31 @@
+//! # pisces-exec — the PISCES 2 execution environment
+//!
+//! "If the user requests program execution from the configuration
+//! environment, the loadfile is downloaded to the appropriate set of MMOS
+//! PE's, and control transfers to the PISCES execution environment, a
+//! program that runs on the 'main' MMOS PE. This program displays a menu
+//! with the options:
+//!
+//! ```text
+//! 0 TERMINATE THE RUN          5 DISPLAY RUNNING TASKS
+//! 1 INITIATE A TASK            6 DISPLAY MESSAGE QUEUE
+//! 2 KILL A TASK                7 DUMP SYSTEM STATE
+//! 3 SEND A MESSAGE             8 DISPLAY PE LOADING
+//! 4 DELETE MESSAGES            9 CHANGE TRACE OPTIONS
+//! ```
+//! " (paper, Section 11)
+//!
+//! [`menu::ExecMenu`] implements all ten options over a running
+//! [`pisces_core::Pisces`] machine, line-scriptable for tests and usable
+//! as an interactive REPL. [`figure1`] renders the virtual-machine
+//! organization diagram (the paper's Figure 1) from live machine state,
+//! and [`analysis`] performs the off-line study of trace files that
+//! Section 12 describes ("sending trace output to a file allows the user
+//! to study trace information and make timing analyses off-line").
+
+pub mod analysis;
+pub mod figure1;
+pub mod menu;
+
+pub use analysis::TraceAnalysis;
+pub use menu::ExecMenu;

@@ -1,0 +1,380 @@
+//! The ten-option run-control menu.
+//!
+//! Each command line starts with the menu number (or its name) followed by
+//! the additional information the paper says each choice collects. Output
+//! is returned as text, so the menu is equally usable from an interactive
+//! REPL and from a test script.
+
+use pisces_core::prelude::*;
+use pisces_core::trace::TraceEventKind;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The execution environment's run-control menu over one machine.
+pub struct ExecMenu {
+    p: Arc<Pisces>,
+}
+
+/// Parse a taskid written as it is displayed: `c<cluster>.s<slot>#<unique>`.
+pub fn parse_taskid(s: &str) -> Result<TaskId> {
+    let err = || PiscesError::BadConfiguration(format!("bad taskid {s:?}; format c1.s2#3"));
+    let rest = s.strip_prefix('c').ok_or_else(err)?;
+    let (cluster, rest) = rest.split_once(".s").ok_or_else(err)?;
+    let (slot, unique) = rest.split_once('#').ok_or_else(err)?;
+    Ok(TaskId::new(
+        cluster.parse().map_err(|_| err())?,
+        slot.parse().map_err(|_| err())?,
+        unique.parse().map_err(|_| err())?,
+    ))
+}
+
+/// Parse a message/initiation argument: INTEGER, then REAL, then TASKID,
+/// else CHARACTER.
+pub fn parse_value(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(r) = s.parse::<f64>() {
+        return Value::Real(r);
+    }
+    if let Ok(t) = parse_taskid(s) {
+        return Value::TaskId(t);
+    }
+    match s {
+        ".TRUE." => Value::Logical(true),
+        ".FALSE." => Value::Logical(false),
+        other => Value::Str(other.to_string()),
+    }
+}
+
+impl ExecMenu {
+    /// A menu over a booted machine.
+    pub fn new(p: Arc<Pisces>) -> Self {
+        Self { p }
+    }
+
+    /// The machine under control.
+    pub fn machine(&self) -> &Arc<Pisces> {
+        &self.p
+    }
+
+    /// The menu text itself, as the paper lists it.
+    pub fn help(&self) -> String {
+        "0 TERMINATE THE RUN\n\
+         1 INITIATE A TASK        1 <cluster> <tasktype> [args…]\n\
+         2 KILL A TASK            2 <taskid>\n\
+         3 SEND A MESSAGE         3 <taskid> <msgtype> [args…]\n\
+         4 DELETE MESSAGES        4 <taskid> <msgtype>\n\
+         5 DISPLAY RUNNING TASKS\n\
+         6 DISPLAY MESSAGE QUEUE  6 <taskid>\n\
+         7 DUMP SYSTEM STATE\n\
+         8 DISPLAY PE LOADING\n\
+         9 CHANGE TRACE OPTIONS   9 on|off <event>|all [<taskid>]\n"
+            .to_string()
+    }
+
+    /// Execute one menu command; returns the display text.
+    pub fn execute(&self, line: &str) -> Result<String> {
+        let mut words = line.split_whitespace();
+        let Some(cmd) = words.next() else {
+            return Ok(String::new());
+        };
+        let rest: Vec<&str> = words.collect();
+        let need = |n: usize| -> Result<()> {
+            if rest.len() < n {
+                Err(PiscesError::BadConfiguration(format!(
+                    "option {cmd}: expected at least {n} argument(s)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match cmd {
+            "0" | "terminate" => {
+                self.p.shutdown();
+                Ok("run terminated".into())
+            }
+            "1" | "initiate" => {
+                need(2)?;
+                let cluster: u8 = rest[0].parse().map_err(|_| PiscesError::NoSuchCluster(0))?;
+                let args: Vec<Value> = rest[2..].iter().map(|s| parse_value(s)).collect();
+                self.p.initiate_top_level(cluster, rest[1], args)?;
+                Ok(format!(
+                    "initiate request for {:?} sent to cluster {cluster}",
+                    rest[1]
+                ))
+            }
+            "2" | "kill" => {
+                need(1)?;
+                let id = parse_taskid(rest[0])?;
+                self.p.kill_task(id)?;
+                Ok(format!("kill requested for {id}"))
+            }
+            "3" | "send" => {
+                need(2)?;
+                let id = parse_taskid(rest[0])?;
+                let args: Vec<Value> = rest[2..].iter().map(|s| parse_value(s)).collect();
+                self.p.user_send(id, rest[1], args)?;
+                Ok(format!("{} sent to {id}", rest[1]))
+            }
+            "4" | "delete" => {
+                need(2)?;
+                let id = parse_taskid(rest[0])?;
+                let n = self.p.delete_messages(id, rest[1])?;
+                Ok(format!("{n} message(s) deleted from {id}"))
+            }
+            "5" | "tasks" => {
+                let mut s = String::from("RUNNING TASKS\n");
+                for t in self.p.snapshot_tasks() {
+                    let _ = writeln!(
+                        s,
+                        "  {:<12} {:<16} PE{:<3} {:<8} {} queued{}",
+                        t.id.to_string(),
+                        t.tasktype,
+                        t.pe,
+                        format!("{:?}", t.state),
+                        t.queued_messages,
+                        if t.is_controller {
+                            "  [controller]"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Ok(s)
+            }
+            "6" | "queue" => {
+                need(1)?;
+                let id = parse_taskid(rest[0])?;
+                let q = self.p.queue_snapshot(id)?;
+                let mut s = format!("MESSAGE QUEUE OF {id} ({} message(s))\n", q.len());
+                for (mtype, sender, bytes) in q {
+                    let _ = writeln!(s, "  {mtype:<16} from {sender:<12} {bytes} B");
+                }
+                Ok(s)
+            }
+            "7" | "dump" => Ok(self.p.dump_state()),
+            "8" | "loading" => {
+                let mut s = String::from("PE LOADING\n");
+                let _ = writeln!(
+                    s,
+                    "  {:<5} {:>5} {:>6} {:>10} {:>10} {:>10}",
+                    "PE", "procs", "ready", "ticks", "cpu-acq", "contended"
+                );
+                for l in self.p.pe_loading() {
+                    let _ = writeln!(
+                        s,
+                        "  PE{:<3} {:>5} {:>6} {:>10} {:>10} {:>10}",
+                        l.pe, l.live, l.ready, l.ticks, l.cpu_acquisitions, l.cpu_contended
+                    );
+                }
+                Ok(s)
+            }
+            "9" | "trace" => {
+                need(2)?;
+                let on = match rest[0] {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(PiscesError::BadConfiguration(format!(
+                            "trace: expected on/off, got {other:?}"
+                        )))
+                    }
+                };
+                let kinds: Vec<TraceEventKind> = if rest[1].eq_ignore_ascii_case("all") {
+                    TraceEventKind::ALL.to_vec()
+                } else {
+                    TraceEventKind::ALL
+                        .into_iter()
+                        .filter(|k| k.label().eq_ignore_ascii_case(rest[1]))
+                        .collect()
+                };
+                if kinds.is_empty() {
+                    return Err(PiscesError::BadConfiguration(format!(
+                        "unknown trace event {:?}",
+                        rest[1]
+                    )));
+                }
+                match rest.get(2) {
+                    Some(tid) => {
+                        let id = parse_taskid(tid)?;
+                        for k in &kinds {
+                            self.p.tracer().set_for_task(id, *k, on);
+                        }
+                        Ok(format!(
+                            "trace {} for {id}: {} kind(s)",
+                            rest[0],
+                            kinds.len()
+                        ))
+                    }
+                    None => {
+                        for k in &kinds {
+                            self.p.tracer().set_global(*k, on);
+                        }
+                        Ok(format!(
+                            "trace {} globally: {} kind(s)",
+                            rest[0],
+                            kinds.len()
+                        ))
+                    }
+                }
+            }
+            "help" | "?" => Ok(self.help()),
+            // Convenience beyond the paper's ten options: redraw the
+            // Figure-1 organization diagram from live state.
+            "figure" => Ok(crate::figure1::render(&self.p)),
+            "wait" => {
+                // Scripting convenience: wait for quiescence (not a paper
+                // menu entry; interactive users simply watch the displays).
+                let secs: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+                if self.p.wait_quiescent(Duration::from_secs(secs)) {
+                    Ok("quiescent".into())
+                } else {
+                    Ok("still running".into())
+                }
+            }
+            other => Err(PiscesError::BadConfiguration(format!(
+                "unknown menu option {other:?} (try help)"
+            ))),
+        }
+    }
+
+    /// Run a script of menu lines, collecting all output. Errors abort.
+    pub fn run_script<'a>(&self, lines: impl IntoIterator<Item = &'a str>) -> Result<String> {
+        let mut out = String::new();
+        for line in lines {
+            let text = self.execute(line)?;
+            if !text.is_empty() {
+                out.push_str(&text);
+                if !text.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> ExecMenu {
+        let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(2, 4)).unwrap();
+        p.register("echoer", |ctx: &TaskCtx| {
+            let out = ctx
+                .accept()
+                .signal_count("STOP", 1)
+                .delay_then(Duration::from_secs(20), || {})
+                .run()?;
+            assert!(!out.timed_out);
+            Ok(())
+        });
+        ExecMenu::new(p)
+    }
+
+    fn find_task(menu: &ExecMenu, tasktype: &str) -> TaskId {
+        for _ in 0..200 {
+            std::thread::sleep(Duration::from_millis(10));
+            if let Some(t) = menu
+                .machine()
+                .snapshot_tasks()
+                .into_iter()
+                .find(|t| t.tasktype == tasktype)
+            {
+                return t.id;
+            }
+        }
+        panic!("{tasktype} never appeared");
+    }
+
+    #[test]
+    fn taskid_parsing_roundtrip() {
+        let id = TaskId::new(3, 2, 17);
+        assert_eq!(parse_taskid(&id.to_string()).unwrap(), id);
+        assert!(parse_taskid("nonsense").is_err());
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("2.5"), Value::Real(2.5));
+        assert_eq!(parse_value(".TRUE."), Value::Logical(true));
+        assert_eq!(parse_value("c1.s2#3"), Value::TaskId(TaskId::new(1, 2, 3)));
+        assert_eq!(parse_value("hello"), Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn initiate_send_queue_delete_kill_through_menu() {
+        let menu = boot();
+        menu.execute("1 1 echoer").unwrap();
+        let id = find_task(&menu, "echoer");
+
+        // Send junk, inspect the queue, delete it.
+        menu.execute(&format!("3 {id} JUNK 1 2.5 hello")).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let q = menu.execute(&format!("6 {id}")).unwrap();
+        assert!(q.contains("JUNK"), "{q}");
+        let del = menu.execute(&format!("4 {id} JUNK")).unwrap();
+        assert!(del.contains("1 message(s)"));
+
+        // Displays work.
+        let tasks = menu.execute("5").unwrap();
+        assert!(tasks.contains("echoer") && tasks.contains("[controller]"));
+        let fig = menu.execute("figure").unwrap();
+        assert!(fig.contains("CLUSTER 1") && fig.contains("echoer"));
+        let loading = menu.execute("8").unwrap();
+        assert!(loading.contains("PE3"));
+        let dump = menu.execute("7").unwrap();
+        assert!(dump.contains("SYSTEM STATE"));
+
+        // Release it via STOP, then kill an already-gone task errors.
+        menu.execute(&format!("3 {id} STOP")).unwrap();
+        assert_eq!(menu.execute("wait 10").unwrap(), "quiescent");
+        assert!(menu.execute(&format!("2 {id}")).is_err());
+        menu.execute("0").unwrap();
+    }
+
+    #[test]
+    fn trace_options_through_menu() {
+        let menu = boot();
+        menu.execute("9 on all").unwrap();
+        assert!(menu
+            .machine()
+            .tracer()
+            .is_enabled(TraceEventKind::MsgSend, TaskId::new(1, 2, 1)));
+        menu.execute("9 off MSG-SEND").unwrap();
+        assert!(!menu
+            .machine()
+            .tracer()
+            .is_enabled(TraceEventKind::MsgSend, TaskId::new(1, 2, 1)));
+        // Per-task override.
+        menu.execute("9 on MSG-SEND c1.s2#1").unwrap();
+        assert!(menu
+            .machine()
+            .tracer()
+            .is_enabled(TraceEventKind::MsgSend, TaskId::new(1, 2, 1)));
+        assert!(menu.execute("9 on NOPE").is_err());
+        menu.execute("0").unwrap();
+    }
+
+    #[test]
+    fn help_lists_all_ten_options() {
+        let menu = boot();
+        let h = menu.execute("help").unwrap();
+        for n in 0..=9 {
+            assert!(h.contains(&format!("{n} ")), "menu option {n} listed");
+        }
+        menu.execute("0").unwrap();
+    }
+
+    #[test]
+    fn script_runner_aborts_on_error() {
+        let menu = boot();
+        assert!(menu.run_script(["5", "bogus", "8"]).is_err());
+        let out = menu.run_script(["5", "8"]).unwrap();
+        assert!(out.contains("RUNNING TASKS") && out.contains("PE LOADING"));
+        menu.execute("0").unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-PE tick clocks.
+//!
+//! PISCES 2 trace lines carry a "clock reading (PE number and ticks count)"
+//! (paper, Section 12). On the FLEX each PE had its own tick counter; the
+//! counters are not synchronized across PEs. We model that as one atomic
+//! counter per PE, bumped by every runtime service performed on the PE and
+//! by explicit compute charging from user code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing tick counter for one PE.
+///
+/// Relaxed ordering is sufficient: ticks are an accounting/tracing facility,
+/// never a synchronization mechanism.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A clock starting at zero ticks.
+    pub const fn new() -> Self {
+        Self {
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the clock by `n` ticks, returning the *new* reading.
+    pub fn advance(&self, n: u64) -> u64 {
+        self.ticks.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Current reading.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (used between runs: the FLEX "PEs are rebooted after
+    /// each user program completes execution").
+    pub fn reset(&self) {
+        self.ticks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A clock reading as it appears in a trace line: PE number plus tick count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockReading {
+    /// PE the reading was taken on (1–20).
+    pub pe: u8,
+    /// Tick count of that PE's clock.
+    pub ticks: u64,
+}
+
+impl std::fmt::Display for ClockReading {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pe{:02}@{}", self.pe, self.ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = TickClock::new();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn advance_returns_new_reading() {
+        let c = TickClock::new();
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(3), 8);
+        assert_eq!(c.now(), 8);
+    }
+
+    #[test]
+    fn reset_rewinds_to_zero() {
+        let c = TickClock::new();
+        c.advance(100);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn concurrent_advances_all_counted() {
+        let c = std::sync::Arc::new(TickClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), 8000);
+    }
+
+    #[test]
+    fn reading_display_format() {
+        let r = ClockReading { pe: 3, ticks: 42 };
+        assert_eq!(r.to_string(), "pe03@42");
+    }
+
+    #[test]
+    fn readings_order_by_pe_then_ticks() {
+        let a = ClockReading { pe: 3, ticks: 99 };
+        let b = ClockReading { pe: 4, ticks: 1 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-PE CPU arbitration.
+//!
+//! On the FLEX, MMOS multiprograms the user tasks assigned to a PE: the
+//! number of slots in a cluster "corresponds to the number of user tasks on
+//! the FLEX PE that may be simultaneously time-sharing the CPU" (paper,
+//! Section 9). We model time-sharing with a per-PE CPU token: a task thread
+//! must hold the token while it executes "on" the PE, and it re-acquires the
+//! token at every runtime call — the same points at which MMOS would be
+//! entered and could swap the CPU among ready processes.
+//!
+//! Force members run on *distinct* secondary PEs and therefore hold distinct
+//! tokens: they proceed genuinely in parallel, as on the real machine.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The CPU of one PE: a mutual-exclusion token plus occupancy statistics.
+#[derive(Debug, Default)]
+pub struct CpuToken {
+    lock: Mutex<()>,
+    /// Number of times the token was acquired (≈ number of MMOS entries).
+    acquisitions: AtomicU64,
+    /// Number of acquisitions that had to wait (the token was held).
+    contended: AtomicU64,
+}
+
+/// RAII guard: the holder is "running on" the PE.
+#[must_use = "dropping the guard immediately releases the CPU"]
+pub struct CpuGuard<'a> {
+    _inner: parking_lot::MutexGuard<'a, ()>,
+}
+
+impl CpuToken {
+    /// A free CPU.
+    pub const fn new() -> Self {
+        Self {
+            lock: Mutex::new(()),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire the CPU, blocking while another task holds it.
+    pub fn acquire(&self) -> CpuGuard<'_> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let inner = match self.lock.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.lock.lock()
+            }
+        };
+        CpuGuard { _inner: inner }
+    }
+
+    /// Total acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that found the CPU busy (a measure of multiprogramming
+    /// pressure on the PE).
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_counts() {
+        let t = CpuToken::new();
+        {
+            let _g = t.acquire();
+        }
+        {
+            let _g = t.acquire();
+        }
+        assert_eq!(t.acquisitions(), 2);
+        assert_eq!(t.contended(), 0);
+    }
+
+    #[test]
+    fn token_serializes_holders() {
+        let t = Arc::new(CpuToken::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = t.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _g = t.acquire();
+                    // Non-atomic-looking read-modify-write protected by the token.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn contention_is_observed_under_load() {
+        let t = Arc::new(CpuToken::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let _g = t.acquire();
+                    std::hint::black_box(());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // With four threads hammering one token, at least one acquisition
+        // should have contended. (Not guaranteed in theory, overwhelmingly
+        // likely in practice; acquisitions count is the hard assertion.)
+        assert_eq!(t.acquisitions(), 800);
+    }
+}

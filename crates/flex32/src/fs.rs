@@ -1,0 +1,284 @@
+//! The Unix-PE file system.
+//!
+//! On the NASA FLEX/32, "PEs 1 and 2 run Unix only, and maintain the file
+//! system for all PEs" (paper, Section 11). PISCES uses files for saved
+//! configurations, MMOS load files, trace output, and — through file
+//! controllers — windows onto large arrays on secondary storage
+//! (Section 8).
+//!
+//! This is an in-memory hierarchical file system with flat byte files,
+//! enough to support those four uses deterministically.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Errors from file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not name an existing file.
+    NotFound(String),
+    /// Attempted to create a file that already exists with `exclusive`.
+    AlreadyExists(String),
+    /// Read or write outside the file (offset beyond end for reads).
+    OutOfRange {
+        /// Path of the file.
+        path: String,
+        /// Offset requested.
+        offset: usize,
+        /// Current file length.
+        len: usize,
+    },
+    /// Path is syntactically invalid (empty, or empty component).
+    BadPath(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            FsError::OutOfRange { path, offset, len } => {
+                write!(f, "access at {offset} outside {path} (len {len})")
+            }
+            FsError::BadPath(p) => write!(f, "bad path: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+fn normalize(path: &str) -> Result<String, FsError> {
+    let trimmed = path.trim_matches('/');
+    if trimmed.is_empty() || trimmed.split('/').any(|c| c.is_empty()) {
+        return Err(FsError::BadPath(path.to_string()));
+    }
+    Ok(trimmed.to_string())
+}
+
+/// In-memory file system served by the Unix PEs.
+#[derive(Debug, Default)]
+pub struct FileSystem {
+    files: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl FileSystem {
+    /// Empty file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or truncate) a file.
+    pub fn create(&self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path)?;
+        self.files.write().insert(p, Vec::new());
+        Ok(())
+    }
+
+    /// Create a file, failing if it already exists.
+    pub fn create_exclusive(&self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path)?;
+        let mut files = self.files.write();
+        if files.contains_key(&p) {
+            return Err(FsError::AlreadyExists(p));
+        }
+        files.insert(p, Vec::new());
+        Ok(())
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        normalize(path)
+            .map(|p| self.files.read().contains_key(&p))
+            .unwrap_or(false)
+    }
+
+    /// Replace a file's entire contents (creating it if needed).
+    pub fn write(&self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let p = normalize(path)?;
+        self.files.write().insert(p, data.to_vec());
+        Ok(())
+    }
+
+    /// Write `data` at `offset`, extending the file with zeros if needed.
+    pub fn write_at(&self, path: &str, offset: usize, data: &[u8]) -> Result<(), FsError> {
+        let p = normalize(path)?;
+        let mut files = self.files.write();
+        let file = files.get_mut(&p).ok_or(FsError::NotFound(p.clone()))?;
+        if file.len() < offset + data.len() {
+            file.resize(offset + data.len(), 0);
+        }
+        file[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Append `data` to the end of the file (creating it if needed) —
+    /// used for trace logs.
+    pub fn append(&self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let p = normalize(path)?;
+        self.files
+            .write()
+            .entry(p)
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a file's entire contents.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let p = normalize(path)?;
+        self.files
+            .read()
+            .get(&p)
+            .cloned()
+            .ok_or(FsError::NotFound(p))
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub fn read_at(&self, path: &str, offset: usize, len: usize) -> Result<Vec<u8>, FsError> {
+        let p = normalize(path)?;
+        let files = self.files.read();
+        let file = files.get(&p).ok_or_else(|| FsError::NotFound(p.clone()))?;
+        if offset + len > file.len() {
+            return Err(FsError::OutOfRange {
+                path: p,
+                offset,
+                len: file.len(),
+            });
+        }
+        Ok(file[offset..offset + len].to_vec())
+    }
+
+    /// Length of a file in bytes.
+    pub fn len(&self, path: &str) -> Result<usize, FsError> {
+        let p = normalize(path)?;
+        self.files
+            .read()
+            .get(&p)
+            .map(Vec::len)
+            .ok_or(FsError::NotFound(p))
+    }
+
+    /// Whether the file system has no files at all.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+
+    /// Delete a file.
+    pub fn remove(&self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path)?;
+        self.files
+            .write()
+            .remove(&p)
+            .map(|_| ())
+            .ok_or(FsError::NotFound(p))
+    }
+
+    /// List files under a directory prefix (e.g. `"configs"`), in order.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let prefix = match normalize(dir) {
+            Ok(p) => format!("{p}/"),
+            Err(_) => String::new(), // "" or "/" lists everything
+        };
+        self.files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Total bytes stored (for disk accounting).
+    pub fn total_bytes(&self) -> usize {
+        self.files.read().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read() {
+        let fs = FileSystem::new();
+        fs.write("a/b.txt", b"hello").unwrap();
+        assert_eq!(fs.read("a/b.txt").unwrap(), b"hello");
+        assert_eq!(fs.len("a/b.txt").unwrap(), 5);
+        assert!(fs.exists("a/b.txt"));
+        assert!(fs.exists("/a/b.txt"), "leading slash is normalized");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = FileSystem::new();
+        assert!(matches!(fs.read("nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.remove("nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn exclusive_create() {
+        let fs = FileSystem::new();
+        fs.create_exclusive("x").unwrap();
+        assert!(matches!(
+            fs.create_exclusive("x"),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let fs = FileSystem::new();
+        assert!(matches!(fs.create(""), Err(FsError::BadPath(_))));
+        assert!(matches!(fs.create("a//b"), Err(FsError::BadPath(_))));
+        assert!(matches!(fs.create("/"), Err(FsError::BadPath(_))));
+    }
+
+    #[test]
+    fn write_at_extends_with_zeros() {
+        let fs = FileSystem::new();
+        fs.create("f").unwrap();
+        fs.write_at("f", 4, b"xy").unwrap();
+        assert_eq!(fs.read("f").unwrap(), vec![0, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn read_at_bounds_checked() {
+        let fs = FileSystem::new();
+        fs.write("f", b"abcdef").unwrap();
+        assert_eq!(fs.read_at("f", 2, 3).unwrap(), b"cde");
+        assert!(matches!(
+            fs.read_at("f", 4, 5),
+            Err(FsError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let fs = FileSystem::new();
+        fs.append("log", b"one\n").unwrap();
+        fs.append("log", b"two\n").unwrap();
+        assert_eq!(fs.read("log").unwrap(), b"one\ntwo\n");
+    }
+
+    #[test]
+    fn list_by_directory() {
+        let fs = FileSystem::new();
+        fs.write("configs/a.json", b"{}").unwrap();
+        fs.write("configs/b.json", b"{}").unwrap();
+        fs.write("traces/t.log", b"").unwrap();
+        assert_eq!(
+            fs.list("configs"),
+            vec!["configs/a.json".to_string(), "configs/b.json".to_string()]
+        );
+        assert_eq!(fs.list("/").len(), 3);
+    }
+
+    #[test]
+    fn total_bytes_accounting() {
+        let fs = FileSystem::new();
+        fs.write("a", b"12345").unwrap();
+        fs.write("b", b"123").unwrap();
+        assert_eq!(fs.total_bytes(), 8);
+        fs.remove("a").unwrap();
+        assert_eq!(fs.total_bytes(), 3);
+    }
+}

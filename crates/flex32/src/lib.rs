@@ -1,0 +1,55 @@
+//! # flex32 — a software model of the Flexible FLEX/32 multicomputer
+//!
+//! The PISCES 2 environment (Pratt, ICPP 1987) was implemented on the
+//! Flexible FLEX/32 at NASA Langley Research Center:
+//!
+//! * 20 processors, each a National Semiconductor 32032;
+//! * 1 Mbyte of local memory on each processor;
+//! * 2.25 Mbyte of shared memory, accessible by all processors;
+//! * disks attached to processors 1 and 2;
+//! * PEs 1 and 2 run Unix and maintain the file system; PEs 3–20 run MMOS,
+//!   a simple Unix-like kernel providing multiprogramming, I/O, storage
+//!   allocation, and process creation/termination.
+//!
+//! This crate models that machine faithfully enough that the paper's
+//! storage measurements (Section 13) can be *measured* rather than asserted:
+//! the shared memory is a real arena managed by a real first-fit free-list
+//! allocator, local memory is per-PE byte accounting against the 1 MB
+//! capacity, and every PE carries the tick clock that PISCES trace lines
+//! report ("PE number and ticks count").
+//!
+//! Concurrency model: the simulated machine is driven by ordinary OS
+//! threads. A thread that wants to execute *on* a PE must hold that PE's CPU
+//! token ([`cpu::CpuToken`]); tasks multiprogrammed on one PE therefore
+//! serialize at runtime-call granularity, while activities on distinct PEs
+//! run genuinely in parallel — the same concurrency structure as the FLEX.
+
+pub mod clock;
+pub mod cpu;
+pub mod fs;
+pub mod machine;
+pub mod mmos;
+pub mod pe;
+pub mod shmem;
+
+pub use machine::Flex32;
+pub use pe::{PeId, PeKind};
+pub use shmem::{SharedMemory, ShmError, ShmHandle};
+
+/// Number of processing elements in the NASA Langley FLEX/32.
+pub const NUM_PES: usize = 20;
+
+/// Local memory per PE: 1 Mbyte.
+pub const LOCAL_MEM_BYTES: usize = 1 << 20;
+
+/// Shared memory accessible by all PEs: 2.25 Mbyte.
+pub const SHARED_MEM_BYTES: usize = 2_359_296;
+
+/// PEs 1 and 2 run Unix and are not available for PISCES user tasks.
+pub const UNIX_PES: [u8; 2] = [1, 2];
+
+/// First PE running MMOS (available to PISCES).
+pub const FIRST_MMOS_PE: u8 = 3;
+
+/// Last PE running MMOS (available to PISCES).
+pub const LAST_MMOS_PE: u8 = 20;

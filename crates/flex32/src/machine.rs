@@ -1,0 +1,146 @@
+//! The assembled FLEX/32 machine.
+//!
+//! One [`Flex32`] value owns the 20 PEs, the shared-memory arena, the
+//! Unix-PE file system, and the per-PE MMOS process tables. The PISCES
+//! runtime (the `pisces-core` crate) runs "as just another program" on top
+//! of this, exactly as the paper describes the real system.
+
+use crate::fs::FileSystem;
+use crate::mmos::ProcessTable;
+use crate::pe::{Pe, PeError, PeId};
+use crate::shmem::SharedMemory;
+use crate::NUM_PES;
+use std::sync::Arc;
+
+/// The simulated machine. Cheap to share: wrap in an [`Arc`] (see
+/// [`Flex32::new_shared`]).
+pub struct Flex32 {
+    pes: Vec<Pe>,
+    procs: Vec<ProcessTable>,
+    /// The 2.25 MB shared memory.
+    pub shmem: SharedMemory,
+    /// File system maintained by the Unix PEs.
+    pub fs: FileSystem,
+}
+
+impl std::fmt::Debug for Flex32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flex32")
+            .field("pes", &self.pes.len())
+            .field("shmem", &self.shmem)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Flex32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Flex32 {
+    /// A freshly booted machine with the NASA Langley configuration.
+    pub fn new() -> Self {
+        Self {
+            pes: PeId::all().map(Pe::new).collect(),
+            procs: (0..NUM_PES).map(|_| ProcessTable::new()).collect(),
+            shmem: SharedMemory::flex32(),
+            fs: FileSystem::new(),
+        }
+    }
+
+    /// A shared handle to a fresh machine.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Access a PE by id.
+    pub fn pe(&self, id: PeId) -> &Pe {
+        &self.pes[(id.number() - 1) as usize]
+    }
+
+    /// Access a PE by raw number (1–20).
+    pub fn pe_n(&self, n: u8) -> Result<&Pe, PeError> {
+        Ok(self.pe(PeId::new(n)?))
+    }
+
+    /// All PEs in order.
+    pub fn pes(&self) -> &[Pe] {
+        &self.pes
+    }
+
+    /// MMOS process table of a PE.
+    pub fn procs(&self, id: PeId) -> &ProcessTable {
+        &self.procs[(id.number() - 1) as usize]
+    }
+
+    /// Reboot the MMOS PEs between runs, as the FLEX does: clear process
+    /// tables, local-memory reservations, clocks, and consoles on PEs 3–20.
+    /// (Unix PEs and the file system persist across runs.)
+    pub fn reboot_mmos(&self) {
+        for id in PeId::mmos() {
+            let pe = self.pe(id);
+            let used = pe.local.used();
+            if used > 0 {
+                pe.local.release(used);
+            }
+            pe.clock.reset();
+            pe.console.clear();
+            self.procs(id).reboot();
+        }
+    }
+
+    /// Charge `ticks` of work to a PE's clock and return the new reading.
+    pub fn tick(&self, id: PeId, ticks: u64) -> u64 {
+        self.pe(id).clock.advance(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shmem::ShmTag;
+
+    #[test]
+    fn machine_has_twenty_pes() {
+        let m = Flex32::new();
+        assert_eq!(m.pes().len(), 20);
+        assert_eq!(m.pe_n(1).unwrap().id().number(), 1);
+        assert!(m.pe_n(0).is_err());
+        assert!(m.pe_n(21).is_err());
+    }
+
+    #[test]
+    fn shared_memory_is_machine_wide() {
+        let m = Flex32::new();
+        let h = m.shmem.alloc(64, ShmTag::Other).unwrap();
+        m.shmem.store(h, 0, 7).unwrap();
+        assert_eq!(m.shmem.load(h, 0).unwrap(), 7);
+        m.shmem.free(h).unwrap();
+    }
+
+    #[test]
+    fn reboot_resets_mmos_only() {
+        let m = Flex32::new();
+        let unix = PeId::new(1).unwrap();
+        let mmos = PeId::new(5).unwrap();
+        m.pe(unix).clock.advance(10);
+        m.pe(mmos).clock.advance(10);
+        m.pe(mmos).local.reserve(1000, mmos).unwrap();
+        m.procs(mmos).spawn("t");
+        m.reboot_mmos();
+        assert_eq!(m.pe(unix).clock.now(), 10, "Unix PE untouched");
+        assert_eq!(m.pe(mmos).clock.now(), 0);
+        assert_eq!(m.pe(mmos).local.used(), 0);
+        assert_eq!(m.procs(mmos).live(), 0);
+    }
+
+    #[test]
+    fn tick_advances_named_pe() {
+        let m = Flex32::new();
+        let id = PeId::new(9).unwrap();
+        assert_eq!(m.tick(id, 4), 4);
+        assert_eq!(m.pe(id).clock.now(), 4);
+        assert_eq!(m.pe_n(10).unwrap().clock.now(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! MMOS — the "simple Unix-like kernel" running on PEs 3–20.
+//!
+//! The paper (Section 11) says the PISCES run-time library calls MMOS for
+//! only a few activities: "primarily process creation and termination,
+//! input/output to the terminal, and swapping the CPU among ready
+//! processes". This module provides exactly those services:
+//!
+//! * a per-PE process table with spawn/exit accounting,
+//! * a per-PE console (terminal I/O) that captures output for inspection
+//!   and can be mirrored to stdout,
+//! * CPU swapping is provided by [`crate::cpu::CpuToken`] (acquired at every
+//!   runtime call).
+//!
+//! MMOS PEs are an allocatable resource: one user at a time, rebooted after
+//! each run — modelled by [`ProcessTable::reboot`].
+
+use crate::pe::PeId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// State of an MMOS process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable or running (MMOS time-shares among these).
+    Ready,
+    /// Blocked in the kernel (waiting for a message, a lock, a barrier…).
+    Blocked,
+    /// Exited; the record lingers until reaped.
+    Exited,
+}
+
+/// One MMOS process record.
+#[derive(Debug, Clone)]
+pub struct ProcRecord {
+    /// Kernel process id, unique per PE per boot.
+    pub pid: u64,
+    /// Name supplied at spawn (PISCES uses the tasktype name).
+    pub name: String,
+    /// Current state.
+    pub state: ProcState,
+}
+
+/// Per-PE process table.
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    next_pid: AtomicU64,
+    procs: Mutex<BTreeMap<u64, ProcRecord>>,
+    spawns: AtomicU64,
+    exits: AtomicU64,
+}
+
+impl ProcessTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            next_pid: AtomicU64::new(1),
+            ..Self::default()
+        }
+    }
+
+    /// Create a process record, returning its pid.
+    pub fn spawn(&self, name: &str) -> u64 {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed).max(1);
+        self.spawns.fetch_add(1, Ordering::Relaxed);
+        self.procs.lock().insert(
+            pid,
+            ProcRecord {
+                pid,
+                name: name.to_string(),
+                state: ProcState::Ready,
+            },
+        );
+        pid
+    }
+
+    /// Mark a process blocked/ready (CPU swap bookkeeping).
+    pub fn set_state(&self, pid: u64, state: ProcState) {
+        if let Some(p) = self.procs.lock().get_mut(&pid) {
+            p.state = state;
+        }
+    }
+
+    /// Terminate and reap a process record.
+    pub fn exit(&self, pid: u64) {
+        self.exits.fetch_add(1, Ordering::Relaxed);
+        self.procs.lock().remove(&pid);
+    }
+
+    /// Number of live (non-exited) processes.
+    pub fn live(&self) -> usize {
+        self.procs.lock().len()
+    }
+
+    /// Number of processes currently Ready (competing for the CPU).
+    pub fn ready(&self) -> usize {
+        self.procs
+            .lock()
+            .values()
+            .filter(|p| p.state == ProcState::Ready)
+            .count()
+    }
+
+    /// Snapshot of all records.
+    pub fn snapshot(&self) -> Vec<ProcRecord> {
+        self.procs.lock().values().cloned().collect()
+    }
+
+    /// Total spawns since boot.
+    pub fn spawns(&self) -> u64 {
+        self.spawns.load(Ordering::Relaxed)
+    }
+
+    /// Total exits since boot.
+    pub fn exits(&self) -> u64 {
+        self.exits.load(Ordering::Relaxed)
+    }
+
+    /// Reboot: clear everything (the FLEX reboots MMOS PEs between runs).
+    pub fn reboot(&self) {
+        self.procs.lock().clear();
+        self.next_pid.store(1, Ordering::Relaxed);
+        self.spawns.store(0, Ordering::Relaxed);
+        self.exits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A PE's terminal console.
+///
+/// Output lines are captured in order; `echo` additionally mirrors them to
+/// the real stdout (useful for examples, off for tests). Input is a scripted
+/// queue so tests can drive interactive programs deterministically.
+#[derive(Debug)]
+pub struct Console {
+    pe: PeId,
+    lines: Mutex<Vec<String>>,
+    input: Mutex<std::collections::VecDeque<String>>,
+    echo: AtomicBool,
+}
+
+impl Console {
+    /// Console attached to `pe`, capture-only (no stdout echo).
+    pub fn new(pe: PeId) -> Self {
+        Self {
+            pe,
+            lines: Mutex::new(Vec::new()),
+            input: Mutex::new(std::collections::VecDeque::new()),
+            echo: AtomicBool::new(false),
+        }
+    }
+
+    /// Enable/disable mirroring of output to the process stdout.
+    pub fn set_echo(&self, on: bool) {
+        self.echo.store(on, Ordering::Relaxed);
+    }
+
+    /// Write one line of terminal output.
+    pub fn write_line(&self, line: impl Into<String>) {
+        let line = line.into();
+        if self.echo.load(Ordering::Relaxed) {
+            println!("[{}] {line}", self.pe);
+        }
+        self.lines.lock().push(line);
+    }
+
+    /// All captured output lines.
+    pub fn output(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+
+    /// Queue a line of scripted input.
+    pub fn push_input(&self, line: impl Into<String>) {
+        self.input.lock().push_back(line.into());
+    }
+
+    /// Read one line of input, if any is queued.
+    pub fn read_line(&self) -> Option<String> {
+        self.input.lock().pop_front()
+    }
+
+    /// Clear captured output (between runs).
+    pub fn clear(&self) {
+        self.lines.lock().clear();
+        self.input.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_exit_lifecycle() {
+        let t = ProcessTable::new();
+        let a = t.spawn("worker");
+        let b = t.spawn("worker");
+        assert_ne!(a, b);
+        assert_eq!(t.live(), 2);
+        assert_eq!(t.ready(), 2);
+        t.set_state(a, ProcState::Blocked);
+        assert_eq!(t.ready(), 1);
+        t.exit(a);
+        t.exit(b);
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.spawns(), 2);
+        assert_eq!(t.exits(), 2);
+    }
+
+    #[test]
+    fn reboot_clears_table() {
+        let t = ProcessTable::new();
+        t.spawn("x");
+        t.reboot();
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.spawns(), 0);
+        // pids restart from 1 after reboot
+        assert_eq!(t.spawn("y"), 1);
+    }
+
+    #[test]
+    fn snapshot_carries_names() {
+        let t = ProcessTable::new();
+        t.spawn("alpha");
+        t.spawn("beta");
+        let names: Vec<_> = t.snapshot().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn console_captures_in_order() {
+        let c = Console::new(PeId::new(3).unwrap());
+        c.write_line("first");
+        c.write_line("second");
+        assert_eq!(c.output(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn console_scripted_input() {
+        let c = Console::new(PeId::new(3).unwrap());
+        assert_eq!(c.read_line(), None);
+        c.push_input("1");
+        c.push_input("2");
+        assert_eq!(c.read_line().as_deref(), Some("1"));
+        assert_eq!(c.read_line().as_deref(), Some("2"));
+        assert_eq!(c.read_line(), None);
+    }
+
+    #[test]
+    fn console_clear() {
+        let c = Console::new(PeId::new(4).unwrap());
+        c.write_line("x");
+        c.push_input("y");
+        c.clear();
+        assert!(c.output().is_empty());
+        assert_eq!(c.read_line(), None);
+    }
+}

@@ -1,0 +1,277 @@
+//! Processing elements.
+//!
+//! The FLEX/32 at NASA Langley had 20 PEs. PEs 1 and 2 run Unix (file
+//! system, program development) and are *not* available for PISCES user
+//! tasks; PEs 3–20 run MMOS and are loaded with the PISCES runtime plus the
+//! user program for each run.
+
+use crate::clock::{ClockReading, TickClock};
+use crate::cpu::CpuToken;
+use crate::mmos::Console;
+use crate::{FIRST_MMOS_PE, LAST_MMOS_PE, LOCAL_MEM_BYTES, NUM_PES};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Identifier of a processing element, 1–20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(u8);
+
+impl PeId {
+    /// Construct a PE id; `n` must be in 1..=20.
+    pub fn new(n: u8) -> Result<Self, PeError> {
+        if (1..=NUM_PES as u8).contains(&n) {
+            Ok(Self(n))
+        } else {
+            Err(PeError::NoSuchPe(n))
+        }
+    }
+
+    /// The raw PE number (1–20).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this PE runs MMOS and may host PISCES tasks.
+    pub fn is_mmos(self) -> bool {
+        (FIRST_MMOS_PE..=LAST_MMOS_PE).contains(&self.0)
+    }
+
+    /// Whether this PE runs Unix (PEs 1 and 2).
+    pub fn is_unix(self) -> bool {
+        !self.is_mmos()
+    }
+
+    /// All PE ids on the machine, in order.
+    pub fn all() -> impl Iterator<Item = PeId> {
+        (1..=NUM_PES as u8).map(PeId)
+    }
+
+    /// All MMOS PE ids (3–20), the ones PISCES may use.
+    pub fn mmos() -> impl Iterator<Item = PeId> {
+        (FIRST_MMOS_PE..=LAST_MMOS_PE).map(PeId)
+    }
+}
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// What kernel a PE runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeKind {
+    /// Unix PE (1 or 2): file system, development, user queueing.
+    Unix,
+    /// MMOS PE (3–20): allocatable to one PISCES run at a time.
+    Mmos,
+}
+
+/// Errors raised by PE-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeError {
+    /// PE number outside 1–20.
+    NoSuchPe(u8),
+    /// Local memory request exceeded the 1 MB capacity.
+    LocalMemoryExhausted {
+        /// PE on which the reservation failed.
+        pe: u8,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still free.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeError::NoSuchPe(n) => write!(f, "no such PE: {n} (valid: 1-20)"),
+            PeError::LocalMemoryExhausted {
+                pe,
+                requested,
+                available,
+            } => write!(
+                f,
+                "PE{pe} local memory exhausted: requested {requested} B, {available} B free"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PeError {}
+
+/// Byte-accounted local memory of one PE (1 Mbyte on the FLEX/32).
+///
+/// PISCES never shares local memory between PEs, so a capacity counter is a
+/// faithful model; what the paper measures is the *fraction of the 1 MB*
+/// consumed by system code and data.
+#[derive(Debug)]
+pub struct LocalMemory {
+    capacity: usize,
+    used: AtomicUsize,
+}
+
+impl LocalMemory {
+    fn new() -> Self {
+        Self {
+            capacity: LOCAL_MEM_BYTES,
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reserve `bytes` of local memory. Fails if the PE would exceed 1 MB.
+    pub fn reserve(&self, bytes: usize, pe: PeId) -> Result<(), PeError> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur + bytes;
+            if new > self.capacity {
+                return Err(PeError::LocalMemoryExhausted {
+                    pe: pe.number(),
+                    requested: bytes,
+                    available: self.capacity - cur,
+                });
+            }
+            match self
+                .used
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release a previous reservation.
+    pub fn release(&self, bytes: usize) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "local memory release underflow");
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Total capacity in bytes (1 MB).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fraction of local memory in use, 0.0–1.0.
+    pub fn utilization(&self) -> f64 {
+        self.used() as f64 / self.capacity as f64
+    }
+}
+
+/// One processing element of the simulated FLEX/32.
+#[derive(Debug)]
+pub struct Pe {
+    id: PeId,
+    kind: PeKind,
+    /// 1 MB local memory accounting.
+    pub local: LocalMemory,
+    /// Tick clock, reported in trace lines.
+    pub clock: TickClock,
+    /// CPU arbitration token (multiprogramming).
+    pub cpu: CpuToken,
+    /// Terminal console attached to the PE.
+    pub console: Console,
+}
+
+impl Pe {
+    pub(crate) fn new(id: PeId) -> Self {
+        let kind = if id.is_unix() {
+            PeKind::Unix
+        } else {
+            PeKind::Mmos
+        };
+        Self {
+            id,
+            kind,
+            local: LocalMemory::new(),
+            clock: TickClock::new(),
+            cpu: CpuToken::new(),
+            console: Console::new(id),
+        }
+    }
+
+    /// This PE's id.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// Which kernel the PE runs.
+    pub fn kind(&self) -> PeKind {
+        self.kind
+    }
+
+    /// Take a clock reading on this PE (for trace lines).
+    pub fn reading(&self) -> ClockReading {
+        ClockReading {
+            pe: self.id.number(),
+            ticks: self.clock.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_id_bounds() {
+        assert!(PeId::new(0).is_err());
+        assert!(PeId::new(21).is_err());
+        assert!(PeId::new(1).is_ok());
+        assert!(PeId::new(20).is_ok());
+    }
+
+    #[test]
+    fn unix_vs_mmos_split() {
+        assert!(PeId::new(1).unwrap().is_unix());
+        assert!(PeId::new(2).unwrap().is_unix());
+        assert!(PeId::new(3).unwrap().is_mmos());
+        assert!(PeId::new(20).unwrap().is_mmos());
+        assert_eq!(PeId::mmos().count(), 18);
+        assert_eq!(PeId::all().count(), 20);
+    }
+
+    #[test]
+    fn local_memory_reserve_release() {
+        let pe = PeId::new(3).unwrap();
+        let m = LocalMemory::new();
+        m.reserve(1024, pe).unwrap();
+        assert_eq!(m.used(), 1024);
+        m.release(1024);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn local_memory_capacity_enforced() {
+        let pe = PeId::new(3).unwrap();
+        let m = LocalMemory::new();
+        m.reserve(LOCAL_MEM_BYTES, pe).unwrap();
+        let err = m.reserve(1, pe).unwrap_err();
+        match err {
+            PeError::LocalMemoryExhausted { available, .. } => assert_eq!(available, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let pe = PeId::new(4).unwrap();
+        let m = LocalMemory::new();
+        m.reserve(LOCAL_MEM_BYTES / 4, pe).unwrap();
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_reading_carries_pe_number() {
+        let pe = Pe::new(PeId::new(7).unwrap());
+        pe.clock.advance(13);
+        let r = pe.reading();
+        assert_eq!(r.pe, 7);
+        assert_eq!(r.ticks, 13);
+    }
+}

@@ -1,0 +1,658 @@
+//! The FLEX/32 shared memory: a 2.25 MB arena with a first-fit allocator.
+//!
+//! The PISCES run-time system uses the FLEX shared memory in three ways
+//! (paper, Section 11):
+//!
+//! 1. the cluster/slot table with per-task state records,
+//! 2. a message-passing area "maintained as a heap with explicit
+//!    allocation/deallocation as messages are sent and accepted",
+//! 3. an area for SHARED COMMON blocks, allocated statically.
+//!
+//! Section 13's evaluation is a storage measurement over this memory
+//! ("less than 0.3% of shared memory" for system tables; message storage
+//! "dynamically recovered and reused"). To reproduce the measurement rather
+//! than the number, this module implements a real allocator over a real
+//! arena: allocation is first-fit over a sorted free list, freeing coalesces
+//! adjacent blocks, and the arena records high-water marks and per-purpose
+//! byte counts.
+//!
+//! The arena is word-granular: storage is a slab of `AtomicU64` words and
+//! every allocation is rounded up to 8-byte words. This gives all PEs
+//! (threads) data-race-free access to shared data — the same property the
+//! hardware provides via its shared bus — without any `unsafe`.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why an allocation was made; drives the per-purpose storage accounting
+/// that the paper's Section 13 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShmTag {
+    /// Cluster/slot tables and per-task state records (system tables).
+    SystemTable,
+    /// Message headers and argument packets.
+    Message,
+    /// SHARED COMMON blocks of tasks that split into forces.
+    SharedCommon,
+    /// Registered user arrays served through windows.
+    WindowArray,
+    /// Anything else (tests, scratch).
+    Other,
+}
+
+impl ShmTag {
+    /// All tags, for reporting.
+    pub const ALL: [ShmTag; 5] = [
+        ShmTag::SystemTable,
+        ShmTag::Message,
+        ShmTag::SharedCommon,
+        ShmTag::WindowArray,
+        ShmTag::Other,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShmTag::SystemTable => "system tables",
+            ShmTag::Message => "messages",
+            ShmTag::SharedCommon => "shared common",
+            ShmTag::WindowArray => "window arrays",
+            ShmTag::Other => "other",
+        }
+    }
+}
+
+/// Handle to an allocated block: word offset + length in words.
+///
+/// Handles are plain data (like the paper's pointers into shared memory);
+/// they may be copied freely and stored in messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShmHandle {
+    offset: usize,
+    words: usize,
+}
+
+impl ShmHandle {
+    /// Length of the block in 64-bit words.
+    pub fn words(self) -> usize {
+        self.words
+    }
+
+    /// Length of the block in bytes.
+    pub fn bytes(self) -> usize {
+        self.words * 8
+    }
+
+    /// Word offset within the arena (useful for dump/debug output).
+    pub fn offset(self) -> usize {
+        self.offset
+    }
+}
+
+/// Errors from shared-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmError {
+    /// No free block large enough for the request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Total bytes free (may be fragmented).
+        free: usize,
+        /// Largest single free block in bytes.
+        largest_block: usize,
+    },
+    /// `free` called with a handle that is not an allocated block.
+    BadFree {
+        /// Offending word offset.
+        offset: usize,
+    },
+    /// Word index out of the block's bounds.
+    OutOfBounds {
+        /// Index used.
+        index: usize,
+        /// Block length in words.
+        words: usize,
+    },
+    /// Requested zero bytes.
+    ZeroSize,
+}
+
+impl std::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShmError::OutOfMemory {
+                requested,
+                free,
+                largest_block,
+            } => write!(
+                f,
+                "shared memory exhausted: requested {requested} B, {free} B free \
+                 (largest block {largest_block} B)"
+            ),
+            ShmError::BadFree { offset } => {
+                write!(
+                    f,
+                    "free of unallocated shared-memory block at word {offset}"
+                )
+            }
+            ShmError::OutOfBounds { index, words } => {
+                write!(
+                    f,
+                    "shared-memory access at word {index} outside block of {words} words"
+                )
+            }
+            ShmError::ZeroSize => write!(f, "zero-size shared-memory allocation"),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
+
+#[derive(Debug, Default, Clone)]
+struct AllocStats {
+    in_use_words: usize,
+    high_water_words: usize,
+    allocs: u64,
+    frees: u64,
+    by_tag_words: BTreeMap<ShmTag, usize>,
+    high_water_by_tag_words: BTreeMap<ShmTag, usize>,
+}
+
+#[derive(Debug)]
+struct AllocState {
+    /// Free blocks as (offset, words), sorted by offset, non-adjacent
+    /// (adjacent blocks are coalesced on free).
+    free: Vec<(usize, usize)>,
+    /// Allocated blocks: offset → (words, tag).
+    allocated: BTreeMap<usize, (usize, ShmTag)>,
+    stats: AllocStats,
+}
+
+/// Snapshot of arena usage, for storage reports.
+#[derive(Debug, Clone)]
+pub struct ShmReport {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Bytes currently allocated.
+    pub in_use: usize,
+    /// Peak bytes ever allocated simultaneously.
+    pub high_water: usize,
+    /// Number of `alloc` calls.
+    pub allocs: u64,
+    /// Number of `free` calls.
+    pub frees: u64,
+    /// Largest free block in bytes (fragmentation indicator).
+    pub largest_free_block: usize,
+    /// Number of free-list fragments.
+    pub free_fragments: usize,
+    /// Current bytes per purpose.
+    pub by_tag: BTreeMap<ShmTag, usize>,
+    /// Peak bytes per purpose.
+    pub high_water_by_tag: BTreeMap<ShmTag, usize>,
+}
+
+impl ShmReport {
+    /// Fraction of the arena currently in use, 0.0–1.0.
+    pub fn utilization(&self) -> f64 {
+        self.in_use as f64 / self.capacity as f64
+    }
+
+    /// Current bytes used for a given purpose.
+    pub fn tag_bytes(&self, tag: ShmTag) -> usize {
+        self.by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Fraction of the arena used by a given purpose.
+    pub fn tag_fraction(&self, tag: ShmTag) -> f64 {
+        self.tag_bytes(tag) as f64 / self.capacity as f64
+    }
+}
+
+/// The shared-memory arena.
+pub struct SharedMemory {
+    words: Box<[AtomicU64]>,
+    state: Mutex<AllocState>,
+}
+
+impl std::fmt::Debug for SharedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMemory")
+            .field("capacity_bytes", &(self.words.len() * 8))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedMemory {
+    /// An arena with the FLEX/32's 2.25 MB capacity.
+    pub fn flex32() -> Self {
+        Self::with_capacity(crate::SHARED_MEM_BYTES)
+    }
+
+    /// An arena with an arbitrary capacity (rounded down to whole words).
+    pub fn with_capacity(bytes: usize) -> Self {
+        let n = bytes / 8;
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+            state: Mutex::new(AllocState {
+                free: vec![(0, n)],
+                allocated: BTreeMap::new(),
+                stats: AllocStats::default(),
+            }),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Allocate `bytes` (rounded up to whole words) for the given purpose.
+    ///
+    /// First-fit over the sorted free list, exactly as a 1987 run-time heap
+    /// would do it.
+    pub fn alloc(&self, bytes: usize, tag: ShmTag) -> Result<ShmHandle, ShmError> {
+        if bytes == 0 {
+            return Err(ShmError::ZeroSize);
+        }
+        let want = bytes.div_ceil(8);
+        let mut st = self.state.lock();
+        let pos = st.free.iter().position(|&(_, len)| len >= want);
+        let Some(pos) = pos else {
+            let free: usize = st.free.iter().map(|&(_, l)| l).sum();
+            let largest = st.free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+            return Err(ShmError::OutOfMemory {
+                requested: bytes,
+                free: free * 8,
+                largest_block: largest * 8,
+            });
+        };
+        let (off, len) = st.free[pos];
+        if len == want {
+            st.free.remove(pos);
+        } else {
+            st.free[pos] = (off + want, len - want);
+        }
+        st.allocated.insert(off, (want, tag));
+        st.stats.allocs += 1;
+        st.stats.in_use_words += want;
+        st.stats.high_water_words = st.stats.high_water_words.max(st.stats.in_use_words);
+        let cur = st.stats.by_tag_words.entry(tag).or_insert(0);
+        *cur += want;
+        let cur = *cur;
+        let hw = st.stats.high_water_by_tag_words.entry(tag).or_insert(0);
+        *hw = (*hw).max(cur);
+        // Zero the block: MMOS-style fresh storage for each allocation.
+        for w in &self.words[off..off + want] {
+            w.store(0, Ordering::Relaxed);
+        }
+        Ok(ShmHandle {
+            offset: off,
+            words: want,
+        })
+    }
+
+    /// Return a block to the heap, coalescing with adjacent free blocks.
+    pub fn free(&self, handle: ShmHandle) -> Result<(), ShmError> {
+        let mut st = self.state.lock();
+        let Some((words, tag)) = st.allocated.remove(&handle.offset) else {
+            return Err(ShmError::BadFree {
+                offset: handle.offset,
+            });
+        };
+        debug_assert_eq!(words, handle.words, "handle length mismatch on free");
+        st.stats.frees += 1;
+        st.stats.in_use_words -= words;
+        *st.stats.by_tag_words.entry(tag).or_insert(0) -= words;
+
+        // Insert into the sorted free list and coalesce neighbours.
+        let idx = st
+            .free
+            .binary_search_by_key(&handle.offset, |&(o, _)| o)
+            .unwrap_err();
+        st.free.insert(idx, (handle.offset, words));
+        // Coalesce with the following block first, then the preceding one.
+        if idx + 1 < st.free.len() {
+            let (o, l) = st.free[idx];
+            let (no, nl) = st.free[idx + 1];
+            if o + l == no {
+                st.free[idx] = (o, l + nl);
+                st.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let (po, pl) = st.free[idx - 1];
+            let (o, l) = st.free[idx];
+            if po + pl == o {
+                st.free[idx - 1] = (po, pl + l);
+                st.free.remove(idx);
+            }
+        }
+        Ok(())
+    }
+
+    fn word_index(&self, handle: ShmHandle, idx: usize) -> Result<usize, ShmError> {
+        if idx >= handle.words {
+            return Err(ShmError::OutOfBounds {
+                index: idx,
+                words: handle.words,
+            });
+        }
+        Ok(handle.offset + idx)
+    }
+
+    /// Load word `idx` of the block.
+    pub fn load(&self, handle: ShmHandle, idx: usize) -> Result<u64, ShmError> {
+        let i = self.word_index(handle, idx)?;
+        Ok(self.words[i].load(Ordering::Relaxed))
+    }
+
+    /// Store word `idx` of the block.
+    pub fn store(&self, handle: ShmHandle, idx: usize, value: u64) -> Result<(), ShmError> {
+        let i = self.word_index(handle, idx)?;
+        self.words[i].store(value, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Atomic fetch-add on word `idx` (used for self-scheduled loop
+    /// dispatch and lock counters).
+    pub fn fetch_add(&self, handle: ShmHandle, idx: usize, delta: u64) -> Result<u64, ShmError> {
+        let i = self.word_index(handle, idx)?;
+        Ok(self.words[i].fetch_add(delta, Ordering::AcqRel))
+    }
+
+    /// Atomic compare-exchange on word `idx` (used for LOCK variables).
+    pub fn compare_exchange(
+        &self,
+        handle: ShmHandle,
+        idx: usize,
+        current: u64,
+        new: u64,
+    ) -> Result<Result<u64, u64>, ShmError> {
+        let i = self.word_index(handle, idx)?;
+        Ok(self.words[i].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire))
+    }
+
+    /// Copy `out.len()` words starting at word `from` of the block.
+    pub fn read_words(
+        &self,
+        handle: ShmHandle,
+        from: usize,
+        out: &mut [u64],
+    ) -> Result<(), ShmError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let last = from + out.len() - 1;
+        self.word_index(handle, last)?;
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.words[handle.offset + from + k].load(Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Copy `data` into the block starting at word `from`.
+    pub fn write_words(
+        &self,
+        handle: ShmHandle,
+        from: usize,
+        data: &[u64],
+    ) -> Result<(), ShmError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let last = from + data.len() - 1;
+        self.word_index(handle, last)?;
+        for (k, &v) in data.iter().enumerate() {
+            self.words[handle.offset + from + k].store(v, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Usage snapshot for storage reports.
+    pub fn report(&self) -> ShmReport {
+        let st = self.state.lock();
+        ShmReport {
+            capacity: self.capacity(),
+            in_use: st.stats.in_use_words * 8,
+            high_water: st.stats.high_water_words * 8,
+            allocs: st.stats.allocs,
+            frees: st.stats.frees,
+            largest_free_block: st.free.iter().map(|&(_, l)| l * 8).max().unwrap_or(0),
+            free_fragments: st.free.len(),
+            by_tag: st
+                .stats
+                .by_tag_words
+                .iter()
+                .map(|(&t, &w)| (t, w * 8))
+                .collect(),
+            high_water_by_tag: st
+                .stats
+                .high_water_by_tag_words
+                .iter()
+                .map(|(&t, &w)| (t, w * 8))
+                .collect(),
+        }
+    }
+
+    /// Consistency check used by tests: free + allocated exactly tile the
+    /// arena with no overlap.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let st = self.state.lock();
+        let mut spans: Vec<(usize, usize, bool)> = st
+            .free
+            .iter()
+            .map(|&(o, l)| (o, l, true))
+            .chain(st.allocated.iter().map(|(&o, &(l, _))| (o, l, false)))
+            .collect();
+        spans.sort_by_key(|&(o, _, _)| o);
+        let mut cursor = 0usize;
+        let mut prev_free = false;
+        for (o, l, is_free) in spans {
+            if o != cursor {
+                return Err(format!(
+                    "gap or overlap at word {cursor} (next span at {o})"
+                ));
+            }
+            if l == 0 {
+                return Err(format!("zero-length span at word {o}"));
+            }
+            if is_free && prev_free {
+                return Err(format!("uncoalesced adjacent free blocks at word {o}"));
+            }
+            prev_free = is_free;
+            cursor = o + l;
+        }
+        if cursor != self.words.len() {
+            return Err(format!(
+                "spans cover {cursor} words, arena has {}",
+                self.words.len()
+            ));
+        }
+        let counted: usize = st.allocated.values().map(|&(l, _)| l).sum();
+        if counted != st.stats.in_use_words {
+            return Err(format!(
+                "in-use accounting mismatch: map says {counted}, stats say {}",
+                st.stats.in_use_words
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> SharedMemory {
+        SharedMemory::with_capacity(4096)
+    }
+
+    #[test]
+    fn flex32_capacity_is_2_25_mb() {
+        assert_eq!(SharedMemory::flex32().capacity(), 2_359_296);
+    }
+
+    #[test]
+    fn alloc_rounds_to_words() {
+        let m = arena();
+        let h = m.alloc(1, ShmTag::Other).unwrap();
+        assert_eq!(h.bytes(), 8);
+        let h2 = m.alloc(9, ShmTag::Other).unwrap();
+        assert_eq!(h2.bytes(), 16);
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        assert_eq!(arena().alloc(0, ShmTag::Other), Err(ShmError::ZeroSize));
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let m = arena();
+        let h = m.alloc(64, ShmTag::Other).unwrap();
+        m.store(h, 3, 0xdead_beef).unwrap();
+        assert_eq!(m.load(h, 3).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn fresh_allocation_is_zeroed() {
+        let m = arena();
+        let h = m.alloc(64, ShmTag::Other).unwrap();
+        m.store(h, 0, 42).unwrap();
+        m.free(h).unwrap();
+        let h2 = m.alloc(64, ShmTag::Other).unwrap();
+        assert_eq!(m.load(h2, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let m = arena();
+        let h = m.alloc(16, ShmTag::Other).unwrap(); // 2 words
+        assert!(matches!(m.load(h, 2), Err(ShmError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.store(h, 99, 0),
+            Err(ShmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn oom_reports_largest_block() {
+        let m = arena();
+        let _a = m.alloc(2048, ShmTag::Other).unwrap();
+        let b = m.alloc(1024, ShmTag::Other).unwrap();
+        let _c = m.alloc(1024, ShmTag::Other).unwrap();
+        m.free(b).unwrap();
+        // 1024 bytes free in one hole; asking for 2048 must fail.
+        match m.alloc(2048, ShmTag::Other) {
+            Err(ShmError::OutOfMemory {
+                free,
+                largest_block,
+                ..
+            }) => {
+                assert_eq!(free, 1024);
+                assert_eq!(largest_block, 1024);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_coalesces_both_sides() {
+        let m = arena();
+        let a = m.alloc(512, ShmTag::Other).unwrap();
+        let b = m.alloc(512, ShmTag::Other).unwrap();
+        let c = m.alloc(512, ShmTag::Other).unwrap();
+        m.free(a).unwrap();
+        m.free(c).unwrap();
+        m.free(b).unwrap();
+        m.check_invariants().unwrap();
+        let r = m.report();
+        assert_eq!(r.in_use, 0);
+        assert_eq!(r.free_fragments, 1);
+        assert_eq!(r.largest_free_block, 4096);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let m = arena();
+        let a = m.alloc(64, ShmTag::Other).unwrap();
+        m.free(a).unwrap();
+        assert!(matches!(m.free(a), Err(ShmError::BadFree { .. })));
+    }
+
+    #[test]
+    fn first_fit_reuses_freed_hole() {
+        let m = arena();
+        let a = m.alloc(512, ShmTag::Other).unwrap();
+        let _b = m.alloc(512, ShmTag::Other).unwrap();
+        m.free(a).unwrap();
+        let c = m.alloc(256, ShmTag::Other).unwrap();
+        assert_eq!(c.offset(), 0, "first fit must pick the earliest hole");
+    }
+
+    #[test]
+    fn report_tracks_tags_and_high_water() {
+        let m = arena();
+        let a = m.alloc(1024, ShmTag::Message).unwrap();
+        let _b = m.alloc(512, ShmTag::SystemTable).unwrap();
+        m.free(a).unwrap();
+        let r = m.report();
+        assert_eq!(r.tag_bytes(ShmTag::Message), 0);
+        assert_eq!(r.tag_bytes(ShmTag::SystemTable), 512);
+        assert_eq!(r.high_water, 1536);
+        assert_eq!(r.high_water_by_tag[&ShmTag::Message], 1024);
+        assert_eq!(r.allocs, 2);
+        assert_eq!(r.frees, 1);
+        assert!((r.tag_fraction(ShmTag::SystemTable) - 512.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fetch_add_and_compare_exchange() {
+        let m = arena();
+        let h = m.alloc(8, ShmTag::Other).unwrap();
+        assert_eq!(m.fetch_add(h, 0, 5).unwrap(), 0);
+        assert_eq!(m.load(h, 0).unwrap(), 5);
+        assert_eq!(m.compare_exchange(h, 0, 5, 9).unwrap(), Ok(5));
+        assert_eq!(m.compare_exchange(h, 0, 5, 1).unwrap(), Err(9));
+    }
+
+    #[test]
+    fn bulk_read_write_words() {
+        let m = arena();
+        let h = m.alloc(64, ShmTag::Other).unwrap();
+        m.write_words(h, 2, &[1, 2, 3]).unwrap();
+        let mut out = [0u64; 3];
+        m.read_words(h, 2, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3]);
+        assert!(m.write_words(h, 6, &[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn concurrent_alloc_free_is_consistent() {
+        let m = std::sync::Arc::new(SharedMemory::with_capacity(1 << 16));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let sz = 8 * (1 + (t * 7 + i * 13) % 16);
+                    let h = m.alloc(sz, ShmTag::Message).unwrap();
+                    m.store(h, 0, i as u64).unwrap();
+                    assert_eq!(m.load(h, 0).unwrap(), i as u64);
+                    m.free(h).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        m.check_invariants().unwrap();
+        let r = m.report();
+        assert_eq!(r.in_use, 0);
+        assert_eq!(r.allocs, 800);
+        assert_eq!(r.frees, 800);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the shared-memory allocator.
+//!
+//! The allocator is the foundation of every storage measurement in the
+//! reproduction, so we check its structural invariants under arbitrary
+//! alloc/free interleavings: free + allocated blocks always tile the arena
+//! exactly, adjacent free blocks are always coalesced, accounting matches
+//! the block map, and data written to a live block survives unrelated
+//! traffic.
+
+use flex32::shmem::{SharedMemory, ShmHandle, ShmTag};
+use proptest::prelude::*;
+
+/// A scripted allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate this many bytes (1..=2048).
+    Alloc(usize),
+    /// Free the live block at this index (modulo the live count).
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..=2048).prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn alloc_free_interleavings_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let m = SharedMemory::with_capacity(64 * 1024);
+        let mut live: Vec<(ShmHandle, u64)> = Vec::new();
+        let mut stamp = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Alloc(sz) => {
+                    if let Ok(h) = m.alloc(sz, ShmTag::Other) {
+                        stamp += 1;
+                        m.store(h, 0, stamp).unwrap();
+                        live.push((h, stamp));
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (h, _) = live.swap_remove(i % live.len());
+                        m.free(h).unwrap();
+                    }
+                }
+            }
+            m.check_invariants().unwrap();
+        }
+
+        // Every live block still holds the stamp written at allocation:
+        // no block ever overlapped another.
+        for (h, s) in &live {
+            prop_assert_eq!(m.load(*h, 0).unwrap(), *s);
+        }
+
+        // Freeing everything returns the arena to one maximal block.
+        for (h, _) in live {
+            m.free(h).unwrap();
+        }
+        m.check_invariants().unwrap();
+        let r = m.report();
+        prop_assert_eq!(r.in_use, 0);
+        prop_assert_eq!(r.free_fragments, 1);
+        prop_assert_eq!(r.largest_free_block, 64 * 1024);
+    }
+
+    #[test]
+    fn in_use_equals_sum_of_live_blocks(sizes in prop::collection::vec(1usize..=512, 1..40)) {
+        let m = SharedMemory::with_capacity(64 * 1024);
+        let mut total = 0usize;
+        let mut handles = Vec::new();
+        for sz in sizes {
+            let h = m.alloc(sz, ShmTag::Message).unwrap();
+            total += h.bytes();
+            handles.push(h);
+        }
+        let r = m.report();
+        prop_assert_eq!(r.in_use, total);
+        prop_assert_eq!(r.tag_bytes(ShmTag::Message), total);
+        for h in handles {
+            m.free(h).unwrap();
+        }
+        prop_assert_eq!(m.report().in_use, 0);
+    }
+}

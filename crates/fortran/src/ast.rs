@@ -1,0 +1,354 @@
+//! Abstract syntax of Pisces Fortran.
+//!
+//! A program is a set of units: `TASK` definitions (the tasktypes of the
+//! paper), `HANDLER` subroutines (invoked by ACCEPT for message types with
+//! handlers; "the handler subroutine has the same name as the message
+//! type"), and ordinary `SUBROUTINE`s. Statements are a Fortran-77 subset
+//! plus the Pisces extensions of Sections 6–9.
+
+/// Fortran base types plus the two Pisces data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseType {
+    /// INTEGER
+    Integer,
+    /// REAL (we evaluate in f64, like DOUBLE PRECISION)
+    Real,
+    /// LOGICAL
+    Logical,
+    /// CHARACTER
+    Character,
+    /// TASKID — "taskid's can be stored in variables and arrays"
+    TaskId,
+    /// WINDOW — "stored in variables (of type WINDOW)"
+    Window,
+}
+
+impl BaseType {
+    /// Fortran keyword for this type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BaseType::Integer => "INTEGER",
+            BaseType::Real => "REAL",
+            BaseType::Logical => "LOGICAL",
+            BaseType::Character => "CHARACTER",
+            BaseType::TaskId => "TASKID",
+            BaseType::Window => "WINDOW",
+        }
+    }
+}
+
+/// One declared variable: name plus 0, 1, or 2 constant dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Array dimensions (empty = scalar). Dimensions are expressions but
+    /// must evaluate to constants at task start.
+    pub dims: Vec<Expr>,
+}
+
+/// A type declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// The declared type.
+    pub ty: BaseType,
+    /// The variables declared in this statement.
+    pub vars: Vec<VarDecl>,
+}
+
+/// A SHARED COMMON block declaration: `SHARED COMMON /NAME/ A, B(10)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedDecl {
+    /// Block name.
+    pub block: String,
+    /// Variables laid out in the block, in order. All REAL/INTEGER words.
+    pub vars: Vec<VarDecl>,
+}
+
+/// A program unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Unit {
+    /// A tasktype definition.
+    Task(Routine),
+    /// A handler subroutine (same name as the message type it handles).
+    Handler(Routine),
+    /// An ordinary Fortran subroutine.
+    Subroutine(Routine),
+    /// A Fortran FUNCTION: returns the value assigned to its own name.
+    Function(Routine),
+}
+
+impl Unit {
+    /// The unit's routine, whatever its kind.
+    pub fn routine(&self) -> &Routine {
+        match self {
+            Unit::Task(r) | Unit::Handler(r) | Unit::Subroutine(r) | Unit::Function(r) => r,
+        }
+    }
+}
+
+/// The common shape of tasks, handlers, and subroutines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routine {
+    /// Unit name (tasktype name, message type name, or subroutine name).
+    pub name: String,
+    /// Parameter names (bound from INITIATE args, message args, or CALL
+    /// args respectively).
+    pub params: Vec<String>,
+    /// Type declarations.
+    pub decls: Vec<Decl>,
+    /// SHARED COMMON blocks (tasks that split into forces).
+    pub shared: Vec<SharedDecl>,
+    /// LOCK variables.
+    pub locks: Vec<String>,
+    /// Message types declared SIGNAL (the SIGNAL/HANDLER distinction "is
+    /// made in a declaration at the beginning of each tasktype").
+    pub signals: Vec<String>,
+    /// PARAMETER constants: `PARAMETER (N = 100, EPS = 1.0E-6)`.
+    pub parameters: Vec<(String, Expr)>,
+    /// Executable statements.
+    pub body: Vec<Stmt>,
+}
+
+/// INITIATE placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereAst {
+    /// `ON CLUSTER <expr> INITIATE …`
+    Cluster(Expr),
+    /// `ON ANY INITIATE …`
+    Any,
+    /// `ON OTHER INITIATE …`
+    Other,
+    /// `ON SAME INITIATE …`
+    Same,
+}
+
+/// SEND destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DestAst {
+    /// `TO PARENT SEND …`
+    Parent,
+    /// `TO SELF SEND …`
+    SelfDest,
+    /// `TO SENDER SEND …`
+    Sender,
+    /// `TO USER SEND …`
+    User,
+    /// `TO TCONTR <expr> SEND …`
+    TContr(Expr),
+    /// `TO <taskid variable or array element> SEND …`
+    Var(Box<Expr>),
+}
+
+/// Per-type quota in an ACCEPT arm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuotaAst {
+    /// Just listed (bounded by the statement total).
+    Default,
+    /// `<TYPE> COUNT <expr>`
+    Count(Expr),
+    /// `ALL <TYPE>`
+    All,
+}
+
+/// One message-type arm of an ACCEPT statement. Whether the type is a
+/// signal or has a handler is resolved against the program's HANDLER
+/// units and the routine's SIGNAL declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptArm {
+    /// Message type name.
+    pub mtype: String,
+    /// Per-type quota.
+    pub quota: QuotaAst,
+}
+
+/// Loop scheduling of a DO statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sched {
+    /// Ordinary sequential DO.
+    Seq,
+    /// `PRESCHED DO` — iterations dealt round-robin to force members.
+    Pre,
+    /// `SELFSCHED DO` — members take the next iteration dynamically.
+    SelfSched,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element `A(I)` or `A(I,J)` (1-based Fortran indices).
+    Element(String, Vec<Expr>),
+}
+
+/// Executable statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `<lvalue> = <expr>`
+    Assign(LValue, Expr),
+    /// `IF (cond) THEN … [ELSE …] END IF` (also the one-line form).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `DO V = from, to[, step] … END DO`, possibly PRESCHED/SELFSCHED.
+    Do {
+        /// Scheduling discipline.
+        sched: Sched,
+        /// Loop variable.
+        var: String,
+        /// First value.
+        from: Expr,
+        /// Last value (inclusive).
+        to: Expr,
+        /// Step (default 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `CALL <sub>(args)`
+    Call(String, Vec<Expr>),
+    /// `DO WHILE (cond) … END DO`
+    DoWhile(Expr, Vec<Stmt>),
+    /// `STOP` — terminate the whole task, from any nesting depth.
+    Stop,
+    /// `PRINT <expr-list>` — writes to the PE console.
+    Print(Vec<Expr>),
+    /// `RETURN` — leave the routine.
+    Return,
+    /// `ON <where> INITIATE <tasktype>(<args>)`
+    Initiate(WhereAst, String, Vec<Expr>),
+    /// `TO <dest> SEND <mtype>(<args>)`
+    Send(DestAst, String, Vec<Expr>),
+    /// `TO ALL [CLUSTER <expr>] SEND <mtype>(<args>)`
+    SendAll(Option<Expr>, String, Vec<Expr>),
+    /// `ACCEPT [<expr>] OF <arms…> [DELAY <expr> [THEN <stmts>]] END ACCEPT`
+    Accept {
+        /// Statement total (None = per-type counts/ALL only).
+        total: Option<Expr>,
+        /// Message-type arms.
+        arms: Vec<AcceptArm>,
+        /// DELAY clause: (timeout expression in milliseconds, body).
+        delay: Option<(Expr, Vec<Stmt>)>,
+    },
+    /// `FORCESPLIT … END FORCESPLIT`
+    ForceSplit(Vec<Stmt>),
+    /// `BARRIER … END BARRIER`
+    Barrier(Vec<Stmt>),
+    /// `CRITICAL <lock> … END CRITICAL`
+    Critical(String, Vec<Stmt>),
+    /// `PARSEG <seg> NEXTSEG <seg> … ENDSEG`
+    Parseg(Vec<Vec<Stmt>>),
+    /// `CREATE WINDOW <w> FROM <array>` — register the local array, store
+    /// a whole-array window in `w`.
+    CreateWindow(String, String),
+    /// `SHRINK WINDOW <w> TO (<r1>:<r2>, <c1>:<c2>)` — 1-based inclusive
+    /// bounds in array coordinates.
+    ShrinkWindow(String, (Expr, Expr), (Expr, Expr)),
+    /// `READ WINDOW <w> INTO <array>` — copy the visible subarray into a
+    /// local array (which must be at least as large).
+    ReadWindow(String, String),
+    /// `WRITE WINDOW <w> FROM <array>` — write a local array through the
+    /// window.
+    WriteWindow(String, String),
+    /// `WORK <expr>` — charge virtual compute ticks (reproduction
+    /// extension; real 1987 code charged time by simply computing).
+    Work(Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal.
+    Str(String),
+    /// Logical literal.
+    Logical(bool),
+    /// Scalar variable reference.
+    Var(String),
+    /// `NAME(args)` — array element or intrinsic function, resolved at
+    /// evaluation time (Fortran's classic ambiguity).
+    Index(String, Vec<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A parsed program: the unit list plus name indexes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All units in source order.
+    pub units: Vec<Unit>,
+}
+
+impl Program {
+    /// Find a tasktype by name.
+    pub fn task(&self, name: &str) -> Option<&Routine> {
+        self.units.iter().find_map(|u| match u {
+            Unit::Task(r) if r.name == name => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Find a handler by message-type name.
+    pub fn handler(&self, mtype: &str) -> Option<&Routine> {
+        self.units.iter().find_map(|u| match u {
+            Unit::Handler(r) if r.name == mtype => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Find an ordinary subroutine by name.
+    pub fn subroutine(&self, name: &str) -> Option<&Routine> {
+        self.units.iter().find_map(|u| match u {
+            Unit::Subroutine(r) if r.name == name => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Find a FUNCTION by name.
+    pub fn function(&self, name: &str) -> Option<&Routine> {
+        self.units.iter().find_map(|u| match u {
+            Unit::Function(r) if r.name == name => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Names of all tasktypes.
+    pub fn tasktypes(&self) -> Vec<&str> {
+        self.units
+            .iter()
+            .filter_map(|u| match u {
+                Unit::Task(r) => Some(r.name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}

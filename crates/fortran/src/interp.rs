@@ -1,0 +1,1273 @@
+//! The Pisces Fortran interpreter.
+//!
+//! Plays the role of the vendor Fortran compiler in the 1987 toolchain:
+//! where the real system preprocessed Pisces Fortran to Fortran 77 +
+//! run-time calls and compiled it, we execute tasktype bodies directly
+//! against the `pisces-core` runtime, binding every Pisces statement to
+//! the corresponding [`TaskCtx`]/[`ForceCtx`] operation.
+//!
+//! ## Semantics notes
+//!
+//! * Variables are dynamically typed cells; declarations matter for
+//!   arrays (dimensions), TASKID/WINDOW (documentation), and SHARED
+//!   COMMON layout. Assignment coerces like Fortran: REAL → INTEGER
+//!   truncates, INTEGER → REAL widens.
+//! * Arrays are 1-based, at most 2-D, stored row-major.
+//! * `CALL` uses value-result binding: scalar variable and array-element
+//!   arguments are copied back on return (observationally equivalent to
+//!   Fortran's by-reference for these programs).
+//! * HANDLER subroutines execute against the accepting task's variables
+//!   (their parameters are bound from the message arguments and restored
+//!   after) — standing in for the COMMON blocks a 1987 handler would use
+//!   to communicate with its task.
+//! * At FORCESPLIT each non-primary member receives a *copy* of the
+//!   task's variables (a replicated task, as in the paper); the primary
+//!   keeps the originals, so its updates persist after the join. SHARED
+//!   COMMON variables reference the same shared-memory block in every
+//!   member.
+
+use crate::ast::*;
+use pisces_core::error::{PiscesError, Result};
+use pisces_core::force::ForceCtx;
+use pisces_core::prelude::{TaskCtx, To, Where};
+use pisces_core::shared::{LockVar, SharedBlock};
+use pisces_core::value::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rt(msg: impl Into<String>) -> PiscesError {
+    PiscesError::Internal(format!("Pisces Fortran: {}", msg.into()))
+}
+
+/// A variable cell.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Scalar of any runtime type.
+    Scalar(Value),
+    /// INTEGER array (row-major, 1-based indices).
+    ArrayI {
+        dims: (usize, usize),
+        data: Vec<i64>,
+    },
+    /// REAL array.
+    ArrayR {
+        dims: (usize, usize),
+        data: Vec<f64>,
+    },
+    /// TASKID array.
+    ArrayT {
+        dims: (usize, usize),
+        data: Vec<Option<pisces_core::TaskId>>,
+    },
+    /// A scalar living in a SHARED COMMON block.
+    SharedScalar {
+        block: SharedBlock,
+        offset: usize,
+        real: bool,
+    },
+    /// An array living in a SHARED COMMON block.
+    SharedArray {
+        block: SharedBlock,
+        offset: usize,
+        dims: (usize, usize),
+        real: bool,
+    },
+}
+
+/// One routine invocation's variables.
+#[derive(Debug, Clone, Default)]
+struct Frame {
+    vars: HashMap<String, Slot>,
+    locks: HashMap<String, LockVar>,
+    /// Message types declared SIGNAL in this routine.
+    signals: Vec<String>,
+}
+
+/// Control flow result of executing statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    /// RETURN: leave the current routine.
+    Returned,
+    /// STOP: terminate the whole task, through any call depth.
+    Stopped,
+}
+
+/// Execution environment: the task context plus, inside a FORCESPLIT
+/// region, the member context.
+#[derive(Clone, Copy)]
+struct Env<'a, 'f> {
+    ctx: &'a TaskCtx,
+    force: Option<&'a ForceCtx<'f>>,
+}
+
+impl<'a, 'f> Env<'a, 'f> {
+    fn work(&self, ticks: u64) -> Result<()> {
+        match self.force {
+            Some(f) => f.work(ticks),
+            None => self.ctx.work(ticks),
+        }
+    }
+
+    fn shared_common(&self, name: &str, words: usize) -> Result<SharedBlock> {
+        match self.force {
+            Some(f) => f.shared_common(name, words),
+            None => self.ctx.shared_common(name, words),
+        }
+    }
+
+    fn lock_var(&self, name: &str) -> Result<LockVar> {
+        match self.force {
+            Some(f) => f.lock_var(name),
+            None => self.ctx.lock_var(name),
+        }
+    }
+
+    fn require_force(&self, what: &str) -> Result<&'a ForceCtx<'f>> {
+        self.force
+            .ok_or_else(|| rt(format!("{what} outside FORCESPLIT")))
+    }
+
+    fn require_task(&self, what: &str) -> Result<()> {
+        if self.force.is_some() {
+            Err(rt(format!("{what} inside FORCESPLIT is not supported")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The interpreter for one parsed program.
+pub struct Interp {
+    program: Arc<Program>,
+}
+
+impl Interp {
+    /// Wrap a parsed program.
+    pub fn new(program: Arc<Program>) -> Self {
+        Self { program }
+    }
+
+    /// Run a tasktype as a PISCES task body.
+    pub fn run_task(&self, name: &str, ctx: &TaskCtx) -> Result<()> {
+        let routine = self
+            .program
+            .task(name)
+            .ok_or_else(|| rt(format!("no tasktype {name}")))?
+            .clone();
+        let env = Env { ctx, force: None };
+        let frame = RefCell::new(Frame::default());
+        self.enter_routine(&frame, env, &routine, Some(ctx.args().to_vec()))?;
+        self.exec_stmts(&frame, env, &routine.body)?;
+        Ok(())
+    }
+
+    /// Set up a routine's frame: bind parameters, process declarations.
+    fn enter_routine(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        routine: &Routine,
+        args: Option<Vec<Value>>,
+    ) -> Result<()> {
+        {
+            let mut f = frame.borrow_mut();
+            f.signals = routine.signals.clone();
+            // `None` means the caller pre-bound the parameter slots
+            // (CALL with value-result binding).
+            if let Some(args) = &args {
+                for (i, p) in routine.params.iter().enumerate() {
+                    let v = args
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| rt(format!("{}: missing argument {p}", routine.name)))?;
+                    f.vars.insert(p.clone(), Slot::Scalar(v));
+                }
+            }
+        }
+        // PARAMETER constants (dims below may use them).
+        for (name, value) in &routine.parameters {
+            let v = self.eval(frame, env, value)?;
+            frame
+                .borrow_mut()
+                .vars
+                .insert(name.clone(), Slot::Scalar(v));
+        }
+        // Declarations: create arrays (dims may use parameters).
+        for d in &routine.decls {
+            for v in &d.vars {
+                if v.dims.is_empty() {
+                    continue; // scalars materialize on assignment
+                }
+                let dims = self.eval_dims(frame, env, &v.dims)?;
+                let n = dims.0 * dims.1;
+                let slot = match d.ty {
+                    BaseType::Integer => Slot::ArrayI {
+                        dims,
+                        data: vec![0; n],
+                    },
+                    BaseType::TaskId => Slot::ArrayT {
+                        dims,
+                        data: vec![None; n],
+                    },
+                    BaseType::Character | BaseType::Window => {
+                        return Err(rt(format!(
+                            "arrays of {} are not supported",
+                            d.ty.keyword()
+                        )))
+                    }
+                    _ => Slot::ArrayR {
+                        dims,
+                        data: vec![0.0; n],
+                    },
+                };
+                // A parameter re-declared as an array is a bug.
+                if routine.params.contains(&v.name) {
+                    return Err(rt(format!("parameter {} redeclared as array", v.name)));
+                }
+                frame.borrow_mut().vars.insert(v.name.clone(), slot);
+            }
+        }
+        // SHARED COMMON blocks: compute the layout, get the block, map
+        // every member variable onto it.
+        for s in &routine.shared {
+            let mut layout = Vec::new(); // (name, offset, dims, is_array)
+            let mut words = 0usize;
+            for v in &s.vars {
+                let dims = if v.dims.is_empty() {
+                    None
+                } else {
+                    Some(self.eval_dims(frame, env, &v.dims)?)
+                };
+                let n = dims.map_or(1, |d| d.0 * d.1);
+                layout.push((v.name.clone(), words, dims));
+                words += n;
+            }
+            let block = env.shared_common(&s.block, words)?;
+            let mut f = frame.borrow_mut();
+            for (name, offset, dims) in layout {
+                // Implicit typing decides INTEGER vs REAL words (I–N rule).
+                let real = !matches!(name.chars().next(), Some('I'..='N'));
+                let slot = match dims {
+                    None => Slot::SharedScalar {
+                        block: block.clone(),
+                        offset,
+                        real,
+                    },
+                    Some(dims) => Slot::SharedArray {
+                        block: block.clone(),
+                        offset,
+                        dims,
+                        real,
+                    },
+                };
+                f.vars.insert(name, slot);
+            }
+        }
+        // LOCK variables.
+        for l in &routine.locks {
+            let lv = env.lock_var(l)?;
+            frame.borrow_mut().locks.insert(l.clone(), lv);
+        }
+        Ok(())
+    }
+
+    fn eval_dims(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        dims: &[Expr],
+    ) -> Result<(usize, usize)> {
+        let mut out = [1usize; 2];
+        for (k, d) in dims.iter().enumerate() {
+            let n = as_int(&self.eval(frame, env, d)?)?;
+            if n <= 0 {
+                return Err(rt(format!("array dimension {n} must be positive")));
+            }
+            out[k] = n as usize;
+        }
+        // A(n) is one row of n columns; A(r,c) is r rows of c columns.
+        if dims.len() == 1 {
+            Ok((1, out[0]))
+        } else {
+            Ok((out[0], out[1]))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn exec_stmts(&self, frame: &RefCell<Frame>, env: Env<'_, '_>, stmts: &[Stmt]) -> Result<Flow> {
+        for s in stmts {
+            let flow = self.exec_stmt(frame, env, s)?;
+            if flow != Flow::Normal {
+                return Ok(flow);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&self, frame: &RefCell<Frame>, env: Env<'_, '_>, stmt: &Stmt) -> Result<Flow> {
+        match stmt {
+            Stmt::Assign(target, value) => {
+                let v = self.eval(frame, env, value)?;
+                self.store(frame, env, target, v)?;
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let c = as_logical(&self.eval(frame, env, cond)?)?;
+                let body = if c { then_b } else { else_b };
+                return self.exec_stmts(frame, env, body);
+            }
+            Stmt::Do {
+                sched,
+                var,
+                from,
+                to,
+                step,
+                body,
+            } => {
+                let lo = as_int(&self.eval(frame, env, from)?)?;
+                let hi = as_int(&self.eval(frame, env, to)?)?;
+                let st = match step {
+                    Some(e) => as_int(&self.eval(frame, env, e)?)?,
+                    None => 1,
+                };
+                if st == 0 {
+                    return Err(rt("DO step of zero"));
+                }
+                match sched {
+                    Sched::Seq => {
+                        let mut i = lo;
+                        while (st > 0 && i <= hi) || (st < 0 && i >= hi) {
+                            frame
+                                .borrow_mut()
+                                .vars
+                                .insert(var.clone(), Slot::Scalar(Value::Int(i)));
+                            let flow = self.exec_stmts(frame, env, body)?;
+                            if flow != Flow::Normal {
+                                return Ok(flow);
+                            }
+                            i += st;
+                        }
+                    }
+                    Sched::Pre | Sched::SelfSched => {
+                        let f = env.require_force(if *sched == Sched::Pre {
+                            "PRESCHED DO"
+                        } else {
+                            "SELFSCHED DO"
+                        })?;
+                        let mut early: Option<Flow> = None;
+                        let run = |i: i64| -> Result<()> {
+                            if early.is_some() {
+                                return Ok(());
+                            }
+                            frame
+                                .borrow_mut()
+                                .vars
+                                .insert(var.clone(), Slot::Scalar(Value::Int(i)));
+                            let flow = self.exec_stmts(frame, env, body)?;
+                            if flow != Flow::Normal {
+                                // RETURN/STOP inside a parallel loop ends
+                                // this member's share of the iterations.
+                                early = Some(flow);
+                            }
+                            Ok(())
+                        };
+                        match sched {
+                            Sched::Pre => f.presched_step(lo, hi, st, run)?,
+                            _ => f.selfsched_step(lo, hi, st, run)?,
+                        }
+                        if let Some(flow) = early {
+                            return Ok(flow);
+                        }
+                    }
+                }
+            }
+            Stmt::Call(name, args) => {
+                if self.call_subroutine(frame, env, name, args)? == Flow::Stopped {
+                    return Ok(Flow::Stopped);
+                }
+            }
+            Stmt::DoWhile(cond, body) => loop {
+                if !as_logical(&self.eval(frame, env, cond)?)? {
+                    break;
+                }
+                let flow = self.exec_stmts(frame, env, body)?;
+                if flow != Flow::Normal {
+                    return Ok(flow);
+                }
+            },
+            Stmt::Stop => return Ok(Flow::Stopped),
+            Stmt::Print(items) => {
+                let mut parts = Vec::with_capacity(items.len());
+                for e in items {
+                    parts.push(render(&self.eval(frame, env, e)?));
+                }
+                env.ctx.println(parts.join(" "));
+            }
+            Stmt::Return => return Ok(Flow::Returned),
+            Stmt::Initiate(where_, tasktype, args) => {
+                env.require_task("INITIATE")?;
+                let w = match where_ {
+                    WhereAst::Cluster(e) => {
+                        Where::Cluster(as_int(&self.eval(frame, env, e)?)? as u8)
+                    }
+                    WhereAst::Any => Where::Any,
+                    WhereAst::Other => Where::Other,
+                    WhereAst::Same => Where::Same,
+                };
+                let vals = self.eval_list(frame, env, args)?;
+                env.ctx.initiate(w, tasktype, vals)?;
+            }
+            Stmt::Send(dest, mtype, args) => {
+                // SEND is permitted inside a force region: members are
+                // replicas of the task and share its identity (the send
+                // is charged to the task's primary PE).
+                let to = match dest {
+                    DestAst::Parent => To::Parent,
+                    DestAst::SelfDest => To::Myself,
+                    DestAst::Sender => To::Sender,
+                    DestAst::User => To::User,
+                    DestAst::TContr(e) => {
+                        To::TaskController(as_int(&self.eval(frame, env, e)?)? as u8)
+                    }
+                    DestAst::Var(e) => match self.eval(frame, env, e)? {
+                        Value::TaskId(t) => To::Task(t),
+                        other => {
+                            return Err(rt(format!(
+                                "SEND destination must be a TASKID, got {}",
+                                other.type_name()
+                            )))
+                        }
+                    },
+                };
+                let vals = self.eval_list(frame, env, args)?;
+                env.ctx.send(to, mtype, vals)?;
+            }
+            Stmt::SendAll(cluster, mtype, args) => {
+                env.require_task("SEND")?;
+                let c = match cluster {
+                    Some(e) => Some(as_int(&self.eval(frame, env, e)?)? as u8),
+                    None => None,
+                };
+                let vals = self.eval_list(frame, env, args)?;
+                env.ctx.send_all(c, mtype, vals)?;
+            }
+            Stmt::Accept { total, arms, delay } => {
+                env.require_task("ACCEPT")?;
+                self.exec_accept(frame, env, total, arms, delay)?;
+            }
+            Stmt::ForceSplit(body) => {
+                env.require_task("nested FORCESPLIT")?;
+                let snapshot = frame.borrow().clone();
+                let result_frame: parking_lot::Mutex<Option<(Frame, Flow)>> =
+                    parking_lot::Mutex::new(None);
+                env.ctx.forcesplit(|fc| {
+                    // Primary keeps the original variables; other members
+                    // run on copies (replicated task state).
+                    let member_frame = RefCell::new(snapshot.clone());
+                    let menv = Env {
+                        ctx: env.ctx,
+                        force: Some(fc),
+                    };
+                    let flow = self.exec_stmts(&member_frame, menv, body)?;
+                    if fc.is_primary() {
+                        *result_frame.lock() = Some((member_frame.into_inner(), flow));
+                    }
+                    Ok(())
+                })?;
+                let primary_result = result_frame.lock().take();
+                if let Some((f, flow)) = primary_result {
+                    *frame.borrow_mut() = f;
+                    if flow == Flow::Stopped {
+                        return Ok(Flow::Stopped);
+                    }
+                }
+            }
+            Stmt::Barrier(body) => {
+                let f = env.require_force("BARRIER")?;
+                f.barrier_with(|| {
+                    self.exec_stmts(frame, env, body)?;
+                    Ok(())
+                })?;
+            }
+            Stmt::Critical(lock_name, body) => {
+                let f = env.require_force("CRITICAL")?;
+                let lock = frame
+                    .borrow()
+                    .locks
+                    .get(lock_name)
+                    .cloned()
+                    .ok_or_else(|| rt(format!("undeclared LOCK variable {lock_name}")))?;
+                f.critical(&lock, || {
+                    self.exec_stmts(frame, env, body)?;
+                    Ok(())
+                })?;
+            }
+            Stmt::Parseg(segs) => {
+                let f = env.require_force("PARSEG")?;
+                let boxed: Vec<Box<dyn FnOnce() -> Result<()> + '_>> = segs
+                    .iter()
+                    .map(|seg| {
+                        let seg = seg.clone();
+                        Box::new(move || {
+                            self.exec_stmts(frame, env, &seg)?;
+                            Ok(())
+                        }) as Box<dyn FnOnce() -> Result<()>>
+                    })
+                    .collect();
+                f.parseg(boxed)?;
+            }
+            Stmt::CreateWindow(win, array) => {
+                env.require_task("CREATE WINDOW")?;
+                let (dims, data) = self.array_as_reals(frame, array)?;
+                let w = env.ctx.register_array(&data, dims.0, dims.1)?;
+                frame
+                    .borrow_mut()
+                    .vars
+                    .insert(win.clone(), Slot::Scalar(Value::Window(w)));
+            }
+            Stmt::ShrinkWindow(win, rows, cols) => {
+                let r1 = as_int(&self.eval(frame, env, &rows.0)?)?;
+                let r2 = as_int(&self.eval(frame, env, &rows.1)?)?;
+                let c1 = as_int(&self.eval(frame, env, &cols.0)?)?;
+                let c2 = as_int(&self.eval(frame, env, &cols.1)?)?;
+                if r1 < 1 || c1 < 1 || r2 < r1 || c2 < c1 {
+                    return Err(rt(format!("bad SHRINK bounds ({r1}:{r2}, {c1}:{c2})")));
+                }
+                let w = self.window_of(frame, win)?;
+                let shrunk = w
+                    .shrink(r1 as usize - 1..r2 as usize, c1 as usize - 1..c2 as usize)
+                    .map_err(PiscesError::BadWindow)?;
+                frame
+                    .borrow_mut()
+                    .vars
+                    .insert(win.clone(), Slot::Scalar(Value::Window(shrunk)));
+            }
+            Stmt::ReadWindow(win, array) => {
+                let w = self.window_of(frame, win)?;
+                let data = match env.force {
+                    Some(_) => return Err(rt("READ WINDOW inside FORCESPLIT")),
+                    None => env.ctx.window_read(&w)?,
+                };
+                self.fill_array(frame, array, &data)?;
+            }
+            Stmt::WriteWindow(win, array) => {
+                let w = self.window_of(frame, win)?;
+                let (_, data) = self.array_as_reals(frame, array)?;
+                if data.len() < w.len() {
+                    return Err(rt(format!(
+                        "array {array} ({} elements) smaller than window ({})",
+                        data.len(),
+                        w.len()
+                    )));
+                }
+                match env.force {
+                    Some(_) => return Err(rt("WRITE WINDOW inside FORCESPLIT")),
+                    None => env.ctx.window_write(&w, &data[..w.len()])?,
+                }
+            }
+            Stmt::Work(e) => {
+                let t = as_int(&self.eval(frame, env, e)?)?;
+                env.work(t.max(0) as u64)?;
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_accept(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        total: &Option<Expr>,
+        arms: &[AcceptArm],
+        delay: &Option<(Expr, Vec<Stmt>)>,
+    ) -> Result<()> {
+        let total_n = match total {
+            Some(e) => Some(as_int(&self.eval(frame, env, e)?)?.max(0) as usize),
+            None => None,
+        };
+        let mut builder = env.ctx.accept();
+        if let Some(n) = total_n {
+            builder = builder.of(n);
+        }
+        let signals = frame.borrow().signals.clone();
+        for arm in arms {
+            let count = match &arm.quota {
+                QuotaAst::Count(e) => Some(as_int(&self.eval(frame, env, e)?)?.max(0) as usize),
+                _ => None,
+            };
+            let handler_routine = self.program.handler(&arm.mtype).cloned();
+            // SIGNAL declaration wins over a handler of the same name.
+            let handler_routine = if signals.contains(&arm.mtype) {
+                None
+            } else {
+                handler_routine
+            };
+            match handler_routine {
+                None => {
+                    builder = match (&arm.quota, count) {
+                        (QuotaAst::All, _) => builder.signal_all(&arm.mtype),
+                        (_, Some(n)) => builder.signal_count(&arm.mtype, n),
+                        _ => builder.signal(&arm.mtype),
+                    };
+                }
+                Some(routine) => {
+                    let run = move |m: &pisces_core::Message| -> Result<()> {
+                        self.run_handler(frame, env, &routine, m)
+                    };
+                    builder = match (&arm.quota, count) {
+                        (QuotaAst::All, _) => builder.handle_all(&arm.mtype, run),
+                        (_, Some(n)) => builder.handle_count(&arm.mtype, n, run),
+                        _ => builder.handle(&arm.mtype, run),
+                    };
+                }
+            }
+        }
+        if let Some((timeout, body)) = delay {
+            let ms = as_int(&self.eval(frame, env, timeout)?)?.max(0) as u64;
+            let d = Duration::from_millis(ms);
+            if body.is_empty() {
+                builder = builder.delay(d);
+                builder.run()?;
+            } else {
+                // Run the DELAY body after the accept returns; the builder
+                // callback only records that the timeout fired, because
+                // the body may itself contain ACCEPT statements.
+                let fired = RefCell::new(false);
+                builder = builder.delay_then(d, || *fired.borrow_mut() = true);
+                builder.run()?;
+                if fired.into_inner() {
+                    self.exec_stmts(frame, env, body)?;
+                }
+            }
+        } else {
+            builder.run()?;
+        }
+        Ok(())
+    }
+
+    /// Run a HANDLER routine against the task frame: parameters are bound
+    /// from the message arguments (shadowed names restored afterwards).
+    fn run_handler(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        routine: &Routine,
+        m: &pisces_core::Message,
+    ) -> Result<()> {
+        let mut saved: Vec<(String, Option<Slot>)> = Vec::new();
+        {
+            let mut f = frame.borrow_mut();
+            for (i, p) in routine.params.iter().enumerate() {
+                let v = m.args.get(i).cloned().ok_or_else(|| {
+                    rt(format!(
+                        "handler {}: message lacks argument {p}",
+                        routine.name
+                    ))
+                })?;
+                saved.push((p.clone(), f.vars.insert(p.clone(), Slot::Scalar(v))));
+            }
+        }
+        let result = self.exec_stmts(frame, env, &routine.body);
+        let mut f = frame.borrow_mut();
+        for (name, old) in saved.into_iter().rev() {
+            match old {
+                Some(slot) => {
+                    f.vars.insert(name, slot);
+                }
+                None => {
+                    f.vars.remove(&name);
+                }
+            }
+        }
+        drop(f);
+        match result? {
+            Flow::Stopped => Err(rt(format!(
+                "STOP inside HANDLER {} (terminate after the ACCEPT instead)",
+                routine.name
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// CALL with value-result argument binding. Returns `Flow::Stopped`
+    /// if the callee executed STOP (which must end the whole task).
+    fn call_subroutine(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<Flow> {
+        let routine = self
+            .program
+            .subroutine(name)
+            .cloned()
+            .ok_or_else(|| rt(format!("no subroutine {name}")))?;
+        if args.len() != routine.params.len() {
+            return Err(rt(format!(
+                "CALL {name}: {} argument(s) for {} parameter(s)",
+                args.len(),
+                routine.params.len()
+            )));
+        }
+        // Build the callee frame: whole-array arguments pass their slot,
+        // everything else passes its value.
+        let callee = RefCell::new(Frame::default());
+        {
+            let caller = frame.borrow();
+            let mut cf = callee.borrow_mut();
+            for (p, a) in routine.params.iter().zip(args) {
+                let slot = match a {
+                    Expr::Var(v) => match caller.vars.get(v) {
+                        Some(
+                            s @ (Slot::ArrayI { .. } | Slot::ArrayR { .. } | Slot::ArrayT { .. }),
+                        ) => s.clone(),
+                        Some(s @ (Slot::SharedScalar { .. } | Slot::SharedArray { .. })) => {
+                            s.clone() // shared slots alias the same block
+                        }
+                        Some(Slot::Scalar(v)) => Slot::Scalar(v.clone()),
+                        None => Slot::Scalar(Value::Int(0)),
+                    },
+                    e => Slot::Scalar(self.eval(frame, env, e)?),
+                };
+                cf.vars.insert(p.clone(), slot);
+            }
+        }
+        self.enter_routine(&callee, env, &routine, None)?;
+        let flow = self.exec_stmts(&callee, env, &routine.body)?;
+        // Value-result copy-back for variable and element arguments.
+        let cf = callee.borrow();
+        for (p, a) in routine.params.iter().zip(args) {
+            let Some(new_slot) = cf.vars.get(p) else {
+                continue;
+            };
+            match a {
+                Expr::Var(v) => {
+                    frame.borrow_mut().vars.insert(v.clone(), new_slot.clone());
+                }
+                Expr::Index(vname, idx)
+                    if frame.borrow().vars.get(vname).is_some_and(is_array_slot) =>
+                {
+                    if let Slot::Scalar(val) = new_slot {
+                        let target = LValue::Element(vname.clone(), idx.clone());
+                        self.store(frame, env, &target, val.clone())?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(if flow == Flow::Stopped {
+            Flow::Stopped
+        } else {
+            Flow::Normal
+        })
+    }
+
+    /// Evaluate a user FUNCTION: parameters bound by value, the result is
+    /// whatever was assigned to the function's own name (Fortran style).
+    fn call_function(
+        &self,
+        env: Env<'_, '_>,
+        routine: &Routine,
+        args: Vec<Value>,
+    ) -> Result<Value> {
+        if args.len() != routine.params.len() {
+            return Err(rt(format!(
+                "FUNCTION {}: {} argument(s) for {} parameter(s)",
+                routine.name,
+                args.len(),
+                routine.params.len()
+            )));
+        }
+        let callee = RefCell::new(Frame::default());
+        self.enter_routine(&callee, env, routine, Some(args))?;
+        let flow = self.exec_stmts(&callee, env, &routine.body)?;
+        if flow == Flow::Stopped {
+            return Err(rt(format!("STOP inside FUNCTION {}", routine.name)));
+        }
+        let result = callee.borrow().vars.get(&routine.name).cloned();
+        match result {
+            Some(Slot::Scalar(v)) => Ok(v),
+            _ => Err(rt(format!(
+                "FUNCTION {} never assigned its result",
+                routine.name
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Variables
+    // ------------------------------------------------------------------
+
+    fn window_of(&self, frame: &RefCell<Frame>, name: &str) -> Result<pisces_core::Window> {
+        match frame.borrow().vars.get(name) {
+            Some(Slot::Scalar(Value::Window(w))) => Ok(w.clone()),
+            _ => Err(rt(format!("{name} does not hold a WINDOW"))),
+        }
+    }
+
+    /// Read a whole array as REAL values (row-major) with its dims.
+    fn array_as_reals(
+        &self,
+        frame: &RefCell<Frame>,
+        name: &str,
+    ) -> Result<((usize, usize), Vec<f64>)> {
+        match frame.borrow().vars.get(name) {
+            Some(Slot::ArrayR { dims, data }) => Ok((*dims, data.clone())),
+            Some(Slot::ArrayI { dims, data }) => {
+                Ok((*dims, data.iter().map(|&v| v as f64).collect()))
+            }
+            Some(Slot::SharedArray {
+                block,
+                offset,
+                dims,
+                real,
+            }) => {
+                let n = dims.0 * dims.1;
+                let vals = if *real {
+                    block.read_reals(*offset, n)?
+                } else {
+                    (0..n)
+                        .map(|k| block.get_int(offset + k).map(|v| v as f64))
+                        .collect::<Result<Vec<_>>>()?
+                };
+                Ok((*dims, vals))
+            }
+            _ => Err(rt(format!("{name} is not an array"))),
+        }
+    }
+
+    /// Fill an array's leading elements (row-major).
+    fn fill_array(&self, frame: &RefCell<Frame>, name: &str, data: &[f64]) -> Result<()> {
+        let mut f = frame.borrow_mut();
+        match f.vars.get_mut(name) {
+            Some(Slot::ArrayR { data: d, .. }) => {
+                if d.len() < data.len() {
+                    return Err(rt(format!(
+                        "array {name} ({} elements) smaller than window data ({})",
+                        d.len(),
+                        data.len()
+                    )));
+                }
+                d[..data.len()].copy_from_slice(data);
+                Ok(())
+            }
+            Some(Slot::ArrayI { data: d, .. }) => {
+                if d.len() < data.len() {
+                    return Err(rt(format!("array {name} too small")));
+                }
+                for (dst, src) in d.iter_mut().zip(data) {
+                    *dst = *src as i64;
+                }
+                Ok(())
+            }
+            _ => Err(rt(format!("{name} is not a local array"))),
+        }
+    }
+
+    fn index_of(&self, dims: (usize, usize), idx: &[i64], name: &str) -> Result<usize> {
+        let (r, c) = match idx {
+            [j] => (1i64, *j),
+            [i, j] => (*i, *j),
+            _ => return Err(rt(format!("{name}: bad subscript count"))),
+        };
+        if r < 1 || c < 1 || r as usize > dims.0 || c as usize > dims.1 {
+            return Err(rt(format!(
+                "{name}({r},{c}) outside bounds ({},{})",
+                dims.0, dims.1
+            )));
+        }
+        Ok((r as usize - 1) * dims.1 + (c as usize - 1))
+    }
+
+    fn store(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        target: &LValue,
+        value: Value,
+    ) -> Result<()> {
+        match target {
+            LValue::Var(name) => {
+                let mut f = frame.borrow_mut();
+                match f.vars.get_mut(name) {
+                    Some(Slot::SharedScalar {
+                        block,
+                        offset,
+                        real,
+                    }) => {
+                        if *real {
+                            block.set_real(*offset, coerce_real(&value)?)?;
+                        } else {
+                            block.set_int(*offset, as_int_coerce(&value)?)?;
+                        }
+                    }
+                    Some(
+                        slot @ (Slot::ArrayI { .. } | Slot::ArrayR { .. } | Slot::ArrayT { .. }),
+                    ) => {
+                        let _ = slot;
+                        return Err(rt(format!("cannot assign a scalar to array {name}")));
+                    }
+                    _ => {
+                        f.vars.insert(name.clone(), Slot::Scalar(value));
+                    }
+                }
+                Ok(())
+            }
+            LValue::Element(name, idx_exprs) => {
+                let idx: Vec<i64> = idx_exprs
+                    .iter()
+                    .map(|e| as_int(&self.eval(frame, env, e)?))
+                    .collect::<Result<Vec<_>>>()?;
+                let mut f = frame.borrow_mut();
+                match f.vars.get_mut(name) {
+                    Some(Slot::ArrayI { dims, data }) => {
+                        let k = self.index_of(*dims, &idx, name)?;
+                        data[k] = as_int_coerce(&value)?;
+                        Ok(())
+                    }
+                    Some(Slot::ArrayR { dims, data }) => {
+                        let k = self.index_of(*dims, &idx, name)?;
+                        data[k] = coerce_real(&value)?;
+                        Ok(())
+                    }
+                    Some(Slot::ArrayT { dims, data }) => {
+                        let k = self.index_of(*dims, &idx, name)?;
+                        data[k] = Some(match value {
+                            Value::TaskId(t) => t,
+                            other => {
+                                return Err(rt(format!(
+                                    "cannot store {} in TASKID array",
+                                    other.type_name()
+                                )))
+                            }
+                        });
+                        Ok(())
+                    }
+                    Some(Slot::SharedArray {
+                        block,
+                        offset,
+                        dims,
+                        real,
+                    }) => {
+                        let k = self.index_of(*dims, &idx, name)?;
+                        if *real {
+                            block.set_real(*offset + k, coerce_real(&value)?)?;
+                        } else {
+                            block.set_int(*offset + k, as_int_coerce(&value)?)?;
+                        }
+                        Ok(())
+                    }
+                    _ => Err(rt(format!("{name} is not an array"))),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn eval_list(
+        &self,
+        frame: &RefCell<Frame>,
+        env: Env<'_, '_>,
+        exprs: &[Expr],
+    ) -> Result<Vec<Value>> {
+        exprs.iter().map(|e| self.eval(frame, env, e)).collect()
+    }
+
+    fn eval(&self, frame: &RefCell<Frame>, env: Env<'_, '_>, e: &Expr) -> Result<Value> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Real(v) => Ok(Value::Real(*v)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Logical(b) => Ok(Value::Logical(*b)),
+            Expr::Var(name) => {
+                let f = frame.borrow();
+                match f.vars.get(name) {
+                    Some(Slot::Scalar(v)) => Ok(v.clone()),
+                    Some(Slot::SharedScalar {
+                        block,
+                        offset,
+                        real,
+                    }) => {
+                        if *real {
+                            Ok(Value::Real(block.get_real(*offset)?))
+                        } else {
+                            Ok(Value::Int(block.get_int(*offset)?))
+                        }
+                    }
+                    Some(_) => Err(rt(format!("array {name} used as a scalar"))),
+                    None => Err(rt(format!("variable {name} used before assignment"))),
+                }
+            }
+            Expr::Index(name, args) => {
+                // Array element if `name` is an array; else intrinsic.
+                let is_array = frame.borrow().vars.get(name).is_some_and(is_array_slot);
+                if is_array {
+                    let idx: Vec<i64> = args
+                        .iter()
+                        .map(|e| as_int(&self.eval(frame, env, e)?))
+                        .collect::<Result<Vec<_>>>()?;
+                    let f = frame.borrow();
+                    match f.vars.get(name) {
+                        Some(Slot::ArrayI { dims, data }) => {
+                            Ok(Value::Int(data[self.index_of(*dims, &idx, name)?]))
+                        }
+                        Some(Slot::ArrayR { dims, data }) => {
+                            Ok(Value::Real(data[self.index_of(*dims, &idx, name)?]))
+                        }
+                        Some(Slot::ArrayT { dims, data }) => {
+                            match data[self.index_of(*dims, &idx, name)?] {
+                                Some(t) => Ok(Value::TaskId(t)),
+                                None => Err(rt(format!("{name} element holds no TASKID yet"))),
+                            }
+                        }
+                        Some(Slot::SharedArray {
+                            block,
+                            offset,
+                            dims,
+                            real,
+                        }) => {
+                            let k = self.index_of(*dims, &idx, name)?;
+                            if *real {
+                                Ok(Value::Real(block.get_real(offset + k)?))
+                            } else {
+                                Ok(Value::Int(block.get_int(offset + k)?))
+                            }
+                        }
+                        _ => unreachable!("checked is_array_slot"),
+                    }
+                } else if let Some(func) = self.program.function(name).cloned() {
+                    let vals = self.eval_list(frame, env, args)?;
+                    self.call_function(env, &func, vals)
+                } else {
+                    let vals = self.eval_list(frame, env, args)?;
+                    intrinsic(name, &vals, env)
+                }
+            }
+            Expr::Un(op, e) => {
+                let v = self.eval(frame, env, e)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Real(r) => Ok(Value::Real(-r)),
+                        other => Err(rt(format!("cannot negate {}", other.type_name()))),
+                    },
+                    UnOp::Not => Ok(Value::Logical(!as_logical(&v)?)),
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.eval(frame, env, l)?;
+                // Short-circuit logicals.
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Logical(
+                            as_logical(&a)? && as_logical(&self.eval(frame, env, r)?)?,
+                        ))
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Logical(
+                            as_logical(&a)? || as_logical(&self.eval(frame, env, r)?)?,
+                        ))
+                    }
+                    _ => {}
+                }
+                let b = self.eval(frame, env, r)?;
+                arith(*op, &a, &b)
+            }
+        }
+    }
+}
+
+fn is_array_slot(s: &Slot) -> bool {
+    matches!(
+        s,
+        Slot::ArrayI { .. } | Slot::ArrayR { .. } | Slot::ArrayT { .. } | Slot::SharedArray { .. }
+    )
+}
+
+fn as_int(v: &Value) -> Result<i64> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        other => Err(rt(format!("expected INTEGER, got {}", other.type_name()))),
+    }
+}
+
+/// Fortran assignment coercion to INTEGER (truncation).
+fn as_int_coerce(v: &Value) -> Result<i64> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::Real(r) => Ok(r.trunc() as i64),
+        other => Err(rt(format!("expected a number, got {}", other.type_name()))),
+    }
+}
+
+fn coerce_real(v: &Value) -> Result<f64> {
+    match v {
+        Value::Real(r) => Ok(*r),
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(rt(format!("expected a number, got {}", other.type_name()))),
+    }
+}
+
+fn as_logical(v: &Value) -> Result<bool> {
+    match v {
+        Value::Logical(b) => Ok(*b),
+        other => Err(rt(format!("expected LOGICAL, got {}", other.type_name()))),
+    }
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Real(r) => format!("{r}"),
+        Value::Logical(b) => if *b { "T" } else { "F" }.to_string(),
+        Value::Str(s) => s.clone(),
+        Value::TaskId(t) => t.to_string(),
+        Value::Window(w) => w.to_string(),
+        Value::IntArray(a) => format!("{a:?}"),
+        Value::RealArray(a) => format!("{a:?}"),
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinOp::*;
+    // Comparisons on matching non-numeric types.
+    if let (Value::Str(x), Value::Str(y)) = (a, b) {
+        return match op {
+            Eq => Ok(Value::Logical(x == y)),
+            Ne => Ok(Value::Logical(x != y)),
+            _ => Err(rt("strings only compare with .EQ./.NE.")),
+        };
+    }
+    if let (Value::TaskId(x), Value::TaskId(y)) = (a, b) {
+        return match op {
+            Eq => Ok(Value::Logical(x == y)),
+            Ne => Ok(Value::Logical(x != y)),
+            _ => Err(rt("taskids only compare with .EQ./.NE.")),
+        };
+    }
+    let both_int = matches!((a, b), (Value::Int(_), Value::Int(_)));
+    let x = coerce_real(a)?;
+    let y = coerce_real(b)?;
+    let num = |r: f64| -> Value {
+        if both_int {
+            Value::Int(r as i64)
+        } else {
+            Value::Real(r)
+        }
+    };
+    Ok(match op {
+        Add => num(x + y),
+        Sub => num(x - y),
+        Mul => num(x * y),
+        Div => {
+            if both_int {
+                let (ai, bi) = (x as i64, y as i64);
+                if bi == 0 {
+                    return Err(rt("integer division by zero"));
+                }
+                Value::Int(ai / bi) // Fortran truncating division
+            } else {
+                Value::Real(x / y)
+            }
+        }
+        Pow => {
+            if both_int && y >= 0.0 {
+                Value::Int((x as i64).pow(y as u32))
+            } else {
+                Value::Real(x.powf(y))
+            }
+        }
+        Eq => Value::Logical(x == y),
+        Ne => Value::Logical(x != y),
+        Lt => Value::Logical(x < y),
+        Le => Value::Logical(x <= y),
+        Gt => Value::Logical(x > y),
+        Ge => Value::Logical(x >= y),
+        And | Or => unreachable!("handled by short-circuit"),
+    })
+}
+
+fn intrinsic(name: &str, args: &[Value], env: Env<'_, '_>) -> Result<Value> {
+    let one_real = || -> Result<f64> {
+        if args.len() != 1 {
+            return Err(rt(format!("{name} takes one argument")));
+        }
+        coerce_real(&args[0])
+    };
+    match name {
+        "ABS" => match &args[0] {
+            Value::Int(i) if args.len() == 1 => Ok(Value::Int(i.abs())),
+            _ => Ok(Value::Real(one_real()?.abs())),
+        },
+        "SQRT" => Ok(Value::Real(one_real()?.sqrt())),
+        "SIN" => Ok(Value::Real(one_real()?.sin())),
+        "COS" => Ok(Value::Real(one_real()?.cos())),
+        "EXP" => Ok(Value::Real(one_real()?.exp())),
+        "LOG" => Ok(Value::Real(one_real()?.ln())),
+        "INT" => Ok(Value::Int(as_int_coerce(&args[0])?)),
+        "FLOAT" | "DBLE" => Ok(Value::Real(coerce_real(&args[0])?)),
+        "MOD" => {
+            if args.len() != 2 {
+                return Err(rt("MOD takes two arguments"));
+            }
+            match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) => {
+                    if *b == 0 {
+                        Err(rt("MOD by zero"))
+                    } else {
+                        Ok(Value::Int(a % b))
+                    }
+                }
+                _ => Ok(Value::Real(coerce_real(&args[0])? % coerce_real(&args[1])?)),
+            }
+        }
+        "MIN" | "MAX" => {
+            if args.is_empty() {
+                return Err(rt(format!("{name} needs arguments")));
+            }
+            let all_int = args.iter().all(|v| matches!(v, Value::Int(_)));
+            let vals: Vec<f64> = args.iter().map(coerce_real).collect::<Result<_>>()?;
+            let r = vals
+                .into_iter()
+                .reduce(|a, b| if name == "MIN" { a.min(b) } else { a.max(b) })
+                .unwrap();
+            Ok(if all_int {
+                Value::Int(r as i64)
+            } else {
+                Value::Real(r)
+            })
+        }
+        "FORCEMEMBER" => {
+            let f = env.require_force("FORCEMEMBER()")?;
+            // The paper's members are 1-based ("the Ith force member").
+            Ok(Value::Int(f.member() as i64 + 1))
+        }
+        "FORCESIZE" => {
+            let f = env.require_force("FORCESIZE()")?;
+            Ok(Value::Int(f.size() as i64))
+        }
+        "SELFID" => Ok(Value::TaskId(env.ctx.id())),
+        "PARENTID" => Ok(Value::TaskId(env.ctx.parent())),
+        "MYCLUSTER" => Ok(Value::Int(env.ctx.cluster() as i64)),
+        "WROWS" | "WCOLS" => {
+            let Some(Value::Window(w)) = args.first() else {
+                return Err(rt(format!("{name} takes a WINDOW")));
+            };
+            Ok(Value::Int(if name == "WROWS" {
+                w.row_count() as i64
+            } else {
+                w.col_count() as i64
+            }))
+        }
+        other => Err(rt(format!("unknown function or array {other}"))),
+    }
+}

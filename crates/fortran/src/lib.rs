@@ -1,0 +1,48 @@
+//! # pisces-fortran — the Pisces Fortran language
+//!
+//! "Applications programs are written in an extended Fortran 77 called
+//! Pisces Fortran. The extensions allow the user to control the PISCES 2
+//! virtual machine. A preprocessor converts Pisces Fortran programs into
+//! standard Fortran 77, with embedded calls on the Pisces run-time
+//! library. … A Pisces Fortran program consists of a set of tasktype
+//! definitions." (paper, Section 10)
+//!
+//! This crate implements the language twice, sharing one front end:
+//!
+//! * [`preproc`] — the paper's **preprocessor**: translates a Pisces
+//!   Fortran program into standard Fortran 77 with `CALL PSC*` run-time
+//!   library calls (we cannot ship the vendor `f77` compiler, so the
+//!   output is checked by golden tests rather than compiled);
+//! * [`interp`] — an **interpreter** that plays the role of "compile and
+//!   run": it executes tasktype bodies directly against the
+//!   `pisces-core` runtime, so Pisces Fortran programs really run on the
+//!   virtual machine.
+//!
+//! ## Supported language
+//!
+//! A free-format Fortran-77 subset plus every Pisces extension from the
+//! paper: `TASK`/`END TASK` tasktype definitions with parameters;
+//! `INTEGER`/`REAL`/`LOGICAL`/`CHARACTER`/`TASKID`/`WINDOW` declarations
+//! (with 1-D and 2-D arrays); `SHARED COMMON`; `LOCK`; `SIGNAL`
+//! declarations; `ON … INITIATE`; `TO … SEND`; `ACCEPT … END ACCEPT` with
+//! per-type counts, `ALL`, and `DELAY … THEN`; `HANDLER` subroutines;
+//! `FORCESPLIT … END FORCESPLIT`; `BARRIER … END BARRIER`;
+//! `CRITICAL … END CRITICAL`; `PRESCHED DO` / `SELFSCHED DO`;
+//! `PARSEG`/`NEXTSEG`/`ENDSEG`; window statements (`CREATE WINDOW`,
+//! `SHRINK WINDOW`, `READ WINDOW`, `WRITE WINDOW`); ordinary `IF`/`ELSE`,
+//! `DO`, `CALL`, assignment, `PRINT`, `RETURN`, and a `WORK` statement for
+//! charging virtual compute time.
+//!
+//! Two documented deviations from 1987 syntax: source is free-format (no
+//! column-6 continuation), and the force region is closed by an explicit
+//! `END FORCESPLIT` (the paper leaves the join point implicit).
+
+pub mod ast;
+pub mod interp;
+pub mod parse;
+pub mod preproc;
+pub mod program;
+pub mod token;
+
+pub use parse::parse_program;
+pub use program::FortranProgram;

@@ -1,0 +1,1151 @@
+//! Recursive-descent parser for Pisces Fortran.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, SpannedTok, Tok};
+
+/// A parse error: message plus 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a whole Pisces Fortran source file into a [`Program`].
+pub fn parse_program(source: &str) -> PResult<Program> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut units = Vec::new();
+    p.skip_eos();
+    while !p.at_end() {
+        units.push(p.unit()?);
+        p.skip_eos();
+    }
+    Ok(Program { units })
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + k).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_eos(&mut self) {
+        while matches!(self.peek(), Some(Tok::Eos)) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_eos(&mut self) -> PResult<()> {
+        match self.peek() {
+            Some(Tok::Eos) | None => {
+                self.skip_eos();
+                Ok(())
+            }
+            Some(other) => self.err(format!("expected end of statement, found {other:?}")),
+        }
+    }
+
+    fn is_ident(&self, k: usize, word: &str) -> bool {
+        matches!(self.peek_at(k), Some(Tok::Ident(w)) if w == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> PResult<()> {
+        if self.is_ident(0, word) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {word}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next() {
+            Some(Tok::Ident(w)) => Ok(w),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> PResult<()> {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected {p:?}, found {other:?}")),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Punct(q)) if *q == p)
+    }
+
+    // ------------------------------------------------------------------
+    // Units
+    // ------------------------------------------------------------------
+
+    fn unit(&mut self) -> PResult<Unit> {
+        match self.peek() {
+            Some(Tok::Ident(w)) if w == "TASK" => {
+                self.pos += 1;
+                let r = self.routine(&["TASK"])?;
+                Ok(Unit::Task(r))
+            }
+            Some(Tok::Ident(w)) if w == "HANDLER" => {
+                self.pos += 1;
+                let r = self.routine(&["HANDLER"])?;
+                Ok(Unit::Handler(r))
+            }
+            Some(Tok::Ident(w)) if w == "SUBROUTINE" => {
+                self.pos += 1;
+                let r = self.routine(&["SUBROUTINE"])?;
+                Ok(Unit::Subroutine(r))
+            }
+            Some(Tok::Ident(w)) if w == "FUNCTION" => {
+                self.pos += 1;
+                let r = self.routine(&["FUNCTION"])?;
+                Ok(Unit::Function(r))
+            }
+            other => self.err(format!(
+                "expected TASK, HANDLER, SUBROUTINE, or FUNCTION, found {other:?}"
+            )),
+        }
+    }
+
+    /// Parse a routine after its introducing keyword. `end_words` are the
+    /// allowed words after END that close it (bare `END` also accepted).
+    fn routine(&mut self, end_words: &[&str]) -> PResult<Routine> {
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.at_punct("(") {
+            self.pos += 1;
+            if !self.at_punct(")") {
+                loop {
+                    params.push(self.ident()?);
+                    if self.at_punct(",") {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+        }
+        self.eat_eos()?;
+
+        let mut r = Routine {
+            name,
+            params,
+            decls: Vec::new(),
+            shared: Vec::new(),
+            locks: Vec::new(),
+            signals: Vec::new(),
+            parameters: Vec::new(),
+            body: Vec::new(),
+        };
+
+        // Declaration section.
+        loop {
+            self.skip_eos();
+            match self.peek() {
+                Some(Tok::Ident(w)) => match w.as_str() {
+                    "INTEGER" | "REAL" | "LOGICAL" | "CHARACTER" | "TASKID" | "WINDOW" => {
+                        let ty = match w.as_str() {
+                            "INTEGER" => BaseType::Integer,
+                            "REAL" => BaseType::Real,
+                            "LOGICAL" => BaseType::Logical,
+                            "CHARACTER" => BaseType::Character,
+                            "TASKID" => BaseType::TaskId,
+                            _ => BaseType::Window,
+                        };
+                        self.pos += 1;
+                        let vars = self.var_decl_list()?;
+                        self.eat_eos()?;
+                        r.decls.push(Decl { ty, vars });
+                    }
+                    "SHARED" => {
+                        self.pos += 1;
+                        self.eat_ident("COMMON")?;
+                        self.eat_punct("/")?;
+                        let block = self.ident()?;
+                        self.eat_punct("/")?;
+                        let vars = self.var_decl_list()?;
+                        self.eat_eos()?;
+                        r.shared.push(SharedDecl { block, vars });
+                    }
+                    "LOCK" => {
+                        self.pos += 1;
+                        loop {
+                            r.locks.push(self.ident()?);
+                            if self.at_punct(",") {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        self.eat_eos()?;
+                    }
+                    "SIGNAL" => {
+                        self.pos += 1;
+                        loop {
+                            r.signals.push(self.ident()?);
+                            if self.at_punct(",") {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        self.eat_eos()?;
+                    }
+                    "PARAMETER" => {
+                        self.pos += 1;
+                        self.eat_punct("(")?;
+                        loop {
+                            let name = self.ident()?;
+                            self.eat_punct("=")?;
+                            let value = self.expr()?;
+                            r.parameters.push((name, value));
+                            if self.at_punct(",") {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        self.eat_punct(")")?;
+                        self.eat_eos()?;
+                    }
+                    _ => break,
+                },
+                _ => break,
+            }
+        }
+
+        // Body until END [TASK|HANDLER|SUBROUTINE].
+        r.body = self.stmts(&|p: &Parser| p.at_unit_end(end_words))?;
+        // Consume the END line.
+        self.eat_ident("END")?;
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if end_words.contains(&w.as_str()) {
+                self.pos += 1;
+            }
+        }
+        self.eat_eos()?;
+        Ok(r)
+    }
+
+    fn at_unit_end(&self, end_words: &[&str]) -> bool {
+        if !self.is_ident(0, "END") {
+            return false;
+        }
+        match self.peek_at(1) {
+            Some(Tok::Eos) | None => true,
+            Some(Tok::Ident(w)) => end_words.contains(&w.as_str()),
+            _ => false,
+        }
+    }
+
+    fn var_decl_list(&mut self) -> PResult<Vec<VarDecl>> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let mut dims = Vec::new();
+            if self.at_punct("(") {
+                self.pos += 1;
+                loop {
+                    dims.push(self.expr()?);
+                    if self.at_punct(",") {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat_punct(")")?;
+                if dims.len() > 2 {
+                    return self.err("arrays are limited to two dimensions");
+                }
+            }
+            out.push(VarDecl { name, dims });
+            if self.at_punct(",") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    /// Parse statements until `stop` says the current token sequence
+    /// terminates the block (the terminator is NOT consumed).
+    fn stmts(&mut self, stop: &dyn Fn(&Parser) -> bool) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_eos();
+            if self.at_end() {
+                return self.err("unexpected end of file inside a block");
+            }
+            if stop(self) {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn block_until(&mut self, words: &[&[&str]]) -> PResult<(Vec<Stmt>, usize)> {
+        // Parse until one of the word-sequences; return which matched.
+        let stop = |p: &Parser| words.iter().any(|seq| p.match_words(seq));
+        let body = self.stmts(&stop)?;
+        let which = words
+            .iter()
+            .position(|seq| self.match_words(seq))
+            .expect("stop condition held");
+        // Consume the terminator words.
+        for _ in 0..words[which].len() {
+            self.pos += 1;
+        }
+        Ok((body, which))
+    }
+
+    fn match_words(&self, seq: &[&str]) -> bool {
+        seq.iter().enumerate().all(|(k, w)| self.is_ident(k, w))
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let Some(Tok::Ident(word)) = self.peek().cloned() else {
+            return self.err(format!("expected a statement, found {:?}", self.peek()));
+        };
+        match word.as_str() {
+            "IF" => self.stmt_if(),
+            "DO" => {
+                self.pos += 1;
+                if self.is_ident(0, "WHILE") {
+                    self.pos += 1;
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    self.eat_eos()?;
+                    let (body, _) = self.block_until(&[&["ENDDO"], &["END", "DO"]])?;
+                    self.eat_eos()?;
+                    return Ok(Stmt::DoWhile(cond, body));
+                }
+                self.stmt_do(Sched::Seq)
+            }
+            "PRESCHED" => {
+                self.pos += 1;
+                self.eat_ident("DO")?;
+                self.stmt_do(Sched::Pre)
+            }
+            "SELFSCHED" => {
+                self.pos += 1;
+                self.eat_ident("DO")?;
+                self.stmt_do(Sched::SelfSched)
+            }
+            "CALL" => {
+                self.pos += 1;
+                let name = self.ident()?;
+                let args = self.paren_args()?;
+                self.eat_eos()?;
+                Ok(Stmt::Call(name, args))
+            }
+            "PRINT" => {
+                self.pos += 1;
+                // Accept the classic `PRINT *,` prefix.
+                if self.at_punct("*") {
+                    self.pos += 1;
+                    if self.at_punct(",") {
+                        self.pos += 1;
+                    }
+                }
+                let mut items = Vec::new();
+                if !matches!(self.peek(), Some(Tok::Eos) | None) {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.at_punct(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_eos()?;
+                Ok(Stmt::Print(items))
+            }
+            "RETURN" => {
+                self.pos += 1;
+                self.eat_eos()?;
+                Ok(Stmt::Return)
+            }
+            "STOP" => {
+                self.pos += 1;
+                self.eat_eos()?;
+                Ok(Stmt::Stop)
+            }
+            "ON" => self.stmt_initiate(),
+            "TO" => self.stmt_send(),
+            "ACCEPT" => self.stmt_accept(),
+            "FORCESPLIT" => {
+                self.pos += 1;
+                self.eat_eos()?;
+                let (body, _) = self.block_until(&[&["END", "FORCESPLIT"]])?;
+                self.eat_eos()?;
+                Ok(Stmt::ForceSplit(body))
+            }
+            "BARRIER" => {
+                self.pos += 1;
+                self.eat_eos()?;
+                let (body, _) = self.block_until(&[&["END", "BARRIER"]])?;
+                self.eat_eos()?;
+                Ok(Stmt::Barrier(body))
+            }
+            "CRITICAL" => {
+                self.pos += 1;
+                let lock = self.ident()?;
+                self.eat_eos()?;
+                let (body, _) = self.block_until(&[&["END", "CRITICAL"]])?;
+                self.eat_eos()?;
+                Ok(Stmt::Critical(lock, body))
+            }
+            "PARSEG" => {
+                self.pos += 1;
+                self.eat_eos()?;
+                let mut segs = Vec::new();
+                loop {
+                    let (body, which) = self.block_until(&[&["NEXTSEG"], &["ENDSEG"]])?;
+                    segs.push(body);
+                    self.eat_eos()?;
+                    if which == 1 {
+                        break;
+                    }
+                }
+                Ok(Stmt::Parseg(segs))
+            }
+            "CREATE" => {
+                self.pos += 1;
+                self.eat_ident("WINDOW")?;
+                let win = self.ident()?;
+                self.eat_ident("FROM")?;
+                let array = self.ident()?;
+                self.eat_eos()?;
+                Ok(Stmt::CreateWindow(win, array))
+            }
+            "SHRINK" => {
+                self.pos += 1;
+                self.eat_ident("WINDOW")?;
+                let win = self.ident()?;
+                self.eat_ident("TO")?;
+                self.eat_punct("(")?;
+                let r1 = self.expr()?;
+                self.eat_punct(":")?;
+                let r2 = self.expr()?;
+                self.eat_punct(",")?;
+                let c1 = self.expr()?;
+                self.eat_punct(":")?;
+                let c2 = self.expr()?;
+                self.eat_punct(")")?;
+                self.eat_eos()?;
+                Ok(Stmt::ShrinkWindow(win, (r1, r2), (c1, c2)))
+            }
+            "READ" => {
+                self.pos += 1;
+                self.eat_ident("WINDOW")?;
+                let win = self.ident()?;
+                self.eat_ident("INTO")?;
+                let array = self.ident()?;
+                self.eat_eos()?;
+                Ok(Stmt::ReadWindow(win, array))
+            }
+            "WRITE" => {
+                self.pos += 1;
+                self.eat_ident("WINDOW")?;
+                let win = self.ident()?;
+                self.eat_ident("FROM")?;
+                let array = self.ident()?;
+                self.eat_eos()?;
+                Ok(Stmt::WriteWindow(win, array))
+            }
+            "WORK" => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat_eos()?;
+                Ok(Stmt::Work(e))
+            }
+            _ => self.stmt_assign(),
+        }
+    }
+
+    fn stmt_assign(&mut self) -> PResult<Stmt> {
+        let name = self.ident()?;
+        let target = if self.at_punct("(") {
+            self.pos += 1;
+            let mut idx = Vec::new();
+            loop {
+                idx.push(self.expr()?);
+                if self.at_punct(",") {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.eat_punct(")")?;
+            LValue::Element(name, idx)
+        } else {
+            LValue::Var(name)
+        };
+        self.eat_punct("=")?;
+        let value = self.expr()?;
+        self.eat_eos()?;
+        Ok(Stmt::Assign(target, value))
+    }
+
+    fn stmt_if(&mut self) -> PResult<Stmt> {
+        self.eat_ident("IF")?;
+        self.eat_punct("(")?;
+        let cond = self.expr()?;
+        self.eat_punct(")")?;
+        if self.is_ident(0, "THEN") {
+            self.pos += 1;
+            self.eat_eos()?;
+            let (then_body, which) = self.block_until(&[&["ELSE"], &["ENDIF"], &["END", "IF"]])?;
+            let else_body = if which == 0 {
+                if self.is_ident(0, "IF") {
+                    // ELSE IF … chain: the nested IF consumes the single
+                    // shared END IF, so return without eating another.
+                    let nested = self.stmt_if()?;
+                    return Ok(Stmt::If(cond, then_body, vec![nested]));
+                }
+                self.eat_eos()?;
+                let (e, _) = self.block_until(&[&["ENDIF"], &["END", "IF"]])?;
+                e
+            } else {
+                Vec::new()
+            };
+            self.eat_eos()?;
+            Ok(Stmt::If(cond, then_body, else_body))
+        } else {
+            // One-line IF.
+            let s = self.stmt()?;
+            Ok(Stmt::If(cond, vec![s], Vec::new()))
+        }
+    }
+
+    fn stmt_do(&mut self, sched: Sched) -> PResult<Stmt> {
+        let var = self.ident()?;
+        self.eat_punct("=")?;
+        let from = self.expr()?;
+        self.eat_punct(",")?;
+        let to = self.expr()?;
+        let step = if self.at_punct(",") {
+            self.pos += 1;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.eat_eos()?;
+        let (body, _) = self.block_until(&[&["ENDDO"], &["END", "DO"]])?;
+        self.eat_eos()?;
+        Ok(Stmt::Do {
+            sched,
+            var,
+            from,
+            to,
+            step,
+            body,
+        })
+    }
+
+    fn stmt_initiate(&mut self) -> PResult<Stmt> {
+        self.eat_ident("ON")?;
+        let where_ = if self.is_ident(0, "CLUSTER") {
+            self.pos += 1;
+            WhereAst::Cluster(self.expr()?)
+        } else if self.is_ident(0, "ANY") {
+            self.pos += 1;
+            WhereAst::Any
+        } else if self.is_ident(0, "OTHER") {
+            self.pos += 1;
+            WhereAst::Other
+        } else if self.is_ident(0, "SAME") {
+            self.pos += 1;
+            WhereAst::Same
+        } else {
+            return self.err("expected CLUSTER <n>, ANY, OTHER, or SAME after ON");
+        };
+        self.eat_ident("INITIATE")?;
+        let tasktype = self.ident()?;
+        let args = self.paren_args()?;
+        self.eat_eos()?;
+        Ok(Stmt::Initiate(where_, tasktype, args))
+    }
+
+    fn stmt_send(&mut self) -> PResult<Stmt> {
+        self.eat_ident("TO")?;
+        if self.is_ident(0, "ALL") {
+            self.pos += 1;
+            let cluster = if self.is_ident(0, "CLUSTER") {
+                self.pos += 1;
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.eat_ident("SEND")?;
+            let mtype = self.ident()?;
+            let args = self.paren_args()?;
+            self.eat_eos()?;
+            return Ok(Stmt::SendAll(cluster, mtype, args));
+        }
+        let dest = if self.is_ident(0, "PARENT") {
+            self.pos += 1;
+            DestAst::Parent
+        } else if self.is_ident(0, "SELF") {
+            self.pos += 1;
+            DestAst::SelfDest
+        } else if self.is_ident(0, "SENDER") {
+            self.pos += 1;
+            DestAst::Sender
+        } else if self.is_ident(0, "USER") {
+            self.pos += 1;
+            DestAst::User
+        } else if self.is_ident(0, "TCONTR") {
+            self.pos += 1;
+            DestAst::TContr(self.expr()?)
+        } else {
+            // A TASKID variable or array element.
+            let name = self.ident()?;
+            if self.at_punct("(") {
+                self.pos += 1;
+                let mut idx = Vec::new();
+                loop {
+                    idx.push(self.expr()?);
+                    if self.at_punct(",") {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat_punct(")")?;
+                DestAst::Var(Box::new(Expr::Index(name, idx)))
+            } else {
+                DestAst::Var(Box::new(Expr::Var(name)))
+            }
+        };
+        self.eat_ident("SEND")?;
+        let mtype = self.ident()?;
+        let args = self.paren_args()?;
+        self.eat_eos()?;
+        Ok(Stmt::Send(dest, mtype, args))
+    }
+
+    fn stmt_accept(&mut self) -> PResult<Stmt> {
+        self.eat_ident("ACCEPT")?;
+        // Optional total, then OF.
+        let total = if self.is_ident(0, "OF") {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.eat_ident("OF")?;
+        self.eat_eos()?;
+        let mut arms = Vec::new();
+        let mut delay = None;
+        loop {
+            self.skip_eos();
+            if self.match_words(&["END", "ACCEPT"]) {
+                self.pos += 2;
+                self.eat_eos()?;
+                break;
+            }
+            if self.is_ident(0, "DELAY") {
+                self.pos += 1;
+                let timeout = self.expr()?;
+                if self.is_ident(0, "THEN") {
+                    self.pos += 1;
+                    self.eat_eos()?;
+                    let (b, _) = self.block_until(&[&["END", "ACCEPT"]])?;
+                    self.eat_eos()?;
+                    delay = Some((timeout, b));
+                    break;
+                }
+                self.eat_eos()?;
+                delay = Some((timeout, Vec::new()));
+                continue;
+            }
+            // Arm: [ALL] NAME [COUNT expr]
+            if self.is_ident(0, "ALL") {
+                self.pos += 1;
+                let mtype = self.ident()?;
+                self.eat_eos()?;
+                arms.push(AcceptArm {
+                    mtype,
+                    quota: QuotaAst::All,
+                });
+                continue;
+            }
+            let mtype = self.ident()?;
+            let quota = if self.is_ident(0, "COUNT") {
+                self.pos += 1;
+                QuotaAst::Count(self.expr()?)
+            } else {
+                QuotaAst::Default
+            };
+            self.eat_eos()?;
+            arms.push(AcceptArm { mtype, quota });
+        }
+        Ok(Stmt::Accept { total, arms, delay })
+    }
+
+    fn paren_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.at_punct("(") {
+            self.pos += 1;
+            if !self.at_punct(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if self.at_punct(",") {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+        }
+        Ok(args)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_and()?;
+        while matches!(self.peek(), Some(Tok::DotOp(w)) if w == "OR") {
+            self.pos += 1;
+            let r = self.expr_and()?;
+            l = Expr::Bin(BinOp::Or, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn expr_and(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_not()?;
+        while matches!(self.peek(), Some(Tok::DotOp(w)) if w == "AND") {
+            self.pos += 1;
+            let r = self.expr_not()?;
+            l = Expr::Bin(BinOp::And, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn expr_not(&mut self) -> PResult<Expr> {
+        if matches!(self.peek(), Some(Tok::DotOp(w)) if w == "NOT") {
+            self.pos += 1;
+            let e = self.expr_not()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+        }
+        self.expr_cmp()
+    }
+
+    fn expr_cmp(&mut self) -> PResult<Expr> {
+        let l = self.expr_add()?;
+        let op = match self.peek() {
+            Some(Tok::DotOp(w)) => match w.as_str() {
+                "EQ" => Some(BinOp::Eq),
+                "NE" => Some(BinOp::Ne),
+                "LT" => Some(BinOp::Lt),
+                "LE" => Some(BinOp::Le),
+                "GT" => Some(BinOp::Gt),
+                "GE" => Some(BinOp::Ge),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.expr_add()?;
+            return Ok(Expr::Bin(op, Box::new(l), Box::new(r)));
+        }
+        Ok(l)
+    }
+
+    fn expr_add(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("+")) => BinOp::Add,
+                Some(Tok::Punct("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.expr_mul()?;
+            l = Expr::Bin(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn expr_mul(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("*")) => BinOp::Mul,
+                Some(Tok::Punct("/")) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.expr_unary()?;
+            l = Expr::Bin(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn expr_unary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Some(Tok::Punct("-")) => {
+                self.pos += 1;
+                let e = self.expr_unary()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(e)))
+            }
+            Some(Tok::Punct("+")) => {
+                self.pos += 1;
+                self.expr_unary()
+            }
+            _ => self.expr_pow(),
+        }
+    }
+
+    fn expr_pow(&mut self) -> PResult<Expr> {
+        let base = self.expr_primary()?;
+        if self.at_punct("**") {
+            self.pos += 1;
+            // Right-associative, unary allowed on the exponent.
+            let exp = self.expr_unary()?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn expr_primary(&mut self) -> PResult<Expr> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Real(v)) => Ok(Expr::Real(v)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Logical(b)) => Ok(Expr::Logical(b)),
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.at_punct("(") {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(",") {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Index(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected an expression, found {other:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn minimal_task() {
+        let p = parse("TASK MAIN\nX = 1\nEND TASK\n");
+        assert_eq!(p.tasktypes(), vec!["MAIN"]);
+        let t = p.task("MAIN").unwrap();
+        assert_eq!(t.body.len(), 1);
+    }
+
+    #[test]
+    fn declarations_parse() {
+        let p = parse(
+            "TASK T\n\
+             INTEGER I, N(10)\n\
+             REAL A(4,4), X\n\
+             TASKID W, PEERS(8)\n\
+             WINDOW WIN\n\
+             SHARED COMMON /BLK/ S, V(100)\n\
+             LOCK L1, L2\n\
+             SIGNAL DONE, READY\n\
+             X = 0.0\n\
+             END TASK\n",
+        );
+        let t = p.task("T").unwrap();
+        assert_eq!(t.decls.len(), 4);
+        assert_eq!(t.decls[1].vars[0].dims.len(), 2);
+        assert_eq!(t.shared[0].block, "BLK");
+        assert_eq!(t.locks, vec!["L1", "L2"]);
+        assert_eq!(t.signals, vec!["DONE", "READY"]);
+    }
+
+    #[test]
+    fn initiate_and_send_forms() {
+        let p = parse(
+            "TASK T\n\
+             TASKID W\n\
+             ON CLUSTER 2 INITIATE WORKER(1, 2.5)\n\
+             ON ANY INITIATE WORKER\n\
+             ON OTHER INITIATE WORKER()\n\
+             ON SAME INITIATE WORKER\n\
+             TO PARENT SEND DONE(42)\n\
+             TO SELF SEND PING\n\
+             TO SENDER SEND PONG\n\
+             TO USER SEND NOTE('hi')\n\
+             TO TCONTR 3 SEND QUERY\n\
+             TO W SEND DATA(1)\n\
+             TO ALL SEND BCAST\n\
+             TO ALL CLUSTER 2 SEND BCAST\n\
+             END TASK\n",
+        );
+        let t = p.task("T").unwrap();
+        assert_eq!(t.body.len(), 12);
+        assert!(
+            matches!(&t.body[0], Stmt::Initiate(WhereAst::Cluster(_), n, a) if n == "WORKER" && a.len() == 2)
+        );
+        assert!(matches!(&t.body[9], Stmt::Send(DestAst::Var(_), n, _) if n == "DATA"));
+        assert!(matches!(&t.body[10], Stmt::SendAll(None, _, _)));
+        assert!(matches!(&t.body[11], Stmt::SendAll(Some(_), _, _)));
+    }
+
+    #[test]
+    fn accept_with_counts_all_and_delay() {
+        let p = parse(
+            "TASK T\n\
+             ACCEPT 3 OF\n\
+             DONE\n\
+             RESULT COUNT 2\n\
+             ALL LOG\n\
+             DELAY 500 THEN\n\
+             X = 1\n\
+             END ACCEPT\n\
+             END TASK\n",
+        );
+        let t = p.task("T").unwrap();
+        let Stmt::Accept { total, arms, delay } = &t.body[0] else {
+            panic!("not an accept");
+        };
+        assert!(total.is_some());
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].quota, QuotaAst::Default);
+        assert!(matches!(arms[1].quota, QuotaAst::Count(_)));
+        assert_eq!(arms[2].quota, QuotaAst::All);
+        let (timeout, body) = delay.as_ref().unwrap();
+        assert_eq!(*timeout, Expr::Int(500));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn accept_without_total() {
+        let p = parse("TASK T\nACCEPT OF\nDONE COUNT 4\nEND ACCEPT\nEND TASK\n");
+        let Stmt::Accept { total, .. } = &p.task("T").unwrap().body[0] else {
+            panic!()
+        };
+        assert!(total.is_none());
+    }
+
+    #[test]
+    fn force_constructs() {
+        let p = parse(
+            "TASK T\n\
+             LOCK L\n\
+             FORCESPLIT\n\
+             PRESCHED DO I = 1, 100\n\
+             X = X + I\n\
+             END DO\n\
+             BARRIER\n\
+             S = 0\n\
+             END BARRIER\n\
+             CRITICAL L\n\
+             S = S + X\n\
+             END CRITICAL\n\
+             SELFSCHED DO J = 1, 50, 2\n\
+             Y = J\n\
+             ENDDO\n\
+             PARSEG\n\
+             A = 1\n\
+             NEXTSEG\n\
+             B = 2\n\
+             NEXTSEG\n\
+             C = 3\n\
+             ENDSEG\n\
+             END FORCESPLIT\n\
+             END TASK\n",
+        );
+        let t = p.task("T").unwrap();
+        let Stmt::ForceSplit(body) = &t.body[0] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 5);
+        assert!(matches!(
+            &body[0],
+            Stmt::Do {
+                sched: Sched::Pre,
+                ..
+            }
+        ));
+        assert!(matches!(&body[1], Stmt::Barrier(b) if b.len() == 1));
+        assert!(matches!(&body[2], Stmt::Critical(l, _) if l == "L"));
+        assert!(matches!(
+            &body[3],
+            Stmt::Do {
+                sched: Sched::SelfSched,
+                step: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(&body[4], Stmt::Parseg(s) if s.len() == 3));
+    }
+
+    #[test]
+    fn window_statements() {
+        let p = parse(
+            "TASK T\n\
+             REAL A(8,8)\n\
+             WINDOW W\n\
+             CREATE WINDOW W FROM A\n\
+             SHRINK WINDOW W TO (1:4, 2:8)\n\
+             READ WINDOW W INTO A\n\
+             WRITE WINDOW W FROM A\n\
+             END TASK\n",
+        );
+        let t = p.task("T").unwrap();
+        assert!(matches!(&t.body[0], Stmt::CreateWindow(w, a) if w == "W" && a == "A"));
+        assert!(matches!(&t.body[1], Stmt::ShrinkWindow(..)));
+        assert!(matches!(&t.body[2], Stmt::ReadWindow(..)));
+        assert!(matches!(&t.body[3], Stmt::WriteWindow(..)));
+    }
+
+    #[test]
+    fn if_do_and_expressions() {
+        let p = parse(
+            "TASK T\n\
+             IF (X .GT. 1 .AND. .NOT. DONE) THEN\n\
+             Y = -X ** 2 + A(I, J+1) * 3.5\n\
+             ELSE\n\
+             IF (X .EQ. 0) Y = 1\n\
+             END IF\n\
+             DO I = 1, 10, 2\n\
+             S = S + I\n\
+             END DO\n\
+             END TASK\n",
+        );
+        let t = p.task("T").unwrap();
+        let Stmt::If(_, then_b, else_b) = &t.body[0] else {
+            panic!()
+        };
+        assert_eq!(then_b.len(), 1);
+        assert_eq!(else_b.len(), 1);
+        assert!(matches!(&else_b[0], Stmt::If(_, b, e) if b.len() == 1 && e.is_empty()));
+    }
+
+    #[test]
+    fn handler_and_subroutine_units() {
+        let p = parse(
+            "TASK MAIN\nX = 1\nEND TASK\n\
+             HANDLER RESULT(V)\nTOTAL = TOTAL + V\nEND HANDLER\n\
+             SUBROUTINE HELPER(A, B)\nA = B\nEND SUBROUTINE\n",
+        );
+        assert!(p.handler("RESULT").is_some());
+        assert!(p.subroutine("HELPER").is_some());
+        assert_eq!(p.handler("RESULT").unwrap().params, vec!["V"]);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_program("TASK T\nX = \nEND TASK\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_program("TASK T\nX = 1\n").is_err(), "missing END");
+    }
+
+    #[test]
+    fn bare_end_closes_units() {
+        let p = parse("SUBROUTINE S(A)\nA = 1\nEND\n");
+        assert!(p.subroutine("S").is_some());
+    }
+}

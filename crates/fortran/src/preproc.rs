@@ -1,0 +1,543 @@
+//! The Pisces Fortran preprocessor.
+//!
+//! "A preprocessor converts Pisces Fortran programs into standard Fortran
+//! 77, with embedded calls on the Pisces run-time library. The Unix
+//! Fortran compiler then compiles the preprocessed programs." (paper,
+//! Section 10)
+//!
+//! This module is that translation. Each Pisces construct lowers to `CALL
+//! PSC…` run-time calls (argument lists are pushed with `PSCAP?` calls,
+//! matching how a 1987 library without varargs would take them), ordinary
+//! Fortran passes through, and the force loop disciplines lower to the
+//! classic transformed DO loops:
+//!
+//! * `PRESCHED DO I = a, b, s` →
+//!   `DO I = a + (PSCMEM()-1)*s, b, s*PSCNMEM()`
+//! * `SELFSCHED DO` → a `PSCNXI` dispatch loop with generated labels.
+//!
+//! We do not ship a Fortran 77 compiler, so the output is verified by
+//! golden tests (and by eyeball); the *interpreter* (see
+//! [`crate::interp`]) is what actually runs programs in this
+//! reproduction. Output is fixed-form: six-column statement field,
+//! numeric labels in columns 1–5.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Emit the Fortran 77 translation of a whole program.
+pub fn emit(program: &Program) -> String {
+    let mut e = Emitter::default();
+    e.raw("C     TRANSLATED BY THE PISCES 2 PREPROCESSOR");
+    e.raw("C     (PISCES RUN-TIME LIBRARY CALLS ARE PREFIXED PSC)");
+    for u in &program.units {
+        e.raw("C");
+        match u {
+            Unit::Task(r) => e.routine("PISCES TASKTYPE", &format!("PSCT{}", r.name), r),
+            Unit::Handler(r) => e.routine("PISCES HANDLER", &format!("PSCH{}", r.name), r),
+            Unit::Subroutine(r) => e.routine("SUBROUTINE", &r.name.clone(), r),
+            Unit::Function(r) => e.routine("FUNCTION", &r.name.clone(), r),
+        }
+    }
+    e.out
+}
+
+#[derive(Default)]
+struct Emitter {
+    out: String,
+    label: u32,
+}
+
+impl Emitter {
+    fn raw(&mut self, line: &str) {
+        self.out.push_str(line);
+        self.out.push('\n');
+    }
+
+    /// A statement line in the fixed-form statement field.
+    fn stmt_line(&mut self, depth: usize, text: &str) {
+        let _ = writeln!(self.out, "      {}{}", "  ".repeat(depth), text);
+    }
+
+    /// A labelled statement (label in columns 1–5).
+    fn labelled(&mut self, label: u32, depth: usize, text: &str) {
+        let _ = writeln!(self.out, "{label:<5} {}{}", "  ".repeat(depth), text);
+    }
+
+    fn next_label(&mut self) -> u32 {
+        self.label += 10;
+        10000 + self.label
+    }
+
+    fn routine(&mut self, kind: &str, name: &str, r: &Routine) {
+        let _ = writeln!(self.out, "C     {} {}", kind, r.name);
+        let params = if r.params.is_empty() {
+            String::new()
+        } else {
+            format!("({})", r.params.join(", "))
+        };
+        let intro = if kind == "FUNCTION" {
+            "FUNCTION"
+        } else {
+            "SUBROUTINE"
+        };
+        self.stmt_line(0, &format!("{intro} {name}{params}"));
+        for d in &r.decls {
+            let vars: Vec<String> = d
+                .vars
+                .iter()
+                .map(|v| {
+                    if v.dims.is_empty() {
+                        v.name.clone()
+                    } else {
+                        format!(
+                            "{}({})",
+                            v.name,
+                            v.dims.iter().map(expr).collect::<Vec<_>>().join(",")
+                        )
+                    }
+                })
+                .collect();
+            let keyword = match d.ty {
+                // TASKID and WINDOW values become integer descriptors.
+                BaseType::TaskId => "INTEGER".to_string(),
+                BaseType::Window => {
+                    // A window descriptor is 8 words.
+                    let vars: Vec<String> =
+                        d.vars.iter().map(|v| format!("{}(8)", v.name)).collect();
+                    self.stmt_line(0, &format!("INTEGER {}", vars.join(", ")));
+                    continue;
+                }
+                other => other.keyword().to_string(),
+            };
+            self.stmt_line(0, &format!("{keyword} {}", vars.join(", ")));
+        }
+        for s in &r.shared {
+            let words: Vec<String> = s
+                .vars
+                .iter()
+                .map(|v| {
+                    if v.dims.is_empty() {
+                        v.name.clone()
+                    } else {
+                        format!(
+                            "{}({})",
+                            v.name,
+                            v.dims.iter().map(expr).collect::<Vec<_>>().join(",")
+                        )
+                    }
+                })
+                .collect();
+            self.stmt_line(0, &format!("COMMON /{}/ {}", s.block, words.join(", ")));
+            self.stmt_line(0, &format!("CALL PSCSHC('{}')", s.block));
+        }
+        if !r.parameters.is_empty() {
+            let consts: Vec<String> = r
+                .parameters
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", expr(e)))
+                .collect();
+            self.stmt_line(0, &format!("PARAMETER ({})", consts.join(", ")));
+        }
+        for l in &r.locks {
+            self.stmt_line(0, &format!("INTEGER {l}"));
+            self.stmt_line(0, &format!("CALL PSCLKV('{l}', {l})"));
+        }
+        for sig in &r.signals {
+            self.stmt_line(0, &format!("CALL PSCSIG('{sig}')"));
+        }
+        self.stmts(1, &r.body);
+        self.stmt_line(0, "RETURN");
+        self.stmt_line(0, "END");
+    }
+
+    fn push_args(&mut self, depth: usize, args: &[Expr]) {
+        for a in args {
+            self.stmt_line(depth, &format!("CALL PSCAPV({})", expr(a)));
+        }
+    }
+
+    fn stmts(&mut self, depth: usize, body: &[Stmt]) {
+        for s in body {
+            self.stmt(depth, s);
+        }
+    }
+
+    fn stmt(&mut self, depth: usize, s: &Stmt) {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let target = match lv {
+                    LValue::Var(n) => n.clone(),
+                    LValue::Element(n, idx) => format!(
+                        "{n}({})",
+                        idx.iter().map(expr).collect::<Vec<_>>().join(",")
+                    ),
+                };
+                self.stmt_line(depth, &format!("{target} = {}", expr(e)));
+            }
+            Stmt::If(c, t, f) => {
+                self.stmt_line(depth, &format!("IF ({}) THEN", expr(c)));
+                self.stmts(depth + 1, t);
+                if !f.is_empty() {
+                    self.stmt_line(depth, "ELSE");
+                    self.stmts(depth + 1, f);
+                }
+                self.stmt_line(depth, "ENDIF");
+            }
+            Stmt::Do {
+                sched,
+                var,
+                from,
+                to,
+                step,
+                body,
+            } => {
+                let st = step.as_ref().map(expr).unwrap_or_else(|| "1".into());
+                match sched {
+                    Sched::Seq => {
+                        self.stmt_line(
+                            depth,
+                            &format!("DO {var} = {}, {}, {st}", expr(from), expr(to)),
+                        );
+                        self.stmts(depth + 1, body);
+                        self.stmt_line(depth, "ENDDO");
+                    }
+                    Sched::Pre => {
+                        // The classic prescheduled transformation.
+                        self.stmt_line(
+                            depth,
+                            &format!(
+                                "DO {var} = ({}) + (PSCMEM()-1)*({st}), {}, ({st})*PSCNMEM()",
+                                expr(from),
+                                expr(to)
+                            ),
+                        );
+                        self.stmts(depth + 1, body);
+                        self.stmt_line(depth, "ENDDO");
+                    }
+                    Sched::SelfSched => {
+                        let top = self.next_label();
+                        let done = self.next_label();
+                        let loop_id = self.label;
+                        self.stmt_line(
+                            depth,
+                            &format!("{var} = PSCNXI({loop_id}, {}, {st})", expr(from)),
+                        );
+                        self.labelled(
+                            top,
+                            depth,
+                            &format!(
+                                "IF (({st}) .GT. 0 .AND. {var} .GT. {0}) GOTO {done}",
+                                expr(to)
+                            ),
+                        );
+                        self.stmts(depth + 1, body);
+                        self.stmt_line(
+                            depth + 1,
+                            &format!("{var} = PSCNXI({loop_id}, {}, {st})", expr(from)),
+                        );
+                        self.stmt_line(depth + 1, &format!("GOTO {top}"));
+                        self.labelled(done, depth, "CONTINUE");
+                    }
+                }
+            }
+            Stmt::Call(name, args) => {
+                let rendered: Vec<String> = args.iter().map(expr).collect();
+                self.stmt_line(depth, &format!("CALL {name}({})", rendered.join(", ")));
+            }
+            Stmt::Print(items) => {
+                let rendered: Vec<String> = items.iter().map(expr).collect();
+                self.stmt_line(depth, &format!("WRITE(6,*) {}", rendered.join(", ")));
+            }
+            Stmt::Return => self.stmt_line(depth, "RETURN"),
+            Stmt::Stop => self.stmt_line(depth, "STOP"),
+            Stmt::DoWhile(cond, body) => {
+                let top = self.next_label();
+                let done = self.next_label();
+                self.labelled(
+                    top,
+                    depth,
+                    &format!("IF (.NOT. ({})) GOTO {done}", expr(cond)),
+                );
+                self.stmts(depth + 1, body);
+                self.stmt_line(depth + 1, &format!("GOTO {top}"));
+                self.labelled(done, depth, "CONTINUE");
+            }
+            Stmt::Initiate(w, tasktype, args) => {
+                self.push_args(depth, args);
+                let (code, cluster) = match w {
+                    WhereAst::Cluster(e) => (1, expr(e)),
+                    WhereAst::Any => (2, "0".into()),
+                    WhereAst::Other => (3, "0".into()),
+                    WhereAst::Same => (4, "0".into()),
+                };
+                self.stmt_line(
+                    depth,
+                    &format!(
+                        "CALL PSCINI({code}, {cluster}, '{tasktype}', {})",
+                        args.len()
+                    ),
+                );
+            }
+            Stmt::Send(dest, mtype, args) => {
+                self.push_args(depth, args);
+                let (code, detail) = match dest {
+                    DestAst::Parent => (1, "0".to_string()),
+                    DestAst::SelfDest => (2, "0".to_string()),
+                    DestAst::Sender => (3, "0".to_string()),
+                    DestAst::User => (4, "0".to_string()),
+                    DestAst::TContr(e) => (5, expr(e)),
+                    DestAst::Var(e) => (6, expr(e)),
+                };
+                self.stmt_line(
+                    depth,
+                    &format!("CALL PSCSND({code}, {detail}, '{mtype}', {})", args.len()),
+                );
+            }
+            Stmt::SendAll(cluster, mtype, args) => {
+                self.push_args(depth, args);
+                let c = cluster.as_ref().map(expr).unwrap_or_else(|| "0".into());
+                self.stmt_line(
+                    depth,
+                    &format!("CALL PSCBRC({c}, '{mtype}', {})", args.len()),
+                );
+            }
+            Stmt::Accept { total, arms, delay } => {
+                let t = total.as_ref().map(expr).unwrap_or_else(|| "-1".into());
+                self.stmt_line(depth, &format!("CALL PSCACB({t})"));
+                for arm in arms {
+                    let (count, all) = match &arm.quota {
+                        QuotaAst::Default => ("-1".to_string(), 0),
+                        QuotaAst::Count(e) => (expr(e), 0),
+                        QuotaAst::All => ("-1".to_string(), 1),
+                    };
+                    self.stmt_line(
+                        depth,
+                        &format!("CALL PSCACA('{}', {count}, {all})", arm.mtype),
+                    );
+                }
+                let ms = delay
+                    .as_ref()
+                    .map(|(e, _)| expr(e))
+                    .unwrap_or_else(|| "-1".into());
+                self.stmt_line(depth, &format!("CALL PSCACC({ms})"));
+                if let Some((_, body)) = delay {
+                    if !body.is_empty() {
+                        self.stmt_line(depth, "IF (PSCTMO() .NE. 0) THEN");
+                        self.stmts(depth + 1, body);
+                        self.stmt_line(depth, "ENDIF");
+                    }
+                }
+            }
+            Stmt::ForceSplit(body) => {
+                self.stmt_line(depth, "CALL PSCFSP");
+                self.stmts(depth + 1, body);
+                self.stmt_line(depth, "CALL PSCFJN");
+            }
+            Stmt::Barrier(body) => {
+                self.stmt_line(depth, "CALL PSCBRE");
+                if !body.is_empty() {
+                    self.stmt_line(depth, "IF (PSCPRM() .NE. 0) THEN");
+                    self.stmts(depth + 1, body);
+                    self.stmt_line(depth, "ENDIF");
+                }
+                self.stmt_line(depth, "CALL PSCBRX");
+            }
+            Stmt::Critical(lock, body) => {
+                self.stmt_line(depth, &format!("CALL PSCLCK({lock})"));
+                self.stmts(depth + 1, body);
+                self.stmt_line(depth, &format!("CALL PSCUNL({lock})"));
+            }
+            Stmt::Parseg(segs) => {
+                // Segment k runs on the member with k mod N = member-1.
+                for (k, seg) in segs.iter().enumerate() {
+                    self.stmt_line(
+                        depth,
+                        &format!("IF (MOD({k}, PSCNMEM()) .EQ. PSCMEM()-1) THEN"),
+                    );
+                    self.stmts(depth + 1, seg);
+                    self.stmt_line(depth, "ENDIF");
+                }
+            }
+            Stmt::CreateWindow(w, a) => {
+                self.stmt_line(depth, &format!("CALL PSCWCR({w}, {a})"));
+            }
+            Stmt::ShrinkWindow(w, rows, cols) => {
+                self.stmt_line(
+                    depth,
+                    &format!(
+                        "CALL PSCWSH({w}, {}, {}, {}, {})",
+                        expr(&rows.0),
+                        expr(&rows.1),
+                        expr(&cols.0),
+                        expr(&cols.1)
+                    ),
+                );
+            }
+            Stmt::ReadWindow(w, a) => {
+                self.stmt_line(depth, &format!("CALL PSCWRD({w}, {a})"));
+            }
+            Stmt::WriteWindow(w, a) => {
+                self.stmt_line(depth, &format!("CALL PSCWWR({w}, {a})"));
+            }
+            Stmt::Work(e) => {
+                self.stmt_line(depth, &format!("CALL PSCWRK({})", expr(e)));
+            }
+        }
+    }
+}
+
+/// Render an expression back to Fortran 77 text (fully parenthesized
+/// where precedence could be ambiguous).
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Real(v) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('E') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Logical(true) => ".TRUE.".into(),
+        Expr::Logical(false) => ".FALSE.".into(),
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, args) => format!(
+            "{n}({})",
+            args.iter().map(expr).collect::<Vec<_>>().join(",")
+        ),
+        Expr::Un(UnOp::Neg, e) => format!("(-{})", expr(e)),
+        Expr::Un(UnOp::Not, e) => format!("(.NOT. {})", expr(e)),
+        Expr::Bin(op, l, r) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Pow => "**",
+                BinOp::Eq => ".EQ.",
+                BinOp::Ne => ".NE.",
+                BinOp::Lt => ".LT.",
+                BinOp::Le => ".LE.",
+                BinOp::Gt => ".GT.",
+                BinOp::Ge => ".GE.",
+                BinOp::And => ".AND.",
+                BinOp::Or => ".OR.",
+            };
+            format!("({} {o} {})", expr(l), expr(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_program;
+
+    fn preprocess(src: &str) -> String {
+        super::emit(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn task_becomes_psct_subroutine() {
+        let out = preprocess("TASK MAIN\nX = 1\nEND TASK\n");
+        assert!(out.contains("SUBROUTINE PSCTMAIN"), "{out}");
+        assert!(out.contains("X = 1"));
+        assert!(out.contains("RETURN"));
+    }
+
+    #[test]
+    fn initiate_and_send_lower_to_calls() {
+        let out = preprocess(
+            "TASK T\nON CLUSTER 2 INITIATE W(5)\nTO PARENT SEND DONE(1, 2.5)\nEND TASK\n",
+        );
+        assert!(out.contains("CALL PSCAPV(5)"));
+        assert!(out.contains("CALL PSCINI(1, 2, 'W', 1)"));
+        assert!(out.contains("CALL PSCSND(1, 0, 'DONE', 2)"));
+    }
+
+    #[test]
+    fn presched_do_uses_member_stride() {
+        let out = preprocess(
+            "TASK T\nFORCESPLIT\nPRESCHED DO I = 1, 100\nX = I\nEND DO\nEND FORCESPLIT\nEND TASK\n",
+        );
+        assert!(out.contains("CALL PSCFSP"));
+        assert!(
+            out.contains("DO I = (1) + (PSCMEM()-1)*(1), 100, (1)*PSCNMEM()"),
+            "{out}"
+        );
+        assert!(out.contains("CALL PSCFJN"));
+    }
+
+    #[test]
+    fn selfsched_do_uses_dispatch_loop() {
+        let out = preprocess(
+            "TASK T\nFORCESPLIT\nSELFSCHED DO I = 1, 50\nX = I\nEND DO\nEND FORCESPLIT\nEND TASK\n",
+        );
+        assert!(out.contains("PSCNXI"), "{out}");
+        assert!(out.contains("GOTO"), "{out}");
+    }
+
+    #[test]
+    fn barrier_guards_leader_body() {
+        let out = preprocess(
+            "TASK T\nFORCESPLIT\nBARRIER\nS = 0\nEND BARRIER\nEND FORCESPLIT\nEND TASK\n",
+        );
+        assert!(out.contains("CALL PSCBRE"));
+        assert!(out.contains("IF (PSCPRM() .NE. 0) THEN"));
+        assert!(out.contains("CALL PSCBRX"));
+    }
+
+    #[test]
+    fn accept_lowers_to_arm_calls() {
+        let out = preprocess(
+            "TASK T\nACCEPT 3 OF\nDONE\nRESULT COUNT 2\nALL LOG\nDELAY 500 THEN\nX = 1\nEND ACCEPT\nEND TASK\n",
+        );
+        assert!(out.contains("CALL PSCACB(3)"));
+        assert!(out.contains("CALL PSCACA('DONE', -1, 0)"));
+        assert!(out.contains("CALL PSCACA('RESULT', 2, 0)"));
+        assert!(out.contains("CALL PSCACA('LOG', -1, 1)"));
+        assert!(out.contains("CALL PSCACC(500)"));
+        assert!(out.contains("IF (PSCTMO() .NE. 0) THEN"));
+    }
+
+    #[test]
+    fn shared_common_and_locks() {
+        let out = preprocess(
+            "TASK T\nSHARED COMMON /ACC/ S, V(10)\nLOCK L\nFORCESPLIT\nCRITICAL L\nS = S + 1\nEND CRITICAL\nEND FORCESPLIT\nEND TASK\n",
+        );
+        assert!(out.contains("COMMON /ACC/ S, V(10)"));
+        assert!(out.contains("CALL PSCSHC('ACC')"));
+        assert!(out.contains("CALL PSCLKV('L', L)"));
+        assert!(out.contains("CALL PSCLCK(L)"));
+        assert!(out.contains("CALL PSCUNL(L)"));
+    }
+
+    #[test]
+    fn windows_lower_to_calls() {
+        let out = preprocess(
+            "TASK T\nREAL A(4,4)\nWINDOW W\nCREATE WINDOW W FROM A\nSHRINK WINDOW W TO (1:2, 1:4)\nREAD WINDOW W INTO A\nWRITE WINDOW W FROM A\nEND TASK\n",
+        );
+        assert!(out.contains("INTEGER W(8)"), "window descriptor: {out}");
+        assert!(out.contains("CALL PSCWCR(W, A)"));
+        assert!(out.contains("CALL PSCWSH(W, 1, 2, 1, 4)"));
+        assert!(out.contains("CALL PSCWRD(W, A)"));
+        assert!(out.contains("CALL PSCWWR(W, A)"));
+    }
+
+    #[test]
+    fn expressions_render_with_fortran_operators() {
+        let out = preprocess("TASK T\nY = -X ** 2 + 1\nIF (A .GE. B .OR. C) X = 1\nEND TASK\n");
+        assert!(out.contains("**"));
+        assert!(out.contains(".GE."));
+        assert!(out.contains(".OR."));
+    }
+
+    #[test]
+    fn handlers_and_subroutines_pass_through() {
+        let out =
+            preprocess("HANDLER RESULT(V)\nT = T + V\nEND HANDLER\nSUBROUTINE S(A)\nA = 1\nEND\n");
+        assert!(out.contains("SUBROUTINE PSCHRESULT(V)"));
+        assert!(out.contains("SUBROUTINE S(A)"));
+    }
+}

@@ -1,0 +1,55 @@
+//! A compiled Pisces Fortran program, ready to run on the virtual machine.
+
+use crate::ast::Program;
+use crate::interp::Interp;
+use crate::parse::{parse_program, ParseError};
+use pisces_core::machine::Pisces;
+use std::sync::Arc;
+
+/// A parsed Pisces Fortran program: the handle user code and the
+/// environment tools share.
+#[derive(Debug, Clone)]
+pub struct FortranProgram {
+    program: Arc<Program>,
+}
+
+impl FortranProgram {
+    /// Parse a source file. Names are case-insensitive and reported
+    /// uppercased (tasktype `main` becomes `MAIN`).
+    pub fn parse(source: &str) -> Result<Self, ParseError> {
+        Ok(Self {
+            program: Arc::new(parse_program(source)?),
+        })
+    }
+
+    /// The underlying AST.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Tasktype names defined by the program.
+    pub fn tasktypes(&self) -> Vec<String> {
+        self.program
+            .tasktypes()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Register every tasktype with a booted machine, so `INITIATE` (from
+    /// Fortran or from the execution environment) can start them. This is
+    /// the moral equivalent of downloading the compiled user code.
+    pub fn register_with(&self, pisces: &Pisces) {
+        for name in self.tasktypes() {
+            let program = self.program.clone();
+            pisces.register(&name.clone(), move |ctx| {
+                Interp::new(program.clone()).run_task(&name, ctx)
+            });
+        }
+    }
+
+    /// Emit the preprocessor's Fortran 77 translation (see [`crate::preproc`]).
+    pub fn preprocess(&self) -> String {
+        crate::preproc::emit(&self.program)
+    }
+}

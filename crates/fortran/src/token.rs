@@ -1,0 +1,395 @@
+//! Lexical analysis of Pisces Fortran.
+//!
+//! Free-format source: statements end at a newline, full-line comments
+//! start with `C ` or `*` in column one or `!` anywhere, keywords and
+//! identifiers are case-insensitive (uppercased by the lexer, as a 1987
+//! card-image would be), strings use single quotes with `''` escaping,
+//! and the Fortran dotted operators (`.EQ.`, `.AND.`, `.TRUE.`, …) are
+//! single tokens.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, uppercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `.TRUE.` / `.FALSE.`
+    Logical(bool),
+    /// Dotted operator: EQ NE LT LE GT GE AND OR NOT.
+    DotOp(String),
+    /// Single/multi-character punctuation: `+ - * / ** ( ) , = : ( )`.
+    Punct(&'static str),
+    /// End of statement (newline or `;`).
+    Eos,
+}
+
+/// A token with its line number (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexer error: message plus 1-based line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const DOT_OPS: [&str; 9] = ["EQ", "NE", "LT", "LE", "GT", "GE", "AND", "OR", "NOT"];
+
+/// Tokenize a whole source file.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw_line.trim_start();
+        // Full-line comments: 'C ' / '*' in column 1 of the trimmed line.
+        if trimmed.is_empty()
+            || trimmed.starts_with('*')
+            || trimmed.starts_with("!")
+            || (trimmed.len() >= 2 && (trimmed.starts_with("C ") || trimmed.starts_with("c ")))
+            || trimmed == "C"
+            || trimmed == "c"
+        {
+            continue;
+        }
+        lex_line(trimmed, line, &mut out)?;
+        // Every non-empty line contributes a statement terminator.
+        if out.last().map(|t| &t.tok) != Some(&Tok::Eos) {
+            out.push(SpannedTok {
+                tok: Tok::Eos,
+                line,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn lex_line(text: &str, line: usize, out: &mut Vec<SpannedTok>) -> Result<(), LexError> {
+    let err = |message: String| LexError { message, line };
+    let push = |out: &mut Vec<SpannedTok>, tok: Tok| out.push(SpannedTok { tok, line });
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '!' => break, // trailing comment
+            ';' => {
+                push(out, Tok::Eos);
+                i += 1;
+            }
+            '\'' => {
+                // Character literal with '' escaping.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(err("unterminated character literal".into()));
+                    }
+                    if bytes[j] == '\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == '\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j]);
+                        j += 1;
+                    }
+                }
+                push(out, Tok::Str(s));
+                i = j;
+            }
+            '.' => {
+                // Dotted operator, logical literal, or a real like `.5`.
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let (tok, used) = lex_number(&bytes[i..], &err)?;
+                    push(out, tok);
+                    i += used;
+                    continue;
+                }
+                let word_end = bytes[i + 1..]
+                    .iter()
+                    .position(|&ch| ch == '.')
+                    .ok_or_else(|| err("lone '.'".into()))?;
+                let word: String = bytes[i + 1..i + 1 + word_end]
+                    .iter()
+                    .collect::<String>()
+                    .to_ascii_uppercase();
+                i += word_end + 2;
+                match word.as_str() {
+                    "TRUE" => push(out, Tok::Logical(true)),
+                    "FALSE" => push(out, Tok::Logical(false)),
+                    w if DOT_OPS.contains(&w) => push(out, Tok::DotOp(word)),
+                    other => return Err(err(format!("unknown dotted operator .{other}."))),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, used) = lex_number(&bytes[i..], &err)?;
+                push(out, tok);
+                i += used;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_' || bytes[j] == '$')
+                {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect::<String>().to_ascii_uppercase();
+                push(out, Tok::Ident(word));
+                i = j;
+            }
+            '*' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                    push(out, Tok::Punct("**"));
+                    i += 2;
+                } else {
+                    push(out, Tok::Punct("*"));
+                    i += 1;
+                }
+            }
+            '+' => {
+                push(out, Tok::Punct("+"));
+                i += 1;
+            }
+            '-' => {
+                push(out, Tok::Punct("-"));
+                i += 1;
+            }
+            '/' => {
+                push(out, Tok::Punct("/"));
+                i += 1;
+            }
+            '(' => {
+                push(out, Tok::Punct("("));
+                i += 1;
+            }
+            ')' => {
+                push(out, Tok::Punct(")"));
+                i += 1;
+            }
+            ',' => {
+                push(out, Tok::Punct(","));
+                i += 1;
+            }
+            '=' => {
+                push(out, Tok::Punct("="));
+                i += 1;
+            }
+            ':' => {
+                push(out, Tok::Punct(":"));
+                i += 1;
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Lex a number starting at `chars[0]` (a digit or '.'): integer, or real
+/// with fraction and/or E exponent. Returns the token and chars consumed.
+fn lex_number(chars: &[char], err: &dyn Fn(String) -> LexError) -> Result<(Tok, usize), LexError> {
+    let mut j = 0;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_ascii_digit() {
+            j += 1;
+        } else if c == '.' && !saw_dot && !saw_exp {
+            // A dot followed by a letter is a dotted operator (`1.EQ.2`),
+            // not a decimal point.
+            if j + 1 < chars.len() && chars[j + 1].is_ascii_alphabetic() {
+                // `1.5E3` has a digit after '.', handled above; letters
+                // here mean `.EQ.`-style — stop before the dot…
+                // …except E/D exponents directly after the dot (`1.E5`).
+                let upper = chars[j + 1].to_ascii_uppercase();
+                if (upper == 'E' || upper == 'D')
+                    && j + 2 < chars.len()
+                    && (chars[j + 2].is_ascii_digit() || chars[j + 2] == '+' || chars[j + 2] == '-')
+                {
+                    saw_dot = true;
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            saw_dot = true;
+            j += 1;
+        } else if (c == 'E' || c == 'e' || c == 'D' || c == 'd') && !saw_exp && j > 0 {
+            let next = chars.get(j + 1);
+            let has_exp_digits = match next {
+                Some(d) if d.is_ascii_digit() => true,
+                Some('+') | Some('-') => {
+                    matches!(chars.get(j + 2), Some(d) if d.is_ascii_digit())
+                }
+                _ => false,
+            };
+            if !has_exp_digits {
+                break;
+            }
+            saw_exp = true;
+            saw_dot = true; // exponent implies a real
+            j += 1;
+            if matches!(chars.get(j), Some('+') | Some('-')) {
+                j += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let text: String = chars[..j]
+        .iter()
+        .collect::<String>()
+        .to_ascii_uppercase()
+        .replace('D', "E");
+    if saw_dot {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| err(format!("bad real literal {text:?}")))?;
+        Ok((Tok::Real(v), j))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| err(format!("bad integer literal {text:?}")))?;
+        Ok((Tok::Int(v), j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_are_uppercased() {
+        assert_eq!(
+            toks("integer myVar"),
+            vec![
+                Tok::Ident("INTEGER".into()),
+                Tok::Ident("MYVAR".into()),
+                Tok::Eos
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_real_exponent() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("2.5")[0], Tok::Real(2.5));
+        assert_eq!(toks("1.5E-3")[0], Tok::Real(0.0015));
+        assert_eq!(toks("1E6")[0], Tok::Real(1e6));
+        assert_eq!(toks("3.D2")[0], Tok::Real(300.0));
+        assert_eq!(toks(".5")[0], Tok::Real(0.5));
+    }
+
+    #[test]
+    fn dotted_ops_and_logicals() {
+        assert_eq!(
+            toks("A .EQ. B .AND. .NOT. .TRUE."),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::DotOp("EQ".into()),
+                Tok::Ident("B".into()),
+                Tok::DotOp("AND".into()),
+                Tok::DotOp("NOT".into()),
+                Tok::Logical(true),
+                Tok::Eos
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_dotted_op_disambiguates() {
+        assert_eq!(
+            toks("1.EQ.2"),
+            vec![Tok::Int(1), Tok::DotOp("EQ".into()), Tok::Int(2), Tok::Eos]
+        );
+        assert_eq!(toks("1.E2")[0], Tok::Real(100.0));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'don''t'")[0], Tok::Str("don't".into()));
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("C this is a comment\n* so is this\nX = 1 ! trailing\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Punct("="),
+                Tok::Int(1),
+                Tok::Eos
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_power() {
+        assert_eq!(
+            toks("A = B ** 2 / (C + 1)"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Punct("="),
+                Tok::Ident("B".into()),
+                Tok::Punct("**"),
+                Tok::Int(2),
+                Tok::Punct("/"),
+                Tok::Punct("("),
+                Tok::Ident("C".into()),
+                Tok::Punct("+"),
+                Tok::Int(1),
+                Tok::Punct(")"),
+                Tok::Eos
+            ]
+        );
+    }
+
+    #[test]
+    fn semicolons_split_statements() {
+        let t = toks("X = 1; Y = 2");
+        let eos_count = t.iter().filter(|t| **t == Tok::Eos).count();
+        assert_eq!(eos_count, 2);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = lex("X = 1\nY = @\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn dollar_in_identifiers() {
+        assert_eq!(toks("INIT$")[0], Tok::Ident("INIT$".into()));
+    }
+}

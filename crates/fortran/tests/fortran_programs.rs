@@ -1,0 +1,402 @@
+//! End-to-end tests: Pisces Fortran programs parsed, registered, and
+//! executed on the PISCES 2 virtual machine.
+
+use pisces_core::prelude::*;
+use pisces_fortran::FortranProgram;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Boot, register the program, run MAIN in cluster 1, wait, return the
+/// primary PE's console output.
+fn run_program(config: MachineConfig, source: &str) -> (Vec<String>, Arc<Pisces>) {
+    let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+    let prog = FortranProgram::parse(source).unwrap_or_else(|e| panic!("parse: {e}"));
+    prog.register_with(&p);
+    p.initiate_top_level(1, "MAIN", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "program did not finish:\n{}",
+        p.dump_state()
+    );
+    let pe = p.config().cluster(1).unwrap().primary_pe;
+    let console = p.flex().pe(flex32::PeId::new(pe).unwrap()).console.output();
+    (console, p)
+}
+
+/// The last TASK-TERM outcome must be ok: re-run with tracing to check.
+fn assert_all_ok(p: &Arc<Pisces>) {
+    // Errors in task bodies appear on consoles via TASK-TERM trace or can
+    // be detected by stats; here we check nothing failed by examining
+    // every console for "error".
+    for pe in flex32::PeId::all() {
+        for line in p.flex().pe(pe).console.output() {
+            assert!(
+                !line.to_lowercase().contains("error"),
+                "PE{} console reports: {line}",
+                pe.number()
+            );
+        }
+    }
+}
+
+#[test]
+fn arithmetic_and_print() {
+    let (console, p) = run_program(
+        MachineConfig::simple(1, 2),
+        "TASK MAIN\n\
+         INTEGER I\n\
+         REAL X\n\
+         X = 0.0\n\
+         DO I = 1, 10\n\
+         X = X + I\n\
+         END DO\n\
+         PRINT 'SUM', X, 7/2, 2**10, MOD(7,3)\n\
+         END TASK\n",
+    );
+    assert_eq!(console.last().unwrap(), "SUM 55 3 1024 1");
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn parent_child_messages_with_handler() {
+    let (console, p) = run_program(
+        MachineConfig::simple(2, 4),
+        "TASK MAIN\n\
+         INTEGER TOTAL\n\
+         TOTAL = 0\n\
+         ON CLUSTER 2 INITIATE SQUARER(3)\n\
+         ON CLUSTER 2 INITIATE SQUARER(4)\n\
+         ACCEPT 2 OF\n\
+         RESULT\n\
+         END ACCEPT\n\
+         PRINT 'TOTAL', TOTAL\n\
+         END TASK\n\
+         \n\
+         TASK SQUARER(N)\n\
+         TO PARENT SEND RESULT(N * N)\n\
+         END TASK\n\
+         \n\
+         HANDLER RESULT(V)\n\
+         TOTAL = TOTAL + V\n\
+         END HANDLER\n",
+    );
+    assert_eq!(console.last().unwrap(), "TOTAL 25");
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn signal_declaration_beats_handler() {
+    // DONE is declared SIGNAL, so even though a HANDLER DONE exists it is
+    // counted, not dispatched.
+    let (console, p) = run_program(
+        MachineConfig::simple(1, 4),
+        "TASK MAIN\n\
+         SIGNAL DONE\n\
+         INTEGER HITS\n\
+         HITS = 0\n\
+         TO SELF SEND DONE(1)\n\
+         ACCEPT 1 OF\n\
+         DONE\n\
+         END ACCEPT\n\
+         PRINT 'HITS', HITS\n\
+         END TASK\n\
+         \n\
+         HANDLER DONE(V)\n\
+         HITS = HITS + V\n\
+         END HANDLER\n",
+    );
+    assert_eq!(console.last().unwrap(), "HITS 0");
+    p.shutdown();
+}
+
+#[test]
+fn taskid_values_build_topology() {
+    // Children report SELFID() to the parent; parent mails each one the
+    // id of its sibling; each pings its sibling directly.
+    let (console, p) = run_program(
+        MachineConfig::simple(3, 4),
+        "TASK MAIN\n\
+         TASKID KIDS(2)\n\
+         INTEGER NK\n\
+         NK = 0\n\
+         ON CLUSTER 2 INITIATE NODE\n\
+         ON CLUSTER 3 INITIATE NODE\n\
+         ACCEPT 2 OF\n\
+         HELLO\n\
+         END ACCEPT\n\
+         TO KIDS(1) SEND PEER(KIDS(2))\n\
+         TO KIDS(2) SEND PEER(KIDS(1))\n\
+         ACCEPT 2 OF\n\
+         OK\n\
+         END ACCEPT\n\
+         PRINT 'LINKED', NK\n\
+         END TASK\n\
+         \n\
+         HANDLER HELLO(WHO)\n\
+         NK = NK + 1\n\
+         KIDS(NK) = WHO\n\
+         END HANDLER\n\
+         \n\
+         TASK NODE\n\
+         TASKID BUDDY\n\
+         TO PARENT SEND HELLO(SELFID())\n\
+         ACCEPT 1 OF\n\
+         PEER\n\
+         END ACCEPT\n\
+         TO BUDDY SEND PING\n\
+         ACCEPT 1 OF\n\
+         PING\n\
+         END ACCEPT\n\
+         TO PARENT SEND OK\n\
+         END TASK\n\
+         \n\
+         HANDLER PEER(WHO)\n\
+         BUDDY = WHO\n\
+         END HANDLER\n",
+    );
+    assert_eq!(console.last().unwrap(), "LINKED 2");
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn accept_delay_then_body_runs() {
+    let (console, p) = run_program(
+        MachineConfig::simple(1, 2),
+        "TASK MAIN\n\
+         INTEGER FLAG\n\
+         FLAG = 0\n\
+         ACCEPT 1 OF\n\
+         NEVER\n\
+         DELAY 50 THEN\n\
+         FLAG = 1\n\
+         END ACCEPT\n\
+         PRINT 'FLAG', FLAG\n\
+         END TASK\n",
+    );
+    assert_eq!(console.last().unwrap(), "FLAG 1");
+    p.shutdown();
+}
+
+#[test]
+fn force_pi_integration() {
+    // The paper's flagship pattern: FORCESPLIT + SHARED COMMON + PRESCHED
+    // + CRITICAL + BARRIER computing π, same text for any force size.
+    let source = "TASK MAIN\n\
+         SHARED COMMON /ACC/ PISUM\n\
+         LOCK GUARD\n\
+         REAL LOCAL\n\
+         INTEGER I, N\n\
+         N = 10000\n\
+         FORCESPLIT\n\
+         LOCAL = 0.0\n\
+         PRESCHED DO I = 1, N\n\
+         LOCAL = LOCAL + 4.0 / (1.0 + ((I - 0.5) / N) ** 2)\n\
+         END DO\n\
+         CRITICAL GUARD\n\
+         PISUM = PISUM + LOCAL\n\
+         END CRITICAL\n\
+         BARRIER\n\
+         PRINT 'PI', PISUM / N\n\
+         END BARRIER\n\
+         END FORCESPLIT\n\
+         END TASK\n";
+    for secondaries in [0u8, 3, 7] {
+        let cluster = if secondaries == 0 {
+            ClusterConfig::new(1, 3, 2)
+        } else {
+            ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
+        };
+        let (console, p) = run_program(MachineConfig::new(vec![cluster]), source);
+        let line = console.last().unwrap();
+        let pi: f64 = line.strip_prefix("PI ").unwrap().parse().unwrap();
+        assert!(
+            (pi - std::f64::consts::PI).abs() < 1e-6,
+            "force size {}: π ≈ {pi}",
+            secondaries + 1
+        );
+        p.shutdown();
+    }
+}
+
+#[test]
+fn selfsched_and_parseg_and_intrinsics() {
+    let (console, p) = run_program(
+        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]),
+        "TASK MAIN\n\
+         SHARED COMMON /S/ NDONE, NSEG, MAXMEM\n\
+         LOCK CL\n\
+         INTEGER I\n\
+         FORCESPLIT\n\
+         SELFSCHED DO I = 1, 40\n\
+         CRITICAL CL\n\
+         NDONE = NDONE + 1\n\
+         END CRITICAL\n\
+         END DO\n\
+         PARSEG\n\
+         CRITICAL CL\n\
+         NSEG = NSEG + 1\n\
+         END CRITICAL\n\
+         NEXTSEG\n\
+         CRITICAL CL\n\
+         NSEG = NSEG + 10\n\
+         END CRITICAL\n\
+         NEXTSEG\n\
+         CRITICAL CL\n\
+         NSEG = NSEG + 100\n\
+         END CRITICAL\n\
+         ENDSEG\n\
+         BARRIER\n\
+         MAXMEM = FORCESIZE()\n\
+         END BARRIER\n\
+         END FORCESPLIT\n\
+         PRINT 'DONE', NDONE, NSEG, MAXMEM\n\
+         END TASK\n",
+    );
+    // 40 self-scheduled iterations; segments add 1+10+100; force size 4.
+    assert_eq!(console.last().unwrap(), "DONE 40 111 4");
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn windows_partition_matrix() {
+    let (console, p) = run_program(
+        MachineConfig::simple(2, 4),
+        "TASK MAIN\n\
+         REAL A(4,4), B(2,4)\n\
+         WINDOW W\n\
+         INTEGER I, J\n\
+         DO I = 1, 4\n\
+         DO J = 1, 4\n\
+         A(I,J) = 10*I + J\n\
+         END DO\n\
+         END DO\n\
+         CREATE WINDOW W FROM A\n\
+         SHRINK WINDOW W TO (2:3, 1:4)\n\
+         ON CLUSTER 2 INITIATE SUMMER(W)\n\
+         ACCEPT 1 OF\n\
+         SUM\n\
+         END ACCEPT\n\
+         END TASK\n\
+         \n\
+         TASK SUMMER(W)\n\
+         REAL B(2,4), S\n\
+         WINDOW W\n\
+         INTEGER I, J\n\
+         READ WINDOW W INTO B\n\
+         S = 0.0\n\
+         DO I = 1, 2\n\
+         DO J = 1, 4\n\
+         S = S + B(I,J)\n\
+         END DO\n\
+         END DO\n\
+         TO PARENT SEND SUM(S)\n\
+         TO USER SEND BANDSUM(S)\n\
+         END TASK\n\
+         \n\
+         HANDLER SUM(S)\n\
+         END HANDLER\n",
+    );
+    let _ = console;
+    // Rows 2..3: (21+22+23+24)+(31+32+33+34) = 90+130 = 220.
+    std::thread::sleep(Duration::from_millis(100));
+    let pe3 = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    assert!(
+        pe3.iter().any(|l| l.contains("BANDSUM(220)")),
+        "user terminal sees the band sum: {pe3:?}"
+    );
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn subroutine_call_value_result() {
+    let (console, p) = run_program(
+        MachineConfig::simple(1, 2),
+        "TASK MAIN\n\
+         INTEGER X\n\
+         REAL V(3)\n\
+         X = 5\n\
+         CALL DOUBLE(X)\n\
+         V(2) = 1.5\n\
+         CALL SCALE(V, 4.0)\n\
+         PRINT 'X', X, V(2)\n\
+         END TASK\n\
+         \n\
+         SUBROUTINE DOUBLE(N)\n\
+         N = N * 2\n\
+         END SUBROUTINE\n\
+         \n\
+         SUBROUTINE SCALE(A, F)\n\
+         INTEGER I\n\
+         DO I = 1, 3\n\
+         A(1,I) = A(1,I) * F\n\
+         END DO\n\
+         END SUBROUTINE\n",
+    );
+    assert_eq!(console.last().unwrap(), "X 10 6");
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn broadcast_from_fortran() {
+    let (console, p) = run_program(
+        MachineConfig::simple(2, 4),
+        "TASK MAIN\n\
+         INTEGER N\n\
+         N = 0\n\
+         ON SAME INITIATE EAR\n\
+         ON CLUSTER 2 INITIATE EAR\n\
+         ACCEPT 2 OF\n\
+         READY\n\
+         END ACCEPT\n\
+         TO ALL SEND GO\n\
+         ACCEPT 2 OF\n\
+         HEARD\n\
+         END ACCEPT\n\
+         PRINT 'OK'\n\
+         END TASK\n\
+         \n\
+         TASK EAR\n\
+         TO PARENT SEND READY\n\
+         ACCEPT 1 OF\n\
+         GO\n\
+         END ACCEPT\n\
+         TO PARENT SEND HEARD\n\
+         END TASK\n",
+    );
+    assert_eq!(console.last().unwrap(), "OK");
+    assert_all_ok(&p);
+    p.shutdown();
+}
+
+#[test]
+fn preprocessor_output_for_full_program() {
+    let src = "TASK MAIN\n\
+         SHARED COMMON /ACC/ PISUM\n\
+         LOCK GUARD\n\
+         INTEGER I\n\
+         FORCESPLIT\n\
+         PRESCHED DO I = 1, 100\n\
+         PISUM = PISUM + I\n\
+         END DO\n\
+         END FORCESPLIT\n\
+         TO USER SEND ANSWER(PISUM)\n\
+         END TASK\n";
+    let prog = FortranProgram::parse(src).unwrap();
+    let f77 = prog.preprocess();
+    for needle in [
+        "SUBROUTINE PSCTMAIN",
+        "COMMON /ACC/ PISUM",
+        "CALL PSCFSP",
+        "PSCNMEM()",
+        "CALL PSCFJN",
+        "CALL PSCSND(4, 0, 'ANSWER', 1)",
+    ] {
+        assert!(f77.contains(needle), "missing {needle} in:\n{f77}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Tests of the Fortran-77 language surface beyond the first cut:
+//! DO WHILE, FUNCTION units, ELSE IF chains, STOP, and the intrinsic
+//! library — all executed on the live virtual machine.
+
+use pisces_core::prelude::*;
+use pisces_fortran::FortranProgram;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_program(source: &str) -> (Vec<String>, Arc<Pisces>) {
+    let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(2, 4)).unwrap();
+    let prog = FortranProgram::parse(source).unwrap_or_else(|e| panic!("parse: {e}"));
+    prog.register_with(&p);
+    p.initiate_top_level(1, "MAIN", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "program did not finish:\n{}",
+        p.dump_state()
+    );
+    let pe = p.config().cluster(1).unwrap().primary_pe;
+    let console = p.flex().pe(flex32::PeId::new(pe).unwrap()).console.output();
+    (console, p)
+}
+
+#[test]
+fn do_while_loops() {
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         INTEGER N, STEPS\n\
+         N = 27\n\
+         STEPS = 0\n\
+         DO WHILE (N .NE. 1)\n\
+         IF (MOD(N, 2) .EQ. 0) THEN\n\
+         N = N / 2\n\
+         ELSE\n\
+         N = 3 * N + 1\n\
+         ENDIF\n\
+         STEPS = STEPS + 1\n\
+         END DO\n\
+         PRINT 'COLLATZ', STEPS\n\
+         END TASK\n",
+    );
+    assert_eq!(console.last().unwrap(), "COLLATZ 111");
+    p.shutdown();
+}
+
+#[test]
+fn user_functions_in_expressions() {
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         PRINT 'F', FIB(10), SQUARE(1.5) + SQUARE(2.0)\n\
+         END TASK\n\
+         \n\
+         FUNCTION FIB(N)\n\
+         IF (N .LE. 1) THEN\n\
+         FIB = N\n\
+         ELSE\n\
+         FIB = FIB(N - 1) + FIB(N - 2)\n\
+         ENDIF\n\
+         END FUNCTION\n\
+         \n\
+         FUNCTION SQUARE(X)\n\
+         SQUARE = X * X\n\
+         END FUNCTION\n",
+    );
+    assert_eq!(console.last().unwrap(), "F 55 6.25");
+    p.shutdown();
+}
+
+#[test]
+fn else_if_chains() {
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         INTEGER I\n\
+         DO I = 1, 15\n\
+         IF (MOD(I, 15) .EQ. 0) THEN\n\
+         PRINT 'FIZZBUZZ'\n\
+         ELSE IF (MOD(I, 3) .EQ. 0) THEN\n\
+         PRINT 'FIZZ'\n\
+         ELSE IF (MOD(I, 5) .EQ. 0) THEN\n\
+         PRINT 'BUZZ'\n\
+         ELSE\n\
+         PRINT I\n\
+         ENDIF\n\
+         END DO\n\
+         END TASK\n",
+    );
+    assert_eq!(console.len(), 15);
+    assert_eq!(console[2], "FIZZ");
+    assert_eq!(console[4], "BUZZ");
+    assert_eq!(console[14], "FIZZBUZZ");
+    assert_eq!(console[0], "1");
+    p.shutdown();
+}
+
+#[test]
+fn stop_terminates_through_call_depth() {
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         PRINT 'BEFORE'\n\
+         CALL DEEP(3)\n\
+         PRINT 'NEVER'\n\
+         END TASK\n\
+         \n\
+         SUBROUTINE DEEP(N)\n\
+         IF (N .EQ. 0) THEN\n\
+         STOP\n\
+         ENDIF\n\
+         CALL DEEP(N - 1)\n\
+         PRINT 'UNWOUND'\n\
+         END SUBROUTINE\n",
+    );
+    assert_eq!(console, vec!["BEFORE"], "STOP skips all unwinding prints");
+    // The task still terminated cleanly (not an error).
+    assert_eq!(p.stats().snapshot().tasks_completed, 1);
+    p.shutdown();
+}
+
+#[test]
+fn stop_inside_force_ends_task() {
+    let p = Pisces::boot(
+        flex32::Flex32::new_shared(),
+        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]),
+    )
+    .unwrap();
+    let prog = FortranProgram::parse(
+        "TASK MAIN\n\
+         SHARED COMMON /S/ NRAN\n\
+         FORCESPLIT\n\
+         NRAN = NRAN + 1\n\
+         BARRIER\n\
+         END BARRIER\n\
+         STOP\n\
+         END FORCESPLIT\n\
+         PRINT 'NEVER'\n\
+         END TASK\n",
+    )
+    .unwrap();
+    prog.register_with(&p);
+    p.initiate_top_level(1, "MAIN", vec![]).unwrap();
+    assert!(p.wait_quiescent(Duration::from_secs(30)));
+    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    assert!(!console.iter().any(|l| l == "NEVER"));
+    p.shutdown();
+}
+
+#[test]
+fn intrinsic_library() {
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         PRINT ABS(-3), ABS(-2.5), SQRT(16.0), MIN(3, 1, 2), MAX(1.5, 2.5)\n\
+         PRINT INT(3.9), FLOAT(2), MOD(10, 3), MOD(5.5, 2.0)\n\
+         PRINT EXP(0.0), LOG(1.0), SIN(0.0), COS(0.0)\n\
+         END TASK\n",
+    );
+    assert_eq!(console[0], "3 2.5 4 1 2.5");
+    assert_eq!(console[1], "3 2 1 1.5");
+    assert_eq!(console[2], "1 0 0 1");
+    p.shutdown();
+}
+
+#[test]
+fn window_intrinsics_and_force_intrinsics() {
+    let p = Pisces::boot(
+        flex32::Flex32::new_shared(),
+        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=5)]),
+    )
+    .unwrap();
+    let prog = FortranProgram::parse(
+        "TASK MAIN\n\
+         REAL A(6,4)\n\
+         WINDOW W\n\
+         SHARED COMMON /S/ TOTAL\n\
+         LOCK FL\n\
+         CREATE WINDOW W FROM A\n\
+         SHRINK WINDOW W TO (2:4, 1:2)\n\
+         PRINT 'DIMS', WROWS(W), WCOLS(W)\n\
+         FORCESPLIT\n\
+         CRITICAL FL\n\
+         TOTAL = TOTAL + FORCEMEMBER() * 100 + FORCESIZE()\n\
+         END CRITICAL\n\
+         END FORCESPLIT\n\
+         PRINT 'SUM', TOTAL\n\
+         END TASK\n",
+    )
+    .unwrap();
+    prog.register_with(&p);
+    p.initiate_top_level(1, "MAIN", vec![]).unwrap();
+    assert!(p.wait_quiescent(Duration::from_secs(30)));
+    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    assert!(console.contains(&"DIMS 3 2".to_string()));
+    // Members 1,2,3 of a force of 3: (100+3)+(200+3)+(300+3) = 609.
+    assert!(console.contains(&"SUM 609".to_string()), "{console:?}");
+    p.shutdown();
+}
+
+#[test]
+fn preprocessor_handles_new_constructs() {
+    let prog = FortranProgram::parse(
+        "TASK MAIN\n\
+         INTEGER N\n\
+         N = 10\n\
+         DO WHILE (N .GT. 0)\n\
+         N = N - 1\n\
+         END DO\n\
+         N = TWICE(N)\n\
+         STOP\n\
+         END TASK\n\
+         \n\
+         FUNCTION TWICE(K)\n\
+         TWICE = 2 * K\n\
+         END FUNCTION\n",
+    )
+    .unwrap();
+    let f77 = prog.preprocess();
+    assert!(f77.contains("IF (.NOT. ((N .GT. 0))) GOTO"), "{f77}");
+    assert!(f77.contains("GOTO 1001"), "loop back edge: {f77}");
+    assert!(f77.contains("FUNCTION TWICE(K)"), "{f77}");
+    assert!(f77.contains("STOP"), "{f77}");
+}
+
+#[test]
+fn recursive_function_with_arrays() {
+    // Function result used to fill an array, then summed with DO WHILE.
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         INTEGER V(8), I, S\n\
+         DO I = 1, 8\n\
+         V(I) = FIB(I)\n\
+         END DO\n\
+         S = 0\n\
+         I = 1\n\
+         DO WHILE (I .LE. 8)\n\
+         S = S + V(I)\n\
+         I = I + 1\n\
+         END DO\n\
+         PRINT 'SUMFIB', S\n\
+         END TASK\n\
+         \n\
+         FUNCTION FIB(N)\n\
+         IF (N .LE. 1) THEN\n\
+         FIB = N\n\
+         ELSE\n\
+         FIB = FIB(N - 1) + FIB(N - 2)\n\
+         ENDIF\n\
+         END FUNCTION\n",
+    );
+    // fib(1..8) = 1,1,2,3,5,8,13,21 → 54.
+    assert_eq!(console.last().unwrap(), "SUMFIB 54");
+    p.shutdown();
+}
+
+#[test]
+fn parameter_constants() {
+    let (console, p) = run_program(
+        "TASK MAIN\n\
+         PARAMETER (N = 8, HALF = 0.5)\n\
+         REAL V(N)\n\
+         INTEGER I\n\
+         DO I = 1, N\n\
+         V(I) = I * HALF\n\
+         END DO\n\
+         PRINT 'P', N, V(N), V(1)\n\
+         END TASK\n",
+    );
+    assert_eq!(console.last().unwrap(), "P 8 4 0.5");
+    // The preprocessor carries the PARAMETER through.
+    let f77 = FortranProgram::parse("TASK T\nPARAMETER (N = 8)\nINTEGER N\nX = N\nEND TASK\n")
+        .unwrap()
+        .preprocess();
+    assert!(f77.contains("PARAMETER (N = 8)"), "{f77}");
+    p.shutdown();
+}

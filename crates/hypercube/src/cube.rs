@@ -1,0 +1,310 @@
+//! The cube: nodes, links, e-cube routing, message delivery.
+
+use flex32::clock::TickClock;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A node number, `0..2^dim`.
+pub type NodeId = usize;
+
+/// A message in flight or at rest in a node's in-queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Originating node.
+    pub from: NodeId,
+    /// Message type tag (the Pisces message-type name).
+    pub mtype: String,
+    /// Payload words.
+    pub words: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct NodeQueue {
+    q: Mutex<VecDeque<Packet>>,
+    cv: Condvar,
+}
+
+/// One hypercube node: queue, clock, local-memory accounting.
+#[derive(Debug)]
+pub struct Node {
+    /// The node's tick clock (unsynchronized across nodes, as on real
+    /// cubes — and as on the FLEX).
+    pub clock: TickClock,
+    inq: NodeQueue,
+    /// Local memory used, bytes (each node of an iPSC/1 had 512 KB).
+    pub local_used: AtomicU64,
+}
+
+/// Per-link traffic counters, indexed `[node][dimension]`.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Packets that traversed the link.
+    pub packets: AtomicU64,
+    /// Payload words that traversed the link.
+    pub words: AtomicU64,
+}
+
+/// The simulated hypercube.
+pub struct Hypercube {
+    dim: u32,
+    nodes: Vec<Node>,
+    links: Vec<Vec<LinkStats>>, // [node][dimension]
+}
+
+impl std::fmt::Debug for Hypercube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hypercube")
+            .field("dim", &self.dim)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Hypercube {
+    /// A cube of dimension `dim` (2^dim nodes); `dim` up to 10 (1024
+    /// nodes, the NCube/ten's size).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 10, "cubes beyond 1024 nodes are out of scope");
+        let n = 1usize << dim;
+        Self {
+            dim,
+            nodes: (0..n)
+                .map(|_| Node {
+                    clock: TickClock::new(),
+                    inq: NodeQueue::default(),
+                    local_used: AtomicU64::new(0),
+                })
+                .collect(),
+            links: (0..n)
+                .map(|_| (0..dim).map(|_| LinkStats::default()).collect())
+                .collect(),
+        }
+    }
+
+    /// Cube dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A cube always has at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Hop distance between two nodes (Hamming distance).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        ((a ^ b) as u64).count_ones()
+    }
+
+    /// The e-cube (dimension-ordered) route from `a` to `b`, inclusive of
+    /// both endpoints. Deterministic and deadlock-free — the routing the
+    /// iPSC used.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut path = vec![a];
+        let mut cur = a;
+        for k in 0..self.dim {
+            let bit = 1usize << k;
+            if (cur ^ b) & bit != 0 {
+                cur ^= bit;
+                path.push(cur);
+            }
+        }
+        debug_assert_eq!(*path.last().unwrap(), b);
+        path
+    }
+
+    /// Send a packet from `from` to `to`: charges store-and-forward costs
+    /// along the e-cube route (every intermediate node spends
+    /// `HOP_TICKS + WORD_TICKS·words` of its clock, matching a CPU-routed
+    /// first-generation cube), bumps link counters, and enqueues at the
+    /// destination. Returns the total virtual latency in ticks.
+    pub fn send(&self, from: NodeId, to: NodeId, mtype: &str, words: Vec<u64>) -> u64 {
+        let path = self.route(from, to);
+        let per_hop = crate::HOP_TICKS + crate::WORD_TICKS * words.len() as u64;
+        let mut latency = 0;
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let dim_bit = (a ^ b).trailing_zeros() as usize;
+            let stats = &self.links[a.min(b)][dim_bit];
+            stats.packets.fetch_add(1, Ordering::Relaxed);
+            stats.words.fetch_add(words.len() as u64, Ordering::Relaxed);
+            // The forwarding node does the work.
+            self.nodes[a].clock.advance(per_hop);
+            latency += per_hop;
+        }
+        if path.len() == 1 {
+            // Self-send still costs a kernel entry.
+            self.nodes[from].clock.advance(crate::HOP_TICKS);
+            latency = crate::HOP_TICKS;
+        }
+        let node = &self.nodes[to];
+        node.inq.q.lock().push_back(Packet {
+            from,
+            mtype: mtype.to_string(),
+            words,
+        });
+        node.inq.cv.notify_all();
+        latency
+    }
+
+    /// Receive the next packet at `node` matching `want` (None = any),
+    /// blocking up to `timeout`. Charges the receive cost to the node.
+    pub fn recv(&self, node: NodeId, want: Option<&str>, timeout: Duration) -> Option<Packet> {
+        let deadline = Instant::now() + timeout;
+        let nq = &self.nodes[node].inq;
+        let mut q = nq.q.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|p| want.is_none_or(|w| p.mtype == w)) {
+                let p = q.remove(pos).expect("position valid");
+                self.nodes[node]
+                    .clock
+                    .advance(crate::HOP_TICKS / 2 + crate::WORD_TICKS * p.words.len() as u64);
+                return Some(p);
+            }
+            if nq.cv.wait_until(&mut q, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Messages waiting at a node.
+    pub fn queued(&self, node: NodeId) -> usize {
+        self.nodes[node].inq.q.lock().len()
+    }
+
+    /// Total packets that crossed any link (traffic snapshot).
+    pub fn total_link_packets(&self) -> u64 {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.packets.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Words that crossed the link between `a` and its neighbour across
+    /// `dimension`.
+    pub fn link_words(&self, a: NodeId, dimension: usize) -> u64 {
+        self.links[a][dimension].words.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_sizes() {
+        assert_eq!(Hypercube::new(0).len(), 1);
+        assert_eq!(Hypercube::new(5).len(), 32);
+        assert_eq!(Hypercube::new(10).len(), 1024);
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let c = Hypercube::new(4);
+        assert_eq!(c.distance(0b0000, 0b1111), 4);
+        assert_eq!(c.distance(0b1010, 0b1010), 0);
+        assert_eq!(c.distance(0b0001, 0b0010), 2);
+    }
+
+    #[test]
+    fn ecube_route_is_dimension_ordered() {
+        let c = Hypercube::new(4);
+        assert_eq!(
+            c.route(0b0000, 0b1011),
+            vec![0b0000, 0b0001, 0b0011, 0b1011]
+        );
+        assert_eq!(c.route(5, 5), vec![5]);
+        // Route length is always distance + 1.
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(c.route(a, b).len() as u32, c.distance(a, b) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let c = Hypercube::new(3);
+        let lat = c.send(0, 7, "DATA", vec![1, 2, 3]);
+        assert_eq!(lat, 3 * (crate::HOP_TICKS + 3 * crate::WORD_TICKS));
+        let p = c.recv(7, Some("DATA"), Duration::from_secs(1)).unwrap();
+        assert_eq!(p.from, 0);
+        assert_eq!(p.words, vec![1, 2, 3]);
+        assert_eq!(c.queued(7), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let c = Hypercube::new(6);
+        let near = c.send(0, 1, "X", vec![0; 8]);
+        let far = c.send(0, 63, "X", vec![0; 8]);
+        assert_eq!(far, 6 * near, "6 hops vs 1 hop");
+    }
+
+    #[test]
+    fn intermediate_nodes_pay_for_forwarding() {
+        let c = Hypercube::new(3);
+        c.send(0b000, 0b011, "X", vec![0; 4]);
+        // Route 000 → 001 → 011: nodes 0 and 1 forwarded, node 3 only
+        // receives (its clock moves at recv time).
+        assert!(c.node(0).clock.now() > 0);
+        assert!(c.node(1).clock.now() > 0);
+        assert_eq!(c.node(3).clock.now(), 0);
+        assert_eq!(c.node(2).clock.now(), 0, "not on the e-cube route");
+    }
+
+    #[test]
+    fn recv_filters_by_type_and_times_out() {
+        let c = Hypercube::new(2);
+        c.send(1, 2, "A", vec![]);
+        c.send(3, 2, "B", vec![]);
+        let b = c.recv(2, Some("B"), Duration::from_millis(100)).unwrap();
+        assert_eq!(b.from, 3);
+        assert!(c.recv(2, Some("C"), Duration::from_millis(30)).is_none());
+        assert_eq!(c.queued(2), 1, "A still waiting");
+    }
+
+    #[test]
+    fn link_traffic_is_counted() {
+        let c = Hypercube::new(3);
+        c.send(0, 1, "X", vec![0; 10]);
+        c.send(0, 1, "X", vec![0; 10]);
+        assert_eq!(c.link_words(0, 0), 20);
+        assert_eq!(c.total_link_packets(), 2);
+    }
+
+    #[test]
+    fn concurrent_senders_deliver_everything() {
+        let c = std::sync::Arc::new(Hypercube::new(4));
+        let mut handles = Vec::new();
+        for s in 0..8usize {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50u64 {
+                    c.send(s, 15, "N", vec![s as u64, k]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while c.recv(15, Some("N"), Duration::from_millis(100)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 400);
+    }
+}

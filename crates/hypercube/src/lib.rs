@@ -1,0 +1,48 @@
+//! # pisces3-hypercube — the PISCES 3 preview substrate
+//!
+//! "A PISCES 3 environment is planned for a hypercube machine such as the
+//! Intel iPSC or the NCube/ten. The PISCES 3 system will emphasize
+//! parallel I/O and data base access." (paper, Section 1)
+//!
+//! This crate is that planned next step, built to the same standard as
+//! the `flex32` substrate: a software model of an iPSC/NCube-class
+//! hypercube —
+//!
+//! * 2^d nodes, each with local memory only (no shared memory at all —
+//!   the architectural opposite of the FLEX/32, which is exactly why the
+//!   paper's portable-virtual-machine argument needs it);
+//! * bidirectional links along the cube edges, messages routed e-cube
+//!   (dimension-ordered) with store-and-forward hop costs charged to
+//!   every intermediate node, as on the iPSC/1;
+//! * per-node tick clocks (reusing the [`flex32::clock`] model) and link
+//!   traffic counters;
+//! * **parallel I/O**: a subset of nodes are I/O nodes with attached
+//!   disks; [`pio`] stripes files across them in blocks and serves reads
+//!   and writes from all stripes concurrently — the PISCES 3 emphasis.
+//!
+//! What this crate deliberately is *not*: a second full PISCES runtime.
+//! The virtual machine of the paper (clusters, slots, forces) lives in
+//! `pisces-core`; this substrate demonstrates where its message-passing
+//! layer would land on distributed-memory hardware, and measurably *why*
+//! the PISCES 3 design brief says "parallel I/O" (see the
+//! `hypercube_io` experiment and `examples/pisces3_preview.rs`).
+
+pub mod cube;
+pub mod pio;
+
+pub use cube::{Hypercube, NodeId, Packet};
+pub use pio::StripedFile;
+
+/// Per-hop fixed routing cost in ticks (kernel entry + link setup on
+/// each store-and-forward node).
+pub const HOP_TICKS: u64 = 50;
+
+/// Per-64-bit-word transfer cost per hop, in ticks.
+pub const WORD_TICKS: u64 = 2;
+
+/// Disk block transfer cost per 64-bit word, in ticks (disks are an
+/// order of magnitude slower than links — the reason striping pays).
+pub const DISK_WORD_TICKS: u64 = 20;
+
+/// Fixed disk access cost per block, in ticks (seek + controller).
+pub const DISK_BLOCK_TICKS: u64 = 400;

@@ -1,0 +1,75 @@
+//! Property tests of the hypercube routing and striped I/O.
+
+use pisces3_hypercube::{Hypercube, StripedFile};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    /// E-cube routes are valid paths: consecutive nodes differ in exactly
+    /// one bit, length = Hamming distance + 1, endpoints correct, and the
+    /// dimensions are corrected in ascending order (the deadlock-freedom
+    /// property).
+    #[test]
+    fn ecube_routes_are_valid(dim in 1u32..=8, a in 0usize..256, b in 0usize..256) {
+        let cube = Hypercube::new(dim);
+        let n = cube.len();
+        let (a, b) = (a % n, b % n);
+        let path = cube.route(a, b);
+        prop_assert_eq!(path[0], a);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        prop_assert_eq!(path.len() as u32, cube.distance(a, b) + 1);
+        let mut last_dim = None;
+        for w in path.windows(2) {
+            let diff = w[0] ^ w[1];
+            prop_assert_eq!(diff.count_ones(), 1, "one link per hop");
+            let d = diff.trailing_zeros();
+            if let Some(prev) = last_dim {
+                prop_assert!(d > prev, "dimension order ascending");
+            }
+            last_dim = Some(d);
+        }
+    }
+
+    /// Send latency equals hops × (HOP + WORD·len) for any endpoints.
+    #[test]
+    fn latency_formula_holds(dim in 1u32..=6, a in 0usize..64, b in 0usize..64, len in 0usize..64) {
+        let cube = Hypercube::new(dim);
+        let n = cube.len();
+        let (a, b) = (a % n, b % n);
+        let lat = cube.send(a, b, "T", vec![0; len]);
+        let hops = cube.distance(a, b) as u64;
+        let expect = if hops == 0 {
+            pisces3_hypercube::HOP_TICKS
+        } else {
+            hops * (pisces3_hypercube::HOP_TICKS + pisces3_hypercube::WORD_TICKS * len as u64)
+        };
+        prop_assert_eq!(lat, expect);
+        // And the packet actually arrives.
+        prop_assert!(cube.recv(b, Some("T"), Duration::from_secs(1)).is_some());
+    }
+
+    /// Striped files round-trip arbitrary sparse writes, any stripe
+    /// count and block size.
+    #[test]
+    fn striped_file_roundtrip(
+        stripes in 1usize..=8,
+        block in 1usize..=64,
+        writes in prop::collection::vec((0usize..2000, prop::collection::vec(any::<u64>(), 1..50)), 1..8),
+    ) {
+        let cube = Hypercube::new(4);
+        let io: Vec<usize> = (0..stripes).map(|k| (k + 1) % 16).collect();
+        let file = StripedFile::new(io, block);
+        // Reference image of the file.
+        let mut image = Vec::new();
+        for (off, data) in &writes {
+            if image.len() < off + data.len() {
+                image.resize(off + data.len(), 0);
+            }
+            image[*off..off + data.len()].copy_from_slice(data);
+            file.write(&cube, 0, *off, data);
+        }
+        prop_assert_eq!(file.len_words(), image.len());
+        let (back, _) = file.read(&cube, 0, 0, image.len());
+        prop_assert_eq!(back, image);
+    }
+}

@@ -1,0 +1,79 @@
+//! The configuration environment: build the paper's Section 9 example
+//! mapping through the menu commands, save it, boot a machine from it,
+//! and print the Figure-1 organization diagram plus the execution
+//! environment's displays.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example configurator
+//! ```
+
+use pisces::pisces_config::ConfigMenu;
+use pisces::pisces_core::prelude::*;
+use pisces::pisces_exec::{figure1, ExecMenu};
+use std::time::Duration;
+
+fn main() -> Result<()> {
+    let flex = pisces::flex32::Flex32::new_shared();
+
+    // Drive the configuration menus exactly as a user would: the worked
+    // example of Section 9 of the paper.
+    let mut menu = ConfigMenu::new(flex.clone());
+    for line in [
+        "clusters 1-4",
+        "primary 1 3",
+        "primary 2 4",
+        "primary 3 5",
+        "primary 4 6",
+        "slots 1 4",
+        "slots 2 4",
+        "slots 3 4",
+        "slots 4 4",
+        "secondaries 2 16-20",
+        "secondaries 3 7-15",
+        "secondaries 4 7-15",
+        "terminal 1",
+        "validate",
+        "save section9",
+    ] {
+        let out = menu.execute(line)?;
+        println!("config> {line:<24} {out}");
+    }
+    println!("\n{}", menu.render());
+
+    // Boot from the saved configuration and run something so the diagram
+    // shows occupied slots.
+    let config = pisces::pisces_config::ConfigLibrary::new(flex.clone()).load("section9")?;
+    let p = Pisces::boot(flex, config)?;
+    p.register("camper", |ctx: &TaskCtx| {
+        let _ = ctx
+            .accept()
+            .signal_count("STOP", 1)
+            .delay_then(Duration::from_secs(5), || {})
+            .run()?;
+        Ok(())
+    });
+    let exec = ExecMenu::new(p.clone());
+    exec.execute("1 1 camper")?;
+    exec.execute("1 3 camper")?;
+    exec.execute("1 3 camper")?;
+    std::thread::sleep(Duration::from_millis(300));
+
+    println!("{}", figure1::render(&p));
+    println!("{}", exec.execute("5")?);
+    println!("{}", exec.execute("8")?);
+    println!(
+        "max multiprogramming on PE7 (paper: 4+4=8): {}",
+        p.config().max_multiprogramming(7)
+    );
+
+    // Release the campers and shut down.
+    for t in p.snapshot_tasks() {
+        if t.tasktype == "camper" {
+            exec.execute(&format!("3 {} STOP", t.id))?;
+        }
+    }
+    exec.execute("wait 10")?;
+    exec.execute("0")?;
+    Ok(())
+}

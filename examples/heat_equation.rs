@@ -1,0 +1,116 @@
+//! A small scientific code "ported to PISCES": Jacobi iteration for the
+//! steady-state heat equation on a square plate.
+//!
+//! This is the shape of the paper's intended first application — "porting
+//! a large existing finite element/structural analysis code … with a
+//! minimum of effort" (Section 14): the numerical kernel is ordinary
+//! sequential code; the parallel structure is expressed entirely with
+//! PISCES constructs. The grid is owned by a coordinator task; band
+//! solvers access it *only* through windows (halo rows included), and a
+//! message round per sweep provides the bulk-synchronous step.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example heat_equation
+//! ```
+
+use pisces::pisces_core::prelude::*;
+use std::time::Duration;
+
+const N: usize = 48; // grid size (rows × cols)
+const BANDS: usize = 4; // solver tasks
+const SWEEPS: usize = 60;
+const TOP_TEMP: f64 = 100.0;
+
+fn main() -> Result<()> {
+    let flex = pisces::flex32::Flex32::new_shared();
+    let p = Pisces::boot(flex, MachineConfig::simple(4, 4))?;
+
+    // One band solver per horizontal strip of interior rows.
+    p.register("solver", |ctx: &TaskCtx| {
+        let halo = ctx.arg(0)?.as_window()?.clone(); // band + one halo row each side
+        let sweeps = ctx.arg(1)?.as_int()? as usize;
+        let cols = halo.col_count();
+        let rows = halo.row_count();
+        for _ in 0..sweeps {
+            // Read band + halos, relax the interior of the strip.
+            let old = ctx.window_read(&halo)?;
+            let mut new = old.clone();
+            for r in 1..rows - 1 {
+                for c in 1..cols - 1 {
+                    new[r * cols + c] = 0.25
+                        * (old[(r - 1) * cols + c]
+                            + old[(r + 1) * cols + c]
+                            + old[r * cols + c - 1]
+                            + old[r * cols + c + 1]);
+                }
+            }
+            ctx.work((rows * cols) as u64)?;
+            // Write back only our own rows (not the halo).
+            let own = halo
+                .shrink_relative(1..rows - 1, 0..cols)
+                .map_err(PiscesError::BadWindow)?;
+            ctx.window_write(&own, &new[cols..(rows - 1) * cols])?;
+            // Bulk-synchronous step: report, wait for the coordinator.
+            ctx.send(To::Parent, "SWEPT", vec![])?;
+            ctx.accept().of(1).signal("GO").run()?;
+        }
+        ctx.send(To::Parent, "DONE", vec![])
+    });
+
+    // Coordinator: owns the grid, hands out halo windows, drives sweeps.
+    p.register("coordinator", |ctx: &TaskCtx| {
+        // Plate: top edge held at TOP_TEMP, the rest starts cold.
+        let mut grid = vec![0.0f64; N * N];
+        grid[..N].fill(TOP_TEMP);
+        let whole = ctx.register_array(&grid, N, N)?;
+
+        // Interior rows 1..N-1 split into BANDS strips; each solver's
+        // window includes one halo row above and below its strip.
+        let interior = (N - 2) / BANDS;
+        let mut ids = Vec::new();
+        for b in 0..BANDS {
+            let r0 = 1 + b * interior;
+            let r1 = if b == BANDS - 1 { N - 1 } else { r0 + interior };
+            let halo = whole
+                .shrink(r0 - 1..r1 + 1, 0..N)
+                .map_err(PiscesError::BadWindow)?;
+            ctx.initiate(Where::Any, "solver", args![halo, SWEEPS as i64])?;
+            ids.push(b);
+        }
+
+        // Drive the sweeps: wait for all bands, then release them.
+        for _ in 0..SWEEPS {
+            ctx.accept().of(BANDS).signal("SWEPT").run()?;
+            ctx.send_all(None, "GO", vec![])?;
+        }
+        ctx.accept().of(BANDS).signal("DONE").run()?;
+
+        // Report the temperature profile down the centre column.
+        let done = ctx.window_read(&whole)?;
+        println!("centre-column temperature after {SWEEPS} sweeps:");
+        for r in (0..N).step_by(N / 8) {
+            let t = done[r * N + N / 2];
+            let bar = "#".repeat((t / TOP_TEMP * 50.0) as usize);
+            println!("  row {r:>3}  {t:>7.2}  {bar}");
+        }
+        // Sanity: heat flows downward but cannot exceed the boundary.
+        assert!(done[N + N / 2] > done[(N / 2) * N + N / 2]);
+        assert!(done.iter().all(|&t| (0.0..=TOP_TEMP).contains(&t)));
+        Ok(())
+    });
+
+    p.initiate_top_level(1, "coordinator", vec![])?;
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+
+    let s = p.stats().snapshot();
+    println!(
+        "\n{} sweeps × {BANDS} bands: {} messages, {} window ops, {} words through windows",
+        SWEEPS,
+        s.messages_sent,
+        s.window_reads + s.window_writes,
+        s.window_words
+    );
+    p.shutdown();
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! π by numerical integration with a force — the paper's
+//! medium-granularity parallelism (Section 7) end to end.
+//!
+//! One task FORCESPLITs into a force whose size is set *by the
+//! configuration, not the program*: the same program text runs with 1, 4,
+//! and 10 members, and only the performance changes. Both loop
+//! disciplines are shown: PRESCHED for the (balanced) integration loop
+//! and SELFSCHED for a deliberately imbalanced refinement loop.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example pi_force
+//! ```
+
+use pisces::pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: i64 = 400_000;
+
+fn pi_task(ctx: &TaskCtx) -> Result<()> {
+    ctx.forcesplit(|f| {
+        let sum = f.shared_common("PISUM", 1)?;
+        let lock = f.lock_var("GUARD")?;
+
+        // Balanced work → prescheduling (no dispatch overhead).
+        let mut local = 0.0;
+        f.presched(0, N - 1, |i| {
+            let x = (i as f64 + 0.5) / N as f64;
+            local += 4.0 / (1.0 + x * x);
+            Ok(())
+        })?;
+        f.critical(&lock, || {
+            sum.add_real(0, local)?;
+            Ok(())
+        })?;
+
+        // All members meet; the primary reports.
+        f.barrier_with(|| {
+            let pi = sum.get_real(0)? / N as f64;
+            println!(
+                "  force of {:>2}: pi = {pi:.12} (err {:+.3e})",
+                f.size(),
+                pi - std::f64::consts::PI
+            );
+            Ok(())
+        })?;
+        Ok(())
+    })
+}
+
+fn run_with_force(secondaries: u8) -> Result<Duration> {
+    let cluster = if secondaries == 0 {
+        ClusterConfig::new(1, 3, 2)
+    } else {
+        ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
+    };
+    let flex = pisces::flex32::Flex32::new_shared();
+    let p = Pisces::boot(flex, MachineConfig::new(vec![cluster]))?;
+    p.register("pi", pi_task);
+    let t0 = Instant::now();
+    p.initiate_top_level(1, "pi", vec![])?;
+    assert!(p.wait_quiescent(Duration::from_secs(60)));
+    let elapsed = t0.elapsed();
+    p.shutdown();
+    Ok(elapsed)
+}
+
+fn main() -> Result<()> {
+    println!("pi by midpoint integration, {N} intervals");
+    println!("same program text, force size chosen by the configuration:");
+    let mut baseline = None;
+    for secondaries in [0u8, 3, 9] {
+        let elapsed = run_with_force(secondaries)?;
+        let speedup = baseline.get_or_insert(elapsed).as_secs_f64() / elapsed.as_secs_f64();
+        println!(
+            "  members {:>2}: {elapsed:>10.2?}  speedup {speedup:>5.2}x",
+            secondaries + 1
+        );
+    }
+
+    // And the imbalanced case: triangular work favours SELFSCHED.
+    println!("\nimbalanced (triangular) loop, force of 6, both disciplines:");
+    let flex = pisces::flex32::Flex32::new_shared();
+    let p = Pisces::boot(
+        flex,
+        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=8)]),
+    )?;
+    let spin = |units: i64| {
+        // Real CPU work proportional to the iteration index.
+        let mut acc = 0.0f64;
+        for k in 0..units * 400 {
+            acc += (k as f64).sqrt();
+        }
+        std::hint::black_box(acc);
+    };
+    let timings = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let t2 = timings.clone();
+    p.register("tri", move |ctx: &TaskCtx| {
+        let which = ctx.arg(0)?.as_str()?.to_string();
+        let t0 = Instant::now();
+        ctx.forcesplit(|f| {
+            let run = |i: i64| {
+                spin(i);
+                Ok(())
+            };
+            if which == "presched" {
+                f.presched(1, 400, run)
+            } else {
+                f.selfsched(1, 400, run)
+            }
+        })?;
+        t2.lock().unwrap().push((which, t0.elapsed()));
+        Ok(())
+    });
+    for which in ["presched", "selfsched"] {
+        p.initiate_top_level(1, "tri", args![which])?;
+        assert!(p.wait_quiescent(Duration::from_secs(60)));
+    }
+    for (which, d) in timings.lock().unwrap().iter() {
+        println!("  {which:>9}: {d:>10.2?}");
+    }
+    p.shutdown();
+    Ok(())
+}

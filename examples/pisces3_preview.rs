@@ -1,0 +1,102 @@
+//! PISCES 3 preview: the paper's planned next system (Section 1 —
+//! "a hypercube machine such as the Intel iPSC or the NCube/ten …
+//! will emphasize parallel I/O and data base access").
+//!
+//! A master/worker program in the PISCES style, but on the hypercube
+//! substrate: the master at node 0 stripes a dataset across the cube's
+//! I/O nodes, mails each worker the word-range it owns (windows, by
+//! another name), workers read their ranges in parallel from the striped
+//! file, compute, write results back, and report. Everything the FLEX
+//! version does with shared memory happens here with messages and
+//! striped disks — the portability argument of the PISCES project shown
+//! on the architecture it was aimed at next.
+//!
+//! ```text
+//! cargo run --example pisces3_preview
+//! ```
+
+use pisces::pisces3_hypercube::{Hypercube, StripedFile};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: u32 = 4; // 16 nodes
+const WORDS: usize = 8192;
+
+fn main() {
+    let cube = Arc::new(Hypercube::new(DIM));
+    let io_nodes = vec![3, 5, 9, 6]; // four I/O nodes spread over the cube
+    let input = Arc::new(StripedFile::new(io_nodes.clone(), 128));
+    let output = Arc::new(StripedFile::new(io_nodes, 128));
+
+    // The master writes the dataset (striped write).
+    let data: Vec<u64> = (0..WORDS as u64).collect();
+    let t_write = input.write(&cube, 0, 0, &data);
+    println!("master wrote {WORDS} words across 4 I/O nodes in {t_write} virtual ticks");
+
+    // Workers at the even compute nodes.
+    let workers: Vec<usize> = vec![2, 4, 8, 10, 12, 14];
+    let share = WORDS / workers.len();
+    let mut handles = Vec::new();
+    for (k, &node) in workers.iter().enumerate() {
+        let cube = cube.clone();
+        let input = input.clone();
+        let output = output.clone();
+        handles.push(std::thread::spawn(move || {
+            // Wait for the master's work assignment (a window by message).
+            let assign = cube
+                .recv(node, Some("RANGE"), Duration::from_secs(10))
+                .expect("assignment arrives");
+            let (off, n) = (assign.words[0] as usize, assign.words[1] as usize);
+            // Parallel read of our slice of the striped file.
+            let (vals, t_read) = input.read(&cube, node, off, n);
+            // Compute (square every word) and write back.
+            let result: Vec<u64> = vals.iter().map(|v| v * v).collect();
+            let t_out = output.write(&cube, node, off, &result);
+            // Report completion to the master.
+            cube.send(node, 0, "DONE", vec![k as u64, t_read, t_out]);
+        }));
+    }
+
+    // Master deals out ranges (the last worker takes the remainder) and
+    // gathers completions.
+    for (k, &node) in workers.iter().enumerate() {
+        let off = k * share;
+        let n = if k == workers.len() - 1 {
+            WORDS - off
+        } else {
+            share
+        };
+        cube.send(0, node, "RANGE", vec![off as u64, n as u64]);
+    }
+    for _ in &workers {
+        let done = cube
+            .recv(0, Some("DONE"), Duration::from_secs(10))
+            .expect("worker reports");
+        println!(
+            "worker {} (node {:>2}): read {} ticks, write {} ticks",
+            done.words[0], done.from, done.words[1], done.words[2]
+        );
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Verify the result file.
+    let (result, _) = output.read(&cube, 0, 0, WORDS);
+    assert!(result
+        .iter()
+        .enumerate()
+        .all(|(k, &v)| v == (k as u64) * (k as u64)));
+    println!(
+        "\nresult verified: {WORDS} squares; {} packets crossed cube links",
+        cube.total_link_packets()
+    );
+    println!("busiest node clocks:");
+    let mut loads: Vec<(usize, u64)> = (0..cube.len())
+        .map(|n| (n, cube.node(n).clock.now()))
+        .collect();
+    loads.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+    for (n, t) in loads.into_iter().take(5) {
+        println!("  node {n:>2}: {t:>8} ticks");
+    }
+}

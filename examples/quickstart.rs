@@ -1,0 +1,78 @@
+//! Quickstart: boot the PISCES 2 virtual machine on a simulated FLEX/32,
+//! start a small dynamic set of tasks, and watch them talk.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pisces::pisces_core::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<()> {
+    // The substrate: a 20-PE FLEX/32 with 2.25 MB of shared memory.
+    let flex = pisces::flex32::Flex32::new_shared();
+    // Echo consoles so the program's output is visible.
+    for pe in pisces::flex32::PeId::all() {
+        flex.pe(pe).console.set_echo(true);
+    }
+
+    // A two-cluster virtual machine: cluster 1 on PE3, cluster 2 on PE4,
+    // four task slots each, user terminal on cluster 1.
+    let pisces = Pisces::boot(flex, MachineConfig::simple(2, 4))?;
+
+    // A worker tasktype: square the argument and mail it back.
+    pisces.register("worker", |ctx: &TaskCtx| {
+        let n = ctx.arg(0)?.as_int()?;
+        ctx.work(50)?; // charge some virtual compute time
+        ctx.send(To::Parent, "RESULT", args![n, n * n])
+    });
+
+    // The top-level task: fan out workers, gather results, report to the
+    // user terminal.
+    pisces.register("main", |ctx: &TaskCtx| {
+        for n in 1..=6 {
+            // ANY lets the system pick the least-loaded cluster.
+            ctx.initiate(Where::Any, "worker", args![n as i64])?;
+        }
+        let mut results = Vec::new();
+        ctx.accept()
+            .of(6)
+            .handle("RESULT", |m| {
+                results.push((m.args[0].as_int()?, m.args[1].as_int()?));
+                Ok(())
+            })
+            .delay(Duration::from_secs(10))
+            .run()?;
+        results.sort();
+        for (n, sq) in &results {
+            ctx.send(To::User, "SQUARE", args![*n, *sq])?;
+        }
+        Ok(())
+    });
+
+    pisces.initiate_top_level(1, "main", vec![])?;
+    assert!(pisces.wait_quiescent(Duration::from_secs(30)));
+
+    // Show what the run cost (the execution environment's displays).
+    println!("\n--- PE loading ---");
+    for l in pisces.pe_loading() {
+        println!(
+            "PE{:<3} ticks {:>8}  processes spawned {:>3}",
+            l.pe,
+            l.ticks,
+            pisces
+                .flex()
+                .procs(pisces::flex32::PeId::new(l.pe).unwrap())
+                .spawns()
+        );
+    }
+    let report = pisces.storage_report();
+    println!(
+        "\nshared memory high water: {} bytes ({:.3}% of 2.25 MB)",
+        report.shm.high_water,
+        100.0 * report.shm.high_water as f64 / report.shm.capacity as f64
+    );
+    pisces.shutdown();
+    Ok(())
+}

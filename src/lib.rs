@@ -1,0 +1,45 @@
+//! # pisces — the PISCES 2 parallel programming environment, whole.
+//!
+//! Umbrella crate re-exporting every piece of the reproduction of
+//! Pratt's *The PISCES 2 Parallel Programming Environment* (ICPP 1987):
+//!
+//! * [`flex32`] — the simulated FLEX/32 multicomputer (the "actual
+//!   machine");
+//! * [`pisces_core`] — the PISCES 2 virtual machine and run-time library;
+//! * [`pisces_config`] — the configuration environment (mappings, saved
+//!   configurations, MMOS load files);
+//! * [`pisces_exec`] — the execution environment (run-control menu,
+//!   Figure-1 renderer, off-line trace analysis);
+//! * [`pisces_fortran`] — Pisces Fortran (preprocessor and interpreter);
+//! * [`pisces3_hypercube`] — the PISCES 3 preview substrate (hypercube
+//!   with parallel I/O, the paper's stated next step).
+//!
+//! The `examples/` directory of this package holds the runnable
+//! demonstrations; `tests/` holds the cross-crate integration and
+//! property tests. Start with `examples/quickstart.rs` or the README.
+
+pub use flex32;
+pub use pisces3_hypercube;
+pub use pisces_config;
+pub use pisces_core;
+pub use pisces_exec;
+pub use pisces_fortran;
+
+/// The paper this repository reproduces.
+pub const PAPER: &str =
+    "Terrence W. Pratt, The PISCES 2 Parallel Programming Environment, ICPP 1987";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compose() {
+        // One expression touching every crate through the umbrella.
+        let flex = flex32::Flex32::new_shared();
+        let p = pisces_core::Pisces::boot(flex, pisces_core::MachineConfig::simple(1, 2))
+            .expect("boot");
+        assert!(pisces_exec::figure1::render(&p).contains("CLUSTER 1"));
+        assert!(pisces_fortran::FortranProgram::parse("TASK T\nX = 1\nEND TASK\n").is_ok());
+        p.shutdown();
+        assert!(super::PAPER.contains("1987"));
+    }
+}

@@ -1,0 +1,288 @@
+//! The `pisces` command.
+//!
+//! "When the user has created and successfully compiled his Pisces Fortran
+//! tasktype definitions…, then the command `pisces` brings up the PISCES
+//! configuration environment" (paper, Section 11). This binary is that
+//! command for the reproduction: it takes a Pisces Fortran source file,
+//! optionally shows the preprocessor's Fortran 77, builds a configuration
+//! (from flags or a saved-configuration JSON), boots the virtual machine,
+//! runs the program, and can drop into the execution environment's
+//! run-control menu.
+//!
+//! ```text
+//! pisces program.pf                         # run tasktype MAIN on 2 clusters
+//! pisces program.pf --preprocess            # show the Fortran 77 translation
+//! pisces program.pf --clusters 4 --slots 8 --secondaries 7-15
+//! pisces program.pf --trace all --report
+//! pisces program.pf --interactive           # the 10-option menu on stdin
+//! ```
+
+use pisces::pisces_core::prelude::*;
+use pisces::pisces_exec::ExecMenu;
+use pisces::pisces_fortran::FortranProgram;
+use std::io::{BufRead, Write as _};
+use std::time::Duration;
+
+struct Options {
+    source: String,
+    preprocess: bool,
+    clusters: u8,
+    slots: u8,
+    secondaries: Vec<u8>,
+    config_json: Option<String>,
+    trace: Vec<String>,
+    main_task: String,
+    task_args: Vec<String>,
+    report: bool,
+    interactive: bool,
+    timeout_secs: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pisces <program.pf> [options]\n\
+         \n\
+         options:\n\
+           --preprocess          print the Fortran 77 translation and exit\n\
+           --clusters <n>        number of clusters (default 2)\n\
+           --slots <n>           user slots per cluster (default 4)\n\
+           --secondaries <a-b>   force PEs for every cluster (e.g. 7-15)\n\
+           --config <file.json>  boot from a saved configuration instead\n\
+           --trace <all|EVENT>   enable tracing (repeatable)\n\
+           --main <TASK>         top-level tasktype (default MAIN)\n\
+           --arg <value>         argument for the top-level task (repeatable)\n\
+           --report              print storage and PE-loading reports after the run\n\
+           --interactive         drop into the run-control menu (reads stdin)\n\
+           --timeout <secs>      quiescence timeout (default 60)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut o = Options {
+        source: String::new(),
+        preprocess: false,
+        clusters: 2,
+        slots: 4,
+        secondaries: Vec::new(),
+        config_json: None,
+        trace: Vec::new(),
+        main_task: "MAIN".into(),
+        task_args: Vec::new(),
+        report: false,
+        interactive: false,
+        timeout_secs: 60,
+    };
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--preprocess" => o.preprocess = true,
+            "--clusters" => {
+                o.clusters = need(&mut args, "--clusters")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--slots" => {
+                o.slots = need(&mut args, "--slots")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--secondaries" => {
+                let spec = need(&mut args, "--secondaries");
+                let (lo, hi) = spec
+                    .split_once('-')
+                    .unwrap_or((spec.as_str(), spec.as_str()));
+                let lo: u8 = lo.parse().unwrap_or_else(|_| usage());
+                let hi: u8 = hi.parse().unwrap_or_else(|_| usage());
+                o.secondaries = (lo..=hi).collect();
+            }
+            "--config" => o.config_json = Some(need(&mut args, "--config")),
+            "--trace" => o.trace.push(need(&mut args, "--trace")),
+            "--main" => o.main_task = need(&mut args, "--main").to_ascii_uppercase(),
+            "--arg" => o.task_args.push(need(&mut args, "--arg")),
+            "--report" => o.report = true,
+            "--interactive" => o.interactive = true,
+            "--timeout" => {
+                o.timeout_secs = need(&mut args, "--timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "-h" | "--help" => usage(),
+            other if o.source.is_empty() && !other.starts_with('-') => o.source = a,
+            _ => usage(),
+        }
+    }
+    if o.source.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn build_config(o: &Options) -> Result<MachineConfig> {
+    if let Some(path) = &o.config_json {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PiscesError::BadConfiguration(format!("{path}: {e}")))?;
+        let config: MachineConfig = serde_json::from_str(&text)
+            .map_err(|e| PiscesError::BadConfiguration(format!("{path}: {e}")))?;
+        config.validate()?;
+        return Ok(config);
+    }
+    let mut config = MachineConfig::simple(o.clusters, o.slots);
+    for c in &mut config.clusters {
+        config_secondaries(c, &o.secondaries);
+    }
+    for t in &o.trace {
+        if t.eq_ignore_ascii_case("all") {
+            config.trace = TraceSettings::all();
+        } else {
+            for k in TraceEventKind::ALL {
+                if k.label().eq_ignore_ascii_case(t) {
+                    config.trace.enabled.push(k);
+                }
+            }
+        }
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u8]) {
+    c.secondary_pes = secondaries
+        .iter()
+        .copied()
+        .filter(|&pe| pe != c.primary_pe)
+        .collect();
+}
+
+fn main() {
+    let o = parse_args();
+    let source = match std::fs::read_to_string(&o.source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pisces: cannot read {}: {e}", o.source);
+            std::process::exit(1);
+        }
+    };
+    let program = match FortranProgram::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pisces: {}: {e}", o.source);
+            std::process::exit(1);
+        }
+    };
+    if o.preprocess {
+        print!("{}", program.preprocess());
+        return;
+    }
+
+    let config = match build_config(&o) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pisces: {e}");
+            std::process::exit(1);
+        }
+    };
+    let flex = pisces::flex32::Flex32::new_shared();
+    for pe in pisces::flex32::PeId::all() {
+        flex.pe(pe).console.set_echo(true);
+    }
+    let p = match Pisces::boot(flex, config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pisces: boot failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if o.trace.iter().any(|t| t.eq_ignore_ascii_case("all")) {
+        p.tracer().set_to_screen(true);
+    }
+    program.register_with(&p);
+
+    if !program.tasktypes().contains(&o.main_task) {
+        eprintln!(
+            "pisces: no tasktype {} (program defines: {})",
+            o.main_task,
+            program.tasktypes().join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    let task_args: Vec<Value> = o
+        .task_args
+        .iter()
+        .map(|s| pisces::pisces_exec::menu::parse_value(s))
+        .collect();
+    if let Err(e) = p.initiate_top_level(1, &o.main_task, task_args) {
+        eprintln!("pisces: initiate failed: {e}");
+        std::process::exit(1);
+    }
+
+    if o.interactive {
+        let menu = ExecMenu::new(p.clone());
+        println!("{}", menu.help());
+        let stdin = std::io::stdin();
+        loop {
+            print!("pisces> ");
+            let _ = std::io::stdout().flush();
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            match menu.execute(line.trim()) {
+                Ok(out) => {
+                    if !out.is_empty() {
+                        println!("{out}");
+                    }
+                    if line.trim() == "0" || line.trim() == "terminate" {
+                        return;
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+
+    if !p.wait_quiescent(Duration::from_secs(o.timeout_secs)) {
+        eprintln!("pisces: run did not finish within {}s", o.timeout_secs);
+        eprintln!("{}", p.dump_state());
+        p.shutdown();
+        std::process::exit(1);
+    }
+    // Let controllers flush terminal output.
+    std::thread::sleep(Duration::from_millis(100));
+
+    if o.report {
+        println!("\n--- storage report (paper §13) ---");
+        let r = p.storage_report();
+        println!(
+            "shared memory in use {} B / high water {} B of {} B",
+            r.shm.in_use, r.shm.high_water, r.shm.capacity
+        );
+        for tag in pisces::flex32::shmem::ShmTag::ALL {
+            println!("  {:<14} {:>8} B", tag.label(), r.shm.tag_bytes(tag));
+        }
+        println!("\n--- PE loading ---");
+        for l in p.pe_loading() {
+            println!(
+                "  PE{:<3} ticks {:>10}  cpu acq {:>8}  contended {:>6}",
+                l.pe, l.ticks, l.cpu_acquisitions, l.cpu_contended
+            );
+        }
+        let s = p.stats().snapshot();
+        println!(
+            "\ntasks {} | messages {} (accepted {}) | forcesplits {} | window ops {}",
+            s.tasks_completed,
+            s.messages_sent,
+            s.messages_accepted,
+            s.forcesplits,
+            s.window_reads + s.window_writes
+        );
+    }
+    p.shutdown();
+}

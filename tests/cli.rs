@@ -1,0 +1,152 @@
+//! Integration tests of the `pisces` command-line binary — the
+//! reproduction of the paper's `pisces` command (Section 11).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn pisces_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pisces"))
+}
+
+fn write_program(name: &str, source: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pisces-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+const PI_PROGRAM: &str = "\
+TASK MAIN
+  SHARED COMMON /ACC/ PISUM
+  LOCK GUARD
+  REAL LOCAL, X
+  INTEGER I, N
+  N = 20000
+  FORCESPLIT
+    LOCAL = 0.0
+    PRESCHED DO I = 1, N
+      X = (I - 0.5) / N
+      LOCAL = LOCAL + 4.0 / (1.0 + X * X)
+    END DO
+    CRITICAL GUARD
+      PISUM = PISUM + LOCAL
+    END CRITICAL
+    BARRIER
+      TO USER SEND PI(PISUM / N)
+    END BARRIER
+  END FORCESPLIT
+END TASK
+";
+
+#[test]
+fn runs_a_program_and_reports() {
+    let path = write_program("pi.pf", PI_PROGRAM);
+    let out = pisces_bin()
+        .arg(&path)
+        .args(["--clusters", "1", "--secondaries", "4-7", "--report"])
+        .output()
+        .expect("run pisces");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("PI(3.141592653"), "{stdout}");
+    assert!(stdout.contains("storage report"), "{stdout}");
+    assert!(stdout.contains("PE loading"), "{stdout}");
+    assert!(stdout.contains("forcesplits 1"), "{stdout}");
+}
+
+#[test]
+fn preprocess_flag_prints_fortran77() {
+    let path = write_program("pi2.pf", PI_PROGRAM);
+    let out = pisces_bin()
+        .arg(&path)
+        .arg("--preprocess")
+        .output()
+        .expect("run pisces");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("SUBROUTINE PSCTMAIN"), "{stdout}");
+    assert!(stdout.contains("CALL PSCFSP"), "{stdout}");
+    assert!(stdout.contains("PSCNMEM()"), "{stdout}");
+}
+
+#[test]
+fn task_arguments_reach_the_program() {
+    let path = write_program(
+        "echoarg.pf",
+        "TASK MAIN(N, LABEL)\nTO USER SEND GOT(LABEL, N * 2)\nEND TASK\n",
+    );
+    let out = pisces_bin()
+        .arg(&path)
+        .args(["--clusters", "1", "--arg", "21", "--arg", "hello"])
+        .output()
+        .expect("run pisces");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("GOT(hello, 42)"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_are_reported_with_lines() {
+    let path = write_program("broken.pf", "TASK MAIN\nX = \nEND TASK\n");
+    let out = pisces_bin().arg(&path).output().expect("run pisces");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn unknown_main_task_lists_alternatives() {
+    let path = write_program("nomain.pf", "TASK WORKER\nX = 1\nEND TASK\n");
+    let out = pisces_bin().arg(&path).output().expect("run pisces");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no tasktype MAIN"), "{stderr}");
+    assert!(stderr.contains("WORKER"), "{stderr}");
+}
+
+#[test]
+fn interactive_menu_drives_a_run() {
+    let path = write_program(
+        "camper.pf",
+        "TASK MAIN\n\
+         ACCEPT 1 OF\n\
+         STOP$\n\
+         DELAY 10000 THEN\n\
+         X = 1\n\
+         END ACCEPT\n\
+         TO USER SEND BYE\n\
+         END TASK\n",
+    );
+    let mut child = pisces_bin()
+        .arg(&path)
+        .args(["--clusters", "1", "--interactive"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn pisces");
+    let mut stdin = child.stdin.take().unwrap();
+    // Look at the tasks, send the release message, terminate.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    writeln!(stdin, "5").unwrap();
+    writeln!(stdin, "3 c1.s2#1 STOP$").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    writeln!(stdin, "wait 10").unwrap();
+    writeln!(stdin, "0").unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RUNNING TASKS"), "{stdout}");
+    assert!(stdout.contains("MAIN"), "{stdout}");
+    assert!(stdout.contains("BYE"), "{stdout}");
+    assert!(stdout.contains("run terminated"), "{stdout}");
+}

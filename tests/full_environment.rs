@@ -1,0 +1,236 @@
+//! Whole-environment integration: the complete 1987 workflow from the
+//! paper's Section 11, driven end to end across every crate —
+//! preprocessing/parsing the program, building a configuration through
+//! the menus, building and downloading the load file, booting, running,
+//! controlling the run through the execution environment, and analysing
+//! the trace off-line.
+
+use pisces::pisces_config::{ConfigLibrary, ConfigMenu, LoadFile, ProgramImage};
+use pisces::pisces_core::prelude::*;
+use pisces::pisces_exec::{figure1, ExecMenu, TraceAnalysis};
+use pisces::pisces_fortran::FortranProgram;
+use std::time::Duration;
+
+const PROGRAM: &str = "\
+TASK MAIN
+  INTEGER NDONE
+  NDONE = 0
+  ON CLUSTER 2 INITIATE RIPPLE(3)
+  ACCEPT 1 OF
+  FINISHED
+  END ACCEPT
+  TO USER SEND ALLDONE(NDONE)
+END TASK
+
+TASK RIPPLE(DEPTH)
+  SIGNAL FINISHED
+  IF (DEPTH .GT. 1) THEN
+    ON OTHER INITIATE RIPPLE(DEPTH - 1)
+    ACCEPT 1 OF
+    FINISHED
+    END ACCEPT
+  ENDIF
+  TO PARENT SEND FINISHED(DEPTH)
+END TASK
+
+HANDLER FINISHED(D)
+  NDONE = NDONE + 1
+END HANDLER
+";
+
+#[test]
+fn the_whole_1987_workflow() {
+    let flex = pisces::flex32::Flex32::new_shared();
+
+    // 1. "Program development is done on a Unix PE": parse the Pisces
+    //    Fortran program; keep the preprocessor output as the artefact
+    //    the 1987 f77 compiler would receive.
+    let program = FortranProgram::parse(PROGRAM).unwrap();
+    let f77 = program.preprocess();
+    flex.fs.write("src/ripple.f", f77.as_bytes()).unwrap();
+    assert!(f77.contains("SUBROUTINE PSCTMAIN"));
+
+    // 2. "The command `pisces` brings up the configuration environment":
+    //    build a 3-cluster mapping through the menus and save it.
+    let mut menu = ConfigMenu::new(flex.clone());
+    for line in [
+        "clusters 1-3",
+        "primary 1 3",
+        "primary 2 4",
+        "primary 3 5",
+        "slots 1 4",
+        "slots 2 4",
+        "slots 3 4",
+        "terminal 1",
+        "trace on all",
+        "save ripple-run",
+    ] {
+        menu.execute(line).unwrap();
+    }
+    let config = ConfigLibrary::new(flex.clone()).load("ripple-run").unwrap();
+
+    // 3. "A menu also drives the creation of an appropriate MMOS loadfile":
+    //    build it from the program image and check the Section 13 bound.
+    let image = ProgramImage::with_tasktypes(program.tasktypes());
+    let loadfile = LoadFile::build(&config, &image).unwrap();
+    loadfile.save(&flex, "loads/ripple.load").unwrap();
+    assert!(
+        loadfile.local_fraction() < 0.025 + 0.01,
+        "image fraction {:.4}",
+        loadfile.local_fraction()
+    );
+
+    // 4. Boot ("the loadfile is downloaded to the appropriate MMOS PEs"),
+    //    register the user code, download its local-memory share.
+    let p = Pisces::boot(flex.clone(), config).unwrap();
+    loadfile.download_user_code(&flex).unwrap();
+    program.register_with(&p);
+
+    // 5. "Control transfers to the PISCES execution environment": start
+    //    the top-level task from the menu and watch it.
+    let exec = ExecMenu::new(p.clone());
+    exec.execute("1 1 MAIN").unwrap();
+    assert_eq!(exec.execute("wait 30").unwrap(), "quiescent");
+
+    // The terminal got the final report (3 ripples deep).
+    std::thread::sleep(Duration::from_millis(150));
+    let console = p
+        .flex()
+        .pe(pisces::flex32::PeId::new(3).unwrap())
+        .console
+        .output();
+    assert!(
+        console.iter().any(|l| l.contains("ALLDONE(1)")),
+        "terminal: {console:?}"
+    );
+
+    // Displays work against the finished run.
+    let fig = figure1::render(&p);
+    assert!(fig.contains("CLUSTER 3"));
+    let loading = exec.execute("8").unwrap();
+    assert!(loading.contains("PE5"));
+
+    // 6. Off-line analysis of the trace, exactly as Section 12 describes:
+    //    write the JSONL trace to a file, read it back, analyse.
+    flex.fs
+        .write("traces/ripple.jsonl", p.tracer().to_jsonl().as_bytes())
+        .unwrap();
+    let data = String::from_utf8(flex.fs.read("traces/ripple.jsonl").unwrap()).unwrap();
+    let analysis = TraceAnalysis::from_jsonl(&data).unwrap();
+    // MAIN + three RIPPLEs, all with complete lifetimes.
+    let lifetimes: Vec<_> = analysis
+        .tasks
+        .values()
+        .filter(|t| t.tasktype == "MAIN" || t.tasktype == "RIPPLE")
+        .collect();
+    assert_eq!(lifetimes.len(), 4);
+    assert!(lifetimes.iter().all(|t| t.lifetime_ticks().is_some()));
+    // Each of the three RIPPLEs sent one FINISHED, all matched.
+    assert_eq!(analysis.sends_by_type.get("FINISHED"), Some(&3));
+    assert_eq!(
+        analysis
+            .matched
+            .iter()
+            .filter(|m| m.mtype == "FINISHED")
+            .count(),
+        3,
+        "every FINISHED send matched to its accept"
+    );
+
+    // 7. Section 13's storage claim holds for this run.
+    let storage = p.storage_report();
+    assert!(
+        storage.system_table_fraction() < 0.003,
+        "system tables {:.5} of shared memory",
+        storage.system_table_fraction()
+    );
+
+    exec.execute("0").unwrap();
+    p.flex().shmem.check_invariants().unwrap();
+}
+
+#[test]
+fn rust_and_fortran_tasks_interoperate() {
+    // Tasktypes registered from Rust and from Pisces Fortran coexist on
+    // one machine and exchange messages.
+    let flex = pisces::flex32::Flex32::new_shared();
+    let p = Pisces::boot(flex, MachineConfig::simple(2, 4)).unwrap();
+
+    FortranProgram::parse(
+        "TASK FDOUBLE(N)\n\
+         TO PARENT SEND DOUBLED(2 * N)\n\
+         END TASK\n",
+    )
+    .unwrap()
+    .register_with(&p);
+
+    p.register("rust_main", |ctx: &TaskCtx| {
+        ctx.initiate(Where::Other, "FDOUBLE", args![21i64])?;
+        let mut got = 0;
+        ctx.accept()
+            .of(1)
+            .handle("DOUBLED", |m| {
+                got = m.args[0].as_int()?;
+                Ok(())
+            })
+            .run()?;
+        assert_eq!(got, 42);
+        Ok(())
+    });
+    p.initiate_top_level(1, "rust_main", vec![]).unwrap();
+    assert!(p.wait_quiescent(Duration::from_secs(30)));
+    assert_eq!(p.stats().snapshot().tasks_completed, 2);
+    p.shutdown();
+}
+
+#[test]
+fn section9_mapping_limits_force_sizes_per_cluster() {
+    // Boot the paper's Section 9 example and verify each cluster's
+    // FORCESPLIT yields exactly the configured force size.
+    let flex = pisces::flex32::Flex32::new_shared();
+    let p = Pisces::boot(flex, MachineConfig::section9_example()).unwrap();
+    p.register("probe", |ctx: &TaskCtx| {
+        let seen = std::sync::atomic::AtomicUsize::new(0);
+        ctx.forcesplit(|f| {
+            if f.is_primary() {
+                seen.store(f.size(), std::sync::atomic::Ordering::Relaxed);
+            }
+            Ok(())
+        })?;
+        ctx.send(
+            To::Parent,
+            "SIZE",
+            args![
+                ctx.cluster() as i64,
+                seen.load(std::sync::atomic::Ordering::Relaxed) as i64
+            ],
+        )
+    });
+    p.register("main", |ctx: &TaskCtx| {
+        for c in 1..=4 {
+            ctx.initiate(Where::Cluster(c), "probe", vec![])?;
+        }
+        let mut sizes = std::collections::BTreeMap::new();
+        ctx.accept()
+            .of(4)
+            .handle("SIZE", |m| {
+                sizes.insert(m.args[0].as_int()?, m.args[1].as_int()?);
+                Ok(())
+            })
+            .run()?;
+        // Paper: cluster 1 → no splitting; cluster 2 → PEs 16-20 (+1);
+        // clusters 3,4 → PEs 7-15 (+1).
+        assert_eq!(sizes[&1], 1);
+        assert_eq!(sizes[&2], 6);
+        assert_eq!(sizes[&3], 10);
+        assert_eq!(sizes[&4], 10);
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "{}",
+        p.dump_state()
+    );
+    p.shutdown();
+}

@@ -1,0 +1,274 @@
+//! Property-based tests over the core data structures and invariants.
+
+use pisces::pisces_core::prelude::*;
+use pisces::pisces_core::value::{decode_values, encode_values};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Value encoding
+// ----------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Finite reals: NaN breaks PartialEq roundtrip comparison, and
+        // messages never carry NaN in these programs.
+        prop::num::f64::NORMAL.prop_map(Value::Real),
+        any::<bool>().prop_map(Value::Logical),
+        "[ -~]{0,40}".prop_map(Value::Str),
+        (1u8..=18, 0u8..=20, any::<u32>())
+            .prop_map(|(c, s, u)| Value::TaskId(TaskId::new(c, s, u))),
+        prop::collection::vec(any::<i64>(), 0..32).prop_map(Value::IntArray),
+        prop::collection::vec(prop::num::f64::NORMAL, 0..32).prop_map(Value::RealArray),
+        window_strategy().prop_map(Value::Window),
+    ]
+}
+
+fn window_strategy() -> impl Strategy<Value = Window> {
+    (1usize..30, 1usize..30).prop_flat_map(|(rows, cols)| {
+        (
+            0usize..rows,
+            0usize..cols,
+            Just(rows),
+            Just(cols),
+            any::<u32>(),
+        )
+            .prop_flat_map(move |(r0, c0, rows, cols, seq)| {
+                (r0 + 1..=rows, c0 + 1..=cols).prop_map(move |(r1, c1)| {
+                    Window::new(
+                        ArrayId {
+                            owner: TaskId::new(1, 2, 3),
+                            seq,
+                        },
+                        (rows, cols),
+                        r0..r1,
+                        c0..c1,
+                    )
+                    .expect("bounds valid by construction")
+                })
+            })
+    })
+}
+
+proptest! {
+    /// Any argument list survives the packet encoding round-trip.
+    #[test]
+    fn values_roundtrip_through_packets(vals in prop::collection::vec(value_strategy(), 0..8)) {
+        let words = encode_values(&vals);
+        let back = decode_values(&words).unwrap();
+        prop_assert_eq!(back, vals);
+    }
+
+    /// Packet length always matches the declared size accounting.
+    #[test]
+    fn packet_words_accounting_is_exact(vals in prop::collection::vec(value_strategy(), 0..8)) {
+        let words = encode_values(&vals);
+        let expected: usize = 1 + vals.iter().map(|v| v.packet_words()).sum::<usize>();
+        prop_assert_eq!(words.len(), expected);
+    }
+
+    /// Truncating a packet anywhere never panics, only errors.
+    #[test]
+    fn truncated_packets_error_cleanly(
+        vals in prop::collection::vec(value_strategy(), 1..6),
+        cut in 0usize..64,
+    ) {
+        let mut words = encode_values(&vals);
+        let keep = cut % words.len();
+        words.truncate(keep);
+        // Either a clean decode of a prefix count or an error — no panic.
+        let _ = decode_values(&words);
+    }
+
+    /// TaskId packing is bijective over the whole domain.
+    #[test]
+    fn taskid_pack_unpack(c in any::<u8>(), s in any::<u8>(), u in any::<u32>()) {
+        let id = TaskId::new(c, s, u);
+        prop_assert_eq!(TaskId::unpack(id.pack()), id);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Window algebra
+// ----------------------------------------------------------------------
+
+proptest! {
+    /// A shrunk window never sees anything its parent could not see.
+    #[test]
+    fn shrink_is_contained(w in window_strategy(), r0 in 0usize..40, c0 in 0usize..40, h in 1usize..40, k in 1usize..40) {
+        let rows = w.rows();
+        let cols = w.cols();
+        let r0 = rows.start + r0 % rows.len();
+        let c0 = cols.start + c0 % cols.len();
+        let r1 = (r0 + h).min(rows.end);
+        let c1 = (c0 + k).min(cols.end);
+        let shrunk = w.shrink(r0..r1, c0..c1).expect("target inside window");
+        prop_assert!(shrunk.rows().start >= rows.start && shrunk.rows().end <= rows.end);
+        prop_assert!(shrunk.cols().start >= cols.start && shrunk.cols().end <= cols.end);
+        prop_assert!(shrunk.len() <= w.len());
+        // And shrinking never grows back: a second shrink to the parent's
+        // full range fails unless the first shrink was trivial.
+        if shrunk.rows() != rows || shrunk.cols() != cols {
+            prop_assert!(shrunk.shrink(rows, cols).is_err());
+        }
+    }
+
+    /// split_rows tiles the window exactly: bands are disjoint, ordered,
+    /// and cover every row.
+    #[test]
+    fn split_rows_tiles_exactly(w in window_strategy(), n in 1usize..10) {
+        let bands = w.split_rows(n);
+        prop_assert!(!bands.is_empty());
+        let mut cursor = w.rows().start;
+        for b in &bands {
+            prop_assert_eq!(b.rows().start, cursor);
+            prop_assert_eq!(b.cols(), w.cols());
+            cursor = b.rows().end;
+        }
+        prop_assert_eq!(cursor, w.rows().end);
+        // Heights differ by at most one.
+        let hs: Vec<usize> = bands.iter().map(|b| b.row_count()).collect();
+        let (mn, mx) = (hs.iter().min().unwrap(), hs.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    /// Window packing round-trips.
+    #[test]
+    fn window_pack_unpack(w in window_strategy()) {
+        prop_assert_eq!(Window::unpack(&w.pack()).unwrap(), w);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Configuration validation
+// ----------------------------------------------------------------------
+
+fn cluster_strategy() -> impl Strategy<Value = ClusterConfig> {
+    (
+        1u8..=18,
+        3u8..=20,
+        prop::collection::btree_set(3u8..=20, 0..6),
+        1u8..=16,
+        any::<bool>(),
+    )
+        .prop_map(|(number, primary, secondaries, slots, term)| {
+            let mut c = ClusterConfig::new(number, primary, slots)
+                .with_secondaries(secondaries.into_iter().filter(|&pe| pe != primary));
+            if term {
+                c = c.with_terminal();
+            }
+            c
+        })
+}
+
+proptest! {
+    /// Well-formed random configurations validate, and the
+    /// multiprogramming bound equals the paper's sum-of-slots rule.
+    #[test]
+    fn generated_configs_validate(mut clusters in prop::collection::vec(cluster_strategy(), 1..6)) {
+        // Make numbers and primaries unique (the generator may collide).
+        let mut seen_nums = std::collections::BTreeSet::new();
+        let mut seen_pes = std::collections::BTreeSet::new();
+        clusters.retain(|c| seen_nums.insert(c.number) && seen_pes.insert(c.primary_pe));
+        prop_assume!(!clusters.is_empty());
+        let config = MachineConfig::new(clusters.clone());
+        config.validate().unwrap();
+        for pe in 3u8..=20 {
+            let expected: usize = clusters
+                .iter()
+                .map(|c| {
+                    let mut n = 0;
+                    if c.primary_pe == pe { n += c.slots as usize; }
+                    if c.secondary_pes.contains(&pe) { n += c.slots as usize; }
+                    n
+                })
+                .sum();
+            prop_assert_eq!(config.max_multiprogramming(pe), expected);
+        }
+    }
+
+    /// Any configuration that validates can actually be booted, and boot
+    /// leaves shared memory consistent after shutdown.
+    #[test]
+    fn validated_configs_boot(mut clusters in prop::collection::vec(cluster_strategy(), 1..4)) {
+        let mut seen_nums = std::collections::BTreeSet::new();
+        let mut seen_pes = std::collections::BTreeSet::new();
+        clusters.retain(|c| seen_nums.insert(c.number) && seen_pes.insert(c.primary_pe));
+        prop_assume!(!clusters.is_empty());
+        let flex = pisces::flex32::Flex32::new_shared();
+        let p = Pisces::boot(flex, MachineConfig::new(clusters)).unwrap();
+        let report = p.storage_report();
+        // System tables exist but stay tiny (Section 13).
+        prop_assert!(report.shm.tag_bytes(pisces::flex32::shmem::ShmTag::SystemTable) > 0);
+        prop_assert!(report.system_table_fraction() < 0.01);
+        p.shutdown();
+        prop_assert_eq!(p.flex().shmem.report().in_use, 0);
+        p.flex().shmem.check_invariants().unwrap();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Force loop disciplines
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary bounds/steps and force sizes, PRESCHED and SELFSCHED
+    /// both execute exactly the sequential iteration set, once each.
+    #[test]
+    fn loop_disciplines_cover_iteration_space(
+        lo in -20i64..20,
+        span in 0i64..40,
+        step in prop_oneof![1i64..=5, (-5i64..=-1)],
+        secondaries in 0u8..6,
+    ) {
+        let hi = if step > 0 { lo + span } else { lo - span };
+        // The sequential reference set.
+        let mut expect = Vec::new();
+        let mut v = lo;
+        while (step > 0 && v <= hi) || (step < 0 && v >= hi) {
+            expect.push(v);
+            v += step;
+        }
+        let cluster = if secondaries == 0 {
+            ClusterConfig::new(1, 3, 2)
+        } else {
+            ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
+        };
+        let flex = pisces::flex32::Flex32::new_shared();
+        let p = Pisces::boot(flex, MachineConfig::new(vec![cluster])).unwrap();
+        let seen_pre = std::sync::Arc::new(parking_lot_mutex_vec());
+        let seen_self = std::sync::Arc::new(parking_lot_mutex_vec());
+        let (sp, ss) = (seen_pre.clone(), seen_self.clone());
+        p.register("loops", move |ctx: &TaskCtx| {
+            ctx.forcesplit(|f| {
+                f.presched_step(lo, hi, step, |i| {
+                    sp.lock().unwrap().push(i);
+                    Ok(())
+                })?;
+                f.barrier()?;
+                f.selfsched_step(lo, hi, step, |i| {
+                    ss.lock().unwrap().push(i);
+                    Ok(())
+                })?;
+                Ok(())
+            })
+        });
+        p.initiate_top_level(1, "loops", vec![]).unwrap();
+        prop_assert!(p.wait_quiescent(std::time::Duration::from_secs(30)));
+        p.shutdown();
+        let mut pre = seen_pre.lock().unwrap().clone();
+        let mut slf = seen_self.lock().unwrap().clone();
+        pre.sort_unstable();
+        slf.sort_unstable();
+        let mut sorted_expect = expect.clone();
+        sorted_expect.sort_unstable();
+        prop_assert_eq!(pre, sorted_expect.clone());
+        prop_assert_eq!(slf, sorted_expect);
+    }
+}
+
+fn parking_lot_mutex_vec() -> std::sync::Mutex<Vec<i64>> {
+    std::sync::Mutex::new(Vec::new())
+}

@@ -1,0 +1,105 @@
+//! The shipped sample programs in `programs/` must parse, preprocess,
+//! and run correctly through the `pisces` CLI — they are the repo's
+//! user-facing face of Pisces Fortran.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn program(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("programs")
+        .join(name)
+}
+
+fn run(name: &str, extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_pisces"))
+        .arg(program(name))
+        .args(extra)
+        .output()
+        .expect("run pisces");
+    assert!(
+        out.status.success(),
+        "{name} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn pi_program_converges() {
+    let stdout = run("pi.pf", &["--clusters", "1", "--secondaries", "4-9"]);
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("PI("))
+        .unwrap_or_else(|| panic!("no PI line in {stdout}"));
+    let val: f64 = line
+        .split("PI(")
+        .nth(1)
+        .unwrap()
+        .trim_end_matches(')')
+        .parse()
+        .unwrap();
+    assert!((val - std::f64::consts::PI).abs() < 1e-7, "{val}");
+}
+
+#[test]
+fn ring_program_completes_laps() {
+    let stdout = run("ring.pf", &["--clusters", "4", "--timeout", "60"]);
+    assert!(
+        stdout.contains("LAPSDONE("),
+        "the token finished its laps: {stdout}"
+    );
+}
+
+#[test]
+fn primes_program_counts_correctly() {
+    let stdout = run("primes.pf", &["--clusters", "1", "--secondaries", "4-7"]);
+    // π(2000) = 303.
+    assert!(
+        stdout.contains("PRIMES(303)"),
+        "prime count below 2000 is 303: {stdout}"
+    );
+}
+
+#[test]
+fn all_sample_programs_preprocess() {
+    for entry in std::fs::read_dir(program("..").join("programs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pf") {
+            let out = Command::new(env!("CARGO_BIN_EXE_pisces"))
+                .arg(&path)
+                .arg("--preprocess")
+                .output()
+                .expect("preprocess");
+            assert!(
+                out.status.success(),
+                "{} does not preprocess: {}",
+                path.display(),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let f77 = String::from_utf8_lossy(&out.stdout);
+            assert!(f77.contains("TRANSLATED BY THE PISCES 2 PREPROCESSOR"));
+        }
+    }
+}
+
+#[test]
+fn heat_program_diffuses() {
+    let stdout = run("heat.pf", &["--clusters", "4", "--timeout", "120"]);
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("PROFILE("))
+        .unwrap_or_else(|| panic!("no PROFILE line in {stdout}"));
+    let nums: Vec<f64> = line
+        .split("PROFILE(")
+        .nth(1)
+        .unwrap()
+        .trim_end_matches(')')
+        .split(", ")
+        .map(|v| v.parse().unwrap())
+        .collect();
+    // Monotone decay away from the hot end, bounded by the boundary.
+    assert!(nums[0] > nums[1] && nums[1] >= nums[2], "{nums:?}");
+    assert!(nums[0] > 50.0 && nums[0] < 100.0, "{nums:?}");
+}
