@@ -2,7 +2,8 @@
 //!
 //! Wall-clock costs of the messaging primitives on a live machine:
 //! send→accept round trips vs payload size, signal vs handler
-//! processing, queue depth effects, and broadcast fan-out.
+//! processing, queue depth effects, tracer overhead (off vs all eight
+//! event kinds), and broadcast fan-out.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pisces_bench::boot;
@@ -118,6 +119,36 @@ fn bench_queue_depth(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_traced_roundtrip(c: &mut Criterion) {
+    // Tracer overhead on the hot send/accept path: tracing off vs all
+    // eight event kinds on. With tracing on, every send and accept lands
+    // in the emitting PE's own bounded ring, so this measures the sharded
+    // tracer's end-to-end cost against the untraced baseline.
+    let mut g = c.benchmark_group("messaging/self_roundtrip_traced");
+    g.throughput(Throughput::Elements(1));
+    for mode in ["off", "all"] {
+        let mut config = MachineConfig::simple(1, 4);
+        if mode == "all" {
+            config.trace = TraceSettings::all();
+        }
+        let p = boot(config);
+        g.bench_function(mode, |b| {
+            b.iter_custom(|iters| {
+                with_task(&p, iters, move |ctx, iters| {
+                    let t0 = std::time::Instant::now();
+                    for i in 0..iters {
+                        ctx.send(To::Myself, "M", args![i as i64])?;
+                        ctx.accept().of(1).signal("M").run()?;
+                    }
+                    Ok(t0.elapsed())
+                })
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
 fn bench_broadcast(c: &mut Criterion) {
     let mut g = c.benchmark_group("messaging/broadcast_fanout");
     g.sample_size(10);
@@ -185,6 +216,7 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
-    targets = bench_roundtrip_payload, bench_signal_vs_handler, bench_queue_depth, bench_broadcast
+    targets = bench_roundtrip_payload, bench_signal_vs_handler, bench_queue_depth,
+        bench_traced_roundtrip, bench_broadcast
 }
 criterion_main!(benches);

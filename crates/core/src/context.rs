@@ -511,6 +511,13 @@ impl<'a> AcceptBuilder<'a> {
                 });
                 let Some(stored) = stored else { break };
 
+                // Depth seen by this accept: the message just removed plus
+                // whatever is still waiting behind it.
+                ctx.p
+                    .metrics
+                    .accept_queue_depth
+                    .record(entry.inq.len() as u64 + 1);
+
                 let words = stored.handle.words() as u64;
                 let sender = stored.sender;
                 let mtype = stored.mtype.clone();
@@ -529,11 +536,18 @@ impl<'a> AcceptBuilder<'a> {
                 processed_total += 1;
 
                 RunStats::bump(&ctx.p.stats.messages_accepted);
+                let now = ctx.p.flex.pe(entry.pe).clock.now();
+                // Same-PE latency is exact; cross-PE compares two
+                // unsynchronized clocks and saturates at 0 when they skew.
+                ctx.p
+                    .metrics
+                    .msg_latency
+                    .record(now.saturating_sub(stored.sent_ticks));
                 ctx.p.tracer.emit(
                     TraceEventKind::MsgAccept,
                     entry.id,
                     entry.pe.number(),
-                    ctx.p.flex.pe(entry.pe).clock.now(),
+                    now,
                     format!("{mtype} <- {sender}"),
                 );
 

@@ -218,7 +218,13 @@ impl<'a> ForceCtx<'a> {
             self.ctx.p.flex.pe(self.pe).clock.now(),
             format!("member {}/{}", self.member, self.size),
         );
+        let waited = std::time::Instant::now();
         self.shared.arrive.wait(&self.shared.abort)?;
+        self.ctx
+            .p
+            .metrics
+            .barrier_wait
+            .record(waited.elapsed().as_micros() as u64);
         let mut leader_result = Ok(());
         if self.is_primary() {
             leader_result = body();
@@ -274,8 +280,14 @@ impl<'a> ForceCtx<'a> {
             );
         };
         trace_lock(TraceEventKind::Lock, 0);
+        let held = lock.hold();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
-        lock.unlock()?;
+        let held_for = held.release()?;
+        self.ctx
+            .p
+            .metrics
+            .lock_hold
+            .record(held_for.as_micros() as u64);
         trace_lock(TraceEventKind::Unlock, cost::UNLOCK);
         match result {
             Ok(r) => r,

@@ -48,6 +48,7 @@ pub mod error;
 pub mod force;
 pub mod machine;
 pub mod message;
+pub mod metrics;
 pub mod shared;
 pub mod stats;
 pub mod task;
@@ -65,10 +66,12 @@ pub mod prelude {
     pub use crate::force::ForceCtx;
     pub use crate::machine::Pisces;
     pub use crate::message::Message;
+    pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, TickHistogram};
     pub use crate::shared::{LockVar, SharedBlock};
+    pub use crate::stats::{RunStats, StatsSnapshot};
     pub use crate::task::{FILE_CTRL_ID, USER_ID};
     pub use crate::taskid::TaskId;
-    pub use crate::trace::{TraceEventKind, TraceSettings};
+    pub use crate::trace::{TraceEventKind, TraceRecord, TraceSettings, Tracer};
     pub use crate::value::Value;
     pub use crate::window::{ArrayId, Window};
 }

@@ -21,6 +21,7 @@ use crate::controller;
 use crate::cost;
 use crate::error::{PiscesError, Result};
 use crate::message::PushOutcome;
+use crate::metrics::MetricsRegistry;
 use crate::stats::RunStats;
 use crate::task::{
     TaskEntry, TaskRunState, FILE_CTRL_ID, FIRST_USER_SLOT, TASK_CONTROLLER_SLOT,
@@ -196,6 +197,7 @@ pub struct Pisces {
     pub(crate) config: MachineConfig,
     pub(crate) tracer: Tracer,
     pub(crate) stats: RunStats,
+    pub(crate) metrics: MetricsRegistry,
     tasktypes: RwLock<HashMap<String, TaskBody>>,
     pub(crate) state: Mutex<MachineState>,
     pub(crate) state_changed: Condvar,
@@ -271,11 +273,18 @@ impl Pisces {
         }
 
         let tracer = Tracer::new(&config.trace);
+        if let Some(path) = &config.trace.file {
+            let sink = crate::trace::FileSink::create(path).map_err(|e| {
+                PiscesError::BadConfiguration(format!("cannot open trace file {path}: {e}"))
+            })?;
+            tracer.add_sink(Arc::new(sink));
+        }
         let p = Arc::new(Self {
             flex,
             config,
             tracer,
             stats: RunStats::default(),
+            metrics: MetricsRegistry::default(),
             tasktypes: RwLock::new(HashMap::new()),
             state: Mutex::new(MachineState {
                 clusters,
@@ -339,6 +348,11 @@ impl Pisces {
     /// Run statistics.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Latency and queue-depth histograms.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Whether the machine has been shut down.
@@ -440,15 +454,22 @@ impl Pisces {
         );
         RunStats::bump(&self.stats.messages_sent);
         RunStats::add(&self.stats.message_words, words.len() as u64);
+        let sent_ticks = self.flex.pe(from_pe).clock.now();
         self.tracer.emit(
             TraceEventKind::MsgSend,
             from,
             from_pe.number(),
-            self.flex.pe(from_pe).clock.now(),
+            sent_ticks,
             format!("{mtype} -> {to}"),
         );
 
-        match entry.inq.push(mtype.to_string(), from, handle) {
+        match entry.inq.push(
+            mtype.to_string(),
+            from,
+            handle,
+            from_pe.number(),
+            sent_ticks,
+        ) {
             PushOutcome::Delivered => Ok(()),
             PushOutcome::Closed(msg) => {
                 self.flex.shmem.free(msg.handle)?;
@@ -900,6 +921,9 @@ impl Pisces {
         for h in tables {
             let _ = self.flex.shmem.free(h);
         }
+        // Push buffered trace output (e.g. a JSONL file sink) to disk so
+        // off-line analysis sees the complete run.
+        self.tracer.flush();
     }
 
     // ------------------------------------------------------------------

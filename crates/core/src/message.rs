@@ -46,6 +46,12 @@ pub struct StoredMessage {
     pub handle: ShmHandle,
     /// Arrival sequence within the receiving queue.
     pub arrival: u64,
+    /// PE whose clock stamped `sent_ticks`.
+    pub sent_pe: u8,
+    /// Sender's clock reading when the message was sent. The accept side
+    /// subtracts this from its own clock to sample send→accept latency;
+    /// PE clocks are unsynchronized, so cross-PE samples are approximate.
+    pub sent_ticks: u64,
 }
 
 #[derive(Debug, Default)]
@@ -80,13 +86,24 @@ impl InQueue {
     }
 
     /// Enqueue a message (assigning its arrival number) and wake waiters.
-    pub fn push(&self, mtype: String, sender: TaskId, handle: ShmHandle) -> PushOutcome {
+    /// `sent_pe`/`sent_ticks` carry the sender's clock reading for
+    /// latency measurement on the accept side.
+    pub fn push(
+        &self,
+        mtype: String,
+        sender: TaskId,
+        handle: ShmHandle,
+        sent_pe: u8,
+        sent_ticks: u64,
+    ) -> PushOutcome {
         let mut st = self.state.lock();
         let msg = StoredMessage {
             mtype,
             sender,
             handle,
             arrival: st.next_arrival,
+            sent_pe,
+            sent_ticks,
         };
         if st.closed {
             return PushOutcome::Closed(msg);
@@ -204,13 +221,17 @@ mod tests {
         m.alloc(16, ShmTag::Message).unwrap()
     }
 
+    fn push(q: &InQueue, mtype: &str, sender: TaskId, handle: ShmHandle) -> PushOutcome {
+        q.push(mtype.into(), sender, handle, 3, 0)
+    }
+
     #[test]
     fn push_take_in_arrival_order() {
         let m = shm();
         let q = InQueue::new();
-        q.push("A".into(), tid(1), handle(&m));
-        q.push("B".into(), tid(2), handle(&m));
-        q.push("A".into(), tid(3), handle(&m));
+        push(&q, "A", tid(1), handle(&m));
+        push(&q, "B", tid(2), handle(&m));
+        push(&q, "A", tid(3), handle(&m));
         let first_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
         assert_eq!(first_a.sender, tid(1));
         let next_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
@@ -223,8 +244,8 @@ mod tests {
     fn arrival_numbers_increase() {
         let m = shm();
         let q = InQueue::new();
-        q.push("A".into(), tid(1), handle(&m));
-        q.push("A".into(), tid(1), handle(&m));
+        push(&q, "A", tid(1), handle(&m));
+        push(&q, "A", tid(1), handle(&m));
         let a = q.take_first_matching(|_| true).unwrap();
         let b = q.take_first_matching(|_| true).unwrap();
         assert!(a.arrival < b.arrival);
@@ -235,7 +256,7 @@ mod tests {
         let m = shm();
         let q = InQueue::new();
         q.close_and_drain();
-        match q.push("A".into(), tid(1), handle(&m)) {
+        match push(&q, "A", tid(1), handle(&m)) {
             PushOutcome::Closed(msg) => assert_eq!(msg.mtype, "A"),
             PushOutcome::Delivered => panic!("delivered to closed queue"),
         }
@@ -245,8 +266,8 @@ mod tests {
     fn close_drains_pending() {
         let m = shm();
         let q = InQueue::new();
-        q.push("A".into(), tid(1), handle(&m));
-        q.push("B".into(), tid(1), handle(&m));
+        push(&q, "A", tid(1), handle(&m));
+        push(&q, "B", tid(1), handle(&m));
         let drained = q.close_and_drain();
         assert_eq!(drained.len(), 2);
         assert!(q.is_empty());
@@ -256,9 +277,9 @@ mod tests {
     fn delete_type_removes_only_that_type() {
         let m = shm();
         let q = InQueue::new();
-        q.push("A".into(), tid(1), handle(&m));
-        q.push("B".into(), tid(1), handle(&m));
-        q.push("A".into(), tid(1), handle(&m));
+        push(&q, "A", tid(1), handle(&m));
+        push(&q, "B", tid(1), handle(&m));
+        push(&q, "A", tid(1), handle(&m));
         let removed = q.delete_type("A");
         assert_eq!(removed.len(), 2);
         assert_eq!(q.len(), 1);
@@ -280,7 +301,13 @@ mod tests {
         let m2 = m.clone();
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            q2.push("A".into(), tid(1), m2.alloc(8, ShmTag::Message).unwrap());
+            q2.push(
+                "A".into(),
+                tid(1),
+                m2.alloc(8, ShmTag::Message).unwrap(),
+                3,
+                0,
+            );
         });
         // Generous deadline: the wake must come from the push.
         let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
@@ -307,7 +334,13 @@ mod tests {
     fn snapshot_reports_bytes() {
         let m = shm();
         let q = InQueue::new();
-        q.push("A".into(), tid(9), m.alloc(24, ShmTag::Message).unwrap());
+        q.push(
+            "A".into(),
+            tid(9),
+            m.alloc(24, ShmTag::Message).unwrap(),
+            3,
+            0,
+        );
         let snap = q.snapshot();
         assert_eq!(snap, vec![("A".to_string(), tid(9), 24)]);
     }

@@ -1,0 +1,349 @@
+//! Latency and queue-depth histograms.
+//!
+//! [`RunStats`](crate::stats::RunStats) counts *how many* operations
+//! happened; this module records *how long they took* (or how deep the
+//! queue was). Each [`TickHistogram`] is a fixed set of power-of-two
+//! buckets updated with two relaxed atomic adds per sample, cheap enough
+//! to leave on at all times — the off-line analyses of Section 12 then
+//! read percentiles out of the bucket counts.
+//!
+//! The machine keeps one [`MetricsRegistry`] with four histograms:
+//! message send→accept latency, barrier wait time, lock hold time, and
+//! ACCEPT queue depth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets per histogram. Bucket 0 holds the value 0; bucket
+/// `i` (1 ≤ i < 27) holds `[2^(i-1), 2^i)`; the last bucket is open-ended.
+/// 28 buckets therefore cover exact values up to `2^26` (≈67M ticks)
+/// before saturating, plenty for per-event latencies.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// Bucket index for a sample value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value that lands in bucket `i` (`u64::MAX` for the open-ended
+/// last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Lock-free fixed-bucket histogram of `u64` samples.
+#[derive(Debug)]
+pub struct TickHistogram {
+    name: &'static str,
+    unit: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl TickHistogram {
+    /// An empty histogram. `unit` labels the sample dimension in reports
+    /// ("ticks", "µs", "messages").
+    pub fn new(name: &'static str, unit: &'static str) -> Self {
+        Self {
+            name,
+            unit,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sample unit.
+    pub fn unit(&self) -> &'static str {
+        self.unit
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the current state for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name,
+            unit: self.unit,
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`TickHistogram`], also buildable off-line from a
+/// trace file (see `pisces-exec`'s report module).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Sample unit.
+    pub unit: &'static str,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot, for accumulating samples off-line.
+    pub fn empty(name: &'static str, unit: &'static str) -> Self {
+        Self {
+            name,
+            unit,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Accumulate one sample (off-line use; the live path is
+    /// [`TickHistogram::record`]).
+    pub fn add(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (0.0–100.0): the upper bound of the first
+    /// bucket at which the cumulative count reaches `p`% of samples,
+    /// clamped to the observed maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: n={} mean={:.1} p50={} p90={} p99={} max={} ({})",
+            self.name,
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.max,
+            self.unit
+        )?;
+        if self.count == 0 {
+            return Ok(());
+        }
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            let hi = bucket_upper_bound(i);
+            if hi == u64::MAX {
+                writeln!(
+                    f,
+                    "  {:>10}+          {:>8} {}",
+                    bucket_lower_bound(i),
+                    n,
+                    bar
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  {:>10}..={:<10} {:>8} {}",
+                    bucket_lower_bound(i),
+                    hi,
+                    n,
+                    bar
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The machine's histogram set, recorded at the runtime's existing
+/// trace-emit sites.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Message send→accept latency, in ticks of the accepting PE's clock.
+    /// Cross-PE sends compare two *unsynchronized* clocks (the FLEX/32
+    /// has no global clock), so individual samples are approximate; the
+    /// distribution shape is still meaningful.
+    pub msg_latency: TickHistogram,
+    /// Wall-clock time a member spent waiting at a barrier, µs.
+    pub barrier_wait: TickHistogram,
+    /// Wall-clock time a critical section held its lock, µs.
+    pub lock_hold: TickHistogram,
+    /// Input-queue depth observed by each successful ACCEPT.
+    pub accept_queue_depth: TickHistogram,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            msg_latency: TickHistogram::new("msg_latency", "ticks"),
+            barrier_wait: TickHistogram::new("barrier_wait", "µs"),
+            lock_hold: TickHistogram::new("lock_hold", "µs"),
+            accept_queue_depth: TickHistogram::new("accept_queue_depth", "messages"),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Render every histogram that has samples (all four headers appear
+    /// even when empty, so reports are self-describing).
+    pub fn report(&self) -> String {
+        let mut out = String::from("histograms:\n");
+        for h in [
+            &self.msg_latency,
+            &self.barrier_wait,
+            &self.lock_hold,
+            &self.accept_queue_depth,
+        ] {
+            out.push_str(&h.snapshot().to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_bracket_their_bucket() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i);
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn record_and_percentiles() {
+        let h = TickHistogram::new("t", "ticks");
+        for v in [0u64, 1, 1, 2, 4, 8, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max, 1000);
+        assert!(s.percentile(50.0) <= s.percentile(90.0));
+        assert!(s.percentile(90.0) <= s.percentile(99.0));
+        assert!(s.percentile(99.0) <= s.max);
+        assert_eq!(s.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let s = TickHistogram::new("t", "µs").snapshot();
+        assert_eq!(s.percentile(99.0), 0);
+        assert_eq!(s.mean(), 0.0);
+        let txt = s.to_string();
+        assert!(txt.contains("n=0"));
+    }
+
+    #[test]
+    fn display_has_percentiles_and_bars() {
+        let h = TickHistogram::new("latency", "ticks");
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let txt = h.snapshot().to_string();
+        assert!(txt.contains("latency:"));
+        assert!(txt.contains("p99="));
+        assert!(txt.contains('#'));
+    }
+
+    #[test]
+    fn registry_report_names_all_four() {
+        let m = MetricsRegistry::default();
+        m.msg_latency.record(5);
+        let r = m.report();
+        for name in [
+            "msg_latency",
+            "barrier_wait",
+            "lock_hold",
+            "accept_queue_depth",
+        ] {
+            assert!(r.contains(name), "{name} missing from report");
+        }
+    }
+}

@@ -183,6 +183,39 @@ impl LockVar {
     pub fn is_locked(&self) -> Result<bool> {
         Ok(self.flex.shmem.load(self.handle, 0)? == LOCKED)
     }
+
+    /// Start timing a hold of this (already locked) lock. The returned
+    /// guard measures wall-clock hold time for the lock-hold histogram;
+    /// the caller still controls unlocking via [`HeldLock::release`].
+    pub fn hold(&self) -> HeldLock<'_> {
+        HeldLock {
+            lock: self,
+            since: std::time::Instant::now(),
+        }
+    }
+}
+
+/// Timer over a held [`LockVar`]: created by [`LockVar::hold`] after the
+/// lock is taken, consumed by [`HeldLock::release`], which unlocks and
+/// reports how long the lock was held.
+#[derive(Debug)]
+pub struct HeldLock<'a> {
+    lock: &'a LockVar,
+    since: std::time::Instant,
+}
+
+impl HeldLock<'_> {
+    /// Time held so far.
+    pub fn held_for(&self) -> std::time::Duration {
+        self.since.elapsed()
+    }
+
+    /// Unlock and return the total hold duration.
+    pub fn release(self) -> Result<std::time::Duration> {
+        let held = self.since.elapsed();
+        self.lock.unlock()?;
+        Ok(held)
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +305,19 @@ mod tests {
         assert!(l.is_locked().unwrap());
         assert!(!l.try_lock().unwrap(), "second lock attempt fails");
         l.unlock().unwrap();
+        assert!(!l.is_locked().unwrap());
+    }
+
+    #[test]
+    fn held_lock_times_and_unlocks() {
+        let f = flex();
+        let l = lockvar(&f);
+        assert!(l.try_lock().unwrap());
+        let held = l.hold();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(held.held_for() >= std::time::Duration::from_millis(5));
+        let total = held.release().unwrap();
+        assert!(total >= std::time::Duration::from_millis(5));
         assert!(!l.is_locked().unwrap());
     }
 

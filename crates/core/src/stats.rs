@@ -69,6 +69,75 @@ pub struct StatsSnapshot {
     pub window_words: u64,
 }
 
+impl StatsSnapshot {
+    /// Counter names and values, in declaration order. One list drives
+    /// `diff` and `Display` so a new counter cannot be missed in one of
+    /// them.
+    pub fn fields(&self) -> [(&'static str, u64); 17] {
+        [
+            ("messages sent", self.messages_sent),
+            ("broadcast deliveries", self.broadcast_deliveries),
+            ("message words", self.message_words),
+            ("messages accepted", self.messages_accepted),
+            ("signals", self.signals),
+            ("handlers", self.handlers),
+            ("accept timeouts", self.accept_timeouts),
+            ("messages deleted", self.messages_deleted),
+            ("tasks initiated", self.tasks_initiated),
+            ("tasks completed", self.tasks_completed),
+            ("initiates queued", self.initiates_queued),
+            ("forcesplits", self.forcesplits),
+            ("barrier entries", self.barrier_entries),
+            ("criticals", self.criticals),
+            ("window reads", self.window_reads),
+            ("window writes", self.window_writes),
+            ("window words", self.window_words),
+        ]
+    }
+
+    /// Counter deltas since an earlier snapshot — what happened *during*
+    /// an interval, for the execution menu and benches. Saturating, so a
+    /// snapshot pair taken across a tracer/stats reset cannot wrap.
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            broadcast_deliveries: self
+                .broadcast_deliveries
+                .saturating_sub(earlier.broadcast_deliveries),
+            message_words: self.message_words.saturating_sub(earlier.message_words),
+            messages_accepted: self
+                .messages_accepted
+                .saturating_sub(earlier.messages_accepted),
+            signals: self.signals.saturating_sub(earlier.signals),
+            handlers: self.handlers.saturating_sub(earlier.handlers),
+            accept_timeouts: self.accept_timeouts.saturating_sub(earlier.accept_timeouts),
+            messages_deleted: self
+                .messages_deleted
+                .saturating_sub(earlier.messages_deleted),
+            tasks_initiated: self.tasks_initiated.saturating_sub(earlier.tasks_initiated),
+            tasks_completed: self.tasks_completed.saturating_sub(earlier.tasks_completed),
+            initiates_queued: self
+                .initiates_queued
+                .saturating_sub(earlier.initiates_queued),
+            forcesplits: self.forcesplits.saturating_sub(earlier.forcesplits),
+            barrier_entries: self.barrier_entries.saturating_sub(earlier.barrier_entries),
+            criticals: self.criticals.saturating_sub(earlier.criticals),
+            window_reads: self.window_reads.saturating_sub(earlier.window_reads),
+            window_writes: self.window_writes.saturating_sub(earlier.window_writes),
+            window_words: self.window_words.saturating_sub(earlier.window_words),
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, v) in self.fields() {
+            writeln!(f, "  {name:<22} {v:>10}")?;
+        }
+        Ok(())
+    }
+}
+
 impl RunStats {
     /// Bump a counter by one.
     pub fn bump(counter: &AtomicU64) {
@@ -129,5 +198,39 @@ mod tests {
         let b = s.snapshot();
         assert_ne!(a, b);
         assert_eq!(b.signals - a.signals, 1);
+    }
+
+    #[test]
+    fn diff_is_per_interval_and_saturating() {
+        let s = RunStats::default();
+        RunStats::add(&s.messages_sent, 5);
+        let a = s.snapshot();
+        RunStats::add(&s.messages_sent, 3);
+        RunStats::bump(&s.barrier_entries);
+        let b = s.snapshot();
+        let d = b.diff(&a);
+        assert_eq!(d.messages_sent, 3);
+        assert_eq!(d.barrier_entries, 1);
+        assert_eq!(d.signals, 0);
+        // Reversed operands saturate to zero rather than wrapping.
+        assert_eq!(a.diff(&b).messages_sent, 0);
+    }
+
+    #[test]
+    fn display_lists_every_counter_once() {
+        let s = RunStats::default();
+        RunStats::add(&s.window_words, 42);
+        let text = s.snapshot().to_string();
+        assert_eq!(text.lines().count(), 17);
+        assert!(text.contains("window words"));
+        assert!(text.contains("42"));
+    }
+
+    #[test]
+    fn fields_cover_struct() {
+        // fields() drives diff/Display; a counter missing here would make
+        // this length check fail when someone extends the struct.
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.fields().len(), 17);
     }
 }

@@ -12,12 +12,32 @@
 //! turned on and off for each type of event and each task; output may go to
 //! the screen (monitor execution visually) or to a file (off-line timing
 //! analysis — see the `pisces-exec` crate).
+//!
+//! ## Architecture
+//!
+//! The emit path is built for always-on tracing under heavy traffic:
+//!
+//! * **Per-PE sharded ring buffers.** Each PE's events land in that PE's
+//!   own bounded ring ([`MemorySink`]), so concurrently emitting PEs never
+//!   contend on one global lock. A global atomic `seq` still stamps every
+//!   record, so the shards merge back into a total order on read. Rings
+//!   are bounded ([`TraceSettings::ring_capacity`] records per PE); when a
+//!   ring is full the oldest record is evicted and a dropped-records
+//!   counter is bumped — memory cannot grow without bound.
+//! * **Pluggable sinks.** A [`TraceSink`] receives every record as it is
+//!   emitted. [`FileSink`] streams JSONL to disk so long runs need not
+//!   accumulate records in RAM; [`ScreenSink`] mirrors records to the
+//!   terminal from a dedicated thread behind a bounded queue, so a slow
+//!   terminal can never stall an emitting PE (excess screen lines are
+//!   dropped and counted, never waited for).
 
 use crate::taskid::TaskId;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The eight traceable event types of Section 12.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -67,8 +87,20 @@ impl TraceEventKind {
         }
     }
 
+    /// Position in [`Self::ALL`]. A direct match: this sits on the emit
+    /// hot path of all eight event kinds.
+    #[inline]
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).unwrap()
+        match self {
+            TraceEventKind::TaskInit => 0,
+            TraceEventKind::TaskTerm => 1,
+            TraceEventKind::MsgSend => 2,
+            TraceEventKind::MsgAccept => 3,
+            TraceEventKind::Lock => 4,
+            TraceEventKind::Unlock => 5,
+            TraceEventKind::Barrier => 6,
+            TraceEventKind::ForceSplit => 7,
+        }
     }
 }
 
@@ -105,14 +137,43 @@ impl std::fmt::Display for TraceRecord {
     }
 }
 
+/// Default per-PE ring capacity (records) when the configuration does not
+/// specify one.
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+fn default_ring_capacity() -> usize {
+    DEFAULT_RING_CAPACITY
+}
+
 /// Trace settings carried in a configuration: which event kinds start
-/// enabled for the run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// enabled for the run, where records go, and how much memory the
+/// in-memory rings may hold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceSettings {
     /// Event kinds enabled machine-wide at boot.
+    #[serde(default)]
     pub enabled: Vec<TraceEventKind>,
     /// Mirror trace lines to the screen as they are emitted.
+    #[serde(default)]
     pub to_screen: bool,
+    /// Bounded capacity (records) of each PE's in-memory ring buffer.
+    #[serde(default = "default_ring_capacity")]
+    pub ring_capacity: usize,
+    /// Stream records as JSONL to this file ("sending trace output to a
+    /// file allows the user to study trace information … off-line").
+    #[serde(default)]
+    pub file: Option<String>,
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        Self {
+            enabled: Vec::new(),
+            to_screen: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            file: None,
+        }
+    }
 }
 
 impl TraceSettings {
@@ -120,35 +181,282 @@ impl TraceSettings {
     pub fn all() -> Self {
         Self {
             enabled: TraceEventKind::ALL.to_vec(),
-            to_screen: false,
+            ..Self::default()
         }
     }
 }
 
-/// The machine's tracer: per-kind global switches, per-task overrides, and
-/// an in-memory record buffer.
+// ----------------------------------------------------------------------
+// Sinks
+// ----------------------------------------------------------------------
+
+/// Destination for emitted trace records.
+///
+/// `record` is called on the emitting PE's thread and must never block on
+/// a slow consumer: a sink that cannot keep up drops records and counts
+/// them instead of stalling the machine.
+pub trait TraceSink: Send + Sync {
+    /// Short name for displays ("memory", "file", "screen", …).
+    fn name(&self) -> &'static str;
+    /// Consume one record.
+    fn record(&self, rec: &TraceRecord);
+    /// Flush anything buffered (end of run, before off-line analysis).
+    fn flush(&self) {}
+    /// Records this sink has dropped (ring eviction, full queue, I/O
+    /// errors).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    ring: Mutex<VecDeque<TraceRecord>>,
+    dropped: AtomicU64,
+}
+
+/// In-memory sink: one bounded ring buffer per PE, merged by `seq` on
+/// read. This is the tracer's default store and what [`Tracer::records`]
+/// reads back.
 #[derive(Debug)]
+pub struct MemorySink {
+    shards: Vec<Shard>,
+    capacity: usize,
+}
+
+impl MemorySink {
+    /// A sink with one ring of `capacity` records per PE.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            // PEs are numbered 1..=NUM_PES; index directly by PE number
+            // (slot 0 catches out-of-range numbers from synthetic tests).
+            shards: (0..=flex32::NUM_PES).map(|_| Shard::default()).collect(),
+            capacity,
+        }
+    }
+
+    fn shard(&self, pe: u8) -> &Shard {
+        &self.shards[pe as usize % self.shards.len()]
+    }
+
+    /// Ring capacity per PE.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All retained records, merged across shards in `seq` order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.ring.lock().iter().cloned());
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.ring.lock().len()).sum()
+    }
+
+    /// True if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard all retained records (drop counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.ring.lock().clear();
+        }
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn record(&self, rec: &TraceRecord) {
+        let shard = self.shard(rec.pe);
+        let mut ring = shard.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            shard.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(rec.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Streaming JSONL file sink: one record per line, buffered writes. Long
+/// runs can trace every event to disk without accumulating records in
+/// RAM.
+pub struct FileSink {
+    path: String,
+    w: Mutex<std::io::BufWriter<std::fs::File>>,
+    written: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl FileSink {
+    /// Create (truncating) the trace file.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self {
+            path: path.to_string(),
+            w: Mutex::new(std::io::BufWriter::new(f)),
+            written: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Records successfully serialized and handed to the writer.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for FileSink {
+    fn name(&self) -> &'static str {
+        "file"
+    }
+
+    fn record(&self, rec: &TraceRecord) {
+        let line = match serde_json::to_string(rec) {
+            Ok(l) => l,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let mut w = self.w.lock();
+        if writeln!(w, "{line}").is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.written.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded depth of the screen sink's line queue.
+const SCREEN_QUEUE_DEPTH: usize = 1024;
+
+/// Screen sink: trace lines are formatted on the emitting thread but
+/// printed from a dedicated thread behind a bounded queue, so a slow
+/// terminal cannot stall a PE. When the queue is full the line is dropped
+/// and counted — never waited for.
+pub struct ScreenSink {
+    tx: std::sync::mpsc::SyncSender<String>,
+    dropped: AtomicU64,
+}
+
+impl ScreenSink {
+    /// Start the printer thread and return the sink.
+    pub fn spawn() -> Arc<Self> {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<String>(SCREEN_QUEUE_DEPTH);
+        // The thread exits when every sender is gone (tracer dropped).
+        let _ = std::thread::Builder::new()
+            .name("pisces-trace-screen".into())
+            .spawn(move || {
+                for line in rx {
+                    println!("{line}");
+                }
+            });
+        Arc::new(Self {
+            tx,
+            dropped: AtomicU64::new(0),
+        })
+    }
+}
+
+impl TraceSink for ScreenSink {
+    fn name(&self) -> &'static str {
+        "screen"
+    }
+
+    fn record(&self, rec: &TraceRecord) {
+        if self.tx.try_send(rec.to_string()).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The tracer
+// ----------------------------------------------------------------------
+
+/// The machine's tracer: per-kind global switches, per-task overrides,
+/// per-PE sharded ring buffers, and pluggable sinks.
 pub struct Tracer {
     global: [AtomicBool; 8],
     /// Per-task overrides: `Some(true/false)` wins over the global switch.
     per_task: RwLock<HashMap<TaskId, [Option<bool>; 8]>>,
-    records: Mutex<Vec<TraceRecord>>,
-    seq: AtomicU64,
+    /// Fast path: skip the override map entirely while it is empty (it
+    /// almost always is; `clear_task` runs at every task termination).
+    has_overrides: AtomicBool,
+    memory: MemorySink,
+    sinks: RwLock<Vec<Arc<dyn TraceSink>>>,
+    has_sinks: AtomicBool,
+    screen: Mutex<Option<Arc<ScreenSink>>>,
     to_screen: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("records", &self.memory.len())
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Tracer {
-    /// A tracer initialized from configuration settings.
+    /// A tracer initialized from configuration settings. (A file sink for
+    /// [`TraceSettings::file`] is attached by the machine at boot, where
+    /// the I/O error can be reported.)
     pub fn new(settings: &TraceSettings) -> Self {
         let t = Self {
             global: Default::default(),
             per_task: RwLock::new(HashMap::new()),
-            records: Mutex::new(Vec::new()),
+            has_overrides: AtomicBool::new(false),
+            memory: MemorySink::new(settings.ring_capacity),
+            sinks: RwLock::new(Vec::new()),
+            has_sinks: AtomicBool::new(false),
+            screen: Mutex::new(None),
+            to_screen: AtomicBool::new(false),
             seq: AtomicU64::new(0),
-            to_screen: AtomicBool::new(settings.to_screen),
         };
         for &k in &settings.enabled {
             t.set_global(k, true);
+        }
+        if settings.to_screen {
+            t.set_to_screen(true);
         }
         t
     }
@@ -161,32 +469,58 @@ impl Tracer {
     /// Override an event kind for one task (menu option 9, per task).
     pub fn set_for_task(&self, task: TaskId, kind: TraceEventKind, on: bool) {
         self.per_task.write().entry(task).or_default()[kind.index()] = Some(on);
+        self.has_overrides.store(true, Ordering::Release);
     }
 
     /// Drop all per-task overrides for a task (when its slot is reused).
     pub fn clear_task(&self, task: TaskId) {
-        self.per_task.write().remove(&task);
+        if !self.has_overrides.load(Ordering::Acquire) {
+            return;
+        }
+        let mut map = self.per_task.write();
+        map.remove(&task);
+        if map.is_empty() {
+            self.has_overrides.store(false, Ordering::Release);
+        }
     }
 
-    /// Mirror trace lines to the screen?
+    /// Mirror trace lines to the screen? (The screen printer thread is
+    /// started lazily on first enable.)
     pub fn set_to_screen(&self, on: bool) {
+        if on {
+            let mut screen = self.screen.lock();
+            if screen.is_none() {
+                *screen = Some(ScreenSink::spawn());
+            }
+        }
         self.to_screen.store(on, Ordering::Relaxed);
+    }
+
+    /// Attach an additional sink (file, collector, test probe, …).
+    pub fn add_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.sinks.write().push(sink);
+        self.has_sinks.store(true, Ordering::Release);
     }
 
     /// Whether an event of this kind by this task would be recorded.
     pub fn is_enabled(&self, kind: TraceEventKind, task: TaskId) -> bool {
-        if let Some(over) = self
-            .per_task
-            .read()
-            .get(&task)
-            .and_then(|o| o[kind.index()])
-        {
-            return over;
+        if self.has_overrides.load(Ordering::Acquire) {
+            if let Some(over) = self
+                .per_task
+                .read()
+                .get(&task)
+                .and_then(|o| o[kind.index()])
+            {
+                return over;
+            }
         }
         self.global[kind.index()].load(Ordering::Relaxed)
     }
 
     /// Emit a trace line (no-op unless enabled for this kind and task).
+    ///
+    /// Hot path: one atomic for the sequence number plus one lock on the
+    /// emitting PE's own ring shard — PEs never contend with each other.
     pub fn emit(
         &self,
         kind: TraceEventKind,
@@ -206,37 +540,61 @@ impl Tracer {
             ticks,
             info: info.into(),
         };
+        self.memory.record(&rec);
         if self.to_screen.load(Ordering::Relaxed) {
-            println!("{rec}");
+            let screen = self.screen.lock().clone();
+            if let Some(s) = screen {
+                s.record(&rec);
+            }
         }
-        self.records.lock().push(rec);
+        if self.has_sinks.load(Ordering::Acquire) {
+            for s in self.sinks.read().iter() {
+                s.record(&rec);
+            }
+        }
     }
 
-    /// Snapshot of all records so far, in emission order.
+    /// Snapshot of all retained records, in emission order. (Records
+    /// evicted from a full ring are gone — see [`Tracer::dropped`].)
     pub fn records(&self) -> Vec<TraceRecord> {
-        let mut r = self.records.lock().clone();
-        r.sort_by_key(|x| x.seq);
-        r
+        self.memory.records()
     }
 
-    /// Number of records so far.
+    /// Number of records currently retained in memory.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.memory.len()
     }
 
-    /// True if no records were emitted.
+    /// True if no records are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Discard all records (menu-driven between measurement phases).
-    pub fn clear(&self) {
-        self.records.lock().clear();
+    /// Total records dropped anywhere: ring evictions plus sink drops.
+    pub fn dropped(&self) -> u64 {
+        let mut n = self.memory.dropped();
+        if let Some(s) = &*self.screen.lock() {
+            n += TraceSink::dropped(s.as_ref());
+        }
+        n + self.sinks.read().iter().map(|s| s.dropped()).sum::<u64>()
     }
 
-    /// Serialize all records as JSON lines — "sending trace output to a
-    /// file allows the user to study trace information and make timing
-    /// analyses off-line".
+    /// Discard all retained records (menu-driven between measurement
+    /// phases).
+    pub fn clear(&self) {
+        self.memory.clear();
+    }
+
+    /// Flush every attached sink (end of run, before off-line analysis).
+    pub fn flush(&self) {
+        for s in self.sinks.read().iter() {
+            s.flush();
+        }
+    }
+
+    /// Serialize all retained records as JSON lines — "sending trace
+    /// output to a file allows the user to study trace information and
+    /// make timing analyses off-line".
     pub fn to_jsonl(&self) -> String {
         let mut s = String::new();
         for r in self.records() {
@@ -352,5 +710,71 @@ mod tests {
         let labels: std::collections::BTreeSet<_> =
             TraceEventKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, k) in TraceEventKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let settings = TraceSettings {
+            ring_capacity: 4,
+            ..TraceSettings::all()
+        };
+        let t = Tracer::new(&settings);
+        for i in 0..10u64 {
+            t.emit(TraceEventKind::TaskInit, tid(), 3, i, "");
+        }
+        // Only the newest 4 records of PE3's shard survive.
+        let recs = t.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn shards_merge_by_seq_across_pes() {
+        let t = Tracer::new(&TraceSettings::all());
+        // Interleave emissions across three PEs.
+        for i in 0..9u64 {
+            t.emit(TraceEventKind::MsgSend, tid(), 3 + (i % 3) as u8, i, "");
+        }
+        let seqs: Vec<u64> = t.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn file_sink_streams_jsonl() {
+        let path = std::env::temp_dir().join(format!(
+            "pisces-trace-test-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_s = path.to_string_lossy().to_string();
+        let t = Tracer::new(&TraceSettings::all());
+        let sink = Arc::new(FileSink::create(&path_s).unwrap());
+        t.add_sink(sink.clone());
+        t.emit(TraceEventKind::MsgSend, tid(), 3, 1, "PING -> c1.s2#1");
+        t.emit(TraceEventKind::MsgAccept, tid(), 3, 2, "PING <- c1.s2#1");
+        t.flush();
+        assert_eq!(sink.written(), 2);
+        let data = std::fs::read_to_string(&path).unwrap();
+        let back = Tracer::parse_jsonl(&data).unwrap();
+        assert_eq!(back, t.records());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropped_starts_at_zero() {
+        let t = Tracer::new(&TraceSettings::all());
+        t.emit(TraceEventKind::Barrier, tid(), 3, 1, "");
+        assert_eq!(t.dropped(), 0);
     }
 }

@@ -286,7 +286,7 @@ fn panic_inside_critical_releases_the_lock() {
     // other members on the lock: the runtime releases it on unwind and
     // aborts the force.
     let p = boot(MachineConfig::new(vec![
-        ClusterConfig::new(1, 3, 2).with_secondaries(4..=7),
+        ClusterConfig::new(1, 3, 2).with_secondaries(4..=7)
     ]));
     p.register("main", |ctx| {
         let r = ctx.forcesplit(|f| {

@@ -1,0 +1,187 @@
+//! Concurrency and boundedness tests for the sharded tracer, plus
+//! property tests for the histogram bucket math.
+
+use pisces_core::metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, TickHistogram,
+    HISTOGRAM_BUCKETS,
+};
+use pisces_core::taskid::TaskId;
+use pisces_core::trace::{FileSink, TraceEventKind, TraceSettings, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 1000;
+
+fn settings_with_capacity(capacity: usize) -> TraceSettings {
+    TraceSettings {
+        ring_capacity: capacity,
+        ..TraceSettings::all()
+    }
+}
+
+/// Emit from several "PEs" (threads) at once into one tracer.
+fn emit_concurrently(t: &Arc<Tracer>) {
+    let mut handles = Vec::new();
+    for thread in 0..THREADS {
+        let t = t.clone();
+        handles.push(std::thread::spawn(move || {
+            // One PE per thread, so each thread lands in its own shard.
+            let pe = 3 + thread as u8;
+            let task = TaskId::new(1, 2 + thread as u8, 1);
+            for i in 0..PER_THREAD {
+                t.emit(
+                    TraceEventKind::MsgSend,
+                    task,
+                    pe,
+                    i,
+                    format!("PING -> c1.s{}#1 [{i}]", 2 + thread),
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_emission_is_complete_and_totally_ordered() {
+    let t = Arc::new(Tracer::new(&settings_with_capacity(
+        THREADS * PER_THREAD as usize,
+    )));
+    emit_concurrently(&t);
+
+    let records = t.records();
+    assert_eq!(records.len(), THREADS * PER_THREAD as usize);
+    assert_eq!(t.dropped(), 0);
+
+    // seq is a total order: strictly increasing after the merge, covering
+    // 0..n without gaps.
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "gap or duplicate at position {i}");
+    }
+
+    // Every thread's records survived, in that thread's emission order.
+    for thread in 0..THREADS {
+        let pe = 3 + thread as u8;
+        let mine: Vec<_> = records.iter().filter(|r| r.pe == pe).collect();
+        assert_eq!(mine.len(), PER_THREAD as usize);
+        for (i, r) in mine.iter().enumerate() {
+            assert_eq!(r.ticks, i as u64, "PE{pe} out of order");
+        }
+    }
+}
+
+#[test]
+fn concurrent_emission_roundtrips_through_jsonl() {
+    let t = Arc::new(Tracer::new(&settings_with_capacity(
+        THREADS * PER_THREAD as usize,
+    )));
+    emit_concurrently(&t);
+    let jsonl = t.to_jsonl();
+    let back = Tracer::parse_jsonl(&jsonl).unwrap();
+    assert_eq!(back, t.records());
+}
+
+#[test]
+fn rings_stay_bounded_under_concurrent_load() {
+    // Tiny rings: almost everything is evicted, nothing blocks, and the
+    // counters account for every record.
+    let capacity = 16;
+    let t = Arc::new(Tracer::new(&settings_with_capacity(capacity)));
+    emit_concurrently(&t);
+
+    assert_eq!(t.len(), THREADS * capacity);
+    assert_eq!(
+        t.dropped(),
+        (THREADS * (PER_THREAD as usize - capacity)) as u64
+    );
+    // Each shard retains its newest records.
+    for r in t.records() {
+        assert!(r.ticks >= PER_THREAD - capacity as u64);
+    }
+}
+
+#[test]
+fn file_sink_streams_concurrent_emission() {
+    let path = std::env::temp_dir().join(format!("pisces-tracing-it-{}.jsonl", std::process::id()));
+    let path_s = path.to_string_lossy().to_string();
+    // Small rings force memory eviction; the file still gets everything.
+    let t = Arc::new(Tracer::new(&settings_with_capacity(16)));
+    let sink = Arc::new(FileSink::create(&path_s).unwrap());
+    t.add_sink(sink.clone());
+    emit_concurrently(&t);
+    t.flush();
+
+    assert_eq!(sink.written(), (THREADS * PER_THREAD as usize) as u64);
+    let data = std::fs::read_to_string(&path).unwrap();
+    let mut back = Tracer::parse_jsonl(&data).unwrap();
+    assert_eq!(back.len(), THREADS * PER_THREAD as usize);
+    back.sort_by_key(|r| r.seq);
+    for (i, r) in back.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        prop_assert!(v <= bucket_upper_bound(i));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact(i in 1usize..HISTOGRAM_BUCKETS - 1) {
+        // The lower bound is the first value in bucket i: one less lands
+        // in bucket i-1.
+        let lo = bucket_lower_bound(i);
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(lo - 1), i - 1);
+        let hi = bucket_upper_bound(i);
+        prop_assert_eq!(bucket_index(hi), i);
+        prop_assert_eq!(bucket_index(hi + 1), i + 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = TickHistogram::new("t", "ticks");
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        let p50 = s.percentile(50.0);
+        let p90 = s.percentile(90.0);
+        let p99 = s.percentile(99.0);
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p99);
+        prop_assert!(p99 <= s.max);
+        let &max = samples.iter().max().unwrap();
+        prop_assert_eq!(s.max, max);
+    }
+
+    #[test]
+    // Bounded values so the sample sum cannot overflow u64 in either path.
+    fn offline_snapshot_matches_live_histogram(samples in prop::collection::vec(0u64..(1u64 << 50), 0..100)) {
+        let live = TickHistogram::new("t", "ticks");
+        let mut offline = HistogramSnapshot::empty("t", "ticks");
+        for &v in &samples {
+            live.record(v);
+            offline.add(v);
+        }
+        let s = live.snapshot();
+        prop_assert_eq!(s.buckets, offline.buckets);
+        prop_assert_eq!(s.count, offline.count);
+        prop_assert_eq!(s.max, offline.max);
+    }
+}

@@ -176,6 +176,12 @@ impl TraceAnalysis {
         Ok(Self::new(&pisces_core::trace::Tracer::parse_jsonl(data)?))
     }
 
+    /// Per-PE busy/idle profiles derived from the task lifetimes (the
+    /// full report lives in [`crate::report`]).
+    pub fn utilization(&self) -> Vec<crate::report::PeUtilization> {
+        crate::report::pe_utilization(self)
+    }
+
     /// Mean latency (ticks) of matched same-PE messages, if any.
     pub fn mean_same_pe_latency(&self) -> Option<f64> {
         let same: Vec<i64> = self

@@ -22,10 +22,15 @@
 //! and [`analysis`] performs the off-line study of trace files that
 //! Section 12 describes ("sending trace output to a file allows the user
 //! to study trace information and make timing analyses off-line").
+//! [`report`] consolidates that study into per-PE utilization timelines
+//! and latency histograms, available live through menu options 10/11 or
+//! off-line via `pisces report <trace.jsonl>`.
 
 pub mod analysis;
 pub mod figure1;
 pub mod menu;
+pub mod report;
 
 pub use analysis::TraceAnalysis;
 pub use menu::ExecMenu;
+pub use report::Report;

@@ -5,6 +5,7 @@
 //! is returned as text, so the menu is equally usable from an interactive
 //! REPL and from a test script.
 
+use parking_lot::Mutex;
 use pisces_core::prelude::*;
 use pisces_core::trace::TraceEventKind;
 use std::fmt::Write as _;
@@ -14,6 +15,9 @@ use std::time::Duration;
 /// The execution environment's run-control menu over one machine.
 pub struct ExecMenu {
     p: Arc<Pisces>,
+    /// Snapshot taken by the previous `stats` command, so option 11 can
+    /// show per-interval deltas alongside totals.
+    last_stats: Mutex<Option<StatsSnapshot>>,
 }
 
 /// Parse a taskid written as it is displayed: `c<cluster>.s<slot>#<unique>`.
@@ -51,7 +55,10 @@ pub fn parse_value(s: &str) -> Value {
 impl ExecMenu {
     /// A menu over a booted machine.
     pub fn new(p: Arc<Pisces>) -> Self {
-        Self { p }
+        Self {
+            p,
+            last_stats: Mutex::new(None),
+        }
     }
 
     /// The machine under control.
@@ -70,7 +77,9 @@ impl ExecMenu {
          6 DISPLAY MESSAGE QUEUE  6 <taskid>\n\
          7 DUMP SYSTEM STATE\n\
          8 DISPLAY PE LOADING\n\
-         9 CHANGE TRACE OPTIONS   9 on|off <event>|all [<taskid>]\n"
+         9 CHANGE TRACE OPTIONS   9 on|off <event>|all [<taskid>]\n\
+         10 TRACE REPORT          10 [width]   (utilization timeline, latency histograms)\n\
+         11 RUN STATISTICS        11           (counter totals and deltas since last call)\n"
             .to_string()
     }
 
@@ -220,6 +229,28 @@ impl ExecMenu {
                     }
                 }
             }
+            // Beyond the paper's ten options: the Section 12 off-line
+            // views, available live.
+            "10" | "report" => {
+                let width: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(60);
+                let report = crate::report::Report::new(&self.p.tracer().records());
+                let mut s = report.render(width);
+                let dropped = self.p.tracer().dropped();
+                if dropped > 0 {
+                    let _ = writeln!(s, "(trace rings dropped {dropped} record(s))");
+                }
+                s.push('\n');
+                s.push_str(&self.p.metrics().report());
+                Ok(s)
+            }
+            "11" | "stats" => {
+                let now = self.p.stats().snapshot();
+                let mut s = format!("RUN STATISTICS (totals)\n{now}");
+                if let Some(prev) = self.last_stats.lock().replace(now) {
+                    let _ = write!(s, "since last display\n{}", now.diff(&prev));
+                }
+                Ok(s)
+            }
             "help" | "?" => Ok(self.help()),
             // Convenience beyond the paper's ten options: redraw the
             // Figure-1 organization diagram from live state.
@@ -366,6 +397,28 @@ mod tests {
         for n in 0..=9 {
             assert!(h.contains(&format!("{n} ")), "menu option {n} listed");
         }
+        menu.execute("0").unwrap();
+    }
+
+    #[test]
+    fn report_and_stats_options() {
+        let menu = boot();
+        menu.execute("9 on all").unwrap();
+        menu.execute("1 1 echoer").unwrap();
+        let id = find_task(&menu, "echoer");
+        menu.execute(&format!("3 {id} STOP")).unwrap();
+        assert_eq!(menu.execute("wait 10").unwrap(), "quiescent");
+
+        let report = menu.execute("10").unwrap();
+        assert!(report.contains("PE UTILIZATION"), "{report}");
+        assert!(report.contains("msg_latency"), "{report}");
+        assert!(report.contains("histograms:"), "{report}");
+
+        let first = menu.execute("11").unwrap();
+        assert!(first.contains("RUN STATISTICS"), "{first}");
+        assert!(!first.contains("since last display"), "{first}");
+        let second = menu.execute("stats").unwrap();
+        assert!(second.contains("since last display"), "{second}");
         menu.execute("0").unwrap();
     }
 

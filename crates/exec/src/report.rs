@@ -1,0 +1,347 @@
+//! Consolidated observability report: per-PE utilization timelines and
+//! latency histograms, live (from a machine's retained records) or
+//! off-line (from a JSONL trace file via `pisces report <trace.jsonl>`).
+//!
+//! Builds on [`TraceAnalysis`] — which derives task lifetimes and matched
+//! send→accept pairs — and adds the views a load-balancing study needs:
+//! how busy each PE was over its run, and the *distribution* (p50/p90/p99)
+//! of message latency and barrier-arrival spread, not just means.
+
+use crate::analysis::TraceAnalysis;
+use pisces_core::metrics::HistogramSnapshot;
+use pisces_core::taskid::TaskId;
+use pisces_core::trace::{TraceEventKind, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A half-open busy interval `[start, end)` on one PE's tick clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First busy tick.
+    pub start: u64,
+    /// First tick after the busy period.
+    pub end: u64,
+}
+
+/// One PE's busy/idle profile, derived from task init/term events: the PE
+/// counts as busy whenever at least one traced task is alive on it.
+#[derive(Debug, Clone)]
+pub struct PeUtilization {
+    /// The PE.
+    pub pe: u8,
+    /// Last tick reading observed on this PE (its activity horizon).
+    pub horizon: u64,
+    /// Merged busy intervals, in time order.
+    pub busy: Vec<Interval>,
+    /// Total busy ticks (sum of interval lengths).
+    pub busy_ticks: u64,
+}
+
+impl PeUtilization {
+    /// Busy fraction of the horizon, 0.0–1.0.
+    pub fn utilization(&self) -> f64 {
+        if self.horizon == 0 {
+            0.0
+        } else {
+            self.busy_ticks as f64 / self.horizon as f64
+        }
+    }
+}
+
+/// Sweep one PE's task init/term edges into merged busy intervals.
+fn sweep(mut edges: Vec<(u64, i64)>, horizon: u64) -> (Vec<Interval>, u64) {
+    edges.sort();
+    let mut busy = Vec::new();
+    let mut live = 0i64;
+    let mut opened = 0u64;
+    let mut total = 0u64;
+    for (t, d) in edges {
+        if live == 0 && d > 0 {
+            opened = t;
+        }
+        live += d;
+        if live == 0 && d < 0 && t > opened {
+            busy.push(Interval {
+                start: opened,
+                end: t,
+            });
+            total += t - opened;
+        }
+    }
+    // Tasks still alive at the end of the trace keep the PE busy to its
+    // horizon.
+    if live > 0 && horizon > opened {
+        busy.push(Interval {
+            start: opened,
+            end: horizon,
+        });
+        total += horizon - opened;
+    }
+    (busy, total)
+}
+
+/// Per-PE utilization from an analysis' task lifetimes.
+pub fn pe_utilization(analysis: &TraceAnalysis) -> Vec<PeUtilization> {
+    let mut edges: BTreeMap<u8, Vec<(u64, i64)>> = BTreeMap::new();
+    for t in analysis.tasks.values() {
+        let e = edges.entry(t.pe).or_default();
+        e.push((t.init_ticks, 1));
+        if let Some(term) = t.term_ticks {
+            e.push((term, -1));
+        }
+    }
+    edges
+        .into_iter()
+        .map(|(pe, e)| {
+            let horizon = analysis.pe_horizon.get(&pe).copied().unwrap_or(0);
+            let (busy, busy_ticks) = sweep(e, horizon);
+            PeUtilization {
+                pe,
+                horizon,
+                busy,
+                busy_ticks,
+            }
+        })
+        .collect()
+}
+
+/// Message send→accept latency histogram from the analysis' matched
+/// pairs. Same-PE samples are exact; cross-PE samples compare two
+/// unsynchronized clocks and are clamped at 0.
+pub fn msg_latency_histogram(analysis: &TraceAnalysis) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty("msg_latency", "ticks");
+    for m in &analysis.matched {
+        h.add(m.latency_ticks().max(0) as u64);
+    }
+    h
+}
+
+/// Barrier arrival-spread histogram: for each barrier round of each
+/// force, the tick spread between the first and last member to arrive —
+/// the direct load-imbalance signal. Members of one force share a task
+/// id and stamp `member i/N` in the info field; barrier semantics
+/// guarantee all N round-k entries precede any round-k+1 entry, so
+/// consecutive chunks of N records (in seq order) are rounds. Spreads
+/// compare different PEs' clocks, so they are approximate.
+pub fn barrier_spread_histogram(records: &[TraceRecord]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty("barrier_spread", "ticks");
+    let mut per_task: BTreeMap<TaskId, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        if r.kind == TraceEventKind::Barrier {
+            per_task.entry(r.task).or_default().push(r);
+        }
+    }
+    for entries in per_task.values_mut() {
+        entries.sort_by_key(|r| r.seq);
+        let size = entries
+            .first()
+            .and_then(|r| r.info.rsplit('/').next())
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
+        for round in entries.chunks(size) {
+            if round.len() < 2 {
+                continue;
+            }
+            let lo = round.iter().map(|r| r.ticks).min().unwrap_or(0);
+            let hi = round.iter().map(|r| r.ticks).max().unwrap_or(0);
+            h.add(hi - lo);
+        }
+    }
+    h
+}
+
+/// The full observability report over one trace.
+#[derive(Debug)]
+pub struct Report {
+    /// The underlying event-level analysis.
+    pub analysis: TraceAnalysis,
+    /// Per-PE busy/idle profiles.
+    pub utilization: Vec<PeUtilization>,
+    /// Message delivery latency distribution.
+    pub msg_latency: HistogramSnapshot,
+    /// Barrier arrival-spread distribution.
+    pub barrier_spread: HistogramSnapshot,
+}
+
+impl Report {
+    /// Build the report from trace records.
+    pub fn new(records: &[TraceRecord]) -> Self {
+        let analysis = TraceAnalysis::new(records);
+        let utilization = pe_utilization(&analysis);
+        let msg_latency = msg_latency_histogram(&analysis);
+        let barrier_spread = barrier_spread_histogram(records);
+        Self {
+            analysis,
+            utilization,
+            msg_latency,
+            barrier_spread,
+        }
+    }
+
+    /// Build the report from a JSONL trace file's contents.
+    pub fn from_jsonl(data: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self::new(&pisces_core::trace::Tracer::parse_jsonl(data)?))
+    }
+
+    /// Per-PE utilization timeline: one lane per PE (`#` busy, `.` idle
+    /// against that PE's own tick clock) with a busy percentage.
+    pub fn timeline(&self, width: usize) -> String {
+        let width = width.max(20);
+        let mut s = String::from("PE UTILIZATION (per-PE tick clocks; # busy, . idle)\n");
+        if self.utilization.is_empty() {
+            s.push_str("  (no task events in trace)\n");
+            return s;
+        }
+        for u in &self.utilization {
+            let horizon = u.horizon.max(1);
+            let mut lane = vec![b'.'; width];
+            for iv in &u.busy {
+                let a = ((iv.start * width as u64 / horizon) as usize).min(width - 1);
+                let b = ((iv.end * width as u64).div_ceil(horizon) as usize).clamp(a + 1, width);
+                for c in lane.iter_mut().take(b).skip(a) {
+                    *c = b'#';
+                }
+            }
+            let _ = writeln!(
+                s,
+                "  PE{:<3} |{}| {:>5.1}% busy ({} of {} ticks)",
+                u.pe,
+                String::from_utf8(lane).expect("ascii"),
+                u.utilization() * 100.0,
+                u.busy_ticks,
+                u.horizon
+            );
+        }
+        s
+    }
+
+    /// The complete textual report: timeline, histograms, and the
+    /// event-level analysis.
+    pub fn render(&self, width: usize) -> String {
+        let mut s = self.timeline(width);
+        s.push('\n');
+        s.push_str(&self.msg_latency.to_string());
+        s.push_str(&self.barrier_spread.to_string());
+        s.push('\n');
+        s.push_str(&self.analysis.report());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: TraceEventKind, task: TaskId, pe: u8, ticks: u64, info: &str) -> TraceRecord {
+        TraceRecord {
+            seq: ticks,
+            kind,
+            task,
+            pe,
+            ticks,
+            info: info.into(),
+        }
+    }
+
+    #[test]
+    fn utilization_from_overlapping_tasks() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        // Two tasks on PE3: [0,60) and [40,100) — busy [0,100), horizon 100.
+        let records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 0, "alpha parent=c0.s0#0"),
+            rec(TraceEventKind::TaskInit, b, 3, 40, "beta parent=c0.s0#0"),
+            rec(TraceEventKind::TaskTerm, a, 3, 60, "ok"),
+            rec(TraceEventKind::TaskTerm, b, 3, 100, "ok"),
+        ];
+        let r = Report::new(&records);
+        assert_eq!(r.utilization.len(), 1);
+        let u = &r.utilization[0];
+        assert_eq!(u.pe, 3);
+        assert_eq!(u.busy, vec![Interval { start: 0, end: 100 }]);
+        assert_eq!(u.utilization(), 1.0);
+    }
+
+    #[test]
+    fn utilization_with_idle_gap() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        // [0,30) busy, [30,70) idle, [70,100) busy → 60% of horizon 100.
+        let records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 0, "alpha p"),
+            rec(TraceEventKind::TaskTerm, a, 3, 30, "ok"),
+            rec(TraceEventKind::TaskInit, b, 3, 70, "beta p"),
+            rec(TraceEventKind::TaskTerm, b, 3, 100, "ok"),
+        ];
+        let r = Report::new(&records);
+        let u = &r.utilization[0];
+        assert_eq!(u.busy.len(), 2);
+        assert_eq!(u.busy_ticks, 60);
+        assert!((u.utilization() - 0.6).abs() < 1e-9);
+        let tl = r.timeline(50);
+        assert!(tl.contains("PE3"), "{tl}");
+        assert!(tl.contains('#') && tl.contains('.'), "{tl}");
+    }
+
+    #[test]
+    fn unterminated_task_busy_to_horizon() {
+        let a = TaskId::new(1, 2, 1);
+        let records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 10, "alpha p"),
+            // Horizon pushed to 50 by a later event on the same PE.
+            rec(TraceEventKind::Barrier, a, 3, 50, "member 0/1"),
+        ];
+        let r = Report::new(&records);
+        let u = &r.utilization[0];
+        assert_eq!(u.busy, vec![Interval { start: 10, end: 50 }]);
+    }
+
+    #[test]
+    fn latency_histogram_from_matched_pairs() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        let records = vec![
+            rec(TraceEventKind::MsgSend, a, 3, 100, &format!("PING -> {b}")),
+            rec(
+                TraceEventKind::MsgAccept,
+                b,
+                3,
+                130,
+                &format!("PING <- {a}"),
+            ),
+        ];
+        let r = Report::new(&records);
+        assert_eq!(r.msg_latency.count, 1);
+        assert_eq!(r.msg_latency.max, 30);
+        let text = r.render(40);
+        assert!(text.contains("msg_latency"), "{text}");
+        assert!(text.contains("p99="), "{text}");
+    }
+
+    #[test]
+    fn barrier_rounds_chunk_by_member_count() {
+        let t = TaskId::new(1, 2, 1);
+        // Force of 2: two rounds, spreads 5 and 20.
+        let mut records = vec![
+            rec(TraceEventKind::Barrier, t, 3, 100, "member 0/2"),
+            rec(TraceEventKind::Barrier, t, 4, 105, "member 1/2"),
+            rec(TraceEventKind::Barrier, t, 3, 200, "member 0/2"),
+            rec(TraceEventKind::Barrier, t, 4, 220, "member 1/2"),
+        ];
+        for (i, r) in records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let h = barrier_spread_histogram(&records);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 20);
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panic() {
+        let r = Report::new(&[]);
+        let text = r.render(40);
+        assert!(text.contains("no task events"), "{text}");
+        assert!(text.contains("msg_latency"));
+    }
+}

@@ -14,6 +14,8 @@
 //! pisces program.pf --preprocess            # show the Fortran 77 translation
 //! pisces program.pf --clusters 4 --slots 8 --secondaries 7-15
 //! pisces program.pf --trace all --report
+//! pisces program.pf --trace all --trace-file run.jsonl
+//! pisces report run.jsonl                   # off-line timing analysis (§12)
 //! pisces program.pf --interactive           # the 10-option menu on stdin
 //! ```
 
@@ -31,6 +33,7 @@ struct Options {
     secondaries: Vec<u8>,
     config_json: Option<String>,
     trace: Vec<String>,
+    trace_file: Option<String>,
     main_task: String,
     task_args: Vec<String>,
     report: bool,
@@ -41,6 +44,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: pisces <program.pf> [options]\n\
+         \x20      pisces report <trace.jsonl> [width]\n\
          \n\
          options:\n\
            --preprocess          print the Fortran 77 translation and exit\n\
@@ -49,6 +53,7 @@ fn usage() -> ! {
            --secondaries <a-b>   force PEs for every cluster (e.g. 7-15)\n\
            --config <file.json>  boot from a saved configuration instead\n\
            --trace <all|EVENT>   enable tracing (repeatable)\n\
+           --trace-file <path>   stream trace records to a JSONL file\n\
            --main <TASK>         top-level tasktype (default MAIN)\n\
            --arg <value>         argument for the top-level task (repeatable)\n\
            --report              print storage and PE-loading reports after the run\n\
@@ -68,6 +73,7 @@ fn parse_args() -> Options {
         secondaries: Vec::new(),
         config_json: None,
         trace: Vec::new(),
+        trace_file: None,
         main_task: "MAIN".into(),
         task_args: Vec::new(),
         report: false,
@@ -104,6 +110,7 @@ fn parse_args() -> Options {
             }
             "--config" => o.config_json = Some(need(&mut args, "--config")),
             "--trace" => o.trace.push(need(&mut args, "--trace")),
+            "--trace-file" => o.trace_file = Some(need(&mut args, "--trace-file")),
             "--main" => o.main_task = need(&mut args, "--main").to_ascii_uppercase(),
             "--arg" => o.task_args.push(need(&mut args, "--arg")),
             "--report" => o.report = true,
@@ -148,8 +155,39 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
             }
         }
     }
+    if o.trace_file.is_some() {
+        config.trace.file = o.trace_file.clone();
+    }
     config.validate()?;
     Ok(config)
+}
+
+/// `pisces report <trace.jsonl> [width]`: the Section 12 off-line timing
+/// analysis — per-PE utilization timelines, latency histograms, and the
+/// event-level trace report.
+fn run_report(args: &[String]) -> ! {
+    let Some(path) = args.first() else {
+        eprintln!("pisces report: needs a trace file (JSONL)");
+        usage()
+    };
+    let width: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(72);
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pisces report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match pisces::pisces_exec::Report::from_jsonl(&data) {
+        Ok(r) => {
+            print!("{}", r.render(width));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("pisces report: {path} is not a JSONL trace: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u8]) {
@@ -161,6 +199,10 @@ fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u8]) {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        run_report(&argv[1..]);
+    }
     let o = parse_args();
     let source = match std::fs::read_to_string(&o.source) {
         Ok(s) => s,
@@ -283,6 +325,8 @@ fn main() {
             s.forcesplits,
             s.window_reads + s.window_writes
         );
+        println!("\n--- latency histograms ---");
+        print!("{}", p.metrics().report());
     }
     p.shutdown();
 }
