@@ -1,7 +1,8 @@
 //! E6 (wall-clock companion) — per-iteration dispatch overhead of the
-//! two loop disciplines with empty bodies: what one PRESCHED step costs
+//! loop disciplines with empty bodies: what one PRESCHED step costs
 //! (index arithmetic) vs one SELFSCHED step (shared-counter fetch-add in
-//! the simulated shared memory).
+//! the simulated shared memory) vs chunked/guided SELFSCHED (one
+//! fetch-add per chunk).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pisces_bench::{boot, force_config};
@@ -12,7 +13,15 @@ use std::time::Duration;
 
 const ITERS_PER_LOOP: i64 = 10_000;
 
-fn run_loops(p: &Arc<Pisces>, selfsched: bool, loops: u64) -> Duration {
+#[derive(Clone, Copy)]
+enum Discipline {
+    Presched,
+    Selfsched,
+    Chunked(usize),
+    Guided,
+}
+
+fn run_loops(p: &Arc<Pisces>, discipline: Discipline, loops: u64) -> Duration {
     let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
     let o2 = out.clone();
     let ok = Arc::new(AtomicBool::new(false));
@@ -24,10 +33,13 @@ fn run_loops(p: &Arc<Pisces>, selfsched: bool, loops: u64) -> Duration {
             f.barrier()?;
             let t0 = std::time::Instant::now();
             for _ in 0..loops {
-                if selfsched {
-                    f.selfsched(1, ITERS_PER_LOOP, |_| Ok(()))?;
-                } else {
-                    f.presched(1, ITERS_PER_LOOP, |_| Ok(()))?;
+                match discipline {
+                    Discipline::Presched => f.presched(1, ITERS_PER_LOOP, |_| Ok(()))?,
+                    Discipline::Selfsched => f.selfsched(1, ITERS_PER_LOOP, |_| Ok(()))?,
+                    Discipline::Chunked(c) => {
+                        f.selfsched_chunked(1, ITERS_PER_LOOP, c, |_| Ok(()))?
+                    }
+                    Discipline::Guided => f.selfsched_guided(1, ITERS_PER_LOOP, |_| Ok(()))?,
                 }
             }
             f.barrier_with(|| {
@@ -52,13 +64,18 @@ fn bench_dispatch(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(ITERS_PER_LOOP as u64));
     for members in [1u8, 4] {
-        for (label, selfsched) in [("presched", false), ("selfsched", true)] {
+        for (label, discipline) in [
+            ("presched", Discipline::Presched),
+            ("selfsched", Discipline::Selfsched),
+            ("selfsched_chunk16", Discipline::Chunked(16)),
+            ("selfsched_guided", Discipline::Guided),
+        ] {
             let p = boot(force_config(members - 1, 2));
             g.bench_with_input(
                 BenchmarkId::new(label, format!("{members}_members")),
-                &selfsched,
-                |b, &selfsched| {
-                    b.iter_custom(|iters| run_loops(&p, selfsched, iters));
+                &discipline,
+                |b, &discipline| {
+                    b.iter_custom(|iters| run_loops(&p, discipline, iters));
                 },
             );
             p.shutdown();

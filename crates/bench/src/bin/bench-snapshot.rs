@@ -1,0 +1,251 @@
+//! Quick-mode performance snapshot: `BENCH_*.json` at the repo root.
+//!
+//! The criterion benches (`cargo bench -p pisces-bench`) are thorough but
+//! slow; this binary measures the same hot paths — message send→accept
+//! round trips, loop-scheduling dispatch, and barrier crossings — in a few
+//! seconds and writes machine-readable summaries that seed the repository's
+//! perf trajectory. Runs are labelled (`--label pre`, `--label post`, …)
+//! and merged into the existing JSON files, so before/after numbers for a
+//! change live side by side.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p pisces-bench --bin bench-snapshot -- [--label L] [--out DIR]
+//! ```
+
+use pisces_bench::{boot, force_config};
+use pisces_core::prelude::*;
+use serde_json::{json, Map, Value as Json};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Run `f` in a task body on a booted machine; returns its reported duration.
+fn with_task(
+    p: &Arc<Pisces>,
+    f: impl Fn(&TaskCtx) -> Result<Duration> + Send + Sync + 'static,
+) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let d2 = done.clone();
+    p.register("snapshot_body", move |ctx: &TaskCtx| {
+        *o2.lock() = f(ctx)?;
+        d2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "snapshot_body", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(done.load(Ordering::Acquire), "snapshot body failed");
+    let d = *out.lock();
+    d
+}
+
+/// ns per operation.
+fn per_op(total: Duration, ops: u64) -> f64 {
+    total.as_nanos() as f64 / ops.max(1) as f64
+}
+
+// ----------------------------------------------------------------------
+// messaging: self send→accept round trip vs payload size
+// ----------------------------------------------------------------------
+
+fn snap_messaging(metrics: &mut Map<String, Json>) {
+    const WARMUP: u64 = 500;
+    const ITERS: u64 = 4_000;
+    for words in [0usize, 16, 256] {
+        let p = boot(MachineConfig::simple(1, 4));
+        let d = with_task(&p, move |ctx| {
+            let payload = vec![0.0f64; words];
+            for i in 0..WARMUP {
+                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            let t0 = Instant::now();
+            for i in 0..ITERS {
+                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            Ok(t0.elapsed())
+        });
+        let ns = per_op(d, ITERS);
+        println!("messaging/self_roundtrip_{words}w        {ns:>12.1} ns/op");
+        metrics.insert(format!("self_roundtrip_{words}w_ns"), json!(ns));
+        p.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// loop scheduling: per-iteration dispatch cost, empty body
+// ----------------------------------------------------------------------
+
+const LOOP_ITERS: i64 = 10_000;
+const LOOPS: u64 = 20;
+
+fn run_loops(
+    p: &Arc<Pisces>,
+    op: impl Fn(&pisces_core::force::ForceCtx<'_>) -> Result<()> + Send + Sync + 'static,
+) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let ok = Arc::new(AtomicBool::new(false));
+    let k2 = ok.clone();
+    p.register("snapshot_loops", move |ctx: &TaskCtx| {
+        let t = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        let t2 = t.clone();
+        ctx.forcesplit(|f| {
+            f.barrier()?;
+            let t0 = Instant::now();
+            for _ in 0..LOOPS {
+                op(f)?;
+            }
+            f.barrier_with(|| {
+                *t2.lock() = t0.elapsed();
+                Ok(())
+            })?;
+            Ok(())
+        })?;
+        *o2.lock() = *t.lock();
+        k2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "snapshot_loops", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(ok.load(Ordering::Acquire));
+    let d = *out.lock();
+    d
+}
+
+fn snap_loops(metrics: &mut Map<String, Json>) {
+    let total_iters = LOOPS * LOOP_ITERS as u64;
+    for members in [1u8, 4] {
+        let disciplines: Vec<(
+            String,
+            Box<dyn Fn(&pisces_core::force::ForceCtx<'_>) -> Result<()> + Send + Sync>,
+        )> = vec![
+            (
+                format!("presched_{members}m"),
+                Box::new(|f| f.presched(1, LOOP_ITERS, |_| Ok(()))),
+            ),
+            (
+                format!("selfsched_{members}m"),
+                Box::new(|f| f.selfsched(1, LOOP_ITERS, |_| Ok(()))),
+            ),
+            (
+                format!("selfsched_chunk16_{members}m"),
+                Box::new(|f| f.selfsched_chunked(1, LOOP_ITERS, 16, |_| Ok(()))),
+            ),
+            (
+                format!("selfsched_guided_{members}m"),
+                Box::new(|f| f.selfsched_guided(1, LOOP_ITERS, |_| Ok(()))),
+            ),
+        ];
+        for (name, op) in disciplines {
+            let p = boot(force_config(members - 1, 2));
+            let d = run_loops(&p, op);
+            let ns = per_op(d, total_iters);
+            println!("loops/{name:<28} {ns:>12.1} ns/iter");
+            metrics.insert(format!("{name}_ns_per_iter"), json!(ns));
+            p.shutdown();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// sync: barrier crossings
+// ----------------------------------------------------------------------
+
+fn snap_sync(metrics: &mut Map<String, Json>) {
+    const ROUNDS: u64 = 2_000;
+    for members in [2u8, 4, 8] {
+        let p = boot(force_config(members - 1, 2));
+        let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        let o2 = out.clone();
+        p.register("snapshot_barrier", move |ctx: &TaskCtx| {
+            let t = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+            let t2 = t.clone();
+            ctx.forcesplit(|f| {
+                f.barrier()?;
+                let t0 = Instant::now();
+                for _ in 0..ROUNDS {
+                    f.barrier()?;
+                }
+                f.barrier_with(|| {
+                    *t2.lock() = t0.elapsed();
+                    Ok(())
+                })?;
+                Ok(())
+            })?;
+            *o2.lock() = *t.lock();
+            Ok(())
+        });
+        p.initiate_top_level(1, "snapshot_barrier", vec![])
+            .expect("initiate");
+        assert!(p.wait_quiescent(Duration::from_secs(120)));
+        let ns = per_op(*out.lock(), ROUNDS);
+        println!("sync/barrier_crossing_{members}m         {ns:>12.1} ns/crossing");
+        metrics.insert(format!("barrier_crossing_{members}m_ns"), json!(ns));
+        p.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// output
+// ----------------------------------------------------------------------
+
+/// Merge this run into `path` under `runs.<label>`, keeping other labels.
+fn write_summary(path: &std::path::Path, suite: &str, label: &str, metrics: Map<String, Json>) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Json>(&s).ok())
+        .unwrap_or_else(|| json!({ "suite": suite, "runs": {} }));
+    let captured = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    doc["suite"] = json!(suite);
+    doc["runs"][label] = json!({ "captured_at_unix": captured, "metrics": metrics });
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut label = "current".to_string();
+    let mut out_dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_dir = args.next().expect("--out needs a value"),
+            other => panic!("unknown argument {other:?} (use --label L, --out DIR)"),
+        }
+    }
+    let out = std::path::Path::new(&out_dir);
+
+    println!("bench-snapshot (quick mode), label={label:?}\n");
+
+    let mut messaging = Map::new();
+    snap_messaging(&mut messaging);
+    write_summary(
+        &out.join("BENCH_messaging.json"),
+        "messaging",
+        &label,
+        messaging,
+    );
+
+    let mut loops = Map::new();
+    snap_loops(&mut loops);
+    write_summary(
+        &out.join("BENCH_loop_sched.json"),
+        "loop_sched",
+        &label,
+        loops,
+    );
+
+    let mut sync = Map::new();
+    snap_sync(&mut sync);
+    write_summary(&out.join("BENCH_sync.json"), "sync", &label, sync);
+}

@@ -263,7 +263,7 @@ impl TaskCtx {
             }
             return Ok(SharedBlock::new(self.p.flex.clone(), h, w, name.into()));
         }
-        let h = self.p.flex.shmem.alloc(words * 8, ShmTag::SharedCommon)?;
+        let h = self.p.pool_alloc(pe, words * 8, ShmTag::SharedCommon)?;
         map.insert(name.to_string(), (h, words));
         Ok(SharedBlock::new(self.p.flex.clone(), h, words, name.into()))
     }
@@ -279,7 +279,7 @@ impl TaskCtx {
         if let Some(&h) = map.get(name) {
             return Ok(LockVar::new(self.p.flex.clone(), h, name.into()));
         }
-        let h = self.p.flex.shmem.alloc(8, ShmTag::SharedCommon)?;
+        let h = self.p.pool_alloc(pe, 8, ShmTag::SharedCommon)?;
         map.insert(name.to_string(), h);
         Ok(LockVar::new(self.p.flex.clone(), h, name.into()))
     }
@@ -524,7 +524,7 @@ impl<'a> AcceptBuilder<'a> {
                 {
                     let _cpu = ctx.enter(cost::ACCEPT_BASE + cost::ACCEPT_PER_WORD * words)?;
                 }
-                let args = ctx.p.open_message(&stored)?;
+                let args = ctx.p.open_message(&stored, entry.pe)?;
                 *entry.last_sender.lock() = Some(sender);
 
                 let idx = self

@@ -38,7 +38,7 @@ fn receive(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) -> Option<(String, TaskId, V
                 p.flex.pe(entry.pe).clock.now(),
                 format!("{mtype} <- {sender}"),
             );
-            match p.open_message(&stored) {
+            match p.open_message(&stored, entry.pe) {
                 Ok(args) => return Some((mtype, sender, args)),
                 Err(_) => continue, // corrupt message: drop and keep serving
             }

@@ -21,62 +21,96 @@
 use crate::context::TaskCtx;
 use crate::cost;
 use crate::error::{PiscesError, Result};
+use crate::machine::Pisces;
 use crate::shared::{LockVar, SharedBlock};
 use crate::stats::RunStats;
 use crate::trace::TraceEventKind;
 use flex32::pe::PeId;
 use flex32::shmem::{ShmHandle, ShmTag};
-use flex32::Flex32;
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A reusable generation barrier for `size` participants.
+/// Spin iterations before a barrier waiter parks on the condvar. Force
+/// members run one per PE, so the common case is an arrival gap of
+/// microseconds — far cheaper to spin through than to take a lock and
+/// sleep. The budget is small enough that an oversubscribed machine only
+/// wastes a few thousand cycles before yielding to the scheduler.
+const BARRIER_SPIN: u32 = 4096;
+
+/// A reusable sense-reversing barrier for `size` participants.
+///
+/// Arrival is one `fetch_add` on `arrived`; the last arrival resets the
+/// count and publishes a new generation, releasing everyone. Waiters spin
+/// on the generation word for [`BARRIER_SPIN`] iterations and only then
+/// park on the condvar, so the fast path takes no lock at all. A short
+/// wait timeout plus the `abort` flag keeps a failed force from stranding
+/// the rest.
 #[derive(Debug)]
 pub struct GenBarrier {
-    lock: Mutex<BarrierGen>,
-    cv: Condvar,
     size: usize,
-}
-
-#[derive(Debug)]
-struct BarrierGen {
-    count: usize,
-    gen: u64,
+    arrived: AtomicUsize,
+    gen: AtomicU64,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
 }
 
 impl GenBarrier {
     /// A barrier for `size` participants.
     pub fn new(size: usize) -> Self {
         Self {
-            lock: Mutex::new(BarrierGen { count: 0, gen: 0 }),
-            cv: Condvar::new(),
             size,
+            arrived: AtomicUsize::new(0),
+            gen: AtomicU64::new(0),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
         }
+    }
+
+    fn abort_err() -> PiscesError {
+        PiscesError::Internal("force aborted while a member waited at a barrier".into())
     }
 
     /// Wait until all participants arrive. `abort` is polled so a force
     /// member failing elsewhere cannot strand the rest forever.
     pub fn wait(&self, abort: &AtomicBool) -> Result<()> {
-        let mut st = self.lock.lock();
-        st.count += 1;
-        if st.count == self.size {
-            st.count = 0;
-            st.gen = st.gen.wrapping_add(1);
-            drop(st);
-            self.cv.notify_all();
+        // `gen` cannot advance between this load and the increment below:
+        // a release needs all `size` arrivals, and ours hasn't landed yet.
+        let gen0 = self.gen.load(Ordering::Acquire);
+        let n = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.size {
+            // Last arrival: reset the count, then publish the new
+            // generation (waiters that see it also see the reset).
+            // Acquiring the park lock between the store and the notify
+            // closes the window where a waiter checks `gen`, misses the
+            // update, and parks just as the notification goes by.
+            self.arrived.store(0, Ordering::Release);
+            self.gen.store(gen0.wrapping_add(1), Ordering::Release);
+            drop(self.park_lock.lock());
+            self.park_cv.notify_all();
             return Ok(());
         }
-        let gen = st.gen;
-        while st.gen == gen {
-            if abort.load(Ordering::Relaxed) {
-                return Err(PiscesError::Internal(
-                    "force aborted while a member waited at a barrier".into(),
-                ));
+        for i in 0..BARRIER_SPIN {
+            if self.gen.load(Ordering::Acquire) != gen0 {
+                return Ok(());
             }
-            self.cv.wait_for(&mut st, Duration::from_millis(10));
+            if abort.load(Ordering::Relaxed) {
+                return Err(Self::abort_err());
+            }
+            if i % 64 == 63 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let mut guard = self.park_lock.lock();
+        while self.gen.load(Ordering::Acquire) == gen0 {
+            if abort.load(Ordering::Relaxed) {
+                return Err(Self::abort_err());
+            }
+            self.park_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
         Ok(())
     }
@@ -104,21 +138,31 @@ impl ForceShared {
         }
     }
 
-    fn counter(&self, key: u64, flex: &Flex32) -> Result<ShmHandle> {
+    fn counter(&self, key: u64, p: &Pisces, pe: PeId) -> Result<ShmHandle> {
         let mut map = self.counters.lock();
         if let Some(&h) = map.get(&key) {
             return Ok(h);
         }
-        let h = flex.shmem.alloc(8, ShmTag::SystemTable)?;
+        let h = p.pool_alloc(pe, 8, ShmTag::SystemTable)?;
         map.insert(key, h);
         Ok(h)
     }
 
-    fn free_counters(&self, flex: &Flex32) {
+    fn free_counters(&self, p: &Pisces, pe: PeId) {
         for (_, h) in self.counters.lock().drain() {
-            let _ = flex.shmem.free(h);
+            let _ = p.pool_free(pe, h, ShmTag::SystemTable);
         }
     }
+}
+
+/// Chunk-size policy for chunked self-scheduling.
+#[derive(Clone, Copy, Debug)]
+enum Chunking {
+    /// Every grab claims the same number of iterations.
+    Fixed(u64),
+    /// Guided: each grab claims half the remaining work divided evenly
+    /// among the members, shrinking toward 1 as the loop drains.
+    Guided,
 }
 
 /// The context of one force member. Dereference-free by design: the force
@@ -351,7 +395,7 @@ impl<'a> ForceCtx<'a> {
         }
         let key = self.op_seq.get();
         self.op_seq.set(key + 1);
-        let counter = self.shared.counter(key, &self.ctx.p.flex)?;
+        let counter = self.shared.counter(key, &self.ctx.p, self.pe)?;
         let clock = &self.ctx.p.flex.pe(self.pe).clock;
         let mut n = 0usize;
         loop {
@@ -365,6 +409,105 @@ impl<'a> ForceCtx<'a> {
             n += 1;
             if n.is_multiple_of(64) && self.ctx.entry.killed() {
                 return Err(PiscesError::Killed);
+            }
+        }
+    }
+
+    /// `SELFSCHED DO` claiming `chunk` consecutive iterations per visit to
+    /// the shared counter. One `fetch_add` dispatches a whole chunk, so
+    /// the shared-memory traffic of a fine-grained loop drops by a factor
+    /// of `chunk` at the cost of coarser load balancing.
+    pub fn selfsched_chunked(
+        &self,
+        lo: i64,
+        hi: i64,
+        chunk: usize,
+        f: impl FnMut(i64) -> Result<()>,
+    ) -> Result<()> {
+        self.selfsched_chunks(lo, hi, 1, Chunking::Fixed(chunk as u64), f)
+    }
+
+    /// [`Self::selfsched_chunked`] with an explicit step.
+    pub fn selfsched_chunked_step(
+        &self,
+        lo: i64,
+        hi: i64,
+        step: i64,
+        chunk: usize,
+        f: impl FnMut(i64) -> Result<()>,
+    ) -> Result<()> {
+        self.selfsched_chunks(lo, hi, step, Chunking::Fixed(chunk as u64), f)
+    }
+
+    /// Guided self-scheduling: each visit to the shared counter claims
+    /// `remaining / (2 * size)` iterations (at least one), so chunks start
+    /// large and shrink as the loop drains — near-minimal dispatch traffic
+    /// early, fine-grained balancing at the tail.
+    pub fn selfsched_guided(
+        &self,
+        lo: i64,
+        hi: i64,
+        f: impl FnMut(i64) -> Result<()>,
+    ) -> Result<()> {
+        self.selfsched_chunks(lo, hi, 1, Chunking::Guided, f)
+    }
+
+    fn selfsched_chunks(
+        &self,
+        lo: i64,
+        hi: i64,
+        step: i64,
+        mode: Chunking,
+        mut f: impl FnMut(i64) -> Result<()>,
+    ) -> Result<()> {
+        if step == 0 {
+            return Err(PiscesError::Internal("DO loop with zero step".into()));
+        }
+        if matches!(mode, Chunking::Fixed(0)) {
+            return Err(PiscesError::Internal(
+                "SELFSCHED chunk of zero iterations".into(),
+            ));
+        }
+        // Iteration count of `lo..=hi` by `step`, in i128 so the widest
+        // i64 ranges can't overflow the subtraction.
+        let span = if step > 0 {
+            hi as i128 - lo as i128
+        } else {
+            lo as i128 - hi as i128
+        };
+        let n_total = if span < 0 {
+            0u64
+        } else {
+            (span / (step as i128).abs()) as u64 + 1
+        };
+        let key = self.op_seq.get();
+        self.op_seq.set(key + 1);
+        let counter = self.shared.counter(key, &self.ctx.p, self.pe)?;
+        let clock = &self.ctx.p.flex.pe(self.pe).clock;
+        let shmem = &self.ctx.p.flex.shmem;
+        let mut done = 0usize;
+        loop {
+            let want = match mode {
+                Chunking::Fixed(c) => c,
+                Chunking::Guided => {
+                    let seen = shmem.load(counter, 0)?;
+                    (n_total.saturating_sub(seen) / (2 * self.size as u64)).max(1)
+                }
+            };
+            let k0 = shmem.fetch_add(counter, 0, want)?;
+            if k0 >= n_total {
+                return Ok(());
+            }
+            clock.advance(cost::SELFSCHED_DISPATCH);
+            RunStats::bump(&self.ctx.p.stats.selfsched_chunks);
+            let k1 = k0.saturating_add(want).min(n_total);
+            for k in k0..k1 {
+                clock.advance(cost::PRESCHED_DISPATCH);
+                f(lo + step * k as i64)?;
+                done += 1;
+                if done.is_multiple_of(64) && self.ctx.entry.killed() {
+                    return Err(PiscesError::Killed);
+                }
             }
         }
     }
@@ -485,7 +628,7 @@ impl TaskCtx {
                     Some(e) => Err(e),
                 }
             });
-            shared.free_counters(&self.p.flex);
+            shared.free_counters(&self.p, self.pe());
             result
         })();
 

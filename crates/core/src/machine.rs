@@ -355,6 +355,26 @@ impl Pisces {
         &self.metrics
     }
 
+    /// Allocate shared memory through `pe`'s pool magazine, recording the
+    /// hit/miss in the metrics registry. The runtime's fast paths (message
+    /// blocks, lock words, loop counters) all come through here.
+    pub(crate) fn pool_alloc(&self, pe: PeId, bytes: usize, tag: ShmTag) -> Result<ShmHandle> {
+        let (h, hit) = self.flex.shm_alloc(pe, bytes, tag)?;
+        if hit {
+            RunStats::bump(&self.metrics.pool_hits);
+        } else {
+            RunStats::bump(&self.metrics.pool_misses);
+        }
+        Ok(h)
+    }
+
+    /// Free shared memory through `pe`'s pool magazine. `tag` must match
+    /// the allocation's tag (the pool's magazines are tag-segregated).
+    pub(crate) fn pool_free(&self, pe: PeId, handle: ShmHandle, tag: ShmTag) -> Result<()> {
+        self.flex.shm_free(pe, handle, tag)?;
+        Ok(())
+    }
+
     /// Whether the machine has been shut down.
     pub fn is_down(&self) -> bool {
         self.down.load(Ordering::Relaxed)
@@ -438,10 +458,11 @@ impl Pisces {
         }
         let entry = self.entry_of(to)?;
         let words = encode_values(args);
-        let handle = self
-            .flex
-            .shmem
-            .alloc((Self::MSG_HEADER_WORDS + words.len()) * 8, ShmTag::Message)?;
+        let handle = self.pool_alloc(
+            from_pe,
+            (Self::MSG_HEADER_WORDS + words.len()) * 8,
+            ShmTag::Message,
+        )?;
         self.flex.shmem.store(handle, 0, from.pack())?;
         self.flex.shmem.store(handle, 1, words.len() as u64)?;
         self.flex
@@ -472,7 +493,7 @@ impl Pisces {
         ) {
             PushOutcome::Delivered => Ok(()),
             PushOutcome::Closed(msg) => {
-                self.flex.shmem.free(msg.handle)?;
+                self.pool_free(from_pe, msg.handle, ShmTag::Message)?;
                 Err(PiscesError::NoSuchTask(to))
             }
         }
@@ -480,26 +501,31 @@ impl Pisces {
 
     /// Decode a stored message's argument packets and release its
     /// shared-memory block ("explicit allocation/deallocation as messages
-    /// are sent and accepted").
+    /// are sent and accepted"). `pe` is the PE doing the accept; the block
+    /// returns to that PE's pool magazine for the next send to reuse.
     pub(crate) fn open_message(
         &self,
         stored: &crate::message::StoredMessage,
+        pe: PeId,
     ) -> Result<Vec<Value>> {
+        // Header word 1 holds the packet length; the block itself may be
+        // larger (pool allocations round up to a size class).
         let total = stored.handle.words();
-        let arg_words = total - Self::MSG_HEADER_WORDS;
+        let packet_words = self.flex.shmem.load(stored.handle, 1)? as usize;
+        let arg_words = packet_words.min(total.saturating_sub(Self::MSG_HEADER_WORDS));
         let mut buf = vec![0u64; arg_words];
         self.flex
             .shmem
             .read_words(stored.handle, Self::MSG_HEADER_WORDS, &mut buf)?;
         let vals = decode_values(&buf)?;
-        self.flex.shmem.free(stored.handle)?;
+        self.pool_free(pe, stored.handle, ShmTag::Message)?;
         Ok(vals)
     }
 
     /// Release a stored message without decoding (DELETE MESSAGES, task
-    /// termination).
-    pub(crate) fn discard_message(&self, stored: &crate::message::StoredMessage) {
-        let _ = self.flex.shmem.free(stored.handle);
+    /// termination). `pe` names the pool magazine the block returns to.
+    pub(crate) fn discard_message(&self, stored: &crate::message::StoredMessage, pe: PeId) {
+        let _ = self.pool_free(pe, stored.handle, ShmTag::Message);
         RunStats::bump(&self.stats.messages_deleted);
     }
 
@@ -711,7 +737,7 @@ impl Pisces {
                 // Controller exit: reap the process and remove the entry.
                 p.flex.procs(entry.pe).exit(entry.pid);
                 for m in entry.inq.close_and_drain() {
-                    p.discard_message(&m);
+                    p.discard_message(&m, entry.pe);
                 }
                 p.state.lock().tasks.remove(&entry.id);
                 p.state_changed.notify_all();
@@ -726,13 +752,13 @@ impl Pisces {
     /// slot via a TERM$ message to its cluster's task controller.
     fn finish_task(self: &Arc<Self>, entry: &Arc<TaskEntry>, result: Result<()>) {
         for m in entry.inq.close_and_drain() {
-            self.discard_message(&m);
+            self.discard_message(&m, entry.pe);
         }
         for (_, (h, _)) in entry.shared_commons.lock().drain() {
-            let _ = self.flex.shmem.free(h);
+            let _ = self.pool_free(entry.pe, h, ShmTag::SharedCommon);
         }
         for (_, h) in entry.locks.lock().drain() {
-            let _ = self.flex.shmem.free(h);
+            let _ = self.pool_free(entry.pe, h, ShmTag::SharedCommon);
         }
         self.free_task_arrays(entry.id);
 
@@ -921,6 +947,9 @@ impl Pisces {
         for h in tables {
             let _ = self.flex.shmem.free(h);
         }
+        // Return every magazine-cached block to the arena so the final
+        // storage report reflects what is truly live.
+        self.flex.pool.flush(&self.flex.shmem);
         // Push buffered trace output (e.g. a JSONL file sink) to disk so
         // off-line analysis sees the complete run.
         self.tracer.flush();
@@ -1174,7 +1203,7 @@ impl Pisces {
         let removed = entry.inq.delete_type(mtype);
         let n = removed.len();
         for m in removed {
-            self.discard_message(&m);
+            self.discard_message(&m, entry.pe);
         }
         Ok(n)
     }
@@ -1214,10 +1243,24 @@ impl Pisces {
     }
 
     /// The Section 13 storage measurement: shared-memory usage by purpose
-    /// plus per-PE local memory usage.
+    /// plus per-PE local memory usage. Blocks cached in the allocation
+    /// pool's magazines are *recovered* storage — free for reuse, not
+    /// holding live data — so they are subtracted from the per-tag and
+    /// in-use figures (the paper measures storage in use, and a recycled
+    /// message block is not in use by any message).
     pub fn storage_report(&self) -> StorageReport {
+        let mut shm = self.flex.shmem.report();
+        for tag in ShmTag::ALL {
+            let cached = self.flex.pool.cached_bytes_for(tag) as usize;
+            if cached > 0 {
+                if let Some(b) = shm.by_tag.get_mut(&tag) {
+                    *b = b.saturating_sub(cached);
+                }
+                shm.in_use = shm.in_use.saturating_sub(cached);
+            }
+        }
         StorageReport {
-            shm: self.flex.shmem.report(),
+            shm,
             local: self
                 .config
                 .pes_in_use()
@@ -1270,6 +1313,16 @@ impl Pisces {
         for tag in ShmTag::ALL {
             let _ = writeln!(s, "    {:<14} {:>8} B", tag.label(), r.tag_bytes(tag));
         }
+        let p = self.flex.pool.report();
+        let _ = writeln!(
+            s,
+            "  allocation pool: hits={} misses={} hit_rate={:.1}% cached={} blocks ({} B)",
+            p.hits,
+            p.misses,
+            p.hit_rate(),
+            p.cached_blocks,
+            p.cached_bytes
+        );
         s
     }
 }

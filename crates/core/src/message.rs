@@ -59,6 +59,11 @@ struct QueueState {
     q: VecDeque<StoredMessage>,
     next_arrival: u64,
     closed: bool,
+    /// Threads currently blocked in [`InQueue::wait`]. Maintained under
+    /// the state lock, so once an observer reads a non-zero value the
+    /// waiter is committed to the condvar (the wait atomically releases
+    /// the lock) and a subsequent notify cannot be lost.
+    waiters: usize,
 }
 
 /// Outcome of pushing into a queue.
@@ -136,13 +141,23 @@ impl InQueue {
         if st.closed {
             return true;
         }
-        match deadline {
+        st.waiters += 1;
+        let woke = match deadline {
             Some(d) => !self.cond.wait_until(&mut st, d).timed_out(),
             None => {
                 self.cond.wait(&mut st);
                 true
             }
-        }
+        };
+        st.waiters -= 1;
+        woke
+    }
+
+    /// Number of threads currently blocked in [`Self::wait`]. Lets tests
+    /// (and shutdown diagnostics) rendezvous with a waiter deterministically
+    /// instead of sleeping and hoping.
+    pub fn waiters(&self) -> usize {
+        self.state.lock().waiters
     }
 
     /// Wake all waiters without enqueueing (used to deliver kill requests
@@ -300,7 +315,11 @@ mod tests {
         let q2 = q.clone();
         let m2 = m.clone();
         let t = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(30));
+            // Rendezvous: push only once the main thread is provably
+            // blocked in wait(), so the wake must come from the push.
+            while q2.waiters() == 0 {
+                std::thread::yield_now();
+            }
             q2.push(
                 "A".into(),
                 tid(1),
@@ -309,7 +328,6 @@ mod tests {
                 0,
             );
         });
-        // Generous deadline: the wake must come from the push.
         let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
         assert!(woke);
         t.join().unwrap();
@@ -321,13 +339,29 @@ mod tests {
         let q = Arc::new(InQueue::new());
         let q2 = q.clone();
         let t = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(30));
+            while q2.waiters() == 0 {
+                std::thread::yield_now();
+            }
             q2.interrupt();
         });
         let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
         assert!(woke);
         assert!(q.is_empty());
         t.join().unwrap();
+    }
+
+    #[test]
+    fn waiters_counts_blocked_threads() {
+        let q = Arc::new(InQueue::new());
+        assert_eq!(q.waiters(), 0);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.wait(Some(Instant::now() + Duration::from_secs(5))));
+        while q.waiters() == 0 {
+            std::thread::yield_now();
+        }
+        q.interrupt();
+        assert!(t.join().unwrap());
+        assert_eq!(q.waiters(), 0);
     }
 
     #[test]

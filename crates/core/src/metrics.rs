@@ -242,6 +242,12 @@ pub struct MetricsRegistry {
     pub lock_hold: TickHistogram,
     /// Input-queue depth observed by each successful ACCEPT.
     pub accept_queue_depth: TickHistogram,
+    /// Shared-memory allocations served from a per-PE pool magazine
+    /// (no global heap lock taken). See `flex32::pool`.
+    pub pool_hits: AtomicU64,
+    /// Shared-memory allocations that fell through to the global
+    /// first-fit heap.
+    pub pool_misses: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -251,13 +257,16 @@ impl Default for MetricsRegistry {
             barrier_wait: TickHistogram::new("barrier_wait", "µs"),
             lock_hold: TickHistogram::new("lock_hold", "µs"),
             accept_queue_depth: TickHistogram::new("accept_queue_depth", "messages"),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
         }
     }
 }
 
 impl MetricsRegistry {
     /// Render every histogram that has samples (all four headers appear
-    /// even when empty, so reports are self-describing).
+    /// even when empty, so reports are self-describing), followed by the
+    /// allocation-pool hit/miss line.
     pub fn report(&self) -> String {
         let mut out = String::from("histograms:\n");
         for h in [
@@ -268,6 +277,17 @@ impl MetricsRegistry {
         ] {
             out.push_str(&h.snapshot().to_string());
         }
+        let hits = self.pool_hits.load(Ordering::Relaxed);
+        let misses = self.pool_misses.load(Ordering::Relaxed);
+        let total = hits + misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        };
+        out.push_str(&format!(
+            "shm_pool: hits={hits} misses={misses} hit_rate={rate:.1}%\n"
+        ));
         out
     }
 }
@@ -345,5 +365,18 @@ mod tests {
         ] {
             assert!(r.contains(name), "{name} missing from report");
         }
+    }
+
+    #[test]
+    fn report_shows_pool_hit_rate() {
+        let m = MetricsRegistry::default();
+        assert!(m.report().contains("shm_pool: hits=0 misses=0"));
+        m.pool_hits.fetch_add(3, Ordering::Relaxed);
+        m.pool_misses.fetch_add(1, Ordering::Relaxed);
+        let r = m.report();
+        assert!(
+            r.contains("shm_pool: hits=3 misses=1 hit_rate=75.0%"),
+            "{r}"
+        );
     }
 }

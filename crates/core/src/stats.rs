@@ -37,6 +37,9 @@ pub struct RunStats {
     pub forcesplits: AtomicU64,
     /// Barrier entries (per member).
     pub barrier_entries: AtomicU64,
+    /// Chunks grabbed by chunked/guided SELFSCHED loops (each grab is one
+    /// shared fetch-add amortized over the whole chunk).
+    pub selfsched_chunks: AtomicU64,
     /// Critical sections entered.
     pub criticals: AtomicU64,
     /// Window read operations.
@@ -63,6 +66,7 @@ pub struct StatsSnapshot {
     pub initiates_queued: u64,
     pub forcesplits: u64,
     pub barrier_entries: u64,
+    pub selfsched_chunks: u64,
     pub criticals: u64,
     pub window_reads: u64,
     pub window_writes: u64,
@@ -73,7 +77,7 @@ impl StatsSnapshot {
     /// Counter names and values, in declaration order. One list drives
     /// `diff` and `Display` so a new counter cannot be missed in one of
     /// them.
-    pub fn fields(&self) -> [(&'static str, u64); 17] {
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("messages sent", self.messages_sent),
             ("broadcast deliveries", self.broadcast_deliveries),
@@ -88,6 +92,7 @@ impl StatsSnapshot {
             ("initiates queued", self.initiates_queued),
             ("forcesplits", self.forcesplits),
             ("barrier entries", self.barrier_entries),
+            ("selfsched chunks", self.selfsched_chunks),
             ("criticals", self.criticals),
             ("window reads", self.window_reads),
             ("window writes", self.window_writes),
@@ -121,6 +126,9 @@ impl StatsSnapshot {
                 .saturating_sub(earlier.initiates_queued),
             forcesplits: self.forcesplits.saturating_sub(earlier.forcesplits),
             barrier_entries: self.barrier_entries.saturating_sub(earlier.barrier_entries),
+            selfsched_chunks: self
+                .selfsched_chunks
+                .saturating_sub(earlier.selfsched_chunks),
             criticals: self.criticals.saturating_sub(earlier.criticals),
             window_reads: self.window_reads.saturating_sub(earlier.window_reads),
             window_writes: self.window_writes.saturating_sub(earlier.window_writes),
@@ -166,6 +174,7 @@ impl RunStats {
             initiates_queued: g(&self.initiates_queued),
             forcesplits: g(&self.forcesplits),
             barrier_entries: g(&self.barrier_entries),
+            selfsched_chunks: g(&self.selfsched_chunks),
             criticals: g(&self.criticals),
             window_reads: g(&self.window_reads),
             window_writes: g(&self.window_writes),
@@ -221,7 +230,7 @@ mod tests {
         let s = RunStats::default();
         RunStats::add(&s.window_words, 42);
         let text = s.snapshot().to_string();
-        assert_eq!(text.lines().count(), 17);
+        assert_eq!(text.lines().count(), 18);
         assert!(text.contains("window words"));
         assert!(text.contains("42"));
     }
@@ -231,6 +240,6 @@ mod tests {
         // fields() drives diff/Display; a counter missing here would make
         // this length check fail when someone extends the struct.
         let snap = StatsSnapshot::default();
-        assert_eq!(snap.fields().len(), 17);
+        assert_eq!(snap.fields().len(), 18);
     }
 }

@@ -1,0 +1,123 @@
+//! Stress tests for the sense-reversing force barrier.
+//!
+//! The barrier is the hot synchronization primitive of Section 7 — a
+//! force of N members crosses it once per BARRIER statement, often
+//! thousands of times per run. These tests drive it far harder than the
+//! force tests do: many threads, many rounds, randomized arrival skew,
+//! checking that no thread ever crosses into round R+1 while a round-R
+//! arrival is still missing (a "generation skip" would let a member read
+//! shared data the leader hasn't written yet).
+
+use pisces_core::force::GenBarrier;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Churn: N threads cross the same barrier M times with randomized
+/// per-round delays. After every crossing, each thread checks that all N
+/// arrivals for that round had been recorded — if the barrier ever
+/// released early or skipped a generation, some thread would observe a
+/// short count.
+#[test]
+fn churn_never_skips_a_generation() {
+    const N: usize = 8;
+    const ROUNDS: usize = 50;
+    let barrier = Arc::new(GenBarrier::new(N));
+    let abort = Arc::new(AtomicBool::new(false));
+    let arrivals: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..ROUNDS).map(|_| AtomicUsize::new(0)).collect());
+
+    let mut handles = Vec::new();
+    for t in 0..N {
+        let barrier = barrier.clone();
+        let abort = abort.clone();
+        let arrivals = arrivals.clone();
+        handles.push(std::thread::spawn(move || {
+            // Cheap LCG so each thread's arrival jitter differs per round.
+            let mut x = t as u64 + 1;
+            for r in 0..ROUNDS {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                for _ in 0..(x % 2000) {
+                    std::hint::spin_loop();
+                }
+                arrivals[r].fetch_add(1, Ordering::SeqCst);
+                barrier.wait(&abort).unwrap();
+                assert_eq!(
+                    arrivals[r].load(Ordering::SeqCst),
+                    N,
+                    "thread {t} crossed round {r} before all arrivals"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Abort must unblock every member already waiting, whether it is still
+/// in the spin phase or parked on the condvar.
+#[test]
+fn abort_unblocks_all_waiting_members() {
+    let barrier = Arc::new(GenBarrier::new(4));
+    let abort = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let barrier = barrier.clone();
+        let abort = abort.clone();
+        handles.push(std::thread::spawn(move || barrier.wait(&abort)));
+    }
+    // Let all three blow through the spin budget and park.
+    std::thread::sleep(Duration::from_millis(50));
+    abort.store(true, Ordering::Relaxed);
+    for h in handles {
+        assert!(h.join().unwrap().is_err(), "aborted wait must error");
+    }
+}
+
+/// A one-member barrier is a no-op: the sole participant is always the
+/// last arrival.
+#[test]
+fn single_member_barrier_returns_immediately() {
+    let barrier = GenBarrier::new(1);
+    let abort = AtomicBool::new(false);
+    for _ in 0..1000 {
+        barrier.wait(&abort).unwrap();
+    }
+}
+
+/// Two threads reusing one barrier for many rounds with no delays at all —
+/// the tightest possible generation turnover, where a reset bug (arrived
+/// count or generation published in the wrong order) shows up as a hang
+/// or an early release.
+#[test]
+fn rapid_reuse_two_threads() {
+    const ROUNDS: usize = 10_000;
+    let barrier = Arc::new(GenBarrier::new(2));
+    let abort = Arc::new(AtomicBool::new(false));
+    let counter = Arc::new(AtomicUsize::new(0));
+
+    let b2 = barrier.clone();
+    let a2 = abort.clone();
+    let c2 = counter.clone();
+    let t = std::thread::spawn(move || {
+        for _ in 0..ROUNDS {
+            c2.fetch_add(1, Ordering::SeqCst);
+            b2.wait(&a2).unwrap();
+        }
+    });
+    for r in 1..=ROUNDS {
+        counter.fetch_add(1, Ordering::SeqCst);
+        barrier.wait(&abort).unwrap();
+        let seen = counter.load(Ordering::SeqCst);
+        assert!(
+            seen >= 2 * r,
+            "round {r}: released with only {seen} arrivals recorded"
+        );
+    }
+    t.join().unwrap();
+}

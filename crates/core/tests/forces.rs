@@ -209,6 +209,66 @@ fn selfsched_covers_all_iterations_exactly_once() {
 }
 
 #[test]
+fn selfsched_chunked_covers_all_iterations_exactly_once() {
+    let p = boot_with_force(4..=9); // size 7
+    p.register("main", |ctx| {
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
+        ctx.forcesplit(|f| {
+            f.selfsched_chunked(0, 499, 16, |i| {
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+        })?;
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        Ok(())
+    });
+    run(&p, "main");
+    assert!(
+        p.stats().snapshot().selfsched_chunks >= 500 / 16,
+        "chunk grabs must be counted"
+    );
+    p.shutdown();
+}
+
+#[test]
+fn selfsched_chunked_step_matches_plain_selfsched() {
+    let p = boot_with_force(4..=6); // size 4
+    p.register("main", |ctx| {
+        let sum = Arc::new(AtomicUsize::new(0));
+        ctx.forcesplit(|f| {
+            // 10, 7, 4, 1 — the same descending loop the plain
+            // SELFSCHED test uses, claimed two at a time.
+            f.selfsched_chunked_step(10, 1, -3, 2, |i| {
+                sum.fetch_add(i as usize, Ordering::Relaxed);
+                Ok(())
+            })
+        })?;
+        assert_eq!(sum.load(Ordering::Relaxed), 22);
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn selfsched_guided_covers_all_iterations_exactly_once() {
+    let p = boot_with_force(4..=8); // size 6
+    p.register("main", |ctx| {
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..777).map(|_| AtomicUsize::new(0)).collect());
+        ctx.forcesplit(|f| {
+            f.selfsched_guided(0, 776, |i| {
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+        })?;
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
 fn consecutive_selfsched_loops_use_fresh_counters() {
     let p = boot_with_force(4..=6); // size 4
     p.register("main", |ctx| {

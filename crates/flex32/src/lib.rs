@@ -30,10 +30,12 @@ pub mod fs;
 pub mod machine;
 pub mod mmos;
 pub mod pe;
+pub mod pool;
 pub mod shmem;
 
 pub use machine::Flex32;
 pub use pe::{PeId, PeKind};
+pub use pool::{PoolReport, ShmPool};
 pub use shmem::{SharedMemory, ShmError, ShmHandle};
 
 /// Number of processing elements in the NASA Langley FLEX/32.

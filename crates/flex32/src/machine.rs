@@ -8,7 +8,8 @@
 use crate::fs::FileSystem;
 use crate::mmos::ProcessTable;
 use crate::pe::{Pe, PeError, PeId};
-use crate::shmem::SharedMemory;
+use crate::pool::ShmPool;
+use crate::shmem::{SharedMemory, ShmError, ShmHandle, ShmTag};
 use crate::NUM_PES;
 use std::sync::Arc;
 
@@ -19,6 +20,8 @@ pub struct Flex32 {
     procs: Vec<ProcessTable>,
     /// The 2.25 MB shared memory.
     pub shmem: SharedMemory,
+    /// Per-PE size-class front-end over `shmem` (see [`crate::pool`]).
+    pub pool: ShmPool,
     /// File system maintained by the Unix PEs.
     pub fs: FileSystem,
 }
@@ -45,6 +48,7 @@ impl Flex32 {
             pes: PeId::all().map(Pe::new).collect(),
             procs: (0..NUM_PES).map(|_| ProcessTable::new()).collect(),
             shmem: SharedMemory::flex32(),
+            pool: ShmPool::new(NUM_PES),
             fs: FileSystem::new(),
         }
     }
@@ -74,10 +78,32 @@ impl Flex32 {
         &self.procs[(id.number() - 1) as usize]
     }
 
+    /// Allocate shared memory through `pe`'s allocation pool. Returns the
+    /// handle and whether the request was a magazine hit (no global heap
+    /// lock taken).
+    pub fn shm_alloc(
+        &self,
+        pe: PeId,
+        bytes: usize,
+        tag: ShmTag,
+    ) -> Result<(ShmHandle, bool), ShmError> {
+        self.pool
+            .alloc(&self.shmem, (pe.number() - 1) as usize, bytes, tag)
+    }
+
+    /// Free shared memory through `pe`'s allocation pool. `tag` must be
+    /// the tag the block was allocated with (magazines are tag-segregated).
+    pub fn shm_free(&self, pe: PeId, handle: ShmHandle, tag: ShmTag) -> Result<(), ShmError> {
+        self.pool
+            .free(&self.shmem, (pe.number() - 1) as usize, handle, tag)
+    }
+
     /// Reboot the MMOS PEs between runs, as the FLEX does: clear process
     /// tables, local-memory reservations, clocks, and consoles on PEs 3–20.
-    /// (Unix PEs and the file system persist across runs.)
+    /// (Unix PEs and the file system persist across runs.) The allocation
+    /// pool is flushed so the arena starts the run with truthful accounting.
     pub fn reboot_mmos(&self) {
+        self.pool.flush(&self.shmem);
         for id in PeId::mmos() {
             let pe = self.pe(id);
             let used = pe.local.used();
@@ -133,6 +159,23 @@ mod tests {
         assert_eq!(m.pe(mmos).clock.now(), 0);
         assert_eq!(m.pe(mmos).local.used(), 0);
         assert_eq!(m.procs(mmos).live(), 0);
+    }
+
+    #[test]
+    fn pooled_alloc_hits_after_free_on_same_pe() {
+        let m = Flex32::new();
+        let pe = PeId::new(5).unwrap();
+        let (h, hit) = m.shm_alloc(pe, 32, ShmTag::Message).unwrap();
+        assert!(!hit);
+        m.shm_free(pe, h, ShmTag::Message).unwrap();
+        let (h2, hit) = m.shm_alloc(pe, 32, ShmTag::Message).unwrap();
+        assert!(hit, "freed block must be recycled on the same PE");
+        assert_eq!(h, h2);
+        m.shm_free(pe, h2, ShmTag::Message).unwrap();
+        assert!(m.shmem.report().in_use > 0, "cached block stays accounted");
+        m.reboot_mmos();
+        assert_eq!(m.shmem.report().in_use, 0, "reboot flushes the pool");
+        m.shmem.validate().unwrap();
     }
 
     #[test]

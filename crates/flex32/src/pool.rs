@@ -1,0 +1,414 @@
+//! Per-PE size-class front-end over the global first-fit heap.
+//!
+//! The paper's runtime funnels every message SEND and every shared-variable
+//! creation through the shared-memory heap (Section 11). With 20 PEs that
+//! heap's lock is the hottest word on the machine. This module adds a
+//! magazine-style cache in front of [`SharedMemory`]: small allocations are
+//! rounded up to a fixed size class and served from a per-PE freelist,
+//! touching the locked first-fit path only on a miss. A steady-state
+//! send→accept round trip therefore recycles the same block between one
+//! PE's magazines without ever taking the global lock.
+//!
+//! Design points:
+//!
+//! * **Size classes** are powers of two from 1 to [`SIZE_CLASSES`]'s last
+//!   entry (in 64-bit words). Larger requests bypass the pool entirely.
+//! * **Magazines are segregated per PE × class × tag.** Tag segregation
+//!   keeps the Section 13 per-purpose storage accounting truthful: a block
+//!   cached in a magazine is still accounted to the tag it was allocated
+//!   with, and it can only be reused for that same purpose.
+//! * **Reused blocks are re-zeroed**, preserving the arena's "fresh
+//!   allocation is zeroed" guarantee.
+//! * **Magazines are bounded** ([`MAGAZINE_CAP`] blocks); frees into a full
+//!   magazine spill to the global heap so one PE cannot hoard the arena.
+//! * [`ShmPool::flush`] returns every cached block to the heap; after a
+//!   flush, [`SharedMemory::validate`] sees exactly the blocks that are
+//!   genuinely live.
+
+use crate::shmem::{SharedMemory, ShmError, ShmHandle, ShmTag};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pooled block sizes in 64-bit words. Requests larger than the last class
+/// bypass the pool.
+pub const SIZE_CLASSES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Maximum blocks cached per (PE, class, tag) magazine; frees beyond this
+/// spill to the global heap.
+pub const MAGAZINE_CAP: usize = 64;
+
+const NUM_CLASSES: usize = SIZE_CLASSES.len();
+const NUM_TAGS: usize = ShmTag::ALL.len();
+
+/// Smallest class index whose blocks fit `words`, or `None` if oversize.
+fn class_of(words: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| c >= words)
+}
+
+fn tag_index(tag: ShmTag) -> usize {
+    match tag {
+        ShmTag::SystemTable => 0,
+        ShmTag::Message => 1,
+        ShmTag::SharedCommon => 2,
+        ShmTag::WindowArray => 3,
+        ShmTag::Other => 4,
+    }
+}
+
+/// One PE's magazines, indexed `[class][tag]`.
+struct PeMagazines {
+    mags: [[Mutex<Vec<ShmHandle>>; NUM_TAGS]; NUM_CLASSES],
+}
+
+impl PeMagazines {
+    fn new() -> Self {
+        Self {
+            mags: std::array::from_fn(|_| std::array::from_fn(|_| Mutex::new(Vec::new()))),
+        }
+    }
+}
+
+/// Counters for the pool's behaviour (all relaxed; observational only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Allocations served from a magazine (no global lock taken).
+    pub hits: u64,
+    /// Allocations that fell through to the global first-fit heap.
+    pub misses: u64,
+    /// Allocations too large for any size class (always global).
+    pub oversize: u64,
+    /// Frees captured into a magazine for reuse.
+    pub recycled: u64,
+    /// Frees of class-sized blocks that found their magazine full.
+    pub spilled: u64,
+    /// Blocks currently cached across all magazines.
+    pub cached_blocks: u64,
+    /// Bytes currently cached across all magazines.
+    pub cached_bytes: u64,
+}
+
+impl PoolReport {
+    /// Fraction of classed allocations served from a magazine, 0.0–1.0.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-PE allocation front-end. One instance serves the whole machine;
+/// every operation names the PE doing the work, so the fast path touches
+/// only that PE's magazines.
+pub struct ShmPool {
+    pes: Vec<PeMagazines>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    oversize: AtomicU64,
+    recycled: AtomicU64,
+    spilled: AtomicU64,
+}
+
+impl std::fmt::Debug for ShmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmPool")
+            .field("pes", &self.pes.len())
+            .field("report", &self.report())
+            .finish()
+    }
+}
+
+impl ShmPool {
+    /// A pool with empty magazines for `pes` processing elements.
+    pub fn new(pes: usize) -> Self {
+        Self {
+            pes: (0..pes).map(|_| PeMagazines::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            oversize: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocate `bytes` for `tag` on behalf of `pe` (0-based index).
+    ///
+    /// Returns the handle and whether it was a magazine hit. A hit re-zeroes
+    /// the block, so callers see the same fresh storage the heap provides.
+    pub fn alloc(
+        &self,
+        shmem: &SharedMemory,
+        pe: usize,
+        bytes: usize,
+        tag: ShmTag,
+    ) -> Result<(ShmHandle, bool), ShmError> {
+        if bytes == 0 {
+            return Err(ShmError::ZeroSize);
+        }
+        let words = bytes.div_ceil(8);
+        let Some(class) = class_of(words) else {
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+            return Ok((shmem.alloc(bytes, tag)?, false));
+        };
+        let popped = self.pes[pe].mags[class][tag_index(tag)].lock().pop();
+        if let Some(h) = popped {
+            shmem.zero_block(h)?;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((h, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((shmem.alloc(SIZE_CLASSES[class] * 8, tag)?, false))
+    }
+
+    /// Return a block on behalf of `pe`. Exactly class-sized blocks are
+    /// captured into the PE's magazine for `tag` (the tag the block was
+    /// allocated with — magazines are tag-segregated so the arena's
+    /// per-purpose accounting stays truthful); everything else, and
+    /// anything arriving at a full magazine, goes back to the global heap.
+    pub fn free(
+        &self,
+        shmem: &SharedMemory,
+        pe: usize,
+        handle: ShmHandle,
+        tag: ShmTag,
+    ) -> Result<(), ShmError> {
+        let words = handle.words();
+        if let Some(class) = class_of(words) {
+            if SIZE_CLASSES[class] == words {
+                let mut mag = self.pes[pe].mags[class][tag_index(tag)].lock();
+                if mag.len() < MAGAZINE_CAP {
+                    debug_assert!(
+                        !mag.contains(&handle),
+                        "double free into a pool magazine at word {}",
+                        handle.offset()
+                    );
+                    mag.push(handle);
+                    self.recycled.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                drop(mag);
+                self.spilled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shmem.free(handle)
+    }
+
+    /// Return every cached block to the global heap. After a flush the
+    /// arena's in-use accounting reflects only genuinely live blocks.
+    pub fn flush(&self, shmem: &SharedMemory) {
+        for pe in &self.pes {
+            for class in &pe.mags {
+                for mag in class {
+                    for h in mag.lock().drain(..) {
+                        let _ = shmem.free(h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes currently cached in magazines for one tag. Storage reports
+    /// subtract this from the arena's per-tag account: a cached block is
+    /// recovered (free for reuse), not live.
+    pub fn cached_bytes_for(&self, tag: ShmTag) -> u64 {
+        let ti = tag_index(tag);
+        self.pes
+            .iter()
+            .flat_map(|pe| pe.mags.iter().map(move |class| &class[ti]))
+            .map(|mag| mag.lock().iter().map(|h| h.bytes() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Blocks currently cached across all magazines.
+    pub fn cached_blocks(&self) -> u64 {
+        self.pes
+            .iter()
+            .flat_map(|pe| pe.mags.iter().flatten())
+            .map(|m| m.lock().len() as u64)
+            .sum()
+    }
+
+    /// Counter snapshot plus current cache occupancy.
+    pub fn report(&self) -> PoolReport {
+        let mut cached_blocks = 0u64;
+        let mut cached_bytes = 0u64;
+        for pe in &self.pes {
+            for class in &pe.mags {
+                for mag in class {
+                    let m = mag.lock();
+                    cached_blocks += m.len() as u64;
+                    cached_bytes += m.iter().map(|h| h.bytes() as u64).sum::<u64>();
+                }
+            }
+        }
+        PoolReport {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            oversize: self.oversize.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            cached_blocks,
+            cached_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> SharedMemory {
+        SharedMemory::with_capacity(1 << 16)
+    }
+
+    #[test]
+    fn miss_then_hit_recycles_the_same_block() {
+        let m = arena();
+        let pool = ShmPool::new(2);
+        let (a, hit) = pool.alloc(&m, 0, 24, ShmTag::Message).unwrap();
+        assert!(!hit, "first allocation must miss");
+        pool.free(&m, 0, a, ShmTag::Message).unwrap();
+        let (b, hit) = pool.alloc(&m, 0, 24, ShmTag::Message).unwrap();
+        assert!(hit, "second allocation must hit the magazine");
+        assert_eq!(a, b, "hit must return the recycled block");
+        let r = pool.report();
+        assert_eq!((r.hits, r.misses, r.recycled), (1, 1, 1));
+    }
+
+    #[test]
+    fn hit_returns_zeroed_storage() {
+        let m = arena();
+        let pool = ShmPool::new(1);
+        let (a, _) = pool.alloc(&m, 0, 32, ShmTag::Other).unwrap();
+        m.store(a, 2, 0xdead).unwrap();
+        pool.free(&m, 0, a, ShmTag::Other).unwrap();
+        let (b, hit) = pool.alloc(&m, 0, 32, ShmTag::Other).unwrap();
+        assert!(hit);
+        for i in 0..b.words() {
+            assert_eq!(m.load(b, i).unwrap(), 0, "word {i} not re-zeroed");
+        }
+    }
+
+    #[test]
+    fn allocations_round_up_to_class_size() {
+        let m = arena();
+        let pool = ShmPool::new(1);
+        let (h, _) = pool.alloc(&m, 0, 17, ShmTag::Other).unwrap(); // 3 words
+        assert_eq!(h.words(), 4, "3-word request served by the 4-word class");
+    }
+
+    #[test]
+    fn magazines_are_per_pe() {
+        let m = arena();
+        let pool = ShmPool::new(2);
+        let (a, _) = pool.alloc(&m, 0, 8, ShmTag::Message).unwrap();
+        pool.free(&m, 0, a, ShmTag::Message).unwrap();
+        let (_, hit) = pool.alloc(&m, 1, 8, ShmTag::Message).unwrap();
+        assert!(!hit, "PE 1 must not see PE 0's magazine");
+    }
+
+    #[test]
+    fn magazines_are_per_tag() {
+        let m = arena();
+        let pool = ShmPool::new(1);
+        let (a, _) = pool.alloc(&m, 0, 8, ShmTag::Message).unwrap();
+        pool.free(&m, 0, a, ShmTag::Message).unwrap();
+        let (_, hit) = pool.alloc(&m, 0, 8, ShmTag::SystemTable).unwrap();
+        assert!(!hit, "a Message block must not serve a SystemTable request");
+        let r = m.report();
+        assert_eq!(
+            r.tag_bytes(ShmTag::Message),
+            8,
+            "cached block keeps its tag"
+        );
+    }
+
+    #[test]
+    fn oversize_requests_bypass_the_pool() {
+        let m = arena();
+        let pool = ShmPool::new(1);
+        let big = (SIZE_CLASSES[NUM_CLASSES - 1] + 1) * 8;
+        let (h, hit) = pool.alloc(&m, 0, big, ShmTag::Other).unwrap();
+        assert!(!hit);
+        pool.free(&m, 0, h, ShmTag::Other).unwrap();
+        let r = pool.report();
+        assert_eq!(r.oversize, 1);
+        assert_eq!(r.recycled, 0, "oversize blocks are never cached");
+        assert_eq!(m.report().in_use, 0);
+    }
+
+    #[test]
+    fn full_magazine_spills_to_the_heap() {
+        let m = SharedMemory::with_capacity(8 * (MAGAZINE_CAP + 8));
+        let pool = ShmPool::new(1);
+        let mut blocks = Vec::new();
+        for _ in 0..MAGAZINE_CAP + 1 {
+            blocks.push(pool.alloc(&m, 0, 8, ShmTag::Other).unwrap().0);
+        }
+        for b in blocks {
+            pool.free(&m, 0, b, ShmTag::Other).unwrap();
+        }
+        let r = pool.report();
+        assert_eq!(r.recycled as usize, MAGAZINE_CAP);
+        assert_eq!(r.spilled, 1);
+        assert_eq!(r.cached_blocks as usize, MAGAZINE_CAP);
+    }
+
+    #[test]
+    fn flush_returns_everything_and_validates() {
+        let m = arena();
+        let pool = ShmPool::new(3);
+        for pe in 0..3 {
+            for bytes in [8, 16, 40, 200] {
+                let (h, _) = pool.alloc(&m, pe, bytes, ShmTag::Message).unwrap();
+                pool.free(&m, pe, h, ShmTag::Message).unwrap();
+            }
+        }
+        assert!(pool.cached_blocks() > 0);
+        pool.flush(&m);
+        assert_eq!(pool.cached_blocks(), 0);
+        m.validate().unwrap();
+        let r = m.report();
+        assert_eq!(r.in_use, 0);
+        assert_eq!(r.tag_bytes(ShmTag::Message), 0);
+    }
+
+    #[test]
+    fn zero_byte_allocation_rejected() {
+        let m = arena();
+        let pool = ShmPool::new(1);
+        assert_eq!(
+            pool.alloc(&m, 0, 0, ShmTag::Other).unwrap_err(),
+            ShmError::ZeroSize
+        );
+    }
+
+    #[test]
+    fn concurrent_traffic_stays_consistent() {
+        let m = std::sync::Arc::new(arena());
+        let pool = std::sync::Arc::new(ShmPool::new(4));
+        let mut handles = Vec::new();
+        for pe in 0..4usize {
+            let m = m.clone();
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500usize {
+                    let bytes = 8 * (1 + (pe * 5 + i * 3) % 32);
+                    let (h, _) = pool.alloc(&m, pe, bytes, ShmTag::Message).unwrap();
+                    m.store(h, 0, i as u64).unwrap();
+                    pool.free(&m, pe, h, ShmTag::Message).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = pool.report();
+        assert!(r.hits > 0, "steady-state traffic must hit the magazines");
+        pool.flush(&m);
+        m.validate().unwrap();
+        assert_eq!(m.report().in_use, 0);
+    }
+}

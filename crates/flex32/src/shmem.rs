@@ -411,6 +411,22 @@ impl SharedMemory {
         Ok(())
     }
 
+    /// Zero every word of an allocated block (used by the allocation pool
+    /// when it recycles a block, so reuse preserves the "fresh allocation
+    /// is zeroed" guarantee).
+    pub fn zero_block(&self, handle: ShmHandle) -> Result<(), ShmError> {
+        if handle.words == 0 || handle.offset + handle.words > self.words.len() {
+            return Err(ShmError::OutOfBounds {
+                index: handle.offset + handle.words,
+                words: handle.words,
+            });
+        }
+        for w in &self.words[handle.offset..handle.offset + handle.words] {
+            w.store(0, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Usage snapshot for storage reports.
     pub fn report(&self) -> ShmReport {
         let st = self.state.lock();
@@ -479,6 +495,12 @@ impl SharedMemory {
             ));
         }
         Ok(())
+    }
+
+    /// Alias for [`SharedMemory::check_invariants`]: free + allocated must
+    /// exactly tile the arena. Pool tests call this after a flush.
+    pub fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
     }
 }
 

@@ -1,0 +1,119 @@
+//! Property tests for the per-PE allocation pool.
+//!
+//! The pool caches freed blocks in per-PE magazines, so the hazard it
+//! introduces over the raw allocator is bookkeeping drift: a block counted
+//! twice (double free into a magazine), a block lost (neither live, cached,
+//! nor free), or a flush that returns something the arena doesn't own. We
+//! drive arbitrary alloc/free interleavings across PEs, tags, and size
+//! classes — including oversize requests that bypass the pool — and then
+//! require that a full flush leaves the arena exactly as it started:
+//! `validate()` clean, zero bytes in use, every tag account at zero.
+
+use flex32::pool::ShmPool;
+use flex32::shmem::{SharedMemory, ShmHandle, ShmTag};
+use proptest::prelude::*;
+
+const PES: usize = 4;
+
+/// A scripted pool operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `bytes` on PE `pe` with tag index `tag`.
+    Alloc { pe: usize, bytes: usize, tag: usize },
+    /// Free the live block at index `idx` (modulo the live count) from
+    /// PE `pe` — often a *different* PE than allocated it, as happens
+    /// when a message is accepted on the receiver's PE.
+    Free { pe: usize, idx: usize },
+}
+
+const TAGS: [ShmTag; 3] = [ShmTag::Message, ShmTag::SharedCommon, ShmTag::SystemTable];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Sizes straddle the class boundaries (1..=64 words) and include
+        // oversize requests (> 512 bytes) that bypass the magazines.
+        (0usize..PES, 1usize..=700, 0usize..TAGS.len()).prop_map(|(pe, bytes, tag)| Op::Alloc {
+            pe,
+            bytes,
+            tag
+        }),
+        (0usize..PES, 0usize..64).prop_map(|(pe, idx)| Op::Free { pe, idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pool_never_leaks_or_double_frees(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let m = SharedMemory::with_capacity(256 * 1024);
+        let pool = ShmPool::new(PES);
+        let mut live: Vec<(ShmHandle, ShmTag, u64)> = Vec::new();
+        let mut stamp = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Alloc { pe, bytes, tag } => {
+                    let tag = TAGS[tag];
+                    if let Ok((h, _hit)) = pool.alloc(&m, pe, bytes, tag) {
+                        // Pool hits must hand back zeroed storage, like
+                        // the arena does.
+                        prop_assert_eq!(m.load(h, 0).unwrap(), 0);
+                        stamp += 1;
+                        m.store(h, 0, stamp).unwrap();
+                        live.push((h, tag, stamp));
+                    }
+                }
+                Op::Free { pe, idx } => {
+                    if !live.is_empty() {
+                        let (h, tag, _) = live.swap_remove(idx % live.len());
+                        pool.free(&m, pe, h, tag).unwrap();
+                    }
+                }
+            }
+            m.validate().unwrap();
+        }
+
+        // No magazine traffic ever overlapped a live block.
+        for (h, _, s) in &live {
+            prop_assert_eq!(m.load(*h, 0).unwrap(), *s);
+        }
+
+        // Release everything through the pool, then flush the magazines:
+        // the arena must be back to its pristine state with every byte
+        // and every tag account returned.
+        for (h, tag, _) in live {
+            pool.free(&m, 0, h, tag).unwrap();
+        }
+        pool.flush(&m);
+        prop_assert_eq!(pool.cached_blocks(), 0);
+        m.validate().unwrap();
+        let r = m.report();
+        prop_assert_eq!(r.in_use, 0);
+        prop_assert_eq!(r.free_fragments, 1);
+        prop_assert_eq!(r.largest_free_block, 256 * 1024);
+        for tag in TAGS {
+            prop_assert_eq!(r.tag_bytes(tag), 0);
+        }
+    }
+
+    #[test]
+    fn recycled_blocks_match_what_was_freed(rounds in 1usize..40, words in 1usize..=64) {
+        // Single-PE ping-pong: after the priming miss, every allocation
+        // must be a hit on exactly the block just freed.
+        let m = SharedMemory::with_capacity(64 * 1024);
+        let pool = ShmPool::new(1);
+        let (first, hit) = pool.alloc(&m, 0, words * 8, ShmTag::Message).unwrap();
+        prop_assert!(!hit);
+        pool.free(&m, 0, first, ShmTag::Message).unwrap();
+        for _ in 0..rounds {
+            let (h, hit) = pool.alloc(&m, 0, words * 8, ShmTag::Message).unwrap();
+            prop_assert!(hit);
+            prop_assert_eq!(h, first);
+            pool.free(&m, 0, h, ShmTag::Message).unwrap();
+        }
+        pool.flush(&m);
+        m.validate().unwrap();
+        prop_assert_eq!(m.report().in_use, 0);
+    }
+}
