@@ -192,6 +192,55 @@ fn snap_sync(metrics: &mut Map<String, Json>) {
 }
 
 // ----------------------------------------------------------------------
+// faults: cost of the fault-injection hooks on the healthy path
+// ----------------------------------------------------------------------
+
+/// Send→accept round trips with no plan armed vs an armed-but-inert plan
+/// (every action targets an ordinal/tick that never arrives). The delta is
+/// what fault-injection support costs a healthy program: one relaxed
+/// atomic load per hook when disarmed, plus the plan scan when armed.
+fn snap_faults(metrics: &mut Map<String, Json>) {
+    const WARMUP: u64 = 500;
+    const ITERS: u64 = 4_000;
+    fn roundtrips(p: &Arc<Pisces>) -> Duration {
+        with_task(p, |ctx| {
+            for i in 0..WARMUP {
+                ctx.send(To::Myself, "M", args![i as i64])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            let t0 = Instant::now();
+            for i in 0..ITERS {
+                ctx.send(To::Myself, "M", args![i as i64])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            Ok(t0.elapsed())
+        })
+    }
+
+    let p = boot(MachineConfig::simple(1, 4));
+    let healthy = per_op(roundtrips(&p), ITERS);
+    p.shutdown();
+
+    let p = boot(MachineConfig::simple(1, 4));
+    p.arm_faults(
+        flex32::fault::FaultPlan::new(0xFA117)
+            .fail_pe(2, u64::MAX)
+            .drop_message(u64::MAX)
+            .fail_alloc(u64::MAX),
+    );
+    let armed = per_op(roundtrips(&p), ITERS);
+    p.shutdown();
+
+    let overhead = (armed - healthy) / healthy * 100.0;
+    println!("faults/healthy_roundtrip           {healthy:>12.1} ns/op");
+    println!("faults/armed_inert_roundtrip       {armed:>12.1} ns/op");
+    println!("faults/armed_overhead              {overhead:>12.1} %");
+    metrics.insert("healthy_roundtrip_ns".into(), json!(healthy));
+    metrics.insert("armed_inert_roundtrip_ns".into(), json!(armed));
+    metrics.insert("armed_overhead_pct".into(), json!(overhead));
+}
+
+// ----------------------------------------------------------------------
 // output
 // ----------------------------------------------------------------------
 
@@ -248,4 +297,8 @@ fn main() {
     let mut sync = Map::new();
     snap_sync(&mut sync);
     write_summary(&out.join("BENCH_sync.json"), "sync", &label, sync);
+
+    let mut faults = Map::new();
+    snap_faults(&mut faults);
+    write_summary(&out.join("BENCH_faults.json"), "faults", &label, faults);
 }

@@ -1,0 +1,160 @@
+//! E13 — degraded-mode throughput: a self-scheduled loop with 1 of N PEs
+//! fail-stopped vs. healthy.
+//!
+//! A 5-member force self-schedules 960 iterations of 100 ticks each. The
+//! healthy run uses every member; the degraded run arms a fault plan that
+//! fail-stops one secondary PE before the split, so the force *shrinks*
+//! to 4 survivors and the self-scheduled counter deals the dead member's
+//! share to the rest. Reported: per-member claim counts, the force-region
+//! tick span (max over surviving member PEs), and the degraded/healthy
+//! ratio — the shape claim is span ≈ N/(N-1) with no lost iterations.
+//!
+//! ```text
+//! cargo run --release -p pisces-bench --bin degraded_mode
+//! ```
+
+use parking_lot::Mutex;
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_ITER: i64 = 960;
+const WORK: u64 = 100;
+const PES: std::ops::RangeInclusive<u8> = 3..=7;
+
+struct RunResult {
+    members: usize,
+    claims: Vec<(usize, u8, usize)>, // (member, pe, iterations claimed)
+    recomputed: usize,               // in-flight iterations redone by the primary
+    span_ticks: u64,                 // max force+recovery ticks over surviving PEs
+}
+
+fn run(fail_one: bool) -> RunResult {
+    let flex = flex32::Flex32::new_shared();
+    let p = Pisces::boot(
+        flex,
+        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+            .with_terminal()
+            .with_secondaries(4..=7)]),
+    )
+    .expect("boot");
+    if fail_one {
+        // Fires on the first tick after arming: PE6 is dead before the
+        // split, so the shrink is deterministic.
+        p.arm_faults(flex32::fault::FaultPlan::new(0xE13).fail_pe(6, 1));
+    }
+
+    let claims: Arc<Mutex<Vec<(usize, u8, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let outcome: Arc<Mutex<Option<ForceOutcome>>> = Arc::new(Mutex::new(None));
+    let marks: Arc<Mutex<Vec<(u8, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let recomputed: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let (c2, o2, m2, rc2) = (
+        claims.clone(),
+        outcome.clone(),
+        marks.clone(),
+        recomputed.clone(),
+    );
+    let px = p.clone();
+    p.register("degraded", move |ctx| {
+        let before: Vec<(u8, u64)> = PES
+            .map(|n| {
+                let id = flex32::PeId::new(n).unwrap();
+                (n, px.flex().pe(id).clock.now())
+            })
+            .collect();
+        let done: Mutex<Vec<bool>> = Mutex::new(vec![false; N_ITER as usize]);
+        let out = ctx.forcesplit_shrink(|fc| {
+            let mut mine = 0usize;
+            let r = fc.selfsched(0, N_ITER - 1, |i| {
+                fc.work(WORK)?;
+                // Wall-clock fairness on small hosts: virtual work costs
+                // no real time, so without a yield one member thread can
+                // race ahead and claim most of the loop.
+                std::thread::yield_now();
+                done.lock()[i as usize] = true;
+                mine += 1;
+                Ok(())
+            });
+            c2.lock().push((fc.member(), fc.pe().number(), mine));
+            r
+        })?;
+        // Recovery: an iteration the dead member claimed but never
+        // finished is redone by the primary, inside the measured span.
+        let missing: Vec<usize> = done
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| !ok)
+            .map(|(i, _)| i)
+            .collect();
+        *rc2.lock() = missing.len();
+        for i in missing {
+            ctx.work(WORK)?;
+            done.lock()[i] = true;
+        }
+        assert!(done.lock().iter().all(|&b| b), "iterations lost");
+        let after: Vec<(u8, u64)> = PES
+            .map(|n| {
+                let id = flex32::PeId::new(n).unwrap();
+                (n, px.flex().pe(id).clock.now())
+            })
+            .collect();
+        *m2.lock() = before
+            .iter()
+            .zip(&after)
+            .map(|(&(pe, b), &(_, a))| (pe, a - b))
+            .collect();
+        *o2.lock() = Some(out);
+        Ok(())
+    });
+    p.initiate_top_level(1, "degraded", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)), "deadlock");
+    p.shutdown();
+
+    let out = outcome.lock().take().expect("force ran");
+    let mut claims = claims.lock().clone();
+    claims.sort();
+    let dead: Vec<u8> = out.failed.iter().map(|f| f.pe).collect();
+    let span_ticks = marks
+        .lock()
+        .iter()
+        .filter(|(pe, _)| !dead.contains(pe))
+        .map(|&(_, d)| d)
+        .max()
+        .unwrap_or(0);
+    let recomputed = *recomputed.lock();
+    RunResult {
+        members: out.survivors,
+        claims,
+        recomputed,
+        span_ticks,
+    }
+}
+
+fn report(label: &str, r: &RunResult) {
+    println!(
+        "{label}: {} members, span {} ticks, {} in-flight iteration(s) recomputed",
+        r.members, r.span_ticks, r.recomputed
+    );
+    for &(m, pe, n) in &r.claims {
+        println!("  member {m} on PE{pe}: {n} iterations");
+    }
+}
+
+fn main() {
+    println!("E13 degraded-mode throughput: SELFSCHED {N_ITER} x work({WORK}), 5-member force\n");
+    let healthy = run(false);
+    report("healthy", &healthy);
+    let degraded = run(true);
+    report("degraded (PE6 fail-stopped)", &degraded);
+    let ratio = degraded.span_ticks as f64 / healthy.span_ticks as f64;
+    println!(
+        "\nspan ratio degraded/healthy = {ratio:.3} (ideal N/(N-1) = {:.3})",
+        healthy.members as f64 / degraded.members as f64
+    );
+    assert!(
+        degraded.span_ticks > healthy.span_ticks,
+        "losing a PE must cost virtual time"
+    );
+}

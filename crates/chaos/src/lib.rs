@@ -1,0 +1,235 @@
+//! # pisces-chaos — deterministic fault scenarios for the PISCES 2 runtime
+//!
+//! The machine substrate can injure itself on command ([`flex32::fault`]):
+//! a seeded [`FaultPlan`] fail-stops PEs at planned ticks, slows them by a
+//! factor, drops/duplicates/delays the *k*-th message, or fails the *n*-th
+//! shared-memory allocation. This crate turns those primitives into
+//! **scenarios**: a plan, a workload that exercises the runtime's recovery
+//! paths (force shrink, send retry + FAULT$ notices, allocation retry),
+//! and a set of invariants checked at the end.
+//!
+//! Determinism is the contract: the fault plan schedules against virtual
+//! tick clocks, the injector fires each action exactly once, and the
+//! rendered fault-event trace for a given seed is **byte-identical across
+//! runs** — `tests/determinism.rs` runs every scenario twice and compares.
+//!
+//! Run the library with `cargo run -p pisces-chaos` (optionally passing a
+//! substring to select scenarios, and `--seed <n>` to re-seed them).
+
+mod scenarios;
+
+use flex32::fault::FaultInjector;
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use flex32::fault::{splitmix64, FaultAction, FaultPlan};
+pub use scenarios::scenarios;
+
+/// One chaos scenario: a named fault plan + workload + invariant set.
+pub struct Scenario {
+    /// Short machine-friendly name (also the CLI filter key).
+    pub name: &'static str,
+    /// One-line description of the fault and the expected recovery.
+    pub summary: &'static str,
+    /// Default seed; `run_with_seed` overrides it.
+    pub seed: u64,
+    func: fn(&mut ScenarioRun),
+}
+
+impl Scenario {
+    pub(crate) fn new(
+        name: &'static str,
+        summary: &'static str,
+        seed: u64,
+        func: fn(&mut ScenarioRun),
+    ) -> Self {
+        Self {
+            name,
+            summary,
+            seed,
+            func,
+        }
+    }
+
+    /// Execute with the default seed.
+    pub fn run(&self) -> ScenarioOutcome {
+        self.run_with_seed(self.seed)
+    }
+
+    /// Execute with an explicit seed.
+    pub fn run_with_seed(&self, seed: u64) -> ScenarioOutcome {
+        let mut run = ScenarioRun {
+            seed,
+            fault_trace: String::new(),
+            notes: Vec::new(),
+            failures: Vec::new(),
+        };
+        (self.func)(&mut run);
+        ScenarioOutcome {
+            name: self.name,
+            seed,
+            fault_trace: run.fault_trace,
+            notes: run.notes,
+            failures: run.failures,
+        }
+    }
+}
+
+/// Mutable state a scenario writes into while it executes.
+pub struct ScenarioRun {
+    /// The seed this execution uses for its fault plan.
+    pub seed: u64,
+    fault_trace: String,
+    notes: Vec<String>,
+    failures: Vec<String>,
+}
+
+impl ScenarioRun {
+    /// Record an invariant check; a false `ok` fails the scenario.
+    pub fn require(&mut self, what: impl Into<String>, ok: bool) {
+        let what = what.into();
+        if ok {
+            self.notes.push(format!("ok: {what}"));
+        } else {
+            self.failures.push(what);
+        }
+    }
+
+    /// Record a free-form observation.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Capture the injector's fired-event trace — the determinism
+    /// contract compares this byte-for-byte across runs.
+    pub fn record_trace(&mut self, inj: &FaultInjector) {
+        self.fault_trace = inj.render_trace();
+    }
+}
+
+/// Result of one scenario execution.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario's name.
+    pub name: &'static str,
+    /// The seed it ran with.
+    pub seed: u64,
+    /// The injector's rendered fault-event trace (seed line + one line
+    /// per fired event, in plan order).
+    pub fault_trace: String,
+    /// Observations and passed invariants.
+    pub notes: Vec<String>,
+    /// Failed invariants; empty means the scenario passed.
+    pub failures: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Common tail of every machine-backed scenario: quiesce, shut down, and
+/// check that the shared-memory arena survived the chaos with truthful
+/// accounting — no leak, no corruption (a double-freed pool block would
+/// fail `validate`).
+pub fn finish_machine(run: &mut ScenarioRun, p: &Arc<Pisces>, quiesce: Duration) {
+    run.require("machine reaches quiescence (no deadlock)", {
+        p.wait_quiescent(quiesce)
+    });
+    p.shutdown();
+    let shm = &p.flex().shmem;
+    match shm.validate() {
+        Ok(()) => run.require("shared-memory heap validates clean", true),
+        Err(e) => run.require(format!("shared-memory heap validates clean: {e}"), false),
+    }
+    run.require(
+        "no shared memory leaked after shutdown",
+        shm.report().in_use == 0,
+    );
+}
+
+/// The proptest target (also driven with fixed seeds offline): derive a
+/// random secondary-PE fail-stop from `seed`, run a self-scheduled force
+/// under the shrink policy, and panic unless the run is deadlock-free,
+/// every iteration gets computed, and the arena stays clean. Exercised by
+/// `tests/proptest_faults.rs` with arbitrary seeds.
+pub fn random_plan_survives(seed: u64) {
+    let mut s = seed;
+    // A fail tick anywhere from "before the force starts" to "after it
+    // finished" — early, mid-loop, and no-op late faults all covered.
+    let pe = 4 + (splitmix64(&mut s) % 4) as u8;
+    let at_tick = 1 + splitmix64(&mut s) % 12_000;
+
+    let flex = flex32::Flex32::new_shared();
+    let p = Pisces::boot(
+        flex,
+        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+            .with_terminal()
+            .with_secondaries(4..=7)]),
+    )
+    .expect("boot");
+    p.arm_faults(FaultPlan::new(seed).fail_pe(pe, at_tick));
+
+    const N: usize = 240;
+    let done: Arc<parking_lot::Mutex<Vec<bool>>> =
+        Arc::new(parking_lot::Mutex::new(vec![false; N]));
+    let outcome: Arc<parking_lot::Mutex<Option<Result<ForceOutcome>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let (d2, o2) = (done.clone(), outcome.clone());
+    p.register("grind", move |ctx| {
+        let r = ctx.forcesplit_shrink(|fc| {
+            fc.selfsched(0, N as i64 - 1, |i| {
+                fc.work(25)?;
+                d2.lock()[i as usize] = true;
+                Ok(())
+            })
+        });
+        if r.is_ok() {
+            // Recovery: recompute whatever the dead member had claimed
+            // but not finished.
+            let missing: Vec<usize> = d2
+                .lock()
+                .iter()
+                .enumerate()
+                .filter(|(_, &ok)| !ok)
+                .map(|(i, _)| i)
+                .collect();
+            for i in missing {
+                ctx.work(25)?;
+                d2.lock()[i] = true;
+            }
+        }
+        *o2.lock() = Some(r);
+        Ok(())
+    });
+    p.initiate_top_level(1, "grind", vec![]).expect("initiate");
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "seed {seed:#x}: force deadlocked under fail_pe({pe}, {at_tick})"
+    );
+    let out = outcome.lock().take().expect("task ran");
+    let out = out.unwrap_or_else(|e| {
+        panic!("seed {seed:#x}: shrink force failed outright: {e}");
+    });
+    assert!(
+        out.survivors + out.failed.len() == out.size,
+        "seed {seed:#x}: outcome inconsistent: {out:?}"
+    );
+    assert!(
+        done.lock().iter().all(|&b| b),
+        "seed {seed:#x}: iterations lost after recovery"
+    );
+    p.shutdown();
+    p.flex()
+        .shmem
+        .validate()
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: arena corrupt: {e}"));
+    assert_eq!(
+        p.flex().shmem.report().in_use,
+        0,
+        "seed {seed:#x}: shared memory leaked"
+    );
+}

@@ -1,0 +1,93 @@
+//! Chaos scenario runner: `pisces-chaos [FILTER] [--seed N]`.
+//!
+//! Runs every scenario (or those whose name contains FILTER), prints the
+//! fault trace, the invariants that held, and any that failed. Exits
+//! non-zero if any scenario fails.
+
+use pisces_chaos::scenarios;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut filter: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                match parse_seed(&v) {
+                    Some(s) => seed = Some(s),
+                    None => {
+                        eprintln!("pisces-chaos: bad --seed value {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: pisces-chaos [FILTER] [--seed N]");
+                println!("  FILTER    run only scenarios whose name contains FILTER");
+                println!("  --seed N  override every scenario's seed (decimal or 0x hex)");
+                return ExitCode::SUCCESS;
+            }
+            other => filter = Some(other.to_string()),
+        }
+    }
+
+    let all = scenarios();
+    let selected: Vec<_> = all
+        .iter()
+        .filter(|s| filter.as_deref().is_none_or(|f| s.name.contains(f)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "pisces-chaos: no scenario matches {:?} (have: {})",
+            filter.unwrap_or_default(),
+            all.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = 0usize;
+    for s in &selected {
+        let outcome = match seed {
+            Some(n) => s.run_with_seed(n),
+            None => s.run(),
+        };
+        let verdict = if outcome.passed() { "PASS" } else { "FAIL" };
+        println!("=== {} [{}] (seed {:#x})", s.name, verdict, outcome.seed);
+        println!("    {}", s.summary);
+        if !outcome.fault_trace.is_empty() {
+            for line in outcome.fault_trace.lines() {
+                println!("    | {line}");
+            }
+        }
+        for n in &outcome.notes {
+            println!("    {n}");
+        }
+        for f in &outcome.failures {
+            println!("    FAILED: {f}");
+        }
+        if !outcome.passed() {
+            failed += 1;
+        }
+        println!();
+    }
+    println!(
+        "{}/{} scenarios passed",
+        selected.len() - failed,
+        selected.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}

@@ -1,0 +1,497 @@
+//! The scenario library: each entry arms a seeded fault plan, runs a
+//! workload that hits the injured path, and checks recovery invariants.
+
+use crate::{finish_machine, Scenario, ScenarioRun};
+use flex32::fault::{FaultInjector, FaultPlan};
+use flex32::Flex32;
+use parking_lot::Mutex;
+use pisces_core::args;
+use pisces_core::machine::SEND_RETRIES;
+use pisces_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUIESCE: Duration = Duration::from_secs(60);
+
+/// A one-cluster machine with four secondary PEs — the standard force
+/// arena for these scenarios (primary on PE3, force members on PEs 3–7).
+fn force_config() -> MachineConfig {
+    MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+        .with_terminal()
+        .with_secondaries(4..=7)])
+}
+
+fn boot(cfg: MachineConfig) -> Arc<Pisces> {
+    Pisces::boot(Flex32::new_shared(), cfg).expect("boot")
+}
+
+/// The full scenario library, in presentation order.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "force-abort",
+            "fail-stop a secondary PE mid-force; the force aborts cleanly with PeFailed",
+            0xC0FFEE,
+            force_abort,
+        ),
+        Scenario::new(
+            "force-shrink",
+            "fail-stop a secondary PE mid-force; the force shrinks and survivors finish the loop",
+            0xBEEF,
+            force_shrink,
+        ),
+        Scenario::new(
+            "handshake-fault-notice",
+            "fail-stop a peer's PE mid-handshake; sends retry, then FAULT$ notices reach the sender",
+            0xDEAD,
+            handshake_fault_notice,
+        ),
+        Scenario::new(
+            "arena-exhaustion",
+            "fail the nth shared-memory allocation under messaging load; the sender retries and completes",
+            0xA110C,
+            arena_exhaustion,
+        ),
+        Scenario::new(
+            "slow-pe-straggler",
+            "slow one PE 8x mid-SELFSCHED; the loop still completes and the straggle shows on its clock",
+            0x510,
+            slow_pe_straggler,
+        ),
+        Scenario::new(
+            "hypercube-link-chaos",
+            "drop, duplicate and delay packets on the cube; arrival count and latency stay accountable",
+            0xCBE,
+            hypercube_link_chaos,
+        ),
+        Scenario::new(
+            "recovery-then-rerun",
+            "shrink around a dead PE, disarm and heal, rerun the same workload at full strength",
+            0x2E2E,
+            recovery_then_rerun,
+        ),
+    ]
+}
+
+/// Fail-stop mid-force under the default (abort) policy: the whole split
+/// fails with `PeFailed` naming the planned PE, nobody deadlocks at a
+/// barrier, and the arena stays clean.
+fn force_abort(run: &mut ScenarioRun) {
+    let p = boot(force_config());
+    let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(5, 1_500));
+
+    let result: Arc<Mutex<Option<Result<()>>>> = Arc::new(Mutex::new(None));
+    let r2 = result.clone();
+    p.register("grind", move |ctx| {
+        let r = ctx.forcesplit(|fc| {
+            for _ in 0..100 {
+                fc.work(100)?;
+                fc.barrier()?;
+            }
+            Ok(())
+        });
+        *r2.lock() = Some(r);
+        Ok(())
+    });
+    p.initiate_top_level(1, "grind", vec![]).expect("initiate");
+    finish_machine(run, &p, QUIESCE);
+
+    match result.lock().take() {
+        Some(Err(PiscesError::PeFailed { pe, event })) => {
+            run.require("abort names the planned PE", pe == 5);
+            run.require("fault event attached to the error", event.is_some());
+            run.note(format!("force aborted: PE{pe}, event {event:?}"));
+        }
+        other => run.require(format!("force aborts with PeFailed (got {other:?})"), false),
+    }
+    run.require("exactly one fault fired", inj.fired_events().len() == 1);
+    run.record_trace(&inj);
+}
+
+/// Fail-stop mid-force under the shrink policy: the dead member leaves
+/// during a barrier-synced round phase (its own clock fires the fault, so
+/// its next CPU acquisition fails deterministically), the barriers shrink,
+/// and the following self-scheduled loop redistributes every iteration to
+/// the survivors. The primary recomputes anything that died in flight.
+fn force_shrink(run: &mut ScenarioRun) {
+    const N: usize = 600;
+    let p = boot(force_config());
+    let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(6, 1_000));
+
+    let done: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; N]));
+    let outcome: Arc<Mutex<Option<Result<ForceOutcome>>>> = Arc::new(Mutex::new(None));
+    let recomputed: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let (d2, o2, rc2) = (done.clone(), outcome.clone(), recomputed.clone());
+    p.register("solver", move |ctx| {
+        let r = ctx.forcesplit_shrink(|fc| {
+            // Round phase: every member must re-acquire its CPU each
+            // round, so the planned fail-stop is guaranteed to catch the
+            // victim with barriers still ahead of it.
+            for _ in 0..40 {
+                fc.work(50)?;
+                fc.barrier()?;
+            }
+            fc.selfsched(0, N as i64 - 1, |i| {
+                fc.work(30)?;
+                d2.lock()[i as usize] = true;
+                Ok(())
+            })
+        });
+        if r.is_ok() {
+            let missing: Vec<usize> = d2
+                .lock()
+                .iter()
+                .enumerate()
+                .filter(|(_, &ok)| !ok)
+                .map(|(i, _)| i)
+                .collect();
+            *rc2.lock() = missing.len();
+            for i in missing {
+                ctx.work(30)?;
+                d2.lock()[i] = true;
+            }
+        }
+        *o2.lock() = Some(r);
+        Ok(())
+    });
+    p.initiate_top_level(1, "solver", vec![]).expect("initiate");
+    finish_machine(run, &p, QUIESCE);
+
+    match outcome.lock().take() {
+        Some(Ok(out)) => {
+            run.require("force started with 5 members", out.size == 5);
+            run.require("force shrank to 4 survivors", out.survivors == 4);
+            run.require(
+                "the lost member ran on the planned PE",
+                out.failed.first().is_some_and(|f| f.pe == 6),
+            );
+            run.note(format!(
+                "shrank {} -> {}; recomputed {} in-flight iteration(s)",
+                out.size,
+                out.survivors,
+                *recomputed.lock()
+            ));
+        }
+        other => run.require(format!("shrink force returns Ok (got {other:?})"), false),
+    }
+    run.require(
+        "every iteration computed despite the fail-stop",
+        done.lock().iter().all(|&b| b),
+    );
+    run.record_trace(&inj);
+}
+
+/// Fail-stop a peer's PE between handshake phases: the parent's sends to
+/// the (still-registered, but dead) peer retry with backoff and then come
+/// back as FAULT$ notices in the parent's own queue — receiver-controlled
+/// interpretation, like SIGNAL vs HANDLER.
+fn handshake_fault_notice(run: &mut ScenarioRun) {
+    let mut cfg = MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 2).with_terminal(),
+        ClusterConfig::new(2, 4, 2),
+    ]);
+    cfg.trace = TraceSettings::all();
+    let p = boot(cfg);
+    let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(4, 3_000));
+
+    // Peer: announce, then wait for a GO$ that never comes. The delay
+    // body keeps the task alive past its PE's death so the parent's
+    // sends hit a live queue on a dead PE, then lets it end cleanly.
+    p.register("peer", |ctx| {
+        ctx.send(To::Parent, "HELLO", vec![])?;
+        let _ = ctx
+            .accept()
+            .of(1)
+            .signal("GO$")
+            .delay_then(Duration::from_millis(800), || {})
+            .run();
+        Ok(())
+    });
+
+    let notices: Arc<Mutex<Vec<(String, TaskId, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let n2 = notices.clone();
+    p.register("coord", move |ctx| {
+        ctx.initiate(Where::Cluster(2), "peer", vec![])?;
+        let mut child = None;
+        ctx.accept()
+            .of(1)
+            .handle("HELLO", |m| {
+                child = Some(m.sender);
+                Ok(())
+            })
+            .run()?;
+        let child = child.expect("HELLO carried the peer id");
+        // Drive this PE's clock past the planned fail tick — the tick
+        // hook fires the fault no matter whose clock crosses it.
+        ctx.work(5_000)?;
+        for k in 0..3i64 {
+            ctx.send(To::Task(child), "DATA", args![k])?;
+        }
+        ctx.accept()
+            .of(3)
+            .handle("FAULT$", |m| {
+                n2.lock().push((
+                    m.args[0].as_str()?.to_string(),
+                    m.args[1].as_taskid()?,
+                    m.args[2].as_int()?,
+                ));
+                Ok(())
+            })
+            .run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "coord", vec![]).expect("initiate");
+    finish_machine(run, &p, QUIESCE);
+
+    let notices = notices.lock();
+    run.require("three FAULT$ notices delivered", notices.len() == 3);
+    run.require(
+        "notices name the undeliverable type and PE",
+        notices.iter().all(|(mt, _, pe)| mt == "DATA" && *pe == 4),
+    );
+    let s = p.stats().snapshot();
+    run.require(
+        "each send retried with backoff before giving up",
+        s.send_retries == 3 * SEND_RETRIES as u64,
+    );
+    run.require("fault-notice counter matches", s.fault_notices == 3);
+    let retries = p
+        .tracer()
+        .records()
+        .iter()
+        .filter(|r| r.kind == TraceEventKind::MsgRetry)
+        .count();
+    run.require("MSG-RETRY trace events reached the sinks", retries == 9);
+    run.note(format!(
+        "send_retries={} fault_notices={} traced retries={}",
+        s.send_retries, s.fault_notices, retries
+    ));
+    run.require("exactly one fault fired", inj.fired_events().len() == 1);
+    run.record_trace(&inj);
+}
+
+/// Fail the nth shared-memory allocation while a task streams messages:
+/// the send comes back `OutOfMemory` with the arena accounting still
+/// truthful, and a simple retry completes the workload.
+fn arena_exhaustion(run: &mut ScenarioRun) {
+    let p = boot(MachineConfig::new(vec![
+        ClusterConfig::new(1, 3, 4).with_terminal()
+    ]));
+    // Allocation #1 is the INIT$ below; #2..#11 are the task's sends, so
+    // #4 lands on the third send (k=2).
+    let inj = p.arm_faults(FaultPlan::new(run.seed).fail_alloc(4));
+
+    let oom_at: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let accepted: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let (o2, a2) = (oom_at.clone(), accepted.clone());
+    p.register("talker", move |ctx| {
+        for k in 0..10i64 {
+            if let Err(e) = ctx.send(To::Myself, "PING", args![k]) {
+                match e {
+                    PiscesError::Shm(_) => {
+                        o2.lock().push(k as usize);
+                        // The failure was transient (one planned OOM):
+                        // retry once.
+                        ctx.send(To::Myself, "PING", args![k])?;
+                    }
+                    other => return Err(other),
+                }
+            }
+        }
+        let got = ctx.accept().of(10).signal("PING").run()?;
+        *a2.lock() = got.count("PING");
+        Ok(())
+    });
+    p.initiate_top_level(1, "talker", vec![]).expect("initiate");
+    finish_machine(run, &p, QUIESCE);
+
+    let oom = oom_at.lock();
+    run.require("exactly one send hit the planned OOM", oom.len() == 1);
+    run.require(
+        "the OOM landed on the planned allocation ordinal",
+        oom.first() == Some(&2),
+    );
+    run.require(
+        "all ten messages arrived after the retry",
+        *accepted.lock() == 10,
+    );
+    run.require("exactly one fault fired", inj.fired_events().len() == 1);
+    run.note(format!(
+        "OOM on send #{:?}, retried and delivered",
+        oom.first()
+    ));
+    run.record_trace(&inj);
+}
+
+/// Slow one PE by 8x mid-loop: the self-scheduled force still completes
+/// every iteration, and the straggle is visible as the slowed PE's tick
+/// clock racing ahead of its healthy peers (virtual time, not wall time).
+fn slow_pe_straggler(run: &mut ScenarioRun) {
+    const N: usize = 100;
+    const FACTOR: u32 = 8;
+    let p = boot(force_config());
+    let inj = p.arm_faults(FaultPlan::new(run.seed).slow_pe(5, 500, FACTOR));
+
+    let done: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; N]));
+    let result: Arc<Mutex<Option<Result<()>>>> = Arc::new(Mutex::new(None));
+    let (d2, r2) = (done.clone(), result.clone());
+    p.register("loop", move |ctx| {
+        let r = ctx.forcesplit(|fc| {
+            // Round phase: every member does identical per-round work, so
+            // the slowed PE's clock deterministically runs ~FACTOR ahead
+            // of its peers regardless of how the loop below is claimed.
+            for _ in 0..100 {
+                fc.work(50)?;
+                fc.barrier()?;
+            }
+            fc.selfsched(0, N as i64 - 1, |i| {
+                fc.work(10)?;
+                d2.lock()[i as usize] = true;
+                Ok(())
+            })
+        });
+        *r2.lock() = Some(r);
+        Ok(())
+    });
+    p.initiate_top_level(1, "loop", vec![]).expect("initiate");
+    finish_machine(run, &p, QUIESCE);
+
+    run.require(
+        "the loop completed despite the straggler",
+        matches!(result.lock().take(), Some(Ok(()))),
+    );
+    run.require("every iteration computed", done.lock().iter().all(|&b| b));
+    let slow_clock = p.flex().pe(flex32::PeId::new(5).unwrap()).clock.now();
+    let healthy_max = [4u8, 6, 7]
+        .iter()
+        .map(|&n| p.flex().pe(flex32::PeId::new(n).unwrap()).clock.now())
+        .max()
+        .unwrap_or(0);
+    run.require(
+        "the slowed PE's clock ran far ahead of its healthy peers",
+        slow_clock > healthy_max,
+    );
+    run.note(format!(
+        "PE5 clock {slow_clock} vs healthiest secondary {healthy_max} (factor {FACTOR})"
+    ));
+    run.require("exactly one fault fired", inj.fired_events().len() == 1);
+    run.record_trace(&inj);
+}
+
+/// Link chaos on the hypercube port: planned drop, duplicate, and delay
+/// of specific packet ordinals, with arrival counts and latency staying
+/// exactly accountable. (Pure substrate — no Pisces boot.)
+fn hypercube_link_chaos(run: &mut ScenarioRun) {
+    use pisces3_hypercube::cube::Hypercube;
+    let cube = Hypercube::new(4);
+    let inj = FaultInjector::new(
+        FaultPlan::new(run.seed)
+            .drop_message(3)
+            .duplicate_message(5)
+            .delay_message(7, 400),
+    );
+    let mut dropped = Vec::new();
+    let mut latencies = Vec::new();
+    for k in 1..=10u64 {
+        match cube.send_with_faults(Some(&inj), 0, 9, "PKT", vec![k]) {
+            None => dropped.push(k),
+            Some(l) => latencies.push((k, l)),
+        }
+    }
+    let mut arrived = 0;
+    while cube
+        .recv(9, Some("PKT"), Duration::from_millis(200))
+        .is_some()
+    {
+        arrived += 1;
+    }
+    run.require("exactly the planned packet was dropped", dropped == [3]);
+    run.require(
+        "one drop and one duplicate cancel out: 10 packets arrive",
+        arrived == 10,
+    );
+    let base = latencies.iter().find(|(k, _)| *k == 1).map(|&(_, l)| l);
+    let delayed = latencies.iter().find(|(k, _)| *k == 7).map(|&(_, l)| l);
+    run.require(
+        "the delayed packet paid exactly the planned extra latency",
+        matches!((base, delayed), (Some(b), Some(d)) if d == b + 400),
+    );
+    run.require("three link faults fired", inj.fired_events().len() == 3);
+    run.note(format!(
+        "dropped {dropped:?}; base latency {base:?}, delayed {delayed:?}"
+    ));
+    run.record_trace(&inj);
+}
+
+/// Shrink around a dead PE, then disarm the plan (healing every PE) and
+/// rerun the identical workload: the second pass runs at full strength
+/// with no fault events — recovery is complete, not residual.
+fn recovery_then_rerun(run: &mut ScenarioRun) {
+    const N: usize = 600;
+    let p = boot(force_config());
+    let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(6, 1_000));
+
+    let outcomes: Arc<Mutex<Vec<(usize, usize, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    let o2 = outcomes.clone();
+    p.register("pass", move |ctx| {
+        let done: Mutex<Vec<bool>> = Mutex::new(vec![false; N]);
+        let out = ctx.forcesplit_shrink(|fc| {
+            for _ in 0..40 {
+                fc.work(50)?;
+                fc.barrier()?;
+            }
+            fc.selfsched(0, N as i64 - 1, |i| {
+                fc.work(30)?;
+                done.lock()[i as usize] = true;
+                Ok(())
+            })
+        })?;
+        let missing: Vec<usize> = done
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| !ok)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &missing {
+            ctx.work(30)?;
+            done.lock()[i] = true;
+        }
+        let complete = done.lock().iter().all(|&b| b);
+        o2.lock().push((out.size, out.survivors, complete));
+        Ok(())
+    });
+
+    p.initiate_top_level(1, "pass", vec![])
+        .expect("initiate run 1");
+    run.require("first pass quiesces", p.wait_quiescent(QUIESCE));
+    run.record_trace(&inj);
+    let first_fired = inj.fired_events().len();
+
+    // Recovery: drop the plan and heal every PE, then run again.
+    p.disarm_faults();
+    p.initiate_top_level(1, "pass", vec![])
+        .expect("initiate run 2");
+    finish_machine(run, &p, QUIESCE);
+
+    let outs = outcomes.lock();
+    run.require("both passes ran", outs.len() == 2);
+    if let (Some(a), Some(b)) = (outs.first(), outs.get(1)) {
+        run.require("first pass shrank to 4 survivors", a.1 == 4 && a.0 == 5);
+        run.require("first pass still computed everything", a.2);
+        run.require(
+            "rerun after healing kept all 5 members",
+            b.1 == 5 && b.0 == 5,
+        );
+        run.require("rerun computed everything", b.2);
+        run.note(format!(
+            "pass 1: {}/{} members, complete={}; pass 2: {}/{} members, complete={}",
+            a.1, a.0, a.2, b.1, b.0, b.2
+        ));
+    }
+    run.require("fail-stop fired exactly once, in pass 1", first_fired == 1);
+    run.require(
+        "no injector armed during the rerun",
+        p.flex().faults().is_none(),
+    );
+}

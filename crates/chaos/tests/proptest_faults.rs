@@ -1,0 +1,16 @@
+//! Property test: an arbitrary seeded fail-stop plan against a shrink
+//! force never deadlocks, never loses an iteration after recovery, and
+//! never corrupts or leaks the shared-memory arena. The heavy lifting
+//! lives in `pisces_chaos::random_plan_survives` so the invariant is also
+//! exercised by `tests/determinism.rs` with fixed seeds.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_fault_plan_never_deadlocks_or_leaks(seed in any::<u64>()) {
+        pisces_chaos::random_plan_survives(seed);
+    }
+}

@@ -143,7 +143,10 @@ impl TaskCtx {
         if self.entry.killed() {
             return Err(PiscesError::Killed);
         }
-        let guard = self.p.flex.pe(pe).cpu.acquire();
+        let guard = match self.p.flex.pe(pe).acquire_cpu() {
+            Ok(g) => g,
+            Err(e) => return Err(self.p.attach_fault_event(e.into())),
+        };
         let now = self.p.flex.tick(pe, ticks);
         if let Some(limit) = self.p.config.time_limit_ticks {
             if now > limit {

@@ -1,6 +1,7 @@
 //! Error taxonomy of the PISCES 2 runtime.
 
 use crate::taskid::TaskId;
+use flex32::fault::FaultEvent;
 use flex32::pe::PeError;
 use flex32::shmem::ShmError;
 
@@ -39,6 +40,15 @@ pub enum PiscesError {
     MachineDown,
     /// The run exceeded the execution time limit from the configuration.
     TimeLimit,
+    /// A PE fail-stopped (injected fault) and the operation could not
+    /// proceed or recover. Carries the fault event that killed the PE when
+    /// the injector recorded one.
+    PeFailed {
+        /// The failed PE's number.
+        pe: u8,
+        /// The injected fault event, if the fault layer recorded one.
+        event: Option<FaultEvent>,
+    },
     /// ACCEPT ended by DELAY timeout and the statement had no DELAY body.
     AcceptTimeout,
     /// Internal invariant violation — a bug in the runtime itself.
@@ -62,6 +72,10 @@ impl std::fmt::Display for PiscesError {
             }
             PiscesError::MachineDown => write!(f, "virtual machine is down"),
             PiscesError::TimeLimit => write!(f, "execution time limit exceeded"),
+            PiscesError::PeFailed { pe, event } => match event {
+                Some(ev) => write!(f, "PE{pe} fail-stopped ({ev})"),
+                None => write!(f, "PE{pe} fail-stopped"),
+            },
             PiscesError::AcceptTimeout => write!(f, "ACCEPT timed out with no DELAY body"),
             PiscesError::Internal(r) => write!(f, "internal runtime error: {r}"),
         }
@@ -78,7 +92,12 @@ impl From<ShmError> for PiscesError {
 
 impl From<PeError> for PiscesError {
     fn from(e: PeError) -> Self {
-        PiscesError::Pe(e)
+        match e {
+            // Fail-stop surfaces as the dedicated variant so callers can
+            // match on it; the machine layer attaches the fault event.
+            PeError::PeFailed { pe } => PiscesError::PeFailed { pe, event: None },
+            other => PiscesError::Pe(other),
+        }
     }
 }
 

@@ -29,7 +29,7 @@ use flex32::pe::PeId;
 use flex32::shmem::{ShmHandle, ShmTag};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,64 +40,198 @@ use std::time::Duration;
 /// wastes a few thousand cycles before yielding to the scheduler.
 const BARRIER_SPIN: u32 = 4096;
 
-/// A reusable sense-reversing barrier for `size` participants.
+/// Why a force aborted: the member that failed first, its PE, and whether
+/// the failure was a PE fail-stop (injected fault) rather than a program
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortCause {
+    /// 0-based index of the member that failed first.
+    pub member: usize,
+    /// The PE that member ran on.
+    pub pe: u8,
+    /// Whether the member failed because its PE fail-stopped.
+    pub pe_failed: bool,
+}
+
+/// A raisable, inspectable abort flag shared by a force. Raising records
+/// *which* member failed and on *which* PE, so waiters unstuck by the
+/// abort can report the cause instead of a bare "force aborted".
+#[derive(Debug, Default)]
+pub struct AbortSignal {
+    raised: AtomicBool,
+    /// Failing member + 1; 0 means no cause recorded.
+    member: AtomicUsize,
+    pe: AtomicU32,
+    pe_failed: AtomicBool,
+}
+
+impl AbortSignal {
+    /// A signal in the not-raised state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the signal, recording the failing member and PE. The first
+    /// raise wins; later raises are ignored (the first failure is the
+    /// cause, subsequent ones are collateral).
+    pub fn raise(&self, member: usize, pe: u8, pe_failed: bool) {
+        if self.raised.load(Ordering::Acquire) {
+            return;
+        }
+        // Publish the cause fields before the flag: a reader that sees
+        // `raised` with Acquire sees a complete cause. A race between two
+        // first-raisers can interleave fields, which is benign — both are
+        // genuine first failures.
+        self.member.store(member + 1, Ordering::Relaxed);
+        self.pe.store(pe as u32, Ordering::Relaxed);
+        self.pe_failed.store(pe_failed, Ordering::Relaxed);
+        self.raised.store(true, Ordering::Release);
+    }
+
+    /// Raise the signal for `err` occurring in `member` on `pe`,
+    /// classifying PE fail-stops.
+    pub fn raise_for(&self, member: usize, pe: u8, err: &PiscesError) {
+        self.raise(member, pe, matches!(err, PiscesError::PeFailed { .. }));
+    }
+
+    /// Whether the signal has been raised.
+    #[inline]
+    pub fn raised(&self) -> bool {
+        self.raised.load(Ordering::Acquire)
+    }
+
+    /// The recorded cause, if raised.
+    pub fn cause(&self) -> Option<AbortCause> {
+        if !self.raised() {
+            return None;
+        }
+        let member = self.member.load(Ordering::Relaxed).checked_sub(1)?;
+        Some(AbortCause {
+            member,
+            pe: self.pe.load(Ordering::Relaxed) as u8,
+            pe_failed: self.pe_failed.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The error a waiter unstuck by this signal should report.
+    pub fn to_error(&self) -> PiscesError {
+        match self.cause() {
+            Some(c) if c.pe_failed => PiscesError::PeFailed {
+                pe: c.pe,
+                event: None,
+            },
+            Some(c) => PiscesError::Internal(format!(
+                "force aborted: member {} failed on PE{}",
+                c.member, c.pe
+            )),
+            None => PiscesError::Internal("force aborted while a member waited at a barrier".into()),
+        }
+    }
+}
+
+/// A reusable generation barrier whose membership can *shrink*: a member
+/// that fail-stops calls [`GenBarrier::leave`] and every later round needs
+/// one fewer arrival.
 ///
-/// Arrival is one `fetch_add` on `arrived`; the last arrival resets the
-/// count and publishes a new generation, releasing everyone. Waiters spin
-/// on the generation word for [`BARRIER_SPIN`] iterations and only then
-/// park on the condvar, so the fast path takes no lock at all. A short
-/// wait timeout plus the `abort` flag keeps a failed force from stranding
-/// the rest.
+/// The whole barrier state — generation, current size, arrivals so far —
+/// is packed into one `AtomicU64` (`gen:u32 | size:u16 | arrived:u16`) and
+/// every transition is a CAS on that word, so an arrival can never be
+/// counted against a stale size and a departure can never strand a round
+/// (if the leaver was the missing arrival, the same CAS that shrinks the
+/// size releases the round). Waiters spin on the generation half for
+/// [`BARRIER_SPIN`] iterations and only then park on the condvar; the fast
+/// path takes no lock at all. The `abort` signal keeps a failed force from
+/// stranding the rest.
 #[derive(Debug)]
 pub struct GenBarrier {
-    size: usize,
-    arrived: AtomicUsize,
-    gen: AtomicU64,
+    /// `gen` (high 32) | `size` (16) | `arrived` (low 16).
+    state: AtomicU64,
     park_lock: Mutex<()>,
     park_cv: Condvar,
 }
 
+const fn pack(gen: u32, size: u16, arrived: u16) -> u64 {
+    ((gen as u64) << 32) | ((size as u64) << 16) | arrived as u64
+}
+
+const fn unpack(s: u64) -> (u32, u16, u16) {
+    ((s >> 32) as u32, (s >> 16) as u16, s as u16)
+}
+
 impl GenBarrier {
-    /// A barrier for `size` participants.
+    /// A barrier for `size` participants (at most `u16::MAX`; the machine
+    /// has 20 PEs).
     pub fn new(size: usize) -> Self {
+        assert!(size <= u16::MAX as usize, "barrier size exceeds u16");
         Self {
-            size,
-            arrived: AtomicUsize::new(0),
-            gen: AtomicU64::new(0),
+            state: AtomicU64::new(pack(0, size as u16, 0)),
             park_lock: Mutex::new(()),
             park_cv: Condvar::new(),
         }
     }
 
-    fn abort_err() -> PiscesError {
-        PiscesError::Internal("force aborted while a member waited at a barrier".into())
+    /// Current number of participants (shrinks as members leave).
+    pub fn size(&self) -> usize {
+        unpack(self.state.load(Ordering::Acquire)).1 as usize
     }
 
-    /// Wait until all participants arrive. `abort` is polled so a force
-    /// member failing elsewhere cannot strand the rest forever.
-    pub fn wait(&self, abort: &AtomicBool) -> Result<()> {
-        // `gen` cannot advance between this load and the increment below:
-        // a release needs all `size` arrivals, and ours hasn't landed yet.
-        let gen0 = self.gen.load(Ordering::Acquire);
-        let n = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
-        if n == self.size {
-            // Last arrival: reset the count, then publish the new
-            // generation (waiters that see it also see the reset).
-            // Acquiring the park lock between the store and the notify
-            // closes the window where a waiter checks `gen`, misses the
-            // update, and parks just as the notification goes by.
-            self.arrived.store(0, Ordering::Release);
-            self.gen.store(gen0.wrapping_add(1), Ordering::Release);
-            drop(self.park_lock.lock());
-            self.park_cv.notify_all();
-            return Ok(());
-        }
+    /// Release parked waiters after publishing a new generation. Taking
+    /// the park lock between the state change and the notify closes the
+    /// window where a waiter checks the generation, misses the update, and
+    /// parks just as the notification goes by.
+    fn release(&self) {
+        drop(self.park_lock.lock());
+        self.park_cv.notify_all();
+    }
+
+    /// Wait until all current participants arrive. `abort` is polled so a
+    /// force member failing elsewhere cannot strand the rest forever.
+    pub fn wait(&self, abort: &AbortSignal) -> Result<()> {
+        let gen0 = loop {
+            let s = self.state.load(Ordering::Acquire);
+            let (gen, size, arrived) = unpack(s);
+            if size <= 1 {
+                // Sole participant (or everyone else left): trivially the
+                // last arrival. Publish a new generation for consistency.
+                let next = pack(gen.wrapping_add(1), size, 0);
+                if self
+                    .state
+                    .compare_exchange(s, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Ok(());
+                }
+                continue;
+            }
+            if arrived + 1 == size {
+                // Last arrival: one CAS resets the count and publishes the
+                // new generation, releasing everyone.
+                let next = pack(gen.wrapping_add(1), size, 0);
+                if self
+                    .state
+                    .compare_exchange(s, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.release();
+                    return Ok(());
+                }
+                continue;
+            }
+            let next = pack(gen, size, arrived + 1);
+            if self
+                .state
+                .compare_exchange(s, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break gen;
+            }
+        };
         for i in 0..BARRIER_SPIN {
-            if self.gen.load(Ordering::Acquire) != gen0 {
+            if unpack(self.state.load(Ordering::Acquire)).0 != gen0 {
                 return Ok(());
             }
-            if abort.load(Ordering::Relaxed) {
-                return Err(Self::abort_err());
+            if abort.raised() {
+                return Err(abort.to_error());
             }
             if i % 64 == 63 {
                 std::thread::yield_now();
@@ -106,13 +240,49 @@ impl GenBarrier {
             }
         }
         let mut guard = self.park_lock.lock();
-        while self.gen.load(Ordering::Acquire) == gen0 {
-            if abort.load(Ordering::Relaxed) {
-                return Err(Self::abort_err());
+        while unpack(self.state.load(Ordering::Acquire)).0 == gen0 {
+            if abort.raised() {
+                return Err(abort.to_error());
             }
             self.park_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
         Ok(())
+    }
+
+    /// Permanently depart: every later round needs one fewer arrival. If
+    /// the leaver was the only missing arrival of the round in progress,
+    /// the same CAS that shrinks the size releases the waiters — a
+    /// departing member can never strand a round.
+    pub fn leave(&self) {
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            let (gen, size, arrived) = unpack(s);
+            if size == 0 {
+                return;
+            }
+            let new_size = size - 1;
+            if new_size > 0 && arrived >= new_size {
+                // The members already waiting now complete the round.
+                let next = pack(gen.wrapping_add(1), new_size, 0);
+                if self
+                    .state
+                    .compare_exchange(s, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.release();
+                    return;
+                }
+            } else {
+                let next = pack(gen, new_size, arrived);
+                if self
+                    .state
+                    .compare_exchange(s, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -124,8 +294,11 @@ pub(crate) struct ForceShared {
     /// synchronization-op sequence (identical across members because they
     /// execute the same program text).
     counters: Mutex<std::collections::HashMap<u64, ShmHandle>>,
-    /// Set when any member exits with an error, to unstick barriers.
-    abort: AtomicBool,
+    /// Raised when any member exits with an error, to unstick barriers.
+    /// Records which member failed and on which PE.
+    abort: AbortSignal,
+    /// Members that fail-stopped and left a shrinking force.
+    failed: Mutex<Vec<FailedMember>>,
 }
 
 impl ForceShared {
@@ -134,7 +307,8 @@ impl ForceShared {
             arrive: GenBarrier::new(size),
             depart: GenBarrier::new(size),
             counters: Mutex::new(std::collections::HashMap::new()),
-            abort: AtomicBool::new(false),
+            abort: AbortSignal::new(),
+            failed: Mutex::new(Vec::new()),
         }
     }
 
@@ -272,10 +446,10 @@ impl<'a> ForceCtx<'a> {
         let mut leader_result = Ok(());
         if self.is_primary() {
             leader_result = body();
-            if leader_result.is_err() {
+            if let Err(e) = &leader_result {
                 // Release the others before reporting: a stuck force is
                 // worse than one that observes the next barrier normally.
-                self.shared.abort.store(true, Ordering::Relaxed);
+                self.shared.abort.raise_for(self.member, self.pe.number(), e);
             }
         }
         self.shared.depart.wait(&self.shared.abort)?;
@@ -296,7 +470,7 @@ impl<'a> ForceCtx<'a> {
         while !lock.try_lock()? {
             spins += 1;
             if spins.is_multiple_of(64) {
-                if self.shared.abort.load(Ordering::Relaxed) {
+                if self.shared.abort.raised() {
                     return Err(PiscesError::Internal(
                         "force aborted while a member waited on a CRITICAL lock".into(),
                     ));
@@ -532,6 +706,42 @@ impl<'a> ForceCtx<'a> {
     }
 }
 
+/// A member that fail-stopped out of a shrinking force.
+#[derive(Debug, Clone)]
+pub struct FailedMember {
+    /// 0-based member index.
+    pub member: usize,
+    /// The PE the member ran on.
+    pub pe: u8,
+    /// The error that took it out (a `PeFailed`, possibly carrying the
+    /// injected fault event).
+    pub error: PiscesError,
+}
+
+/// What a [`TaskCtx::forcesplit_shrink`] force did: how big it started,
+/// how many members survived to the join, and who fell out along the way.
+#[derive(Debug, Clone)]
+pub struct ForceOutcome {
+    /// Members at the split point.
+    pub size: usize,
+    /// Members that reached the join.
+    pub survivors: usize,
+    /// Members lost to PE fail-stops, in departure order.
+    pub failed: Vec<FailedMember>,
+}
+
+/// How a force reacts to a member lost to a PE fail-stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForcePolicy {
+    /// Abort the whole force; the split returns the failure.
+    Abort,
+    /// Shrink to the surviving members; barriers re-size, self-scheduled
+    /// loops redistribute unclaimed iterations, and the split reports who
+    /// was lost. (Losing the *primary* still aborts — member 0 owns the
+    /// split and the barrier statement bodies.)
+    Shrink,
+}
+
 impl TaskCtx {
     /// `FORCESPLIT`: split this task into a force.
     ///
@@ -541,8 +751,35 @@ impl TaskCtx {
     /// the configuration. With no secondary PEs the closure simply runs in
     /// the primary — "no parallel splitting", as in the paper's cluster 1
     /// example. The call returns when every member has finished; the first
-    /// member error (if any) is returned.
+    /// member error (if any) is returned. A member lost to a PE fail-stop
+    /// aborts the whole force (see [`TaskCtx::forcesplit_shrink`] for the
+    /// degraded-mode alternative).
     pub fn forcesplit<F>(&self, body: F) -> Result<()>
+    where
+        F: Fn(&ForceCtx<'_>) -> Result<()> + Sync,
+    {
+        self.forcesplit_inner(ForcePolicy::Abort, body).map(|_| ())
+    }
+
+    /// `FORCESPLIT` with fail-stop survival: a member whose PE fail-stops
+    /// *leaves* the force instead of aborting it. Barriers shrink to the
+    /// surviving membership (a departure can never strand a round),
+    /// self-scheduled loops redistribute every unclaimed iteration to the
+    /// survivors, and the outcome reports who was lost. PRESCHED loops are
+    /// **not** recovered — a dead member's preassigned iterations are
+    /// simply gone — so degraded-mode programs should self-schedule.
+    ///
+    /// Losing the *primary* member still fails the whole split (member 0
+    /// owns the split and executes barrier statement bodies), as does any
+    /// non-fail-stop error.
+    pub fn forcesplit_shrink<F>(&self, body: F) -> Result<ForceOutcome>
+    where
+        F: Fn(&ForceCtx<'_>) -> Result<()> + Sync,
+    {
+        self.forcesplit_inner(ForcePolicy::Shrink, body)
+    }
+
+    fn forcesplit_inner<F>(&self, policy: ForcePolicy, body: F) -> Result<ForceOutcome>
     where
         F: Fn(&ForceCtx<'_>) -> Result<()> + Sync,
     {
@@ -559,7 +796,7 @@ impl TaskCtx {
             .collect();
         let size = 1 + secondaries.len();
 
-        let split_result = (|| -> Result<()> {
+        let split_result = (|| -> Result<ForceOutcome> {
             {
                 let _cpu =
                     self.enter(cost::FORCESPLIT_BASE + cost::FORCESPLIT_PER_MEMBER * size as u64)?;
@@ -593,8 +830,35 @@ impl TaskCtx {
                             Ok(r) => r,
                             Err(_) => Err(PiscesError::Internal("force member panicked".into())),
                         };
-                        if r.is_err() {
-                            fc.shared.abort.store(true, Ordering::Relaxed);
+                        let r = match r {
+                            Err(e)
+                                if policy == ForcePolicy::Shrink
+                                    && matches!(e, PiscesError::PeFailed { .. }) =>
+                            {
+                                // Leave rather than abort: shrink both
+                                // barriers (in program order — a departure
+                                // completes any round the member was the
+                                // missing arrival of) and record the loss.
+                                fc.shared.arrive.leave();
+                                fc.shared.depart.leave();
+                                self.p.tracer.emit(
+                                    TraceEventKind::ForceShrink,
+                                    self.id(),
+                                    pe.number(),
+                                    self.p.flex.pe(pe).clock.now(),
+                                    format!("member {}/{} left: {}", i + 1, size, e),
+                                );
+                                fc.shared.failed.lock().push(FailedMember {
+                                    member: i + 1,
+                                    pe: pe.number(),
+                                    error: e,
+                                });
+                                Ok(())
+                            }
+                            other => other,
+                        };
+                        if let Err(e) = &r {
+                            fc.shared.abort.raise_for(i + 1, pe.number(), e);
                         }
                         self.p.flex.procs(pe).exit(pid);
                         r
@@ -606,8 +870,10 @@ impl TaskCtx {
                     Ok(r) => r,
                     Err(_) => Err(PiscesError::Internal("force primary panicked".into())),
                 };
-                if r0.is_err() {
-                    shared.abort.store(true, Ordering::Relaxed);
+                if let Err(e) = &r0 {
+                    // The primary owns the split: its failure always
+                    // aborts, even under the shrink policy.
+                    shared.abort.raise_for(0, self.pe().number(), e);
                 }
                 let mut first_err = r0.err();
                 for h in handles {
@@ -624,8 +890,17 @@ impl TaskCtx {
                     }
                 }
                 match first_err {
-                    None => Ok(()),
-                    Some(e) => Err(e),
+                    None => {
+                        let failed = std::mem::take(&mut *shared.failed.lock());
+                        Ok(ForceOutcome {
+                            size,
+                            survivors: size - failed.len(),
+                            failed,
+                        })
+                    }
+                    // A fail-stop abort surfaces with the injected fault
+                    // event attached, when the injector recorded one.
+                    Some(e) => Err(self.p.attach_fault_event(e)),
                 }
             });
             shared.free_counters(&self.p, self.pe());

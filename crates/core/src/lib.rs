@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::config::{ClusterConfig, MachineConfig};
     pub use crate::context::{AcceptOutcome, TaskCtx, To, Where};
     pub use crate::error::{PiscesError, Result};
-    pub use crate::force::ForceCtx;
+    pub use crate::force::{AbortCause, AbortSignal, FailedMember, ForceCtx, ForceOutcome};
     pub use crate::machine::Pisces;
     pub use crate::message::Message;
     pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, TickHistogram};

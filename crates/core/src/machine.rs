@@ -31,6 +31,7 @@ use crate::taskid::TaskId;
 use crate::trace::{TraceEventKind, Tracer};
 use crate::value::{decode_values, encode_values, Value};
 use crate::window::{ArrayId, Window};
+use flex32::fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, MessageFault};
 use flex32::pe::PeId;
 use flex32::shmem::{ShmHandle, ShmTag};
 use flex32::Flex32;
@@ -62,6 +63,26 @@ pub mod sysmsg {
     pub const KILL: &str = "KILL$";
     /// Controller shutdown.
     pub const SHUTDOWN: &str = "SHUTDOWN$";
+    /// Fault notice delivered back to a sender whose destination PE
+    /// fail-stopped: args `[mtype, target taskid, pe, description]`,
+    /// sender = the dead task. Receiver-controlled interpretation, like
+    /// SIGNAL vs HANDLER in the paper's ACCEPT statement.
+    pub const FAULT: &str = "FAULT$";
+}
+
+/// Times a send to a fail-stopped PE is retried before the runtime gives
+/// up and delivers a [`sysmsg::FAULT`] notice to the sender.
+pub const SEND_RETRIES: u32 = 3;
+/// Virtual ticks charged to the sender's clock per retry (the backoff).
+pub const RETRY_BACKOFF_TICKS: u64 = 200;
+
+/// Outcome of the pre-send fault interposition.
+enum SendFault {
+    /// Go ahead with the send; `duplicate` pushes the message twice.
+    Proceed { duplicate: bool },
+    /// The fault layer consumed the send (dropped on the link, or turned
+    /// into a FAULT$ notice); the sender sees success.
+    Handled,
 }
 
 /// A user task body: invoked with the task's context; its `Err` return is
@@ -457,6 +478,17 @@ impl Pisces {
             return Err(PiscesError::MachineDown);
         }
         let entry = self.entry_of(to)?;
+        // Fault layer: a user send to a fail-stopped PE retries with
+        // backoff then collapses into a FAULT$ notice; an armed plan may
+        // also drop, duplicate, or delay this message on the link. The
+        // healthy path pays one relaxed atomic load.
+        let mut duplicate = false;
+        if self.flex.faults_armed() {
+            match self.send_faulty_pre(from, from_pe, to, entry.pe, mtype, system)? {
+                SendFault::Proceed { duplicate: d } => duplicate = d,
+                SendFault::Handled => return Ok(()),
+            }
+        }
         let words = encode_values(args);
         let handle = self.pool_alloc(
             from_pe,
@@ -491,12 +523,248 @@ impl Pisces {
             from_pe.number(),
             sent_ticks,
         ) {
-            PushOutcome::Delivered => Ok(()),
+            PushOutcome::Delivered => {
+                if duplicate {
+                    self.push_duplicate(from, from_pe, to, &entry, mtype, &words, sent_ticks)?;
+                }
+                Ok(())
+            }
             PushOutcome::Closed(msg) => {
                 self.pool_free(from_pe, msg.handle, ShmTag::Message)?;
+                if !system
+                    && self.flex.faults_armed()
+                    && self.flex.pe(entry.pe).fault.is_failed()
+                {
+                    // The queue closed because its PE died, not because the
+                    // task ran to completion — report it as a fault.
+                    return self.deliver_fault_notice(from, from_pe, to, entry.pe.number(), mtype);
+                }
                 Err(PiscesError::NoSuchTask(to))
             }
         }
+    }
+
+    /// Pre-send fault interposition: retry/notice for a dead destination
+    /// PE, then the plan's drop/duplicate/delay link faults. Cold — only
+    /// reached when a fault plan is armed.
+    #[cold]
+    fn send_faulty_pre(
+        self: &Arc<Self>,
+        from: TaskId,
+        from_pe: PeId,
+        to: TaskId,
+        dest_pe: PeId,
+        mtype: &str,
+        system: bool,
+    ) -> Result<SendFault> {
+        let Some(inj) = self.flex.faults() else {
+            return Ok(SendFault::Proceed { duplicate: false });
+        };
+        // System traffic (controller bookkeeping, TERM$, SHUTDOWN$) models
+        // the surviving runtime and is neither retried nor perturbed.
+        if system {
+            return Ok(SendFault::Proceed { duplicate: false });
+        }
+        if self.flex.pe(dest_pe).fault.is_failed() {
+            for attempt in 1..=SEND_RETRIES {
+                self.flex.tick(from_pe, RETRY_BACKOFF_TICKS);
+                RunStats::bump(&self.stats.send_retries);
+                self.tracer.emit(
+                    TraceEventKind::MsgRetry,
+                    from,
+                    from_pe.number(),
+                    self.flex.pe(from_pe).clock.now(),
+                    format!(
+                        "{mtype} -> {to}: PE{} down, retry {attempt}/{}",
+                        dest_pe.number(),
+                        SEND_RETRIES
+                    ),
+                );
+                if !self.flex.pe(dest_pe).fault.is_failed() {
+                    break;
+                }
+            }
+            if self.flex.pe(dest_pe).fault.is_failed() {
+                self.deliver_fault_notice(from, from_pe, to, dest_pe.number(), mtype)?;
+                return Ok(SendFault::Handled);
+            }
+        }
+        match inj.message_action() {
+            Some(MessageFault::Drop) => {
+                // The sender still pays the base send cost; the packet
+                // vanishes on the link without touching shared memory.
+                self.flex.tick(from_pe, cost::SEND_BASE);
+                RunStats::bump(&self.stats.messages_dropped);
+                self.tracer.emit(
+                    TraceEventKind::MsgDrop,
+                    from,
+                    from_pe.number(),
+                    self.flex.pe(from_pe).clock.now(),
+                    format!("{mtype} -> {to} dropped on the link"),
+                );
+                Ok(SendFault::Handled)
+            }
+            Some(MessageFault::Duplicate) => Ok(SendFault::Proceed { duplicate: true }),
+            Some(MessageFault::Delay(ticks)) => {
+                self.flex.tick(from_pe, ticks);
+                self.tracer.emit(
+                    TraceEventKind::MsgDelay,
+                    from,
+                    from_pe.number(),
+                    self.flex.pe(from_pe).clock.now(),
+                    format!("{mtype} -> {to} delayed {ticks} ticks on the link"),
+                );
+                Ok(SendFault::Proceed { duplicate: false })
+            }
+            None => Ok(SendFault::Proceed { duplicate: false }),
+        }
+    }
+
+    /// Push a second, independently allocated copy of a message whose
+    /// plan entry said "duplicate" — each copy is freed by its own accept.
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn push_duplicate(
+        self: &Arc<Self>,
+        from: TaskId,
+        from_pe: PeId,
+        to: TaskId,
+        entry: &TaskEntry,
+        mtype: &str,
+        words: &[u64],
+        sent_ticks: u64,
+    ) -> Result<()> {
+        let handle = self.pool_alloc(
+            from_pe,
+            (Self::MSG_HEADER_WORDS + words.len()) * 8,
+            ShmTag::Message,
+        )?;
+        self.flex.shmem.store(handle, 0, from.pack())?;
+        self.flex.shmem.store(handle, 1, words.len() as u64)?;
+        self.flex
+            .shmem
+            .write_words(handle, Self::MSG_HEADER_WORDS, words)?;
+        RunStats::bump(&self.stats.messages_duplicated);
+        self.tracer.emit(
+            TraceEventKind::MsgDup,
+            from,
+            from_pe.number(),
+            sent_ticks,
+            format!("{mtype} -> {to} duplicated on the link"),
+        );
+        match entry
+            .inq
+            .push(mtype.to_string(), from, handle, from_pe.number(), sent_ticks)
+        {
+            PushOutcome::Delivered => Ok(()),
+            PushOutcome::Closed(msg) => {
+                // Receiver terminated between the two pushes; losing the
+                // duplicate is not an error.
+                self.pool_free(from_pe, msg.handle, ShmTag::Message)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Deliver a [`sysmsg::FAULT`] notice to `from`'s own in-queue after a
+    /// send to `to` on fail-stopped `pe` exhausted its retries. The notice
+    /// arrives with sender = the dead task, so an ACCEPT can match on it;
+    /// interpretation is receiver-controlled. Senders without an in-queue
+    /// (the USER pseudo-task) get the error directly.
+    #[cold]
+    fn deliver_fault_notice(
+        self: &Arc<Self>,
+        from: TaskId,
+        from_pe: PeId,
+        to: TaskId,
+        pe: u8,
+        mtype: &str,
+    ) -> Result<()> {
+        let event = self.flex.faults().and_then(|i| i.event_for_pe(pe));
+        let sender_entry = match self.entry_of(from) {
+            Ok(e) => e,
+            Err(_) => return Err(PiscesError::PeFailed { pe, event }),
+        };
+        let desc = event
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "fail-stop".to_string());
+        let notice = [
+            Value::Str(mtype.to_string()),
+            Value::TaskId(to),
+            Value::Int(i64::from(pe)),
+            Value::Str(desc.clone()),
+        ];
+        let words = encode_values(&notice);
+        let handle = self.pool_alloc(
+            from_pe,
+            (Self::MSG_HEADER_WORDS + words.len()) * 8,
+            ShmTag::Message,
+        )?;
+        self.flex.shmem.store(handle, 0, to.pack())?;
+        self.flex.shmem.store(handle, 1, words.len() as u64)?;
+        self.flex
+            .shmem
+            .write_words(handle, Self::MSG_HEADER_WORDS, &words)?;
+        let now = self.flex.pe(from_pe).clock.now();
+        RunStats::bump(&self.stats.fault_notices);
+        self.tracer.emit(
+            TraceEventKind::FaultNotice,
+            from,
+            from_pe.number(),
+            now,
+            format!("{mtype} -> {to} undeliverable: {desc}"),
+        );
+        match sender_entry
+            .inq
+            .push(sysmsg::FAULT.to_string(), to, handle, pe, now)
+        {
+            PushOutcome::Delivered => Ok(()),
+            PushOutcome::Closed(msg) => {
+                self.pool_free(from_pe, msg.handle, ShmTag::Message)?;
+                Err(PiscesError::PeFailed { pe, event })
+            }
+        }
+    }
+
+    /// Fill in the injector's fault event on a bare [`PiscesError::PeFailed`].
+    pub(crate) fn attach_fault_event(&self, e: PiscesError) -> PiscesError {
+        match e {
+            PiscesError::PeFailed { pe, event: None } => {
+                let event = self.flex.faults().and_then(|i| i.event_for_pe(pe));
+                PiscesError::PeFailed { pe, event }
+            }
+            other => other,
+        }
+    }
+
+    /// Arm a fault plan on the substrate and register an observer that
+    /// feeds every fired PE/memory fault into the trace sinks. Link faults
+    /// (drop/duplicate/delay) are traced at the send site instead, where
+    /// the affected message is known.
+    pub fn arm_faults(self: &Arc<Self>, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = self.flex.arm_faults(plan);
+        let weak = Arc::downgrade(self);
+        inj.set_observer(Box::new(move |ev: &FaultEvent| {
+            let Some(p) = weak.upgrade() else { return };
+            let (kind, pe) = match ev.action {
+                FaultAction::FailPe { pe, .. } => (TraceEventKind::PeFail, pe),
+                FaultAction::SlowPe { pe, .. } => (TraceEventKind::PeSlow, pe),
+                FaultAction::FailAlloc { .. } => (TraceEventKind::AllocFault, 0),
+                _ => return,
+            };
+            let ticks = PeId::new(pe.max(1))
+                .ok()
+                .map(|id| p.flex.pe(id).clock.now())
+                .unwrap_or(0);
+            p.tracer.emit(kind, USER_ID, pe, ticks, ev.to_string());
+        }));
+        inj
+    }
+
+    /// Disarm the fault plan and heal every PE (recovery-then-rerun).
+    pub fn disarm_faults(&self) {
+        self.flex.disarm_faults();
     }
 
     /// Decode a stored message's argument packets and release its

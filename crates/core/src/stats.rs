@@ -48,6 +48,14 @@ pub struct RunStats {
     pub window_writes: AtomicU64,
     /// 64-bit words moved by window reads/writes.
     pub window_words: AtomicU64,
+    /// Send attempts retried because the destination PE was fail-stopped.
+    pub send_retries: AtomicU64,
+    /// Fault notices delivered to senders in place of failed deliveries.
+    pub fault_notices: AtomicU64,
+    /// Messages dropped on the link by injected faults.
+    pub messages_dropped: AtomicU64,
+    /// Extra deliveries of messages duplicated by injected faults.
+    pub messages_duplicated: AtomicU64,
 }
 
 /// Plain snapshot of [`RunStats`] (copyable, comparable).
@@ -71,13 +79,17 @@ pub struct StatsSnapshot {
     pub window_reads: u64,
     pub window_writes: u64,
     pub window_words: u64,
+    pub send_retries: u64,
+    pub fault_notices: u64,
+    pub messages_dropped: u64,
+    pub messages_duplicated: u64,
 }
 
 impl StatsSnapshot {
     /// Counter names and values, in declaration order. One list drives
     /// `diff` and `Display` so a new counter cannot be missed in one of
     /// them.
-    pub fn fields(&self) -> [(&'static str, u64); 18] {
+    pub fn fields(&self) -> [(&'static str, u64); 22] {
         [
             ("messages sent", self.messages_sent),
             ("broadcast deliveries", self.broadcast_deliveries),
@@ -97,6 +109,10 @@ impl StatsSnapshot {
             ("window reads", self.window_reads),
             ("window writes", self.window_writes),
             ("window words", self.window_words),
+            ("send retries", self.send_retries),
+            ("fault notices", self.fault_notices),
+            ("messages dropped", self.messages_dropped),
+            ("messages duplicated", self.messages_duplicated),
         ]
     }
 
@@ -133,6 +149,14 @@ impl StatsSnapshot {
             window_reads: self.window_reads.saturating_sub(earlier.window_reads),
             window_writes: self.window_writes.saturating_sub(earlier.window_writes),
             window_words: self.window_words.saturating_sub(earlier.window_words),
+            send_retries: self.send_retries.saturating_sub(earlier.send_retries),
+            fault_notices: self.fault_notices.saturating_sub(earlier.fault_notices),
+            messages_dropped: self
+                .messages_dropped
+                .saturating_sub(earlier.messages_dropped),
+            messages_duplicated: self
+                .messages_duplicated
+                .saturating_sub(earlier.messages_duplicated),
         }
     }
 }
@@ -179,6 +203,10 @@ impl RunStats {
             window_reads: g(&self.window_reads),
             window_writes: g(&self.window_writes),
             window_words: g(&self.window_words),
+            send_retries: g(&self.send_retries),
+            fault_notices: g(&self.fault_notices),
+            messages_dropped: g(&self.messages_dropped),
+            messages_duplicated: g(&self.messages_duplicated),
         }
     }
 }
@@ -230,7 +258,7 @@ mod tests {
         let s = RunStats::default();
         RunStats::add(&s.window_words, 42);
         let text = s.snapshot().to_string();
-        assert_eq!(text.lines().count(), 18);
+        assert_eq!(text.lines().count(), 22);
         assert!(text.contains("window words"));
         assert!(text.contains("42"));
     }
@@ -240,6 +268,6 @@ mod tests {
         // fields() drives diff/Display; a counter missing here would make
         // this length check fail when someone extends the struct.
         let snap = StatsSnapshot::default();
-        assert_eq!(snap.fields().len(), 18);
+        assert_eq!(snap.fields().len(), 22);
     }
 }

@@ -39,7 +39,13 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The eight traceable event types of Section 12.
+/// Number of traceable event kinds: the paper's eight plus the fault and
+/// recovery kinds added by the chaos subsystem.
+pub const NUM_KINDS: usize = 17;
+
+/// The traceable event types: the eight of Section 12 plus fault-injection
+/// and recovery events (PE failures, link faults, send retries, fault
+/// notices, force shrinks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TraceEventKind {
     /// Task initiation.
@@ -58,11 +64,31 @@ pub enum TraceEventKind {
     Barrier,
     /// Force split.
     ForceSplit,
+    /// A PE fail-stopped (injected fault).
+    PeFail,
+    /// A PE was slowed by an injected fault.
+    PeSlow,
+    /// A shared-memory allocation was failed by an injected fault.
+    AllocFault,
+    /// A message was dropped on the link (injected fault).
+    MsgDrop,
+    /// A message was duplicated on the link (injected fault).
+    MsgDup,
+    /// A message was delayed on the link (injected fault).
+    MsgDelay,
+    /// A send to a failed PE was retried (recovery).
+    MsgRetry,
+    /// A fault notice was delivered to a sender in place of a failed
+    /// delivery (recovery).
+    FaultNotice,
+    /// A force shrank to its surviving members after a PE failure
+    /// (recovery).
+    ForceShrink,
 }
 
 impl TraceEventKind {
-    /// All eight kinds, in the paper's order.
-    pub const ALL: [TraceEventKind; 8] = [
+    /// All kinds: the paper's eight in its order, then the fault kinds.
+    pub const ALL: [TraceEventKind; NUM_KINDS] = [
         TraceEventKind::TaskInit,
         TraceEventKind::TaskTerm,
         TraceEventKind::MsgSend,
@@ -71,7 +97,19 @@ impl TraceEventKind {
         TraceEventKind::Unlock,
         TraceEventKind::Barrier,
         TraceEventKind::ForceSplit,
+        TraceEventKind::PeFail,
+        TraceEventKind::PeSlow,
+        TraceEventKind::AllocFault,
+        TraceEventKind::MsgDrop,
+        TraceEventKind::MsgDup,
+        TraceEventKind::MsgDelay,
+        TraceEventKind::MsgRetry,
+        TraceEventKind::FaultNotice,
+        TraceEventKind::ForceShrink,
     ];
+
+    /// The paper's original eight event types (Section 12).
+    pub const PAPER_KINDS: usize = 8;
 
     /// Stable label used in trace lines.
     pub fn label(self) -> &'static str {
@@ -84,11 +122,20 @@ impl TraceEventKind {
             TraceEventKind::Unlock => "UNLOCK",
             TraceEventKind::Barrier => "BARRIER",
             TraceEventKind::ForceSplit => "FORCE-SPLIT",
+            TraceEventKind::PeFail => "PE-FAIL",
+            TraceEventKind::PeSlow => "PE-SLOW",
+            TraceEventKind::AllocFault => "ALLOC-FAULT",
+            TraceEventKind::MsgDrop => "MSG-DROP",
+            TraceEventKind::MsgDup => "MSG-DUP",
+            TraceEventKind::MsgDelay => "MSG-DELAY",
+            TraceEventKind::MsgRetry => "MSG-RETRY",
+            TraceEventKind::FaultNotice => "FAULT-NOTICE",
+            TraceEventKind::ForceShrink => "FORCE-SHRINK",
         }
     }
 
     /// Position in [`Self::ALL`]. A direct match: this sits on the emit
-    /// hot path of all eight event kinds.
+    /// hot path of every event kind.
     #[inline]
     fn index(self) -> usize {
         match self {
@@ -100,6 +147,15 @@ impl TraceEventKind {
             TraceEventKind::Unlock => 5,
             TraceEventKind::Barrier => 6,
             TraceEventKind::ForceSplit => 7,
+            TraceEventKind::PeFail => 8,
+            TraceEventKind::PeSlow => 9,
+            TraceEventKind::AllocFault => 10,
+            TraceEventKind::MsgDrop => 11,
+            TraceEventKind::MsgDup => 12,
+            TraceEventKind::MsgDelay => 13,
+            TraceEventKind::MsgRetry => 14,
+            TraceEventKind::FaultNotice => 15,
+            TraceEventKind::ForceShrink => 16,
         }
     }
 }
@@ -413,9 +469,9 @@ impl TraceSink for ScreenSink {
 /// The machine's tracer: per-kind global switches, per-task overrides,
 /// per-PE sharded ring buffers, and pluggable sinks.
 pub struct Tracer {
-    global: [AtomicBool; 8],
+    global: [AtomicBool; NUM_KINDS],
     /// Per-task overrides: `Some(true/false)` wins over the global switch.
-    per_task: RwLock<HashMap<TaskId, [Option<bool>; 8]>>,
+    per_task: RwLock<HashMap<TaskId, [Option<bool>; NUM_KINDS]>>,
     /// Fast path: skip the override map entirely while it is empty (it
     /// almost always is; `clear_task` runs at every task termination).
     has_overrides: AtomicBool,
@@ -705,11 +761,17 @@ mod tests {
     }
 
     #[test]
-    fn all_eight_kinds_present() {
-        assert_eq!(TraceEventKind::ALL.len(), 8);
+    fn all_kinds_present_and_distinct() {
+        assert_eq!(TraceEventKind::ALL.len(), NUM_KINDS);
         let labels: std::collections::BTreeSet<_> =
             TraceEventKind::ALL.iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), 8);
+        assert_eq!(labels.len(), NUM_KINDS);
+        // The paper's eight event types lead the list, in its order.
+        assert_eq!(TraceEventKind::ALL[0], TraceEventKind::TaskInit);
+        assert_eq!(
+            TraceEventKind::ALL[TraceEventKind::PAPER_KINDS - 1],
+            TraceEventKind::ForceSplit
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! shared data the leader hasn't written yet).
 
 use pisces_core::force::GenBarrier;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use pisces_core::prelude::AbortSignal;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,7 +24,7 @@ fn churn_never_skips_a_generation() {
     const N: usize = 8;
     const ROUNDS: usize = 50;
     let barrier = Arc::new(GenBarrier::new(N));
-    let abort = Arc::new(AtomicBool::new(false));
+    let abort = Arc::new(AbortSignal::new());
     let arrivals: Arc<Vec<AtomicUsize>> =
         Arc::new((0..ROUNDS).map(|_| AtomicUsize::new(0)).collect());
 
@@ -63,7 +64,7 @@ fn churn_never_skips_a_generation() {
 #[test]
 fn abort_unblocks_all_waiting_members() {
     let barrier = Arc::new(GenBarrier::new(4));
-    let abort = Arc::new(AtomicBool::new(false));
+    let abort = Arc::new(AbortSignal::new());
 
     let mut handles = Vec::new();
     for _ in 0..3 {
@@ -73,10 +74,91 @@ fn abort_unblocks_all_waiting_members() {
     }
     // Let all three blow through the spin budget and park.
     std::thread::sleep(Duration::from_millis(50));
-    abort.store(true, Ordering::Relaxed);
+    abort.raise(2, 5, true);
     for h in handles {
         assert!(h.join().unwrap().is_err(), "aborted wait must error");
     }
+}
+
+/// Abort raised mid-churn: half the threads keep arriving, the other
+/// half are staggered, and the signal trips while rounds are in flight.
+/// Every thread must come back (Ok for rounds fully released before the
+/// abort, Err after) — nobody may stay parked forever, and the abort's
+/// cause must survive intact to every observer.
+#[test]
+fn abort_under_churn_unblocks_everyone_and_keeps_cause() {
+    const N: usize = 8;
+    let barrier = Arc::new(GenBarrier::new(N));
+    let abort = Arc::new(AbortSignal::new());
+
+    let mut handles = Vec::new();
+    for t in 0..N {
+        let barrier = barrier.clone();
+        let abort = abort.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut crossings = 0usize;
+            let mut x = 0x9e3779b9u64.wrapping_mul(t as u64 + 1);
+            loop {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                for _ in 0..(x % 3000) {
+                    std::hint::spin_loop();
+                }
+                // Thread 3 pulls the plug somewhere in the middle of the
+                // churn, as if its PE fail-stopped between barriers.
+                if t == 3 && crossings == 25 {
+                    abort.raise(t + 1, 7, true);
+                }
+                match barrier.wait(&abort) {
+                    Ok(()) => crossings += 1,
+                    Err(e) => return (crossings, e),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let (crossings, err) = h.join().unwrap();
+        assert!(crossings <= 60, "abort never observed after {crossings} rounds");
+        match err {
+            pisces_core::PiscesError::PeFailed { pe, .. } => assert_eq!(pe, 7),
+            other => panic!("expected PeFailed from the abort, got {other}"),
+        }
+    }
+    // The cause records the member that raised first.
+    let cause = abort.cause().expect("abort must have a cause");
+    assert_eq!(cause.member, 4);
+    assert_eq!(cause.pe, 7);
+}
+
+/// A member leaving permanently (fail-stop shrink) must release a round
+/// it would otherwise have stalled: N threads churn, one leaves partway,
+/// the remaining N-1 keep crossing to completion.
+#[test]
+fn leave_mid_churn_releases_waiting_round() {
+    const N: usize = 4;
+    const ROUNDS: usize = 200;
+    let barrier = Arc::new(GenBarrier::new(N));
+    let abort = Arc::new(AbortSignal::new());
+
+    let mut handles = Vec::new();
+    for t in 0..N {
+        let barrier = barrier.clone();
+        let abort = abort.clone();
+        handles.push(std::thread::spawn(move || {
+            for r in 0..ROUNDS {
+                if t == 0 && r == ROUNDS / 2 {
+                    // Departure between arrivals — the other three may
+                    // already be parked waiting for this thread.
+                    barrier.leave();
+                    return;
+                }
+                barrier.wait(&abort).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(barrier.size(), N - 1);
 }
 
 /// A one-member barrier is a no-op: the sole participant is always the
@@ -84,7 +166,7 @@ fn abort_unblocks_all_waiting_members() {
 #[test]
 fn single_member_barrier_returns_immediately() {
     let barrier = GenBarrier::new(1);
-    let abort = AtomicBool::new(false);
+    let abort = AbortSignal::new();
     for _ in 0..1000 {
         barrier.wait(&abort).unwrap();
     }
@@ -98,7 +180,7 @@ fn single_member_barrier_returns_immediately() {
 fn rapid_reuse_two_threads() {
     const ROUNDS: usize = 10_000;
     let barrier = Arc::new(GenBarrier::new(2));
-    let abort = Arc::new(AtomicBool::new(false));
+    let abort = Arc::new(AbortSignal::new());
     let counter = Arc::new(AtomicUsize::new(0));
 
     let b2 = barrier.clone();

@@ -151,6 +151,71 @@ pub fn barrier_spread_histogram(records: &[TraceRecord]) -> HistogramSnapshot {
     h
 }
 
+/// Fault activity in a trace: the faults the injector fired (PE
+/// fail-stops, slowdowns, allocation failures, link perturbations) and
+/// the runtime's recovery actions (retries, fault notices, force
+/// shrinks), in trace order.
+#[derive(Debug, Default)]
+pub struct FaultSummary {
+    /// Event count per fault/recovery trace kind, label-keyed.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Human-readable fault timeline entries, in seq order.
+    pub events: Vec<String>,
+}
+
+/// The trace kinds that belong in the Faults section.
+const FAULT_KINDS: [TraceEventKind; 9] = [
+    TraceEventKind::PeFail,
+    TraceEventKind::PeSlow,
+    TraceEventKind::AllocFault,
+    TraceEventKind::MsgDrop,
+    TraceEventKind::MsgDup,
+    TraceEventKind::MsgDelay,
+    TraceEventKind::MsgRetry,
+    TraceEventKind::FaultNotice,
+    TraceEventKind::ForceShrink,
+];
+
+/// Collect the fault timeline from trace records.
+pub fn fault_summary(records: &[TraceRecord]) -> FaultSummary {
+    let mut fs = FaultSummary::default();
+    let mut hits: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| FAULT_KINDS.contains(&r.kind))
+        .collect();
+    hits.sort_by_key(|r| r.seq);
+    for r in hits {
+        *fs.counts.entry(r.kind.label()).or_insert(0) += 1;
+        fs.events
+            .push(format!("{:>10} PE{:<3} {:<12} {}", r.ticks, r.pe, r.kind.label(), r.info));
+    }
+    fs
+}
+
+impl FaultSummary {
+    /// Whether any fault or recovery event appeared in the trace.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The "FAULTS" report section.
+    pub fn render(&self) -> String {
+        let mut s = String::from("FAULTS\n");
+        if self.is_empty() {
+            s.push_str("  (none injected)\n");
+            return s;
+        }
+        for (label, n) in &self.counts {
+            let _ = writeln!(s, "  {label:<12} {n}");
+        }
+        s.push_str("  timeline (ticks on the event's own PE clock):\n");
+        for e in &self.events {
+            let _ = writeln!(s, "  {e}");
+        }
+        s
+    }
+}
+
 /// The full observability report over one trace.
 #[derive(Debug)]
 pub struct Report {
@@ -162,6 +227,8 @@ pub struct Report {
     pub msg_latency: HistogramSnapshot,
     /// Barrier arrival-spread distribution.
     pub barrier_spread: HistogramSnapshot,
+    /// Injected faults and recovery actions.
+    pub faults: FaultSummary,
 }
 
 impl Report {
@@ -171,11 +238,13 @@ impl Report {
         let utilization = pe_utilization(&analysis);
         let msg_latency = msg_latency_histogram(&analysis);
         let barrier_spread = barrier_spread_histogram(records);
+        let faults = fault_summary(records);
         Self {
             analysis,
             utilization,
             msg_latency,
             barrier_spread,
+            faults,
         }
     }
 
@@ -223,6 +292,8 @@ impl Report {
         s.push('\n');
         s.push_str(&self.msg_latency.to_string());
         s.push_str(&self.barrier_spread.to_string());
+        s.push('\n');
+        s.push_str(&self.faults.render());
         s.push('\n');
         s.push_str(&self.analysis.report());
         s
@@ -343,5 +414,31 @@ mod tests {
         let text = r.render(40);
         assert!(text.contains("no task events"), "{text}");
         assert!(text.contains("msg_latency"));
+        assert!(text.contains("FAULTS"), "{text}");
+        assert!(text.contains("none injected"), "{text}");
+    }
+
+    #[test]
+    fn faults_section_lists_events_in_order() {
+        let t = TaskId::new(1, 2, 1);
+        let mut records = vec![
+            rec(TraceEventKind::PeFail, t, 5, 900, "fault[0]: fail-stop PE5 at tick 800"),
+            rec(TraceEventKind::MsgRetry, t, 1, 950, "DATA -> c1.s2#1: PE5 down, retry 1/3"),
+            rec(TraceEventKind::MsgRetry, t, 1, 1150, "DATA -> c1.s2#1: PE5 down, retry 2/3"),
+            rec(TraceEventKind::FaultNotice, t, 1, 1400, "DATA -> c1.s2#1 undeliverable"),
+            rec(TraceEventKind::ForceShrink, t, 5, 1500, "member 2/4 left"),
+        ];
+        for (i, r) in records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let r = Report::new(&records);
+        assert_eq!(r.faults.counts[TraceEventKind::MsgRetry.label()], 2);
+        assert_eq!(r.faults.events.len(), 5);
+        let text = r.faults.render();
+        assert!(text.contains("PE-FAIL"), "{text}");
+        let timeline = &text[text.find("timeline").unwrap()..];
+        let fail_pos = timeline.find("PE-FAIL").unwrap();
+        let shrink_pos = timeline.find("FORCE-SHRINK").unwrap();
+        assert!(fail_pos < shrink_pos, "timeline out of order: {text}");
     }
 }

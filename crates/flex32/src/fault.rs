@@ -1,0 +1,626 @@
+//! Fault injection for the simulated FLEX/32.
+//!
+//! The real machine could lose a PE, drop a packet on the common bus, or
+//! run out of shared memory mid-run; the healthy model in the rest of this
+//! crate cannot. This module adds a *deterministic* fault layer: a seeded
+//! [`FaultPlan`] schedules faults against the virtual tick clocks (fail PE
+//! *n* at tick *t*, drop/delay/duplicate the *k*-th message, fail the
+//! *k*-th shared-memory allocation), and a [`FaultInjector`] armed on the
+//! machine fires each planned fault exactly once when its trigger is
+//! crossed.
+//!
+//! Determinism contract: the *fault event trace* — the fired events sorted
+//! by plan index and rendered with their planned parameters — is
+//! byte-identical across runs with the same plan, regardless of thread
+//! interleaving, because firing is keyed to virtual ticks and message/
+//! allocation ordinals, never to wall-clock time. (Which thread *observes*
+//! a trigger first may vary; which *events* fire, and how they render,
+//! does not, provided the workload drives the clocks past every trigger.)
+//!
+//! Per-PE fault state lives in a [`FaultCell`] on each [`crate::pe::Pe`]:
+//! healthy, slowed by an integer factor (every tick charged to the PE is
+//! multiplied), or fail-stopped (the PE rejects CPU-token acquisition and
+//! its pool magazines are flushed back to the arena so the storage
+//! accounting stays truthful).
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel stored in a [`FaultCell`] for a fail-stopped PE.
+const FAIL_STOP: u32 = u32::MAX;
+
+/// Health of one PE as seen by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeFaultState {
+    /// Operating normally.
+    Healthy,
+    /// Running, but every tick charged to the PE costs `factor`× ticks.
+    Slow(u32),
+    /// Fail-stopped: rejects CPU acquisition until healed.
+    FailStop,
+}
+
+/// Per-PE fault state word: 0 = healthy, [`u32::MAX`] = fail-stop,
+/// anything else = slow-by-factor. One relaxed load on the hot paths.
+#[derive(Debug, Default)]
+pub struct FaultCell(AtomicU32);
+
+impl FaultCell {
+    /// A healthy cell.
+    pub const fn new() -> Self {
+        Self(AtomicU32::new(0))
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PeFaultState {
+        match self.0.load(Ordering::Relaxed) {
+            0 => PeFaultState::Healthy,
+            FAIL_STOP => PeFaultState::FailStop,
+            f => PeFaultState::Slow(f),
+        }
+    }
+
+    /// Whether the PE is fail-stopped.
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.0.load(Ordering::Relaxed) == FAIL_STOP
+    }
+
+    /// Tick multiplier: 1 when healthy or failed, the slow factor
+    /// otherwise.
+    #[inline]
+    pub fn slow_factor(&self) -> u64 {
+        match self.0.load(Ordering::Relaxed) {
+            0 | FAIL_STOP => 1,
+            f => f as u64,
+        }
+    }
+
+    /// Fail-stop the PE.
+    pub fn fail(&self) {
+        self.0.store(FAIL_STOP, Ordering::Relaxed);
+    }
+
+    /// Slow the PE by an integer factor (≥ 2; 0/1 heal instead). A
+    /// fail-stopped PE stays failed — fail-stop dominates.
+    pub fn slow(&self, factor: u32) {
+        if factor <= 1 {
+            self.heal();
+            return;
+        }
+        let _ = self
+            .0
+            .compare_exchange(0, factor, Ordering::Relaxed, Ordering::Relaxed);
+        // If the cell held another slow factor, overwrite; if fail-stopped,
+        // leave it alone.
+        let cur = self.0.load(Ordering::Relaxed);
+        if cur != FAIL_STOP && cur != factor {
+            let _ = self
+                .0
+                .compare_exchange(cur, factor, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// Return the PE to healthy.
+    pub fn heal(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One planned fault. All parameters are *planned* values (target PE,
+/// trigger tick, message/allocation ordinal) — rendering an action never
+/// involves observed runtime state, which is what makes the fault event
+/// trace reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail-stop PE `pe` when virtual time reaches `at_tick`.
+    FailPe {
+        /// Target PE number (1–20).
+        pe: u8,
+        /// Trigger tick (compared against every clock advance).
+        at_tick: u64,
+    },
+    /// Slow PE `pe` by `factor`× when virtual time reaches `at_tick`.
+    SlowPe {
+        /// Target PE number (1–20).
+        pe: u8,
+        /// Trigger tick.
+        at_tick: u64,
+        /// Tick multiplier applied to all subsequent work on the PE.
+        factor: u32,
+    },
+    /// Drop the `nth` message handed to the fault layer (1-based).
+    DropMessage {
+        /// Message ordinal, counted across the whole machine.
+        nth: u64,
+    },
+    /// Deliver the `nth` message twice.
+    DuplicateMessage {
+        /// Message ordinal.
+        nth: u64,
+    },
+    /// Delay the `nth` message by `ticks` on the sender's clock.
+    DelayMessage {
+        /// Message ordinal.
+        nth: u64,
+        /// Extra ticks charged before delivery.
+        ticks: u64,
+    },
+    /// Fail the `nth` shared-memory allocation with a synthetic
+    /// out-of-memory error (1-based, counted across the whole machine).
+    FailAlloc {
+        /// Allocation ordinal.
+        nth: u64,
+    },
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::FailPe { pe, at_tick } => {
+                write!(f, "fail-stop PE{pe} at tick {at_tick}")
+            }
+            FaultAction::SlowPe { pe, at_tick, factor } => {
+                write!(f, "slow PE{pe} x{factor} at tick {at_tick}")
+            }
+            FaultAction::DropMessage { nth } => write!(f, "drop message #{nth}"),
+            FaultAction::DuplicateMessage { nth } => write!(f, "duplicate message #{nth}"),
+            FaultAction::DelayMessage { nth, ticks } => {
+                write!(f, "delay message #{nth} by {ticks} ticks")
+            }
+            FaultAction::FailAlloc { nth } => write!(f, "fail allocation #{nth}"),
+        }
+    }
+}
+
+/// Kind of link fault to apply to one message, as answered by
+/// [`FaultInjector::message_action`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFault {
+    /// The message vanishes on the bus.
+    Drop,
+    /// The message is delivered twice.
+    Duplicate,
+    /// Delivery is charged this many extra ticks.
+    Delay(u64),
+}
+
+/// A deterministic schedule of faults. Built explicitly via the builder
+/// methods or pseudo-randomly from a seed via [`FaultPlan::random`]; in
+/// both cases the plan is plain data and the same plan always reproduces
+/// the same fault event trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    actions: Vec<FaultAction>,
+}
+
+/// SplitMix64 step: a tiny, well-mixed PRNG for seeded plan generation
+/// (no external dependency; determinism is the whole point).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan carrying a seed (the seed labels the plan in traces
+    /// and seeds [`FaultPlan::random`]).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The planned actions in plan order.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Schedule a fail-stop of `pe` at `at_tick`.
+    pub fn fail_pe(mut self, pe: u8, at_tick: u64) -> Self {
+        self.actions.push(FaultAction::FailPe { pe, at_tick });
+        self
+    }
+
+    /// Schedule slowing `pe` by `factor`× at `at_tick`.
+    pub fn slow_pe(mut self, pe: u8, at_tick: u64, factor: u32) -> Self {
+        self.actions.push(FaultAction::SlowPe {
+            pe,
+            at_tick,
+            factor,
+        });
+        self
+    }
+
+    /// Schedule dropping the `nth` message.
+    pub fn drop_message(mut self, nth: u64) -> Self {
+        self.actions.push(FaultAction::DropMessage { nth });
+        self
+    }
+
+    /// Schedule duplicating the `nth` message.
+    pub fn duplicate_message(mut self, nth: u64) -> Self {
+        self.actions.push(FaultAction::DuplicateMessage { nth });
+        self
+    }
+
+    /// Schedule delaying the `nth` message by `ticks`.
+    pub fn delay_message(mut self, nth: u64, ticks: u64) -> Self {
+        self.actions.push(FaultAction::DelayMessage { nth, ticks });
+        self
+    }
+
+    /// Schedule failing the `nth` shared-memory allocation.
+    pub fn fail_alloc(mut self, nth: u64) -> Self {
+        self.actions.push(FaultAction::FailAlloc { nth });
+        self
+    }
+
+    /// A pseudo-random plan derived entirely from `seed`: 1–4 actions
+    /// drawn over `pes` with trigger ticks below `max_tick` and message
+    /// ordinals below 64. The same seed always yields the same plan.
+    pub fn random(seed: u64, pes: &[u8], max_tick: u64) -> Self {
+        let mut s = seed;
+        let n = 1 + (splitmix64(&mut s) % 4) as usize;
+        let mut plan = Self::new(seed);
+        for _ in 0..n {
+            let pe = pes[(splitmix64(&mut s) as usize) % pes.len().max(1)];
+            let tick = splitmix64(&mut s) % max_tick.max(1);
+            match splitmix64(&mut s) % 6 {
+                0 => plan = plan.fail_pe(pe, tick),
+                1 => plan = plan.slow_pe(pe, tick, 2 + (splitmix64(&mut s) % 7) as u32),
+                2 => plan = plan.drop_message(1 + splitmix64(&mut s) % 64),
+                3 => plan = plan.duplicate_message(1 + splitmix64(&mut s) % 64),
+                4 => plan = plan.delay_message(1 + splitmix64(&mut s) % 64, 50),
+                _ => plan = plan.fail_alloc(1 + splitmix64(&mut s) % 64),
+            }
+        }
+        plan
+    }
+}
+
+/// A fault that fired: the plan index plus the planned action. Events
+/// render from planned parameters only, so sorting by `index` yields a
+/// reproducible trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Position of the action in the plan.
+    pub index: usize,
+    /// The planned action that fired.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault[{}]: {}", self.index, self.action)
+    }
+}
+
+/// What a clock advance must apply to a PE, as answered by
+/// [`FaultInjector::on_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickFault {
+    /// Fail-stop the named PE.
+    Fail(u8),
+    /// Slow the named PE by the factor.
+    Slow(u8, u32),
+}
+
+/// Observer invoked once per fired event (used by the runtime to emit
+/// trace events without this crate depending on the tracer).
+pub type FaultObserver = Box<dyn Fn(&FaultEvent) + Send + Sync>;
+
+/// The armed form of a [`FaultPlan`]: tracks which actions have fired,
+/// counts message and allocation ordinals, and records fired events.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    fired: Vec<AtomicBool>,
+    events: Mutex<Vec<FaultEvent>>,
+    msg_seq: AtomicU64,
+    alloc_seq: AtomicU64,
+    observer: Mutex<Option<FaultObserver>>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("fired", &self.fired_events())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let n = plan.actions.len();
+        Self {
+            plan,
+            fired: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            events: Mutex::new(Vec::new()),
+            msg_seq: AtomicU64::new(0),
+            alloc_seq: AtomicU64::new(0),
+            observer: Mutex::new(None),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Register the (single) observer called on each fired event.
+    pub fn set_observer(&self, obs: FaultObserver) {
+        *self.observer.lock() = Some(obs);
+    }
+
+    /// Fire action `idx` exactly once. Returns `true` for the caller that
+    /// won the race (and should apply the fault's effects).
+    fn fire(&self, idx: usize) -> bool {
+        if self.fired[idx].swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let ev = FaultEvent {
+            index: idx,
+            action: self.plan.actions[idx],
+        };
+        self.events.lock().push(ev);
+        if let Some(obs) = self.observer.lock().as_ref() {
+            obs(&ev);
+        }
+        true
+    }
+
+    /// Evaluate tick-triggered actions against a clock reading of `now`
+    /// virtual ticks (any PE's clock counts as virtual time: the cost
+    /// model charges comparable work comparably, and a fail-stopped or
+    /// blocked PE could never observe its own death). Returns the faults
+    /// the caller must apply, in plan order.
+    pub fn on_tick(&self, now: u64) -> Vec<TickFault> {
+        let mut out = Vec::new();
+        for (i, a) in self.plan.actions.iter().enumerate() {
+            match *a {
+                FaultAction::FailPe { pe, at_tick } if at_tick <= now => {
+                    if self.fire(i) {
+                        out.push(TickFault::Fail(pe));
+                    }
+                }
+                FaultAction::SlowPe {
+                    pe,
+                    at_tick,
+                    factor,
+                } if at_tick <= now => {
+                    if self.fire(i) {
+                        out.push(TickFault::Slow(pe, factor));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether any tick-triggered action is still pending (lets hot paths
+    /// skip the scan once every clock fault has fired).
+    pub fn tick_faults_pending(&self) -> bool {
+        self.plan.actions.iter().enumerate().any(|(i, a)| {
+            matches!(
+                a,
+                FaultAction::FailPe { .. } | FaultAction::SlowPe { .. }
+            ) && !self.fired[i].load(Ordering::Relaxed)
+        })
+    }
+
+    /// Count one message send and return the link fault to apply to it,
+    /// if this is a planned ordinal.
+    pub fn message_action(&self) -> Option<MessageFault> {
+        let n = self.msg_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        for (i, a) in self.plan.actions.iter().enumerate() {
+            match *a {
+                FaultAction::DropMessage { nth } if nth == n => {
+                    if self.fire(i) {
+                        return Some(MessageFault::Drop);
+                    }
+                }
+                FaultAction::DuplicateMessage { nth } if nth == n => {
+                    if self.fire(i) {
+                        return Some(MessageFault::Duplicate);
+                    }
+                }
+                FaultAction::DelayMessage { nth, ticks } if nth == n => {
+                    if self.fire(i) {
+                        return Some(MessageFault::Delay(ticks));
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Count one shared-memory allocation; `true` if it must fail with a
+    /// synthetic out-of-memory error.
+    pub fn alloc_should_fail(&self) -> bool {
+        let n = self.alloc_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        for (i, a) in self.plan.actions.iter().enumerate() {
+            if let FaultAction::FailAlloc { nth } = *a {
+                if nth == n && self.fire(i) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The fired fail-stop event for a PE, if one fired (used to attach
+    /// the fault event to `PeFailed` errors and fault notices).
+    pub fn event_for_pe(&self, pe: u8) -> Option<FaultEvent> {
+        self.fired_events()
+            .into_iter()
+            .find(|e| matches!(e.action, FaultAction::FailPe { pe: p, .. } if p == pe))
+    }
+
+    /// Fired events sorted by plan index — the canonical, reproducible
+    /// fault event sequence.
+    pub fn fired_events(&self) -> Vec<FaultEvent> {
+        let mut v = self.events.lock().clone();
+        v.sort_by_key(|e| e.index);
+        v
+    }
+
+    /// Render the fired events, one per line, preceded by a seed header —
+    /// the byte-comparable fault event trace chaos scenarios assert on.
+    pub fn render_trace(&self) -> String {
+        let mut out = format!("seed {:#018x}\n", self.plan.seed);
+        for e in self.fired_events() {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_state_transitions() {
+        let c = FaultCell::new();
+        assert_eq!(c.state(), PeFaultState::Healthy);
+        assert_eq!(c.slow_factor(), 1);
+        c.slow(4);
+        assert_eq!(c.state(), PeFaultState::Slow(4));
+        assert_eq!(c.slow_factor(), 4);
+        c.fail();
+        assert!(c.is_failed());
+        c.slow(2);
+        assert!(c.is_failed(), "fail-stop dominates slow");
+        c.heal();
+        assert_eq!(c.state(), PeFaultState::Healthy);
+    }
+
+    #[test]
+    fn slow_of_one_heals() {
+        let c = FaultCell::new();
+        c.slow(8);
+        c.slow(1);
+        assert_eq!(c.state(), PeFaultState::Healthy);
+    }
+
+    #[test]
+    fn tick_faults_fire_once_at_trigger() {
+        let plan = FaultPlan::new(1).fail_pe(5, 100).slow_pe(7, 200, 3);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.on_tick(99).is_empty());
+        assert_eq!(inj.on_tick(100), vec![TickFault::Fail(5)]);
+        assert!(inj.on_tick(150).is_empty(), "already fired");
+        assert_eq!(inj.on_tick(500), vec![TickFault::Slow(7, 3)]);
+        assert!(!inj.tick_faults_pending());
+        assert_eq!(inj.fired_events().len(), 2);
+    }
+
+    #[test]
+    fn message_ordinals_hit_planned_actions() {
+        let plan = FaultPlan::new(2)
+            .drop_message(2)
+            .duplicate_message(3)
+            .delay_message(4, 77);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.message_action(), None); // #1
+        assert_eq!(inj.message_action(), Some(MessageFault::Drop)); // #2
+        assert_eq!(inj.message_action(), Some(MessageFault::Duplicate)); // #3
+        assert_eq!(inj.message_action(), Some(MessageFault::Delay(77))); // #4
+        assert_eq!(inj.message_action(), None); // #5
+    }
+
+    #[test]
+    fn alloc_ordinal_fails_once() {
+        let inj = FaultInjector::new(FaultPlan::new(3).fail_alloc(2));
+        assert!(!inj.alloc_should_fail()); // #1
+        assert!(inj.alloc_should_fail()); // #2
+        assert!(!inj.alloc_should_fail()); // #3
+    }
+
+    #[test]
+    fn trace_is_sorted_by_plan_index() {
+        let plan = FaultPlan::new(9).fail_pe(4, 50).drop_message(1);
+        let inj = FaultInjector::new(plan);
+        // Fire in reverse trigger order.
+        inj.message_action();
+        inj.on_tick(60);
+        let t = inj.render_trace();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "seed 0x0000000000000009");
+        assert_eq!(lines[1], "fault[0]: fail-stop PE4 at tick 50");
+        assert_eq!(lines[2], "fault[1]: drop message #1");
+    }
+
+    #[test]
+    fn same_plan_same_trace() {
+        let mk = || {
+            let inj = FaultInjector::new(FaultPlan::random(42, &[4, 5, 6], 1000));
+            inj.on_tick(2000);
+            for _ in 0..80 {
+                inj.message_action();
+            }
+            for _ in 0..80 {
+                inj.alloc_should_fail();
+            }
+            inj.render_trace()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(7, &[3, 4], 500);
+        let b = FaultPlan::random(7, &[3, 4], 500);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::random(8, &[3, 4], 500);
+        assert!(a != c || a.actions() == c.actions());
+    }
+
+    #[test]
+    fn event_for_pe_finds_fail_stop() {
+        let inj = FaultInjector::new(FaultPlan::new(1).fail_pe(6, 10));
+        assert!(inj.event_for_pe(6).is_none());
+        inj.on_tick(10);
+        let e = inj.event_for_pe(6).unwrap();
+        assert_eq!(e.to_string(), "fault[0]: fail-stop PE6 at tick 10");
+        assert!(inj.event_for_pe(7).is_none());
+    }
+
+    #[test]
+    fn observer_sees_each_fired_event_once() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let inj = FaultInjector::new(FaultPlan::new(1).fail_pe(5, 10).fail_alloc(1));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        inj.set_observer(Box::new(move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        inj.on_tick(10);
+        inj.on_tick(20);
+        inj.alloc_should_fail();
+        inj.alloc_should_fail();
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

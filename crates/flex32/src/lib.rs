@@ -26,6 +26,7 @@
 
 pub mod clock;
 pub mod cpu;
+pub mod fault;
 pub mod fs;
 pub mod machine;
 pub mod mmos;
@@ -33,6 +34,9 @@ pub mod pe;
 pub mod pool;
 pub mod shmem;
 
+pub use fault::{
+    FaultAction, FaultCell, FaultEvent, FaultInjector, FaultPlan, MessageFault, PeFaultState,
+};
 pub use machine::Flex32;
 pub use pe::{PeId, PeKind};
 pub use pool::{PoolReport, ShmPool};

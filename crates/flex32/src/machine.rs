@@ -5,12 +5,15 @@
 //! runtime (the `pisces-core` crate) runs "as just another program" on top
 //! of this, exactly as the paper describes the real system.
 
+use crate::fault::{FaultInjector, FaultPlan, TickFault};
 use crate::fs::FileSystem;
 use crate::mmos::ProcessTable;
 use crate::pe::{Pe, PeError, PeId};
 use crate::pool::ShmPool;
 use crate::shmem::{SharedMemory, ShmError, ShmHandle, ShmTag};
 use crate::NUM_PES;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// The simulated machine. Cheap to share: wrap in an [`Arc`] (see
@@ -24,6 +27,11 @@ pub struct Flex32 {
     pub pool: ShmPool,
     /// File system maintained by the Unix PEs.
     pub fs: FileSystem,
+    /// Armed fault injector, if a chaos plan is active.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
+    /// Fast-path guard: one relaxed load decides whether any fault hook
+    /// runs. False on a healthy machine, so injection costs nothing.
+    faults_armed: AtomicBool,
 }
 
 impl std::fmt::Debug for Flex32 {
@@ -50,6 +58,8 @@ impl Flex32 {
             shmem: SharedMemory::flex32(),
             pool: ShmPool::new(NUM_PES),
             fs: FileSystem::new(),
+            faults: RwLock::new(None),
+            faults_armed: AtomicBool::new(false),
         }
     }
 
@@ -87,8 +97,26 @@ impl Flex32 {
         bytes: usize,
         tag: ShmTag,
     ) -> Result<(ShmHandle, bool), ShmError> {
+        if self.faults_armed.load(Ordering::Relaxed) {
+            if let Some(e) = self.alloc_fault(bytes) {
+                return Err(e);
+            }
+        }
         self.pool
             .alloc(&self.shmem, (pe.number() - 1) as usize, bytes, tag)
+    }
+
+    /// Slow path of [`Flex32::shm_alloc`]: consult the armed plan's
+    /// allocation-ordinal faults and synthesise an out-of-memory error
+    /// reporting the arena's *real* occupancy.
+    #[cold]
+    fn alloc_fault(&self, bytes: usize) -> Option<ShmError> {
+        let inj = self.faults.read().clone()?;
+        if inj.alloc_should_fail() {
+            Some(self.shmem.synthetic_oom(bytes))
+        } else {
+            None
+        }
     }
 
     /// Free shared memory through `pe`'s allocation pool. `tag` must be
@@ -118,7 +146,84 @@ impl Flex32 {
 
     /// Charge `ticks` of work to a PE's clock and return the new reading.
     pub fn tick(&self, id: PeId, ticks: u64) -> u64 {
-        self.pe(id).clock.advance(ticks)
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return self.pe(id).clock.advance(ticks);
+        }
+        self.tick_faulty(id, ticks)
+    }
+
+    /// Slow path of [`Flex32::tick`] when a fault plan is armed: the ticks
+    /// are multiplied by the PE's slow factor, and the new reading is
+    /// checked against the plan's tick-triggered faults (any PE crossing a
+    /// trigger fires it — a blocked or dead PE never reads its own clock).
+    #[cold]
+    fn tick_faulty(&self, id: PeId, ticks: u64) -> u64 {
+        let pe = self.pe(id);
+        let charged = ticks.saturating_mul(pe.fault.slow_factor());
+        let now = pe.clock.advance(charged);
+        if let Some(inj) = self.faults.read().as_ref() {
+            if inj.tick_faults_pending() {
+                for fault in inj.on_tick(now) {
+                    match fault {
+                        TickFault::Fail(n) => self.fail_pe(n),
+                        TickFault::Slow(n, factor) => {
+                            if let Ok(target) = self.pe_n(n) {
+                                target.fault.slow(factor);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        now
+    }
+
+    /// Arm a fault plan: all subsequent ticks, sends, and allocations are
+    /// checked against it. Returns the injector so callers can register an
+    /// observer and read the fired-event trace.
+    pub fn arm_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = Arc::new(FaultInjector::new(plan));
+        *self.faults.write() = Some(inj.clone());
+        self.faults_armed.store(true, Ordering::Release);
+        inj
+    }
+
+    /// Disarm fault injection and heal every PE (recovery: the machine is
+    /// serviceable again, though killed processes stay gone).
+    pub fn disarm_faults(&self) {
+        self.faults_armed.store(false, Ordering::Release);
+        *self.faults.write() = None;
+        for pe in &self.pes {
+            pe.fault.heal();
+        }
+    }
+
+    /// The armed injector, if any.
+    pub fn faults(&self) -> Option<Arc<FaultInjector>> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.faults.read().clone()
+    }
+
+    /// Whether a fault plan is armed (one relaxed load).
+    #[inline]
+    pub fn faults_armed(&self) -> bool {
+        self.faults_armed.load(Ordering::Relaxed)
+    }
+
+    /// Fail-stop a PE *now*: mark its fault cell, kill every MMOS process
+    /// on it, and flush its pool magazines back to the arena so the
+    /// shared-memory accounting stays truthful (a dead PE cannot hold
+    /// cached blocks). Idempotent; unknown PE numbers are ignored.
+    pub fn fail_pe(&self, n: u8) {
+        let Ok(pe) = self.pe_n(n) else { return };
+        if pe.fault.is_failed() {
+            return;
+        }
+        pe.fault.fail();
+        self.procs(pe.id()).fail_all();
+        self.pool.flush_pe(&self.shmem, (n - 1) as usize);
     }
 }
 
@@ -185,5 +290,85 @@ mod tests {
         assert_eq!(m.tick(id, 4), 4);
         assert_eq!(m.pe(id).clock.now(), 4);
         assert_eq!(m.pe_n(10).unwrap().clock.now(), 0);
+    }
+
+    #[test]
+    fn armed_fail_pe_fires_from_any_clock() {
+        use crate::fault::FaultPlan;
+        let m = Flex32::new();
+        m.arm_faults(FaultPlan::new(1).fail_pe(7, 100));
+        let other = PeId::new(4).unwrap();
+        m.tick(other, 99);
+        assert!(!m.pe_n(7).unwrap().fault.is_failed());
+        // PE 4's clock crossing the trigger fails PE 7: virtual time is
+        // machine-wide, and a dead PE never reads its own clock.
+        m.tick(other, 1);
+        assert!(m.pe_n(7).unwrap().fault.is_failed());
+        assert!(m.pe_n(7).unwrap().acquire_cpu().is_err());
+        m.disarm_faults();
+        assert!(m.pe_n(7).unwrap().acquire_cpu().is_ok(), "healed on disarm");
+    }
+
+    #[test]
+    fn slow_pe_multiplies_charged_ticks() {
+        use crate::fault::FaultPlan;
+        let m = Flex32::new();
+        let id = PeId::new(6).unwrap();
+        m.arm_faults(FaultPlan::new(2).slow_pe(6, 10, 3));
+        m.tick(id, 10); // fires the slow fault at tick 10
+        assert_eq!(m.pe(id).clock.now(), 10);
+        m.tick(id, 4); // charged 3x
+        assert_eq!(m.pe(id).clock.now(), 22);
+        m.disarm_faults();
+        m.tick(id, 4);
+        assert_eq!(m.pe(id).clock.now(), 26);
+    }
+
+    #[test]
+    fn fail_pe_flushes_pool_and_keeps_accounting_clean() {
+        use crate::fault::FaultPlan;
+        let m = Flex32::new();
+        let pe = PeId::new(5).unwrap();
+        let (h, _) = m.shm_alloc(pe, 32, ShmTag::Message).unwrap();
+        m.shm_free(pe, h, ShmTag::Message).unwrap();
+        assert!(m.shmem.report().in_use > 0, "block cached in magazine");
+        m.arm_faults(FaultPlan::new(3).fail_pe(5, 1));
+        m.tick(pe, 1);
+        assert_eq!(
+            m.shmem.report().in_use,
+            0,
+            "failed PE's magazines flushed back to the arena"
+        );
+        m.shmem.validate().unwrap();
+        assert_eq!(m.procs(pe).live(), 0);
+    }
+
+    #[test]
+    fn planned_alloc_fault_reports_real_occupancy() {
+        use crate::fault::FaultPlan;
+        let m = Flex32::new();
+        let pe = PeId::new(5).unwrap();
+        m.arm_faults(FaultPlan::new(4).fail_alloc(2));
+        let (h, _) = m.shm_alloc(pe, 32, ShmTag::Other).unwrap();
+        let err = m.shm_alloc(pe, 32, ShmTag::Other).unwrap_err();
+        match err {
+            ShmError::OutOfMemory { requested, free, .. } => {
+                assert_eq!(requested, 32);
+                assert!(free < crate::SHARED_MEM_BYTES, "occupancy is real");
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+        m.shm_alloc(pe, 32, ShmTag::Other).unwrap();
+        m.shm_free(pe, h, ShmTag::Other).unwrap();
+        m.shmem.validate().unwrap();
+    }
+
+    #[test]
+    fn healthy_machine_never_consults_injector() {
+        let m = Flex32::new();
+        assert!(!m.faults_armed());
+        assert!(m.faults().is_none());
+        let id = PeId::new(8).unwrap();
+        assert_eq!(m.tick(id, 5), 5);
     }
 }

@@ -116,6 +116,18 @@ impl ProcessTable {
         self.exits.load(Ordering::Relaxed)
     }
 
+    /// Kill every live process at once (PE fail-stop). Unlike
+    /// [`ProcessTable::reboot`] the spawn/exit counters survive — the dead
+    /// processes count as exited, keeping the accounting truthful. Returns
+    /// how many processes were killed.
+    pub fn fail_all(&self) -> usize {
+        let mut procs = self.procs.lock();
+        let n = procs.len();
+        procs.clear();
+        self.exits.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
     /// Reboot: clear everything (the FLEX reboots MMOS PEs between runs).
     pub fn reboot(&self) {
         self.procs.lock().clear();

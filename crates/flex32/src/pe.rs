@@ -6,7 +6,8 @@
 //! user program for each run.
 
 use crate::clock::{ClockReading, TickClock};
-use crate::cpu::CpuToken;
+use crate::cpu::{CpuGuard, CpuToken};
+use crate::fault::FaultCell;
 use crate::mmos::Console;
 use crate::{FIRST_MMOS_PE, LAST_MMOS_PE, LOCAL_MEM_BYTES, NUM_PES};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -80,6 +81,12 @@ pub enum PeError {
         /// Bytes still free.
         available: usize,
     },
+    /// The PE is fail-stopped (see [`crate::fault`]) and refuses to run
+    /// anything.
+    PeFailed {
+        /// The failed PE's number.
+        pe: u8,
+    },
 }
 
 impl std::fmt::Display for PeError {
@@ -94,6 +101,7 @@ impl std::fmt::Display for PeError {
                 f,
                 "PE{pe} local memory exhausted: requested {requested} B, {available} B free"
             ),
+            PeError::PeFailed { pe } => write!(f, "PE{pe} is fail-stopped"),
         }
     }
 }
@@ -176,6 +184,8 @@ pub struct Pe {
     pub cpu: CpuToken,
     /// Terminal console attached to the PE.
     pub console: Console,
+    /// Injected-fault state (healthy unless a fault plan is armed).
+    pub fault: FaultCell,
 }
 
 impl Pe {
@@ -192,7 +202,27 @@ impl Pe {
             clock: TickClock::new(),
             cpu: CpuToken::new(),
             console: Console::new(id),
+            fault: FaultCell::new(),
         }
+    }
+
+    /// Acquire the CPU token, unless the PE is fail-stopped. A failed PE
+    /// behaves like powered-off hardware: nothing can be scheduled on it.
+    /// The check is repeated after acquisition so a fault that fires while
+    /// we were queued on the token is still honoured.
+    pub fn acquire_cpu(&self) -> Result<CpuGuard<'_>, PeError> {
+        if self.fault.is_failed() {
+            return Err(PeError::PeFailed {
+                pe: self.id.number(),
+            });
+        }
+        let guard = self.cpu.acquire();
+        if self.fault.is_failed() {
+            return Err(PeError::PeFailed {
+                pe: self.id.number(),
+            });
+        }
+        Ok(guard)
     }
 
     /// This PE's id.
@@ -264,6 +294,20 @@ mod tests {
         let m = LocalMemory::new();
         m.reserve(LOCAL_MEM_BYTES / 4, pe).unwrap();
         assert!((m.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_pe_rejects_cpu_acquisition() {
+        let pe = Pe::new(PeId::new(5).unwrap());
+        assert!(pe.acquire_cpu().is_ok());
+        pe.fault.fail();
+        match pe.acquire_cpu() {
+            Err(PeError::PeFailed { pe: n }) => assert_eq!(n, 5),
+            Err(other) => panic!("expected PeFailed, got {other:?}"),
+            Ok(_) => panic!("expected PeFailed, got a CPU guard"),
+        }
+        pe.fault.heal();
+        assert!(pe.acquire_cpu().is_ok());
     }
 
     #[test]

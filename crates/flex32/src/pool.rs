@@ -209,6 +209,19 @@ impl ShmPool {
         }
     }
 
+    /// Return every block cached by one PE (0-based index) to the global
+    /// heap. Used on PE fail-stop: a dead PE cannot hold magazine blocks,
+    /// so its cache is handed back and the arena accounting stays truthful.
+    pub fn flush_pe(&self, shmem: &SharedMemory, pe: usize) {
+        for class in &self.pes[pe].mags {
+            for mag in class {
+                for h in mag.lock().drain(..) {
+                    let _ = shmem.free(h);
+                }
+            }
+        }
+    }
+
     /// Bytes currently cached in magazines for one tag. Storage reports
     /// subtract this from the arena's per-tag account: a cached block is
     /// recovered (free for reuse), not live.
@@ -373,6 +386,23 @@ mod tests {
         let r = m.report();
         assert_eq!(r.in_use, 0);
         assert_eq!(r.tag_bytes(ShmTag::Message), 0);
+    }
+
+    #[test]
+    fn flush_pe_empties_only_that_pe() {
+        let m = arena();
+        let pool = ShmPool::new(2);
+        for pe in 0..2 {
+            let (h, _) = pool.alloc(&m, pe, 16, ShmTag::Message).unwrap();
+            pool.free(&m, pe, h, ShmTag::Message).unwrap();
+        }
+        assert_eq!(pool.cached_blocks(), 2);
+        pool.flush_pe(&m, 0);
+        assert_eq!(pool.cached_blocks(), 1, "PE 1's magazine untouched");
+        let (_, hit) = pool.alloc(&m, 1, 16, ShmTag::Message).unwrap();
+        assert!(hit, "PE 1 still hits after PE 0's flush");
+        pool.flush(&m);
+        m.validate().unwrap();
     }
 
     #[test]

@@ -294,6 +294,21 @@ impl SharedMemory {
         })
     }
 
+    /// Build the [`ShmError::OutOfMemory`] that a request for `requested`
+    /// bytes *would* report right now, without allocating anything. The
+    /// fault layer uses this to synthesise allocation failures that carry
+    /// the arena's real occupancy figures.
+    pub fn synthetic_oom(&self, requested: usize) -> ShmError {
+        let st = self.state.lock();
+        let free: usize = st.free.iter().map(|&(_, l)| l).sum();
+        let largest = st.free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        ShmError::OutOfMemory {
+            requested,
+            free: free * 8,
+            largest_block: largest * 8,
+        }
+    }
+
     /// Return a block to the heap, coalescing with adjacent free blocks.
     pub fn free(&self, handle: ShmHandle) -> Result<(), ShmError> {
         let mut st = self.state.lock();

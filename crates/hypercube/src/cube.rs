@@ -131,6 +131,51 @@ impl Hypercube {
     /// first-generation cube), bumps link counters, and enqueues at the
     /// destination. Returns the total virtual latency in ticks.
     pub fn send(&self, from: NodeId, to: NodeId, mtype: &str, words: Vec<u64>) -> u64 {
+        self.send_inner(from, to, mtype, words, 1)
+            .expect("copies=1 always delivers")
+    }
+
+    /// [`Hypercube::send`] under an armed fault injector: the plan may
+    /// drop the packet on the link (returns `None` — the sender still paid
+    /// the route cost up to the drop point), duplicate it (two copies
+    /// enqueue at the destination), or delay it (extra latency charged to
+    /// the sender's clock). With `inj == None` this is exactly `send`.
+    pub fn send_with_faults(
+        &self,
+        inj: Option<&flex32::fault::FaultInjector>,
+        from: NodeId,
+        to: NodeId,
+        mtype: &str,
+        words: Vec<u64>,
+    ) -> Option<u64> {
+        use flex32::fault::MessageFault;
+        match inj.and_then(|i| i.message_action()) {
+            Some(MessageFault::Drop) => {
+                // The packet dies partway: the sender forwarded it into
+                // the first link before it vanished.
+                let per_hop = crate::HOP_TICKS + crate::WORD_TICKS * words.len() as u64;
+                self.nodes[from].clock.advance(per_hop);
+                None
+            }
+            Some(MessageFault::Duplicate) => self.send_inner(from, to, mtype, words, 2),
+            Some(MessageFault::Delay(extra)) => {
+                self.send_inner(from, to, mtype, words, 1).map(|lat| {
+                    self.nodes[from].clock.advance(extra);
+                    lat + extra
+                })
+            }
+            None => self.send_inner(from, to, mtype, words, 1),
+        }
+    }
+
+    fn send_inner(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        mtype: &str,
+        words: Vec<u64>,
+        copies: usize,
+    ) -> Option<u64> {
         let path = self.route(from, to);
         let per_hop = crate::HOP_TICKS + crate::WORD_TICKS * words.len() as u64;
         let mut latency = 0;
@@ -150,13 +195,18 @@ impl Hypercube {
             latency = crate::HOP_TICKS;
         }
         let node = &self.nodes[to];
-        node.inq.q.lock().push_back(Packet {
-            from,
-            mtype: mtype.to_string(),
-            words,
-        });
+        {
+            let mut q = node.inq.q.lock();
+            for _ in 0..copies {
+                q.push_back(Packet {
+                    from,
+                    mtype: mtype.to_string(),
+                    words: words.clone(),
+                });
+            }
+        }
         node.inq.cv.notify_all();
-        latency
+        Some(latency)
     }
 
     /// Receive the next packet at `node` matching `want` (None = any),
@@ -284,6 +334,45 @@ mod tests {
         c.send(0, 1, "X", vec![0; 10]);
         assert_eq!(c.link_words(0, 0), 20);
         assert_eq!(c.total_link_packets(), 2);
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates_packets() {
+        use flex32::fault::{FaultInjector, FaultPlan};
+        let c = Hypercube::new(3);
+        let inj = FaultInjector::new(FaultPlan::new(7).drop_message(1).duplicate_message(2));
+        // Packet #1 dies on the link; the sender still paid for the hop.
+        assert!(c.send_with_faults(Some(&inj), 0, 5, "A", vec![1]).is_none());
+        assert_eq!(c.queued(5), 0);
+        assert!(c.node(0).clock.now() > 0);
+        // Packet #2 arrives twice.
+        assert!(c.send_with_faults(Some(&inj), 0, 5, "B", vec![2]).is_some());
+        assert_eq!(c.queued(5), 2);
+        // Packet #3 is untouched.
+        assert!(c.send_with_faults(Some(&inj), 0, 5, "C", vec![3]).is_some());
+        assert_eq!(c.queued(5), 3);
+    }
+
+    #[test]
+    fn delay_fault_charges_extra_latency() {
+        use flex32::fault::{FaultInjector, FaultPlan};
+        let c = Hypercube::new(3);
+        let clean = c.send(0, 7, "X", vec![0; 4]);
+        let inj = FaultInjector::new(FaultPlan::new(1).delay_message(1, 500));
+        let slow = c
+            .send_with_faults(Some(&inj), 0, 7, "X", vec![0; 4])
+            .unwrap();
+        assert_eq!(slow, clean + 500);
+        assert_eq!(c.queued(7), 2);
+    }
+
+    #[test]
+    fn no_injector_matches_plain_send() {
+        let c = Hypercube::new(4);
+        let a = c.send(2, 9, "X", vec![1, 2]);
+        let b = c.send_with_faults(None, 2, 9, "X", vec![1, 2]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(c.queued(9), 2);
     }
 
     #[test]
