@@ -1,0 +1,56 @@
+set -e
+cd /root/repo
+O=.verify/out
+# stubs
+rustc --edition 2021 -O --crate-type lib --crate-name parking_lot .verify/stubs/parking_lot.rs --out-dir $O
+rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive .verify/stubs/serde_derive.rs --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name serde .verify/stubs/serde.rs --extern serde_derive=$O/libserde_derive.so -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name serde_json .verify/stubs/serde_json.rs --extern serde=$O/libserde.rlib -L dependency=$O --out-dir $O
+# libs
+rustc --edition 2021 -O --crate-type lib --crate-name flex32 crates/flex32/src/lib.rs \
+  --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_core crates/core/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern serde=$O/libserde.rlib --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces3_hypercube crates/hypercube/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_exec crates/exec/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_chaos crates/chaos/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-name pisces_chaos_bin crates/chaos/src/main.rs \
+  --extern pisces_chaos=$O/libpisces_chaos.rlib \
+  -L dependency=$O -o $O/pisces-chaos
+# unit tests
+rustc --edition 2021 -O --test --crate-name flex32 crates/flex32/src/lib.rs \
+  --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O -o $O/flex32_tests
+rustc --edition 2021 -O --test --crate-name pisces_core crates/core/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern serde=$O/libserde.rlib --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O -o $O/core_tests
+rustc --edition 2021 -O --test --crate-name pisces3_hypercube crates/hypercube/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/hypercube_tests
+rustc --edition 2021 -O --test --crate-name pisces_exec crates/exec/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O -o $O/exec_tests
+# integration tests (proptest-based ones skipped: no proptest offline)
+for t in barrier forces runtime accept_semantics failure_injection windows; do
+  rustc --edition 2021 -O --test --crate-name $t crates/core/tests/$t.rs \
+    --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
+    --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
+    -L dependency=$O -o $O/it_$t
+done
+rustc --edition 2021 -O --test --crate-name determinism crates/chaos/tests/determinism.rs \
+  --extern pisces_chaos=$O/libpisces_chaos.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_chaos_determinism
+echo BUILD-OK

@@ -1,0 +1,227 @@
+//! Offline snapshot harness: replicates bench-snapshot's measurement
+//! loops against pisces_core directly (the full pisces-bench lib pulls
+//! in crates unavailable offline). Prints `key=value` lines; JSON is
+//! composed by the caller. Compile with `--cfg seed` against the seed
+//! checkout (which lacks chunked/guided scheduling).
+
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn boot(config: MachineConfig) -> Arc<Pisces> {
+    Pisces::boot(flex32::Flex32::new_shared(), config).expect("boot")
+}
+
+fn force_config(secondaries: u8, slots: u8) -> MachineConfig {
+    let cluster = if secondaries == 0 {
+        ClusterConfig::new(1, 3, slots)
+    } else {
+        ClusterConfig::new(1, 3, slots).with_secondaries(4..=(3 + secondaries))
+    };
+    MachineConfig::new(vec![cluster])
+}
+
+fn with_task(
+    p: &Arc<Pisces>,
+    f: impl Fn(&TaskCtx) -> Result<Duration> + Send + Sync + 'static,
+) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let d2 = done.clone();
+    p.register("snapshot_body", move |ctx: &TaskCtx| {
+        *o2.lock() = f(ctx)?;
+        d2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "snapshot_body", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(done.load(Ordering::Acquire), "snapshot body failed");
+    let d = *out.lock();
+    d
+}
+
+fn per_op(total: Duration, ops: u64) -> f64 {
+    total.as_nanos() as f64 / ops.max(1) as f64
+}
+
+fn snap_messaging() {
+    const WARMUP: u64 = 500;
+    const ITERS: u64 = 4_000;
+    for words in [0usize, 16, 256] {
+        let p = boot(MachineConfig::simple(1, 4));
+        let d = with_task(&p, move |ctx| {
+            let payload = vec![0.0f64; words];
+            for i in 0..WARMUP {
+                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            let t0 = Instant::now();
+            for i in 0..ITERS {
+                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            Ok(t0.elapsed())
+        });
+        println!("messaging self_roundtrip_{}w_ns={:.1}", words, per_op(d, ITERS));
+        p.shutdown();
+    }
+}
+
+const LOOP_ITERS: i64 = 10_000;
+const LOOPS: u64 = 20;
+
+fn run_loops(
+    p: &Arc<Pisces>,
+    op: impl Fn(&pisces_core::force::ForceCtx<'_>) -> Result<()> + Send + Sync + 'static,
+) -> Duration {
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    let ok = Arc::new(AtomicBool::new(false));
+    let k2 = ok.clone();
+    p.register("snapshot_loops", move |ctx: &TaskCtx| {
+        let t = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        let t2 = t.clone();
+        ctx.forcesplit(|f| {
+            f.barrier()?;
+            let t0 = Instant::now();
+            for _ in 0..LOOPS {
+                op(f)?;
+            }
+            f.barrier_with(|| {
+                *t2.lock() = t0.elapsed();
+                Ok(())
+            })?;
+            Ok(())
+        })?;
+        *o2.lock() = *t.lock();
+        k2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "snapshot_loops", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(ok.load(Ordering::Acquire));
+    let d = *out.lock();
+    d
+}
+
+fn snap_loops() {
+    let total_iters = LOOPS * LOOP_ITERS as u64;
+    for members in [1u8, 4] {
+        let mut disciplines: Vec<(
+            String,
+            Box<dyn Fn(&pisces_core::force::ForceCtx<'_>) -> Result<()> + Send + Sync>,
+        )> = vec![
+            (
+                format!("presched_{members}m"),
+                Box::new(|f| f.presched(1, LOOP_ITERS, |_| Ok(()))),
+            ),
+            (
+                format!("selfsched_{members}m"),
+                Box::new(|f| f.selfsched(1, LOOP_ITERS, |_| Ok(()))),
+            ),
+        ];
+        #[cfg(not(seed))]
+        {
+            disciplines.push((
+                format!("selfsched_chunk16_{members}m"),
+                Box::new(|f| f.selfsched_chunked(1, LOOP_ITERS, 16, |_| Ok(()))),
+            ));
+            disciplines.push((
+                format!("selfsched_guided_{members}m"),
+                Box::new(|f| f.selfsched_guided(1, LOOP_ITERS, |_| Ok(()))),
+            ));
+        }
+        for (name, op) in disciplines {
+            let p = boot(force_config(members - 1, 2));
+            let d = run_loops(&p, op);
+            println!("loops {}_ns_per_iter={:.1}", name, per_op(d, total_iters));
+            p.shutdown();
+        }
+    }
+}
+
+fn snap_sync() {
+    const ROUNDS: u64 = 2_000;
+    for members in [2u8, 4, 8] {
+        let p = boot(force_config(members - 1, 2));
+        let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+        let o2 = out.clone();
+        p.register("snapshot_barrier", move |ctx: &TaskCtx| {
+            let t = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+            let t2 = t.clone();
+            ctx.forcesplit(|f| {
+                f.barrier()?;
+                let t0 = Instant::now();
+                for _ in 0..ROUNDS {
+                    f.barrier()?;
+                }
+                f.barrier_with(|| {
+                    *t2.lock() = t0.elapsed();
+                    Ok(())
+                })?;
+                Ok(())
+            })?;
+            *o2.lock() = *t.lock();
+            Ok(())
+        });
+        p.initiate_top_level(1, "snapshot_barrier", vec![])
+            .expect("initiate");
+        assert!(p.wait_quiescent(Duration::from_secs(120)));
+        println!(
+            "sync barrier_crossing_{}m_ns={:.1}",
+            members,
+            per_op(*out.lock(), ROUNDS)
+        );
+        p.shutdown();
+    }
+}
+
+#[cfg(not(seed))]
+fn snap_faults() {
+    const WARMUP: u64 = 500;
+    const ITERS: u64 = 4_000;
+    fn roundtrips(p: &Arc<Pisces>) -> Duration {
+        with_task(p, |ctx| {
+            for i in 0..WARMUP {
+                ctx.send(To::Myself, "M", args![i as i64])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            let t0 = Instant::now();
+            for i in 0..ITERS {
+                ctx.send(To::Myself, "M", args![i as i64])?;
+                ctx.accept().of(1).signal("M").run()?;
+            }
+            Ok(t0.elapsed())
+        })
+    }
+    let p = boot(MachineConfig::simple(1, 4));
+    let healthy = per_op(roundtrips(&p), ITERS);
+    p.shutdown();
+    let p = boot(MachineConfig::simple(1, 4));
+    p.arm_faults(
+        flex32::fault::FaultPlan::new(0xFA117)
+            .fail_pe(2, u64::MAX)
+            .drop_message(u64::MAX)
+            .fail_alloc(u64::MAX),
+    );
+    let armed = per_op(roundtrips(&p), ITERS);
+    p.shutdown();
+    println!("faults healthy_roundtrip_ns={healthy:.1}");
+    println!("faults armed_inert_roundtrip_ns={armed:.1}");
+    println!(
+        "faults armed_overhead_pct={:.1}",
+        (armed - healthy) / healthy * 100.0
+    );
+}
+
+fn main() {
+    snap_messaging();
+    snap_loops();
+    snap_sync();
+    #[cfg(not(seed))]
+    snap_faults();
+}

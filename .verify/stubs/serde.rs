@@ -1,0 +1,7 @@
+//! Offline verification shim: serde traits with no behaviour.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline verification shim: serde_json surface used by pisces-core.
+//! to_string returns an empty string; from_str always errors.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Ok(String::new())
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    Err(Error("deserialization unavailable in stub".into()))
+}
