@@ -19,7 +19,7 @@ fn force_config(secondaries: u8, slots: u8) -> MachineConfig {
     } else {
         ClusterConfig::new(1, 3, slots).with_secondaries(4..=(3 + secondaries))
     };
-    MachineConfig::new(vec![cluster])
+    MachineConfig::builder().clusters([cluster]).build()
 }
 
 fn with_task(
@@ -65,7 +65,11 @@ fn snap_messaging() {
             }
             Ok(t0.elapsed())
         });
-        println!("messaging self_roundtrip_{}w_ns={:.1}", words, per_op(d, ITERS));
+        println!(
+            "messaging self_roundtrip_{}w_ns={:.1}",
+            words,
+            per_op(d, ITERS)
+        );
         p.shutdown();
     }
 }
@@ -218,10 +222,53 @@ fn snap_faults() {
     );
 }
 
+#[cfg(not(seed))]
+fn windows_move_ns(elementwise: bool, iters: u64) -> f64 {
+    const N: usize = 256;
+    let p = boot(MachineConfig::simple(1, 4));
+    let d = with_task(&p, move |ctx| {
+        let a: Vec<f64> = (0..N * N).map(|k| k as f64).collect();
+        let src = ctx.register_array(&a, N, N)?;
+        let dst = ctx.register_array(&vec![0.0; N * N], N, N)?;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            if elementwise {
+                for r in 0..N {
+                    for c in 0..N {
+                        let s = src.shrink(r..r + 1, c..c + 1).map_err(PiscesError::from)?;
+                        let t = dst.shrink(r..r + 1, c..c + 1).map_err(PiscesError::from)?;
+                        let v = ctx.window_get(&s)?;
+                        ctx.window_put(&t, &v)?;
+                    }
+                }
+            } else {
+                ctx.window_move(&src, &dst)?;
+            }
+        }
+        Ok(t0.elapsed())
+    });
+    p.shutdown();
+    per_op(d, iters)
+}
+
+#[cfg(not(seed))]
+fn snap_windows() {
+    let words = (256 * 256) as f64;
+    let ew = windows_move_ns(true, 2);
+    let b = windows_move_ns(false, 64);
+    println!("windows move_256x256_elementwise_ns={ew:.1}");
+    println!("windows move_256x256_batched_ns={b:.1}");
+    println!("windows elementwise_words_per_s={:.1}", words / ew * 1e9);
+    println!("windows batched_words_per_s={:.1}", words / b * 1e9);
+    println!("windows batched_speedup_vs_elementwise={:.2}", ew / b);
+}
+
 fn main() {
     snap_messaging();
     snap_loops();
     snap_sync();
     #[cfg(not(seed))]
     snap_faults();
+    #[cfg(not(seed))]
+    snap_windows();
 }

@@ -21,3 +21,11 @@ pub fn to_string<T: serde::Serialize>(_value: &T) -> Result<String, Error> {
 pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
     Err(Error("deserialization unavailable in stub".into()))
 }
+
+pub fn to_vec_pretty<T: serde::Serialize>(_value: &T) -> Result<Vec<u8>, Error> {
+    Ok(Vec::new())
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_s: &'a [u8]) -> Result<T, Error> {
+    Err(Error("deserialization unavailable in stub".into()))
+}

@@ -80,7 +80,7 @@ fn bench_window_transfer(c: &mut Criterion) {
                     let w = ctx.register_array(&data, n, n)?;
                     let t0 = std::time::Instant::now();
                     for _ in 0..iters {
-                        std::hint::black_box(ctx.window_read(&w)?);
+                        std::hint::black_box(ctx.window_get(&w)?);
                     }
                     *o2.lock() = t0.elapsed();
                     d2.store(true, Ordering::Release);

@@ -1,0 +1,152 @@
+//! Window-transfer benchmarks: the bulk transfer engine (batched
+//! gather/scatter/move, one staging allocation per transfer) against
+//! element-wise window traffic, plus the async double-buffered path.
+//!
+//! The headline comparison — `move/batched_256x256` vs
+//! `move/elementwise_256x256` — is the acceptance number behind
+//! `BENCH_windows.json`: a whole-window move must beat per-element
+//! get/put by at least 2×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pisces_bench::boot;
+use pisces_core::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `f` inside a task body `iters` times and return the measured time.
+fn timed_task(
+    p: &Arc<Pisces>,
+    iters: u64,
+    f: impl Fn(&TaskCtx, u64) -> Result<Duration> + Send + Sync + 'static,
+) -> Duration {
+    let done = Arc::new(AtomicBool::new(false));
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let d2 = done.clone();
+    let o2 = out.clone();
+    p.register("bench_windows", move |ctx: &TaskCtx| {
+        *o2.lock() = f(ctx, iters)?;
+        d2.store(true, Ordering::Release);
+        Ok(())
+    });
+    p.initiate_top_level(1, "bench_windows", vec![])
+        .expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(120)));
+    assert!(done.swap(false, Ordering::AcqRel), "bench body failed");
+    let d = *out.lock();
+    d
+}
+
+fn bench_window_move(c: &mut Criterion) {
+    let mut g = c.benchmark_group("windows/move");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        g.throughput(Throughput::Elements((n * n) as u64));
+        let p = boot(MachineConfig::simple(1, 4));
+        g.bench_with_input(BenchmarkId::new("batched", n * n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                timed_task(&p, iters, move |ctx, iters| {
+                    let a: Vec<f64> = (0..n * n).map(|k| k as f64).collect();
+                    let src = ctx.register_array(&a, n, n)?;
+                    let dst = ctx.register_array(&vec![0.0; n * n], n, n)?;
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        ctx.window_move(&src, &dst)?;
+                    }
+                    Ok(t0.elapsed())
+                })
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("elementwise", n * n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                timed_task(&p, iters, move |ctx, iters| {
+                    let a: Vec<f64> = (0..n * n).map(|k| k as f64).collect();
+                    let src = ctx.register_array(&a, n, n)?;
+                    let dst = ctx.register_array(&vec![0.0; n * n], n, n)?;
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        for r in 0..n {
+                            for col in 0..n {
+                                let s = src
+                                    .shrink(r..r + 1, col..col + 1)
+                                    .map_err(PiscesError::from)?;
+                                let t = dst
+                                    .shrink(r..r + 1, col..col + 1)
+                                    .map_err(PiscesError::from)?;
+                                let v = ctx.window_get(&s)?;
+                                ctx.window_put(&t, &v)?;
+                            }
+                        }
+                    }
+                    Ok(t0.elapsed())
+                })
+            });
+        });
+        p.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_async_halo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("windows/halo_fetch_128x128");
+    g.sample_size(10);
+    // Fetch the four 1-deep halo edges of a 128×128 interior: sync gets
+    // one after another vs posting all four and waiting (double buffered).
+    let n = 128usize;
+    let p = boot(MachineConfig::simple(1, 4));
+    g.bench_function("sync", |b| {
+        b.iter_custom(|iters| {
+            timed_task(&p, iters, move |ctx, iters| {
+                let a = vec![1.0f64; n * n];
+                let w = ctx.register_array(&a, n, n)?;
+                let edges = [
+                    w.shrink(0..1, 0..n).map_err(PiscesError::from)?,
+                    w.shrink(n - 1..n, 0..n).map_err(PiscesError::from)?,
+                    w.shrink(0..n, 0..1).map_err(PiscesError::from)?,
+                    w.shrink(0..n, n - 1..n).map_err(PiscesError::from)?,
+                ];
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    for e in &edges {
+                        std::hint::black_box(ctx.window_get(e)?);
+                    }
+                }
+                Ok(t0.elapsed())
+            })
+        });
+    });
+    g.bench_function("async_posted", |b| {
+        b.iter_custom(|iters| {
+            timed_task(&p, iters, move |ctx, iters| {
+                let a = vec![1.0f64; n * n];
+                let w = ctx.register_array(&a, n, n)?;
+                let edges = [
+                    w.shrink(0..1, 0..n).map_err(PiscesError::from)?,
+                    w.shrink(n - 1..n, 0..n).map_err(PiscesError::from)?,
+                    w.shrink(0..n, 0..1).map_err(PiscesError::from)?,
+                    w.shrink(0..n, n - 1..n).map_err(PiscesError::from)?,
+                ];
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    let pending: Vec<_> = edges
+                        .iter()
+                        .map(|e| ctx.window_get_async(e))
+                        .collect::<Result<_>>()?;
+                    for pg in pending {
+                        std::hint::black_box(pg.wait(ctx)?);
+                    }
+                }
+                Ok(t0.elapsed())
+            })
+        });
+    });
+    p.shutdown();
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(4));
+    targets = bench_window_move, bench_async_halo
+}
+criterion_main!(benches);

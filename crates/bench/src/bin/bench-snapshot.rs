@@ -241,6 +241,62 @@ fn snap_faults(metrics: &mut Map<String, Json>) {
 }
 
 // ----------------------------------------------------------------------
+// windows: bulk transfer engine vs element-wise window traffic
+// ----------------------------------------------------------------------
+
+const WIN_ROWS: usize = 256;
+const WIN_COLS: usize = 256;
+
+/// Move a `WIN_ROWS`×`WIN_COLS` window between two resident arrays,
+/// either through the batched transfer engine (one `window_move`) or
+/// element-wise (a 1×1 `window_get`/`window_put` per element — the
+/// transfer granularity programs were stuck with before the engine).
+/// Returns ns per whole-window move.
+fn windows_move_ns(elementwise: bool, iters: u64) -> f64 {
+    let p = boot(MachineConfig::simple(1, 4));
+    let d = with_task(&p, move |ctx| {
+        let a: Vec<f64> = (0..WIN_ROWS * WIN_COLS).map(|k| k as f64).collect();
+        let src = ctx.register_array(&a, WIN_ROWS, WIN_COLS)?;
+        let dst = ctx.register_array(&vec![0.0; WIN_ROWS * WIN_COLS], WIN_ROWS, WIN_COLS)?;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            if elementwise {
+                for r in 0..WIN_ROWS {
+                    for c in 0..WIN_COLS {
+                        let s = src.shrink(r..r + 1, c..c + 1).map_err(PiscesError::from)?;
+                        let t = dst.shrink(r..r + 1, c..c + 1).map_err(PiscesError::from)?;
+                        let v = ctx.window_get(&s)?;
+                        ctx.window_put(&t, &v)?;
+                    }
+                }
+            } else {
+                ctx.window_move(&src, &dst)?;
+            }
+        }
+        Ok(t0.elapsed())
+    });
+    p.shutdown();
+    per_op(d, iters)
+}
+
+fn snap_windows(metrics: &mut Map<String, Json>) {
+    let words = (WIN_ROWS * WIN_COLS) as f64;
+    let elementwise = windows_move_ns(true, 2);
+    let batched = windows_move_ns(false, 64);
+    let speedup = elementwise / batched;
+    let ew_tput = words / elementwise * 1e9;
+    let b_tput = words / batched * 1e9;
+    println!("windows/move_256x256_elementwise   {elementwise:>12.1} ns/move");
+    println!("windows/move_256x256_batched       {batched:>12.1} ns/move");
+    println!("windows/batched_speedup            {speedup:>12.1} x");
+    metrics.insert("move_256x256_elementwise_ns".into(), json!(elementwise));
+    metrics.insert("move_256x256_batched_ns".into(), json!(batched));
+    metrics.insert("elementwise_words_per_s".into(), json!(ew_tput));
+    metrics.insert("batched_words_per_s".into(), json!(b_tput));
+    metrics.insert("batched_speedup_vs_elementwise".into(), json!(speedup));
+}
+
+// ----------------------------------------------------------------------
 // output
 // ----------------------------------------------------------------------
 
@@ -301,4 +357,8 @@ fn main() {
     let mut faults = Map::new();
     snap_faults(&mut faults);
     write_summary(&out.join("BENCH_faults.json"), "faults", &label, faults);
+
+    let mut windows = Map::new();
+    snap_windows(&mut windows);
+    write_summary(&out.join("BENCH_windows.json"), "windows", &label, windows);
 }

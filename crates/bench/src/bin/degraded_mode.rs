@@ -33,9 +33,9 @@ fn run(fail_one: bool) -> RunResult {
     let flex = flex32::Flex32::new_shared();
     let p = Pisces::boot(
         flex,
-        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+        MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
             .with_terminal()
-            .with_secondaries(4..=7)]),
+            .with_secondaries(4..=7)]).build(),
     )
     .expect("boot");
     if fail_one {

@@ -16,11 +16,11 @@ use pisces_core::prelude::*;
 use std::time::Duration;
 
 fn main() {
-    let config = MachineConfig::new(vec![
+    let config = MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 3).with_terminal(),
         ClusterConfig::new(2, 4, 3),
         ClusterConfig::new(3, 5, 3),
-    ]);
+    ]).build();
     let p = boot(config);
     p.register("worker", |ctx: &TaskCtx| {
         // Park until told to stop, so the figure shows the task in its slot.

@@ -35,7 +35,7 @@ fn build_machine() -> Arc<Pisces> {
         let w = ctx.arg(0)?.as_window()?.clone();
         let depth = ctx.arg(1)?.as_int()?;
         if depth == 0 {
-            let data = ctx.window_read(&w)?;
+            let data = ctx.window_get(&w)?;
             let s: f64 = data.iter().sum();
             return ctx.send(To::Parent, "SUM", args![s]);
         }

@@ -22,7 +22,7 @@ pub fn force_config(secondaries: u8, slots: u8) -> MachineConfig {
     } else {
         ClusterConfig::new(1, 3, slots).with_secondaries(4..=(3 + secondaries))
     };
-    MachineConfig::new(vec![cluster])
+    MachineConfig::builder().clusters([cluster]).build()
 }
 
 /// Run one registered top-level task to quiescence; panics on hang.

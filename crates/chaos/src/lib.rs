@@ -166,9 +166,9 @@ pub fn random_plan_survives(seed: u64) {
     let flex = flex32::Flex32::new_shared();
     let p = Pisces::boot(
         flex,
-        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+        MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
             .with_terminal()
-            .with_secondaries(4..=7)]),
+            .with_secondaries(4..=7)]).build(),
     )
     .expect("boot");
     p.arm_faults(FaultPlan::new(seed).fail_pe(pe, at_tick));

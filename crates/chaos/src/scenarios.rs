@@ -16,9 +16,9 @@ const QUIESCE: Duration = Duration::from_secs(60);
 /// A one-cluster machine with four secondary PEs — the standard force
 /// arena for these scenarios (primary on PE3, force members on PEs 3–7).
 fn force_config() -> MachineConfig {
-    MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+    MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
         .with_terminal()
-        .with_secondaries(4..=7)])
+        .with_secondaries(4..=7)]).build()
 }
 
 fn boot(cfg: MachineConfig) -> Arc<Pisces> {
@@ -45,6 +45,12 @@ pub fn scenarios() -> Vec<Scenario> {
             "fail-stop a peer's PE mid-handshake; sends retry, then FAULT$ notices reach the sender",
             0xDEAD,
             handshake_fault_notice,
+        ),
+        Scenario::new(
+            "bulk-transfer-dead-link",
+            "fail-stop the receiver's PE before a 16x16 window_send; the batched transfer is one link event and ONE FAULT$ notice",
+            0xB17C,
+            bulk_transfer_dead_link,
         ),
         Scenario::new(
             "arena-exhaustion",
@@ -186,10 +192,10 @@ fn force_shrink(run: &mut ScenarioRun) {
 /// back as FAULT$ notices in the parent's own queue — receiver-controlled
 /// interpretation, like SIGNAL vs HANDLER.
 fn handshake_fault_notice(run: &mut ScenarioRun) {
-    let mut cfg = MachineConfig::new(vec![
+    let mut cfg = MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 2).with_terminal(),
         ClusterConfig::new(2, 4, 2),
-    ]);
+    ]).build();
     cfg.trace = TraceSettings::all();
     let p = boot(cfg);
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(4, 3_000));
@@ -270,13 +276,104 @@ fn handshake_fault_notice(run: &mut ScenarioRun) {
     run.record_trace(&inj);
 }
 
+/// One bulk window transfer to a task on a dead PE: the whole 16×16
+/// payload crosses (or here: fails to cross) the link as a SINGLE send,
+/// so the sender sees exactly one retry cycle and one FAULT$ notice —
+/// not one per row or element. This is the fault-model contract of the
+/// transfer engine: batching must not multiply link events.
+fn bulk_transfer_dead_link(run: &mut ScenarioRun) {
+    let mut cfg = MachineConfig::builder()
+        .cluster(ClusterConfig::new(1, 3, 2).with_terminal())
+        .cluster(ClusterConfig::new(2, 4, 2))
+        .build();
+    cfg.trace = TraceSettings::all();
+    let p = boot(cfg);
+    let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(4, 3_000));
+
+    // Sink: announce, then wait for a GRID that never arrives; the delay
+    // body keeps it registered past its PE's death so the coordinator's
+    // send hits a live queue on a dead PE.
+    p.register("sink", |ctx| {
+        ctx.send(To::Parent, "HELLO", vec![])?;
+        let _ = ctx
+            .accept()
+            .of(1)
+            .signal("GRID")
+            .delay_then(Duration::from_millis(800), || {})
+            .run();
+        Ok(())
+    });
+
+    let notices: Arc<Mutex<Vec<(String, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let n2 = notices.clone();
+    p.register("coord", move |ctx| {
+        ctx.initiate(Where::Cluster(2), "sink", vec![])?;
+        let mut child = None;
+        ctx.accept()
+            .of(1)
+            .handle("HELLO", |m| {
+                child = Some(m.sender);
+                Ok(())
+            })
+            .run()?;
+        let child = child.expect("HELLO carried the sink id");
+        // Drive this PE's clock past the planned fail tick.
+        ctx.work(5_000)?;
+        let a: Vec<f64> = (0..256).map(|k| k as f64).collect();
+        let w = ctx.register_array(&a, 16, 16)?;
+        ctx.window_send(To::Task(child), "GRID", &w)?;
+        ctx.accept()
+            .of(1)
+            .handle("FAULT$", |m| {
+                n2.lock()
+                    .push((m.args[0].as_str()?.to_string(), m.args[2].as_int()?));
+                Ok(())
+            })
+            .run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "coord", vec![]).expect("initiate");
+    finish_machine(run, &p, QUIESCE);
+
+    let notices = notices.lock();
+    run.require(
+        "exactly ONE FAULT$ notice for the whole 16x16 transfer",
+        notices.len() == 1,
+    );
+    run.require(
+        "the notice names the batched GRID send and the dead PE",
+        notices.iter().all(|(mt, pe)| mt == "GRID" && *pe == 4),
+    );
+    let s = p.stats().snapshot();
+    run.require(
+        "one retry cycle for one link event, not one per row",
+        s.send_retries == SEND_RETRIES as u64,
+    );
+    run.require("fault-notice counter agrees", s.fault_notices == 1);
+    let bulk = p
+        .tracer()
+        .records()
+        .iter()
+        .filter(|r| r.kind == TraceEventKind::BulkTransfer)
+        .count();
+    run.require("the gather side ran as one bulk transfer", bulk == 1);
+    run.require("256 words moved by the one gather", s.window_words == 256);
+    run.require("exactly one fault fired", inj.fired_events().len() == 1);
+    run.note(format!(
+        "notices={} send_retries={} bulk_transfers={bulk}",
+        notices.len(),
+        s.send_retries
+    ));
+    run.record_trace(&inj);
+}
+
 /// Fail the nth shared-memory allocation while a task streams messages:
 /// the send comes back `OutOfMemory` with the arena accounting still
 /// truthful, and a simple retry completes the workload.
 fn arena_exhaustion(run: &mut ScenarioRun) {
-    let p = boot(MachineConfig::new(vec![
+    let p = boot(MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 4).with_terminal()
-    ]));
+    ]).build());
     // Allocation #1 is the INIT$ below; #2..#11 are the task's sends, so
     // #4 lands on the third send (k=2).
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_alloc(4));

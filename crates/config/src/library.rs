@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn invalid_configuration_not_saved() {
         let lib = lib();
-        let bad = MachineConfig::new(vec![ClusterConfig::new(1, 1, 4)]); // Unix PE
+        let bad = MachineConfig::builder().clusters([ClusterConfig::new(1, 1, 4)]).build(); // Unix PE
         assert!(lib.save("bad", &bad).is_err());
         assert!(lib.list().is_empty());
     }

@@ -82,7 +82,7 @@ impl ConfigMenu {
     pub fn new(flex: Arc<Flex32>) -> Self {
         Self {
             lib: ConfigLibrary::new(flex),
-            working: MachineConfig::new(vec![]),
+            working: MachineConfig::builder().build(),
         }
     }
 

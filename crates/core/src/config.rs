@@ -94,30 +94,90 @@ pub struct MachineConfig {
     pub trace: TraceSettings,
 }
 
-impl MachineConfig {
-    /// A configuration from cluster specs, no time limit, tracing off.
-    pub fn new(clusters: Vec<ClusterConfig>) -> Self {
-        Self {
-            clusters,
-            time_limit_ticks: None,
-            trace: TraceSettings::default(),
+/// Step-by-step constructor for [`MachineConfig`], the preferred way to
+/// describe a machine:
+///
+/// ```
+/// use pisces_core::prelude::*;
+///
+/// let config = MachineConfig::builder()
+///     .cluster(ClusterConfig::new(1, 3, 4).with_terminal())
+///     .cluster(ClusterConfig::new(2, 4, 4).with_secondaries(5..=8))
+///     .time_limit_ticks(1_000_000)
+///     .build();
+/// assert_eq!(config.clusters.len(), 2);
+/// ```
+///
+/// `build` does not validate — [`MachineConfig::validate`] runs when the
+/// machine boots, and tests exercise deliberately invalid shapes — so
+/// the builder never fails.
+#[derive(Debug, Clone, Default)]
+pub struct MachineConfigBuilder {
+    clusters: Vec<ClusterConfig>,
+    time_limit_ticks: Option<u64>,
+    trace: TraceSettings,
+}
+
+impl MachineConfigBuilder {
+    /// Add one cluster.
+    pub fn cluster(mut self, c: ClusterConfig) -> Self {
+        self.clusters.push(c);
+        self
+    }
+
+    /// Add a batch of clusters.
+    pub fn clusters(mut self, cs: impl IntoIterator<Item = ClusterConfig>) -> Self {
+        self.clusters.extend(cs);
+        self
+    }
+
+    /// Set the execution time limit (ticks of any single PE clock).
+    pub fn time_limit_ticks(mut self, ticks: u64) -> Self {
+        self.time_limit_ticks = Some(ticks);
+        self
+    }
+
+    /// Set the initial trace settings for the run.
+    pub fn trace(mut self, t: TraceSettings) -> Self {
+        self.trace = t;
+        self
+    }
+
+    /// Finish: produce the configuration.
+    pub fn build(self) -> MachineConfig {
+        MachineConfig {
+            clusters: self.clusters,
+            time_limit_ticks: self.time_limit_ticks,
+            trace: self.trace,
         }
+    }
+}
+
+impl MachineConfig {
+    /// Start building a configuration. See [`MachineConfigBuilder`].
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder::default()
+    }
+
+    /// A configuration from cluster specs, no time limit, tracing off.
+    #[deprecated(since = "0.4.0", note = "use `MachineConfig::builder()`")]
+    pub fn new(clusters: Vec<ClusterConfig>) -> Self {
+        Self::builder().clusters(clusters).build()
     }
 
     /// A simple n-cluster configuration: cluster `i` on PE `2+i`, `slots`
     /// user slots each, terminal on cluster 1, no secondaries.
     pub fn simple(n_clusters: u8, slots: u8) -> Self {
-        let clusters = (1..=n_clusters)
-            .map(|i| {
+        Self::builder()
+            .clusters((1..=n_clusters).map(|i| {
                 let c = ClusterConfig::new(i, 2 + i, slots);
                 if i == 1 {
                     c.with_terminal()
                 } else {
                     c
                 }
-            })
-            .collect();
-        Self::new(clusters)
+            }))
+            .build()
     }
 
     /// The worked example of Section 9 of the paper:
@@ -127,12 +187,12 @@ impl MachineConfig {
     /// * PEs 16–20 run forces for cluster 2;
     /// * no secondary PEs for cluster 1 (FORCESPLIT there does not split).
     pub fn section9_example() -> Self {
-        Self::new(vec![
-            ClusterConfig::new(1, 3, 4).with_terminal(),
-            ClusterConfig::new(2, 4, 4).with_secondaries(16..=20),
-            ClusterConfig::new(3, 5, 4).with_secondaries(7..=15),
-            ClusterConfig::new(4, 6, 4).with_secondaries(7..=15),
-        ])
+        Self::builder()
+            .cluster(ClusterConfig::new(1, 3, 4).with_terminal())
+            .cluster(ClusterConfig::new(2, 4, 4).with_secondaries(16..=20))
+            .cluster(ClusterConfig::new(3, 5, 4).with_secondaries(7..=15))
+            .cluster(ClusterConfig::new(4, 6, 4).with_secondaries(7..=15))
+            .build()
     }
 
     /// Find a cluster by number.
@@ -273,47 +333,47 @@ mod tests {
 
     #[test]
     fn rejects_unix_pes() {
-        let c = MachineConfig::new(vec![ClusterConfig::new(1, 2, 4)]);
+        let c = MachineConfig::builder().clusters([ClusterConfig::new(1, 2, 4)]).build();
         assert!(matches!(
             c.validate(),
             Err(PiscesError::BadConfiguration(_))
         ));
-        let c = MachineConfig::new(vec![ClusterConfig::new(1, 3, 4).with_secondaries([1])]);
+        let c = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 4).with_secondaries([1])]).build();
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_duplicate_cluster_numbers_and_primaries() {
-        let c = MachineConfig::new(vec![
+        let c = MachineConfig::builder().clusters([
             ClusterConfig::new(1, 3, 4),
             ClusterConfig::new(1, 4, 4),
-        ]);
+        ]).build();
         assert!(c.validate().is_err());
-        let c = MachineConfig::new(vec![
+        let c = MachineConfig::builder().clusters([
             ClusterConfig::new(1, 3, 4),
             ClusterConfig::new(2, 3, 4),
-        ]);
+        ]).build();
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_bad_slots() {
-        let c = MachineConfig::new(vec![ClusterConfig::new(1, 3, 0)]);
+        let c = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 0)]).build();
         assert!(c.validate().is_err());
-        let c = MachineConfig::new(vec![ClusterConfig::new(1, 3, MAX_SLOTS + 1)]);
+        let c = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, MAX_SLOTS + 1)]).build();
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_primary_as_own_secondary_but_allows_overlap() {
-        let own = MachineConfig::new(vec![ClusterConfig::new(1, 3, 4).with_secondaries([3, 4])]);
+        let own = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 4).with_secondaries([3, 4])]).build();
         assert!(own.validate().is_err());
         // Secondary sets of different clusters may overlap, and may include
         // another cluster's primary.
-        let overlap = MachineConfig::new(vec![
+        let overlap = MachineConfig::builder().clusters([
             ClusterConfig::new(1, 3, 4).with_secondaries([5, 6]),
             ClusterConfig::new(2, 4, 4).with_secondaries([5, 6, 3]),
-        ]);
+        ]).build();
         overlap.validate().unwrap();
         assert_eq!(overlap.max_multiprogramming(5), 8);
         assert_eq!(overlap.max_multiprogramming(3), 8); // primary of 1 + secondary of 2
@@ -321,7 +381,7 @@ mod tests {
 
     #[test]
     fn empty_config_rejected() {
-        assert!(MachineConfig::new(vec![]).validate().is_err());
+        assert!(MachineConfig::builder().build().validate().is_err());
     }
 
     #[test]
@@ -329,6 +389,25 @@ mod tests {
         let c = MachineConfig::simple(2, 4);
         assert_eq!(c.cluster(2).unwrap().primary_pe, 4);
         assert!(matches!(c.cluster(9), Err(PiscesError::NoSuchCluster(9))));
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let c = MachineConfig::builder()
+            .cluster(ClusterConfig::new(1, 3, 4).with_terminal())
+            .clusters([ClusterConfig::new(2, 4, 2)])
+            .time_limit_ticks(9_999)
+            .trace(TraceSettings::all())
+            .build();
+        c.validate().unwrap();
+        assert_eq!(c.clusters.len(), 2);
+        assert_eq!(c.time_limit_ticks, Some(9_999));
+        // The deprecated constructor still works and agrees with the
+        // builder's defaults for the fields it cannot set.
+        #[allow(deprecated)]
+        let old = MachineConfig::new(c.clusters.clone());
+        assert_eq!(old.clusters, c.clusters);
+        assert_eq!(old.time_limit_ticks, None);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::stats::RunStats;
 use crate::task::{TaskEntry, TaskRunState};
 use crate::taskid::TaskId;
 use crate::trace::TraceEventKind;
+use crate::transfer::{PendingGet, PendingPut};
 use crate::value::Value;
 use crate::window::Window;
 use flex32::cpu::CpuGuard;
@@ -320,17 +321,80 @@ impl TaskCtx {
     }
 
     /// Read a copy of the data visible in a window into a local vector
-    /// (row-major).
-    pub fn window_read(&self, w: &Window) -> Result<Vec<f64>> {
+    /// (row-major). One batched transfer: a single strided gather over
+    /// the arena, a single allocation, a single cost-model charge. See
+    /// [`crate::transfer`].
+    pub fn window_get(&self, w: &Window) -> Result<Vec<f64>> {
         let _cpu = self.enter(0)?;
-        self.p.window_read(self.entry.pe, w)
+        self.p.window_get(self.entry.pe, w)
     }
 
     /// Write data (row-major, exactly `w.len()` elements) through a
-    /// window.
-    pub fn window_write(&self, w: &Window, data: &[f64]) -> Result<()> {
+    /// window as one batched transfer.
+    pub fn window_put(&self, w: &Window, data: &[f64]) -> Result<()> {
         let _cpu = self.enter(0)?;
-        self.p.window_write(self.entry.pe, w, data)
+        self.p.window_put(self.entry.pe, w, data)
+    }
+
+    /// Copy `src`'s contents into `dst` (same shape required). Between
+    /// two resident arrays this runs arena-to-arena without staging.
+    pub fn window_move(&self, src: &Window, dst: &Window) -> Result<()> {
+        let _cpu = self.enter(0)?;
+        self.p.window_move(self.entry.pe, src, dst)
+    }
+
+    /// Post an asynchronous bulk read of `w`. The window is snapshotted
+    /// into a pool-backed staging buffer now; call [`PendingGet::wait`]
+    /// to collect the data. Posting the next transfer before waiting on
+    /// the current one double-buffers communication against computation.
+    pub fn window_get_async(&self, w: &Window) -> Result<PendingGet> {
+        let _cpu = self.enter(0)?;
+        self.p.window_get_start(self.entry.pe, w)
+    }
+
+    /// Post an asynchronous bulk write of `data` through `w`; the data
+    /// is staged now and scattered when [`PendingPut::wait`] is called.
+    pub fn window_put_async(&self, w: &Window, data: &[f64]) -> Result<PendingPut> {
+        let _cpu = self.enter(0)?;
+        self.p.window_put_start(self.entry.pe, w, data)
+    }
+
+    /// Ship the contents of `w` to another task as ONE message: the
+    /// window descriptor plus its dense row-major payload. The whole
+    /// sub-array crosses the link as a single SEND, so the fault layer
+    /// sees exactly one link event (one possible drop, one FAULT$
+    /// notice) per bulk transfer instead of one per row.
+    pub fn window_send(&self, to: To, mtype: &str, w: &Window) -> Result<()> {
+        let data = self.window_get(w)?;
+        self.send(to, mtype, vec![Value::Window(w.clone()), Value::RealArray(data)])
+    }
+
+    /// Scatter a message built by [`TaskCtx::window_send`] into `dst`
+    /// (which must have the sender's window shape). Returns the number
+    /// of elements written.
+    pub fn window_receive_into(&self, msg: &Message, dst: &Window) -> Result<usize> {
+        let (src, data) = msg.window_payload()?;
+        if !src.same_shape(dst) {
+            return Err(crate::window::WindowError::ShapeMismatch {
+                src: (src.row_count(), src.col_count()),
+                dst: (dst.row_count(), dst.col_count()),
+            }
+            .into());
+        }
+        self.window_put(dst, data)?;
+        Ok(data.len())
+    }
+
+    /// Legacy name for [`TaskCtx::window_get`].
+    #[deprecated(since = "0.4.0", note = "use `window_get` (batched transfer engine)")]
+    pub fn window_read(&self, w: &Window) -> Result<Vec<f64>> {
+        self.window_get(w)
+    }
+
+    /// Legacy name for [`TaskCtx::window_put`].
+    #[deprecated(since = "0.4.0", note = "use `window_put` (batched transfer engine)")]
+    pub fn window_write(&self, w: &Window, data: &[f64]) -> Result<()> {
+        self.window_put(w, data)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Error taxonomy of the PISCES 2 runtime.
 
 use crate::taskid::TaskId;
+use crate::window::WindowError;
 use flex32::fault::FaultEvent;
 use flex32::pe::PeError;
 use flex32::shmem::ShmError;
@@ -26,9 +27,10 @@ pub enum PiscesError {
     BadConfiguration(String),
     /// This task was killed from the execution environment (menu option 2).
     Killed,
-    /// A window operation was invalid (bounds outside the array or the
-    /// parent window, unknown array, wrong element type).
-    BadWindow(String),
+    /// A window operation was invalid. The typed payload says exactly how
+    /// (bounds outside the array or parent, unknown array, shape/length
+    /// mismatch); see [`WindowError`].
+    Window(WindowError),
     /// Message arguments did not match what the receiver expected.
     ArgMismatch {
         /// What the receiver wanted.
@@ -66,7 +68,7 @@ impl std::fmt::Display for PiscesError {
             PiscesError::NoSuchCluster(c) => write!(f, "no such cluster: {c}"),
             PiscesError::BadConfiguration(r) => write!(f, "bad configuration: {r}"),
             PiscesError::Killed => write!(f, "task killed"),
-            PiscesError::BadWindow(r) => write!(f, "bad window: {r}"),
+            PiscesError::Window(e) => write!(f, "bad window: {e}"),
             PiscesError::ArgMismatch { expected, got } => {
                 write!(f, "argument mismatch: expected {expected}, got {got}")
             }
@@ -107,6 +109,12 @@ impl From<flex32::fs::FsError> for PiscesError {
     }
 }
 
+impl From<WindowError> for PiscesError {
+    fn from(e: WindowError) -> Self {
+        PiscesError::Window(e)
+    }
+}
+
 /// Result alias used across the runtime.
 pub type Result<T> = std::result::Result<T, PiscesError>;
 
@@ -131,5 +139,11 @@ mod tests {
         assert!(matches!(shm, PiscesError::Shm(_)));
         let pe: PiscesError = PeError::NoSuchPe(0).into();
         assert!(matches!(pe, PiscesError::Pe(_)));
+        let win: PiscesError = WindowError::BadPacket { words: 2 }.into();
+        assert!(matches!(
+            win,
+            PiscesError::Window(WindowError::BadPacket { words: 2 })
+        ));
+        assert!(win.to_string().contains("bad window"));
     }
 }

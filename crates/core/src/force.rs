@@ -25,6 +25,7 @@ use crate::machine::Pisces;
 use crate::shared::{LockVar, SharedBlock};
 use crate::stats::RunStats;
 use crate::trace::TraceEventKind;
+use crate::window::Window;
 use flex32::pe::PeId;
 use flex32::shmem::{ShmHandle, ShmTag};
 use parking_lot::{Condvar, Mutex};
@@ -404,6 +405,33 @@ impl<'a> ForceCtx<'a> {
     pub fn work(&self, ticks: u64) -> Result<()> {
         let _cpu = self.enter(ticks)?;
         Ok(())
+    }
+
+    /// Batched window read from inside a force (halo exchange): one
+    /// strided gather charged to this member's PE. See [`crate::transfer`].
+    pub fn window_get(&self, w: &Window) -> Result<Vec<f64>> {
+        let _cpu = self.enter(0)?;
+        self.ctx.machine().window_get(self.pe, w)
+    }
+
+    /// Batched window write from inside a force, charged to this
+    /// member's PE.
+    pub fn window_put(&self, w: &Window, data: &[f64]) -> Result<()> {
+        let _cpu = self.enter(0)?;
+        self.ctx.machine().window_put(self.pe, w, data)
+    }
+
+    /// Post an asynchronous bulk read (double-buffered halo exchange):
+    /// snapshot now, collect with [`ForceCtx::window_get_wait`].
+    pub fn window_get_async(&self, w: &Window) -> Result<crate::transfer::PendingGet> {
+        let _cpu = self.enter(0)?;
+        self.ctx.machine().window_get_start(self.pe, w)
+    }
+
+    /// Complete a bulk read posted with [`ForceCtx::window_get_async`].
+    pub fn window_get_wait(&self, pending: crate::transfer::PendingGet) -> Result<Vec<f64>> {
+        let _cpu = self.enter(0)?;
+        self.ctx.machine().window_get_finish(pending)
     }
 
     /// SHARED COMMON access: same named block as every other member.

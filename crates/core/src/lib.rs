@@ -54,6 +54,7 @@ pub mod stats;
 pub mod task;
 pub mod taskid;
 pub mod trace;
+pub mod transfer;
 pub mod value;
 pub mod window;
 
@@ -72,8 +73,9 @@ pub mod prelude {
     pub use crate::task::{FILE_CTRL_ID, USER_ID};
     pub use crate::taskid::TaskId;
     pub use crate::trace::{TraceEventKind, TraceRecord, TraceSettings, Tracer};
+    pub use crate::transfer::{PendingGet, PendingPut};
     pub use crate::value::Value;
-    pub use crate::window::{ArrayId, Window};
+    pub use crate::window::{ArrayId, Window, WindowError};
 }
 
 pub use prelude::*;

@@ -30,7 +30,7 @@ use crate::task::{
 use crate::taskid::TaskId;
 use crate::trace::{TraceEventKind, Tracer};
 use crate::value::{decode_values, encode_values, Value};
-use crate::window::{ArrayId, Window};
+use crate::window::{ArrayId, Window, WindowError};
 use flex32::fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, MessageFault};
 use flex32::pe::PeId;
 use flex32::shmem::{ShmHandle, ShmTag};
@@ -140,17 +140,17 @@ pub(crate) struct MachineState {
     pub dispatching: usize,
 }
 
-struct ArrayEntry {
-    handle: ShmHandle,
-    cols: usize,
+pub(crate) struct ArrayEntry {
+    pub(crate) handle: ShmHandle,
+    pub(crate) cols: usize,
 }
 
-struct FileArrayEntry {
-    path: String,
-    rows: usize,
-    cols: usize,
+pub(crate) struct FileArrayEntry {
+    pub(crate) path: String,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
     /// Overlap management for parallel read/write requests (Section 8).
-    lock: Arc<RwLock<()>>,
+    pub(crate) lock: Arc<RwLock<()>>,
 }
 
 /// Per-PE loading snapshot (menu option 8, DISPLAY PE LOADING).
@@ -222,8 +222,8 @@ pub struct Pisces {
     tasktypes: RwLock<HashMap<String, TaskBody>>,
     pub(crate) state: Mutex<MachineState>,
     pub(crate) state_changed: Condvar,
-    arrays: Mutex<HashMap<ArrayId, ArrayEntry>>,
-    file_arrays: Mutex<HashMap<ArrayId, FileArrayEntry>>,
+    pub(crate) arrays: Mutex<HashMap<ArrayId, ArrayEntry>>,
+    pub(crate) file_arrays: Mutex<HashMap<ArrayId, FileArrayEntry>>,
     next_file_seq: AtomicU32,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     down: AtomicBool,
@@ -1237,10 +1237,12 @@ impl Pisces {
         cols: usize,
     ) -> Result<Window> {
         if rows * cols != data.len() || data.is_empty() {
-            return Err(PiscesError::BadWindow(format!(
-                "array of {} elements declared as {rows}×{cols}",
-                data.len()
-            )));
+            return Err(WindowError::BadShape {
+                elements: data.len(),
+                rows,
+                cols,
+            }
+            .into());
         }
         let handle = self.flex.shmem.alloc(data.len() * 8, ShmTag::WindowArray)?;
         let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
@@ -1251,7 +1253,7 @@ impl Pisces {
         };
         self.arrays.lock().insert(id, ArrayEntry { handle, cols });
         self.flex.tick(owner.pe, cost::WINDOW_REGISTER);
-        Window::new(id, (rows, cols), 0..rows, 0..cols).map_err(PiscesError::BadWindow)
+        Ok(Window::new(id, (rows, cols), 0..rows, 0..cols)?)
     }
 
     /// Create an array on secondary storage, owned by the file controller.
@@ -1264,10 +1266,12 @@ impl Pisces {
         cols: usize,
     ) -> Result<Window> {
         if rows * cols != data.len() || data.is_empty() {
-            return Err(PiscesError::BadWindow(format!(
-                "file array of {} elements declared as {rows}×{cols}",
-                data.len()
-            )));
+            return Err(WindowError::BadShape {
+                elements: data.len(),
+                rows,
+                cols,
+            }
+            .into());
         }
         let mut bytes = Vec::with_capacity(16 + data.len() * 8);
         bytes.extend_from_slice(&(rows as u64).to_le_bytes());
@@ -1289,7 +1293,7 @@ impl Pisces {
                 lock: Arc::new(RwLock::new(())),
             },
         );
-        Window::new(id, (rows, cols), 0..rows, 0..cols).map_err(PiscesError::BadWindow)
+        Ok(Window::new(id, (rows, cols), 0..rows, 0..cols)?)
     }
 
     /// Open an existing file array (e.g. written by an earlier run).
@@ -1301,7 +1305,7 @@ impl Pisces {
             .find(|(_, e)| e.path == path)
             .map(|(id, e)| (*id, (e.rows, e.cols)))
         {
-            return Window::new(id, e, 0..e.0, 0..e.1).map_err(PiscesError::BadWindow);
+            return Ok(Window::new(id, e, 0..e.0, 0..e.1)?);
         }
         let header = self.flex.fs.read_at(path, 0, 16)?;
         let rows = u64::from_le_bytes(header[0..8].try_into().unwrap()) as usize;
@@ -1319,10 +1323,10 @@ impl Pisces {
                 lock: Arc::new(RwLock::new(())),
             },
         );
-        Window::new(id, (rows, cols), 0..rows, 0..cols).map_err(PiscesError::BadWindow)
+        Ok(Window::new(id, (rows, cols), 0..rows, 0..cols)?)
     }
 
-    fn charge_window_transfer(&self, requester_pe: PeId, owner: TaskId, words: u64) {
+    pub(crate) fn charge_window_transfer(&self, requester_pe: PeId, owner: TaskId, words: u64) {
         let t = cost::WINDOW_BASE + cost::WINDOW_PER_WORD * words;
         self.flex.tick(requester_pe, t);
         // The owner's PE also does the copy work (its runtime services the
@@ -1340,85 +1344,11 @@ impl Pisces {
         RunStats::add(&self.stats.window_words, words);
     }
 
-    /// Read the subarray visible in a window (row-major).
-    pub(crate) fn window_read(&self, requester_pe: PeId, w: &Window) -> Result<Vec<f64>> {
-        let out_len = w.len();
-        let mut out = Vec::with_capacity(out_len);
-        if w.array().owner == FILE_CTRL_ID {
-            let (path, cols, lock) = self.file_array_meta(w)?;
-            let _guard = lock.read();
-            for r in w.rows() {
-                let off = 16 + (r * cols + w.cols().start) * 8;
-                let bytes = self.flex.fs.read_at(&path, off, w.col_count() * 8)?;
-                for ch in bytes.chunks_exact(8) {
-                    out.push(f64::from_bits(u64::from_le_bytes(ch.try_into().unwrap())));
-                }
-            }
-        } else {
-            let arrays = self.arrays.lock();
-            let a = arrays
-                .get(&w.array())
-                .ok_or_else(|| PiscesError::BadWindow(format!("array {} gone", w.array())))?;
-            let mut buf = vec![0u64; w.col_count()];
-            for r in w.rows() {
-                self.flex
-                    .shmem
-                    .read_words(a.handle, r * a.cols + w.cols().start, &mut buf)?;
-                out.extend(buf.iter().map(|&b| f64::from_bits(b)));
-            }
-        }
-        RunStats::bump(&self.stats.window_reads);
-        self.charge_window_transfer(requester_pe, w.array().owner, out_len as u64);
-        Ok(out)
-    }
-
-    /// Write the subarray visible in a window (row-major data).
-    pub(crate) fn window_write(&self, requester_pe: PeId, w: &Window, data: &[f64]) -> Result<()> {
-        if data.len() != w.len() {
-            return Err(PiscesError::BadWindow(format!(
-                "window of {} elements written with {}",
-                w.len(),
-                data.len()
-            )));
-        }
-        if w.array().owner == FILE_CTRL_ID {
-            let (path, cols, lock) = self.file_array_meta(w)?;
-            let _guard = lock.write();
-            let width = w.col_count();
-            for (k, r) in w.rows().enumerate() {
-                let off = 16 + (r * cols + w.cols().start) * 8;
-                let mut bytes = Vec::with_capacity(width * 8);
-                for v in &data[k * width..(k + 1) * width] {
-                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
-                }
-                self.flex.fs.write_at(&path, off, &bytes)?;
-            }
-        } else {
-            let arrays = self.arrays.lock();
-            let a = arrays
-                .get(&w.array())
-                .ok_or_else(|| PiscesError::BadWindow(format!("array {} gone", w.array())))?;
-            let width = w.col_count();
-            for (k, r) in w.rows().enumerate() {
-                let words: Vec<u64> = data[k * width..(k + 1) * width]
-                    .iter()
-                    .map(|v| v.to_bits())
-                    .collect();
-                self.flex
-                    .shmem
-                    .write_words(a.handle, r * a.cols + w.cols().start, &words)?;
-            }
-        }
-        RunStats::bump(&self.stats.window_writes);
-        self.charge_window_transfer(requester_pe, w.array().owner, data.len() as u64);
-        Ok(())
-    }
-
-    fn file_array_meta(&self, w: &Window) -> Result<(String, usize, Arc<RwLock<()>>)> {
+    pub(crate) fn file_array_meta(&self, w: &Window) -> Result<(String, usize, Arc<RwLock<()>>)> {
         let fa = self.file_arrays.lock();
         let e = fa
             .get(&w.array())
-            .ok_or_else(|| PiscesError::BadWindow(format!("file array {} gone", w.array())))?;
+            .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
         Ok((e.path.clone(), e.cols, e.lock.clone()))
     }
 

@@ -14,8 +14,10 @@
 //! [`Value`]s — and the block freed — when the message is accepted (or
 //! deleted).
 
+use crate::error::{PiscesError, Result};
 use crate::taskid::TaskId;
 use crate::value::Value;
+use crate::window::Window;
 use flex32::shmem::ShmHandle;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -32,6 +34,30 @@ pub struct Message {
     pub sender: TaskId,
     /// Decoded argument list.
     pub args: Vec<Value>,
+}
+
+impl Message {
+    /// Decode a bulk window transfer built by
+    /// [`crate::context::TaskCtx::window_send`]: the first argument is
+    /// the sender's window descriptor, the second the dense row-major
+    /// payload.
+    pub fn window_payload(&self) -> Result<(&Window, &[f64])> {
+        let missing = |what: &str| PiscesError::ArgMismatch {
+            expected: format!("window transfer ({what})"),
+            got: format!("{} argument(s)", self.args.len()),
+        };
+        let w = self
+            .args
+            .first()
+            .ok_or_else(|| missing("WINDOW descriptor"))?
+            .as_window()?;
+        let data = self
+            .args
+            .get(1)
+            .ok_or_else(|| missing("REAL array payload"))?
+            .as_real_array()?;
+        Ok((w, data))
+    }
 }
 
 /// A message at rest in an in-queue: metadata plus the shared-memory block

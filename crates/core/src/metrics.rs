@@ -242,6 +242,10 @@ pub struct MetricsRegistry {
     pub lock_hold: TickHistogram,
     /// Input-queue depth observed by each successful ACCEPT.
     pub accept_queue_depth: TickHistogram,
+    /// Size (64-bit words) of each bulk window transfer through the
+    /// transfer engine (`window_get`/`window_put`/`window_move` and
+    /// batched window sends).
+    pub transfer_words: TickHistogram,
     /// Shared-memory allocations served from a per-PE pool magazine
     /// (no global heap lock taken). See `flex32::pool`.
     pub pool_hits: AtomicU64,
@@ -257,6 +261,7 @@ impl Default for MetricsRegistry {
             barrier_wait: TickHistogram::new("barrier_wait", "µs"),
             lock_hold: TickHistogram::new("lock_hold", "µs"),
             accept_queue_depth: TickHistogram::new("accept_queue_depth", "messages"),
+            transfer_words: TickHistogram::new("transfer_words", "words"),
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
         }
@@ -264,7 +269,7 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    /// Render every histogram that has samples (all four headers appear
+    /// Render every histogram that has samples (all five headers appear
     /// even when empty, so reports are self-describing), followed by the
     /// allocation-pool hit/miss line.
     pub fn report(&self) -> String {
@@ -274,6 +279,7 @@ impl MetricsRegistry {
             &self.barrier_wait,
             &self.lock_hold,
             &self.accept_queue_depth,
+            &self.transfer_words,
         ] {
             out.push_str(&h.snapshot().to_string());
         }
@@ -353,15 +359,17 @@ mod tests {
     }
 
     #[test]
-    fn registry_report_names_all_four() {
+    fn registry_report_names_all_five() {
         let m = MetricsRegistry::default();
         m.msg_latency.record(5);
+        m.transfer_words.record(768);
         let r = m.report();
         for name in [
             "msg_latency",
             "barrier_wait",
             "lock_hold",
             "accept_queue_depth",
+            "transfer_words",
         ] {
             assert!(r.contains(name), "{name} missing from report");
         }

@@ -40,8 +40,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of traceable event kinds: the paper's eight plus the fault and
-/// recovery kinds added by the chaos subsystem.
-pub const NUM_KINDS: usize = 17;
+/// recovery kinds added by the chaos subsystem and the bulk-transfer kind
+/// added by the window-transfer engine.
+pub const NUM_KINDS: usize = 18;
 
 /// The traceable event types: the eight of Section 12 plus fault-injection
 /// and recovery events (PE failures, link faults, send retries, fault
@@ -84,6 +85,9 @@ pub enum TraceEventKind {
     /// A force shrank to its surviving members after a PE failure
     /// (recovery).
     ForceShrink,
+    /// A bulk window transfer (batched gather/scatter/move) moved a whole
+    /// subregion in one operation.
+    BulkTransfer,
 }
 
 impl TraceEventKind {
@@ -106,6 +110,7 @@ impl TraceEventKind {
         TraceEventKind::MsgRetry,
         TraceEventKind::FaultNotice,
         TraceEventKind::ForceShrink,
+        TraceEventKind::BulkTransfer,
     ];
 
     /// The paper's original eight event types (Section 12).
@@ -131,6 +136,7 @@ impl TraceEventKind {
             TraceEventKind::MsgRetry => "MSG-RETRY",
             TraceEventKind::FaultNotice => "FAULT-NOTICE",
             TraceEventKind::ForceShrink => "FORCE-SHRINK",
+            TraceEventKind::BulkTransfer => "BULK-XFER",
         }
     }
 
@@ -156,6 +162,7 @@ impl TraceEventKind {
             TraceEventKind::MsgRetry => 14,
             TraceEventKind::FaultNotice => 15,
             TraceEventKind::ForceShrink => 16,
+            TraceEventKind::BulkTransfer => 17,
         }
     }
 }

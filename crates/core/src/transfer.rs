@@ -1,0 +1,430 @@
+//! Bulk window-transfer engine.
+//!
+//! The original window path moved data one row at a time: a lock
+//! acquisition, a bounds check and a heap allocation per row (per
+//! *element*, for column windows). This module replaces it with batched
+//! transfers built on the strided gather/scatter primitives of
+//! [`flex32::shmem::SharedMemory`]:
+//!
+//! * **Synchronous** [`Pisces::window_get`] / [`Pisces::window_put`] /
+//!   [`Pisces::window_move`] — one strided pass over the arena per
+//!   transfer, one bounds check for the whole access pattern, one
+//!   allocation for the result. `window_move` between two resident
+//!   arrays copies arena-to-arena without any staging at all.
+//! * **Asynchronous, double-buffered** [`PendingGet`] / [`PendingPut`] —
+//!   the transfer is *posted* (snapshotted into a staging buffer drawn
+//!   from the per-PE [`ShmTag::Transfer`] pool magazines) and completed
+//!   later with `wait`. Posting the next tile's get before consuming the
+//!   current one overlaps communication with computation, the classic
+//!   halo-exchange shape; staging blocks recycle through the pool, so
+//!   steady state does no arena carving at all.
+//!
+//! Every transfer is observable: it bumps the window counters in
+//! [`crate::stats::RunStats`], samples the `transfer_words` histogram in
+//! [`crate::metrics::MetricsRegistry`], emits one `BULK-XFER` trace
+//! event, and charges virtual time via the Section 5 cost model (one
+//! `WINDOW_BASE` plus a per-word cost — batched, so a 256×256 move costs
+//! one base charge, not 256).
+//!
+//! Batched *messaging* of windows lives on [`crate::context::TaskCtx`]
+//! (`window_send` / `window_receive_into`): the whole sub-array crosses
+//! the link as a single SEND, which is why the fault layer sees exactly
+//! one link event — one possible drop, one possible FAULT$ notice — per
+//! bulk transfer.
+
+use flex32::pe::PeId;
+use flex32::shmem::{ShmHandle, ShmTag};
+
+use crate::error::{PiscesError, Result};
+use crate::machine::Pisces;
+use crate::stats::RunStats;
+use crate::task::FILE_CTRL_ID;
+use crate::trace::TraceEventKind;
+use crate::window::{Window, WindowError};
+
+/// File-array header: two u64 words (rows, cols) before the row-major
+/// f64 payload. Mirrors `Pisces::create_file_array`.
+const FILE_HEADER_BYTES: usize = 16;
+
+/// Where a posted transfer's data lives between post and wait.
+enum Staging {
+    /// A pool-backed block in the shared arena (dense row-major words).
+    /// Freed back to the magazine when the transfer completes.
+    Shm { handle: ShmHandle, pe: PeId },
+    /// Host-memory fallback for file arrays (their payload is on the
+    /// Unix PEs' secondary storage, not in the arena).
+    Host(Vec<u64>),
+}
+
+/// A bulk read posted with [`crate::context::TaskCtx::window_get_async`].
+///
+/// The window's contents were snapshotted into a staging buffer at post
+/// time; [`PendingGet::wait`] hands them back as a dense row-major
+/// vector and recycles the staging block. Dropping a `PendingGet`
+/// without waiting abandons its staging block until the machine shuts
+/// down — always complete what you post.
+#[must_use = "a posted window get does nothing until waited on"]
+pub struct PendingGet {
+    window: Window,
+    staging: Staging,
+}
+
+impl PendingGet {
+    /// The window this transfer reads.
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// Complete the transfer: copy the staged snapshot out and recycle
+    /// the staging buffer.
+    pub fn wait(self, ctx: &crate::context::TaskCtx) -> Result<Vec<f64>> {
+        let _cpu = ctx.enter(0)?;
+        ctx.machine().window_get_finish(self)
+    }
+}
+
+/// A bulk write posted with [`crate::context::TaskCtx::window_put_async`].
+///
+/// The data was validated and staged at post time; [`PendingPut::wait`]
+/// scatters it through the window in one strided pass and recycles the
+/// staging block.
+#[must_use = "a posted window put does nothing until waited on"]
+pub struct PendingPut {
+    window: Window,
+    staging: Staging,
+}
+
+impl PendingPut {
+    /// The window this transfer writes.
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// Complete the transfer: scatter the staged data into the array.
+    pub fn wait(self, ctx: &crate::context::TaskCtx) -> Result<()> {
+        let _cpu = ctx.enter(0)?;
+        let pe = ctx.pe();
+        ctx.machine().window_put_finish(pe, self)
+    }
+}
+
+impl Pisces {
+    // ------------------------------------------------------------------
+    // Synchronous engine
+    // ------------------------------------------------------------------
+
+    /// Read the subarray visible in `w` (row-major) as one batched
+    /// transfer.
+    pub(crate) fn window_get(&self, requester_pe: PeId, w: &Window) -> Result<Vec<f64>> {
+        let words = self.gather_window_words(w)?;
+        let out: Vec<f64> = words.iter().map(|&b| f64::from_bits(b)).collect();
+        RunStats::bump(&self.stats.window_reads);
+        self.note_transfer(requester_pe, w, out.len(), "GET");
+        Ok(out)
+    }
+
+    /// Write `data` (row-major, exactly `w.len()` elements) through `w`
+    /// as one batched transfer.
+    pub(crate) fn window_put(&self, requester_pe: PeId, w: &Window, data: &[f64]) -> Result<()> {
+        if data.len() != w.len() {
+            return Err(WindowError::LengthMismatch {
+                expected: w.len(),
+                got: data.len(),
+            }
+            .into());
+        }
+        let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        self.scatter_window_words(w, &words)?;
+        RunStats::bump(&self.stats.window_writes);
+        self.note_transfer(requester_pe, w, data.len(), "PUT");
+        Ok(())
+    }
+
+    /// Copy the contents of `src` into `dst` (same shape required).
+    ///
+    /// When both windows look into resident arrays and do not alias,
+    /// the copy runs arena-to-arena in a single strided pass — no
+    /// staging buffer exists anywhere. Aliasing or file-backed windows
+    /// fall back to a staged gather + scatter.
+    pub(crate) fn window_move(&self, requester_pe: PeId, src: &Window, dst: &Window) -> Result<()> {
+        if !src.same_shape(dst) {
+            return Err(WindowError::ShapeMismatch {
+                src: (src.row_count(), src.col_count()),
+                dst: (dst.row_count(), dst.col_count()),
+            }
+            .into());
+        }
+        let both_resident =
+            src.array().owner != FILE_CTRL_ID && dst.array().owner != FILE_CTRL_ID;
+        let aliases = src.array() == dst.array() && src.overlaps(dst);
+        if both_resident && !aliases {
+            let arrays = self.arrays.lock();
+            let s = arrays
+                .get(&src.array())
+                .ok_or(PiscesError::Window(WindowError::ArrayGone(src.array())))?;
+            let d = arrays
+                .get(&dst.array())
+                .ok_or(PiscesError::Window(WindowError::ArrayGone(dst.array())))?;
+            self.flex.shmem.copy_strided(
+                s.handle,
+                src.rows().start * s.cols + src.cols().start,
+                s.cols,
+                d.handle,
+                dst.rows().start * d.cols + dst.cols().start,
+                d.cols,
+                src.col_count(),
+                src.row_count(),
+            )?;
+        } else {
+            let words = self.gather_window_words(src)?;
+            self.scatter_window_words(dst, &words)?;
+        }
+        RunStats::bump(&self.stats.window_reads);
+        RunStats::bump(&self.stats.window_writes);
+        let words = src.len() as u64;
+        self.metrics.transfer_words.record(words);
+        // Both ends do copy work: the read side and the write side each
+        // pay a batched window charge.
+        self.charge_window_transfer(requester_pe, src.array().owner, words);
+        self.charge_window_transfer(requester_pe, dst.array().owner, words);
+        self.trace_transfer(requester_pe, src, words as usize, "MOVE");
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous (double-buffered) engine
+    // ------------------------------------------------------------------
+
+    /// Post a bulk read: snapshot `w` into a pool-backed staging buffer
+    /// and return a handle to complete later.
+    pub(crate) fn window_get_start(&self, requester_pe: PeId, w: &Window) -> Result<PendingGet> {
+        let staging = if w.array().owner == FILE_CTRL_ID {
+            Staging::Host(self.gather_window_words(w)?)
+        } else {
+            let handle = self.pool_alloc(requester_pe, w.len() * 8, ShmTag::Transfer)?;
+            let res = (|| -> Result<()> {
+                let arrays = self.arrays.lock();
+                let a = arrays
+                    .get(&w.array())
+                    .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
+                self.flex.shmem.copy_strided(
+                    a.handle,
+                    w.rows().start * a.cols + w.cols().start,
+                    a.cols,
+                    handle,
+                    0,
+                    w.col_count(),
+                    w.col_count(),
+                    w.row_count(),
+                )?;
+                Ok(())
+            })();
+            if let Err(e) = res {
+                let _ = self.pool_free(requester_pe, handle, ShmTag::Transfer);
+                return Err(e);
+            }
+            Staging::Shm {
+                handle,
+                pe: requester_pe,
+            }
+        };
+        RunStats::bump(&self.stats.window_reads);
+        self.note_transfer(requester_pe, w, w.len(), "GET-POST");
+        Ok(PendingGet {
+            window: w.clone(),
+            staging,
+        })
+    }
+
+    /// Complete a posted bulk read.
+    pub(crate) fn window_get_finish(&self, pending: PendingGet) -> Result<Vec<f64>> {
+        let words = match pending.staging {
+            Staging::Host(v) => v,
+            Staging::Shm { handle, pe } => {
+                let mut buf = vec![0u64; pending.window.len()];
+                self.flex.shmem.read_words(handle, 0, &mut buf)?;
+                self.pool_free(pe, handle, ShmTag::Transfer)?;
+                buf
+            }
+        };
+        Ok(words.iter().map(|&b| f64::from_bits(b)).collect())
+    }
+
+    /// Post a bulk write: validate and stage `data`, returning a handle
+    /// that scatters it when waited on.
+    pub(crate) fn window_put_start(
+        &self,
+        requester_pe: PeId,
+        w: &Window,
+        data: &[f64],
+    ) -> Result<PendingPut> {
+        if data.len() != w.len() {
+            return Err(WindowError::LengthMismatch {
+                expected: w.len(),
+                got: data.len(),
+            }
+            .into());
+        }
+        let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        let staging = if w.array().owner == FILE_CTRL_ID {
+            Staging::Host(words)
+        } else {
+            let handle = self.pool_alloc(requester_pe, words.len() * 8, ShmTag::Transfer)?;
+            if let Err(e) = self.flex.shmem.write_words(handle, 0, &words) {
+                let _ = self.pool_free(requester_pe, handle, ShmTag::Transfer);
+                return Err(e.into());
+            }
+            Staging::Shm {
+                handle,
+                pe: requester_pe,
+            }
+        };
+        Ok(PendingPut {
+            window: w.clone(),
+            staging,
+        })
+    }
+
+    /// Complete a posted bulk write.
+    pub(crate) fn window_put_finish(&self, requester_pe: PeId, pending: PendingPut) -> Result<()> {
+        let w = &pending.window;
+        match pending.staging {
+            Staging::Host(v) => self.scatter_window_words(w, &v)?,
+            Staging::Shm { handle, pe } => {
+                let res = (|| -> Result<()> {
+                    let arrays = self.arrays.lock();
+                    let a = arrays
+                        .get(&w.array())
+                        .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
+                    self.flex.shmem.copy_strided(
+                        handle,
+                        0,
+                        w.col_count(),
+                        a.handle,
+                        w.rows().start * a.cols + w.cols().start,
+                        a.cols,
+                        w.col_count(),
+                        w.row_count(),
+                    )?;
+                    Ok(())
+                })();
+                let freed = self.pool_free(pe, handle, ShmTag::Transfer);
+                res?;
+                freed?;
+            }
+        }
+        RunStats::bump(&self.stats.window_writes);
+        self.note_transfer(requester_pe, w, w.len(), "PUT-FLUSH");
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Gather the elements visible in `w` into a dense row-major word
+    /// vector: one strided pass for resident arrays, one secondary-
+    /// storage read spanning the window for file arrays.
+    pub(crate) fn gather_window_words(&self, w: &Window) -> Result<Vec<u64>> {
+        if w.array().owner == FILE_CTRL_ID {
+            let (path, cols, lock) = self.file_array_meta(w)?;
+            let _guard = lock.read();
+            let width = w.col_count();
+            let first = FILE_HEADER_BYTES + (w.rows().start * cols + w.cols().start) * 8;
+            let span = ((w.row_count() - 1) * cols + width) * 8;
+            let bytes = self.flex.fs.read_at(&path, first, span)?;
+            let mut out = Vec::with_capacity(w.len());
+            for r in 0..w.row_count() {
+                let base = r * cols * 8;
+                for ch in bytes[base..base + width * 8].chunks_exact(8) {
+                    out.push(u64::from_le_bytes(ch.try_into().unwrap()));
+                }
+            }
+            Ok(out)
+        } else {
+            let arrays = self.arrays.lock();
+            let a = arrays
+                .get(&w.array())
+                .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
+            let mut out = vec![0u64; w.len()];
+            self.flex.shmem.gather_strided(
+                a.handle,
+                w.rows().start * a.cols + w.cols().start,
+                w.col_count(),
+                a.cols,
+                w.row_count(),
+                &mut out,
+            )?;
+            Ok(out)
+        }
+    }
+
+    /// Scatter a dense row-major word vector through `w`: one strided
+    /// pass for resident arrays; file arrays write whole rows (a single
+    /// contiguous write when the window spans full rows).
+    pub(crate) fn scatter_window_words(&self, w: &Window, words: &[u64]) -> Result<()> {
+        debug_assert_eq!(words.len(), w.len());
+        if w.array().owner == FILE_CTRL_ID {
+            let (path, cols, lock) = self.file_array_meta(w)?;
+            let _guard = lock.write();
+            let width = w.col_count();
+            let to_bytes = |ws: &[u64]| {
+                let mut b = Vec::with_capacity(ws.len() * 8);
+                for v in ws {
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+                b
+            };
+            if width == cols {
+                // Full-width rows are contiguous on disk: one write.
+                let first = FILE_HEADER_BYTES + w.rows().start * cols * 8;
+                self.flex.fs.write_at(&path, first, &to_bytes(words))?;
+            } else {
+                for (k, r) in w.rows().enumerate() {
+                    let off = FILE_HEADER_BYTES + (r * cols + w.cols().start) * 8;
+                    self.flex
+                        .fs
+                        .write_at(&path, off, &to_bytes(&words[k * width..(k + 1) * width]))?;
+                }
+            }
+            Ok(())
+        } else {
+            let arrays = self.arrays.lock();
+            let a = arrays
+                .get(&w.array())
+                .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
+            self.flex.shmem.scatter_strided(
+                a.handle,
+                w.rows().start * a.cols + w.cols().start,
+                w.col_count(),
+                a.cols,
+                w.row_count(),
+                words,
+            )?;
+            Ok(())
+        }
+    }
+
+    /// Shared accounting tail for single-ended transfers: histogram
+    /// sample, virtual-time charge, word counter, trace event.
+    fn note_transfer(&self, requester_pe: PeId, w: &Window, words: usize, verb: &str) {
+        self.metrics.transfer_words.record(words as u64);
+        self.charge_window_transfer(requester_pe, w.array().owner, words as u64);
+        self.trace_transfer(requester_pe, w, words, verb);
+    }
+
+    fn trace_transfer(&self, requester_pe: PeId, w: &Window, words: usize, verb: &str) {
+        self.tracer.emit(
+            TraceEventKind::BulkTransfer,
+            w.array().owner,
+            requester_pe.number(),
+            self.flex.pe(requester_pe).clock.now(),
+            format!(
+                "{verb} {}x{} ({words} words) array {}",
+                w.row_count(),
+                w.col_count(),
+                w.array()
+            ),
+        );
+    }
+}

@@ -278,7 +278,7 @@ pub fn decode_values(words: &[u64]) -> Result<Vec<Value>> {
             }
             TAG_WINDOW => {
                 take(Window::PACKED_WORDS, &mut buf)?;
-                Value::Window(Window::unpack(&buf).map_err(|e| decode_err(&e))?)
+                Value::Window(Window::unpack(&buf).map_err(|e| decode_err(&e.to_string()))?)
             }
             TAG_INT_ARRAY => {
                 take(1, &mut buf)?;

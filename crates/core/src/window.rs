@@ -17,6 +17,120 @@
 use crate::taskid::TaskId;
 use std::ops::Range;
 
+/// Typed errors for window geometry and window transfers.
+///
+/// Replaces the old stringly-typed `Result<_, String>` surface: callers can
+/// now match on the failure (empty view, escape from the parent, unknown
+/// array, shape mismatch) instead of parsing prose. Folded into the
+/// crate-wide error as [`crate::PiscesError::Window`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WindowError {
+    /// The requested view contains no elements.
+    Empty {
+        /// Requested row range.
+        rows: Range<usize>,
+        /// Requested column range.
+        cols: Range<usize>,
+    },
+    /// The view falls outside the underlying array.
+    OutOfBounds {
+        /// Requested row range.
+        rows: Range<usize>,
+        /// Requested column range.
+        cols: Range<usize>,
+        /// Dimensions (rows, cols) of the array.
+        dims: (usize, usize),
+    },
+    /// A shrink target escapes the parent view — a shrunk window must
+    /// never see more than its parent did.
+    EscapesParent {
+        /// Requested row range.
+        rows: Range<usize>,
+        /// Requested column range.
+        cols: Range<usize>,
+        /// The parent view's row range.
+        parent_rows: Range<usize>,
+        /// The parent view's column range.
+        parent_cols: Range<usize>,
+    },
+    /// A packed window descriptor had the wrong number of words.
+    BadPacket {
+        /// Words found in the packet.
+        words: usize,
+    },
+    /// An array declaration's shape disagrees with its element count.
+    BadShape {
+        /// Elements supplied.
+        elements: usize,
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+    },
+    /// The array behind the window is no longer registered (its owner
+    /// terminated, or the file array was never created).
+    ArrayGone(ArrayId),
+    /// A transfer supplied or expected a different number of elements
+    /// than the window exposes.
+    LengthMismatch {
+        /// Elements the window exposes.
+        expected: usize,
+        /// Elements supplied.
+        got: usize,
+    },
+    /// Source and destination of a `window_move` have different shapes.
+    ShapeMismatch {
+        /// Source (rows, cols).
+        src: (usize, usize),
+        /// Destination (rows, cols).
+        dst: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::Empty { rows, cols } => {
+                write!(f, "empty window {rows:?}×{cols:?}")
+            }
+            WindowError::OutOfBounds { rows, cols, dims } => write!(
+                f,
+                "window {rows:?}×{cols:?} outside array of {}×{}",
+                dims.0, dims.1
+            ),
+            WindowError::EscapesParent {
+                rows,
+                cols,
+                parent_rows,
+                parent_cols,
+            } => write!(
+                f,
+                "shrink {rows:?}×{cols:?} escapes window {parent_rows:?}×{parent_cols:?}"
+            ),
+            WindowError::BadPacket { words } => {
+                write!(f, "window packet of {words} words")
+            }
+            WindowError::BadShape {
+                elements,
+                rows,
+                cols,
+            } => write!(f, "array of {elements} elements declared as {rows}×{cols}"),
+            WindowError::ArrayGone(id) => write!(f, "array {id} gone"),
+            WindowError::LengthMismatch { expected, got } => {
+                write!(f, "window of {expected} elements transferred with {got}")
+            }
+            WindowError::ShapeMismatch { src, dst } => write!(
+                f,
+                "window move shape mismatch: {}×{} into {}×{}",
+                src.0, src.1, dst.0, dst.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
 /// Identity of a registered array: the owning task plus a per-owner
 /// sequence number (the "address of the array" in the paper's terms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,15 +171,12 @@ impl Window {
         dims: (usize, usize),
         rows: Range<usize>,
         cols: Range<usize>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, WindowError> {
         if rows.is_empty() || cols.is_empty() {
-            return Err(format!("empty window {rows:?}×{cols:?}"));
+            return Err(WindowError::Empty { rows, cols });
         }
         if rows.end > dims.0 || cols.end > dims.1 {
-            return Err(format!(
-                "window {rows:?}×{cols:?} outside array of {}×{}",
-                dims.0, dims.1
-            ));
+            return Err(WindowError::OutOfBounds { rows, cols, dims });
         }
         Ok(Self {
             array,
@@ -118,19 +229,21 @@ impl Window {
     /// "Shrink" the window to a smaller subarray. The new ranges are given
     /// in *array* coordinates and must lie within the current view —
     /// a shrunk window never sees more than its parent did.
-    pub fn shrink(&self, rows: Range<usize>, cols: Range<usize>) -> Result<Self, String> {
+    pub fn shrink(&self, rows: Range<usize>, cols: Range<usize>) -> Result<Self, WindowError> {
         if rows.is_empty() || cols.is_empty() {
-            return Err(format!("empty shrink target {rows:?}×{cols:?}"));
+            return Err(WindowError::Empty { rows, cols });
         }
         if rows.start < self.rows.start
             || rows.end > self.rows.end
             || cols.start < self.cols.start
             || cols.end > self.cols.end
         {
-            return Err(format!(
-                "shrink {rows:?}×{cols:?} escapes window {:?}×{:?}",
-                self.rows, self.cols
-            ));
+            return Err(WindowError::EscapesParent {
+                rows,
+                cols,
+                parent_rows: self.rows.clone(),
+                parent_cols: self.cols.clone(),
+            });
         }
         Ok(Self {
             array: self.array,
@@ -142,7 +255,11 @@ impl Window {
 
     /// Shrink using coordinates *relative to this window's* origin
     /// (convenient for recursive partitioning).
-    pub fn shrink_relative(&self, rows: Range<usize>, cols: Range<usize>) -> Result<Self, String> {
+    pub fn shrink_relative(
+        &self,
+        rows: Range<usize>,
+        cols: Range<usize>,
+    ) -> Result<Self, WindowError> {
         let abs_rows = self.rows.start + rows.start..self.rows.start + rows.end;
         let abs_cols = self.cols.start + cols.start..self.cols.start + cols.end;
         self.shrink(abs_rows, abs_cols)
@@ -220,6 +337,24 @@ impl Window {
         out
     }
 
+    /// Row-major element offset of the view's first element within the
+    /// underlying array — where a strided gather/scatter starts.
+    pub fn origin_offset(&self) -> usize {
+        self.rows.start * self.dims.1 + self.cols.start
+    }
+
+    /// Row-major distance (in elements) between consecutive view rows in
+    /// the underlying array — the stride of a bulk transfer.
+    pub fn row_stride(&self) -> usize {
+        self.dims.1
+    }
+
+    /// Whether another window views the same number of rows and columns
+    /// (the precondition for moving data between the two).
+    pub fn same_shape(&self, other: &Window) -> bool {
+        self.row_count() == other.row_count() && self.col_count() == other.col_count()
+    }
+
     /// Pack into message-packet words.
     pub fn pack(&self) -> [u64; Self::PACKED_WORDS] {
         [
@@ -235,9 +370,9 @@ impl Window {
     }
 
     /// Unpack from message-packet words.
-    pub fn unpack(w: &[u64]) -> Result<Self, String> {
+    pub fn unpack(w: &[u64]) -> Result<Self, WindowError> {
         if w.len() != Self::PACKED_WORDS {
-            return Err(format!("window packet of {} words", w.len()));
+            return Err(WindowError::BadPacket { words: w.len() });
         }
         Window::new(
             ArrayId {
@@ -278,9 +413,34 @@ mod tests {
 
     #[test]
     fn new_validates_bounds() {
-        assert!(Window::new(aid(), (4, 4), 0..5, 0..4).is_err());
-        assert!(Window::new(aid(), (4, 4), 2..2, 0..4).is_err());
+        assert!(matches!(
+            Window::new(aid(), (4, 4), 0..5, 0..4),
+            Err(WindowError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            Window::new(aid(), (4, 4), 2..2, 0..4),
+            Err(WindowError::Empty { .. })
+        ));
         assert!(Window::new(aid(), (4, 4), 0..4, 0..4).is_ok());
+    }
+
+    #[test]
+    fn errors_are_typed_and_displayable() {
+        let e = Window::new(aid(), (4, 4), 0..5, 0..4).unwrap_err();
+        assert!(e.to_string().contains("outside array"));
+        let e = full(10, 10).shrink(0..11, 0..10).unwrap_err();
+        assert!(matches!(e, WindowError::EscapesParent { .. }), "{e:?}");
+        let e = Window::unpack(&[0; 3]).unwrap_err();
+        assert_eq!(e, WindowError::BadPacket { words: 3 });
+    }
+
+    #[test]
+    fn transfer_geometry_helpers() {
+        let w = full(10, 7).shrink(2..5, 3..6).unwrap();
+        assert_eq!(w.origin_offset(), 2 * 7 + 3);
+        assert_eq!(w.row_stride(), 7);
+        assert!(w.same_shape(&full(10, 7).shrink(6..9, 0..3).unwrap()));
+        assert!(!w.same_shape(&full(10, 7)));
     }
 
     #[test]
@@ -420,5 +580,93 @@ mod overlap_tests {
         assert_eq!(tiles.len(), 2 * 3, "one tile per cell at most");
         let area: usize = tiles.iter().map(Window::len).sum();
         assert_eq!(area, small.len());
+    }
+
+    /// Check that `pieces` tile `parent` exactly: pairwise disjoint, each
+    /// inside the parent, and every parent cell covered exactly once.
+    fn assert_tiles_exactly(parent: &Window, pieces: &[Window]) {
+        let mut covered = vec![0u32; parent.dims().0 * parent.dims().1];
+        for p in pieces {
+            assert!(
+                p.rows().start >= parent.rows().start
+                    && p.rows().end <= parent.rows().end
+                    && p.cols().start >= parent.cols().start
+                    && p.cols().end <= parent.cols().end,
+                "{p} escapes {parent}"
+            );
+            for r in p.rows() {
+                for c in p.cols() {
+                    covered[r * parent.dims().1 + c] += 1;
+                }
+            }
+        }
+        for r in parent.rows() {
+            for c in parent.cols() {
+                assert_eq!(
+                    covered[r * parent.dims().1 + c],
+                    1,
+                    "cell ({r},{c}) of {parent} covered wrong number of times"
+                );
+            }
+        }
+        for (i, a) in pieces.iter().enumerate() {
+            for b in &pieces[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+                assert!(a.intersection(b).is_none());
+            }
+        }
+    }
+
+    /// Exhaustive tiling check over every non-divisible split of modest
+    /// offset windows — the off-by-one surface `split_rows`/`split_grid`
+    /// historically risks. (The proptest suite widens this search space;
+    /// this deterministic sweep runs everywhere.)
+    #[test]
+    fn split_rows_and_grid_tile_exactly_for_nondivisible_dims() {
+        for (rows, cols) in [(1usize, 1usize), (1, 7), (7, 1), (5, 3), (13, 9), (17, 17)] {
+            let parent = Window::new(aid(0), (rows + 3, cols + 2), 2..2 + rows, 1..1 + cols)
+                .unwrap();
+            for n in 1..=rows + 2 {
+                assert_tiles_exactly(&parent, &parent.split_rows(n));
+            }
+            for r in 1..=rows + 1 {
+                for c in 1..=cols + 1 {
+                    assert_tiles_exactly(&parent, &parent.split_grid(r, c));
+                }
+            }
+        }
+    }
+
+    /// `intersection` and `overlaps` must agree: an intersection exists
+    /// exactly when the windows overlap, and it is the true row/col range
+    /// intersection. Exhaustive over all sub-windows of a 5×4 array.
+    #[test]
+    fn intersection_agrees_with_overlaps_exhaustively() {
+        let mut all = Vec::new();
+        for r0 in 0..5 {
+            for r1 in r0 + 1..=5 {
+                for c0 in 0..4 {
+                    for c1 in c0 + 1..=4 {
+                        all.push(w(0, r0..r1, c0..c1));
+                    }
+                }
+            }
+        }
+        for a in &all {
+            for b in &all {
+                let both = a.overlaps(b);
+                assert_eq!(both, b.overlaps(a), "overlaps not symmetric: {a} {b}");
+                match a.intersection(b) {
+                    Some(i) => {
+                        assert!(both, "intersection without overlap: {a} {b}");
+                        assert_eq!(i.rows().start, a.rows().start.max(b.rows().start));
+                        assert_eq!(i.rows().end, a.rows().end.min(b.rows().end));
+                        assert_eq!(i.cols().start, a.cols().start.max(b.cols().start));
+                        assert_eq!(i.cols().end, a.cols().end.min(b.cols().end));
+                    }
+                    None => assert!(!both, "overlap without intersection: {a} {b}"),
+                }
+            }
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! reproduction must at least fail *cleanly* (no deadlocks, no leaked
 //! shared memory, machine still controllable).
 
+use flex32::fault::FaultPlan;
 use flex32::shmem::ShmTag;
 use pisces_core::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,10 +57,52 @@ fn send_fails_cleanly_when_shared_memory_is_exhausted() {
 }
 
 #[test]
+fn batched_window_send_is_a_single_link_event() {
+    let p = boot(MachineConfig::simple(1, 4));
+    p.register("main", |ctx| {
+        let a: Vec<f64> = (0..64).map(|k| k as f64).collect();
+        let w = ctx.register_array(&a, 8, 8)?;
+        ctx.machine().arm_faults(FaultPlan::new(7).drop_message(1));
+        // The whole 8×8 window crosses as ONE send, so the planned drop
+        // consumes the entire transfer…
+        ctx.window_send(To::Myself, "GRID", &w)?;
+        let out = ctx
+            .accept()
+            .of(1)
+            .signal("GRID")
+            .delay_then(Duration::from_millis(200), || {})
+            .run()?;
+        assert_eq!(out.count("GRID"), 0, "the dropped transfer must vanish whole");
+        ctx.machine().disarm_faults();
+        // …and a resend is again one send, delivered whole.
+        ctx.window_send(To::Myself, "GRID", &w)?;
+        let mut got = None;
+        ctx.accept()
+            .of(1)
+            .handle("GRID", |m| {
+                let (src, data) = m.window_payload()?;
+                got = Some((src.clone(), data.to_vec()));
+                Ok(())
+            })
+            .run()?;
+        let (src, data) = got.unwrap();
+        assert_eq!(src.dims(), (8, 8));
+        assert_eq!(data, (0..64).map(|k| k as f64).collect::<Vec<_>>());
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    run_to_quiescence(&p);
+    let s = p.stats().snapshot();
+    assert_eq!(s.messages_dropped, 1, "one link event for the batched send");
+    assert_eq!(s.window_reads, 2, "one gather per send, not one per row");
+    p.shutdown();
+}
+
+#[test]
 fn kill_lands_inside_a_force_without_stranding_members() {
-    let p = boot(MachineConfig::new(vec![
+    let p = boot(MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 2).with_secondaries(4..=8)
-    ]));
+    ]).build());
     let rounds = Arc::new(AtomicUsize::new(0));
     let r2 = rounds.clone();
     p.register("spinner", move |ctx| {
@@ -124,9 +167,9 @@ fn panicking_task_body_is_contained() {
 
 #[test]
 fn panicking_force_member_aborts_the_force_not_the_machine() {
-    let p = boot(MachineConfig::new(vec![
+    let p = boot(MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 2).with_secondaries(4..=7)
-    ]));
+    ]).build());
     p.register("main", |ctx| {
         let r = ctx.forcesplit(|f| {
             if f.member() == 2 {
@@ -166,7 +209,7 @@ fn malformed_controller_traffic_is_ignored() {
 
 #[test]
 fn time_limit_fires_inside_force_loops() {
-    let mut config = MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]);
+    let mut config = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]).build();
     config.time_limit_ticks = Some(2_000);
     let p = boot(config);
     p.register("runaway", |ctx| {
@@ -285,9 +328,9 @@ fn panic_inside_critical_releases_the_lock() {
     // A member panicking inside a CRITICAL body must not strand the
     // other members on the lock: the runtime releases it on unwind and
     // aborts the force.
-    let p = boot(MachineConfig::new(vec![
+    let p = boot(MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 2).with_secondaries(4..=7)
-    ]));
+    ]).build());
     p.register("main", |ctx| {
         let r = ctx.forcesplit(|f| {
             let lock = f.lock_var("L")?;

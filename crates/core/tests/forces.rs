@@ -10,9 +10,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn boot_with_force(secondaries: std::ops::RangeInclusive<u8>) -> Arc<Pisces> {
-    let config = MachineConfig::new(vec![
+    let config = MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 4).with_secondaries(secondaries)
-    ]);
+    ]).build();
     Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
 }
 
@@ -53,7 +53,7 @@ fn forcesplit_runs_all_members_on_distinct_pes() {
 fn no_secondaries_means_no_splitting() {
     // Section 9e: "A task executing a FORCESPLIT in cluster 1 will then
     // cause no parallel splitting."
-    let config = MachineConfig::new(vec![ClusterConfig::new(1, 3, 4)]);
+    let config = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 4)]).build();
     let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
     p.register("main", |ctx| {
         let count = AtomicUsize::new(0);
@@ -360,11 +360,11 @@ fn same_text_any_force_size_same_result() {
 
     let mut answers = Vec::new();
     for secondaries in [0u8, 2, 5, 9] {
-        let config = MachineConfig::new(vec![if secondaries == 0 {
+        let config = MachineConfig::builder().clusters([if secondaries == 0 {
             ClusterConfig::new(1, 3, 4)
         } else {
             ClusterConfig::new(1, 3, 4).with_secondaries(4..=(3 + secondaries))
-        }]);
+        }]).build();
         let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
         let answer = Arc::new(parking_lot::Mutex::new(0.0));
         let a2 = answer.clone();

@@ -1,0 +1,146 @@
+//! Property tests for window geometry: `split_rows`/`split_grid` tiling
+//! exactness and `intersection`/`overlaps` agreement.
+//!
+//! The deterministic sweep in `window.rs`'s `overlap_tests` covers a fixed
+//! menu of non-divisible shapes; this suite searches the same off-by-one
+//! surface over arbitrary dims, offsets, and split counts. The invariants:
+//!
+//! * every split tiles the parent exactly — pieces are pairwise disjoint,
+//!   stay inside the parent, and cover each parent cell exactly once, even
+//!   when the piece count does not divide the row/column counts;
+//! * `a.intersection(&b)` is `Some` exactly when `a.overlaps(&b)`, and the
+//!   intersection is the true range intersection of the two rectangles.
+
+use pisces_core::taskid::TaskId;
+use pisces_core::window::{ArrayId, Window};
+use proptest::prelude::*;
+
+fn aid() -> ArrayId {
+    ArrayId {
+        owner: TaskId::new(1, 1, 1),
+        seq: 0,
+    }
+}
+
+/// An arbitrary non-empty window inside an array of at most `max`×`max`,
+/// with room for offsets so splits exercise non-zero origins.
+fn window_strategy(max: usize) -> impl Strategy<Value = Window> {
+    (1..=max, 1..=max)
+        .prop_flat_map(move |(rows, cols)| {
+            (
+                Just(rows),
+                Just(cols),
+                0..=max - rows,
+                0..=max - cols,
+                0usize..=3,
+                0usize..=3,
+            )
+        })
+        .prop_map(move |(rows, cols, r0, c0, pad_r, pad_c)| {
+            let dims = (r0 + rows + pad_r, c0 + cols + pad_c);
+            Window::new(aid(), dims, r0..r0 + rows, c0..c0 + cols).expect("valid window")
+        })
+}
+
+/// Check that `pieces` tile `parent` exactly.
+fn assert_tiles_exactly(parent: &Window, pieces: &[Window]) {
+    let mut covered = vec![0u32; parent.dims().0 * parent.dims().1];
+    for p in pieces {
+        assert!(
+            p.rows().start >= parent.rows().start
+                && p.rows().end <= parent.rows().end
+                && p.cols().start >= parent.cols().start
+                && p.cols().end <= parent.cols().end,
+            "{p} escapes {parent}"
+        );
+        for r in p.rows() {
+            for c in p.cols() {
+                covered[r * parent.dims().1 + c] += 1;
+            }
+        }
+    }
+    for r in parent.rows() {
+        for c in parent.cols() {
+            assert_eq!(
+                covered[r * parent.dims().1 + c],
+                1,
+                "cell ({r},{c}) of {parent} covered wrong number of times"
+            );
+        }
+    }
+    for (i, a) in pieces.iter().enumerate() {
+        for b in &pieces[i + 1..] {
+            assert!(!a.overlaps(b), "{a} overlaps {b}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn split_rows_tiles_exactly(w in window_strategy(24), n in 1usize..32) {
+        let bands = w.split_rows(n);
+        prop_assert_eq!(bands.len(), n.min(w.row_count()));
+        assert_tiles_exactly(&w, &bands);
+        // Near-equal: band heights differ by at most one row.
+        let hs: Vec<usize> = bands.iter().map(Window::row_count).collect();
+        let (lo, hi) = (hs.iter().min().unwrap(), hs.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "uneven bands {:?} from {}", hs, w);
+    }
+
+    #[test]
+    fn split_grid_tiles_exactly(
+        w in window_strategy(16),
+        r in 1usize..20,
+        c in 1usize..20,
+    ) {
+        let tiles = w.split_grid(r, c);
+        prop_assert_eq!(
+            tiles.len(),
+            r.min(w.row_count()) * c.min(w.col_count())
+        );
+        assert_tiles_exactly(&w, &tiles);
+    }
+
+    #[test]
+    fn intersection_agrees_with_overlaps(
+        a in window_strategy(12),
+        b in window_strategy(12),
+    ) {
+        // Rebase `b` onto `a`'s array dims so the rectangles can meet.
+        let dims = (a.dims().0.max(b.rows().end), a.dims().1.max(b.cols().end));
+        let a = Window::new(aid(), dims, a.rows(), a.cols()).unwrap();
+        let b = Window::new(aid(), dims, b.rows(), b.cols()).unwrap();
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.overlaps(&b));
+                prop_assert_eq!(i.rows(), a.rows().start.max(b.rows().start)
+                    ..a.rows().end.min(b.rows().end));
+                prop_assert_eq!(i.cols(), a.cols().start.max(b.cols().start)
+                    ..a.cols().end.min(b.cols().end));
+                prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+            }
+            None => prop_assert!(!a.overlaps(&b)),
+        }
+    }
+
+    #[test]
+    fn shrink_never_escapes(w in window_strategy(12), r0 in 0usize..12, r1 in 1usize..13, c0 in 0usize..12, c1 in 1usize..13) {
+        match w.shrink(r0..r1, c0..c1) {
+            Ok(s) => {
+                prop_assert!(s.rows().start >= w.rows().start && s.rows().end <= w.rows().end);
+                prop_assert!(s.cols().start >= w.cols().start && s.cols().end <= w.cols().end);
+                prop_assert!(s.len() >= 1);
+            }
+            Err(_) => {
+                // Rejected: empty or escaping — verify it really was one.
+                let empty = r0 >= r1 || c0 >= c1;
+                let escapes = r0 < w.rows().start || r1 > w.rows().end
+                    || c0 < w.cols().start || c1 > w.cols().end;
+                prop_assert!(empty || escapes, "valid shrink {r0}..{r1} {c0}..{c1} of {w} rejected");
+            }
+        }
+    }
+}

@@ -24,7 +24,7 @@ fn window_read_sees_owner_data() {
     let p = boot();
     p.register("reader", |ctx| {
         let w = ctx.arg(0)?.as_window()?.clone();
-        let data = ctx.window_read(&w)?;
+        let data = ctx.window_get(&w)?;
         // Band rows 1..3 of the 4×4 matrix of values r*10+c.
         assert_eq!(data, vec![10.0, 11.0, 12.0, 13.0, 20.0, 21.0, 22.0, 23.0]);
         ctx.send(To::Parent, "DONE", vec![])
@@ -32,7 +32,7 @@ fn window_read_sees_owner_data() {
     p.register("main", |ctx| {
         let a: Vec<f64> = (0..16).map(|k| ((k / 4) * 10 + k % 4) as f64).collect();
         let w = ctx.register_array(&a, 4, 4)?;
-        let band = w.shrink(1..3, 0..4).map_err(PiscesError::BadWindow)?;
+        let band = w.shrink(1..3, 0..4).map_err(PiscesError::from)?;
         ctx.initiate(Where::Other, "reader", args![band])?;
         ctx.accept().of(1).signal("DONE").run()?;
         Ok(())
@@ -47,17 +47,17 @@ fn window_write_updates_owner_array() {
     let p = boot();
     p.register("writer", |ctx| {
         let w = ctx.arg(0)?.as_window()?.clone();
-        ctx.window_write(&w, &vec![7.0; w.len()])?;
+        ctx.window_put(&w, &vec![7.0; w.len()])?;
         ctx.send(To::Parent, "DONE", vec![])
     });
     p.register("main", |ctx| {
         let a = vec![0.0; 36];
         let w = ctx.register_array(&a, 6, 6)?;
-        let corner = w.shrink(0..2, 4..6).map_err(PiscesError::BadWindow)?;
+        let corner = w.shrink(0..2, 4..6).map_err(PiscesError::from)?;
         ctx.initiate(Where::Other, "writer", args![corner])?;
         ctx.accept().of(1).signal("DONE").run()?;
         // Read the full array back: only the corner changed.
-        let all = ctx.window_read(&w)?;
+        let all = ctx.window_get(&w)?;
         let mut expect = vec![0.0; 36];
         for r in 0..2 {
             for c in 4..6 {
@@ -79,7 +79,7 @@ fn hierarchical_partitioning_through_shrunk_windows() {
     let p = boot();
     p.register("leaf", |ctx| {
         let w = ctx.arg(0)?.as_window()?.clone();
-        let data = ctx.window_read(&w)?;
+        let data = ctx.window_get(&w)?;
         let sum: f64 = data.iter().sum();
         ctx.send(To::Parent, "SUM", args![sum])
     });
@@ -139,12 +139,12 @@ fn file_windows_survive_task_death_and_reopen() {
     p.register("consumer", |ctx| {
         let w = ctx.open_file_array("data/grid.arr")?;
         assert_eq!(w.dims(), (4, 5));
-        let band = w.shrink(1..2, 1..4).map_err(PiscesError::BadWindow)?;
-        let got = ctx.window_read(&band)?;
+        let band = w.shrink(1..2, 1..4).map_err(PiscesError::from)?;
+        let got = ctx.window_get(&band)?;
         assert_eq!(got, vec![3.0, 3.5, 4.0]);
         // And write back through the window.
-        ctx.window_write(&band, &[9.0, 9.5, 10.0])?;
-        let again = ctx.window_read(&band)?;
+        ctx.window_put(&band, &[9.0, 9.5, 10.0])?;
+        let again = ctx.window_get(&band)?;
         assert_eq!(again, vec![9.0, 9.5, 10.0]);
         ctx.send(To::Parent, "DONE", vec![])
     });
@@ -184,8 +184,8 @@ fn window_on_dead_owner_errors() {
             .run()?;
         // Wait until the owner is gone.
         std::thread::sleep(Duration::from_millis(200));
-        let e = ctx.window_read(&win.unwrap()).unwrap_err();
-        assert!(matches!(e, PiscesError::BadWindow(_)), "got {e:?}");
+        let e = ctx.window_get(&win.unwrap()).unwrap_err();
+        assert!(matches!(e, PiscesError::Window(_)), "got {e:?}");
         Ok(())
     });
     run(&p, "main");
@@ -197,8 +197,8 @@ fn window_write_length_must_match() {
     let p = boot();
     p.register("main", |ctx| {
         let w = ctx.register_array(&[0.0; 9], 3, 3)?;
-        let e = ctx.window_write(&w, &[1.0, 2.0]).unwrap_err();
-        assert!(matches!(e, PiscesError::BadWindow(_)));
+        let e = ctx.window_put(&w, &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, PiscesError::Window(_)));
         Ok(())
     });
     run(&p, "main");
@@ -218,6 +218,130 @@ fn register_array_validates_shape() {
 }
 
 #[test]
+fn bulk_send_scatter_roundtrip_for_edge_windows() {
+    // Tentpole round-trip: gather → one batched SEND → scatter must be
+    // the identity for every edge shape (1×N, N×1, full array, interior
+    // patch).
+    let p = boot();
+    p.register("main", |ctx| {
+        let (rows, cols) = (6usize, 5usize);
+        let a: Vec<f64> = (0..rows * cols).map(|k| k as f64).collect();
+        let src = ctx.register_array(&a, rows, cols)?;
+        let dst = ctx.register_array(&vec![0.0; rows * cols], rows, cols)?;
+        let shapes: [(std::ops::Range<usize>, std::ops::Range<usize>); 4] =
+            [(2..3, 0..5), (0..6, 4..5), (0..6, 0..5), (1..4, 1..3)];
+        for (rr, cc) in shapes {
+            let ws = src.shrink(rr.clone(), cc.clone()).map_err(PiscesError::from)?;
+            let wd = dst.shrink(rr, cc).map_err(PiscesError::from)?;
+            ctx.window_send(To::Myself, "XFER", &ws)?;
+            let mut moved = 0;
+            ctx.accept()
+                .of(1)
+                .handle("XFER", |m| {
+                    moved = ctx.window_receive_into(m, &wd)?;
+                    Ok(())
+                })
+                .run()?;
+            assert_eq!(moved, ws.len());
+            assert_eq!(ctx.window_get(&wd)?, ctx.window_get(&ws)?);
+        }
+        // Shrinking to an empty region is a typed error before any
+        // transfer can happen.
+        assert!(matches!(
+            src.shrink(3..3, 0..5),
+            Err(WindowError::Empty { .. })
+        ));
+        // A mis-shaped destination is rejected with the typed error.
+        let ws = src.shrink(0..2, 0..2).map_err(PiscesError::from)?;
+        let wd = dst.shrink(0..1, 0..2).map_err(PiscesError::from)?;
+        ctx.window_send(To::Myself, "XFER", &ws)?;
+        ctx.accept()
+            .of(1)
+            .handle("XFER", |m| {
+                let e = ctx.window_receive_into(m, &wd).unwrap_err();
+                assert!(matches!(
+                    e,
+                    PiscesError::Window(WindowError::ShapeMismatch { .. })
+                ));
+                Ok(())
+            })
+            .run()?;
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn window_move_copies_across_arrays_files_and_aliases() {
+    let p = boot();
+    p.register("main", |ctx| {
+        let a: Vec<f64> = (0..24).map(|k| k as f64).collect();
+        let src = ctx.register_array(&a, 4, 6)?;
+        let dst = ctx.register_array(&vec![0.0; 24], 4, 6)?;
+        // Resident→resident: single arena-to-arena strided copy.
+        let ws = src.shrink(1..3, 2..5).map_err(PiscesError::from)?;
+        let wd = dst.shrink(0..2, 0..3).map_err(PiscesError::from)?;
+        ctx.window_move(&ws, &wd)?;
+        assert_eq!(ctx.window_get(&wd)?, ctx.window_get(&ws)?);
+        // Shape mismatch is a typed error.
+        let bad = dst.shrink(0..1, 0..3).map_err(PiscesError::from)?;
+        let e = ctx.window_move(&ws, &bad).unwrap_err();
+        assert!(matches!(
+            e,
+            PiscesError::Window(WindowError::ShapeMismatch { .. })
+        ));
+        // Resident→file takes the staged path.
+        ctx.create_file_array("move.arr", &vec![0.0; 24], 4, 6)?;
+        let fw = ctx.open_file_array("move.arr")?;
+        let fd = fw.shrink(1..3, 2..5).map_err(PiscesError::from)?;
+        ctx.window_move(&ws, &fd)?;
+        assert_eq!(ctx.window_get(&fd)?, ctx.window_get(&ws)?);
+        // Overlapping move within one array stages a snapshot first: the
+        // destination receives the ORIGINAL source values.
+        let w1 = src.shrink(0..2, 0..6).map_err(PiscesError::from)?;
+        let w2 = src.shrink(1..3, 0..6).map_err(PiscesError::from)?;
+        let before = ctx.window_get(&w1)?;
+        ctx.window_move(&w1, &w2)?;
+        assert_eq!(ctx.window_get(&w2)?, before);
+        Ok(())
+    });
+    run(&p, "main");
+    p.shutdown();
+}
+
+#[test]
+fn async_transfers_double_buffer_and_flush_on_wait() {
+    let p = boot();
+    p.register("main", |ctx| {
+        let a: Vec<f64> = (0..64).map(|k| (k * 3) as f64).collect();
+        let w = ctx.register_array(&a, 8, 8)?;
+        // Post every tile's read up front (double buffering)…
+        let mut pending = Vec::new();
+        for t in &w.split_rows(4) {
+            pending.push(ctx.window_get_async(t)?);
+        }
+        // …and a write that is staged but not yet flushed.
+        let top = w.shrink(0..1, 0..8).map_err(PiscesError::from)?;
+        let put = ctx.window_put_async(&top, &[99.0; 8])?;
+        let mut all = Vec::new();
+        for pg in pending {
+            all.extend(pg.wait(ctx)?);
+        }
+        // The gets were snapshotted at post time, before the put flushed.
+        assert_eq!(all, (0..64).map(|k| (k * 3) as f64).collect::<Vec<_>>());
+        put.wait(ctx)?;
+        assert_eq!(ctx.window_get(&top)?, vec![99.0; 8]);
+        Ok(())
+    });
+    run(&p, "main");
+    let s = p.stats().snapshot();
+    assert_eq!(s.window_reads, 5); // 4 posted gets + 1 sync get
+    assert_eq!(s.window_writes, 1); // the flushed put
+    p.shutdown();
+}
+
+#[test]
 fn concurrent_file_window_writers_do_not_tear() {
     // "The file controller can manage any parallel read/write requests for
     // overlapping sections of an array."
@@ -226,8 +350,8 @@ fn concurrent_file_window_writers_do_not_tear() {
         let w = ctx.arg(0)?.as_window()?.clone();
         let v = ctx.arg(1)?.as_real()?;
         for _ in 0..20 {
-            ctx.window_write(&w, &vec![v; w.len()])?;
-            let back = ctx.window_read(&w)?;
+            ctx.window_put(&w, &vec![v; w.len()])?;
+            let back = ctx.window_get(&w)?;
             // Under the file lock each read sees SOME writer's complete
             // value for every element it wrote, never a torn mix within
             // one row... here whole-window writes are serialized, so each

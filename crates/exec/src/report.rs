@@ -186,8 +186,13 @@ pub fn fault_summary(records: &[TraceRecord]) -> FaultSummary {
     hits.sort_by_key(|r| r.seq);
     for r in hits {
         *fs.counts.entry(r.kind.label()).or_insert(0) += 1;
-        fs.events
-            .push(format!("{:>10} PE{:<3} {:<12} {}", r.ticks, r.pe, r.kind.label(), r.info));
+        fs.events.push(format!(
+            "{:>10} PE{:<3} {:<12} {}",
+            r.ticks,
+            r.pe,
+            r.kind.label(),
+            r.info
+        ));
     }
     fs
 }
@@ -216,6 +221,75 @@ impl FaultSummary {
     }
 }
 
+/// Bulk window-transfer activity in a trace: one `BULK-XFER` event per
+/// batched gather/scatter/move (see `pisces_core::transfer`), with the
+/// size distribution that tells a partitioning study whether transfers
+/// are chunky (good) or degenerate into element-sized traffic.
+#[derive(Debug)]
+pub struct TransferSummary {
+    /// Transfer count per verb (GET, PUT, MOVE, GET-POST, PUT-FLUSH).
+    pub counts: BTreeMap<String, u64>,
+    /// Distribution of transfer sizes in 64-bit words.
+    pub words: HistogramSnapshot,
+    /// Human-readable transfer timeline entries, in seq order.
+    pub events: Vec<String>,
+}
+
+/// Collect the bulk-transfer timeline from trace records. The info field
+/// of a `BULK-XFER` record reads `VERB RxC (N words) array <id>`.
+pub fn transfer_summary(records: &[TraceRecord]) -> TransferSummary {
+    let mut ts = TransferSummary {
+        counts: BTreeMap::new(),
+        words: HistogramSnapshot::empty("transfer_words", "words"),
+        events: Vec::new(),
+    };
+    let mut hits: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.kind == TraceEventKind::BulkTransfer)
+        .collect();
+    hits.sort_by_key(|r| r.seq);
+    for r in hits {
+        let verb = r.info.split_whitespace().next().unwrap_or("?").to_string();
+        *ts.counts.entry(verb).or_insert(0) += 1;
+        if let Some(n) = r
+            .info
+            .split_once('(')
+            .and_then(|(_, rest)| rest.split_whitespace().next())
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            ts.words.add(n);
+        }
+        ts.events
+            .push(format!("{:>10} PE{:<3} {}", r.ticks, r.pe, r.info));
+    }
+    ts
+}
+
+impl TransferSummary {
+    /// Whether any bulk transfer appeared in the trace.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The "TRANSFERS" report section.
+    pub fn render(&self) -> String {
+        let mut s = String::from("TRANSFERS\n");
+        if self.is_empty() {
+            s.push_str("  (no bulk window transfers)\n");
+            return s;
+        }
+        for (verb, n) in &self.counts {
+            let _ = writeln!(s, "  {verb:<12} {n}");
+        }
+        s.push_str(&self.words.to_string());
+        s.push_str("  timeline (ticks on the requester's PE clock):\n");
+        for e in &self.events {
+            let _ = writeln!(s, "  {e}");
+        }
+        s
+    }
+}
+
 /// The full observability report over one trace.
 #[derive(Debug)]
 pub struct Report {
@@ -229,6 +303,8 @@ pub struct Report {
     pub barrier_spread: HistogramSnapshot,
     /// Injected faults and recovery actions.
     pub faults: FaultSummary,
+    /// Bulk window-transfer activity.
+    pub transfers: TransferSummary,
 }
 
 impl Report {
@@ -239,12 +315,14 @@ impl Report {
         let msg_latency = msg_latency_histogram(&analysis);
         let barrier_spread = barrier_spread_histogram(records);
         let faults = fault_summary(records);
+        let transfers = transfer_summary(records);
         Self {
             analysis,
             utilization,
             msg_latency,
             barrier_spread,
             faults,
+            transfers,
         }
     }
 
@@ -294,6 +372,8 @@ impl Report {
         s.push_str(&self.barrier_spread.to_string());
         s.push('\n');
         s.push_str(&self.faults.render());
+        s.push('\n');
+        s.push_str(&self.transfers.render());
         s.push('\n');
         s.push_str(&self.analysis.report());
         s
@@ -422,10 +502,34 @@ mod tests {
     fn faults_section_lists_events_in_order() {
         let t = TaskId::new(1, 2, 1);
         let mut records = vec![
-            rec(TraceEventKind::PeFail, t, 5, 900, "fault[0]: fail-stop PE5 at tick 800"),
-            rec(TraceEventKind::MsgRetry, t, 1, 950, "DATA -> c1.s2#1: PE5 down, retry 1/3"),
-            rec(TraceEventKind::MsgRetry, t, 1, 1150, "DATA -> c1.s2#1: PE5 down, retry 2/3"),
-            rec(TraceEventKind::FaultNotice, t, 1, 1400, "DATA -> c1.s2#1 undeliverable"),
+            rec(
+                TraceEventKind::PeFail,
+                t,
+                5,
+                900,
+                "fault[0]: fail-stop PE5 at tick 800",
+            ),
+            rec(
+                TraceEventKind::MsgRetry,
+                t,
+                1,
+                950,
+                "DATA -> c1.s2#1: PE5 down, retry 1/3",
+            ),
+            rec(
+                TraceEventKind::MsgRetry,
+                t,
+                1,
+                1150,
+                "DATA -> c1.s2#1: PE5 down, retry 2/3",
+            ),
+            rec(
+                TraceEventKind::FaultNotice,
+                t,
+                1,
+                1400,
+                "DATA -> c1.s2#1 undeliverable",
+            ),
             rec(TraceEventKind::ForceShrink, t, 5, 1500, "member 2/4 left"),
         ];
         for (i, r) in records.iter_mut().enumerate() {
@@ -440,5 +544,65 @@ mod tests {
         let fail_pos = timeline.find("PE-FAIL").unwrap();
         let shrink_pos = timeline.find("FORCE-SHRINK").unwrap();
         assert!(fail_pos < shrink_pos, "timeline out of order: {text}");
+    }
+
+    #[test]
+    fn transfers_section_tallies_verbs_and_sizes() {
+        let t = TaskId::new(1, 2, 1);
+        let mut records = vec![
+            rec(
+                TraceEventKind::BulkTransfer,
+                t,
+                3,
+                100,
+                "GET 16x16 (256 words) array c1.s2#1/0",
+            ),
+            rec(
+                TraceEventKind::BulkTransfer,
+                t,
+                3,
+                150,
+                "PUT 1x8 (8 words) array c1.s2#1/0",
+            ),
+            rec(
+                TraceEventKind::BulkTransfer,
+                t,
+                4,
+                200,
+                "MOVE 4x4 (16 words) array c1.s2#1/1",
+            ),
+            rec(
+                TraceEventKind::BulkTransfer,
+                t,
+                3,
+                250,
+                "GET 2x2 (4 words) array c1.s2#1/0",
+            ),
+        ];
+        for (i, r) in records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let r = Report::new(&records);
+        assert_eq!(r.transfers.counts["GET"], 2);
+        assert_eq!(r.transfers.counts["PUT"], 1);
+        assert_eq!(r.transfers.counts["MOVE"], 1);
+        assert_eq!(r.transfers.words.count, 4);
+        assert_eq!(r.transfers.words.max, 256);
+        assert_eq!(r.transfers.words.sum, 284);
+        let text = r.render(40);
+        assert!(text.contains("TRANSFERS"), "{text}");
+        assert!(text.contains("transfer_words"), "{text}");
+        let timeline = &text[text.find("requester's PE clock").unwrap()..];
+        let get_pos = timeline.find("GET 16x16").unwrap();
+        let move_pos = timeline.find("MOVE 4x4").unwrap();
+        assert!(get_pos < move_pos, "timeline out of order: {text}");
+    }
+
+    #[test]
+    fn transfers_section_renders_empty_placeholder() {
+        let r = Report::new(&[]);
+        assert!(r.transfers.is_empty());
+        let text = r.render(40);
+        assert!(text.contains("no bulk window transfers"), "{text}");
     }
 }

@@ -30,8 +30,10 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pooled block sizes in 64-bit words. Requests larger than the last class
-/// bypass the pool.
-pub const SIZE_CLASSES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// bypass the pool. The classes above 64 exist for bulk-transfer staging
+/// buffers ([`ShmTag::Transfer`]): a halo band or window subregion is
+/// gathered into one class-sized block instead of a per-element packet.
+pub const SIZE_CLASSES: [usize; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
 
 /// Maximum blocks cached per (PE, class, tag) magazine; frees beyond this
 /// spill to the global heap.
@@ -51,7 +53,8 @@ fn tag_index(tag: ShmTag) -> usize {
         ShmTag::Message => 1,
         ShmTag::SharedCommon => 2,
         ShmTag::WindowArray => 3,
-        ShmTag::Other => 4,
+        ShmTag::Transfer => 4,
+        ShmTag::Other => 5,
     }
 }
 

@@ -37,17 +37,20 @@ pub enum ShmTag {
     SharedCommon,
     /// Registered user arrays served through windows.
     WindowArray,
+    /// Staging buffers for bulk window transfers (gather/scatter).
+    Transfer,
     /// Anything else (tests, scratch).
     Other,
 }
 
 impl ShmTag {
     /// All tags, for reporting.
-    pub const ALL: [ShmTag; 5] = [
+    pub const ALL: [ShmTag; 6] = [
         ShmTag::SystemTable,
         ShmTag::Message,
         ShmTag::SharedCommon,
         ShmTag::WindowArray,
+        ShmTag::Transfer,
         ShmTag::Other,
     ];
 
@@ -58,6 +61,7 @@ impl ShmTag {
             ShmTag::Message => "messages",
             ShmTag::SharedCommon => "shared common",
             ShmTag::WindowArray => "window arrays",
+            ShmTag::Transfer => "transfer staging",
             ShmTag::Other => "other",
         }
     }
@@ -426,6 +430,121 @@ impl SharedMemory {
         Ok(())
     }
 
+    /// Bounds-check a strided access pattern: `runs` runs of `run` words,
+    /// the first starting at word `from`, consecutive runs `stride` words
+    /// apart. Returns the arena index of the first word.
+    fn strided_index(
+        &self,
+        handle: ShmHandle,
+        from: usize,
+        run: usize,
+        stride: usize,
+        runs: usize,
+    ) -> Result<usize, ShmError> {
+        debug_assert!(run > 0 && runs > 0);
+        if stride < run {
+            // Overlapping runs would silently alias rows; reject.
+            return Err(ShmError::OutOfBounds {
+                index: stride,
+                words: run,
+            });
+        }
+        let last = from + (runs - 1) * stride + run - 1;
+        self.word_index(handle, last)?;
+        Ok(handle.offset + from)
+    }
+
+    /// Strided gather: copy `runs` runs of `run` words each — the first
+    /// starting at word `from` of the block, consecutive runs `stride`
+    /// words apart — densely packed into `out`. This is the bulk
+    /// window-transfer fast path: one bounds check for the whole pattern,
+    /// then straight-line relaxed loads, instead of a checked call per row
+    /// (or per element).
+    pub fn gather_strided(
+        &self,
+        handle: ShmHandle,
+        from: usize,
+        run: usize,
+        stride: usize,
+        runs: usize,
+        out: &mut [u64],
+    ) -> Result<(), ShmError> {
+        if run == 0 || runs == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(out.len(), run * runs, "gather output size mismatch");
+        let base = self.strided_index(handle, from, run, stride, runs)?;
+        for r in 0..runs {
+            let row = base + r * stride;
+            for (k, slot) in out[r * run..(r + 1) * run].iter_mut().enumerate() {
+                *slot = self.words[row + k].load(Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Strided scatter: the inverse of [`gather_strided`] — spread densely
+    /// packed `data` over `runs` runs of `run` words, `stride` words apart,
+    /// starting at word `from` of the block.
+    ///
+    /// [`gather_strided`]: SharedMemory::gather_strided
+    pub fn scatter_strided(
+        &self,
+        handle: ShmHandle,
+        from: usize,
+        run: usize,
+        stride: usize,
+        runs: usize,
+        data: &[u64],
+    ) -> Result<(), ShmError> {
+        if run == 0 || runs == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(data.len(), run * runs, "scatter input size mismatch");
+        let base = self.strided_index(handle, from, run, stride, runs)?;
+        for r in 0..runs {
+            let row = base + r * stride;
+            for (k, &v) in data[r * run..(r + 1) * run].iter().enumerate() {
+                self.words[row + k].store(v, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Strided block copy entirely inside the arena: `runs` runs of `run`
+    /// words from `src` (stride `src_stride`, starting at `src_from`) into
+    /// `dst` (stride `dst_stride`, starting at `dst_from`) with no staging
+    /// buffer at all. Used by `window_move` when both endpoints live in
+    /// shared memory. Copies forward run by run; `src` and `dst` patterns
+    /// must not overlap (callers move between distinct arrays).
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_strided(
+        &self,
+        src: ShmHandle,
+        src_from: usize,
+        src_stride: usize,
+        dst: ShmHandle,
+        dst_from: usize,
+        dst_stride: usize,
+        run: usize,
+        runs: usize,
+    ) -> Result<(), ShmError> {
+        if run == 0 || runs == 0 {
+            return Ok(());
+        }
+        let sbase = self.strided_index(src, src_from, run, src_stride, runs)?;
+        let dbase = self.strided_index(dst, dst_from, run, dst_stride, runs)?;
+        for r in 0..runs {
+            let srow = sbase + r * src_stride;
+            let drow = dbase + r * dst_stride;
+            for k in 0..run {
+                let v = self.words[srow + k].load(Ordering::Relaxed);
+                self.words[drow + k].store(v, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
     /// Zero every word of an allocated block (used by the allocation pool
     /// when it recycles a block, so reuse preserves the "fresh allocation
     /// is zeroed" guarantee).
@@ -573,6 +692,61 @@ mod tests {
             m.store(h, 99, 0),
             Err(ShmError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn strided_gather_scatter_roundtrip() {
+        let m = arena();
+        // A 4×8 "array" block; gather a 2×3 interior patch at (1,2).
+        let h = m.alloc(4 * 8 * 8, ShmTag::Other).unwrap();
+        for i in 0..32 {
+            m.store(h, i, 100 + i as u64).unwrap();
+        }
+        let mut patch = vec![0u64; 6];
+        m.gather_strided(h, 8 + 2, 3, 8, 2, &mut patch).unwrap();
+        assert_eq!(patch, vec![110, 111, 112, 118, 119, 120]);
+        // Scatter it back shifted one column left and re-read.
+        m.scatter_strided(h, 8 + 1, 3, 8, 2, &patch).unwrap();
+        assert_eq!(m.load(h, 9).unwrap(), 110);
+        assert_eq!(m.load(h, 17).unwrap(), 118);
+    }
+
+    #[test]
+    fn strided_ops_bounds_checked_once_and_hard() {
+        let m = arena();
+        let h = m.alloc(4 * 4 * 8, ShmTag::Other).unwrap(); // 16 words
+        let mut out = vec![0u64; 8];
+        // Last run would end at word 3 + 3*4 + 4 - 1 = 18 > 15.
+        assert!(matches!(
+            m.gather_strided(h, 3, 4, 4, 4, &mut out[..]),
+            Err(ShmError::OutOfBounds { .. })
+        ));
+        // Overlapping runs (stride < run) are rejected outright.
+        assert!(matches!(
+            m.scatter_strided(h, 0, 4, 2, 2, &out[..]),
+            Err(ShmError::OutOfBounds { .. })
+        ));
+        // Empty patterns are no-ops.
+        m.gather_strided(h, 0, 0, 4, 4, &mut []).unwrap();
+        m.scatter_strided(h, 0, 4, 4, 0, &[]).unwrap();
+    }
+
+    #[test]
+    fn copy_strided_moves_between_blocks_without_staging() {
+        let m = arena();
+        let src = m.alloc(3 * 5 * 8, ShmTag::Other).unwrap();
+        let dst = m.alloc(4 * 7 * 8, ShmTag::Other).unwrap();
+        for i in 0..15 {
+            m.store(src, i, i as u64).unwrap();
+        }
+        // Copy the full 3×5 src into dst rows 1..4, cols 1..6.
+        m.copy_strided(src, 0, 5, dst, 7 + 1, 7, 5, 3).unwrap();
+        assert_eq!(m.load(dst, 8).unwrap(), 0);
+        assert_eq!(m.load(dst, 12).unwrap(), 4);
+        assert_eq!(m.load(dst, 7 + 1 + 2 * 7 + 4).unwrap(), 14);
+        // Untouched border stays zero.
+        assert_eq!(m.load(dst, 0).unwrap(), 0);
+        assert_eq!(m.load(dst, 7).unwrap(), 0);
     }
 
     #[test]

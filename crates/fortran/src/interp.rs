@@ -541,7 +541,7 @@ impl Interp {
                 let w = self.window_of(frame, win)?;
                 let shrunk = w
                     .shrink(r1 as usize - 1..r2 as usize, c1 as usize - 1..c2 as usize)
-                    .map_err(PiscesError::BadWindow)?;
+                    .map_err(PiscesError::from)?;
                 frame
                     .borrow_mut()
                     .vars
@@ -551,7 +551,7 @@ impl Interp {
                 let w = self.window_of(frame, win)?;
                 let data = match env.force {
                     Some(_) => return Err(rt("READ WINDOW inside FORCESPLIT")),
-                    None => env.ctx.window_read(&w)?,
+                    None => env.ctx.window_get(&w)?,
                 };
                 self.fill_array(frame, array, &data)?;
             }
@@ -567,7 +567,7 @@ impl Interp {
                 }
                 match env.force {
                     Some(_) => return Err(rt("WRITE WINDOW inside FORCESPLIT")),
-                    None => env.ctx.window_write(&w, &data[..w.len()])?,
+                    None => env.ctx.window_put(&w, &data[..w.len()])?,
                 }
             }
             Stmt::Work(e) => {

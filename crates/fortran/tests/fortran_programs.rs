@@ -209,7 +209,7 @@ fn force_pi_integration() {
         } else {
             ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
         };
-        let (console, p) = run_program(MachineConfig::new(vec![cluster]), source);
+        let (console, p) = run_program(MachineConfig::builder().clusters([cluster]).build(), source);
         let line = console.last().unwrap();
         let pi: f64 = line.strip_prefix("PI ").unwrap().parse().unwrap();
         assert!(
@@ -224,7 +224,7 @@ fn force_pi_integration() {
 #[test]
 fn selfsched_and_parseg_and_intrinsics() {
     let (console, p) = run_program(
-        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]),
+        MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]).build(),
         "TASK MAIN\n\
          SHARED COMMON /S/ NDONE, NSEG, MAXMEM\n\
          LOCK CL\n\

@@ -120,7 +120,7 @@ fn stop_terminates_through_call_depth() {
 fn stop_inside_force_ends_task() {
     let p = Pisces::boot(
         flex32::Flex32::new_shared(),
-        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]),
+        MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]).build(),
     )
     .unwrap();
     let prog = FortranProgram::parse(
@@ -163,7 +163,7 @@ fn intrinsic_library() {
 fn window_intrinsics_and_force_intrinsics() {
     let p = Pisces::boot(
         flex32::Flex32::new_shared(),
-        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=5)]),
+        MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=5)]).build(),
     )
     .unwrap();
     let prog = FortranProgram::parse(

@@ -47,9 +47,9 @@ fn main() -> Result<()> {
     flex.pe(pisces::flex32::PeId::new(3).unwrap())
         .console
         .set_echo(true);
-    let config = MachineConfig::new(vec![ClusterConfig::new(1, 3, 2)
+    let config = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
         .with_secondaries(4..=8)
-        .with_terminal()]);
+        .with_terminal()]).build();
     let p = Pisces::boot(flex, config)?;
     program.register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![])?;

@@ -34,7 +34,7 @@ fn main() -> Result<()> {
         let rows = halo.row_count();
         for _ in 0..sweeps {
             // Read band + halos, relax the interior of the strip.
-            let old = ctx.window_read(&halo)?;
+            let old = ctx.window_get(&halo)?;
             let mut new = old.clone();
             for r in 1..rows - 1 {
                 for c in 1..cols - 1 {
@@ -49,8 +49,8 @@ fn main() -> Result<()> {
             // Write back only our own rows (not the halo).
             let own = halo
                 .shrink_relative(1..rows - 1, 0..cols)
-                .map_err(PiscesError::BadWindow)?;
-            ctx.window_write(&own, &new[cols..(rows - 1) * cols])?;
+                .map_err(PiscesError::from)?;
+            ctx.window_put(&own, &new[cols..(rows - 1) * cols])?;
             // Bulk-synchronous step: report, wait for the coordinator.
             ctx.send(To::Parent, "SWEPT", vec![])?;
             ctx.accept().of(1).signal("GO").run()?;
@@ -74,7 +74,7 @@ fn main() -> Result<()> {
             let r1 = if b == BANDS - 1 { N - 1 } else { r0 + interior };
             let halo = whole
                 .shrink(r0 - 1..r1 + 1, 0..N)
-                .map_err(PiscesError::BadWindow)?;
+                .map_err(PiscesError::from)?;
             ctx.initiate(Where::Any, "solver", args![halo, SWEEPS as i64])?;
             ids.push(b);
         }
@@ -87,7 +87,7 @@ fn main() -> Result<()> {
         ctx.accept().of(BANDS).signal("DONE").run()?;
 
         // Report the temperature profile down the centre column.
-        let done = ctx.window_read(&whole)?;
+        let done = ctx.window_get(&whole)?;
         println!("centre-column temperature after {SWEEPS} sweeps:");
         for r in (0..N).step_by(N / 8) {
             let t = done[r * N + N / 2];

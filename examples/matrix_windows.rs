@@ -25,12 +25,12 @@ fn main() -> Result<()> {
     p.register("leaf", |ctx: &TaskCtx| {
         let w = ctx.arg(0)?.as_window()?.clone();
         let factor = ctx.arg(1)?.as_real()?;
-        let mut data = ctx.window_read(&w)?;
+        let mut data = ctx.window_get(&w)?;
         for v in &mut data {
             *v *= factor;
         }
         ctx.work(data.len() as u64)?;
-        ctx.window_write(&w, &data)?;
+        ctx.window_put(&w, &data)?;
         ctx.send(To::Parent, "LEAFDONE", vec![])
     });
 
@@ -58,7 +58,7 @@ fn main() -> Result<()> {
         let after = ctx.machine().stats().snapshot();
 
         // Verify: every element scaled exactly once.
-        let result = ctx.window_read(&whole)?;
+        let result = ctx.window_get(&whole)?;
         let ok = result
             .iter()
             .enumerate()

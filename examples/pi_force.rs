@@ -56,7 +56,7 @@ fn run_with_force(secondaries: u8) -> Result<Duration> {
         ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
     };
     let flex = pisces::flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::new(vec![cluster]))?;
+    let p = Pisces::boot(flex, MachineConfig::builder().clusters([cluster]).build())?;
     p.register("pi", pi_task);
     let t0 = Instant::now();
     p.initiate_top_level(1, "pi", vec![])?;
@@ -84,7 +84,7 @@ fn main() -> Result<()> {
     let flex = pisces::flex32::Flex32::new_shared();
     let p = Pisces::boot(
         flex,
-        MachineConfig::new(vec![ClusterConfig::new(1, 3, 2).with_secondaries(4..=8)]),
+        MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=8)]).build(),
     )?;
     let spin = |units: i64| {
         // Real CPU work proportional to the iteration index.

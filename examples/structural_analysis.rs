@@ -350,7 +350,7 @@ fn main() -> Result<()> {
                 .with_terminal()
         };
         let flex = pisces::flex32::Flex32::new_shared();
-        let p = Pisces::boot(flex, MachineConfig::new(vec![cluster]))?;
+        let p = Pisces::boot(flex, MachineConfig::builder().clusters([cluster]).build())?;
         p.register("fem", fem_task);
         let t0 = std::time::Instant::now();
         p.initiate_top_level(1, "fem", vec![])?;

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans every tracked *.md file for inline links/images and verifies that
+relative targets (after stripping #fragments) exist on disk. External
+(scheme://) and mailto: links are skipped. Exits non-zero listing every
+dangling link, so CI fails when a doc is moved without updating its
+references.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def tracked_markdown():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return sorted(set(out.split()))
+
+
+def main():
+    bad = []
+    for md in tracked_markdown():
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for target in LINK.findall(line):
+                    if target.startswith(SKIP) or target.startswith("#"):
+                        continue
+                    path = target.split("#", 1)[0]
+                    if not path:
+                        continue
+                    resolved = os.path.normpath(os.path.join(base, path))
+                    if not os.path.exists(resolved):
+                        bad.append(f"{md}:{lineno}: dangling link -> {target}")
+    if bad:
+        print("\n".join(bad))
+        print(f"\n{len(bad)} dangling doc link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(tracked_markdown())} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
