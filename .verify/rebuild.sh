@@ -53,4 +53,13 @@ rustc --edition 2021 -O --test --crate-name determinism crates/chaos/tests/deter
   --extern pisces_chaos=$O/libpisces_chaos.rlib --extern pisces_core=$O/libpisces_core.rlib \
   --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_chaos_determinism
+rustc --edition 2021 -O --test --crate-name watchdog crates/exec/tests/watchdog.rs \
+  --extern pisces_exec=$O/libpisces_exec.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_watchdog
+rustc --edition 2021 -O --test --crate-name causality crates/chaos/tests/causality.rs \
+  --extern pisces_chaos=$O/libpisces_chaos.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_causality
 echo BUILD-OK

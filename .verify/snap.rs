@@ -47,30 +47,78 @@ fn per_op(total: Duration, ops: u64) -> f64 {
     total.as_nanos() as f64 / ops.max(1) as f64
 }
 
+fn roundtrip_ns(p: &Arc<Pisces>, words: usize, warmup: u64, iters: u64) -> f64 {
+    let d = with_task(p, move |ctx| {
+        let payload = vec![0.0f64; words];
+        for i in 0..warmup {
+            ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+            ctx.accept().of(1).signal("M").run()?;
+        }
+        let t0 = Instant::now();
+        for i in 0..iters {
+            ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+            ctx.accept().of(1).signal("M").run()?;
+        }
+        Ok(t0.elapsed())
+    });
+    per_op(d, iters)
+}
+
 fn snap_messaging() {
     const WARMUP: u64 = 500;
     const ITERS: u64 = 4_000;
     for words in [0usize, 16, 256] {
         let p = boot(MachineConfig::simple(1, 4));
-        let d = with_task(&p, move |ctx| {
-            let payload = vec![0.0f64; words];
-            for i in 0..WARMUP {
-                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
-                ctx.accept().of(1).signal("M").run()?;
-            }
-            let t0 = Instant::now();
-            for i in 0..ITERS {
-                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
-                ctx.accept().of(1).signal("M").run()?;
-            }
-            Ok(t0.elapsed())
-        });
         println!(
             "messaging self_roundtrip_{}w_ns={:.1}",
             words,
-            per_op(d, ITERS)
+            roundtrip_ns(&p, words, WARMUP, ITERS)
         );
         p.shutdown();
+    }
+    #[cfg(not(seed))]
+    {
+        let mut cfg = MachineConfig::simple(1, 4);
+        cfg.trace = TraceSettings::all();
+        let p = boot(cfg);
+        let traced = roundtrip_ns(&p, 16, WARMUP, ITERS);
+        p.shutdown();
+        println!("messaging self_roundtrip_16w_traced_ns={traced:.1}");
+
+        const EMITS: u64 = 200_000;
+        let settings = TraceSettings {
+            ring_capacity: 1 << 12,
+            ..TraceSettings::all()
+        };
+        let tracer = Tracer::new(&settings);
+        let id = TaskId::new(1, 0, 1);
+        for i in 0..10_000u64 {
+            tracer.emit(TraceEventKind::MsgSend, id, 3, i, "");
+        }
+        let t0 = Instant::now();
+        for i in 0..EMITS {
+            tracer.emit(TraceEventKind::MsgSend, id, 3, i, "");
+        }
+        let plain = per_op(t0.elapsed(), EMITS);
+        let t0 = Instant::now();
+        for i in 0..EMITS {
+            tracer.emit_causal(
+                TraceEventKind::MsgAccept,
+                id,
+                3,
+                i,
+                "",
+                Some(i),
+                Some(i.saturating_sub(1)),
+            );
+        }
+        let causal = per_op(t0.elapsed(), EMITS);
+        println!("messaging emit_plain_ns={plain:.1}");
+        println!("messaging emit_causal_ns={causal:.1}");
+        println!(
+            "messaging causal_emit_overhead_pct={:.1}",
+            (causal - plain) / plain * 100.0
+        );
     }
 }
 

@@ -51,29 +51,88 @@ fn per_op(total: Duration, ops: u64) -> f64 {
 // messaging: self send→accept round trip vs payload size
 // ----------------------------------------------------------------------
 
+fn roundtrip_ns(p: &Arc<Pisces>, words: usize, warmup: u64, iters: u64) -> f64 {
+    let d = with_task(p, move |ctx| {
+        let payload = vec![0.0f64; words];
+        for i in 0..warmup {
+            ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+            ctx.accept().of(1).signal("M").run()?;
+        }
+        let t0 = Instant::now();
+        for i in 0..iters {
+            ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
+            ctx.accept().of(1).signal("M").run()?;
+        }
+        Ok(t0.elapsed())
+    });
+    per_op(d, iters)
+}
+
+/// Marginal cost of the causal edges at the emit layer: identical records
+/// with and without parent/cause threading, tracing armed either way. This
+/// is the per-event price of the happens-before machinery itself, isolated
+/// from ring contention and scheduling noise.
+fn emit_layer_ns() -> (f64, f64) {
+    const EMITS: u64 = 200_000;
+    let settings = TraceSettings {
+        ring_capacity: 1 << 12,
+        ..TraceSettings::all()
+    };
+    let tracer = Tracer::new(&settings);
+    let id = TaskId::new(1, 0, 1);
+    for i in 0..10_000u64 {
+        tracer.emit(TraceEventKind::MsgSend, id, 3, i, "");
+    }
+    let t0 = Instant::now();
+    for i in 0..EMITS {
+        tracer.emit(TraceEventKind::MsgSend, id, 3, i, "");
+    }
+    let plain = per_op(t0.elapsed(), EMITS);
+    let t0 = Instant::now();
+    for i in 0..EMITS {
+        tracer.emit_causal(
+            TraceEventKind::MsgAccept,
+            id,
+            3,
+            i,
+            "",
+            Some(i),
+            Some(i.saturating_sub(1)),
+        );
+    }
+    let causal = per_op(t0.elapsed(), EMITS);
+    (plain, causal)
+}
+
 fn snap_messaging(metrics: &mut Map<String, Json>) {
     const WARMUP: u64 = 500;
     const ITERS: u64 = 4_000;
     for words in [0usize, 16, 256] {
         let p = boot(MachineConfig::simple(1, 4));
-        let d = with_task(&p, move |ctx| {
-            let payload = vec![0.0f64; words];
-            for i in 0..WARMUP {
-                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
-                ctx.accept().of(1).signal("M").run()?;
-            }
-            let t0 = Instant::now();
-            for i in 0..ITERS {
-                ctx.send(To::Myself, "M", args![i as i64, payload.clone()])?;
-                ctx.accept().of(1).signal("M").run()?;
-            }
-            Ok(t0.elapsed())
-        });
-        let ns = per_op(d, ITERS);
+        let ns = roundtrip_ns(&p, words, WARMUP, ITERS);
         println!("messaging/self_roundtrip_{words}w        {ns:>12.1} ns/op");
         metrics.insert(format!("self_roundtrip_{words}w_ns"), json!(ns));
         p.shutdown();
     }
+
+    // Same round trip with tracing fully armed: every event kind enabled,
+    // so each send/accept also records its causal edges end to end.
+    let mut cfg = MachineConfig::simple(1, 4);
+    cfg.trace = TraceSettings::all();
+    let p = boot(cfg);
+    let traced = roundtrip_ns(&p, 16, WARMUP, ITERS);
+    p.shutdown();
+    println!("messaging/self_roundtrip_16w_traced{traced:>12.1} ns/op");
+    metrics.insert("self_roundtrip_16w_traced_ns".into(), json!(traced));
+
+    let (plain, causal) = emit_layer_ns();
+    let overhead = (causal - plain) / plain * 100.0;
+    println!("messaging/emit_plain               {plain:>12.1} ns/emit");
+    println!("messaging/emit_causal              {causal:>12.1} ns/emit");
+    println!("messaging/causal_emit_overhead     {overhead:>12.1} %");
+    metrics.insert("emit_plain_ns".into(), json!(plain));
+    metrics.insert("emit_causal_ns".into(), json!(causal));
+    metrics.insert("causal_emit_overhead_pct".into(), json!(overhead));
 }
 
 // ----------------------------------------------------------------------

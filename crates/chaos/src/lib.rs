@@ -37,6 +37,10 @@ pub struct Scenario {
     func: fn(&mut ScenarioRun),
 }
 
+/// Observer invoked with every machine a scenario boots, before its
+/// workload starts — e.g. to attach a watchdog sampler.
+pub type MachineHook = Arc<dyn Fn(&Arc<Pisces>) + Send + Sync>;
+
 impl Scenario {
     pub(crate) fn new(
         name: &'static str,
@@ -59,11 +63,19 @@ impl Scenario {
 
     /// Execute with an explicit seed.
     pub fn run_with_seed(&self, seed: u64) -> ScenarioOutcome {
+        self.run_observed(seed, None)
+    }
+
+    /// Execute with an explicit seed and an optional machine observer,
+    /// called for every machine the scenario boots.
+    pub fn run_observed(&self, seed: u64, hook: Option<MachineHook>) -> ScenarioOutcome {
         let mut run = ScenarioRun {
             seed,
             fault_trace: String::new(),
             notes: Vec::new(),
             failures: Vec::new(),
+            trace_records: Vec::new(),
+            machine_hook: hook,
         };
         (self.func)(&mut run);
         ScenarioOutcome {
@@ -72,6 +84,7 @@ impl Scenario {
             fault_trace: run.fault_trace,
             notes: run.notes,
             failures: run.failures,
+            trace_records: run.trace_records,
         }
     }
 }
@@ -83,6 +96,8 @@ pub struct ScenarioRun {
     fault_trace: String,
     notes: Vec<String>,
     failures: Vec<String>,
+    trace_records: Vec<TraceRecord>,
+    machine_hook: Option<MachineHook>,
 }
 
 impl ScenarioRun {
@@ -106,6 +121,21 @@ impl ScenarioRun {
     pub fn record_trace(&mut self, inj: &FaultInjector) {
         self.fault_trace = inj.render_trace();
     }
+
+    /// Notify the machine observer (if any) that a machine has booted.
+    pub fn observe_machine(&self, p: &Arc<Pisces>) {
+        if let Some(hook) = &self.machine_hook {
+            hook(p);
+        }
+    }
+
+    /// Capture the machine's retained trace records — the causal-edge
+    /// suite reconstructs the happens-before DAG from these.
+    pub fn capture_trace_records(&mut self, p: &Arc<Pisces>) {
+        let mut recs = p.tracer().records();
+        recs.sort_by_key(|r| r.seq);
+        self.trace_records.extend(recs);
+    }
 }
 
 /// Result of one scenario execution.
@@ -122,6 +152,9 @@ pub struct ScenarioOutcome {
     pub notes: Vec<String>,
     /// Failed invariants; empty means the scenario passed.
     pub failures: Vec<String>,
+    /// Runtime trace records retained by the scenario's machine(s), in
+    /// seq order — input for causal (happens-before) analysis.
+    pub trace_records: Vec<TraceRecord>,
 }
 
 impl ScenarioOutcome {
@@ -139,6 +172,7 @@ pub fn finish_machine(run: &mut ScenarioRun, p: &Arc<Pisces>, quiesce: Duration)
     run.require("machine reaches quiescence (no deadlock)", {
         p.wait_quiescent(quiesce)
     });
+    run.capture_trace_records(p);
     p.shutdown();
     let shm = &p.flex().shmem;
     match shm.validate() {

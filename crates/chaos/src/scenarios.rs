@@ -21,8 +21,19 @@ fn force_config() -> MachineConfig {
         .with_secondaries(4..=7)]).build()
 }
 
-fn boot(cfg: MachineConfig) -> Arc<Pisces> {
-    Pisces::boot(Flex32::new_shared(), cfg).expect("boot")
+fn boot(run: &ScenarioRun, cfg: MachineConfig) -> Arc<Pisces> {
+    let mut cfg = cfg;
+    // The causal-edge suite reconstructs the happens-before DAG from the
+    // retained records: trace everything unless the scenario configured
+    // tracing itself, and size the rings so no event another record
+    // cites as parent/cause gets evicted.
+    if cfg.trace.enabled.is_empty() {
+        cfg.trace = TraceSettings::all();
+    }
+    cfg.trace.ring_capacity = cfg.trace.ring_capacity.max(1 << 16);
+    let p = Pisces::boot(Flex32::new_shared(), cfg).expect("boot");
+    run.observe_machine(&p);
+    p
 }
 
 /// The full scenario library, in presentation order.
@@ -83,7 +94,7 @@ pub fn scenarios() -> Vec<Scenario> {
 /// fails with `PeFailed` naming the planned PE, nobody deadlocks at a
 /// barrier, and the arena stays clean.
 fn force_abort(run: &mut ScenarioRun) {
-    let p = boot(force_config());
+    let p = boot(run, force_config());
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(5, 1_500));
 
     let result: Arc<Mutex<Option<Result<()>>>> = Arc::new(Mutex::new(None));
@@ -121,7 +132,7 @@ fn force_abort(run: &mut ScenarioRun) {
 /// the survivors. The primary recomputes anything that died in flight.
 fn force_shrink(run: &mut ScenarioRun) {
     const N: usize = 600;
-    let p = boot(force_config());
+    let p = boot(run, force_config());
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(6, 1_000));
 
     let done: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; N]));
@@ -197,7 +208,7 @@ fn handshake_fault_notice(run: &mut ScenarioRun) {
         ClusterConfig::new(2, 4, 2),
     ]).build();
     cfg.trace = TraceSettings::all();
-    let p = boot(cfg);
+    let p = boot(run, cfg);
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(4, 3_000));
 
     // Peer: announce, then wait for a GO$ that never comes. The delay
@@ -287,7 +298,7 @@ fn bulk_transfer_dead_link(run: &mut ScenarioRun) {
         .cluster(ClusterConfig::new(2, 4, 2))
         .build();
     cfg.trace = TraceSettings::all();
-    let p = boot(cfg);
+    let p = boot(run, cfg);
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(4, 3_000));
 
     // Sink: announce, then wait for a GRID that never arrives; the delay
@@ -371,7 +382,7 @@ fn bulk_transfer_dead_link(run: &mut ScenarioRun) {
 /// the send comes back `OutOfMemory` with the arena accounting still
 /// truthful, and a simple retry completes the workload.
 fn arena_exhaustion(run: &mut ScenarioRun) {
-    let p = boot(MachineConfig::builder().clusters([
+    let p = boot(run, MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 4).with_terminal()
     ]).build());
     // Allocation #1 is the INIT$ below; #2..#11 are the task's sends, so
@@ -426,7 +437,7 @@ fn arena_exhaustion(run: &mut ScenarioRun) {
 fn slow_pe_straggler(run: &mut ScenarioRun) {
     const N: usize = 100;
     const FACTOR: u32 = 8;
-    let p = boot(force_config());
+    let p = boot(run, force_config());
     let inj = p.arm_faults(FaultPlan::new(run.seed).slow_pe(5, 500, FACTOR));
 
     let done: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; N]));
@@ -525,7 +536,7 @@ fn hypercube_link_chaos(run: &mut ScenarioRun) {
 /// with no fault events — recovery is complete, not residual.
 fn recovery_then_rerun(run: &mut ScenarioRun) {
     const N: usize = 600;
-    let p = boot(force_config());
+    let p = boot(run, force_config());
     let inj = p.arm_faults(FaultPlan::new(run.seed).fail_pe(6, 1_000));
 
     let outcomes: Arc<Mutex<Vec<(usize, usize, bool)>>> = Arc::new(Mutex::new(Vec::new()));

@@ -1,0 +1,114 @@
+//! Causal-edge and watchdog invariants across the chaos scenario
+//! library.
+//!
+//! Every scenario now traces its machine(s) with every event kind
+//! enabled and hands the retained records back in its outcome. These
+//! tests reconstruct the happens-before DAG from those records and hold
+//! each scenario to the causal contract:
+//!
+//! * the graph is acyclic and every parent/cause reference resolves,
+//! * every MSG-ACCEPT cites the send-like event (MSG-SEND, MSG-DUP, or
+//!   FAULT-NOTICE) that put its message in flight — even under drops,
+//!   retries, duplications, and dead links,
+//! * the critical-path analysis is a pure function of the trace: same
+//!   records (in any order) → byte-identical output,
+//! * a watchdog sampling throughout the run reports **zero** stalls:
+//!   fault-degraded but live runs must never be misdiagnosed as
+//!   deadlocks.
+
+use parking_lot::Mutex;
+use pisces_chaos::{scenarios, MachineHook};
+use pisces_exec::causality::CausalGraph;
+use pisces_exec::watchdog::{Watchdog, WatchdogConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn scenario_traces_are_causally_well_formed() {
+    for sc in scenarios() {
+        let out = sc.run();
+        assert!(
+            out.passed(),
+            "{}: scenario failed: {:?}",
+            out.name,
+            out.failures
+        );
+        if out.trace_records.is_empty() {
+            // Pure-substrate scenarios (no Pisces machine) have no
+            // runtime trace.
+            continue;
+        }
+        let g = CausalGraph::new(&out.trace_records);
+        assert!(
+            g.is_acyclic(),
+            "{}: happens-before violations: {:?}",
+            out.name,
+            g.violations
+        );
+        let orphans = g.accepts_without_send_cause();
+        assert!(
+            orphans.is_empty(),
+            "{}: MSG-ACCEPT events without a send-like cause: {orphans:?}",
+            out.name
+        );
+    }
+}
+
+#[test]
+fn critical_path_is_a_pure_function_of_the_trace() {
+    for sc in scenarios() {
+        let out = sc.run();
+        assert!(out.passed(), "{}: {:?}", out.name, out.failures);
+        if out.trace_records.is_empty() {
+            continue;
+        }
+        let forward = CausalGraph::new(&out.trace_records).render_critical_path(5);
+        let mut reversed = out.trace_records.clone();
+        reversed.reverse();
+        let backward = CausalGraph::new(&reversed).render_critical_path(5);
+        assert_eq!(
+            forward, backward,
+            "{}: critical path depends on record order",
+            out.name
+        );
+        assert!(
+            forward.contains("total span:"),
+            "{}: no causal span found:\n{forward}",
+            out.name
+        );
+    }
+}
+
+#[test]
+fn watchdog_reports_no_stalls_on_live_scenarios() {
+    for sc in scenarios() {
+        let fired: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let f2 = fired.clone();
+        // Every machine the scenario boots gets a sampler thread that
+        // watches it until shutdown. The persistence threshold is
+        // generous (25 consecutive frozen millisecond samples) so only a
+        // genuine freeze — which no passing scenario has — can fire.
+        let hook: MachineHook = Arc::new(move |p| {
+            let p = p.clone();
+            let f = f2.clone();
+            std::thread::spawn(move || {
+                let mut wd = Watchdog::new(p.clone(), WatchdogConfig { stall_samples: 25 });
+                while !p.is_down() {
+                    for r in wd.sample() {
+                        f.lock().push(r.to_string());
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        let out = sc.run_observed(sc.seed, Some(hook));
+        assert!(out.passed(), "{}: {:?}", out.name, out.failures);
+        let fired = fired.lock();
+        assert!(
+            fired.is_empty(),
+            "{}: watchdog false positives: {:?}",
+            out.name,
+            *fired
+        );
+    }
+}

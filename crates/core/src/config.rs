@@ -159,12 +159,6 @@ impl MachineConfig {
         MachineConfigBuilder::default()
     }
 
-    /// A configuration from cluster specs, no time limit, tracing off.
-    #[deprecated(since = "0.4.0", note = "use `MachineConfig::builder()`")]
-    pub fn new(clusters: Vec<ClusterConfig>) -> Self {
-        Self::builder().clusters(clusters).build()
-    }
-
     /// A simple n-cluster configuration: cluster `i` on PE `2+i`, `slots`
     /// user slots each, terminal on cluster 1, no secondaries.
     pub fn simple(n_clusters: u8, slots: u8) -> Self {
@@ -402,12 +396,11 @@ mod tests {
         c.validate().unwrap();
         assert_eq!(c.clusters.len(), 2);
         assert_eq!(c.time_limit_ticks, Some(9_999));
-        // The deprecated constructor still works and agrees with the
-        // builder's defaults for the fields it cannot set.
-        #[allow(deprecated)]
-        let old = MachineConfig::new(c.clusters.clone());
-        assert_eq!(old.clusters, c.clusters);
-        assert_eq!(old.time_limit_ticks, None);
+        // A clusters-only build agrees with the builder's defaults for
+        // the fields it does not set.
+        let plain = MachineConfig::builder().clusters(c.clusters.clone()).build();
+        assert_eq!(plain.clusters, c.clusters);
+        assert_eq!(plain.time_limit_ticks, None);
     }
 
     #[test]

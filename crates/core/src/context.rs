@@ -35,6 +35,7 @@ use flex32::cpu::CpuGuard;
 use flex32::pe::PeId;
 use flex32::shmem::ShmTag;
 use std::collections::HashMap;
+use std::sync::atomic;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -385,17 +386,6 @@ impl TaskCtx {
         Ok(data.len())
     }
 
-    /// Legacy name for [`TaskCtx::window_get`].
-    #[deprecated(since = "0.4.0", note = "use `window_get` (batched transfer engine)")]
-    pub fn window_read(&self, w: &Window) -> Result<Vec<f64>> {
-        self.window_get(w)
-    }
-
-    /// Legacy name for [`TaskCtx::window_put`].
-    #[deprecated(since = "0.4.0", note = "use `window_put` (batched transfer engine)")]
-    pub fn window_write(&self, w: &Window, data: &[f64]) -> Result<()> {
-        self.window_put(w, data)
-    }
 }
 
 // ----------------------------------------------------------------------
@@ -588,6 +578,7 @@ impl<'a> AcceptBuilder<'a> {
                 let words = stored.handle.words() as u64;
                 let sender = stored.sender;
                 let mtype = stored.mtype.clone();
+                let cause = stored.cause;
                 {
                     let _cpu = ctx.enter(cost::ACCEPT_BASE + cost::ACCEPT_PER_WORD * words)?;
                 }
@@ -610,12 +601,16 @@ impl<'a> AcceptBuilder<'a> {
                     .metrics
                     .msg_latency
                     .record(now.saturating_sub(stored.sent_ticks));
-                ctx.p.tracer.emit(
+                // The accept's cause is the MSG-SEND (or MSG-DUP /
+                // FAULT-NOTICE) that put this message in flight.
+                ctx.p.tracer.emit_causal(
                     TraceEventKind::MsgAccept,
                     entry.id,
                     entry.pe.number(),
                     now,
                     format!("{mtype} <- {sender}"),
+                    None,
+                    cause,
                 );
 
                 let msg = Message {
@@ -655,7 +650,11 @@ impl<'a> AcceptBuilder<'a> {
             // Wait for more traffic (the task is blocked; the CPU guard is
             // not held here, so MMOS can run other slot tasks).
             entry.set_run_state(TaskRunState::Blocked);
+            if deadline.is_some() {
+                entry.timed_wait.store(true, atomic::Ordering::Relaxed);
+            }
             let woke = entry.inq.wait(deadline);
+            entry.timed_wait.store(false, atomic::Ordering::Relaxed);
             entry.set_run_state(TaskRunState::Ready);
             if !woke {
                 RunStats::bump(&ctx.p.stats.accept_timeouts);

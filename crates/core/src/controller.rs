@@ -22,7 +22,12 @@ use std::sync::Arc;
 
 /// Receive the next message addressed to a controller, blocking as long
 /// as needed. Returns `None` only if the queue was closed underneath us.
-fn receive(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) -> Option<(String, TaskId, Vec<Value>)> {
+/// The last tuple element is the trace seq of the controller's MSG-ACCEPT
+/// event, threaded into downstream events it causes (e.g. TASK-INIT).
+fn receive(
+    p: &Arc<Pisces>,
+    entry: &Arc<TaskEntry>,
+) -> Option<(String, TaskId, Vec<Value>, Option<u64>)> {
     loop {
         if let Some(stored) = entry.inq.take_first_matching(|_| true) {
             let mtype = stored.mtype.clone();
@@ -31,15 +36,17 @@ fn receive(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) -> Option<(String, TaskId, V
             let _cpu = p.flex.pe(entry.pe).cpu.acquire();
             p.flex.tick(entry.pe, cost::ACCEPT_BASE);
             RunStats::bump(&p.stats.messages_accepted);
-            p.tracer.emit(
+            let accept_seq = p.tracer.emit_causal(
                 TraceEventKind::MsgAccept,
                 entry.id,
                 entry.pe.number(),
                 p.flex.pe(entry.pe).clock.now(),
                 format!("{mtype} <- {sender}"),
+                None,
+                stored.cause,
             );
             match p.open_message(&stored, entry.pe) {
-                Ok(args) => return Some((mtype, sender, args)),
+                Ok(args) => return Some((mtype, sender, args, accept_seq)),
                 Err(_) => continue, // corrupt message: drop and keep serving
             }
         }
@@ -53,7 +60,7 @@ fn receive(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) -> Option<(String, TaskId, V
 /// Main loop of a cluster's task controller.
 pub(crate) fn task_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
     let cluster = entry.id.cluster;
-    while let Some((mtype, sender, args)) = receive(p, entry) {
+    while let Some((mtype, sender, args, accept_seq)) = receive(p, entry) {
         match mtype.as_str() {
             sysmsg::INIT => {
                 let (tasktype, user_args) = match args.split_first() {
@@ -70,6 +77,7 @@ pub(crate) fn task_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
                         tasktype,
                         args: user_args,
                         parent: sender,
+                        cause: accept_seq,
                     },
                 );
                 p.note_init_handled(cluster);
@@ -116,8 +124,9 @@ fn dispatch_init(p: &Arc<Pisces>, cluster: u8, req: PendingInit) {
                     tasktype,
                     args,
                     parent,
+                    cause,
                 } = req;
-                let Err(e) = p.spawn_user_task(id, tasktype.clone(), args, parent) else {
+                let Err(e) = p.spawn_user_task(id, tasktype.clone(), args, parent, cause) else {
                     return;
                 };
                 // Unknown tasktype or resource failure: give the slot back
@@ -153,7 +162,7 @@ fn dispatch_init(p: &Arc<Pisces>, cluster: u8, req: PendingInit) {
 /// Main loop of a user controller: any message sent TO USER arrives here
 /// and is written to the terminal.
 pub(crate) fn user_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
-    while let Some((mtype, sender, args)) = receive(p, entry) {
+    while let Some((mtype, sender, args, _accept_seq)) = receive(p, entry) {
         if mtype == sysmsg::SHUTDOWN {
             break;
         }

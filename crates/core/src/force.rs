@@ -188,6 +188,13 @@ impl GenBarrier {
     /// Wait until all current participants arrive. `abort` is polled so a
     /// force member failing elsewhere cannot strand the rest forever.
     pub fn wait(&self, abort: &AbortSignal) -> Result<()> {
+        self.wait_released(abort).map(|_| ())
+    }
+
+    /// [`GenBarrier::wait`], additionally reporting whether this caller
+    /// was the releasing (last) arrival of the round — the straggler the
+    /// causal trace pins the barrier episode on.
+    pub fn wait_released(&self, abort: &AbortSignal) -> Result<bool> {
         let gen0 = loop {
             let s = self.state.load(Ordering::Acquire);
             let (gen, size, arrived) = unpack(s);
@@ -200,7 +207,7 @@ impl GenBarrier {
                     .compare_exchange(s, next, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return Ok(());
+                    return Ok(true);
                 }
                 continue;
             }
@@ -214,7 +221,7 @@ impl GenBarrier {
                     .is_ok()
                 {
                     self.release();
-                    return Ok(());
+                    return Ok(true);
                 }
                 continue;
             }
@@ -229,7 +236,7 @@ impl GenBarrier {
         };
         for i in 0..BARRIER_SPIN {
             if unpack(self.state.load(Ordering::Acquire)).0 != gen0 {
-                return Ok(());
+                return Ok(false);
             }
             if abort.raised() {
                 return Err(abort.to_error());
@@ -247,7 +254,7 @@ impl GenBarrier {
             }
             self.park_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Permanently depart: every later round needs one fewer arrival. If
@@ -300,6 +307,10 @@ pub(crate) struct ForceShared {
     abort: AbortSignal,
     /// Members that fail-stopped and left a shrinking force.
     failed: Mutex<Vec<FailedMember>>,
+    /// Trace seq of the latest FORCE-MEMBER end event, plus one (0 = none
+    /// yet). The global trace order makes the maximum the *last* member
+    /// to finish — the one the FORCE-JOIN cites as its cause.
+    last_member_end: AtomicU64,
 }
 
 impl ForceShared {
@@ -310,7 +321,20 @@ impl ForceShared {
             counters: Mutex::new(std::collections::HashMap::new()),
             abort: AbortSignal::new(),
             failed: Mutex::new(Vec::new()),
+            last_member_end: AtomicU64::new(0),
         }
+    }
+
+    fn note_member_end(&self, seq: Option<u64>) {
+        if let Some(s) = seq {
+            self.last_member_end.fetch_max(s + 1, Ordering::AcqRel);
+        }
+    }
+
+    fn last_member_end(&self) -> Option<u64> {
+        self.last_member_end
+            .load(Ordering::Acquire)
+            .checked_sub(1)
     }
 
     fn counter(&self, key: u64, p: &Pisces, pe: PeId) -> Result<ShmHandle> {
@@ -349,6 +373,9 @@ pub struct ForceCtx<'a> {
     pe: PeId,
     shared: Arc<ForceShared>,
     op_seq: Cell<u64>,
+    /// Trace seq of this member's most recent force event (start, then
+    /// each barrier arrival) — the program-order parent of the next one.
+    prev_event: Cell<Option<u64>>,
 }
 
 impl<'a> ForceCtx<'a> {
@@ -358,6 +385,7 @@ impl<'a> ForceCtx<'a> {
         size: usize,
         pe: PeId,
         shared: Arc<ForceShared>,
+        start_seq: Option<u64>,
     ) -> Self {
         Self {
             ctx,
@@ -366,6 +394,7 @@ impl<'a> ForceCtx<'a> {
             pe,
             shared,
             op_seq: Cell::new(0),
+            prev_event: Cell::new(start_seq),
         }
     }
 
@@ -431,7 +460,7 @@ impl<'a> ForceCtx<'a> {
     /// Complete a bulk read posted with [`ForceCtx::window_get_async`].
     pub fn window_get_wait(&self, pending: crate::transfer::PendingGet) -> Result<Vec<f64>> {
         let _cpu = self.enter(0)?;
-        self.ctx.machine().window_get_finish(pending)
+        self.ctx.machine().window_get_finish(self.pe, pending)
     }
 
     /// SHARED COMMON access: same named block as every other member.
@@ -457,20 +486,42 @@ impl<'a> ForceCtx<'a> {
             let _cpu = self.enter(cost::BARRIER)?;
         }
         RunStats::bump(&self.ctx.p.stats.barrier_entries);
-        self.ctx.p.tracer.emit(
+        let arrive_seq = self.ctx.p.tracer.emit_causal(
             TraceEventKind::Barrier,
             self.ctx.id(),
             self.pe.number(),
             self.ctx.p.flex.pe(self.pe).clock.now(),
             format!("member {}/{}", self.member, self.size),
+            self.prev_event.get(),
+            None,
         );
+        if arrive_seq.is_some() {
+            self.prev_event.set(arrive_seq);
+        }
         let waited = std::time::Instant::now();
-        self.shared.arrive.wait(&self.shared.abort)?;
+        let released = self.shared.arrive.wait_released(&self.shared.abort)?;
         self.ctx
             .p
             .metrics
             .barrier_wait
             .record(waited.elapsed().as_micros() as u64);
+        if released {
+            // The round releases when the last arrival (this member — the
+            // straggler) shows up: the release episode's cause is that
+            // member's own arrival event.
+            let rel_seq = self.ctx.p.tracer.emit_causal(
+                TraceEventKind::BarrierRelease,
+                self.ctx.id(),
+                self.pe.number(),
+                self.ctx.p.flex.pe(self.pe).clock.now(),
+                format!("by member {}/{}", self.member, self.size),
+                None,
+                arrive_seq,
+            );
+            if rel_seq.is_some() {
+                self.prev_event.set(rel_seq);
+            }
+        }
         let mut leader_result = Ok(());
         if self.is_primary() {
             leader_result = body();
@@ -830,12 +881,14 @@ impl TaskCtx {
                     self.enter(cost::FORCESPLIT_BASE + cost::FORCESPLIT_PER_MEMBER * size as u64)?;
             }
             RunStats::bump(&self.p.stats.forcesplits);
-            self.p.tracer.emit(
+            let split_seq = self.p.tracer.emit_causal(
                 TraceEventKind::ForceSplit,
                 self.id(),
                 self.pe().number(),
                 self.p.flex.pe(self.pe()).clock.now(),
                 format!("size={size}"),
+                None,
+                None,
             );
 
             let shared = Arc::new(ForceShared::new(size));
@@ -851,7 +904,18 @@ impl TaskCtx {
                             .procs(pe)
                             .spawn(&format!("force:{}", self.tasktype()));
                         self.p.flex.tick(pe, cost::FORCESPLIT_PER_MEMBER);
-                        let fc = ForceCtx::new(self, i + 1, size, pe, shared);
+                        // Member start is *caused* by the split (a
+                        // cross-thread enablement edge).
+                        let start_seq = self.p.tracer.emit_causal(
+                            TraceEventKind::ForceMember,
+                            self.id(),
+                            pe.number(),
+                            self.p.flex.pe(pe).clock.now(),
+                            format!("start {}/{}", i + 1, size),
+                            None,
+                            split_seq,
+                        );
+                        let fc = ForceCtx::new(self, i + 1, size, pe, shared, start_seq);
                         let r =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&fc)));
                         let r = match r {
@@ -888,16 +952,45 @@ impl TaskCtx {
                         if let Err(e) = &r {
                             fc.shared.abort.raise_for(i + 1, pe.number(), e);
                         }
+                        let end_seq = self.p.tracer.emit_causal(
+                            TraceEventKind::ForceMember,
+                            self.id(),
+                            pe.number(),
+                            self.p.flex.pe(pe).clock.now(),
+                            format!("end {}/{}", i + 1, size),
+                            fc.prev_event.get(),
+                            None,
+                        );
+                        fc.shared.note_member_end(end_seq);
                         self.p.flex.procs(pe).exit(pid);
                         r
                     }));
                 }
-                let primary = ForceCtx::new(self, 0, size, self.pe(), shared.clone());
+                let primary_start = self.p.tracer.emit_causal(
+                    TraceEventKind::ForceMember,
+                    self.id(),
+                    self.pe().number(),
+                    self.p.flex.pe(self.pe()).clock.now(),
+                    format!("start 0/{size}"),
+                    split_seq,
+                    None,
+                );
+                let primary = ForceCtx::new(self, 0, size, self.pe(), shared.clone(), primary_start);
                 let r0 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&primary)));
                 let r0 = match r0 {
                     Ok(r) => r,
                     Err(_) => Err(PiscesError::Internal("force primary panicked".into())),
                 };
+                let primary_end = self.p.tracer.emit_causal(
+                    TraceEventKind::ForceMember,
+                    self.id(),
+                    self.pe().number(),
+                    self.p.flex.pe(self.pe()).clock.now(),
+                    format!("end 0/{size}"),
+                    primary.prev_event.get(),
+                    None,
+                );
+                shared.note_member_end(primary_end);
                 if let Err(e) = &r0 {
                     // The primary owns the split: its failure always
                     // aborts, even under the shrink policy.
@@ -931,6 +1024,18 @@ impl TaskCtx {
                     Some(e) => Err(self.p.attach_fault_event(e)),
                 }
             });
+            // The join happens when the *last* member finishes: parent is
+            // the split (program order on the owning task), cause is the
+            // final FORCE-MEMBER end event.
+            self.p.tracer.emit_causal(
+                TraceEventKind::ForceJoin,
+                self.id(),
+                self.pe().number(),
+                self.p.flex.pe(self.pe()).clock.now(),
+                format!("size={size}"),
+                split_seq,
+                shared.last_member_end(),
+            );
             shared.free_counters(&self.p, self.pe());
             result
         })();

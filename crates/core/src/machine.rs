@@ -78,8 +78,14 @@ pub const RETRY_BACKOFF_TICKS: u64 = 200;
 
 /// Outcome of the pre-send fault interposition.
 enum SendFault {
-    /// Go ahead with the send; `duplicate` pushes the message twice.
-    Proceed { duplicate: bool },
+    /// Go ahead with the send; `duplicate` pushes the message twice and
+    /// `parent` is the trace seq of the last fault-layer event (retry or
+    /// delay) in this send's program-order chain, cited as the MSG-SEND's
+    /// causal parent.
+    Proceed {
+        duplicate: bool,
+        parent: Option<u64>,
+    },
     /// The fault layer consumed the send (dropped on the link, or turned
     /// into a FAULT$ notice); the sender sees success.
     Handled,
@@ -97,6 +103,9 @@ pub(crate) struct PendingInit {
     pub tasktype: String,
     pub args: Vec<Value>,
     pub parent: TaskId,
+    /// Trace seq of the controller's MSG-ACCEPT of the INIT$ request,
+    /// cited as the causal cause of the spawned task's TASK-INIT.
+    pub cause: Option<u64>,
 }
 
 pub(crate) struct ClusterState {
@@ -185,6 +194,12 @@ pub struct TaskDisplay {
     pub state: TaskRunState,
     /// Messages waiting in its in-queue.
     pub queued_messages: usize,
+    /// True while the task is split into a force (watchdogs treat a
+    /// frozen force differently from a frozen ACCEPT).
+    pub in_force: bool,
+    /// True while the task is blocked in an ACCEPT with a DELAY deadline
+    /// armed (a timed wait — not a stall).
+    pub timed_wait: bool,
 }
 
 /// Combined storage report: the Section 13 measurement.
@@ -483,9 +498,13 @@ impl Pisces {
         // also drop, duplicate, or delay this message on the link. The
         // healthy path pays one relaxed atomic load.
         let mut duplicate = false;
+        let mut fault_parent = None;
         if self.flex.faults_armed() {
             match self.send_faulty_pre(from, from_pe, to, entry.pe, mtype, system)? {
-                SendFault::Proceed { duplicate: d } => duplicate = d,
+                SendFault::Proceed { duplicate: d, parent } => {
+                    duplicate = d;
+                    fault_parent = parent;
+                }
                 SendFault::Handled => return Ok(()),
             }
         }
@@ -508,12 +527,17 @@ impl Pisces {
         RunStats::bump(&self.stats.messages_sent);
         RunStats::add(&self.stats.message_words, words.len() as u64);
         let sent_ticks = self.flex.pe(from_pe).clock.now();
-        self.tracer.emit(
+        // The MSG-SEND's parent is the last fault-layer event of this
+        // send (retry chain tail or link delay); its seq becomes the
+        // causal `cause` of the matching MSG-ACCEPT on the receiver.
+        let send_seq = self.tracer.emit_causal(
             TraceEventKind::MsgSend,
             from,
             from_pe.number(),
             sent_ticks,
             format!("{mtype} -> {to}"),
+            fault_parent,
+            None,
         );
 
         match entry.inq.push(
@@ -522,10 +546,13 @@ impl Pisces {
             handle,
             from_pe.number(),
             sent_ticks,
+            send_seq,
         ) {
             PushOutcome::Delivered => {
                 if duplicate {
-                    self.push_duplicate(from, from_pe, to, &entry, mtype, &words, sent_ticks)?;
+                    self.push_duplicate(
+                        from, from_pe, to, &entry, mtype, &words, sent_ticks, send_seq,
+                    )?;
                 }
                 Ok(())
             }
@@ -537,7 +564,14 @@ impl Pisces {
                 {
                     // The queue closed because its PE died, not because the
                     // task ran to completion — report it as a fault.
-                    return self.deliver_fault_notice(from, from_pe, to, entry.pe.number(), mtype);
+                    return self.deliver_fault_notice(
+                        from,
+                        from_pe,
+                        to,
+                        entry.pe.number(),
+                        mtype,
+                        send_seq,
+                    );
                 }
                 Err(PiscesError::NoSuchTask(to))
             }
@@ -558,18 +592,28 @@ impl Pisces {
         system: bool,
     ) -> Result<SendFault> {
         let Some(inj) = self.flex.faults() else {
-            return Ok(SendFault::Proceed { duplicate: false });
+            return Ok(SendFault::Proceed {
+                duplicate: false,
+                parent: None,
+            });
         };
         // System traffic (controller bookkeeping, TERM$, SHUTDOWN$) models
         // the surviving runtime and is neither retried nor perturbed.
         if system {
-            return Ok(SendFault::Proceed { duplicate: false });
+            return Ok(SendFault::Proceed {
+                duplicate: false,
+                parent: None,
+            });
         }
+        // Program-order chain through the fault layer: each retry's parent
+        // is the previous retry, and a surviving send (or the FAULT$
+        // notice) cites the chain tail.
+        let mut chain: Option<u64> = None;
         if self.flex.pe(dest_pe).fault.is_failed() {
             for attempt in 1..=SEND_RETRIES {
                 self.flex.tick(from_pe, RETRY_BACKOFF_TICKS);
                 RunStats::bump(&self.stats.send_retries);
-                self.tracer.emit(
+                let seq = self.tracer.emit_causal(
                     TraceEventKind::MsgRetry,
                     from,
                     from_pe.number(),
@@ -579,13 +623,16 @@ impl Pisces {
                         dest_pe.number(),
                         SEND_RETRIES
                     ),
+                    chain,
+                    None,
                 );
+                chain = seq.or(chain);
                 if !self.flex.pe(dest_pe).fault.is_failed() {
                     break;
                 }
             }
             if self.flex.pe(dest_pe).fault.is_failed() {
-                self.deliver_fault_notice(from, from_pe, to, dest_pe.number(), mtype)?;
+                self.deliver_fault_notice(from, from_pe, to, dest_pe.number(), mtype, chain)?;
                 return Ok(SendFault::Handled);
             }
         }
@@ -595,28 +642,41 @@ impl Pisces {
                 // vanishes on the link without touching shared memory.
                 self.flex.tick(from_pe, cost::SEND_BASE);
                 RunStats::bump(&self.stats.messages_dropped);
-                self.tracer.emit(
+                self.tracer.emit_causal(
                     TraceEventKind::MsgDrop,
                     from,
                     from_pe.number(),
                     self.flex.pe(from_pe).clock.now(),
                     format!("{mtype} -> {to} dropped on the link"),
+                    chain,
+                    None,
                 );
                 Ok(SendFault::Handled)
             }
-            Some(MessageFault::Duplicate) => Ok(SendFault::Proceed { duplicate: true }),
+            Some(MessageFault::Duplicate) => Ok(SendFault::Proceed {
+                duplicate: true,
+                parent: chain,
+            }),
             Some(MessageFault::Delay(ticks)) => {
                 self.flex.tick(from_pe, ticks);
-                self.tracer.emit(
+                let seq = self.tracer.emit_causal(
                     TraceEventKind::MsgDelay,
                     from,
                     from_pe.number(),
                     self.flex.pe(from_pe).clock.now(),
                     format!("{mtype} -> {to} delayed {ticks} ticks on the link"),
+                    chain,
+                    None,
                 );
-                Ok(SendFault::Proceed { duplicate: false })
+                Ok(SendFault::Proceed {
+                    duplicate: false,
+                    parent: seq.or(chain),
+                })
             }
-            None => Ok(SendFault::Proceed { duplicate: false }),
+            None => Ok(SendFault::Proceed {
+                duplicate: false,
+                parent: chain,
+            }),
         }
     }
 
@@ -633,6 +693,7 @@ impl Pisces {
         mtype: &str,
         words: &[u64],
         sent_ticks: u64,
+        send_seq: Option<u64>,
     ) -> Result<()> {
         let handle = self.pool_alloc(
             from_pe,
@@ -645,17 +706,26 @@ impl Pisces {
             .shmem
             .write_words(handle, Self::MSG_HEADER_WORDS, words)?;
         RunStats::bump(&self.stats.messages_duplicated);
-        self.tracer.emit(
+        // The duplicate is caused by the original MSG-SEND; the copy's
+        // accept cites the MSG-DUP (falling back to the send when the
+        // MsgDup kind is disabled).
+        let dup_seq = self.tracer.emit_causal(
             TraceEventKind::MsgDup,
             from,
             from_pe.number(),
             sent_ticks,
             format!("{mtype} -> {to} duplicated on the link"),
+            None,
+            send_seq,
         );
-        match entry
-            .inq
-            .push(mtype.to_string(), from, handle, from_pe.number(), sent_ticks)
-        {
+        match entry.inq.push(
+            mtype.to_string(),
+            from,
+            handle,
+            from_pe.number(),
+            sent_ticks,
+            dup_seq.or(send_seq),
+        ) {
             PushOutcome::Delivered => Ok(()),
             PushOutcome::Closed(msg) => {
                 // Receiver terminated between the two pushes; losing the
@@ -679,6 +749,7 @@ impl Pisces {
         to: TaskId,
         pe: u8,
         mtype: &str,
+        parent: Option<u64>,
     ) -> Result<()> {
         let event = self.flex.faults().and_then(|i| i.event_for_pe(pe));
         let sender_entry = match self.entry_of(from) {
@@ -708,16 +779,21 @@ impl Pisces {
             .write_words(handle, Self::MSG_HEADER_WORDS, &words)?;
         let now = self.flex.pe(from_pe).clock.now();
         RunStats::bump(&self.stats.fault_notices);
-        self.tracer.emit(
+        // The notice extends the retry chain (parent); the FAULT$ message
+        // it injects carries the notice's seq so the eventual ACCEPT of
+        // FAULT$ cites it as cause.
+        let notice_seq = self.tracer.emit_causal(
             TraceEventKind::FaultNotice,
             from,
             from_pe.number(),
             now,
             format!("{mtype} -> {to} undeliverable: {desc}"),
+            parent,
+            None,
         );
         match sender_entry
             .inq
-            .push(sysmsg::FAULT.to_string(), to, handle, pe, now)
+            .push(sysmsg::FAULT.to_string(), to, handle, pe, now, notice_seq)
         {
             PushOutcome::Delivered => Ok(()),
             PushOutcome::Closed(msg) => {
@@ -929,6 +1005,7 @@ impl Pisces {
         tasktype: String,
         args: Vec<Value>,
         parent: TaskId,
+        cause: Option<u64>,
     ) -> Result<()> {
         let body = self.body_of(&tasktype)?;
         let cfg = self.config.cluster(id.cluster)?;
@@ -950,13 +1027,19 @@ impl Pisces {
             st.tasks.insert(id, entry.clone());
             st.live_user_tasks += 1;
         }
-        self.tracer.emit(
+        // TASK-INIT is caused by the controller's acceptance of the INIT$
+        // request; its seq anchors the task's program-order chain (the
+        // TASK-TERM cites it as parent).
+        let init_seq = self.tracer.emit_causal(
             TraceEventKind::TaskInit,
             id,
             pe.number(),
             self.flex.pe(pe).clock.now(),
             format!("{tasktype} parent={parent}"),
+            None,
+            cause,
         );
+        entry.set_init_event(init_seq);
 
         let p = self.clone();
         let handle = std::thread::Builder::new()
@@ -1043,12 +1126,14 @@ impl Pisces {
                 format!("error: {e}")
             }
         };
-        self.tracer.emit(
+        self.tracer.emit_causal(
             TraceEventKind::TaskTerm,
             entry.id,
             entry.pe.number(),
             self.flex.pe(entry.pe).clock.now(),
             info,
+            entry.init_event(),
+            None,
         );
         RunStats::bump(&self.stats.tasks_completed);
         self.flex.procs(entry.pe).exit(entry.pid);
@@ -1383,6 +1468,8 @@ impl Pisces {
                 is_controller: t.is_controller,
                 state: *t.run_state.lock(),
                 queued_messages: t.inq.len(),
+                in_force: t.in_force.load(Ordering::Relaxed),
+                timed_wait: t.timed_wait.load(Ordering::Relaxed),
             })
             .collect();
         v.sort_by_key(|d| d.id);

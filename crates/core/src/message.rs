@@ -78,6 +78,11 @@ pub struct StoredMessage {
     /// subtracts this from its own clock to sample send→accept latency;
     /// PE clocks are unsynchronized, so cross-PE samples are approximate.
     pub sent_ticks: u64,
+    /// Trace seq of the MSG-SEND (or MSG-DUP/FAULT-NOTICE) event that put
+    /// this message in flight, if tracing recorded one. The accept side
+    /// cites it as the `cause` of its MSG-ACCEPT event, closing the
+    /// send→accept edge of the happens-before graph.
+    pub cause: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -118,7 +123,8 @@ impl InQueue {
 
     /// Enqueue a message (assigning its arrival number) and wake waiters.
     /// `sent_pe`/`sent_ticks` carry the sender's clock reading for
-    /// latency measurement on the accept side.
+    /// latency measurement on the accept side; `cause` carries the trace
+    /// seq of the send event for the happens-before graph.
     pub fn push(
         &self,
         mtype: String,
@@ -126,6 +132,7 @@ impl InQueue {
         handle: ShmHandle,
         sent_pe: u8,
         sent_ticks: u64,
+        cause: Option<u64>,
     ) -> PushOutcome {
         let mut st = self.state.lock();
         let msg = StoredMessage {
@@ -135,6 +142,7 @@ impl InQueue {
             arrival: st.next_arrival,
             sent_pe,
             sent_ticks,
+            cause,
         };
         if st.closed {
             return PushOutcome::Closed(msg);
@@ -263,7 +271,7 @@ mod tests {
     }
 
     fn push(q: &InQueue, mtype: &str, sender: TaskId, handle: ShmHandle) -> PushOutcome {
-        q.push(mtype.into(), sender, handle, 3, 0)
+        q.push(mtype.into(), sender, handle, 3, 0, None)
     }
 
     #[test]
@@ -352,6 +360,7 @@ mod tests {
                 m2.alloc(8, ShmTag::Message).unwrap(),
                 3,
                 0,
+                None,
             );
         });
         let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
@@ -400,6 +409,7 @@ mod tests {
             m.alloc(24, ShmTag::Message).unwrap(),
             3,
             0,
+            None,
         );
         let snap = q.snapshot();
         assert_eq!(snap, vec![("A".to_string(), tid(9), 24)]);

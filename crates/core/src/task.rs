@@ -14,7 +14,10 @@ use flex32::pe::PeId;
 use flex32::shmem::ShmHandle;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel for "no trace event recorded" in [`TaskEntry::init_event`].
+const NO_EVENT: u64 = u64::MAX;
 
 /// Scheduling state of a task, for the DISPLAY RUNNING TASKS menu option.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,9 +62,16 @@ pub struct TaskEntry {
     /// True while the task is split into a force (FORCESPLIT does not
     /// nest).
     pub in_force: AtomicBool,
+    /// True while the task is blocked in an ACCEPT that armed a DELAY
+    /// deadline — a timed wait that is guaranteed to make progress, so
+    /// stall watchdogs must not flag it.
+    pub timed_wait: AtomicBool,
     /// Shared-memory block mirroring this record in the system tables
     /// (freed when the slot record is reused or the machine shuts down).
     pub state_record: Option<ShmHandle>,
+    /// Trace seq of this task's TASK-INIT event, cited as the causal
+    /// parent of its TASK-TERM ([`NO_EVENT`] until recorded).
+    init_event: AtomicU64,
 }
 
 impl TaskEntry {
@@ -90,7 +100,24 @@ impl TaskEntry {
             locks: Mutex::new(HashMap::new()),
             next_array_seq: AtomicU32::new(0),
             in_force: AtomicBool::new(false),
+            timed_wait: AtomicBool::new(false),
             state_record,
+            init_event: AtomicU64::new(NO_EVENT),
+        }
+    }
+
+    /// Record the trace seq of this task's TASK-INIT event.
+    pub fn set_init_event(&self, seq: Option<u64>) {
+        if let Some(s) = seq {
+            self.init_event.store(s, Ordering::Relaxed);
+        }
+    }
+
+    /// Trace seq of this task's TASK-INIT event, if one was emitted.
+    pub fn init_event(&self) -> Option<u64> {
+        match self.init_event.load(Ordering::Relaxed) {
+            NO_EVENT => None,
+            s => Some(s),
         }
     }
 

@@ -40,9 +40,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of traceable event kinds: the paper's eight plus the fault and
-/// recovery kinds added by the chaos subsystem and the bulk-transfer kind
-/// added by the window-transfer engine.
-pub const NUM_KINDS: usize = 18;
+/// recovery kinds added by the chaos subsystem, the bulk-transfer kind
+/// added by the window-transfer engine, and the force/barrier episode
+/// kinds added by the causal-tracing layer.
+pub const NUM_KINDS: usize = 21;
 
 /// The traceable event types: the eight of Section 12 plus fault-injection
 /// and recovery events (PE failures, link faults, send retries, fault
@@ -88,6 +89,14 @@ pub enum TraceEventKind {
     /// A bulk window transfer (batched gather/scatter/move) moved a whole
     /// subregion in one operation.
     BulkTransfer,
+    /// A force member started or finished its body (causal edges
+    /// split→member-start and member-end→join).
+    ForceMember,
+    /// The force primary rejoined after every member finished.
+    ForceJoin,
+    /// A barrier released: the last arrival flipped the generation and
+    /// freed every waiting member (causal edge arrive→release).
+    BarrierRelease,
 }
 
 impl TraceEventKind {
@@ -111,6 +120,9 @@ impl TraceEventKind {
         TraceEventKind::FaultNotice,
         TraceEventKind::ForceShrink,
         TraceEventKind::BulkTransfer,
+        TraceEventKind::ForceMember,
+        TraceEventKind::ForceJoin,
+        TraceEventKind::BarrierRelease,
     ];
 
     /// The paper's original eight event types (Section 12).
@@ -137,6 +149,9 @@ impl TraceEventKind {
             TraceEventKind::FaultNotice => "FAULT-NOTICE",
             TraceEventKind::ForceShrink => "FORCE-SHRINK",
             TraceEventKind::BulkTransfer => "BULK-XFER",
+            TraceEventKind::ForceMember => "FORCE-MEMBER",
+            TraceEventKind::ForceJoin => "FORCE-JOIN",
+            TraceEventKind::BarrierRelease => "BARRIER-REL",
         }
     }
 
@@ -163,6 +178,9 @@ impl TraceEventKind {
             TraceEventKind::FaultNotice => 15,
             TraceEventKind::ForceShrink => 16,
             TraceEventKind::BulkTransfer => 17,
+            TraceEventKind::ForceMember => 18,
+            TraceEventKind::ForceJoin => 19,
+            TraceEventKind::BarrierRelease => 20,
         }
     }
 }
@@ -183,6 +201,16 @@ pub struct TraceRecord {
     /// Other relevant information for the event type (message type, lock
     /// name, force size, …).
     pub info: String,
+    /// Seq of the event that precedes this one in the same activity
+    /// (program-order edge: a task's previous lifecycle event, a force
+    /// member's start, a transfer's posting). `None` when unknown.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent: Option<u64>,
+    /// Seq of the event on *another* task that enabled this one
+    /// (cross-task happens-before edge: the send an accept consumed, the
+    /// straggler arrival that released a barrier). `None` when unknown.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cause: Option<u64>,
 }
 
 impl std::fmt::Display for TraceRecord {
@@ -196,7 +224,14 @@ impl std::fmt::Display for TraceRecord {
             self.pe,
             self.ticks,
             self.info
-        )
+        )?;
+        if let Some(p) = self.parent {
+            write!(f, " parent=#{p}")?;
+        }
+        if let Some(c) = self.cause {
+            write!(f, " cause=#{c}")?;
+        }
+        Ok(())
     }
 }
 
@@ -359,12 +394,51 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// How many serialized lines the file sink holds back to re-sort racing
+/// emissions. A record's `seq` is assigned *before* the sink write, so two
+/// PEs can reach the sink in the opposite order of their seqs; holding a
+/// window of lines and always writing the smallest pending seq restores
+/// monotone order without buffering the whole run in RAM.
+const FILE_REORDER_WINDOW: usize = 4096;
+
+/// A serialized trace line waiting in the file sink's reorder window,
+/// min-ordered by `seq`.
+struct PendingLine {
+    seq: u64,
+    line: String,
+}
+
+impl PartialEq for PendingLine {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for PendingLine {}
+impl PartialOrd for PendingLine {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingLine {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want the smallest seq on top.
+        other.seq.cmp(&self.seq)
+    }
+}
+
+struct FileSinkInner {
+    w: std::io::BufWriter<std::fs::File>,
+    pending: std::collections::BinaryHeap<PendingLine>,
+}
+
 /// Streaming JSONL file sink: one record per line, buffered writes. Long
 /// runs can trace every event to disk without accumulating records in
-/// RAM.
+/// RAM: only a bounded reorder window ([`FILE_REORDER_WINDOW`] lines) is
+/// held back so lines leave the sink in monotone `seq` order even when
+/// emitting PEs race between seq assignment and the sink call.
 pub struct FileSink {
     path: String,
-    w: Mutex<std::io::BufWriter<std::fs::File>>,
+    inner: Mutex<FileSinkInner>,
     written: AtomicU64,
     errors: AtomicU64,
 }
@@ -375,7 +449,10 @@ impl FileSink {
         let f = std::fs::File::create(path)?;
         Ok(Self {
             path: path.to_string(),
-            w: Mutex::new(std::io::BufWriter::new(f)),
+            inner: Mutex::new(FileSinkInner {
+                w: std::io::BufWriter::new(f),
+                pending: std::collections::BinaryHeap::new(),
+            }),
             written: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         })
@@ -389,6 +466,15 @@ impl FileSink {
     /// Records successfully serialized and handed to the writer.
     pub fn written(&self) -> u64 {
         self.written.load(Ordering::Relaxed)
+    }
+
+    /// Write one line, counting success and failure.
+    fn write_line(&self, w: &mut std::io::BufWriter<std::fs::File>, line: &str) {
+        if writeln!(w, "{line}").is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.written.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -405,16 +491,22 @@ impl TraceSink for FileSink {
                 return;
             }
         };
-        let mut w = self.w.lock();
-        if writeln!(w, "{line}").is_err() {
-            self.errors.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.written.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.pending.push(PendingLine { seq: rec.seq, line });
+        while inner.pending.len() > FILE_REORDER_WINDOW {
+            let next = inner.pending.pop().expect("non-empty reorder window");
+            let FileSinkInner { w, .. } = &mut *inner;
+            self.write_line(w, &next.line);
         }
     }
 
     fn flush(&self) {
-        let _ = self.w.lock().flush();
+        let mut inner = self.inner.lock();
+        while let Some(next) = inner.pending.pop() {
+            let FileSinkInner { w, .. } = &mut *inner;
+            self.write_line(w, &next.line);
+        }
+        let _ = inner.w.flush();
     }
 
     fn dropped(&self) -> u64 {
@@ -592,8 +684,27 @@ impl Tracer {
         ticks: u64,
         info: impl Into<String>,
     ) {
+        self.emit_causal(kind, task, pe, ticks, info, None, None);
+    }
+
+    /// Emit a trace line carrying causal edges, returning the assigned
+    /// sequence number so callers can thread it into downstream events
+    /// (`None` when the kind is disabled and nothing was recorded).
+    ///
+    /// `parent` is the preceding event of the same activity; `cause` is
+    /// the event on another task that enabled this one.
+    pub fn emit_causal(
+        &self,
+        kind: TraceEventKind,
+        task: TaskId,
+        pe: u8,
+        ticks: u64,
+        info: impl Into<String>,
+        parent: Option<u64>,
+        cause: Option<u64>,
+    ) -> Option<u64> {
         if !self.is_enabled(kind, task) {
-            return;
+            return None;
         }
         let rec = TraceRecord {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
@@ -602,6 +713,8 @@ impl Tracer {
             pe,
             ticks,
             info: info.into(),
+            parent,
+            cause,
         };
         self.memory.record(&rec);
         if self.to_screen.load(Ordering::Relaxed) {
@@ -615,6 +728,7 @@ impl Tracer {
                 s.record(&rec);
             }
         }
+        Some(rec.seq)
     }
 
     /// Snapshot of all retained records, in emission order. (Records
@@ -762,9 +876,12 @@ mod tests {
             pe: 4,
             ticks: 123,
             info: "LVAR".into(),
+            parent: Some(0),
+            cause: None,
         };
         let s = r.to_string();
         assert!(s.contains("LOCK") && s.contains("pe04") && s.contains("LVAR"));
+        assert!(s.contains("parent=#0") && !s.contains("cause="));
     }
 
     #[test]
@@ -838,6 +955,122 @@ mod tests {
         let back = Tracer::parse_jsonl(&data).unwrap();
         assert_eq!(back, t.records());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn emit_causal_returns_seq_and_threads_edges() {
+        let t = Tracer::new(&TraceSettings::all());
+        let send = t
+            .emit_causal(TraceEventKind::MsgSend, tid(), 3, 1, "PING -> x", None, None)
+            .unwrap();
+        let accept = t
+            .emit_causal(
+                TraceEventKind::MsgAccept,
+                tid(),
+                4,
+                2,
+                "PING <- x",
+                None,
+                Some(send),
+            )
+            .unwrap();
+        assert!(accept > send);
+        let recs = t.records();
+        assert_eq!(recs[1].cause, Some(send));
+        assert_eq!(recs[0].cause, None);
+
+        // Disabled kind: nothing recorded, no seq handed out.
+        let t = Tracer::new(&TraceSettings::default());
+        assert_eq!(
+            t.emit_causal(TraceEventKind::MsgSend, tid(), 3, 1, "x", None, None),
+            None
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn causal_fields_roundtrip_and_old_traces_parse() {
+        let t = Tracer::new(&TraceSettings::all());
+        t.emit_causal(
+            TraceEventKind::MsgAccept,
+            tid(),
+            3,
+            5,
+            "PING <- x",
+            Some(7),
+            Some(3),
+        );
+        let back = Tracer::parse_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(back[0].parent, Some(7));
+        assert_eq!(back[0].cause, Some(3));
+
+        // A pre-causal JSONL line (no parent/cause keys) still parses.
+        let old = r#"{"seq":0,"kind":"MsgSend","task":{"cluster":1,"slot":2,"unique":1},"pe":3,"ticks":9,"info":"PING -> x"}"#;
+        let recs = Tracer::parse_jsonl(old).unwrap();
+        assert_eq!(recs[0].parent, None);
+        assert_eq!(recs[0].cause, None);
+    }
+
+    #[test]
+    fn file_sink_merges_racing_shards_into_seq_order() {
+        let path = std::env::temp_dir().join(format!(
+            "pisces-trace-reorder-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_s = path.to_string_lossy().to_string();
+        let sink = FileSink::create(&path_s).unwrap();
+        // Hand records to the sink in scrambled order, as racing PEs do:
+        // seq is assigned before the sink call, so arrival order and seq
+        // order can disagree.
+        for seq in [4u64, 0, 3, 1, 2] {
+            sink.record(&TraceRecord {
+                seq,
+                kind: TraceEventKind::MsgSend,
+                task: tid(),
+                pe: (seq % 3) as u8 + 3,
+                ticks: seq,
+                info: String::new(),
+                parent: None,
+                cause: None,
+            });
+        }
+        sink.flush();
+        assert_eq!(sink.written(), 5);
+        let data = std::fs::read_to_string(&path).unwrap();
+        // Pull `"seq":N` straight out of each raw line rather than
+        // deserializing, so the assertion is about the bytes on disk.
+        let seqs: Vec<u64> = data
+            .lines()
+            .map(|l| {
+                let at = l.find("\"seq\":").expect("seq field present") + 6;
+                l[at..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4], "JSONL lines must be seq-sorted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reorder_window_pops_smallest_seq_first() {
+        // The heap ordering behind the file sink's reorder window.
+        let mut h = std::collections::BinaryHeap::new();
+        for seq in [9u64, 2, 7, 0, 4] {
+            h.push(PendingLine {
+                seq,
+                line: format!("line{seq}"),
+            });
+        }
+        let mut drained = Vec::new();
+        while let Some(p) = h.pop() {
+            drained.push(p.seq);
+        }
+        assert_eq!(drained, vec![0, 2, 4, 7, 9]);
     }
 
     #[test]

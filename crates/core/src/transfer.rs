@@ -67,6 +67,8 @@ enum Staging {
 pub struct PendingGet {
     window: Window,
     staging: Staging,
+    /// Trace seq of the GET-POST event, cited as the completion's cause.
+    post_seq: Option<u64>,
 }
 
 impl PendingGet {
@@ -79,7 +81,8 @@ impl PendingGet {
     /// the staging buffer.
     pub fn wait(self, ctx: &crate::context::TaskCtx) -> Result<Vec<f64>> {
         let _cpu = ctx.enter(0)?;
-        ctx.machine().window_get_finish(self)
+        let pe = ctx.pe();
+        ctx.machine().window_get_finish(pe, self)
     }
 }
 
@@ -92,6 +95,8 @@ impl PendingGet {
 pub struct PendingPut {
     window: Window,
     staging: Staging,
+    /// Trace seq of the PUT-POST event, cited as the completion's cause.
+    post_seq: Option<u64>,
 }
 
 impl PendingPut {
@@ -119,7 +124,7 @@ impl Pisces {
         let words = self.gather_window_words(w)?;
         let out: Vec<f64> = words.iter().map(|&b| f64::from_bits(b)).collect();
         RunStats::bump(&self.stats.window_reads);
-        self.note_transfer(requester_pe, w, out.len(), "GET");
+        self.note_transfer(requester_pe, w, out.len(), "GET", None);
         Ok(out)
     }
 
@@ -136,7 +141,7 @@ impl Pisces {
         let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
         self.scatter_window_words(w, &words)?;
         RunStats::bump(&self.stats.window_writes);
-        self.note_transfer(requester_pe, w, data.len(), "PUT");
+        self.note_transfer(requester_pe, w, data.len(), "PUT", None);
         Ok(())
     }
 
@@ -187,7 +192,7 @@ impl Pisces {
         // pay a batched window charge.
         self.charge_window_transfer(requester_pe, src.array().owner, words);
         self.charge_window_transfer(requester_pe, dst.array().owner, words);
-        self.trace_transfer(requester_pe, src, words as usize, "MOVE");
+        self.trace_transfer(requester_pe, src, words as usize, "MOVE", None);
         Ok(())
     }
 
@@ -229,15 +234,20 @@ impl Pisces {
             }
         };
         RunStats::bump(&self.stats.window_reads);
-        self.note_transfer(requester_pe, w, w.len(), "GET-POST");
+        let post_seq = self.note_transfer(requester_pe, w, w.len(), "GET-POST", None);
         Ok(PendingGet {
             window: w.clone(),
             staging,
+            post_seq,
         })
     }
 
     /// Complete a posted bulk read.
-    pub(crate) fn window_get_finish(&self, pending: PendingGet) -> Result<Vec<f64>> {
+    pub(crate) fn window_get_finish(
+        &self,
+        requester_pe: PeId,
+        pending: PendingGet,
+    ) -> Result<Vec<f64>> {
         let words = match pending.staging {
             Staging::Host(v) => v,
             Staging::Shm { handle, pe } => {
@@ -247,6 +257,14 @@ impl Pisces {
                 buf
             }
         };
+        // Completion cites the posting event, closing the async edge.
+        self.trace_transfer(
+            requester_pe,
+            &pending.window,
+            words.len(),
+            "GET-WAIT",
+            pending.post_seq,
+        );
         Ok(words.iter().map(|&b| f64::from_bits(b)).collect())
     }
 
@@ -279,9 +297,11 @@ impl Pisces {
                 pe: requester_pe,
             }
         };
+        let post_seq = self.trace_transfer(requester_pe, w, w.len(), "PUT-POST", None);
         Ok(PendingPut {
             window: w.clone(),
             staging,
+            post_seq,
         })
     }
 
@@ -314,7 +334,7 @@ impl Pisces {
             }
         }
         RunStats::bump(&self.stats.window_writes);
-        self.note_transfer(requester_pe, w, w.len(), "PUT-FLUSH");
+        self.note_transfer(requester_pe, w, w.len(), "PUT-FLUSH", pending.post_seq);
         Ok(())
     }
 
@@ -406,15 +426,30 @@ impl Pisces {
     }
 
     /// Shared accounting tail for single-ended transfers: histogram
-    /// sample, virtual-time charge, word counter, trace event.
-    fn note_transfer(&self, requester_pe: PeId, w: &Window, words: usize, verb: &str) {
+    /// sample, virtual-time charge, word counter, trace event. Returns
+    /// the trace seq of the BULK-XFER event, if one was emitted.
+    fn note_transfer(
+        &self,
+        requester_pe: PeId,
+        w: &Window,
+        words: usize,
+        verb: &str,
+        cause: Option<u64>,
+    ) -> Option<u64> {
         self.metrics.transfer_words.record(words as u64);
         self.charge_window_transfer(requester_pe, w.array().owner, words as u64);
-        self.trace_transfer(requester_pe, w, words, verb);
+        self.trace_transfer(requester_pe, w, words, verb, cause)
     }
 
-    fn trace_transfer(&self, requester_pe: PeId, w: &Window, words: usize, verb: &str) {
-        self.tracer.emit(
+    fn trace_transfer(
+        &self,
+        requester_pe: PeId,
+        w: &Window,
+        words: usize,
+        verb: &str,
+        cause: Option<u64>,
+    ) -> Option<u64> {
+        self.tracer.emit_causal(
             TraceEventKind::BulkTransfer,
             w.array().owner,
             requester_pe.number(),
@@ -425,6 +460,8 @@ impl Pisces {
                 w.col_count(),
                 w.array()
             ),
-        );
+            None,
+            cause,
+        )
     }
 }

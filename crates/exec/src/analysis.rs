@@ -369,6 +369,8 @@ mod tests {
                 pe: 3,
                 ticks: 100,
                 info: format!("PING -> {t2}"),
+                parent: None,
+                cause: None,
             },
             TraceRecord {
                 seq: 1,
@@ -377,6 +379,8 @@ mod tests {
                 pe: 3,
                 ticks: 130,
                 info: format!("PING <- {t1}"),
+                parent: None,
+                cause: Some(0),
             },
         ];
         let a = TraceAnalysis::new(&records);
@@ -397,6 +401,8 @@ mod tests {
             pe: 3,
             ticks: 100,
             info: format!("PING -> {t2}"),
+            parent: None,
+            cause: None,
         }];
         let a = TraceAnalysis::new(&records);
         assert!(a.matched.is_empty());
@@ -417,6 +423,8 @@ mod gantt_tests {
             pe,
             ticks,
             info: info.into(),
+            parent: None,
+            cause: None,
         }
     }
 
@@ -466,6 +474,8 @@ mod matching_tests {
             pe,
             ticks,
             info,
+            parent: None,
+            cause: None,
         }
     }
 

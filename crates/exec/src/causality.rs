@@ -1,0 +1,743 @@
+//! Causal analysis of a trace: the happens-before DAG, critical-path
+//! extraction with blame attribution, and Chrome/Perfetto export.
+//!
+//! Every trace event may carry two causal references assigned at emit
+//! time (see `pisces_core::trace::Tracer::emit_causal`):
+//!
+//! * `parent` — the preceding event of the *same activity* (program
+//!   order): the previous retry in a retry chain, a member's previous
+//!   barrier arrival, a task's own TASK-INIT.
+//! * `cause` — the event on *another* task or thread that enabled this
+//!   one: the MSG-SEND behind a MSG-ACCEPT, the FORCE-SPLIT behind a
+//!   member start, the posting BULK-XFER behind its completion.
+//!
+//! [`CausalGraph`] reconstructs the DAG from those references plus the
+//! implicit per-lane program order (events of one task on one PE, in
+//! global seq order). Because seqs are assigned by a single atomic
+//! counter *at the moment each event happens*, a well-formed trace can
+//! only reference strictly earlier events — any edge pointing forward or
+//! at a missing seq is recorded as a violation and the graph reports
+//! itself cyclic/ill-formed rather than panicking.
+//!
+//! [`CausalGraph::critical_path`] runs the classic longest-path sweep
+//! over the DAG (single pass in seq order — topological by construction)
+//! and attributes every tick of the winning path to a [`Blame`] bucket:
+//! compute, message-wait, barrier-wait, or pool-alloc. The result is
+//! deterministic for a fixed input: ties break toward the earlier event.
+//!
+//! [`CausalGraph::to_perfetto`] serializes the whole trace as Chrome
+//! `trace_event` JSON — one Perfetto process per PE, one thread per
+//! task, instant events for every record, flow arrows (`ph:"s"`/`"f"`)
+//! for every cross-PE message edge, with the ones on the critical path
+//! tagged `cat:"msg.critical"`. The JSON is built by hand (no serde
+//! round-trip) so exports work even where `serde_json` is stubbed out.
+
+use pisces_core::taskid::TaskId;
+use pisces_core::trace::{TraceEventKind, TraceRecord};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// How one event came to reference another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Implicit program order within one (task, PE) lane.
+    Program,
+    /// The record's explicit `parent` reference.
+    Parent,
+    /// The record's explicit `cause` reference.
+    Cause,
+}
+
+/// One happens-before edge, by node index into [`CausalGraph::nodes`].
+#[derive(Debug, Clone, Copy)]
+pub struct CausalEdge {
+    /// Index of the earlier event.
+    pub from: usize,
+    /// Index of the later event.
+    pub to: usize,
+    /// Why the edge exists.
+    pub kind: EdgeKind,
+}
+
+/// What a stretch of the critical path was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Blame {
+    /// Plain forward progress on one lane.
+    Compute,
+    /// Waiting for a message to arrive (send→accept, retry chains,
+    /// fault notices).
+    MessageWait,
+    /// Waiting at a barrier or a force join for a straggler.
+    BarrierWait,
+    /// Stalled on shared-memory pool allocation.
+    PoolAlloc,
+}
+
+impl Blame {
+    /// Stable label used in reports and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            Blame::Compute => "compute",
+            Blame::MessageWait => "message-wait",
+            Blame::BarrierWait => "barrier-wait",
+            Blame::PoolAlloc => "pool-alloc",
+        }
+    }
+}
+
+/// One aggregated blame bucket of the critical path.
+#[derive(Debug, Clone)]
+pub struct BlameEntry {
+    /// What the time went to.
+    pub blame: Blame,
+    /// Task whose event terminated each charged edge.
+    pub task: TaskId,
+    /// PE that event was stamped on.
+    pub pe: u8,
+    /// Ticks attributed to this bucket.
+    pub ticks: u64,
+}
+
+/// The critical (longest) path through the happens-before DAG.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Node indices along the path, in causal order.
+    pub nodes: Vec<usize>,
+    /// Total tick span accumulated along the path's edges.
+    pub span: u64,
+    /// Blame buckets, heaviest first (deterministic tie-break).
+    pub blame: Vec<BlameEntry>,
+}
+
+/// The reconstructed happens-before DAG of one trace.
+#[derive(Debug)]
+pub struct CausalGraph {
+    /// Trace records in seq order (the DAG's nodes).
+    pub nodes: Vec<TraceRecord>,
+    /// All happens-before edges (program order + parent + cause).
+    pub edges: Vec<CausalEdge>,
+    /// Causality violations found while building: references to missing
+    /// seqs or to events that are not strictly earlier. Empty for any
+    /// trace the runtime actually produced.
+    pub violations: Vec<String>,
+    by_seq: HashMap<u64, usize>,
+}
+
+/// Kinds whose events can legitimately put a message in flight (the
+/// valid targets of a MSG-ACCEPT's `cause` reference).
+fn is_send_like(kind: TraceEventKind) -> bool {
+    matches!(
+        kind,
+        TraceEventKind::MsgSend | TraceEventKind::MsgDup | TraceEventKind::FaultNotice
+    )
+}
+
+impl CausalGraph {
+    /// Build the DAG from trace records (any order; they are re-sorted
+    /// by seq).
+    pub fn new(records: &[TraceRecord]) -> Self {
+        let mut nodes: Vec<TraceRecord> = records.to_vec();
+        nodes.sort_by_key(|r| r.seq);
+        let by_seq: HashMap<u64, usize> =
+            nodes.iter().enumerate().map(|(i, r)| (r.seq, i)).collect();
+
+        let mut edges = Vec::new();
+        let mut violations = Vec::new();
+
+        // Implicit program order: consecutive events of one task on one
+        // PE. Force members share a task id but run on distinct PEs, so
+        // the (task, pe) pair is the finest sequential lane the trace
+        // can name.
+        let mut lanes: BTreeMap<(TaskId, u8), usize> = BTreeMap::new();
+        for (i, r) in nodes.iter().enumerate() {
+            if let Some(prev) = lanes.insert((r.task, r.pe), i) {
+                edges.push(CausalEdge {
+                    from: prev,
+                    to: i,
+                    kind: EdgeKind::Program,
+                });
+            }
+        }
+
+        // Explicit references. A reference must resolve to a strictly
+        // earlier seq; anything else is a violation, not an edge.
+        for (i, r) in nodes.iter().enumerate() {
+            for (seq, kind) in [(r.parent, EdgeKind::Parent), (r.cause, EdgeKind::Cause)] {
+                let Some(seq) = seq else { continue };
+                match by_seq.get(&seq) {
+                    Some(&j) if nodes[j].seq < r.seq => edges.push(CausalEdge {
+                        from: j,
+                        to: i,
+                        kind,
+                    }),
+                    Some(_) => violations.push(format!(
+                        "event #{} references #{seq} which does not precede it",
+                        r.seq
+                    )),
+                    None => violations.push(format!(
+                        "event #{} references missing event #{seq}",
+                        r.seq
+                    )),
+                }
+            }
+        }
+
+        Self {
+            nodes,
+            edges,
+            violations,
+            by_seq,
+        }
+    }
+
+    /// Whether the graph is a well-formed DAG. Edges are only created
+    /// from earlier to later seqs, so the graph is acyclic exactly when
+    /// no reference violated that invariant.
+    pub fn is_acyclic(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Look a node up by its trace seq.
+    pub fn node(&self, seq: u64) -> Option<&TraceRecord> {
+        self.by_seq.get(&seq).map(|&i| &self.nodes[i])
+    }
+
+    /// Seqs of MSG-ACCEPT events with no resolvable send-like cause —
+    /// the chaos suites assert this is empty for every scenario.
+    pub fn accepts_without_send_cause(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .filter(|r| r.kind == TraceEventKind::MsgAccept)
+            .filter(|r| {
+                !r.cause
+                    .and_then(|seq| self.node(seq))
+                    .is_some_and(|c| is_send_like(c.kind))
+            })
+            .map(|r| r.seq)
+            .collect()
+    }
+
+    /// Blame classification of one edge: what the time along it was
+    /// spent waiting on.
+    fn classify(&self, e: &CausalEdge) -> Blame {
+        let from = &self.nodes[e.from];
+        let to = &self.nodes[e.to];
+        let barrier = |k: TraceEventKind| {
+            matches!(
+                k,
+                TraceEventKind::Barrier
+                    | TraceEventKind::BarrierRelease
+                    | TraceEventKind::ForceJoin
+            )
+        };
+        if from.kind == TraceEventKind::AllocFault || to.kind == TraceEventKind::AllocFault {
+            Blame::PoolAlloc
+        } else if barrier(from.kind) || barrier(to.kind) {
+            Blame::BarrierWait
+        } else if (e.kind == EdgeKind::Cause && to.kind == TraceEventKind::MsgAccept)
+            || matches!(
+                to.kind,
+                TraceEventKind::MsgRetry | TraceEventKind::MsgDelay | TraceEventKind::FaultNotice
+            )
+        {
+            Blame::MessageWait
+        } else {
+            Blame::Compute
+        }
+    }
+
+    /// Longest path through the DAG by accumulated tick deltas.
+    ///
+    /// Nodes are already topologically ordered (edges always point to
+    /// later seqs), so one forward sweep computes the longest distance
+    /// to every node. Cross-PE edges compare two unsynchronized virtual
+    /// clocks; the delta saturates at zero rather than going negative,
+    /// which keeps the result deterministic and monotone. Ties prefer
+    /// the earlier predecessor and the earlier endpoint, so the path is
+    /// byte-stable for identical traces.
+    pub fn critical_path(&self) -> CriticalPath {
+        let n = self.nodes.len();
+        if n == 0 {
+            return CriticalPath {
+                nodes: Vec::new(),
+                span: 0,
+                blame: Vec::new(),
+            };
+        }
+        // Incoming edge lists, preserving insertion (deterministic) order.
+        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ei, e) in self.edges.iter().enumerate() {
+            incoming[e.to].push(ei);
+        }
+        let mut dist = vec![0u64; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            for &ei in &incoming[i] {
+                let e = &self.edges[ei];
+                let w = self.nodes[i].ticks.saturating_sub(self.nodes[e.from].ticks);
+                let cand = dist[e.from].saturating_add(w);
+                if cand > dist[i] {
+                    dist[i] = cand;
+                    pred[i] = Some(ei);
+                }
+            }
+        }
+        let end = (0..n).max_by_key(|&i| (dist[i], std::cmp::Reverse(i))).unwrap_or(0);
+
+        let mut path = vec![end];
+        let mut blame_map: BTreeMap<(Blame, TaskId, u8), u64> = BTreeMap::new();
+        let mut cur = end;
+        while let Some(ei) = pred[cur] {
+            let e = self.edges[ei];
+            let w = self.nodes[e.to].ticks.saturating_sub(self.nodes[e.from].ticks);
+            if w > 0 {
+                let to = &self.nodes[e.to];
+                *blame_map
+                    .entry((self.classify(&e), to.task, to.pe))
+                    .or_insert(0) += w;
+            }
+            path.push(e.from);
+            cur = e.from;
+        }
+        path.reverse();
+
+        let mut blame: Vec<BlameEntry> = blame_map
+            .into_iter()
+            .map(|((b, task, pe), ticks)| BlameEntry {
+                blame: b,
+                task,
+                pe,
+                ticks,
+            })
+            .collect();
+        // Heaviest first; BTreeMap iteration order breaks ties stably.
+        blame.sort_by(|a, b| b.ticks.cmp(&a.ticks).then(a.blame.cmp(&b.blame)));
+
+        CriticalPath {
+            nodes: path,
+            span: dist[end],
+            blame,
+        }
+    }
+
+    /// The "CRITICAL PATH" report section: total span, the top blame
+    /// buckets, and the path itself (elided in the middle when long).
+    pub fn render_critical_path(&self, top: usize) -> String {
+        let mut s = String::from("CRITICAL PATH\n");
+        if !self.is_acyclic() {
+            let _ = writeln!(
+                s,
+                "  trace is not causally well-formed ({} violation(s)):",
+                self.violations.len()
+            );
+            for v in self.violations.iter().take(5) {
+                let _ = writeln!(s, "    {v}");
+            }
+            return s;
+        }
+        let cp = self.critical_path();
+        if cp.nodes.len() < 2 {
+            s.push_str("  (trace too small for a causal path)\n");
+            return s;
+        }
+        let first = &self.nodes[cp.nodes[0]];
+        let last = &self.nodes[*cp.nodes.last().expect("nonempty")];
+        let _ = writeln!(
+            s,
+            "  total span: {} ticks over {} events (#{} {} -> #{} {})",
+            cp.span,
+            cp.nodes.len(),
+            first.seq,
+            first.kind.label(),
+            last.seq,
+            last.kind.label(),
+        );
+        let _ = writeln!(s, "  blame (top {top}):");
+        if cp.blame.is_empty() {
+            s.push_str("    (no ticks elapsed along the path)\n");
+        }
+        for b in cp.blame.iter().take(top) {
+            let _ = writeln!(
+                s,
+                "    {:<13} {:<10} PE{:<3} {:>10} ticks",
+                b.blame.label(),
+                b.task.to_string(),
+                b.pe,
+                b.ticks
+            );
+        }
+        s.push_str("  path:\n");
+        let render_node = |s: &mut String, i: usize| {
+            let r = &self.nodes[i];
+            let _ = writeln!(
+                s,
+                "    #{:<6} {:>10} PE{:<3} {:<12} {}",
+                r.seq,
+                r.ticks,
+                r.pe,
+                r.kind.label(),
+                r.info
+            );
+        };
+        if cp.nodes.len() <= 16 {
+            for &i in &cp.nodes {
+                render_node(&mut s, i);
+            }
+        } else {
+            for &i in &cp.nodes[..8] {
+                render_node(&mut s, i);
+            }
+            let _ = writeln!(s, "    ... {} more events ...", cp.nodes.len() - 16);
+            for &i in &cp.nodes[cp.nodes.len() - 8..] {
+                render_node(&mut s, i);
+            }
+        }
+        s
+    }
+
+    /// Export the trace as Chrome `trace_event` JSON (the Perfetto /
+    /// `chrome://tracing` interchange format).
+    ///
+    /// Layout: one process per PE (`pid` = PE number), one thread per
+    /// task (`tid` assigned in first-appearance order), a complete
+    /// (`ph:"X"`) slice per task lifetime, an instant (`ph:"i"`) event
+    /// per record, and a flow arrow (`ph:"s"` → `ph:"f"`) per cross-PE
+    /// message edge. Flows on the critical path carry
+    /// `cat:"msg.critical"`; ticks are exported as microseconds.
+    pub fn to_perfetto(&self) -> String {
+        let cp = self.critical_path();
+        let on_path: Vec<bool> = {
+            let mut v = vec![false; self.nodes.len()];
+            for &i in &cp.nodes {
+                v[i] = true;
+            }
+            v
+        };
+
+        let mut tids: HashMap<TaskId, u32> = HashMap::new();
+        let mut next_tid = 1u32;
+        let mut tid_of = |task: TaskId, tids: &mut HashMap<TaskId, u32>| -> u32 {
+            *tids.entry(task).or_insert_with(|| {
+                let t = next_tid;
+                next_tid += 1;
+                t
+            })
+        };
+
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&ev);
+        };
+
+        // Process metadata: one Perfetto process per PE.
+        let mut pes: Vec<u8> = self.nodes.iter().map(|r| r.pe).collect();
+        pes.sort_unstable();
+        pes.dedup();
+        for pe in &pes {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pe},\"tid\":0,\
+                     \"args\":{{\"name\":\"PE{pe}\"}}}}"
+                ),
+            );
+        }
+
+        // Task lifetime slices from TASK-INIT/TASK-TERM pairs.
+        let mut inits: HashMap<TaskId, &TraceRecord> = HashMap::new();
+        for r in &self.nodes {
+            match r.kind {
+                TraceEventKind::TaskInit => {
+                    inits.insert(r.task, r);
+                }
+                TraceEventKind::TaskTerm => {
+                    if let Some(init) = inits.remove(&r.task) {
+                        let tid = tid_of(r.task, &mut tids);
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\
+                                 \"pid\":{},\"tid\":{tid},\"ts\":{},\"dur\":{}}}",
+                                json_escape(&format!("task {}", r.task)),
+                                init.pe,
+                                init.ticks,
+                                r.ticks.saturating_sub(init.ticks),
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Instant events for every record, plus thread metadata on first
+        // sight of each task.
+        let mut named: Vec<TaskId> = Vec::new();
+        for (i, r) in self.nodes.iter().enumerate() {
+            let tid = tid_of(r.task, &mut tids);
+            if !named.contains(&r.task) {
+                named.push(r.task);
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        r.pe,
+                        json_escape(&r.task.to_string())
+                    ),
+                );
+            }
+            let cat = if on_path[i] { "event.critical" } else { "event" };
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"pid\":{},\"tid\":{tid},\"ts\":{},\
+                     \"args\":{{\"seq\":{},\"info\":\"{}\"}}}}",
+                    json_escape(r.kind.label()),
+                    r.pe,
+                    r.ticks,
+                    r.seq,
+                    json_escape(&r.info)
+                ),
+            );
+        }
+
+        // Flow arrows for cross-PE message edges.
+        for e in &self.edges {
+            if e.kind != EdgeKind::Cause {
+                continue;
+            }
+            let from = &self.nodes[e.from];
+            let to = &self.nodes[e.to];
+            if to.kind != TraceEventKind::MsgAccept || !is_send_like(from.kind) {
+                continue;
+            }
+            if from.pe == to.pe {
+                continue;
+            }
+            let cat = if on_path[e.from] && on_path[e.to] {
+                "msg.critical"
+            } else {
+                "msg"
+            };
+            let (ftid, ttid) = (tid_of(from.task, &mut tids), tid_of(to.task, &mut tids));
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"message\",\"cat\":\"{cat}\",\"ph\":\"s\",\"id\":{},\
+                     \"pid\":{},\"tid\":{ftid},\"ts\":{}}}",
+                    from.seq, from.pe, from.ticks
+                ),
+            );
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"message\",\"cat\":\"{cat}\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{},\"pid\":{},\"tid\":{ttid},\"ts\":{}}}",
+                    from.seq,
+                    to.pe,
+                    to.ticks.max(from.ticks)
+                ),
+            );
+        }
+
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        seq: u64,
+        kind: TraceEventKind,
+        task: TaskId,
+        pe: u8,
+        ticks: u64,
+        parent: Option<u64>,
+        cause: Option<u64>,
+    ) -> TraceRecord {
+        TraceRecord {
+            seq,
+            kind,
+            task,
+            pe,
+            ticks,
+            info: format!("{} #{seq}", kind.label()),
+            parent,
+            cause,
+        }
+    }
+
+    fn send_accept_trace() -> Vec<TraceRecord> {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(2, 2, 1);
+        vec![
+            rec(0, TraceEventKind::TaskInit, a, 1, 0, None, None),
+            rec(1, TraceEventKind::TaskInit, b, 4, 150, None, None),
+            rec(2, TraceEventKind::MsgSend, a, 1, 100, None, None),
+            rec(3, TraceEventKind::MsgAccept, b, 4, 180, None, Some(2)),
+            rec(4, TraceEventKind::TaskTerm, b, 4, 300, Some(1), None),
+            rec(5, TraceEventKind::TaskTerm, a, 1, 120, Some(0), None),
+        ]
+    }
+
+    #[test]
+    fn graph_is_acyclic_and_edges_resolve() {
+        let g = CausalGraph::new(&send_accept_trace());
+        assert!(g.is_acyclic(), "{:?}", g.violations);
+        assert!(g.accepts_without_send_cause().is_empty());
+        // Program edges: a-lane 0->2->5, b-lane 1->3->4. Parent: 0->5,
+        // 1->4. Cause: 2->3.
+        assert_eq!(g.edges.len(), 7);
+    }
+
+    #[test]
+    fn forward_reference_is_a_violation() {
+        let a = TaskId::new(1, 2, 1);
+        let records = vec![
+            rec(0, TraceEventKind::MsgSend, a, 1, 10, None, Some(1)),
+            rec(1, TraceEventKind::MsgAccept, a, 1, 20, None, None),
+        ];
+        let g = CausalGraph::new(&records);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.violations.len(), 1);
+    }
+
+    #[test]
+    fn missing_reference_is_a_violation() {
+        let a = TaskId::new(1, 2, 1);
+        let records = vec![rec(5, TraceEventKind::MsgAccept, a, 1, 20, None, Some(99))];
+        let g = CausalGraph::new(&records);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.accepts_without_send_cause(), vec![5]);
+    }
+
+    #[test]
+    fn critical_path_follows_message_edge() {
+        let g = CausalGraph::new(&send_accept_trace());
+        let cp = g.critical_path();
+        // Longest chain: init a (t0) -> send (t100) -> accept (t180)
+        // -> term b (t300): span 300.
+        assert_eq!(cp.span, 300);
+        let kinds: Vec<TraceEventKind> = cp.nodes.iter().map(|&i| g.nodes[i].kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::TaskInit,
+                TraceEventKind::MsgSend,
+                TraceEventKind::MsgAccept,
+                TraceEventKind::TaskTerm,
+            ]
+        );
+        // The send->accept hop is message-wait blame on the receiver.
+        assert!(cp
+            .blame
+            .iter()
+            .any(|b| b.blame == Blame::MessageWait && b.ticks == 80));
+    }
+
+    #[test]
+    fn critical_path_is_deterministic() {
+        let records = send_accept_trace();
+        let g1 = CausalGraph::new(&records);
+        let g2 = CausalGraph::new(&records);
+        assert_eq!(g1.render_critical_path(5), g2.render_critical_path(5));
+    }
+
+    #[test]
+    fn barrier_release_is_barrier_wait_blame() {
+        let t = TaskId::new(1, 2, 1);
+        let records = vec![
+            rec(0, TraceEventKind::ForceSplit, t, 1, 0, None, None),
+            rec(1, TraceEventKind::Barrier, t, 1, 50, Some(0), None),
+            rec(2, TraceEventKind::Barrier, t, 4, 90, None, Some(0)),
+            rec(3, TraceEventKind::BarrierRelease, t, 4, 90, None, Some(2)),
+        ];
+        let g = CausalGraph::new(&records);
+        let cp = g.critical_path();
+        assert!(cp
+            .blame
+            .iter()
+            .any(|b| b.blame == Blame::BarrierWait && b.ticks > 0));
+    }
+
+    #[test]
+    fn render_mentions_span_and_blame() {
+        let g = CausalGraph::new(&send_accept_trace());
+        let s = g.render_critical_path(5);
+        assert!(s.contains("CRITICAL PATH"), "{s}");
+        assert!(s.contains("total span: 300 ticks"), "{s}");
+        assert!(s.contains("message-wait"), "{s}");
+    }
+
+    #[test]
+    fn perfetto_export_has_flows_and_balanced_json() {
+        let g = CausalGraph::new(&send_accept_trace());
+        let json = g.to_perfetto();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"), "{json}");
+        // The cross-PE send->accept pair yields one flow start and one
+        // flow finish, both on the critical path.
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\""), "{json}");
+        assert!(json.contains("msg.critical"), "{json}");
+        // Crude balance check (no serde_json offline): every brace pairs.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn perfetto_escapes_info_strings() {
+        let a = TaskId::new(1, 2, 1);
+        let mut r = rec(0, TraceEventKind::MsgSend, a, 1, 0, None, None);
+        r.info = "quote \" backslash \\ newline \n".into();
+        let g = CausalGraph::new(&[r]);
+        let json = g.to_perfetto();
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"), "{json}");
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_path() {
+        let g = CausalGraph::new(&[]);
+        assert!(g.is_acyclic());
+        let cp = g.critical_path();
+        assert_eq!(cp.span, 0);
+        assert!(cp.nodes.is_empty());
+        assert!(g.render_critical_path(5).contains("too small"));
+    }
+}

@@ -27,10 +27,14 @@
 //! off-line via `pisces report <trace.jsonl>`.
 
 pub mod analysis;
+pub mod causality;
 pub mod figure1;
 pub mod menu;
 pub mod report;
+pub mod watchdog;
 
 pub use analysis::TraceAnalysis;
+pub use causality::CausalGraph;
 pub use menu::ExecMenu;
 pub use report::Report;
+pub use watchdog::{Watchdog, WatchdogConfig};

@@ -8,6 +8,7 @@
 //! of message latency and barrier-arrival spread, not just means.
 
 use crate::analysis::TraceAnalysis;
+use crate::causality::CausalGraph;
 use pisces_core::metrics::HistogramSnapshot;
 use pisces_core::taskid::TaskId;
 use pisces_core::trace::{TraceEventKind, TraceRecord};
@@ -305,6 +306,9 @@ pub struct Report {
     pub faults: FaultSummary,
     /// Bulk window-transfer activity.
     pub transfers: TransferSummary,
+    /// Happens-before DAG over the trace (critical path, Perfetto
+    /// export).
+    pub causal: CausalGraph,
 }
 
 impl Report {
@@ -316,6 +320,7 @@ impl Report {
         let barrier_spread = barrier_spread_histogram(records);
         let faults = fault_summary(records);
         let transfers = transfer_summary(records);
+        let causal = CausalGraph::new(records);
         Self {
             analysis,
             utilization,
@@ -323,6 +328,7 @@ impl Report {
             barrier_spread,
             faults,
             transfers,
+            causal,
         }
     }
 
@@ -375,8 +381,16 @@ impl Report {
         s.push('\n');
         s.push_str(&self.transfers.render());
         s.push('\n');
+        s.push_str(&self.causal.render_critical_path(5));
+        s.push('\n');
         s.push_str(&self.analysis.report());
         s
+    }
+
+    /// The trace as Chrome `trace_event` JSON for Perfetto /
+    /// `chrome://tracing` (see [`CausalGraph::to_perfetto`]).
+    pub fn to_perfetto(&self) -> String {
+        self.causal.to_perfetto()
     }
 }
 
@@ -392,6 +406,8 @@ mod tests {
             pe,
             ticks,
             info: info.into(),
+            parent: None,
+            cause: None,
         }
     }
 

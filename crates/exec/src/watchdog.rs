@@ -1,0 +1,255 @@
+//! Stall and deadlock watchdog over a live [`Pisces`] machine.
+//!
+//! The watchdog is sampling-based and *explicitly driven*: the embedder
+//! (a test harness, the execution menu, a monitoring thread) calls
+//! [`Watchdog::sample`] at whatever cadence it likes, and the watchdog
+//! compares consecutive samples. Nothing here spawns threads or installs
+//! timers, so every verdict is reproducible under test control.
+//!
+//! ## Detection model
+//!
+//! Each sample takes a *progress fingerprint* of the machine: the sum of
+//! all PE clocks and CPU acquisitions plus the machine-wide message
+//! send/accept counters. Any forward progress — a tick charged, a
+//! message moved, a CPU grabbed — changes the fingerprint. Blocked
+//! ACCEPTs park on a condvar and barrier waiters spin without ticking,
+//! so a genuinely wedged machine has a *frozen* fingerprint.
+//!
+//! A task is a stall **suspect** while it is either
+//!
+//! * a non-controller task `Blocked` with an empty in-queue (waiting in
+//!   ACCEPT for a message that has not arrived), or
+//! * split into a force (`in_force`), where a missing member freezes
+//!   every sibling at the next barrier.
+//!
+//! A suspect is only *reported* once the machine fingerprint has been
+//! frozen for [`WatchdogConfig::stall_samples`] consecutive samples with
+//! the suspect present throughout. A busy machine resets the counters
+//! every sample, so transient waits — however long the sampler watches
+//! them — are never reported: zero false positives on any run that is
+//! still making progress.
+//!
+//! ## Classification
+//!
+//! A confirmed stall is classified [`StallClass::FaultInduced`] when the
+//! armed fault plan schedules a PE fail-stop (the stall is degradation
+//! caused by injected failure — e.g. a barrier member lost with its PE),
+//! and [`StallClass::Deadlock`] otherwise (a genuine wait-for cycle or a
+//! member that simply never arrives). The distinction comes from
+//! [`flex32` fault-plan queries](flex32::fault::FaultInjector::plan_fails_pe),
+//! not from guessing at symptoms.
+
+use pisces_core::machine::Pisces;
+use pisces_core::task::TaskRunState;
+use pisces_core::taskid::TaskId;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Tuning knobs for [`Watchdog`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Consecutive frozen samples a suspect must survive before it is
+    /// reported. Higher values trade detection latency for robustness
+    /// against slow-but-live phases.
+    pub stall_samples: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { stall_samples: 3 }
+    }
+}
+
+/// What shape the stall took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Blocked in ACCEPT with an empty in-queue and no machine progress.
+    AcceptStall,
+    /// Frozen inside a force — a barrier or join missing a member.
+    ForceStall,
+}
+
+/// Why the stall happened, as far as the fault plan can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallClass {
+    /// No injected PE failure explains it: a genuine deadlock (wait-for
+    /// cycle, or a member that never reaches its barrier).
+    Deadlock,
+    /// The armed fault plan fail-stops a PE; the stall is degradation
+    /// induced by that failure, not a program bug.
+    FaultInduced,
+}
+
+/// One confirmed stall.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// The stalled task.
+    pub task: TaskId,
+    /// PE it is stalled on.
+    pub pe: u8,
+    /// Shape of the stall.
+    pub kind: StallKind,
+    /// Deadlock vs. fault-induced classification.
+    pub class: StallClass,
+    /// Consecutive frozen samples the suspect survived.
+    pub samples: u32,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let class = match self.class {
+            StallClass::Deadlock => "DEADLOCK",
+            StallClass::FaultInduced => "FAULT-INDUCED",
+        };
+        write!(
+            f,
+            "{class}: task {} on PE{} — {} ({} frozen samples)",
+            self.task, self.pe, self.detail, self.samples
+        )
+    }
+}
+
+/// Sampling stall detector. Create once, call [`sample`](Self::sample)
+/// repeatedly against the same machine.
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    machine: Arc<Pisces>,
+    fingerprint: Option<u64>,
+    frozen_samples: u32,
+    suspect_streak: HashMap<TaskId, u32>,
+}
+
+impl Watchdog {
+    /// Watch `machine` with the given config.
+    pub fn new(machine: Arc<Pisces>, cfg: WatchdogConfig) -> Self {
+        Self {
+            cfg,
+            machine,
+            fingerprint: None,
+            frozen_samples: 0,
+            suspect_streak: HashMap::new(),
+        }
+    }
+
+    /// Progress fingerprint: changes whenever any PE ticks, any CPU is
+    /// acquired, or any message is sent or accepted.
+    fn take_fingerprint(&self) -> u64 {
+        let mut fp = 0u64;
+        for load in self.machine.pe_loading() {
+            fp = fp
+                .wrapping_add(load.ticks)
+                .wrapping_add(load.cpu_acquisitions.wrapping_mul(0x9e37_79b9));
+        }
+        let st = self.machine.stats().snapshot();
+        fp.wrapping_add(st.messages_sent.wrapping_mul(0x0001_0001))
+            .wrapping_add(st.messages_accepted.wrapping_mul(0x0100_0001))
+    }
+
+    /// Take one sample. Returns confirmed stalls (empty while the
+    /// machine is making progress or suspects are still within the
+    /// persistence threshold). Reports repeat on subsequent samples for
+    /// as long as the stall persists.
+    pub fn sample(&mut self) -> Vec<StallReport> {
+        let fp = self.take_fingerprint();
+        let frozen = self.fingerprint == Some(fp);
+        self.fingerprint = Some(fp);
+        if !frozen {
+            // Forward progress since last sample: everyone is absolved.
+            self.frozen_samples = 0;
+            self.suspect_streak.clear();
+            return Vec::new();
+        }
+        self.frozen_samples = self.frozen_samples.saturating_add(1);
+
+        let tasks = self.machine.snapshot_tasks();
+        let mut current: Vec<(TaskId, u8, StallKind)> = Vec::new();
+        for t in &tasks {
+            if t.is_controller {
+                continue;
+            }
+            if t.in_force {
+                current.push((t.id, t.pe, StallKind::ForceStall));
+            } else if t.state == TaskRunState::Blocked
+                && t.queued_messages == 0
+                && !t.timed_wait
+            {
+                // A DELAY-armed accept is a timed wait: it will wake on
+                // its own, so it is never a stall suspect.
+                current.push((t.id, t.pe, StallKind::AcceptStall));
+            }
+        }
+
+        // Advance streaks for present suspects, forget the rest.
+        let mut next: HashMap<TaskId, u32> = HashMap::new();
+        for &(id, _, _) in &current {
+            let streak = self.suspect_streak.get(&id).copied().unwrap_or(0) + 1;
+            next.insert(id, streak);
+        }
+        self.suspect_streak = next;
+
+        let user_tasks = tasks.iter().filter(|t| !t.is_controller).count();
+        let all_stuck = user_tasks > 0 && current.len() == user_tasks;
+
+        let fault_induced = self
+            .machine
+            .flex()
+            .faults()
+            .map(|inj| !inj.planned_pe_failures().is_empty())
+            .unwrap_or(false);
+
+        let mut out = Vec::new();
+        for (id, pe, kind) in current {
+            let samples = self.suspect_streak.get(&id).copied().unwrap_or(0);
+            if samples < self.cfg.stall_samples {
+                continue;
+            }
+            let class = if fault_induced {
+                StallClass::FaultInduced
+            } else {
+                StallClass::Deadlock
+            };
+            let detail = match (kind, all_stuck, class) {
+                (StallKind::AcceptStall, true, StallClass::Deadlock) => {
+                    "blocked in ACCEPT with empty queue; every user task is \
+                     stuck (wait-for cycle)"
+                        .to_string()
+                }
+                (StallKind::AcceptStall, _, StallClass::Deadlock) => {
+                    "blocked in ACCEPT with empty queue and no in-flight send"
+                        .to_string()
+                }
+                (StallKind::AcceptStall, _, StallClass::FaultInduced) => {
+                    "blocked in ACCEPT; the fault plan fail-stops a PE, so the \
+                     awaited sender is likely dead"
+                        .to_string()
+                }
+                (StallKind::ForceStall, _, StallClass::Deadlock) => {
+                    "force frozen: a member never reached the barrier or join"
+                        .to_string()
+                }
+                (StallKind::ForceStall, _, StallClass::FaultInduced) => {
+                    "force frozen: a member was lost with a fail-stopped PE"
+                        .to_string()
+                }
+            };
+            out.push(StallReport {
+                task: id,
+                pe,
+                kind,
+                class,
+                samples,
+                detail,
+            });
+        }
+        out.sort_by_key(|r| r.task);
+        out
+    }
+
+    /// Consecutive samples the machine fingerprint has been frozen.
+    pub fn frozen_samples(&self) -> u32 {
+        self.frozen_samples
+    }
+}

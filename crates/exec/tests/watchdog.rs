@@ -1,0 +1,191 @@
+//! Watchdog integration tests: seeded deadlocks and hangs are detected
+//! and classified correctly, and recovery clears the verdict.
+
+use flex32::fault::FaultPlan;
+use flex32::Flex32;
+use pisces_core::prelude::*;
+use pisces_exec::watchdog::{StallClass, StallKind, StallReport, Watchdog, WatchdogConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot(cfg: MachineConfig) -> Arc<Pisces> {
+    Pisces::boot(Flex32::new_shared(), cfg).expect("boot")
+}
+
+fn two_cluster_config() -> MachineConfig {
+    MachineConfig::builder()
+        .clusters([
+            ClusterConfig::new(1, 3, 2).with_terminal(),
+            ClusterConfig::new(2, 4, 2),
+        ])
+        .build()
+}
+
+fn force_config() -> MachineConfig {
+    MachineConfig::builder()
+        .clusters([ClusterConfig::new(1, 3, 2)
+            .with_terminal()
+            .with_secondaries(4..=7)])
+        .build()
+}
+
+/// Sample every couple of milliseconds until the watchdog reports
+/// something, for at most `limit` samples. A genuine deadlock freezes
+/// the machine forever, so the bound is generous, not load-sensitive.
+fn sample_until_report(wd: &mut Watchdog, limit: usize) -> Vec<StallReport> {
+    for _ in 0..limit {
+        let r = wd.sample();
+        if !r.is_empty() {
+            return r;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Vec::new()
+}
+
+/// Two tasks, each ACCEPTing first and sending second: the classic
+/// send/accept deadlock. No fault plan is armed, so the watchdog must
+/// call it a genuine deadlock — and must see every user task stuck
+/// (the wait-for cycle diagnosis).
+#[test]
+fn detects_send_accept_deadlock() {
+    let p = boot(two_cluster_config());
+
+    // Child: waits for a GO$ its parent never sends (the parent is
+    // symmetrically waiting for this task's HELLO).
+    p.register("pong", |ctx| {
+        let _ = ctx.accept().of(1).signal("GO$").run()?;
+        ctx.send(To::Parent, "HELLO", vec![])?;
+        Ok(())
+    });
+    p.register("ping", |ctx| {
+        ctx.initiate(Where::Cluster(2), "pong", vec![])?;
+        // Deadlock: HELLO only arrives after we send GO$, which we only
+        // do after receiving HELLO.
+        let _ = ctx.accept().of(1).signal("HELLO").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "ping", vec![]).expect("initiate");
+
+    let mut wd = Watchdog::new(p.clone(), WatchdogConfig::default());
+    let reports = sample_until_report(&mut wd, 5_000);
+    assert!(
+        !reports.is_empty(),
+        "watchdog failed to detect the send/accept deadlock"
+    );
+    assert_eq!(reports.len(), 2, "both tasks are stuck: {reports:?}");
+    for r in &reports {
+        assert_eq!(r.kind, StallKind::AcceptStall, "{r}");
+        assert_eq!(r.class, StallClass::Deadlock, "{r}");
+        assert!(r.detail.contains("wait-for cycle"), "{r}");
+    }
+
+    // The machine cannot quiesce; tear it down hard.
+    p.shutdown();
+}
+
+/// A force where one member skips the barrier the others arrive at: the
+/// survivors spin/park forever. The watchdog must flag the frozen force
+/// as a deadlock (no fault plan involved), and the verdict must clear
+/// once the missing member finally arrives.
+#[test]
+fn detects_dead_barrier_member_and_clears_after_recovery() {
+    let p = boot(force_config());
+    let release = Arc::new(AtomicBool::new(false));
+    let r2 = release.clone();
+
+    p.register("skew", move |ctx| {
+        let r = r2.clone();
+        ctx.forcesplit(move |fc| {
+            if fc.member() == 2 {
+                // The "dead" member: holds off its barrier arrival until
+                // the test releases it.
+                while !r.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            fc.barrier()?;
+            Ok(())
+        })?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "skew", vec![]).expect("initiate");
+
+    let mut wd = Watchdog::new(p.clone(), WatchdogConfig::default());
+    let reports = sample_until_report(&mut wd, 5_000);
+    assert!(
+        !reports.is_empty(),
+        "watchdog failed to detect the dead-barrier-member hang"
+    );
+    assert_eq!(reports[0].kind, StallKind::ForceStall, "{}", reports[0]);
+    assert_eq!(reports[0].class, StallClass::Deadlock, "{}", reports[0]);
+
+    // Recovery: let the straggler arrive; the barrier releases and the
+    // machine drains cleanly — and the watchdog stops reporting.
+    release.store(true, Ordering::Release);
+    assert!(p.wait_quiescent(Duration::from_secs(30)), "did not recover");
+    let after = wd.sample();
+    assert!(
+        after.is_empty(),
+        "watchdog still reporting after recovery: {after:?}"
+    );
+    p.shutdown();
+}
+
+/// A receiver waiting forever on a sender whose PE the fault plan
+/// fail-stopped: the stall is real, but it is fault-induced degradation,
+/// not a program deadlock — the classifier must say so.
+#[test]
+fn classifies_fault_induced_stall() {
+    let p = boot(two_cluster_config());
+    p.arm_faults(FaultPlan::new(0xD0A).fail_pe(4, 500));
+
+    // Victim on PE4: dies in the work call when its clock crosses the
+    // planned fail tick, so HELLO is never sent.
+    p.register("victim", |ctx| {
+        ctx.work(10_000)?;
+        ctx.send(To::Parent, "HELLO", vec![])?;
+        Ok(())
+    });
+    p.register("waiter", |ctx| {
+        ctx.initiate(Where::Cluster(2), "victim", vec![])?;
+        let _ = ctx.accept().of(1).signal("HELLO").run()?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "waiter", vec![]).expect("initiate");
+
+    let mut wd = Watchdog::new(p.clone(), WatchdogConfig::default());
+    let reports = sample_until_report(&mut wd, 5_000);
+    assert!(!reports.is_empty(), "watchdog missed the induced stall");
+    assert_eq!(reports[0].kind, StallKind::AcceptStall, "{}", reports[0]);
+    assert_eq!(
+        reports[0].class,
+        StallClass::FaultInduced,
+        "a planned PE fail-stop must not be diagnosed as a deadlock: {}",
+        reports[0]
+    );
+    p.shutdown();
+}
+
+/// A machine that finishes its workload must never trip the watchdog,
+/// no matter how long it is sampled afterwards: quiescent-but-healthy
+/// (only controllers blocked) is not a stall.
+#[test]
+fn quiescent_machine_is_never_flagged() {
+    let p = boot(two_cluster_config());
+    p.register("quick", |ctx| {
+        ctx.work(500)?;
+        ctx.send(To::User, "DONE", vec![])?;
+        Ok(())
+    });
+    p.initiate_top_level(1, "quick", vec![]).expect("initiate");
+    assert!(p.wait_quiescent(Duration::from_secs(30)), "did not finish");
+
+    let mut wd = Watchdog::new(p.clone(), WatchdogConfig { stall_samples: 1 });
+    for _ in 0..50 {
+        let r = wd.sample();
+        assert!(r.is_empty(), "false positive on a quiescent machine: {r:?}");
+    }
+    p.shutdown();
+}

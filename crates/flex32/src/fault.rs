@@ -475,6 +475,33 @@ impl FaultInjector {
             .find(|e| matches!(e.action, FaultAction::FailPe { pe: p, .. } if p == pe))
     }
 
+    /// Whether the plan schedules a fail-stop of `pe` (fired or not).
+    /// Watchdogs use this to classify a stall as fault-induced rather
+    /// than a genuine deadlock.
+    pub fn plan_fails_pe(&self, pe: u8) -> bool {
+        self.plan
+            .actions
+            .iter()
+            .any(|a| matches!(a, FaultAction::FailPe { pe: p, .. } if *p == pe))
+    }
+
+    /// Every PE the plan schedules a fail-stop for, ascending and
+    /// deduplicated.
+    pub fn planned_pe_failures(&self) -> Vec<u8> {
+        let mut v: Vec<u8> = self
+            .plan
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                FaultAction::FailPe { pe, .. } => Some(*pe),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
     /// Fired events sorted by plan index — the canonical, reproducible
     /// fault event sequence.
     pub fn fired_events(&self) -> Vec<FaultEvent> {

@@ -44,7 +44,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: pisces <program.pf> [options]\n\
-         \x20      pisces report <trace.jsonl> [width]\n\
+         \x20      pisces report <trace.jsonl> [width] [--perfetto <out.json>]\n\
          \n\
          options:\n\
            --preprocess          print the Fortran 77 translation and exit\n\
@@ -162,15 +162,40 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
     Ok(config)
 }
 
-/// `pisces report <trace.jsonl> [width]`: the Section 12 off-line timing
-/// analysis — per-PE utilization timelines, latency histograms, and the
-/// event-level trace report.
+/// `pisces report <trace.jsonl> [width] [--perfetto <out.json>]`: the
+/// Section 12 off-line timing analysis — per-PE utilization timelines,
+/// latency histograms, the happens-before critical path, and the
+/// event-level trace report. With `--perfetto` the trace is also written
+/// as Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`.
 fn run_report(args: &[String]) -> ! {
-    let Some(path) = args.first() else {
+    let mut path: Option<&String> = None;
+    let mut width: usize = 72;
+    let mut perfetto: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--perfetto" => {
+                let Some(out) = it.next() else {
+                    eprintln!("--perfetto needs an output path");
+                    usage()
+                };
+                perfetto = Some(out.clone());
+            }
+            s => {
+                if path.is_none() {
+                    path = Some(a);
+                } else if let Ok(w) = s.parse() {
+                    width = w;
+                } else {
+                    usage()
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
         eprintln!("pisces report: needs a trace file (JSONL)");
         usage()
     };
-    let width: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(72);
     let data = match std::fs::read_to_string(path) {
         Ok(d) => d,
         Err(e) => {
@@ -181,6 +206,13 @@ fn run_report(args: &[String]) -> ! {
     match pisces::pisces_exec::Report::from_jsonl(&data) {
         Ok(r) => {
             print!("{}", r.render(width));
+            if let Some(out) = perfetto {
+                if let Err(e) = std::fs::write(&out, r.to_perfetto()) {
+                    eprintln!("pisces report: cannot write {out}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("perfetto trace written to {out}");
+            }
             std::process::exit(0);
         }
         Err(e) => {

@@ -171,7 +171,7 @@ proptest! {
         let mut seen_pes = std::collections::BTreeSet::new();
         clusters.retain(|c| seen_nums.insert(c.number) && seen_pes.insert(c.primary_pe));
         prop_assume!(!clusters.is_empty());
-        let config = MachineConfig::new(clusters.clone());
+        let config = MachineConfig::builder().clusters(clusters.clone()).build();
         config.validate().unwrap();
         for pe in 3u8..=20 {
             let expected: usize = clusters
@@ -196,7 +196,7 @@ proptest! {
         clusters.retain(|c| seen_nums.insert(c.number) && seen_pes.insert(c.primary_pe));
         prop_assume!(!clusters.is_empty());
         let flex = pisces::flex32::Flex32::new_shared();
-        let p = Pisces::boot(flex, MachineConfig::new(clusters)).unwrap();
+        let p = Pisces::boot(flex, MachineConfig::builder().clusters(clusters).build()).unwrap();
         let report = p.storage_report();
         // System tables exist but stay tiny (Section 13).
         prop_assert!(report.shm.tag_bytes(pisces::flex32::shmem::ShmTag::SystemTable) > 0);
@@ -237,7 +237,7 @@ proptest! {
             ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
         };
         let flex = pisces::flex32::Flex32::new_shared();
-        let p = Pisces::boot(flex, MachineConfig::new(vec![cluster])).unwrap();
+        let p = Pisces::boot(flex, MachineConfig::builder().clusters([cluster]).build()).unwrap();
         let seen_pre = std::sync::Arc::new(parking_lot_mutex_vec());
         let seen_self = std::sync::Arc::new(parking_lot_mutex_vec());
         let (sp, ss) = (seen_pre.clone(), seen_self.clone());

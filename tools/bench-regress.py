@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Performance regression gate over the committed BENCH_*.json baselines.
+
+Compares a freshly captured bench-snapshot run against the baselines at the
+repo root and fails (exit 1) when any *time-per-op* metric (name ending in
+`_ns` or `_ns_per_iter`) worsens by more than the threshold (default 15%).
+Other metrics — percentages, throughputs, speedups — are printed for
+information but never gate.
+
+A commit can opt out by putting `[bench-skip]` anywhere in its message
+(e.g. for known-slow refactors whose follow-up recovers the cost); the gate
+then prints the table and exits 0.
+
+Usage:
+  tools/bench-regress.py --current-dir /tmp/bench-ci            # JSON mode
+  tools/bench-regress.py --current-txt snap-output.txt          # key=value mode
+
+JSON mode expects the directory written by
+`cargo run --release -p pisces-bench --bin bench-snapshot -- --out DIR`;
+key=value mode expects `suite key=value` lines from the offline snapshot
+harness. The baseline for each suite is the newest labelled run in the
+committed BENCH_<suite>.json (ties broken by file order, last wins).
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+GATED_SUFFIXES = ("_ns", "_ns_per_iter")
+
+
+def newest_run(doc):
+    """Pick (label, metrics) of the newest run; ties → last listed."""
+    best = None
+    for label, run in doc.get("runs", {}).items():
+        at = run.get("captured_at_unix", 0)
+        if best is None or at >= best[0]:
+            best = (at, label, run.get("metrics", {}))
+    return (best[1], best[2]) if best else (None, {})
+
+
+def load_json_dir(d):
+    """{suite: (label, metrics)} from BENCH_*.json files in `d`."""
+    out = {}
+    for path in sorted(pathlib.Path(d).glob("BENCH_*.json")):
+        doc = json.loads(path.read_text())
+        suite = doc.get("suite", path.stem.replace("BENCH_", ""))
+        out[suite] = newest_run(doc)
+    return out
+
+
+def load_txt(path):
+    """{suite: (None, metrics)} from `suite key=value` lines."""
+    out = {}
+    for line in pathlib.Path(path).read_text().splitlines():
+        parts = line.strip().split()
+        if len(parts) != 2 or "=" not in parts[1]:
+            continue
+        suite, kv = parts
+        key, _, value = kv.partition("=")
+        try:
+            out.setdefault(suite, (None, {}))[1][key] = float(value)
+        except ValueError:
+            pass
+    return out
+
+
+def commit_message(explicit):
+    if explicit is not None:
+        return explicit
+    try:
+        return subprocess.run(
+            ["git", "log", "-1", "--pretty=%B"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return ""
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=None, help="dir with committed BENCH_*.json (default: repo root)")
+    ap.add_argument("--current-dir", help="dir with freshly captured BENCH_*.json")
+    ap.add_argument("--current-txt", help="file of `suite key=value` lines (offline harness)")
+    ap.add_argument("--threshold", type=float, default=15.0, help="regression threshold, percent (default 15)")
+    ap.add_argument("--skip-token", default="[bench-skip]")
+    ap.add_argument("--commit-message", default=None, help="override the git commit message scan")
+    args = ap.parse_args()
+
+    if bool(args.current_dir) == bool(args.current_txt):
+        ap.error("exactly one of --current-dir / --current-txt is required")
+
+    root = pathlib.Path(args.baseline_dir) if args.baseline_dir else pathlib.Path(__file__).resolve().parent.parent
+    baseline = load_json_dir(root)
+    current = load_json_dir(args.current_dir) if args.current_dir else load_txt(args.current_txt)
+    if not baseline:
+        print(f"error: no BENCH_*.json baselines in {root}", file=sys.stderr)
+        return 2
+    if not current:
+        print("error: no current metrics found", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for suite in sorted(baseline):
+        base_label, base = baseline[suite]
+        cur_label, cur = current.get(suite, (None, {}))
+        if not cur:
+            print(f"warning: suite {suite!r} missing from current capture — not gated", file=sys.stderr)
+            continue
+        header = f"suite: {suite} (baseline run: {base_label or '?'}"
+        header += f", current run: {cur_label})" if cur_label else ")"
+        print(header)
+        print(f"  {'metric':<36} {'baseline':>12} {'current':>12} {'delta':>9}  status")
+        for key in sorted(base):
+            if key not in cur:
+                print(f"  {key:<36} {base[key]:>12.1f} {'—':>12} {'—':>9}  missing (not gated)")
+                continue
+            b, c = float(base[key]), float(cur[key])
+            delta = (c - b) / b * 100.0 if b else 0.0
+            gated = key.endswith(GATED_SUFFIXES)
+            if not gated:
+                status = "info"
+            elif delta > args.threshold:
+                status = "REGRESSION"
+                regressions.append((suite, key, b, c, delta))
+            elif delta < -args.threshold:
+                status = "improved"
+            else:
+                status = "ok"
+            print(f"  {key:<36} {b:>12.1f} {c:>12.1f} {delta:>+8.1f}%  {status}")
+        for key in sorted(set(cur) - set(base)):
+            print(f"  {key:<36} {'—':>12} {float(cur[key]):>12.1f} {'—':>9}  new (not gated)")
+        print()
+
+    if not regressions:
+        print(f"bench-regress: no time-per-op metric worsened by more than {args.threshold:.0f}%")
+        return 0
+
+    print(f"bench-regress: {len(regressions)} metric(s) regressed beyond {args.threshold:.0f}%:")
+    for suite, key, b, c, delta in regressions:
+        print(f"  {suite}/{key}: {b:.1f} -> {c:.1f} ({delta:+.1f}%)")
+    if args.skip_token in commit_message(args.commit_message):
+        print(f"bench-regress: {args.skip_token} found in commit message — gate skipped")
+        return 0
+    print(f"(override with {args.skip_token} in the commit message)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace_event JSON file.
+
+Checks the export produced by `pisces report <trace.jsonl> --perfetto out.json`
+against the trace_event format contract:
+
+  * the document parses and has a `traceEvents` list,
+  * every event carries the keys its phase requires (`ph`, `pid`, `tid`,
+    `ts` for timed phases, `name`, `dur` for complete events),
+  * flow events (`ph: "s"` / `ph: "f"`) pair up: every flow id has exactly
+    one start and one finish, finishes bind to the enclosing slice
+    (`bp: "e"`), and the finish does not precede the start in time,
+  * pids/tids are integers and timestamps are non-negative numbers.
+
+Exit 0 when valid; 1 with a complaint list otherwise.
+
+Usage: tools/check-perfetto.py out.json
+"""
+
+import json
+import sys
+
+TIMED_PHASES = {"X", "i", "s", "f", "b", "e"}
+
+
+def check(path):
+    problems = []
+    try:
+        doc = json.loads(open(path, encoding="utf-8").read())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot parse {path}: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+    if not events:
+        problems.append("traceEvents is empty")
+
+    flows = {}  # id -> {"s": [...], "f": [...]}
+    for n, ev in enumerate(events):
+        where = f"traceEvents[{n}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not ph:
+            problems.append(f"{where}: missing ph")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} missing or not an integer")
+        if ph in TIMED_PHASES:
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts missing or negative for ph={ph!r}")
+        if ph != "M" and not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event without dur")
+        if ph in ("s", "f"):
+            fid = ev.get("id")
+            if fid is None:
+                problems.append(f"{where}: flow event without id")
+                continue
+            flows.setdefault(fid, {"s": [], "f": []})[ph].append(ev)
+            if ph == "f" and ev.get("bp") != "e":
+                problems.append(f"{where}: flow finish without bp=e (won't bind to slice)")
+
+    for fid, pair in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        ns, nf = len(pair["s"]), len(pair["f"])
+        if ns != 1 or nf != 1:
+            problems.append(f"flow id {fid!r}: {ns} start(s), {nf} finish(es) — expected 1/1")
+            continue
+        start, fin = pair["s"][0], pair["f"][0]
+        if isinstance(start.get("ts"), (int, float)) and isinstance(fin.get("ts"), (int, float)):
+            if fin["ts"] < start["ts"]:
+                problems.append(f"flow id {fid!r}: finish at ts={fin['ts']} precedes start at ts={start['ts']}")
+
+    return problems
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = check(sys.argv[1])
+    if problems:
+        print(f"{sys.argv[1]}: INVALID ({len(problems)} problem(s))")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    with open(sys.argv[1], encoding="utf-8") as f:
+        n = len(json.load(f)["traceEvents"])
+    print(f"{sys.argv[1]}: OK ({n} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
