@@ -22,6 +22,7 @@ rustc --edition 2021 -O --crate-type lib --crate-name pisces_exec crates/exec/sr
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_chaos crates/chaos/src/lib.rs \
   --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_exec=$O/libpisces_exec.rlib \
   --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O --out-dir $O

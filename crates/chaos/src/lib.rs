@@ -34,6 +34,11 @@ pub struct Scenario {
     pub summary: &'static str,
     /// Default seed; `run_with_seed` overrides it.
     pub seed: u64,
+    /// Whether the scenario deliberately wedges its machine (a seeded
+    /// deadlock driven to a watchdog verdict). An observer watching such
+    /// a machine *should* see a stall; the zero-false-positive suites
+    /// skip their no-stall assertion for these.
+    pub expects_stall: bool,
     func: fn(&mut ScenarioRun),
 }
 
@@ -52,8 +57,15 @@ impl Scenario {
             name,
             summary,
             seed,
+            expects_stall: false,
             func,
         }
+    }
+
+    /// Mark the scenario as deliberately stalling its machine.
+    pub(crate) fn stalling(mut self) -> Self {
+        self.expects_stall = true;
+        self
     }
 
     /// Execute with the default seed.

@@ -103,6 +103,13 @@ fn watchdog_reports_no_stalls_on_live_scenarios() {
         });
         let out = sc.run_observed(sc.seed, Some(hook));
         assert!(out.passed(), "{}: {:?}", out.name, out.failures);
+        if sc.expects_stall {
+            // A seeded deadlock *should* trip an observer's watchdog;
+            // whether this sampler got there before teardown is a race,
+            // so only the scenario's own internal verdict is asserted
+            // (inside `out.passed()` above).
+            continue;
+        }
         let fired = fired.lock();
         assert!(
             fired.is_empty(),

@@ -20,6 +20,7 @@
 //! from it.
 
 use crate::error::{PiscesError, Result};
+use crate::telemetry::TelemetrySettings;
 use crate::trace::TraceSettings;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -92,6 +93,10 @@ pub struct MachineConfig {
     pub time_limit_ticks: Option<u64>,
     /// Initial trace settings for the run.
     pub trace: TraceSettings,
+    /// Live-telemetry settings (metrics endpoint, profiler, flight
+    /// recorder). Defaults to fully inert.
+    #[serde(default)]
+    pub telemetry: TelemetrySettings,
 }
 
 /// Step-by-step constructor for [`MachineConfig`], the preferred way to
@@ -116,6 +121,7 @@ pub struct MachineConfigBuilder {
     clusters: Vec<ClusterConfig>,
     time_limit_ticks: Option<u64>,
     trace: TraceSettings,
+    telemetry: TelemetrySettings,
 }
 
 impl MachineConfigBuilder {
@@ -143,12 +149,40 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Replace the telemetry settings wholesale.
+    pub fn telemetry(mut self, t: TelemetrySettings) -> Self {
+        self.telemetry = t;
+        self
+    }
+
+    /// Serve OpenMetrics over HTTP on `127.0.0.1:port` while the machine
+    /// runs (0 picks a free port, reported by `Pisces::telemetry_addr`).
+    pub fn telemetry_port(mut self, port: u16) -> Self {
+        self.telemetry.port = Some(port);
+        self
+    }
+
+    /// Arm the flight recorder: keep a bounded rolling trace window and
+    /// dump it (JSONL + Perfetto + metrics snapshot) into `dir` when the
+    /// watchdog or a chaos fault fires, or at machine drop.
+    pub fn flight_dir(mut self, dir: impl Into<String>) -> Self {
+        self.telemetry.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// Arm the virtual-clock sampling profiler.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.telemetry.profile = on;
+        self
+    }
+
     /// Finish: produce the configuration.
     pub fn build(self) -> MachineConfig {
         MachineConfig {
             clusters: self.clusters,
             time_limit_ticks: self.time_limit_ticks,
             trace: self.trace,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -392,15 +426,23 @@ mod tests {
             .clusters([ClusterConfig::new(2, 4, 2)])
             .time_limit_ticks(9_999)
             .trace(TraceSettings::all())
+            .telemetry_port(9100)
+            .flight_dir("/tmp/flight")
+            .profile(true)
             .build();
         c.validate().unwrap();
         assert_eq!(c.clusters.len(), 2);
         assert_eq!(c.time_limit_ticks, Some(9_999));
+        assert_eq!(c.telemetry.port, Some(9100));
+        assert_eq!(c.telemetry.flight_dir.as_deref(), Some("/tmp/flight"));
+        assert!(c.telemetry.profile);
+        assert!(c.telemetry.armed());
         // A clusters-only build agrees with the builder's defaults for
         // the fields it does not set.
         let plain = MachineConfig::builder().clusters(c.clusters.clone()).build();
         assert_eq!(plain.clusters, c.clusters);
         assert_eq!(plain.time_limit_ticks, None);
+        assert!(!plain.telemetry.armed());
     }
 
     #[test]

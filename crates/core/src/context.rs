@@ -27,6 +27,7 @@ use crate::shared::{LockVar, SharedBlock};
 use crate::stats::RunStats;
 use crate::task::{TaskEntry, TaskRunState};
 use crate::taskid::TaskId;
+use crate::telemetry::Activity;
 use crate::trace::TraceEventKind;
 use crate::transfer::{PendingGet, PendingPut};
 use crate::value::Value;
@@ -161,6 +162,7 @@ impl TaskCtx {
     /// Charge `ticks` of computation to this task's PE (how user code
     /// accounts for its work in virtual time).
     pub fn work(&self, ticks: u64) -> Result<()> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Compute);
         let _cpu = self.enter(ticks)?;
         Ok(())
     }
@@ -187,6 +189,7 @@ impl TaskCtx {
     /// `TO <taskid> SEND <message type>(<args>)`.
     pub fn send(&self, to: To, mtype: &str, args: Vec<Value>) -> Result<()> {
         let target = self.resolve(to)?;
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Send);
         let _cpu = self.enter(0)?;
         self.p
             .send_raw(self.entry.id, self.entry.pe, target, mtype, &args, false)
@@ -196,6 +199,7 @@ impl TaskCtx {
     /// the cluster (or everywhere), excluding this task. Returns the
     /// number of deliveries.
     pub fn send_all(&self, cluster: Option<u8>, mtype: &str, args: Vec<Value>) -> Result<usize> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Send);
         let _cpu = self.enter(0)?;
         self.p
             .broadcast(self.entry.id, self.entry.pe, cluster, mtype, &args)
@@ -211,6 +215,7 @@ impl TaskCtx {
     pub fn initiate(&self, w: Where, tasktype: &str, args: Vec<Value>) -> Result<()> {
         let cluster = self.p.resolve_where(self.cluster(), w)?;
         let controller = self.p.tcontr(cluster)?;
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Send);
         let _cpu = self.enter(cost::INITIATE_REQUEST)?;
         let mut full = vec![Value::Str(tasktype.to_string())];
         full.extend(args);
@@ -326,6 +331,7 @@ impl TaskCtx {
     /// the arena, a single allocation, a single cost-model charge. See
     /// [`crate::transfer`].
     pub fn window_get(&self, w: &Window) -> Result<Vec<f64>> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.p.window_get(self.entry.pe, w)
     }
@@ -333,6 +339,7 @@ impl TaskCtx {
     /// Write data (row-major, exactly `w.len()` elements) through a
     /// window as one batched transfer.
     pub fn window_put(&self, w: &Window, data: &[f64]) -> Result<()> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.p.window_put(self.entry.pe, w, data)
     }
@@ -340,6 +347,7 @@ impl TaskCtx {
     /// Copy `src`'s contents into `dst` (same shape required). Between
     /// two resident arrays this runs arena-to-arena without staging.
     pub fn window_move(&self, src: &Window, dst: &Window) -> Result<()> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.p.window_move(self.entry.pe, src, dst)
     }
@@ -349,6 +357,7 @@ impl TaskCtx {
     /// to collect the data. Posting the next transfer before waiting on
     /// the current one double-buffers communication against computation.
     pub fn window_get_async(&self, w: &Window) -> Result<PendingGet> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.p.window_get_start(self.entry.pe, w)
     }
@@ -356,6 +365,7 @@ impl TaskCtx {
     /// Post an asynchronous bulk write of `data` through `w`; the data
     /// is staged now and scattered when [`PendingPut::wait`] is called.
     pub fn window_put_async(&self, w: &Window, data: &[f64]) -> Result<PendingPut> {
+        let _act = self.p.activity(self.entry.pe, self.entry.id, Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.p.window_put_start(self.entry.pe, w, data)
     }
@@ -547,6 +557,7 @@ impl<'a> AcceptBuilder<'a> {
 
         let ctx = self.ctx;
         let entry = &ctx.entry;
+        let _act = ctx.p.activity(entry.pe, entry.id, Activity::Accept);
         let deadline = self.delay.map(|d| Instant::now() + d);
         let mut processed_total = 0usize;
 

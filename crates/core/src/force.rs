@@ -24,6 +24,7 @@ use crate::error::{PiscesError, Result};
 use crate::machine::Pisces;
 use crate::shared::{LockVar, SharedBlock};
 use crate::stats::RunStats;
+use crate::telemetry::Activity;
 use crate::trace::TraceEventKind;
 use crate::window::Window;
 use flex32::pe::PeId;
@@ -432,6 +433,7 @@ impl<'a> ForceCtx<'a> {
 
     /// Charge computation ticks to this member's PE.
     pub fn work(&self, ticks: u64) -> Result<()> {
+        let _act = self.ctx.p.activity(self.pe, self.ctx.id(), Activity::Compute);
         let _cpu = self.enter(ticks)?;
         Ok(())
     }
@@ -439,6 +441,7 @@ impl<'a> ForceCtx<'a> {
     /// Batched window read from inside a force (halo exchange): one
     /// strided gather charged to this member's PE. See [`crate::transfer`].
     pub fn window_get(&self, w: &Window) -> Result<Vec<f64>> {
+        let _act = self.ctx.p.activity(self.pe, self.ctx.id(), Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.ctx.machine().window_get(self.pe, w)
     }
@@ -446,6 +449,7 @@ impl<'a> ForceCtx<'a> {
     /// Batched window write from inside a force, charged to this
     /// member's PE.
     pub fn window_put(&self, w: &Window, data: &[f64]) -> Result<()> {
+        let _act = self.ctx.p.activity(self.pe, self.ctx.id(), Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.ctx.machine().window_put(self.pe, w, data)
     }
@@ -453,12 +457,14 @@ impl<'a> ForceCtx<'a> {
     /// Post an asynchronous bulk read (double-buffered halo exchange):
     /// snapshot now, collect with [`ForceCtx::window_get_wait`].
     pub fn window_get_async(&self, w: &Window) -> Result<crate::transfer::PendingGet> {
+        let _act = self.ctx.p.activity(self.pe, self.ctx.id(), Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.ctx.machine().window_get_start(self.pe, w)
     }
 
     /// Complete a bulk read posted with [`ForceCtx::window_get_async`].
     pub fn window_get_wait(&self, pending: crate::transfer::PendingGet) -> Result<Vec<f64>> {
+        let _act = self.ctx.p.activity(self.pe, self.ctx.id(), Activity::Transfer);
         let _cpu = self.enter(0)?;
         self.ctx.machine().window_get_finish(self.pe, pending)
     }
@@ -482,6 +488,7 @@ impl<'a> ForceCtx<'a> {
     /// the barrier; when all have arrived, the *primary* member executes
     /// the statement sequence; then all continue.
     pub fn barrier_with(&self, body: impl FnOnce() -> Result<()>) -> Result<()> {
+        let _act = self.ctx.p.activity(self.pe, self.ctx.id(), Activity::Barrier);
         {
             let _cpu = self.enter(cost::BARRIER)?;
         }

@@ -53,6 +53,7 @@ pub mod shared;
 pub mod stats;
 pub mod task;
 pub mod taskid;
+pub mod telemetry;
 pub mod trace;
 pub mod transfer;
 pub mod value;
@@ -72,6 +73,9 @@ pub mod prelude {
     pub use crate::stats::{RunStats, StatsSnapshot};
     pub use crate::task::{FILE_CTRL_ID, USER_ID};
     pub use crate::taskid::TaskId;
+    pub use crate::telemetry::{
+        Activity, FlightRecorder, SamplingProfiler, TelemetrySettings,
+    };
     pub use crate::trace::{TraceEventKind, TraceRecord, TraceSettings, Tracer};
     pub use crate::transfer::{PendingGet, PendingPut};
     pub use crate::value::Value;

@@ -243,6 +243,14 @@ pub struct Pisces {
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     down: AtomicBool,
     sys_allocs: Mutex<Vec<ShmHandle>>,
+    /// Flight recorder (bounded rolling trace window), when armed.
+    flight: Option<Arc<crate::telemetry::FlightRecorder>>,
+    /// Virtual-clock sampling profiler, when armed.
+    profiler: Option<Arc<crate::telemetry::SamplingProfiler>>,
+    /// Bound address of the live metrics endpoint, when armed.
+    telemetry_addr: Option<std::net::SocketAddr>,
+    /// The flight dump is once-only; the first trigger wins.
+    flight_dumped: AtomicBool,
 }
 
 impl std::fmt::Debug for Pisces {
@@ -251,6 +259,19 @@ impl std::fmt::Debug for Pisces {
             .field("clusters", &self.config.clusters.len())
             .field("down", &self.down.load(Ordering::Relaxed))
             .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Pisces {
+    /// Last-gasp observability. Every runtime thread holds an `Arc` on
+    /// the machine, so by the time `Drop` runs they are all gone and
+    /// nothing races: flush the trace sinks and, when the flight
+    /// recorder is armed and never fired, leave a final dump behind —
+    /// a run abandoned without `shutdown()` (including one unwinding
+    /// from a panic) still yields a usable artifact. Must never panic.
+    fn drop(&mut self) {
+        self.tracer.flush();
+        let _ = self.flight_dump("final snapshot at machine drop");
     }
 }
 
@@ -315,6 +336,34 @@ impl Pisces {
             })?;
             tracer.add_sink(Arc::new(sink));
         }
+
+        // Arm the telemetry layer before the machine goes live: the
+        // flight recorder must see every trace record from boot on, and
+        // the metrics listener must be bound before `boot` returns so a
+        // caller can scrape immediately.
+        let telem = config.telemetry.clone();
+        let flight = telem.flight_dir.as_ref().map(|_| {
+            let f = Arc::new(crate::telemetry::FlightRecorder::new(telem.flight_retain));
+            tracer.add_sink(f.clone());
+            f
+        });
+        let profiler = telem
+            .profile
+            .then(|| Arc::new(crate::telemetry::SamplingProfiler::new(&config.pes_in_use())));
+        let listener = match telem.port {
+            Some(port) => {
+                let l = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| {
+                    PiscesError::BadConfiguration(format!("cannot bind telemetry port {port}: {e}"))
+                })?;
+                l.set_nonblocking(true).map_err(|e| {
+                    PiscesError::BadConfiguration(format!("telemetry listener: {e}"))
+                })?;
+                Some(l)
+            }
+            None => None,
+        };
+        let telemetry_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
+
         let p = Arc::new(Self {
             flex,
             config,
@@ -336,7 +385,23 @@ impl Pisces {
             threads: Mutex::new(Vec::new()),
             down: AtomicBool::new(false),
             sys_allocs: Mutex::new(sys_allocs),
+            flight,
+            profiler,
+            telemetry_addr,
+            flight_dumped: AtomicBool::new(false),
         });
+
+        // The telemetry service thread samples the profiler and answers
+        // metric scrapes. It holds only a Weak on the machine and exits
+        // as soon as the machine is down or dropped.
+        if listener.is_some() || p.profiler.is_some() {
+            let weak = Arc::downgrade(&p);
+            let handle = std::thread::Builder::new()
+                .name("pisces-telemetry".into())
+                .spawn(move || crate::telemetry::telemetry_service(weak, listener))
+                .expect("spawn telemetry thread");
+            p.threads.lock().push(handle);
+        }
 
         // Start the operating system: a task controller in every cluster,
         // a user controller where a terminal is attached.
@@ -391,10 +456,95 @@ impl Pisces {
         &self.metrics
     }
 
+    /// OpenMetrics exposition of the machine's live counters, histograms
+    /// and per-PE gauges — the same text the HTTP endpoint serves.
+    pub fn openmetrics(&self) -> String {
+        crate::telemetry::render_openmetrics(self)
+    }
+
+    /// Bound address of the live metrics endpoint, when
+    /// `telemetry_port(..)` armed one (port 0 binds an ephemeral port;
+    /// this is where it landed).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry_addr
+    }
+
+    /// The virtual-clock sampling profiler, when armed.
+    pub fn profiler(&self) -> Option<&Arc<crate::telemetry::SamplingProfiler>> {
+        self.profiler.as_ref()
+    }
+
+    /// The flight recorder, when armed.
+    pub fn flight_recorder(&self) -> Option<&Arc<crate::telemetry::FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// Dump the flight-recorder window (JSONL + Perfetto JSON + an
+    /// OpenMetrics snapshot) into the configured directory and return it.
+    /// Once per machine: the first trigger — watchdog detection, chaos
+    /// fault, or drop — wins and later calls are no-ops. `None` when the
+    /// flight recorder is not armed or the dump already happened. Write
+    /// errors are reported on stderr rather than unwinding, because the
+    /// caller may be a fault observer or `Drop`.
+    pub fn flight_dump(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let flight = self.flight.as_ref()?;
+        let dir = self.config.telemetry.flight_dir.as_ref()?;
+        if self.flight_dumped.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        self.tracer.flush();
+        let window = flight.window();
+        let metrics = self.openmetrics();
+        match crate::telemetry::write_flight_dump(
+            std::path::Path::new(dir),
+            reason,
+            &window,
+            &metrics,
+        ) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!("pisces: flight dump to {dir} failed: {e}");
+                None
+            }
+        }
+    }
+
+    /// Publish ⟨task, activity⟩ on `pe`'s activity cell for the lifetime
+    /// of the returned guard, for profiler attribution. `None` (one
+    /// branch, no stores) unless the profiler is armed.
+    pub(crate) fn activity(
+        &self,
+        pe: PeId,
+        task: TaskId,
+        act: crate::telemetry::Activity,
+    ) -> Option<crate::telemetry::ActivityGuard<'_>> {
+        if self.profiler.is_none() {
+            return None;
+        }
+        Some(crate::telemetry::ActivityGuard::publish(
+            &self.flex.pe(pe).activity,
+            task,
+            act,
+        ))
+    }
+
     /// Allocate shared memory through `pe`'s pool magazine, recording the
     /// hit/miss in the metrics registry. The runtime's fast paths (message
     /// blocks, lock words, loop counters) all come through here.
     pub(crate) fn pool_alloc(&self, pe: PeId, bytes: usize, tag: ShmTag) -> Result<ShmHandle> {
+        // Profiler attribution: allocations happen inside sends,
+        // transfers and shared-variable creation, so nest a "pool" frame
+        // under whichever task's activity is currently published.
+        let _act = self.profiler.as_ref().and_then(|_| {
+            let cell = &self.flex.pe(pe).activity;
+            crate::telemetry::unpack_activity(cell.get()).map(|(task, _)| {
+                crate::telemetry::ActivityGuard::publish(
+                    cell,
+                    task,
+                    crate::telemetry::Activity::Pool,
+                )
+            })
+        });
         let (h, hit) = self.flex.shm_alloc(pe, bytes, tag)?;
         if hit {
             RunStats::bump(&self.metrics.pool_hits);
@@ -834,6 +984,9 @@ impl Pisces {
                 .map(|id| p.flex.pe(id).clock.now())
                 .unwrap_or(0);
             p.tracer.emit(kind, USER_ID, pe, ticks, ev.to_string());
+            // A chaos fault is an anomaly: trigger the flight recorder
+            // (no-op unless armed; the dump is once-only).
+            p.flight_dump(&format!("chaos fault: {ev}"));
         }));
         inj
     }

@@ -114,7 +114,7 @@ impl TickHistogram {
 
 /// Plain-data copy of a [`TickHistogram`], also buildable off-line from a
 /// trace file (see `pisces-exec`'s report module).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Histogram name.
     pub name: &'static str,
@@ -150,6 +150,19 @@ impl HistogramSnapshot {
         self.count += 1;
         self.sum += v;
         self.max = self.max.max(v);
+    }
+
+    /// Merge another snapshot into this one (per-bucket addition, as if
+    /// every sample of `other` had been recorded here too). Saturating,
+    /// so merging saturated rings cannot wrap. Used to combine per-PE or
+    /// per-shard histograms into one machine-wide exposition.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Mean sample value (0 if empty).
@@ -373,6 +386,73 @@ mod tests {
         ] {
             assert!(r.contains(name), "{name} missing from report");
         }
+    }
+
+    #[test]
+    fn merge_of_two_empties_is_empty() {
+        let mut a = HistogramSnapshot::empty("a", "ticks");
+        let b = HistogramSnapshot::empty("b", "ticks");
+        a.merge(&b);
+        assert_eq!(a.count, 0);
+        assert_eq!(a.sum, 0);
+        assert_eq!(a.max, 0);
+        assert!(a.buckets.iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn merge_single_record_into_empty_and_back() {
+        let mut single = HistogramSnapshot::empty("s", "ticks");
+        single.add(42);
+        // empty ← single picks up the one sample…
+        let mut a = HistogramSnapshot::empty("a", "ticks");
+        a.merge(&single);
+        assert_eq!((a.count, a.sum, a.max), (1, 42, 42));
+        assert_eq!(a.buckets[bucket_index(42)], 1);
+        // …and single ← empty is unchanged.
+        let mut after = single.clone();
+        after.merge(&HistogramSnapshot::empty("e", "ticks"));
+        assert_eq!(after, single);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let ha = TickHistogram::new("a", "ticks");
+        let hb = TickHistogram::new("b", "ticks");
+        let all = TickHistogram::new("all", "ticks");
+        for v in [0u64, 1, 5, 5, 80, 4096] {
+            ha.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 5, 1_000_000] {
+            hb.record(v);
+            all.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let want = all.snapshot();
+        assert_eq!(merged.buckets, want.buckets);
+        assert_eq!(merged.count, want.count);
+        assert_eq!(merged.sum, want.sum);
+        assert_eq!(merged.max, want.max);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = HistogramSnapshot::empty("a", "ticks");
+        a.buckets[0] = u64::MAX - 1;
+        a.count = u64::MAX - 1;
+        a.sum = u64::MAX - 1;
+        a.max = 7;
+        let mut b = HistogramSnapshot::empty("b", "ticks");
+        b.buckets[0] = 5;
+        b.count = 5;
+        b.sum = 5;
+        b.max = 3;
+        a.merge(&b);
+        assert_eq!(a.buckets[0], u64::MAX);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.max, 7);
     }
 
     #[test]

@@ -254,6 +254,53 @@ mod tests {
     }
 
     #[test]
+    fn diff_of_identical_snapshots_is_all_zero() {
+        let s = RunStats::default();
+        RunStats::add(&s.messages_sent, 9);
+        RunStats::add(&s.window_words, 512);
+        let snap = s.snapshot();
+        let d = snap.diff(&snap);
+        assert_eq!(d, StatsSnapshot::default());
+        assert!(d.fields().iter().all(|&(_, v)| v == 0));
+    }
+
+    #[test]
+    fn diff_against_empty_is_identity() {
+        let s = RunStats::default();
+        RunStats::add(&s.handlers, 4);
+        RunStats::bump(&s.forcesplits);
+        let snap = s.snapshot();
+        assert_eq!(snap.diff(&StatsSnapshot::default()), snap);
+    }
+
+    #[test]
+    fn diff_saturates_every_field_independently() {
+        // Mixed directions: some fields grew, one "shrank" (as across a
+        // stats reset). Grown fields report their delta, shrunk ones
+        // clamp to zero instead of wrapping to huge values.
+        let s = RunStats::default();
+        RunStats::add(&s.messages_sent, 10);
+        RunStats::add(&s.signals, 7);
+        let a = s.snapshot();
+        let mut b = a;
+        b.messages_sent = 12; // grew by 2
+        b.signals = 3; // "reset" below the earlier value
+        let d = b.diff(&a);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.signals, 0);
+    }
+
+    #[test]
+    fn diff_handles_u64_extremes() {
+        let mut a = StatsSnapshot::default();
+        a.message_words = u64::MAX;
+        let d = a.diff(&StatsSnapshot::default());
+        assert_eq!(d.message_words, u64::MAX);
+        // And the reverse saturates.
+        assert_eq!(StatsSnapshot::default().diff(&a).message_words, 0);
+    }
+
+    #[test]
     fn display_lists_every_counter_once() {
         let s = RunStats::default();
         RunStats::add(&s.window_words, 42);

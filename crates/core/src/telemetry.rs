@@ -1,0 +1,942 @@
+//! Live telemetry: OpenMetrics export, a virtual-clock sampling profiler,
+//! and a watchdog-triggered flight recorder.
+//!
+//! PRs 1 and 5 made a finished run inspectable (trace rings, causal
+//! graphs, Perfetto export); this module makes a *running* machine
+//! inspectable. Three pillars:
+//!
+//! * **OpenMetrics export.** [`render_openmetrics`] snapshots the
+//!   machine's counters ([`crate::stats::RunStats`]), histograms
+//!   ([`crate::metrics::MetricsRegistry`]) and per-PE gauges (virtual
+//!   clock, ready-queue length, local-memory bytes) into OpenMetrics
+//!   text. A tiny blocking-thread HTTP endpoint
+//!   (`MachineConfig::builder().telemetry_port(..)`) serves it live;
+//!   `pisces report --metrics` produces the same format off-line from a
+//!   trace file.
+//! * **Sampling profiler.** Each PE carries an
+//!   [`flex32::ActivityCell`]: the runtime publishes ⟨task, primitive⟩
+//!   into it around every runtime call (send / accept / barrier / pool /
+//!   transfer / compute — the same taxonomy as the causal critical-path
+//!   blame). [`SamplingProfiler::sample`] periodically reads each PE's
+//!   virtual clock and attributes the ticks elapsed since the previous
+//!   sample to the published activity; [`SamplingProfiler::fold`] emits
+//!   collapsed-stack lines that standard flamegraph tooling renders
+//!   directly. Because the clocks are *virtual*, the profile attributes
+//!   simulated PE time, not host-thread time.
+//! * **Flight recorder.** [`FlightRecorder`] is a [`TraceSink`] holding a
+//!   bounded rolling window: the last `flight_retain` records per PE,
+//!   plus every fault/recovery record pinned regardless of age. When the
+//!   watchdog detects a stall or the chaos layer fires a fault, the
+//!   machine dumps the window (JSONL + Perfetto JSON + an OpenMetrics
+//!   snapshot) to the configured directory — a bounded-memory record of
+//!   "what just happened", available even when the run never finishes.
+//!
+//! The whole layer is pay-for-what-you-arm: with [`TelemetrySettings`]
+//! at its defaults no thread is spawned, no sink is attached, and the
+//! runtime's activity hooks cost one branch.
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use crate::taskid::TaskId;
+use crate::trace::{TraceEventKind, TraceRecord, TraceSink};
+use flex32::{ActivityCell, Flex32, PeId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default per-PE record retention of the flight recorder.
+pub const DEFAULT_FLIGHT_RETAIN: usize = 4096;
+
+/// Cap on pinned fault/recovery records (a chaos storm cannot grow the
+/// flight recorder without bound).
+const PINNED_CAP: usize = 1 << 16;
+
+fn default_flight_retain() -> usize {
+    DEFAULT_FLIGHT_RETAIN
+}
+
+/// Telemetry settings carried in a configuration. Everything defaults to
+/// off; arming any pillar is explicit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySettings {
+    /// Serve OpenMetrics over HTTP on `127.0.0.1:port` (0 picks a free
+    /// port; see `Pisces::telemetry_addr` for the bound address).
+    #[serde(default)]
+    pub port: Option<u16>,
+    /// Arm the flight recorder, dumping to this directory on a watchdog
+    /// detection, a chaos fault, or machine drop.
+    #[serde(default)]
+    pub flight_dir: Option<String>,
+    /// Records the flight recorder retains per PE (fault records are
+    /// pinned in addition).
+    #[serde(default = "default_flight_retain")]
+    pub flight_retain: usize,
+    /// Arm the sampling profiler (requires the telemetry thread; a
+    /// `port` of 0 serves metrics on an ephemeral port alongside it).
+    #[serde(default)]
+    pub profile: bool,
+}
+
+impl Default for TelemetrySettings {
+    fn default() -> Self {
+        Self {
+            port: None,
+            flight_dir: None,
+            flight_retain: DEFAULT_FLIGHT_RETAIN,
+            profile: false,
+        }
+    }
+}
+
+impl TelemetrySettings {
+    /// Whether any telemetry pillar is armed.
+    pub fn armed(&self) -> bool {
+        self.port.is_some() || self.flight_dir.is_some() || self.profile
+    }
+}
+
+// ----------------------------------------------------------------------
+// Activity words
+// ----------------------------------------------------------------------
+
+/// The primitive a task is currently executing, for profiler attribution.
+/// Mirrors the critical-path blame taxonomy: `Compute` is the default,
+/// the rest are the runtime calls a task can be inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Activity {
+    /// User code between runtime calls (including WORK loops).
+    Compute,
+    /// Inside SEND / BROADCAST / INITIATE.
+    Send,
+    /// Inside ACCEPT (queue wait included).
+    Accept,
+    /// Inside a barrier or force join.
+    Barrier,
+    /// Inside a pool/shared-memory allocation.
+    Pool,
+    /// Inside a window read/write/move or bulk transfer.
+    Transfer,
+}
+
+impl Activity {
+    /// Every activity, in discriminant order.
+    pub const ALL: [Activity; 6] = [
+        Activity::Compute,
+        Activity::Send,
+        Activity::Accept,
+        Activity::Barrier,
+        Activity::Pool,
+        Activity::Transfer,
+    ];
+
+    /// Stable lowercase label used as the leaf frame of folded stacks.
+    pub fn label(self) -> &'static str {
+        match self {
+            Activity::Compute => "compute",
+            Activity::Send => "send",
+            Activity::Accept => "accept",
+            Activity::Barrier => "barrier",
+            Activity::Pool => "pool",
+            Activity::Transfer => "transfer",
+        }
+    }
+
+    fn from_bits(b: u64) -> Option<Activity> {
+        Activity::ALL.get(b as usize).copied()
+    }
+}
+
+/// Pack ⟨task, activity⟩ into one activity word: bit 63 flags "occupied",
+/// bits 56–62 carry the activity, the low 56 bits carry
+/// [`TaskId::pack`] (cluster ≤ 18 keeps it well inside 56 bits).
+pub fn pack_activity(task: TaskId, act: Activity) -> u64 {
+    (1u64 << 63) | ((act as u64) << 56) | task.pack()
+}
+
+/// Decode an activity word; `None` for the empty word (nothing published)
+/// or an unknown activity discriminant.
+pub fn unpack_activity(word: u64) -> Option<(TaskId, Activity)> {
+    if word & (1 << 63) == 0 {
+        return None;
+    }
+    let act = Activity::from_bits((word >> 56) & 0x7f)?;
+    Some((TaskId::unpack(word & ((1 << 56) - 1)), act))
+}
+
+/// RAII publication of an activity word: publishes on construction,
+/// restores the previous word on drop, so nested runtime calls (a send
+/// inside a barrier's critical section) unwind correctly.
+pub struct ActivityGuard<'a> {
+    cell: &'a ActivityCell,
+    prev: u64,
+}
+
+impl<'a> ActivityGuard<'a> {
+    /// Publish ⟨task, activity⟩ on `cell`, remembering what was there.
+    pub fn publish(cell: &'a ActivityCell, task: TaskId, act: Activity) -> Self {
+        let prev = cell.get();
+        cell.set(pack_activity(task, act));
+        Self { cell, prev }
+    }
+}
+
+impl Drop for ActivityGuard<'_> {
+    fn drop(&mut self) {
+        self.cell.set(self.prev);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sampling profiler
+// ----------------------------------------------------------------------
+
+/// Virtual-clock sampling profiler.
+///
+/// Each [`SamplingProfiler::sample`] reads every configured PE's tick
+/// clock, takes the delta since that PE's previous sample, and attributes
+/// it to whatever the PE's [`ActivityCell`] currently publishes. Ticks
+/// with nothing published (controller bookkeeping, spawn/teardown) fold
+/// into a per-PE `system` frame. Because attribution uses the *virtual*
+/// clocks, the profile is deterministic in what it measures even though
+/// the wall-clock sampling instants are not.
+#[derive(Debug)]
+pub struct SamplingProfiler {
+    /// (PE, tick count at the previous sample).
+    pes: Vec<(PeId, AtomicU64)>,
+    /// (pe, task, activity) → attributed ticks. `None` task = system.
+    counts: Mutex<BTreeMap<(u8, Option<TaskId>, Activity), u64>>,
+    samples: AtomicU64,
+}
+
+impl SamplingProfiler {
+    /// A profiler over the given PE numbers (the configuration's
+    /// `pes_in_use`).
+    pub fn new(pes: &[u8]) -> Self {
+        Self {
+            pes: pes
+                .iter()
+                .filter_map(|&n| PeId::new(n).ok())
+                .map(|pe| (pe, AtomicU64::new(0)))
+                .collect(),
+            counts: Mutex::new(BTreeMap::new()),
+            samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Take one sample across every PE.
+    pub fn sample(&self, flex: &Flex32) {
+        let mut counts = self.counts.lock();
+        for (pe, last) in &self.pes {
+            let now = flex.pe(*pe).clock.now();
+            let delta = now.saturating_sub(last.swap(now, Ordering::Relaxed));
+            if delta == 0 {
+                continue;
+            }
+            let key = match unpack_activity(flex.pe(*pe).activity.get()) {
+                Some((task, act)) => (pe.number(), Some(task), act),
+                None => (pe.number(), None, Activity::Compute),
+            };
+            *counts.entry(key).or_insert(0) += delta;
+        }
+        drop(counts);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Total ticks attributed so far.
+    pub fn attributed_ticks(&self) -> u64 {
+        self.counts.lock().values().sum()
+    }
+
+    /// The profile in collapsed-stack ("folded") format, one
+    /// `PE;task;activity count` line per distinct stack —
+    /// `flamegraph.pl` and `inferno` render this directly.
+    pub fn fold(&self) -> String {
+        let mut out = String::new();
+        for ((pe, task, act), ticks) in self.counts.lock().iter() {
+            match task {
+                Some(t) => out.push_str(&format!("PE{pe};{t};{} {ticks}\n", act.label())),
+                None => out.push_str(&format!("PE{pe};system {ticks}\n")),
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Flight recorder
+// ----------------------------------------------------------------------
+
+/// Trace kinds the flight recorder pins regardless of the rolling
+/// window: the fault-injection and recovery record of the run must
+/// survive retention, because it is exactly what a post-incident dump is
+/// read for.
+pub const PINNED_KINDS: [TraceEventKind; 9] = [
+    TraceEventKind::PeFail,
+    TraceEventKind::PeSlow,
+    TraceEventKind::AllocFault,
+    TraceEventKind::MsgDrop,
+    TraceEventKind::MsgDup,
+    TraceEventKind::MsgDelay,
+    TraceEventKind::MsgRetry,
+    TraceEventKind::FaultNotice,
+    TraceEventKind::ForceShrink,
+];
+
+/// Bounded rolling window over the trace stream, attached as an extra
+/// [`TraceSink`]. Retains the last `retain` records per PE (sharded like
+/// [`crate::trace::MemorySink`], so emitting PEs never contend) plus all
+/// [`PINNED_KINDS`] records. Eviction from the rolling window is the
+/// retention *policy*, not data loss, so it is not counted as dropped;
+/// only pinned records lost to the [`PINNED_CAP`] overflow are.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<VecDeque<TraceRecord>>>,
+    retain: usize,
+    pinned: Mutex<Vec<TraceRecord>>,
+    pinned_dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining `retain` records per PE.
+    pub fn new(retain: usize) -> Self {
+        Self {
+            shards: (0..=flex32::NUM_PES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            retain: retain.max(1),
+            pinned: Mutex::new(Vec::new()),
+            pinned_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Per-PE retention.
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    /// Records currently held (rolling window + pinned).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum::<usize>() + self.pinned.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole window — rolling records of every PE plus the pinned
+    /// fault records — merged into `seq` order.
+    pub fn window(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for s in &self.shards {
+            out.extend(s.lock().iter().cloned());
+        }
+        out.extend(self.pinned.lock().iter().cloned());
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn name(&self) -> &'static str {
+        "flight"
+    }
+
+    fn record(&self, rec: &TraceRecord) {
+        if PINNED_KINDS.contains(&rec.kind) {
+            let mut pinned = self.pinned.lock();
+            if pinned.len() < PINNED_CAP {
+                pinned.push(rec.clone());
+            } else {
+                self.pinned_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let mut ring = self.shards[rec.pe as usize % self.shards.len()].lock();
+        if ring.len() >= self.retain {
+            ring.pop_front();
+        }
+        ring.push_back(rec.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        self.pinned_dropped.load(Ordering::Relaxed)
+    }
+}
+
+// ----------------------------------------------------------------------
+// OpenMetrics rendering
+// ----------------------------------------------------------------------
+
+/// Append one counter family in OpenMetrics text format. The family name
+/// must not carry the `_total` suffix — the sample line adds it, per the
+/// OpenMetrics counter contract.
+pub fn openmetrics_counter(out: &mut String, name: &str, help: &str, v: u64) {
+    out.push_str(&format!(
+        "# TYPE {name} counter\n# HELP {name} {help}\n{name}_total {v}\n"
+    ));
+}
+
+/// Append a gauge family header; the caller appends its sample lines
+/// (possibly several, labelled).
+pub fn openmetrics_gauge(out: &mut String, name: &str, help: &str) {
+    out.push_str(&format!("# TYPE {name} gauge\n# HELP {name} {help}\n"));
+}
+
+/// Append one histogram family: cumulative `_bucket{le=…}` lines ending
+/// in `+Inf`, then `_count` and `_sum`. Bucket bounds come from the
+/// shared power-of-two bucketing of [`crate::metrics`], so a live
+/// histogram and a trace-derived one render identically.
+pub fn openmetrics_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n# HELP {name} {help}\n"));
+    let mut cum = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cum += n;
+        if i == HISTOGRAM_BUCKETS - 1 {
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+        } else {
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                bucket_upper_bound(i)
+            ));
+        }
+    }
+    out.push_str(&format!("{name}_count {}\n{name}_sum {}\n", h.count, h.sum));
+}
+
+/// Render the machine's full OpenMetrics exposition: every
+/// [`crate::stats::RunStats`] counter, the pool hit/miss and
+/// trace-dropped counters, all five latency/depth histograms, per-PE
+/// gauges (virtual clock, ready and live tasks, local-memory bytes), and
+/// shared-memory arena gauges. Ends with the mandatory `# EOF`.
+pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
+    let mut out = String::new();
+    for (name, v) in p.stats().snapshot().fields() {
+        let metric = format!("pisces_{}", name.replace(' ', "_"));
+        openmetrics_counter(
+            &mut out,
+            &metric,
+            &format!("Machine counter \"{name}\" since boot."),
+            v,
+        );
+    }
+    let m = p.metrics();
+    openmetrics_counter(
+        &mut out,
+        "pisces_pool_hits",
+        "Shared-memory allocations served from a per-PE pool magazine.",
+        m.pool_hits.load(Ordering::Relaxed),
+    );
+    openmetrics_counter(
+        &mut out,
+        "pisces_pool_misses",
+        "Shared-memory allocations that fell through to the global heap.",
+        m.pool_misses.load(Ordering::Relaxed),
+    );
+    openmetrics_counter(
+        &mut out,
+        "pisces_trace_dropped",
+        "Trace records dropped anywhere (ring eviction, sink overflow).",
+        p.tracer().dropped(),
+    );
+    for h in [
+        &m.msg_latency,
+        &m.barrier_wait,
+        &m.lock_hold,
+        &m.accept_queue_depth,
+        &m.transfer_words,
+    ] {
+        let s = h.snapshot();
+        openmetrics_histogram(
+            &mut out,
+            &format!("pisces_{}", s.name),
+            &format!("Histogram of {} ({}).", s.name, s.unit),
+            &s,
+        );
+    }
+
+    let loads = p.pe_loading();
+    openmetrics_gauge(
+        &mut out,
+        "pisces_pe_ticks",
+        "Virtual clock reading of each configured PE.",
+    );
+    for l in &loads {
+        out.push_str(&format!("pisces_pe_ticks{{pe=\"{}\"}} {}\n", l.pe, l.ticks));
+    }
+    openmetrics_gauge(
+        &mut out,
+        "pisces_pe_ready_tasks",
+        "Processes ready (competing for the CPU) on each PE.",
+    );
+    for l in &loads {
+        out.push_str(&format!(
+            "pisces_pe_ready_tasks{{pe=\"{}\"}} {}\n",
+            l.pe, l.ready
+        ));
+    }
+    openmetrics_gauge(
+        &mut out,
+        "pisces_pe_live_tasks",
+        "Live MMOS processes on each PE.",
+    );
+    for l in &loads {
+        out.push_str(&format!(
+            "pisces_pe_live_tasks{{pe=\"{}\"}} {}\n",
+            l.pe, l.live
+        ));
+    }
+    openmetrics_gauge(
+        &mut out,
+        "pisces_pe_local_bytes",
+        "Local-memory bytes reserved on each PE (1 MB capacity).",
+    );
+    for l in &loads {
+        let used = PeId::new(l.pe)
+            .map(|pe| p.flex().pe(pe).local.used())
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "pisces_pe_local_bytes{{pe=\"{}\"}} {used}\n",
+            l.pe
+        ));
+    }
+
+    let shm = p.flex().shmem.report();
+    openmetrics_gauge(
+        &mut out,
+        "pisces_shm_in_use_bytes",
+        "Shared-memory arena bytes currently allocated.",
+    );
+    out.push_str(&format!("pisces_shm_in_use_bytes {}\n", shm.in_use));
+    openmetrics_gauge(
+        &mut out,
+        "pisces_shm_high_water_bytes",
+        "Shared-memory arena high-water mark.",
+    );
+    out.push_str(&format!("pisces_shm_high_water_bytes {}\n", shm.high_water));
+
+    if let Some(prof) = p.profiler() {
+        openmetrics_counter(
+            &mut out,
+            "pisces_profiler_samples",
+            "Virtual-clock profiler samples taken.",
+            prof.samples(),
+        );
+    }
+    if let Some(f) = p.flight_recorder() {
+        openmetrics_gauge(
+            &mut out,
+            "pisces_flight_window_records",
+            "Trace records currently held by the flight recorder.",
+        );
+        out.push_str(&format!("pisces_flight_window_records {}\n", f.len()));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Flight dump
+// ----------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render trace records as minimal Chrome trace-event JSON: one process
+/// per PE, one thread per task, one instant event per record. Simpler
+/// than the exec crate's causal Perfetto export (no flow arrows — the
+/// flight dump must be producible from `pisces-core` alone) but loads in
+/// the same viewers and passes the same format checker.
+pub fn records_to_perfetto(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    let mut seen_pes = BTreeSet::new();
+    let mut seen_threads = BTreeSet::new();
+    for r in records {
+        let tid = r.task.pack();
+        if seen_pes.insert(r.pe) {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"PE{}\"}}}}",
+                    r.pe, r.pe
+                ),
+                &mut first,
+            );
+        }
+        if seen_threads.insert((r.pe, tid)) {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                    r.pe, r.task
+                ),
+                &mut first,
+            );
+        }
+        push(
+            format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\"args\":{{\"seq\":{},\"info\":\"{}\"}}}}",
+                r.pe,
+                r.ticks,
+                r.kind.label(),
+                r.seq,
+                json_escape(&r.info)
+            ),
+            &mut first,
+        );
+    }
+    let mut doc = out;
+    doc.push_str("],\"displayTimeUnit\":\"ms\"}");
+    doc
+}
+
+/// Write a flight-recorder dump into `dir` (created if needed):
+/// `flight.jsonl` (the window, seq-ordered), `flight.perfetto.json`, and
+/// `metrics.prom` (an OpenMetrics snapshot, first line a comment naming
+/// the dump reason). Returns the dump directory.
+pub fn write_flight_dump(
+    dir: &std::path::Path,
+    reason: &str,
+    records: &[TraceRecord],
+    metrics: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut jsonl = String::new();
+    for r in records {
+        match serde_json::to_string(r) {
+            Ok(line) => {
+                jsonl.push_str(&line);
+                jsonl.push('\n');
+            }
+            Err(e) => return Err(std::io::Error::new(std::io::ErrorKind::Other, e)),
+        }
+    }
+    std::fs::write(dir.join("flight.jsonl"), jsonl)?;
+    std::fs::write(dir.join("flight.perfetto.json"), records_to_perfetto(records))?;
+    let mut prom = format!("# flight-recorder dump: {reason}\n");
+    prom.push_str(metrics);
+    std::fs::write(dir.join("metrics.prom"), prom)?;
+    Ok(dir.to_path_buf())
+}
+
+// ----------------------------------------------------------------------
+// The telemetry service thread
+// ----------------------------------------------------------------------
+
+/// Answer one HTTP connection with the OpenMetrics body. HTTP/1.0 with
+/// `Connection: close`: read whatever request arrives (bounded, with a
+/// timeout), answer, hang up — enough for curl and any scraper.
+fn serve_metrics(mut stream: std::net::TcpStream, body: &str) {
+    use std::io::{Read, Write};
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(2)));
+    let mut req = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Body of the `pisces-telemetry` thread: every ~1 ms of wall time, take
+/// a profiler sample (when armed) and drain any pending metric scrapes.
+/// Holds only a `Weak` on the machine so it can never keep a shut-down
+/// machine alive; exits as soon as the machine is down or dropped.
+pub(crate) fn telemetry_service(
+    weak: std::sync::Weak<crate::machine::Pisces>,
+    listener: Option<std::net::TcpListener>,
+) {
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let Some(p) = weak.upgrade() else { break };
+        if p.is_down() {
+            break;
+        }
+        if let Some(prof) = p.profiler() {
+            prof.sample(p.flex());
+        }
+        if let Some(l) = &listener {
+            loop {
+                match l.accept() {
+                    Ok((stream, _)) => serve_metrics(stream, &p.openmetrics()),
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, MachineConfig};
+    use crate::trace::TraceSettings;
+
+    fn rec(seq: u64, kind: TraceEventKind, pe: u8) -> TraceRecord {
+        TraceRecord {
+            seq,
+            kind,
+            task: TaskId::new(1, 2, 3),
+            pe,
+            ticks: seq * 10,
+            info: "x".into(),
+            parent: None,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn activity_word_roundtrip() {
+        for act in Activity::ALL {
+            let t = TaskId::new(18, 7, 0xdead_beef);
+            let w = pack_activity(t, act);
+            assert_eq!(unpack_activity(w), Some((t, act)), "{act:?}");
+        }
+        assert_eq!(unpack_activity(0), None);
+        // Occupied flag set but garbage discriminant: rejected, not
+        // misattributed.
+        assert_eq!(unpack_activity((1 << 63) | (99 << 56)), None);
+    }
+
+    #[test]
+    fn activity_guard_nests_and_restores() {
+        let cell = ActivityCell::new();
+        let t = TaskId::new(1, 3, 1);
+        {
+            let _outer = ActivityGuard::publish(&cell, t, Activity::Barrier);
+            assert_eq!(unpack_activity(cell.get()).unwrap().1, Activity::Barrier);
+            {
+                let _inner = ActivityGuard::publish(&cell, t, Activity::Send);
+                assert_eq!(unpack_activity(cell.get()).unwrap().1, Activity::Send);
+            }
+            assert_eq!(unpack_activity(cell.get()).unwrap().1, Activity::Barrier);
+        }
+        assert_eq!(cell.get(), 0);
+    }
+
+    #[test]
+    fn profiler_attributes_virtual_ticks() {
+        let flex = flex32::Flex32::new_shared();
+        let prof = SamplingProfiler::new(&[3, 4]);
+        let pe3 = PeId::new(3).unwrap();
+        let t = TaskId::new(1, 3, 1);
+        flex.pe(pe3).clock.advance(100);
+        flex.pe(pe3).activity.set(pack_activity(t, Activity::Send));
+        prof.sample(&flex);
+        flex.pe(pe3).activity.set(0);
+        flex.pe(pe3).clock.advance(40);
+        prof.sample(&flex);
+        assert_eq!(prof.samples(), 2);
+        assert_eq!(prof.attributed_ticks(), 140);
+        let folded = prof.fold();
+        assert!(folded.contains("PE3;c1.s3#1;send 100"), "{folded}");
+        assert!(folded.contains("PE3;system 40"), "{folded}");
+        // Every folded line is "frames count".
+        for line in folded.lines() {
+            let (stack, n) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            n.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn flight_recorder_rolls_and_pins() {
+        let f = FlightRecorder::new(4);
+        for i in 0..10 {
+            f.record(&rec(i, TraceEventKind::MsgSend, 3));
+        }
+        // Rolling window keeps only the newest 4 for PE3.
+        let w = f.window();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.first().unwrap().seq, 6);
+        // Fault records are pinned past retention…
+        f.record(&rec(100, TraceEventKind::PeFail, 3));
+        for i in 200..210 {
+            f.record(&rec(i, TraceEventKind::MsgSend, 3));
+        }
+        let w = f.window();
+        assert!(w.iter().any(|r| r.kind == TraceEventKind::PeFail));
+        // …and the merged window is seq-sorted.
+        assert!(w.windows(2).all(|p| p[0].seq <= p[1].seq));
+        assert_eq!(f.dropped(), 0);
+    }
+
+    #[test]
+    fn openmetrics_histogram_is_cumulative_and_ends_inf() {
+        let mut h = HistogramSnapshot::empty("lat", "ticks");
+        for v in [0u64, 1, 1, 7, 1_000_000] {
+            h.add(v);
+        }
+        let mut out = String::new();
+        openmetrics_histogram(&mut out, "pisces_lat", "help text", &h);
+        assert!(out.starts_with("# TYPE pisces_lat histogram\n# HELP pisces_lat help text\n"));
+        let buckets: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("pisces_lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        assert!(buckets.windows(2).all(|p| p[0] <= p[1]), "not cumulative");
+        assert_eq!(*buckets.last().unwrap(), 5);
+        let last_bucket = out
+            .lines()
+            .filter(|l| l.starts_with("pisces_lat_bucket"))
+            .next_back()
+            .unwrap();
+        assert!(last_bucket.contains("le=\"+Inf\""));
+        assert!(out.contains("pisces_lat_count 5"));
+        assert!(out.contains("pisces_lat_sum 1000009"));
+    }
+
+    #[test]
+    fn perfetto_writer_emits_metadata_and_instants() {
+        let doc = records_to_perfetto(&[
+            rec(0, TraceEventKind::TaskInit, 3),
+            rec(1, TraceEventKind::MsgSend, 3),
+            rec(2, TraceEventKind::MsgAccept, 4),
+        ]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"name\":\"MSG-ACCEPT\""));
+        // Info strings are escaped.
+        let mut r = rec(9, TraceEventKind::Lock, 3);
+        r.info = "a\"b\\c".into();
+        assert!(records_to_perfetto(&[r]).contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn live_machine_serves_openmetrics_over_http() {
+        use std::io::{Read, Write};
+        let flex = flex32::Flex32::new_shared();
+        let config = MachineConfig::builder()
+            .cluster(ClusterConfig::new(1, 3, 2))
+            .telemetry_port(0)
+            .profile(true)
+            .build();
+        let p = crate::machine::Pisces::boot(flex, config).unwrap();
+        let addr = p.telemetry_addr().expect("telemetry listener bound");
+
+        let text = p.openmetrics();
+        assert!(text.contains("# TYPE pisces_messages_sent counter"));
+        assert!(text.contains("pisces_messages_sent_total "));
+        assert!(text.contains("pisces_pe_ticks{pe=\"3\"}"));
+        assert!(text.trim_end().ends_with("# EOF"));
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("application/openmetrics-text"));
+        assert!(resp.contains("pisces_pool_hits_total"));
+        assert!(resp.trim_end().ends_with("# EOF"));
+        p.shutdown();
+    }
+
+    #[test]
+    fn flight_dump_writes_all_three_artifacts_once() {
+        let dir = std::env::temp_dir().join(format!(
+            "pisces-flight-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flex = flex32::Flex32::new_shared();
+        let config = MachineConfig::builder()
+            .cluster(ClusterConfig::new(1, 3, 2))
+            .trace(TraceSettings::all())
+            .flight_dir(dir.to_string_lossy())
+            .build();
+        let p = crate::machine::Pisces::boot(flex, config).unwrap();
+        p.register("noop", |_ctx| Ok(()));
+        p.initiate_top_level(1, "noop", vec![]).unwrap();
+        assert!(p.wait_quiescent(std::time::Duration::from_secs(30)));
+
+        let out = p.flight_dump("unit test").expect("dump written");
+        assert_eq!(out, dir);
+        // One line per window record even when the serializer is a stub
+        // (offline verification); non-blank lines must be records.
+        let jsonl = std::fs::read_to_string(dir.join("flight.jsonl")).unwrap();
+        assert!(jsonl.lines().count() >= 1, "{jsonl}");
+        assert!(
+            jsonl
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .all(|l| l.contains("\"seq\"")),
+            "{jsonl}"
+        );
+        let perfetto = std::fs::read_to_string(dir.join("flight.perfetto.json")).unwrap();
+        assert!(perfetto.contains("traceEvents"));
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.starts_with("# flight-recorder dump: unit test"));
+        assert!(prom.trim_end().ends_with("# EOF"));
+
+        // The dump is once-only: a second trigger is a no-op.
+        assert!(p.flight_dump("again").is_none());
+        p.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn settings_default_is_inert_and_serde_roundtrips() {
+        let d = TelemetrySettings::default();
+        assert!(!d.armed());
+        assert_eq!(d.flight_retain, DEFAULT_FLIGHT_RETAIN);
+        let armed = TelemetrySettings {
+            port: Some(9100),
+            flight_dir: Some("/tmp/x".into()),
+            flight_retain: 16,
+            profile: true,
+        };
+        assert!(armed.armed());
+        let s = serde_json::to_string(&armed).unwrap();
+        let back: TelemetrySettings = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, armed);
+        // An empty JSON object takes every default (old saved configs).
+        let back: TelemetrySettings = serde_json::from_str("{}").unwrap();
+        assert_eq!(back, TelemetrySettings::default());
+    }
+}

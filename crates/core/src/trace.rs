@@ -788,6 +788,26 @@ impl Tracer {
             .map(serde_json::from_str)
             .collect()
     }
+
+    /// Parse records from JSON lines, skipping malformed or truncated
+    /// lines instead of aborting on the first bad one. Returns the good
+    /// records plus the number of lines skipped — a trace cut off
+    /// mid-write (crashed run, live flight dump) still yields everything
+    /// that did land.
+    pub fn parse_jsonl_lossy(data: &str) -> (Vec<TraceRecord>, usize) {
+        let mut records = Vec::new();
+        let mut skipped = 0usize;
+        for line in data.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str(line) {
+                Ok(r) => records.push(r),
+                Err(_) => skipped += 1,
+            }
+        }
+        (records, skipped)
+    }
 }
 
 #[cfg(test)]
@@ -865,6 +885,34 @@ mod tests {
         let txt = t.to_jsonl();
         let back = Tracer::parse_jsonl(&txt).unwrap();
         assert_eq!(back, t.records());
+    }
+
+    #[test]
+    fn lossy_parse_skips_malformed_and_truncated_lines() {
+        let t = Tracer::new(&TraceSettings::all());
+        t.emit(TraceEventKind::MsgSend, tid(), 5, 10, "a");
+        t.emit(TraceEventKind::MsgAccept, tid(), 5, 20, "b");
+        t.emit(TraceEventKind::TaskTerm, tid(), 5, 30, "c");
+        let good = t.to_jsonl();
+        let mut lines: Vec<&str> = good.lines().collect();
+        let truncated = &lines[2][..lines[2].len() / 2]; // cut mid-record
+        lines.insert(1, "{not json at all");
+        lines.insert(3, ""); // blank lines are not an error
+        let last = lines.len() - 1;
+        lines[last] = truncated;
+        let mangled = lines.join("\n");
+
+        // Strict parse aborts…
+        assert!(Tracer::parse_jsonl(&mangled).is_err());
+        // …lossy keeps the two intact records and counts two skips.
+        let (records, skipped) = Tracer::parse_jsonl_lossy(&mangled);
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 2);
+        assert_eq!(records[0].info, "a");
+        assert_eq!(records[1].info, "b");
+        // A fully well-formed file skips nothing.
+        let (records, skipped) = Tracer::parse_jsonl_lossy(&good);
+        assert_eq!((records.len(), skipped), (3, 0));
     }
 
     #[test]

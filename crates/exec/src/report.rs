@@ -337,6 +337,16 @@ impl Report {
         Ok(Self::new(&pisces_core::trace::Tracer::parse_jsonl(data)?))
     }
 
+    /// Build the report from a JSONL trace file that may be damaged —
+    /// a crashed run's tail, a truncated copy, interleaved writers.
+    /// Malformed lines are skipped; the count of skipped lines comes
+    /// back alongside the report so the caller can warn (or, under
+    /// `--strict`, refuse).
+    pub fn from_jsonl_lossy(data: &str) -> (Self, usize) {
+        let (records, skipped) = pisces_core::trace::Tracer::parse_jsonl_lossy(data);
+        (Self::new(&records), skipped)
+    }
+
     /// Per-PE utilization timeline: one lane per PE (`#` busy, `.` idle
     /// against that PE's own tick clock) with a busy percentage.
     pub fn timeline(&self, width: usize) -> String {
@@ -391,6 +401,111 @@ impl Report {
     /// `chrome://tracing` (see [`CausalGraph::to_perfetto`]).
     pub fn to_perfetto(&self) -> String {
         self.causal.to_perfetto()
+    }
+
+    /// The report as an OpenMetrics text document — the same exposition
+    /// format the live telemetry endpoint serves, derived off-line from
+    /// the trace so dashboards can ingest dead runs too. Contains event
+    /// counts per trace kind, per-PE activity horizons, the latency and
+    /// barrier-spread distributions, and the fault tally.
+    pub fn to_openmetrics(&self) -> String {
+        use pisces_core::telemetry::{openmetrics_gauge, openmetrics_histogram};
+        let mut s = String::new();
+
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for r in &self.causal.nodes {
+            *by_kind.entry(r.kind.label()).or_insert(0) += 1;
+        }
+        s.push_str("# TYPE pisces_trace_events counter\n");
+        s.push_str("# HELP pisces_trace_events Trace records in this file, by event kind.\n");
+        for (label, n) in &by_kind {
+            let _ = writeln!(s, "pisces_trace_events_total{{kind=\"{label}\"}} {n}");
+        }
+
+        openmetrics_gauge(
+            &mut s,
+            "pisces_pe_ticks",
+            "Last virtual-clock reading observed per PE (its activity horizon).",
+        );
+        for u in &self.utilization {
+            let _ = writeln!(s, "pisces_pe_ticks{{pe=\"{}\"}} {}", u.pe, u.horizon);
+        }
+        openmetrics_gauge(
+            &mut s,
+            "pisces_pe_busy_ticks",
+            "Ticks each PE spent with at least one traced task alive.",
+        );
+        for u in &self.utilization {
+            let _ = writeln!(s, "pisces_pe_busy_ticks{{pe=\"{}\"}} {}", u.pe, u.busy_ticks);
+        }
+
+        openmetrics_histogram(
+            &mut s,
+            "pisces_msg_latency_ticks",
+            "Message send-to-accept latency from matched trace pairs.",
+            &self.msg_latency,
+        );
+        openmetrics_histogram(
+            &mut s,
+            "pisces_barrier_spread_ticks",
+            "First-to-last arrival spread per barrier round.",
+            &self.barrier_spread,
+        );
+
+        s.push_str("# TYPE pisces_fault_events counter\n");
+        s.push_str("# HELP pisces_fault_events Injected faults and recovery actions, by kind.\n");
+        for (label, n) in &self.faults.counts {
+            let _ = writeln!(s, "pisces_fault_events_total{{kind=\"{label}\"}} {n}");
+        }
+
+        s.push_str("# EOF\n");
+        s
+    }
+
+    /// The trace folded into collapsed-stack format for flamegraph
+    /// tooling: one `PE;task;category count` line per bucket, where the
+    /// category mirrors the critical-path blame taxonomy (compute /
+    /// message-wait / barrier-wait / pool-alloc, plus transfer). Each
+    /// tick interval between consecutive events on one (task, PE) lane
+    /// is charged to the category of the event that *ended* it — time
+    /// leading up to a barrier entry was spent reaching (or waiting for)
+    /// that barrier.
+    pub fn to_folded(&self) -> String {
+        fn category(kind: TraceEventKind) -> &'static str {
+            match kind {
+                TraceEventKind::AllocFault => "pool-alloc",
+                TraceEventKind::Barrier
+                | TraceEventKind::BarrierRelease
+                | TraceEventKind::ForceJoin => "barrier-wait",
+                TraceEventKind::MsgAccept
+                | TraceEventKind::MsgRetry
+                | TraceEventKind::MsgDelay
+                | TraceEventKind::FaultNotice => "message-wait",
+                TraceEventKind::BulkTransfer => "transfer",
+                _ => "compute",
+            }
+        }
+        // One sequential lane per (task, PE) pair — the same lanes the
+        // causal graph threads program-order edges through.
+        let mut lanes: BTreeMap<(TaskId, u8), Vec<&TraceRecord>> = BTreeMap::new();
+        for r in &self.causal.nodes {
+            lanes.entry((r.task, r.pe)).or_default().push(r);
+        }
+        let mut folded: BTreeMap<(u8, TaskId, &'static str), u64> = BTreeMap::new();
+        for ((task, pe), recs) in &lanes {
+            // causal.nodes is seq-sorted, so each lane already is too.
+            for pair in recs.windows(2) {
+                let ticks = pair[1].ticks.saturating_sub(pair[0].ticks);
+                if ticks > 0 {
+                    *folded.entry((*pe, *task, category(pair[1].kind))).or_insert(0) += ticks;
+                }
+            }
+        }
+        let mut s = String::new();
+        for ((pe, task, cat), ticks) in &folded {
+            let _ = writeln!(s, "PE{pe};{task};{cat} {ticks}");
+        }
+        s
     }
 }
 
@@ -620,5 +735,87 @@ mod tests {
         assert!(r.transfers.is_empty());
         let text = r.render(40);
         assert!(text.contains("no bulk window transfers"), "{text}");
+    }
+
+    #[test]
+    fn lossy_load_counts_skipped_lines() {
+        let a = TaskId::new(1, 2, 1);
+        let records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 0, "alpha p"),
+            rec(TraceEventKind::TaskTerm, a, 3, 50, "ok"),
+        ];
+        let mut jsonl = String::new();
+        for r in &records {
+            jsonl.push_str(&serde_json::to_string(r).unwrap());
+            jsonl.push('\n');
+        }
+        let damaged = format!("not json\n{jsonl}{{\"trunc");
+        assert!(Report::from_jsonl(&damaged).is_err());
+        let (report, skipped) = Report::from_jsonl_lossy(&damaged);
+        assert_eq!(skipped, 2);
+        assert_eq!(report.causal.nodes.len(), 2);
+        let (clean, none) = Report::from_jsonl_lossy(&jsonl);
+        assert_eq!(none, 0);
+        assert_eq!(clean.causal.nodes.len(), 2);
+    }
+
+    #[test]
+    fn openmetrics_counts_kinds_and_ends_eof() {
+        let a = TaskId::new(1, 2, 1);
+        let b = TaskId::new(1, 3, 1);
+        let mut records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 0, "alpha p"),
+            rec(TraceEventKind::MsgSend, a, 3, 100, &format!("PING -> {b}")),
+            rec(TraceEventKind::MsgAccept, b, 3, 130, &format!("PING <- {a}")),
+            rec(TraceEventKind::PeFail, a, 5, 200, "fail-stop PE5"),
+            rec(TraceEventKind::TaskTerm, a, 3, 250, "ok"),
+        ];
+        for (i, r) in records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let text = Report::new(&records).to_openmetrics();
+        assert!(text.contains("# TYPE pisces_trace_events counter"), "{text}");
+        assert!(
+            text.contains("pisces_trace_events_total{kind=\"MSG-SEND\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pisces_fault_events_total{kind=\"PE-FAIL\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pisces_pe_ticks{pe=\"3\"} 250"), "{text}");
+        assert!(
+            text.contains("pisces_msg_latency_ticks_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn folded_output_charges_intervals_to_ending_event() {
+        let a = TaskId::new(1, 2, 1);
+        let mut records = vec![
+            rec(TraceEventKind::TaskInit, a, 3, 0, "alpha p"),
+            // 0→40 ends in a barrier entry: barrier-wait.
+            rec(TraceEventKind::Barrier, a, 3, 40, "member 0/1"),
+            // 40→100 ends in plain termination: compute.
+            rec(TraceEventKind::TaskTerm, a, 3, 100, "ok"),
+        ];
+        for (i, r) in records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let folded = Report::new(&records).to_folded();
+        let mut buckets: BTreeMap<&str, u64> = BTreeMap::new();
+        for line in folded.lines() {
+            let (stack, n) = line.rsplit_once(' ').unwrap();
+            buckets.insert(stack, n.parse().unwrap());
+        }
+        assert_eq!(buckets[format!("PE3;{a};barrier-wait").as_str()], 40);
+        assert_eq!(buckets[format!("PE3;{a};compute").as_str()], 60);
+    }
+
+    #[test]
+    fn folded_output_is_empty_for_empty_trace() {
+        assert!(Report::new(&[]).to_folded().is_empty());
     }
 }

@@ -245,6 +245,13 @@ impl Watchdog {
             });
         }
         out.sort_by_key(|r| r.task);
+        if let Some(first) = out.first() {
+            // A confirmed stall is exactly the moment the flight
+            // recorder exists for: dump the retained window (no-op
+            // unless the machine was booted with a flight directory,
+            // and at most once per run).
+            self.machine.flight_dump(&format!("watchdog: {first}"));
+        }
         out
     }
 

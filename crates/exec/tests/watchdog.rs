@@ -168,6 +168,51 @@ fn classifies_fault_induced_stall() {
     p.shutdown();
 }
 
+/// Regression: a DELAY-armed ACCEPT is a timed wait — it wakes on its
+/// own, so it must stay exempt from stall suspicion even when a slow-PE
+/// fault stretches the wait far past the persistence threshold and the
+/// machine fingerprint freezes around it. (The exemption comes from the
+/// `timed_wait` flag in the task snapshot; a fault plan being armed must
+/// not override it.)
+#[test]
+fn delay_armed_accept_under_slow_pe_stays_exempt() {
+    let p = boot(two_cluster_config());
+    // Slow PE4 (cluster 2's primary) from the start: everything there
+    // crawls, making the timed wait below span many watchdog samples.
+    p.arm_faults(FaultPlan::new(0x51_0D).slow_pe(4, 1, 4));
+
+    p.register("dawdler", |ctx| {
+        // Nobody ever sends NEVER$: the accept always rides its DELAY
+        // out. 300ms of wall-clock timed wait, stretched by the slow PE.
+        let _ = ctx
+            .accept()
+            .of(1)
+            .signal("NEVER$")
+            .delay(Duration::from_millis(300))
+            .run()?;
+        Ok(())
+    });
+    p.initiate_top_level(2, "dawdler", vec![]).expect("initiate");
+
+    // Sample densely for the whole window. The fingerprint freezes (the
+    // dawdler is parked, nothing else runs), but the timed wait must
+    // never be promoted to a suspect — zero reports throughout.
+    let mut wd = Watchdog::new(p.clone(), WatchdogConfig { stall_samples: 2 });
+    let deadline = std::time::Instant::now() + Duration::from_millis(250);
+    while std::time::Instant::now() < deadline {
+        let r = wd.sample();
+        assert!(
+            r.is_empty(),
+            "DELAY-armed accept reported as a stall: {r:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The delay expires and the machine drains on its own.
+    assert!(p.wait_quiescent(Duration::from_secs(30)), "did not finish");
+    p.shutdown();
+}
+
 /// A machine that finishes its workload must never trip the watchdog,
 /// no matter how long it is sampled afterwards: quiescent-but-healthy
 /// (only controllers blocked) is not a stall.

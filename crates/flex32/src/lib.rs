@@ -38,7 +38,7 @@ pub use fault::{
     FaultAction, FaultCell, FaultEvent, FaultInjector, FaultPlan, MessageFault, PeFaultState,
 };
 pub use machine::Flex32;
-pub use pe::{PeId, PeKind};
+pub use pe::{ActivityCell, PeId, PeKind};
 pub use pool::{PoolReport, ShmPool};
 pub use shmem::{SharedMemory, ShmError, ShmHandle};
 

@@ -10,7 +10,7 @@ use crate::cpu::{CpuGuard, CpuToken};
 use crate::fault::FaultCell;
 use crate::mmos::Console;
 use crate::{FIRST_MMOS_PE, LAST_MMOS_PE, LOCAL_MEM_BYTES, NUM_PES};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Identifier of a processing element, 1–20.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -171,6 +171,36 @@ impl LocalMemory {
     }
 }
 
+/// An opaque per-PE activity word for sampling profilers.
+///
+/// The substrate stores whatever 64-bit word the runtime packs into it
+/// (task identity + current primitive in the PISCES case) and hands it
+/// back on demand; the encoding is entirely the writer's business. A
+/// zero word means "nothing published". Reads and writes are single
+/// relaxed atomics, so publishing an activity costs the same as bumping
+/// a counter.
+#[derive(Debug, Default)]
+pub struct ActivityCell(AtomicU64);
+
+impl ActivityCell {
+    /// A cell with nothing published.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish an activity word (0 clears).
+    #[inline]
+    pub fn set(&self, word: u64) {
+        self.0.store(word, Ordering::Relaxed);
+    }
+
+    /// The last published word (0 when nothing is published).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// One processing element of the simulated FLEX/32.
 #[derive(Debug)]
 pub struct Pe {
@@ -186,6 +216,8 @@ pub struct Pe {
     pub console: Console,
     /// Injected-fault state (healthy unless a fault plan is armed).
     pub fault: FaultCell,
+    /// Activity word sampled by profilers (see [`ActivityCell`]).
+    pub activity: ActivityCell,
 }
 
 impl Pe {
@@ -203,6 +235,7 @@ impl Pe {
             cpu: CpuToken::new(),
             console: Console::new(id),
             fault: FaultCell::new(),
+            activity: ActivityCell::new(),
         }
     }
 
@@ -308,6 +341,16 @@ mod tests {
         }
         pe.fault.heal();
         assert!(pe.acquire_cpu().is_ok());
+    }
+
+    #[test]
+    fn activity_cell_publishes_and_clears() {
+        let pe = Pe::new(PeId::new(9).unwrap());
+        assert_eq!(pe.activity.get(), 0);
+        pe.activity.set(0xCAFE_F00D);
+        assert_eq!(pe.activity.get(), 0xCAFE_F00D);
+        pe.activity.set(0);
+        assert_eq!(pe.activity.get(), 0);
     }
 
     #[test]

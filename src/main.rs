@@ -39,12 +39,15 @@ struct Options {
     report: bool,
     interactive: bool,
     timeout_secs: u64,
+    telemetry_port: Option<u16>,
+    flight_dir: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pisces <program.pf> [options]\n\
          \x20      pisces report <trace.jsonl> [width] [--perfetto <out.json>]\n\
+         \x20                    [--metrics <out.prom>] [--flamegraph <out.folded>] [--strict]\n\
          \n\
          options:\n\
            --preprocess          print the Fortran 77 translation and exit\n\
@@ -58,7 +61,15 @@ fn usage() -> ! {
            --arg <value>         argument for the top-level task (repeatable)\n\
            --report              print storage and PE-loading reports after the run\n\
            --interactive         drop into the run-control menu (reads stdin)\n\
-           --timeout <secs>      quiescence timeout (default 60)"
+           --timeout <secs>      quiescence timeout (default 60)\n\
+           --telemetry-port <n>  serve live OpenMetrics on 127.0.0.1:<n> (0 = ephemeral)\n\
+           --flight-dir <path>   arm the flight recorder; dumps land in <path>\n\
+         \n\
+         report options:\n\
+           --perfetto <out>      also write Chrome trace-event JSON for Perfetto\n\
+           --metrics <out>       also write an OpenMetrics snapshot of the trace\n\
+           --flamegraph <out>    also write collapsed stacks (flamegraph.pl input)\n\
+           --strict              exit nonzero if any trace line was malformed"
     );
     std::process::exit(2)
 }
@@ -79,6 +90,8 @@ fn parse_args() -> Options {
         report: false,
         interactive: false,
         timeout_secs: 60,
+        telemetry_port: None,
+        flight_dir: None,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -120,6 +133,14 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--telemetry-port" => {
+                o.telemetry_port = Some(
+                    need(&mut args, "--telemetry-port")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--flight-dir" => o.flight_dir = Some(need(&mut args, "--flight-dir")),
             "-h" | "--help" => usage(),
             other if o.source.is_empty() && !other.starts_with('-') => o.source = a,
             _ => usage(),
@@ -135,8 +156,15 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
     if let Some(path) = &o.config_json {
         let text = std::fs::read_to_string(path)
             .map_err(|e| PiscesError::BadConfiguration(format!("{path}: {e}")))?;
-        let config: MachineConfig = serde_json::from_str(&text)
+        let mut config: MachineConfig = serde_json::from_str(&text)
             .map_err(|e| PiscesError::BadConfiguration(format!("{path}: {e}")))?;
+        // Telemetry flags override whatever the saved configuration says.
+        if o.telemetry_port.is_some() {
+            config.telemetry.port = o.telemetry_port;
+        }
+        if o.flight_dir.is_some() {
+            config.telemetry.flight_dir = o.flight_dir.clone();
+        }
         config.validate()?;
         return Ok(config);
     }
@@ -158,29 +186,51 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
     if o.trace_file.is_some() {
         config.trace.file = o.trace_file.clone();
     }
+    if o.telemetry_port.is_some() {
+        config.telemetry.port = o.telemetry_port;
+    }
+    if o.flight_dir.is_some() {
+        config.telemetry.flight_dir = o.flight_dir.clone();
+    }
     config.validate()?;
     Ok(config)
 }
 
-/// `pisces report <trace.jsonl> [width] [--perfetto <out.json>]`: the
+/// `pisces report <trace.jsonl> [width] [--perfetto <out.json>]
+/// [--metrics <out.prom>] [--flamegraph <out.folded>] [--strict]`: the
 /// Section 12 off-line timing analysis — per-PE utilization timelines,
 /// latency histograms, the happens-before critical path, and the
 /// event-level trace report. With `--perfetto` the trace is also written
-/// as Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`.
+/// as Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`;
+/// `--metrics` emits the same OpenMetrics exposition the live telemetry
+/// endpoint serves, and `--flamegraph` emits collapsed stacks for
+/// flamegraph tooling.
+///
+/// Malformed trace lines (a crashed run's torn tail, a truncated copy)
+/// are skipped with a count on stderr; `--strict` turns any skip into a
+/// nonzero exit after the report is still produced.
 fn run_report(args: &[String]) -> ! {
     let mut path: Option<&String> = None;
     let mut width: usize = 72;
     let mut perfetto: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut flamegraph: Option<String> = None;
+    let mut strict = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--perfetto" => {
+            "--perfetto" | "--metrics" | "--flamegraph" => {
                 let Some(out) = it.next() else {
-                    eprintln!("--perfetto needs an output path");
+                    eprintln!("{a} needs an output path");
                     usage()
                 };
-                perfetto = Some(out.clone());
+                match a.as_str() {
+                    "--perfetto" => perfetto = Some(out.clone()),
+                    "--metrics" => metrics = Some(out.clone()),
+                    _ => flamegraph = Some(out.clone()),
+                }
             }
+            "--strict" => strict = true,
             s => {
                 if path.is_none() {
                     path = Some(a);
@@ -203,23 +253,28 @@ fn run_report(args: &[String]) -> ! {
             std::process::exit(1);
         }
     };
-    match pisces::pisces_exec::Report::from_jsonl(&data) {
-        Ok(r) => {
-            print!("{}", r.render(width));
-            if let Some(out) = perfetto {
-                if let Err(e) = std::fs::write(&out, r.to_perfetto()) {
-                    eprintln!("pisces report: cannot write {out}: {e}");
-                    std::process::exit(1);
-                }
-                eprintln!("perfetto trace written to {out}");
-            }
-            std::process::exit(0);
-        }
-        Err(e) => {
-            eprintln!("pisces report: {path} is not a JSONL trace: {e}");
+    let (r, skipped) = pisces::pisces_exec::Report::from_jsonl_lossy(&data);
+    if skipped > 0 {
+        eprintln!("pisces report: skipped {skipped} malformed line(s) in {path}");
+    }
+    print!("{}", r.render(width));
+    let mut write_out = |out: &str, body: String, what: &str| {
+        if let Err(e) = std::fs::write(out, body) {
+            eprintln!("pisces report: cannot write {out}: {e}");
             std::process::exit(1);
         }
+        eprintln!("{what} written to {out}");
+    };
+    if let Some(out) = perfetto {
+        write_out(&out, r.to_perfetto(), "perfetto trace");
     }
+    if let Some(out) = metrics {
+        write_out(&out, r.to_openmetrics(), "openmetrics snapshot");
+    }
+    if let Some(out) = flamegraph {
+        write_out(&out, r.to_folded(), "collapsed stacks");
+    }
+    std::process::exit(if strict && skipped > 0 { 1 } else { 0 })
 }
 
 fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u8]) {

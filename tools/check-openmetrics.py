@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate pisces telemetry exposition output.
+
+Default mode checks an OpenMetrics text document — the live endpoint's
+body, a flight recorder's `metrics.prom`, or the file written by
+`pisces report <trace.jsonl> --metrics out.prom` — against the exposition
+format contract:
+
+  * every sample line belongs to a metric family declared with `# TYPE`
+    before its first sample, and every family carries a `# HELP` line,
+  * counter samples use the `_total` suffix (the family is declared
+    without it) and counter values are non-negative,
+  * histogram `_bucket` series are cumulative (monotone non-decreasing in
+    `le` order), end with an `le="+Inf"` bucket, and that bucket equals
+    the family's `_count`,
+  * the document ends with `# EOF` and contains it exactly once.
+
+With `--folded` the file is instead checked as collapsed-stack flamegraph
+input (`pisces report --flamegraph out.folded`): every line must be
+`frame;frame;... <count>` with non-empty frames and a positive integer
+count, and the file must contain at least one stack.
+
+Exit 0 when valid; 1 with a complaint list otherwise.
+
+Usage: tools/check-openmetrics.py out.prom
+       tools/check-openmetrics.py --folded out.folded
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)(?:\s+[^\s]+)?$"
+)
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_count", "_sum")
+
+
+def family_of(sample_name, types):
+    """Map a sample name back to its declared family."""
+    if sample_name in types:
+        return sample_name
+    if sample_name.endswith("_total") and sample_name[: -len("_total")] in types:
+        return sample_name[: -len("_total")]
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+            return sample_name[: -len(suffix)]
+    return None
+
+
+def le_value(labels):
+    m = re.search(r'le="([^"]*)"', labels or "")
+    if m is None:
+        return None
+    return float("inf") if m.group(1) == "+Inf" else float(m.group(1))
+
+
+def check_metrics(path):
+    problems = []
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError as e:
+        return [f"cannot read {path}: {e}"]
+
+    types = {}  # family -> type
+    helps = set()
+    buckets = {}  # family -> [(le, value)] in document order
+    counts = {}  # family -> _count value
+    saw_eof = 0
+    after_eof = False
+
+    for n, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if after_eof:
+            problems.append(f"line {n}: content after # EOF")
+            after_eof = False  # complain once
+            continue
+        if line == "# EOF":
+            saw_eof += 1
+            after_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                problems.append(f"line {n}: malformed TYPE line: {line!r}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {n}: HELP line without text: {line!r}")
+                continue
+            helps.add(parts[2])
+            continue
+        if line.startswith("#"):
+            # Free-form comment (e.g. the flight recorder's reason line).
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {n}: unparseable sample line: {line!r}")
+            continue
+        name, labels, raw = m.group("name"), m.group("labels"), m.group("value")
+        family = family_of(name, types)
+        if family is None:
+            problems.append(f"line {n}: sample {name!r} has no preceding # TYPE")
+            continue
+        try:
+            value = float(raw)
+        except ValueError:
+            problems.append(f"line {n}: {name}: non-numeric value {raw!r}")
+            continue
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                problems.append(f"line {n}: counter sample {name!r} lacks _total suffix")
+            if value < 0:
+                problems.append(f"line {n}: counter {name} is negative ({value})")
+        if kind == "histogram":
+            if name == family + "_bucket":
+                le = le_value(labels)
+                if le is None:
+                    problems.append(f"line {n}: {name} without an le label")
+                else:
+                    buckets.setdefault(family, []).append((le, value))
+            elif name == family + "_count":
+                counts[family] = value
+
+    for family, series in sorted(buckets.items()):
+        les = [le for le, _ in series]
+        vals = [v for _, v in series]
+        if les != sorted(les):
+            problems.append(f"{family}: bucket le values out of order")
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            problems.append(f"{family}: cumulative bucket counts decrease")
+        if not les or les[-1] != float("inf"):
+            problems.append(f'{family}: bucket series does not end with le="+Inf"')
+        elif family in counts and vals[-1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket {vals[-1]} != _count {counts[family]}"
+            )
+
+    for family in sorted(types):
+        if family not in helps:
+            problems.append(f"{family}: declared without a # HELP line")
+    if saw_eof == 0:
+        problems.append("document does not end with # EOF")
+    elif saw_eof > 1:
+        problems.append(f"# EOF appears {saw_eof} times")
+    if not types:
+        problems.append("no metric families declared")
+    return problems
+
+
+def check_folded(path):
+    problems = []
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as e:
+        return [f"cannot read {path}: {e}"]
+    stacks = 0
+    for n, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        stack, _, raw = line.rpartition(" ")
+        if not stack:
+            problems.append(f"line {n}: no stack before the count: {line!r}")
+            continue
+        if not raw.isdigit() or int(raw) <= 0:
+            problems.append(f"line {n}: count {raw!r} is not a positive integer")
+            continue
+        if any(not frame for frame in stack.split(";")):
+            problems.append(f"line {n}: empty frame in stack {stack!r}")
+            continue
+        stacks += 1
+    if stacks == 0:
+        problems.append("no stacks found (empty profile)")
+    return problems
+
+
+def main():
+    args = sys.argv[1:]
+    folded = "--folded" in args
+    args = [a for a in args if a != "--folded"]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = check_folded(args[0]) if folded else check_metrics(args[0])
+    if problems:
+        print(f"{args[0]}: INVALID ({len(problems)} problem(s))")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    if folded:
+        n = sum(1 for l in open(args[0], encoding="utf-8") if l.strip())
+        print(f"{args[0]}: OK ({n} folded stacks)")
+    else:
+        n = sum(
+            1
+            for l in open(args[0], encoding="utf-8")
+            if l.startswith("# TYPE ")
+        )
+        print(f"{args[0]}: OK ({n} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
