@@ -28,7 +28,17 @@ rustc --edition 2021 -O --crate-type lib --crate-name pisces_chaos crates/chaos/
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-name pisces_chaos_bin crates/chaos/src/main.rs \
   --extern pisces_chaos=$O/libpisces_chaos.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   -L dependency=$O -o $O/pisces-chaos
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_bench crates/bench/src/lib.rs \
+  --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-name bench_snapshot crates/bench/src/bin/bench-snapshot.rs \
+  --extern pisces_bench=$O/libpisces_bench.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O -o $O/bench-snapshot
 # unit tests
 rustc --edition 2021 -O --test --crate-name flex32 crates/flex32/src/lib.rs \
   --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O -o $O/flex32_tests
@@ -44,7 +54,7 @@ rustc --edition 2021 -O --test --crate-name pisces_exec crates/exec/src/lib.rs \
   --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O -o $O/exec_tests
 # integration tests (proptest-based ones skipped: no proptest offline)
-for t in barrier forces runtime accept_semantics failure_injection windows; do
+for t in barrier forces runtime accept_semantics failure_injection windows backend_equivalence; do
   rustc --edition 2021 -O --test --crate-name $t crates/core/tests/$t.rs \
     --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
     --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \

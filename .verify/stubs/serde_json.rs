@@ -1,6 +1,15 @@
-//! Offline verification shim: serde_json surface used by pisces-core.
-//! to_string returns an empty string; from_str always errors.
+//! Offline verification shim: a real (if small) JSON implementation.
+//!
+//! `bench-snapshot` reads and writes the repo's `BENCH_*.json` files
+//! through `serde_json::{json!, Map, Value}`, so the offline stub must
+//! actually parse and render JSON for `Value`. Arbitrary derived types
+//! still serialize to an empty string and fail to deserialize, exactly
+//! as the old stub did — only `Value` round-trips.
+//!
+//! Maps are `BTreeMap`-backed (alphabetical keys), matching real
+//! `serde_json` without its `preserve_order` feature.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 #[derive(Debug)]
@@ -14,18 +23,618 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
-pub fn to_string<T: serde::Serialize>(_value: &T) -> Result<String, Error> {
-    Ok(String::new())
+/// Insertion-ordered-enough map: real serde_json's default `Map` sorts
+/// keys (BTreeMap), so the stub does too.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value>
+where
+    K: Ord,
+{
+    inner: BTreeMap<K, V>,
 }
 
-pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
-    Err(Error("deserialization unavailable in stub".into()))
+impl Map<String, Value> {
+    pub fn new() -> Self {
+        Self {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    pub fn insert(&mut self, k: String, v: Value) -> Option<Value> {
+        self.inner.insert(k, v)
+    }
+
+    pub fn get(&self, k: &str) -> Option<&Value> {
+        self.inner.get(k)
+    }
+
+    pub fn get_mut(&mut self, k: &str) -> Option<&mut Value> {
+        self.inner.get_mut(k)
+    }
+
+    pub fn contains_key(&self, k: &str) -> bool {
+        self.inner.contains_key(k)
+    }
+
+    pub fn remove(&mut self, k: &str) -> Option<Value> {
+        self.inner.remove(k)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+
+    pub fn entry(&mut self, k: impl Into<String>) -> &mut Value {
+        self.inner.entry(k.into()).or_insert(Value::Null)
+    }
 }
 
-pub fn to_vec_pretty<T: serde::Serialize>(_value: &T) -> Result<Vec<u8>, Error> {
-    Ok(Vec::new())
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
 }
 
-pub fn from_slice<'a, T: serde::Deserialize<'a>>(_s: &'a [u8]) -> Result<T, Error> {
-    Err(Error("deserialization unavailable in stub".into()))
+/// JSON number: integers keep their integer rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(n) => n,
+        })
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(n) => Some(n),
+            Number::I(n) => u64::try_from(n).ok(),
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(n) => write!(f, "{n}"),
+            Number::I(n) => write!(f, "{n}"),
+            Number::F(n) => {
+                if n.is_finite() {
+                    if n == n.trunc() && n.abs() < 1e15 {
+                        write!(f, "{n:.1}")
+                    } else {
+                        write!(f, "{n}")
+                    }
+                } else {
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, k: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(k))
+    }
+
+    fn render(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => render_string(s, out),
+            Value::Array(a) => {
+                if a.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    v.render(out, pretty, indent + 1);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.render(out, pretty, indent + 1);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.compact())
+    }
+}
+
+impl Value {
+    fn compact(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, false, 0);
+        s
+    }
+
+    fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, true, 0);
+        s
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::U(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(Number::I(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::U(v as u64))
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Number(Number::I(v as i64))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::U(v as u64))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl<S: AsRef<str>> std::ops::Index<S> for Value {
+    type Output = Value;
+    fn index(&self, k: S) -> &Value {
+        self.get(k.as_ref()).unwrap_or(&NULL)
+    }
+}
+
+impl<S: AsRef<str>> std::ops::IndexMut<S> for Value {
+    fn index_mut(&mut self, k: S) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(k.as_ref()),
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn __stub_json(&self) -> Option<String> {
+        Some(self.compact())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn __stub_from_json(s: &str) -> Option<Self> {
+        parse(s).ok()
+    }
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($k:literal : $v:tt),+ $(,)? }) => {{
+        let mut m = $crate::Map::new();
+        $( m.insert($k.to_string(), $crate::json!($v)); )+
+        $crate::Value::Object(m)
+    }};
+    ([ $($v:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($v)),* ])
+    };
+    ($e:expr) => { $crate::Value::from($e) };
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent over bytes, enough for the repo's files.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                c as char, self.i
+            )))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => {
+                self.i += 1;
+                let mut m = Map::new();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    let k = match self.value()? {
+                        Value::String(s) => s,
+                        other => return Err(Error(format!("object key {other:?}"))),
+                    };
+                    self.expect(b':')?;
+                    let v = self.value()?;
+                    m.insert(k, v);
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut a = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Array(a));
+                }
+                loop {
+                    a.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Array(a));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.i += 1;
+                let mut s = String::new();
+                loop {
+                    match self.b.get(self.i) {
+                        None => return Err(Error("unterminated string".into())),
+                        Some(b'"') => {
+                            self.i += 1;
+                            return Ok(Value::String(s));
+                        }
+                        Some(b'\\') => {
+                            self.i += 1;
+                            match self.b.get(self.i) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'/') => s.push('/'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'b') => s.push('\u{8}'),
+                                Some(b'f') => s.push('\u{c}'),
+                                Some(b'u') => {
+                                    let hex = self
+                                        .b
+                                        .get(self.i + 1..self.i + 5)
+                                        .ok_or_else(|| Error("bad \\u escape".into()))?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex)
+                                            .map_err(|e| Error(e.to_string()))?,
+                                        16,
+                                    )
+                                    .map_err(|e| Error(e.to_string()))?;
+                                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                    self.i += 4;
+                                }
+                                other => {
+                                    return Err(Error(format!("bad escape {other:?}")))
+                                }
+                            }
+                            self.i += 1;
+                        }
+                        Some(_) => {
+                            // Copy a run of plain UTF-8 bytes verbatim.
+                            let start = self.i;
+                            while self
+                                .b
+                                .get(self.i)
+                                .is_some_and(|&c| c != b'"' && c != b'\\')
+                            {
+                                self.i += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&self.b[start..self.i])
+                                    .map_err(|e| Error(e.to_string()))?,
+                            );
+                        }
+                    }
+                }
+            }
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                if c == b'-' {
+                    self.i += 1;
+                }
+                let mut float = false;
+                while let Some(&c) = self.b.get(self.i) {
+                    match c {
+                        b'0'..=b'9' => self.i += 1,
+                        b'.' | b'e' | b'E' | b'+' | b'-' => {
+                            float = true;
+                            self.i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let txt = std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|e| Error(e.to_string()))?;
+                if float {
+                    txt.parse::<f64>()
+                        .map(|v| Value::Number(Number::F(v)))
+                        .map_err(|e| Error(e.to_string()))
+                } else if txt.starts_with('-') {
+                    txt.parse::<i64>()
+                        .map(|v| Value::Number(Number::I(v)))
+                        .map_err(|e| Error(e.to_string()))
+                } else {
+                    txt.parse::<u64>()
+                        .map(|v| Value::Number(Number::U(v)))
+                        .map_err(|e| Error(e.to_string()))
+                }
+            }
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.i))),
+        }
+    }
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(Error(format!("trailing data at byte {}", p.i)));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// serde_json entry points (generic surface kept from the old stub)
+// ---------------------------------------------------------------------
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.__stub_json().unwrap_or_default())
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    match value.__stub_json() {
+        Some(s) => Ok(parse(&s)?.pretty()),
+        None => Ok(String::new()),
+    }
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    T::__stub_from_json(s).ok_or_else(|| Error("deserialization unavailable in stub".into()))
+}
+
+pub fn to_vec_pretty<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(s: &'a [u8]) -> Result<T, Error> {
+    match std::str::from_utf8(s) {
+        Ok(txt) => T::__stub_from_json(txt)
+            .ok_or_else(|| Error("deserialization unavailable in stub".into())),
+        Err(e) => Err(Error(e.to_string())),
+    }
 }

@@ -1,4 +1,5 @@
-//! Chaos scenario runner: `pisces-chaos [FILTER] [--seed N]`.
+//! Chaos scenario runner: `pisces-chaos [FILTER] [--seed N]
+//! [--msg-backend B]`.
 //!
 //! Runs every scenario (or those whose name contains FILTER), prints the
 //! fault trace, the invariants that held, and any that failed. Exits
@@ -23,10 +24,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--msg-backend" => {
+                let v = args.next().unwrap_or_default();
+                // Scenarios build their own MachineConfigs; the env var
+                // is how a backend reaches every one of them.
+                match v.parse::<pisces_core::msgqueue::MsgBackend>() {
+                    Ok(b) => std::env::set_var("PISCES_MSG_BACKEND", b.name()),
+                    Err(e) => {
+                        eprintln!("pisces-chaos: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: pisces-chaos [FILTER] [--seed N]");
-                println!("  FILTER    run only scenarios whose name contains FILTER");
-                println!("  --seed N  override every scenario's seed (decimal or 0x hex)");
+                println!("usage: pisces-chaos [FILTER] [--seed N] [--msg-backend B]");
+                println!("  FILTER           run only scenarios whose name contains FILTER");
+                println!("  --seed N         override every scenario's seed (decimal or 0x hex)");
+                println!("  --msg-backend B  run scenarios on in-queue backend mutex|mpsc|spsc");
                 return ExitCode::SUCCESS;
             }
             other => filter = Some(other.to_string()),

@@ -20,6 +20,7 @@
 //! from it.
 
 use crate::error::{PiscesError, Result};
+use crate::msgqueue::MsgBackend;
 use crate::telemetry::TelemetrySettings;
 use crate::trace::TraceSettings;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,18 @@ pub struct MachineConfig {
     /// recorder). Defaults to fully inert.
     #[serde(default)]
     pub telemetry: TelemetrySettings,
+    /// In-queue implementation every task in this machine uses. Defaults
+    /// to the mutex reference backend, or the `PISCES_MSG_BACKEND`
+    /// environment variable when set (so an unchanged test suite can be
+    /// re-run per backend).
+    #[serde(default)]
+    pub msg_backend: MsgBackend,
+    /// Pin each simulated-PE thread to a fixed core (primary-PE task
+    /// threads and secondary-PE force members), so backend comparisons
+    /// measure the queue rather than OS scheduling noise. Best-effort:
+    /// silently a no-op on platforms without `sched_setaffinity`.
+    #[serde(default)]
+    pub pin_pes: bool,
 }
 
 /// Step-by-step constructor for [`MachineConfig`], the preferred way to
@@ -122,6 +135,8 @@ pub struct MachineConfigBuilder {
     time_limit_ticks: Option<u64>,
     trace: TraceSettings,
     telemetry: TelemetrySettings,
+    msg_backend: MsgBackend,
+    pin_pes: bool,
 }
 
 impl MachineConfigBuilder {
@@ -176,6 +191,20 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Select the in-queue backend for every task in the machine (see
+    /// [`MsgBackend`]).
+    pub fn msg_backend(mut self, b: MsgBackend) -> Self {
+        self.msg_backend = b;
+        self
+    }
+
+    /// Pin simulated-PE threads to fixed cores (best-effort; no-op on
+    /// platforms without `sched_setaffinity`).
+    pub fn pin_pes(mut self, on: bool) -> Self {
+        self.pin_pes = on;
+        self
+    }
+
     /// Finish: produce the configuration.
     pub fn build(self) -> MachineConfig {
         MachineConfig {
@@ -183,6 +212,8 @@ impl MachineConfigBuilder {
             time_limit_ticks: self.time_limit_ticks,
             trace: self.trace,
             telemetry: self.telemetry,
+            msg_backend: self.msg_backend,
+            pin_pes: self.pin_pes,
         }
     }
 }
@@ -429,6 +460,8 @@ mod tests {
             .telemetry_port(9100)
             .flight_dir("/tmp/flight")
             .profile(true)
+            .msg_backend(MsgBackend::Mpsc)
+            .pin_pes(true)
             .build();
         c.validate().unwrap();
         assert_eq!(c.clusters.len(), 2);
@@ -437,12 +470,18 @@ mod tests {
         assert_eq!(c.telemetry.flight_dir.as_deref(), Some("/tmp/flight"));
         assert!(c.telemetry.profile);
         assert!(c.telemetry.armed());
+        assert_eq!(c.msg_backend, MsgBackend::Mpsc);
+        assert!(c.pin_pes);
         // A clusters-only build agrees with the builder's defaults for
         // the fields it does not set.
         let plain = MachineConfig::builder().clusters(c.clusters.clone()).build();
         assert_eq!(plain.clusters, c.clusters);
         assert_eq!(plain.time_limit_ticks, None);
         assert!(!plain.telemetry.armed());
+        // The unset backend follows MsgBackend::default(), which honours
+        // PISCES_MSG_BACKEND so CI can re-run the suite per backend.
+        assert_eq!(plain.msg_backend, MsgBackend::default());
+        assert!(!plain.pin_pes);
     }
 
     #[test]

@@ -562,13 +562,18 @@ impl<'a> AcceptBuilder<'a> {
         let mut processed_total = 0usize;
 
         loop {
+            // Epoch before the processing pass: a push that lands while we
+            // scan bumps it, so the wait below returns immediately instead
+            // of stranding this acceptor until the following message.
+            let epoch = entry.inq.epoch();
+
             // Processing pass: drain every eligible message, oldest first.
             loop {
                 if self.total.is_some_and(|t| processed_total >= t) {
                     break;
                 }
                 let entries = &self.entries;
-                let stored = entry.inq.take_first_matching(|sm| {
+                let take = entry.inq.take_scanned(|sm| {
                     entries.iter().any(|e| {
                         e.mtype == sm.mtype
                             && match e.quota {
@@ -577,7 +582,10 @@ impl<'a> AcceptBuilder<'a> {
                             }
                     })
                 });
-                let Some(stored) = stored else { break };
+                // Selective accept scans past non-matching messages; the
+                // scan depth is the per-accept cost of that linear search.
+                ctx.p.metrics.queue_scan_depth.record(take.scanned as u64);
+                let Some(stored) = take.msg else { break };
 
                 // Depth seen by this accept: the message just removed plus
                 // whatever is still waiting behind it.
@@ -664,7 +672,7 @@ impl<'a> AcceptBuilder<'a> {
             if deadline.is_some() {
                 entry.timed_wait.store(true, atomic::Ordering::Relaxed);
             }
-            let woke = entry.inq.wait(deadline);
+            let woke = entry.inq.wait_epoch(epoch, deadline);
             entry.timed_wait.store(false, atomic::Ordering::Relaxed);
             entry.set_run_state(TaskRunState::Ready);
             if !woke {

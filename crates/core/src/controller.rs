@@ -29,6 +29,9 @@ fn receive(
     entry: &Arc<TaskEntry>,
 ) -> Option<(String, TaskId, Vec<Value>, Option<u64>)> {
     loop {
+        // Epoch before the scan, so a message pushed while we service the
+        // queue cannot slip between the miss below and the wait.
+        let epoch = entry.inq.epoch();
         if let Some(stored) = entry.inq.take_first_matching(|_| true) {
             let mtype = stored.mtype.clone();
             let sender = stored.sender;
@@ -50,7 +53,10 @@ fn receive(
                 Err(_) => continue, // corrupt message: drop and keep serving
             }
         }
-        entry.inq.wait(None);
+        if entry.killed() {
+            return None;
+        }
+        entry.inq.wait_epoch(epoch, None);
         if entry.killed() {
             return None;
         }

@@ -905,6 +905,9 @@ impl TaskCtx {
                     let shared = shared.clone();
                     let body = &body;
                     handles.push(s.spawn(move || {
+                        if self.p.config.pin_pes {
+                            crate::machine::pin_pe_thread(pe);
+                        }
                         let pid = self
                             .p
                             .flex

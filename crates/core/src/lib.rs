@@ -49,6 +49,7 @@ pub mod force;
 pub mod machine;
 pub mod message;
 pub mod metrics;
+pub mod msgqueue;
 pub mod shared;
 pub mod stats;
 pub mod task;
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::machine::Pisces;
     pub use crate::message::Message;
     pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, TickHistogram};
+    pub use crate::msgqueue::{MsgBackend, MsgQueue};
     pub use crate::shared::{LockVar, SharedBlock};
     pub use crate::stats::{RunStats, StatsSnapshot};
     pub use crate::task::{FILE_CTRL_ID, USER_ID};

@@ -70,6 +70,14 @@ pub mod sysmsg {
     pub const FAULT: &str = "FAULT$";
 }
 
+/// Pin the calling thread to the core standing in for `pe` (best-effort;
+/// see [`flex32::affinity`]). PEs map round-robin onto host cores,
+/// numbered from the first MMOS PE so PE 3 lands on core 0.
+pub(crate) fn pin_pe_thread(pe: PeId) {
+    let slot = pe.number().saturating_sub(flex32::FIRST_MMOS_PE) as usize;
+    let _ = flex32::affinity::pin_current_thread(slot);
+}
+
 /// Times a send to a fail-stopped PE is retried before the runtime gives
 /// up and delivers a [`sysmsg::FAULT`] notice to the sender.
 pub const SEND_RETRIES: u32 = 3;
@@ -1174,6 +1182,7 @@ impl Pisces {
             parent,
             false,
             None,
+            self.config.msg_backend,
         ));
         {
             let mut st = self.state.lock();
@@ -1195,9 +1204,13 @@ impl Pisces {
         entry.set_init_event(init_seq);
 
         let p = self.clone();
+        let pin = self.config.pin_pes;
         let handle = std::thread::Builder::new()
             .name(format!("pisces-{id}"))
             .spawn(move || {
+                if pin {
+                    pin_pe_thread(pe);
+                }
                 let ctx = TaskCtx::new(p.clone(), entry.clone(), args);
                 let outcome =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (body)(&ctx)));
@@ -1231,12 +1244,17 @@ impl Pisces {
             USER_ID,
             true,
             None,
+            self.config.msg_backend,
         ));
         self.state.lock().tasks.insert(id, entry.clone());
         let p = self.clone();
+        let pin = self.config.pin_pes;
         let handle = std::thread::Builder::new()
             .name(format!("pisces-ctrl-{id}"))
             .spawn(move || {
+                if pin {
+                    pin_pe_thread(pe);
+                }
                 main(&p, &entry);
                 // Controller exit: reap the process and remove the entry.
                 p.flex.procs(entry.pe).exit(entry.pid);

@@ -13,15 +13,21 @@
 //! [`ShmHandle`] to its packet words; the words are only decoded back into
 //! [`Value`]s — and the block freed — when the message is accepted (or
 //! deleted).
+//!
+//! The queue implementation itself is selectable: [`InQueue`] is a thin
+//! facade over one of the [`crate::msgqueue`] backends (mutex reference,
+//! lock-free MPSC, or point-to-point SPSC ring), chosen per machine via
+//! `MachineConfig::builder().msg_backend(...)`.
 
 use crate::error::{PiscesError, Result};
+use crate::msgqueue::{MpscQueue, MsgBackend, MsgQueue, MutexQueue, SpscQueue, Take};
 use crate::taskid::TaskId;
 use crate::value::Value;
 use crate::window::Window;
 use flex32::shmem::ShmHandle;
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
 use std::time::Instant;
+
+pub use crate::msgqueue::PushOutcome;
 
 /// A message as delivered to user code by ACCEPT: decoded arguments plus
 /// the sender's taskid ("whenever a task receives a message from another
@@ -85,40 +91,39 @@ pub struct StoredMessage {
     pub cause: Option<u64>,
 }
 
-#[derive(Debug, Default)]
-struct QueueState {
-    q: VecDeque<StoredMessage>,
-    next_arrival: u64,
-    closed: bool,
-    /// Threads currently blocked in [`InQueue::wait`]. Maintained under
-    /// the state lock, so once an observer reads a non-zero value the
-    /// waiter is committed to the condvar (the wait atomically releases
-    /// the lock) and a subsequent notify cannot be lost.
-    waiters: usize,
-}
-
-/// Outcome of pushing into a queue.
-#[derive(Debug)]
-pub enum PushOutcome {
-    /// Message enqueued.
-    Delivered,
-    /// The receiver has terminated; the message is handed back so the
-    /// sender can release its shared-memory block.
-    Closed(StoredMessage),
-}
-
 /// A task's in-queue. Arrival order is preserved; acceptance may be
-/// selective by message type, which is why removal scans rather than pops.
-#[derive(Debug, Default)]
+/// selective by message type, which is why removal scans rather than
+/// pops. Backed by a selectable [`MsgQueue`] implementation.
+#[derive(Debug)]
 pub struct InQueue {
-    state: Mutex<QueueState>,
-    cond: Condvar,
+    q: Box<dyn MsgQueue>,
+}
+
+impl Default for InQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl InQueue {
-    /// An open, empty queue.
+    /// An open, empty queue on the reference (mutex) backend.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(MsgBackend::Mutex)
+    }
+
+    /// An open, empty queue on the given backend.
+    pub fn with_backend(backend: MsgBackend) -> Self {
+        let q: Box<dyn MsgQueue> = match backend {
+            MsgBackend::Mutex => Box::new(MutexQueue::new()),
+            MsgBackend::Mpsc => Box::new(MpscQueue::new()),
+            MsgBackend::Spsc => Box::new(SpscQueue::new()),
+        };
+        InQueue { q }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> MsgBackend {
+        self.q.backend()
     }
 
     /// Enqueue a message (assigning its arrival number) and wake waiters.
@@ -134,103 +139,80 @@ impl InQueue {
         sent_ticks: u64,
         cause: Option<u64>,
     ) -> PushOutcome {
-        let mut st = self.state.lock();
-        let msg = StoredMessage {
-            mtype,
-            sender,
-            handle,
-            arrival: st.next_arrival,
-            sent_pe,
-            sent_ticks,
-            cause,
-        };
-        if st.closed {
-            return PushOutcome::Closed(msg);
-        }
-        st.next_arrival += 1;
-        st.q.push_back(msg);
-        drop(st);
-        self.cond.notify_all();
-        PushOutcome::Delivered
+        self.q.push(mtype, sender, handle, sent_pe, sent_ticks, cause)
     }
 
     /// Remove and return the earliest message for which `want` returns
     /// true, or `None` if none matches.
     pub fn take_first_matching(
         &self,
-        want: impl FnMut(&StoredMessage) -> bool,
+        mut want: impl FnMut(&StoredMessage) -> bool,
     ) -> Option<StoredMessage> {
-        let mut st = self.state.lock();
-        let pos = st.q.iter().position(want)?;
-        st.q.remove(pos)
+        self.q.take_first_matching(&mut want).msg
     }
 
-    /// Block until the queue is signalled (a push, an interrupt, or queue
-    /// closure), or until `deadline` passes. Returns `false` on timeout.
+    /// Like [`Self::take_first_matching`], but also reports how many
+    /// queued messages the selective scan examined (the
+    /// `queue_scan_depth` histogram sample).
+    pub fn take_scanned(&self, mut want: impl FnMut(&StoredMessage) -> bool) -> Take {
+        self.q.take_first_matching(&mut want)
+    }
+
+    /// Current signal epoch. Read this **before** scanning the queue,
+    /// then pass it to [`Self::wait_epoch`]: a push that lands between
+    /// the scan and the wait bumps the epoch, so the wait returns
+    /// immediately instead of stranding the acceptor.
+    pub fn epoch(&self) -> u64 {
+        self.q.epoch()
+    }
+
+    /// Block until the queue is signalled past `seen` (a push, an
+    /// interrupt, or queue closure), or until `deadline` passes.
+    /// Returns `false` on timeout.
     ///
     /// Callers re-scan the queue after every wake; this method makes no
     /// promise that a matching message is present.
-    pub fn wait(&self, deadline: Option<Instant>) -> bool {
-        let mut st = self.state.lock();
-        if st.closed {
-            return true;
-        }
-        st.waiters += 1;
-        let woke = match deadline {
-            Some(d) => !self.cond.wait_until(&mut st, d).timed_out(),
-            None => {
-                self.cond.wait(&mut st);
-                true
-            }
-        };
-        st.waiters -= 1;
-        woke
+    pub fn wait_epoch(&self, seen: u64, deadline: Option<Instant>) -> bool {
+        self.q.wait_epoch(seen, deadline)
     }
 
-    /// Number of threads currently blocked in [`Self::wait`]. Lets tests
-    /// (and shutdown diagnostics) rendezvous with a waiter deterministically
-    /// instead of sleeping and hoping.
+    /// Block until the queue is signalled, or until `deadline` passes.
+    /// Returns `false` on timeout. Equivalent to reading the epoch and
+    /// waiting on it immediately — prefer [`Self::epoch`] +
+    /// [`Self::wait_epoch`] around a scan to avoid the scan/wait race.
+    pub fn wait(&self, deadline: Option<Instant>) -> bool {
+        self.q.wait_epoch(self.q.epoch(), deadline)
+    }
+
+    /// Number of threads currently blocked in [`Self::wait`] /
+    /// [`Self::wait_epoch`]. Lets tests (and shutdown diagnostics)
+    /// rendezvous with a waiter deterministically instead of sleeping
+    /// and hoping.
     pub fn waiters(&self) -> usize {
-        self.state.lock().waiters
+        self.q.waiters()
     }
 
     /// Wake all waiters without enqueueing (used to deliver kill requests
     /// and machine shutdown to tasks blocked in ACCEPT).
     pub fn interrupt(&self) {
-        self.cond.notify_all();
+        self.q.interrupt();
     }
 
     /// Close the queue (task terminating) and drain everything still
     /// queued so the caller can release the shared-memory blocks.
     pub fn close_and_drain(&self) -> Vec<StoredMessage> {
-        let mut st = self.state.lock();
-        st.closed = true;
-        let out = st.q.drain(..).collect();
-        drop(st);
-        self.cond.notify_all();
-        out
+        self.q.close_and_drain()
     }
 
     /// Remove all messages of a given type (execution-environment menu
     /// option 4, DELETE MESSAGES), returning them for block release.
     pub fn delete_type(&self, mtype: &str) -> Vec<StoredMessage> {
-        let mut st = self.state.lock();
-        let mut kept = VecDeque::with_capacity(st.q.len());
-        let mut removed = Vec::new();
-        while let Some(m) = st.q.pop_front() {
-            if m.mtype == mtype {
-                removed.push(m);
-            } else {
-                kept.push_back(m);
-            }
-        }
-        st.q = kept;
-        removed
+        self.q.delete_type(mtype)
     }
 
     /// Number of messages waiting.
     pub fn len(&self) -> usize {
-        self.state.lock().q.len()
+        self.q.len()
     }
 
     /// Whether the queue is empty.
@@ -242,12 +224,7 @@ impl InQueue {
     /// DISPLAY MESSAGE QUEUE): (type, sender, packet bytes) in arrival
     /// order.
     pub fn snapshot(&self) -> Vec<(String, TaskId, usize)> {
-        self.state
-            .lock()
-            .q
-            .iter()
-            .map(|m| (m.mtype.clone(), m.sender, m.handle.bytes()))
-            .collect()
+        self.q.snapshot()
     }
 }
 
@@ -259,7 +236,7 @@ mod tests {
     use std::time::Duration;
 
     fn shm() -> SharedMemory {
-        SharedMemory::with_capacity(4096)
+        SharedMemory::with_capacity(65536)
     }
 
     fn tid(n: u32) -> TaskId {
@@ -274,144 +251,313 @@ mod tests {
         q.push(mtype.into(), sender, handle, 3, 0, None)
     }
 
+    /// Run a semantics check against every backend: the whole point of
+    /// the trait is that these are indistinguishable through the API.
+    fn each_backend(f: impl Fn(InQueue)) {
+        for b in MsgBackend::ALL {
+            f(InQueue::with_backend(b));
+        }
+    }
+
+    #[test]
+    fn default_backend_is_mutex() {
+        assert_eq!(InQueue::new().backend(), MsgBackend::Mutex);
+    }
+
     #[test]
     fn push_take_in_arrival_order() {
-        let m = shm();
-        let q = InQueue::new();
-        push(&q, "A", tid(1), handle(&m));
-        push(&q, "B", tid(2), handle(&m));
-        push(&q, "A", tid(3), handle(&m));
-        let first_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
-        assert_eq!(first_a.sender, tid(1));
-        let next_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
-        assert_eq!(next_a.sender, tid(3));
-        assert!(q.take_first_matching(|s| s.mtype == "A").is_none());
-        assert_eq!(q.len(), 1);
+        each_backend(|q| {
+            let m = shm();
+            push(&q, "A", tid(1), handle(&m));
+            push(&q, "B", tid(2), handle(&m));
+            push(&q, "A", tid(3), handle(&m));
+            let first_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
+            assert_eq!(first_a.sender, tid(1));
+            let next_a = q.take_first_matching(|s| s.mtype == "A").unwrap();
+            assert_eq!(next_a.sender, tid(3));
+            assert!(q.take_first_matching(|s| s.mtype == "A").is_none());
+            assert_eq!(q.len(), 1);
+        });
+    }
+
+    #[test]
+    fn take_scanned_counts_examined_messages() {
+        each_backend(|q| {
+            let m = shm();
+            push(&q, "A", tid(1), handle(&m));
+            push(&q, "B", tid(1), handle(&m));
+            push(&q, "C", tid(1), handle(&m));
+            let t = q.take_scanned(|s| s.mtype == "C");
+            assert_eq!(t.msg.unwrap().mtype, "C");
+            assert_eq!(t.scanned, 3);
+            let miss = q.take_scanned(|s| s.mtype == "Z");
+            assert!(miss.msg.is_none());
+            assert_eq!(miss.scanned, 2);
+        });
     }
 
     #[test]
     fn arrival_numbers_increase() {
-        let m = shm();
-        let q = InQueue::new();
-        push(&q, "A", tid(1), handle(&m));
-        push(&q, "A", tid(1), handle(&m));
-        let a = q.take_first_matching(|_| true).unwrap();
-        let b = q.take_first_matching(|_| true).unwrap();
-        assert!(a.arrival < b.arrival);
+        each_backend(|q| {
+            let m = shm();
+            push(&q, "A", tid(1), handle(&m));
+            push(&q, "A", tid(1), handle(&m));
+            let a = q.take_first_matching(|_| true).unwrap();
+            let b = q.take_first_matching(|_| true).unwrap();
+            assert!(a.arrival < b.arrival);
+        });
     }
 
     #[test]
     fn closed_queue_returns_message() {
-        let m = shm();
-        let q = InQueue::new();
-        q.close_and_drain();
-        match push(&q, "A", tid(1), handle(&m)) {
-            PushOutcome::Closed(msg) => assert_eq!(msg.mtype, "A"),
-            PushOutcome::Delivered => panic!("delivered to closed queue"),
-        }
+        each_backend(|q| {
+            let m = shm();
+            q.close_and_drain();
+            match push(&q, "A", tid(1), handle(&m)) {
+                PushOutcome::Closed(msg) => assert_eq!(msg.mtype, "A"),
+                PushOutcome::Delivered => panic!("delivered to closed queue"),
+            }
+        });
     }
 
     #[test]
     fn close_drains_pending() {
-        let m = shm();
-        let q = InQueue::new();
-        push(&q, "A", tid(1), handle(&m));
-        push(&q, "B", tid(1), handle(&m));
-        let drained = q.close_and_drain();
-        assert_eq!(drained.len(), 2);
-        assert!(q.is_empty());
+        each_backend(|q| {
+            let m = shm();
+            push(&q, "A", tid(1), handle(&m));
+            push(&q, "B", tid(1), handle(&m));
+            let drained = q.close_and_drain();
+            assert_eq!(drained.len(), 2);
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn delete_type_removes_only_that_type() {
-        let m = shm();
-        let q = InQueue::new();
-        push(&q, "A", tid(1), handle(&m));
-        push(&q, "B", tid(1), handle(&m));
-        push(&q, "A", tid(1), handle(&m));
-        let removed = q.delete_type("A");
-        assert_eq!(removed.len(), 2);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.snapshot()[0].0, "B");
+        each_backend(|q| {
+            let m = shm();
+            push(&q, "A", tid(1), handle(&m));
+            push(&q, "B", tid(1), handle(&m));
+            push(&q, "A", tid(1), handle(&m));
+            let removed = q.delete_type("A");
+            assert_eq!(removed.len(), 2);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.snapshot()[0].0, "B");
+        });
     }
 
     #[test]
     fn wait_times_out() {
-        let q = InQueue::new();
-        let woke = q.wait(Some(Instant::now() + Duration::from_millis(20)));
-        assert!(!woke);
+        each_backend(|q| {
+            let woke = q.wait(Some(Instant::now() + Duration::from_millis(20)));
+            assert!(!woke);
+        });
     }
 
     #[test]
     fn push_wakes_waiter() {
-        let m = Arc::new(shm());
-        let q = Arc::new(InQueue::new());
-        let q2 = q.clone();
-        let m2 = m.clone();
-        let t = std::thread::spawn(move || {
-            // Rendezvous: push only once the main thread is provably
-            // blocked in wait(), so the wake must come from the push.
-            while q2.waiters() == 0 {
-                std::thread::yield_now();
-            }
-            q2.push(
-                "A".into(),
-                tid(1),
-                m2.alloc(8, ShmTag::Message).unwrap(),
-                3,
-                0,
-                None,
-            );
+        for b in MsgBackend::ALL {
+            let m = Arc::new(shm());
+            let q = Arc::new(InQueue::with_backend(b));
+            let q2 = q.clone();
+            let m2 = m.clone();
+            let t = std::thread::spawn(move || {
+                // Rendezvous: push only once the main thread is provably
+                // blocked in wait(), so the wake must come from the push.
+                while q2.waiters() == 0 {
+                    std::thread::yield_now();
+                }
+                q2.push(
+                    "A".into(),
+                    tid(1),
+                    m2.alloc(8, ShmTag::Message).unwrap(),
+                    3,
+                    0,
+                    None,
+                );
+            });
+            let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
+            assert!(woke, "backend {b}");
+            t.join().unwrap();
+            assert_eq!(q.len(), 1, "backend {b}");
+        }
+    }
+
+    /// The scan→wait race the epoch API exists for: a message that
+    /// arrives after the scan but before the wait must not strand the
+    /// waiter.
+    #[test]
+    fn epoch_wait_sees_push_between_scan_and_wait() {
+        each_backend(|q| {
+            let m = shm();
+            let seen = q.epoch();
+            assert!(q.take_first_matching(|_| true).is_none());
+            push(&q, "A", tid(1), handle(&m));
+            // Must return immediately: the epoch moved at the push.
+            let woke = q.wait_epoch(seen, Some(Instant::now() + Duration::from_secs(5)));
+            assert!(woke);
+            assert_eq!(q.len(), 1);
         });
-        let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
-        assert!(woke);
-        t.join().unwrap();
-        assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn interrupt_wakes_without_message() {
-        let q = Arc::new(InQueue::new());
-        let q2 = q.clone();
-        let t = std::thread::spawn(move || {
-            while q2.waiters() == 0 {
-                std::thread::yield_now();
-            }
-            q2.interrupt();
-        });
-        let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
-        assert!(woke);
-        assert!(q.is_empty());
-        t.join().unwrap();
+        for b in MsgBackend::ALL {
+            let q = Arc::new(InQueue::with_backend(b));
+            let q2 = q.clone();
+            let t = std::thread::spawn(move || {
+                while q2.waiters() == 0 {
+                    std::thread::yield_now();
+                }
+                q2.interrupt();
+            });
+            let woke = q.wait(Some(Instant::now() + Duration::from_secs(5)));
+            assert!(woke, "backend {b}");
+            assert!(q.is_empty(), "backend {b}");
+            t.join().unwrap();
+        }
     }
 
     #[test]
     fn waiters_counts_blocked_threads() {
-        let q = Arc::new(InQueue::new());
-        assert_eq!(q.waiters(), 0);
-        let q2 = q.clone();
-        let t = std::thread::spawn(move || q2.wait(Some(Instant::now() + Duration::from_secs(5))));
-        while q.waiters() == 0 {
-            std::thread::yield_now();
+        for b in MsgBackend::ALL {
+            let q = Arc::new(InQueue::with_backend(b));
+            assert_eq!(q.waiters(), 0);
+            let q2 = q.clone();
+            let t =
+                std::thread::spawn(move || q2.wait(Some(Instant::now() + Duration::from_secs(5))));
+            while q.waiters() == 0 {
+                std::thread::yield_now();
+            }
+            q.interrupt();
+            assert!(t.join().unwrap(), "backend {b}");
+            assert_eq!(q.waiters(), 0, "backend {b}");
         }
-        q.interrupt();
-        assert!(t.join().unwrap());
-        assert_eq!(q.waiters(), 0);
     }
 
     #[test]
     fn snapshot_reports_bytes() {
+        each_backend(|q| {
+            let m = shm();
+            q.push(
+                "A".into(),
+                tid(9),
+                m.alloc(24, ShmTag::Message).unwrap(),
+                3,
+                0,
+                None,
+            );
+            let snap = q.snapshot();
+            assert_eq!(snap, vec![("A".to_string(), tid(9), 24)]);
+        });
+    }
+
+    /// Concurrent multi-producer stress: every message arrives exactly
+    /// once and per-sender order is preserved, on every backend.
+    #[test]
+    fn concurrent_producers_preserve_per_sender_fifo() {
+        const SENDERS: u32 = 4;
+        const PER_SENDER: usize = 200;
+        for b in MsgBackend::ALL {
+            let m = Arc::new(shm());
+            let q = Arc::new(InQueue::with_backend(b));
+            let mut producers = Vec::new();
+            for s in 0..SENDERS {
+                let q2 = q.clone();
+                let m2 = m.clone();
+                producers.push(std::thread::spawn(move || {
+                    for i in 0..PER_SENDER {
+                        q2.push(
+                            "M".into(),
+                            tid(s),
+                            m2.alloc(8, ShmTag::Message).unwrap(),
+                            3,
+                            i as u64, // per-sender sequence in sent_ticks
+                            None,
+                        );
+                    }
+                }));
+            }
+            let mut got: Vec<StoredMessage> = Vec::new();
+            let mut deadline = Instant::now() + Duration::from_secs(30);
+            while got.len() < SENDERS as usize * PER_SENDER {
+                let seen = q.epoch();
+                if let Some(msg) = q.take_first_matching(|_| true) {
+                    got.push(msg);
+                    deadline = Instant::now() + Duration::from_secs(30);
+                    continue;
+                }
+                assert!(q.wait_epoch(seen, Some(deadline)), "backend {b}: stalled");
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            // Per-sender FIFO: sent_ticks (the per-sender seq) must be
+            // increasing within each sender, and arrivals globally
+            // consistent with delivery order.
+            let mut last_seq = [0u64; SENDERS as usize];
+            let mut first = [true; SENDERS as usize];
+            for w in got.windows(2) {
+                assert!(w[0].arrival < w[1].arrival, "backend {b}: arrival order");
+            }
+            for msg in &got {
+                let s = msg.sender.unique as usize;
+                if !first[s] {
+                    assert!(
+                        msg.sent_ticks > last_seq[s],
+                        "backend {b}: sender {s} reordered"
+                    );
+                }
+                first[s] = false;
+                last_seq[s] = msg.sent_ticks;
+            }
+            assert!(q.is_empty(), "backend {b}");
+        }
+    }
+
+    /// SPSC promotion: a solo sender claims the ring; a second sender
+    /// demotes to the overflow path but nothing is lost or reordered.
+    #[test]
+    fn spsc_promotes_first_sender_and_survives_demotion() {
         let m = shm();
-        let q = InQueue::new();
-        q.push(
-            "A".into(),
-            tid(9),
-            m.alloc(24, ShmTag::Message).unwrap(),
-            3,
-            0,
-            None,
-        );
-        let snap = q.snapshot();
-        assert_eq!(snap, vec![("A".to_string(), tid(9), 24)]);
+        let q = crate::msgqueue::SpscQueue::new();
+        assert!(q.promoted_sender().is_none());
+        for i in 0..10 {
+            q.push("A".into(), tid(1), handle(&m), 3, i, None);
+        }
+        assert_eq!(q.promoted_sender(), Some(tid(1)));
+        // Second sender appears: falls back to overflow, still delivered.
+        q.push("B".into(), tid(2), handle(&m), 3, 0, None);
+        q.push("A".into(), tid(1), handle(&m), 3, 10, None);
+        assert_eq!(q.promoted_sender(), Some(tid(1)));
+        assert_eq!(q.len(), 12);
+        let mut seqs = Vec::new();
+        let mut want_all = |_: &StoredMessage| true;
+        while let Some(msg) = q.take_first_matching(&mut want_all).msg {
+            if msg.sender == tid(1) {
+                seqs.push(msg.sent_ticks);
+            }
+        }
+        assert_eq!(seqs, (0..=10).collect::<Vec<_>>());
+    }
+
+    /// SPSC ring overflow (more than RING_CAP in flight) spills to the
+    /// inbox without losing order.
+    #[test]
+    fn spsc_ring_overflow_spills_without_reorder() {
+        let m = Arc::new(shm());
+        let q = crate::msgqueue::SpscQueue::new();
+        const N: u64 = 600; // > ring capacity
+        for i in 0..N {
+            q.push("A".into(), tid(1), m.alloc(8, ShmTag::Message).unwrap(), 3, i, None);
+        }
+        assert_eq!(q.len(), N as usize);
+        let mut want_all = |_: &StoredMessage| true;
+        let mut expect = 0u64;
+        while let Some(msg) = q.take_first_matching(&mut want_all).msg {
+            assert_eq!(msg.sent_ticks, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, N);
     }
 }

@@ -255,6 +255,10 @@ pub struct MetricsRegistry {
     pub lock_hold: TickHistogram,
     /// Input-queue depth observed by each successful ACCEPT.
     pub accept_queue_depth: TickHistogram,
+    /// Messages a selective ACCEPT scan examined before matching (or the
+    /// whole queue on a miss) — the linear-search cost of
+    /// accept-by-mtype, per scan.
+    pub queue_scan_depth: TickHistogram,
     /// Size (64-bit words) of each bulk window transfer through the
     /// transfer engine (`window_get`/`window_put`/`window_move` and
     /// batched window sends).
@@ -274,6 +278,7 @@ impl Default for MetricsRegistry {
             barrier_wait: TickHistogram::new("barrier_wait", "µs"),
             lock_hold: TickHistogram::new("lock_hold", "µs"),
             accept_queue_depth: TickHistogram::new("accept_queue_depth", "messages"),
+            queue_scan_depth: TickHistogram::new("queue_scan_depth", "messages"),
             transfer_words: TickHistogram::new("transfer_words", "words"),
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
@@ -282,9 +287,9 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    /// Render every histogram that has samples (all five headers appear
-    /// even when empty, so reports are self-describing), followed by the
-    /// allocation-pool hit/miss line.
+    /// Render every histogram (all headers appear even when empty, so
+    /// reports are self-describing), followed by the allocation-pool
+    /// hit/miss line.
     pub fn report(&self) -> String {
         let mut out = String::from("histograms:\n");
         for h in [
@@ -292,6 +297,7 @@ impl MetricsRegistry {
             &self.barrier_wait,
             &self.lock_hold,
             &self.accept_queue_depth,
+            &self.queue_scan_depth,
             &self.transfer_words,
         ] {
             out.push_str(&h.snapshot().to_string());
@@ -372,16 +378,18 @@ mod tests {
     }
 
     #[test]
-    fn registry_report_names_all_five() {
+    fn registry_report_names_every_histogram() {
         let m = MetricsRegistry::default();
         m.msg_latency.record(5);
         m.transfer_words.record(768);
+        m.queue_scan_depth.record(3);
         let r = m.report();
         for name in [
             "msg_latency",
             "barrier_wait",
             "lock_hold",
             "accept_queue_depth",
+            "queue_scan_depth",
             "transfer_words",
         ] {
             assert!(r.contains(name), "{name} missing from report");

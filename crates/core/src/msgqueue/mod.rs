@@ -1,0 +1,483 @@
+//! Pluggable in-queue backends for the send→accept hot path.
+//!
+//! The paper's message primitives put one shared structure at the center
+//! of every cluster, force, and window operation: the per-task in-queue
+//! ("Messages are queued in an in-queue for the receiver in order of
+//! arrival", Section 6). This module makes that structure
+//! backend-selectable behind the [`MsgQueue`] trait:
+//!
+//! * [`MsgBackend::Mutex`] — the reference backend: one mutex + condvar
+//!   over a `VecDeque`, exactly the original implementation.
+//! * [`MsgBackend::Mpsc`] — a lock-free multi-producer inbox (Vyukov
+//!   intrusive list: one `XCHG` + one store per send) drained in batches
+//!   by the accepting task, with spin-then-park waiting.
+//! * [`MsgBackend::Spsc`] — a bounded single-producer ring for
+//!   point-to-point PE pairs. The queue promotes the *first* sender it
+//!   sees to the ring; later senders (and ring overflow) fall back to a
+//!   lock-free inbox, merged by arrival number, so promotion is safe
+//!   even when the single-sender guess turns out wrong.
+//!
+//! Every backend preserves PISCES semantics: typed accept-by-mtype
+//! selection, per-sender arrival-order FIFO, fault-injection hooks
+//! (which interpose *before* the push and therefore work unchanged),
+//! causal trace edges (the stored `cause` seq rides through any
+//! backend), queue-depth metrics (`len` is exact, counting undrained
+//! inbox messages), and the watchdog's progress fingerprints.
+//!
+//! ## Waiting without lost wakeups
+//!
+//! Lock-free pushes cannot rely on a queue lock to order "scan, then
+//! sleep" against "push, then wake", so waiting is expressed as an
+//! *eventcount*: the consumer reads [`MsgQueue::epoch`] **before**
+//! scanning, and [`MsgQueue::wait_epoch`] blocks only while the epoch is
+//! still the one it saw. A push that lands between the scan and the wait
+//! bumps the epoch and the wait returns immediately. (This also closes a
+//! window in the original mutex queue, where a push between a scan and
+//! `wait` could strand the acceptor until the next message.)
+
+pub mod mpsc;
+pub mod mutex;
+pub mod spsc;
+
+use crate::message::StoredMessage;
+use crate::taskid::TaskId;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub use mpsc::MpscQueue;
+pub use mutex::MutexQueue;
+pub use spsc::SpscQueue;
+
+/// Which in-queue implementation a machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum MsgBackend {
+    /// Mutex + condvar over a `VecDeque` (the reference backend).
+    Mutex,
+    /// Lock-free multi-producer inbox with spin-then-park acceptors.
+    Mpsc,
+    /// Bounded single-producer ring with automatic promotion and a
+    /// lock-free fallback for extra senders.
+    Spsc,
+}
+
+impl MsgBackend {
+    /// All selectable backends, for sweeps and equivalence tests.
+    pub const ALL: [MsgBackend; 3] = [MsgBackend::Mutex, MsgBackend::Mpsc, MsgBackend::Spsc];
+
+    /// Backend named by the `PISCES_MSG_BACKEND` environment variable,
+    /// if set and valid. This is how the CI matrix re-runs unchanged
+    /// test suites once per backend.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("PISCES_MSG_BACKEND").ok()?.parse().ok()
+    }
+
+    /// Lowercase name, as accepted by `--msg-backend` and used in bench
+    /// metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgBackend::Mutex => "mutex",
+            MsgBackend::Mpsc => "mpsc",
+            MsgBackend::Spsc => "spsc",
+        }
+    }
+}
+
+/// `Mutex` unless `PISCES_MSG_BACKEND` overrides it. The environment
+/// hook is deliberate: it lets the whole existing test and chaos suite
+/// run against a different backend with no code changes.
+impl Default for MsgBackend {
+    fn default() -> Self {
+        Self::from_env().unwrap_or(MsgBackend::Mutex)
+    }
+}
+
+impl FromStr for MsgBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mutex" => Ok(MsgBackend::Mutex),
+            "mpsc" => Ok(MsgBackend::Mpsc),
+            "spsc" => Ok(MsgBackend::Spsc),
+            other => Err(format!(
+                "unknown message backend {other:?} (expected mutex, mpsc, or spsc)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for MsgBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of a selective scan: the removed message (if any matched) plus
+/// how many stored messages the scan examined — the `queue_scan_depth`
+/// histogram sample.
+#[derive(Debug)]
+pub struct Take {
+    /// The earliest matching message, removed from the queue.
+    pub msg: Option<StoredMessage>,
+    /// Messages examined before the match (or the whole queue length if
+    /// nothing matched).
+    pub scanned: usize,
+}
+
+/// Outcome of pushing into a queue (re-exported through
+/// [`crate::message`]).
+#[derive(Debug)]
+pub enum PushOutcome {
+    /// Message enqueued.
+    Delivered,
+    /// The receiver has terminated; the message is handed back so the
+    /// sender can release its shared-memory block.
+    Closed(StoredMessage),
+}
+
+/// One task's in-queue, behind a selectable implementation.
+///
+/// The object-safe surface mirrors what the runtime needs: fault hooks
+/// stay *outside* (the machine interposes before calling [`push`]), and
+/// causal trace seqs ride inside [`StoredMessage`], so a backend only
+/// has to store and order messages.
+///
+/// [`push`]: MsgQueue::push
+pub trait MsgQueue: Send + Sync + std::fmt::Debug {
+    /// Enqueue a message (assigning its arrival number) and wake
+    /// waiters. `sent_pe`/`sent_ticks` carry the sender's clock reading
+    /// for latency measurement on the accept side; `cause` carries the
+    /// trace seq of the send event for the happens-before graph.
+    fn push(
+        &self,
+        mtype: String,
+        sender: TaskId,
+        handle: flex32::shmem::ShmHandle,
+        sent_pe: u8,
+        sent_ticks: u64,
+        cause: Option<u64>,
+    ) -> PushOutcome;
+
+    /// Remove and return the earliest message for which `want` returns
+    /// true, counting how many messages the scan examined.
+    fn take_first_matching(&self, want: &mut dyn FnMut(&StoredMessage) -> bool) -> Take;
+
+    /// Current signal epoch. Read this **before** scanning; pass it to
+    /// [`MsgQueue::wait_epoch`] so a push that lands between scan and
+    /// wait cannot be missed.
+    fn epoch(&self) -> u64;
+
+    /// Block until the queue is signalled past `seen` (a push, an
+    /// interrupt, or queue closure), or until `deadline` passes.
+    /// Returns `false` on timeout. Returns immediately if the epoch has
+    /// already moved or the queue is closed.
+    ///
+    /// Callers re-scan the queue after every wake; this method makes no
+    /// promise that a matching message is present.
+    fn wait_epoch(&self, seen: u64, deadline: Option<Instant>) -> bool;
+
+    /// Number of threads currently parked in [`MsgQueue::wait_epoch`].
+    /// Lets tests (and shutdown diagnostics) rendezvous with a waiter
+    /// deterministically instead of sleeping and hoping.
+    fn waiters(&self) -> usize;
+
+    /// Wake all waiters without enqueueing (used to deliver kill
+    /// requests and machine shutdown to tasks blocked in ACCEPT).
+    fn interrupt(&self);
+
+    /// Close the queue (task terminating) and drain everything still
+    /// queued so the caller can release the shared-memory blocks.
+    fn close_and_drain(&self) -> Vec<StoredMessage>;
+
+    /// Remove all messages of a given type (execution-environment menu
+    /// option 4, DELETE MESSAGES), returning them for block release.
+    fn delete_type(&self, mtype: &str) -> Vec<StoredMessage>;
+
+    /// Number of messages waiting (including any not yet drained from a
+    /// lock-free inbox — the watchdog's AcceptStall check depends on
+    /// this being exact).
+    fn len(&self) -> usize;
+
+    /// Display snapshot for the execution environment (menu option 6,
+    /// DISPLAY MESSAGE QUEUE): (type, sender, packet bytes) in arrival
+    /// order.
+    fn snapshot(&self) -> Vec<(String, TaskId, usize)>;
+
+    /// Which backend this is (for diagnostics and bench labels).
+    fn backend(&self) -> MsgBackend;
+}
+
+/// Spin iterations (CPU `pause`) before an acceptor starts yielding.
+const SPIN_HINTS: usize = 64;
+
+/// Yields after spinning, before parking on the condvar. Kept short:
+/// on a loaded host a parked thread frees the core for the producer.
+const SPIN_YIELDS: usize = 4;
+
+/// An eventcount: the spin-then-park wait primitive shared by the
+/// lock-free backends.
+///
+/// Producers [`signal`](EventCount::signal) after publishing; consumers
+/// read [`current`](EventCount::current) before scanning and
+/// [`wait`](EventCount::wait) on that epoch. The waiter commits itself
+/// (increments `waiters`) *before* re-checking the epoch under the park
+/// lock, and the producer checks `waiters` *after* bumping the epoch —
+/// with both sides sequentially consistent, one of them always sees the
+/// other, so a wakeup cannot be lost.
+#[derive(Debug, Default)]
+pub(crate) struct EventCount {
+    epoch: AtomicU64,
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl EventCount {
+    pub(crate) fn current(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
+    }
+
+    /// Publish-then-wake. Takes the park lock only when someone is (or
+    /// is about to be) parked, so the uncontended push path is two
+    /// atomic ops.
+    pub(crate) fn signal(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Spin-then-park until the epoch moves past `seen`. `false` on
+    /// timeout.
+    pub(crate) fn wait(&self, seen: u64, deadline: Option<Instant>) -> bool {
+        for _ in 0..SPIN_HINTS {
+            if self.epoch.load(Ordering::SeqCst) != seen {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..SPIN_YIELDS {
+            if self.epoch.load(Ordering::SeqCst) != seen {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.lock.lock();
+        loop {
+            // Commit as a waiter BEFORE the epoch re-check: a producer
+            // that bumped the epoch after this increment will see
+            // waiters > 0 and take the lock to notify; one that bumped
+            // before is caught by the re-check.
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) != seen {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return true;
+            }
+            let timed_out = match deadline {
+                Some(d) => self.cond.wait_until(&mut guard, d).timed_out(),
+                None => {
+                    self.cond.wait(&mut guard);
+                    false
+                }
+            };
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) != seen {
+                return true;
+            }
+            if timed_out {
+                return false;
+            }
+        }
+    }
+}
+
+/// State common to the lock-free backends: the arrival counter, the
+/// exact depth, the closed gate, and the eventcount.
+#[derive(Debug, Default)]
+pub(crate) struct Shared {
+    /// Next arrival sequence number (assigned at push).
+    arrivals: AtomicU64,
+    /// Exact queue depth, counting undrained inbox messages.
+    depth: AtomicUsize,
+    /// Set once by `close_and_drain`; later pushes bounce.
+    closed: AtomicBool,
+    /// Producers currently inside a push. `close_and_drain` waits for
+    /// this to quiesce so it cannot miss an in-flight message.
+    pushing: AtomicUsize,
+    /// The spin-then-park wait primitive.
+    pub(crate) ec: EventCount,
+}
+
+impl Shared {
+    /// Enter the push gate. Returns `false` if the queue is closed (the
+    /// gate is already released in that case).
+    fn enter_push(&self) -> bool {
+        self.pushing.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            self.pushing.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Leave the push gate after publishing, then wake waiters.
+    fn exit_push_and_signal(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.pushing.fetch_sub(1, Ordering::SeqCst);
+        self.ec.signal();
+    }
+
+    /// Assign the next arrival number.
+    fn next_arrival(&self) -> u64 {
+        self.arrivals.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Arrival number a bounced (queue-closed) message reports, matching
+    /// the mutex backend: the counter is not consumed.
+    fn arrival_if_closed(&self) -> u64 {
+        self.arrivals.load(Ordering::Relaxed)
+    }
+
+    /// Mark closed and wait until no producer is mid-push, so a
+    /// subsequent drain observes every delivered message.
+    fn close_and_quiesce(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        while self.pushing.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// Insert into a `VecDeque` kept sorted by arrival number. Drained
+/// batches arrive nearly sorted, so this walks only the (usually empty)
+/// tail of inversions.
+pub(crate) fn insert_by_arrival(pending: &mut VecDeque<StoredMessage>, msg: StoredMessage) {
+    let mut i = pending.len();
+    while i > 0 && pending[i - 1].arrival > msg.arrival {
+        i -= 1;
+    }
+    pending.insert(i, msg);
+}
+
+/// Scan `pending` for the earliest match, removing it in place.
+pub(crate) fn take_from_pending(
+    pending: &mut VecDeque<StoredMessage>,
+    want: &mut dyn FnMut(&StoredMessage) -> bool,
+) -> Take {
+    let mut scanned = 0;
+    for i in 0..pending.len() {
+        scanned += 1;
+        if want(&pending[i]) {
+            return Take {
+                msg: pending.remove(i),
+                scanned,
+            };
+        }
+    }
+    Take { msg: None, scanned }
+}
+
+/// Remove every message of `mtype` from `pending` in place (no rebuild
+/// allocation), preserving the order of the survivors.
+pub(crate) fn delete_type_in_place(
+    pending: &mut VecDeque<StoredMessage>,
+    mtype: &str,
+) -> Vec<StoredMessage> {
+    let mut removed = Vec::new();
+    let mut i = 0;
+    while i < pending.len() {
+        if pending[i].mtype == mtype {
+            removed.extend(pending.remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in MsgBackend::ALL {
+            assert_eq!(b.name().parse::<MsgBackend>().unwrap(), b);
+        }
+        assert!("flume".parse::<MsgBackend>().is_err());
+        assert_eq!("MPSC".parse::<MsgBackend>().unwrap(), MsgBackend::Mpsc);
+    }
+
+    #[test]
+    fn eventcount_signal_before_wait_returns_immediately() {
+        let ec = EventCount::default();
+        let seen = ec.current();
+        ec.signal();
+        // Must not block: the epoch already moved.
+        assert!(ec.wait(seen, None));
+    }
+
+    #[test]
+    fn eventcount_times_out_without_signal() {
+        let ec = EventCount::default();
+        let seen = ec.current();
+        assert!(!ec.wait(seen, Some(Instant::now() + Duration::from_millis(20))));
+    }
+
+    #[test]
+    fn eventcount_wakes_parked_waiter() {
+        let ec = Arc::new(EventCount::default());
+        let e2 = ec.clone();
+        let seen = ec.current();
+        let t = std::thread::spawn(move || e2.wait(seen, Some(Instant::now() + Duration::from_secs(5))));
+        while ec.waiters() == 0 {
+            std::thread::yield_now();
+        }
+        ec.signal();
+        assert!(t.join().unwrap());
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    /// The race the eventcount exists for: signals issued while the
+    /// consumer is between "read epoch" and "wait" must never strand
+    /// the waiter. Hammer the window from a producer thread.
+    #[test]
+    fn eventcount_no_lost_wakeups_under_races() {
+        let ec = Arc::new(EventCount::default());
+        let e2 = ec.clone();
+        let producer = std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                e2.signal();
+                std::thread::yield_now();
+            }
+        });
+        let deadline_each = Duration::from_secs(5);
+        let mut woken = 0;
+        for _ in 0..200 {
+            let seen = ec.current();
+            if ec.wait(seen, Some(Instant::now() + deadline_each)) {
+                woken += 1;
+            }
+        }
+        producer.join().unwrap();
+        // Every wait either saw a moved epoch or was woken; none may
+        // have burned its full 5s deadline (the test would time out).
+        assert_eq!(woken, 200);
+    }
+}

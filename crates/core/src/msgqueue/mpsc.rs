@@ -1,0 +1,256 @@
+//! Lock-free multi-producer in-queue ([`MsgBackend::Mpsc`]).
+//!
+//! Producers push onto a Vyukov-style intrusive list — one `XCHG` and
+//! one store per send, no lock, no CAS loop — and the accepting task
+//! drains the list in batches into a private `VecDeque` ordered by
+//! arrival number. Waiting uses the module's eventcount
+//! (spin-then-park), so a push landing between the acceptor's scan and
+//! its park is never lost.
+
+use super::{
+    insert_by_arrival, take_from_pending, MsgBackend, MsgQueue, PushOutcome, Shared, Take,
+};
+use crate::message::StoredMessage;
+use crate::taskid::TaskId;
+use flex32::shmem::ShmHandle;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::time::Instant;
+
+struct Node {
+    next: AtomicPtr<Node>,
+    msg: Option<StoredMessage>,
+}
+
+/// Vyukov intrusive MPSC list: `head` is the most recently pushed node
+/// (producer side), `tail` the last consumed node, kept as a stub so
+/// the list is never empty. Push is wait-free apart from one `XCHG`;
+/// the consumer walks `next` pointers and stops at a null, which can
+/// only mean either end-of-list or a producer mid-link — and a mid-link
+/// producer has not yet signalled the eventcount, so the consumer will
+/// be re-woken once the link lands.
+pub(crate) struct Inbox {
+    head: AtomicPtr<Node>,
+    /// Consumer-side cursor. Only ever touched by the thread holding
+    /// the backend's consumer lock, hence the `UnsafeCell`.
+    tail: UnsafeCell<*mut Node>,
+}
+
+// SAFETY: `head` is atomic; `tail` is only dereferenced under the
+// owning queue's consumer lock (see `drain`'s safety contract).
+unsafe impl Send for Inbox {}
+unsafe impl Sync for Inbox {}
+
+impl Inbox {
+    pub(crate) fn new() -> Self {
+        let stub = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            msg: None,
+        }));
+        Inbox {
+            head: AtomicPtr::new(stub),
+            tail: UnsafeCell::new(stub),
+        }
+    }
+
+    /// Lock-free multi-producer push.
+    pub(crate) fn push(&self, msg: StoredMessage) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            msg: Some(msg),
+        }));
+        let prev = self.head.swap(node, Ordering::AcqRel);
+        // Between the swap and this store the list is "cut" at `prev`;
+        // the consumer sees a shorter list, which is safe because this
+        // producer signals the eventcount only after linking.
+        // SAFETY: `prev` cannot be freed yet — the consumer only frees
+        // a node after advancing past it, which requires reading the
+        // non-null `next` this store publishes.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+    }
+
+    /// Drain every linked message into `sink`, freeing consumed nodes.
+    ///
+    /// # Safety
+    /// Caller must hold the owning queue's consumer lock: `tail` is
+    /// unsynchronized consumer-only state.
+    pub(crate) unsafe fn drain(&self, sink: &mut dyn FnMut(StoredMessage)) {
+        let tail_cell = self.tail.get();
+        loop {
+            let tail = *tail_cell;
+            let next = (*tail).next.load(Ordering::Acquire);
+            if next.is_null() {
+                return;
+            }
+            let msg = (*next).msg.take().expect("non-stub node carries a message");
+            *tail_cell = next;
+            drop(Box::from_raw(tail));
+            sink(msg);
+        }
+    }
+}
+
+impl Drop for Inbox {
+    fn drop(&mut self) {
+        // Exclusive access now; free the remaining chain incl. the stub.
+        unsafe {
+            let mut p = *self.tail.get();
+            while !p.is_null() {
+                let next = (*p).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(p));
+                p = next;
+            }
+        }
+    }
+}
+
+/// Lock-free MPSC in-queue with spin-then-park acceptors.
+pub struct MpscQueue {
+    shared: Shared,
+    inbox: Inbox,
+    /// Messages drained from the inbox, sorted by arrival. The lock is
+    /// effectively uncontended: the accepting task is the only hot
+    /// user; admin operations (snapshot, delete, close) are cold.
+    pending: Mutex<VecDeque<StoredMessage>>,
+}
+
+impl Default for MpscQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MpscQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        MpscQueue {
+            shared: Shared::default(),
+            inbox: Inbox::new(),
+            pending: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Drain the inbox into `pending`, merging by arrival number.
+    /// Caller must hold the `pending` lock (enforced by the `&mut`
+    /// guard contents being passed in).
+    fn drain_into(&self, pending: &mut VecDeque<StoredMessage>) {
+        // SAFETY: holding the `pending` lock is this queue's consumer
+        // lock; no other thread touches the inbox tail.
+        unsafe {
+            self.inbox.drain(&mut |m| insert_by_arrival(pending, m));
+        }
+    }
+}
+
+impl std::fmt::Debug for MpscQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscQueue")
+            .field("len", &self.len())
+            .field("shared", &self.shared)
+            .finish()
+    }
+}
+
+impl MsgQueue for MpscQueue {
+    fn push(
+        &self,
+        mtype: String,
+        sender: TaskId,
+        handle: ShmHandle,
+        sent_pe: u8,
+        sent_ticks: u64,
+        cause: Option<u64>,
+    ) -> PushOutcome {
+        if !self.shared.enter_push() {
+            return PushOutcome::Closed(StoredMessage {
+                mtype,
+                sender,
+                handle,
+                arrival: self.shared.arrival_if_closed(),
+                sent_pe,
+                sent_ticks,
+                cause,
+            });
+        }
+        let msg = StoredMessage {
+            mtype,
+            sender,
+            handle,
+            arrival: self.shared.next_arrival(),
+            sent_pe,
+            sent_ticks,
+            cause,
+        };
+        self.inbox.push(msg);
+        self.shared.exit_push_and_signal();
+        PushOutcome::Delivered
+    }
+
+    fn take_first_matching(&self, want: &mut dyn FnMut(&StoredMessage) -> bool) -> Take {
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        let take = take_from_pending(&mut pending, want);
+        if take.msg.is_some() {
+            self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        take
+    }
+
+    fn epoch(&self) -> u64 {
+        self.shared.ec.current()
+    }
+
+    fn wait_epoch(&self, seen: u64, deadline: Option<Instant>) -> bool {
+        if self.shared.is_closed() {
+            return true;
+        }
+        self.shared.ec.wait(seen, deadline)
+    }
+
+    fn waiters(&self) -> usize {
+        self.shared.ec.waiters()
+    }
+
+    fn interrupt(&self) {
+        self.shared.ec.signal();
+    }
+
+    fn close_and_drain(&self) -> Vec<StoredMessage> {
+        self.shared.close_and_quiesce();
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        let out: Vec<_> = pending.drain(..).collect();
+        self.shared.depth.store(0, Ordering::Relaxed);
+        drop(pending);
+        self.shared.ec.signal();
+        out
+    }
+
+    fn delete_type(&self, mtype: &str) -> Vec<StoredMessage> {
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        let removed = super::delete_type_in_place(&mut pending, mtype);
+        self.shared.depth.fetch_sub(removed.len(), Ordering::Relaxed);
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> Vec<(String, TaskId, usize)> {
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        pending
+            .iter()
+            .map(|m| (m.mtype.clone(), m.sender, m.handle.bytes()))
+            .collect()
+    }
+
+    fn backend(&self) -> MsgBackend {
+        MsgBackend::Mpsc
+    }
+}

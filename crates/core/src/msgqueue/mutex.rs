@@ -1,0 +1,149 @@
+//! The reference in-queue backend: one mutex + condvar over a
+//! `VecDeque`, as in the original implementation — now with a signal
+//! epoch so acceptors can scan outside the lock without losing wakeups.
+
+use super::{delete_type_in_place, take_from_pending, MsgBackend, MsgQueue, PushOutcome, Take};
+use crate::message::StoredMessage;
+use crate::taskid::TaskId;
+use flex32::shmem::ShmHandle;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct QueueState {
+    q: VecDeque<StoredMessage>,
+    next_arrival: u64,
+    closed: bool,
+    /// Threads currently blocked in `wait_epoch`. Maintained under the
+    /// state lock, so once an observer reads a non-zero value the
+    /// waiter is committed to the condvar (the wait atomically releases
+    /// the lock) and a subsequent notify cannot be lost.
+    waiters: usize,
+}
+
+/// Mutex + condvar in-queue ([`MsgBackend::Mutex`]).
+#[derive(Debug, Default)]
+pub struct MutexQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    /// Signal epoch, bumped under the state lock by every push,
+    /// interrupt, and close. Reading it outside the lock is safe: a
+    /// stale read just means `wait_epoch` returns one scan early.
+    epoch: AtomicU64,
+}
+
+impl MutexQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MsgQueue for MutexQueue {
+    fn push(
+        &self,
+        mtype: String,
+        sender: TaskId,
+        handle: ShmHandle,
+        sent_pe: u8,
+        sent_ticks: u64,
+        cause: Option<u64>,
+    ) -> PushOutcome {
+        let mut st = self.state.lock();
+        let msg = StoredMessage {
+            mtype,
+            sender,
+            handle,
+            arrival: st.next_arrival,
+            sent_pe,
+            sent_ticks,
+            cause,
+        };
+        if st.closed {
+            return PushOutcome::Closed(msg);
+        }
+        st.next_arrival += 1;
+        st.q.push_back(msg);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(st);
+        self.cond.notify_all();
+        PushOutcome::Delivered
+    }
+
+    fn take_first_matching(&self, want: &mut dyn FnMut(&StoredMessage) -> bool) -> Take {
+        let mut st = self.state.lock();
+        take_from_pending(&mut st.q, want)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn wait_epoch(&self, seen: u64, deadline: Option<Instant>) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            // The epoch only changes under the state lock, so this
+            // check-then-wait cannot miss a signal.
+            if st.closed || self.epoch.load(Ordering::SeqCst) != seen {
+                return true;
+            }
+            st.waiters += 1;
+            let timed_out = match deadline {
+                Some(d) => self.cond.wait_until(&mut st, d).timed_out(),
+                None => {
+                    self.cond.wait(&mut st);
+                    false
+                }
+            };
+            st.waiters -= 1;
+            if timed_out {
+                return self.epoch.load(Ordering::SeqCst) != seen;
+            }
+        }
+    }
+
+    fn waiters(&self) -> usize {
+        self.state.lock().waiters
+    }
+
+    fn interrupt(&self) {
+        let st = self.state.lock();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    fn close_and_drain(&self) -> Vec<StoredMessage> {
+        let mut st = self.state.lock();
+        st.closed = true;
+        let out = st.q.drain(..).collect();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(st);
+        self.cond.notify_all();
+        out
+    }
+
+    fn delete_type(&self, mtype: &str) -> Vec<StoredMessage> {
+        let mut st = self.state.lock();
+        delete_type_in_place(&mut st.q, mtype)
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().q.len()
+    }
+
+    fn snapshot(&self) -> Vec<(String, TaskId, usize)> {
+        self.state
+            .lock()
+            .q
+            .iter()
+            .map(|m| (m.mtype.clone(), m.sender, m.handle.bytes()))
+            .collect()
+    }
+
+    fn backend(&self) -> MsgBackend {
+        MsgBackend::Mutex
+    }
+}

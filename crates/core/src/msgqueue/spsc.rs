@@ -1,0 +1,286 @@
+//! Point-to-point in-queue ([`MsgBackend::Spsc`]): a bounded
+//! single-producer ring with automatic promotion.
+//!
+//! Most PISCES queues are point-to-point in steady state — a force
+//! member streaming window transfers to its neighbour, a child
+//! reporting to its parent — so the common case is exactly one sender.
+//! The first sender a queue sees is *promoted*: it claims the ring and
+//! pushes with two plain stores (slot + producer index). Any other
+//! sender — or the promoted sender when the ring is full, or when two
+//! threads race on the same sender id — falls back to the lock-free
+//! inbox from the MPSC backend. The consumer merges ring and inbox by
+//! arrival number, so correctness never depends on the single-sender
+//! guess being right; only the fast path does.
+
+use super::mpsc::Inbox;
+use super::{
+    insert_by_arrival, take_from_pending, MsgBackend, MsgQueue, PushOutcome, Shared, Take,
+};
+use crate::message::StoredMessage;
+use crate::taskid::TaskId;
+use flex32::shmem::ShmHandle;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Ring capacity (messages). Power of two; beyond this depth a
+/// point-to-point stream is acceptor-bound anyway and the inbox
+/// fallback costs one allocation per message.
+const RING_CAP: usize = 256;
+
+/// Sentinel for "no sender promoted yet" (a packed `TaskId` is always
+/// well below this).
+const SOLO_UNCLAIMED: u64 = u64::MAX;
+
+/// Bounded SPSC ring over monotonic producer/consumer indices.
+struct Ring {
+    slots: Box<[UnsafeCell<Option<StoredMessage>>]>,
+    /// Next slot to write (monotonic, masked on use).
+    prod: AtomicUsize,
+    /// Next slot to read (monotonic, masked on use).
+    cons: AtomicUsize,
+}
+
+// SAFETY: each slot is touched by the producer only before the `prod`
+// release-store that publishes it, and by the consumer only after the
+// matching acquire-load — never concurrently. Producer and consumer
+// sides are each serialized externally (`prod_gate` / consumer lock).
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            slots: (0..RING_CAP).map(|_| UnsafeCell::new(None)).collect(),
+            prod: AtomicUsize::new(0),
+            cons: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publish one message. Hands the message back if the ring is full.
+    ///
+    /// # Safety
+    /// Caller must hold the producer gate.
+    unsafe fn try_push(&self, msg: StoredMessage) -> Result<(), StoredMessage> {
+        let p = self.prod.load(Ordering::Relaxed);
+        if p.wrapping_sub(self.cons.load(Ordering::Acquire)) >= RING_CAP {
+            return Err(msg);
+        }
+        *self.slots[p & (RING_CAP - 1)].get() = Some(msg);
+        self.prod.store(p.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Pop the oldest message, if any.
+    ///
+    /// # Safety
+    /// Caller must hold the owning queue's consumer lock.
+    unsafe fn pop(&self) -> Option<StoredMessage> {
+        let c = self.cons.load(Ordering::Relaxed);
+        if c == self.prod.load(Ordering::Acquire) {
+            return None;
+        }
+        let msg = (*self.slots[c & (RING_CAP - 1)].get()).take();
+        self.cons.store(c.wrapping_add(1), Ordering::Release);
+        msg
+    }
+}
+
+/// SPSC-specialized in-queue with inbox fallback.
+pub struct SpscQueue {
+    shared: Shared,
+    ring: Ring,
+    /// Packed `TaskId` of the promoted sender; `SOLO_UNCLAIMED` until
+    /// the first push claims it.
+    solo: AtomicU64,
+    /// Exclusivity for the ring's producer side. A sender id does not
+    /// imply a single thread (the user task id, for one, can send from
+    /// several), so the fast path additionally try-locks this gate and
+    /// falls back to the inbox on contention.
+    prod_gate: AtomicBool,
+    /// Fallback path: non-promoted senders and ring overflow.
+    overflow: Inbox,
+    /// Consumer-side merge of ring + overflow, sorted by arrival.
+    pending: Mutex<VecDeque<StoredMessage>>,
+}
+
+impl Default for SpscQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpscQueue {
+    /// An open, empty queue; the first sender will claim the ring.
+    pub fn new() -> Self {
+        SpscQueue {
+            shared: Shared::default(),
+            ring: Ring::new(),
+            solo: AtomicU64::new(SOLO_UNCLAIMED),
+            prod_gate: AtomicBool::new(false),
+            overflow: Inbox::new(),
+            pending: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The promoted sender, if any (diagnostics and tests).
+    pub fn promoted_sender(&self) -> Option<TaskId> {
+        match self.solo.load(Ordering::SeqCst) {
+            SOLO_UNCLAIMED => None,
+            packed => Some(TaskId::unpack(packed)),
+        }
+    }
+
+    /// Drain ring and overflow into `pending`, merging by arrival.
+    /// Caller must hold the `pending` lock.
+    fn drain_into(&self, pending: &mut VecDeque<StoredMessage>) {
+        // SAFETY: the `pending` lock is this queue's consumer lock.
+        unsafe {
+            while let Some(m) = self.ring.pop() {
+                insert_by_arrival(pending, m);
+            }
+            self.overflow.drain(&mut |m| insert_by_arrival(pending, m));
+        }
+    }
+}
+
+impl std::fmt::Debug for SpscQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscQueue")
+            .field("len", &self.len())
+            .field("promoted_sender", &self.promoted_sender())
+            .field("shared", &self.shared)
+            .finish()
+    }
+}
+
+impl MsgQueue for SpscQueue {
+    fn push(
+        &self,
+        mtype: String,
+        sender: TaskId,
+        handle: ShmHandle,
+        sent_pe: u8,
+        sent_ticks: u64,
+        cause: Option<u64>,
+    ) -> PushOutcome {
+        if !self.shared.enter_push() {
+            return PushOutcome::Closed(StoredMessage {
+                mtype,
+                sender,
+                handle,
+                arrival: self.shared.arrival_if_closed(),
+                sent_pe,
+                sent_ticks,
+                cause,
+            });
+        }
+        let msg = StoredMessage {
+            mtype,
+            sender,
+            handle,
+            arrival: self.shared.next_arrival(),
+            sent_pe,
+            sent_ticks,
+            cause,
+        };
+        let packed = sender.pack();
+        let promoted = match self.solo.compare_exchange(
+            SOLO_UNCLAIMED,
+            packed,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => true,
+            Err(current) => current == packed,
+        };
+        // `leftover` holds the message until some path accepts it.
+        let mut leftover = Some(msg);
+        if promoted
+            && self
+                .prod_gate
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            // SAFETY: the gate CAS makes this thread the sole ring
+            // producer until the release below.
+            let res = unsafe { self.ring.try_push(leftover.take().expect("just set")) };
+            self.prod_gate.store(false, Ordering::Release);
+            if let Err(back) = res {
+                leftover = Some(back);
+            }
+        }
+        if let Some(m) = leftover {
+            self.overflow.push(m);
+        }
+        self.shared.exit_push_and_signal();
+        PushOutcome::Delivered
+    }
+
+    fn take_first_matching(&self, want: &mut dyn FnMut(&StoredMessage) -> bool) -> Take {
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        let take = take_from_pending(&mut pending, want);
+        if take.msg.is_some() {
+            self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        take
+    }
+
+    fn epoch(&self) -> u64 {
+        self.shared.ec.current()
+    }
+
+    fn wait_epoch(&self, seen: u64, deadline: Option<Instant>) -> bool {
+        if self.shared.is_closed() {
+            return true;
+        }
+        self.shared.ec.wait(seen, deadline)
+    }
+
+    fn waiters(&self) -> usize {
+        self.shared.ec.waiters()
+    }
+
+    fn interrupt(&self) {
+        self.shared.ec.signal();
+    }
+
+    fn close_and_drain(&self) -> Vec<StoredMessage> {
+        self.shared.close_and_quiesce();
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        let out: Vec<_> = pending.drain(..).collect();
+        self.shared.depth.store(0, Ordering::Relaxed);
+        drop(pending);
+        self.shared.ec.signal();
+        out
+    }
+
+    fn delete_type(&self, mtype: &str) -> Vec<StoredMessage> {
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        let removed = super::delete_type_in_place(&mut pending, mtype);
+        self.shared.depth.fetch_sub(removed.len(), Ordering::Relaxed);
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> Vec<(String, TaskId, usize)> {
+        let mut pending = self.pending.lock();
+        self.drain_into(&mut pending);
+        pending
+            .iter()
+            .map(|m| (m.mtype.clone(), m.sender, m.handle.bytes()))
+            .collect()
+    }
+
+    fn backend(&self) -> MsgBackend {
+        MsgBackend::Spsc
+    }
+}

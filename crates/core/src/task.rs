@@ -9,6 +9,7 @@
 //! records.
 
 use crate::message::InQueue;
+use crate::msgqueue::MsgBackend;
 use crate::taskid::TaskId;
 use flex32::pe::PeId;
 use flex32::shmem::ShmHandle;
@@ -75,7 +76,9 @@ pub struct TaskEntry {
 }
 
 impl TaskEntry {
-    /// Create a record for a task about to start.
+    /// Create a record for a task about to start. `backend` selects the
+    /// in-queue implementation (from `MachineConfig::msg_backend`).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: TaskId,
         tasktype: String,
@@ -84,6 +87,7 @@ impl TaskEntry {
         parent: TaskId,
         is_controller: bool,
         state_record: Option<ShmHandle>,
+        backend: MsgBackend,
     ) -> Self {
         Self {
             id,
@@ -91,7 +95,7 @@ impl TaskEntry {
             pe,
             pid,
             parent,
-            inq: InQueue::new(),
+            inq: InQueue::with_backend(backend),
             kill: AtomicBool::new(false),
             is_controller,
             run_state: Mutex::new(TaskRunState::Ready),
@@ -184,6 +188,7 @@ mod tests {
             USER_ID,
             false,
             None,
+            MsgBackend::Mutex,
         );
         assert!(!e.killed());
         e.request_kill();
@@ -200,6 +205,7 @@ mod tests {
             USER_ID,
             false,
             None,
+            MsgBackend::Mutex,
         );
         assert_eq!(e.next_seq(), 0);
         assert_eq!(e.next_seq(), 1);

@@ -446,6 +446,7 @@ pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
         &m.barrier_wait,
         &m.lock_hold,
         &m.accept_queue_depth,
+        &m.queue_scan_depth,
         &m.transfer_words,
     ] {
         let s = h.snapshot();

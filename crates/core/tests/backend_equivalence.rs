@@ -1,0 +1,258 @@
+//! Backend equivalence: the three in-queue backends (`mutex`, `mpsc`,
+//! `spsc`) must be observationally identical. A PISCES program cannot
+//! tell which backend its machine was built with — only the clock can.
+//!
+//! Three angles:
+//!
+//! * a seeded single-threaded send/accept/discard script replayed
+//!   against each backend must produce byte-identical event logs,
+//!   including the final drain order;
+//! * concurrent producers must preserve per-sender arrival-order FIFO
+//!   and lose nothing, on every backend;
+//! * a machine under an armed chaos plan must deliver the same number
+//!   of FAULT$ notices regardless of backend.
+//!
+//! The proptest twin (`backend_equivalence_proptest.rs`) searches
+//! arbitrary scripts over the same harness; this file pins a seeded
+//! sample of them so the offline tier-1 run covers the property too.
+
+use flex32::fault::FaultPlan;
+use flex32::shmem::{SharedMemory, ShmTag};
+use pisces_core::message::InQueue;
+use pisces_core::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MTYPES: [&str; 3] = ["A", "B", "C"];
+const SENDERS: usize = 4;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Push one message from `sender` with mtype `MTYPES[mtype]`.
+    Send { sender: usize, mtype: usize },
+    /// Accept the earliest message of any type.
+    AcceptAny,
+    /// Accept the earliest message of one type.
+    AcceptType(usize),
+    /// Discard every queued message of one type.
+    DeleteType(usize),
+}
+
+/// A seeded script, weighted toward sends so queues actually fill.
+fn script(seed: u64, len: usize) -> Vec<Op> {
+    let mut s = seed.max(1);
+    (0..len)
+        .map(|_| match xorshift(&mut s) % 10 {
+            0..=4 => Op::Send {
+                sender: xorshift(&mut s) as usize % SENDERS,
+                mtype: xorshift(&mut s) as usize % MTYPES.len(),
+            },
+            5..=7 => Op::AcceptAny,
+            8 => Op::AcceptType(xorshift(&mut s) as usize % MTYPES.len()),
+            _ => Op::DeleteType(xorshift(&mut s) as usize % MTYPES.len()),
+        })
+        .collect()
+}
+
+/// Replay `ops` against a fresh queue of the given backend and return
+/// the observable event log (accepts, misses, discards, final drain).
+fn run_script(backend: MsgBackend, ops: &[Op]) -> Vec<String> {
+    let shm = SharedMemory::with_capacity(65536);
+    let handle = shm.alloc(64, ShmTag::Message).expect("script shm");
+    let q = InQueue::with_backend(backend);
+    let mut ticks = [0u64; SENDERS];
+    let mut last_accepted: HashMap<u32, u64> = HashMap::new();
+    let mut log = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Send { sender, mtype } => {
+                ticks[sender] += 1;
+                let id = TaskId::new(1, 3, sender as u32 + 1);
+                q.push(MTYPES[mtype].to_string(), id, handle, 3, ticks[sender], None);
+            }
+            Op::AcceptAny => match q.take_first_matching(|_| true) {
+                Some(m) => {
+                    let prev = last_accepted.insert(m.sender.unique, m.sent_ticks);
+                    assert!(
+                        prev.is_none_or(|p| p < m.sent_ticks),
+                        "{backend:?}: sender {} went backwards ({prev:?} -> {})",
+                        m.sender.unique,
+                        m.sent_ticks
+                    );
+                    log.push(format!("acc {} s{} t{}", m.mtype, m.sender.unique, m.sent_ticks));
+                }
+                None => log.push("acc -".into()),
+            },
+            Op::AcceptType(t) => match q.take_first_matching(|m| m.mtype == MTYPES[t]) {
+                Some(m) => {
+                    log.push(format!("acc {} s{} t{}", m.mtype, m.sender.unique, m.sent_ticks))
+                }
+                None => log.push(format!("acc {} -", MTYPES[t])),
+            },
+            Op::DeleteType(t) => {
+                let removed = q.delete_type(MTYPES[t]);
+                let ids: Vec<String> = removed
+                    .iter()
+                    .map(|m| format!("s{}t{}", m.sender.unique, m.sent_ticks))
+                    .collect();
+                log.push(format!("del {} [{}]", MTYPES[t], ids.join(",")));
+            }
+        }
+    }
+    for m in q.close_and_drain() {
+        log.push(format!("drain {} s{} t{}", m.mtype, m.sender.unique, m.sent_ticks));
+    }
+    log
+}
+
+#[test]
+fn seeded_scripts_replay_identically_on_every_backend() {
+    for seed in [0x5EED_1u64, 0xDECAF_2, 0xFACADE_3, 0xB0A7_4, 0xC0FFEE_5] {
+        let ops = script(seed, 400);
+        let reference = run_script(MsgBackend::Mutex, &ops);
+        for backend in [MsgBackend::Mpsc, MsgBackend::Spsc] {
+            let got = run_script(backend, &ops);
+            assert_eq!(
+                got, reference,
+                "script {seed:#x}: {backend:?} diverged from the mutex reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_producers_lose_nothing_and_keep_fifo_on_every_backend() {
+    const PER_SENDER: u64 = 400;
+    for backend in MsgBackend::ALL {
+        let shm = SharedMemory::with_capacity(65536);
+        let handle = shm.alloc(64, ShmTag::Message).expect("shm");
+        let q = Arc::new(InQueue::with_backend(backend));
+        std::thread::scope(|s| {
+            for sender in 0..SENDERS {
+                let q = q.clone();
+                s.spawn(move || {
+                    let id = TaskId::new(1, 3, sender as u32 + 1);
+                    for tick in 1..=PER_SENDER {
+                        let mtype = MTYPES[tick as usize % MTYPES.len()];
+                        q.push(mtype.to_string(), id, handle, 3, tick, None);
+                    }
+                });
+            }
+            let q = q.clone();
+            s.spawn(move || {
+                let total = SENDERS as u64 * PER_SENDER;
+                let mut last: HashMap<u32, u64> = HashMap::new();
+                let mut got = 0u64;
+                let deadline = Instant::now() + Duration::from_secs(30);
+                while got < total {
+                    let epoch = q.epoch();
+                    while let Some(m) = q.take_first_matching(|_| true) {
+                        let prev = last.insert(m.sender.unique, m.sent_ticks);
+                        assert!(
+                            prev.is_none_or(|p| p < m.sent_ticks),
+                            "{backend:?}: sender {} out of order",
+                            m.sender.unique
+                        );
+                        got += 1;
+                    }
+                    if got < total {
+                        assert!(Instant::now() < deadline, "{backend:?}: stalled at {got}/{total}");
+                        q.wait_epoch(epoch, Some(Instant::now() + Duration::from_millis(50)));
+                    }
+                }
+                // Every sender's full sequence arrived.
+                for sender in 1..=SENDERS as u32 {
+                    assert_eq!(last.get(&sender), Some(&PER_SENDER), "{backend:?}");
+                }
+            });
+        });
+        assert!(q.is_empty(), "{backend:?}: queue should be drained");
+    }
+}
+
+/// Identical chaos plan, identical workload, per backend: a peer's PE
+/// fail-stops mid-handshake and every send to it must come back as a
+/// FAULT$ notice. The notice count and the machine's fault statistics
+/// may not depend on the queue backend.
+#[test]
+fn fault_notice_counts_match_across_backends() {
+    const SENDS: i64 = 3;
+    let mut outcomes = Vec::new();
+    for backend in MsgBackend::ALL {
+        let mut cfg = MachineConfig::builder()
+            .clusters([
+                ClusterConfig::new(1, 3, 2).with_terminal(),
+                ClusterConfig::new(2, 4, 2),
+            ])
+            .build();
+        cfg.msg_backend = backend;
+        let p = Pisces::boot(flex32::Flex32::new_shared(), cfg).expect("boot");
+        p.arm_faults(FaultPlan::new(0xE01234).fail_pe(4, 3_000));
+
+        p.register("peer", |ctx| {
+            ctx.send(To::Parent, "HELLO", vec![])?;
+            let _ = ctx
+                .accept()
+                .of(1)
+                .signal("GO$")
+                .delay_then(Duration::from_millis(800), || {})
+                .run();
+            Ok(())
+        });
+        let notices = Arc::new(AtomicUsize::new(0));
+        let n2 = notices.clone();
+        p.register("coord", move |ctx| {
+            ctx.initiate(Where::Cluster(2), "peer", vec![])?;
+            let mut child = None;
+            ctx.accept()
+                .of(1)
+                .handle("HELLO", |m| {
+                    child = Some(m.sender);
+                    Ok(())
+                })
+                .run()?;
+            let child = child.expect("HELLO carried the peer id");
+            ctx.work(5_000)?;
+            for k in 0..SENDS {
+                ctx.send(To::Task(child), "DATA", args![k])?;
+            }
+            let n = n2.clone();
+            ctx.accept()
+                .of(SENDS as usize)
+                .handle("FAULT$", move |_| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                })
+                .run()?;
+            Ok(())
+        });
+        p.initiate_top_level(1, "coord", vec![]).expect("initiate");
+        assert!(
+            p.wait_quiescent(Duration::from_secs(30)),
+            "{backend:?}: machine failed to quiesce:\n{}",
+            p.dump_state()
+        );
+        let stats = p.stats().snapshot();
+        p.shutdown();
+        outcomes.push((
+            backend,
+            notices.load(Ordering::Relaxed),
+            stats.fault_notices,
+        ));
+    }
+    let (_, ref_notices, ref_stat) = outcomes[0];
+    assert_eq!(ref_notices, SENDS as usize, "every send must fault: {outcomes:?}");
+    for &(backend, accepted, stat) in &outcomes {
+        assert_eq!(accepted, ref_notices, "{backend:?} diverged: {outcomes:?}");
+        assert_eq!(stat, ref_stat, "{backend:?} stats diverged: {outcomes:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-test twin of `backend_equivalence.rs`: arbitrary
+//! send/accept/discard scripts — not just the seeded samples — replay
+//! identically on every in-queue backend. Runs under cargo/CI; the
+//! offline tier-1 harness covers the pinned seeds instead.
+
+use flex32::shmem::{SharedMemory, ShmTag};
+use pisces_core::message::InQueue;
+use pisces_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const MTYPES: [&str; 3] = ["A", "B", "C"];
+const SENDERS: u32 = 4;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Send { sender: u32, mtype: usize },
+    AcceptAny,
+    AcceptType(usize),
+    DeleteType(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..SENDERS, 0..MTYPES.len()).prop_map(|(sender, mtype)| Op::Send { sender, mtype }),
+        3 => Just(Op::AcceptAny),
+        1 => (0..MTYPES.len()).prop_map(Op::AcceptType),
+        1 => (0..MTYPES.len()).prop_map(Op::DeleteType),
+    ]
+}
+
+/// Replay `ops` and return the observable event log; asserts per-sender
+/// FIFO along the way.
+fn run_script(backend: MsgBackend, ops: &[Op]) -> Vec<String> {
+    let shm = SharedMemory::with_capacity(65536);
+    let handle = shm.alloc(64, ShmTag::Message).expect("script shm");
+    let q = InQueue::with_backend(backend);
+    let mut ticks = HashMap::new();
+    let mut last_accepted: HashMap<u32, u64> = HashMap::new();
+    let mut log = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Send { sender, mtype } => {
+                let tick = ticks.entry(sender).or_insert(0u64);
+                *tick += 1;
+                let id = TaskId::new(1, 3, sender + 1);
+                q.push(MTYPES[mtype].to_string(), id, handle, 3, *tick, None);
+            }
+            Op::AcceptAny => match q.take_first_matching(|_| true) {
+                Some(m) => {
+                    let prev = last_accepted.insert(m.sender.unique, m.sent_ticks);
+                    assert!(
+                        prev.is_none_or(|p| p < m.sent_ticks),
+                        "{backend:?}: sender {} went backwards",
+                        m.sender.unique
+                    );
+                    log.push(format!("acc {} s{} t{}", m.mtype, m.sender.unique, m.sent_ticks));
+                }
+                None => log.push("acc -".into()),
+            },
+            Op::AcceptType(t) => match q.take_first_matching(|m| m.mtype == MTYPES[t]) {
+                Some(m) => {
+                    log.push(format!("acc {} s{} t{}", m.mtype, m.sender.unique, m.sent_ticks))
+                }
+                None => log.push(format!("acc {} -", MTYPES[t])),
+            },
+            Op::DeleteType(t) => {
+                let removed = q.delete_type(MTYPES[t]);
+                let ids: Vec<String> = removed
+                    .iter()
+                    .map(|m| format!("s{}t{}", m.sender.unique, m.sent_ticks))
+                    .collect();
+                log.push(format!("del {} [{}]", MTYPES[t], ids.join(",")));
+            }
+        }
+    }
+    for m in q.close_and_drain() {
+        log.push(format!("drain {} s{} t{}", m.mtype, m.sender.unique, m.sent_ticks));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_scripts_replay_identically(
+        ops in prop::collection::vec(op_strategy(), 1..300)
+    ) {
+        let reference = run_script(MsgBackend::Mutex, &ops);
+        for backend in [MsgBackend::Mpsc, MsgBackend::Spsc] {
+            prop_assert_eq!(
+                &run_script(backend, &ops),
+                &reference,
+                "{:?} diverged from the mutex reference",
+                backend
+            );
+        }
+    }
+}

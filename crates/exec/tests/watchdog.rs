@@ -213,6 +213,73 @@ fn delay_armed_accept_under_slow_pe_stays_exempt() {
     p.shutdown();
 }
 
+/// Healthy cross-cluster ping-pong on the lock-free backends, sampled
+/// densely for the whole run: acceptors spin briefly and then park on
+/// the eventcount, and the machine fingerprint keeps moving while
+/// messages flow — so the watchdog must never report an `AcceptStall`.
+/// This is the deflake guarantee for the backend-selectable hot path:
+/// a parked lock-free acceptor is indistinguishable from a parked
+/// mutex-queue acceptor as far as stall detection is concerned.
+#[test]
+fn busy_lockfree_acceptors_never_trip_accept_stall() {
+    const ROUNDS: usize = 300;
+    for backend in [MsgBackend::Mpsc, MsgBackend::Spsc] {
+        let mut cfg = two_cluster_config();
+        cfg.msg_backend = backend;
+        let p = boot(cfg);
+
+        p.register("echo", |ctx| {
+            ctx.send(To::Parent, "HELLO", vec![])?;
+            for _ in 0..ROUNDS {
+                ctx.accept().of(1).signal("PING").run()?;
+                ctx.send(To::Parent, "PONG", vec![])?;
+            }
+            Ok(())
+        });
+        p.register("driver", |ctx| {
+            ctx.initiate(Where::Cluster(2), "echo", vec![])?;
+            let mut child = None;
+            ctx.accept()
+                .of(1)
+                .handle("HELLO", |m| {
+                    child = Some(m.sender);
+                    Ok(())
+                })
+                .run()?;
+            let child = child.expect("HELLO carried the echo id");
+            for _ in 0..ROUNDS {
+                ctx.send(To::Task(child), "PING", vec![])?;
+                ctx.accept().of(1).signal("PONG").run()?;
+            }
+            Ok(())
+        });
+        p.initiate_top_level(1, "driver", vec![]).expect("initiate");
+
+        let mut wd = Watchdog::new(p.clone(), WatchdogConfig::default());
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let r = wd.sample();
+            assert!(
+                r.is_empty(),
+                "{backend:?}: false positive on healthy ping-pong traffic: {r:?}"
+            );
+            if p.wait_quiescent(Duration::from_millis(3)) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{backend:?}: ping-pong failed to finish"
+            );
+        }
+        // Drained and still silent.
+        for _ in 0..20 {
+            let r = wd.sample();
+            assert!(r.is_empty(), "{backend:?}: report after quiescence: {r:?}");
+        }
+        p.shutdown();
+    }
+}
+
 /// A machine that finishes its workload must never trip the watchdog,
 /// no matter how long it is sampled afterwards: quiescent-but-healthy
 /// (only controllers blocked) is not a stall.

@@ -1,0 +1,94 @@
+//! Best-effort thread→core pinning for simulated PEs.
+//!
+//! On the real FLEX/32 a PE *is* a processor: a task mapped to PE 5
+//! never migrates. When the host has multiple cores, pinning each
+//! simulated-PE thread to a fixed core reproduces that placement and
+//! removes OS-scheduler migration noise from backend comparisons.
+//!
+//! Implemented with a raw `sched_setaffinity` syscall on x86-64 Linux
+//! (no libc dependency); everywhere else [`pin_to_core`] reports
+//! `false` and the machine runs unpinned. Failure is never an error:
+//! pinning is an optimization of the simulation, not a semantic.
+
+/// Number of cores the host exposes (at least 1).
+pub fn core_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether this build can actually pin threads.
+pub fn supported() -> bool {
+    cfg!(all(target_os = "linux", target_arch = "x86_64"))
+}
+
+/// Pin the calling thread to a core chosen for logical PE slot `slot`
+/// (slots map round-robin onto the host's cores). Returns whether the
+/// pin took effect.
+pub fn pin_current_thread(slot: usize) -> bool {
+    pin_to_core(slot % core_count())
+}
+
+/// Pin the calling thread to exactly `core`. Returns whether the pin
+/// took effect.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn pin_to_core(core: usize) -> bool {
+    const MASK_WORDS: usize = 16; // 1024 CPUs
+    if core >= MASK_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    let ret: i64;
+    // SAFETY: sched_setaffinity(pid=0 → calling thread, len, mask) reads
+    // `mask` only; no memory is written by the kernel.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,               // pid 0 = current thread
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Pin the calling thread to exactly `core` (unsupported platform:
+/// always `false`).
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_count_is_positive() {
+        assert!(core_count() >= 1);
+    }
+
+    #[test]
+    fn pin_to_core_zero_succeeds_where_supported() {
+        // Core 0 always exists; on supported platforms the syscall must
+        // take effect, elsewhere the stub reports false.
+        assert_eq!(pin_to_core(0), supported());
+    }
+
+    #[test]
+    fn pin_out_of_range_core_fails() {
+        assert!(!pin_to_core(usize::MAX));
+    }
+
+    #[test]
+    fn slot_mapping_wraps_round_robin() {
+        // Must not panic for any slot, and wraps modulo the core count.
+        let _ = pin_current_thread(0);
+        let _ = pin_current_thread(core_count() + 3);
+    }
+}

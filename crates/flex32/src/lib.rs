@@ -24,6 +24,7 @@
 //! serialize at runtime-call granularity, while activities on distinct PEs
 //! run genuinely in parallel — the same concurrency structure as the FLEX.
 
+pub mod affinity;
 pub mod clock;
 pub mod cpu;
 pub mod fault;

@@ -41,6 +41,8 @@ struct Options {
     timeout_secs: u64,
     telemetry_port: Option<u16>,
     flight_dir: Option<String>,
+    msg_backend: Option<MsgBackend>,
+    pin_pes: bool,
 }
 
 fn usage() -> ! {
@@ -64,6 +66,8 @@ fn usage() -> ! {
            --timeout <secs>      quiescence timeout (default 60)\n\
            --telemetry-port <n>  serve live OpenMetrics on 127.0.0.1:<n> (0 = ephemeral)\n\
            --flight-dir <path>   arm the flight recorder; dumps land in <path>\n\
+           --msg-backend <b>     in-queue backend: mutex (default), mpsc, or spsc\n\
+           --pin-pes             pin simulated-PE threads to fixed cores\n\
          \n\
          report options:\n\
            --perfetto <out>      also write Chrome trace-event JSON for Perfetto\n\
@@ -92,6 +96,8 @@ fn parse_args() -> Options {
         timeout_secs: 60,
         telemetry_port: None,
         flight_dir: None,
+        msg_backend: None,
+        pin_pes: false,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -141,6 +147,17 @@ fn parse_args() -> Options {
                 )
             }
             "--flight-dir" => o.flight_dir = Some(need(&mut args, "--flight-dir")),
+            "--msg-backend" => {
+                o.msg_backend = Some(
+                    need(&mut args, "--msg-backend")
+                        .parse()
+                        .unwrap_or_else(|e: String| {
+                            eprintln!("{e}");
+                            usage()
+                        }),
+                )
+            }
+            "--pin-pes" => o.pin_pes = true,
             "-h" | "--help" => usage(),
             other if o.source.is_empty() && !other.starts_with('-') => o.source = a,
             _ => usage(),
@@ -164,6 +181,12 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
         }
         if o.flight_dir.is_some() {
             config.telemetry.flight_dir = o.flight_dir.clone();
+        }
+        if let Some(b) = o.msg_backend {
+            config.msg_backend = b;
+        }
+        if o.pin_pes {
+            config.pin_pes = true;
         }
         config.validate()?;
         return Ok(config);
@@ -191,6 +214,12 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
     }
     if o.flight_dir.is_some() {
         config.telemetry.flight_dir = o.flight_dir.clone();
+    }
+    if let Some(b) = o.msg_backend {
+        config.msg_backend = b;
+    }
+    if o.pin_pes {
+        config.pin_pes = true;
     }
     config.validate()?;
     Ok(config)

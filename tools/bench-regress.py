@@ -30,29 +30,52 @@ import sys
 
 GATED_SUFFIXES = ("_ns", "_ns_per_iter")
 
+# Run labels that are standing datasets rather than before/after pairs.
+# `backends` holds the in-queue backend × payload × producer matrix
+# (per-backend metric names like `mpsc_roundtrip_16w_4p_ns`); it is
+# compared against the committed `backends` run, never against `pre`/
+# `post` labels — the namespaces are disjoint.
+SPECIAL_RUNS = ("backends",)
+
 
 def newest_run(doc):
-    """Pick (label, metrics) of the newest run; ties → last listed."""
+    """Pick (label, metrics) of the newest ordinary run; ties → last
+    listed. Special standing runs (see SPECIAL_RUNS) are excluded."""
     best = None
     for label, run in doc.get("runs", {}).items():
+        if label in SPECIAL_RUNS:
+            continue
         at = run.get("captured_at_unix", 0)
         if best is None or at >= best[0]:
             best = (at, label, run.get("metrics", {}))
     return (best[1], best[2]) if best else (None, {})
 
 
+def special_runs(doc):
+    """{name: metrics} for the standing runs present in `doc`."""
+    runs = doc.get("runs", {})
+    return {
+        name: runs[name].get("metrics", {})
+        for name in SPECIAL_RUNS
+        if name in runs
+    }
+
+
 def load_json_dir(d):
-    """{suite: (label, metrics)} from BENCH_*.json files in `d`."""
+    """{suite: {"labelled": (label, metrics), "special": {name: metrics}}}
+    from BENCH_*.json files in `d`."""
     out = {}
     for path in sorted(pathlib.Path(d).glob("BENCH_*.json")):
         doc = json.loads(path.read_text())
         suite = doc.get("suite", path.stem.replace("BENCH_", ""))
-        out[suite] = newest_run(doc)
+        out[suite] = {"labelled": newest_run(doc), "special": special_runs(doc)}
     return out
 
 
 def load_txt(path):
-    """{suite: (None, metrics)} from `suite key=value` lines."""
+    """{suite: {"labelled": (None, metrics), "special": {}}} from
+    `suite key=value` lines. The offline harness may report backend
+    matrix cells as `suite.backends key=value`."""
     out = {}
     for line in pathlib.Path(path).read_text().splitlines():
         parts = line.strip().split()
@@ -61,9 +84,15 @@ def load_txt(path):
         suite, kv = parts
         key, _, value = kv.partition("=")
         try:
-            out.setdefault(suite, (None, {}))[1][key] = float(value)
+            v = float(value)
         except ValueError:
-            pass
+            continue
+        suite, _, special = suite.partition(".")
+        slot = out.setdefault(suite, {"labelled": (None, {}), "special": {}})
+        if special:
+            slot["special"].setdefault(special, {})[key] = v
+        else:
+            slot["labelled"][1][key] = v
     return out
 
 
@@ -105,13 +134,9 @@ def main():
         return 2
 
     regressions = []
-    for suite in sorted(baseline):
-        base_label, base = baseline[suite]
-        cur_label, cur = current.get(suite, (None, {}))
-        if not cur:
-            print(f"warning: suite {suite!r} missing from current capture — not gated", file=sys.stderr)
-            continue
-        header = f"suite: {suite} (baseline run: {base_label or '?'}"
+
+    def compare(name, base_label, base, cur_label, cur):
+        header = f"suite: {name} (baseline run: {base_label or '?'}"
         header += f", current run: {cur_label})" if cur_label else ")"
         print(header)
         print(f"  {'metric':<36} {'baseline':>12} {'current':>12} {'delta':>9}  status")
@@ -126,7 +151,7 @@ def main():
                 status = "info"
             elif delta > args.threshold:
                 status = "REGRESSION"
-                regressions.append((suite, key, b, c, delta))
+                regressions.append((name, key, b, c, delta))
             elif delta < -args.threshold:
                 status = "improved"
             else:
@@ -135,6 +160,23 @@ def main():
         for key in sorted(set(cur) - set(base)):
             print(f"  {key:<36} {'—':>12} {float(cur[key]):>12.1f} {'—':>9}  new (not gated)")
         print()
+
+    for suite in sorted(baseline):
+        base_label, base = baseline[suite]["labelled"]
+        cur_suite = current.get(suite, {"labelled": (None, {}), "special": {}})
+        cur_label, cur = cur_suite["labelled"]
+        if cur:
+            compare(suite, base_label, base, cur_label, cur)
+        else:
+            print(f"warning: suite {suite!r} missing from current capture — not gated", file=sys.stderr)
+        # Standing runs (e.g. the backend matrix) gate against their own
+        # committed counterpart, using the same per-backend metric names.
+        for name, base_special in sorted(baseline[suite]["special"].items()):
+            cur_special = cur_suite["special"].get(name, {})
+            if not cur_special:
+                print(f"warning: standing run {suite}.{name} missing from current capture — not gated", file=sys.stderr)
+                continue
+            compare(f"{suite}.{name}", name, base_special, name, cur_special)
 
     if not regressions:
         print(f"bench-regress: no time-per-op metric worsened by more than {args.threshold:.0f}%")
