@@ -20,9 +20,28 @@ rustc --edition 2021 -O --crate-type lib --crate-name pisces_exec crates/exec/sr
   --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_config crates/config/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern serde=$O/libserde.rlib --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_fortran crates/fortran/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_server crates/server/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
+  --extern pisces_fortran=$O/libpisces_fortran.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-name piscesd crates/server/src/bin/piscesd.rs \
+  --extern pisces_server=$O/libpisces_server.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib --extern flex32=$O/libflex32.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/piscesd
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_chaos crates/chaos/src/lib.rs \
   --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
   --extern pisces_exec=$O/libpisces_exec.rlib \
+  --extern pisces_server=$O/libpisces_server.rlib \
   --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O --out-dir $O
@@ -30,12 +49,23 @@ rustc --edition 2021 -O --crate-name pisces_chaos_bin crates/chaos/src/main.rs \
   --extern pisces_chaos=$O/libpisces_chaos.rlib \
   --extern pisces_core=$O/libpisces_core.rlib \
   -L dependency=$O -o $O/pisces-chaos
+rustc --edition 2021 -O --crate-type lib --crate-name pisces src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
+  --extern pisces_fortran=$O/libpisces_fortran.rlib --extern pisces_server=$O/libpisces_server.rlib \
+  --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-name pisces_main src/main.rs \
+  --extern pisces=$O/libpisces.rlib --extern serde_json=$O/libserde_json.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O -o $O/pisces
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_bench crates/bench/src/lib.rs \
   --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-name bench_snapshot crates/bench/src/bin/bench-snapshot.rs \
   --extern pisces_bench=$O/libpisces_bench.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_server=$O/libpisces_server.rlib \
   --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
   --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O -o $O/bench-snapshot
@@ -53,6 +83,11 @@ rustc --edition 2021 -O --test --crate-name pisces_exec crates/exec/src/lib.rs \
   --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O -o $O/exec_tests
+rustc --edition 2021 -O --test --crate-name pisces_server crates/server/src/lib.rs \
+  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
+  --extern pisces_fortran=$O/libpisces_fortran.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/server_tests
 # integration tests (proptest-based ones skipped: no proptest offline)
 for t in barrier forces runtime accept_semantics failure_injection windows backend_equivalence; do
   rustc --edition 2021 -O --test --crate-name $t crates/core/tests/$t.rs \
@@ -73,4 +108,9 @@ rustc --edition 2021 -O --test --crate-name causality crates/chaos/tests/causali
   --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_causality
+rustc --edition 2021 -O --test --crate-name service_e2e crates/server/tests/service_e2e.rs \
+  --extern pisces_server=$O/libpisces_server.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib --extern flex32=$O/libflex32.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_service_e2e
 echo BUILD-OK

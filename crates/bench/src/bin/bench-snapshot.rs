@@ -14,10 +14,13 @@
 //!     [--label L] [--out DIR] [--suite S[,S..]] [--pin-pes]
 //! ```
 //!
-//! Suites: `messaging`, `backends`, `loops`, `sync`, `faults`, `windows`
-//! (default: all). The `backends` suite sweeps the in-queue backend ×
-//! payload × producer-count matrix and always lands in
-//! `BENCH_messaging.json` under the fixed run label `backends`.
+//! Suites: `messaging`, `backends`, `loops`, `sync`, `faults`, `windows`,
+//! `service` (default: all). The `backends` suite sweeps the in-queue
+//! backend × payload × producer-count matrix and always lands in
+//! `BENCH_messaging.json` under the fixed run label `backends`; the
+//! `service` suite drives an in-process job service (submit→done latency
+//! and jobs/sec) and lands in `BENCH_service.json` under the fixed run
+//! label `service`.
 
 use pisces_bench::{boot, force_config};
 use pisces_core::prelude::*;
@@ -581,6 +584,86 @@ fn snap_windows(metrics: &mut Map<String, Json>) {
 }
 
 // ----------------------------------------------------------------------
+// service: job-service throughput and submit→done latency
+// ----------------------------------------------------------------------
+
+/// Drive an in-process [`pisces_server::JobService`] the way `piscesd`
+/// does: a trivial inline job, submitted alternately by two tenants.
+/// Sequential round trips give the submit→done latency distribution
+/// (p50/p99, gated); a flooded burst gives jobs/sec (informational).
+/// Both include the service's own admission, scheduling, per-job stats
+/// scoping, and machine reset — this is the serving path end to end,
+/// not the runtime alone.
+fn snap_service(metrics: &mut Map<String, Json>) {
+    use pisces_server::{AdmissionPolicy, JobOutcome, JobService, ProgramRef, ServiceConfig};
+
+    const SEQ_JOBS: usize = 60;
+    const BURST_JOBS: usize = 60;
+    const SRC: &str = "TASK MAIN\nPRINT 'OK', 1\nEND TASK\n";
+
+    let cfg = ServiceConfig {
+        machine: MachineConfig::simple(1, 8),
+        policy: AdmissionPolicy {
+            max_queue: BURST_JOBS + 8,
+            ..AdmissionPolicy::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = JobService::start(cfg).expect("service boots");
+    let prog = ProgramRef::Inline(SRC.to_string());
+    let run_one = |tenant: &str| {
+        let (_, rx) = svc
+            .submit(tenant, &prog, "MAIN", &[])
+            .expect("submission admitted");
+        let out = rx.recv().expect("job result arrives");
+        assert!(
+            matches!(&out, JobOutcome::Done(r) if r.ok),
+            "bench job failed: {out:?}"
+        );
+    };
+
+    for _ in 0..8 {
+        run_one("warmup");
+    }
+
+    // Latency: sequential submit→done round trips, tenants alternating.
+    let mut lat_ns = Vec::with_capacity(SEQ_JOBS);
+    for i in 0..SEQ_JOBS {
+        let t0 = Instant::now();
+        run_one(if i % 2 == 0 { "a" } else { "b" });
+        lat_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    lat_ns.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let p50 = lat_ns[SEQ_JOBS / 2];
+    let p99 = lat_ns[(SEQ_JOBS * 99 / 100).min(SEQ_JOBS - 1)];
+
+    // Throughput: flood the queue from both tenants, then collect.
+    let t0 = Instant::now();
+    let rxs: Vec<_> = (0..BURST_JOBS)
+        .map(|i| {
+            svc.submit(if i % 2 == 0 { "a" } else { "b" }, &prog, "MAIN", &[])
+                .expect("burst submission admitted")
+                .1
+        })
+        .collect();
+    for rx in rxs {
+        let out = rx.recv().expect("burst result arrives");
+        assert!(matches!(&out, JobOutcome::Done(r) if r.ok));
+    }
+    let jobs_per_sec = BURST_JOBS as f64 / t0.elapsed().as_secs_f64();
+
+    let summary = svc.drain();
+    assert_eq!(summary.unserved, 0, "bench drain left jobs unserved");
+
+    println!("service/submit_p50                 {p50:>12.1} ns/job");
+    println!("service/submit_p99                 {p99:>12.1} ns/job");
+    println!("service/jobs_per_sec               {jobs_per_sec:>12.1} jobs/s");
+    metrics.insert("submit_p50_ns".into(), json!(p50));
+    metrics.insert("submit_p99_ns".into(), json!(p99));
+    metrics.insert("jobs_per_sec".into(), json!(jobs_per_sec));
+}
+
+// ----------------------------------------------------------------------
 // output
 // ----------------------------------------------------------------------
 
@@ -640,7 +723,15 @@ fn main() {
             ),
         }
     }
-    const KNOWN: [&str; 6] = ["messaging", "backends", "loops", "sync", "faults", "windows"];
+    const KNOWN: [&str; 7] = [
+        "messaging",
+        "backends",
+        "loops",
+        "sync",
+        "faults",
+        "windows",
+        "service",
+    ];
     if let Some(list) = &suites {
         for s in list {
             assert!(
@@ -714,6 +805,21 @@ fn main() {
             &label,
             pin,
             windows,
+        );
+    }
+
+    if want("service") {
+        let mut service = Map::new();
+        snap_service(&mut service);
+        // Fixed label: like the backend matrix, the serving-path numbers
+        // are one standing dataset gated against their committed
+        // counterpart, not a before/after pair.
+        write_summary(
+            &out.join("BENCH_service.json"),
+            "service",
+            "service",
+            pin,
+            service,
         );
     }
 }

@@ -9,7 +9,7 @@
 //! settings for execution monitoring, and related information, in addition
 //! to the virtual machine to actual machine mapping." (paper, Section 11)
 //!
-//! This crate provides the three pieces around the configuration data
+//! This crate provides the pieces around the configuration data
 //! (which itself lives in `pisces_core::config`):
 //!
 //! * [`library`] — saving, loading, listing, and editing named
@@ -20,12 +20,17 @@
 //!   PEs' local memories, the source of the paper's "<2.5% of local
 //!   memory" measurement;
 //! * [`menu`] — a line-oriented equivalent of the configuration menus,
-//!   scriptable for tests and usable interactively from an example binary.
+//!   scriptable for tests and usable interactively from an example binary;
+//! * [`programs`] — loadfile lookup by name: a library of Pisces Fortran
+//!   programs on the host file system, so service-mode clients can submit
+//!   a program name instead of shipping source.
 
 pub mod library;
 pub mod loadfile;
 pub mod menu;
+pub mod programs;
 
 pub use library::ConfigLibrary;
 pub use loadfile::{LoadFile, ProgramImage};
 pub use menu::ConfigMenu;
+pub use programs::{ProgramLibrary, ProgramLookupError};

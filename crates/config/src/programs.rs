@@ -1,0 +1,190 @@
+//! Loadfile lookup by name: a library of Pisces Fortran programs on the
+//! host file system.
+//!
+//! The paper's configuration environment builds "an appropriate MMOS
+//! loadfile for the run" from the user's compiled tasktype definitions;
+//! in service mode (`piscesd`) clients name a program instead of shipping
+//! its source, and the server resolves the name against a directory of
+//! `.pf` files (by default the repository's `programs/`). Names are bare
+//! stems — `heat`, not `programs/heat.pf` — and must not contain path
+//! separators, so a remote tenant can never escape the library directory.
+
+use std::path::{Path, PathBuf};
+
+/// Why a program name failed to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramLookupError {
+    /// The name contains a path separator, `..`, or other character that
+    /// could escape the library directory.
+    BadName(String),
+    /// No `<name>.pf` in the library directory.
+    NotFound {
+        /// The requested program name.
+        name: String,
+        /// The directory that was searched.
+        dir: PathBuf,
+    },
+    /// The file exists but could not be read.
+    Io {
+        /// The requested program name.
+        name: String,
+        /// The I/O error, rendered.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for ProgramLookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadName(n) => write!(f, "bad program name {n:?} (bare names only)"),
+            Self::NotFound { name, dir } => {
+                write!(f, "no program {name:?} in {}", dir.display())
+            }
+            Self::Io { name, error } => write!(f, "cannot read program {name:?}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramLookupError {}
+
+/// A directory of named Pisces Fortran programs (`<name>.pf`).
+#[derive(Debug, Clone)]
+pub struct ProgramLibrary {
+    dir: PathBuf,
+}
+
+impl ProgramLibrary {
+    /// A library over `dir`. The directory need not exist yet; lookups
+    /// against a missing directory report `NotFound`.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The library directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Program names available, sorted. A name is the file stem of each
+    /// `*.pf` file in the directory.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let p = e.path();
+                (p.extension().and_then(|x| x.to_str()) == Some("pf"))
+                    .then(|| p.file_stem()?.to_str().map(str::to_string))
+                    .flatten()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Validate `name` and return the path it resolves to, whether or not
+    /// the file exists.
+    fn path_of(&self, name: &str) -> Result<PathBuf, ProgramLookupError> {
+        let ok = !name.is_empty()
+            && name != "."
+            && name != ".."
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            && !name.contains("..");
+        if !ok {
+            return Err(ProgramLookupError::BadName(name.to_string()));
+        }
+        Ok(self.dir.join(format!("{name}.pf")))
+    }
+
+    /// Resolve `name` to the path of an existing program file.
+    pub fn resolve(&self, name: &str) -> Result<PathBuf, ProgramLookupError> {
+        let path = self.path_of(name)?;
+        if path.is_file() {
+            Ok(path)
+        } else {
+            Err(ProgramLookupError::NotFound {
+                name: name.to_string(),
+                dir: self.dir.clone(),
+            })
+        }
+    }
+
+    /// Read the source of program `name`.
+    pub fn read(&self, name: &str) -> Result<String, ProgramLookupError> {
+        let path = self.resolve(name)?;
+        std::fs::read_to_string(&path).map_err(|e| ProgramLookupError::Io {
+            name: name.to_string(),
+            error: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_with(names: &[&str]) -> (ProgramLibrary, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "pisces-programs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in names {
+            std::fs::write(dir.join(format!("{n}.pf")), "PROGRAM STUB\n").unwrap();
+        }
+        (ProgramLibrary::open(&dir), dir)
+    }
+
+    #[test]
+    fn lists_sorted_stems() {
+        let (lib, dir) = lib_with(&["zeta", "alpha"]);
+        std::fs::write(dir.join("notes.txt"), "not a program").unwrap();
+        assert_eq!(lib.list(), vec!["alpha", "zeta"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolves_and_reads() {
+        let (lib, dir) = lib_with(&["pi"]);
+        assert!(lib.resolve("pi").unwrap().ends_with("pi.pf"));
+        assert_eq!(lib.read("pi").unwrap(), "PROGRAM STUB\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_name_is_not_found() {
+        let (lib, dir) = lib_with(&[]);
+        assert!(matches!(
+            lib.resolve("ghost"),
+            Err(ProgramLookupError::NotFound { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn path_escapes_are_rejected() {
+        let (lib, dir) = lib_with(&["pi"]);
+        for bad in ["../pi", "a/b", "", "..", "pi\0", "über"] {
+            assert!(
+                matches!(lib.resolve(bad), Err(ProgramLookupError::BadName(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_reports_not_found() {
+        let lib = ProgramLibrary::open("/nonexistent/pisces-programs");
+        assert!(matches!(
+            lib.resolve("pi"),
+            Err(ProgramLookupError::NotFound { .. })
+        ));
+        assert!(lib.list().is_empty());
+    }
+}

@@ -235,6 +235,42 @@ impl StorageReport {
     }
 }
 
+/// The tenant/job labels of the job currently running on a hot machine
+/// (service mode). Telemetry attributes scrapes to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobScope {
+    /// Tenant id the job was submitted under.
+    pub tenant: String,
+    /// Server-assigned job id, unique per machine lifetime.
+    pub job: u64,
+}
+
+/// Monotonic job counters for the telemetry endpoint. A hot machine
+/// serves many jobs back to back; these stay cumulative across all of
+/// them so the exposition remains valid between scrapes.
+#[derive(Debug, Clone, Default)]
+pub struct JobCounters {
+    /// Jobs begun via [`Pisces::begin_job`].
+    pub started: u64,
+    /// Jobs finished (successfully or not).
+    pub finished: u64,
+    /// Finished jobs whose main task failed.
+    pub failed: u64,
+    /// Finished-job count per tenant, sorted by tenant id.
+    pub per_tenant_finished: Vec<(String, u64)>,
+}
+
+/// Book-keeping for sequential jobs on one machine: the active scope with
+/// its stats baseline, plus cumulative counters.
+#[derive(Default)]
+struct JobRegistry {
+    current: Option<(JobScope, crate::stats::StatsSnapshot)>,
+    started: u64,
+    finished: u64,
+    failed: u64,
+    per_tenant_finished: BTreeMap<String, u64>,
+}
+
 /// The running PISCES 2 virtual machine.
 pub struct Pisces {
     pub(crate) flex: Arc<Flex32>,
@@ -259,6 +295,12 @@ pub struct Pisces {
     telemetry_addr: Option<std::net::SocketAddr>,
     /// The flight dump is once-only; the first trigger wins.
     flight_dumped: AtomicBool,
+    /// Per-job scoping for service mode (see [`Pisces::begin_job`]).
+    jobs: Mutex<JobRegistry>,
+    /// Live shared-memory bytes right after boot — the value
+    /// [`Pisces::reset_for_next_job`] requires the arena to settle back
+    /// to between jobs.
+    boot_shm_in_use: std::sync::atomic::AtomicUsize,
 }
 
 impl std::fmt::Debug for Pisces {
@@ -397,6 +439,8 @@ impl Pisces {
             profiler,
             telemetry_addr,
             flight_dumped: AtomicBool::new(false),
+            jobs: Mutex::new(JobRegistry::default()),
+            boot_shm_in_use: std::sync::atomic::AtomicUsize::new(0),
         });
 
         // The telemetry service thread samples the profiler and answers
@@ -436,6 +480,11 @@ impl Pisces {
                 )?;
             }
         }
+        // Everything the operating system itself holds in the arena is
+        // now allocated; this is the level the arena must return to
+        // between jobs in service mode.
+        p.boot_shm_in_use
+            .store(p.flex.shmem.report().in_use, Ordering::SeqCst);
         Ok(p)
     }
 
@@ -1477,6 +1526,205 @@ impl Pisces {
         // Push buffered trace output (e.g. a JSONL file sink) to disk so
         // off-line analysis sees the complete run.
         self.tracer.flush();
+    }
+
+    // ------------------------------------------------------------------
+    // Service mode: hot reuse between jobs
+    // ------------------------------------------------------------------
+
+    /// Open a job scope: subsequent stats accrue to `(tenant, job)` until
+    /// [`Pisces::finish_job`]. The telemetry endpoint labels its
+    /// `pisces_job_active` gauge with the scope so scrapes taken while a
+    /// hot machine works through a stream of jobs stay attributable.
+    pub fn begin_job(&self, tenant: &str, job: u64) {
+        let mut j = self.jobs.lock();
+        j.started += 1;
+        j.current = Some((
+            JobScope {
+                tenant: tenant.to_string(),
+                job,
+            },
+            self.stats.snapshot(),
+        ));
+    }
+
+    /// Close the open job scope and return the stats delta it accrued
+    /// (machine counters are cumulative; the delta is this job's share).
+    /// Without an open scope this returns the boot-to-now snapshot.
+    pub fn finish_job(&self, ok: bool) -> crate::stats::StatsSnapshot {
+        let mut j = self.jobs.lock();
+        let Some((scope, baseline)) = j.current.take() else {
+            return self.stats.snapshot();
+        };
+        j.finished += 1;
+        if !ok {
+            j.failed += 1;
+        }
+        *j.per_tenant_finished.entry(scope.tenant).or_insert(0) += 1;
+        self.stats.snapshot().diff(&baseline)
+    }
+
+    /// The job scope currently open, if any.
+    pub fn current_job(&self) -> Option<JobScope> {
+        self.jobs.lock().current.as_ref().map(|(s, _)| s.clone())
+    }
+
+    /// Cumulative job counters since boot.
+    pub fn job_counters(&self) -> JobCounters {
+        let j = self.jobs.lock();
+        JobCounters {
+            started: j.started,
+            finished: j.finished,
+            failed: j.failed,
+            per_tenant_finished: j
+                .per_tenant_finished
+                .iter()
+                .map(|(t, n)| (t.clone(), *n))
+                .collect(),
+        }
+    }
+
+    /// Restore a quiescent machine to its just-booted state so the next
+    /// job starts clean — the service-mode alternative to
+    /// [`Pisces::shutdown`], which is terminal.
+    ///
+    /// Checks (and where possible repairs) everything a job can leave
+    /// behind: busy slots and parked initiates, undrained controller
+    /// in-queues (a TERM$ can still be in flight when quiescence is first
+    /// observed), leaked window arrays, registered tasktypes (cleared for
+    /// tenant isolation), console capture buffers, the trace rings, and —
+    /// the Section 13 measurement — shared-memory bytes in use, which
+    /// must settle back to the post-boot level once magazine-cached
+    /// blocks are discounted. Returns `Err` with a description when the
+    /// machine is still dirty after a bounded settle wait; callers should
+    /// then retire the machine and boot a fresh one.
+    pub fn reset_for_next_job(&self) -> Result<()> {
+        if self.is_down() {
+            return Err(PiscesError::MachineDown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+
+        // Machine state: no user tasks, no in-flight or parked initiates,
+        // every user slot free. TERM$ processing can lag the quiescence
+        // edge, so poll rather than insist on the first observation.
+        loop {
+            let (user_tasks, busy_slots, parked, inflight, dispatching, live) = {
+                let st = self.state.lock();
+                (
+                    st.tasks.values().filter(|t| !t.is_controller).count(),
+                    st.clusters
+                        .values()
+                        .map(|c| c.slots.iter().flatten().count())
+                        .sum::<usize>(),
+                    st.clusters.values().map(|c| c.pending.len()).sum::<usize>(),
+                    st.inflight_inits,
+                    st.dispatching,
+                    st.live_user_tasks,
+                )
+            };
+            if user_tasks == 0
+                && busy_slots == 0
+                && parked == 0
+                && inflight == 0
+                && dispatching == 0
+                && live == 0
+            {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(PiscesError::Internal(format!(
+                    "reset on a dirty machine: {user_tasks} user task(s), \
+                     {busy_slots} busy slot(s), {parked} parked initiate(s), \
+                     {inflight} in flight"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Controller in-queues must have drained: a leftover TERM$ (or a
+        // stray user message to the terminal) would leak its message
+        // block into the next job's accounting.
+        let controllers: Vec<TaskId> = {
+            let st = self.state.lock();
+            st.clusters
+                .values()
+                .flat_map(|c| std::iter::once(c.controller).chain(c.user_controller))
+                .collect()
+        };
+        loop {
+            let queued: usize = controllers
+                .iter()
+                .map(|&c| self.queue_snapshot(c).map(|q| q.len()).unwrap_or(0))
+                .sum();
+            if queued == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(PiscesError::Internal(format!(
+                    "reset on a dirty machine: {queued} message(s) still queued \
+                     at the controllers"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Window arrays a task failed to free on termination: repair by
+        // freeing them now (their owners are gone).
+        let leaked: Vec<(ArrayId, ShmHandle)> = {
+            let mut arrays = self.arrays.lock();
+            arrays.drain().map(|(id, a)| (id, a.handle)).collect()
+        };
+        for (_, handle) in &leaked {
+            let _ = self.flex.shmem.free(*handle);
+        }
+        self.file_arrays.lock().clear();
+
+        // Tenant isolation: the next job registers its own tasktypes and
+        // must not see (or shadow-collide with) the previous tenant's.
+        self.tasktypes.write().clear();
+
+        // Fresh capture surfaces for the next job.
+        for &pe_n in &self.config.pes_in_use() {
+            if let Ok(pe) = PeId::new(pe_n) {
+                self.flex.pe(pe).console.clear();
+            }
+        }
+        self.tracer.clear();
+
+        // Storage settle: live bytes (arena in-use minus magazine-cached
+        // blocks, which are recovered storage) must return to the
+        // post-boot baseline.
+        let baseline = self.boot_shm_in_use.load(Ordering::SeqCst);
+        let mut flushed_pool = false;
+        loop {
+            let live_bytes = self.storage_report().shm.in_use;
+            if live_bytes == baseline {
+                break;
+            }
+            if Instant::now() >= deadline {
+                if !flushed_pool {
+                    // Last repair attempt: return every cached block to
+                    // the arena and re-measure without the discount.
+                    self.flex.pool.flush(&self.flex.shmem);
+                    flushed_pool = true;
+                    continue;
+                }
+                return Err(PiscesError::Internal(format!(
+                    "reset on a dirty machine: {live_bytes} live shared-memory \
+                     bytes, boot baseline {baseline}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // The arena and the magazines must agree with each other.
+        if let Err(e) = self.flex.shmem.validate() {
+            debug_assert!(false, "arena invariants violated after reset: {e}");
+            return Err(PiscesError::Internal(format!(
+                "arena invariants violated after reset: {e}"
+            )));
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------

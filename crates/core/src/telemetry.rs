@@ -534,7 +534,73 @@ pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
         );
         out.push_str(&format!("pisces_flight_window_records {}\n", f.len()));
     }
+
+    // Job scoping (service mode): a hot machine serves many jobs
+    // sequentially, so a bare per-process gauge would be ambiguous. The
+    // active-job gauge carries tenant/job labels and the counters stay
+    // cumulative across jobs, keeping the exposition valid between
+    // scrapes that land in different jobs.
+    let jc = p.job_counters();
+    openmetrics_counter(
+        &mut out,
+        "pisces_jobs_started",
+        "Jobs begun on this machine since boot (service mode).",
+        jc.started,
+    );
+    openmetrics_counter(
+        &mut out,
+        "pisces_jobs_finished",
+        "Jobs finished on this machine since boot (service mode).",
+        jc.finished,
+    );
+    openmetrics_counter(
+        &mut out,
+        "pisces_jobs_failed",
+        "Finished jobs whose main task failed (service mode).",
+        jc.failed,
+    );
+    openmetrics_gauge(
+        &mut out,
+        "pisces_job_active",
+        "1 while a job runs, labelled with its tenant and job id; an \
+         unlabelled 0 when the machine is idle.",
+    );
+    match p.current_job() {
+        Some(j) => out.push_str(&format!(
+            "pisces_job_active{{tenant=\"{}\",job=\"{}\"}} 1\n",
+            label_escape(&j.tenant),
+            j.job
+        )),
+        None => out.push_str("pisces_job_active 0\n"),
+    }
+    if !jc.per_tenant_finished.is_empty() {
+        out.push_str(
+            "# TYPE pisces_tenant_jobs_finished counter\n\
+             # HELP pisces_tenant_jobs_finished Jobs finished per tenant on this machine.\n",
+        );
+        for (tenant, n) in &jc.per_tenant_finished {
+            out.push_str(&format!(
+                "pisces_tenant_jobs_finished_total{{tenant=\"{}\"}} {n}\n",
+                label_escape(tenant)
+            ));
+        }
+    }
     out.push_str("# EOF\n");
+    out
+}
+
+/// Escape a string for use as an OpenMetrics label value: backslash,
+/// double quote, and line feed must be escaped per the exposition format.
+pub fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
     out
 }
 

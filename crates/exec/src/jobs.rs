@@ -1,0 +1,72 @@
+//! Per-job trace and report routing for service mode.
+//!
+//! When `piscesd` runs with `--trace-dir`, every finished job's trace
+//! window is cut out of the machine's tracer *before* the between-jobs
+//! reset clears it, and written as its own pair of artifacts:
+//!
+//! * `job-<id>.jsonl` — the raw trace records, the same JSONL the
+//!   off-line analyzer (`pisces report`) reads;
+//! * `job-<id>.report.txt` — the rendered Section 12 report for the job.
+//!
+//! Routing per job (rather than one growing file) keeps tenants'
+//! executions separable: a tenant can be handed exactly their job's
+//! timing analysis and nothing else.
+
+use crate::report::Report;
+use pisces_core::trace::TraceRecord;
+use std::path::{Path, PathBuf};
+
+/// Where a job's artifacts landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobArtifacts {
+    /// The raw trace (JSONL), readable by `pisces report`.
+    pub trace: PathBuf,
+    /// The rendered timing report.
+    pub report: PathBuf,
+}
+
+/// Write `records` as `job-<id>.jsonl` plus a rendered report under
+/// `dir`, creating the directory if needed.
+pub fn write_job_artifacts(
+    dir: &Path,
+    job_id: u64,
+    records: &[TraceRecord],
+) -> std::io::Result<JobArtifacts> {
+    std::fs::create_dir_all(dir)?;
+    let trace = dir.join(format!("job-{job_id}.jsonl"));
+    let mut jsonl = String::new();
+    for r in records {
+        match serde_json::to_string(r) {
+            Ok(line) => {
+                jsonl.push_str(&line);
+                jsonl.push('\n');
+            }
+            Err(_) => continue, // a record that cannot serialize is dropped, not fatal
+        }
+    }
+    std::fs::write(&trace, jsonl)?;
+    let report = dir.join(format!("job-{job_id}.report.txt"));
+    std::fs::write(&report, Report::new(records).render(72))?;
+    Ok(JobArtifacts { trace, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_both_artifacts() {
+        let dir = std::env::temp_dir().join(format!(
+            "pisces-job-artifacts-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = write_job_artifacts(&dir, 7, &[]).unwrap();
+        assert!(a.trace.ends_with("job-7.jsonl"));
+        assert!(a.report.ends_with("job-7.report.txt"));
+        assert!(a.trace.is_file());
+        assert!(a.report.is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

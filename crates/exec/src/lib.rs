@@ -26,15 +26,20 @@
 //! and latency histograms, available live through menu options 10/11 or
 //! off-line via `pisces report <trace.jsonl>`.
 
+//! [`jobs`] routes each service-mode job's trace into its own artifact
+//! pair so tenants' executions stay separable.
+
 pub mod analysis;
 pub mod causality;
 pub mod figure1;
+pub mod jobs;
 pub mod menu;
 pub mod report;
 pub mod watchdog;
 
 pub use analysis::TraceAnalysis;
 pub use causality::CausalGraph;
+pub use jobs::{write_job_artifacts, JobArtifacts};
 pub use menu::ExecMenu;
 pub use report::Report;
 pub use watchdog::{Watchdog, WatchdogConfig};

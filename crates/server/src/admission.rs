@@ -1,0 +1,224 @@
+//! Admission control: decide at submit time whether a job can be
+//! accepted, and if not, say exactly why.
+//!
+//! The service prefers *reject-with-reason* over silent queuing past
+//! capacity: a bounded queue absorbs bursts, but once the queue is full,
+//! the machine is draining, the shared-memory arena is under pressure, or
+//! the program itself cannot fit or parse, the submission is refused
+//! immediately with a machine-readable reason class (`kind`) and a
+//! human-readable explanation. Clients (and the `pisces submit` exit
+//! codes) key off the class.
+
+/// Why a submission was refused. Every variant carries enough context to
+/// render an actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded job queue is at its limit — backpressure.
+    QueueFull {
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// A graceful drain is in progress; no new work is admitted.
+    Draining,
+    /// The shared-memory arena is too loaded to admit another job.
+    ArenaPressure {
+        /// Live bytes at decision time.
+        in_use: usize,
+        /// Arena capacity in bytes.
+        capacity: usize,
+    },
+    /// The program's user image does not fit the PEs' local memories.
+    ProgramTooLarge {
+        /// Bytes the image needs per PE.
+        user_bytes: usize,
+        /// Bytes the tightest selected PE has free.
+        available: usize,
+    },
+    /// No such name in the program library.
+    UnknownProgram(String),
+    /// The source failed to parse (named or inline).
+    BadProgram(String),
+    /// The program parsed but defines no such top-level tasktype.
+    NoSuchTask {
+        /// The requested tasktype.
+        main: String,
+        /// Tasktypes the program does define.
+        defined: Vec<String>,
+    },
+    /// The machine is down and could not be revived.
+    MachineUnavailable(String),
+}
+
+impl RejectReason {
+    /// Stable machine-readable class, used on the wire and in metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::QueueFull { .. } => "queue-full",
+            Self::Draining => "draining",
+            Self::ArenaPressure { .. } => "arena-pressure",
+            Self::ProgramTooLarge { .. } => "program-too-large",
+            Self::UnknownProgram(_) => "unknown-program",
+            Self::BadProgram(_) => "bad-program",
+            Self::NoSuchTask { .. } => "no-such-task",
+            Self::MachineUnavailable(_) => "machine-unavailable",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { limit } => {
+                write!(f, "job queue is full ({limit} queued); retry later")
+            }
+            Self::Draining => write!(f, "server is draining and refuses new jobs"),
+            Self::ArenaPressure { in_use, capacity } => write!(
+                f,
+                "shared-memory arena under pressure ({in_use} of {capacity} bytes live)"
+            ),
+            Self::ProgramTooLarge {
+                user_bytes,
+                available,
+            } => write!(
+                f,
+                "program image needs {user_bytes} B of local memory per PE, only {available} B free"
+            ),
+            Self::UnknownProgram(name) => write!(f, "no program named {name:?} in the library"),
+            Self::BadProgram(e) => write!(f, "program does not parse: {e}"),
+            Self::NoSuchTask { main, defined } => write!(
+                f,
+                "no tasktype {main} (program defines: {})",
+                defined.join(", ")
+            ),
+            Self::MachineUnavailable(e) => write!(f, "machine unavailable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Capacity thresholds consulted at submit time.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    /// Maximum queued (admitted but not yet running) jobs.
+    pub max_queue: usize,
+    /// Refuse new jobs while the arena's live fraction exceeds this.
+    pub arena_high_fraction: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            max_queue: 64,
+            arena_high_fraction: 0.85,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Gate on queue depth.
+    pub fn check_queue(&self, queued: usize) -> Result<(), RejectReason> {
+        if queued >= self.max_queue {
+            Err(RejectReason::QueueFull {
+                limit: self.max_queue,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gate on shared-memory arena occupancy.
+    pub fn check_arena(&self, in_use: usize, capacity: usize) -> Result<(), RejectReason> {
+        if capacity > 0 && (in_use as f64 / capacity as f64) > self.arena_high_fraction {
+            Err(RejectReason::ArenaPressure { in_use, capacity })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gate on the program image fitting the tightest PE's local memory.
+    pub fn check_fit(&self, user_bytes: usize, available: usize) -> Result<(), RejectReason> {
+        if user_bytes > available {
+            Err(RejectReason::ProgramTooLarge {
+                user_bytes,
+                available,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_gate_rejects_at_limit() {
+        let p = AdmissionPolicy {
+            max_queue: 2,
+            ..Default::default()
+        };
+        assert!(p.check_queue(0).is_ok());
+        assert!(p.check_queue(1).is_ok());
+        assert_eq!(
+            p.check_queue(2),
+            Err(RejectReason::QueueFull { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn arena_gate_uses_fraction() {
+        let p = AdmissionPolicy {
+            arena_high_fraction: 0.5,
+            ..Default::default()
+        };
+        assert!(p.check_arena(40, 100).is_ok());
+        assert!(matches!(
+            p.check_arena(60, 100),
+            Err(RejectReason::ArenaPressure { .. })
+        ));
+        // Degenerate capacity never divides by zero.
+        assert!(p.check_arena(0, 0).is_ok());
+    }
+
+    #[test]
+    fn fit_gate_compares_bytes() {
+        let p = AdmissionPolicy::default();
+        assert!(p.check_fit(100, 100).is_ok());
+        assert!(matches!(
+            p.check_fit(101, 100),
+            Err(RejectReason::ProgramTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let all = [
+            RejectReason::QueueFull { limit: 1 }.kind(),
+            RejectReason::Draining.kind(),
+            RejectReason::ArenaPressure {
+                in_use: 1,
+                capacity: 2,
+            }
+            .kind(),
+            RejectReason::ProgramTooLarge {
+                user_bytes: 1,
+                available: 0,
+            }
+            .kind(),
+            RejectReason::UnknownProgram("x".into()).kind(),
+            RejectReason::BadProgram("x".into()).kind(),
+            RejectReason::NoSuchTask {
+                main: "M".into(),
+                defined: vec![],
+            }
+            .kind(),
+            RejectReason::MachineUnavailable("x".into()).kind(),
+        ];
+        let mut dedup = all.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

@@ -1,0 +1,409 @@
+//! `piscesd` — the PISCES machine as a daemon.
+//!
+//! Boots one virtual FLEX/32 and serves job submissions over a socket
+//! until told to drain:
+//!
+//! ```text
+//! piscesd --listen 127.0.0.1:7070 --programs programs --tenants acme=3,batch=1
+//! pisces submit pi --addr 127.0.0.1:7070 --tenant acme --arg 1000
+//! pisces submit --drain --addr 127.0.0.1:7070
+//! ```
+//!
+//! The listen address decides the transport: a path (contains `/`)
+//! binds a Unix-domain socket, anything else a TCP port.
+
+use pisces_server::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use pisces_server::service::{JobOutcome, JobService, ServiceConfig};
+use pisces_server::{AdmissionPolicy, TenantWeights};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    listen: String,
+    programs: String,
+    max_queue: usize,
+    tenants: TenantWeights,
+    drain_timeout_secs: u64,
+    job_timeout_secs: u64,
+    clusters: u8,
+    slots: u8,
+    msg_backend: Option<pisces_core::prelude::MsgBackend>,
+    pin_pes: bool,
+    telemetry_port: Option<u16>,
+    flight_dir: Option<String>,
+    trace_dir: Option<String>,
+    metrics_out: Option<String>,
+    fault_seed: Option<u64>,
+    echo: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: piscesd [options]\n\
+         \n\
+         options:\n\
+           --listen <addr>        TCP host:port, or a Unix socket path (default 127.0.0.1:7070)\n\
+           --programs <dir>       program library directory (default programs)\n\
+           --max-queue <n>        bounded job queue size (default 64)\n\
+           --tenants <spec>       scheduling weights, e.g. acme=3,batch=1 (default: all 1)\n\
+           --drain-timeout <s>    graceful-drain deadline in seconds (default 30)\n\
+           --job-timeout <s>      per-job quiescence timeout in seconds (default 60)\n\
+           --clusters <n>         clusters per job configuration (default 2)\n\
+           --slots <n>            user slots per cluster (default 4)\n\
+           --msg-backend <b>      in-queue backend: mutex (default), mpsc, or spsc\n\
+           --pin-pes              pin simulated-PE threads to fixed cores\n\
+           --telemetry-port <n>   serve live OpenMetrics on 127.0.0.1:<n> (0 = ephemeral)\n\
+           --flight-dir <path>    arm the flight recorder; dumps land in <path>\n\
+           --trace-dir <path>     route each job's trace to <path>/job-<id>.jsonl\n\
+           --metrics-out <path>   write a final OpenMetrics snapshot at drain\n\
+           --fault-seed <n>       arm a seeded fault plan (chaos mode)\n\
+           --echo                 echo TO USER SEND lines to stdout"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        listen: "127.0.0.1:7070".into(),
+        programs: "programs".into(),
+        max_queue: 64,
+        tenants: TenantWeights::default(),
+        drain_timeout_secs: 30,
+        job_timeout_secs: 60,
+        clusters: 2,
+        slots: 4,
+        msg_backend: None,
+        pin_pes: false,
+        telemetry_port: None,
+        flight_dir: None,
+        trace_dir: None,
+        metrics_out: None,
+        fault_seed: None,
+        echo: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => o.listen = need(&mut args, "--listen"),
+            "--programs" => o.programs = need(&mut args, "--programs"),
+            "--max-queue" => {
+                o.max_queue = need(&mut args, "--max-queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--tenants" => {
+                o.tenants = TenantWeights::parse(&need(&mut args, "--tenants"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("piscesd: {e}");
+                        usage()
+                    })
+            }
+            "--drain-timeout" => {
+                o.drain_timeout_secs = need(&mut args, "--drain-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--job-timeout" => {
+                o.job_timeout_secs = need(&mut args, "--job-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--clusters" => {
+                o.clusters = need(&mut args, "--clusters").parse().unwrap_or_else(|_| usage())
+            }
+            "--slots" => {
+                o.slots = need(&mut args, "--slots").parse().unwrap_or_else(|_| usage())
+            }
+            "--msg-backend" => {
+                o.msg_backend = Some(need(&mut args, "--msg-backend").parse().unwrap_or_else(
+                    |e: String| {
+                        eprintln!("{e}");
+                        usage()
+                    },
+                ))
+            }
+            "--pin-pes" => o.pin_pes = true,
+            "--telemetry-port" => {
+                o.telemetry_port = Some(
+                    need(&mut args, "--telemetry-port")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--flight-dir" => o.flight_dir = Some(need(&mut args, "--flight-dir")),
+            "--trace-dir" => o.trace_dir = Some(need(&mut args, "--trace-dir")),
+            "--metrics-out" => o.metrics_out = Some(need(&mut args, "--metrics-out")),
+            "--fault-seed" => {
+                o.fault_seed = Some(
+                    need(&mut args, "--fault-seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--echo" => o.echo = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+enum Listener {
+    Tcp(std::net::TcpListener),
+    Unix(std::os::unix::net::UnixListener),
+}
+
+enum Conn {
+    Tcp(std::net::TcpStream),
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn main() {
+    let o = parse_args();
+
+    let mut machine = pisces_core::prelude::MachineConfig::simple(o.clusters, o.slots);
+    if let Some(b) = o.msg_backend {
+        machine.msg_backend = b;
+    }
+    machine.pin_pes = o.pin_pes;
+    if o.telemetry_port.is_some() {
+        machine.telemetry.port = o.telemetry_port;
+    }
+    if o.flight_dir.is_some() {
+        machine.telemetry.flight_dir = o.flight_dir.clone();
+    }
+
+    let cfg = ServiceConfig {
+        machine,
+        programs: pisces_config::ProgramLibrary::open(&o.programs),
+        policy: AdmissionPolicy {
+            max_queue: o.max_queue,
+            ..AdmissionPolicy::default()
+        },
+        weights: o.tenants.clone(),
+        job_timeout: Duration::from_secs(o.job_timeout_secs),
+        drain_timeout: Duration::from_secs(o.drain_timeout_secs),
+        trace_dir: o.trace_dir.clone().map(Into::into),
+        fault_plan: o.fault_seed.map(|seed| {
+            flex32::fault::FaultPlan::random(seed, &[2, 3, 4, 5], 2_000_000)
+        }),
+        echo: o.echo,
+    };
+    let service = match JobService::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("piscesd: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let listener = if o.listen.contains('/') {
+        let _ = std::fs::remove_file(&o.listen);
+        match std::os::unix::net::UnixListener::bind(&o.listen) {
+            Ok(l) => Listener::Unix(l),
+            Err(e) => {
+                eprintln!("piscesd: cannot bind {}: {e}", o.listen);
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match std::net::TcpListener::bind(&o.listen) {
+            Ok(l) => Listener::Tcp(l),
+            Err(e) => {
+                eprintln!("piscesd: cannot bind {}: {e}", o.listen);
+                std::process::exit(1);
+            }
+        }
+    };
+    match &listener {
+        Listener::Tcp(l) => {
+            // Report the bound address (port 0 picks an ephemeral port).
+            if let Ok(a) = l.local_addr() {
+                println!("piscesd: listening on {a}");
+            }
+            l.set_nonblocking(true).expect("nonblocking listener");
+        }
+        Listener::Unix(l) => {
+            println!("piscesd: listening on {}", o.listen);
+            l.set_nonblocking(true).expect("nonblocking listener");
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let conn = match &listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false).ok();
+                    Some(Conn::Tcp(s))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => {
+                    eprintln!("piscesd: accept: {e}");
+                    None
+                }
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false).ok();
+                    Some(Conn::Unix(s))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => {
+                    eprintln!("piscesd: accept: {e}");
+                    None
+                }
+            },
+        };
+        match conn {
+            None => std::thread::sleep(Duration::from_millis(20)),
+            Some(conn) => {
+                let service = service.clone();
+                let stop = stop.clone();
+                let draining = draining.clone();
+                let metrics_out = o.metrics_out.clone();
+                handles.push(std::thread::spawn(move || {
+                    serve_connection(conn, service, stop, draining, metrics_out)
+                }));
+            }
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    if o.listen.contains('/') {
+        let _ = std::fs::remove_file(&o.listen);
+    }
+    println!("piscesd: drained, exiting");
+}
+
+/// Serve one connection: any number of request/response exchanges. A
+/// `submit` blocks this connection (and only this connection) until its
+/// job finishes; other connections keep submitting meanwhile.
+fn serve_connection(
+    mut conn: Conn,
+    service: Arc<JobService>,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    metrics_out: Option<String>,
+) {
+    loop {
+        let req = match read_frame(&mut conn) {
+            Ok(v) => match Request::from_json(&v) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = write_frame(
+                        &mut conn,
+                        &Response::Error {
+                            message: e.to_string(),
+                        }
+                        .to_json(),
+                    );
+                    continue;
+                }
+            },
+            Err(FrameError::Closed) => return,
+            Err(e @ (FrameError::Oversized { .. } | FrameError::BadJson(_))) => {
+                // Tell the peer what was wrong with the frame, then hang
+                // up: the stream is no longer in sync.
+                let _ = write_frame(
+                    &mut conn,
+                    &Response::Error {
+                        message: e.to_string(),
+                    }
+                    .to_json(),
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Status => Response::Status(service.status()),
+            Request::Submit {
+                tenant,
+                program,
+                main,
+                args,
+            } => match service.submit(&tenant, &program, &main, &args) {
+                Err(reason) => Response::Rejected {
+                    kind: reason.kind().to_string(),
+                    reason: reason.to_string(),
+                },
+                Ok((_, rx)) => match rx.recv() {
+                    Ok(JobOutcome::Done(reply)) => Response::Done(reply),
+                    Ok(JobOutcome::Refused(reason)) => Response::Rejected {
+                        kind: reason.kind().to_string(),
+                        reason: reason.to_string(),
+                    },
+                    Err(_) => Response::Error {
+                        message: "job result channel lost".into(),
+                    },
+                },
+            },
+            Request::Drain => {
+                if draining.swap(true, Ordering::SeqCst) {
+                    Response::Error {
+                        message: "drain already in progress".into(),
+                    }
+                } else {
+                    let machine = service.machine();
+                    let summary = service.drain();
+                    if let Some(path) = &metrics_out {
+                        let body = pisces_core::telemetry::render_openmetrics(&machine);
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("piscesd: cannot write {path}: {e}");
+                        }
+                    }
+                    if let Some(dump) = &summary.flight_dump {
+                        println!("piscesd: flight recorder dumped to {}", dump.display());
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                    Response::DrainDone {
+                        finished: summary.finished,
+                        unserved: summary.unserved,
+                    }
+                }
+            }
+        };
+        let done = matches!(resp, Response::DrainDone { .. });
+        if write_frame(&mut conn, &resp.to_json()).is_err() {
+            return;
+        }
+        if done {
+            return;
+        }
+    }
+}

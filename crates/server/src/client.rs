@@ -1,0 +1,100 @@
+//! Client side of the piscesd protocol: connect, send one request, read
+//! one response.
+//!
+//! The address decides the transport: anything containing a `/` is a
+//! Unix-domain socket path, anything else is a TCP `host:port`. Both
+//! carry the same length-prefixed JSON frames ([`crate::protocol`]).
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// Why a client call failed. `Transport` is connection-level (refused,
+/// reset, timed out); `Protocol` means bytes flowed but were not a valid
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not connect, or the connection failed mid-exchange.
+    Transport(String),
+    /// The server's bytes did not decode to a response.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "transport: {e}"),
+            Self::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected piscesd client. One connection can carry any number of
+/// request/response exchanges in sequence.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect to `addr` — a Unix socket path if it contains `/`, else a
+    /// TCP `host:port`.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = if addr.contains('/') {
+            Stream::Unix(UnixStream::connect(addr).map_err(|e| {
+                ClientError::Transport(format!("connect {addr}: {e}"))
+            })?)
+        } else {
+            Stream::Tcp(TcpStream::connect(addr).map_err(|e| {
+                ClientError::Transport(format!("connect {addr}: {e}"))
+            })?)
+        };
+        Ok(Self { stream })
+    }
+
+    /// Send one request and block for its response. A `submit` blocks
+    /// until the job finishes — the reply IS the job's result.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.to_json()).map_err(|e| match e {
+            FrameError::Io(m) => ClientError::Transport(m),
+            other => ClientError::Protocol(other.to_string()),
+        })?;
+        let v = read_frame(&mut self.stream).map_err(|e| match e {
+            FrameError::Io(m) => ClientError::Transport(m),
+            FrameError::Closed => ClientError::Transport("server closed the connection".into()),
+            other => ClientError::Protocol(other.to_string()),
+        })?;
+        Response::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+}

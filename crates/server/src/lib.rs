@@ -1,0 +1,43 @@
+//! # pisces-server — the PISCES machine as a persistent service
+//!
+//! The paper's environment is session-oriented: a user configures a
+//! run, boots the virtual machine, executes one program, and the
+//! machine comes down with the process. This crate keeps the machine
+//! *up*: `piscesd` boots a PISCES virtual FLEX/32 once — telemetry
+//! endpoint, watchdog, flight recorder, and (for chaos runs) an
+//! armed-inert fault plan all live for the server's lifetime — and
+//! serves job submissions from multiple tenants over a Unix or TCP
+//! socket.
+//!
+//! The moving parts:
+//!
+//! * [`json`] — a small self-contained JSON value/parser/writer (the
+//!   wire format must not depend on any serialization framework);
+//! * [`protocol`] — length-prefixed JSON frames and the
+//!   request/response vocabulary, with typed errors for oversized,
+//!   truncated, and malformed frames;
+//! * [`admission`] — reject-with-reason capacity control: bounded job
+//!   queue, shared-memory arena pressure, program-fits-local-memory;
+//! * [`scheduler`] — smooth weighted round-robin across tenants, so a
+//!   greedy tenant can never starve a light one;
+//! * [`service`] — the [`service::JobService`]: one machine cycled
+//!   through jobs with per-job stats scoping, console capture, trace
+//!   routing, and `reset_for_next_job` (or a full reboot when a job
+//!   wedges) between jobs;
+//! * [`client`] — the client used by `pisces submit`.
+//!
+//! See `docs/SERVICE.md` for the protocol and operational story.
+
+pub mod admission;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod service;
+
+pub use admission::{AdmissionPolicy, RejectReason};
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use protocol::{FrameError, JobReply, ProgramRef, Request, Response, StatusReply};
+pub use scheduler::{FairScheduler, TenantWeights};
+pub use service::{DrainSummary, JobOutcome, JobService, ServiceConfig};

@@ -1,0 +1,728 @@
+//! The piscesd wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian length followed by exactly that
+//! many bytes of JSON. Lengths above [`MAX_FRAME_BYTES`] are refused
+//! before any allocation, truncated frames surface as typed errors (never
+//! panics — the decoder is proptested over arbitrary bytes), and a clean
+//! EOF between frames is [`FrameError::Closed`], distinct from a torn
+//! one.
+//!
+//! Requests and responses are tagged objects (`{"type": "submit", ...}`);
+//! see [`Request`] and [`Response`] for the full vocabulary. Docs:
+//! `docs/SERVICE.md`.
+
+use crate::json::{self, Json};
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's JSON body. Large enough for any inline
+/// program the service would admit; small enough that a hostile length
+/// prefix cannot balloon allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The advertised body length.
+        len: u64,
+    },
+    /// The stream or buffer ended mid-frame.
+    Truncated {
+        /// Bytes the frame still owed.
+        wanted: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The body is not valid JSON.
+    BadJson(String),
+    /// The JSON is valid but not a known request/response shape.
+    BadMessage(String),
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed"),
+            Self::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            Self::Truncated { wanted, got } => {
+                write!(f, "truncated frame: wanted {wanted} bytes, got {got}")
+            }
+            Self::BadJson(e) => write!(f, "bad JSON in frame: {e}"),
+            Self::BadMessage(e) => write!(f, "bad message: {e}"),
+            Self::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one value as a length-prefixed frame.
+pub fn encode_frame(v: &Json) -> Vec<u8> {
+    let body = v.render().into_bytes();
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode one frame from the front of `buf`; returns the value and the
+/// bytes consumed. Never panics: oversized and truncated input are typed
+/// errors.
+pub fn decode_frame(buf: &[u8]) -> Result<(Json, usize), FrameError> {
+    if buf.is_empty() {
+        return Err(FrameError::Closed);
+    }
+    if buf.len() < 4 {
+        return Err(FrameError::Truncated {
+            wanted: 4,
+            got: buf.len(),
+        });
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { len: len as u64 });
+    }
+    let body = buf
+        .get(4..4 + len)
+        .ok_or(FrameError::Truncated {
+            wanted: len,
+            got: buf.len() - 4,
+        })?;
+    let v = json::parse(body).map_err(|e| FrameError::BadJson(e.to_string()))?;
+    Ok((v, 4 + len))
+}
+
+/// Read one frame from a stream. A clean EOF before any length byte is
+/// [`FrameError::Closed`]; EOF mid-frame is [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Json, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    wanted: 4,
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { len: len as u64 });
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    wanted: len,
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    json::parse(&body).map_err(|e| FrameError::BadJson(e.to_string()))
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, v: &Json) -> Result<(), FrameError> {
+    w.write_all(&encode_frame(v))
+        .and_then(|_| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+// ----------------------------------------------------------------------
+// Requests
+// ----------------------------------------------------------------------
+
+/// The program a submission names: a library entry or inline source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramRef {
+    /// A name resolved against the server's program library
+    /// (`programs/<name>.pf`).
+    Named(String),
+    /// Pisces Fortran source shipped in the request.
+    Inline(String),
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Service status: queue depths, counters, program list.
+    Status,
+    /// Submit a job; the response arrives when the job finishes (or is
+    /// rejected by admission control).
+    Submit {
+        /// Tenant id the job is accounted and scheduled under.
+        tenant: String,
+        /// What to run.
+        program: ProgramRef,
+        /// Top-level tasktype (default `MAIN`).
+        main: String,
+        /// Arguments for the top-level task, as unparsed strings.
+        args: Vec<String>,
+    },
+    /// Graceful drain: finish admitted jobs, refuse new ones, flush
+    /// telemetry, shut the machine down.
+    Drain,
+}
+
+impl Request {
+    /// Encode to the wire JSON shape.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::Obj(vec![("type".into(), Json::str("ping"))]),
+            Request::Status => Json::Obj(vec![("type".into(), Json::str("status"))]),
+            Request::Drain => Json::Obj(vec![("type".into(), Json::str("drain"))]),
+            Request::Submit {
+                tenant,
+                program,
+                main,
+                args,
+            } => {
+                let mut fields = vec![
+                    ("type".into(), Json::str("submit")),
+                    ("tenant".into(), Json::str(tenant.clone())),
+                ];
+                match program {
+                    ProgramRef::Named(n) => fields.push(("program".into(), Json::str(n.clone()))),
+                    ProgramRef::Inline(s) => fields.push(("source".into(), Json::str(s.clone()))),
+                }
+                fields.push(("main".into(), Json::str(main.clone())));
+                fields.push((
+                    "args".into(),
+                    Json::Arr(args.iter().map(|a| Json::str(a.clone())).collect()),
+                ));
+                Json::Obj(fields)
+            }
+        }
+    }
+
+    /// Decode from the wire JSON shape.
+    pub fn from_json(v: &Json) -> Result<Request, FrameError> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| FrameError::BadMessage("missing \"type\"".into()))?;
+        match ty {
+            "ping" => Ok(Request::Ping),
+            "status" => Ok(Request::Status),
+            "drain" => Ok(Request::Drain),
+            "submit" => {
+                let tenant = v
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .unwrap_or("anonymous")
+                    .to_string();
+                let program = match (
+                    v.get("program").and_then(Json::as_str),
+                    v.get("source").and_then(Json::as_str),
+                ) {
+                    (Some(n), None) => ProgramRef::Named(n.to_string()),
+                    (None, Some(s)) => ProgramRef::Inline(s.to_string()),
+                    (Some(_), Some(_)) => {
+                        return Err(FrameError::BadMessage(
+                            "submit carries both \"program\" and \"source\"".into(),
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(FrameError::BadMessage(
+                            "submit needs \"program\" (library name) or \"source\" (inline)"
+                                .into(),
+                        ))
+                    }
+                };
+                let main = v
+                    .get("main")
+                    .and_then(Json::as_str)
+                    .unwrap_or("MAIN")
+                    .to_string();
+                let args = v
+                    .get("args")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|a| {
+                        a.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| FrameError::BadMessage("args must be strings".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Submit {
+                    tenant,
+                    program,
+                    main,
+                    args,
+                })
+            }
+            other => Err(FrameError::BadMessage(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Responses
+// ----------------------------------------------------------------------
+
+/// A finished job, as reported to the submitting client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReply {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// Tenant the job ran under.
+    pub tenant: String,
+    /// Whether the job's main task completed without error.
+    pub ok: bool,
+    /// The failure, when `ok` is false.
+    pub error: Option<String>,
+    /// Milliseconds spent queued before dispatch.
+    pub queued_ms: u64,
+    /// Milliseconds from dispatch to quiescence.
+    pub run_ms: u64,
+    /// Virtual ticks the job advanced the machine's slowest PE clock.
+    pub span_ticks: u64,
+    /// Per-job machine counters (nonzero entries of the RunStats delta).
+    pub stats: Vec<(String, u64)>,
+    /// Terminal output (TO USER SEND lines) captured during the job.
+    pub output: Vec<String>,
+}
+
+/// One tenant's live accounting in a status reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStatus {
+    /// Tenant id.
+    pub tenant: String,
+    /// Scheduling weight.
+    pub weight: u32,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Jobs finished since boot.
+    pub finished: u64,
+}
+
+/// Service-level status.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusReply {
+    /// True once a drain has begun.
+    pub draining: bool,
+    /// Jobs currently queued (all tenants).
+    pub queued: u64,
+    /// The running job, if any.
+    pub running: Option<(String, u64)>,
+    /// Jobs admitted since boot.
+    pub submitted: u64,
+    /// Jobs finished since boot.
+    pub finished: u64,
+    /// Finished jobs that failed.
+    pub failed: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Machines retired because reset found them dirty.
+    pub reboots: u64,
+    /// Per-tenant accounting.
+    pub tenants: Vec<TenantStatus>,
+    /// Program names in the library.
+    pub programs: Vec<String>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ping acknowledgement.
+    Pong,
+    /// Status report.
+    Status(StatusReply),
+    /// The submitted job ran (successfully or not) — the full account.
+    Done(JobReply),
+    /// Admission control refused the submission. `kind` is the
+    /// machine-readable reason class (see `admission::RejectReason`).
+    Rejected {
+        /// Machine-readable reason class, e.g. `queue-full`.
+        kind: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Drain finished: the machine is down and the listener is closing.
+    DrainDone {
+        /// Jobs that completed during the drain (including earlier).
+        finished: u64,
+        /// Queued jobs the drain deadline cut off unserved.
+        unserved: u64,
+    },
+    /// Protocol-level failure (unparseable request, internal error).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode to the wire JSON shape.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => Json::Obj(vec![("type".into(), Json::str("pong"))]),
+            Response::Rejected { kind, reason } => Json::Obj(vec![
+                ("type".into(), Json::str("rejected")),
+                ("kind".into(), Json::str(kind.clone())),
+                ("reason".into(), Json::str(reason.clone())),
+            ]),
+            Response::Error { message } => Json::Obj(vec![
+                ("type".into(), Json::str("error")),
+                ("message".into(), Json::str(message.clone())),
+            ]),
+            Response::DrainDone { finished, unserved } => Json::Obj(vec![
+                ("type".into(), Json::str("drain-done")),
+                ("finished".into(), Json::num(*finished)),
+                ("unserved".into(), Json::num(*unserved)),
+            ]),
+            Response::Done(j) => Json::Obj(vec![
+                ("type".into(), Json::str("done")),
+                ("job_id".into(), Json::num(j.job_id)),
+                ("tenant".into(), Json::str(j.tenant.clone())),
+                ("ok".into(), Json::Bool(j.ok)),
+                (
+                    "error".into(),
+                    j.error.clone().map(Json::Str).unwrap_or(Json::Null),
+                ),
+                ("queued_ms".into(), Json::num(j.queued_ms)),
+                ("run_ms".into(), Json::num(j.run_ms)),
+                ("span_ticks".into(), Json::num(j.span_ticks)),
+                (
+                    "stats".into(),
+                    Json::Obj(
+                        j.stats
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::num(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "output".into(),
+                    Json::Arr(j.output.iter().map(|l| Json::str(l.clone())).collect()),
+                ),
+            ]),
+            Response::Status(s) => Json::Obj(vec![
+                ("type".into(), Json::str("status")),
+                ("draining".into(), Json::Bool(s.draining)),
+                ("queued".into(), Json::num(s.queued)),
+                (
+                    "running".into(),
+                    match &s.running {
+                        Some((tenant, job)) => Json::Obj(vec![
+                            ("tenant".into(), Json::str(tenant.clone())),
+                            ("job".into(), Json::num(*job)),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
+                ("submitted".into(), Json::num(s.submitted)),
+                ("finished".into(), Json::num(s.finished)),
+                ("failed".into(), Json::num(s.failed)),
+                ("rejected".into(), Json::num(s.rejected)),
+                ("reboots".into(), Json::num(s.reboots)),
+                (
+                    "tenants".into(),
+                    Json::Arr(
+                        s.tenants
+                            .iter()
+                            .map(|t| {
+                                Json::Obj(vec![
+                                    ("tenant".into(), Json::str(t.tenant.clone())),
+                                    ("weight".into(), Json::num(t.weight as u64)),
+                                    ("queued".into(), Json::num(t.queued)),
+                                    ("finished".into(), Json::num(t.finished)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "programs".into(),
+                    Json::Arr(s.programs.iter().map(|p| Json::str(p.clone())).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Decode from the wire JSON shape.
+    pub fn from_json(v: &Json) -> Result<Response, FrameError> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| FrameError::BadMessage("missing \"type\"".into()))?;
+        let str_field = |key: &str| -> Result<String, FrameError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| FrameError::BadMessage(format!("missing \"{key}\"")))
+        };
+        let num_field = |key: &str| -> Result<u64, FrameError> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| FrameError::BadMessage(format!("missing \"{key}\"")))
+        };
+        match ty {
+            "pong" => Ok(Response::Pong),
+            "rejected" => Ok(Response::Rejected {
+                kind: str_field("kind")?,
+                reason: str_field("reason")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: str_field("message")?,
+            }),
+            "drain-done" => Ok(Response::DrainDone {
+                finished: num_field("finished")?,
+                unserved: num_field("unserved")?,
+            }),
+            "done" => Ok(Response::Done(JobReply {
+                job_id: num_field("job_id")?,
+                tenant: str_field("tenant")?,
+                ok: v
+                    .get("ok")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| FrameError::BadMessage("missing \"ok\"".into()))?,
+                error: v.get("error").and_then(Json::as_str).map(str::to_string),
+                queued_ms: num_field("queued_ms")?,
+                run_ms: num_field("run_ms")?,
+                span_ticks: num_field("span_ticks")?,
+                stats: match v.get("stats") {
+                    Some(Json::Obj(fields)) => fields
+                        .iter()
+                        .filter_map(|(k, n)| n.as_u64().map(|n| (k.clone(), n)))
+                        .collect(),
+                    _ => Vec::new(),
+                },
+                output: v
+                    .get("output")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|l| l.as_str().map(str::to_string))
+                    .collect(),
+            })),
+            "status" => Ok(Response::Status(StatusReply {
+                draining: v.get("draining").and_then(Json::as_bool).unwrap_or(false),
+                queued: num_field("queued")?,
+                running: match v.get("running") {
+                    Some(r @ Json::Obj(_)) => Some((
+                        r.get("tenant")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        r.get("job").and_then(Json::as_u64).unwrap_or(0),
+                    )),
+                    _ => None,
+                },
+                submitted: num_field("submitted")?,
+                finished: num_field("finished")?,
+                failed: num_field("failed")?,
+                rejected: num_field("rejected")?,
+                reboots: num_field("reboots")?,
+                tenants: v
+                    .get("tenants")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|t| TenantStatus {
+                        tenant: t
+                            .get("tenant")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        weight: t.get("weight").and_then(Json::as_u64).unwrap_or(1) as u32,
+                        queued: t.get("queued").and_then(Json::as_u64).unwrap_or(0),
+                        finished: t.get("finished").and_then(Json::as_u64).unwrap_or(0),
+                    })
+                    .collect(),
+                programs: v
+                    .get("programs")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|p| p.as_str().map(str::to_string))
+                    .collect(),
+            })),
+            other => Err(FrameError::BadMessage(format!(
+                "unknown response type {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(r: Request) {
+        let (v, used) = decode_frame(&encode_frame(&r.to_json())).unwrap();
+        assert_eq!(used, encode_frame(&r.to_json()).len());
+        assert_eq!(Request::from_json(&v).unwrap(), r);
+    }
+
+    fn roundtrip_response(r: Response) {
+        let (v, _) = decode_frame(&encode_frame(&r.to_json())).unwrap();
+        assert_eq!(Response::from_json(&v).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Status);
+        roundtrip_request(Request::Drain);
+        roundtrip_request(Request::Submit {
+            tenant: "acme".into(),
+            program: ProgramRef::Named("pi".into()),
+            main: "MAIN".into(),
+            args: vec!["1000".into(), ".TRUE.".into()],
+        });
+        roundtrip_request(Request::Submit {
+            tenant: "tenant \"quoted\"\n".into(),
+            program: ProgramRef::Inline("PROGRAM X\nEND".into()),
+            main: "WORKER".into(),
+            args: vec![],
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Rejected {
+            kind: "queue-full".into(),
+            reason: "64 jobs queued".into(),
+        });
+        roundtrip_response(Response::Error {
+            message: "boom".into(),
+        });
+        roundtrip_response(Response::DrainDone {
+            finished: 17,
+            unserved: 3,
+        });
+        roundtrip_response(Response::Done(JobReply {
+            job_id: 42,
+            tenant: "acme".into(),
+            ok: false,
+            error: Some("task failed".into()),
+            queued_ms: 5,
+            run_ms: 77,
+            span_ticks: 123456,
+            stats: vec![("messages_sent".into(), 9)],
+            output: vec!["PI(3.14)".into()],
+        }));
+        roundtrip_response(Response::Status(StatusReply {
+            draining: true,
+            queued: 2,
+            running: Some(("acme".into(), 7)),
+            submitted: 10,
+            finished: 7,
+            failed: 1,
+            rejected: 2,
+            reboots: 0,
+            tenants: vec![TenantStatus {
+                tenant: "acme".into(),
+                weight: 3,
+                queued: 2,
+                finished: 7,
+            }],
+            programs: vec!["heat".into(), "pi".into()],
+        }));
+    }
+
+    #[test]
+    fn oversized_frame_is_a_typed_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(FrameError::Oversized { .. })
+        ));
+        // read_frame refuses before allocating the body
+        let mut r = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let full = encode_frame(&Request::Ping.to_json());
+        for cut in [1, 2, 3, 4, full.len() - 1] {
+            let e = decode_frame(&full[..cut]).unwrap_err();
+            assert!(
+                matches!(e, FrameError::Truncated { .. }),
+                "cut at {cut}: {e:?}"
+            );
+            let mut r = std::io::Cursor::new(full[..cut].to_vec());
+            assert!(matches!(
+                read_frame(&mut r),
+                Err(FrameError::Truncated { .. })
+            ));
+        }
+        assert!(matches!(decode_frame(&[]), Err(FrameError::Closed)));
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn garbage_bodies_are_bad_json_not_panics() {
+        let mut buf = vec![0, 0, 0, 5];
+        buf.extend_from_slice(b"{oops");
+        assert!(matches!(decode_frame(&buf), Err(FrameError::BadJson(_))));
+        let mut buf = vec![0, 0, 0, 4];
+        buf.extend_from_slice(&[0xff, 0xfe, 0x00, 0x01]);
+        assert!(matches!(decode_frame(&buf), Err(FrameError::BadJson(_))));
+    }
+
+    #[test]
+    fn unknown_types_and_shapes_are_bad_messages() {
+        let v = json::parse(br#"{"type":"warp"}"#).unwrap();
+        assert!(matches!(
+            Request::from_json(&v),
+            Err(FrameError::BadMessage(_))
+        ));
+        let v = json::parse(br#"{"type":"submit","tenant":"a"}"#).unwrap();
+        assert!(matches!(
+            Request::from_json(&v),
+            Err(FrameError::BadMessage(_))
+        ));
+        let v = json::parse(br#"{"type":"submit","program":"pi","source":"X"}"#).unwrap();
+        assert!(matches!(
+            Request::from_json(&v),
+            Err(FrameError::BadMessage(_))
+        ));
+        let v = json::parse(br#"[1,2,3]"#).unwrap();
+        assert!(matches!(
+            Request::from_json(&v),
+            Err(FrameError::BadMessage(_))
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let mut buf = encode_frame(&Request::Ping.to_json());
+        buf.extend_from_slice(&encode_frame(&Request::Status.to_json()));
+        let (first, used) = decode_frame(&buf).unwrap();
+        assert_eq!(Request::from_json(&first).unwrap(), Request::Ping);
+        let (second, _) = decode_frame(&buf[used..]).unwrap();
+        assert_eq!(Request::from_json(&second).unwrap(), Request::Status);
+    }
+}

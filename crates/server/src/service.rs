@@ -1,0 +1,558 @@
+//! The job service: one persistent PISCES machine run as a multi-tenant
+//! batch server.
+//!
+//! A [`JobService`] boots the machine once (telemetry, watchdog hooks,
+//! and an optional armed-inert fault plan all live for the server's
+//! lifetime), then cycles it through jobs: admission control at submit
+//! time ([`crate::admission`]), smooth weighted-fair dispatch across
+//! tenants ([`crate::scheduler`]), per-job stats scoping and console
+//! capture, per-job trace routing (`--trace-dir`), and a
+//! [`pisces_core::machine::Pisces::reset_for_next_job`] between jobs. If
+//! a reset finds the machine dirty (a wedged job, a leaked allocation
+//! the repair path cannot reclaim), the machine is retired and a fresh
+//! one booted — the `reboots` counter in [`StatusReply`] tracks how
+//! often that forensically interesting path fires.
+//!
+//! Jobs run one at a time: the PISCES machine is a single shared
+//! FLEX/32 and a job owns all its PEs while it runs, exactly as a
+//! Section 11 configuration owns the machine for a run. Concurrency in
+//! the service is therefore between *tenants competing for the next
+//! slot*, which is what the fair scheduler arbitrates.
+
+use crate::admission::{AdmissionPolicy, RejectReason};
+use crate::protocol::{JobReply, ProgramRef, StatusReply, TenantStatus};
+use crate::scheduler::{FairScheduler, TenantWeights};
+use flex32::fault::FaultPlan;
+use flex32::{Flex32, PeId};
+use parking_lot::{Condvar, Mutex};
+use pisces_config::{ProgramLibrary, ProgramLookupError};
+use pisces_core::config::MachineConfig;
+use pisces_core::machine::Pisces;
+use pisces_core::value::Value;
+use pisces_fortran::FortranProgram;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Everything the service needs to boot and police its machine.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The machine configuration every job runs on.
+    pub machine: MachineConfig,
+    /// Named-program library for `{"program": "<name>"}` submissions.
+    pub programs: ProgramLibrary,
+    /// Admission thresholds (queue bound, arena pressure).
+    pub policy: AdmissionPolicy,
+    /// Per-tenant scheduling weights.
+    pub weights: TenantWeights,
+    /// Quiescence timeout per job; a job still running past this is
+    /// declared wedged and fails.
+    pub job_timeout: Duration,
+    /// How long a graceful drain waits for queued jobs before refusing
+    /// the remainder.
+    pub drain_timeout: Duration,
+    /// When set, each job's trace is routed to `job-<id>.jsonl` plus a
+    /// rendered report under this directory.
+    pub trace_dir: Option<PathBuf>,
+    /// Armed-inert fault plan: injected into the machine at boot so
+    /// chaos runs exercise jobs under faults. `None` for a healthy
+    /// server.
+    pub fault_plan: Option<FaultPlan>,
+    /// Echo TO USER SEND lines to the server's stdout as they happen.
+    pub echo: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::simple(2, 4),
+            programs: ProgramLibrary::open("programs"),
+            policy: AdmissionPolicy::default(),
+            weights: TenantWeights::default(),
+            job_timeout: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(30),
+            trace_dir: None,
+            fault_plan: None,
+            echo: false,
+        }
+    }
+}
+
+/// What a submission ultimately produced. Admission rejections are
+/// returned synchronously from [`JobService::submit`]; a `Refused` here
+/// means the job was admitted but cut off by a drain deadline.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The job ran; the reply carries its full account.
+    Done(JobReply),
+    /// The job was admitted but never ran (drain refused it).
+    Refused(RejectReason),
+}
+
+/// Summary returned by [`JobService::drain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs finished over the server's lifetime.
+    pub finished: u64,
+    /// Queued jobs the drain refused unserved.
+    pub unserved: u64,
+    /// Where the flight recorder dumped, if it was armed.
+    pub flight_dump: Option<PathBuf>,
+}
+
+struct QueuedJob {
+    id: u64,
+    tenant: String,
+    program: FortranProgram,
+    main: String,
+    args: Vec<Value>,
+    reply: mpsc::Sender<JobOutcome>,
+    enqueued: Instant,
+}
+
+struct Inner {
+    machine: Arc<Pisces>,
+    flex: Arc<Flex32>,
+    queue: FairScheduler<QueuedJob>,
+    running: Option<(String, u64)>,
+    draining: bool,
+    stopped: bool,
+    submitted: u64,
+    finished: u64,
+    failed: u64,
+    per_tenant_finished: std::collections::BTreeMap<String, u64>,
+}
+
+/// A running job service. Create with [`JobService::start`], submit with
+/// [`JobService::submit`], stop with [`JobService::drain`].
+pub struct JobService {
+    cfg: ServiceConfig,
+    inner: Mutex<Inner>,
+    work: Condvar,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    next_job: AtomicU64,
+    rejected: AtomicU64,
+    reboots: AtomicU64,
+}
+
+fn boot_machine(cfg: &ServiceConfig) -> Result<(Arc<Flex32>, Arc<Pisces>), RejectReason> {
+    let flex = Flex32::new_shared();
+    if let Some(plan) = &cfg.fault_plan {
+        flex.arm_faults(plan.clone());
+    }
+    if cfg.echo {
+        for pe in PeId::all() {
+            flex.pe(pe).console.set_echo(true);
+        }
+    }
+    let machine = Pisces::boot(flex.clone(), cfg.machine.clone())
+        .map_err(|e| RejectReason::MachineUnavailable(e.to_string()))?;
+    Ok((flex, machine))
+}
+
+impl JobService {
+    /// Boot the machine and start the dispatcher thread.
+    pub fn start(cfg: ServiceConfig) -> Result<Arc<Self>, RejectReason> {
+        cfg.machine
+            .validate()
+            .map_err(|e| RejectReason::MachineUnavailable(e.to_string()))?;
+        let (flex, machine) = boot_machine(&cfg)?;
+        let svc = Arc::new(Self {
+            inner: Mutex::new(Inner {
+                machine,
+                flex,
+                queue: FairScheduler::new(cfg.weights.clone()),
+                running: None,
+                draining: false,
+                stopped: false,
+                submitted: 0,
+                finished: 0,
+                failed: 0,
+                per_tenant_finished: std::collections::BTreeMap::new(),
+            }),
+            cfg,
+            work: Condvar::new(),
+            worker: Mutex::new(None),
+            next_job: AtomicU64::new(1),
+            rejected: AtomicU64::new(0),
+            reboots: AtomicU64::new(0),
+        });
+        let for_worker = svc.clone();
+        *svc.worker.lock() = Some(
+            std::thread::Builder::new()
+                .name("piscesd-dispatch".into())
+                .spawn(move || for_worker.dispatch_loop())
+                .expect("spawn dispatcher"),
+        );
+        Ok(svc)
+    }
+
+    /// The machine currently serving jobs (swapped on reboot).
+    pub fn machine(&self) -> Arc<Pisces> {
+        self.inner.lock().machine.clone()
+    }
+
+    /// Parse/resolve the submitted program and run every admission gate.
+    /// On success the job is queued and the receiver will deliver its
+    /// [`JobOutcome`] when it leaves the machine.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        program: &ProgramRef,
+        main: &str,
+        args: &[String],
+    ) -> Result<(u64, mpsc::Receiver<JobOutcome>), RejectReason> {
+        let mut inner = self.inner.lock();
+        if inner.draining || inner.stopped {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(RejectReason::Draining);
+        }
+        if let Err(e) = self.cfg.policy.check_queue(inner.queue.len()) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let shm = inner.flex.shmem.report();
+        if let Err(e) = self.cfg.policy.check_arena(shm.in_use, shm.capacity) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let source = match program {
+            ProgramRef::Inline(src) => src.clone(),
+            ProgramRef::Named(name) => match self.cfg.programs.read(name) {
+                Ok(src) => src,
+                Err(ProgramLookupError::BadName(_) | ProgramLookupError::NotFound { .. }) => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(RejectReason::UnknownProgram(name.clone()));
+                }
+                Err(e @ ProgramLookupError::Io { .. }) => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(RejectReason::BadProgram(e.to_string()));
+                }
+            },
+        };
+        let parsed = FortranProgram::parse(&source).map_err(|e| {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            RejectReason::BadProgram(e.to_string())
+        })?;
+        if !parsed.tasktypes().iter().any(|t| t == main) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(RejectReason::NoSuchTask {
+                main: main.to_string(),
+                defined: parsed.tasktypes(),
+            });
+        }
+        let image = pisces_config::ProgramImage::with_tasktypes(parsed.tasktypes());
+        let user_bytes = image.user_bytes();
+        let tightest = self
+            .cfg
+            .machine
+            .pes_in_use()
+            .into_iter()
+            .filter_map(|n| PeId::new(n).ok())
+            .map(|pe| {
+                let local = &inner.flex.pe(pe).local;
+                local.capacity() - local.used()
+            })
+            .min()
+            .unwrap_or(0);
+        if let Err(e) = self.cfg.policy.check_fit(user_bytes, tightest) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        inner.queue.push(
+            tenant,
+            QueuedJob {
+                id,
+                tenant: tenant.to_string(),
+                program: parsed,
+                main: main.to_string(),
+                args: args.iter().map(|s| pisces_exec::menu::parse_value(s)).collect(),
+                reply: tx,
+                enqueued: Instant::now(),
+            },
+        );
+        inner.submitted += 1;
+        drop(inner);
+        self.work.notify_one();
+        Ok((id, rx))
+    }
+
+    /// Live status for the `status` request.
+    pub fn status(&self) -> StatusReply {
+        let inner = self.inner.lock();
+        let queued_by_tenant = inner.queue.queued_by_tenant();
+        let mut tenants: std::collections::BTreeMap<String, TenantStatus> =
+            std::collections::BTreeMap::new();
+        for (tenant, queued) in queued_by_tenant {
+            tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| TenantStatus {
+                    weight: inner.queue.weight_of(&tenant),
+                    tenant,
+                    queued: 0,
+                    finished: 0,
+                })
+                .queued = queued as u64;
+        }
+        for (tenant, finished) in &inner.per_tenant_finished {
+            tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| TenantStatus {
+                    weight: inner.queue.weight_of(tenant),
+                    tenant: tenant.clone(),
+                    queued: 0,
+                    finished: 0,
+                })
+                .finished = *finished;
+        }
+        StatusReply {
+            draining: inner.draining,
+            queued: inner.queue.len() as u64,
+            running: inner.running.clone(),
+            submitted: inner.submitted,
+            finished: inner.finished,
+            failed: inner.failed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            reboots: self.reboots.load(Ordering::Relaxed),
+            tenants: tenants.into_values().collect(),
+            programs: self.cfg.programs.list(),
+        }
+    }
+
+    /// Graceful drain: refuse new submissions, keep serving the queue
+    /// until `drain_timeout`, refuse the unserved remainder, flush the
+    /// flight recorder, shut the machine down, and join the dispatcher.
+    pub fn drain(&self) -> DrainSummary {
+        {
+            let mut inner = self.inner.lock();
+            inner.draining = true;
+        }
+        self.work.notify_all();
+        let deadline = Instant::now() + self.cfg.drain_timeout;
+        loop {
+            {
+                let inner = self.inner.lock();
+                if inner.stopped || (inner.queue.is_empty() && inner.running.is_none()) {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Cut off whatever is still queued, then stop the dispatcher.
+        let (machine, abandoned) = {
+            let mut inner = self.inner.lock();
+            inner.stopped = true;
+            (inner.machine.clone(), inner.queue.clear())
+        };
+        self.work.notify_all();
+        let unserved = abandoned.len() as u64;
+        for (_, job) in abandoned {
+            let _ = job.reply.send(JobOutcome::Refused(RejectReason::Draining));
+        }
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        let flight_dump = machine.flight_dump("graceful drain");
+        machine.shutdown();
+        let inner = self.inner.lock();
+        DrainSummary {
+            finished: inner.finished,
+            unserved,
+            flight_dump,
+        }
+    }
+
+    fn dispatch_loop(self: Arc<Self>) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock();
+                loop {
+                    if inner.stopped {
+                        return;
+                    }
+                    if let Some((_, job)) = inner.queue.pop() {
+                        inner.running = Some((job.tenant.clone(), job.id));
+                        break job;
+                    }
+                    if inner.draining {
+                        // Queue empty and no new work can arrive.
+                        inner.stopped = true;
+                        return;
+                    }
+                    self.work.wait_for(&mut inner, Duration::from_millis(100));
+                }
+            };
+            let outcome = self.run_job(&job);
+            {
+                let mut inner = self.inner.lock();
+                inner.running = None;
+                inner.finished += 1;
+                if let JobOutcome::Done(r) = &outcome {
+                    if !r.ok {
+                        inner.failed += 1;
+                    }
+                }
+                *inner
+                    .per_tenant_finished
+                    .entry(job.tenant.clone())
+                    .or_insert(0) += 1;
+            }
+            let _ = job.reply.send(outcome);
+        }
+    }
+
+    /// Run one job on the current machine, then reset it. Never panics:
+    /// every failure path produces a `Done` reply with `ok: false`.
+    fn run_job(&self, job: &QueuedJob) -> JobOutcome {
+        let (machine, flex) = {
+            let inner = self.inner.lock();
+            (inner.machine.clone(), inner.flex.clone())
+        };
+        let queued_ms = job.enqueued.elapsed().as_millis() as u64;
+        let started = Instant::now();
+        let ticks_before = Self::max_ticks(&flex);
+
+        let mut reply = JobReply {
+            job_id: job.id,
+            tenant: job.tenant.clone(),
+            ok: false,
+            error: None,
+            queued_ms,
+            run_ms: 0,
+            span_ticks: 0,
+            stats: Vec::new(),
+            output: Vec::new(),
+        };
+
+        // Load the user image (released again after the job).
+        let load = pisces_config::LoadFile::build(
+            &self.cfg.machine,
+            &pisces_config::ProgramImage::with_tasktypes(job.program.tasktypes()),
+        )
+        .and_then(|lf| lf.download_user_code(&flex).map(|_| lf));
+        let loadfile = match load {
+            Ok(lf) => lf,
+            Err(e) => {
+                reply.error = Some(format!("load failed: {e}"));
+                return JobOutcome::Done(reply);
+            }
+        };
+
+        machine.begin_job(&job.tenant, job.id);
+        job.program.register_with(&machine);
+        let initiated = machine.initiate_top_level(1, &job.main, job.args.clone());
+        let mut wedged = false;
+        match initiated {
+            Err(e) => reply.error = Some(format!("initiate failed: {e}")),
+            Ok(()) => {
+                if machine.wait_quiescent(self.cfg.job_timeout) {
+                    reply.ok = true;
+                } else {
+                    wedged = true;
+                    reply.error = Some(format!(
+                        "job did not quiesce within {:?}",
+                        self.cfg.job_timeout
+                    ));
+                }
+            }
+        }
+        // Let controllers flush terminal output before capture.
+        std::thread::sleep(Duration::from_millis(20));
+
+        reply.run_ms = started.elapsed().as_millis() as u64;
+        reply.span_ticks = Self::max_ticks(&flex).saturating_sub(ticks_before);
+        for n in self.cfg.machine.pes_in_use() {
+            if let Ok(pe) = PeId::new(n) {
+                reply.output.extend(flex.pe(pe).console.output());
+            }
+        }
+        let stats = machine.finish_job(reply.ok);
+        reply.stats = stats
+            .fields()
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+
+        // Route this job's trace out before the reset clears the tracer.
+        if let Some(dir) = &self.cfg.trace_dir {
+            let records = machine.tracer().records();
+            if let Err(e) = pisces_exec::write_job_artifacts(dir, job.id, &records) {
+                eprintln!("piscesd: trace routing for job {} failed: {e}", job.id);
+            }
+        }
+
+        // Return the user image reservation.
+        for n in &loadfile.pes {
+            if let Ok(pe) = PeId::new(*n) {
+                flex.pe(pe).local.release(loadfile.user_bytes);
+            }
+        }
+
+        if wedged || machine.reset_for_next_job().is_err() {
+            self.reboot(&machine, wedged, &mut reply);
+        }
+        JobOutcome::Done(reply)
+    }
+
+    /// Retire a dirty machine and boot a fresh one. The old machine is
+    /// shut down on a detached thread: a wedged job may hold its worker
+    /// threads forever, and the dispatcher must not block behind them.
+    fn reboot(&self, old: &Arc<Pisces>, wedged: bool, reply: &mut JobReply) {
+        self.reboots.fetch_add(1, Ordering::Relaxed);
+        let why = if wedged { "wedged job" } else { "dirty reset" };
+        let note = format!("machine retired after {why}; rebooting");
+        match reply.error.as_mut() {
+            Some(e) => {
+                e.push_str("; ");
+                e.push_str(&note);
+            }
+            None => reply.error = Some(note),
+        }
+        old.flight_dump(why);
+        let retiring = old.clone();
+        std::thread::Builder::new()
+            .name("piscesd-retire".into())
+            .spawn(move || retiring.shutdown())
+            .ok();
+        match boot_machine(&self.cfg) {
+            Ok((flex, machine)) => {
+                let mut inner = self.inner.lock();
+                inner.flex = flex;
+                inner.machine = machine;
+            }
+            Err(e) => {
+                // No machine: refuse everything still queued and stop.
+                let mut inner = self.inner.lock();
+                inner.stopped = true;
+                for (_, job) in inner.queue.clear() {
+                    let _ = job
+                        .reply
+                        .send(JobOutcome::Refused(RejectReason::MachineUnavailable(
+                            e.to_string(),
+                        )));
+                }
+            }
+        }
+    }
+
+    fn max_ticks(flex: &Arc<Flex32>) -> u64 {
+        flex.pes().iter().map(|pe| pe.clock.now()).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for JobService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobService")
+            .field("rejected", &self.rejected.load(Ordering::Relaxed))
+            .field("reboots", &self.reboots.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}

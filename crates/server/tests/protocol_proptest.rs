@@ -1,0 +1,73 @@
+//! Property tests for the wire protocol: the frame decoder and JSON
+//! parser must never panic, whatever bytes arrive — a remote tenant owns
+//! the entire input space. Encoded frames must also round-trip exactly.
+
+use pisces_server::json;
+use pisces_server::protocol::{
+    decode_frame, encode_frame, FrameError, ProgramRef, Request,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes: the decoder returns a value or a typed error,
+    /// never panics, and never reports consuming more than it was given.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        match decode_frame(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(
+                FrameError::Closed
+                | FrameError::Oversized { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::BadJson(_)
+                | FrameError::BadMessage(_)
+                | FrameError::Io(_),
+            ) => {}
+        }
+    }
+
+    /// Arbitrary bytes fed straight to the JSON parser: same contract.
+    #[test]
+    fn json_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = json::parse(&bytes);
+    }
+
+    /// Any JSON-encodable string survives the submit round trip intact:
+    /// encode → frame → decode → parse recovers the exact request.
+    #[test]
+    fn submit_round_trips(
+        tenant in "\\PC{0,40}",
+        source in "\\PC{0,200}",
+        main in "[A-Z][A-Z0-9]{0,10}",
+        args in proptest::collection::vec("\\PC{0,20}", 0..4),
+    ) {
+        let req = Request::Submit {
+            tenant,
+            program: ProgramRef::Inline(source),
+            main,
+            args,
+        };
+        let frame = encode_frame(&req.to_json());
+        let (v, used) = decode_frame(&frame).unwrap();
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(Request::from_json(&v).unwrap(), req);
+    }
+
+    /// Truncating a valid frame anywhere yields a typed error, not a
+    /// panic and not a bogus success.
+    #[test]
+    fn truncation_is_always_typed(cut_fraction in 0.0f64..1.0) {
+        let req = Request::Submit {
+            tenant: "acme".into(),
+            program: ProgramRef::Named("pi".into()),
+            main: "MAIN".into(),
+            args: vec!["1000".into()],
+        };
+        let frame = encode_frame(&req.to_json());
+        let cut = ((frame.len() - 1) as f64 * cut_fraction) as usize;
+        match decode_frame(&frame[..cut]) {
+            Err(FrameError::Closed | FrameError::Truncated { .. }) => {}
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`pisces_exec`] — the execution environment (run-control menu,
 //!   Figure-1 renderer, off-line trace analysis);
 //! * [`pisces_fortran`] — Pisces Fortran (preprocessor and interpreter);
+//! * [`pisces_server`] — the machine as a persistent multi-tenant
+//!   service (`piscesd` daemon, wire protocol, `pisces submit` client);
 //! * [`pisces3_hypercube`] — the PISCES 3 preview substrate (hypercube
 //!   with parallel I/O, the paper's stated next step).
 //!
@@ -24,6 +26,7 @@ pub use pisces_config;
 pub use pisces_core;
 pub use pisces_exec;
 pub use pisces_fortran;
+pub use pisces_server;
 
 /// The paper this repository reproduces.
 pub const PAPER: &str =

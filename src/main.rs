@@ -17,6 +17,7 @@
 //! pisces program.pf --trace all --trace-file run.jsonl
 //! pisces report run.jsonl                   # off-line timing analysis (§12)
 //! pisces program.pf --interactive           # the 10-option menu on stdin
+//! pisces submit pi --addr 127.0.0.1:7070    # run a job on a piscesd server
 //! ```
 
 use pisces::pisces_core::prelude::*;
@@ -50,6 +51,8 @@ fn usage() -> ! {
         "usage: pisces <program.pf> [options]\n\
          \x20      pisces report <trace.jsonl> [width] [--perfetto <out.json>]\n\
          \x20                    [--metrics <out.prom>] [--flamegraph <out.folded>] [--strict]\n\
+         \x20      pisces submit <name | --file prog.pf> [--addr <a>] [--tenant <t>]\n\
+         \x20                    [--main <TASK>] [--arg <v>]... | --status | --drain | --ping\n\
          \n\
          options:\n\
            --preprocess          print the Fortran 77 translation and exit\n\
@@ -306,6 +309,152 @@ fn run_report(args: &[String]) -> ! {
     std::process::exit(if strict && skipped > 0 { 1 } else { 0 })
 }
 
+/// `pisces submit ...` — client for a running `piscesd`.
+///
+/// Exit codes tell scripts apart what happened:
+/// 0 job ran and succeeded · 1 job ran and failed · 2 usage ·
+/// 3 rejected by admission control · 4 transport error.
+fn run_submit(args: &[String]) -> ! {
+    use pisces::pisces_server::protocol::{ProgramRef, Request, Response};
+    use pisces::pisces_server::{Client, ClientError};
+
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut tenant = "anonymous".to_string();
+    let mut main_task = "MAIN".to_string();
+    let mut task_args: Vec<String> = Vec::new();
+    let mut name: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut action = "submit";
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let need = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{a} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = need(&mut it),
+            "--tenant" => tenant = need(&mut it),
+            "--main" => main_task = need(&mut it),
+            "--arg" => task_args.push(need(&mut it)),
+            "--file" => file = Some(need(&mut it)),
+            "--drain" => action = "drain",
+            "--status" => action = "status",
+            "--ping" => action = "ping",
+            "--quiet" => quiet = true,
+            s if !s.starts_with('-') && name.is_none() => name = Some(s.to_string()),
+            _ => usage(),
+        }
+    }
+    let request = match action {
+        "drain" => Request::Drain,
+        "status" => Request::Status,
+        "ping" => Request::Ping,
+        _ => {
+            let program = match (&name, &file) {
+                (Some(n), None) => ProgramRef::Named(n.clone()),
+                (None, Some(path)) => match std::fs::read_to_string(path) {
+                    Ok(src) => ProgramRef::Inline(src),
+                    Err(e) => {
+                        eprintln!("pisces submit: cannot read {path}: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                _ => {
+                    eprintln!("pisces submit: needs a program name or --file (not both)");
+                    usage()
+                }
+            };
+            Request::Submit {
+                tenant,
+                program,
+                main: main_task,
+                args: task_args,
+            }
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pisces submit: {e}");
+            std::process::exit(4);
+        }
+    };
+    let response = match client.request(&request) {
+        Ok(r) => r,
+        Err(e @ ClientError::Transport(_)) => {
+            eprintln!("pisces submit: {e}");
+            std::process::exit(4);
+        }
+        Err(e) => {
+            eprintln!("pisces submit: {e}");
+            std::process::exit(4);
+        }
+    };
+    match response {
+        Response::Pong => {
+            println!("pong");
+            std::process::exit(0);
+        }
+        Response::Status(s) => {
+            println!(
+                "draining {} · queued {} · submitted {} · finished {} ({} failed) · rejected {} · reboots {}",
+                s.draining, s.queued, s.submitted, s.finished, s.failed, s.rejected, s.reboots
+            );
+            if let Some((tenant, job)) = &s.running {
+                println!("running: job {job} (tenant {tenant})");
+            }
+            for t in &s.tenants {
+                println!(
+                    "tenant {:<12} weight {} queued {} finished {}",
+                    t.tenant, t.weight, t.queued, t.finished
+                );
+            }
+            if !s.programs.is_empty() {
+                println!("programs: {}", s.programs.join(", "));
+            }
+            std::process::exit(0);
+        }
+        Response::DrainDone { finished, unserved } => {
+            println!("drained: {finished} jobs finished, {unserved} unserved");
+            std::process::exit(0);
+        }
+        Response::Rejected { kind, reason } => {
+            eprintln!("pisces submit: rejected ({kind}): {reason}");
+            std::process::exit(3);
+        }
+        Response::Error { message } => {
+            eprintln!("pisces submit: server error: {message}");
+            std::process::exit(4);
+        }
+        Response::Done(r) => {
+            for line in &r.output {
+                println!("{line}");
+            }
+            if !quiet {
+                eprintln!(
+                    "job {} (tenant {}): {} · queued {} ms · ran {} ms · {} ticks",
+                    r.job_id,
+                    r.tenant,
+                    if r.ok { "ok" } else { "FAILED" },
+                    r.queued_ms,
+                    r.run_ms,
+                    r.span_ticks
+                );
+                if let Some(e) = &r.error {
+                    eprintln!("  error: {e}");
+                }
+                for (k, v) in &r.stats {
+                    eprintln!("  {k}: {v}");
+                }
+            }
+            std::process::exit(if r.ok { 0 } else { 1 });
+        }
+    }
+}
+
 fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u8]) {
     c.secondary_pes = secondaries
         .iter()
@@ -318,6 +467,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("report") {
         run_report(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("submit") {
+        run_submit(&argv[1..]);
     }
     let o = parse_args();
     let source = match std::fs::read_to_string(&o.source) {

@@ -32,10 +32,12 @@ GATED_SUFFIXES = ("_ns", "_ns_per_iter")
 
 # Run labels that are standing datasets rather than before/after pairs.
 # `backends` holds the in-queue backend × payload × producer matrix
-# (per-backend metric names like `mpsc_roundtrip_16w_4p_ns`); it is
-# compared against the committed `backends` run, never against `pre`/
-# `post` labels — the namespaces are disjoint.
-SPECIAL_RUNS = ("backends",)
+# (per-backend metric names like `mpsc_roundtrip_16w_4p_ns`); `service`
+# holds the job-service serving-path numbers (submit→done latency and
+# jobs/sec, in BENCH_service.json). Each is compared against its own
+# committed run of the same name, never against `pre`/`post` labels —
+# the namespaces are disjoint.
+SPECIAL_RUNS = ("backends", "service")
 
 
 def newest_run(doc):
@@ -167,7 +169,9 @@ def main():
         cur_label, cur = cur_suite["labelled"]
         if cur:
             compare(suite, base_label, base, cur_label, cur)
-        else:
+        elif base:
+            # Suites whose only data is a standing run (e.g. `service`)
+            # have no labelled baseline — nothing ordinary to miss.
             print(f"warning: suite {suite!r} missing from current capture — not gated", file=sys.stderr)
         # Standing runs (e.g. the backend matrix) gate against their own
         # committed counterpart, using the same per-backend metric names.

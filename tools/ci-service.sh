@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the job service, runnable in CI or offline.
+#
+# Starts `piscesd`, pushes a two-tenant burst over TCP (one tenant
+# greedy, one light but weighted 3x), and asserts:
+#   * ping answers and an unknown program is rejected with a reason
+#     (client exit code 3, distinct from job-failed 1 / transport 4);
+#   * every admitted job completes (exit 0), none lost;
+#   * the light tenant is not starved behind the greedy flood — its job
+#     clears the queue in a fraction of the full drain time;
+#   * a graceful drain refuses nothing it admitted, flushes labelled
+#     OpenMetrics, and the daemon exits on its own.
+#
+# Binaries default to the cargo release layout; override for offline
+# runs: PISCESD=.verify/out/piscesd PISCES=.verify/out/pisces ADDR=...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PISCESD=${PISCESD:-target/release/piscesd}
+PISCES=${PISCES:-target/release/pisces}
+ADDR=${ADDR:-127.0.0.1:7071}
+GREEDY_JOBS=${GREEDY_JOBS:-24}
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+    return 0
+}
+trap cleanup EXIT
+
+cat > "$WORK/busy.pf" <<'EOF'
+TASK MAIN
+INTEGER I
+REAL X
+X = 0.0
+DO I = 1, 50000
+X = X + I
+END DO
+PRINT 'BUSY', 1
+END TASK
+EOF
+cat > "$WORK/quick.pf" <<'EOF'
+TASK MAIN
+PRINT 'QUICK', 1
+END TASK
+EOF
+
+"$PISCESD" --listen "$ADDR" --clusters 1 --slots 8 --max-queue 128 \
+    --tenants light=3,greedy=1 --metrics-out "$WORK/final.prom" \
+    > "$WORK/piscesd.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    grep -q "listening" "$WORK/piscesd.log" 2>/dev/null && break
+    sleep 0.2
+done
+grep -q "listening" "$WORK/piscesd.log" \
+    || { echo "FAIL: piscesd did not start"; cat "$WORK/piscesd.log"; exit 1; }
+
+"$PISCES" submit --addr "$ADDR" --ping
+
+# Admission control: unknown program -> exit 3 with a reason on stderr.
+rc=0
+"$PISCES" submit --addr "$ADDR" no-such-program 2> "$WORK/reject.err" || rc=$?
+[ "$rc" -eq 3 ] || { echo "FAIL: expected rejection exit 3, got $rc"; cat "$WORK/reject.err"; exit 1; }
+grep -qi "no program" "$WORK/reject.err" \
+    || { echo "FAIL: rejection carried no reason:"; cat "$WORK/reject.err"; exit 1; }
+
+# Burst: the greedy tenant floods busy jobs; the light tenant submits
+# one quick job after the flood is queued.
+t0=$(date +%s%N)
+pids=()
+for _ in $(seq 1 "$GREEDY_JOBS"); do
+    "$PISCES" submit --addr "$ADDR" --tenant greedy --quiet --file "$WORK/busy.pf" \
+        > /dev/null 2>> "$WORK/greedy.err" &
+    pids+=("$!")
+done
+sleep 0.5   # let the flood reach the queue
+l0=$(date +%s%N)
+"$PISCES" submit --addr "$ADDR" --tenant light --quiet --file "$WORK/quick.pf" > "$WORK/light.out"
+light_ms=$(( ($(date +%s%N) - l0) / 1000000 ))
+fail=0
+for p in "${pids[@]}"; do wait "$p" || fail=1; done
+total_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+[ "$fail" -eq 0 ] || { echo "FAIL: a greedy job failed"; cat "$WORK/greedy.err"; tail "$WORK/piscesd.log"; exit 1; }
+grep -q "QUICK 1" "$WORK/light.out" \
+    || { echo "FAIL: light job lost its output"; cat "$WORK/light.out"; exit 1; }
+echo "light job served in ${light_ms} ms; full greedy burst drained in ${total_ms} ms"
+# Fairness: weighted 3:1, the light job must not wait out the whole
+# greedy backlog (strict FIFO would put it dead last).
+[ $((light_ms * 2)) -lt "$total_ms" ] \
+    || { echo "FAIL: light tenant starved (${light_ms} ms vs ${total_ms} ms burst)"; exit 1; }
+
+# Graceful drain: daemon finishes, flushes metrics, exits by itself.
+"$PISCES" submit --addr "$ADDR" --drain
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: piscesd still running after drain"; tail "$WORK/piscesd.log"; exit 1
+fi
+SERVER_PID=
+grep -q "drained, exiting" "$WORK/piscesd.log" \
+    || { echo "FAIL: no clean drain banner"; tail "$WORK/piscesd.log"; exit 1; }
+
+# The flushed snapshot is valid OpenMetrics with per-tenant job labels.
+python3 tools/check-openmetrics.py "$WORK/final.prom"
+expected=$((GREEDY_JOBS + 1))
+grep -q "^pisces_jobs_finished_total $expected$" "$WORK/final.prom" \
+    || { echo "FAIL: finished-jobs counter wrong (want $expected):"; grep "^pisces_jobs" "$WORK/final.prom"; exit 1; }
+grep -q "^pisces_tenant_jobs_finished_total{tenant=\"light\"} 1$" "$WORK/final.prom" \
+    || { echo "FAIL: per-tenant labelled counter missing:"; grep "tenant=" "$WORK/final.prom"; exit 1; }
+grep -q "^pisces_tenant_jobs_finished_total{tenant=\"greedy\"} $GREEDY_JOBS$" "$WORK/final.prom" \
+    || { echo "FAIL: greedy tenant counter wrong:"; grep "tenant=" "$WORK/final.prom"; exit 1; }
+
+echo "ci-service: OK (${expected} jobs, 2 tenants, fairness + rejection + clean drain)"
