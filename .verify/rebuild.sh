@@ -6,40 +6,49 @@ rustc --edition 2021 -O --crate-type lib --crate-name parking_lot .verify/stubs/
 rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive .verify/stubs/serde_derive.rs --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name serde .verify/stubs/serde.rs --extern serde_derive=$O/libserde_derive.so -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name serde_json .verify/stubs/serde_json.rs --extern serde=$O/libserde.rlib -L dependency=$O --out-dir $O
-# libs
-rustc --edition 2021 -O --crate-type lib --crate-name flex32 crates/flex32/src/lib.rs \
+# libs (substrate first: every backend and the core build against it)
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_substrate crates/substrate/src/lib.rs \
   --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O --out-dir $O
-rustc --edition 2021 -O --crate-type lib --crate-name pisces_core crates/core/src/lib.rs \
+rustc --edition 2021 -O --crate-type lib --crate-name flex32 crates/flex32/src/lib.rs \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces3_hypercube crates/hypercube/src/lib.rs \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
   --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O --out-dir $O
+rustc --edition 2021 -O --crate-type lib --crate-name pisces_core crates/core/src/lib.rs \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern flex32=$O/libflex32.rlib --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
   --extern serde=$O/libserde.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O --out-dir $O
-rustc --edition 2021 -O --crate-type lib --crate-name pisces3_hypercube crates/hypercube/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
-  -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_exec crates/exec/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_config crates/config/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern serde=$O/libserde.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_fortran crates/fortran/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_server crates/server/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
   --extern pisces_fortran=$O/libpisces_fortran.rlib --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-name piscesd crates/server/src/bin/piscesd.rs \
   --extern pisces_server=$O/libpisces_server.rlib --extern pisces_core=$O/libpisces_core.rlib \
-  --extern pisces_config=$O/libpisces_config.rlib --extern flex32=$O/libflex32.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/piscesd
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_chaos crates/chaos/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern pisces_exec=$O/libpisces_exec.rlib \
   --extern pisces_server=$O/libpisces_server.rlib \
   --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
@@ -50,6 +59,7 @@ rustc --edition 2021 -O --crate-name pisces_chaos_bin crates/chaos/src/main.rs \
   --extern pisces_core=$O/libpisces_core.rlib \
   -L dependency=$O -o $O/pisces-chaos
 rustc --edition 2021 -O --crate-type lib --crate-name pisces src/lib.rs \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
   --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
   --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
   --extern pisces_fortran=$O/libpisces_fortran.rlib --extern pisces_server=$O/libpisces_server.rlib \
@@ -60,57 +70,80 @@ rustc --edition 2021 -O --crate-name pisces_main src/main.rs \
   --extern pisces=$O/libpisces.rlib --extern serde_json=$O/libserde_json.rlib \
   --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O -o $O/pisces
 rustc --edition 2021 -O --crate-type lib --crate-name pisces_bench crates/bench/src/lib.rs \
-  --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O --out-dir $O
 rustc --edition 2021 -O --crate-name bench_snapshot crates/bench/src/bin/bench-snapshot.rs \
   --extern pisces_bench=$O/libpisces_bench.rlib --extern pisces_core=$O/libpisces_core.rlib \
   --extern pisces_server=$O/libpisces_server.rlib \
-  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib --extern parking_lot=$O/libparking_lot.rlib \
   --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O -o $O/bench-snapshot
 # unit tests
+rustc --edition 2021 -O --test --crate-name pisces_substrate crates/substrate/src/lib.rs \
+  --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O -o $O/substrate_tests
 rustc --edition 2021 -O --test --crate-name flex32 crates/flex32/src/lib.rs \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
   --extern parking_lot=$O/libparking_lot.rlib -L dependency=$O -o $O/flex32_tests
 rustc --edition 2021 -O --test --crate-name pisces_core crates/core/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern flex32=$O/libflex32.rlib --extern pisces3_hypercube=$O/libpisces3_hypercube.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
   --extern serde=$O/libserde.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O -o $O/core_tests
 rustc --edition 2021 -O --test --crate-name pisces3_hypercube crates/hypercube/src/lib.rs \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
   --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/hypercube_tests
 rustc --edition 2021 -O --test --crate-name pisces_exec crates/exec/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
   -L dependency=$O -o $O/exec_tests
 rustc --edition 2021 -O --test --crate-name pisces_server crates/server/src/lib.rs \
-  --extern flex32=$O/libflex32.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
   --extern pisces_fortran=$O/libpisces_fortran.rlib --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/server_tests
 # integration tests (proptest-based ones skipped: no proptest offline)
-for t in barrier forces runtime accept_semantics failure_injection windows backend_equivalence; do
+for t in barrier forces runtime accept_semantics failure_injection windows backend_equivalence substrate_parity; do
   rustc --edition 2021 -O --test --crate-name $t crates/core/tests/$t.rs \
-    --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
+    --extern pisces_core=$O/libpisces_core.rlib \
+    --extern pisces_substrate=$O/libpisces_substrate.rlib \
     --extern parking_lot=$O/libparking_lot.rlib --extern serde_json=$O/libserde_json.rlib \
     -L dependency=$O -o $O/it_$t
 done
 rustc --edition 2021 -O --test --crate-name determinism crates/chaos/tests/determinism.rs \
   --extern pisces_chaos=$O/libpisces_chaos.rlib --extern pisces_core=$O/libpisces_core.rlib \
-  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_chaos_determinism
 rustc --edition 2021 -O --test --crate-name watchdog crates/exec/tests/watchdog.rs \
   --extern pisces_exec=$O/libpisces_exec.rlib --extern pisces_core=$O/libpisces_core.rlib \
-  --extern flex32=$O/libflex32.rlib --extern parking_lot=$O/libparking_lot.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_watchdog
 rustc --edition 2021 -O --test --crate-name causality crates/chaos/tests/causality.rs \
   --extern pisces_chaos=$O/libpisces_chaos.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
-  --extern pisces_core=$O/libpisces_core.rlib --extern flex32=$O/libflex32.rlib \
+  --extern pisces_core=$O/libpisces_core.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_causality
 rustc --edition 2021 -O --test --crate-name service_e2e crates/server/tests/service_e2e.rs \
   --extern pisces_server=$O/libpisces_server.rlib --extern pisces_core=$O/libpisces_core.rlib \
-  --extern pisces_config=$O/libpisces_config.rlib --extern flex32=$O/libflex32.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_service_e2e
+rustc --edition 2021 -O --test --crate-name fortran_programs crates/fortran/tests/fortran_programs.rs \
+  --extern pisces_fortran=$O/libpisces_fortran.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_fortran
+rustc --edition 2021 -O --test --crate-name language_extensions crates/fortran/tests/language_extensions.rs \
+  --extern pisces_fortran=$O/libpisces_fortran.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_langext
+rustc --edition 2021 -O --test --crate-name full_environment tests/full_environment.rs \
+  --extern pisces=$O/libpisces.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_config=$O/libpisces_config.rlib --extern pisces_exec=$O/libpisces_exec.rlib \
+  --extern pisces_fortran=$O/libpisces_fortran.rlib --extern pisces_server=$O/libpisces_server.rlib \
+  --extern pisces_substrate=$O/libpisces_substrate.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_fullenv
 echo BUILD-OK

@@ -4,7 +4,7 @@
 //! other.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use flex32::shmem::{SharedMemory, ShmTag};
+use pisces_substrate::shmem::{SharedMemory, ShmTag};
 use pisces_bench::boot;
 use pisces_core::prelude::*;
 use pisces_core::value::{decode_values, encode_values};
@@ -16,7 +16,7 @@ fn bench_allocator(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate/shmem_alloc_free");
     for size in [64usize, 1024, 16384] {
         g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let m = SharedMemory::flex32();
+            let m = SharedMemory::with_capacity(2_359_296);
             b.iter(|| {
                 let h = m.alloc(size, ShmTag::Message).unwrap();
                 m.free(h).unwrap();
@@ -25,7 +25,7 @@ fn bench_allocator(c: &mut Criterion) {
     }
     // Fragmented arena: many live blocks, alloc/free in the gaps.
     g.bench_function("fragmented_1000_live", |b| {
-        let m = SharedMemory::flex32();
+        let m = SharedMemory::with_capacity(2_359_296);
         let mut live = Vec::new();
         for i in 0..1000 {
             live.push(m.alloc(64 + (i % 7) * 16, ShmTag::Other).unwrap());

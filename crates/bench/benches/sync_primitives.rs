@@ -99,8 +99,7 @@ fn bench_critical(c: &mut Criterion) {
 
 fn bench_lock_ops(c: &mut Criterion) {
     // Raw LOCK-variable machinery without the force framing.
-    let flex = flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::simple(1, 2)).expect("boot");
+    let p = Pisces::boot(MachineConfig::simple(1, 2)).expect("boot");
     let ready = Arc::new(parking_lot::Mutex::new(None::<LockVar>));
     let r2 = ready.clone();
     p.register("locker", move |ctx: &TaskCtx| {

@@ -15,12 +15,14 @@
 //! ```
 //!
 //! Suites: `messaging`, `backends`, `loops`, `sync`, `faults`, `windows`,
-//! `service` (default: all). The `backends` suite sweeps the in-queue
-//! backend × payload × producer-count matrix and always lands in
+//! `service`, `substrate` (default: all). The `backends` suite sweeps the
+//! in-queue backend × payload × producer-count matrix and always lands in
 //! `BENCH_messaging.json` under the fixed run label `backends`; the
 //! `service` suite drives an in-process job service (submit→done latency
 //! and jobs/sec) and lands in `BENCH_service.json` under the fixed run
-//! label `service`.
+//! label `service`; the `substrate` suite runs the same messaging and
+//! force workloads on the FLEX/32 bus and a 32-node hypercube and lands
+//! in `BENCH_substrate.json` under the fixed run label `substrate`.
 
 use pisces_bench::{boot, force_config};
 use pisces_core::prelude::*;
@@ -264,9 +266,9 @@ fn backend_fanin_ns(backend: MsgBackend, pin: bool, producers: usize, words: usi
 fn rawq_fanin_ns(backend: MsgBackend, producers: usize) -> f64 {
     use pisces_core::message::InQueue;
     const PER_PRODUCER: u64 = 50_000;
-    let shm = flex32::shmem::SharedMemory::with_capacity(4096);
+    let shm = pisces_substrate::shmem::SharedMemory::with_capacity(4096);
     let handle = shm
-        .alloc(64, flex32::shmem::ShmTag::Message)
+        .alloc(64, pisces_substrate::shmem::ShmTag::Message)
         .expect("rawq shm alloc");
     let q = Arc::new(InQueue::with_backend(backend));
     let total = producers as u64 * PER_PRODUCER;
@@ -407,7 +409,7 @@ fn run_loops(
 
 fn snap_loops(metrics: &mut Map<String, Json>) {
     let total_iters = LOOPS * LOOP_ITERS as u64;
-    for members in [1u8, 4] {
+    for members in [1u16, 4] {
         let disciplines: Vec<(
             String,
             Box<dyn Fn(&pisces_core::force::ForceCtx<'_>) -> Result<()> + Send + Sync>,
@@ -446,7 +448,7 @@ fn snap_loops(metrics: &mut Map<String, Json>) {
 
 fn snap_sync(metrics: &mut Map<String, Json>) {
     const ROUNDS: u64 = 2_000;
-    for members in [2u8, 4, 8] {
+    for members in [2u16, 4, 8] {
         let p = boot(force_config(members - 1, 2));
         let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
         let o2 = out.clone();
@@ -510,7 +512,7 @@ fn snap_faults(metrics: &mut Map<String, Json>) {
 
     let p = boot(MachineConfig::simple(1, 4));
     p.arm_faults(
-        flex32::fault::FaultPlan::new(0xFA117)
+        FaultPlan::new(0xFA117)
             .fail_pe(2, u64::MAX)
             .drop_message(u64::MAX)
             .fail_alloc(u64::MAX),
@@ -664,6 +666,131 @@ fn snap_service(metrics: &mut Map<String, Json>) {
 }
 
 // ----------------------------------------------------------------------
+// substrate: the same workloads on the FLEX/32 bus and the hypercube
+// ----------------------------------------------------------------------
+
+/// One machine per substrate, three probes each: a self send→accept
+/// round trip (no links involved — the trait dispatch overhead itself),
+/// a cross-cluster round trip (the routed path: e-cube hops on the cube,
+/// the bus on the FLEX), and per-iteration self-scheduling dispatch in a
+/// force. Per-substrate `_ns` numbers gate independently; the cube-over-
+/// bus ratios are informational — the cube *should* bill link time.
+fn snap_substrate(metrics: &mut Map<String, Json>) {
+    // Uncontended paths: min of several passes (scheduler noise only
+    // ever adds time), same policy as the backend matrix. The self
+    // round trip reboots per pass, so it gets extra passes to shake
+    // off unlucky boot-time thread placement.
+    const PASSES: usize = 3;
+    const SELF_PASSES: usize = 5;
+    const XPE_ITERS: u64 = 2_000;
+    let specs = [
+        ("flex32", SubstrateSpec::Flex32 { pes: 20 }),
+        ("hypercube", SubstrateSpec::Hypercube { dim: 5 }),
+    ];
+    for (name, spec) in specs {
+        let self_ns = (0..SELF_PASSES)
+            .map(|_| {
+                let p = boot(MachineConfig::simple_on(spec, 3, 4));
+                let ns = roundtrip_ns(&p, 16, 200, 2_000);
+                p.shutdown();
+                ns
+            })
+            .fold(f64::INFINITY, f64::min);
+        println!("substrate/{name}_self_roundtrip_16w {self_ns:>12.1} ns/op");
+        metrics.insert(format!("{name}_self_roundtrip_16w_ns"), json!(self_ns));
+
+        // Cross-cluster ping-pong: the peer lives in another cluster, so
+        // every leg crosses PEs and, on the cube, pays routed hops.
+        let p = boot(MachineConfig::simple_on(spec, 3, 4));
+        p.register("peer", |ctx: &TaskCtx| {
+            ctx.send(To::Parent, "READY", args![ctx.id()])?;
+            loop {
+                let stop = std::cell::Cell::new(false);
+                ctx.accept()
+                    .of(1)
+                    .handle("M", |_| Ok(()))
+                    .handle("STOP", |_| {
+                        stop.set(true);
+                        Ok(())
+                    })
+                    .run()?;
+                if stop.get() {
+                    return Ok(());
+                }
+                ctx.send(To::Sender, "R", vec![])?;
+            }
+        });
+        let d = with_task(&p, move |ctx| {
+            ctx.initiate(Where::Other, "peer", vec![])?;
+            let peer = std::cell::Cell::new(None);
+            ctx.accept()
+                .of(1)
+                .handle("READY", |m| {
+                    peer.set(Some(m.args[0].as_taskid()?));
+                    Ok(())
+                })
+                .run()?;
+            let peer = peer.get().unwrap();
+            for _ in 0..200 {
+                ctx.send(To::Task(peer), "M", vec![])?;
+                ctx.accept().of(1).signal("R").run()?;
+            }
+            let mut best = Duration::MAX;
+            for _ in 0..PASSES {
+                let t0 = Instant::now();
+                for _ in 0..XPE_ITERS {
+                    ctx.send(To::Task(peer), "M", vec![])?;
+                    ctx.accept().of(1).signal("R").run()?;
+                }
+                best = best.min(t0.elapsed());
+            }
+            ctx.send(To::Task(peer), "STOP", vec![])?;
+            Ok(best)
+        });
+        let xpe_ns = per_op(d, XPE_ITERS);
+        println!("substrate/{name}_xpe_roundtrip     {xpe_ns:>12.1} ns/op");
+        metrics.insert(format!("{name}_xpe_roundtrip_ns"), json!(xpe_ns));
+        let hops: u64 = p.metrics().link_hops_snapshot().iter().map(|&(_, h)| h).sum();
+        metrics.insert(format!("{name}_xpe_hops_total"), json!(hops));
+        p.shutdown();
+
+        // Force dispatch: 4 members self-scheduling an empty body.
+        let p = boot(
+            MachineConfig::builder()
+                .substrate(spec)
+                .clusters([{
+                    let first = spec.topology().first_task_pe;
+                    ClusterConfig::new(1, first, 4)
+                        .with_secondaries(first + 1..=first + 3)
+                }])
+                .build(),
+        );
+        const ITERS: i64 = 10_000;
+        let d = with_task(&p, |ctx| {
+            let mut best = Duration::MAX;
+            for _ in 0..PASSES {
+                let t0 = Instant::now();
+                ctx.forcesplit(|f| f.selfsched(0, ITERS - 1, |_| Ok(())))?;
+                best = best.min(t0.elapsed());
+            }
+            Ok(best)
+        });
+        let loop_ns = per_op(d, ITERS as u64);
+        println!("substrate/{name}_selfsched_iter    {loop_ns:>12.1} ns/iter");
+        metrics.insert(format!("{name}_selfsched_iter_ns_per_iter"), json!(loop_ns));
+        p.shutdown();
+    }
+    // Informational ratios: how much the routed machine pays over the bus.
+    let read = |m: &Map<String, Json>, k: &str| m.get(k).and_then(Json::as_f64).unwrap();
+    for probe in ["self_roundtrip_16w_ns", "xpe_roundtrip_ns"] {
+        let ratio =
+            read(metrics, &format!("hypercube_{probe}")) / read(metrics, &format!("flex32_{probe}"));
+        println!("substrate/cube_vs_bus_{probe}      {ratio:>12.2} x");
+        metrics.insert(format!("cube_vs_bus_{probe}_ratio"), json!(ratio));
+    }
+}
+
+// ----------------------------------------------------------------------
 // output
 // ----------------------------------------------------------------------
 
@@ -688,7 +815,7 @@ fn write_summary(
         .unwrap_or(0);
     doc["suite"] = json!(suite);
     let mut env = Map::new();
-    env.insert("cores".into(), json!(flex32::affinity::core_count() as u64));
+    env.insert("cores".into(), json!(pisces_substrate::affinity::core_count() as u64));
     env.insert("pin_pes".into(), json!(pin));
     let mut run = Map::new();
     run.insert("captured_at_unix".into(), json!(captured));
@@ -723,7 +850,7 @@ fn main() {
             ),
         }
     }
-    const KNOWN: [&str; 7] = [
+    const KNOWN: [&str; 8] = [
         "messaging",
         "backends",
         "loops",
@@ -731,6 +858,7 @@ fn main() {
         "faults",
         "windows",
         "service",
+        "substrate",
     ];
     if let Some(list) = &suites {
         for s in list {
@@ -820,6 +948,20 @@ fn main() {
             "service",
             pin,
             service,
+        );
+    }
+
+    if want("substrate") {
+        let mut substrate = Map::new();
+        snap_substrate(&mut substrate);
+        // Fixed label: the bus-vs-cube matrix is one standing dataset,
+        // each substrate's numbers gated against its own prior run.
+        write_summary(
+            &out.join("BENCH_substrate.json"),
+            "substrate",
+            "substrate",
+            pin,
+            substrate,
         );
     }
 }

@@ -20,19 +20,17 @@ use std::time::Duration;
 
 const N_ITER: i64 = 960;
 const WORK: u64 = 100;
-const PES: std::ops::RangeInclusive<u8> = 3..=7;
+const PES: std::ops::RangeInclusive<u16> = 3..=7;
 
 struct RunResult {
     members: usize,
-    claims: Vec<(usize, u8, usize)>, // (member, pe, iterations claimed)
+    claims: Vec<(usize, u16, usize)>, // (member, pe, iterations claimed)
     recomputed: usize,               // in-flight iterations redone by the primary
     span_ticks: u64,                 // max force+recovery ticks over surviving PEs
 }
 
 fn run(fail_one: bool) -> RunResult {
-    let flex = flex32::Flex32::new_shared();
     let p = Pisces::boot(
-        flex,
         MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
             .with_terminal()
             .with_secondaries(4..=7)]).build(),
@@ -41,12 +39,12 @@ fn run(fail_one: bool) -> RunResult {
     if fail_one {
         // Fires on the first tick after arming: PE6 is dead before the
         // split, so the shrink is deterministic.
-        p.arm_faults(flex32::fault::FaultPlan::new(0xE13).fail_pe(6, 1));
+        p.arm_faults(FaultPlan::new(0xE13).fail_pe(6, 1));
     }
 
-    let claims: Arc<Mutex<Vec<(usize, u8, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let claims: Arc<Mutex<Vec<(usize, u16, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let outcome: Arc<Mutex<Option<ForceOutcome>>> = Arc::new(Mutex::new(None));
-    let marks: Arc<Mutex<Vec<(u8, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let marks: Arc<Mutex<Vec<(u16, u64)>>> = Arc::new(Mutex::new(Vec::new()));
     let recomputed: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
     let (c2, o2, m2, rc2) = (
         claims.clone(),
@@ -56,10 +54,10 @@ fn run(fail_one: bool) -> RunResult {
     );
     let px = p.clone();
     p.register("degraded", move |ctx| {
-        let before: Vec<(u8, u64)> = PES
+        let before: Vec<(u16, u64)> = PES
             .map(|n| {
-                let id = flex32::PeId::new(n).unwrap();
-                (n, px.flex().pe(id).clock.now())
+                let id = PeId::new(n).unwrap();
+                (n, px.substrate().pe(id).clock.now())
             })
             .collect();
         let done: Mutex<Vec<bool>> = Mutex::new(vec![false; N_ITER as usize]);
@@ -93,10 +91,10 @@ fn run(fail_one: bool) -> RunResult {
             done.lock()[i] = true;
         }
         assert!(done.lock().iter().all(|&b| b), "iterations lost");
-        let after: Vec<(u8, u64)> = PES
+        let after: Vec<(u16, u64)> = PES
             .map(|n| {
-                let id = flex32::PeId::new(n).unwrap();
-                (n, px.flex().pe(id).clock.now())
+                let id = PeId::new(n).unwrap();
+                (n, px.substrate().pe(id).clock.now())
             })
             .collect();
         *m2.lock() = before
@@ -115,7 +113,7 @@ fn run(fail_one: bool) -> RunResult {
     let out = outcome.lock().take().expect("force ran");
     let mut claims = claims.lock().clone();
     claims.sort();
-    let dead: Vec<u8> = out.failed.iter().map(|f| f.pe).collect();
+    let dead: Vec<u16> = out.failed.iter().map(|f| f.pe).collect();
     let span_ticks = marks
         .lock()
         .iter()

@@ -39,7 +39,7 @@ fn main() {
         let (a2, s2) = (answer.clone(), span.clone());
         p.register("pi", move |ctx: &TaskCtx| {
             ctx.forcesplit(|f| {
-                let start = ctx.machine().flex().pe(f.pe()).clock.now();
+                let start = ctx.machine().substrate().pe(f.pe()).clock.now();
                 let sum = f.shared_common("PI", 1)?;
                 let lock = f.lock_var("L")?;
                 let mut local = 0.0;
@@ -64,7 +64,7 @@ fn main() {
                     *a2.lock() = sum.get_real(0)? / N as f64;
                     Ok(())
                 })?;
-                let end = ctx.machine().flex().pe(f.pe()).clock.now();
+                let end = ctx.machine().substrate().pe(f.pe()).clock.now();
                 s2.fetch_max(end - start, Ordering::Relaxed);
                 Ok(())
             })

@@ -38,12 +38,12 @@ fn main() {
         let size = AtomicUsize::new(1);
         let span = AtomicU64::new(0);
         ctx.forcesplit(|f| {
-            let start = ctx.machine().flex().pe(f.pe()).clock.now();
+            let start = ctx.machine().substrate().pe(f.pe()).clock.now();
             size.store(f.size(), Ordering::Relaxed);
             // Fixed total work divided over members by prescheduling.
             f.presched(0, 99, |_| f.work(WORK_TICKS / 100))?;
             f.barrier()?;
-            let end = ctx.machine().flex().pe(f.pe()).clock.now();
+            let end = ctx.machine().substrate().pe(f.pe()).clock.now();
             span.fetch_max(end - start, Ordering::Relaxed);
             Ok(())
         })?;

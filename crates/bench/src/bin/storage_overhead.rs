@@ -19,7 +19,6 @@
 //! cargo run -p pisces-bench --bin storage_overhead
 //! ```
 
-use flex32::shmem::ShmTag;
 use pisces_bench::{boot, header, row, run_top};
 use pisces_config::{LoadFile, ProgramImage};
 use pisces_core::machine::SYSTEM_IMAGE_BYTES;
@@ -52,9 +51,10 @@ fn main() {
         let image = ProgramImage::with_tasktypes(["MAIN", "WORKER", "LEAF"]);
         let loadfile = LoadFile::build(&config, &image).expect("loadfile");
         let p = boot(config);
-        loadfile.download_user_code(p.flex()).expect("download");
+        loadfile.download_user_code(p.substrate()).expect("download");
         let report = p.storage_report();
-        let sys_local_frac = SYSTEM_IMAGE_BYTES as f64 / flex32::LOCAL_MEM_BYTES as f64;
+        let local_mem = p.substrate().topology().local_mem_bytes;
+        let sys_local_frac = SYSTEM_IMAGE_BYTES as f64 / local_mem as f64;
         let shared_frac = report.system_table_fraction();
         let ok = sys_local_frac < 0.025 && shared_frac < 0.003;
         row(&[
@@ -126,7 +126,7 @@ fn main() {
         });
         run_top(&p, "hoarder", vec![]);
         std::thread::sleep(std::time::Duration::from_millis(100));
-        let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+        let console = p.substrate().pe(PeId::new(3).unwrap()).console.output();
         let held: usize = console
             .iter()
             .rev()

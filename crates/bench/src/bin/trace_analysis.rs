@@ -44,11 +44,11 @@ fn main() {
     }
 
     // File form + off-line analysis.
-    p.flex()
-        .fs
+    p.substrate()
+        .fs()
         .write("traces/stage.jsonl", p.tracer().to_jsonl().as_bytes())
         .expect("write trace");
-    let data = String::from_utf8(p.flex().fs.read("traces/stage.jsonl").expect("read")).unwrap();
+    let data = String::from_utf8(p.substrate().fs().read("traces/stage.jsonl").expect("read")).unwrap();
     let analysis = TraceAnalysis::from_jsonl(&data).expect("parse trace");
     println!("\n{}", analysis.report());
     println!("{}", analysis.gantt(60));

@@ -9,18 +9,18 @@ use pisces_core::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Boot a machine on a fresh FLEX/32.
+/// Boot a machine on the substrate the configuration names.
 pub fn boot(config: MachineConfig) -> Arc<Pisces> {
-    Pisces::boot(flex32::Flex32::new_shared(), config).expect("boot")
+    Pisces::boot(config).expect("boot")
 }
 
 /// A single cluster on PE 3 with `secondaries` force PEs (4..) and
 /// `slots` user slots.
-pub fn force_config(secondaries: u8, slots: u8) -> MachineConfig {
+pub fn force_config(secondaries: u16, slots: u8) -> MachineConfig {
     let cluster = if secondaries == 0 {
         ClusterConfig::new(1, 3, slots)
     } else {
-        ClusterConfig::new(1, 3, slots).with_secondaries(4..=(3 + secondaries))
+        ClusterConfig::new(1, 3, slots).with_secondaries(4u16..=(3 + secondaries))
     };
     MachineConfig::builder().clusters([cluster]).build()
 }

@@ -1,6 +1,6 @@
 //! # pisces-chaos — deterministic fault scenarios for the PISCES 2 runtime
 //!
-//! The machine substrate can injure itself on command ([`flex32::fault`]):
+//! The machine substrate can injure itself on command ([`pisces_substrate::fault`]):
 //! a seeded [`FaultPlan`] fail-stops PEs at planned ticks, slows them by a
 //! factor, drops/duplicates/delays the *k*-th message, or fails the *n*-th
 //! shared-memory allocation. This crate turns those primitives into
@@ -18,12 +18,12 @@
 
 mod scenarios;
 
-use flex32::fault::FaultInjector;
+use pisces_substrate::fault::FaultInjector;
 use pisces_core::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
-pub use flex32::fault::{splitmix64, FaultAction, FaultPlan};
+pub use pisces_substrate::fault::{splitmix64, FaultAction, FaultPlan};
 pub use scenarios::scenarios;
 
 /// One chaos scenario: a named fault plan + workload + invariant set.
@@ -186,7 +186,7 @@ pub fn finish_machine(run: &mut ScenarioRun, p: &Arc<Pisces>, quiesce: Duration)
     });
     run.capture_trace_records(p);
     p.shutdown();
-    let shm = &p.flex().shmem;
+    let shm = p.substrate().shmem();
     match shm.validate() {
         Ok(()) => run.require("shared-memory heap validates clean", true),
         Err(e) => run.require(format!("shared-memory heap validates clean: {e}"), false),
@@ -206,12 +206,10 @@ pub fn random_plan_survives(seed: u64) {
     let mut s = seed;
     // A fail tick anywhere from "before the force starts" to "after it
     // finished" — early, mid-loop, and no-op late faults all covered.
-    let pe = 4 + (splitmix64(&mut s) % 4) as u8;
+    let pe = 4 + (splitmix64(&mut s) % 4) as u16;
     let at_tick = 1 + splitmix64(&mut s) % 12_000;
 
-    let flex = flex32::Flex32::new_shared();
     let p = Pisces::boot(
-        flex,
         MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
             .with_terminal()
             .with_secondaries(4..=7)]).build(),
@@ -269,12 +267,12 @@ pub fn random_plan_survives(seed: u64) {
         "seed {seed:#x}: iterations lost after recovery"
     );
     p.shutdown();
-    p.flex()
-        .shmem
+    p.substrate()
+        .shmem()
         .validate()
         .unwrap_or_else(|e| panic!("seed {seed:#x}: arena corrupt: {e}"));
     assert_eq!(
-        p.flex().shmem.report().in_use,
+        p.substrate().shmem().report().in_use,
         0,
         "seed {seed:#x}: shared memory leaked"
     );

@@ -1,5 +1,5 @@
 //! Chaos scenario runner: `pisces-chaos [FILTER] [--seed N]
-//! [--msg-backend B]`.
+//! [--msg-backend B] [--substrate S]`.
 //!
 //! Runs every scenario (or those whose name contains FILTER), prints the
 //! fault trace, the invariants that held, and any that failed. Exits
@@ -24,6 +24,18 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--substrate" => {
+                let v = args.next().unwrap_or_default();
+                // Scenarios build their own MachineConfigs; the env var
+                // is how a substrate choice reaches every one of them.
+                match v.parse::<pisces_core::substrate::SubstrateSpec>() {
+                    Ok(spec) => std::env::set_var("PISCES_SUBSTRATE", spec.to_string()),
+                    Err(e) => {
+                        eprintln!("pisces-chaos: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--msg-backend" => {
                 let v = args.next().unwrap_or_default();
                 // Scenarios build their own MachineConfigs; the env var
@@ -37,10 +49,11 @@ fn main() -> ExitCode {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: pisces-chaos [FILTER] [--seed N] [--msg-backend B]");
+                println!("usage: pisces-chaos [FILTER] [--seed N] [--msg-backend B] [--substrate S]");
                 println!("  FILTER           run only scenarios whose name contains FILTER");
                 println!("  --seed N         override every scenario's seed (decimal or 0x hex)");
                 println!("  --msg-backend B  run scenarios on in-queue backend mutex|mpsc|spsc");
+                println!("  --substrate S    run scenarios on flex32[:pes] or hypercube[:dim]");
                 return ExitCode::SUCCESS;
             }
             other => filter = Some(other.to_string()),

@@ -2,8 +2,7 @@
 //! workload that hits the injured path, and checks recovery invariants.
 
 use crate::{finish_machine, Scenario, ScenarioRun};
-use flex32::fault::{FaultInjector, FaultPlan};
-use flex32::Flex32;
+use pisces_substrate::fault::{FaultInjector, FaultPlan};
 use parking_lot::Mutex;
 use pisces_core::args;
 use pisces_core::machine::SEND_RETRIES;
@@ -31,7 +30,7 @@ fn boot(run: &ScenarioRun, cfg: MachineConfig) -> Arc<Pisces> {
         cfg.trace = TraceSettings::all();
     }
     cfg.trace.ring_capacity = cfg.trace.ring_capacity.max(1 << 16);
-    let p = Pisces::boot(Flex32::new_shared(), cfg).expect("boot");
+    let p = Pisces::boot(cfg).expect("boot");
     run.observe_machine(&p);
     p
 }
@@ -482,10 +481,10 @@ fn slow_pe_straggler(run: &mut ScenarioRun) {
         matches!(result.lock().take(), Some(Ok(()))),
     );
     run.require("every iteration computed", done.lock().iter().all(|&b| b));
-    let slow_clock = p.flex().pe(flex32::PeId::new(5).unwrap()).clock.now();
-    let healthy_max = [4u8, 6, 7]
+    let slow_clock = p.substrate().pe(PeId::new(5).unwrap()).clock.now();
+    let healthy_max = [4u16, 6, 7]
         .iter()
-        .map(|&n| p.flex().pe(flex32::PeId::new(n).unwrap()).clock.now())
+        .map(|&n| p.substrate().pe(PeId::new(n).unwrap()).clock.now())
         .max()
         .unwrap_or(0);
     run.require(
@@ -692,7 +691,7 @@ fn service_jobs_under_plan(run: &mut ScenarioRun) {
     let svc = JobService::start(cfg).expect("service boots with the plan armed");
     let p = svc.machine();
     run.observe_machine(&p);
-    let inj = p.flex().faults().expect("the armed plan is live at boot");
+    let inj = p.substrate().faults().expect("the armed plan is live at boot");
 
     // Submit everything up front, then collect replies concurrently so
     // the arrival order approximates the dispatcher's completion order.
@@ -765,13 +764,13 @@ fn service_jobs_under_plan(run: &mut ScenarioRun) {
         summary.finished == 9 && summary.unserved == 0,
     );
     run.require("the machine is down after the drain", p.is_down());
-    match p.flex().shmem.validate() {
+    match p.substrate().shmem().validate() {
         Ok(()) => run.require("shared-memory heap validates clean", true),
         Err(e) => run.require(format!("shared-memory heap validates clean: {e}"), false),
     }
     run.require(
         "no shared memory leaked across nine jobs and a drain",
-        p.flex().shmem.report().in_use == 0,
+        p.substrate().shmem().report().in_use == 0,
     );
     run.note(format!(
         "9 jobs over 2 tenants on a 4x-slowed PE; {} fault event(s) fired",
@@ -848,6 +847,6 @@ fn recovery_then_rerun(run: &mut ScenarioRun) {
     run.require("fail-stop fired exactly once, in pass 1", first_fired == 1);
     run.require(
         "no injector armed during the rerun",
-        p.flex().faults().is_none(),
+        p.substrate().faults().is_none(),
     );
 }

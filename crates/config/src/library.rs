@@ -8,7 +8,7 @@
 //! Configurations are stored as JSON under `configs/` on the Unix-PE file
 //! system, one file per name.
 
-use flex32::Flex32;
+use pisces_core::substrate::Substrate;
 use pisces_core::config::MachineConfig;
 use pisces_core::error::{PiscesError, Result};
 use std::sync::Arc;
@@ -18,13 +18,13 @@ pub const CONFIG_DIR: &str = "configs";
 
 /// A library of named, saved configurations.
 pub struct ConfigLibrary {
-    flex: Arc<Flex32>,
+    sub: Arc<dyn Substrate>,
 }
 
 impl ConfigLibrary {
     /// A library over the machine's file system.
-    pub fn new(flex: Arc<Flex32>) -> Self {
-        Self { flex }
+    pub fn new(sub: Arc<dyn Substrate>) -> Self {
+        Self { sub }
     }
 
     fn path(name: &str) -> String {
@@ -37,13 +37,13 @@ impl ConfigLibrary {
         config.validate()?;
         let json = serde_json::to_vec_pretty(config)
             .map_err(|e| PiscesError::Internal(format!("serialize configuration: {e}")))?;
-        self.flex.fs.write(&Self::path(name), &json)?;
+        self.sub.fs().write(&Self::path(name), &json)?;
         Ok(())
     }
 
     /// Load a saved configuration by name.
     pub fn load(&self, name: &str) -> Result<MachineConfig> {
-        let bytes = self.flex.fs.read(&Self::path(name))?;
+        let bytes = self.sub.fs().read(&Self::path(name))?;
         let config: MachineConfig = serde_json::from_slice(&bytes).map_err(|e| {
             PiscesError::BadConfiguration(format!("configuration file {name} is corrupt: {e}"))
         })?;
@@ -69,8 +69,8 @@ impl ConfigLibrary {
 
     /// Names of all saved configurations, sorted.
     pub fn list(&self) -> Vec<String> {
-        self.flex
-            .fs
+        self.sub
+            .fs()
             .list(CONFIG_DIR)
             .into_iter()
             .filter_map(|p| {
@@ -83,7 +83,7 @@ impl ConfigLibrary {
 
     /// Delete a saved configuration.
     pub fn delete(&self, name: &str) -> Result<()> {
-        Ok(self.flex.fs.remove(&Self::path(name))?)
+        Ok(self.sub.fs().remove(&Self::path(name))?)
     }
 }
 
@@ -93,7 +93,7 @@ mod tests {
     use pisces_core::config::ClusterConfig;
 
     fn lib() -> ConfigLibrary {
-        ConfigLibrary::new(Flex32::new_shared())
+        ConfigLibrary::new(pisces_core::substrate::SubstrateSpec::default().build())
     }
 
     #[test]
@@ -140,8 +140,8 @@ mod tests {
     fn load_missing_or_corrupt() {
         let lib = lib();
         assert!(lib.load("nope").is_err());
-        lib.flex
-            .fs
+        lib.sub
+            .fs()
             .write("configs/junk.json", b"{not json")
             .unwrap();
         assert!(matches!(

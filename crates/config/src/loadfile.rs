@@ -11,9 +11,9 @@
 //! system uses less than 2.5% of each PE's local memory (for system code
 //! and data)".
 
-use flex32::pe::PeId;
-use flex32::Flex32;
 use pisces_core::config::MachineConfig;
+use pisces_core::substrate::Substrate;
+use pisces_substrate::pe::PeId;
 use pisces_core::error::Result;
 use pisces_core::machine::SYSTEM_IMAGE_BYTES;
 use serde::{Deserialize, Serialize};
@@ -60,11 +60,20 @@ impl ProgramImage {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoadFile {
     /// PEs selected for loading (every PE the configuration touches).
-    pub pes: Vec<u8>,
+    pub pes: Vec<u16>,
     /// System portion: MMOS kernel + PISCES runtime code and data.
     pub system_bytes: usize,
     /// User portion: compiled tasktypes, subprograms, static data.
     pub user_bytes: usize,
+    /// Per-PE local memory of the target machine, the denominator of
+    /// [`LoadFile::local_fraction`]. Old descriptors without the field
+    /// default to the FLEX/32's 1 MB.
+    #[serde(default = "default_local_mem")]
+    pub local_mem_bytes: usize,
+}
+
+fn default_local_mem() -> usize {
+    1024 * 1024
 }
 
 impl LoadFile {
@@ -76,6 +85,7 @@ impl LoadFile {
             pes: config.pes_in_use(),
             system_bytes: SYSTEM_IMAGE_BYTES,
             user_bytes: program.user_bytes(),
+            local_mem_bytes: config.substrate.topology().local_mem_bytes,
         })
     }
 
@@ -84,9 +94,9 @@ impl LoadFile {
         self.system_bytes + self.user_bytes
     }
 
-    /// Fraction of a PE's 1 MB local memory the image occupies.
+    /// Fraction of a PE's local memory the image occupies.
     pub fn local_fraction(&self) -> f64 {
-        self.image_bytes() as f64 / flex32::LOCAL_MEM_BYTES as f64
+        self.image_bytes() as f64 / self.local_mem_bytes as f64
     }
 
     /// Download the *user* portion of the image to every selected PE.
@@ -94,29 +104,29 @@ impl LoadFile {
     /// The system portion is reserved by [`pisces_core::machine::Pisces::boot`]
     /// itself (the kernel and runtime are always loaded); calling this
     /// after boot adds the user code, completing the paper's load step.
-    pub fn download_user_code(&self, flex: &Arc<Flex32>) -> Result<()> {
+    pub fn download_user_code(&self, sub: &Arc<dyn Substrate>) -> Result<()> {
         if self.user_bytes == 0 {
             return Ok(());
         }
         for &n in &self.pes {
             let pe = PeId::new(n)?;
-            flex.pe(pe).local.reserve(self.user_bytes, pe)?;
+            sub.pe(pe).local.reserve(self.user_bytes, pe)?;
         }
         Ok(())
     }
 
     /// Serialize the load file descriptor to the file system (the menu
     /// "drives the creation of an appropriate MMOS loadfile for the run").
-    pub fn save(&self, flex: &Arc<Flex32>, path: &str) -> Result<()> {
+    pub fn save(&self, sub: &Arc<dyn Substrate>, path: &str) -> Result<()> {
         let json = serde_json::to_vec_pretty(self)
             .map_err(|e| pisces_core::error::PiscesError::Internal(e.to_string()))?;
-        flex.fs.write(path, &json)?;
+        sub.fs().write(path, &json)?;
         Ok(())
     }
 
     /// Read a load file descriptor back.
-    pub fn load(flex: &Arc<Flex32>, path: &str) -> Result<Self> {
-        let bytes = flex.fs.read(path)?;
+    pub fn load(sub: &Arc<dyn Substrate>, path: &str) -> Result<Self> {
+        let bytes = sub.fs().read(path)?;
         serde_json::from_slice(&bytes).map_err(|e| {
             pisces_core::error::PiscesError::BadConfiguration(format!(
                 "load file {path} is corrupt: {e}"
@@ -156,7 +166,7 @@ mod tests {
 
     #[test]
     fn download_reserves_user_code_on_all_pes() {
-        let flex = Flex32::new_shared();
+        let flex = pisces_core::substrate::SubstrateSpec::default().build();
         let config = MachineConfig::section9_example();
         let prog = ProgramImage::with_tasktypes(["main", "worker", "leaf"]);
         let lf = LoadFile::build(&config, &prog).unwrap();
@@ -174,7 +184,7 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip() {
-        let flex = Flex32::new_shared();
+        let flex = pisces_core::substrate::SubstrateSpec::default().build();
         let lf = LoadFile::build(&MachineConfig::simple(3, 2), &ProgramImage::default()).unwrap();
         lf.save(&flex, "loads/run1.json").unwrap();
         assert_eq!(LoadFile::load(&flex, "loads/run1.json").unwrap(), lf);

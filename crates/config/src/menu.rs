@@ -27,7 +27,7 @@
 //! ```
 
 use crate::library::ConfigLibrary;
-use flex32::Flex32;
+use pisces_core::substrate::Substrate;
 use pisces_core::config::{ClusterConfig, MachineConfig};
 use pisces_core::error::{PiscesError, Result};
 use pisces_core::trace::TraceEventKind;
@@ -40,13 +40,13 @@ pub struct ConfigMenu {
 }
 
 /// Parse a PE list: `7-15`, `16,17,20`, `4`, or combinations `3,7-9`.
-fn parse_pe_list(s: &str) -> Result<Vec<u8>> {
+fn parse_pe_list(s: &str) -> Result<Vec<u16>> {
     let mut out = Vec::new();
     for part in s.split(',') {
         let part = part.trim();
         if let Some((a, b)) = part.split_once('-') {
-            let a: u8 = a.trim().parse().map_err(|_| bad_num(part))?;
-            let b: u8 = b.trim().parse().map_err(|_| bad_num(part))?;
+            let a: u16 = a.trim().parse().map_err(|_| bad_num(part))?;
+            let b: u16 = b.trim().parse().map_err(|_| bad_num(part))?;
             if a > b {
                 return Err(PiscesError::BadConfiguration(format!(
                     "empty PE range {part}"
@@ -79,9 +79,9 @@ fn parse_event(s: &str) -> Result<TraceEventKind> {
 impl ConfigMenu {
     /// A fresh session over the machine's configuration library, starting
     /// from an empty working configuration.
-    pub fn new(flex: Arc<Flex32>) -> Self {
+    pub fn new(sub: Arc<dyn Substrate>) -> Self {
         Self {
-            lib: ConfigLibrary::new(flex),
+            lib: ConfigLibrary::new(sub),
             working: MachineConfig::builder().build(),
         }
     }
@@ -128,7 +128,7 @@ impl ConfigMenu {
                 let numbers = parse_pe_list(&rest.join(","))?;
                 self.working.clusters = numbers
                     .iter()
-                    .map(|&n| ClusterConfig::new(n, 0, 4))
+                    .map(|&n| ClusterConfig::new(n as u8, 0, 4))
                     .collect();
                 Ok(format!("{} cluster(s) declared", numbers.len()))
             }
@@ -266,7 +266,7 @@ mod tests {
     use super::*;
 
     fn menu() -> ConfigMenu {
-        ConfigMenu::new(Flex32::new_shared())
+        ConfigMenu::new(pisces_core::substrate::SubstrateSpec::default().build())
     }
 
     /// Drive the menu through the paper's Section 9 example and check the

@@ -4,15 +4,22 @@
 //! allocated to the execution of user tasks in each cluster. … A particular
 //! mapping is called a *configuration*." (paper, Section 9)
 //!
-//! In creating a configuration on the FLEX/32 the programmer chooses:
+//! In creating a configuration the programmer chooses:
 //!
-//! 1. how many clusters to use and their numbers (1–18 clusters; PEs 1 and 2
-//!    run only Unix);
-//! 2. the "primary" FLEX PE for each cluster — all user tasks of the
+//! 1. the substrate — which simulated machine to run on (see
+//!    [`SubstrateSpec`]);
+//! 2. how many clusters to use and their numbers;
+//! 3. the "primary" PE for each cluster — all user tasks of the
 //!    cluster run on this PE;
-//! 3. the "secondary" FLEX PEs that run force members for the cluster (any
-//!    subset of the MMOS PEs; subsets of different clusters may overlap);
-//! 4. the number of slots in each cluster available to run user tasks.
+//! 4. the "secondary" PEs that run force members for the cluster (any
+//!    subset of the machine's task PEs; subsets of different clusters may
+//!    overlap);
+//! 5. the number of slots in each cluster available to run user tasks.
+//!
+//! Validation is substrate-driven: primaries and secondaries must name
+//! task-capable PEs *of the configured machine's topology* — on the
+//! historical FLEX/32 that is PEs 3–20 (PEs 1 and 2 run only Unix), on a
+//! dimension-7 hypercube it is PEs 1–128.
 //!
 //! The configuration *environment* (menus, saving to files, load-file
 //! construction) lives in the `pisces-config` crate; this module defines the
@@ -21,13 +28,17 @@
 
 use crate::error::{PiscesError, Result};
 use crate::msgqueue::MsgBackend;
+use crate::substrate::{SubstrateSpec, Topology};
 use crate::telemetry::TelemetrySettings;
 use crate::trace::TraceSettings;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-/// Highest cluster number a configuration may use (18 MMOS PEs).
-pub const MAX_CLUSTERS: u8 = 18;
+/// Highest cluster number a configuration may use. Cluster numbers are
+/// packed into task ids as a byte; the count of *usable* clusters is
+/// additionally bounded by the substrate's task-PE count (each cluster
+/// needs a distinct primary).
+pub const MAX_CLUSTERS: u8 = 255;
 
 /// Cap on user slots per cluster (the FLEX table sizes were finite; the
 /// paper leaves the bound to the implementation).
@@ -36,13 +47,13 @@ pub const MAX_SLOTS: u8 = 16;
 /// One cluster of the virtual machine and its hardware mapping.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClusterConfig {
-    /// Cluster number, 1–18 (need not be contiguous).
+    /// Cluster number, 1–255 (need not be contiguous).
     pub number: u8,
-    /// Primary PE: all the cluster's user tasks run here (3–20).
-    pub primary_pe: u8,
+    /// Primary PE: all the cluster's user tasks run here.
+    pub primary_pe: u16,
     /// Secondary PEs that run force members for this cluster. Empty means
     /// a FORCESPLIT in this cluster "will cause no parallel splitting".
-    pub secondary_pes: Vec<u8>,
+    pub secondary_pes: Vec<u16>,
     /// Number of slots available to run *user* tasks (controllers run in
     /// additional dedicated slots, as in Figure 1 of the paper).
     pub slots: u8,
@@ -53,7 +64,7 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     /// A cluster with no secondaries and no terminal.
-    pub fn new(number: u8, primary_pe: u8, slots: u8) -> Self {
+    pub fn new(number: u8, primary_pe: u16, slots: u8) -> Self {
         Self {
             number,
             primary_pe,
@@ -64,7 +75,7 @@ impl ClusterConfig {
     }
 
     /// Builder: set the secondary (force) PEs.
-    pub fn with_secondaries(mut self, pes: impl IntoIterator<Item = u8>) -> Self {
+    pub fn with_secondaries(mut self, pes: impl IntoIterator<Item = u16>) -> Self {
         self.secondary_pes = pes.into_iter().collect();
         self
     }
@@ -87,6 +98,11 @@ impl ClusterConfig {
 /// run, plus run controls (time limit, trace settings).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
+    /// Which simulated machine to boot on. Defaults to the historical
+    /// 20-PE FLEX/32, so configurations saved before the substrate
+    /// redesign load unchanged.
+    #[serde(default)]
+    pub substrate: SubstrateSpec,
     /// The clusters in use.
     pub clusters: Vec<ClusterConfig>,
     /// Execution time limit in ticks of any single PE clock
@@ -119,6 +135,7 @@ pub struct MachineConfig {
 /// use pisces_core::prelude::*;
 ///
 /// let config = MachineConfig::builder()
+///     .substrate(SubstrateSpec::Flex32 { pes: 20 })
 ///     .cluster(ClusterConfig::new(1, 3, 4).with_terminal())
 ///     .cluster(ClusterConfig::new(2, 4, 4).with_secondaries(5..=8))
 ///     .time_limit_ticks(1_000_000)
@@ -131,6 +148,7 @@ pub struct MachineConfig {
 /// the builder never fails.
 #[derive(Debug, Clone, Default)]
 pub struct MachineConfigBuilder {
+    substrate: SubstrateSpec,
     clusters: Vec<ClusterConfig>,
     time_limit_ticks: Option<u64>,
     trace: TraceSettings,
@@ -140,6 +158,12 @@ pub struct MachineConfigBuilder {
 }
 
 impl MachineConfigBuilder {
+    /// Choose the substrate the machine boots on.
+    pub fn substrate(mut self, s: SubstrateSpec) -> Self {
+        self.substrate = s;
+        self
+    }
+
     /// Add one cluster.
     pub fn cluster(mut self, c: ClusterConfig) -> Self {
         self.clusters.push(c);
@@ -208,6 +232,7 @@ impl MachineConfigBuilder {
     /// Finish: produce the configuration.
     pub fn build(self) -> MachineConfig {
         MachineConfig {
+            substrate: self.substrate,
             clusters: self.clusters,
             time_limit_ticks: self.time_limit_ticks,
             trace: self.trace,
@@ -224,12 +249,22 @@ impl MachineConfig {
         MachineConfigBuilder::default()
     }
 
-    /// A simple n-cluster configuration: cluster `i` on PE `2+i`, `slots`
-    /// user slots each, terminal on cluster 1, no secondaries.
+    /// A simple n-cluster configuration on the default substrate:
+    /// cluster `i` on the machine's `i`-th task PE, `slots` user slots
+    /// each, terminal on cluster 1, no secondaries.
     pub fn simple(n_clusters: u8, slots: u8) -> Self {
+        Self::simple_on(SubstrateSpec::default(), n_clusters, slots)
+    }
+
+    /// [`MachineConfig::simple`], on an explicit substrate. Cluster `i`'s
+    /// primary is the `i`-th task-capable PE of the substrate's topology,
+    /// so the same call shapes a valid machine on either backend.
+    pub fn simple_on(substrate: SubstrateSpec, n_clusters: u8, slots: u8) -> Self {
+        let first = substrate.topology().first_task_pe;
         Self::builder()
+            .substrate(substrate)
             .clusters((1..=n_clusters).map(|i| {
-                let c = ClusterConfig::new(i, 2 + i, slots);
+                let c = ClusterConfig::new(i, first + u16::from(i) - 1, slots);
                 if i == 1 {
                     c.with_terminal()
                 } else {
@@ -264,7 +299,7 @@ impl MachineConfig {
 
     /// All distinct PEs this configuration touches (primaries and
     /// secondaries), sorted.
-    pub fn pes_in_use(&self) -> Vec<u8> {
+    pub fn pes_in_use(&self) -> Vec<u16> {
         let mut set = BTreeSet::new();
         for c in &self.clusters {
             set.insert(c.primary_pe);
@@ -278,7 +313,7 @@ impl MachineConfig {
     /// tasks that might be running on one of these PEs is equal to the sum
     /// of the slots allocated" in those clusters (Section 9), plus the
     /// cluster slots if the PE is also a primary.
-    pub fn max_multiprogramming(&self, pe: u8) -> usize {
+    pub fn max_multiprogramming(&self, pe: u16) -> usize {
         self.clusters
             .iter()
             .map(|c| {
@@ -294,22 +329,32 @@ impl MachineConfig {
             .sum()
     }
 
-    /// Validate the configuration against the machine's constraints.
+    /// Validate the configuration against the configured substrate's
+    /// topology.
     pub fn validate(&self) -> Result<()> {
+        self.validate_on(&self.substrate.topology())
+    }
+
+    /// Validate against an explicit topology (used when booting onto a
+    /// pre-built machine, whose shape wins over the spec).
+    pub fn validate_on(&self, topo: &Topology) -> Result<()> {
         let bad = |reason: String| Err(PiscesError::BadConfiguration(reason));
         if self.clusters.is_empty() {
             return bad("a configuration needs at least one cluster".into());
         }
-        if self.clusters.len() > MAX_CLUSTERS as usize {
+        if self.clusters.len() > topo.task_pes() as usize {
             return bad(format!(
-                "{} clusters configured; the FLEX/32 supports at most {MAX_CLUSTERS}",
-                self.clusters.len()
+                "{} clusters configured; a {} machine with {} task PEs supports at most that \
+                 many (each cluster needs a distinct primary PE)",
+                self.clusters.len(),
+                topo.name,
+                topo.task_pes()
             ));
         }
         let mut numbers = BTreeSet::new();
         let mut primaries = BTreeSet::new();
         for c in &self.clusters {
-            if c.number == 0 || c.number > MAX_CLUSTERS {
+            if c.number == 0 {
                 return bad(format!(
                     "cluster number {} outside 1-{MAX_CLUSTERS}",
                     c.number
@@ -318,11 +363,11 @@ impl MachineConfig {
             if !numbers.insert(c.number) {
                 return bad(format!("duplicate cluster number {}", c.number));
             }
-            let mmos = |pe: u8| (flex32::FIRST_MMOS_PE..=flex32::LAST_MMOS_PE).contains(&pe);
-            if !mmos(c.primary_pe) {
+            if !topo.is_task_pe(c.primary_pe) {
                 return bad(format!(
-                    "cluster {} primary PE {} is not an MMOS PE (PEs 1 and 2 run only Unix)",
-                    c.number, c.primary_pe
+                    "cluster {} primary PE {} is not a task PE of the {} machine \
+                     (task PEs are {}-{})",
+                    c.number, c.primary_pe, topo.name, topo.first_task_pe, topo.num_pes
                 ));
             }
             if !primaries.insert(c.primary_pe) {
@@ -333,10 +378,10 @@ impl MachineConfig {
             }
             let mut secs = BTreeSet::new();
             for &pe in &c.secondary_pes {
-                if !mmos(pe) {
+                if !topo.is_task_pe(pe) {
                     return bad(format!(
-                        "cluster {} secondary PE {pe} is not an MMOS PE",
-                        c.number
+                        "cluster {} secondary PE {pe} is not a task PE of the {} machine",
+                        c.number, topo.name
                     ));
                 }
                 if !secs.insert(pe) {
@@ -374,6 +419,16 @@ mod tests {
     }
 
     #[test]
+    fn simple_on_places_clusters_from_the_topology() {
+        let flex = MachineConfig::simple_on(SubstrateSpec::Flex32 { pes: 20 }, 2, 4);
+        assert_eq!(flex.cluster(1).unwrap().primary_pe, 3);
+        let cube = MachineConfig::simple_on(SubstrateSpec::Hypercube { dim: 3 }, 2, 4);
+        assert_eq!(cube.cluster(1).unwrap().primary_pe, 1);
+        assert_eq!(cube.cluster(2).unwrap().primary_pe, 2);
+        cube.validate().unwrap();
+    }
+
+    #[test]
     fn section9_example_matches_paper() {
         let c = MachineConfig::section9_example();
         c.validate().unwrap();
@@ -391,13 +446,50 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unix_pes() {
-        let c = MachineConfig::builder().clusters([ClusterConfig::new(1, 2, 4)]).build();
+    fn rejects_unix_pes_on_the_flex() {
+        let flex = SubstrateSpec::Flex32 { pes: 20 };
+        let c = MachineConfig::builder()
+            .substrate(flex)
+            .clusters([ClusterConfig::new(1, 2, 4)])
+            .build();
         assert!(matches!(
             c.validate(),
             Err(PiscesError::BadConfiguration(_))
         ));
-        let c = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 4).with_secondaries([1])]).build();
+        let c = MachineConfig::builder()
+            .substrate(flex)
+            .clusters([ClusterConfig::new(1, 3, 4).with_secondaries([1])])
+            .build();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hypercube_validation_accepts_pe_1_and_enforces_node_count() {
+        // PE 1 is a task PE on a cube (no Unix front end)…
+        let c = MachineConfig::builder()
+            .substrate(SubstrateSpec::Hypercube { dim: 3 })
+            .clusters([ClusterConfig::new(1, 1, 4).with_secondaries(2..=8)])
+            .build();
+        c.validate().unwrap();
+        // …but PE 9 does not exist on a dimension-3 cube.
+        let c = MachineConfig::builder()
+            .substrate(SubstrateSpec::Hypercube { dim: 3 })
+            .clusters([ClusterConfig::new(1, 9, 4)])
+            .build();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_flex_accepts_high_pes() {
+        let c = MachineConfig::builder()
+            .substrate(SubstrateSpec::Flex32 { pes: 256 })
+            .clusters([ClusterConfig::new(1, 200, 4).with_secondaries(201..=256)])
+            .build();
+        c.validate().unwrap();
+        // The same shape is invalid on the historical 20-PE machine.
+        let c = MachineConfig::builder()
+            .clusters([ClusterConfig::new(1, 200, 4)])
+            .build();
         assert!(c.validate().is_err());
     }
 
@@ -424,6 +516,19 @@ mod tests {
     }
 
     #[test]
+    fn rejects_more_clusters_than_task_pes() {
+        // 18 clusters fit the 20-PE FLEX (18 task PEs); 19 cannot.
+        let mk = |n: u8| {
+            MachineConfig::builder()
+                .substrate(SubstrateSpec::Flex32 { pes: 20 })
+                .clusters((1..=n).map(|i| ClusterConfig::new(i, 2 + u16::from(i), 1)))
+                .build()
+        };
+        mk(18).validate().unwrap();
+        assert!(mk(19).validate().is_err());
+    }
+
+    #[test]
     fn rejects_primary_as_own_secondary_but_allows_overlap() {
         let own = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 4).with_secondaries([3, 4])]).build();
         assert!(own.validate().is_err());
@@ -445,7 +550,7 @@ mod tests {
 
     #[test]
     fn cluster_lookup() {
-        let c = MachineConfig::simple(2, 4);
+        let c = MachineConfig::simple_on(SubstrateSpec::Flex32 { pes: 20 }, 2, 4);
         assert_eq!(c.cluster(2).unwrap().primary_pe, 4);
         assert!(matches!(c.cluster(9), Err(PiscesError::NoSuchCluster(9))));
     }
@@ -453,6 +558,7 @@ mod tests {
     #[test]
     fn builder_sets_every_field() {
         let c = MachineConfig::builder()
+            .substrate(SubstrateSpec::Flex32 { pes: 32 })
             .cluster(ClusterConfig::new(1, 3, 4).with_terminal())
             .clusters([ClusterConfig::new(2, 4, 2)])
             .time_limit_ticks(9_999)
@@ -464,6 +570,7 @@ mod tests {
             .pin_pes(true)
             .build();
         c.validate().unwrap();
+        assert_eq!(c.substrate, SubstrateSpec::Flex32 { pes: 32 });
         assert_eq!(c.clusters.len(), 2);
         assert_eq!(c.time_limit_ticks, Some(9_999));
         assert_eq!(c.telemetry.port, Some(9100));
@@ -475,6 +582,7 @@ mod tests {
         // A clusters-only build agrees with the builder's defaults for
         // the fields it does not set.
         let plain = MachineConfig::builder().clusters(c.clusters.clone()).build();
+        assert_eq!(plain.substrate, SubstrateSpec::default());
         assert_eq!(plain.clusters, c.clusters);
         assert_eq!(plain.time_limit_ticks, None);
         assert!(!plain.telemetry.armed());

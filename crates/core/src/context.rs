@@ -32,9 +32,9 @@ use crate::trace::TraceEventKind;
 use crate::transfer::{PendingGet, PendingPut};
 use crate::value::Value;
 use crate::window::Window;
-use flex32::cpu::CpuGuard;
-use flex32::pe::PeId;
-use flex32::shmem::ShmTag;
+use pisces_substrate::cpu::CpuGuard;
+use pisces_substrate::pe::PeId;
+use pisces_substrate::shmem::ShmTag;
 use std::collections::HashMap;
 use std::sync::atomic;
 use std::sync::Arc;
@@ -146,11 +146,11 @@ impl TaskCtx {
         if self.entry.killed() {
             return Err(PiscesError::Killed);
         }
-        let guard = match self.p.flex.pe(pe).acquire_cpu() {
+        let guard = match self.p.sub.pe(pe).acquire_cpu() {
             Ok(g) => g,
             Err(e) => return Err(self.p.attach_fault_event(e.into())),
         };
-        let now = self.p.flex.tick(pe, ticks);
+        let now = self.p.sub.tick(pe, ticks);
         if let Some(limit) = self.p.config.time_limit_ticks {
             if now > limit {
                 return Err(PiscesError::TimeLimit);
@@ -170,7 +170,7 @@ impl TaskCtx {
     /// Write a line on this PE's terminal (development convenience; the
     /// portable way to reach the user is `send(To::User, …)`).
     pub fn println(&self, line: impl Into<String>) {
-        self.p.flex.pe(self.entry.pe).console.write_line(line);
+        self.p.sub.pe(self.entry.pe).console.write_line(line);
     }
 
     fn resolve(&self, to: To) -> Result<TaskId> {
@@ -271,11 +271,11 @@ impl TaskCtx {
                     "SHARED COMMON /{name}/ declared with {words} words but exists with {w}"
                 )));
             }
-            return Ok(SharedBlock::new(self.p.flex.clone(), h, w, name.into()));
+            return Ok(SharedBlock::new(self.p.sub.clone(), h, w, name.into()));
         }
         let h = self.p.pool_alloc(pe, words * 8, ShmTag::SharedCommon)?;
         map.insert(name.to_string(), (h, words));
-        Ok(SharedBlock::new(self.p.flex.clone(), h, words, name.into()))
+        Ok(SharedBlock::new(self.p.sub.clone(), h, words, name.into()))
     }
 
     /// Access (creating on first use) the LOCK variable `name`.
@@ -287,11 +287,11 @@ impl TaskCtx {
         let _cpu = self.enter_on(pe, 1)?;
         let mut map = self.entry.locks.lock();
         if let Some(&h) = map.get(name) {
-            return Ok(LockVar::new(self.p.flex.clone(), h, name.into()));
+            return Ok(LockVar::new(self.p.sub.clone(), h, name.into()));
         }
         let h = self.p.pool_alloc(pe, 8, ShmTag::SharedCommon)?;
         map.insert(name.to_string(), h);
-        Ok(LockVar::new(self.p.flex.clone(), h, name.into()))
+        Ok(LockVar::new(self.p.sub.clone(), h, name.into()))
     }
 
     // ------------------------------------------------------------------
@@ -613,7 +613,7 @@ impl<'a> AcceptBuilder<'a> {
                 processed_total += 1;
 
                 RunStats::bump(&ctx.p.stats.messages_accepted);
-                let now = ctx.p.flex.pe(entry.pe).clock.now();
+                let now = ctx.p.sub.pe(entry.pe).clock.now();
                 // Same-PE latency is exact; cross-PE compares two
                 // unsynchronized clocks and saturates at 0 when they skew.
                 ctx.p
@@ -640,7 +640,7 @@ impl<'a> AcceptBuilder<'a> {
                 match self.entries[idx].handler.as_mut() {
                     Some(h) => {
                         RunStats::bump(&ctx.p.stats.handlers);
-                        ctx.p.flex.tick(entry.pe, cost::HANDLER_DISPATCH);
+                        ctx.p.sub.tick(entry.pe, cost::HANDLER_DISPATCH);
                         h(&msg)?;
                     }
                     None => RunStats::bump(&ctx.p.stats.signals),

@@ -36,14 +36,14 @@ fn receive(
             let mtype = stored.mtype.clone();
             let sender = stored.sender;
             // Controllers hold their PE's CPU while servicing a message.
-            let _cpu = p.flex.pe(entry.pe).cpu.acquire();
-            p.flex.tick(entry.pe, cost::ACCEPT_BASE);
+            let _cpu = p.sub.pe(entry.pe).cpu.acquire();
+            p.sub.tick(entry.pe, cost::ACCEPT_BASE);
             RunStats::bump(&p.stats.messages_accepted);
             let accept_seq = p.tracer.emit_causal(
                 TraceEventKind::MsgAccept,
                 entry.id,
                 entry.pe.number(),
-                p.flex.pe(entry.pe).clock.now(),
+                p.sub.pe(entry.pe).clock.now(),
                 format!("{mtype} <- {sender}"),
                 None,
                 stored.cause,
@@ -109,7 +109,7 @@ pub(crate) fn task_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
             sysmsg::SHUTDOWN => break,
             other => {
                 // Unknown traffic to a controller is logged, not fatal.
-                p.flex.pe(entry.pe).console.write_line(format!(
+                p.sub.pe(entry.pe).console.write_line(format!(
                     "task controller {}: unknown message {other}",
                     entry.id
                 ));
@@ -142,8 +142,8 @@ fn dispatch_init(p: &Arc<Pisces>, cluster: u8, req: PendingInit) {
                 // return, so the extra dispatching credit is released at
                 // once).
                 if let Ok(pe) = p.config.cluster(cluster).map(|c| c.primary_pe) {
-                    if let Ok(pe) = flex32::pe::PeId::new(pe) {
-                        p.flex
+                    if let Ok(pe) = pisces_substrate::pe::PeId::new(pe) {
+                        p.sub
                             .pe(pe)
                             .console
                             .write_line(format!("INITIATE {tasktype} failed: {e}"));
@@ -173,7 +173,7 @@ pub(crate) fn user_controller_main(p: &Arc<Pisces>, entry: &Arc<TaskEntry>) {
             break;
         }
         let rendered: Vec<String> = args.iter().map(render_value).collect();
-        p.flex
+        p.sub
             .pe(entry.pe)
             .console
             .write_line(format!("{sender}: {mtype}({})", rendered.join(", ")));

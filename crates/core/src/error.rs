@@ -2,9 +2,9 @@
 
 use crate::taskid::TaskId;
 use crate::window::WindowError;
-use flex32::fault::FaultEvent;
-use flex32::pe::PeError;
-use flex32::shmem::ShmError;
+use pisces_substrate::fault::FaultEvent;
+use pisces_substrate::pe::PeError;
+use pisces_substrate::shmem::ShmError;
 
 /// Any error the PISCES runtime can report to a task or to the
 /// configuration/execution environments.
@@ -15,7 +15,7 @@ pub enum PiscesError {
     /// PE-level failure (bad PE number, local memory exhausted).
     Pe(PeError),
     /// File-system failure on the Unix PEs.
-    Fs(flex32::fs::FsError),
+    Fs(pisces_substrate::fs::FsError),
     /// Message sent to a task that does not exist (never initiated, or
     /// already terminated — taskids distinguish reuses of a slot).
     NoSuchTask(TaskId),
@@ -47,7 +47,7 @@ pub enum PiscesError {
     /// the injector recorded one.
     PeFailed {
         /// The failed PE's number.
-        pe: u8,
+        pe: u16,
         /// The injected fault event, if the fault layer recorded one.
         event: Option<FaultEvent>,
     },
@@ -103,8 +103,8 @@ impl From<PeError> for PiscesError {
     }
 }
 
-impl From<flex32::fs::FsError> for PiscesError {
-    fn from(e: flex32::fs::FsError) -> Self {
+impl From<pisces_substrate::fs::FsError> for PiscesError {
+    fn from(e: pisces_substrate::fs::FsError) -> Self {
         PiscesError::Fs(e)
     }
 }

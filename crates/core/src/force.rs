@@ -27,8 +27,8 @@ use crate::stats::RunStats;
 use crate::telemetry::Activity;
 use crate::trace::TraceEventKind;
 use crate::window::Window;
-use flex32::pe::PeId;
-use flex32::shmem::{ShmHandle, ShmTag};
+use pisces_substrate::pe::PeId;
+use pisces_substrate::shmem::{ShmHandle, ShmTag};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -50,7 +50,7 @@ pub struct AbortCause {
     /// 0-based index of the member that failed first.
     pub member: usize,
     /// The PE that member ran on.
-    pub pe: u8,
+    pub pe: u16,
     /// Whether the member failed because its PE fail-stopped.
     pub pe_failed: bool,
 }
@@ -76,7 +76,7 @@ impl AbortSignal {
     /// Raise the signal, recording the failing member and PE. The first
     /// raise wins; later raises are ignored (the first failure is the
     /// cause, subsequent ones are collateral).
-    pub fn raise(&self, member: usize, pe: u8, pe_failed: bool) {
+    pub fn raise(&self, member: usize, pe: u16, pe_failed: bool) {
         if self.raised.load(Ordering::Acquire) {
             return;
         }
@@ -92,7 +92,7 @@ impl AbortSignal {
 
     /// Raise the signal for `err` occurring in `member` on `pe`,
     /// classifying PE fail-stops.
-    pub fn raise_for(&self, member: usize, pe: u8, err: &PiscesError) {
+    pub fn raise_for(&self, member: usize, pe: u16, err: &PiscesError) {
         self.raise(member, pe, matches!(err, PiscesError::PeFailed { .. }));
     }
 
@@ -110,7 +110,7 @@ impl AbortSignal {
         let member = self.member.load(Ordering::Relaxed).checked_sub(1)?;
         Some(AbortCause {
             member,
-            pe: self.pe.load(Ordering::Relaxed) as u8,
+            pe: self.pe.load(Ordering::Relaxed) as u16,
             pe_failed: self.pe_failed.load(Ordering::Relaxed),
         })
     }
@@ -427,7 +427,7 @@ impl<'a> ForceCtx<'a> {
         self.ctx.id()
     }
 
-    fn enter(&self, ticks: u64) -> Result<flex32::cpu::CpuGuard<'_>> {
+    fn enter(&self, ticks: u64) -> Result<pisces_substrate::cpu::CpuGuard<'_>> {
         self.ctx.enter_on(self.pe, ticks)
     }
 
@@ -497,7 +497,7 @@ impl<'a> ForceCtx<'a> {
             TraceEventKind::Barrier,
             self.ctx.id(),
             self.pe.number(),
-            self.ctx.p.flex.pe(self.pe).clock.now(),
+            self.ctx.p.sub.pe(self.pe).clock.now(),
             format!("member {}/{}", self.member, self.size),
             self.prev_event.get(),
             None,
@@ -520,7 +520,7 @@ impl<'a> ForceCtx<'a> {
                 TraceEventKind::BarrierRelease,
                 self.ctx.id(),
                 self.pe.number(),
-                self.ctx.p.flex.pe(self.pe).clock.now(),
+                self.ctx.p.sub.pe(self.pe).clock.now(),
                 format!("by member {}/{}", self.member, self.size),
                 None,
                 arrive_seq,
@@ -574,12 +574,12 @@ impl<'a> ForceCtx<'a> {
         }
         RunStats::bump(&self.ctx.p.stats.criticals);
         let trace_lock = |kind, tick_cost| {
-            self.ctx.p.flex.tick(self.pe, tick_cost);
+            self.ctx.p.sub.tick(self.pe, tick_cost);
             self.ctx.p.tracer.emit(
                 kind,
                 self.ctx.id(),
                 self.pe.number(),
-                self.ctx.p.flex.pe(self.pe).clock.now(),
+                self.ctx.p.sub.pe(self.pe).clock.now(),
                 lock.name().to_string(),
             );
         };
@@ -617,7 +617,7 @@ impl<'a> ForceCtx<'a> {
         if step == 0 {
             return Err(PiscesError::Internal("DO loop with zero step".into()));
         }
-        let clock = &self.ctx.p.flex.pe(self.pe).clock;
+        let clock = &self.ctx.p.sub.pe(self.pe).clock;
         let mut k = 0usize;
         let mut v = lo;
         while (step > 0 && v <= hi) || (step < 0 && v >= hi) {
@@ -656,10 +656,10 @@ impl<'a> ForceCtx<'a> {
         let key = self.op_seq.get();
         self.op_seq.set(key + 1);
         let counter = self.shared.counter(key, &self.ctx.p, self.pe)?;
-        let clock = &self.ctx.p.flex.pe(self.pe).clock;
+        let clock = &self.ctx.p.sub.pe(self.pe).clock;
         let mut n = 0usize;
         loop {
-            let k = self.ctx.p.flex.shmem.fetch_add(counter, 0, 1)?;
+            let k = self.ctx.p.sub.shmem().fetch_add(counter, 0, 1)?;
             let v = lo + step * k as i64;
             if (step > 0 && v > hi) || (step < 0 && v < hi) {
                 return Ok(());
@@ -743,8 +743,8 @@ impl<'a> ForceCtx<'a> {
         let key = self.op_seq.get();
         self.op_seq.set(key + 1);
         let counter = self.shared.counter(key, &self.ctx.p, self.pe)?;
-        let clock = &self.ctx.p.flex.pe(self.pe).clock;
-        let shmem = &self.ctx.p.flex.shmem;
+        let clock = &self.ctx.p.sub.pe(self.pe).clock;
+        let shmem = self.ctx.p.sub.shmem();
         let mut done = 0usize;
         loop {
             let want = match mode {
@@ -781,7 +781,7 @@ impl<'a> ForceCtx<'a> {
             if i % self.size == self.member {
                 self.ctx
                     .p
-                    .flex
+                    .sub
                     .pe(self.pe)
                     .clock
                     .advance(cost::PRESCHED_DISPATCH);
@@ -798,7 +798,7 @@ pub struct FailedMember {
     /// 0-based member index.
     pub member: usize,
     /// The PE the member ran on.
-    pub pe: u8,
+    pub pe: u16,
     /// The error that took it out (a `PeFailed`, possibly carrying the
     /// injected fault event).
     pub error: PiscesError,
@@ -892,7 +892,7 @@ impl TaskCtx {
                 TraceEventKind::ForceSplit,
                 self.id(),
                 self.pe().number(),
-                self.p.flex.pe(self.pe()).clock.now(),
+                self.p.sub.pe(self.pe()).clock.now(),
                 format!("size={size}"),
                 None,
                 None,
@@ -906,21 +906,24 @@ impl TaskCtx {
                     let body = &body;
                     handles.push(s.spawn(move || {
                         if self.p.config.pin_pes {
-                            crate::machine::pin_pe_thread(pe);
+                            crate::machine::pin_pe_thread(
+                                pe,
+                                self.p.sub.topology().first_task_pe,
+                            );
                         }
                         let pid = self
                             .p
-                            .flex
+                            .sub
                             .procs(pe)
                             .spawn(&format!("force:{}", self.tasktype()));
-                        self.p.flex.tick(pe, cost::FORCESPLIT_PER_MEMBER);
+                        self.p.sub.tick(pe, cost::FORCESPLIT_PER_MEMBER);
                         // Member start is *caused* by the split (a
                         // cross-thread enablement edge).
                         let start_seq = self.p.tracer.emit_causal(
                             TraceEventKind::ForceMember,
                             self.id(),
                             pe.number(),
-                            self.p.flex.pe(pe).clock.now(),
+                            self.p.sub.pe(pe).clock.now(),
                             format!("start {}/{}", i + 1, size),
                             None,
                             split_seq,
@@ -947,7 +950,7 @@ impl TaskCtx {
                                     TraceEventKind::ForceShrink,
                                     self.id(),
                                     pe.number(),
-                                    self.p.flex.pe(pe).clock.now(),
+                                    self.p.sub.pe(pe).clock.now(),
                                     format!("member {}/{} left: {}", i + 1, size, e),
                                 );
                                 fc.shared.failed.lock().push(FailedMember {
@@ -966,13 +969,13 @@ impl TaskCtx {
                             TraceEventKind::ForceMember,
                             self.id(),
                             pe.number(),
-                            self.p.flex.pe(pe).clock.now(),
+                            self.p.sub.pe(pe).clock.now(),
                             format!("end {}/{}", i + 1, size),
                             fc.prev_event.get(),
                             None,
                         );
                         fc.shared.note_member_end(end_seq);
-                        self.p.flex.procs(pe).exit(pid);
+                        self.p.sub.procs(pe).exit(pid);
                         r
                     }));
                 }
@@ -980,7 +983,7 @@ impl TaskCtx {
                     TraceEventKind::ForceMember,
                     self.id(),
                     self.pe().number(),
-                    self.p.flex.pe(self.pe()).clock.now(),
+                    self.p.sub.pe(self.pe()).clock.now(),
                     format!("start 0/{size}"),
                     split_seq,
                     None,
@@ -995,7 +998,7 @@ impl TaskCtx {
                     TraceEventKind::ForceMember,
                     self.id(),
                     self.pe().number(),
-                    self.p.flex.pe(self.pe()).clock.now(),
+                    self.p.sub.pe(self.pe()).clock.now(),
                     format!("end 0/{size}"),
                     primary.prev_event.get(),
                     None,
@@ -1041,7 +1044,7 @@ impl TaskCtx {
                 TraceEventKind::ForceJoin,
                 self.id(),
                 self.pe().number(),
-                self.p.flex.pe(self.pe()).clock.now(),
+                self.p.sub.pe(self.pe()).clock.now(),
                 format!("size={size}"),
                 split_seq,
                 shared.last_member_end(),

@@ -7,8 +7,11 @@
 //!
 //! PISCES 2 presents applications with a carefully defined **virtual
 //! machine** — a set of *clusters*, each offering *slots* in which *tasks*
-//! run — deliberately decoupled from the underlying hardware (here, the
-//! [`flex32`] substrate modelling the NASA Langley FLEX/32). Programs are
+//! run — deliberately decoupled from the underlying hardware. The runtime
+//! talks to the machine through the [`Substrate`] trait; a
+//! [`SubstrateSpec`] in the configuration picks the backend (the
+//! shared-bus FLEX/32 modelled on the NASA Langley machine, or a
+//! 2^d-node local-memory hypercube with routed links). Programs are
 //! dynamic sets of tasks communicating by **asynchronous message passing**;
 //! medium-granularity parallelism comes from **forces** (replicated task
 //! bodies with shared variables, barriers, critical regions, and scheduled
@@ -21,8 +24,7 @@
 //! ```
 //! use pisces_core::prelude::*;
 //!
-//! let flex = flex32::Flex32::new_shared();
-//! let pisces = Pisces::boot(flex, MachineConfig::simple(2, 4)).unwrap();
+//! let pisces = Pisces::boot(MachineConfig::simple(2, 4)).unwrap();
 //!
 //! pisces.register("hello", |ctx: &TaskCtx| {
 //!     ctx.send(To::Parent, "GREETING", args!["hello from", ctx.id()])?;
@@ -39,6 +41,17 @@
 //! assert!(pisces.wait_quiescent(std::time::Duration::from_secs(10)));
 //! pisces.shutdown();
 //! ```
+//!
+//! To run the same program on a different machine, change only the
+//! configuration:
+//!
+//! ```
+//! use pisces_core::prelude::*;
+//!
+//! let spec: SubstrateSpec = "hypercube:4".parse().unwrap();
+//! let pisces = Pisces::boot(MachineConfig::simple_on(spec, 2, 4)).unwrap();
+//! pisces.shutdown();
+//! ```
 
 pub mod config;
 pub mod context;
@@ -52,6 +65,7 @@ pub mod metrics;
 pub mod msgqueue;
 pub mod shared;
 pub mod stats;
+pub mod substrate;
 pub mod task;
 pub mod taskid;
 pub mod telemetry;
@@ -73,6 +87,7 @@ pub mod prelude {
     pub use crate::msgqueue::{MsgBackend, MsgQueue};
     pub use crate::shared::{LockVar, SharedBlock};
     pub use crate::stats::{RunStats, StatsSnapshot};
+    pub use crate::substrate::{LinkCost, LinkRecord, LinkTraffic, Substrate, SubstrateSpec, Topology};
     pub use crate::task::{FILE_CTRL_ID, USER_ID};
     pub use crate::taskid::TaskId;
     pub use crate::telemetry::{
@@ -82,6 +97,9 @@ pub mod prelude {
     pub use crate::transfer::{PendingGet, PendingPut};
     pub use crate::value::Value;
     pub use crate::window::{ArrayId, Window, WindowError};
+    pub use pisces_substrate::pe::{Pe, PeId, PeKind};
+    pub use pisces_substrate::shmem::{ShmHandle, ShmTag};
+    pub use pisces_substrate::fault::{FaultEvent, FaultPlan};
 }
 
 pub use prelude::*;

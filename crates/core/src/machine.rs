@@ -1,4 +1,4 @@
-//! The PISCES 2 virtual machine, brought up on a [`Flex32`] substrate.
+//! The PISCES 2 virtual machine, brought up on a [`Substrate`].
 //!
 //! "The PISCES 2 virtual machine consists of a set of clusters. … An
 //! applications program appears as a set of tasks. Each cluster provides a
@@ -7,7 +7,7 @@
 //! clusters." (paper, Sections 4–5)
 //!
 //! [`Pisces::boot`] validates a configuration, allocates the cluster/slot
-//! tables in the FLEX shared memory (so the Section 13 storage measurement
+//! tables in the machine's shared memory (so the Section 13 storage measurement
 //! is real), reserves the system image in each PE's local memory, and
 //! starts the controller tasks. User tasktypes are registered as Rust
 //! closures (or supplied by the Pisces Fortran interpreter) and initiated
@@ -31,10 +31,10 @@ use crate::taskid::TaskId;
 use crate::trace::{TraceEventKind, Tracer};
 use crate::value::{decode_values, encode_values, Value};
 use crate::window::{ArrayId, Window, WindowError};
-use flex32::fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, MessageFault};
-use flex32::pe::PeId;
-use flex32::shmem::{ShmHandle, ShmTag};
-use flex32::Flex32;
+use crate::substrate::Substrate;
+use pisces_substrate::fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, MessageFault};
+use pisces_substrate::pe::PeId;
+use pisces_substrate::shmem::{ShmHandle, ShmTag};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -71,11 +71,12 @@ pub mod sysmsg {
 }
 
 /// Pin the calling thread to the core standing in for `pe` (best-effort;
-/// see [`flex32::affinity`]). PEs map round-robin onto host cores,
-/// numbered from the first MMOS PE so PE 3 lands on core 0.
-pub(crate) fn pin_pe_thread(pe: PeId) {
-    let slot = pe.number().saturating_sub(flex32::FIRST_MMOS_PE) as usize;
-    let _ = flex32::affinity::pin_current_thread(slot);
+/// see [`pisces_substrate::affinity`]). PEs map round-robin onto host
+/// cores, numbered from the machine's first task PE so the first
+/// task-capable PE lands on core 0.
+pub(crate) fn pin_pe_thread(pe: PeId, first_task_pe: u16) {
+    let slot = pe.number().saturating_sub(first_task_pe) as usize;
+    let _ = pisces_substrate::affinity::pin_current_thread(slot);
 }
 
 /// Times a send to a fail-stopped PE is retried before the runtime gives
@@ -174,7 +175,7 @@ pub(crate) struct FileArrayEntry {
 #[derive(Debug, Clone)]
 pub struct PeLoad {
     /// PE number.
-    pub pe: u8,
+    pub pe: u16,
     /// Live MMOS processes.
     pub live: usize,
     /// Processes currently ready (competing for the CPU).
@@ -195,7 +196,7 @@ pub struct TaskDisplay {
     /// Tasktype name.
     pub tasktype: String,
     /// PE it runs on.
-    pub pe: u8,
+    pub pe: u16,
     /// Whether it is an operating-system controller.
     pub is_controller: bool,
     /// Ready or blocked.
@@ -214,10 +215,10 @@ pub struct TaskDisplay {
 #[derive(Debug, Clone)]
 pub struct StorageReport {
     /// Shared-memory usage by purpose.
-    pub shm: flex32::shmem::ShmReport,
+    pub shm: pisces_substrate::shmem::ShmReport,
     /// Per-PE (pe, used bytes, capacity bytes) for PEs in the
     /// configuration.
-    pub local: Vec<(u8, usize, usize)>,
+    pub local: Vec<(u16, usize, usize)>,
 }
 
 impl StorageReport {
@@ -273,7 +274,7 @@ struct JobRegistry {
 
 /// The running PISCES 2 virtual machine.
 pub struct Pisces {
-    pub(crate) flex: Arc<Flex32>,
+    pub(crate) sub: Arc<dyn Substrate>,
     pub(crate) config: MachineConfig,
     pub(crate) tracer: Tracer,
     pub(crate) stats: RunStats,
@@ -326,23 +327,33 @@ impl Drop for Pisces {
 }
 
 impl Pisces {
-    /// Bring up the virtual machine on a FLEX/32: validate the
-    /// configuration, reboot the MMOS PEs, download the system image into
-    /// local memory, allocate the system tables in shared memory, and
-    /// start the controller tasks.
-    pub fn boot(flex: Arc<Flex32>, config: MachineConfig) -> Result<Arc<Self>> {
+    /// Bring up the virtual machine on the substrate named by the
+    /// configuration: build the machine, validate the configuration
+    /// against its topology, reboot the task PEs, download the system
+    /// image into local memory, allocate the system tables in shared
+    /// memory, and start the controller tasks.
+    pub fn boot(config: MachineConfig) -> Result<Arc<Self>> {
         config.validate()?;
-        flex.reboot_mmos();
+        Self::boot_on(config.substrate.build(), config)
+    }
+
+    /// [`Pisces::boot`], on a machine the caller already built (shared
+    /// across runs, pre-armed with faults, or a custom [`Substrate`]
+    /// implementation). The machine's own topology wins over
+    /// `config.substrate` for validation.
+    pub fn boot_on(sub: Arc<dyn Substrate>, config: MachineConfig) -> Result<Arc<Self>> {
+        config.validate_on(sub.topology())?;
+        sub.reboot();
 
         // Download the load image (kernel + runtime) to each PE in use.
         for &pe_n in &config.pes_in_use() {
             let pe = PeId::new(pe_n)?;
-            flex.pe(pe).local.reserve(SYSTEM_IMAGE_BYTES, pe)?;
+            sub.pe(pe).local.reserve(SYSTEM_IMAGE_BYTES, pe)?;
         }
 
         let mut sys_allocs = Vec::new();
-        let header = flex
-            .shmem
+        let header = sub
+            .shmem()
             .alloc(MACHINE_HEADER_WORDS * 8, ShmTag::SystemTable)?;
         sys_allocs.push(header);
 
@@ -356,7 +367,7 @@ impl Pisces {
                 any_terminal = true;
             }
             let total_slots = c.slots as usize + 2; // + controller slots
-            let table = flex.shmem.alloc(
+            let table = sub.shmem().alloc(
                 (CLUSTER_HEADER_WORDS + total_slots * SLOT_RECORD_WORDS) * 8,
                 ShmTag::SystemTable,
             )?;
@@ -415,7 +426,7 @@ impl Pisces {
         let telemetry_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
 
         let p = Arc::new(Self {
-            flex,
+            sub,
             config,
             tracer,
             stats: RunStats::default(),
@@ -484,13 +495,19 @@ impl Pisces {
         // now allocated; this is the level the arena must return to
         // between jobs in service mode.
         p.boot_shm_in_use
-            .store(p.flex.shmem.report().in_use, Ordering::SeqCst);
+            .store(p.sub.shmem().report().in_use, Ordering::SeqCst);
         Ok(p)
     }
 
     /// The substrate machine.
-    pub fn flex(&self) -> &Arc<Flex32> {
-        &self.flex
+    pub fn substrate(&self) -> &Arc<dyn Substrate> {
+        &self.sub
+    }
+
+    /// The substrate machine.
+    #[deprecated(note = "substrates are no longer always a FLEX/32; use `substrate()`")]
+    pub fn flex(&self) -> &Arc<dyn Substrate> {
+        &self.sub
     }
 
     /// The configuration this machine was booted with.
@@ -579,7 +596,7 @@ impl Pisces {
             return None;
         }
         Some(crate::telemetry::ActivityGuard::publish(
-            &self.flex.pe(pe).activity,
+            &self.sub.pe(pe).activity,
             task,
             act,
         ))
@@ -593,7 +610,7 @@ impl Pisces {
         // transfers and shared-variable creation, so nest a "pool" frame
         // under whichever task's activity is currently published.
         let _act = self.profiler.as_ref().and_then(|_| {
-            let cell = &self.flex.pe(pe).activity;
+            let cell = &self.sub.pe(pe).activity;
             crate::telemetry::unpack_activity(cell.get()).map(|(task, _)| {
                 crate::telemetry::ActivityGuard::publish(
                     cell,
@@ -602,7 +619,7 @@ impl Pisces {
                 )
             })
         });
-        let (h, hit) = self.flex.shm_alloc(pe, bytes, tag)?;
+        let (h, hit) = self.sub.shm_alloc(pe, bytes, tag)?;
         if hit {
             RunStats::bump(&self.metrics.pool_hits);
         } else {
@@ -614,7 +631,7 @@ impl Pisces {
     /// Free shared memory through `pe`'s pool magazine. `tag` must match
     /// the allocation's tag (the pool's magazines are tag-segregated).
     pub(crate) fn pool_free(&self, pe: PeId, handle: ShmHandle, tag: ShmTag) -> Result<()> {
-        self.flex.shm_free(pe, handle, tag)?;
+        self.sub.shm_free(pe, handle, tag)?;
         Ok(())
     }
 
@@ -706,7 +723,7 @@ impl Pisces {
         // healthy path pays one relaxed atomic load.
         let mut duplicate = false;
         let mut fault_parent = None;
-        if self.flex.faults_armed() {
+        if self.sub.faults_armed() {
             match self.send_faulty_pre(from, from_pe, to, entry.pe, mtype, system)? {
                 SendFault::Proceed { duplicate: d, parent } => {
                     duplicate = d;
@@ -721,19 +738,25 @@ impl Pisces {
             (Self::MSG_HEADER_WORDS + words.len()) * 8,
             ShmTag::Message,
         )?;
-        self.flex.shmem.store(handle, 0, from.pack())?;
-        self.flex.shmem.store(handle, 1, words.len() as u64)?;
-        self.flex
-            .shmem
+        self.sub.shmem().store(handle, 0, from.pack())?;
+        self.sub.shmem().store(handle, 1, words.len() as u64)?;
+        self.sub
+            .shmem()
             .write_words(handle, Self::MSG_HEADER_WORDS, &words)?;
 
-        self.flex.tick(
+        self.sub.tick(
             from_pe,
             cost::SEND_BASE + cost::SEND_PER_WORD * words.len() as u64,
         );
+        // Topology surcharge: substrates with real links (the hypercube)
+        // bill every forwarding PE for the route here; the shared-bus
+        // FLEX/32 charges nothing. Hops feed the link metrics.
+        let hops = self.sub.charge_link(from_pe, entry.pe, words.len());
+        self.metrics
+            .record_link(from_pe.number(), entry.pe.number(), hops);
         RunStats::bump(&self.stats.messages_sent);
         RunStats::add(&self.stats.message_words, words.len() as u64);
-        let sent_ticks = self.flex.pe(from_pe).clock.now();
+        let sent_ticks = self.sub.pe(from_pe).clock.now();
         // The MSG-SEND's parent is the last fault-layer event of this
         // send (retry chain tail or link delay); its seq becomes the
         // causal `cause` of the matching MSG-ACCEPT on the receiver.
@@ -766,8 +789,8 @@ impl Pisces {
             PushOutcome::Closed(msg) => {
                 self.pool_free(from_pe, msg.handle, ShmTag::Message)?;
                 if !system
-                    && self.flex.faults_armed()
-                    && self.flex.pe(entry.pe).fault.is_failed()
+                    && self.sub.faults_armed()
+                    && self.sub.pe(entry.pe).fault.is_failed()
                 {
                     // The queue closed because its PE died, not because the
                     // task ran to completion — report it as a fault.
@@ -798,7 +821,7 @@ impl Pisces {
         mtype: &str,
         system: bool,
     ) -> Result<SendFault> {
-        let Some(inj) = self.flex.faults() else {
+        let Some(inj) = self.sub.faults() else {
             return Ok(SendFault::Proceed {
                 duplicate: false,
                 parent: None,
@@ -816,15 +839,15 @@ impl Pisces {
         // is the previous retry, and a surviving send (or the FAULT$
         // notice) cites the chain tail.
         let mut chain: Option<u64> = None;
-        if self.flex.pe(dest_pe).fault.is_failed() {
+        if self.sub.pe(dest_pe).fault.is_failed() {
             for attempt in 1..=SEND_RETRIES {
-                self.flex.tick(from_pe, RETRY_BACKOFF_TICKS);
+                self.sub.tick(from_pe, RETRY_BACKOFF_TICKS);
                 RunStats::bump(&self.stats.send_retries);
                 let seq = self.tracer.emit_causal(
                     TraceEventKind::MsgRetry,
                     from,
                     from_pe.number(),
-                    self.flex.pe(from_pe).clock.now(),
+                    self.sub.pe(from_pe).clock.now(),
                     format!(
                         "{mtype} -> {to}: PE{} down, retry {attempt}/{}",
                         dest_pe.number(),
@@ -834,11 +857,11 @@ impl Pisces {
                     None,
                 );
                 chain = seq.or(chain);
-                if !self.flex.pe(dest_pe).fault.is_failed() {
+                if !self.sub.pe(dest_pe).fault.is_failed() {
                     break;
                 }
             }
-            if self.flex.pe(dest_pe).fault.is_failed() {
+            if self.sub.pe(dest_pe).fault.is_failed() {
                 self.deliver_fault_notice(from, from_pe, to, dest_pe.number(), mtype, chain)?;
                 return Ok(SendFault::Handled);
             }
@@ -847,13 +870,13 @@ impl Pisces {
             Some(MessageFault::Drop) => {
                 // The sender still pays the base send cost; the packet
                 // vanishes on the link without touching shared memory.
-                self.flex.tick(from_pe, cost::SEND_BASE);
+                self.sub.tick(from_pe, cost::SEND_BASE);
                 RunStats::bump(&self.stats.messages_dropped);
                 self.tracer.emit_causal(
                     TraceEventKind::MsgDrop,
                     from,
                     from_pe.number(),
-                    self.flex.pe(from_pe).clock.now(),
+                    self.sub.pe(from_pe).clock.now(),
                     format!("{mtype} -> {to} dropped on the link"),
                     chain,
                     None,
@@ -865,12 +888,12 @@ impl Pisces {
                 parent: chain,
             }),
             Some(MessageFault::Delay(ticks)) => {
-                self.flex.tick(from_pe, ticks);
+                self.sub.tick(from_pe, ticks);
                 let seq = self.tracer.emit_causal(
                     TraceEventKind::MsgDelay,
                     from,
                     from_pe.number(),
-                    self.flex.pe(from_pe).clock.now(),
+                    self.sub.pe(from_pe).clock.now(),
                     format!("{mtype} -> {to} delayed {ticks} ticks on the link"),
                     chain,
                     None,
@@ -907,10 +930,10 @@ impl Pisces {
             (Self::MSG_HEADER_WORDS + words.len()) * 8,
             ShmTag::Message,
         )?;
-        self.flex.shmem.store(handle, 0, from.pack())?;
-        self.flex.shmem.store(handle, 1, words.len() as u64)?;
-        self.flex
-            .shmem
+        self.sub.shmem().store(handle, 0, from.pack())?;
+        self.sub.shmem().store(handle, 1, words.len() as u64)?;
+        self.sub
+            .shmem()
             .write_words(handle, Self::MSG_HEADER_WORDS, words)?;
         RunStats::bump(&self.stats.messages_duplicated);
         // The duplicate is caused by the original MSG-SEND; the copy's
@@ -954,11 +977,11 @@ impl Pisces {
         from: TaskId,
         from_pe: PeId,
         to: TaskId,
-        pe: u8,
+        pe: u16,
         mtype: &str,
         parent: Option<u64>,
     ) -> Result<()> {
-        let event = self.flex.faults().and_then(|i| i.event_for_pe(pe));
+        let event = self.sub.faults().and_then(|i| i.event_for_pe(pe));
         let sender_entry = match self.entry_of(from) {
             Ok(e) => e,
             Err(_) => return Err(PiscesError::PeFailed { pe, event }),
@@ -979,12 +1002,12 @@ impl Pisces {
             (Self::MSG_HEADER_WORDS + words.len()) * 8,
             ShmTag::Message,
         )?;
-        self.flex.shmem.store(handle, 0, to.pack())?;
-        self.flex.shmem.store(handle, 1, words.len() as u64)?;
-        self.flex
-            .shmem
+        self.sub.shmem().store(handle, 0, to.pack())?;
+        self.sub.shmem().store(handle, 1, words.len() as u64)?;
+        self.sub
+            .shmem()
             .write_words(handle, Self::MSG_HEADER_WORDS, &words)?;
-        let now = self.flex.pe(from_pe).clock.now();
+        let now = self.sub.pe(from_pe).clock.now();
         RunStats::bump(&self.stats.fault_notices);
         // The notice extends the retry chain (parent); the FAULT$ message
         // it injects carries the notice's seq so the eventual ACCEPT of
@@ -1014,7 +1037,7 @@ impl Pisces {
     pub(crate) fn attach_fault_event(&self, e: PiscesError) -> PiscesError {
         match e {
             PiscesError::PeFailed { pe, event: None } => {
-                let event = self.flex.faults().and_then(|i| i.event_for_pe(pe));
+                let event = self.sub.faults().and_then(|i| i.event_for_pe(pe));
                 PiscesError::PeFailed { pe, event }
             }
             other => other,
@@ -1026,7 +1049,7 @@ impl Pisces {
     /// (drop/duplicate/delay) are traced at the send site instead, where
     /// the affected message is known.
     pub fn arm_faults(self: &Arc<Self>, plan: FaultPlan) -> Arc<FaultInjector> {
-        let inj = self.flex.arm_faults(plan);
+        let inj = self.sub.arm_faults(plan);
         let weak = Arc::downgrade(self);
         inj.set_observer(Box::new(move |ev: &FaultEvent| {
             let Some(p) = weak.upgrade() else { return };
@@ -1038,7 +1061,7 @@ impl Pisces {
             };
             let ticks = PeId::new(pe.max(1))
                 .ok()
-                .map(|id| p.flex.pe(id).clock.now())
+                .map(|id| p.sub.pe(id).clock.now())
                 .unwrap_or(0);
             p.tracer.emit(kind, USER_ID, pe, ticks, ev.to_string());
             // A chaos fault is an anomaly: trigger the flight recorder
@@ -1050,7 +1073,7 @@ impl Pisces {
 
     /// Disarm the fault plan and heal every PE (recovery-then-rerun).
     pub fn disarm_faults(&self) {
-        self.flex.disarm_faults();
+        self.sub.disarm_faults();
     }
 
     /// Decode a stored message's argument packets and release its
@@ -1065,11 +1088,11 @@ impl Pisces {
         // Header word 1 holds the packet length; the block itself may be
         // larger (pool allocations round up to a size class).
         let total = stored.handle.words();
-        let packet_words = self.flex.shmem.load(stored.handle, 1)? as usize;
+        let packet_words = self.sub.shmem().load(stored.handle, 1)? as usize;
         let arg_words = packet_words.min(total.saturating_sub(Self::MSG_HEADER_WORDS));
         let mut buf = vec![0u64; arg_words];
-        self.flex
-            .shmem
+        self.sub
+            .shmem()
             .read_words(stored.handle, Self::MSG_HEADER_WORDS, &mut buf)?;
         let vals = decode_values(&buf)?;
         self.pool_free(pe, stored.handle, ShmTag::Message)?;
@@ -1220,8 +1243,8 @@ impl Pisces {
         let body = self.body_of(&tasktype)?;
         let cfg = self.config.cluster(id.cluster)?;
         let pe = PeId::new(cfg.primary_pe)?;
-        let pid = self.flex.procs(pe).spawn(&tasktype);
-        self.flex.tick(pe, cost::TASK_SPAWN);
+        let pid = self.sub.procs(pe).spawn(&tasktype);
+        self.sub.tick(pe, cost::TASK_SPAWN);
 
         let entry = Arc::new(TaskEntry::new(
             id,
@@ -1245,7 +1268,7 @@ impl Pisces {
             TraceEventKind::TaskInit,
             id,
             pe.number(),
-            self.flex.pe(pe).clock.now(),
+            self.sub.pe(pe).clock.now(),
             format!("{tasktype} parent={parent}"),
             None,
             cause,
@@ -1254,11 +1277,12 @@ impl Pisces {
 
         let p = self.clone();
         let pin = self.config.pin_pes;
+        let first_task_pe = self.sub.topology().first_task_pe;
         let handle = std::thread::Builder::new()
             .name(format!("pisces-{id}"))
             .spawn(move || {
                 if pin {
-                    pin_pe_thread(pe);
+                    pin_pe_thread(pe, first_task_pe);
                 }
                 let ctx = TaskCtx::new(p.clone(), entry.clone(), args);
                 let outcome =
@@ -1284,7 +1308,7 @@ impl Pisces {
     ) -> Result<()> {
         let cfg = self.config.cluster(cluster)?;
         let pe = PeId::new(cfg.primary_pe)?;
-        let pid = self.flex.procs(pe).spawn(name);
+        let pid = self.sub.procs(pe).spawn(name);
         let entry = Arc::new(TaskEntry::new(
             id,
             name.to_string(),
@@ -1298,15 +1322,16 @@ impl Pisces {
         self.state.lock().tasks.insert(id, entry.clone());
         let p = self.clone();
         let pin = self.config.pin_pes;
+        let first_task_pe = self.sub.topology().first_task_pe;
         let handle = std::thread::Builder::new()
             .name(format!("pisces-ctrl-{id}"))
             .spawn(move || {
                 if pin {
-                    pin_pe_thread(pe);
+                    pin_pe_thread(pe, first_task_pe);
                 }
                 main(&p, &entry);
                 // Controller exit: reap the process and remove the entry.
-                p.flex.procs(entry.pe).exit(entry.pid);
+                p.sub.procs(entry.pe).exit(entry.pid);
                 for m in entry.inq.close_and_drain() {
                     p.discard_message(&m, entry.pe);
                 }
@@ -1333,13 +1358,13 @@ impl Pisces {
         }
         self.free_task_arrays(entry.id);
 
-        self.flex.tick(entry.pe, cost::TASK_TERM);
+        self.sub.tick(entry.pe, cost::TASK_TERM);
         let info = match &result {
             Ok(()) => "ok".to_string(),
             Err(e) => {
                 // Abnormal termination is surfaced on the PE console even
                 // with tracing off — the 1987 user saw it on the terminal.
-                self.flex.pe(entry.pe).console.write_line(format!(
+                self.sub.pe(entry.pe).console.write_line(format!(
                     "task {} ({}) terminated abnormally: {e}",
                     entry.id, entry.tasktype
                 ));
@@ -1350,13 +1375,13 @@ impl Pisces {
             TraceEventKind::TaskTerm,
             entry.id,
             entry.pe.number(),
-            self.flex.pe(entry.pe).clock.now(),
+            self.sub.pe(entry.pe).clock.now(),
             info,
             entry.init_event(),
             None,
         );
         RunStats::bump(&self.stats.tasks_completed);
-        self.flex.procs(entry.pe).exit(entry.pid);
+        self.sub.procs(entry.pe).exit(entry.pid);
         self.tracer.clear_task(entry.id);
 
         {
@@ -1508,7 +1533,7 @@ impl Pisces {
         }
         // Free remaining registered arrays and the system tables.
         for (_, a) in self.arrays.lock().drain() {
-            let _ = self.flex.shmem.free(a.handle);
+            let _ = self.sub.shmem().free(a.handle);
         }
         let tables: Vec<ShmHandle> = {
             let mut st = self.state.lock();
@@ -1518,11 +1543,11 @@ impl Pisces {
             v
         };
         for h in tables {
-            let _ = self.flex.shmem.free(h);
+            let _ = self.sub.shmem().free(h);
         }
         // Return every magazine-cached block to the arena so the final
         // storage report reflects what is truly live.
-        self.flex.pool.flush(&self.flex.shmem);
+        self.sub.pool().flush(self.sub.shmem());
         // Push buffered trace output (e.g. a JSONL file sink) to disk so
         // off-line analysis sees the complete run.
         self.tracer.flush();
@@ -1675,7 +1700,7 @@ impl Pisces {
             arrays.drain().map(|(id, a)| (id, a.handle)).collect()
         };
         for (_, handle) in &leaked {
-            let _ = self.flex.shmem.free(*handle);
+            let _ = self.sub.shmem().free(*handle);
         }
         self.file_arrays.lock().clear();
 
@@ -1686,7 +1711,7 @@ impl Pisces {
         // Fresh capture surfaces for the next job.
         for &pe_n in &self.config.pes_in_use() {
             if let Ok(pe) = PeId::new(pe_n) {
-                self.flex.pe(pe).console.clear();
+                self.sub.pe(pe).console.clear();
             }
         }
         self.tracer.clear();
@@ -1705,7 +1730,7 @@ impl Pisces {
                 if !flushed_pool {
                     // Last repair attempt: return every cached block to
                     // the arena and re-measure without the discount.
-                    self.flex.pool.flush(&self.flex.shmem);
+                    self.sub.pool().flush(self.sub.shmem());
                     flushed_pool = true;
                     continue;
                 }
@@ -1718,7 +1743,7 @@ impl Pisces {
         }
 
         // The arena and the magazines must agree with each other.
-        if let Err(e) = self.flex.shmem.validate() {
+        if let Err(e) = self.sub.shmem().validate() {
             debug_assert!(false, "arena invariants violated after reset: {e}");
             return Err(PiscesError::Internal(format!(
                 "arena invariants violated after reset: {e}"
@@ -1748,15 +1773,15 @@ impl Pisces {
             }
             .into());
         }
-        let handle = self.flex.shmem.alloc(data.len() * 8, ShmTag::WindowArray)?;
+        let handle = self.sub.shmem().alloc(data.len() * 8, ShmTag::WindowArray)?;
         let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
-        self.flex.shmem.write_words(handle, 0, &words)?;
+        self.sub.shmem().write_words(handle, 0, &words)?;
         let id = ArrayId {
             owner: owner.id,
             seq: owner.next_seq(),
         };
         self.arrays.lock().insert(id, ArrayEntry { handle, cols });
-        self.flex.tick(owner.pe, cost::WINDOW_REGISTER);
+        self.sub.tick(owner.pe, cost::WINDOW_REGISTER);
         Ok(Window::new(id, (rows, cols), 0..rows, 0..cols)?)
     }
 
@@ -1783,7 +1808,7 @@ impl Pisces {
         for v in data {
             bytes.extend_from_slice(&v.to_bits().to_le_bytes());
         }
-        self.flex.fs.write(path, &bytes)?;
+        self.sub.fs().write(path, &bytes)?;
         let id = ArrayId {
             owner: FILE_CTRL_ID,
             seq: self.next_file_seq.fetch_add(1, Ordering::Relaxed),
@@ -1811,7 +1836,7 @@ impl Pisces {
         {
             return Ok(Window::new(id, e, 0..e.0, 0..e.1)?);
         }
-        let header = self.flex.fs.read_at(path, 0, 16)?;
+        let header = self.sub.fs().read_at(path, 0, 16)?;
         let rows = u64::from_le_bytes(header[0..8].try_into().unwrap()) as usize;
         let cols = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
         let id = ArrayId {
@@ -1832,7 +1857,7 @@ impl Pisces {
 
     pub(crate) fn charge_window_transfer(&self, requester_pe: PeId, owner: TaskId, words: u64) {
         let t = cost::WINDOW_BASE + cost::WINDOW_PER_WORD * words;
-        self.flex.tick(requester_pe, t);
+        self.sub.tick(requester_pe, t);
         // The owner's PE also does the copy work (its runtime services the
         // request); file arrays are served by Unix PE 1.
         let owner_pe = if owner == FILE_CTRL_ID {
@@ -1843,7 +1868,12 @@ impl Pisces {
             return;
         };
         if owner_pe != requester_pe {
-            self.flex.tick(owner_pe, t);
+            self.sub.tick(owner_pe, t);
+            // Bulk data crosses the machine's links too: the substrate
+            // bills its per-hop transport cost for the payload.
+            let hops = self.sub.charge_link(owner_pe, requester_pe, words as usize);
+            self.metrics
+                .record_link(owner_pe.number(), requester_pe.number(), hops);
         }
         RunStats::add(&self.stats.window_words, words);
     }
@@ -1865,7 +1895,7 @@ impl Pisces {
             .collect();
         for id in dead {
             if let Some(a) = arrays.remove(&id) {
-                let _ = self.flex.shmem.free(a.handle);
+                let _ = self.sub.shmem().free(a.handle);
             }
         }
     }
@@ -1932,8 +1962,8 @@ impl Pisces {
             .into_iter()
             .map(|n| {
                 let pe = PeId::new(n).expect("config validated");
-                let p = self.flex.pe(pe);
-                let procs = self.flex.procs(pe);
+                let p = self.sub.pe(pe);
+                let procs = self.sub.procs(pe);
                 PeLoad {
                     pe: n,
                     live: procs.live(),
@@ -1953,9 +1983,9 @@ impl Pisces {
     /// in-use figures (the paper measures storage in use, and a recycled
     /// message block is not in use by any message).
     pub fn storage_report(&self) -> StorageReport {
-        let mut shm = self.flex.shmem.report();
+        let mut shm = self.sub.shmem().report();
         for tag in ShmTag::ALL {
-            let cached = self.flex.pool.cached_bytes_for(tag) as usize;
+            let cached = self.sub.pool().cached_bytes_for(tag) as usize;
             if cached > 0 {
                 if let Some(b) = shm.by_tag.get_mut(&tag) {
                     *b = b.saturating_sub(cached);
@@ -1970,7 +2000,7 @@ impl Pisces {
                 .pes_in_use()
                 .into_iter()
                 .map(|n| {
-                    let pe = self.flex.pe(PeId::new(n).expect("config validated"));
+                    let pe = self.sub.pe(PeId::new(n).expect("config validated"));
                     (n, pe.local.used(), pe.local.capacity())
                 })
                 .collect(),
@@ -2008,7 +2038,7 @@ impl Pisces {
             }
         }
         drop(st);
-        let r = self.flex.shmem.report();
+        let r = self.sub.shmem().report();
         let _ = writeln!(
             s,
             "  shared memory: {} / {} bytes in use (high water {})",
@@ -2017,7 +2047,7 @@ impl Pisces {
         for tag in ShmTag::ALL {
             let _ = writeln!(s, "    {:<14} {:>8} B", tag.label(), r.tag_bytes(tag));
         }
-        let p = self.flex.pool.report();
+        let p = self.sub.pool().report();
         let _ = writeln!(
             s,
             "  allocation pool: hits={} misses={} hit_rate={:.1}% cached={} blocks ({} B)",

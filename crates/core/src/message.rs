@@ -24,7 +24,7 @@ use crate::msgqueue::{MpscQueue, MsgBackend, MsgQueue, MutexQueue, SpscQueue, Ta
 use crate::taskid::TaskId;
 use crate::value::Value;
 use crate::window::Window;
-use flex32::shmem::ShmHandle;
+use pisces_substrate::shmem::ShmHandle;
 use std::time::Instant;
 
 pub use crate::msgqueue::PushOutcome;
@@ -79,7 +79,7 @@ pub struct StoredMessage {
     /// Arrival sequence within the receiving queue.
     pub arrival: u64,
     /// PE whose clock stamped `sent_ticks`.
-    pub sent_pe: u8,
+    pub sent_pe: u16,
     /// Sender's clock reading when the message was sent. The accept side
     /// subtracts this from its own clock to sample send→accept latency;
     /// PE clocks are unsynchronized, so cross-PE samples are approximate.
@@ -135,7 +135,7 @@ impl InQueue {
         mtype: String,
         sender: TaskId,
         handle: ShmHandle,
-        sent_pe: u8,
+        sent_pe: u16,
         sent_ticks: u64,
         cause: Option<u64>,
     ) -> PushOutcome {
@@ -231,7 +231,7 @@ impl InQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flex32::shmem::{SharedMemory, ShmTag};
+    use pisces_substrate::shmem::{SharedMemory, ShmTag};
     use std::sync::Arc;
     use std::time::Duration;
 

@@ -11,6 +11,8 @@
 //! message send→accept latency, barrier wait time, lock hold time, and
 //! ACCEPT queue depth.
 
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of buckets per histogram. Bucket 0 holds the value 0; bucket
@@ -264,11 +266,15 @@ pub struct MetricsRegistry {
     /// batched window sends).
     pub transfer_words: TickHistogram,
     /// Shared-memory allocations served from a per-PE pool magazine
-    /// (no global heap lock taken). See `flex32::pool`.
+    /// (no global heap lock taken). See `pisces_substrate::pool`.
     pub pool_hits: AtomicU64,
     /// Shared-memory allocations that fell through to the global
     /// first-fit heap.
     pub pool_misses: AtomicU64,
+    /// Routed-link hops charged per (src PE, dst PE) pair, fed by the
+    /// substrate's `charge_link` return value on each send. Empty on
+    /// shared-bus machines (zero-hop links are not recorded).
+    link_hops: Mutex<BTreeMap<(u16, u16), u64>>,
 }
 
 impl Default for MetricsRegistry {
@@ -282,11 +288,26 @@ impl Default for MetricsRegistry {
             transfer_words: TickHistogram::new("transfer_words", "words"),
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
+            link_hops: Mutex::new(BTreeMap::new()),
         }
     }
 }
 
 impl MetricsRegistry {
+    /// Record `hops` routed-link hops for a `src → dst` send. Zero-hop
+    /// sends (shared-bus machines, self-sends) are not recorded.
+    pub fn record_link(&self, src: u16, dst: u16, hops: u32) {
+        if hops == 0 {
+            return;
+        }
+        *self.link_hops.lock().entry((src, dst)).or_insert(0) += hops as u64;
+    }
+
+    /// Cumulative routed-link hops per (src, dst) pair, sorted.
+    pub fn link_hops_snapshot(&self) -> Vec<((u16, u16), u64)> {
+        self.link_hops.lock().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
     /// Render every histogram (all headers appear even when empty, so
     /// reports are self-describing), followed by the allocation-pool
     /// hit/miss line.

@@ -157,8 +157,8 @@ pub trait MsgQueue: Send + Sync + std::fmt::Debug {
         &self,
         mtype: String,
         sender: TaskId,
-        handle: flex32::shmem::ShmHandle,
-        sent_pe: u8,
+        handle: pisces_substrate::shmem::ShmHandle,
+        sent_pe: u16,
         sent_ticks: u64,
         cause: Option<u64>,
     ) -> PushOutcome;

@@ -5,7 +5,7 @@
 use super::{delete_type_in_place, take_from_pending, MsgBackend, MsgQueue, PushOutcome, Take};
 use crate::message::StoredMessage;
 use crate::taskid::TaskId;
-use flex32::shmem::ShmHandle;
+use pisces_substrate::shmem::ShmHandle;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,7 +47,7 @@ impl MsgQueue for MutexQueue {
         mtype: String,
         sender: TaskId,
         handle: ShmHandle,
-        sent_pe: u8,
+        sent_pe: u16,
         sent_ticks: u64,
         cause: Option<u64>,
     ) -> PushOutcome {

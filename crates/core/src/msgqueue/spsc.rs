@@ -18,7 +18,7 @@ use super::{
 };
 use crate::message::StoredMessage;
 use crate::taskid::TaskId;
-use flex32::shmem::ShmHandle;
+use pisces_substrate::shmem::ShmHandle;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -162,7 +162,7 @@ impl MsgQueue for SpscQueue {
         mtype: String,
         sender: TaskId,
         handle: ShmHandle,
-        sent_pe: u8,
+        sent_pe: u16,
         sent_ticks: u64,
         cause: Option<u64>,
     ) -> PushOutcome {

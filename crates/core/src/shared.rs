@@ -14,8 +14,8 @@
 //! the program's job — via BARRIER and CRITICAL, as the paper intends.
 
 use crate::error::{PiscesError, Result};
-use flex32::shmem::ShmHandle;
-use flex32::Flex32;
+use pisces_substrate::shmem::ShmHandle;
+use crate::substrate::Substrate;
 use std::sync::Arc;
 
 /// A named SHARED COMMON block: `words` 64-bit words in shared memory,
@@ -23,16 +23,16 @@ use std::sync::Arc;
 /// block value).
 #[derive(Debug, Clone)]
 pub struct SharedBlock {
-    flex: Arc<Flex32>,
+    sub: Arc<dyn Substrate>,
     handle: ShmHandle,
     words: usize,
     name: String,
 }
 
 impl SharedBlock {
-    pub(crate) fn new(flex: Arc<Flex32>, handle: ShmHandle, words: usize, name: String) -> Self {
+    pub(crate) fn new(sub: Arc<dyn Substrate>, handle: ShmHandle, words: usize, name: String) -> Self {
         Self {
-            flex,
+            sub,
             handle,
             words,
             name,
@@ -56,40 +56,40 @@ impl SharedBlock {
 
     /// Read word `i` as INTEGER.
     pub fn get_int(&self, i: usize) -> Result<i64> {
-        Ok(self.flex.shmem.load(self.handle, i)? as i64)
+        Ok(self.sub.shmem().load(self.handle, i)? as i64)
     }
 
     /// Write word `i` as INTEGER.
     pub fn set_int(&self, i: usize, v: i64) -> Result<()> {
-        Ok(self.flex.shmem.store(self.handle, i, v as u64)?)
+        Ok(self.sub.shmem().store(self.handle, i, v as u64)?)
     }
 
     /// Read word `i` as REAL.
     pub fn get_real(&self, i: usize) -> Result<f64> {
-        Ok(f64::from_bits(self.flex.shmem.load(self.handle, i)?))
+        Ok(f64::from_bits(self.sub.shmem().load(self.handle, i)?))
     }
 
     /// Write word `i` as REAL.
     pub fn set_real(&self, i: usize, v: f64) -> Result<()> {
-        Ok(self.flex.shmem.store(self.handle, i, v.to_bits())?)
+        Ok(self.sub.shmem().store(self.handle, i, v.to_bits())?)
     }
 
     /// Atomically add to an INTEGER word, returning the previous value.
     /// (A convenience the 1987 system would express as a tiny CRITICAL
     /// region; exposed directly because the hardware we model has it.)
     pub fn fetch_add_int(&self, i: usize, delta: i64) -> Result<i64> {
-        Ok(self.flex.shmem.fetch_add(self.handle, i, delta as u64)? as i64)
+        Ok(self.sub.shmem().fetch_add(self.handle, i, delta as u64)? as i64)
     }
 
     /// Atomically add to a REAL word via compare-exchange, returning the
     /// new value. Safe under contention from any number of force members.
     pub fn add_real(&self, i: usize, delta: f64) -> Result<f64> {
         loop {
-            let cur_bits = self.flex.shmem.load(self.handle, i)?;
+            let cur_bits = self.sub.shmem().load(self.handle, i)?;
             let new = f64::from_bits(cur_bits) + delta;
             match self
-                .flex
-                .shmem
+                .sub
+                .shmem()
                 .compare_exchange(self.handle, i, cur_bits, new.to_bits())?
             {
                 Ok(_) => return Ok(new),
@@ -101,14 +101,14 @@ impl SharedBlock {
     /// Copy a slice of REAL words out of the block.
     pub fn read_reals(&self, from: usize, n: usize) -> Result<Vec<f64>> {
         let mut buf = vec![0u64; n];
-        self.flex.shmem.read_words(self.handle, from, &mut buf)?;
+        self.sub.shmem().read_words(self.handle, from, &mut buf)?;
         Ok(buf.into_iter().map(f64::from_bits).collect())
     }
 
     /// Copy REAL values into the block starting at word `from`.
     pub fn write_reals(&self, from: usize, vals: &[f64]) -> Result<()> {
         let words: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
-        Ok(self.flex.shmem.write_words(self.handle, from, &words)?)
+        Ok(self.sub.shmem().write_words(self.handle, from, &words)?)
     }
 }
 
@@ -123,14 +123,14 @@ const LOCKED: u64 = 1;
 /// until the lock value becomes unlocked." (Section 7d)
 #[derive(Debug, Clone)]
 pub struct LockVar {
-    flex: Arc<Flex32>,
+    sub: Arc<dyn Substrate>,
     handle: ShmHandle,
     name: String,
 }
 
 impl LockVar {
-    pub(crate) fn new(flex: Arc<Flex32>, handle: ShmHandle, name: String) -> Self {
-        Self { flex, handle, name }
+    pub(crate) fn new(sub: Arc<dyn Substrate>, handle: ShmHandle, name: String) -> Self {
+        Self { sub, handle, name }
     }
 
     /// The lock variable's declared name.
@@ -141,8 +141,8 @@ impl LockVar {
     /// Try once to take the lock. `Ok(true)` if this call locked it.
     pub fn try_lock(&self) -> Result<bool> {
         Ok(self
-            .flex
-            .shmem
+            .sub
+            .shmem()
             .compare_exchange(self.handle, 0, UNLOCKED, LOCKED)?
             .is_ok())
     }
@@ -167,8 +167,8 @@ impl LockVar {
     /// so reaching it means runtime misuse.
     pub fn unlock(&self) -> Result<()> {
         match self
-            .flex
-            .shmem
+            .sub
+            .shmem()
             .compare_exchange(self.handle, 0, LOCKED, UNLOCKED)?
         {
             Ok(_) => Ok(()),
@@ -181,7 +181,7 @@ impl LockVar {
 
     /// Whether the lock is currently held (snapshot; for displays).
     pub fn is_locked(&self) -> Result<bool> {
-        Ok(self.flex.shmem.load(self.handle, 0)? == LOCKED)
+        Ok(self.sub.shmem().load(self.handle, 0)? == LOCKED)
     }
 
     /// Start timing a hold of this (already locked) lock. The returned
@@ -221,25 +221,25 @@ impl HeldLock<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flex32::shmem::ShmTag;
+    use pisces_substrate::shmem::ShmTag;
 
-    fn flex() -> Arc<Flex32> {
-        Flex32::new_shared()
+    fn machine() -> Arc<dyn Substrate> {
+        crate::substrate::SubstrateSpec::default().build()
     }
 
-    fn block(flex: &Arc<Flex32>, words: usize) -> SharedBlock {
-        let h = flex.shmem.alloc(words * 8, ShmTag::SharedCommon).unwrap();
-        SharedBlock::new(flex.clone(), h, words, "BLK".into())
+    fn block(sub: &Arc<dyn Substrate>, words: usize) -> SharedBlock {
+        let h = sub.shmem().alloc(words * 8, ShmTag::SharedCommon).unwrap();
+        SharedBlock::new(sub.clone(), h, words, "BLK".into())
     }
 
-    fn lockvar(flex: &Arc<Flex32>) -> LockVar {
-        let h = flex.shmem.alloc(8, ShmTag::SharedCommon).unwrap();
-        LockVar::new(flex.clone(), h, "L".into())
+    fn lockvar(sub: &Arc<dyn Substrate>) -> LockVar {
+        let h = sub.shmem().alloc(8, ShmTag::SharedCommon).unwrap();
+        LockVar::new(sub.clone(), h, "L".into())
     }
 
     #[test]
     fn typed_accessors_roundtrip() {
-        let f = flex();
+        let f = machine();
         let b = block(&f, 4);
         b.set_int(0, -7).unwrap();
         b.set_real(1, 2.5).unwrap();
@@ -251,7 +251,7 @@ mod tests {
 
     #[test]
     fn fetch_add_int_is_atomic_across_threads() {
-        let f = flex();
+        let f = machine();
         let b = block(&f, 1);
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn add_real_accumulates_under_contention() {
-        let f = flex();
+        let f = machine();
         let b = block(&f, 1);
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -289,7 +289,7 @@ mod tests {
 
     #[test]
     fn bulk_reals_roundtrip() {
-        let f = flex();
+        let f = machine();
         let b = block(&f, 8);
         b.write_reals(2, &[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(b.read_reals(2, 3).unwrap(), vec![1.0, 2.0, 3.0]);
@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn lock_basic_protocol() {
-        let f = flex();
+        let f = machine();
         let l = lockvar(&f);
         assert!(!l.is_locked().unwrap());
         assert!(l.try_lock().unwrap());
@@ -310,7 +310,7 @@ mod tests {
 
     #[test]
     fn held_lock_times_and_unlocks() {
-        let f = flex();
+        let f = machine();
         let l = lockvar(&f);
         assert!(l.try_lock().unwrap());
         let held = l.hold();
@@ -323,14 +323,14 @@ mod tests {
 
     #[test]
     fn unlock_of_unlocked_is_internal_error() {
-        let f = flex();
+        let f = machine();
         let l = lockvar(&f);
         assert!(matches!(l.unlock(), Err(PiscesError::Internal(_))));
     }
 
     #[test]
     fn lock_provides_mutual_exclusion() {
-        let f = flex();
+        let f = machine();
         let l = lockvar(&f);
         let b = block(&f, 1);
         let mut handles = Vec::new();

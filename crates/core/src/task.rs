@@ -11,8 +11,8 @@
 use crate::message::InQueue;
 use crate::msgqueue::MsgBackend;
 use crate::taskid::TaskId;
-use flex32::pe::PeId;
-use flex32::shmem::ShmHandle;
+use pisces_substrate::pe::PeId;
+use pisces_substrate::shmem::ShmHandle;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};

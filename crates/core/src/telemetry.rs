@@ -14,7 +14,7 @@
 //!   `pisces report --metrics` produces the same format off-line from a
 //!   trace file.
 //! * **Sampling profiler.** Each PE carries an
-//!   [`flex32::ActivityCell`]: the runtime publishes ⟨task, primitive⟩
+//!   [`pisces_substrate::ActivityCell`]: the runtime publishes ⟨task, primitive⟩
 //!   into it around every runtime call (send / accept / barrier / pool /
 //!   transfer / compute — the same taxonomy as the causal critical-path
 //!   blame). [`SamplingProfiler::sample`] periodically reads each PE's
@@ -38,7 +38,8 @@
 use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
 use crate::taskid::TaskId;
 use crate::trace::{TraceEventKind, TraceRecord, TraceSink};
-use flex32::{ActivityCell, Flex32, PeId};
+use crate::substrate::Substrate;
+use pisces_substrate::{ActivityCell, PeId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -204,14 +205,14 @@ pub struct SamplingProfiler {
     /// (PE, tick count at the previous sample).
     pes: Vec<(PeId, AtomicU64)>,
     /// (pe, task, activity) → attributed ticks. `None` task = system.
-    counts: Mutex<BTreeMap<(u8, Option<TaskId>, Activity), u64>>,
+    counts: Mutex<BTreeMap<(u16, Option<TaskId>, Activity), u64>>,
     samples: AtomicU64,
 }
 
 impl SamplingProfiler {
     /// A profiler over the given PE numbers (the configuration's
     /// `pes_in_use`).
-    pub fn new(pes: &[u8]) -> Self {
+    pub fn new(pes: &[u16]) -> Self {
         Self {
             pes: pes
                 .iter()
@@ -224,15 +225,15 @@ impl SamplingProfiler {
     }
 
     /// Take one sample across every PE.
-    pub fn sample(&self, flex: &Flex32) {
+    pub fn sample(&self, sub: &dyn Substrate) {
         let mut counts = self.counts.lock();
         for (pe, last) in &self.pes {
-            let now = flex.pe(*pe).clock.now();
+            let now = sub.pe(*pe).clock.now();
             let delta = now.saturating_sub(last.swap(now, Ordering::Relaxed));
             if delta == 0 {
                 continue;
             }
-            let key = match unpack_activity(flex.pe(*pe).activity.get()) {
+            let key = match unpack_activity(sub.pe(*pe).activity.get()) {
                 Some((task, act)) => (pe.number(), Some(task), act),
                 None => (pe.number(), None, Activity::Compute),
             };
@@ -288,7 +289,7 @@ pub const PINNED_KINDS: [TraceEventKind; 9] = [
 ];
 
 /// Bounded rolling window over the trace stream, attached as an extra
-/// [`TraceSink`]. Retains the last `retain` records per PE (sharded like
+/// [`TraceSink`]. Retains the last `retain` records per shard (sharded like
 /// [`crate::trace::MemorySink`], so emitting PEs never contend) plus all
 /// [`PINNED_KINDS`] records. Eviction from the rolling window is the
 /// retention *policy*, not data loss, so it is not counted as dropped;
@@ -304,7 +305,9 @@ impl FlightRecorder {
     /// A recorder retaining `retain` records per PE.
     pub fn new(retain: usize) -> Self {
         Self {
-            shards: (0..=flex32::NUM_PES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shards: (0..crate::trace::TRACE_SHARDS)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             retain: retain.max(1),
             pinned: Mutex::new(Vec::new()),
             pinned_dropped: AtomicU64::new(0),
@@ -435,6 +438,40 @@ pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
         "Shared-memory allocations that fell through to the global heap.",
         m.pool_misses.load(Ordering::Relaxed),
     );
+    let link_hops = m.link_hops_snapshot();
+    if !link_hops.is_empty() {
+        out.push_str(
+            "# TYPE pisces_link_hops counter\n\
+             # HELP pisces_link_hops Routed-link hops charged per (src, dst) PE pair.\n",
+        );
+        for ((src, dst), hops) in &link_hops {
+            out.push_str(&format!(
+                "pisces_link_hops_total{{src=\"{src}\",dst=\"{dst}\"}} {hops}\n"
+            ));
+        }
+    }
+    if let Some(traffic) = p.substrate().link_stats() {
+        out.push_str(
+            "# TYPE pisces_link_packets counter\n\
+             # HELP pisces_link_packets Packets forwarded on each physical link (src PE to dst PE).\n",
+        );
+        for l in &traffic.links {
+            out.push_str(&format!(
+                "pisces_link_packets_total{{src=\"{}\",dst=\"{}\"}} {}\n",
+                l.src, l.dst, l.packets
+            ));
+        }
+        out.push_str(
+            "# TYPE pisces_link_words counter\n\
+             # HELP pisces_link_words Words forwarded on each physical link (src PE to dst PE).\n",
+        );
+        for l in &traffic.links {
+            out.push_str(&format!(
+                "pisces_link_words_total{{src=\"{}\",dst=\"{}\"}} {}\n",
+                l.src, l.dst, l.words
+            ));
+        }
+    }
     openmetrics_counter(
         &mut out,
         "pisces_trace_dropped",
@@ -492,11 +529,11 @@ pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
     openmetrics_gauge(
         &mut out,
         "pisces_pe_local_bytes",
-        "Local-memory bytes reserved on each PE (1 MB capacity).",
+        "Local-memory bytes reserved on each PE.",
     );
     for l in &loads {
         let used = PeId::new(l.pe)
-            .map(|pe| p.flex().pe(pe).local.used())
+            .map(|pe| p.substrate().pe(pe).local.used())
             .unwrap_or(0);
         out.push_str(&format!(
             "pisces_pe_local_bytes{{pe=\"{}\"}} {used}\n",
@@ -504,7 +541,7 @@ pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
         ));
     }
 
-    let shm = p.flex().shmem.report();
+    let shm = p.substrate().shmem().report();
     openmetrics_gauge(
         &mut out,
         "pisces_shm_in_use_bytes",
@@ -757,7 +794,7 @@ pub(crate) fn telemetry_service(
             break;
         }
         if let Some(prof) = p.profiler() {
-            prof.sample(p.flex());
+            prof.sample(p.substrate().as_ref());
         }
         if let Some(l) = &listener {
             loop {
@@ -777,7 +814,7 @@ mod tests {
     use crate::config::{ClusterConfig, MachineConfig};
     use crate::trace::TraceSettings;
 
-    fn rec(seq: u64, kind: TraceEventKind, pe: u8) -> TraceRecord {
+    fn rec(seq: u64, kind: TraceEventKind, pe: u16) -> TraceRecord {
         TraceRecord {
             seq,
             kind,
@@ -821,16 +858,16 @@ mod tests {
 
     #[test]
     fn profiler_attributes_virtual_ticks() {
-        let flex = flex32::Flex32::new_shared();
+        let sub = crate::substrate::SubstrateSpec::default().build();
         let prof = SamplingProfiler::new(&[3, 4]);
         let pe3 = PeId::new(3).unwrap();
         let t = TaskId::new(1, 3, 1);
-        flex.pe(pe3).clock.advance(100);
-        flex.pe(pe3).activity.set(pack_activity(t, Activity::Send));
-        prof.sample(&flex);
-        flex.pe(pe3).activity.set(0);
-        flex.pe(pe3).clock.advance(40);
-        prof.sample(&flex);
+        sub.pe(pe3).clock.advance(100);
+        sub.pe(pe3).activity.set(pack_activity(t, Activity::Send));
+        prof.sample(sub.as_ref());
+        sub.pe(pe3).activity.set(0);
+        sub.pe(pe3).clock.advance(40);
+        prof.sample(sub.as_ref());
         assert_eq!(prof.samples(), 2);
         assert_eq!(prof.attributed_ticks(), 140);
         let folded = prof.fold();
@@ -915,13 +952,12 @@ mod tests {
     #[test]
     fn live_machine_serves_openmetrics_over_http() {
         use std::io::{Read, Write};
-        let flex = flex32::Flex32::new_shared();
         let config = MachineConfig::builder()
             .cluster(ClusterConfig::new(1, 3, 2))
             .telemetry_port(0)
             .profile(true)
             .build();
-        let p = crate::machine::Pisces::boot(flex, config).unwrap();
+        let p = crate::machine::Pisces::boot(config).unwrap();
         let addr = p.telemetry_addr().expect("telemetry listener bound");
 
         let text = p.openmetrics();
@@ -951,13 +987,12 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let flex = flex32::Flex32::new_shared();
         let config = MachineConfig::builder()
             .cluster(ClusterConfig::new(1, 3, 2))
             .trace(TraceSettings::all())
             .flight_dir(dir.to_string_lossy())
             .build();
-        let p = crate::machine::Pisces::boot(flex, config).unwrap();
+        let p = crate::machine::Pisces::boot(config).unwrap();
         p.register("noop", |_ctx| Ok(()));
         p.initiate_top_level(1, "noop", vec![]).unwrap();
         assert!(p.wait_quiescent(std::time::Duration::from_secs(30)));

@@ -195,7 +195,7 @@ pub struct TraceRecord {
     /// Taskid of the relevant task.
     pub task: TaskId,
     /// PE number of the clock reading.
-    pub pe: u8,
+    pub pe: u16,
     /// Tick count of that PE's clock.
     pub ticks: u64,
     /// Other relevant information for the event type (message type, lock
@@ -238,6 +238,10 @@ impl std::fmt::Display for TraceRecord {
 /// Default per-PE ring capacity (records) when the configuration does not
 /// specify one.
 pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+/// Shards in the in-memory trace ring (PEs map onto shards by number
+/// modulo this, so the sink's footprint is independent of machine size).
+pub const TRACE_SHARDS: usize = 32;
 
 fn default_ring_capacity() -> usize {
     DEFAULT_RING_CAPACITY
@@ -327,14 +331,16 @@ impl MemorySink {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
-            // PEs are numbered 1..=NUM_PES; index directly by PE number
-            // (slot 0 catches out-of-range numbers from synthetic tests).
-            shards: (0..=flex32::NUM_PES).map(|_| Shard::default()).collect(),
+            // A fixed shard pool indexed by PE number modulo the pool
+            // size: contention stays bounded however many PEs the
+            // substrate has, and a given PE always hashes to the same
+            // shard so per-PE emission order is preserved.
+            shards: (0..TRACE_SHARDS).map(|_| Shard::default()).collect(),
             capacity,
         }
     }
 
-    fn shard(&self, pe: u8) -> &Shard {
+    fn shard(&self, pe: u16) -> &Shard {
         &self.shards[pe as usize % self.shards.len()]
     }
 
@@ -680,7 +686,7 @@ impl Tracer {
         &self,
         kind: TraceEventKind,
         task: TaskId,
-        pe: u8,
+        pe: u16,
         ticks: u64,
         info: impl Into<String>,
     ) {
@@ -697,7 +703,7 @@ impl Tracer {
         &self,
         kind: TraceEventKind,
         task: TaskId,
-        pe: u8,
+        pe: u16,
         ticks: u64,
         info: impl Into<String>,
         parent: Option<u64>,
@@ -978,7 +984,7 @@ mod tests {
         let t = Tracer::new(&TraceSettings::all());
         // Interleave emissions across three PEs.
         for i in 0..9u64 {
-            t.emit(TraceEventKind::MsgSend, tid(), 3 + (i % 3) as u8, i, "");
+            t.emit(TraceEventKind::MsgSend, tid(), 3 + (i % 3) as u16, i, "");
         }
         let seqs: Vec<u64> = t.records().iter().map(|r| r.seq).collect();
         assert_eq!(seqs, (0..9).collect::<Vec<_>>());
@@ -1076,7 +1082,7 @@ mod tests {
                 seq,
                 kind: TraceEventKind::MsgSend,
                 task: tid(),
-                pe: (seq % 3) as u8 + 3,
+                pe: (seq % 3) as u16 + 3,
                 ticks: seq,
                 info: String::new(),
                 parent: None,

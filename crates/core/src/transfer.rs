@@ -4,7 +4,7 @@
 //! acquisition, a bounds check and a heap allocation per row (per
 //! *element*, for column windows). This module replaces it with batched
 //! transfers built on the strided gather/scatter primitives of
-//! [`flex32::shmem::SharedMemory`]:
+//! [`pisces_substrate::shmem::SharedMemory`]:
 //!
 //! * **Synchronous** [`Pisces::window_get`] / [`Pisces::window_put`] /
 //!   [`Pisces::window_move`] — one strided pass over the arena per
@@ -32,8 +32,8 @@
 //! one link event — one possible drop, one possible FAULT$ notice — per
 //! bulk transfer.
 
-use flex32::pe::PeId;
-use flex32::shmem::{ShmHandle, ShmTag};
+use pisces_substrate::pe::PeId;
+use pisces_substrate::shmem::{ShmHandle, ShmTag};
 
 use crate::error::{PiscesError, Result};
 use crate::machine::Pisces;
@@ -170,7 +170,7 @@ impl Pisces {
             let d = arrays
                 .get(&dst.array())
                 .ok_or(PiscesError::Window(WindowError::ArrayGone(dst.array())))?;
-            self.flex.shmem.copy_strided(
+            self.sub.shmem().copy_strided(
                 s.handle,
                 src.rows().start * s.cols + src.cols().start,
                 s.cols,
@@ -212,7 +212,7 @@ impl Pisces {
                 let a = arrays
                     .get(&w.array())
                     .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
-                self.flex.shmem.copy_strided(
+                self.sub.shmem().copy_strided(
                     a.handle,
                     w.rows().start * a.cols + w.cols().start,
                     a.cols,
@@ -252,7 +252,7 @@ impl Pisces {
             Staging::Host(v) => v,
             Staging::Shm { handle, pe } => {
                 let mut buf = vec![0u64; pending.window.len()];
-                self.flex.shmem.read_words(handle, 0, &mut buf)?;
+                self.sub.shmem().read_words(handle, 0, &mut buf)?;
                 self.pool_free(pe, handle, ShmTag::Transfer)?;
                 buf
             }
@@ -288,7 +288,7 @@ impl Pisces {
             Staging::Host(words)
         } else {
             let handle = self.pool_alloc(requester_pe, words.len() * 8, ShmTag::Transfer)?;
-            if let Err(e) = self.flex.shmem.write_words(handle, 0, &words) {
+            if let Err(e) = self.sub.shmem().write_words(handle, 0, &words) {
                 let _ = self.pool_free(requester_pe, handle, ShmTag::Transfer);
                 return Err(e.into());
             }
@@ -316,7 +316,7 @@ impl Pisces {
                     let a = arrays
                         .get(&w.array())
                         .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
-                    self.flex.shmem.copy_strided(
+                    self.sub.shmem().copy_strided(
                         handle,
                         0,
                         w.col_count(),
@@ -352,7 +352,7 @@ impl Pisces {
             let width = w.col_count();
             let first = FILE_HEADER_BYTES + (w.rows().start * cols + w.cols().start) * 8;
             let span = ((w.row_count() - 1) * cols + width) * 8;
-            let bytes = self.flex.fs.read_at(&path, first, span)?;
+            let bytes = self.sub.fs().read_at(&path, first, span)?;
             let mut out = Vec::with_capacity(w.len());
             for r in 0..w.row_count() {
                 let base = r * cols * 8;
@@ -367,7 +367,7 @@ impl Pisces {
                 .get(&w.array())
                 .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
             let mut out = vec![0u64; w.len()];
-            self.flex.shmem.gather_strided(
+            self.sub.shmem().gather_strided(
                 a.handle,
                 w.rows().start * a.cols + w.cols().start,
                 w.col_count(),
@@ -398,12 +398,12 @@ impl Pisces {
             if width == cols {
                 // Full-width rows are contiguous on disk: one write.
                 let first = FILE_HEADER_BYTES + w.rows().start * cols * 8;
-                self.flex.fs.write_at(&path, first, &to_bytes(words))?;
+                self.sub.fs().write_at(&path, first, &to_bytes(words))?;
             } else {
                 for (k, r) in w.rows().enumerate() {
                     let off = FILE_HEADER_BYTES + (r * cols + w.cols().start) * 8;
-                    self.flex
-                        .fs
+                    self.sub
+                        .fs()
                         .write_at(&path, off, &to_bytes(&words[k * width..(k + 1) * width]))?;
                 }
             }
@@ -413,7 +413,7 @@ impl Pisces {
             let a = arrays
                 .get(&w.array())
                 .ok_or(PiscesError::Window(WindowError::ArrayGone(w.array())))?;
-            self.flex.shmem.scatter_strided(
+            self.sub.shmem().scatter_strided(
                 a.handle,
                 w.rows().start * a.cols + w.cols().start,
                 w.col_count(),
@@ -453,7 +453,7 @@ impl Pisces {
             TraceEventKind::BulkTransfer,
             w.array().owner,
             requester_pe.number(),
-            self.flex.pe(requester_pe).clock.now(),
+            self.sub.pe(requester_pe).clock.now(),
             format!(
                 "{verb} {}x{} ({words} words) array {}",
                 w.row_count(),

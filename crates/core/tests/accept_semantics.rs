@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn boot() -> Arc<Pisces> {
-    Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(1, 4)).unwrap()
+    Pisces::boot(MachineConfig::simple(1, 4)).unwrap()
 }
 
 fn run(p: &Arc<Pisces>, main: impl Fn(&TaskCtx) -> Result<()> + Send + Sync + 'static) {

@@ -16,8 +16,7 @@
 //! arbitrary scripts over the same harness; this file pins a seeded
 //! sample of them so the offline tier-1 run covers the property too.
 
-use flex32::fault::FaultPlan;
-use flex32::shmem::{SharedMemory, ShmTag};
+use pisces_substrate::shmem::{SharedMemory, ShmTag};
 use pisces_core::message::InQueue;
 use pisces_core::prelude::*;
 use std::collections::HashMap;
@@ -195,7 +194,7 @@ fn fault_notice_counts_match_across_backends() {
             ])
             .build();
         cfg.msg_backend = backend;
-        let p = Pisces::boot(flex32::Flex32::new_shared(), cfg).expect("boot");
+        let p = Pisces::boot(cfg).expect("boot");
         p.arm_faults(FaultPlan::new(0xE01234).fail_pe(4, 3_000));
 
         p.register("peer", |ctx| {

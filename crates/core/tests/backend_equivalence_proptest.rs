@@ -3,7 +3,7 @@
 //! identically on every in-queue backend. Runs under cargo/CI; the
 //! offline tier-1 harness covers the pinned seeds instead.
 
-use flex32::shmem::{SharedMemory, ShmTag};
+use pisces_substrate::shmem::{SharedMemory, ShmTag};
 use pisces_core::message::InQueue;
 use pisces_core::prelude::*;
 use proptest::prelude::*;

@@ -5,15 +5,13 @@
 //! reproduction must at least fail *cleanly* (no deadlocks, no leaked
 //! shared memory, machine still controllable).
 
-use flex32::fault::FaultPlan;
-use flex32::shmem::ShmTag;
 use pisces_core::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn boot(config: MachineConfig) -> Arc<Pisces> {
-    Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
+    Pisces::boot(config).unwrap()
 }
 
 fn run_to_quiescence(p: &Arc<Pisces>) {
@@ -28,10 +26,10 @@ fn run_to_quiescence(p: &Arc<Pisces>) {
 fn send_fails_cleanly_when_shared_memory_is_exhausted() {
     let p = boot(MachineConfig::simple(1, 4));
     // Starve the arena: grab almost everything for "user data".
-    let free = p.flex().shmem.report().capacity - p.flex().shmem.report().in_use;
+    let free = p.substrate().shmem().report().capacity - p.substrate().shmem().report().in_use;
     let hog = p
-        .flex()
-        .shmem
+        .substrate()
+        .shmem()
         .alloc(free - 512, ShmTag::Other)
         .expect("hog allocation");
     p.register("main", |ctx| {
@@ -50,10 +48,10 @@ fn send_fails_cleanly_when_shared_memory_is_exhausted() {
     });
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
-    p.flex().shmem.free(hog).unwrap();
+    p.substrate().shmem().free(hog).unwrap();
     p.shutdown();
-    assert_eq!(p.flex().shmem.report().in_use, 0);
-    p.flex().shmem.check_invariants().unwrap();
+    assert_eq!(p.substrate().shmem().report().in_use, 0);
+    p.substrate().shmem().check_invariants().unwrap();
 }
 
 #[test]
@@ -137,7 +135,7 @@ fn kill_lands_inside_a_force_without_stranding_members() {
     p.kill_task(victim).unwrap();
     run_to_quiescence(&p);
     p.shutdown();
-    assert_eq!(p.flex().shmem.report().in_use, 0, "no leaked force state");
+    assert_eq!(p.substrate().shmem().report().in_use, 0, "no leaked force state");
 }
 
 #[test]
@@ -186,7 +184,7 @@ fn panicking_force_member_aborts_the_force_not_the_machine() {
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
     p.shutdown();
-    assert_eq!(p.flex().shmem.report().in_use, 0);
+    assert_eq!(p.substrate().shmem().report().in_use, 0);
 }
 
 #[test]
@@ -255,10 +253,10 @@ fn shutdown_mid_run_reclaims_everything() {
     p.initiate_top_level(1, "main", vec![]).unwrap();
     // Give the fleet a moment to allocate, then pull the plug.
     std::thread::sleep(Duration::from_millis(400));
-    assert!(p.flex().shmem.report().in_use > 0, "workers hold memory");
+    assert!(p.substrate().shmem().report().in_use > 0, "workers hold memory");
     p.shutdown();
-    assert_eq!(p.flex().shmem.report().in_use, 0, "shutdown reclaims all");
-    p.flex().shmem.check_invariants().unwrap();
+    assert_eq!(p.substrate().shmem().report().in_use, 0, "shutdown reclaims all");
+    p.substrate().shmem().check_invariants().unwrap();
     // And post-shutdown operations fail cleanly, not mysteriously.
     assert!(matches!(
         p.initiate_top_level(1, "main", vec![]),
@@ -291,7 +289,7 @@ fn accept_handler_error_propagates_and_cleans_up() {
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
     p.shutdown();
-    assert_eq!(p.flex().shmem.report().in_use, 0);
+    assert_eq!(p.substrate().shmem().report().in_use, 0);
 }
 
 #[test]
@@ -352,5 +350,5 @@ fn panic_inside_critical_releases_the_lock() {
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
     p.shutdown();
-    assert_eq!(p.flex().shmem.report().in_use, 0);
+    assert_eq!(p.substrate().shmem().report().in_use, 0);
 }

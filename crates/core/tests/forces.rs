@@ -9,11 +9,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn boot_with_force(secondaries: std::ops::RangeInclusive<u8>) -> Arc<Pisces> {
+fn boot_with_force(secondaries: std::ops::RangeInclusive<u16>) -> Arc<Pisces> {
     let config = MachineConfig::builder().clusters([
         ClusterConfig::new(1, 3, 4).with_secondaries(secondaries)
     ]).build();
-    Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
+    Pisces::boot(config).unwrap()
 }
 
 fn run(p: &Arc<Pisces>, tasktype: &str) {
@@ -39,7 +39,7 @@ fn forcesplit_runs_all_members_on_distinct_pes() {
         seen.sort();
         let members: Vec<usize> = seen.iter().map(|&(m, _)| m).collect();
         assert_eq!(members, vec![0, 1, 2, 3, 4]);
-        let pes: std::collections::BTreeSet<u8> = seen.iter().map(|&(_, pe)| pe).collect();
+        let pes: std::collections::BTreeSet<u16> = seen.iter().map(|&(_, pe)| pe).collect();
         assert_eq!(pes.len(), 5, "members on distinct PEs: {seen:?}");
         assert!(pes.contains(&3), "primary member on the primary PE");
         Ok(())
@@ -54,7 +54,7 @@ fn no_secondaries_means_no_splitting() {
     // Section 9e: "A task executing a FORCESPLIT in cluster 1 will then
     // cause no parallel splitting."
     let config = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 4)]).build();
-    let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+    let p = Pisces::boot(config).unwrap();
     p.register("main", |ctx| {
         let count = AtomicUsize::new(0);
         ctx.forcesplit(|f| {
@@ -359,13 +359,13 @@ fn same_text_any_force_size_same_result() {
     }
 
     let mut answers = Vec::new();
-    for secondaries in [0u8, 2, 5, 9] {
+    for secondaries in [0u16, 2, 5, 9] {
         let config = MachineConfig::builder().clusters([if secondaries == 0 {
             ClusterConfig::new(1, 3, 4)
         } else {
             ClusterConfig::new(1, 3, 4).with_secondaries(4..=(3 + secondaries))
         }]).build();
-        let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+        let p = Pisces::boot(config).unwrap();
         let answer = Arc::new(parking_lot::Mutex::new(0.0));
         let a2 = answer.clone();
         p.register("main", move |ctx| {
@@ -444,7 +444,7 @@ fn force_members_share_pe_clocks_with_multiprogramming() {
     assert_eq!(done.load(Ordering::Relaxed), 2);
     // Secondary PEs ran force members from both tasks.
     for pe in 4..=6 {
-        let clock = p.flex().pe(flex32::PeId::new(pe).unwrap()).clock.now();
+        let clock = p.substrate().pe(PeId::new(pe).unwrap()).clock.now();
         assert!(clock > 0, "PE{pe} did force work (clock {clock})");
     }
     p.shutdown();

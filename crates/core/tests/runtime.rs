@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn boot(config: MachineConfig) -> Arc<Pisces> {
-    Pisces::boot(flex32::Flex32::new_shared(), config).unwrap()
+    Pisces::boot(config).unwrap()
 }
 
 fn run_to_quiescence(p: &Arc<Pisces>) {
@@ -339,7 +339,7 @@ fn message_storage_is_recovered_after_accept() {
     let baseline = p
         .storage_report()
         .shm
-        .tag_bytes(flex32::shmem::ShmTag::Message);
+        .tag_bytes(ShmTag::Message);
     p.register("main", |ctx| {
         for round in 0..50 {
             ctx.send(To::Myself, "CHURN", args![round as i64, vec![0.0f64; 64]])?;
@@ -354,14 +354,14 @@ fn message_storage_is_recovered_after_accept() {
         after = p
             .storage_report()
             .shm
-            .tag_bytes(flex32::shmem::ShmTag::Message);
+            .tag_bytes(ShmTag::Message);
         if after == baseline {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(after, baseline, "all message storage recovered");
-    let hw = p.storage_report().shm.high_water_by_tag[&flex32::shmem::ShmTag::Message];
+    let hw = p.storage_report().shm.high_water_by_tag[&ShmTag::Message];
     assert!(hw > 0, "messages really did use the heap (peak {hw} B)");
     p.shutdown();
 }
@@ -377,7 +377,7 @@ fn unaccepted_messages_accumulate_until_task_dies() {
             .machine()
             .storage_report()
             .shm
-            .tag_bytes(flex32::shmem::ShmTag::Message);
+            .tag_bytes(ShmTag::Message);
         assert!(
             mid >= 20 * 32 * 8,
             "queued messages hold shared memory ({mid} B)"
@@ -394,7 +394,7 @@ fn unaccepted_messages_accumulate_until_task_dies() {
         after = p
             .storage_report()
             .shm
-            .tag_bytes(flex32::shmem::ShmTag::Message);
+            .tag_bytes(ShmTag::Message);
         if after == 0 {
             break;
         }
@@ -414,9 +414,11 @@ fn to_user_reaches_the_terminal() {
     });
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
-    // Give the user controller a beat to print.
+    // Give the user controller a beat to print. The terminal cluster's
+    // primary sits on the substrate's first task PE, wherever that is.
     std::thread::sleep(Duration::from_millis(100));
-    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    let first = p.substrate().topology().first_task_pe;
+    let console = p.substrate().pe(PeId::new(first).unwrap()).console.output();
     assert!(
         console
             .iter()
@@ -504,7 +506,8 @@ fn initiate_unknown_tasktype_reports_on_console() {
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
     std::thread::sleep(Duration::from_millis(100));
-    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    let first = p.substrate().topology().first_task_pe;
+    let console = p.substrate().pe(PeId::new(first).unwrap()).console.output();
     assert!(
         console.iter().any(|l| l.contains("no_such_type")),
         "console reports the failed INITIATE: {console:?}"
@@ -618,9 +621,9 @@ fn shutdown_releases_all_shared_memory() {
     p.initiate_top_level(1, "main", vec![]).unwrap();
     run_to_quiescence(&p);
     p.shutdown();
-    let r = p.flex().shmem.report();
+    let r = p.substrate().shmem().report();
     assert_eq!(r.in_use, 0, "everything freed at shutdown: {r:?}");
-    p.flex().shmem.check_invariants().unwrap();
+    p.substrate().shmem().check_invariants().unwrap();
 }
 
 #[test]

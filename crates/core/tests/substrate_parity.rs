@@ -1,0 +1,366 @@
+//! Substrate parity: the virtual machine is "deliberately decoupled from
+//! the underlying hardware" (paper, Section 3), so the same program must
+//! compute the same result — same task counts, same messages, same force
+//! and window activity — whether the substrate is the shared-bus FLEX/32
+//! or the routed hypercube. Only the *clocks* may differ (the cube bills
+//! per-hop link time; the bus does not).
+//!
+//! Each scenario runs once per backend and diffs the run statistics and
+//! the per-kind trace counts. The suite also carries the scale
+//! acceptance checks: a 256-PE FLEX/32 boots, and a 128-node hypercube
+//! runs a force to completion.
+
+use pisces_core::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SPECS: [SubstrateSpec; 2] = [
+    SubstrateSpec::Flex32 { pes: 20 },
+    SubstrateSpec::Hypercube { dim: 5 },
+];
+
+/// One cluster at the substrate's first task PE with `secondaries` force
+/// PEs after it — the same virtual machine shape on either backend.
+fn force_config(spec: SubstrateSpec, secondaries: u16, slots: u8) -> MachineConfig {
+    let first = spec.topology().first_task_pe;
+    let cluster = if secondaries == 0 {
+        ClusterConfig::new(1, first, slots).with_terminal()
+    } else {
+        ClusterConfig::new(1, first, slots)
+            .with_terminal()
+            .with_secondaries(first + 1..=first + secondaries)
+    };
+    MachineConfig::builder()
+        .substrate(spec)
+        .clusters([cluster])
+        .build()
+}
+
+/// Three clusters on consecutive task PEs (the shape `simple(3, 4)` has
+/// on each backend).
+fn multi_cluster_config(spec: SubstrateSpec) -> MachineConfig {
+    MachineConfig::simple_on(spec, 3, 4)
+}
+
+fn run_traced(mut config: MachineConfig, register: impl Fn(&Arc<Pisces>)) -> Outcome {
+    config.trace = pisces_core::trace::TraceSettings::all();
+    config.trace.ring_capacity = 1 << 16;
+    let p = Pisces::boot(config).unwrap();
+    register(&p);
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(60)),
+        "machine failed to quiesce:\n{}",
+        p.dump_state()
+    );
+    // Quiescence is declared when the live-task count hits zero, but a
+    // terminating task's TERM$ notice to its controller goes out just
+    // after that — let the message counters settle before snapshotting.
+    let read = |p: &Arc<Pisces>| {
+        let s = p.stats().snapshot();
+        (s.messages_sent, s.messages_accepted, s.message_words)
+    };
+    let mut last = read(&p);
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let now = read(&p);
+        if now == last {
+            break;
+        }
+        last = now;
+    }
+    let stats = p.stats().snapshot();
+    let mut kinds: BTreeMap<TraceEventKind, usize> = BTreeMap::new();
+    for r in p.tracer().records() {
+        *kinds.entry(r.kind).or_insert(0) += 1;
+    }
+    p.shutdown();
+    Outcome { stats, kinds }
+}
+
+struct Outcome {
+    stats: StatsSnapshot,
+    kinds: BTreeMap<TraceEventKind, usize>,
+}
+
+/// Diff the substrate-independent portion of two outcomes. Tick-derived
+/// figures (clock spans, link hops) legitimately differ; the logical
+/// work must not.
+fn assert_parity(flex: &Outcome, cube: &Outcome, what: &str) {
+    let logical = |o: &Outcome| {
+        let s = &o.stats;
+        vec![
+            ("tasks_initiated", s.tasks_initiated),
+            ("tasks_completed", s.tasks_completed),
+            ("messages_sent", s.messages_sent),
+            ("messages_accepted", s.messages_accepted),
+            ("message_words", s.message_words),
+            ("forcesplits", s.forcesplits),
+            ("barrier_entries", s.barrier_entries),
+            ("criticals", s.criticals),
+            ("window_reads", s.window_reads),
+            ("window_writes", s.window_writes),
+            ("window_words", s.window_words),
+        ]
+    };
+    assert_eq!(
+        logical(flex),
+        logical(cube),
+        "{what}: run statistics diverge between substrates"
+    );
+    // Deterministic lifecycle trace kinds must agree count-for-count.
+    for kind in [
+        TraceEventKind::TaskInit,
+        TraceEventKind::TaskTerm,
+        TraceEventKind::MsgSend,
+        TraceEventKind::MsgAccept,
+        TraceEventKind::ForceSplit,
+        TraceEventKind::Barrier,
+    ] {
+        assert_eq!(
+            flex.kinds.get(&kind),
+            cube.kinds.get(&kind),
+            "{what}: trace count for {kind:?} diverges between substrates"
+        );
+    }
+}
+
+#[test]
+fn message_pingpong_parity() {
+    let register = |p: &Arc<Pisces>| {
+        p.register("echo", |ctx: &TaskCtx| {
+            ctx.send(To::Parent, "READY", args![ctx.id()])?;
+            for _ in 0..8 {
+                let n = std::cell::Cell::new(0i64);
+                ctx.accept()
+                    .of(1)
+                    .handle("PING", |m| {
+                        n.set(m.args[0].as_int()?);
+                        Ok(())
+                    })
+                    .run()?;
+                ctx.send(To::Sender, "PONG", args![n.get() * 2])?;
+            }
+            Ok(())
+        });
+        p.register("main", |ctx: &TaskCtx| {
+            ctx.initiate(Where::Other, "echo", vec![])?;
+            let echo = std::cell::Cell::new(None);
+            ctx.accept()
+                .of(1)
+                .handle("READY", |m| {
+                    echo.set(Some(m.args[0].as_taskid()?));
+                    Ok(())
+                })
+                .run()?;
+            let echo = echo.get().unwrap();
+            for i in 0..8i64 {
+                ctx.send(To::Task(echo), "PING", args![i])?;
+                let back = std::cell::Cell::new(-1i64);
+                ctx.accept()
+                    .of(1)
+                    .handle("PONG", |m| {
+                        back.set(m.args[0].as_int()?);
+                        Ok(())
+                    })
+                    .run()?;
+                assert_eq!(back.get(), i * 2);
+            }
+            Ok(())
+        });
+    };
+    let outs: Vec<Outcome> = SPECS
+        .iter()
+        .map(|&s| run_traced(multi_cluster_config(s), register))
+        .collect();
+    assert_parity(&outs[0], &outs[1], "message ping-pong");
+}
+
+#[test]
+fn forces_barrier_selfsched_parity() {
+    const N: usize = 96;
+    let register = |p: &Arc<Pisces>| {
+        p.register("main", |ctx: &TaskCtx| {
+            let hits = AtomicUsize::new(0);
+            let sum = parking_lot::Mutex::new(0i64);
+            ctx.forcesplit(|f| {
+                f.work(10)?;
+                f.barrier()?;
+                let lock = f.lock_var("SUM")?;
+                f.selfsched(0, N as i64 - 1, |i| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    f.critical(&lock, || {
+                        *sum.lock() += i;
+                        Ok(())
+                    })
+                })?;
+                f.barrier()
+            })?;
+            assert_eq!(hits.load(Ordering::Relaxed), N);
+            assert_eq!(*sum.lock(), (N as i64 - 1) * N as i64 / 2);
+            Ok(())
+        });
+    };
+    let outs: Vec<Outcome> = SPECS
+        .iter()
+        .map(|&s| run_traced(force_config(s, 4, 4), register))
+        .collect();
+    assert_parity(&outs[0], &outs[1], "force/barrier/selfsched");
+    // Every iteration claimed exactly once on both machines.
+    assert_eq!(
+        outs[0].stats.selfsched_chunks, outs[1].stats.selfsched_chunks,
+        "chunk count diverges"
+    );
+}
+
+#[test]
+fn windows_parity() {
+    let register = |p: &Arc<Pisces>| {
+        p.register("worker", |ctx: &TaskCtx| {
+            let w = ctx.arg(0)?.as_window()?.clone();
+            let data = ctx.window_get(&w)?;
+            let doubled: Vec<f64> = data.iter().map(|v| v * 2.0).collect();
+            ctx.window_put(&w, &doubled)?;
+            ctx.send(To::Parent, "DONE", vec![])
+        });
+        p.register("main", |ctx: &TaskCtx| {
+            let a: Vec<f64> = (0..64).map(|k| k as f64).collect();
+            let w = ctx.register_array(&a, 8, 8)?;
+            for half in 0..2 {
+                let band = w
+                    .shrink(half * 4..half * 4 + 4, 0..8)
+                    .map_err(PiscesError::from)?;
+                ctx.initiate(Where::Other, "worker", args![band])?;
+            }
+            ctx.accept().of(2).signal_count("DONE", 2).run()?;
+            let all = ctx.window_get(&w)?;
+            let expect: Vec<f64> = (0..64).map(|k| 2.0 * k as f64).collect();
+            assert_eq!(all, expect);
+            Ok(())
+        });
+    };
+    let outs: Vec<Outcome> = SPECS
+        .iter()
+        .map(|&s| run_traced(multi_cluster_config(s), register))
+        .collect();
+    assert_parity(&outs[0], &outs[1], "windows");
+}
+
+#[test]
+fn hypercube_pays_link_time_where_the_bus_does_not() {
+    // Not a parity check — the opposite: the cube's clocks must show the
+    // per-hop cost the shared bus never bills. Same program, same logical
+    // stats (asserted above); here the cube's span must exceed the bus's.
+    let program = |p: &Arc<Pisces>| {
+        p.register("sink", |ctx: &TaskCtx| {
+            ctx.send(To::Parent, "READY", args![ctx.id()])?;
+            ctx.accept().of(16).signal_count("DATA", 16).run()?;
+            ctx.send(To::Parent, "DONE", vec![])
+        });
+        p.register("main", |ctx: &TaskCtx| {
+            ctx.initiate(Where::Other, "sink", vec![])?;
+            let sink = std::cell::Cell::new(None);
+            ctx.accept()
+                .of(1)
+                .handle("READY", |m| {
+                    sink.set(Some(m.args[0].as_taskid()?));
+                    Ok(())
+                })
+                .run()?;
+            let sink = sink.get().unwrap();
+            for i in 0..16i64 {
+                ctx.send(To::Task(sink), "DATA", args![i, i, i, i, i, i, i, i])?;
+            }
+            ctx.accept().of(1).signal("DONE").run()?;
+            Ok(())
+        });
+    };
+    let span = |spec: SubstrateSpec| {
+        let p = Pisces::boot(multi_cluster_config(spec)).unwrap();
+        program(&p);
+        p.initiate_top_level(1, "main", vec![]).unwrap();
+        assert!(p.wait_quiescent(Duration::from_secs(30)));
+        let hops: u64 = p
+            .metrics()
+            .link_hops_snapshot()
+            .iter()
+            .map(|&(_, h)| h)
+            .sum();
+        p.shutdown();
+        hops
+    };
+    let bus_hops = span(SPECS[0]);
+    let cube_hops = span(SPECS[1]);
+    assert_eq!(bus_hops, 0, "the shared bus charges no per-hop time");
+    assert!(
+        cube_hops > 0,
+        "cross-node traffic on the cube must record hops"
+    );
+}
+
+#[test]
+fn flex32_with_256_pes_boots_and_runs() {
+    let spec = SubstrateSpec::Flex32 { pes: 256 };
+    let config = MachineConfig::builder()
+        .substrate(spec)
+        .clusters([ClusterConfig::new(1, 3, 4)
+            .with_terminal()
+            .with_secondaries(200..=231)])
+        .build();
+    let p = Pisces::boot(config).unwrap();
+    assert_eq!(p.substrate().topology().num_pes, 256);
+    p.register("main", |ctx: &TaskCtx| {
+        let n = AtomicUsize::new(0);
+        ctx.forcesplit(|f| {
+            n.fetch_add(1, Ordering::Relaxed);
+            f.work(5)
+        })?;
+        assert_eq!(n.load(Ordering::Relaxed), 33); // primary + 32 high PEs
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    assert!(p.wait_quiescent(Duration::from_secs(60)), "{}", p.dump_state());
+    p.shutdown();
+}
+
+#[test]
+fn hypercube_128_nodes_runs_a_force_to_completion() {
+    // The acceptance bar: a 2^7 = 128-PE machine boots and a force over
+    // a 64-PE cluster computes a full self-scheduled loop.
+    let spec = SubstrateSpec::Hypercube { dim: 7 };
+    let config = MachineConfig::builder()
+        .substrate(spec)
+        .clusters([ClusterConfig::new(1, 1, 4)
+            .with_terminal()
+            .with_secondaries(2..=64)])
+        .build();
+    let p = Pisces::boot(config).unwrap();
+    assert_eq!(p.substrate().topology().num_pes, 128);
+    const N: usize = 512;
+    p.register("main", |ctx: &TaskCtx| {
+        let done = parking_lot::Mutex::new(vec![false; N]);
+        let members = AtomicUsize::new(0);
+        ctx.forcesplit(|f| {
+            members.fetch_add(1, Ordering::Relaxed);
+            f.selfsched(0, N as i64 - 1, |i| {
+                f.work(3)?;
+                done.lock()[i as usize] = true;
+                Ok(())
+            })
+        })?;
+        assert_eq!(members.load(Ordering::Relaxed), 64);
+        assert!(done.lock().iter().all(|&b| b), "iterations lost");
+        Ok(())
+    });
+    p.initiate_top_level(1, "main", vec![]).unwrap();
+    assert!(
+        p.wait_quiescent(Duration::from_secs(120)),
+        "{}",
+        p.dump_state()
+    );
+    // Store-and-forward routing left an audit trail on the cube's links.
+    assert!(p.substrate().link_stats().is_some());
+    p.shutdown();
+}

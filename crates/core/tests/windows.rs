@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn boot() -> Arc<Pisces> {
-    Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(3, 4)).unwrap()
+    Pisces::boot(MachineConfig::simple(3, 4)).unwrap()
 }
 
 fn run(p: &Arc<Pisces>, tasktype: &str) {
@@ -159,7 +159,7 @@ fn file_windows_survive_task_death_and_reopen() {
     });
     run(&p, "main");
     // The file holds the written values even after everything terminated.
-    let bytes = p.flex().fs.read("data/grid.arr").unwrap();
+    let bytes = p.substrate().fs().read("data/grid.arr").unwrap();
     assert_eq!(bytes.len(), 16 + 20 * 8);
     p.shutdown();
 }

@@ -23,7 +23,7 @@ pub struct TaskLifetime {
     /// Tasktype (from the TASK-INIT info field).
     pub tasktype: String,
     /// PE the task ran on.
-    pub pe: u8,
+    pub pe: u16,
     /// Clock reading at initiation.
     pub init_ticks: u64,
     /// Clock reading at termination (`None` if the task never terminated
@@ -77,7 +77,7 @@ pub struct TraceAnalysis {
     /// MSG-SEND counts per message type.
     pub sends_by_type: BTreeMap<String, usize>,
     /// Highest tick reading observed per PE (activity horizon).
-    pub pe_horizon: BTreeMap<u8, u64>,
+    pub pe_horizon: BTreeMap<u16, u64>,
     /// Matched send→accept pairs.
     pub matched: Vec<MatchedMessage>,
     /// Barrier entries per task.
@@ -205,7 +205,7 @@ impl TraceAnalysis {
         use std::fmt::Write;
         let width = width.max(20);
         let mut s = String::from("TASK TIMELINES (per-PE tick clocks)\n");
-        let mut by_pe: BTreeMap<u8, Vec<(&TaskId, &TaskLifetime)>> = BTreeMap::new();
+        let mut by_pe: BTreeMap<u16, Vec<(&TaskId, &TaskLifetime)>> = BTreeMap::new();
         for (id, t) in &self.tasks {
             by_pe.entry(t.pe).or_default().push((id, t));
         }
@@ -292,7 +292,7 @@ mod tests {
     fn traced_run() -> Vec<TraceRecord> {
         let mut config = MachineConfig::simple(2, 4);
         config.trace = pisces_core::trace::TraceSettings::all();
-        let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+        let p = Pisces::boot(config).unwrap();
         p.register("child", |ctx: &TaskCtx| {
             ctx.work(25)?;
             ctx.send(To::Parent, "DONE", args![1i64])
@@ -415,7 +415,7 @@ mod gantt_tests {
     use super::*;
     use pisces_core::trace::TraceEventKind;
 
-    fn rec(kind: TraceEventKind, task: TaskId, pe: u8, ticks: u64, info: &str) -> TraceRecord {
+    fn rec(kind: TraceEventKind, task: TaskId, pe: u16, ticks: u64, info: &str) -> TraceRecord {
         TraceRecord {
             seq: ticks,
             kind,
@@ -466,7 +466,7 @@ mod matching_tests {
     use super::*;
     use pisces_core::trace::TraceEventKind;
 
-    fn rec(kind: TraceEventKind, task: TaskId, pe: u8, ticks: u64, info: String) -> TraceRecord {
+    fn rec(kind: TraceEventKind, task: TaskId, pe: u16, ticks: u64, info: String) -> TraceRecord {
         TraceRecord {
             seq: ticks,
             kind,

@@ -93,7 +93,7 @@ pub struct BlameEntry {
     /// Task whose event terminated each charged edge.
     pub task: TaskId,
     /// PE that event was stamped on.
-    pub pe: u8,
+    pub pe: u16,
     /// Ticks attributed to this bucket.
     pub ticks: u64,
 }
@@ -148,7 +148,7 @@ impl CausalGraph {
         // PE. Force members share a task id but run on distinct PEs, so
         // the (task, pe) pair is the finest sequential lane the trace
         // can name.
-        let mut lanes: BTreeMap<(TaskId, u8), usize> = BTreeMap::new();
+        let mut lanes: BTreeMap<(TaskId, u16), usize> = BTreeMap::new();
         for (i, r) in nodes.iter().enumerate() {
             if let Some(prev) = lanes.insert((r.task, r.pe), i) {
                 edges.push(CausalEdge {
@@ -285,7 +285,7 @@ impl CausalGraph {
         let end = (0..n).max_by_key(|&i| (dist[i], std::cmp::Reverse(i))).unwrap_or(0);
 
         let mut path = vec![end];
-        let mut blame_map: BTreeMap<(Blame, TaskId, u8), u64> = BTreeMap::new();
+        let mut blame_map: BTreeMap<(Blame, TaskId, u16), u64> = BTreeMap::new();
         let mut cur = end;
         while let Some(ei) = pred[cur] {
             let e = self.edges[ei];
@@ -435,7 +435,7 @@ impl CausalGraph {
         };
 
         // Process metadata: one Perfetto process per PE.
-        let mut pes: Vec<u8> = self.nodes.iter().map(|r| r.pe).collect();
+        let mut pes: Vec<u16> = self.nodes.iter().map(|r| r.pe).collect();
         pes.sort_unstable();
         pes.dedup();
         for pe in &pes {
@@ -585,7 +585,7 @@ mod tests {
         seq: u64,
         kind: TraceEventKind,
         task: TaskId,
-        pe: u8,
+        pe: u16,
         ticks: u64,
         parent: Option<u64>,
         cause: Option<u64>,

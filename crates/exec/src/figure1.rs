@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn figure_shows_clusters_controllers_and_free_slots() {
-        let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(3, 2)).unwrap();
+        let p = Pisces::boot(MachineConfig::simple(3, 2)).unwrap();
         let fig = render(&p);
         assert!(fig.contains("CLUSTER 1"));
         assert!(fig.contains("CLUSTER 3"));
@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn figure_shows_running_user_tasks() {
-        let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(1, 2)).unwrap();
+        let p = Pisces::boot(MachineConfig::simple(1, 2)).unwrap();
         p.register("waiter", |ctx: &TaskCtx| {
             let _ = ctx
                 .accept()

@@ -292,7 +292,7 @@ mod tests {
     use super::*;
 
     fn boot() -> ExecMenu {
-        let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(2, 4)).unwrap();
+        let p = Pisces::boot(MachineConfig::simple(2, 4)).unwrap();
         p.register("echoer", |ctx: &TaskCtx| {
             let out = ctx
                 .accept()
@@ -356,7 +356,10 @@ mod tests {
         let fig = menu.execute("figure").unwrap();
         assert!(fig.contains("CLUSTER 1") && fig.contains("echoer"));
         let loading = menu.execute("8").unwrap();
-        assert!(loading.contains("PE3"));
+        let first = pisces_core::substrate::SubstrateSpec::default()
+            .topology()
+            .first_task_pe;
+        assert!(loading.contains(&format!("PE{first}")), "{loading}");
         let dump = menu.execute("7").unwrap();
         assert!(dump.contains("SYSTEM STATE"));
 

@@ -29,7 +29,7 @@ pub struct Interval {
 #[derive(Debug, Clone)]
 pub struct PeUtilization {
     /// The PE.
-    pub pe: u8,
+    pub pe: u16,
     /// Last tick reading observed on this PE (its activity horizon).
     pub horizon: u64,
     /// Merged busy intervals, in time order.
@@ -83,7 +83,7 @@ fn sweep(mut edges: Vec<(u64, i64)>, horizon: u64) -> (Vec<Interval>, u64) {
 
 /// Per-PE utilization from an analysis' task lifetimes.
 pub fn pe_utilization(analysis: &TraceAnalysis) -> Vec<PeUtilization> {
-    let mut edges: BTreeMap<u8, Vec<(u64, i64)>> = BTreeMap::new();
+    let mut edges: BTreeMap<u16, Vec<(u64, i64)>> = BTreeMap::new();
     for t in analysis.tasks.values() {
         let e = edges.entry(t.pe).or_default();
         e.push((t.init_ticks, 1));
@@ -487,11 +487,11 @@ impl Report {
         }
         // One sequential lane per (task, PE) pair — the same lanes the
         // causal graph threads program-order edges through.
-        let mut lanes: BTreeMap<(TaskId, u8), Vec<&TraceRecord>> = BTreeMap::new();
+        let mut lanes: BTreeMap<(TaskId, u16), Vec<&TraceRecord>> = BTreeMap::new();
         for r in &self.causal.nodes {
             lanes.entry((r.task, r.pe)).or_default().push(r);
         }
-        let mut folded: BTreeMap<(u8, TaskId, &'static str), u64> = BTreeMap::new();
+        let mut folded: BTreeMap<(u16, TaskId, &'static str), u64> = BTreeMap::new();
         for ((task, pe), recs) in &lanes {
             // causal.nodes is seq-sorted, so each lane already is too.
             for pair in recs.windows(2) {
@@ -513,7 +513,7 @@ impl Report {
 mod tests {
     use super::*;
 
-    fn rec(kind: TraceEventKind, task: TaskId, pe: u8, ticks: u64, info: &str) -> TraceRecord {
+    fn rec(kind: TraceEventKind, task: TaskId, pe: u16, ticks: u64, info: &str) -> TraceRecord {
         TraceRecord {
             seq: ticks,
             kind,

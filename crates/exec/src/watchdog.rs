@@ -36,7 +36,7 @@
 //! caused by injected failure — e.g. a barrier member lost with its PE),
 //! and [`StallClass::Deadlock`] otherwise (a genuine wait-for cycle or a
 //! member that simply never arrives). The distinction comes from
-//! [`flex32` fault-plan queries](flex32::fault::FaultInjector::plan_fails_pe),
+//! [substrate fault-plan queries](pisces_core::substrate::Substrate::faults),
 //! not from guessing at symptoms.
 
 use pisces_core::machine::Pisces;
@@ -87,7 +87,7 @@ pub struct StallReport {
     /// The stalled task.
     pub task: TaskId,
     /// PE it is stalled on.
-    pub pe: u8,
+    pub pe: u16,
     /// Shape of the stall.
     pub kind: StallKind,
     /// Deadlock vs. fault-induced classification.
@@ -165,7 +165,7 @@ impl Watchdog {
         self.frozen_samples = self.frozen_samples.saturating_add(1);
 
         let tasks = self.machine.snapshot_tasks();
-        let mut current: Vec<(TaskId, u8, StallKind)> = Vec::new();
+        let mut current: Vec<(TaskId, u16, StallKind)> = Vec::new();
         for t in &tasks {
             if t.is_controller {
                 continue;
@@ -195,7 +195,7 @@ impl Watchdog {
 
         let fault_induced = self
             .machine
-            .flex()
+            .substrate()
             .faults()
             .map(|inj| !inj.planned_pe_failures().is_empty())
             .unwrap_or(false);

@@ -1,8 +1,6 @@
 //! Watchdog integration tests: seeded deadlocks and hangs are detected
 //! and classified correctly, and recovery clears the verdict.
 
-use flex32::fault::FaultPlan;
-use flex32::Flex32;
 use pisces_core::prelude::*;
 use pisces_exec::watchdog::{StallClass, StallKind, StallReport, Watchdog, WatchdogConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -10,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn boot(cfg: MachineConfig) -> Arc<Pisces> {
-    Pisces::boot(Flex32::new_shared(), cfg).expect("boot")
+    Pisces::boot(cfg).expect("boot")
 }
 
 fn two_cluster_config() -> MachineConfig {

@@ -11,12 +11,14 @@
 //!   a simple Unix-like kernel providing multiprogramming, I/O, storage
 //!   allocation, and process creation/termination.
 //!
-//! This crate models that machine faithfully enough that the paper's
-//! storage measurements (Section 13) can be *measured* rather than asserted:
-//! the shared memory is a real arena managed by a real first-fit free-list
-//! allocator, local memory is per-PE byte accounting against the 1 MB
-//! capacity, and every PE carries the tick clock that PISCES trace lines
-//! report ("PE number and ticks count").
+//! Since the substrate refactor, the machine-neutral machinery — PEs,
+//! clocks, the shared-memory arena, pools, faults, process tables — lives
+//! in the `pisces-substrate` crate; this crate is the FLEX/32 *shape*: the
+//! 20-PE (or, scaled, n-PE) topology, the Unix/MMOS service split, and a
+//! free link model (every PE is one shared-bus reference from every
+//! other). [`Flex32`] implements [`pisces_substrate::Substrate`], and the
+//! familiar module paths (`flex32::shmem`, `flex32::fault`, …) re-export
+//! the substrate modules so existing code keeps compiling.
 //!
 //! Concurrency model: the simulated machine is driven by ordinary OS
 //! threads. A thread that wants to execute *on* a PE must hold that PE's CPU
@@ -24,22 +26,26 @@
 //! serialize at runtime-call granularity, while activities on distinct PEs
 //! run genuinely in parallel — the same concurrency structure as the FLEX.
 
-pub mod affinity;
-pub mod clock;
-pub mod cpu;
-pub mod fault;
-pub mod fs;
 pub mod machine;
-pub mod mmos;
-pub mod pe;
-pub mod pool;
-pub mod shmem;
+
+// The machine-neutral machinery moved to `pisces-substrate`; these
+// re-exports keep the historical `flex32::…` paths alive.
+pub use pisces_substrate::affinity;
+pub use pisces_substrate::clock;
+pub use pisces_substrate::cpu;
+pub use pisces_substrate::fault;
+pub use pisces_substrate::fs;
+pub use pisces_substrate::mmos;
+pub use pisces_substrate::pe;
+pub use pisces_substrate::pool;
+pub use pisces_substrate::shmem;
 
 pub use fault::{
     FaultAction, FaultCell, FaultEvent, FaultInjector, FaultPlan, MessageFault, PeFaultState,
 };
 pub use machine::Flex32;
 pub use pe::{ActivityCell, PeId, PeKind};
+pub use pisces_substrate::{LinkCost, MachineCore, Substrate, Topology};
 pub use pool::{PoolReport, ShmPool};
 pub use shmem::{SharedMemory, ShmError, ShmHandle};
 
@@ -53,10 +59,12 @@ pub const LOCAL_MEM_BYTES: usize = 1 << 20;
 pub const SHARED_MEM_BYTES: usize = 2_359_296;
 
 /// PEs 1 and 2 run Unix and are not available for PISCES user tasks.
-pub const UNIX_PES: [u8; 2] = [1, 2];
+pub const UNIX_PES: [u16; 2] = [1, 2];
 
 /// First PE running MMOS (available to PISCES).
-pub const FIRST_MMOS_PE: u8 = 3;
+pub const FIRST_MMOS_PE: u16 = 3;
 
-/// Last PE running MMOS (available to PISCES).
-pub const LAST_MMOS_PE: u8 = 20;
+/// Last PE running MMOS (available to PISCES) on the historical 20-PE
+/// machine. Scaled machines ([`Flex32::with_pes`]) run MMOS on every PE
+/// from [`FIRST_MMOS_PE`] up to their own size.
+pub const LAST_MMOS_PE: u16 = 20;

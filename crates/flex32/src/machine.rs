@@ -1,46 +1,30 @@
 //! The assembled FLEX/32 machine.
 //!
-//! One [`Flex32`] value owns the 20 PEs, the shared-memory arena, the
-//! Unix-PE file system, and the per-PE MMOS process tables. The PISCES
-//! runtime (the `pisces-core` crate) runs "as just another program" on top
-//! of this, exactly as the paper describes the real system.
+//! One [`Flex32`] value owns the machine body ([`MachineCore`]): PEs, the
+//! shared-memory arena, the Unix-PE file system, and the per-PE MMOS
+//! process tables. The PISCES runtime (the `pisces-core` crate) runs "as
+//! just another program" on top of this through the
+//! [`pisces_substrate::Substrate`] trait, exactly as the paper describes
+//! the real system.
+//!
+//! The FLEX/32 is a *shared-bus* machine: every PE reaches every other
+//! PE's mailbox through the common shared memory, so its link model is
+//! free — [`Substrate::charge_link`] keeps its zero-hop default and the
+//! runtime's uniform send/accept tick costs are the whole story. That is
+//! what makes the trait implementation behaviour-identical to the
+//! pre-refactor hard-wired machine.
 
-use crate::fault::{FaultInjector, FaultPlan, TickFault};
-use crate::fs::FileSystem;
-use crate::mmos::ProcessTable;
-use crate::pe::{Pe, PeError, PeId};
-use crate::pool::ShmPool;
-use crate::shmem::{SharedMemory, ShmError, ShmHandle, ShmTag};
-use crate::NUM_PES;
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, Ordering};
+use pisces_substrate::fault::{FaultInjector, FaultPlan};
+use pisces_substrate::pe::{Pe, PeError, PeId};
+use pisces_substrate::shmem::{ShmError, ShmHandle, ShmTag};
+use pisces_substrate::{MachineCore, Substrate, Topology};
 use std::sync::Arc;
 
 /// The simulated machine. Cheap to share: wrap in an [`Arc`] (see
 /// [`Flex32::new_shared`]).
+#[derive(Debug)]
 pub struct Flex32 {
-    pes: Vec<Pe>,
-    procs: Vec<ProcessTable>,
-    /// The 2.25 MB shared memory.
-    pub shmem: SharedMemory,
-    /// Per-PE size-class front-end over `shmem` (see [`crate::pool`]).
-    pub pool: ShmPool,
-    /// File system maintained by the Unix PEs.
-    pub fs: FileSystem,
-    /// Armed fault injector, if a chaos plan is active.
-    faults: RwLock<Option<Arc<FaultInjector>>>,
-    /// Fast-path guard: one relaxed load decides whether any fault hook
-    /// runs. False on a healthy machine, so injection costs nothing.
-    faults_armed: AtomicBool,
-}
-
-impl std::fmt::Debug for Flex32 {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Flex32")
-            .field("pes", &self.pes.len())
-            .field("shmem", &self.shmem)
-            .finish_non_exhaustive()
-    }
+    core: MachineCore,
 }
 
 impl Default for Flex32 {
@@ -50,16 +34,38 @@ impl Default for Flex32 {
 }
 
 impl Flex32 {
-    /// A freshly booted machine with the NASA Langley configuration.
+    /// A freshly booted machine with the NASA Langley configuration
+    /// (20 PEs; PEs 1–2 Unix, 3–20 MMOS; 2.25 MB shared memory).
     pub fn new() -> Self {
+        Self::with_pes(crate::NUM_PES as u16)
+    }
+
+    /// A FLEX/32-family machine scaled to `pes` processing elements
+    /// (minimum 3: the two Unix PEs plus at least one MMOS PE). PEs 1–2
+    /// run Unix, `3..=pes` run MMOS. The shared-memory arena scales with
+    /// the PE count so a big machine keeps the same per-PE arena share as
+    /// the historical 20-PE one.
+    pub fn with_pes(pes: u16) -> Self {
         Self {
-            pes: PeId::all().map(Pe::new).collect(),
-            procs: (0..NUM_PES).map(|_| ProcessTable::new()).collect(),
-            shmem: SharedMemory::flex32(),
-            pool: ShmPool::new(NUM_PES),
-            fs: FileSystem::new(),
-            faults: RwLock::new(None),
-            faults_armed: AtomicBool::new(false),
+            core: MachineCore::new(Self::topology_for(pes)),
+        }
+    }
+
+    /// The shape of a FLEX machine scaled to `pes` PEs, without building
+    /// it (configuration validation runs against this).
+    pub fn topology_for(pes: u16) -> Topology {
+        assert!(pes >= 3, "a FLEX machine needs 2 Unix PEs + 1 MMOS PE");
+        let shared = if pes as usize <= crate::NUM_PES {
+            crate::SHARED_MEM_BYTES
+        } else {
+            crate::SHARED_MEM_BYTES / crate::NUM_PES * pes as usize
+        };
+        Topology {
+            name: "flex32",
+            num_pes: pes,
+            first_task_pe: crate::FIRST_MMOS_PE,
+            local_mem_bytes: crate::LOCAL_MEM_BYTES,
+            shared_mem_bytes: shared,
         }
     }
 
@@ -68,169 +74,115 @@ impl Flex32 {
         Arc::new(Self::new())
     }
 
-    /// Access a PE by id.
-    pub fn pe(&self, id: PeId) -> &Pe {
-        &self.pes[(id.number() - 1) as usize]
+    /// A shared handle to a machine scaled to `pes` PEs.
+    pub fn shared_with_pes(pes: u16) -> Arc<Self> {
+        Arc::new(Self::with_pes(pes))
     }
 
-    /// Access a PE by raw number (1–20).
-    pub fn pe_n(&self, n: u8) -> Result<&Pe, PeError> {
-        Ok(self.pe(PeId::new(n)?))
+    // Inherent conveniences mirroring the Substrate methods, so direct
+    // users of `Flex32` (benches, configuration tools) need not import
+    // the trait.
+
+    /// Access a PE by id.
+    pub fn pe(&self, id: PeId) -> &Pe {
+        self.core.pe(id)
+    }
+
+    /// Access a PE by raw number.
+    pub fn pe_n(&self, n: u16) -> Result<&Pe, PeError> {
+        self.core.pe_n(n)
     }
 
     /// All PEs in order.
     pub fn pes(&self) -> &[Pe] {
-        &self.pes
+        self.core.pes()
     }
 
     /// MMOS process table of a PE.
-    pub fn procs(&self, id: PeId) -> &ProcessTable {
-        &self.procs[(id.number() - 1) as usize]
+    pub fn procs(&self, id: PeId) -> &pisces_substrate::mmos::ProcessTable {
+        self.core.procs(id)
     }
 
-    /// Allocate shared memory through `pe`'s allocation pool. Returns the
-    /// handle and whether the request was a magazine hit (no global heap
-    /// lock taken).
+    /// The shared-memory arena.
+    pub fn shmem(&self) -> &pisces_substrate::SharedMemory {
+        self.core.shmem()
+    }
+
+    /// The per-PE pool front-end.
+    pub fn pool(&self) -> &pisces_substrate::ShmPool {
+        self.core.pool()
+    }
+
+    /// The Unix-PE file system.
+    pub fn fs(&self) -> &pisces_substrate::fs::FileSystem {
+        self.core.fs()
+    }
+
+    /// Allocate shared memory through `pe`'s allocation pool.
     pub fn shm_alloc(
         &self,
         pe: PeId,
         bytes: usize,
         tag: ShmTag,
     ) -> Result<(ShmHandle, bool), ShmError> {
-        if self.faults_armed.load(Ordering::Relaxed) {
-            if let Some(e) = self.alloc_fault(bytes) {
-                return Err(e);
-            }
-        }
-        self.pool
-            .alloc(&self.shmem, (pe.number() - 1) as usize, bytes, tag)
+        self.core.shm_alloc(pe, bytes, tag)
     }
 
-    /// Slow path of [`Flex32::shm_alloc`]: consult the armed plan's
-    /// allocation-ordinal faults and synthesise an out-of-memory error
-    /// reporting the arena's *real* occupancy.
-    #[cold]
-    fn alloc_fault(&self, bytes: usize) -> Option<ShmError> {
-        let inj = self.faults.read().clone()?;
-        if inj.alloc_should_fail() {
-            Some(self.shmem.synthetic_oom(bytes))
-        } else {
-            None
-        }
-    }
-
-    /// Free shared memory through `pe`'s allocation pool. `tag` must be
-    /// the tag the block was allocated with (magazines are tag-segregated).
+    /// Free shared memory through `pe`'s allocation pool.
     pub fn shm_free(&self, pe: PeId, handle: ShmHandle, tag: ShmTag) -> Result<(), ShmError> {
-        self.pool
-            .free(&self.shmem, (pe.number() - 1) as usize, handle, tag)
+        self.core.shm_free(pe, handle, tag)
     }
 
-    /// Reboot the MMOS PEs between runs, as the FLEX does: clear process
-    /// tables, local-memory reservations, clocks, and consoles on PEs 3–20.
-    /// (Unix PEs and the file system persist across runs.) The allocation
-    /// pool is flushed so the arena starts the run with truthful accounting.
+    /// Reboot the MMOS PEs between runs, as the FLEX does.
     pub fn reboot_mmos(&self) {
-        self.pool.flush(&self.shmem);
-        for id in PeId::mmos() {
-            let pe = self.pe(id);
-            let used = pe.local.used();
-            if used > 0 {
-                pe.local.release(used);
-            }
-            pe.clock.reset();
-            pe.console.clear();
-            self.procs(id).reboot();
-        }
+        self.core.reboot_task_pes()
     }
 
     /// Charge `ticks` of work to a PE's clock and return the new reading.
     pub fn tick(&self, id: PeId, ticks: u64) -> u64 {
-        if !self.faults_armed.load(Ordering::Relaxed) {
-            return self.pe(id).clock.advance(ticks);
-        }
-        self.tick_faulty(id, ticks)
+        self.core.tick(id, ticks)
     }
 
-    /// Slow path of [`Flex32::tick`] when a fault plan is armed: the ticks
-    /// are multiplied by the PE's slow factor, and the new reading is
-    /// checked against the plan's tick-triggered faults (any PE crossing a
-    /// trigger fires it — a blocked or dead PE never reads its own clock).
-    #[cold]
-    fn tick_faulty(&self, id: PeId, ticks: u64) -> u64 {
-        let pe = self.pe(id);
-        let charged = ticks.saturating_mul(pe.fault.slow_factor());
-        let now = pe.clock.advance(charged);
-        if let Some(inj) = self.faults.read().as_ref() {
-            if inj.tick_faults_pending() {
-                for fault in inj.on_tick(now) {
-                    match fault {
-                        TickFault::Fail(n) => self.fail_pe(n),
-                        TickFault::Slow(n, factor) => {
-                            if let Ok(target) = self.pe_n(n) {
-                                target.fault.slow(factor);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        now
-    }
-
-    /// Arm a fault plan: all subsequent ticks, sends, and allocations are
-    /// checked against it. Returns the injector so callers can register an
-    /// observer and read the fired-event trace.
+    /// Arm a fault plan.
     pub fn arm_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
-        let inj = Arc::new(FaultInjector::new(plan));
-        *self.faults.write() = Some(inj.clone());
-        self.faults_armed.store(true, Ordering::Release);
-        inj
+        self.core.arm_faults(plan)
     }
 
-    /// Disarm fault injection and heal every PE (recovery: the machine is
-    /// serviceable again, though killed processes stay gone).
+    /// Disarm fault injection and heal every PE.
     pub fn disarm_faults(&self) {
-        self.faults_armed.store(false, Ordering::Release);
-        *self.faults.write() = None;
-        for pe in &self.pes {
-            pe.fault.heal();
-        }
+        self.core.disarm_faults()
     }
 
     /// The armed injector, if any.
     pub fn faults(&self) -> Option<Arc<FaultInjector>> {
-        if !self.faults_armed.load(Ordering::Relaxed) {
-            return None;
-        }
-        self.faults.read().clone()
+        self.core.faults()
     }
 
-    /// Whether a fault plan is armed (one relaxed load).
+    /// Whether a fault plan is armed.
     #[inline]
     pub fn faults_armed(&self) -> bool {
-        self.faults_armed.load(Ordering::Relaxed)
+        self.core.faults_armed()
     }
 
-    /// Fail-stop a PE *now*: mark its fault cell, kill every MMOS process
-    /// on it, and flush its pool magazines back to the arena so the
-    /// shared-memory accounting stays truthful (a dead PE cannot hold
-    /// cached blocks). Idempotent; unknown PE numbers are ignored.
-    pub fn fail_pe(&self, n: u8) {
-        let Ok(pe) = self.pe_n(n) else { return };
-        if pe.fault.is_failed() {
-            return;
-        }
-        pe.fault.fail();
-        self.procs(pe.id()).fail_all();
-        self.pool.flush_pe(&self.shmem, (n - 1) as usize);
+    /// Fail-stop a PE now.
+    pub fn fail_pe(&self, n: u16) {
+        self.core.fail_pe(n)
     }
+}
+
+impl Substrate for Flex32 {
+    fn machine(&self) -> &MachineCore {
+        &self.core
+    }
+    // Link model: the default. A shared-bus send is zero hops; the
+    // runtime's SEND_BASE/SEND_PER_WORD charge covers the whole cost,
+    // exactly as before the trait existed.
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shmem::ShmTag;
+    use pisces_substrate::shmem::ShmTag;
 
     #[test]
     fn machine_has_twenty_pes() {
@@ -242,19 +194,45 @@ mod tests {
     }
 
     #[test]
+    fn scaled_machine_boots_hundreds_of_pes() {
+        let m = Flex32::with_pes(256);
+        assert_eq!(m.pes().len(), 256);
+        assert_eq!(m.topology().task_pes(), 254);
+        assert!(m.pe_n(256).is_ok());
+        assert!(m.pe_n(257).is_err());
+        // Arena scaled with the machine.
+        assert!(m.shmem().capacity() >= crate::SHARED_MEM_BYTES * 12);
+        let pe = m.pe_n(200).unwrap().id();
+        assert_eq!(m.tick(pe, 5), 5);
+    }
+
+    #[test]
+    fn boundary_at_the_historical_cap() {
+        // 20 PEs was a hard cap before the substrate refactor; 20, 21 and
+        // 19 must all boot now, with the Unix/MMOS split preserved.
+        for n in [19u16, 20, 21] {
+            let m = Flex32::with_pes(n);
+            assert_eq!(m.pes().len(), n as usize);
+            assert_eq!(m.topology().first_task_pe, 3);
+            assert!(m.pe_n(n).is_ok());
+            assert!(m.pe_n(n + 1).is_err());
+        }
+    }
+
+    #[test]
     fn shared_memory_is_machine_wide() {
         let m = Flex32::new();
-        let h = m.shmem.alloc(64, ShmTag::Other).unwrap();
-        m.shmem.store(h, 0, 7).unwrap();
-        assert_eq!(m.shmem.load(h, 0).unwrap(), 7);
-        m.shmem.free(h).unwrap();
+        let h = m.shmem().alloc(64, ShmTag::Other).unwrap();
+        m.shmem().store(h, 0, 7).unwrap();
+        assert_eq!(m.shmem().load(h, 0).unwrap(), 7);
+        m.shmem().free(h).unwrap();
     }
 
     #[test]
     fn reboot_resets_mmos_only() {
         let m = Flex32::new();
-        let unix = PeId::new(1).unwrap();
-        let mmos = PeId::new(5).unwrap();
+        let unix = m.pe_n(1).unwrap().id();
+        let mmos = m.pe_n(5).unwrap().id();
         m.pe(unix).clock.advance(10);
         m.pe(mmos).clock.advance(10);
         m.pe(mmos).local.reserve(1000, mmos).unwrap();
@@ -269,7 +247,7 @@ mod tests {
     #[test]
     fn pooled_alloc_hits_after_free_on_same_pe() {
         let m = Flex32::new();
-        let pe = PeId::new(5).unwrap();
+        let pe = m.pe_n(5).unwrap().id();
         let (h, hit) = m.shm_alloc(pe, 32, ShmTag::Message).unwrap();
         assert!(!hit);
         m.shm_free(pe, h, ShmTag::Message).unwrap();
@@ -277,43 +255,25 @@ mod tests {
         assert!(hit, "freed block must be recycled on the same PE");
         assert_eq!(h, h2);
         m.shm_free(pe, h2, ShmTag::Message).unwrap();
-        assert!(m.shmem.report().in_use > 0, "cached block stays accounted");
+        assert!(m.shmem().report().in_use > 0, "cached block stays accounted");
         m.reboot_mmos();
-        assert_eq!(m.shmem.report().in_use, 0, "reboot flushes the pool");
-        m.shmem.validate().unwrap();
+        assert_eq!(m.shmem().report().in_use, 0, "reboot flushes the pool");
+        m.shmem().validate().unwrap();
     }
 
     #[test]
     fn tick_advances_named_pe() {
         let m = Flex32::new();
-        let id = PeId::new(9).unwrap();
+        let id = m.pe_n(9).unwrap().id();
         assert_eq!(m.tick(id, 4), 4);
         assert_eq!(m.pe(id).clock.now(), 4);
         assert_eq!(m.pe_n(10).unwrap().clock.now(), 0);
     }
 
     #[test]
-    fn armed_fail_pe_fires_from_any_clock() {
-        use crate::fault::FaultPlan;
-        let m = Flex32::new();
-        m.arm_faults(FaultPlan::new(1).fail_pe(7, 100));
-        let other = PeId::new(4).unwrap();
-        m.tick(other, 99);
-        assert!(!m.pe_n(7).unwrap().fault.is_failed());
-        // PE 4's clock crossing the trigger fails PE 7: virtual time is
-        // machine-wide, and a dead PE never reads its own clock.
-        m.tick(other, 1);
-        assert!(m.pe_n(7).unwrap().fault.is_failed());
-        assert!(m.pe_n(7).unwrap().acquire_cpu().is_err());
-        m.disarm_faults();
-        assert!(m.pe_n(7).unwrap().acquire_cpu().is_ok(), "healed on disarm");
-    }
-
-    #[test]
     fn slow_pe_multiplies_charged_ticks() {
-        use crate::fault::FaultPlan;
         let m = Flex32::new();
-        let id = PeId::new(6).unwrap();
+        let id = m.pe_n(6).unwrap().id();
         m.arm_faults(FaultPlan::new(2).slow_pe(6, 10, 3));
         m.tick(id, 10); // fires the slow fault at tick 10
         assert_eq!(m.pe(id).clock.now(), 10);
@@ -325,50 +285,24 @@ mod tests {
     }
 
     #[test]
-    fn fail_pe_flushes_pool_and_keeps_accounting_clean() {
-        use crate::fault::FaultPlan;
-        let m = Flex32::new();
-        let pe = PeId::new(5).unwrap();
-        let (h, _) = m.shm_alloc(pe, 32, ShmTag::Message).unwrap();
-        m.shm_free(pe, h, ShmTag::Message).unwrap();
-        assert!(m.shmem.report().in_use > 0, "block cached in magazine");
-        m.arm_faults(FaultPlan::new(3).fail_pe(5, 1));
-        m.tick(pe, 1);
-        assert_eq!(
-            m.shmem.report().in_use,
-            0,
-            "failed PE's magazines flushed back to the arena"
-        );
-        m.shmem.validate().unwrap();
-        assert_eq!(m.procs(pe).live(), 0);
-    }
-
-    #[test]
-    fn planned_alloc_fault_reports_real_occupancy() {
-        use crate::fault::FaultPlan;
-        let m = Flex32::new();
-        let pe = PeId::new(5).unwrap();
-        m.arm_faults(FaultPlan::new(4).fail_alloc(2));
-        let (h, _) = m.shm_alloc(pe, 32, ShmTag::Other).unwrap();
-        let err = m.shm_alloc(pe, 32, ShmTag::Other).unwrap_err();
-        match err {
-            ShmError::OutOfMemory { requested, free, .. } => {
-                assert_eq!(requested, 32);
-                assert!(free < crate::SHARED_MEM_BYTES, "occupancy is real");
-            }
-            other => panic!("expected OutOfMemory, got {other:?}"),
-        }
-        m.shm_alloc(pe, 32, ShmTag::Other).unwrap();
-        m.shm_free(pe, h, ShmTag::Other).unwrap();
-        m.shmem.validate().unwrap();
-    }
-
-    #[test]
     fn healthy_machine_never_consults_injector() {
         let m = Flex32::new();
         assert!(!m.faults_armed());
         assert!(m.faults().is_none());
-        let id = PeId::new(8).unwrap();
+        let id = m.pe_n(8).unwrap().id();
         assert_eq!(m.tick(id, 5), 5);
+    }
+
+    #[test]
+    fn substrate_trait_reports_free_links() {
+        use pisces_substrate::LinkCost;
+        let m = Flex32::new();
+        let s: &dyn Substrate = &m;
+        let a = m.pe_n(3).unwrap().id();
+        let b = m.pe_n(17).unwrap().id();
+        assert_eq!(s.charge_link(a, b, 64), 0);
+        assert_eq!(s.link_cost(a, b), LinkCost::default());
+        assert!(s.link_stats().is_none());
+        assert_eq!(s.name(), "flex32");
     }
 }

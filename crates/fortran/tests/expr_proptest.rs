@@ -160,7 +160,7 @@ fn expr_strategy() -> impl Strategy<Value = E> {
 /// Run a batch of expressions through one machine (booting per case
 /// would dominate the test time).
 fn run_batch(exprs: &[(String, V)]) {
-    let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(1, 2)).unwrap();
+    let p = Pisces::boot(MachineConfig::simple(1, 2)).unwrap();
     let source: String = exprs
         .iter()
         .enumerate()
@@ -172,7 +172,7 @@ fn run_batch(exprs: &[(String, V)]) {
         .register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![]).unwrap();
     assert!(p.wait_quiescent(Duration::from_secs(60)));
-    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    let console = p.substrate().pe(PeId::new(p.substrate().topology().first_task_pe).unwrap()).console.output();
     assert_eq!(
         console.len(),
         exprs.len(),

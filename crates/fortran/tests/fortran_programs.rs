@@ -9,7 +9,7 @@ use std::time::Duration;
 /// Boot, register the program, run MAIN in cluster 1, wait, return the
 /// primary PE's console output.
 fn run_program(config: MachineConfig, source: &str) -> (Vec<String>, Arc<Pisces>) {
-    let p = Pisces::boot(flex32::Flex32::new_shared(), config).unwrap();
+    let p = Pisces::boot(config).unwrap();
     let prog = FortranProgram::parse(source).unwrap_or_else(|e| panic!("parse: {e}"));
     prog.register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![]).unwrap();
@@ -19,7 +19,7 @@ fn run_program(config: MachineConfig, source: &str) -> (Vec<String>, Arc<Pisces>
         p.dump_state()
     );
     let pe = p.config().cluster(1).unwrap().primary_pe;
-    let console = p.flex().pe(flex32::PeId::new(pe).unwrap()).console.output();
+    let console = p.substrate().pe(PeId::new(pe).unwrap()).console.output();
     (console, p)
 }
 
@@ -28,8 +28,8 @@ fn assert_all_ok(p: &Arc<Pisces>) {
     // Errors in task bodies appear on consoles via TASK-TERM trace or can
     // be detected by stats; here we check nothing failed by examining
     // every console for "error".
-    for pe in flex32::PeId::all() {
-        for line in p.flex().pe(pe).console.output() {
+    for pe in p.substrate().topology().pe_ids() {
+        for line in p.substrate().pe(pe).console.output() {
             assert!(
                 !line.to_lowercase().contains("error"),
                 "PE{} console reports: {line}",
@@ -203,7 +203,7 @@ fn force_pi_integration() {
          END BARRIER\n\
          END FORCESPLIT\n\
          END TASK\n";
-    for secondaries in [0u8, 3, 7] {
+    for secondaries in [0u16, 3, 7] {
         let cluster = if secondaries == 0 {
             ClusterConfig::new(1, 3, 2)
         } else {
@@ -303,7 +303,7 @@ fn windows_partition_matrix() {
     let _ = console;
     // Rows 2..3: (21+22+23+24)+(31+32+33+34) = 90+130 = 220.
     std::thread::sleep(Duration::from_millis(100));
-    let pe3 = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    let pe3 = p.substrate().pe(PeId::new(p.substrate().topology().first_task_pe).unwrap()).console.output();
     assert!(
         pe3.iter().any(|l| l.contains("BANDSUM(220)")),
         "user terminal sees the band sum: {pe3:?}"

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn run_program(source: &str) -> (Vec<String>, Arc<Pisces>) {
-    let p = Pisces::boot(flex32::Flex32::new_shared(), MachineConfig::simple(2, 4)).unwrap();
+    let p = Pisces::boot(MachineConfig::simple(2, 4)).unwrap();
     let prog = FortranProgram::parse(source).unwrap_or_else(|e| panic!("parse: {e}"));
     prog.register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![]).unwrap();
@@ -18,7 +18,7 @@ fn run_program(source: &str) -> (Vec<String>, Arc<Pisces>) {
         p.dump_state()
     );
     let pe = p.config().cluster(1).unwrap().primary_pe;
-    let console = p.flex().pe(flex32::PeId::new(pe).unwrap()).console.output();
+    let console = p.substrate().pe(PeId::new(pe).unwrap()).console.output();
     (console, p)
 }
 
@@ -119,7 +119,6 @@ fn stop_terminates_through_call_depth() {
 #[test]
 fn stop_inside_force_ends_task() {
     let p = Pisces::boot(
-        flex32::Flex32::new_shared(),
         MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=6)]).build(),
     )
     .unwrap();
@@ -139,7 +138,7 @@ fn stop_inside_force_ends_task() {
     prog.register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![]).unwrap();
     assert!(p.wait_quiescent(Duration::from_secs(30)));
-    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    let console = p.substrate().pe(PeId::new(p.substrate().topology().first_task_pe).unwrap()).console.output();
     assert!(!console.iter().any(|l| l == "NEVER"));
     p.shutdown();
 }
@@ -162,7 +161,6 @@ fn intrinsic_library() {
 #[test]
 fn window_intrinsics_and_force_intrinsics() {
     let p = Pisces::boot(
-        flex32::Flex32::new_shared(),
         MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=5)]).build(),
     )
     .unwrap();
@@ -187,7 +185,9 @@ fn window_intrinsics_and_force_intrinsics() {
     prog.register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![]).unwrap();
     assert!(p.wait_quiescent(Duration::from_secs(30)));
-    let console = p.flex().pe(flex32::PeId::new(3).unwrap()).console.output();
+    // The cluster is pinned at PE 3 above, so the console lives there on
+    // any substrate.
+    let console = p.substrate().pe(PeId::new(3).unwrap()).console.output();
     assert!(console.contains(&"DIMS 3 2".to_string()));
     // Members 1,2,3 of a force of 3: (100+3)+(200+3)+(300+3) = 609.
     assert!(console.contains(&"SUM 609".to_string()), "{console:?}");

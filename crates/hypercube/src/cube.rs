@@ -1,6 +1,6 @@
 //! The cube: nodes, links, e-cube routing, message delivery.
 
-use flex32::clock::TickClock;
+use pisces_substrate::clock::TickClock;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -142,13 +142,13 @@ impl Hypercube {
     /// the sender's clock). With `inj == None` this is exactly `send`.
     pub fn send_with_faults(
         &self,
-        inj: Option<&flex32::fault::FaultInjector>,
+        inj: Option<&pisces_substrate::fault::FaultInjector>,
         from: NodeId,
         to: NodeId,
         mtype: &str,
         words: Vec<u64>,
     ) -> Option<u64> {
-        use flex32::fault::MessageFault;
+        use pisces_substrate::fault::MessageFault;
         match inj.and_then(|i| i.message_action()) {
             Some(MessageFault::Drop) => {
                 // The packet dies partway: the sender forwarded it into
@@ -227,6 +227,41 @@ impl Hypercube {
                 return None;
             }
         }
+    }
+
+    /// Count a `words`-word packet across every link of the e-cube route
+    /// from `from` to `to`, without enqueuing anything. Used by the
+    /// [`crate::machine::HypercubeMachine`] substrate adapter, where
+    /// delivery itself is the PISCES runtime's business and the cube only
+    /// accounts for the physical transport. Returns the hop count.
+    pub fn count_route(&self, from: NodeId, to: NodeId, words: usize) -> u32 {
+        let path = self.route(from, to);
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let dim_bit = (a ^ b).trailing_zeros() as usize;
+            let stats = &self.links[a.min(b)][dim_bit];
+            stats.packets.fetch_add(1, Ordering::Relaxed);
+            stats.words.fetch_add(words as u64, Ordering::Relaxed);
+        }
+        (path.len() - 1) as u32
+    }
+
+    /// Snapshot of every link's counters as `(node, dimension, packets,
+    /// words)`, ascending by node then dimension. The link connects
+    /// `node` to `node ^ (1 << dimension)`; only the lower-numbered
+    /// endpoint appears as `node`.
+    pub fn link_snapshot(&self) -> Vec<(NodeId, usize, u64, u64)> {
+        let mut out = Vec::new();
+        for (node, dims) in self.links.iter().enumerate() {
+            for (dim, stats) in dims.iter().enumerate() {
+                let packets = stats.packets.load(Ordering::Relaxed);
+                let words = stats.words.load(Ordering::Relaxed);
+                if node & (1 << dim) == 0 {
+                    out.push((node, dim, packets, words));
+                }
+            }
+        }
+        out
     }
 
     /// Messages waiting at a node.
@@ -338,7 +373,7 @@ mod tests {
 
     #[test]
     fn fault_plan_drops_and_duplicates_packets() {
-        use flex32::fault::{FaultInjector, FaultPlan};
+        use pisces_substrate::fault::{FaultInjector, FaultPlan};
         let c = Hypercube::new(3);
         let inj = FaultInjector::new(FaultPlan::new(7).drop_message(1).duplicate_message(2));
         // Packet #1 dies on the link; the sender still paid for the hop.
@@ -355,7 +390,7 @@ mod tests {
 
     #[test]
     fn delay_fault_charges_extra_latency() {
-        use flex32::fault::{FaultInjector, FaultPlan};
+        use pisces_substrate::fault::{FaultInjector, FaultPlan};
         let c = Hypercube::new(3);
         let clean = c.send(0, 7, "X", vec![0; 4]);
         let inj = FaultInjector::new(FaultPlan::new(1).delay_message(1, 500));

@@ -14,23 +14,26 @@
 //! * bidirectional links along the cube edges, messages routed e-cube
 //!   (dimension-ordered) with store-and-forward hop costs charged to
 //!   every intermediate node, as on the iPSC/1;
-//! * per-node tick clocks (reusing the [`flex32::clock`] model) and link
+//! * per-node tick clocks (reusing the `pisces-substrate` clock model) and link
 //!   traffic counters;
 //! * **parallel I/O**: a subset of nodes are I/O nodes with attached
 //!   disks; [`pio`] stripes files across them in blocks and serves reads
 //!   and writes from all stripes concurrently — the PISCES 3 emphasis.
 //!
-//! What this crate deliberately is *not*: a second full PISCES runtime.
-//! The virtual machine of the paper (clusters, slots, forces) lives in
-//! `pisces-core`; this substrate demonstrates where its message-passing
-//! layer would land on distributed-memory hardware, and measurably *why*
-//! the PISCES 3 design brief says "parallel I/O" (see the
-//! `hypercube_io` experiment and `examples/pisces3_preview.rs`).
+//! Since the substrate refactor this crate is a first-class PISCES
+//! backend: [`machine::HypercubeMachine`] implements
+//! [`pisces_substrate::Substrate`], so the full virtual machine of the
+//! paper (clusters, slots, forces, windows) runs on a cube unmodified —
+//! with every message additionally paying the e-cube store-and-forward
+//! route cost and showing up in per-link traffic counters. The raw
+//! [`cube`] model and [`pio`] striping remain available directly.
 
 pub mod cube;
+pub mod machine;
 pub mod pio;
 
 pub use cube::{Hypercube, NodeId, Packet};
+pub use machine::HypercubeMachine;
 pub use pio::StripedFile;
 
 /// Per-hop fixed routing cost in ticks (kernel entry + link setup on

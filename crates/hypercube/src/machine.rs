@@ -1,0 +1,229 @@
+//! The hypercube as a PISCES substrate.
+//!
+//! [`HypercubeMachine`] makes a 2^d-node cube a first-class backend for
+//! the PISCES virtual machine: it embeds the machine-neutral
+//! [`MachineCore`] (PEs, clocks, arena, pool, faults) plus a [`Hypercube`]
+//! for the machine's *shape* — e-cube routing, per-link traffic counters,
+//! and store-and-forward hop costs.
+//!
+//! PE numbering: PISCES PEs are 1-based, cube nodes 0-based; PE *n* is
+//! node *n − 1*. Every node is a task PE (`first_task_pe == 1`) — a cube
+//! has no Unix front-end processors; host services live off-cube, which
+//! the model represents by letting PE 1 own the file system like any
+//! other PE.
+//!
+//! Cost model: the PISCES runtime charges its uniform send/accept costs
+//! on every substrate; [`Substrate::charge_link`] adds the cube's
+//! transport surcharge on top. A `words`-word message from PE *a* to PE
+//! *b* crosses `hamming(a−1, b−1)` links, and **every forwarding node**
+//! (the sender and each intermediate node, store-and-forward as on the
+//! iPSC/1) pays `HOP_TICKS + WORD_TICKS·words` of its own clock. Charges
+//! go through [`MachineCore::tick`] so slow-PE fault factors and
+//! tick-triggered fault plans apply to routed traffic exactly as they do
+//! to compute.
+//!
+//! The shared-memory arena is retained as the model of aggregate kernel
+//! message/window buffer space (see [`pisces_substrate::Topology`]);
+//! its capacity scales with the node count.
+
+use crate::cube::Hypercube;
+use pisces_substrate::pe::PeId;
+use pisces_substrate::{
+    LinkCost, LinkRecord, LinkTraffic, MachineCore, Substrate, Topology,
+};
+use std::sync::Arc;
+
+/// Local memory per node: 512 KB, the iPSC/1 figure.
+pub const NODE_LOCAL_MEM_BYTES: usize = 512 * 1024;
+
+/// Per-node share of the kernel buffer arena.
+pub const NODE_ARENA_BYTES: usize = 128 * 1024;
+
+/// A 2^d-node hypercube implementing [`Substrate`].
+#[derive(Debug)]
+pub struct HypercubeMachine {
+    core: MachineCore,
+    cube: Hypercube,
+}
+
+impl HypercubeMachine {
+    /// A cube of dimension `dim` (2^dim nodes, `dim ≤ 10`).
+    pub fn new(dim: u32) -> Self {
+        Self {
+            core: MachineCore::new(Self::topology_for(dim)),
+            cube: Hypercube::new(dim),
+        }
+    }
+
+    /// The shape of a dimension-`dim` cube, without building it
+    /// (configuration validation runs against this).
+    pub fn topology_for(dim: u32) -> Topology {
+        assert!(dim >= 1 && dim <= 10, "cube dimension must be 1..=10");
+        let n = 1usize << dim;
+        Topology {
+            name: "hypercube",
+            num_pes: n as u16,
+            first_task_pe: 1,
+            local_mem_bytes: NODE_LOCAL_MEM_BYTES,
+            shared_mem_bytes: NODE_ARENA_BYTES * n,
+        }
+    }
+
+    /// A shared handle to a fresh cube of dimension `dim`.
+    pub fn new_shared(dim: u32) -> Arc<Self> {
+        Arc::new(Self::new(dim))
+    }
+
+    /// Cube dimension.
+    pub fn dim(&self) -> u32 {
+        self.cube.dim()
+    }
+
+    /// The underlying cube model (routing, raw link counters).
+    pub fn cube(&self) -> &Hypercube {
+        &self.cube
+    }
+}
+
+impl Substrate for HypercubeMachine {
+    fn machine(&self) -> &MachineCore {
+        &self.core
+    }
+
+    fn link_cost(&self, src: PeId, dst: PeId) -> LinkCost {
+        let a = (src.number() - 1) as usize;
+        let b = (dst.number() - 1) as usize;
+        LinkCost {
+            hops: self.cube.distance(a, b),
+            hop_ticks: crate::HOP_TICKS,
+            word_ticks: crate::WORD_TICKS,
+        }
+    }
+
+    fn charge_link(&self, src: PeId, dst: PeId, words: usize) -> u32 {
+        let a = (src.number() - 1) as usize;
+        let b = (dst.number() - 1) as usize;
+        if a == b {
+            return 0;
+        }
+        let per_hop = crate::HOP_TICKS + crate::WORD_TICKS * words as u64;
+        let path = self.cube.route(a, b);
+        // Every forwarding node — sender plus intermediates, not the
+        // destination — does the store-and-forward work on its own clock.
+        for &node in &path[..path.len() - 1] {
+            let pe = self
+                .core
+                .pe_n((node + 1) as u16)
+                .expect("route stays on the cube");
+            self.core.tick(pe.id(), per_hop);
+        }
+        self.cube.count_route(a, b, words)
+    }
+
+    fn link_stats(&self) -> Option<LinkTraffic> {
+        let mut links = Vec::new();
+        for (node, dim, packets, words) in self.cube.link_snapshot() {
+            if packets == 0 && words == 0 {
+                continue;
+            }
+            links.push(LinkRecord {
+                src: (node + 1) as u16,
+                dst: ((node ^ (1 << dim)) + 1) as u16,
+                packets,
+                words,
+            });
+        }
+        links.sort_by_key(|l| (l.src, l.dst));
+        Some(LinkTraffic { links })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim7_machine_has_128_task_pes() {
+        let m = HypercubeMachine::new(7);
+        assert_eq!(m.pes().len(), 128);
+        assert_eq!(m.topology().task_pes(), 128, "every node hosts tasks");
+        assert_eq!(m.topology().first_task_pe, 1);
+        assert_eq!(m.name(), "hypercube");
+    }
+
+    #[test]
+    fn charge_link_bills_every_forwarding_node() {
+        let m = HypercubeMachine::new(3);
+        // PE 1 = node 0, PE 4 = node 3: route 000 → 001 → 011, so nodes
+        // 0 and 1 forward; node 3 pays nothing here.
+        let src = m.pe_n(1).unwrap().id();
+        let dst = m.pe_n(4).unwrap().id();
+        let hops = m.charge_link(src, dst, 4);
+        assert_eq!(hops, 2);
+        let per_hop = crate::HOP_TICKS + 4 * crate::WORD_TICKS;
+        assert_eq!(m.pe_n(1).unwrap().clock.now(), per_hop);
+        assert_eq!(m.pe_n(2).unwrap().clock.now(), per_hop);
+        assert_eq!(m.pe_n(4).unwrap().clock.now(), 0);
+        assert_eq!(m.pe_n(3).unwrap().clock.now(), 0, "not on the route");
+    }
+
+    #[test]
+    fn self_send_is_free_of_hops() {
+        let m = HypercubeMachine::new(3);
+        let pe = m.pe_n(5).unwrap().id();
+        assert_eq!(m.charge_link(pe, pe, 100), 0);
+        assert_eq!(m.pe(pe).clock.now(), 0);
+    }
+
+    #[test]
+    fn link_cost_reports_hamming_distance() {
+        let m = HypercubeMachine::new(4);
+        let a = m.pe_n(1).unwrap().id(); // node 0b0000
+        let b = m.pe_n(16).unwrap().id(); // node 0b1111
+        let c = m.link_cost(a, b);
+        assert_eq!(c.hops, 4);
+        assert_eq!(c.hop_ticks, crate::HOP_TICKS);
+        assert_eq!(c.word_ticks, crate::WORD_TICKS);
+        assert_eq!(c.ticks_for(8), 4 * (crate::HOP_TICKS + 8 * crate::WORD_TICKS));
+    }
+
+    #[test]
+    fn link_stats_expose_per_link_traffic() {
+        let m = HypercubeMachine::new(3);
+        let src = m.pe_n(1).unwrap().id();
+        let dst = m.pe_n(2).unwrap().id(); // one hop across dimension 0
+        m.charge_link(src, dst, 10);
+        m.charge_link(src, dst, 10);
+        let stats = m.link_stats().unwrap();
+        assert_eq!(stats.links.len(), 1);
+        let l = &stats.links[0];
+        assert_eq!((l.src, l.dst), (1, 2));
+        assert_eq!(l.packets, 2);
+        assert_eq!(l.words, 20);
+        assert_eq!(stats.total_packets(), 2);
+    }
+
+    #[test]
+    fn slow_fault_applies_to_forwarding_charges() {
+        use pisces_substrate::FaultPlan;
+        let m = HypercubeMachine::new(2);
+        // Slow PE 1 (node 0) by 2× from tick 0 on.
+        m.arm_faults(FaultPlan::new(1).slow_pe(1, 0, 2));
+        let src = m.pe_n(1).unwrap().id();
+        m.tick(src, 1); // fire the trigger
+        let before = m.pe(src).clock.now();
+        let dst = m.pe_n(2).unwrap().id();
+        m.charge_link(src, dst, 0);
+        let charged = m.pe(src).clock.now() - before;
+        assert_eq!(charged, 2 * crate::HOP_TICKS, "hop cost is fault-scaled");
+    }
+
+    #[test]
+    fn trait_object_boots_a_256_node_cube() {
+        let m: Arc<dyn Substrate> = HypercubeMachine::new_shared(8);
+        assert_eq!(m.pes().len(), 256);
+        let a = m.pe_n(1).unwrap().id();
+        let z = m.pe_n(256).unwrap().id();
+        assert_eq!(m.charge_link(a, z, 1), 8, "opposite corners are 8 hops");
+    }
+}

@@ -1,7 +1,8 @@
 //! `piscesd` — the PISCES machine as a daemon.
 //!
-//! Boots one virtual FLEX/32 and serves job submissions over a socket
-//! until told to drain:
+//! Boots one virtual PISCES machine (a FLEX/32 by default, or a
+//! hypercube via `--substrate`) and serves job submissions over a
+//! socket until told to drain:
 //!
 //! ```text
 //! piscesd --listen 127.0.0.1:7070 --programs programs --tenants acme=3,batch=1
@@ -29,6 +30,7 @@ struct Options {
     job_timeout_secs: u64,
     clusters: u8,
     slots: u8,
+    substrate: Option<pisces_core::substrate::SubstrateSpec>,
     msg_backend: Option<pisces_core::prelude::MsgBackend>,
     pin_pes: bool,
     telemetry_port: Option<u16>,
@@ -52,6 +54,7 @@ fn usage() -> ! {
            --job-timeout <s>      per-job quiescence timeout in seconds (default 60)\n\
            --clusters <n>         clusters per job configuration (default 2)\n\
            --slots <n>            user slots per cluster (default 4)\n\
+           --substrate <s>        machine substrate: flex32[:pes] (default) or hypercube[:dim]\n\
            --msg-backend <b>      in-queue backend: mutex (default), mpsc, or spsc\n\
            --pin-pes              pin simulated-PE threads to fixed cores\n\
            --telemetry-port <n>   serve live OpenMetrics on 127.0.0.1:<n> (0 = ephemeral)\n\
@@ -74,6 +77,7 @@ fn parse_args() -> Options {
         job_timeout_secs: 60,
         clusters: 2,
         slots: 4,
+        substrate: None,
         msg_backend: None,
         pin_pes: false,
         telemetry_port: None,
@@ -119,6 +123,14 @@ fn parse_args() -> Options {
             }
             "--slots" => {
                 o.slots = need(&mut args, "--slots").parse().unwrap_or_else(|_| usage())
+            }
+            "--substrate" => {
+                o.substrate = Some(need(&mut args, "--substrate").parse().unwrap_or_else(
+                    |e: pisces_core::error::PiscesError| {
+                        eprintln!("piscesd: {e}");
+                        usage()
+                    },
+                ))
             }
             "--msg-backend" => {
                 o.msg_backend = Some(need(&mut args, "--msg-backend").parse().unwrap_or_else(
@@ -191,6 +203,9 @@ fn main() {
     let o = parse_args();
 
     let mut machine = pisces_core::prelude::MachineConfig::simple(o.clusters, o.slots);
+    if let Some(spec) = o.substrate {
+        machine.substrate = spec;
+    }
     if let Some(b) = o.msg_backend {
         machine.msg_backend = b;
     }
@@ -214,7 +229,7 @@ fn main() {
         drain_timeout: Duration::from_secs(o.drain_timeout_secs),
         trace_dir: o.trace_dir.clone().map(Into::into),
         fault_plan: o.fault_seed.map(|seed| {
-            flex32::fault::FaultPlan::random(seed, &[2, 3, 4, 5], 2_000_000)
+            pisces_core::prelude::FaultPlan::random(seed, &[2, 3, 4, 5], 2_000_000)
         }),
         echo: o.echo,
     };

@@ -22,8 +22,9 @@
 use crate::admission::{AdmissionPolicy, RejectReason};
 use crate::protocol::{JobReply, ProgramRef, StatusReply, TenantStatus};
 use crate::scheduler::{FairScheduler, TenantWeights};
-use flex32::fault::FaultPlan;
-use flex32::{Flex32, PeId};
+use pisces_core::substrate::Substrate;
+use pisces_substrate::fault::FaultPlan;
+use pisces_substrate::pe::PeId;
 use parking_lot::{Condvar, Mutex};
 use pisces_config::{ProgramLibrary, ProgramLookupError};
 use pisces_core::config::MachineConfig;
@@ -113,7 +114,7 @@ struct QueuedJob {
 
 struct Inner {
     machine: Arc<Pisces>,
-    flex: Arc<Flex32>,
+    sub: Arc<dyn Substrate>,
     queue: FairScheduler<QueuedJob>,
     running: Option<(String, u64)>,
     draining: bool,
@@ -136,19 +137,19 @@ pub struct JobService {
     reboots: AtomicU64,
 }
 
-fn boot_machine(cfg: &ServiceConfig) -> Result<(Arc<Flex32>, Arc<Pisces>), RejectReason> {
-    let flex = Flex32::new_shared();
+fn boot_machine(cfg: &ServiceConfig) -> Result<(Arc<dyn Substrate>, Arc<Pisces>), RejectReason> {
+    let sub = cfg.machine.substrate.build();
     if let Some(plan) = &cfg.fault_plan {
-        flex.arm_faults(plan.clone());
+        sub.arm_faults(plan.clone());
     }
     if cfg.echo {
-        for pe in PeId::all() {
-            flex.pe(pe).console.set_echo(true);
+        for pe in sub.topology().pe_ids() {
+            sub.pe(pe).console.set_echo(true);
         }
     }
-    let machine = Pisces::boot(flex.clone(), cfg.machine.clone())
+    let machine = Pisces::boot_on(sub.clone(), cfg.machine.clone())
         .map_err(|e| RejectReason::MachineUnavailable(e.to_string()))?;
-    Ok((flex, machine))
+    Ok((sub, machine))
 }
 
 impl JobService {
@@ -157,11 +158,11 @@ impl JobService {
         cfg.machine
             .validate()
             .map_err(|e| RejectReason::MachineUnavailable(e.to_string()))?;
-        let (flex, machine) = boot_machine(&cfg)?;
+        let (sub, machine) = boot_machine(&cfg)?;
         let svc = Arc::new(Self {
             inner: Mutex::new(Inner {
                 machine,
-                flex,
+                sub,
                 queue: FairScheduler::new(cfg.weights.clone()),
                 running: None,
                 draining: false,
@@ -212,7 +213,7 @@ impl JobService {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
-        let shm = inner.flex.shmem.report();
+        let shm = inner.sub.shmem().report();
         if let Err(e) = self.cfg.policy.check_arena(shm.in_use, shm.capacity) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
@@ -251,7 +252,7 @@ impl JobService {
             .into_iter()
             .filter_map(|n| PeId::new(n).ok())
             .map(|pe| {
-                let local = &inner.flex.pe(pe).local;
+                let local = &inner.sub.pe(pe).local;
                 local.capacity() - local.used()
             })
             .min()
@@ -411,13 +412,13 @@ impl JobService {
     /// Run one job on the current machine, then reset it. Never panics:
     /// every failure path produces a `Done` reply with `ok: false`.
     fn run_job(&self, job: &QueuedJob) -> JobOutcome {
-        let (machine, flex) = {
+        let (machine, sub) = {
             let inner = self.inner.lock();
-            (inner.machine.clone(), inner.flex.clone())
+            (inner.machine.clone(), inner.sub.clone())
         };
         let queued_ms = job.enqueued.elapsed().as_millis() as u64;
         let started = Instant::now();
-        let ticks_before = Self::max_ticks(&flex);
+        let ticks_before = Self::max_ticks(&sub);
 
         let mut reply = JobReply {
             job_id: job.id,
@@ -436,7 +437,7 @@ impl JobService {
             &self.cfg.machine,
             &pisces_config::ProgramImage::with_tasktypes(job.program.tasktypes()),
         )
-        .and_then(|lf| lf.download_user_code(&flex).map(|_| lf));
+        .and_then(|lf| lf.download_user_code(&sub).map(|_| lf));
         let loadfile = match load {
             Ok(lf) => lf,
             Err(e) => {
@@ -467,10 +468,10 @@ impl JobService {
         std::thread::sleep(Duration::from_millis(20));
 
         reply.run_ms = started.elapsed().as_millis() as u64;
-        reply.span_ticks = Self::max_ticks(&flex).saturating_sub(ticks_before);
+        reply.span_ticks = Self::max_ticks(&sub).saturating_sub(ticks_before);
         for n in self.cfg.machine.pes_in_use() {
             if let Ok(pe) = PeId::new(n) {
-                reply.output.extend(flex.pe(pe).console.output());
+                reply.output.extend(sub.pe(pe).console.output());
             }
         }
         let stats = machine.finish_job(reply.ok);
@@ -492,7 +493,7 @@ impl JobService {
         // Return the user image reservation.
         for n in &loadfile.pes {
             if let Ok(pe) = PeId::new(*n) {
-                flex.pe(pe).local.release(loadfile.user_bytes);
+                sub.pe(pe).local.release(loadfile.user_bytes);
             }
         }
 
@@ -523,9 +524,9 @@ impl JobService {
             .spawn(move || retiring.shutdown())
             .ok();
         match boot_machine(&self.cfg) {
-            Ok((flex, machine)) => {
+            Ok((sub, machine)) => {
                 let mut inner = self.inner.lock();
-                inner.flex = flex;
+                inner.sub = sub;
                 inner.machine = machine;
             }
             Err(e) => {
@@ -543,8 +544,8 @@ impl JobService {
         }
     }
 
-    fn max_ticks(flex: &Arc<Flex32>) -> u64 {
-        flex.pes().iter().map(|pe| pe.clock.now()).max().unwrap_or(0)
+    fn max_ticks(sub: &Arc<dyn Substrate>) -> u64 {
+        sub.pes().iter().map(|pe| pe.clock.now()).max().unwrap_or(0)
     }
 }
 

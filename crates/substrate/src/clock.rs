@@ -45,8 +45,8 @@ impl TickClock {
 /// A clock reading as it appears in a trace line: PE number plus tick count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClockReading {
-    /// PE the reading was taken on (1–20).
-    pub pe: u8,
+    /// PE the reading was taken on.
+    pub pe: u16,
     /// Tick count of that PE's clock.
     pub ticks: u64,
 }

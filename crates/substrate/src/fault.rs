@@ -1,4 +1,4 @@
-//! Fault injection for the simulated FLEX/32.
+//! Deterministic fault injection for simulated machines.
 //!
 //! The real machine could lose a PE, drop a packet on the common bus, or
 //! run out of shared memory mid-run; the healthy model in the rest of this
@@ -116,15 +116,15 @@ impl FaultCell {
 pub enum FaultAction {
     /// Fail-stop PE `pe` when virtual time reaches `at_tick`.
     FailPe {
-        /// Target PE number (1–20).
-        pe: u8,
+        /// Target PE number.
+        pe: u16,
         /// Trigger tick (compared against every clock advance).
         at_tick: u64,
     },
     /// Slow PE `pe` by `factor`× when virtual time reaches `at_tick`.
     SlowPe {
-        /// Target PE number (1–20).
-        pe: u8,
+        /// Target PE number.
+        pe: u16,
         /// Trigger tick.
         at_tick: u64,
         /// Tick multiplier applied to all subsequent work on the PE.
@@ -232,13 +232,13 @@ impl FaultPlan {
     }
 
     /// Schedule a fail-stop of `pe` at `at_tick`.
-    pub fn fail_pe(mut self, pe: u8, at_tick: u64) -> Self {
+    pub fn fail_pe(mut self, pe: u16, at_tick: u64) -> Self {
         self.actions.push(FaultAction::FailPe { pe, at_tick });
         self
     }
 
     /// Schedule slowing `pe` by `factor`× at `at_tick`.
-    pub fn slow_pe(mut self, pe: u8, at_tick: u64, factor: u32) -> Self {
+    pub fn slow_pe(mut self, pe: u16, at_tick: u64, factor: u32) -> Self {
         self.actions.push(FaultAction::SlowPe {
             pe,
             at_tick,
@@ -274,7 +274,7 @@ impl FaultPlan {
     /// A pseudo-random plan derived entirely from `seed`: 1–4 actions
     /// drawn over `pes` with trigger ticks below `max_tick` and message
     /// ordinals below 64. The same seed always yields the same plan.
-    pub fn random(seed: u64, pes: &[u8], max_tick: u64) -> Self {
+    pub fn random(seed: u64, pes: &[u16], max_tick: u64) -> Self {
         let mut s = seed;
         let n = 1 + (splitmix64(&mut s) % 4) as usize;
         let mut plan = Self::new(seed);
@@ -316,9 +316,9 @@ impl fmt::Display for FaultEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TickFault {
     /// Fail-stop the named PE.
-    Fail(u8),
+    Fail(u16),
     /// Slow the named PE by the factor.
-    Slow(u8, u32),
+    Slow(u16, u32),
 }
 
 /// Observer invoked once per fired event (used by the runtime to emit
@@ -469,7 +469,7 @@ impl FaultInjector {
 
     /// The fired fail-stop event for a PE, if one fired (used to attach
     /// the fault event to `PeFailed` errors and fault notices).
-    pub fn event_for_pe(&self, pe: u8) -> Option<FaultEvent> {
+    pub fn event_for_pe(&self, pe: u16) -> Option<FaultEvent> {
         self.fired_events()
             .into_iter()
             .find(|e| matches!(e.action, FaultAction::FailPe { pe: p, .. } if p == pe))
@@ -478,7 +478,7 @@ impl FaultInjector {
     /// Whether the plan schedules a fail-stop of `pe` (fired or not).
     /// Watchdogs use this to classify a stall as fault-induced rather
     /// than a genuine deadlock.
-    pub fn plan_fails_pe(&self, pe: u8) -> bool {
+    pub fn plan_fails_pe(&self, pe: u16) -> bool {
         self.plan
             .actions
             .iter()
@@ -487,8 +487,8 @@ impl FaultInjector {
 
     /// Every PE the plan schedules a fail-stop for, ascending and
     /// deduplicated.
-    pub fn planned_pe_failures(&self) -> Vec<u8> {
-        let mut v: Vec<u8> = self
+    pub fn planned_pe_failures(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self
             .plan
             .actions
             .iter()

@@ -1,0 +1,251 @@
+//! # pisces-substrate — the machine-neutral layer under the PISCES VM
+//!
+//! The paper's core claim is portability: "the PISCES environment provides
+//! a virtual machine" so the same program runs on different hardware. This
+//! crate is the seam that makes the claim true in this reproduction. It
+//! owns everything every simulated machine shares —
+//!
+//! * [`pe`]: processing elements with tick clocks, CPU tokens, byte-
+//!   accounted local memory, consoles, and fault cells;
+//! * [`shmem`]: the first-fit shared-memory arena with tag-segregated
+//!   storage accounting (paper Section 13);
+//! * [`pool`]: per-PE size-class magazines in front of the arena;
+//! * [`fault`]: deterministic seeded fault plans and the armed injector;
+//! * [`mmos`], [`fs`], [`cpu`], [`clock`], [`affinity`]: process tables,
+//!   files, CPU arbitration, virtual time, and thread pinning;
+//! * [`machine::MachineCore`]: the assembled machine body built from a
+//!   [`topology::Topology`];
+//!
+//! — and the [`Substrate`] trait that concrete machines implement. The
+//! `flex32` crate implements it for the 20-PE shared-bus FLEX/32; the
+//! `pisces3-hypercube` crate implements it for 2^d-node cubes with e-cube
+//! routed links. `pisces-core` programs against `Arc<dyn Substrate>` and
+//! never names a concrete machine.
+//!
+//! Concurrency model: the simulated machine is driven by ordinary OS
+//! threads. A thread that wants to execute *on* a PE must hold that PE's
+//! CPU token ([`cpu::CpuToken`]); tasks multiprogrammed on one PE
+//! serialize at runtime-call granularity, while activities on distinct
+//! PEs run genuinely in parallel.
+
+pub mod affinity;
+pub mod clock;
+pub mod cpu;
+pub mod fault;
+pub mod fs;
+pub mod machine;
+pub mod mmos;
+pub mod pe;
+pub mod pool;
+pub mod shmem;
+pub mod topology;
+
+pub use fault::{
+    FaultAction, FaultCell, FaultEvent, FaultInjector, FaultPlan, MessageFault, PeFaultState,
+};
+pub use machine::MachineCore;
+pub use pe::{ActivityCell, Pe, PeError, PeId, PeKind};
+pub use pool::{PoolReport, ShmPool};
+pub use shmem::{SharedMemory, ShmError, ShmHandle, ShmReport, ShmTag};
+pub use topology::{LinkCost, LinkRecord, LinkTraffic, Topology};
+
+use std::sync::Arc;
+
+/// A concrete machine the PISCES VM can run on.
+///
+/// The trait splits a machine into two parts. The *body* — PEs, clocks,
+/// arena, pool, process tables, fault injector — is identical on every
+/// machine and lives in the embedded [`MachineCore`]; the provided
+/// methods below delegate to it, so a backend implements exactly one
+/// required method plus whatever its *shape* changes: the link-cost
+/// model ([`Substrate::charge_link`] / [`Substrate::link_cost`]) and,
+/// for machines with discrete links, traffic export
+/// ([`Substrate::link_stats`]).
+///
+/// The contract every implementation must honour:
+///
+/// * **Topology is fixed at construction.** `machine().topology()` never
+///   changes; all per-PE state is sized from it.
+/// * **`charge_link` is the only network surcharge.** The runtime charges
+///   its own uniform send/accept costs; a substrate adds the machine-
+///   specific transport cost on top (zero on a bus, per-hop store-and-
+///   forward on a cube) by advancing the clocks of the PEs that do the
+///   forwarding work, and returns the hop count for trace/metrics.
+/// * **Determinism.** Given the same sequence of calls, clock charges and
+///   fault firings must be reproducible — charge via [`MachineCore::tick`]
+///   so slow-PE factors and tick-triggered faults apply uniformly.
+pub trait Substrate: Send + Sync + std::fmt::Debug {
+    /// The machine-neutral body.
+    fn machine(&self) -> &MachineCore;
+
+    /// The transport cost between two PEs for a `words`-word message,
+    /// without charging it.
+    fn link_cost(&self, _src: PeId, _dst: PeId) -> LinkCost {
+        LinkCost::default()
+    }
+
+    /// Charge the machine-specific transport cost of moving a
+    /// `words`-word message from `src` to `dst`, advancing the clocks of
+    /// every PE that forwards it. Returns the number of store-and-forward
+    /// hops charged (0 on a shared-bus machine, where delivery is a
+    /// shared-memory reference already covered by the runtime's uniform
+    /// send cost).
+    fn charge_link(&self, _src: PeId, _dst: PeId, _words: usize) -> u32 {
+        0
+    }
+
+    /// Per-physical-link traffic counters, for substrates that model
+    /// discrete links. Bus machines return `None`.
+    fn link_stats(&self) -> Option<LinkTraffic> {
+        None
+    }
+
+    // ---- provided delegates over the machine body ----
+
+    /// The machine's shape.
+    fn topology(&self) -> &Topology {
+        self.machine().topology()
+    }
+
+    /// Substrate family name (`"flex32"`, `"hypercube"`, …).
+    fn name(&self) -> &'static str {
+        self.machine().topology().name
+    }
+
+    /// Access a PE by id (panics beyond machine size; see
+    /// [`Substrate::pe_n`] for checked lookup).
+    fn pe(&self, id: PeId) -> &Pe {
+        self.machine().pe(id)
+    }
+
+    /// Access a PE by raw number, checked against the machine size.
+    fn pe_n(&self, n: u16) -> Result<&Pe, PeError> {
+        self.machine().pe_n(n)
+    }
+
+    /// All PEs in order.
+    fn pes(&self) -> &[Pe] {
+        self.machine().pes()
+    }
+
+    /// Process table of a PE.
+    fn procs(&self, id: PeId) -> &mmos::ProcessTable {
+        self.machine().procs(id)
+    }
+
+    /// The shared-memory arena.
+    fn shmem(&self) -> &SharedMemory {
+        self.machine().shmem()
+    }
+
+    /// The pool front-end over the arena.
+    fn pool(&self) -> &ShmPool {
+        self.machine().pool()
+    }
+
+    /// The machine's file system.
+    fn fs(&self) -> &FileSystem {
+        self.machine().fs()
+    }
+
+    /// Charge `ticks` of work to a PE's clock (fault-aware).
+    fn tick(&self, id: PeId, ticks: u64) -> u64 {
+        self.machine().tick(id, ticks)
+    }
+
+    /// Pooled shared-memory allocation on behalf of `pe`.
+    fn shm_alloc(
+        &self,
+        pe: PeId,
+        bytes: usize,
+        tag: ShmTag,
+    ) -> Result<(ShmHandle, bool), ShmError> {
+        self.machine().shm_alloc(pe, bytes, tag)
+    }
+
+    /// Pooled shared-memory free on behalf of `pe`.
+    fn shm_free(&self, pe: PeId, handle: ShmHandle, tag: ShmTag) -> Result<(), ShmError> {
+        self.machine().shm_free(pe, handle, tag)
+    }
+
+    /// Arm a fault plan.
+    fn arm_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        self.machine().arm_faults(plan)
+    }
+
+    /// Disarm fault injection and heal every PE.
+    fn disarm_faults(&self) {
+        self.machine().disarm_faults()
+    }
+
+    /// The armed injector, if any.
+    fn faults(&self) -> Option<Arc<FaultInjector>> {
+        self.machine().faults()
+    }
+
+    /// Whether a fault plan is armed (one relaxed load).
+    fn faults_armed(&self) -> bool {
+        self.machine().faults_armed()
+    }
+
+    /// Fail-stop a PE now.
+    fn fail_pe(&self, n: u16) {
+        self.machine().fail_pe(n)
+    }
+
+    /// Reboot the task PEs between runs (service PEs and files persist).
+    fn reboot(&self) {
+        self.machine().reboot_task_pes()
+    }
+}
+
+// Imported so the provided `fs()` delegate can name the type.
+use crate::fs::FileSystem;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Bus(MachineCore);
+
+    impl Substrate for Bus {
+        fn machine(&self) -> &MachineCore {
+            &self.0
+        }
+    }
+
+    fn bus() -> Bus {
+        Bus(MachineCore::new(Topology {
+            name: "bus",
+            num_pes: 4,
+            first_task_pe: 1,
+            local_mem_bytes: 1 << 16,
+            shared_mem_bytes: 1 << 16,
+        }))
+    }
+
+    #[test]
+    fn default_link_model_is_free() {
+        let b = bus();
+        let a = b.pe_n(1).unwrap().id();
+        let z = b.pe_n(4).unwrap().id();
+        assert_eq!(b.charge_link(a, z, 100), 0);
+        assert_eq!(b.link_cost(a, z), LinkCost::default());
+        assert!(b.link_stats().is_none());
+        assert_eq!(b.pe(a).clock.now(), 0, "no clock charge on a bus");
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let b: Arc<dyn Substrate> = Arc::new(bus());
+        assert_eq!(b.name(), "bus");
+        assert_eq!(b.pes().len(), 4);
+        let pe = b.pe_n(2).unwrap().id();
+        assert_eq!(b.tick(pe, 9), 9);
+        let (h, _) = b.shm_alloc(pe, 16, ShmTag::Other).unwrap();
+        b.shm_free(pe, h, ShmTag::Other).unwrap();
+        b.reboot();
+        assert_eq!(b.pe(pe).clock.now(), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The machine-neutral body of a simulated multicomputer.
+//!
+//! Every PISCES substrate — the FLEX/32 bus machine, the hypercube — owns
+//! the same inventory: a vector of PEs with clocks and local memory, per-PE
+//! process tables, a shared-memory arena with a per-PE pool front-end, a
+//! file system, and an armable fault injector. [`MachineCore`] bundles that
+//! inventory plus the logic that used to live on `Flex32` directly (tick
+//! charging with fault interposition, pooled allocation with planned OOM,
+//! fail-stop, reboot), so a concrete substrate is the core plus whatever
+//! the machine's *shape* adds: a topology and a link-cost model.
+
+use crate::fault::{FaultInjector, FaultPlan, TickFault};
+use crate::fs::FileSystem;
+use crate::mmos::ProcessTable;
+use crate::pe::{Pe, PeError, PeId, PeKind};
+use crate::pool::ShmPool;
+use crate::shmem::{SharedMemory, ShmError, ShmHandle, ShmTag};
+use crate::topology::Topology;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The assembled machine-neutral machine body. Concrete substrates embed
+/// one and expose it through [`crate::Substrate::machine`].
+pub struct MachineCore {
+    topology: Topology,
+    pes: Vec<Pe>,
+    procs: Vec<ProcessTable>,
+    shmem: SharedMemory,
+    pool: ShmPool,
+    fs: FileSystem,
+    /// Armed fault injector, if a chaos plan is active.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
+    /// Fast-path guard: one relaxed load decides whether any fault hook
+    /// runs. False on a healthy machine, so injection costs nothing.
+    faults_armed: AtomicBool,
+}
+
+impl std::fmt::Debug for MachineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineCore")
+            .field("topology", &self.topology)
+            .field("shmem", &self.shmem)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MachineCore {
+    /// Build the machine body described by `topology`: one PE per id
+    /// (service kind below `first_task_pe`, task kind at or above it),
+    /// empty process tables, a zeroed arena of `shared_mem_bytes`, and
+    /// empty pool magazines.
+    pub fn new(topology: Topology) -> Self {
+        let pes: Vec<Pe> = topology
+            .pe_ids()
+            .map(|id| {
+                let kind = if topology.is_task_pe(id.number()) {
+                    PeKind::Task
+                } else {
+                    PeKind::Service
+                };
+                Pe::new(id, kind, topology.local_mem_bytes)
+            })
+            .collect();
+        let n = pes.len();
+        Self {
+            pes,
+            procs: (0..n).map(|_| ProcessTable::new()).collect(),
+            shmem: SharedMemory::with_capacity(topology.shared_mem_bytes),
+            pool: ShmPool::new(n),
+            fs: FileSystem::new(),
+            faults: RwLock::new(None),
+            faults_armed: AtomicBool::new(false),
+            topology,
+        }
+    }
+
+    /// The machine's shape.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Access a PE by id. Panics if `id` names a PE beyond this machine's
+    /// size; use [`MachineCore::pe_n`] for checked lookup.
+    pub fn pe(&self, id: PeId) -> &Pe {
+        &self.pes[(id.number() - 1) as usize]
+    }
+
+    /// Access a PE by raw number, checked against this machine's size.
+    pub fn pe_n(&self, n: u16) -> Result<&Pe, PeError> {
+        if !self.topology.contains(n) {
+            return Err(PeError::NoSuchPe(n));
+        }
+        Ok(&self.pes[(n - 1) as usize])
+    }
+
+    /// All PEs in order.
+    pub fn pes(&self) -> &[Pe] {
+        &self.pes
+    }
+
+    /// Process table of a PE.
+    pub fn procs(&self, id: PeId) -> &ProcessTable {
+        &self.procs[(id.number() - 1) as usize]
+    }
+
+    /// The shared-memory arena.
+    pub fn shmem(&self) -> &SharedMemory {
+        &self.shmem
+    }
+
+    /// The per-PE pool front-end over the arena.
+    pub fn pool(&self) -> &ShmPool {
+        &self.pool
+    }
+
+    /// The machine's file system (maintained by the service PEs).
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Allocate shared memory through `pe`'s allocation pool. Returns the
+    /// handle and whether the request was a magazine hit (no global heap
+    /// lock taken).
+    pub fn shm_alloc(
+        &self,
+        pe: PeId,
+        bytes: usize,
+        tag: ShmTag,
+    ) -> Result<(ShmHandle, bool), ShmError> {
+        if self.faults_armed.load(Ordering::Relaxed) {
+            if let Some(e) = self.alloc_fault(bytes) {
+                return Err(e);
+            }
+        }
+        self.pool
+            .alloc(&self.shmem, (pe.number() - 1) as usize, bytes, tag)
+    }
+
+    /// Slow path of [`MachineCore::shm_alloc`]: consult the armed plan's
+    /// allocation-ordinal faults and synthesise an out-of-memory error
+    /// reporting the arena's *real* occupancy.
+    #[cold]
+    fn alloc_fault(&self, bytes: usize) -> Option<ShmError> {
+        let inj = self.faults.read().clone()?;
+        if inj.alloc_should_fail() {
+            Some(self.shmem.synthetic_oom(bytes))
+        } else {
+            None
+        }
+    }
+
+    /// Free shared memory through `pe`'s allocation pool. `tag` must be
+    /// the tag the block was allocated with (magazines are tag-segregated).
+    pub fn shm_free(&self, pe: PeId, handle: ShmHandle, tag: ShmTag) -> Result<(), ShmError> {
+        self.pool
+            .free(&self.shmem, (pe.number() - 1) as usize, handle, tag)
+    }
+
+    /// Reboot the task PEs between runs, as the FLEX does with its MMOS
+    /// PEs: clear process tables, local-memory reservations, clocks, and
+    /// consoles. (Service PEs and the file system persist across runs.)
+    /// The allocation pool is flushed so the arena starts the run with
+    /// truthful accounting.
+    pub fn reboot_task_pes(&self) {
+        self.pool.flush(&self.shmem);
+        for id in self.topology.task_pe_ids() {
+            let pe = self.pe(id);
+            let used = pe.local.used();
+            if used > 0 {
+                pe.local.release(used);
+            }
+            pe.clock.reset();
+            pe.console.clear();
+            self.procs(id).reboot();
+        }
+    }
+
+    /// Charge `ticks` of work to a PE's clock and return the new reading.
+    pub fn tick(&self, id: PeId, ticks: u64) -> u64 {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return self.pe(id).clock.advance(ticks);
+        }
+        self.tick_faulty(id, ticks)
+    }
+
+    /// Slow path of [`MachineCore::tick`] when a fault plan is armed: the
+    /// ticks are multiplied by the PE's slow factor, and the new reading
+    /// is checked against the plan's tick-triggered faults (any PE
+    /// crossing a trigger fires it — a blocked or dead PE never reads its
+    /// own clock).
+    #[cold]
+    fn tick_faulty(&self, id: PeId, ticks: u64) -> u64 {
+        let pe = self.pe(id);
+        let charged = ticks.saturating_mul(pe.fault.slow_factor());
+        let now = pe.clock.advance(charged);
+        if let Some(inj) = self.faults.read().as_ref() {
+            if inj.tick_faults_pending() {
+                for fault in inj.on_tick(now) {
+                    match fault {
+                        TickFault::Fail(n) => self.fail_pe(n),
+                        TickFault::Slow(n, factor) => {
+                            if let Ok(target) = self.pe_n(n) {
+                                target.fault.slow(factor);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        now
+    }
+
+    /// Arm a fault plan: all subsequent ticks, sends, and allocations are
+    /// checked against it. Returns the injector so callers can register an
+    /// observer and read the fired-event trace.
+    pub fn arm_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = Arc::new(FaultInjector::new(plan));
+        *self.faults.write() = Some(inj.clone());
+        self.faults_armed.store(true, Ordering::Release);
+        inj
+    }
+
+    /// Disarm fault injection and heal every PE (recovery: the machine is
+    /// serviceable again, though killed processes stay gone).
+    pub fn disarm_faults(&self) {
+        self.faults_armed.store(false, Ordering::Release);
+        *self.faults.write() = None;
+        for pe in &self.pes {
+            pe.fault.heal();
+        }
+    }
+
+    /// The armed injector, if any.
+    pub fn faults(&self) -> Option<Arc<FaultInjector>> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.faults.read().clone()
+    }
+
+    /// Whether a fault plan is armed (one relaxed load).
+    #[inline]
+    pub fn faults_armed(&self) -> bool {
+        self.faults_armed.load(Ordering::Relaxed)
+    }
+
+    /// Fail-stop a PE *now*: mark its fault cell, kill every process on
+    /// it, and flush its pool magazines back to the arena so the
+    /// shared-memory accounting stays truthful (a dead PE cannot hold
+    /// cached blocks). Idempotent; unknown PE numbers are ignored.
+    pub fn fail_pe(&self, n: u16) {
+        let Ok(pe) = self.pe_n(n) else { return };
+        if pe.fault.is_failed() {
+            return;
+        }
+        pe.fault.fail();
+        self.procs(pe.id()).fail_all();
+        self.pool.flush_pe(&self.shmem, (n - 1) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(pes: u16) -> MachineCore {
+        MachineCore::new(Topology {
+            name: "testbox",
+            num_pes: pes,
+            first_task_pe: 3,
+            local_mem_bytes: 1 << 20,
+            shared_mem_bytes: 1 << 18,
+        })
+    }
+
+    #[test]
+    fn builds_to_topology_size() {
+        let m = core(20);
+        assert_eq!(m.pes().len(), 20);
+        assert_eq!(m.pe_n(1).unwrap().id().number(), 1);
+        assert_eq!(m.pe_n(1).unwrap().kind(), PeKind::Service);
+        assert_eq!(m.pe_n(3).unwrap().kind(), PeKind::Task);
+        assert!(m.pe_n(0).is_err());
+        assert!(m.pe_n(21).is_err());
+    }
+
+    #[test]
+    fn scales_beyond_twenty_pes() {
+        let m = core(256);
+        assert_eq!(m.pes().len(), 256);
+        let id = m.pe_n(256).unwrap().id();
+        assert_eq!(m.tick(id, 7), 7);
+        let (h, _) = m.shm_alloc(id, 64, ShmTag::Message).unwrap();
+        m.shm_free(id, h, ShmTag::Message).unwrap();
+    }
+
+    #[test]
+    fn reboot_resets_task_pes_only() {
+        let m = core(8);
+        let service = m.pe_n(1).unwrap().id();
+        let task = m.pe_n(5).unwrap().id();
+        m.pe(service).clock.advance(10);
+        m.pe(task).clock.advance(10);
+        m.pe(task).local.reserve(1000, task).unwrap();
+        m.procs(task).spawn("t");
+        m.reboot_task_pes();
+        assert_eq!(m.pe(service).clock.now(), 10, "service PE untouched");
+        assert_eq!(m.pe(task).clock.now(), 0);
+        assert_eq!(m.pe(task).local.used(), 0);
+        assert_eq!(m.procs(task).live(), 0);
+    }
+
+    #[test]
+    fn armed_fail_pe_fires_from_any_clock() {
+        let m = core(8);
+        m.arm_faults(FaultPlan::new(1).fail_pe(7, 100));
+        let other = m.pe_n(4).unwrap().id();
+        m.tick(other, 99);
+        assert!(!m.pe_n(7).unwrap().fault.is_failed());
+        m.tick(other, 1);
+        assert!(m.pe_n(7).unwrap().fault.is_failed());
+        assert!(m.pe_n(7).unwrap().acquire_cpu().is_err());
+        m.disarm_faults();
+        assert!(m.pe_n(7).unwrap().acquire_cpu().is_ok(), "healed on disarm");
+    }
+
+    #[test]
+    fn fail_pe_flushes_pool_and_keeps_accounting_clean() {
+        let m = core(8);
+        let pe = m.pe_n(5).unwrap().id();
+        let (h, _) = m.shm_alloc(pe, 32, ShmTag::Message).unwrap();
+        m.shm_free(pe, h, ShmTag::Message).unwrap();
+        assert!(m.shmem().report().in_use > 0, "block cached in magazine");
+        m.arm_faults(FaultPlan::new(3).fail_pe(5, 1));
+        m.tick(pe, 1);
+        assert_eq!(m.shmem().report().in_use, 0, "failed PE's magazines flushed");
+        m.shmem().validate().unwrap();
+        assert_eq!(m.procs(pe).live(), 0);
+    }
+
+    #[test]
+    fn planned_alloc_fault_reports_real_occupancy() {
+        let m = core(8);
+        let pe = m.pe_n(5).unwrap().id();
+        m.arm_faults(FaultPlan::new(4).fail_alloc(2));
+        let (h, _) = m.shm_alloc(pe, 32, ShmTag::Other).unwrap();
+        let err = m.shm_alloc(pe, 32, ShmTag::Other).unwrap_err();
+        match err {
+            ShmError::OutOfMemory { requested, free, .. } => {
+                assert_eq!(requested, 32);
+                assert!(free < 1 << 18, "occupancy is real");
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+        m.shm_alloc(pe, 32, ShmTag::Other).unwrap();
+        m.shm_free(pe, h, ShmTag::Other).unwrap();
+        m.shmem().validate().unwrap();
+    }
+}

@@ -1,54 +1,42 @@
 //! Processing elements.
 //!
-//! The FLEX/32 at NASA Langley had 20 PEs. PEs 1 and 2 run Unix (file
-//! system, program development) and are *not* available for PISCES user
-//! tasks; PEs 3–20 run MMOS and are loaded with the PISCES runtime plus the
-//! user program for each run.
+//! A PE is the unit of genuine parallelism on every substrate: it owns a
+//! tick clock, a CPU arbitration token, byte-accounted local memory, a
+//! console, a fault cell, and an activity word for profilers. How many
+//! PEs a machine has, and which of them may host PISCES tasks, is the
+//! machine's [`crate::topology::Topology`], not this module's business —
+//! the FLEX/32 had 20, a dim-8 hypercube has 256.
 
 use crate::clock::{ClockReading, TickClock};
 use crate::cpu::{CpuGuard, CpuToken};
 use crate::fault::FaultCell;
 use crate::mmos::Console;
-use crate::{FIRST_MMOS_PE, LAST_MMOS_PE, LOCAL_MEM_BYTES, NUM_PES};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Identifier of a processing element, 1–20.
+/// Largest PE number any substrate may use. A static bound so PE ids can
+/// be validated without a machine in hand; real machines enforce their
+/// own (smaller) size at lookup time.
+pub const MAX_PE: u16 = 4096;
+
+/// Identifier of a processing element, `1..=`[`MAX_PE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PeId(u8);
+pub struct PeId(u16);
 
 impl PeId {
-    /// Construct a PE id; `n` must be in 1..=20.
-    pub fn new(n: u8) -> Result<Self, PeError> {
-        if (1..=NUM_PES as u8).contains(&n) {
+    /// Construct a PE id; `n` must be in `1..=`[`MAX_PE`]. Whether the PE
+    /// exists on a particular machine is checked at lookup time
+    /// ([`crate::machine::MachineCore::pe_n`]).
+    pub fn new(n: u16) -> Result<Self, PeError> {
+        if (1..=MAX_PE).contains(&n) {
             Ok(Self(n))
         } else {
             Err(PeError::NoSuchPe(n))
         }
     }
 
-    /// The raw PE number (1–20).
-    pub fn number(self) -> u8 {
+    /// The raw PE number.
+    pub fn number(self) -> u16 {
         self.0
-    }
-
-    /// Whether this PE runs MMOS and may host PISCES tasks.
-    pub fn is_mmos(self) -> bool {
-        (FIRST_MMOS_PE..=LAST_MMOS_PE).contains(&self.0)
-    }
-
-    /// Whether this PE runs Unix (PEs 1 and 2).
-    pub fn is_unix(self) -> bool {
-        !self.is_mmos()
-    }
-
-    /// All PE ids on the machine, in order.
-    pub fn all() -> impl Iterator<Item = PeId> {
-        (1..=NUM_PES as u8).map(PeId)
-    }
-
-    /// All MMOS PE ids (3–20), the ones PISCES may use.
-    pub fn mmos() -> impl Iterator<Item = PeId> {
-        (FIRST_MMOS_PE..=LAST_MMOS_PE).map(PeId)
     }
 }
 
@@ -58,24 +46,26 @@ impl std::fmt::Display for PeId {
     }
 }
 
-/// What kernel a PE runs.
+/// What role a PE plays on its machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeKind {
-    /// Unix PE (1 or 2): file system, development, user queueing.
-    Unix,
-    /// MMOS PE (3–20): allocatable to one PISCES run at a time.
-    Mmos,
+    /// Service PE: runs the host OS (the FLEX/32's Unix PEs 1–2), owns
+    /// the file system, and is not allocatable to PISCES tasks.
+    Service,
+    /// Task PE: allocatable to one PISCES run at a time (the FLEX/32's
+    /// MMOS PEs, every node of a hypercube).
+    Task,
 }
 
 /// Errors raised by PE-level operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PeError {
-    /// PE number outside 1–20.
-    NoSuchPe(u8),
-    /// Local memory request exceeded the 1 MB capacity.
+    /// PE number outside the machine (or the static [`MAX_PE`] bound).
+    NoSuchPe(u16),
+    /// Local memory request exceeded the PE's capacity.
     LocalMemoryExhausted {
         /// PE on which the reservation failed.
-        pe: u8,
+        pe: u16,
         /// Bytes requested.
         requested: usize,
         /// Bytes still free.
@@ -85,14 +75,14 @@ pub enum PeError {
     /// anything.
     PeFailed {
         /// The failed PE's number.
-        pe: u8,
+        pe: u16,
     },
 }
 
 impl std::fmt::Display for PeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PeError::NoSuchPe(n) => write!(f, "no such PE: {n} (valid: 1-20)"),
+            PeError::NoSuchPe(n) => write!(f, "no such PE: {n}"),
             PeError::LocalMemoryExhausted {
                 pe,
                 requested,
@@ -108,11 +98,11 @@ impl std::fmt::Display for PeError {
 
 impl std::error::Error for PeError {}
 
-/// Byte-accounted local memory of one PE (1 Mbyte on the FLEX/32).
+/// Byte-accounted local memory of one PE.
 ///
-/// PISCES never shares local memory between PEs, so a capacity counter is a
-/// faithful model; what the paper measures is the *fraction of the 1 MB*
-/// consumed by system code and data.
+/// PISCES never shares local memory between PEs, so a capacity counter is
+/// a faithful model; what the paper measures is the *fraction of the
+/// capacity* consumed by system code and data.
 #[derive(Debug)]
 pub struct LocalMemory {
     capacity: usize,
@@ -120,14 +110,16 @@ pub struct LocalMemory {
 }
 
 impl LocalMemory {
-    fn new() -> Self {
+    /// Empty local memory of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
         Self {
-            capacity: LOCAL_MEM_BYTES,
+            capacity,
             used: AtomicUsize::new(0),
         }
     }
 
-    /// Reserve `bytes` of local memory. Fails if the PE would exceed 1 MB.
+    /// Reserve `bytes` of local memory. Fails if the PE would exceed its
+    /// capacity.
     pub fn reserve(&self, bytes: usize, pe: PeId) -> Result<(), PeError> {
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
@@ -160,7 +152,7 @@ impl LocalMemory {
         self.used.load(Ordering::Relaxed)
     }
 
-    /// Total capacity in bytes (1 MB).
+    /// Total capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -201,12 +193,12 @@ impl ActivityCell {
     }
 }
 
-/// One processing element of the simulated FLEX/32.
+/// One processing element of a simulated machine.
 #[derive(Debug)]
 pub struct Pe {
     id: PeId,
     kind: PeKind,
-    /// 1 MB local memory accounting.
+    /// Local memory accounting.
     pub local: LocalMemory,
     /// Tick clock, reported in trace lines.
     pub clock: TickClock,
@@ -221,16 +213,13 @@ pub struct Pe {
 }
 
 impl Pe {
-    pub(crate) fn new(id: PeId) -> Self {
-        let kind = if id.is_unix() {
-            PeKind::Unix
-        } else {
-            PeKind::Mmos
-        };
+    /// A fresh PE of the given role with `local_capacity` bytes of local
+    /// memory.
+    pub fn new(id: PeId, kind: PeKind, local_capacity: usize) -> Self {
         Self {
             id,
             kind,
-            local: LocalMemory::new(),
+            local: LocalMemory::new(local_capacity),
             clock: TickClock::new(),
             cpu: CpuToken::new(),
             console: Console::new(id),
@@ -263,7 +252,7 @@ impl Pe {
         self.id
     }
 
-    /// Which kernel the PE runs.
+    /// What role the PE plays.
     pub fn kind(&self) -> PeKind {
         self.kind
     }
@@ -281,29 +270,27 @@ impl Pe {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pe_id_bounds() {
-        assert!(PeId::new(0).is_err());
-        assert!(PeId::new(21).is_err());
-        assert!(PeId::new(1).is_ok());
-        assert!(PeId::new(20).is_ok());
+    const CAP: usize = 1 << 20;
+
+    fn pe(n: u16) -> Pe {
+        Pe::new(PeId::new(n).unwrap(), PeKind::Task, CAP)
     }
 
     #[test]
-    fn unix_vs_mmos_split() {
-        assert!(PeId::new(1).unwrap().is_unix());
-        assert!(PeId::new(2).unwrap().is_unix());
-        assert!(PeId::new(3).unwrap().is_mmos());
-        assert!(PeId::new(20).unwrap().is_mmos());
-        assert_eq!(PeId::mmos().count(), 18);
-        assert_eq!(PeId::all().count(), 20);
+    fn pe_id_bounds() {
+        assert!(PeId::new(0).is_err());
+        assert!(PeId::new(MAX_PE + 1).is_err());
+        assert!(PeId::new(1).is_ok());
+        assert!(PeId::new(20).is_ok());
+        assert!(PeId::new(256).is_ok(), "ids beyond 20 exist now");
+        assert!(PeId::new(MAX_PE).is_ok());
     }
 
     #[test]
     fn local_memory_reserve_release() {
-        let pe = PeId::new(3).unwrap();
-        let m = LocalMemory::new();
-        m.reserve(1024, pe).unwrap();
+        let id = PeId::new(3).unwrap();
+        let m = LocalMemory::new(CAP);
+        m.reserve(1024, id).unwrap();
         assert_eq!(m.used(), 1024);
         m.release(1024);
         assert_eq!(m.used(), 0);
@@ -311,10 +298,10 @@ mod tests {
 
     #[test]
     fn local_memory_capacity_enforced() {
-        let pe = PeId::new(3).unwrap();
-        let m = LocalMemory::new();
-        m.reserve(LOCAL_MEM_BYTES, pe).unwrap();
-        let err = m.reserve(1, pe).unwrap_err();
+        let id = PeId::new(3).unwrap();
+        let m = LocalMemory::new(CAP);
+        m.reserve(CAP, id).unwrap();
+        let err = m.reserve(1, id).unwrap_err();
         match err {
             PeError::LocalMemoryExhausted { available, .. } => assert_eq!(available, 0),
             other => panic!("unexpected error {other:?}"),
@@ -323,15 +310,15 @@ mod tests {
 
     #[test]
     fn utilization_fraction() {
-        let pe = PeId::new(4).unwrap();
-        let m = LocalMemory::new();
-        m.reserve(LOCAL_MEM_BYTES / 4, pe).unwrap();
+        let id = PeId::new(4).unwrap();
+        let m = LocalMemory::new(CAP);
+        m.reserve(CAP / 4, id).unwrap();
         assert!((m.utilization() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn failed_pe_rejects_cpu_acquisition() {
-        let pe = Pe::new(PeId::new(5).unwrap());
+        let pe = pe(5);
         assert!(pe.acquire_cpu().is_ok());
         pe.fault.fail();
         match pe.acquire_cpu() {
@@ -345,7 +332,7 @@ mod tests {
 
     #[test]
     fn activity_cell_publishes_and_clears() {
-        let pe = Pe::new(PeId::new(9).unwrap());
+        let pe = pe(9);
         assert_eq!(pe.activity.get(), 0);
         pe.activity.set(0xCAFE_F00D);
         assert_eq!(pe.activity.get(), 0xCAFE_F00D);
@@ -355,10 +342,10 @@ mod tests {
 
     #[test]
     fn pe_reading_carries_pe_number() {
-        let pe = Pe::new(PeId::new(7).unwrap());
+        let pe = pe(300);
         pe.clock.advance(13);
         let r = pe.reading();
-        assert_eq!(r.pe, 7);
+        assert_eq!(r.pe, 300);
         assert_eq!(r.ticks, 13);
     }
 }

@@ -228,11 +228,6 @@ impl std::fmt::Debug for SharedMemory {
 }
 
 impl SharedMemory {
-    /// An arena with the FLEX/32's 2.25 MB capacity.
-    pub fn flex32() -> Self {
-        Self::with_capacity(crate::SHARED_MEM_BYTES)
-    }
-
     /// An arena with an arbitrary capacity (rounded down to whole words).
     pub fn with_capacity(bytes: usize) -> Self {
         let n = bytes / 8;
@@ -644,11 +639,6 @@ mod tests {
 
     fn arena() -> SharedMemory {
         SharedMemory::with_capacity(4096)
-    }
-
-    #[test]
-    fn flex32_capacity_is_2_25_mb() {
-        assert_eq!(SharedMemory::flex32().capacity(), 2_359_296);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Machine shape and link-cost descriptors.
+//!
+//! A [`Topology`] is the cheap, data-only description of a substrate: how
+//! many PEs it has, which of them may host PISCES tasks, and how much
+//! local/shared storage each carries. The PISCES runtime validates
+//! machine configurations against a topology *before* paying to build the
+//! machine, and every piece of per-PE state in the runtime (trace shards,
+//! telemetry rings, pool magazines) is sized from it instead of from a
+//! hard-coded PE count.
+
+use crate::pe::PeId;
+
+/// Data-only description of a substrate's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Substrate family name as it appears in traces, metrics labels, and
+    /// `--substrate` flags (e.g. `"flex32"`, `"hypercube"`).
+    pub name: &'static str,
+    /// Total number of PEs, numbered `1..=num_pes`.
+    pub num_pes: u16,
+    /// First PE that may host PISCES tasks. PEs below this are service
+    /// PEs (the FLEX/32's Unix PEs 1–2); on an all-compute machine this
+    /// is 1.
+    pub first_task_pe: u16,
+    /// Local memory per PE, bytes.
+    pub local_mem_bytes: usize,
+    /// Shared-memory arena capacity, bytes. Distributed-memory machines
+    /// still carry an arena: it models the aggregate of per-node kernel
+    /// buffers the runtime allocates messages and windows from, and keeps
+    /// the Section 13 storage accounting meaningful on every substrate.
+    pub shared_mem_bytes: usize,
+}
+
+impl Topology {
+    /// Whether `n` names a PE on this machine.
+    pub fn contains(&self, n: u16) -> bool {
+        (1..=self.num_pes).contains(&n)
+    }
+
+    /// Whether `n` names a PE that may host PISCES tasks.
+    pub fn is_task_pe(&self, n: u16) -> bool {
+        (self.first_task_pe..=self.num_pes).contains(&n)
+    }
+
+    /// Number of PEs available to PISCES tasks.
+    pub fn task_pes(&self) -> u16 {
+        self.num_pes - self.first_task_pe + 1
+    }
+
+    /// All PE ids on the machine, in order.
+    pub fn pe_ids(&self) -> impl Iterator<Item = PeId> {
+        (1..=self.num_pes).map(|n| PeId::new(n).expect("topology PE in static bound"))
+    }
+
+    /// All task-capable PE ids, in order.
+    pub fn task_pe_ids(&self) -> impl Iterator<Item = PeId> {
+        (self.first_task_pe..=self.num_pes).map(|n| PeId::new(n).expect("topology PE in bound"))
+    }
+}
+
+/// Cost of moving one message across the machine between two PEs, as
+/// reported by a substrate's link model. A bus machine reports zero hops
+/// (every PE is one shared-memory reference away); a routed machine
+/// reports the route length and its per-hop tariffs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkCost {
+    /// Store-and-forward hops between the PEs (0 on a bus).
+    pub hops: u32,
+    /// Fixed ticks charged per hop.
+    pub hop_ticks: u64,
+    /// Ticks charged per 64-bit payload word per hop.
+    pub word_ticks: u64,
+}
+
+impl LinkCost {
+    /// Total ticks a `words`-word message pays on this link.
+    pub fn ticks_for(&self, words: usize) -> u64 {
+        (self.hops as u64) * (self.hop_ticks + self.word_ticks * words as u64)
+    }
+}
+
+/// Traffic counters for one physical link, in PE numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRecord {
+    /// Lower-numbered endpoint PE.
+    pub src: u16,
+    /// Higher-numbered endpoint PE.
+    pub dst: u16,
+    /// Packets that traversed the link (either direction).
+    pub packets: u64,
+    /// Payload words that traversed the link.
+    pub words: u64,
+}
+
+/// Snapshot of every physical link's traffic, as exported by substrates
+/// that model discrete links ([`crate::Substrate::link_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// One record per physical link, ascending by `(src, dst)`.
+    pub links: Vec<LinkRecord>,
+}
+
+impl LinkTraffic {
+    /// Total packets across all links.
+    pub fn total_packets(&self) -> u64 {
+        self.links.iter().map(|l| l.packets).sum()
+    }
+
+    /// Total words across all links.
+    pub fn total_words(&self) -> u64 {
+        self.links.iter().map(|l| l.words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology {
+            name: "testbox",
+            num_pes: 8,
+            first_task_pe: 3,
+            local_mem_bytes: 1 << 20,
+            shared_mem_bytes: 1 << 21,
+        }
+    }
+
+    #[test]
+    fn membership_and_task_split() {
+        let t = topo();
+        assert!(t.contains(1) && t.contains(8));
+        assert!(!t.contains(0) && !t.contains(9));
+        assert!(!t.is_task_pe(2));
+        assert!(t.is_task_pe(3) && t.is_task_pe(8));
+        assert_eq!(t.task_pes(), 6);
+        assert_eq!(t.pe_ids().count(), 8);
+        assert_eq!(t.task_pe_ids().next().unwrap().number(), 3);
+    }
+
+    #[test]
+    fn link_cost_arithmetic() {
+        let c = LinkCost {
+            hops: 3,
+            hop_ticks: 50,
+            word_ticks: 2,
+        };
+        assert_eq!(c.ticks_for(4), 3 * (50 + 8));
+        assert_eq!(LinkCost::default().ticks_for(100), 0);
+    }
+
+    #[test]
+    fn traffic_totals() {
+        let t = LinkTraffic {
+            links: vec![
+                LinkRecord {
+                    src: 1,
+                    dst: 2,
+                    packets: 3,
+                    words: 12,
+                },
+                LinkRecord {
+                    src: 2,
+                    dst: 4,
+                    packets: 1,
+                    words: 5,
+                },
+            ],
+        };
+        assert_eq!(t.total_packets(), 4);
+        assert_eq!(t.total_words(), 17);
+    }
+}

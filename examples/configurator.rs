@@ -14,11 +14,11 @@ use pisces::pisces_exec::{figure1, ExecMenu};
 use std::time::Duration;
 
 fn main() -> Result<()> {
-    let flex = pisces::flex32::Flex32::new_shared();
+    let sub = SubstrateSpec::default().build();
 
     // Drive the configuration menus exactly as a user would: the worked
     // example of Section 9 of the paper.
-    let mut menu = ConfigMenu::new(flex.clone());
+    let mut menu = ConfigMenu::new(sub.clone());
     for line in [
         "clusters 1-4",
         "primary 1 3",
@@ -43,8 +43,8 @@ fn main() -> Result<()> {
 
     // Boot from the saved configuration and run something so the diagram
     // shows occupied slots.
-    let config = pisces::pisces_config::ConfigLibrary::new(flex.clone()).load("section9")?;
-    let p = Pisces::boot(flex, config)?;
+    let config = pisces::pisces_config::ConfigLibrary::new(sub.clone()).load("section9")?;
+    let p = Pisces::boot_on(sub, config)?;
     p.register("camper", |ctx: &TaskCtx| {
         let _ = ctx
             .accept()

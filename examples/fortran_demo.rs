@@ -43,14 +43,12 @@ fn main() -> Result<()> {
     println!("{}", program.preprocess());
 
     println!("=== Executing on the virtual machine (force of 6) ===");
-    let flex = pisces::flex32::Flex32::new_shared();
-    flex.pe(pisces::flex32::PeId::new(3).unwrap())
-        .console
-        .set_echo(true);
+    let sub = SubstrateSpec::default().build();
+    sub.pe(PeId::new(3).unwrap()).console.set_echo(true);
     let config = MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2)
         .with_secondaries(4..=8)
         .with_terminal()]).build();
-    let p = Pisces::boot(flex, config)?;
+    let p = Pisces::boot_on(sub, config)?;
     program.register_with(&p);
     p.initiate_top_level(1, "MAIN", vec![])?;
     assert!(p.wait_quiescent(Duration::from_secs(60)));

@@ -23,8 +23,7 @@ const SWEEPS: usize = 60;
 const TOP_TEMP: f64 = 100.0;
 
 fn main() -> Result<()> {
-    let flex = pisces::flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::simple(4, 4))?;
+    let p = Pisces::boot(MachineConfig::simple(4, 4))?;
 
     // One band solver per horizontal strip of interior rows.
     p.register("solver", |ctx: &TaskCtx| {

@@ -18,8 +18,7 @@ use std::time::Duration;
 const N: usize = 16;
 
 fn main() -> Result<()> {
-    let flex = pisces::flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::simple(4, 4))?;
+    let p = Pisces::boot(MachineConfig::simple(4, 4))?;
 
     // Leaf: read the window, scale by the factor, write back.
     p.register("leaf", |ctx: &TaskCtx| {

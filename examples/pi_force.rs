@@ -55,8 +55,7 @@ fn run_with_force(secondaries: u8) -> Result<Duration> {
     } else {
         ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
     };
-    let flex = pisces::flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::builder().clusters([cluster]).build())?;
+    let p = Pisces::boot(MachineConfig::builder().clusters([cluster]).build())?;
     p.register("pi", pi_task);
     let t0 = Instant::now();
     p.initiate_top_level(1, "pi", vec![])?;
@@ -81,9 +80,7 @@ fn main() -> Result<()> {
 
     // And the imbalanced case: triangular work favours SELFSCHED.
     println!("\nimbalanced (triangular) loop, force of 6, both disciplines:");
-    let flex = pisces::flex32::Flex32::new_shared();
     let p = Pisces::boot(
-        flex,
         MachineConfig::builder().clusters([ClusterConfig::new(1, 3, 2).with_secondaries(4..=8)]).build(),
     )?;
     let spin = |units: i64| {

@@ -10,16 +10,17 @@ use pisces::pisces_core::prelude::*;
 use std::time::Duration;
 
 fn main() -> Result<()> {
-    // The substrate: a 20-PE FLEX/32 with 2.25 MB of shared memory.
-    let flex = pisces::flex32::Flex32::new_shared();
+    // The substrate: the default 20-PE FLEX/32 with 2.25 MB of shared
+    // memory (set PISCES_SUBSTRATE=hypercube:5 to run on a cube instead).
+    let sub = SubstrateSpec::default().build();
     // Echo consoles so the program's output is visible.
-    for pe in pisces::flex32::PeId::all() {
-        flex.pe(pe).console.set_echo(true);
+    for pe in sub.topology().pe_ids() {
+        sub.pe(pe).console.set_echo(true);
     }
 
     // A two-cluster virtual machine: cluster 1 on PE3, cluster 2 on PE4,
     // four task slots each, user terminal on cluster 1.
-    let pisces = Pisces::boot(flex, MachineConfig::simple(2, 4))?;
+    let pisces = Pisces::boot_on(sub, MachineConfig::simple(2, 4))?;
 
     // A worker tasktype: square the argument and mail it back.
     pisces.register("worker", |ctx: &TaskCtx| {
@@ -62,14 +63,14 @@ fn main() -> Result<()> {
             l.pe,
             l.ticks,
             pisces
-                .flex()
-                .procs(pisces::flex32::PeId::new(l.pe).unwrap())
+                .substrate()
+                .procs(PeId::new(l.pe).unwrap())
                 .spawns()
         );
     }
     let report = pisces.storage_report();
     println!(
-        "\nshared memory high water: {} bytes ({:.3}% of 2.25 MB)",
+        "\nshared memory high water: {} bytes ({:.3}% of the arena)",
         report.shm.high_water,
         100.0 * report.shm.high_water as f64 / report.shm.capacity as f64
     );

@@ -349,8 +349,7 @@ fn main() -> Result<()> {
                 .with_secondaries(4..=(3 + secondaries))
                 .with_terminal()
         };
-        let flex = pisces::flex32::Flex32::new_shared();
-        let p = Pisces::boot(flex, MachineConfig::builder().clusters([cluster]).build())?;
+        let p = Pisces::boot(MachineConfig::builder().clusters([cluster]).build())?;
         p.register("fem", fem_task);
         let t0 = std::time::Instant::now();
         p.initiate_top_level(1, "fem", vec![])?;
@@ -359,8 +358,8 @@ fn main() -> Result<()> {
         std::thread::sleep(Duration::from_millis(100));
         let ticks = p.pe_loading().iter().map(|l| l.ticks).max().unwrap_or(0);
         let console = p
-            .flex()
-            .pe(pisces::flex32::PeId::new(3).unwrap())
+            .substrate()
+            .pe(PeId::new(3).unwrap())
             .console
             .output();
         let solved = console

@@ -3,8 +3,11 @@
 //! Umbrella crate re-exporting every piece of the reproduction of
 //! Pratt's *The PISCES 2 Parallel Programming Environment* (ICPP 1987):
 //!
-//! * [`flex32`] — the simulated FLEX/32 multicomputer (the "actual
-//!   machine");
+//! * [`pisces_substrate`] — the substrate layer: the [`Substrate`
+//!   trait](pisces_substrate::Substrate) every simulated machine
+//!   implements, plus the shared PE/clock/memory building blocks;
+//! * [`flex32`] — the simulated FLEX/32 multicomputer (the historical
+//!   "actual machine", and the default substrate);
 //! * [`pisces_core`] — the PISCES 2 virtual machine and run-time library;
 //! * [`pisces_config`] — the configuration environment (mappings, saved
 //!   configurations, MMOS load files);
@@ -21,6 +24,7 @@
 //! property tests. Start with `examples/quickstart.rs` or the README.
 
 pub use flex32;
+pub use pisces_substrate;
 pub use pisces3_hypercube;
 pub use pisces_config;
 pub use pisces_core;
@@ -37,8 +41,8 @@ mod tests {
     #[test]
     fn umbrella_reexports_compose() {
         // One expression touching every crate through the umbrella.
-        let flex = flex32::Flex32::new_shared();
-        let p = pisces_core::Pisces::boot(flex, pisces_core::MachineConfig::simple(1, 2))
+        let sub: std::sync::Arc<dyn pisces_substrate::Substrate> = flex32::Flex32::new_shared();
+        let p = pisces_core::Pisces::boot_on(sub, pisces_core::MachineConfig::simple(1, 2))
             .expect("boot");
         assert!(pisces_exec::figure1::render(&p).contains("CLUSTER 1"));
         assert!(pisces_fortran::FortranProgram::parse("TASK T\nX = 1\nEND TASK\n").is_ok());

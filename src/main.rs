@@ -31,7 +31,7 @@ struct Options {
     preprocess: bool,
     clusters: u8,
     slots: u8,
-    secondaries: Vec<u8>,
+    secondaries: Vec<u16>,
     config_json: Option<String>,
     trace: Vec<String>,
     trace_file: Option<String>,
@@ -43,6 +43,7 @@ struct Options {
     telemetry_port: Option<u16>,
     flight_dir: Option<String>,
     msg_backend: Option<MsgBackend>,
+    substrate: Option<SubstrateSpec>,
     pin_pes: bool,
 }
 
@@ -70,6 +71,7 @@ fn usage() -> ! {
            --telemetry-port <n>  serve live OpenMetrics on 127.0.0.1:<n> (0 = ephemeral)\n\
            --flight-dir <path>   arm the flight recorder; dumps land in <path>\n\
            --msg-backend <b>     in-queue backend: mutex (default), mpsc, or spsc\n\
+           --substrate <s>       machine substrate: flex32[:pes] (default) or hypercube[:dim]\n\
            --pin-pes             pin simulated-PE threads to fixed cores\n\
          \n\
          report options:\n\
@@ -100,6 +102,7 @@ fn parse_args() -> Options {
         telemetry_port: None,
         flight_dir: None,
         msg_backend: None,
+        substrate: None,
         pin_pes: false,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -126,8 +129,8 @@ fn parse_args() -> Options {
                 let (lo, hi) = spec
                     .split_once('-')
                     .unwrap_or((spec.as_str(), spec.as_str()));
-                let lo: u8 = lo.parse().unwrap_or_else(|_| usage());
-                let hi: u8 = hi.parse().unwrap_or_else(|_| usage());
+                let lo: u16 = lo.parse().unwrap_or_else(|_| usage());
+                let hi: u16 = hi.parse().unwrap_or_else(|_| usage());
                 o.secondaries = (lo..=hi).collect();
             }
             "--config" => o.config_json = Some(need(&mut args, "--config")),
@@ -160,6 +163,16 @@ fn parse_args() -> Options {
                         }),
                 )
             }
+            "--substrate" => {
+                o.substrate = Some(
+                    need(&mut args, "--substrate")
+                        .parse()
+                        .unwrap_or_else(|e: PiscesError| {
+                            eprintln!("pisces: {e}");
+                            usage()
+                        }),
+                )
+            }
             "--pin-pes" => o.pin_pes = true,
             "-h" | "--help" => usage(),
             other if o.source.is_empty() && !other.starts_with('-') => o.source = a,
@@ -188,6 +201,9 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
         if let Some(b) = o.msg_backend {
             config.msg_backend = b;
         }
+        if let Some(spec) = o.substrate {
+            config.substrate = spec;
+        }
         if o.pin_pes {
             config.pin_pes = true;
         }
@@ -195,6 +211,9 @@ fn build_config(o: &Options) -> Result<MachineConfig> {
         return Ok(config);
     }
     let mut config = MachineConfig::simple(o.clusters, o.slots);
+    if let Some(spec) = o.substrate {
+        config.substrate = spec;
+    }
     for c in &mut config.clusters {
         config_secondaries(c, &o.secondaries);
     }
@@ -455,7 +474,7 @@ fn run_submit(args: &[String]) -> ! {
     }
 }
 
-fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u8]) {
+fn config_secondaries(c: &mut ClusterConfig, secondaries: &[u16]) {
     c.secondary_pes = secondaries
         .iter()
         .copied()
@@ -498,11 +517,11 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let flex = pisces::flex32::Flex32::new_shared();
-    for pe in pisces::flex32::PeId::all() {
-        flex.pe(pe).console.set_echo(true);
+    let sub = config.substrate.build();
+    for pe in sub.topology().pe_ids() {
+        sub.pe(pe).console.set_echo(true);
     }
-    let p = match Pisces::boot(flex, config) {
+    let p = match Pisces::boot_on(sub, config) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("pisces: boot failed: {e}");
@@ -574,7 +593,7 @@ fn main() {
             "shared memory in use {} B / high water {} B of {} B",
             r.shm.in_use, r.shm.high_water, r.shm.capacity
         );
-        for tag in pisces::flex32::shmem::ShmTag::ALL {
+        for tag in pisces::pisces_substrate::shmem::ShmTag::ALL {
             println!("  {:<14} {:>8} B", tag.label(), r.shm.tag_bytes(tag));
         }
         println!("\n--- PE loading ---");

@@ -40,19 +40,19 @@ END HANDLER
 
 #[test]
 fn the_whole_1987_workflow() {
-    let flex = pisces::flex32::Flex32::new_shared();
+    let sub = SubstrateSpec::default().build();
 
     // 1. "Program development is done on a Unix PE": parse the Pisces
     //    Fortran program; keep the preprocessor output as the artefact
     //    the 1987 f77 compiler would receive.
     let program = FortranProgram::parse(PROGRAM).unwrap();
     let f77 = program.preprocess();
-    flex.fs.write("src/ripple.f", f77.as_bytes()).unwrap();
+    sub.fs().write("src/ripple.f", f77.as_bytes()).unwrap();
     assert!(f77.contains("SUBROUTINE PSCTMAIN"));
 
     // 2. "The command `pisces` brings up the configuration environment":
     //    build a 3-cluster mapping through the menus and save it.
-    let mut menu = ConfigMenu::new(flex.clone());
+    let mut menu = ConfigMenu::new(sub.clone());
     for line in [
         "clusters 1-3",
         "primary 1 3",
@@ -67,13 +67,13 @@ fn the_whole_1987_workflow() {
     ] {
         menu.execute(line).unwrap();
     }
-    let config = ConfigLibrary::new(flex.clone()).load("ripple-run").unwrap();
+    let config = ConfigLibrary::new(sub.clone()).load("ripple-run").unwrap();
 
     // 3. "A menu also drives the creation of an appropriate MMOS loadfile":
     //    build it from the program image and check the Section 13 bound.
     let image = ProgramImage::with_tasktypes(program.tasktypes());
     let loadfile = LoadFile::build(&config, &image).unwrap();
-    loadfile.save(&flex, "loads/ripple.load").unwrap();
+    loadfile.save(&sub, "loads/ripple.load").unwrap();
     assert!(
         loadfile.local_fraction() < 0.025 + 0.01,
         "image fraction {:.4}",
@@ -82,8 +82,8 @@ fn the_whole_1987_workflow() {
 
     // 4. Boot ("the loadfile is downloaded to the appropriate MMOS PEs"),
     //    register the user code, download its local-memory share.
-    let p = Pisces::boot(flex.clone(), config).unwrap();
-    loadfile.download_user_code(&flex).unwrap();
+    let p = Pisces::boot_on(sub.clone(), config).unwrap();
+    loadfile.download_user_code(&sub).unwrap();
     program.register_with(&p);
 
     // 5. "Control transfers to the PISCES execution environment": start
@@ -94,9 +94,11 @@ fn the_whole_1987_workflow() {
 
     // The terminal got the final report (3 ripples deep).
     std::thread::sleep(Duration::from_millis(150));
+    // Cluster 1's primary was pinned at PE 3 through the menu above, so
+    // the terminal console lives there on any substrate.
     let console = p
-        .flex()
-        .pe(pisces::flex32::PeId::new(3).unwrap())
+        .substrate()
+        .pe(PeId::new(3).unwrap())
         .console
         .output();
     assert!(
@@ -112,10 +114,10 @@ fn the_whole_1987_workflow() {
 
     // 6. Off-line analysis of the trace, exactly as Section 12 describes:
     //    write the JSONL trace to a file, read it back, analyse.
-    flex.fs
+    sub.fs()
         .write("traces/ripple.jsonl", p.tracer().to_jsonl().as_bytes())
         .unwrap();
-    let data = String::from_utf8(flex.fs.read("traces/ripple.jsonl").unwrap()).unwrap();
+    let data = String::from_utf8(sub.fs().read("traces/ripple.jsonl").unwrap()).unwrap();
     let analysis = TraceAnalysis::from_jsonl(&data).unwrap();
     // MAIN + three RIPPLEs, all with complete lifetimes.
     let lifetimes: Vec<_> = analysis
@@ -146,15 +148,14 @@ fn the_whole_1987_workflow() {
     );
 
     exec.execute("0").unwrap();
-    p.flex().shmem.check_invariants().unwrap();
+    p.substrate().shmem().check_invariants().unwrap();
 }
 
 #[test]
 fn rust_and_fortran_tasks_interoperate() {
     // Tasktypes registered from Rust and from Pisces Fortran coexist on
     // one machine and exchange messages.
-    let flex = pisces::flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::simple(2, 4)).unwrap();
+    let p = Pisces::boot(MachineConfig::simple(2, 4)).unwrap();
 
     FortranProgram::parse(
         "TASK FDOUBLE(N)\n\
@@ -187,8 +188,7 @@ fn rust_and_fortran_tasks_interoperate() {
 fn section9_mapping_limits_force_sizes_per_cluster() {
     // Boot the paper's Section 9 example and verify each cluster's
     // FORCESPLIT yields exactly the configured force size.
-    let flex = pisces::flex32::Flex32::new_shared();
-    let p = Pisces::boot(flex, MachineConfig::section9_example()).unwrap();
+    let p = Pisces::boot(MachineConfig::section9_example()).unwrap();
     p.register("probe", |ctx: &TaskCtx| {
         let seen = std::sync::atomic::AtomicUsize::new(0);
         ctx.forcesplit(|f| {

@@ -195,15 +195,14 @@ proptest! {
         let mut seen_pes = std::collections::BTreeSet::new();
         clusters.retain(|c| seen_nums.insert(c.number) && seen_pes.insert(c.primary_pe));
         prop_assume!(!clusters.is_empty());
-        let flex = pisces::flex32::Flex32::new_shared();
-        let p = Pisces::boot(flex, MachineConfig::builder().clusters(clusters).build()).unwrap();
+        let p = Pisces::boot(MachineConfig::builder().clusters(clusters).build()).unwrap();
         let report = p.storage_report();
         // System tables exist but stay tiny (Section 13).
-        prop_assert!(report.shm.tag_bytes(pisces::flex32::shmem::ShmTag::SystemTable) > 0);
+        prop_assert!(report.shm.tag_bytes(ShmTag::SystemTable) > 0);
         prop_assert!(report.system_table_fraction() < 0.01);
         p.shutdown();
-        prop_assert_eq!(p.flex().shmem.report().in_use, 0);
-        p.flex().shmem.check_invariants().unwrap();
+        prop_assert_eq!(p.substrate().shmem().report().in_use, 0);
+        p.substrate().shmem().check_invariants().unwrap();
     }
 }
 
@@ -236,8 +235,7 @@ proptest! {
         } else {
             ClusterConfig::new(1, 3, 2).with_secondaries(4..=(3 + secondaries))
         };
-        let flex = pisces::flex32::Flex32::new_shared();
-        let p = Pisces::boot(flex, MachineConfig::builder().clusters([cluster]).build()).unwrap();
+        let p = Pisces::boot(MachineConfig::builder().clusters([cluster]).build()).unwrap();
         let seen_pre = std::sync::Arc::new(parking_lot_mutex_vec());
         let seen_self = std::sync::Arc::new(parking_lot_mutex_vec());
         let (sp, ss) = (seen_pre.clone(), seen_self.clone());

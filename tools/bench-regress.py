@@ -34,10 +34,12 @@ GATED_SUFFIXES = ("_ns", "_ns_per_iter")
 # `backends` holds the in-queue backend × payload × producer matrix
 # (per-backend metric names like `mpsc_roundtrip_16w_4p_ns`); `service`
 # holds the job-service serving-path numbers (submit→done latency and
-# jobs/sec, in BENCH_service.json). Each is compared against its own
+# jobs/sec, in BENCH_service.json); `substrate` holds the bus-vs-cube
+# matrix (per-substrate metric names like `hypercube_xpe_roundtrip_ns`,
+# in BENCH_substrate.json). Each is compared against its own
 # committed run of the same name, never against `pre`/`post` labels —
 # the namespaces are disjoint.
-SPECIAL_RUNS = ("backends", "service")
+SPECIAL_RUNS = ("backends", "service", "substrate")
 
 
 def newest_run(doc):
