@@ -146,4 +146,9 @@ rustc --edition 2021 -O --test --crate-name full_environment tests/full_environm
   --extern pisces_substrate=$O/libpisces_substrate.rlib \
   --extern parking_lot=$O/libparking_lot.rlib \
   -L dependency=$O -o $O/it_fullenv
+rustc --edition 2021 -O --test --crate-name observability_e2e tests/observability_e2e.rs \
+  --extern pisces=$O/libpisces.rlib --extern pisces_core=$O/libpisces_core.rlib \
+  --extern pisces_server=$O/libpisces_server.rlib \
+  --extern parking_lot=$O/libparking_lot.rlib \
+  -L dependency=$O -o $O/it_observability
 echo BUILD-OK

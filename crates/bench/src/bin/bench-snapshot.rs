@@ -15,14 +15,17 @@
 //! ```
 //!
 //! Suites: `messaging`, `backends`, `loops`, `sync`, `faults`, `windows`,
-//! `service`, `substrate` (default: all). The `backends` suite sweeps the
-//! in-queue backend × payload × producer-count matrix and always lands in
-//! `BENCH_messaging.json` under the fixed run label `backends`; the
-//! `service` suite drives an in-process job service (submit→done latency
-//! and jobs/sec) and lands in `BENCH_service.json` under the fixed run
-//! label `service`; the `substrate` suite runs the same messaging and
-//! force workloads on the FLEX/32 bus and a 32-node hypercube and lands
-//! in `BENCH_substrate.json` under the fixed run label `substrate`.
+//! `service`, `slo`, `substrate` (default: all). The `backends` suite
+//! sweeps the in-queue backend × payload × producer-count matrix and
+//! always lands in `BENCH_messaging.json` under the fixed run label
+//! `backends`; the `service` suite drives an in-process job service
+//! (submit→done latency and jobs/sec) and lands in `BENCH_service.json`
+//! under the fixed run label `service`; the `slo` suite compares the
+//! serving path with the SLO engine armed vs inert (5% overhead budget,
+//! asserted in-run) and lands in `BENCH_slo.json` under the fixed run
+//! label `slo`; the `substrate` suite runs the same messaging and force
+//! workloads on the FLEX/32 bus and a 32-node hypercube and lands in
+//! `BENCH_substrate.json` under the fixed run label `substrate`.
 
 use pisces_bench::{boot, force_config};
 use pisces_core::prelude::*;
@@ -666,6 +669,70 @@ fn snap_service(metrics: &mut Map<String, Json>) {
 }
 
 // ----------------------------------------------------------------------
+// slo: span emission + SLO evaluation overhead on the serving path
+// ----------------------------------------------------------------------
+
+/// The serving path with the SLO engine armed (objectives + burn-rate
+/// evaluation + exemplared histogram on every finish) against the inert
+/// engine (no objectives — spans still emitted, latency still tracked).
+/// The armed overhead is budgeted at 5% of the inert p50 — with an
+/// absolute 500µs floor so scheduler noise on a fast machine cannot
+/// fail the gate on a sub-millisecond baseline.
+fn snap_slo(metrics: &mut Map<String, Json>) {
+    use pisces_server::{JobOutcome, JobService, ProgramRef, ServiceConfig, SloSpec};
+
+    const WARMUP: usize = 8;
+    const JOBS: usize = 40;
+    const SRC: &str = "TASK MAIN\nPRINT 'OK', 1\nEND TASK\n";
+
+    let p50_ns = |slo: SloSpec| -> f64 {
+        let cfg = ServiceConfig {
+            machine: MachineConfig::simple(1, 8),
+            slo,
+            ..ServiceConfig::default()
+        };
+        let svc = JobService::start(cfg).expect("service boots");
+        let prog = ProgramRef::Inline(SRC.to_string());
+        let mut lat = Vec::with_capacity(JOBS);
+        for i in 0..(WARMUP + JOBS) {
+            let t0 = Instant::now();
+            let (_, rx) = svc
+                .submit(if i % 2 == 0 { "a" } else { "b" }, &prog, "MAIN", &[])
+                .expect("submission admitted");
+            let out = rx.recv().expect("job result arrives");
+            assert!(
+                matches!(&out, JobOutcome::Done(r) if r.ok),
+                "bench job failed: {out:?}"
+            );
+            if i >= WARMUP {
+                lat.push(t0.elapsed().as_nanos() as f64);
+            }
+        }
+        let summary = svc.drain();
+        assert_eq!(summary.unserved, 0, "bench drain left jobs unserved");
+        lat.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        lat[lat.len() / 2]
+    };
+
+    let inert = p50_ns(SloSpec::default());
+    let armed = p50_ns(SloSpec::parse("submit_p99=50ms,error_rate=1%").expect("spec parses"));
+    let overhead_pct = (armed - inert) / inert * 100.0;
+
+    println!("slo/inert_submit_done_p50          {inert:>12.1} ns/job");
+    println!("slo/armed_submit_done_p50          {armed:>12.1} ns/job");
+    println!("slo/armed_overhead                 {overhead_pct:>12.1} %");
+    metrics.insert("inert_submit_done_p50_ns".into(), json!(inert));
+    metrics.insert("armed_submit_done_p50_ns".into(), json!(armed));
+    metrics.insert("armed_overhead_pct".into(), json!(overhead_pct));
+
+    assert!(
+        armed <= inert * 1.05 + 500_000.0,
+        "armed span+SLO path blew the 5% overhead budget: \
+         inert p50 {inert:.0} ns, armed p50 {armed:.0} ns ({overhead_pct:.1}%)"
+    );
+}
+
+// ----------------------------------------------------------------------
 // substrate: the same workloads on the FLEX/32 bus and the hypercube
 // ----------------------------------------------------------------------
 
@@ -850,7 +917,7 @@ fn main() {
             ),
         }
     }
-    const KNOWN: [&str; 8] = [
+    const KNOWN: [&str; 9] = [
         "messaging",
         "backends",
         "loops",
@@ -858,6 +925,7 @@ fn main() {
         "faults",
         "windows",
         "service",
+        "slo",
         "substrate",
     ];
     if let Some(list) = &suites {
@@ -949,6 +1017,14 @@ fn main() {
             pin,
             service,
         );
+    }
+
+    if want("slo") {
+        let mut slo = Map::new();
+        snap_slo(&mut slo);
+        // Fixed label: armed-vs-inert is one standing dataset with its
+        // own in-run budget assert, gated against its committed self.
+        write_summary(&out.join("BENCH_slo.json"), "slo", "slo", pin, slo);
     }
 
     if want("substrate") {

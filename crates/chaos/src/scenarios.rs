@@ -99,6 +99,12 @@ pub fn scenarios() -> Vec<Scenario> {
             0x5E21CE,
             service_jobs_under_plan,
         ),
+        Scenario::new(
+            "slo-burn-alert",
+            "queue pressure under an armed slow-PE plan blows a 1ms submit SLO: burn rate over budget, the alert fires, the error-rate objective stays quiet",
+            0x510B4A,
+            slo_burn_alert,
+        ),
     ]
 }
 
@@ -776,6 +782,103 @@ fn service_jobs_under_plan(run: &mut ScenarioRun) {
         "9 jobs over 2 tenants on a 4x-slowed PE; {} fault event(s) fired",
         inj.fired_events().len()
     ));
+}
+
+/// SLO burn-rate alerting under injected slowdown: a 1ms submit-latency
+/// objective cannot survive a backlog on a 4x-slowed PE — every queued
+/// job waits far longer than the target, both burn-rate windows go over
+/// budget, and the alert fires (exactly one breach: the burn never
+/// recovers inside the run). The error-rate objective, whose budget the
+/// all-successful jobs never touch, must stay quiet — alerts are scoped
+/// per objective, not per tenant.
+fn slo_burn_alert(run: &mut ScenarioRun) {
+    use pisces_server::{JobOutcome, JobService, ProgramRef, ServiceConfig, SloSpec, TenantWeights};
+
+    const SRC: &str = "TASK MAIN\n\
+                       INTEGER I\n\
+                       REAL X\n\
+                       X = 0.0\n\
+                       DO I = 1, 3000\n\
+                       X = X + I\n\
+                       END DO\n\
+                       PRINT 'OK', 1\n\
+                       END TASK\n";
+
+    let cfg = ServiceConfig {
+        machine: MachineConfig::simple(1, 8),
+        weights: TenantWeights::parse("light=2,greedy=1").expect("weight spec parses"),
+        // A target no queued job can meet, on tight windows so the run
+        // itself spans them; the error-rate budget is generous enough
+        // that all-ok jobs never burn it.
+        slo: SloSpec::parse("submit_p99=1ms,error_rate=50%,short=1s,long=5s")
+            .expect("slo spec parses"),
+        job_timeout: Duration::from_secs(60),
+        drain_timeout: Duration::from_secs(60),
+        fault_plan: Some(FaultPlan::new(run.seed).slow_pe(3, 500, 4)),
+        ..ServiceConfig::default()
+    };
+    let svc = JobService::start(cfg).expect("service boots with the plan armed");
+    let p = svc.machine();
+    run.observe_machine(&p);
+    let inj = p.substrate().faults().expect("the armed plan is live at boot");
+
+    let mut waiters = Vec::new();
+    for (tenant, n) in [("greedy", 5), ("light", 3)] {
+        for _ in 0..n {
+            let (id, rx) = svc
+                .submit(tenant, &ProgramRef::Inline(SRC.to_string()), "MAIN", &[])
+                .expect("submission admitted");
+            waiters.push(std::thread::spawn(move || {
+                matches!(rx.recv(), Ok(JobOutcome::Done(r)) if r.ok && r.job_id == id)
+            }));
+        }
+    }
+    let all_ok = waiters.into_iter().all(|h| h.join().unwrap_or(false));
+    run.require("all eight jobs completed ok despite the slowdown", all_ok);
+
+    let slo = svc.slo();
+    // Burn magnitudes depend on wall-clock queueing and may differ run
+    // to run; only the over-budget *fact* is deterministic, so only it
+    // may appear in the output (scenario output must be byte-identical
+    // across runs).
+    let (short, long) = slo.burn_rate("greedy", "submit_p99").unwrap_or((0.0, 0.0));
+    run.require(
+        "greedy's submit_p99 burn rate is over budget on both windows",
+        short > 1.0 && long > 1.0,
+    );
+    let (lshort, llong) = slo.burn_rate("light", "submit_p99").unwrap_or((0.0, 0.0));
+    run.require(
+        "the light tenant burned its submit budget too (it queued behind the same machine)",
+        lshort > 1.0 && llong > 1.0,
+    );
+    run.require(
+        "the submit_p99 alert fired: breaches recorded",
+        slo.breaches() >= 1,
+    );
+    let (eshort, elong) = slo
+        .burn_rate("greedy", "error_rate")
+        .unwrap_or((0.0, 0.0));
+    run.require(
+        "the error-rate objective never burned — every job succeeded",
+        eshort == 0.0 && elong == 0.0,
+    );
+    run.require(
+        "the armed plan fired its slow-PE action exactly once",
+        inj.fired_events().len() == 1,
+    );
+    run.record_trace(&inj);
+
+    let summary = svc.drain();
+    run.require(
+        "graceful drain served everything it admitted",
+        summary.finished == 8 && summary.unserved == 0,
+    );
+    run.require("the machine is down after the drain", p.is_down());
+    run.note(
+        "both tenants blew the 1ms submit budget on both windows; the alert fired \
+         and the error-rate objective stayed quiet"
+            .to_string(),
+    );
 }
 
 /// Shrink around a dead PE, then disarm the plan (healing every PE) and

@@ -64,6 +64,7 @@ pub mod message;
 pub mod metrics;
 pub mod msgqueue;
 pub mod shared;
+pub mod spans;
 pub mod stats;
 pub mod substrate;
 pub mod task;
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, TickHistogram};
     pub use crate::msgqueue::{MsgBackend, MsgQueue};
     pub use crate::shared::{LockVar, SharedBlock};
+    pub use crate::spans::{JobSpan, SpanPhase};
     pub use crate::stats::{RunStats, StatsSnapshot};
     pub use crate::substrate::{LinkCost, LinkRecord, LinkTraffic, Substrate, SubstrateSpec, Topology};
     pub use crate::task::{FILE_CTRL_ID, USER_ID};

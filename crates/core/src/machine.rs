@@ -302,6 +302,9 @@ pub struct Pisces {
     /// [`Pisces::reset_for_next_job`] requires the arena to settle back
     /// to between jobs.
     boot_shm_in_use: std::sync::atomic::AtomicUsize,
+    /// Extra OpenMetrics families appended to every scrape by a layer
+    /// above the machine (the job service installs its SLO engine here).
+    metrics_ext: Mutex<Option<Arc<dyn Fn(&mut String) + Send + Sync>>>,
 }
 
 impl std::fmt::Debug for Pisces {
@@ -452,6 +455,7 @@ impl Pisces {
             flight_dumped: AtomicBool::new(false),
             jobs: Mutex::new(JobRegistry::default()),
             boot_shm_in_use: std::sync::atomic::AtomicUsize::new(0),
+            metrics_ext: Mutex::new(None),
         });
 
         // The telemetry service thread samples the profiler and answers
@@ -541,6 +545,24 @@ impl Pisces {
     /// this is where it landed).
     pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
         self.telemetry_addr
+    }
+
+    /// Install a hook that appends extra OpenMetrics families to every
+    /// scrape of this machine (live endpoint and [`Pisces::openmetrics`]
+    /// alike). The hook receives the partially rendered exposition and
+    /// must append only complete `# TYPE`/sample blocks — never `# EOF`.
+    /// The job service uses this to publish its per-tenant SLO families
+    /// through the machine's endpoint. Replaces any previous hook;
+    /// `None`-like removal is not needed in practice (machines are
+    /// per-service), so there is no uninstall.
+    pub fn set_metrics_extension(&self, ext: Arc<dyn Fn(&mut String) + Send + Sync>) {
+        *self.metrics_ext.lock() = Some(ext);
+    }
+
+    /// The installed metrics-extension hook, if any (cloned out so the
+    /// renderer never holds the slot lock while formatting).
+    pub(crate) fn metrics_extension(&self) -> Option<Arc<dyn Fn(&mut String) + Send + Sync>> {
+        self.metrics_ext.lock().clone()
     }
 
     /// The virtual-clock sampling profiler, when armed.

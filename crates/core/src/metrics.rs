@@ -242,6 +242,82 @@ impl std::fmt::Display for HistogramSnapshot {
     }
 }
 
+/// An OpenMetrics exemplar: one recent observed sample carrying a label
+/// that links the metric back to its origin — here, the job id whose
+/// `job-<id>.jsonl` trace file tells the full story of the observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Label value (e.g. the job id, rendered as `job_id="<v>"`).
+    pub label: String,
+    /// The observed sample value.
+    pub value: u64,
+    /// Attachment ordinal: higher = more recent (drives replacement).
+    pub seq: u64,
+}
+
+/// Per-bucket exemplar slots for one histogram: each bucket remembers the
+/// most recently observed sample that landed in it, labelled with where
+/// it came from. Observation is off the hot path (one per *job*, not one
+/// per message), so a mutex is fine.
+#[derive(Debug, Default)]
+pub struct ExemplarSet {
+    slots: Mutex<BTreeMap<usize, Exemplar>>,
+    next: AtomicU64,
+}
+
+impl ExemplarSet {
+    /// Remember `value` (labelled `label`) as its bucket's exemplar,
+    /// replacing any older one.
+    pub fn observe(&self, value: u64, label: impl Into<String>) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        self.slots.lock().insert(
+            bucket_index(value),
+            Exemplar {
+                label: label.into(),
+                value,
+                seq,
+            },
+        );
+    }
+
+    /// Current exemplars as `(bucket index, exemplar)`, sorted by bucket.
+    pub fn snapshot(&self) -> Vec<(usize, Exemplar)> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|(&b, e)| (b, e.clone()))
+            .collect()
+    }
+
+    /// The exemplar for the bucket `value` falls into, if any.
+    pub fn for_value(&self, value: u64) -> Option<Exemplar> {
+        self.slots.lock().get(&bucket_index(value)).cloned()
+    }
+
+    /// Merge another set into this one: per bucket, the more recently
+    /// attached exemplar wins (matching [`HistogramSnapshot::merge`]'s
+    /// as-if-recorded-here semantics).
+    pub fn merge(&self, other: &ExemplarSet) {
+        if std::ptr::eq(self, other) {
+            return;
+        }
+        let mut mine = self.slots.lock();
+        for (&b, e) in other.slots.lock().iter() {
+            match mine.get(&b) {
+                Some(cur) if cur.seq >= e.seq => {}
+                _ => {
+                    mine.insert(b, e.clone());
+                }
+            }
+        }
+    }
+
+    /// True when no exemplar has ever been observed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
 /// The machine's histogram set, recorded at the runtime's existing
 /// trace-emit sites.
 #[derive(Debug)]
@@ -482,6 +558,37 @@ mod tests {
         assert_eq!(a.count, u64::MAX);
         assert_eq!(a.sum, u64::MAX);
         assert_eq!(a.max, 7);
+    }
+
+    #[test]
+    fn exemplars_track_most_recent_per_bucket() {
+        let e = ExemplarSet::default();
+        assert!(e.is_empty());
+        e.observe(5, "job-1");
+        e.observe(6, "job-2"); // same bucket [4,8): replaces job-1
+        e.observe(1000, "job-3");
+        let snap = e.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(e.for_value(7).unwrap().label, "job-2");
+        assert_eq!(e.for_value(7).unwrap().value, 6);
+        assert_eq!(e.for_value(600).unwrap().label, "job-3");
+        assert_eq!(e.for_value(3), None);
+    }
+
+    #[test]
+    fn exemplar_merge_prefers_newer() {
+        let a = ExemplarSet::default();
+        let b = ExemplarSet::default();
+        a.observe(5, "old");
+        b.observe(5, "new");
+        // b's exemplar was attached later in its own set but seq spaces
+        // are independent; bump it so it is strictly newer.
+        b.observe(5, "newest");
+        a.merge(&b);
+        assert_eq!(a.for_value(5).unwrap().label, "newest");
+        // Self-merge is a no-op, not a deadlock.
+        a.merge(&a);
+        assert_eq!(a.for_value(5).unwrap().label, "newest");
     }
 
     #[test]

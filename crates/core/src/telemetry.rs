@@ -35,7 +35,7 @@
 //! at its defaults no thread is spawned, no sink is attached, and the
 //! runtime's activity hooks cost one branch.
 
-use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use crate::metrics::{bucket_upper_bound, Exemplar, HistogramSnapshot, HISTOGRAM_BUCKETS};
 use crate::taskid::TaskId;
 use crate::trace::{TraceEventKind, TraceRecord, TraceSink};
 use crate::substrate::Substrate;
@@ -409,13 +409,68 @@ pub fn openmetrics_histogram(out: &mut String, name: &str, help: &str, h: &Histo
     out.push_str(&format!("{name}_count {}\n{name}_sum {}\n", h.count, h.sum));
 }
 
+/// [`openmetrics_histogram`], with OpenMetrics exemplars attached to the
+/// buckets that have one: a bucket line becomes
+/// `name_bucket{le="…"} N # {label_key="…"} value`, pointing a metric
+/// spike straight at a concrete offending observation (the job service
+/// attaches job ids, so a latency spike names the `job-<id>.jsonl` to
+/// open). `exemplars` pairs a bucket index with the exemplar recorded
+/// for that bucket, as returned by
+/// [`crate::metrics::ExemplarSet::snapshot`].
+pub fn openmetrics_histogram_with_exemplars(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    h: &HistogramSnapshot,
+    exemplars: &[(usize, Exemplar)],
+    label_key: &str,
+) {
+    out.push_str(&format!("# TYPE {name} histogram\n# HELP {name} {help}\n"));
+    let mut cum = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cum += n;
+        let le = if i == HISTOGRAM_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            bucket_upper_bound(i).to_string()
+        };
+        match exemplars.iter().find(|(b, _)| *b == i) {
+            Some((_, e)) => out.push_str(&format!(
+                "{name}_bucket{{le=\"{le}\"}} {cum} # {{{label_key}=\"{}\"}} {}\n",
+                label_escape(&e.label),
+                e.value
+            )),
+            None => out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n")),
+        }
+    }
+    out.push_str(&format!("{name}_count {}\n{name}_sum {}\n", h.count, h.sum));
+}
+
 /// Render the machine's full OpenMetrics exposition: every
 /// [`crate::stats::RunStats`] counter, the pool hit/miss and
 /// trace-dropped counters, all five latency/depth histograms, per-PE
 /// gauges (virtual clock, ready and live tasks, local-memory bytes), and
 /// shared-memory arena gauges. Ends with the mandatory `# EOF`.
 pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
+    let scrape_start = std::time::Instant::now();
     let mut out = String::new();
+
+    // Build-info first: one constant gauge carrying the crate version
+    // and the booted substrate/backend, so a dashboard can tell at a
+    // glance which build and configuration produced every other family.
+    openmetrics_gauge(
+        &mut out,
+        "pisces_build_info",
+        "Constant 1, labelled with the runtime version and the booted \
+         substrate and message backend.",
+    );
+    out.push_str(&format!(
+        "pisces_build_info{{version=\"{}\",substrate=\"{}\",msg_backend=\"{}\"}} 1\n",
+        label_escape(option_env!("CARGO_PKG_VERSION").unwrap_or("dev")),
+        label_escape(&p.config().substrate.to_string()),
+        label_escape(&p.config().msg_backend.to_string()),
+    ));
+
     for (name, v) in p.stats().snapshot().fields() {
         let metric = format!("pisces_{}", name.replace(' ', "_"));
         openmetrics_counter(
@@ -622,6 +677,21 @@ pub fn render_openmetrics(p: &crate::machine::Pisces) -> String {
             ));
         }
     }
+    // Families appended by a layer above the machine (the job service's
+    // SLO engine), then how long this very scrape took to render — the
+    // cost of being watched, measured from the inside.
+    if let Some(ext) = p.metrics_extension() {
+        ext(&mut out);
+    }
+    openmetrics_gauge(
+        &mut out,
+        "pisces_telemetry_scrape_duration_seconds",
+        "Wall-clock seconds spent rendering this OpenMetrics exposition.",
+    );
+    out.push_str(&format!(
+        "pisces_telemetry_scrape_duration_seconds {:.9}\n",
+        scrape_start.elapsed().as_secs_f64()
+    ));
     out.push_str("# EOF\n");
     out
 }
@@ -928,6 +998,84 @@ mod tests {
         assert!(last_bucket.contains("le=\"+Inf\""));
         assert!(out.contains("pisces_lat_count 5"));
         assert!(out.contains("pisces_lat_sum 1000009"));
+    }
+
+    #[test]
+    fn openmetrics_exemplars_attach_to_their_buckets() {
+        use crate::metrics::ExemplarSet;
+        let mut h = HistogramSnapshot::empty("lat", "ms");
+        for v in [3u64, 900, 900] {
+            h.add(v);
+        }
+        let ex = ExemplarSet::default();
+        ex.observe(3, "job-1");
+        ex.observe(900, "job-7");
+        let mut out = String::new();
+        openmetrics_histogram_with_exemplars(
+            &mut out,
+            "pisces_submit",
+            "help",
+            &h,
+            &ex.snapshot(),
+            "job_id",
+        );
+        // Exactly the buckets with observations carry exemplars, in
+        // OpenMetrics syntax: `… N # {job_id="…"} value`.
+        assert!(
+            out.contains("# {job_id=\"job-1\"} 3\n"),
+            "missing small-bucket exemplar: {out}"
+        );
+        assert!(
+            out.contains("# {job_id=\"job-7\"} 900\n"),
+            "missing large-bucket exemplar: {out}"
+        );
+        assert_eq!(out.matches(" # {").count(), 2, "{out}");
+        // Cumulative counts are unchanged by exemplar decoration.
+        assert!(out.contains("pisces_submit_count 3"));
+        let inf = out
+            .lines()
+            .filter(|l| l.contains("le=\"+Inf\""))
+            .next_back()
+            .unwrap();
+        assert!(inf.contains("}} 3") || inf.contains("\"} 3"), "{inf}");
+    }
+
+    #[test]
+    fn scrape_carries_build_info_duration_and_extensions() {
+        let p = crate::machine::Pisces::boot(MachineConfig::simple(1, 2)).unwrap();
+        let text = p.openmetrics();
+        assert!(
+            text.contains("# TYPE pisces_build_info gauge"),
+            "{text}"
+        );
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("pisces_build_info{"))
+            .expect("build_info sample");
+        assert!(line.contains(&format!(
+            "version=\"{}\"",
+            option_env!("CARGO_PKG_VERSION").unwrap_or("dev")
+        )));
+        assert!(line.contains("substrate=\""));
+        assert!(line.contains("msg_backend=\""));
+        assert!(line.ends_with("} 1"));
+        let dur = text
+            .lines()
+            .find(|l| l.starts_with("pisces_telemetry_scrape_duration_seconds "))
+            .expect("scrape duration sample");
+        let v: f64 = dur.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(v >= 0.0 && v < 60.0, "{dur}");
+
+        // An installed extension lands in the scrape, before # EOF.
+        p.set_metrics_extension(std::sync::Arc::new(|out: &mut String| {
+            openmetrics_gauge(out, "pisces_test_ext", "test extension family.");
+            out.push_str("pisces_test_ext 42\n");
+        }));
+        let text = p.openmetrics();
+        let ext_at = text.find("pisces_test_ext 42").expect("extension rendered");
+        assert!(ext_at < text.find("# EOF").unwrap());
+        assert!(text.trim_end().ends_with("# EOF"));
+        p.shutdown();
     }
 
     #[test]

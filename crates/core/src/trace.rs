@@ -41,9 +41,10 @@ use std::sync::Arc;
 
 /// Number of traceable event kinds: the paper's eight plus the fault and
 /// recovery kinds added by the chaos subsystem, the bulk-transfer kind
-/// added by the window-transfer engine, and the force/barrier episode
-/// kinds added by the causal-tracing layer.
-pub const NUM_KINDS: usize = 21;
+/// added by the window-transfer engine, the force/barrier episode
+/// kinds added by the causal-tracing layer, and the job-lifecycle and
+/// SLO-alert kinds added by the service observability layer.
+pub const NUM_KINDS: usize = 23;
 
 /// The traceable event types: the eight of Section 12 plus fault-injection
 /// and recovery events (PE failures, link faults, send retries, fault
@@ -97,6 +98,13 @@ pub enum TraceEventKind {
     /// A barrier released: the last arrival flipped the generation and
     /// freed every waiting member (causal edge arrive→release).
     BarrierRelease,
+    /// A job-service lifecycle transition (submit, admitted, rejected,
+    /// queued, scheduled, running, done, failed, drained). The span id is
+    /// the job id carried in `info` as `job=<id>`; successive events of
+    /// one job chain through `parent`.
+    JobLifecycle,
+    /// A per-tenant SLO burn-rate alert fired or cleared.
+    SloAlert,
 }
 
 impl TraceEventKind {
@@ -123,6 +131,8 @@ impl TraceEventKind {
         TraceEventKind::ForceMember,
         TraceEventKind::ForceJoin,
         TraceEventKind::BarrierRelease,
+        TraceEventKind::JobLifecycle,
+        TraceEventKind::SloAlert,
     ];
 
     /// The paper's original eight event types (Section 12).
@@ -152,6 +162,8 @@ impl TraceEventKind {
             TraceEventKind::ForceMember => "FORCE-MEMBER",
             TraceEventKind::ForceJoin => "FORCE-JOIN",
             TraceEventKind::BarrierRelease => "BARRIER-REL",
+            TraceEventKind::JobLifecycle => "JOB$",
+            TraceEventKind::SloAlert => "ALERT$",
         }
     }
 
@@ -181,6 +193,8 @@ impl TraceEventKind {
             TraceEventKind::ForceMember => 18,
             TraceEventKind::ForceJoin => 19,
             TraceEventKind::BarrierRelease => 20,
+            TraceEventKind::JobLifecycle => 21,
+            TraceEventKind::SloAlert => 22,
         }
     }
 }

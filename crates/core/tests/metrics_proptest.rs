@@ -1,0 +1,104 @@
+//! Property tests for histogram quantile edge cases and exemplar
+//! attachment: merged-histogram quantiles must stay monotone
+//! (p50 ≤ p90 ≤ p99 ≤ max), and exemplars attached to a histogram must
+//! survive the per-job stats scoping flow (`StatsSnapshot::diff`).
+
+use pisces_core::metrics::{ExemplarSet, HistogramSnapshot, TickHistogram};
+use pisces_core::stats::{RunStats, StatsSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles of any merged histogram are monotone in p and bounded by
+    /// the observed maximum — including pathological shapes: empty sides,
+    /// single-bucket spikes, open-ended-bucket saturation.
+    #[test]
+    fn merged_quantiles_are_monotone(
+        a in proptest::collection::vec(0u64..=1u64 << 40, 0..200),
+        b in proptest::collection::vec(0u64..=1u64 << 40, 0..200),
+    ) {
+        let ha = TickHistogram::new("a", "ticks");
+        let hb = TickHistogram::new("b", "ticks");
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+
+        let p50 = merged.percentile(50.0);
+        let p90 = merged.percentile(90.0);
+        let p99 = merged.percentile(99.0);
+        prop_assert!(p50 <= p90, "p50={p50} > p90={p90}");
+        prop_assert!(p90 <= p99, "p90={p90} > p99={p99}");
+        prop_assert!(p99 <= merged.max, "p99={p99} > max={}", merged.max);
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        // Merge order cannot change any quantile.
+        let mut flipped = hb.snapshot();
+        flipped.merge(&ha.snapshot());
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), flipped.percentile(p));
+        }
+    }
+
+    /// Quantiles are monotone across the whole p range for any single
+    /// histogram, not just the three headline points.
+    #[test]
+    fn quantiles_monotone_in_p(
+        samples in proptest::collection::vec(0u64..=1u64 << 50, 1..300),
+    ) {
+        let mut h = HistogramSnapshot::empty("q", "ticks");
+        for &v in &samples { h.add(v); }
+        let mut last = 0u64;
+        for p in 0..=20 {
+            let q = h.percentile(p as f64 * 5.0);
+            prop_assert!(q >= last, "p={} dropped {q} below {last}", p * 5);
+            last = q;
+        }
+    }
+
+    /// Exemplar attachment survives the per-job stats scoping flow: the
+    /// service snapshots RunStats at job start, diffs at job end
+    /// (`StatsSnapshot::diff`), and neither step may disturb exemplars
+    /// attached to the latency histogram in between.
+    #[test]
+    fn exemplars_survive_stats_diff(
+        latencies in proptest::collection::vec(1u64..=1u64 << 30, 1..50),
+        bumps in 0u64..1000,
+    ) {
+        let stats = RunStats::default();
+        let hist = TickHistogram::new("submit_latency", "ms");
+        let exemplars = ExemplarSet::default();
+
+        let baseline = stats.snapshot();
+        for (i, &v) in latencies.iter().enumerate() {
+            RunStats::bump(&stats.messages_sent);
+            hist.record(v);
+            exemplars.observe(v, format!("job-{i}"));
+        }
+        RunStats::add(&stats.message_words, bumps);
+        let end = stats.snapshot();
+        let scoped: StatsSnapshot = end.diff(&baseline);
+        prop_assert_eq!(scoped.messages_sent, latencies.len() as u64);
+
+        // Every recorded latency still resolves to an exemplar in its
+        // bucket, and that exemplar is a real attached label.
+        for &v in &latencies {
+            let e = exemplars.for_value(v);
+            prop_assert!(e.is_some(), "exemplar for {v} lost across diff");
+            let e = e.unwrap();
+            prop_assert!(e.label.starts_with("job-"));
+        }
+        // The most recent observation in each bucket is the one retained.
+        let last = *latencies.last().unwrap();
+        let kept = exemplars.for_value(last).unwrap();
+        let newest_in_bucket = latencies
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| {
+                pisces_core::metrics::bucket_index(v)
+                    == pisces_core::metrics::bucket_index(last)
+            })
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap();
+        prop_assert_eq!(kept.label, format!("job-{newest_in_bucket}"));
+    }
+}

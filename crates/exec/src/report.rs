@@ -309,6 +309,9 @@ pub struct Report {
     /// Happens-before DAG over the trace (critical path, Perfetto
     /// export).
     pub causal: CausalGraph,
+    /// Job-lifecycle (`JOB$`) and SLO alert (`ALERT$`) records, kept
+    /// for the SPANS section and the Perfetto job-slice lanes.
+    pub lifecycle: Vec<TraceRecord>,
 }
 
 impl Report {
@@ -321,6 +324,16 @@ impl Report {
         let faults = fault_summary(records);
         let transfers = transfer_summary(records);
         let causal = CausalGraph::new(records);
+        let lifecycle = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    TraceEventKind::JobLifecycle | TraceEventKind::SloAlert
+                )
+            })
+            .cloned()
+            .collect();
         Self {
             analysis,
             utilization,
@@ -329,6 +342,7 @@ impl Report {
             faults,
             transfers,
             causal,
+            lifecycle,
         }
     }
 
@@ -393,14 +407,31 @@ impl Report {
         s.push('\n');
         s.push_str(&self.causal.render_critical_path(5));
         s.push('\n');
+        let spans = pisces_core::spans::render_spans(&self.lifecycle, width);
+        if !spans.is_empty() {
+            s.push_str(&spans);
+            s.push('\n');
+        }
         s.push_str(&self.analysis.report());
         s
     }
 
     /// The trace as Chrome `trace_event` JSON for Perfetto /
-    /// `chrome://tracing` (see [`CausalGraph::to_perfetto`]).
+    /// `chrome://tracing` (see [`CausalGraph::to_perfetto`]). When the
+    /// trace carries `JOB$` records, the job-lifecycle slices (one lane
+    /// per tenant under a synthetic "service" process, with queued /
+    /// running sub-slices and `ALERT$` instants) ride along next to the
+    /// causal event lanes.
     pub fn to_perfetto(&self) -> String {
-        self.causal.to_perfetto()
+        let mut out = self.causal.to_perfetto();
+        let extra = pisces_core::spans::spans_to_perfetto_events(&self.lifecycle);
+        if !extra.is_empty() {
+            if let Some(i) = out.rfind("],\"displayTimeUnit\"") {
+                let sep = if out[..i].ends_with('[') { "" } else { "," };
+                out.insert_str(i, &format!("{sep}{}", extra.join(",")));
+            }
+        }
+        out
     }
 
     /// The report as an OpenMetrics text document — the same exposition
@@ -524,6 +555,43 @@ mod tests {
             parent: None,
             cause: None,
         }
+    }
+
+    #[test]
+    fn report_carries_job_spans_into_render_and_perfetto() {
+        let t = TaskId::new(1, 1, 1);
+        let mk = |seq: u64, info: &str| TraceRecord {
+            seq,
+            kind: TraceEventKind::JobLifecycle,
+            task: t,
+            pe: 0,
+            ticks: seq,
+            info: info.into(),
+            parent: seq.checked_sub(1),
+            cause: None,
+        };
+        let records = vec![
+            mk(0, "submit job=4 tenant=acme t_us=100"),
+            mk(1, "admitted job=4 tenant=acme t_us=120"),
+            mk(2, "queued job=4 tenant=acme t_us=121"),
+            mk(3, "scheduled job=4 tenant=acme t_us=900"),
+            mk(4, "running job=4 tenant=acme t_us=950"),
+            mk(5, "done job=4 tenant=acme t_us=5000 queued_ms=0 run_ms=4 ok=true"),
+        ];
+        let r = Report::new(&records);
+        assert_eq!(r.lifecycle.len(), 6);
+        let text = r.render(72);
+        assert!(text.contains("SPANS"), "{text}");
+        assert!(
+            text.contains("submit→admitted→queued→scheduled→running→done"),
+            "{text}"
+        );
+        let perfetto = r.to_perfetto();
+        assert!(perfetto.contains("\"job 4\""), "{perfetto}");
+        assert!(perfetto.contains("tenant acme"), "{perfetto}");
+        // The splice must keep the document well-formed JSON.
+        let parsed: serde_json::Value = serde_json::from_str(&perfetto).unwrap();
+        assert!(!parsed["traceEvents"].as_array().unwrap().is_empty());
     }
 
     #[test]

@@ -11,14 +11,13 @@
 //! ```
 //!
 //! The listen address decides the transport: a path (contains `/`)
-//! binds a Unix-domain socket, anything else a TCP port.
+//! binds a Unix-domain socket, anything else a TCP port. The actual
+//! accept/serve loop lives in [`pisces_server::daemon`] so tests can
+//! run the same daemon in-process.
 
-use pisces_server::protocol::{read_frame, write_frame, FrameError, Request, Response};
-use pisces_server::service::{JobOutcome, JobService, ServiceConfig};
-use pisces_server::{AdmissionPolicy, TenantWeights};
-use std::io::{Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use pisces_server::daemon::{serve, Listener};
+use pisces_server::service::{JobService, ServiceConfig};
+use pisces_server::{AdmissionPolicy, SloSpec, TenantWeights};
 use std::time::Duration;
 
 struct Options {
@@ -26,6 +25,7 @@ struct Options {
     programs: String,
     max_queue: usize,
     tenants: TenantWeights,
+    slo: SloSpec,
     drain_timeout_secs: u64,
     job_timeout_secs: u64,
     clusters: u8,
@@ -38,6 +38,7 @@ struct Options {
     trace_dir: Option<String>,
     metrics_out: Option<String>,
     fault_seed: Option<u64>,
+    slow_pe: Option<(u16, u64, u32)>,
     echo: bool,
 }
 
@@ -50,6 +51,7 @@ fn usage() -> ! {
            --programs <dir>       program library directory (default programs)\n\
            --max-queue <n>        bounded job queue size (default 64)\n\
            --tenants <spec>       scheduling weights, e.g. acme=3,batch=1 (default: all 1)\n\
+           --slo <spec>           per-tenant objectives, e.g. submit_p99=50ms,error_rate=1%\n\
            --drain-timeout <s>    graceful-drain deadline in seconds (default 30)\n\
            --job-timeout <s>      per-job quiescence timeout in seconds (default 60)\n\
            --clusters <n>         clusters per job configuration (default 2)\n\
@@ -62,6 +64,8 @@ fn usage() -> ! {
            --trace-dir <path>     route each job's trace to <path>/job-<id>.jsonl\n\
            --metrics-out <path>   write a final OpenMetrics snapshot at drain\n\
            --fault-seed <n>       arm a seeded fault plan (chaos mode)\n\
+           --slow-pe <pe:at:x>    arm one deterministic slow-PE fault: PE <pe> runs\n\
+                                  x-times slower from tick <at> (SLO smoke tests)\n\
            --echo                 echo TO USER SEND lines to stdout"
     );
     std::process::exit(2)
@@ -73,6 +77,7 @@ fn parse_args() -> Options {
         programs: "programs".into(),
         max_queue: 64,
         tenants: TenantWeights::default(),
+        slo: SloSpec::default(),
         drain_timeout_secs: 30,
         job_timeout_secs: 60,
         clusters: 2,
@@ -85,6 +90,7 @@ fn parse_args() -> Options {
         trace_dir: None,
         metrics_out: None,
         fault_seed: None,
+        slow_pe: None,
         echo: false,
     };
     let mut args = std::env::args().skip(1);
@@ -107,6 +113,12 @@ fn parse_args() -> Options {
                         eprintln!("piscesd: {e}");
                         usage()
                     })
+            }
+            "--slo" => {
+                o.slo = SloSpec::parse(&need(&mut args, "--slo")).unwrap_or_else(|e| {
+                    eprintln!("piscesd: {e}");
+                    usage()
+                })
             }
             "--drain-timeout" => {
                 o.drain_timeout_secs = need(&mut args, "--drain-timeout")
@@ -158,45 +170,26 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|_| usage()),
                 )
             }
+            "--slow-pe" => {
+                let spec = need(&mut args, "--slow-pe");
+                let mut it = spec.split(':');
+                o.slow_pe = (|| {
+                    Some((
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                        it.next()?.parse().ok()?,
+                    ))
+                })();
+                if o.slow_pe.is_none() || it.next().is_some() {
+                    eprintln!("piscesd: --slow-pe wants <pe>:<at_tick>:<factor>, got {spec:?}");
+                    usage()
+                }
+            }
             "--echo" => o.echo = true,
             _ => usage(),
         }
     }
     o
-}
-
-enum Listener {
-    Tcp(std::net::TcpListener),
-    Unix(std::os::unix::net::UnixListener),
-}
-
-enum Conn {
-    Tcp(std::net::TcpStream),
-    Unix(std::os::unix::net::UnixStream),
-}
-
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Self::Tcp(s) => s.read(buf),
-            Self::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Self::Tcp(s) => s.write(buf),
-            Self::Unix(s) => s.write(buf),
-        }
-    }
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Self::Tcp(s) => s.flush(),
-            Self::Unix(s) => s.flush(),
-        }
-    }
 }
 
 fn main() {
@@ -225,12 +218,23 @@ fn main() {
             ..AdmissionPolicy::default()
         },
         weights: o.tenants.clone(),
+        slo: o.slo.clone(),
         job_timeout: Duration::from_secs(o.job_timeout_secs),
         drain_timeout: Duration::from_secs(o.drain_timeout_secs),
         trace_dir: o.trace_dir.clone().map(Into::into),
-        fault_plan: o.fault_seed.map(|seed| {
-            pisces_core::prelude::FaultPlan::random(seed, &[2, 3, 4, 5], 2_000_000)
-        }),
+        // A deterministic slow-PE wins over the seeded random plan: the
+        // SLO smoke needs a fault that delays jobs without failing them.
+        fault_plan: match (o.slow_pe, o.fault_seed) {
+            (Some((pe, at, factor)), seed) => Some(
+                pisces_core::prelude::FaultPlan::new(seed.unwrap_or(0)).slow_pe(pe, at, factor),
+            ),
+            (None, Some(seed)) => Some(pisces_core::prelude::FaultPlan::random(
+                seed,
+                &[2, 3, 4, 5],
+                2_000_000,
+            )),
+            (None, None) => None,
+        },
         echo: o.echo,
     };
     let service = match JobService::start(cfg) {
@@ -241,184 +245,16 @@ fn main() {
         }
     };
 
-    let listener = if o.listen.contains('/') {
-        let _ = std::fs::remove_file(&o.listen);
-        match std::os::unix::net::UnixListener::bind(&o.listen) {
-            Ok(l) => Listener::Unix(l),
-            Err(e) => {
-                eprintln!("piscesd: cannot bind {}: {e}", o.listen);
-                std::process::exit(1);
-            }
-        }
-    } else {
-        match std::net::TcpListener::bind(&o.listen) {
-            Ok(l) => Listener::Tcp(l),
-            Err(e) => {
-                eprintln!("piscesd: cannot bind {}: {e}", o.listen);
-                std::process::exit(1);
-            }
+    let listener = match Listener::bind(&o.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("piscesd: cannot bind {}: {e}", o.listen);
+            std::process::exit(1);
         }
     };
-    match &listener {
-        Listener::Tcp(l) => {
-            // Report the bound address (port 0 picks an ephemeral port).
-            if let Ok(a) = l.local_addr() {
-                println!("piscesd: listening on {a}");
-            }
-            l.set_nonblocking(true).expect("nonblocking listener");
-        }
-        Listener::Unix(l) => {
-            println!("piscesd: listening on {}", o.listen);
-            l.set_nonblocking(true).expect("nonblocking listener");
-        }
-    }
+    // Report the bound address (port 0 picks an ephemeral TCP port).
+    println!("piscesd: listening on {}", listener.local_addr());
 
-    let stop = Arc::new(AtomicBool::new(false));
-    let draining = Arc::new(AtomicBool::new(false));
-    let mut handles = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
-        let conn = match &listener {
-            Listener::Tcp(l) => match l.accept() {
-                Ok((s, _)) => {
-                    s.set_nonblocking(false).ok();
-                    Some(Conn::Tcp(s))
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
-                Err(e) => {
-                    eprintln!("piscesd: accept: {e}");
-                    None
-                }
-            },
-            Listener::Unix(l) => match l.accept() {
-                Ok((s, _)) => {
-                    s.set_nonblocking(false).ok();
-                    Some(Conn::Unix(s))
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
-                Err(e) => {
-                    eprintln!("piscesd: accept: {e}");
-                    None
-                }
-            },
-        };
-        match conn {
-            None => std::thread::sleep(Duration::from_millis(20)),
-            Some(conn) => {
-                let service = service.clone();
-                let stop = stop.clone();
-                let draining = draining.clone();
-                let metrics_out = o.metrics_out.clone();
-                handles.push(std::thread::spawn(move || {
-                    serve_connection(conn, service, stop, draining, metrics_out)
-                }));
-            }
-        }
-        handles.retain(|h| !h.is_finished());
-    }
-    for h in handles {
-        let _ = h.join();
-    }
-    if o.listen.contains('/') {
-        let _ = std::fs::remove_file(&o.listen);
-    }
+    serve(service, listener, o.metrics_out.clone());
     println!("piscesd: drained, exiting");
-}
-
-/// Serve one connection: any number of request/response exchanges. A
-/// `submit` blocks this connection (and only this connection) until its
-/// job finishes; other connections keep submitting meanwhile.
-fn serve_connection(
-    mut conn: Conn,
-    service: Arc<JobService>,
-    stop: Arc<AtomicBool>,
-    draining: Arc<AtomicBool>,
-    metrics_out: Option<String>,
-) {
-    loop {
-        let req = match read_frame(&mut conn) {
-            Ok(v) => match Request::from_json(&v) {
-                Ok(r) => r,
-                Err(e) => {
-                    let _ = write_frame(
-                        &mut conn,
-                        &Response::Error {
-                            message: e.to_string(),
-                        }
-                        .to_json(),
-                    );
-                    continue;
-                }
-            },
-            Err(FrameError::Closed) => return,
-            Err(e @ (FrameError::Oversized { .. } | FrameError::BadJson(_))) => {
-                // Tell the peer what was wrong with the frame, then hang
-                // up: the stream is no longer in sync.
-                let _ = write_frame(
-                    &mut conn,
-                    &Response::Error {
-                        message: e.to_string(),
-                    }
-                    .to_json(),
-                );
-                return;
-            }
-            Err(_) => return,
-        };
-        let resp = match req {
-            Request::Ping => Response::Pong,
-            Request::Status => Response::Status(service.status()),
-            Request::Submit {
-                tenant,
-                program,
-                main,
-                args,
-            } => match service.submit(&tenant, &program, &main, &args) {
-                Err(reason) => Response::Rejected {
-                    kind: reason.kind().to_string(),
-                    reason: reason.to_string(),
-                },
-                Ok((_, rx)) => match rx.recv() {
-                    Ok(JobOutcome::Done(reply)) => Response::Done(reply),
-                    Ok(JobOutcome::Refused(reason)) => Response::Rejected {
-                        kind: reason.kind().to_string(),
-                        reason: reason.to_string(),
-                    },
-                    Err(_) => Response::Error {
-                        message: "job result channel lost".into(),
-                    },
-                },
-            },
-            Request::Drain => {
-                if draining.swap(true, Ordering::SeqCst) {
-                    Response::Error {
-                        message: "drain already in progress".into(),
-                    }
-                } else {
-                    let machine = service.machine();
-                    let summary = service.drain();
-                    if let Some(path) = &metrics_out {
-                        let body = pisces_core::telemetry::render_openmetrics(&machine);
-                        if let Err(e) = std::fs::write(path, body) {
-                            eprintln!("piscesd: cannot write {path}: {e}");
-                        }
-                    }
-                    if let Some(dump) = &summary.flight_dump {
-                        println!("piscesd: flight recorder dumped to {}", dump.display());
-                    }
-                    stop.store(true, Ordering::SeqCst);
-                    Response::DrainDone {
-                        finished: summary.finished,
-                        unserved: summary.unserved,
-                    }
-                }
-            }
-        };
-        let done = matches!(resp, Response::DrainDone { .. });
-        if write_frame(&mut conn, &resp.to_json()).is_err() {
-            return;
-        }
-        if done {
-            return;
-        }
-    }
 }

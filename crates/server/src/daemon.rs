@@ -1,0 +1,241 @@
+//! The daemon accept/serve loop, shared by the `piscesd` binary and
+//! in-process tests.
+//!
+//! `piscesd` is a thin argument parser around this module: it builds a
+//! [`ServiceConfig`](crate::service::ServiceConfig), binds a
+//! [`Listener`], and calls [`serve`]. Tests in other packages do the
+//! same on an ephemeral TCP port and get a real socket daemon without
+//! spawning a child process — which is what lets the `pisces top`
+//! end-to-end test poll a live status endpoint.
+//!
+//! The listen address decides the transport: a path (contains `/`)
+//! binds a Unix-domain socket, anything else a TCP `host:port`.
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use crate::service::{JobOutcome, JobService};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bound daemon socket: TCP or Unix-domain.
+pub enum Listener {
+    Tcp(std::net::TcpListener),
+    Unix(std::os::unix::net::UnixListener, String),
+}
+
+/// One accepted connection.
+enum Conn {
+    Tcp(std::net::TcpStream),
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Listener {
+    /// Bind `listen` (Unix path if it contains `/`, else TCP). The
+    /// listener is left non-blocking so [`serve`] can poll for drain.
+    pub fn bind(listen: &str) -> std::io::Result<Self> {
+        if listen.contains('/') {
+            let _ = std::fs::remove_file(listen);
+            let l = std::os::unix::net::UnixListener::bind(listen)?;
+            l.set_nonblocking(true)?;
+            Ok(Self::Unix(l, listen.to_string()))
+        } else {
+            let l = std::net::TcpListener::bind(listen)?;
+            l.set_nonblocking(true)?;
+            Ok(Self::Tcp(l))
+        }
+    }
+
+    /// The address peers should dial: the bound TCP address (resolves
+    /// an ephemeral `:0` port) or the Unix socket path.
+    pub fn local_addr(&self) -> String {
+        match self {
+            Self::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into()),
+            Self::Unix(_, path) => path.clone(),
+        }
+    }
+
+    fn accept(&self) -> Option<Conn> {
+        match self {
+            Self::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false).ok();
+                    Some(Conn::Tcp(s))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => {
+                    eprintln!("piscesd: accept: {e}");
+                    None
+                }
+            },
+            Self::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false).ok();
+                    Some(Conn::Unix(s))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => {
+                    eprintln!("piscesd: accept: {e}");
+                    None
+                }
+            },
+        }
+    }
+}
+
+/// Serve connections until a client drains the service. Blocks the
+/// calling thread; each connection gets its own worker thread. When
+/// `metrics_out` is set, a final OpenMetrics snapshot is written there
+/// at drain.
+pub fn serve(service: Arc<JobService>, listener: Listener, metrics_out: Option<String>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            None => std::thread::sleep(Duration::from_millis(20)),
+            Some(conn) => {
+                let service = service.clone();
+                let stop = stop.clone();
+                let draining = draining.clone();
+                let metrics_out = metrics_out.clone();
+                handles.push(std::thread::spawn(move || {
+                    serve_connection(conn, service, stop, draining, metrics_out)
+                }));
+            }
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Serve one connection: any number of request/response exchanges. A
+/// `submit` blocks this connection (and only this connection) until its
+/// job finishes; other connections keep submitting meanwhile.
+fn serve_connection(
+    mut conn: Conn,
+    service: Arc<JobService>,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    metrics_out: Option<String>,
+) {
+    loop {
+        let req = match read_frame(&mut conn) {
+            Ok(v) => match Request::from_json(&v) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = write_frame(
+                        &mut conn,
+                        &Response::Error {
+                            message: e.to_string(),
+                        }
+                        .to_json(),
+                    );
+                    continue;
+                }
+            },
+            Err(FrameError::Closed) => return,
+            Err(e @ (FrameError::Oversized { .. } | FrameError::BadJson(_))) => {
+                // Tell the peer what was wrong with the frame, then hang
+                // up: the stream is no longer in sync.
+                let _ = write_frame(
+                    &mut conn,
+                    &Response::Error {
+                        message: e.to_string(),
+                    }
+                    .to_json(),
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Status => Response::Status(service.status()),
+            Request::Submit {
+                tenant,
+                program,
+                main,
+                args,
+            } => match service.submit(&tenant, &program, &main, &args) {
+                Err(reason) => Response::Rejected {
+                    kind: reason.kind().to_string(),
+                    reason: reason.to_string(),
+                },
+                Ok((_, rx)) => match rx.recv() {
+                    Ok(JobOutcome::Done(reply)) => Response::Done(reply),
+                    Ok(JobOutcome::Refused(reason)) => Response::Rejected {
+                        kind: reason.kind().to_string(),
+                        reason: reason.to_string(),
+                    },
+                    Err(_) => Response::Error {
+                        message: "job result channel lost".into(),
+                    },
+                },
+            },
+            Request::Drain => {
+                if draining.swap(true, Ordering::SeqCst) {
+                    Response::Error {
+                        message: "drain already in progress".into(),
+                    }
+                } else {
+                    let machine = service.machine();
+                    let summary = service.drain();
+                    if let Some(path) = &metrics_out {
+                        let body = pisces_core::telemetry::render_openmetrics(&machine);
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("piscesd: cannot write {path}: {e}");
+                        }
+                    }
+                    if let Some(dump) = &summary.flight_dump {
+                        println!("piscesd: flight recorder dumped to {}", dump.display());
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                    Response::DrainDone {
+                        finished: summary.finished,
+                        unserved: summary.unserved,
+                    }
+                }
+            }
+        };
+        let done = matches!(resp, Response::DrainDone { .. });
+        if write_frame(&mut conn, &resp.to_json()).is_err() {
+            return;
+        }
+        if done {
+            return;
+        }
+    }
+}

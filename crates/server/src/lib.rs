@@ -20,20 +20,27 @@
 //!   queue, shared-memory arena pressure, program-fits-local-memory;
 //! * [`scheduler`] — smooth weighted round-robin across tenants, so a
 //!   greedy tenant can never starve a light one;
+//! * [`slo`] — per-tenant service-level objectives: multi-window
+//!   burn-rate evaluation, `ALERT$` trace records, and OpenMetrics
+//!   families whose histogram buckets carry exemplar job ids;
 //! * [`service`] — the [`service::JobService`]: one machine cycled
 //!   through jobs with per-job stats scoping, console capture, trace
 //!   routing, and `reset_for_next_job` (or a full reboot when a job
 //!   wedges) between jobs;
+//! * [`daemon`] — the accept/serve loop `piscesd` wraps, reusable
+//!   in-process by tests that need a live socket daemon;
 //! * [`client`] — the client used by `pisces submit`.
 //!
 //! See `docs/SERVICE.md` for the protocol and operational story.
 
 pub mod admission;
 pub mod client;
+pub mod daemon;
 pub mod json;
 pub mod protocol;
 pub mod scheduler;
 pub mod service;
+pub mod slo;
 
 pub use admission::{AdmissionPolicy, RejectReason};
 pub use client::{Client, ClientError};
@@ -41,3 +48,4 @@ pub use json::Json;
 pub use protocol::{FrameError, JobReply, ProgramRef, Request, Response, StatusReply};
 pub use scheduler::{FairScheduler, TenantWeights};
 pub use service::{DrainSummary, JobOutcome, JobService, ServiceConfig};
+pub use slo::{AlertTransition, SloEngine, SloSpec};

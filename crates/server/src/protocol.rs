@@ -306,7 +306,7 @@ pub struct JobReply {
 }
 
 /// One tenant's live accounting in a status reply.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TenantStatus {
     /// Tenant id.
     pub tenant: String,
@@ -316,6 +316,13 @@ pub struct TenantStatus {
     pub queued: u64,
     /// Jobs finished since boot.
     pub finished: u64,
+    /// Current queue wait of each queued job (ms since admission),
+    /// FIFO order — the head of the list is next to dispatch.
+    pub waits_ms: Vec<u64>,
+    /// Median submit-to-dispatch latency over recent finished jobs (ms).
+    pub submit_p50_ms: u64,
+    /// 99th-percentile submit-to-dispatch latency (ms).
+    pub submit_p99_ms: u64,
 }
 
 /// Service-level status.
@@ -341,6 +348,9 @@ pub struct StatusReply {
     pub tenants: Vec<TenantStatus>,
     /// Program names in the library.
     pub programs: Vec<String>,
+    /// The machine's live OpenMetrics endpoint (`host:port`), when
+    /// telemetry is armed — `pisces top` discovers the scrape here.
+    pub telemetry: Option<String>,
 }
 
 /// A server response.
@@ -449,6 +459,14 @@ impl Response {
                                     ("weight".into(), Json::num(t.weight as u64)),
                                     ("queued".into(), Json::num(t.queued)),
                                     ("finished".into(), Json::num(t.finished)),
+                                    (
+                                        "waits_ms".into(),
+                                        Json::Arr(
+                                            t.waits_ms.iter().map(|&w| Json::num(w)).collect(),
+                                        ),
+                                    ),
+                                    ("submit_p50_ms".into(), Json::num(t.submit_p50_ms)),
+                                    ("submit_p99_ms".into(), Json::num(t.submit_p99_ms)),
                                 ])
                             })
                             .collect(),
@@ -457,6 +475,10 @@ impl Response {
                 (
                     "programs".into(),
                     Json::Arr(s.programs.iter().map(|p| Json::str(p.clone())).collect()),
+                ),
+                (
+                    "telemetry".into(),
+                    s.telemetry.clone().map(Json::Str).unwrap_or(Json::Null),
                 ),
             ]),
         }
@@ -550,6 +572,15 @@ impl Response {
                         weight: t.get("weight").and_then(Json::as_u64).unwrap_or(1) as u32,
                         queued: t.get("queued").and_then(Json::as_u64).unwrap_or(0),
                         finished: t.get("finished").and_then(Json::as_u64).unwrap_or(0),
+                        waits_ms: t
+                            .get("waits_ms")
+                            .and_then(Json::as_arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .filter_map(Json::as_u64)
+                            .collect(),
+                        submit_p50_ms: t.get("submit_p50_ms").and_then(Json::as_u64).unwrap_or(0),
+                        submit_p99_ms: t.get("submit_p99_ms").and_then(Json::as_u64).unwrap_or(0),
                     })
                     .collect(),
                 programs: v
@@ -559,6 +590,7 @@ impl Response {
                     .iter()
                     .filter_map(|p| p.as_str().map(str::to_string))
                     .collect(),
+                telemetry: v.get("telemetry").and_then(Json::as_str).map(str::to_string),
             })),
             other => Err(FrameError::BadMessage(format!(
                 "unknown response type {other:?}"
@@ -640,9 +672,29 @@ mod tests {
                 weight: 3,
                 queued: 2,
                 finished: 7,
+                waits_ms: vec![120, 5],
+                submit_p50_ms: 4,
+                submit_p99_ms: 250,
             }],
             programs: vec!["heat".into(), "pi".into()],
+            telemetry: Some("127.0.0.1:9100".into()),
         }));
+        // A pre-extension status frame (no waits/latency/telemetry
+        // fields) still decodes, with defaults.
+        let old = json::parse(
+            br#"{"type":"status","queued":0,"submitted":1,"finished":1,"failed":0,
+                 "rejected":0,"reboots":0,
+                 "tenants":[{"tenant":"t","weight":1,"queued":0,"finished":1}]}"#,
+        )
+        .unwrap();
+        match Response::from_json(&old).unwrap() {
+            Response::Status(s) => {
+                assert_eq!(s.telemetry, None);
+                assert_eq!(s.tenants[0].waits_ms, Vec::<u64>::new());
+                assert_eq!(s.tenants[0].submit_p99_ms, 0);
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 
     #[test]

@@ -107,6 +107,17 @@ impl<T> FairScheduler<T> {
         self.weights.weight_of(tenant)
     }
 
+    /// Visit every queued item with its tenant — lanes in tenant order,
+    /// FIFO within a lane. The status report uses this to compute each
+    /// queued job's current wait.
+    pub fn for_each(&self, mut f: impl FnMut(&str, &T)) {
+        for (tenant, lane) in &self.lanes {
+            for item in &lane.fifo {
+                f(tenant, item);
+            }
+        }
+    }
+
     /// Append an item to `tenant`'s lane.
     pub fn push(&mut self, tenant: &str, item: T) {
         let weight = self.weights.weight_of(tenant);
@@ -274,6 +285,20 @@ mod tests {
         assert!(
             !seq.starts_with("idle idle"),
             "idle burst unfairly: {seq}"
+        );
+    }
+
+    #[test]
+    fn for_each_visits_fifo_per_lane() {
+        let mut s = FairScheduler::new(TenantWeights::default());
+        s.push("b", 10);
+        s.push("a", 1);
+        s.push("a", 2);
+        let mut seen = Vec::new();
+        s.for_each(|t, &v| seen.push((t.to_string(), v)));
+        assert_eq!(
+            seen,
+            vec![("a".into(), 1), ("a".into(), 2), ("b".into(), 10)]
         );
     }
 

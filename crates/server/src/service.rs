@@ -22,6 +22,7 @@
 use crate::admission::{AdmissionPolicy, RejectReason};
 use crate::protocol::{JobReply, ProgramRef, StatusReply, TenantStatus};
 use crate::scheduler::{FairScheduler, TenantWeights};
+use crate::slo::{SloEngine, SloSpec};
 use pisces_core::substrate::Substrate;
 use pisces_substrate::fault::FaultPlan;
 use pisces_substrate::pe::PeId;
@@ -29,6 +30,9 @@ use parking_lot::{Condvar, Mutex};
 use pisces_config::{ProgramLibrary, ProgramLookupError};
 use pisces_core::config::MachineConfig;
 use pisces_core::machine::Pisces;
+use pisces_core::spans::parse_info;
+use pisces_core::task::USER_ID;
+use pisces_core::trace::{TraceEventKind, TraceRecord};
 use pisces_core::value::Value;
 use pisces_fortran::FortranProgram;
 use std::path::PathBuf;
@@ -62,6 +66,9 @@ pub struct ServiceConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Echo TO USER SEND lines to the server's stdout as they happen.
     pub echo: bool,
+    /// Per-tenant service-level objectives (`--slo`). An empty spec
+    /// still records submit latency and exemplars; it just never alerts.
+    pub slo: SloSpec,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +83,7 @@ impl Default for ServiceConfig {
             trace_dir: None,
             fault_plan: None,
             echo: false,
+            slo: SloSpec::default(),
         }
     }
 }
@@ -110,6 +118,13 @@ struct QueuedJob {
     args: Vec<Value>,
     reply: mpsc::Sender<JobOutcome>,
     enqueued: Instant,
+    /// This job's JOB$ lifecycle records so far. The machine tracer is
+    /// cleared between jobs, so records emitted while the job sat queued
+    /// behind other jobs would be gone by the time it runs — the buffer
+    /// is re-merged into the job's trace window at artifact time.
+    lifecycle: Vec<TraceRecord>,
+    /// Seq of the newest lifecycle record, for `parent` chaining.
+    last_seq: Option<u64>,
 }
 
 struct Inner {
@@ -135,9 +150,18 @@ pub struct JobService {
     next_job: AtomicU64,
     rejected: AtomicU64,
     reboots: AtomicU64,
+    /// Per-tenant SLO engine; shared with the machine's metrics
+    /// extension so burn rates land in every scrape.
+    slo: Arc<SloEngine>,
+    /// Service start — the epoch for `t_us` timestamps in JOB$/ALERT$
+    /// records.
+    epoch: Instant,
 }
 
-fn boot_machine(cfg: &ServiceConfig) -> Result<(Arc<dyn Substrate>, Arc<Pisces>), RejectReason> {
+fn boot_machine(
+    cfg: &ServiceConfig,
+    slo: &Arc<SloEngine>,
+) -> Result<(Arc<dyn Substrate>, Arc<Pisces>), RejectReason> {
     let sub = cfg.machine.substrate.build();
     if let Some(plan) = &cfg.fault_plan {
         sub.arm_faults(plan.clone());
@@ -149,6 +173,16 @@ fn boot_machine(cfg: &ServiceConfig) -> Result<(Arc<dyn Substrate>, Arc<Pisces>)
     }
     let machine = Pisces::boot_on(sub.clone(), cfg.machine.clone())
         .map_err(|e| RejectReason::MachineUnavailable(e.to_string()))?;
+    // Lifecycle spans and SLO alerts are service-level observability:
+    // they must record regardless of the per-run trace settings.
+    machine.tracer().set_global(TraceEventKind::JobLifecycle, true);
+    machine.tracer().set_global(TraceEventKind::SloAlert, true);
+    // Publish the SLO families through this machine's scrape. The
+    // closure holds only the engine (no cycle back to the machine).
+    let ext = slo.clone();
+    machine.set_metrics_extension(Arc::new(move |out: &mut String| {
+        ext.render_openmetrics(out);
+    }));
     Ok((sub, machine))
 }
 
@@ -158,7 +192,8 @@ impl JobService {
         cfg.machine
             .validate()
             .map_err(|e| RejectReason::MachineUnavailable(e.to_string()))?;
-        let (sub, machine) = boot_machine(&cfg)?;
+        let slo = Arc::new(SloEngine::new(cfg.slo.clone()));
+        let (sub, machine) = boot_machine(&cfg, &slo)?;
         let svc = Arc::new(Self {
             inner: Mutex::new(Inner {
                 machine,
@@ -178,6 +213,8 @@ impl JobService {
             next_job: AtomicU64::new(1),
             rejected: AtomicU64::new(0),
             reboots: AtomicU64::new(0),
+            slo,
+            epoch: Instant::now(),
         });
         let for_worker = svc.clone();
         *svc.worker.lock() = Some(
@@ -194,9 +231,51 @@ impl JobService {
         self.inner.lock().machine.clone()
     }
 
+    /// Microseconds since the service started — the wall-clock axis of
+    /// JOB$/ALERT$ records (the machine's own clocks are virtual).
+    fn t_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Emit one JOB$ lifecycle record through `machine`'s tracer and
+    /// return a copy for the job's lifecycle buffer. `extra` must be
+    /// empty or start with a space. `None` when tracing is disabled.
+    fn emit_job_event(
+        &self,
+        machine: &Pisces,
+        phase: &str,
+        id: u64,
+        tenant: &str,
+        extra: &str,
+        parent: Option<u64>,
+    ) -> Option<TraceRecord> {
+        let t_us = self.t_us();
+        let info = format!("{phase} job={id} tenant={tenant} t_us={t_us}{extra}");
+        let seq = machine.tracer().emit_causal(
+            TraceEventKind::JobLifecycle,
+            USER_ID,
+            0,
+            t_us,
+            info.clone(),
+            parent,
+            None,
+        )?;
+        Some(TraceRecord {
+            seq,
+            kind: TraceEventKind::JobLifecycle,
+            task: USER_ID,
+            pe: 0,
+            ticks: t_us,
+            info,
+            parent,
+            cause: None,
+        })
+    }
+
     /// Parse/resolve the submitted program and run every admission gate.
     /// On success the job is queued and the receiver will deliver its
-    /// [`JobOutcome`] when it leaves the machine.
+    /// [`JobOutcome`] when it leaves the machine. Every submission —
+    /// admitted or rejected — opens a JOB$ span.
     pub fn submit(
         &self,
         tenant: &str,
@@ -204,40 +283,58 @@ impl JobService {
         main: &str,
         args: &[String],
     ) -> Result<(u64, mpsc::Receiver<JobOutcome>), RejectReason> {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let machine = self.inner.lock().machine.clone();
+        let submit_rec = self.emit_job_event(&machine, "submit", id, tenant, "", None);
+        let submit_seq = submit_rec.as_ref().map(|r| r.seq);
+        match self.admit(id, tenant, program, main, args, submit_rec) {
+            Ok(rx) => Ok((id, rx)),
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.emit_job_event(
+                    &machine,
+                    "rejected",
+                    id,
+                    tenant,
+                    &format!(" reason={}", e.kind()),
+                    submit_seq,
+                );
+                Err(e)
+            }
+        }
+    }
+
+    fn admit(
+        &self,
+        id: u64,
+        tenant: &str,
+        program: &ProgramRef,
+        main: &str,
+        args: &[String],
+        submit_rec: Option<TraceRecord>,
+    ) -> Result<mpsc::Receiver<JobOutcome>, RejectReason> {
         let mut inner = self.inner.lock();
         if inner.draining || inner.stopped {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(RejectReason::Draining);
         }
-        if let Err(e) = self.cfg.policy.check_queue(inner.queue.len()) {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
-        }
+        self.cfg.policy.check_queue(inner.queue.len())?;
         let shm = inner.sub.shmem().report();
-        if let Err(e) = self.cfg.policy.check_arena(shm.in_use, shm.capacity) {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
-        }
+        self.cfg.policy.check_arena(shm.in_use, shm.capacity)?;
         let source = match program {
             ProgramRef::Inline(src) => src.clone(),
             ProgramRef::Named(name) => match self.cfg.programs.read(name) {
                 Ok(src) => src,
                 Err(ProgramLookupError::BadName(_) | ProgramLookupError::NotFound { .. }) => {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(RejectReason::UnknownProgram(name.clone()));
                 }
                 Err(e @ ProgramLookupError::Io { .. }) => {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(RejectReason::BadProgram(e.to_string()));
                 }
             },
         };
-        let parsed = FortranProgram::parse(&source).map_err(|e| {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            RejectReason::BadProgram(e.to_string())
-        })?;
+        let parsed =
+            FortranProgram::parse(&source).map_err(|e| RejectReason::BadProgram(e.to_string()))?;
         if !parsed.tasktypes().iter().any(|t| t == main) {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(RejectReason::NoSuchTask {
                 main: main.to_string(),
                 defined: parsed.tasktypes(),
@@ -257,12 +354,21 @@ impl JobService {
             })
             .min()
             .unwrap_or(0);
-        if let Err(e) = self.cfg.policy.check_fit(user_bytes, tightest) {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
-        }
+        self.cfg.policy.check_fit(user_bytes, tightest)?;
 
-        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        // Admitted: chain admitted → queued onto the submit record and
+        // buffer all three with the job.
+        let machine = inner.machine.clone();
+        let submit_seq = submit_rec.as_ref().map(|r| r.seq);
+        let admitted = self.emit_job_event(&machine, "admitted", id, tenant, "", submit_seq);
+        let admitted_seq = admitted.as_ref().map(|r| r.seq).or(submit_seq);
+        let queued = self.emit_job_event(&machine, "queued", id, tenant, "", admitted_seq);
+        let last_seq = queued.as_ref().map(|r| r.seq).or(admitted_seq);
+        let lifecycle: Vec<TraceRecord> = [submit_rec, admitted, queued]
+            .into_iter()
+            .flatten()
+            .collect();
+
         let (tx, rx) = mpsc::channel();
         inner.queue.push(
             tenant,
@@ -274,12 +380,14 @@ impl JobService {
                 args: args.iter().map(|s| pisces_exec::menu::parse_value(s)).collect(),
                 reply: tx,
                 enqueued: Instant::now(),
+                lifecycle,
+                last_seq,
             },
         );
         inner.submitted += 1;
         drop(inner);
         self.work.notify_one();
-        Ok((id, rx))
+        Ok(rx)
     }
 
     /// Live status for the `status` request.
@@ -294,8 +402,7 @@ impl JobService {
                 .or_insert_with(|| TenantStatus {
                     weight: inner.queue.weight_of(&tenant),
                     tenant,
-                    queued: 0,
-                    finished: 0,
+                    ..TenantStatus::default()
                 })
                 .queued = queued as u64;
         }
@@ -305,10 +412,23 @@ impl JobService {
                 .or_insert_with(|| TenantStatus {
                     weight: inner.queue.weight_of(tenant),
                     tenant: tenant.clone(),
-                    queued: 0,
-                    finished: 0,
+                    ..TenantStatus::default()
                 })
                 .finished = *finished;
+        }
+        // Each queued job's current wait (age since admission), FIFO per
+        // tenant, plus recent submit-latency quantiles from the SLO
+        // engine's sample ring.
+        inner.queue.for_each(|tenant, job| {
+            if let Some(t) = tenants.get_mut(tenant) {
+                t.waits_ms.push(job.enqueued.elapsed().as_millis() as u64);
+            }
+        });
+        for t in tenants.values_mut() {
+            if let Some((p50, p99)) = self.slo.tenant_latency(&t.tenant) {
+                t.submit_p50_ms = p50;
+                t.submit_p99_ms = p99;
+            }
         }
         StatusReply {
             draining: inner.draining,
@@ -321,7 +441,14 @@ impl JobService {
             reboots: self.reboots.load(Ordering::Relaxed),
             tenants: tenants.into_values().collect(),
             programs: self.cfg.programs.list(),
+            telemetry: inner.machine.telemetry_addr().map(|a| a.to_string()),
         }
+    }
+
+    /// The live SLO engine (burn rates, breach counts, latency
+    /// histogram).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
     }
 
     /// Graceful drain: refuse new submissions, keep serving the queue
@@ -355,6 +482,15 @@ impl JobService {
         self.work.notify_all();
         let unserved = abandoned.len() as u64;
         for (_, job) in abandoned {
+            // Close the abandoned job's span: it never ran.
+            self.emit_job_event(
+                &machine,
+                "drained",
+                job.id,
+                &job.tenant,
+                &format!(" queued_ms={}", job.enqueued.elapsed().as_millis() as u64),
+                job.last_seq,
+            );
             let _ = job.reply.send(JobOutcome::Refused(RejectReason::Draining));
         }
         if let Some(handle) = self.worker.lock().take() {
@@ -372,7 +508,7 @@ impl JobService {
 
     fn dispatch_loop(self: Arc<Self>) {
         loop {
-            let job = {
+            let mut job = {
                 let mut inner = self.inner.lock();
                 loop {
                     if inner.stopped {
@@ -390,7 +526,19 @@ impl JobService {
                     self.work.wait_for(&mut inner, Duration::from_millis(100));
                 }
             };
-            let outcome = self.run_job(&job);
+            let machine = self.inner.lock().machine.clone();
+            if let Some(rec) = self.emit_job_event(
+                &machine,
+                "scheduled",
+                job.id,
+                &job.tenant,
+                "",
+                job.last_seq,
+            ) {
+                job.last_seq = Some(rec.seq);
+                job.lifecycle.push(rec);
+            }
+            let outcome = self.run_job(&mut job);
             {
                 let mut inner = self.inner.lock();
                 inner.running = None;
@@ -411,7 +559,7 @@ impl JobService {
 
     /// Run one job on the current machine, then reset it. Never panics:
     /// every failure path produces a `Done` reply with `ok: false`.
-    fn run_job(&self, job: &QueuedJob) -> JobOutcome {
+    fn run_job(&self, job: &mut QueuedJob) -> JobOutcome {
         let (machine, sub) = {
             let inner = self.inner.lock();
             (inner.machine.clone(), inner.sub.clone())
@@ -447,6 +595,12 @@ impl JobService {
         };
 
         machine.begin_job(&job.tenant, job.id);
+        if let Some(rec) =
+            self.emit_job_event(&machine, "running", job.id, &job.tenant, "", job.last_seq)
+        {
+            job.last_seq = Some(rec.seq);
+            job.lifecycle.push(rec);
+        }
         job.program.register_with(&machine);
         let initiated = machine.initiate_top_level(1, &job.main, job.args.clone());
         let mut wedged = false;
@@ -482,9 +636,66 @@ impl JobService {
             .map(|(k, v)| (k.to_string(), *v))
             .collect();
 
+        // Close the span, then feed the SLO engine and trace any alert
+        // transitions — all before artifact routing, so the terminal
+        // JOB$ and any ALERT$ land in this job's trace window.
+        let terminal = if reply.ok { "done" } else { "failed" };
+        if let Some(rec) = self.emit_job_event(
+            &machine,
+            terminal,
+            job.id,
+            &job.tenant,
+            &format!(
+                " queued_ms={} run_ms={} ok={}",
+                reply.queued_ms, reply.run_ms, reply.ok
+            ),
+            job.last_seq,
+        ) {
+            job.last_seq = Some(rec.seq);
+            job.lifecycle.push(rec);
+        }
+        for t in self.slo.record(&job.tenant, job.id, reply.queued_ms, reply.ok) {
+            let verb = if t.fired { "fired" } else { "cleared" };
+            machine.tracer().emit_causal(
+                TraceEventKind::SloAlert,
+                USER_ID,
+                0,
+                self.t_us(),
+                format!(
+                    "{verb} tenant={} slo={} burn_short={:.2} burn_long={:.2} t_us={}",
+                    t.tenant,
+                    t.slo,
+                    t.burn_short,
+                    t.burn_long,
+                    self.t_us()
+                ),
+                job.last_seq,
+                None,
+            );
+        }
+
         // Route this job's trace out before the reset clears the tracer.
+        // The window may hold JOB$ records of *other* jobs (submissions
+        // that arrived while this one ran) — drop those, and re-merge
+        // this job's buffered lifecycle records (its submit/admitted/
+        // queued events were emitted before earlier resets wiped them).
         if let Some(dir) = &self.cfg.trace_dir {
-            let records = machine.tracer().records();
+            let job_tag = job.id.to_string();
+            let mut records: Vec<TraceRecord> = machine
+                .tracer()
+                .records()
+                .into_iter()
+                .filter(|r| {
+                    r.kind != TraceEventKind::JobLifecycle
+                        || parse_info(&r.info).get("job").copied() == Some(job_tag.as_str())
+                })
+                .collect();
+            for rec in &job.lifecycle {
+                if !records.iter().any(|r| r.seq == rec.seq) {
+                    records.push(rec.clone());
+                }
+            }
+            records.sort_by_key(|r| r.seq);
             if let Err(e) = pisces_exec::write_job_artifacts(dir, job.id, &records) {
                 eprintln!("piscesd: trace routing for job {} failed: {e}", job.id);
             }
@@ -523,7 +734,7 @@ impl JobService {
             .name("piscesd-retire".into())
             .spawn(move || retiring.shutdown())
             .ok();
-        match boot_machine(&self.cfg) {
+        match boot_machine(&self.cfg, &self.slo) {
             Ok((sub, machine)) => {
                 let mut inner = self.inner.lock();
                 inner.sub = sub;

@@ -1,0 +1,621 @@
+//! Per-tenant service-level objectives with multi-window burn-rate
+//! alerting.
+//!
+//! An operator states objectives on the `piscesd` command line —
+//! `--slo submit_p99=50ms,error_rate=1%` — and the [`SloEngine`] turns
+//! every finished job into a compliance sample: did the job's
+//! submit-to-dispatch latency beat the target, did it succeed. The
+//! engine evaluates each objective over **two sliding windows** (the
+//! classic short/long burn-rate pair): the *burn rate* is the fraction
+//! of the error budget consumed in a window divided by the fraction a
+//! perfectly-on-budget service would have consumed, so a burn rate of 1
+//! means "exactly spending the budget", 10 means "ten times too fast".
+//! An alert fires only when **both** windows burn above 1 — the long
+//! window proves the problem is real, the short window proves it is
+//! still happening — and clears the same way, which is what keeps a
+//! single slow job from paging anyone at 3am.
+//!
+//! Firing and clearing emit `ALERT$` trace records through the service
+//! machine's tracer, so alerts land in the same causal record stream as
+//! the jobs that caused them, and the whole engine renders itself as
+//! OpenMetrics families (`pisces_slo_burn_rate`,
+//! `pisces_slo_breaches_total`, and a submit-latency histogram whose
+//! buckets carry **exemplar job ids** — a spike on the dashboard names
+//! the exact `job-<id>.jsonl` to open).
+
+use pisces_core::metrics::{ExemplarSet, TickHistogram};
+use pisces_core::telemetry::{
+    label_escape, openmetrics_gauge, openmetrics_histogram_with_exemplars,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Samples retained per tenant; at one sample per finished job this
+/// covers far more history than the long window needs.
+const SAMPLE_RETAIN: usize = 4096;
+
+/// What one objective demands of every job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectiveKind {
+    /// `submit_p<q>=<N>ms`: at least q% of jobs must wait less than `N`
+    /// milliseconds between admission and dispatch. The error budget is
+    /// the complementary quantile (p99 → 1% of jobs may miss).
+    SubmitLatency {
+        /// The quantile, as a percentage (99 for `submit_p99`).
+        quantile: f64,
+        /// The latency target in milliseconds.
+        target_ms: u64,
+    },
+    /// `error_rate=<P>%`: at most P% of jobs may fail.
+    ErrorRate {
+        /// Allowed failure fraction (0.01 for `1%`).
+        budget: f64,
+    },
+}
+
+/// One named objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// The name used in `--slo`, metric labels, and `ALERT$` records
+    /// (e.g. `submit_p99`).
+    pub name: String,
+    /// What the objective demands.
+    pub kind: ObjectiveKind,
+}
+
+impl Objective {
+    /// The fraction of jobs allowed to violate the objective.
+    fn budget(&self) -> f64 {
+        match &self.kind {
+            ObjectiveKind::SubmitLatency { quantile, .. } => (100.0 - quantile) / 100.0,
+            ObjectiveKind::ErrorRate { budget } => *budget,
+        }
+    }
+
+    /// Whether one job sample violates the objective.
+    fn is_bad(&self, s: &Sample) -> bool {
+        match &self.kind {
+            ObjectiveKind::SubmitLatency { target_ms, .. } => s.queued_ms > *target_ms,
+            ObjectiveKind::ErrorRate { .. } => !s.ok,
+        }
+    }
+}
+
+/// A parsed `--slo` specification: the objectives plus the two
+/// burn-rate windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// The objectives, in the order given.
+    pub objectives: Vec<Objective>,
+    /// The fast "is it still happening" window.
+    pub short_window: Duration,
+    /// The slow "is it real" window.
+    pub long_window: Duration,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        Self {
+            objectives: Vec::new(),
+            short_window: Duration::from_secs(5),
+            long_window: Duration::from_secs(60),
+        }
+    }
+}
+
+impl SloSpec {
+    /// Parse a `--slo` argument: comma-separated `name=value` entries.
+    /// Objectives: `submit_p50|submit_p90|submit_p99=<N>ms`,
+    /// `error_rate=<P>%`. Windows: `short=<N>s`, `long=<N>s` override
+    /// the 5s/60s defaults.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = Self::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (name, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("bad SLO entry {entry:?} (want name=value)"))?;
+            let (name, value) = (name.trim(), value.trim());
+            match name {
+                "short" | "long" => {
+                    let secs: u64 = value
+                        .strip_suffix('s')
+                        .unwrap_or(value)
+                        .parse()
+                        .map_err(|_| format!("bad window in {entry:?} (want e.g. 30s)"))?;
+                    if secs == 0 {
+                        return Err(format!("zero-length window in {entry:?}"));
+                    }
+                    let d = Duration::from_secs(secs);
+                    if name == "short" {
+                        out.short_window = d;
+                    } else {
+                        out.long_window = d;
+                    }
+                }
+                "error_rate" => {
+                    let pct: f64 = value
+                        .strip_suffix('%')
+                        .ok_or_else(|| format!("bad {entry:?} (want e.g. error_rate=1%)"))?
+                        .parse()
+                        .map_err(|_| format!("bad percentage in {entry:?}"))?;
+                    if !(pct > 0.0 && pct < 100.0) {
+                        return Err(format!("error_rate must be in (0, 100), got {pct}"));
+                    }
+                    out.objectives.push(Objective {
+                        name: name.to_string(),
+                        kind: ObjectiveKind::ErrorRate {
+                            budget: pct / 100.0,
+                        },
+                    });
+                }
+                _ => {
+                    let quantile = match name {
+                        "submit_p50" => 50.0,
+                        "submit_p90" => 90.0,
+                        "submit_p99" => 99.0,
+                        other => {
+                            return Err(format!(
+                                "unknown SLO {other:?} (known: submit_p50, submit_p90, \
+                                 submit_p99, error_rate, short, long)"
+                            ))
+                        }
+                    };
+                    let target_ms: u64 = value
+                        .strip_suffix("ms")
+                        .ok_or_else(|| format!("bad {entry:?} (want e.g. {name}=50ms)"))?
+                        .parse()
+                        .map_err(|_| format!("bad latency in {entry:?}"))?;
+                    out.objectives.push(Objective {
+                        name: name.to_string(),
+                        kind: ObjectiveKind::SubmitLatency {
+                            quantile,
+                            target_ms,
+                        },
+                    });
+                }
+            }
+        }
+        if out.short_window >= out.long_window {
+            return Err(format!(
+                "short window {:?} must be shorter than long window {:?}",
+                out.short_window, out.long_window
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Whether any objective is configured.
+    pub fn is_armed(&self) -> bool {
+        !self.objectives.is_empty()
+    }
+}
+
+/// One finished job, as the engine sees it.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    at: Instant,
+    queued_ms: u64,
+    ok: bool,
+}
+
+#[derive(Default)]
+struct TenantState {
+    samples: VecDeque<Sample>,
+    /// Per-objective firing state (present once evaluated).
+    firing: BTreeMap<String, bool>,
+    /// Per-objective breach count.
+    breaches: BTreeMap<String, u64>,
+    /// Live burn rates from the last evaluation, per objective:
+    /// (short, long).
+    burn: BTreeMap<String, (f64, f64)>,
+    /// Per-tenant submit-latency distribution (feeds `pisces top`).
+    p50_ms: u64,
+    p99_ms: u64,
+}
+
+/// An alert transition the caller should trace and log: `fired` true
+/// when the alert begins, false when it clears.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Tenant the alert concerns.
+    pub tenant: String,
+    /// Objective name (e.g. `submit_p99`).
+    pub slo: String,
+    /// True on fire, false on clear.
+    pub fired: bool,
+    /// Burn rate over the short window at transition time.
+    pub burn_short: f64,
+    /// Burn rate over the long window at transition time.
+    pub burn_long: f64,
+}
+
+/// The live SLO engine: records one sample per finished job, evaluates
+/// burn rates, tracks alert state, and renders itself as OpenMetrics.
+pub struct SloEngine {
+    spec: SloSpec,
+    tenants: Mutex<BTreeMap<String, TenantState>>,
+    /// Service-wide submit-latency histogram (milliseconds queued).
+    submit_latency: TickHistogram,
+    /// Exemplar job ids per latency bucket.
+    exemplars: ExemplarSet,
+    breaches_total: AtomicU64,
+}
+
+impl SloEngine {
+    /// An engine enforcing `spec` (possibly inert: no objectives).
+    pub fn new(spec: SloSpec) -> Self {
+        Self {
+            spec,
+            tenants: Mutex::new(BTreeMap::new()),
+            submit_latency: TickHistogram::new("submit_latency_ms", "ms"),
+            exemplars: ExemplarSet::default(),
+            breaches_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The spec this engine enforces.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Record one finished job and re-evaluate the tenant's objectives.
+    /// Returns the alert transitions (fire/clear) this sample caused.
+    pub fn record(&self, tenant: &str, job_id: u64, queued_ms: u64, ok: bool) -> Vec<AlertTransition> {
+        self.record_at(Instant::now(), tenant, job_id, queued_ms, ok)
+    }
+
+    fn record_at(
+        &self,
+        now: Instant,
+        tenant: &str,
+        job_id: u64,
+        queued_ms: u64,
+        ok: bool,
+    ) -> Vec<AlertTransition> {
+        self.submit_latency.record(queued_ms);
+        self.exemplars.observe(queued_ms, format!("{job_id}"));
+
+        let mut tenants = self.tenants.lock();
+        let state = tenants.entry(tenant.to_string()).or_default();
+        state.samples.push_back(Sample {
+            at: now,
+            queued_ms,
+            ok,
+        });
+        while state.samples.len() > SAMPLE_RETAIN {
+            state.samples.pop_front();
+        }
+        let (p50, p99) = Self::tenant_quantiles(&state.samples);
+        state.p50_ms = p50;
+        state.p99_ms = p99;
+
+        let mut transitions = Vec::new();
+        for obj in &self.spec.objectives {
+            let short = Self::burn(&state.samples, obj, now, self.spec.short_window);
+            let long = Self::burn(&state.samples, obj, now, self.spec.long_window);
+            state.burn.insert(obj.name.clone(), (short, long));
+            let firing_now = short > 1.0 && long > 1.0;
+            let was_firing = state.firing.get(&obj.name).copied().unwrap_or(false);
+            if firing_now != was_firing {
+                state.firing.insert(obj.name.clone(), firing_now);
+                if firing_now {
+                    *state.breaches.entry(obj.name.clone()).or_insert(0) += 1;
+                    self.breaches_total.fetch_add(1, Ordering::Relaxed);
+                }
+                transitions.push(AlertTransition {
+                    tenant: tenant.to_string(),
+                    slo: obj.name.clone(),
+                    fired: firing_now,
+                    burn_short: short,
+                    burn_long: long,
+                });
+            }
+        }
+        transitions
+    }
+
+    /// Burn rate for `obj` over the trailing `window`: fraction of
+    /// in-window samples that violate the objective, divided by the
+    /// error budget. 0 when no sample falls in the window.
+    fn burn(samples: &VecDeque<Sample>, obj: &Objective, now: Instant, window: Duration) -> f64 {
+        let mut total = 0u64;
+        let mut bad = 0u64;
+        for s in samples.iter().rev() {
+            if now.duration_since(s.at) > window {
+                break;
+            }
+            total += 1;
+            if obj.is_bad(s) {
+                bad += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_fraction = bad as f64 / total as f64;
+        let budget = obj.budget().max(f64::EPSILON);
+        bad_fraction / budget
+    }
+
+    fn tenant_quantiles(samples: &VecDeque<Sample>) -> (u64, u64) {
+        let mut lat: Vec<u64> = samples.iter().map(|s| s.queued_ms).collect();
+        if lat.is_empty() {
+            return (0, 0);
+        }
+        lat.sort_unstable();
+        let at = |p: f64| {
+            let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        (at(50.0), at(99.0))
+    }
+
+    /// Current burn rate for (`tenant`, `slo`) over the short and long
+    /// windows, as of the last recorded sample. `None` when the pair was
+    /// never evaluated.
+    pub fn burn_rate(&self, tenant: &str, slo: &str) -> Option<(f64, f64)> {
+        self.tenants.lock().get(tenant)?.burn.get(slo).copied()
+    }
+
+    /// Total breaches (alert firings) across all tenants and objectives.
+    pub fn breaches(&self) -> u64 {
+        self.breaches_total.load(Ordering::Relaxed)
+    }
+
+    /// Per-tenant submit-latency quantiles (p50, p99) in milliseconds,
+    /// over the retained sample ring. Feeds the extended status frame.
+    pub fn tenant_latency(&self, tenant: &str) -> Option<(u64, u64)> {
+        let tenants = self.tenants.lock();
+        let s = tenants.get(tenant)?;
+        Some((s.p50_ms, s.p99_ms))
+    }
+
+    /// Append the engine's OpenMetrics families: burn-rate gauges,
+    /// breach counters, and the submit-latency histogram with exemplar
+    /// job ids. Written in the machine's metrics-extension hook, so
+    /// these land in the same scrape as the machine families.
+    pub fn render_openmetrics(&self, out: &mut String) {
+        let tenants = self.tenants.lock();
+        if self.spec.is_armed() {
+            openmetrics_gauge(
+                out,
+                "pisces_slo_burn_rate",
+                "Error-budget burn rate per tenant, objective, and window \
+                 (1 = spending exactly the budget).",
+            );
+            for (tenant, state) in tenants.iter() {
+                for (slo, (short, long)) in &state.burn {
+                    let t = label_escape(tenant);
+                    let s = label_escape(slo);
+                    out.push_str(&format!(
+                        "pisces_slo_burn_rate{{tenant=\"{t}\",slo=\"{s}\",window=\"short\"}} {short}\n"
+                    ));
+                    out.push_str(&format!(
+                        "pisces_slo_burn_rate{{tenant=\"{t}\",slo=\"{s}\",window=\"long\"}} {long}\n"
+                    ));
+                }
+            }
+            out.push_str(
+                "# TYPE pisces_slo_breaches counter\n\
+                 # HELP pisces_slo_breaches Alert firings per tenant and objective.\n",
+            );
+            for (tenant, state) in tenants.iter() {
+                for (slo, n) in &state.breaches {
+                    out.push_str(&format!(
+                        "pisces_slo_breaches_total{{tenant=\"{}\",slo=\"{}\"}} {n}\n",
+                        label_escape(tenant),
+                        label_escape(slo)
+                    ));
+                }
+            }
+            openmetrics_gauge(
+                out,
+                "pisces_slo_alert_firing",
+                "1 while the (tenant, objective) alert is firing.",
+            );
+            for (tenant, state) in tenants.iter() {
+                for (slo, firing) in &state.firing {
+                    out.push_str(&format!(
+                        "pisces_slo_alert_firing{{tenant=\"{}\",slo=\"{}\"}} {}\n",
+                        label_escape(tenant),
+                        label_escape(slo),
+                        u64::from(*firing)
+                    ));
+                }
+            }
+        }
+        drop(tenants);
+        let snap = self.submit_latency.snapshot();
+        if snap.count > 0 {
+            openmetrics_histogram_with_exemplars(
+                out,
+                "pisces_submit_latency_ms",
+                "Milliseconds jobs waited between admission and dispatch; \
+                 bucket exemplars name a recent job id in that bucket.",
+                &snap,
+                &self.exemplars.snapshot(),
+                "job_id",
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("objectives", &self.spec.objectives.len())
+            .field("breaches", &self.breaches())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(spec: &str) -> SloEngine {
+        SloEngine::new(SloSpec::parse(spec).unwrap())
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let spec = SloSpec::parse("submit_p99=50ms,error_rate=1%").unwrap();
+        assert_eq!(spec.objectives.len(), 2);
+        assert_eq!(
+            spec.objectives[0].kind,
+            ObjectiveKind::SubmitLatency {
+                quantile: 99.0,
+                target_ms: 50
+            }
+        );
+        assert_eq!(
+            spec.objectives[1].kind,
+            ObjectiveKind::ErrorRate { budget: 0.01 }
+        );
+        let spec = SloSpec::parse(" submit_p50=2ms , short=2s, long=30s ").unwrap();
+        assert_eq!(spec.short_window, Duration::from_secs(2));
+        assert_eq!(spec.long_window, Duration::from_secs(30));
+        assert!(SloSpec::parse("").unwrap().objectives.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_reasons() {
+        for bad in [
+            "submit_p99=50",     // missing ms
+            "error_rate=1",      // missing %
+            "error_rate=0%",     // empty budget
+            "error_rate=200%",   // impossible budget
+            "warp_factor=9",     // unknown objective
+            "no-equals",         // not name=value
+            "short=0s",          // degenerate window
+            "short=60s,long=5s", // inverted windows
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn budgets_follow_quantiles() {
+        let spec = SloSpec::parse("submit_p50=1ms,submit_p90=1ms,submit_p99=1ms").unwrap();
+        let budgets: Vec<f64> = spec.objectives.iter().map(|o| o.budget()).collect();
+        assert!((budgets[0] - 0.50).abs() < 1e-9);
+        assert!((budgets[1] - 0.10).abs() < 1e-9);
+        assert!((budgets[2] - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burn_rate_rises_and_alert_fires_once() {
+        let e = engine("submit_p99=10ms,short=1s,long=5s");
+        let t0 = Instant::now();
+        // Nine fast jobs: no burn.
+        for i in 0..9 {
+            let tr = e.record_at(t0, "acme", i, 1, true);
+            assert!(tr.is_empty(), "unexpected transition {tr:?}");
+        }
+        // A flood of slow jobs: both windows burn far above 1, alert
+        // fires exactly once.
+        let mut fired = 0;
+        for i in 9..29 {
+            for t in e.record_at(t0, "acme", i, 500, true) {
+                assert!(t.fired);
+                assert!(t.burn_short > 1.0 && t.burn_long > 1.0, "{t:?}");
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+        assert_eq!(e.breaches(), 1);
+        let (short, long) = e.burn_rate("acme", "submit_p99").unwrap();
+        assert!(short > 1.0 && long > 1.0);
+        // Fast jobs past the short window: the alert clears (short burn
+        // decays first, and the transition needs only one window sober).
+        let later = t0 + Duration::from_secs(2);
+        let mut cleared = 0;
+        for i in 29..60 {
+            for t in e.record_at(later, "acme", i, 1, true) {
+                assert!(!t.fired);
+                cleared += 1;
+            }
+        }
+        assert_eq!(cleared, 1);
+        // Breach count is still 1: clears are not breaches.
+        assert_eq!(e.breaches(), 1);
+    }
+
+    #[test]
+    fn error_rate_objective_counts_failures() {
+        let e = engine("error_rate=10%,short=1s,long=5s");
+        let t0 = Instant::now();
+        for i in 0..5 {
+            e.record_at(t0, "acme", i, 1, true);
+        }
+        assert_eq!(e.breaches(), 0);
+        // Half the jobs failing burns 5x the 10% budget.
+        let mut transitions = Vec::new();
+        for i in 5..10 {
+            transitions.extend(e.record_at(t0, "acme", i, 1, false));
+        }
+        assert_eq!(transitions.len(), 1);
+        assert!(transitions[0].fired);
+        let (short, _) = e.burn_rate("acme", "error_rate").unwrap();
+        assert!(short > 1.0, "burn {short}");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let e = engine("error_rate=10%,short=1s,long=5s");
+        let t0 = Instant::now();
+        for i in 0..10 {
+            e.record_at(t0, "noisy", i, 1, false);
+            e.record_at(t0, "quiet", 100 + i, 1, true);
+        }
+        assert!(e.burn_rate("noisy", "error_rate").unwrap().0 > 1.0);
+        assert_eq!(e.burn_rate("quiet", "error_rate").unwrap().0, 0.0);
+        assert_eq!(e.breaches(), 1);
+    }
+
+    #[test]
+    fn openmetrics_renders_burn_breaches_and_exemplars() {
+        let e = engine("submit_p99=10ms,short=1s,long=5s");
+        let t0 = Instant::now();
+        for i in 0..10 {
+            e.record_at(t0, "acme", i, if i < 5 { 1 } else { 900 }, true);
+        }
+        let mut out = String::new();
+        e.render_openmetrics(&mut out);
+        assert!(out.contains("# TYPE pisces_slo_burn_rate gauge"), "{out}");
+        assert!(
+            out.contains("pisces_slo_burn_rate{tenant=\"acme\",slo=\"submit_p99\",window=\"short\"}"),
+            "{out}"
+        );
+        assert!(
+            out.contains("pisces_slo_breaches_total{tenant=\"acme\",slo=\"submit_p99\"} 1"),
+            "{out}"
+        );
+        assert!(out.contains("pisces_slo_alert_firing{tenant=\"acme\",slo=\"submit_p99\"} 1"));
+        // The histogram carries an exemplar naming a job id.
+        assert!(out.contains("pisces_submit_latency_ms_bucket"), "{out}");
+        assert!(out.contains("# {job_id=\""), "{out}");
+        // The exemplar for the slow bucket is the latest slow job (id 9).
+        assert!(out.contains("# {job_id=\"9\"} 900"), "{out}");
+    }
+
+    #[test]
+    fn inert_engine_still_tracks_latency() {
+        let e = SloEngine::new(SloSpec::default());
+        assert!(!e.spec().is_armed());
+        for i in 0..20 {
+            e.record("acme", i, i, true);
+        }
+        let (p50, p99) = e.tenant_latency("acme").unwrap();
+        assert!(p50 <= p99);
+        let mut out = String::new();
+        e.render_openmetrics(&mut out);
+        // No SLO families without objectives, but the latency histogram
+        // (with exemplars) still renders.
+        assert!(!out.contains("pisces_slo_burn_rate"));
+        assert!(out.contains("pisces_submit_latency_ms_bucket"));
+        assert_eq!(e.breaches(), 0);
+    }
+}

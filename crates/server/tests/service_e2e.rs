@@ -3,7 +3,7 @@
 
 use pisces_server::protocol::{read_frame, write_frame, ProgramRef, Request, Response};
 use pisces_server::service::{JobOutcome, JobService, ServiceConfig};
-use pisces_server::{AdmissionPolicy, TenantWeights};
+use pisces_server::{AdmissionPolicy, SloSpec, TenantWeights};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,6 +28,7 @@ fn quick_service(max_queue: usize, weights: &str) -> Arc<JobService> {
             ..AdmissionPolicy::default()
         },
         weights: TenantWeights::parse(weights).unwrap(),
+        slo: SloSpec::default(),
         job_timeout: Duration::from_secs(30),
         drain_timeout: Duration::from_secs(30),
         trace_dir: None,

@@ -26,6 +26,8 @@ use pisces::pisces_fortran::FortranProgram;
 use std::io::{BufRead, Write as _};
 use std::time::Duration;
 
+mod top;
+
 struct Options {
     source: String,
     preprocess: bool,
@@ -54,6 +56,7 @@ fn usage() -> ! {
          \x20                    [--metrics <out.prom>] [--flamegraph <out.folded>] [--strict]\n\
          \x20      pisces submit <name | --file prog.pf> [--addr <a>] [--tenant <t>]\n\
          \x20                    [--main <TASK>] [--arg <v>]... | --status | --drain | --ping\n\
+         \x20      pisces top [--addr <a>] [--interval <s>] [--once]\n\
          \n\
          options:\n\
            --preprocess          print the Fortran 77 translation and exit\n\
@@ -425,10 +428,22 @@ fn run_submit(args: &[String]) -> ! {
             if let Some((tenant, job)) = &s.running {
                 println!("running: job {job} (tenant {tenant})");
             }
+            if let Some(addr) = &s.telemetry {
+                println!("telemetry: {addr}");
+            }
             for t in &s.tenants {
+                let waits = if t.waits_ms.is_empty() {
+                    "-".to_string()
+                } else {
+                    t.waits_ms
+                        .iter()
+                        .map(|w| format!("{w}ms"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
                 println!(
-                    "tenant {:<12} weight {} queued {} finished {}",
-                    t.tenant, t.weight, t.queued, t.finished
+                    "tenant {:<12} weight {} queued {} finished {} p50 {}ms p99 {}ms waiting [{}]",
+                    t.tenant, t.weight, t.queued, t.finished, t.submit_p50_ms, t.submit_p99_ms, waits
                 );
             }
             if !s.programs.is_empty() {
@@ -489,6 +504,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("submit") {
         run_submit(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("top") {
+        top::run_top(&argv[1..]);
     }
     let o = parse_args();
     let source = match std::fs::read_to_string(&o.source) {

@@ -1,0 +1,277 @@
+//! `pisces top` — a live operator dashboard for a running `piscesd`.
+//!
+//! Polls the daemon's status frame over the job-submission socket and,
+//! when the machine's telemetry endpoint is armed, scrapes the
+//! OpenMetrics exposition for SLO burn rates and per-PE load. One
+//! screenful per refresh:
+//!
+//! ```text
+//! pisces top --addr 127.0.0.1:7070              # refresh every 2 s
+//! pisces top --addr 127.0.0.1:7070 --interval 5
+//! pisces top --addr 127.0.0.1:7070 --once       # one frame, no clear
+//! ```
+//!
+//! `--once` prints a single frame without touching the terminal modes,
+//! which is what the end-to-end tests (and scripts) use.
+
+use pisces::pisces_server::protocol::{Request, Response, StatusReply};
+use pisces::pisces_server::Client;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// One parsed OpenMetrics sample: family name, label set, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse an OpenMetrics exposition into samples. Comment and `# TYPE`
+/// lines are skipped; exemplar suffixes (`# {...} v`) are ignored —
+/// the dashboard only needs the sample values.
+fn parse_openmetrics(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Strip an exemplar suffix: `name{...} 3 # {job_id="7"} 900`.
+        let line = match line.find(" # ") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let (head, rest) = match line.find('{') {
+            Some(i) => {
+                let name = &line[..i];
+                let Some(close) = line[i..].find('}') else {
+                    continue;
+                };
+                (name, (&line[i + 1..i + close], &line[i + close + 1..]))
+            }
+            None => match line.split_once(' ') {
+                Some((name, v)) => (name, ("", v)),
+                None => continue,
+            },
+        };
+        let (label_str, value_str) = rest;
+        let Ok(value) = value_str.trim().split_whitespace().next().unwrap_or("").parse() else {
+            continue;
+        };
+        let mut labels = Vec::new();
+        for pair in label_str.split(',').filter(|p| !p.is_empty()) {
+            if let Some((k, v)) = pair.split_once('=') {
+                labels.push((k.trim().to_string(), v.trim().trim_matches('"').to_string()));
+            }
+        }
+        out.push(Sample {
+            name: head.to_string(),
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// Scrape `addr` (host:port) with a minimal HTTP/1.0 GET and return the
+/// response body. The machine's telemetry server answers any request
+/// with the full exposition.
+fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut s = std::net::TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(2)))?;
+    s.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)?;
+    Ok(match buf.find("\r\n\r\n") {
+        Some(i) => buf[i + 4..].to_string(),
+        None => buf,
+    })
+}
+
+/// One rendered dashboard frame.
+fn render_frame(addr: &str, status: &StatusReply, metrics: Option<&[Sample]>) -> String {
+    let mut out = String::new();
+    let telemetry = status.telemetry.as_deref().unwrap_or("off");
+    out.push_str(&format!("pisces top — {addr} · telemetry {telemetry}\n"));
+    out.push_str(&format!(
+        "jobs: queued {} · submitted {} · finished {} ({} failed) · rejected {} · reboots {} · draining {}\n",
+        status.queued,
+        status.submitted,
+        status.finished,
+        status.failed,
+        status.rejected,
+        status.reboots,
+        if status.draining { "yes" } else { "no" },
+    ));
+    match &status.running {
+        Some((tenant, job)) => {
+            out.push_str(&format!("running: job {job} (tenant {tenant})\n"))
+        }
+        None => out.push_str("running: idle\n"),
+    }
+
+    // Burn rates keyed (tenant, slo) -> (short, long), from the scrape.
+    let mut burns: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+    let mut breaches: BTreeMap<String, f64> = BTreeMap::new();
+    if let Some(samples) = metrics {
+        for s in samples {
+            if s.name == "pisces_slo_burn_rate" {
+                if let (Some(tenant), Some(slo), Some(window)) =
+                    (s.label("tenant"), s.label("slo"), s.label("window"))
+                {
+                    let e = burns
+                        .entry((tenant.to_string(), slo.to_string()))
+                        .or_insert((0.0, 0.0));
+                    match window {
+                        "short" => e.0 = s.value,
+                        _ => e.1 = s.value,
+                    }
+                }
+            } else if s.name == "pisces_slo_breaches_total" {
+                if let Some(tenant) = s.label("tenant") {
+                    *breaches.entry(tenant.to_string()).or_insert(0.0) += s.value;
+                }
+            }
+        }
+    }
+
+    out.push_str(&format!(
+        "\n{:<12} {:>6} {:>6} {:>7} {:>7} {:<16} {}\n",
+        "TENANT", "WEIGHT", "QUEUED", "P50ms", "P99ms", "WAITS(ms)", "BURN short/long"
+    ));
+    for t in &status.tenants {
+        let waits = if t.waits_ms.is_empty() {
+            "-".to_string()
+        } else {
+            t.waits_ms
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut burn_col = String::new();
+        for ((tenant, slo), (short, long)) in &burns {
+            if tenant == &t.tenant {
+                let mark = if *short > 1.0 && *long > 1.0 { " !" } else { "" };
+                burn_col.push_str(&format!("{slo} {short:.2}/{long:.2}{mark}  "));
+            }
+        }
+        if let Some(n) = breaches.get(&t.tenant) {
+            if *n > 0.0 {
+                burn_col.push_str(&format!("[{n:.0} breach(es)]"));
+            }
+        }
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>7} {:>7} {:<16} {}\n",
+            t.tenant,
+            t.weight,
+            t.queued,
+            t.submit_p50_ms,
+            t.submit_p99_ms,
+            waits,
+            burn_col.trim_end(),
+        ));
+    }
+
+    // Per-PE load bars: each PE's share of total machine ticks.
+    if let Some(samples) = metrics {
+        let pes: Vec<(&Sample, f64)> = samples
+            .iter()
+            .filter(|s| s.name == "pisces_pe_ticks")
+            .map(|s| (s, s.value))
+            .collect();
+        let total: f64 = pes.iter().map(|(_, v)| v).sum();
+        if total > 0.0 {
+            out.push_str("\nPE load (share of machine ticks)\n");
+            for (s, ticks) in &pes {
+                let share = ticks / total;
+                let width = 28usize;
+                let fill = ((share * width as f64).round() as usize).min(width);
+                out.push_str(&format!(
+                    "  PE{:<3} [{}{}] {:>3.0}%\n",
+                    s.label("pe").unwrap_or("?"),
+                    "#".repeat(fill),
+                    "-".repeat(width - fill),
+                    share * 100.0,
+                ));
+            }
+        }
+    } else {
+        out.push_str("\n(telemetry endpoint off — run piscesd with --telemetry-port for burn rates and PE load)\n");
+    }
+    out
+}
+
+/// Entry point for `pisces top ...`; never returns.
+pub fn run_top(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut interval_secs = 2u64;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--addr needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--interval" => {
+                interval_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--interval needs a number of seconds");
+                        std::process::exit(2);
+                    })
+            }
+            "--once" => once = true,
+            _ => {
+                eprintln!("usage: pisces top [--addr <a>] [--interval <s>] [--once]");
+                std::process::exit(2);
+            }
+        }
+    }
+    loop {
+        let status = match fetch_status(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pisces top: {e}");
+                std::process::exit(4);
+            }
+        };
+        let samples = status
+            .telemetry
+            .as_deref()
+            .and_then(|t| scrape(t).ok())
+            .map(|body| parse_openmetrics(&body));
+        let frame = render_frame(&addr, &status, samples.as_deref());
+        if once {
+            print!("{frame}");
+            std::process::exit(0);
+        }
+        // Clear screen + home, then the frame — classic top(1) refresh.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs(interval_secs.max(1)));
+    }
+}
+
+fn fetch_status(addr: &str) -> Result<StatusReply, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match client.request(&Request::Status) {
+        Ok(Response::Status(s)) => Ok(s),
+        Ok(other) => Err(format!("unexpected response to status: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end observability demo — the acceptance path for job spans,
+//! per-tenant SLOs, and the `pisces top` dashboard, all against one
+//! live two-tenant service under an armed slow-PE plan:
+//!
+//! 1. every finished job's report carries a complete
+//!    submit→admitted→queued→scheduled→running→done span chain;
+//! 2. the live OpenMetrics scrape shows a nonzero
+//!    `pisces_slo_burn_rate` and a submit-latency histogram exemplar
+//!    naming a real job whose `job-<id>.jsonl` artifact exists;
+//! 3. `pisces top --once` renders a frame against the live daemon
+//!    without error.
+
+use pisces::pisces_core::prelude::*;
+use pisces::pisces_server::daemon::{serve, Listener};
+use pisces::pisces_server::protocol::{ProgramRef, Request, Response};
+use pisces::pisces_server::service::{JobOutcome, JobService, ServiceConfig};
+use pisces::pisces_server::{Client, SloSpec, TenantWeights};
+use std::io::{Read as _, Write as _};
+use std::time::Duration;
+
+const SRC: &str = "TASK MAIN\n\
+                   INTEGER I\n\
+                   REAL X\n\
+                   X = 0.0\n\
+                   DO I = 1, 3000\n\
+                   X = X + I\n\
+                   END DO\n\
+                   PRINT 'OK', 1\n\
+                   END TASK\n";
+
+/// The `pisces` binary: cargo's path when built by cargo, the offline
+/// harness output otherwise.
+fn pisces_bin() -> std::path::PathBuf {
+    match option_env!("CARGO_BIN_EXE_pisces") {
+        Some(p) => p.into(),
+        None => ".verify/out/pisces".into(),
+    }
+}
+
+/// Minimal HTTP GET against the machine's telemetry endpoint.
+fn scrape(addr: &str) -> String {
+    let mut s = std::net::TcpStream::connect(addr).expect("telemetry endpoint reachable");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    match buf.find("\r\n\r\n") {
+        Some(i) => buf[i + 4..].to_string(),
+        None => buf,
+    }
+}
+
+#[test]
+fn spans_slos_and_top_dashboard_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("pisces-obs-e2e-{}", std::process::id()));
+    let trace_dir = dir.join("trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&trace_dir).unwrap();
+
+    let mut machine = MachineConfig::simple(1, 8);
+    machine.telemetry.port = Some(0); // ephemeral live scrape endpoint
+    let cfg = ServiceConfig {
+        machine,
+        weights: TenantWeights::parse("acme=2,batch=1").unwrap(),
+        // A 1ms submit target no queued job can meet, on windows the
+        // run itself spans — queue pressure must light the burn rate.
+        slo: SloSpec::parse("submit_p99=1ms,error_rate=10%,short=1s,long=5s").unwrap(),
+        job_timeout: Duration::from_secs(60),
+        drain_timeout: Duration::from_secs(60),
+        trace_dir: Some(trace_dir.clone()),
+        fault_plan: Some(FaultPlan::new(7).slow_pe(3, 500, 4)),
+        ..ServiceConfig::default()
+    };
+    let svc = JobService::start(cfg).expect("service boots");
+    let telemetry = svc
+        .machine()
+        .telemetry_addr()
+        .expect("telemetry endpoint armed")
+        .to_string();
+
+    // Two tenants, six jobs, all queued up front so later ones wait.
+    let mut waiters = Vec::new();
+    let mut ids = Vec::new();
+    for (tenant, n) in [("acme", 4), ("batch", 2)] {
+        for _ in 0..n {
+            let (id, rx) = svc
+                .submit(tenant, &ProgramRef::Inline(SRC.to_string()), "MAIN", &[])
+                .expect("submission admitted");
+            ids.push(id);
+            waiters.push(std::thread::spawn(move || {
+                matches!(rx.recv(), Ok(JobOutcome::Done(r)) if r.ok && r.job_id == id)
+            }));
+        }
+    }
+    assert!(
+        waiters.into_iter().all(|h| h.join().unwrap_or(false)),
+        "all six jobs must finish ok"
+    );
+
+    // (1) Every finished job's report has its complete span chain.
+    for id in &ids {
+        let report = trace_dir.join(format!("job-{id}.report.txt"));
+        let text = std::fs::read_to_string(&report)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", report.display()));
+        assert!(text.contains("SPANS"), "job {id} report lacks SPANS:\n{text}");
+        assert!(
+            text.contains("submit→admitted→queued→scheduled→running→done"),
+            "job {id} span chain incomplete:\n{text}"
+        );
+    }
+
+    // (2) The live scrape: nonzero burn rate, exemplar naming a real job.
+    let body = scrape(&telemetry);
+    let burn_nonzero = body.lines().any(|l| {
+        l.starts_with("pisces_slo_burn_rate{")
+            && l.split_whitespace()
+                .last()
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v > 0.0)
+    });
+    assert!(burn_nonzero, "no nonzero pisces_slo_burn_rate sample:\n{body}");
+    let exemplar_job = body
+        .lines()
+        .find_map(|l| {
+            let (_, rest) = l.split_once("# {job_id=\"")?;
+            rest.split('"').next().map(str::to_string)
+        })
+        .unwrap_or_else(|| panic!("no submit-latency exemplar in scrape:\n{body}"));
+    let artifact = trace_dir.join(format!("job-{exemplar_job}.jsonl"));
+    assert!(
+        artifact.exists(),
+        "exemplar names job {exemplar_job} but {} does not exist",
+        artifact.display()
+    );
+    assert!(
+        body.contains("pisces_slo_breaches_total"),
+        "breach counter family missing:\n{body}"
+    );
+    assert!(
+        body.contains("pisces_build_info{"),
+        "build info gauge missing:\n{body}"
+    );
+
+    // (3) `pisces top --once` against the live daemon.
+    let listener = Listener::bind("127.0.0.1:0").expect("daemon socket binds");
+    let addr = listener.local_addr();
+    let svc2 = svc.clone();
+    let server = std::thread::spawn(move || serve(svc2, listener, None));
+
+    let top = pisces_bin();
+    if top.exists() {
+        let out = std::process::Command::new(&top)
+            .args(["top", "--once", "--addr", &addr])
+            .output()
+            .expect("pisces top runs");
+        assert!(
+            out.status.success(),
+            "pisces top --once failed: {}\n{}",
+            String::from_utf8_lossy(&out.stderr),
+            String::from_utf8_lossy(&out.stdout),
+        );
+        let frame = String::from_utf8_lossy(&out.stdout);
+        assert!(frame.contains("pisces top —"), "no header:\n{frame}");
+        assert!(frame.contains("acme"), "no tenant row:\n{frame}");
+        assert!(
+            frame.contains("submit_p99"),
+            "no burn-rate column from the scrape:\n{frame}"
+        );
+    } else {
+        eprintln!("pisces binary not found at {} — skipping the top subprocess check", top.display());
+    }
+
+    // Drain over the wire: stops the serve loop and the machine.
+    let mut client = Client::connect(&addr).expect("client connects");
+    match client.request(&Request::Drain).expect("drain request") {
+        Response::DrainDone { finished, unserved } => {
+            assert_eq!(finished, 6);
+            assert_eq!(unserved, 0);
+        }
+        other => panic!("unexpected drain response: {other:?}"),
+    }
+    server.join().expect("serve loop exits after drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -36,10 +36,12 @@ GATED_SUFFIXES = ("_ns", "_ns_per_iter")
 # holds the job-service serving-path numbers (submit→done latency and
 # jobs/sec, in BENCH_service.json); `substrate` holds the bus-vs-cube
 # matrix (per-substrate metric names like `hypercube_xpe_roundtrip_ns`,
-# in BENCH_substrate.json). Each is compared against its own
-# committed run of the same name, never against `pre`/`post` labels —
-# the namespaces are disjoint.
-SPECIAL_RUNS = ("backends", "service", "substrate")
+# in BENCH_substrate.json); `slo` holds the armed-vs-inert span/SLO
+# overhead pair (in BENCH_slo.json, with its 5% budget asserted inside
+# bench-snapshot itself). Each is compared against its own committed
+# run of the same name, never against `pre`/`post` labels — the
+# namespaces are disjoint.
+SPECIAL_RUNS = ("backends", "service", "slo", "substrate")
 
 
 def newest_run(doc):

@@ -15,6 +15,12 @@ format contract:
     the family's `_count`,
   * the document ends with `# EOF` and contains it exactly once.
 
+Exemplars (`name_bucket{le="x"} 3 # {job_id="7"} 900`) are accepted on
+`_bucket` and `_total` samples and validated: the exemplar must carry a
+brace-delimited label set and a numeric value. `--require FAMILY`
+(repeatable) additionally fails the document unless FAMILY is declared
+with `# TYPE` — CI uses it to pin the SLO and build-info families.
+
 With `--folded` the file is instead checked as collapsed-stack flamegraph
 input (`pisces report --flamegraph out.folded`): every line must be
 `frame;frame;... <count>` with non-empty frames and a positive integer
@@ -22,7 +28,7 @@ count, and the file must contain at least one stack.
 
 Exit 0 when valid; 1 with a complaint list otherwise.
 
-Usage: tools/check-openmetrics.py out.prom
+Usage: tools/check-openmetrics.py out.prom [--require FAMILY]...
        tools/check-openmetrics.py --folded out.folded
 """
 
@@ -36,6 +42,13 @@ SAMPLE_RE = re.compile(
 )
 
 HISTOGRAM_SUFFIXES = ("_bucket", "_count", "_sum")
+
+# `value # {label="x",...} exemplar-value [timestamp]` — OpenMetrics
+# exemplar syntax, allowed on _bucket and _total samples.
+EXEMPLAR_RE = re.compile(
+    r"\s#\s\{(?P<labels>[^}]*)\}\s+(?P<value>[^\s]+)(?:\s+[^\s]+)?$"
+)
+EXEMPLAR_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"$')
 
 
 def family_of(sample_name, types):
@@ -57,7 +70,7 @@ def le_value(labels):
     return float("inf") if m.group(1) == "+Inf" else float(m.group(1))
 
 
-def check_metrics(path):
+def check_metrics(path, require=()):
     problems = []
     try:
         text = open(path, encoding="utf-8").read()
@@ -100,11 +113,31 @@ def check_metrics(path):
             # Free-form comment (e.g. the flight recorder's reason line).
             continue
 
+        exemplar = EXEMPLAR_RE.search(line)
+        if exemplar is not None:
+            line = line[: exemplar.start()]
         m = SAMPLE_RE.match(line)
         if m is None:
             problems.append(f"line {n}: unparseable sample line: {line!r}")
             continue
         name, labels, raw = m.group("name"), m.group("labels"), m.group("value")
+        if exemplar is not None:
+            if not (name.endswith("_bucket") or name.endswith("_total")):
+                problems.append(
+                    f"line {n}: exemplar on {name!r} (only _bucket/_total may carry one)"
+                )
+            try:
+                float(exemplar.group("value"))
+            except ValueError:
+                problems.append(
+                    f"line {n}: {name}: non-numeric exemplar value "
+                    f"{exemplar.group('value')!r}"
+                )
+            for pair in filter(None, exemplar.group("labels").split(",")):
+                if EXEMPLAR_LABEL_RE.match(pair.strip()) is None:
+                    problems.append(
+                        f"line {n}: {name}: malformed exemplar label {pair!r}"
+                    )
         family = family_of(name, types)
         if family is None:
             problems.append(f"line {n}: sample {name!r} has no preceding # TYPE")
@@ -153,6 +186,9 @@ def check_metrics(path):
         problems.append(f"# EOF appears {saw_eof} times")
     if not types:
         problems.append("no metric families declared")
+    for family in require:
+        if family not in types:
+            problems.append(f"required family {family!r} is not declared")
     return problems
 
 
@@ -186,10 +222,18 @@ def main():
     args = sys.argv[1:]
     folded = "--folded" in args
     args = [a for a in args if a != "--folded"]
+    require = []
+    while "--require" in args:
+        i = args.index("--require")
+        if i + 1 >= len(args):
+            print("--require needs a family name", file=sys.stderr)
+            return 2
+        require.append(args[i + 1])
+        del args[i : i + 2]
     if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    problems = check_folded(args[0]) if folded else check_metrics(args[0])
+    problems = check_folded(args[0]) if folded else check_metrics(args[0], require)
     if problems:
         print(f"{args[0]}: INVALID ({len(problems)} problem(s))")
         for p in problems:

@@ -9,7 +9,11 @@
 #   * the light tenant is not starved behind the greedy flood — its job
 #     clears the queue in a fraction of the full drain time;
 #   * a graceful drain refuses nothing it admitted, flushes labelled
-#     OpenMetrics, and the daemon exits on its own.
+#     OpenMetrics, and the daemon exits on its own;
+#   * SLO smoke: a second daemon armed with a deterministic slow-PE
+#     plan and a 1ms submit objective must light a nonzero burn rate,
+#     fire the alert (ALERT$ lands in a job's trace artifacts), and
+#     flush the new SLO metric families in the final snapshot.
 #
 # Binaries default to the cargo release layout; override for offline
 # runs: PISCESD=.verify/out/piscesd PISCES=.verify/out/pisces ADDR=...
@@ -23,8 +27,10 @@ GREEDY_JOBS=${GREEDY_JOBS:-24}
 
 WORK=$(mktemp -d)
 SERVER_PID=
+SLO_PID=
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    [ -n "$SLO_PID" ] && kill "$SLO_PID" 2>/dev/null
     rm -rf "$WORK"
     return 0
 }
@@ -115,4 +121,66 @@ grep -q "^pisces_tenant_jobs_finished_total{tenant=\"light\"} 1$" "$WORK/final.p
 grep -q "^pisces_tenant_jobs_finished_total{tenant=\"greedy\"} $GREEDY_JOBS$" "$WORK/final.prom" \
     || { echo "FAIL: greedy tenant counter wrong:"; grep "tenant=" "$WORK/final.prom"; exit 1; }
 
-echo "ci-service: OK (${expected} jobs, 2 tenants, fairness + rejection + clean drain)"
+# ---- SLO smoke -------------------------------------------------------
+# A 1ms submit target no queued job can meet, on windows the burst
+# itself spans, plus a deterministic slow-PE fault (PE 3, 4x slower
+# from tick 500): queue pressure must light the burn rate, fire the
+# alert, and land an ALERT$ record in a job's trace artifacts.
+SLO_ADDR=${SLO_ADDR:-127.0.0.1:7072}
+SLO_JOBS=${SLO_JOBS:-8}
+mkdir -p "$WORK/trace"
+"$PISCESD" --listen "$SLO_ADDR" --clusters 1 --slots 8 --max-queue 128 \
+    --tenants light=3,greedy=1 \
+    --slo submit_p99=1ms,error_rate=50%,short=1s,long=5s \
+    --slow-pe 3:500:4 --trace-dir "$WORK/trace" \
+    --metrics-out "$WORK/slo.prom" \
+    > "$WORK/piscesd-slo.log" 2>&1 &
+SLO_PID=$!
+for _ in $(seq 1 50); do
+    grep -q "listening" "$WORK/piscesd-slo.log" 2>/dev/null && break
+    sleep 0.2
+done
+grep -q "listening" "$WORK/piscesd-slo.log" \
+    || { echo "FAIL: SLO piscesd did not start"; cat "$WORK/piscesd-slo.log"; exit 1; }
+
+# Queue the whole burst up front so later jobs wait out the earlier
+# ones — the queue wait, not the job itself, is what blows the SLO.
+pids=()
+for _ in $(seq 1 "$SLO_JOBS"); do
+    "$PISCES" submit --addr "$SLO_ADDR" --tenant greedy --quiet --file "$WORK/busy.pf" \
+        > /dev/null 2>> "$WORK/slo.err" &
+    pids+=("$!")
+done
+fail=0
+for p in "${pids[@]}"; do wait "$p" || fail=1; done
+[ "$fail" -eq 0 ] || { echo "FAIL: an SLO-smoke job failed"; cat "$WORK/slo.err"; tail "$WORK/piscesd-slo.log"; exit 1; }
+
+"$PISCES" submit --addr "$SLO_ADDR" --drain
+for _ in $(seq 1 100); do
+    kill -0 "$SLO_PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$SLO_PID" 2>/dev/null; then
+    echo "FAIL: SLO piscesd still running after drain"; tail "$WORK/piscesd-slo.log"; exit 1
+fi
+SLO_PID=
+
+# The snapshot is valid OpenMetrics (exemplars included) and declares
+# every new SLO/build-info family.
+python3 tools/check-openmetrics.py "$WORK/slo.prom" \
+    --require pisces_slo_burn_rate --require pisces_slo_breaches \
+    --require pisces_submit_latency_ms --require pisces_build_info
+# The 1ms target under queue pressure must burn the error budget...
+grep '^pisces_slo_burn_rate{tenant="greedy",slo="submit_p99"' "$WORK/slo.prom" \
+    | awk '$NF > 0 { found = 1 } END { exit !found }' \
+    || { echo "FAIL: submit_p99 burn rate never went nonzero:"; grep "^pisces_slo" "$WORK/slo.prom"; exit 1; }
+# ...fire at least one alert...
+grep '^pisces_slo_breaches_total{tenant="greedy",slo="submit_p99"}' "$WORK/slo.prom" \
+    | awk '$NF > 0 { found = 1 } END { exit !found }' \
+    || { echo "FAIL: no submit_p99 breach recorded:"; grep "^pisces_slo" "$WORK/slo.prom"; exit 1; }
+# ...and the fired alert must land in a job's trace artifacts.
+grep -Frq 'ALERT$' "$WORK/trace" \
+    || { echo "FAIL: no ALERT\$ record in any job trace"; ls "$WORK/trace"; exit 1; }
+echo "SLO smoke: burn rate lit, alert fired and traced"
+
+echo "ci-service: OK (${expected} jobs, 2 tenants, fairness + rejection + clean drain + SLO smoke)"
